@@ -1,0 +1,159 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// dissemination arc-merging, checkpointed replay, instrumentation strategy
+// cost, and indexed trace-file navigation.
+package tracedbg_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tracedbg/internal/apps"
+	"tracedbg/internal/graph"
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/replay"
+	"tracedbg/internal/trace"
+)
+
+// BenchmarkAblationDissemination compares trace-graph sizes across merge
+// limits: the arc count must stay bounded while events grow, at the cost of
+// merged (lower resolution) arcs.
+func BenchmarkAblationDissemination(b *testing.B) {
+	// One function sending many messages over one channel: worst case for
+	// parallel arcs.
+	mkTrace := func(events int) *trace.Trace {
+		tr := trace.New(2)
+		tr.MustAppend(trace.Record{Kind: trace.KindFuncEntry, Rank: 0, Marker: 1, Name: "main"})
+		for i := 0; i < events; i++ {
+			tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: 0, Marker: uint64(2 + i),
+				Start: int64(i + 1), End: int64(i + 1), Src: 0, Dst: 1, MsgID: uint64(i + 1)})
+		}
+		return tr
+	}
+	const events = 20000
+	tr := mkTrace(events)
+	for _, limit := range []int{0, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("limit=%d", limit), func(b *testing.B) {
+			var arcs int
+			for i := 0; i < b.N; i++ {
+				g := graph.FromTrace(tr, limit)
+				arcs = g.ArcCount()
+				if g.EventCount() != events+1 {
+					b.Fatalf("events lost: %d", g.EventCount())
+				}
+			}
+			b.ReportMetric(float64(arcs), "arcs")
+		})
+	}
+}
+
+// BenchmarkAblationCheckpoint compares replaying an iterative program to a
+// late target from scratch vs resuming from the logarithmic checkpoint
+// backlog (the paper's §6 proposal).
+func BenchmarkAblationCheckpoint(b *testing.B) {
+	const ranks, iters, every, target = 4, 400, 10, 350
+	store := replay.NewCheckpointStore()
+	cfg := apps.JacobiConfig{Cells: 128, Iters: iters, Seed: 9, CheckpointEvery: every, Store: store}
+	in := instr.New(ranks, instr.NullSink{}, instr.LevelAll)
+	if err := in.Run(mp.Config{NumRanks: ranks}, apps.Jacobi(cfg, nil)); err != nil {
+		b.Fatal(err)
+	}
+	var best *replay.Snapshot
+	for _, s := range store.Snapshots() {
+		if s.Iter <= target {
+			c := s
+			best = &c
+		}
+	}
+	if best == nil {
+		b.Fatal("no snapshot")
+	}
+	b.ReportMetric(float64(store.Len()), "snapshots-retained")
+
+	b.Run("from-scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			in := instr.New(ranks, instr.NullSink{}, instr.LevelAll)
+			body := apps.Jacobi(apps.JacobiConfig{Cells: 128, Iters: target, Seed: 9}, nil)
+			if err := in.Run(mp.Config{NumRanks: ranks}, body); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(target), "iterations-replayed")
+	})
+	b.Run("from-checkpoint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			in := instr.New(ranks, instr.NullSink{}, instr.LevelAll)
+			body := apps.Jacobi(apps.JacobiConfig{Cells: 128, Iters: target, Seed: 9, Resume: best}, nil)
+			if err := in.Run(mp.Config{NumRanks: ranks}, body); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(target-(best.Iter+1)), "iterations-replayed")
+	})
+}
+
+// BenchmarkAblationStrategies compares the three acquisition strategies'
+// cost on the same workload (paper §2: "distinct levels of user
+// convenience, history detail, and execution overhead").
+func BenchmarkAblationStrategies(b *testing.B) {
+	run := func(b *testing.B, level instr.Level) {
+		var events int
+		for i := 0; i < b.N; i++ {
+			sink := instr.NewMemorySink(4)
+			in := instr.New(4, sink, level)
+			if err := in.Run(mp.Config{NumRanks: 4}, apps.LU(apps.LUConfig{Cols: 16, Rows: 8, Iters: 4, Seed: 3}, nil)); err != nil {
+				b.Fatal(err)
+			}
+			events = sink.Trace().Len()
+		}
+		b.ReportMetric(float64(events), "events")
+	}
+	b.Run("uninstrumented", func(b *testing.B) { run(b, 0) })
+	b.Run("wrappers", func(b *testing.B) { run(b, instr.LevelWrappers) })
+	b.Run("functions", func(b *testing.B) { run(b, instr.LevelWrappers|instr.LevelFunctions) })
+	b.Run("constructs", func(b *testing.B) { run(b, instr.LevelAll) })
+}
+
+// BenchmarkAblationNavigation compares locating a marker range in a large
+// trace file through the navigation index vs a linear rescan (paper §4.3).
+func BenchmarkAblationNavigation(b *testing.B) {
+	// Build a sizable trace file.
+	sink := instr.NewMemorySink(4)
+	in := instr.New(4, sink, instr.LevelAll)
+	if err := in.Run(mp.Config{NumRanks: 4}, apps.LU(apps.LUConfig{Cols: 8, Rows: 4, Iters: 100, Seed: 3}, nil)); err != nil {
+		b.Fatal(err)
+	}
+	tr := sink.Trace()
+	var buf bytes.Buffer
+	if err := trace.WriteAll(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	ix, err := trace.BuildIndex(bytes.NewReader(data), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := tr.RankLen(2)
+	from := tr.Rank(2)[n-20].Marker
+	to := tr.Rank(2)[n-1].Marker
+	b.ReportMetric(float64(tr.Len()), "events")
+	b.ReportMetric(float64(len(data)), "file-bytes")
+
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			recs, err := ix.RescanMarkers(bytes.NewReader(data), 2, from, to)
+			if err != nil || len(recs) != 20 {
+				b.Fatalf("recs=%d err=%v", len(recs), err)
+			}
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			recs, err := trace.LinearScanMarkers(bytes.NewReader(data), 2, from, to)
+			if err != nil || len(recs) != 20 {
+				b.Fatalf("recs=%d err=%v", len(recs), err)
+			}
+		}
+	})
+}

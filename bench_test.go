@@ -1,0 +1,373 @@
+// Benchmarks regenerating the paper's evaluation: Table 1 and Figures 1-9
+// (one benchmark per exhibit), plus ablations for the design choices
+// DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// Absolute numbers differ from the 1998 SGI testbed; the shape each bench
+// reports (custom metrics) is the reproduction target. See EXPERIMENTS.md.
+package tracedbg_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"tracedbg"
+	"tracedbg/internal/apps"
+	"tracedbg/internal/graph"
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+	"tracedbg/internal/vis"
+)
+
+const benchTimeout = 60 * time.Second
+
+// --- Table 1: instrumentation overhead ---------------------------------
+
+func benchTable1Strassen(b *testing.B, n int) {
+	b.Helper()
+	m, err := apps.MeasureStrassen(n, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := instr.New(4, instr.NullSink{}, instr.LevelFunctions)
+		if err := in.Run(mp.Config{NumRanks: 4}, apps.Strassen(apps.StrassenConfig{N: n, Seed: 7}, nil)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(m.Slowdown, "slowdown")
+	b.ReportMetric(float64(m.Calls), "calls")
+}
+
+// BenchmarkTable1StrassenSmall is the 96x128x112 row, scaled (coarse-grained
+// work: instrumentation should be nearly free).
+func BenchmarkTable1StrassenSmall(b *testing.B) { benchTable1Strassen(b, 64) }
+
+// BenchmarkTable1StrassenLarge is the 192x256x224 row, scaled.
+func BenchmarkTable1StrassenLarge(b *testing.B) { benchTable1Strassen(b, 128) }
+
+func benchTable1Fib(b *testing.B, n int) {
+	b.Helper()
+	m, err := apps.MeasureFib(n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := instr.New(1, instr.NullSink{}, instr.LevelFunctions)
+		if err := in.Run(mp.Config{NumRanks: 1}, apps.Fib(n, nil)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(m.Slowdown, "slowdown")
+	b.ReportMetric(float64(m.Calls), "calls")
+	b.ReportMetric(float64(m.Instr-m.Uninstr)/float64(m.Calls), "monitor-ns/call")
+}
+
+// BenchmarkTable1Fib24 is the fib(34) row, scaled (call-dominated worst
+// case for the UserMonitor strategy).
+func BenchmarkTable1Fib24(b *testing.B) { benchTable1Fib(b, 24) }
+
+// BenchmarkTable1Fib26 is the fib(35) row, scaled.
+func BenchmarkTable1Fib26(b *testing.B) { benchTable1Fib(b, 26) }
+
+// --- Figure 1: the history pipeline ------------------------------------
+
+// BenchmarkFigure1Pipeline measures the full acquisition pipeline of
+// Figure 1: instrumented run -> monitor -> trace file (flush on demand) ->
+// debugger reads it back.
+func BenchmarkFigure1Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		fs, err := instr.NewFileSink(&buf, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := instr.New(4, fs, instr.LevelAll)
+		if err := in.Run(mp.Config{NumRanks: 4}, apps.Ring(5, nil)); err != nil {
+			b.Fatal(err)
+		}
+		if err := fs.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		tr, err := trace.ReadAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(tr.Len()), "events")
+			b.ReportMetric(float64(buf.Len())/float64(tr.Len()), "bytes/event")
+		}
+	}
+}
+
+// --- Figures 2 and 3: time-space displays ------------------------------
+
+func recordedRing(b *testing.B) *trace.Trace {
+	b.Helper()
+	sink := instr.NewMemorySink(4)
+	in := instr.New(4, sink, instr.LevelAll)
+	if err := in.Run(mp.Config{NumRanks: 4}, apps.Ring(6, nil)); err != nil {
+		b.Fatal(err)
+	}
+	return sink.Trace()
+}
+
+// BenchmarkFigure2NTV renders the whole-trace (NTV-style) display with a
+// stopline indicator, as in Figure 2.
+func BenchmarkFigure2NTV(b *testing.B) {
+	tr := recordedRing(b)
+	stop := tr.EndTime() / 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svg := vis.SVG(tr, vis.Options{Messages: true, Stopline: stop, Title: "Figure 2"})
+		if !strings.Contains(svg, "stopline") {
+			b.Fatal("stopline missing")
+		}
+	}
+}
+
+// BenchmarkFigure3VK renders the animated windowed (VK-style) view of the
+// correct 8-process Strassen run of Figure 3 and checks its message
+// structure (each worker gets 2 operands and returns 1 result).
+func BenchmarkFigure3VK(b *testing.B) {
+	_, tr, err := apps.RunStrassen(apps.StrassenConfig{N: 16, Seed: 42}, 8, instr.LevelAll)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := tr.Summarize()
+	if st.Sends != 21 || st.Recvs != 21 {
+		b.Fatalf("figure 3 message structure: %+v", st)
+	}
+	b.ReportMetric(float64(st.Sends), "messages")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frames := vis.VKFrames(tr, 0, 0, vis.Options{Width: 100, Messages: false, Title: "Figure 3"})
+		if len(frames) == 0 {
+			b.Fatal("no frames")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(frames)), "frames")
+		}
+	}
+}
+
+// --- Figure 4: communication graph --------------------------------------
+
+// BenchmarkFigure4CommGraph builds the Strassen communication graph and
+// its DOT rendering (nodes = matched messages, arcs = causality).
+func BenchmarkFigure4CommGraph(b *testing.B) {
+	_, tr, err := apps.RunStrassen(apps.StrassenConfig{N: 16, Seed: 42}, 8, instr.LevelAll)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cg := graph.BuildCommGraph(tr)
+		if len(cg.Nodes) != 21 {
+			b.Fatalf("comm graph nodes = %d, want 21", len(cg.Nodes))
+		}
+		dot := cg.DOT()
+		if len(dot) == 0 {
+			b.Fatal("empty dot")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(cg.Nodes)), "msg-nodes")
+			b.ReportMetric(float64(len(cg.Arcs)), "causality-arcs")
+		}
+	}
+}
+
+// --- Figures 5-7: the buggy Strassen walkthrough ------------------------
+
+// BenchmarkFigure5Blocked records the buggy run: the runtime detects the
+// global stall with processes 0 and 7 blocked in receives.
+func BenchmarkFigure5Blocked(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, tr, err := apps.RunStrassen(apps.StrassenConfig{N: 16, Seed: 42, Buggy: true}, 8, instr.LevelAll)
+		var stall *mp.StallError
+		if !errors.As(err, &stall) {
+			b.Fatalf("expected stall, got %v", err)
+		}
+		if len(stall.Blocked) != 2 || stall.Blocked[0].Rank != 0 || stall.Blocked[1].Rank != 7 {
+			b.Fatalf("blocked = %+v", stall.Blocked)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(stall.Blocked)), "blocked-ranks")
+			b.ReportMetric(float64(len(tr.OfKind(trace.KindBlocked))), "blocked-records")
+		}
+	}
+}
+
+// BenchmarkFigure6Zoom runs the analyses behind the Figure 6 observation:
+// the zoomed display plus the traffic report that pinpoints process 7's
+// missing second message.
+func BenchmarkFigure6Zoom(b *testing.B) {
+	_, tr, err := apps.RunStrassen(apps.StrassenConfig{N: 16, Seed: 42, Buggy: true}, 8, instr.LevelAll)
+	var stall *mp.StallError
+	if !errors.As(err, &stall) {
+		b.Fatalf("expected stall, got %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := analyzeTraffic(tr)
+		if !rep {
+			b.Fatal("rank 7 anomaly not found")
+		}
+		// Zoomed view around the send bundle.
+		zoom := vis.ASCII(tr.Window(0, tr.EndTime()/2), vis.Options{Width: 100, Messages: true})
+		if len(zoom) == 0 {
+			b.Fatal("empty zoom")
+		}
+	}
+}
+
+func analyzeTraffic(tr *trace.Trace) bool {
+	st := tr.Summarize()
+	return st.PerRankMsgs[7] == 1 && st.PerRankMsgs[1] == 2
+}
+
+// BenchmarkFigure7Replay measures the complete bug hunt: record the stalled
+// run, set a stopline before the send group, replay with enforced matching,
+// and step rank 0 until the wrong destination is observed.
+func BenchmarkFigure7Replay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := tracedbg.New(tracedbg.Target{
+			Cfg:  tracedbg.Config{NumRanks: 8},
+			Body: apps.Strassen(apps.StrassenConfig{N: 16, Seed: 42, Buggy: true}, nil),
+		})
+		var stall *tracedbg.StallError
+		if err := d.Record(); !errors.As(err, &stall) {
+			b.Fatalf("expected stall, got %v", err)
+		}
+		tr := d.Trace()
+		var before tracedbg.EventID
+		for j := range tr.Rank(0) {
+			r := tr.Rank(0)[j]
+			if r.Kind == trace.KindMarker && r.Loc.Line == 161 && r.Args[0] == 0 {
+				before = tracedbg.EventID{Rank: 0, Index: j}
+				break
+			}
+		}
+		sl, err := d.StopLineAtEvent(before)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := d.Replay(sl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.WaitStop(0, benchTimeout); err != nil {
+			b.Fatal(err)
+		}
+		foundBug := false
+		for hops := 0; hops < 40 && !foundBug; hops++ {
+			st := s.Where(0)
+			if st != nil && st.Rec.Kind == trace.KindSend && st.Rec.Loc.Line == 161 {
+				jres, _ := s.ReadVar(0, "jres")
+				if jres != "" && st.Rec.Dst < 7 {
+					foundBug = true
+					break
+				}
+			}
+			if err := s.Step(0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.WaitStop(0, benchTimeout); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Kill()
+		_ = s.Wait()
+		if !foundBug {
+			b.Fatal("bug not located")
+		}
+	}
+}
+
+// --- Figure 8: past/future frontiers ------------------------------------
+
+// BenchmarkFigure8Frontiers computes past/future frontiers and the
+// concurrency region of an event in the LU wavefront and renders the
+// Figure 8 display.
+func BenchmarkFigure8Frontiers(b *testing.B) {
+	sink := instr.NewMemorySink(8)
+	in := instr.New(8, sink, instr.LevelAll)
+	if err := in.Run(mp.Config{NumRanks: 8}, apps.LU(apps.LUConfig{Cols: 8, Rows: 4, Iters: 2, Seed: 1}, nil)); err != nil {
+		b.Fatal(err)
+	}
+	tr := sink.Trace()
+	var sel trace.EventID
+	for i := range tr.Rank(4) {
+		if tr.Rank(4)[i].Kind == trace.KindSend {
+			sel = trace.EventID{Rank: 4, Index: i}
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := tracedbg.NewOrder(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		past, err := o.PastFrontier(sel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		future, err := o.FutureFrontier(sel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !o.IsConsistentFrontier(past) {
+			b.Fatal("past frontier inconsistent")
+		}
+		lo, hi, err := o.ConcurrencyRegion(sel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := vis.ASCII(tr, vis.Options{Width: 100, Past: past, Future: future, Selected: &sel})
+		if len(out) == 0 {
+			b.Fatal("empty render")
+		}
+		if i == 0 {
+			conc := 0
+			for r := range lo {
+				conc += hi[r] - lo[r]
+			}
+			b.ReportMetric(float64(conc), "concurrent-events")
+		}
+	}
+}
+
+// --- Figure 9: dynamic call graph ---------------------------------------
+
+// BenchmarkFigure9CallGraph projects rank 0's dynamic call graph from the
+// Strassen trace graph and renders it in VCG format for xvcg.
+func BenchmarkFigure9CallGraph(b *testing.B) {
+	_, tr, err := apps.RunStrassen(apps.StrassenConfig{N: 16, Seed: 42}, 8, instr.LevelAll)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := graph.FromTrace(tr, 0)
+		cg := g.Project(0)
+		vcg := cg.VCG()
+		if !strings.Contains(vcg, "MatrSend") || !strings.Contains(vcg, "MatrRecv") {
+			b.Fatalf("call graph missing functions:\n%s", vcg)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(cg.Funcs)), "functions")
+			b.ReportMetric(float64(len(cg.Arcs)), "call-arcs")
+		}
+	}
+}

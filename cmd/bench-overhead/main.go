@@ -1,0 +1,57 @@
+// Command bench-overhead regenerates the paper's Table 1: the wall-clock
+// overhead of UserMonitor (function-level) instrumentation on the Strassen
+// distributed multiply (4 processes, two input sizes — overhead should be
+// small) and on recursive Fibonacci (two values — the call-dominated worst
+// case, roughly 4x in the paper).
+//
+// Usage:
+//
+//	bench-overhead                         # scaled defaults
+//	bench-overhead -strassen 96,192 -fib 30,31 -reps 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tracedbg/internal/apps"
+)
+
+func main() {
+	var (
+		strassen = flag.String("strassen", "128,192", "comma-separated Strassen matrix sizes")
+		fib      = flag.String("fib", "24,26", "comma-separated Fibonacci arguments")
+		reps     = flag.Int("reps", 3, "repetitions (minimum is reported)")
+	)
+	flag.Parse()
+
+	sizes, err := parseInts(*strassen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-overhead: -strassen:", err)
+		os.Exit(2)
+	}
+	fibs, err := parseInts(*fib)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-overhead: -fib:", err)
+		os.Exit(2)
+	}
+	if _, err := apps.Table1(os.Stdout, sizes, fibs, *reps); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-overhead:", err)
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"tracedbg/internal/apps"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,33")
+	if err != nil || !reflect.DeepEqual(got, []int{1, 2, 33}) {
+		t.Fatalf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("bad int accepted")
+	}
+}
+
+func TestTable1SmokeTiny(t *testing.T) {
+	var sb strings.Builder
+	ms, err := apps.Table1(&sb, []int{8}, []int{10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("measurements = %d", len(ms))
+	}
+	// Fib call counts follow the closed form.
+	if int64(ms[1].Calls) != apps.FibCalls(10) {
+		t.Errorf("fib calls = %d, want %d", ms[1].Calls, apps.FibCalls(10))
+	}
+	out := sb.String()
+	for _, frag := range []string{"TABLE 1", "Strassen n=8", "fib(10)", "slowdown"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	// Times are positive.
+	for _, m := range ms {
+		if m.Uninstr <= 0 || m.Instr <= 0 {
+			t.Errorf("non-positive time in %+v", m)
+		}
+	}
+}

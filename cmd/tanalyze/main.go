@@ -1,0 +1,93 @@
+// Command tanalyze runs the history analyses of paper §4.4 over a trace:
+// per-rank message traffic with irregularity detection, the unmatched
+// send/receive lists, deadlock (circular wait) detection, wildcard message
+// races, and the action-graph summary.
+//
+// Usage:
+//
+//	tanalyze -in run.trace
+//	tanalyze -app strassen-buggy -ranks 8 -size 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tracedbg/internal/analysis"
+	"tracedbg/internal/apps"
+	"tracedbg/internal/causality"
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "trace file to read (empty: record -app)")
+		app     = flag.String("app", "ring", "workload when -in is empty: "+strings.Join(apps.Names(), ", "))
+		ranks   = flag.Int("ranks", 4, "ranks for -app recording")
+		size    = flag.Int("size", 16, "problem size")
+		iters   = flag.Int("iters", 3, "iterations")
+		seed    = flag.Int64("seed", 42, "seed")
+		actions = flag.Bool("actions", false, "include the action-graph summary")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *in, *app, *ranks, *size, *iters, *seed, *actions); err != nil {
+		fmt.Fprintln(os.Stderr, "tanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, in, app string, ranks, size, iters int, seed int64, actions bool) error {
+	tr, err := load(in, app, ranks, size, iters, seed, w)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprint(w, analysis.AnalyzeTraffic(tr).String())
+
+	mt := analysis.NewMatchTracker()
+	mt.AddTrace(tr)
+	fmt.Fprint(w, mt.Report())
+
+	fmt.Fprint(w, analysis.DetectDeadlock(tr).String())
+
+	o, err := causality.New(tr)
+	if err != nil {
+		return fmt.Errorf("causality: %w", err)
+	}
+	races := analysis.DetectRaces(o)
+	fmt.Fprintf(w, "message races: %d\n", len(races))
+	for _, r := range races {
+		fmt.Fprintf(w, "  %s\n", r)
+	}
+
+	if actions {
+		fmt.Fprint(w, analysis.BuildActionGraph(tr).Text())
+	}
+	return nil
+}
+
+func load(in, app string, ranks, size, iters int, seed int64, w io.Writer) (*trace.Trace, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadAll(f)
+	}
+	body, err := apps.Build(app, ranks, apps.Params{Size: size, Iters: iters, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	sink := instr.NewMemorySink(ranks)
+	inst := instr.New(ranks, sink, instr.LevelAll)
+	if err := inst.Run(mp.Config{NumRanks: ranks}, body); err != nil {
+		fmt.Fprintf(w, "execution ended with error: %v\n", err)
+	}
+	return sink.Trace(), nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeCleanRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "", "ring", 3, 8, 2, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		"message traffic per rank", "no irregularities",
+		"matched, 0 unmatched sends", "deadlock analysis: 0 blocked",
+		"message races: 0", "action graph",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestAnalyzeBuggyStrassen(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "", "strassen-buggy", 8, 8, 1, 42, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		"execution ended with error",
+		"IRREGULAR: rank 7",
+		"cycle: 0 -> 7 -> 0",
+		"unmatched send",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "action graph") {
+		t.Error("action graph printed without -actions")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "/no/such/file", "", 0, 0, 0, 0, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(&sb, "", "nope", 2, 8, 1, 1, false); err == nil {
+		t.Error("bogus app accepted")
+	}
+}

@@ -1,0 +1,83 @@
+// Command tcollect is the central history collector of the client/server
+// debugging architecture: instrumented runs stream their records to it over
+// TCP (internal/remote), and it writes the merged history as a trace file
+// that tvis/tanalyze/tdbg consume.
+//
+// Usage:
+//
+//	tcollect -addr 127.0.0.1:7777 -out run.trace
+//
+// The collector exits after all clients disconnect (at least one must have
+// connected), or after -max-wait if nothing ever connects.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tracedbg/internal/remote"
+	"tracedbg/internal/trace"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:0", "listen address")
+		out     = flag.String("out", "run.trace", "output trace file")
+		maxWait = flag.Duration("max-wait", time.Minute, "give up if no client connects in time")
+	)
+	flag.Parse()
+	if err := run(*addr, *out, *maxWait, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tcollect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, out string, maxWait time.Duration, log interface{ Write([]byte) (int, error) }) error {
+	col, err := remote.NewCollector(addr)
+	if err != nil {
+		return err
+	}
+	defer col.Close()
+	fmt.Fprintf(log, "tcollect: listening on %s\n", col.Addr())
+
+	// Wait for the first client, then for quiescence (all disconnected and
+	// the record count stable).
+	start := time.Now()
+	var lastLen int
+	sawClient := false
+	stableSince := time.Now()
+	for {
+		time.Sleep(50 * time.Millisecond)
+		tr := col.Trace()
+		if tr.Len() > 0 {
+			sawClient = true
+		}
+		if tr.Len() != lastLen {
+			lastLen = tr.Len()
+			stableSince = time.Now()
+		}
+		if sawClient && time.Since(stableSince) > 500*time.Millisecond {
+			break
+		}
+		if !sawClient && time.Since(start) > maxWait {
+			return fmt.Errorf("no client connected within %v", maxWait)
+		}
+	}
+
+	tr := col.Trace()
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteAll(f, tr); err != nil {
+		return err
+	}
+	fmt.Fprintf(log, "tcollect: wrote %d records from %d ranks to %s\n", tr.Len(), tr.NumRanks(), out)
+	for _, e := range col.Errs() {
+		fmt.Fprintf(log, "tcollect: stream error: %v\n", e)
+	}
+	return nil
+}

@@ -1,0 +1,467 @@
+// Command tdbg is the scriptable trace-driven debugger: it runs one of the
+// bundled workloads under the history monitor and accepts debugging
+// commands on standard input — the command-line equivalent of the p2d2
+// session in the paper (record, view, stopline, replay, step, inspect,
+// undo, analyze).
+//
+// Usage:
+//
+//	tdbg -app strassen-buggy -ranks 8 -size 16 < script.tdbg
+//
+// Commands (one per line; # starts a comment):
+//
+//	run                        record an execution of the target
+//	trace [width]              ASCII time-space diagram of the recording
+//	svg FILE                   write the diagram as SVG
+//	stopline T                 set a vertical stopline at virtual time T
+//	stopline-event R I         stopline through event I of rank R
+//	stopline-past R I          stopline along the past frontier of event
+//	stopline-future R I        stopline along the future frontier
+//	replay                     replay to the stopline and wait for stops
+//	stops                      list stopped ranks
+//	step R                     advance rank R one event
+//	continue R | continue-all  resume execution
+//	print R NAME               inspect an exposed variable of a stopped rank
+//	markers                    print the current marker vector
+//	undo                       replay to the previous stop vector
+//	analyze                    traffic, unmatched, deadlock and race reports
+//	profile                    per-function virtual-time profile
+//	utilization                per-rank time breakdown
+//	tsv FILE                   dump the history as tab-separated values
+//	html FILE                  write the full HTML report
+//	watch R NAME               stop rank R when an exposed variable changes
+//	mailbox R                  list messages buffered at rank R (live)
+//	collect R on|off           toggle trace collection for a rank (live)
+//	intertwined                out-of-order message pairs per channel
+//	find EXPR...               query the history (kind = send && dst = 7)
+//	callgraph R                dynamic call graph of rank R (text)
+//	commgraph                  communication graph (text)
+//	vcg R                      call graph of rank R in VCG format
+//	finish                     run the active session to completion
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tracedbg/internal/analysis"
+	"tracedbg/internal/apps"
+	"tracedbg/internal/core"
+	"tracedbg/internal/debug"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+	"tracedbg/internal/vis"
+)
+
+func main() {
+	var (
+		app   = flag.String("app", "ring", "workload: "+strings.Join(apps.Names(), ", "))
+		ranks = flag.Int("ranks", 4, "number of processes")
+		size  = flag.Int("size", 16, "problem size")
+		iters = flag.Int("iters", 3, "iterations / rounds")
+		seed  = flag.Int64("seed", 42, "input seed")
+	)
+	flag.Parse()
+
+	body, err := apps.Build(*app, *ranks, apps.Params{Size: *size, Iters: *iters, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	d := core.New(debug.Target{Cfg: mp.Config{NumRanks: *ranks}, Body: body})
+	r := &repl{d: d, out: os.Stdout, timeout: 30 * time.Second}
+	if err := r.Run(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// repl executes debugger commands.
+type repl struct {
+	d        *core.Debugger
+	out      io.Writer
+	timeout  time.Duration
+	stopline core.StopLine
+	haveSL   bool
+	session  *debug.Session // active replay session (nil = none)
+}
+
+// Run processes commands until EOF or quit.
+func (r *repl) Run(in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" {
+			break
+		}
+		if err := r.exec(line); err != nil {
+			fmt.Fprintf(r.out, "error: %v\n", err)
+		}
+	}
+	if r.session != nil {
+		r.session.Kill()
+		_ = r.session.Wait()
+	}
+	return sc.Err()
+}
+
+func (r *repl) exec(line string) error {
+	f := strings.Fields(line)
+	cmd, args := f[0], f[1:]
+	switch cmd {
+	case "run":
+		err := r.d.Record()
+		if err != nil {
+			fmt.Fprintf(r.out, "execution ended with error: %v\n", err)
+		} else {
+			fmt.Fprintln(r.out, "execution completed")
+		}
+		st := r.d.Trace().Summarize()
+		fmt.Fprintf(r.out, "history: %d records, %d sends, %d recvs, end vt=%d\n",
+			st.Records, st.Sends, st.Recvs, st.EndTime)
+		return nil
+
+	case "trace":
+		width := 100
+		if len(args) > 0 {
+			width, _ = strconv.Atoi(args[0])
+		}
+		opt := vis.Options{Width: width, Messages: true, Stopline: -1}
+		if r.haveSL && r.stopline.Kind == core.Vertical {
+			opt.Stopline = r.stopline.At
+		}
+		fmt.Fprint(r.out, r.d.RenderASCII(opt))
+		return nil
+
+	case "svg":
+		if len(args) != 1 {
+			return fmt.Errorf("svg FILE")
+		}
+		opt := vis.Options{Messages: true, Stopline: -1}
+		if r.haveSL && r.stopline.Kind == core.Vertical {
+			opt.Stopline = r.stopline.At
+		}
+		return os.WriteFile(args[0], []byte(r.d.RenderSVG(opt)), 0o644)
+
+	case "stopline":
+		t, err := argInt64(args, 0)
+		if err != nil {
+			return err
+		}
+		sl, err := r.d.VerticalStopLine(t)
+		if err != nil {
+			return err
+		}
+		r.stopline, r.haveSL = sl, true
+		fmt.Fprintf(r.out, "stopline at vt=%d markers=%v\n", t, sl.Markers)
+		return nil
+
+	case "stopline-event", "stopline-past", "stopline-future":
+		rank, err := argInt(args, 0)
+		if err != nil {
+			return err
+		}
+		idx, err := argInt(args, 1)
+		if err != nil {
+			return err
+		}
+		e := trace.EventID{Rank: rank, Index: idx}
+		var sl core.StopLine
+		switch cmd {
+		case "stopline-event":
+			sl, err = r.d.StopLineAtEvent(e)
+		case "stopline-past":
+			sl, err = r.d.PastFrontierStopLine(e)
+		default:
+			sl, err = r.d.FutureFrontierStopLine(e)
+		}
+		if err != nil {
+			return err
+		}
+		r.stopline, r.haveSL = sl, true
+		fmt.Fprintf(r.out, "%s stopline markers=%v\n", sl.Kind, sl.Markers)
+		return nil
+
+	case "replay":
+		if !r.haveSL {
+			return fmt.Errorf("set a stopline first")
+		}
+		s, err := r.d.Replay(r.stopline)
+		if err != nil {
+			return err
+		}
+		r.session = s
+		stops, err := s.WaitAllStopped(r.timeout)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.out, "replay stopped: %d rank(s) at the stopline\n", len(stops))
+		return nil
+
+	case "stops":
+		if r.session == nil {
+			return fmt.Errorf("no active session")
+		}
+		for _, st := range r.session.Stops() {
+			fmt.Fprintf(r.out, "rank %d stopped at marker %d (%s): %s\n",
+				st.Rank, st.Marker, st.Reason, st.Rec.String())
+		}
+		return nil
+
+	case "step":
+		rank, err := argInt(args, 0)
+		if err != nil {
+			return err
+		}
+		if r.session == nil {
+			return fmt.Errorf("no active session")
+		}
+		if err := r.session.Step(rank); err != nil {
+			return err
+		}
+		st, err := r.session.WaitStop(rank, r.timeout)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.out, "rank %d at marker %d: %s\n", rank, st.Marker, st.Rec.String())
+		return nil
+
+	case "continue":
+		rank, err := argInt(args, 0)
+		if err != nil {
+			return err
+		}
+		if r.session == nil {
+			return fmt.Errorf("no active session")
+		}
+		return r.session.Continue(rank)
+
+	case "continue-all":
+		if r.session == nil {
+			return fmt.Errorf("no active session")
+		}
+		r.session.ContinueAll()
+		return nil
+
+	case "print":
+		rank, err := argInt(args, 0)
+		if err != nil {
+			return err
+		}
+		if len(args) < 2 {
+			return fmt.Errorf("print RANK NAME")
+		}
+		if r.session == nil {
+			return fmt.Errorf("no active session")
+		}
+		v, err := r.session.ReadVar(rank, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.out, "rank %d %s = %s\n", rank, args[1], v)
+		return nil
+
+	case "markers":
+		if r.session == nil {
+			return fmt.Errorf("no active session")
+		}
+		fmt.Fprintf(r.out, "markers = %v\n", r.session.Counters())
+		return nil
+
+	case "undo":
+		src := r.session
+		if src == nil {
+			src = r.d.Session()
+		}
+		if src == nil {
+			return fmt.Errorf("nothing to undo")
+		}
+		s, err := src.Undo()
+		if err != nil {
+			return err
+		}
+		if r.session != nil {
+			r.session.Kill()
+			_ = r.session.Wait()
+		}
+		r.session = s
+		stops, err := s.WaitAllStopped(r.timeout)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.out, "undo: stopped %d rank(s) at markers %v\n", len(stops), s.Counters())
+		return nil
+
+	case "finish":
+		if r.session == nil {
+			return fmt.Errorf("no active session")
+		}
+		// Keep the session around: its recorded stop vectors remain valid
+		// undo targets after completion.
+		err := r.session.Finish()
+		if err != nil {
+			fmt.Fprintf(r.out, "session ended with error: %v\n", err)
+		} else {
+			fmt.Fprintln(r.out, "session completed")
+		}
+		return nil
+
+	case "analyze":
+		fmt.Fprint(r.out, r.d.Traffic().String())
+		fmt.Fprint(r.out, analysis.BuildCommMatrix(r.d.Trace()).Text())
+		fmt.Fprint(r.out, r.d.Unmatched().Report())
+		fmt.Fprint(r.out, r.d.Deadlocks().String())
+		races, err := r.d.Races()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.out, "races: %d\n", len(races))
+		for _, race := range races {
+			fmt.Fprintf(r.out, "  %s\n", race)
+		}
+		return nil
+
+	case "profile":
+		fmt.Fprint(r.out, trace.BuildProfile(r.d.Trace()).Text())
+		return nil
+
+	case "utilization":
+		fmt.Fprint(r.out, trace.UtilizationText(r.d.Trace()))
+		return nil
+
+	case "tsv":
+		if len(args) != 1 {
+			return fmt.Errorf("tsv FILE")
+		}
+		return os.WriteFile(args[0], []byte(trace.TSV(r.d.Trace())), 0o644)
+
+	case "html":
+		if len(args) != 1 {
+			return fmt.Errorf("html FILE")
+		}
+		rep := vis.HTMLReport{Title: "tdbg report"}.Render(r.d.Trace())
+		return os.WriteFile(args[0], []byte(rep), 0o644)
+
+	case "watch":
+		rank, err := argInt(args, 0)
+		if err != nil {
+			return err
+		}
+		if len(args) < 2 {
+			return fmt.Errorf("watch RANK NAME")
+		}
+		if r.session == nil {
+			return fmt.Errorf("no active session")
+		}
+		r.session.WatchVar(rank, args[1])
+		fmt.Fprintf(r.out, "watching %s on rank %d\n", args[1], rank)
+		return nil
+
+	case "mailbox":
+		rank, err := argInt(args, 0)
+		if err != nil {
+			return err
+		}
+		if r.session == nil {
+			return fmt.Errorf("no active session")
+		}
+		msgs := r.session.Mailbox(rank)
+		fmt.Fprintf(r.out, "rank %d mailbox: %d message(s)\n", rank, len(msgs))
+		for _, m := range msgs {
+			fmt.Fprintf(r.out, "  from %d tag=%d bytes=%d (msg %d)\n", m.Src, m.Tag, m.Bytes, m.MsgID)
+		}
+		return nil
+
+	case "collect":
+		rank, err := argInt(args, 0)
+		if err != nil {
+			return err
+		}
+		if len(args) < 2 || (args[1] != "on" && args[1] != "off") {
+			return fmt.Errorf("collect RANK on|off")
+		}
+		if r.session == nil {
+			return fmt.Errorf("no active session")
+		}
+		r.session.Monitor().SetCollect(rank, args[1] == "on")
+		fmt.Fprintf(r.out, "collection %s for rank %d\n", args[1], rank)
+		return nil
+
+	case "intertwined":
+		pairs := r.d.Intertwined()
+		fmt.Fprintf(r.out, "intertwined pairs: %d\n", len(pairs))
+		for _, p := range pairs {
+			fmt.Fprintf(r.out, "  %s\n", p)
+		}
+		return nil
+
+	case "find":
+		if len(args) == 0 {
+			return fmt.Errorf("find EXPR")
+		}
+		expr := strings.Join(args, " ")
+		ids, err := r.d.Find(expr)
+		if err != nil {
+			return err
+		}
+		tr := r.d.Trace()
+		fmt.Fprintf(r.out, "%d event(s) match %q\n", len(ids), expr)
+		limit := 50
+		for i, id := range ids {
+			if i == limit {
+				fmt.Fprintf(r.out, "  ... %d more\n", len(ids)-limit)
+				break
+			}
+			fmt.Fprintf(r.out, "  %v: %s\n", id, tr.MustAt(id).String())
+		}
+		return nil
+
+	case "callgraph":
+		rank, err := argInt(args, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(r.out, r.d.CallGraph(rank).Text())
+		return nil
+
+	case "vcg":
+		rank, err := argInt(args, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(r.out, r.d.CallGraph(rank).VCG())
+		return nil
+
+	case "commgraph":
+		fmt.Fprint(r.out, r.d.CommGraph().Text())
+		return nil
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+func argInt(args []string, i int) (int, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing argument %d", i+1)
+	}
+	return strconv.Atoi(args[i])
+}
+
+func argInt64(args []string, i int) (int64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing argument %d", i+1)
+	}
+	return strconv.ParseInt(args[i], 10, 64)
+}
+
+// osStat is indirected for tests.
+var osStat = os.Stat

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tracedbg/internal/apps"
+	"tracedbg/internal/core"
+	"tracedbg/internal/debug"
+	"tracedbg/internal/mp"
+)
+
+func newRepl(t *testing.T, app string, ranks int, p apps.Params) (*repl, *strings.Builder) {
+	t.Helper()
+	body, err := apps.Build(app, ranks, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &strings.Builder{}
+	r := &repl{
+		d:       core.New(debug.Target{Cfg: mp.Config{NumRanks: ranks}, Body: body}),
+		out:     out,
+		timeout: 30 * time.Second,
+	}
+	return r, out
+}
+
+func TestScriptRecordInspect(t *testing.T) {
+	r, out := newRepl(t, "ring", 3, apps.Params{Iters: 2})
+	script := `
+# record and inspect
+run
+trace 60
+analyze
+callgraph 0
+commgraph
+vcg 0
+quit
+`
+	if err := r.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"execution completed", "history:", "time-space diagram",
+		"no irregularities", "matched", "deadlock analysis",
+		"races: 0", "dynamic call graph", "communication graph", "graph: {",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("output missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestScriptStoplineReplayUndo(t *testing.T) {
+	r, out := newRepl(t, "ring", 3, apps.Params{Iters: 3})
+	if err := r.Run(strings.NewReader("run\n")); err != nil {
+		t.Fatal(err)
+	}
+	mid := r.d.Trace().EndTime() / 2
+	script := strings.Join([]string{
+		"stopline " + itoa64(mid),
+		"replay",
+		"stops",
+		"markers",
+		"step 0",
+		"print 0 token",
+		"continue-all",
+		"finish",
+		"undo",
+		"quit",
+	}, "\n")
+	if err := r.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"stopline at vt=", "replay stopped", "stopped at marker",
+		"markers = [", "token =", "session completed", "undo: stopped",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("output missing %q:\n%s", frag, s)
+		}
+	}
+	if strings.Contains(s, "error:") {
+		t.Errorf("script produced errors:\n%s", s)
+	}
+}
+
+func TestScriptErrors(t *testing.T) {
+	r, out := newRepl(t, "ring", 2, apps.Params{Iters: 1})
+	script := `
+replay
+bogus-command
+stopline notanumber
+print 0 token
+quit
+`
+	if err := r.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Count(s, "error:") < 4 {
+		t.Errorf("expected errors for bad commands:\n%s", s)
+	}
+}
+
+func TestBuggyStrassenScript(t *testing.T) {
+	r, out := newRepl(t, "strassen-buggy", 8, apps.Params{Size: 8, Seed: 42})
+	script := `
+run
+analyze
+quit
+`
+	if err := r.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "execution ended with error") {
+		t.Errorf("stall not reported:\n%s", s)
+	}
+	if !strings.Contains(s, "IRREGULAR: rank 7") {
+		t.Errorf("irregularity report missing:\n%s", s)
+	}
+	if !strings.Contains(s, "cycle: 0 -> 7 -> 0") {
+		t.Errorf("deadlock cycle missing:\n%s", s)
+	}
+}
+
+func itoa64(v int64) string {
+	b := []byte{}
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestScriptReports(t *testing.T) {
+	r, out := newRepl(t, "ring", 3, apps.Params{Iters: 2})
+	dir := t.TempDir()
+	script := strings.Join([]string{
+		"run",
+		"profile",
+		"utilization",
+		"tsv " + dir + "/run.tsv",
+		"html " + dir + "/run.html",
+		"quit",
+	}, "\n")
+	if err := r.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"function profile", "per-rank virtual-time breakdown"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("output missing %q:\n%s", frag, s)
+		}
+	}
+	if strings.Contains(s, "error:") {
+		t.Errorf("script errors:\n%s", s)
+	}
+	for _, f := range []string{dir + "/run.tsv", dir + "/run.html"} {
+		if _, err := osStat(f); err != nil {
+			t.Errorf("file %s not written: %v", f, err)
+		}
+	}
+}
+
+func TestScriptWatch(t *testing.T) {
+	r, out := newRepl(t, "ring", 3, apps.Params{Iters: 3})
+	if err := r.Run(strings.NewReader("run\n")); err != nil {
+		t.Fatal(err)
+	}
+	mid := r.d.Trace().EndTime() / 3
+	script := strings.Join([]string{
+		"stopline " + itoa64(mid),
+		"replay",
+		"watch 0 token",
+		"continue-all",
+		"finish",
+		"quit",
+	}, "\n")
+	if err := r.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "watching token on rank 0") {
+		t.Errorf("watch confirmation missing:\n%s", s)
+	}
+}
+
+func TestScriptFind(t *testing.T) {
+	r, out := newRepl(t, "ring", 3, apps.Params{Iters: 2})
+	script := `
+run
+find kind = send && dst = 1
+find kind = recv && wildcard
+find bogus ==== expr
+quit
+`
+	if err := r.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, `event(s) match "kind = send && dst = 1"`) {
+		t.Errorf("find output missing:\n%s", s)
+	}
+	if !strings.Contains(s, "0 event(s) match \"kind = recv && wildcard\"") {
+		t.Errorf("wildcard find should match nothing:\n%s", s)
+	}
+	if !strings.Contains(s, "error:") {
+		t.Errorf("bad query should error:\n%s", s)
+	}
+}

@@ -1,0 +1,111 @@
+// Command tvis renders trace files as time-space diagrams and graphs — the
+// command-line counterpart of the NTV and VK visualizers integrated into
+// p2d2. It reads a trace file produced by the instrumentation FileSink (or
+// records one itself with -app) and emits ASCII, SVG, VK animation frames,
+// DOT, or VCG output.
+//
+// Usage:
+//
+//	tvis -in run.trace -mode ascii -width 120
+//	tvis -app strassen -ranks 8 -mode svg -out strassen.svg
+//	tvis -in run.trace -mode vk -window 2000 -step 1000
+//	tvis -app lu -ranks 8 -mode html -out report.html
+//	tvis -in run.trace -mode commgraph            # DOT on stdout
+//	tvis -in run.trace -mode callgraph -rank 0    # VCG on stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tracedbg/internal/apps"
+	"tracedbg/internal/graph"
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+	"tracedbg/internal/vis"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "trace file to read (empty: record -app)")
+		app    = flag.String("app", "ring", "workload to record when -in is empty: "+strings.Join(apps.Names(), ", "))
+		ranks  = flag.Int("ranks", 4, "ranks for -app recording")
+		size   = flag.Int("size", 16, "problem size for -app")
+		iters  = flag.Int("iters", 3, "iterations for -app")
+		seed   = flag.Int64("seed", 42, "seed for -app")
+		mode   = flag.String("mode", "ascii", "ascii | svg | html | vk | commgraph | callgraph")
+		out    = flag.String("out", "", "output file (default stdout)")
+		width  = flag.Int("width", 100, "diagram width")
+		t0     = flag.Int64("t0", 0, "viewport start (virtual time)")
+		t1     = flag.Int64("t1", 0, "viewport end (0 = full trace)")
+		stop   = flag.Int64("stopline", -1, "draw a stopline at this virtual time")
+		rank   = flag.Int("rank", 0, "rank for -mode callgraph")
+		window = flag.Int64("window", 0, "VK frame window (virtual time)")
+		step   = flag.Int64("step", 0, "VK frame step")
+	)
+	flag.Parse()
+	if err := run(*in, *app, *ranks, *size, *iters, *seed, *mode, *out, *width, *t0, *t1, *stop, *rank, *window, *step); err != nil {
+		fmt.Fprintln(os.Stderr, "tvis:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, app string, ranks, size, iters int, seed int64, mode, out string,
+	width int, t0, t1, stop int64, rank int, window, step int64) error {
+	tr, err := load(in, app, ranks, size, iters, seed)
+	if err != nil {
+		return err
+	}
+	opt := vis.Options{Width: width, T0: t0, T1: t1, Messages: true, Stopline: stop}
+
+	var text string
+	switch mode {
+	case "ascii":
+		text = vis.ASCII(tr, opt)
+	case "svg":
+		text = vis.SVG(tr, opt)
+	case "html":
+		text = vis.HTMLReport{Title: "tvis report", Options: opt}.Render(tr)
+	case "vk":
+		frames := vis.VKFrames(tr, window, step, opt)
+		text = strings.Join(frames, "\n")
+	case "commgraph":
+		text = graph.BuildCommGraph(tr).DOT()
+	case "callgraph":
+		g := graph.FromTrace(tr, 0)
+		text = g.Project(rank).VCG()
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	if out == "" {
+		_, err = fmt.Print(text)
+		return err
+	}
+	return os.WriteFile(out, []byte(text), 0o644)
+}
+
+// load reads a trace file, or records the named workload when in is empty.
+func load(in, app string, ranks, size, iters int, seed int64) (*trace.Trace, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadAll(f)
+	}
+	body, err := apps.Build(app, ranks, apps.Params{Size: size, Iters: iters, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	sink := instr.NewMemorySink(ranks)
+	inst := instr.New(ranks, sink, instr.LevelAll)
+	if err := inst.Run(mp.Config{NumRanks: ranks}, body); err != nil {
+		// A stalled recording (the buggy Strassen) is still displayable.
+		fmt.Fprintln(os.Stderr, "tvis: execution ended with error:", err)
+	}
+	return sink.Trace(), nil
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tracedbg/internal/apps"
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+// writeTraceFile records a ring run into a trace file and returns its path.
+func writeTraceFile(t *testing.T) string {
+	t.Helper()
+	sink := instr.NewMemorySink(3)
+	in := instr.New(3, sink, instr.LevelAll)
+	if err := in.Run(mp.Config{NumRanks: 3}, apps.Ring(2, nil)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteAll(&buf, sink.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestModesFromTraceFile(t *testing.T) {
+	in := writeTraceFile(t)
+	for mode, frag := range map[string]string{
+		"ascii":     "time-space diagram",
+		"svg":       "<svg",
+		"html":      "<!DOCTYPE html>",
+		"vk":        "[frame @vt=",
+		"commgraph": "digraph commgraph",
+		"callgraph": "graph: {",
+	} {
+		out := filepath.Join(t.TempDir(), mode+".out")
+		if err := run(in, "", 0, 0, 0, 0, mode, out, 80, 0, 0, -1, 0, 0, 0); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), frag) {
+			t.Errorf("mode %s output missing %q", mode, frag)
+		}
+	}
+}
+
+func TestRecordModeAndErrors(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "r.svg")
+	if err := run("", "ring", 3, 8, 2, 1, "svg", out, 80, 0, 0, -1, 0, 0, 0); err != nil {
+		t.Fatalf("record mode: %v", err)
+	}
+	if err := run("", "ring", 3, 8, 2, 1, "bogus", "", 80, 0, 0, -1, 0, 0, 0); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	if err := run("/does/not/exist", "", 0, 0, 0, 0, "ascii", "", 80, 0, 0, -1, 0, 0, 0); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := run("", "bogus-app", 3, 8, 2, 1, "ascii", "", 80, 0, 0, -1, 0, 0, 0); err == nil {
+		t.Error("bogus app accepted")
+	}
+}
+
+func TestViewportFlagsNarrowOutput(t *testing.T) {
+	in := writeTraceFile(t)
+	full := filepath.Join(t.TempDir(), "full.svg")
+	zoom := filepath.Join(t.TempDir(), "zoom.svg")
+	if err := run(in, "", 0, 0, 0, 0, "svg", full, 80, 0, 0, -1, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, "", 0, 0, 0, 0, "svg", zoom, 80, 10, 20, -1, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.ReadFile(full)
+	z, _ := os.ReadFile(zoom)
+	if len(z) >= len(f) {
+		t.Errorf("zoomed svg (%d bytes) not smaller than full (%d bytes)", len(z), len(f))
+	}
+}

@@ -1,0 +1,105 @@
+// Figure 8 reproduction: run the SSOR wavefront (the NAS LU analogue),
+// select an event in the timeline, compute its past and future frontiers,
+// and display the concurrency region between them. The frontier shapes
+// follow the wavefront diagonals. Both frontier kinds are then used as
+// stoplines for a controlled replay.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tracedbg"
+	"tracedbg/internal/apps"
+)
+
+func main() {
+	const ranks = 8
+	d := tracedbg.New(tracedbg.Target{
+		Cfg:  tracedbg.Config{NumRanks: ranks},
+		Body: apps.LU(apps.LUConfig{Cols: 8, Rows: 4, Iters: 2, Seed: 1}, nil),
+	})
+	if err := d.Record(); err != nil {
+		log.Fatalf("record: %v", err)
+	}
+	tr := d.Trace()
+	fmt.Printf("recorded %d events over %d ranks\n", tr.Len(), tr.NumRanks())
+
+	// The user clicks a point: rank 4's first forward-sweep send.
+	var sel tracedbg.EventID
+	for i := range tr.Rank(4) {
+		if tr.Rank(4)[i].Kind.String() == "Send" {
+			sel = tracedbg.EventID{Rank: 4, Index: i}
+			break
+		}
+	}
+	fmt.Printf("selected event: %s\n\n", tr.MustAt(sel).String())
+
+	// Past and future frontiers + the concurrency region between them.
+	o, err := d.Order()
+	if err != nil {
+		log.Fatalf("causality: %v", err)
+	}
+	past, _ := o.PastFrontier(sel)
+	future, _ := o.FutureFrontier(sel)
+	lo, hi, _ := o.ConcurrencyRegion(sel)
+
+	fmt.Println("per-rank concurrency region (event index ranges concurrent with the selection):")
+	for r := 0; r < ranks; r++ {
+		fmt.Printf("  rank %d: past frontier idx %3d | concurrent [%3d,%3d) | future frontier idx %3d\n",
+			r, past[r], lo[r], hi[r], future[r])
+	}
+
+	fmt.Println("\n--- timeline with frontiers (Figure 8: '<' past, '>' future, '@' selection) ---")
+	fmt.Print(tracedbg.ASCII(tr, tracedbg.RenderOptions{
+		Width: 100, Past: past, Future: future, Selected: &sel,
+	}))
+
+	// Write the SVG version, with frontier polylines and the selection
+	// circle, next to the binary.
+	svg := tracedbg.SVG(tr, tracedbg.RenderOptions{
+		Width: 900, Messages: true, Past: past, Future: future, Selected: &sel,
+	})
+	if err := os.WriteFile("lu-frontiers.svg", []byte(svg), 0o644); err == nil {
+		fmt.Println("\nwrote lu-frontiers.svg")
+	}
+
+	// The paper proposes using the frontiers as stoplines: stop every rank
+	// immediately after it could last affect the selection...
+	sl, err := d.PastFrontierStopLine(sel)
+	if err != nil {
+		log.Fatalf("past-frontier stopline: %v", err)
+	}
+	s, err := d.Replay(sl)
+	if err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+	stops, err := s.WaitAllStopped(30 * time.Second)
+	if err != nil {
+		log.Fatalf("stops: %v", err)
+	}
+	fmt.Printf("\npast-frontier replay stopped %d ranks at markers %v\n", len(stops), s.Counters())
+	if err := s.Finish(); err != nil {
+		log.Fatalf("finish: %v", err)
+	}
+
+	// ...or immediately before it could first be affected by it.
+	fl, err := d.FutureFrontierStopLine(sel)
+	if err != nil {
+		log.Fatalf("future-frontier stopline: %v", err)
+	}
+	s2, err := d.Replay(fl)
+	if err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+	stops2, err := s2.WaitAllStopped(30 * time.Second)
+	if err != nil {
+		log.Fatalf("stops: %v", err)
+	}
+	fmt.Printf("future-frontier replay stopped %d ranks at markers %v\n", len(stops2), s2.Counters())
+	if err := s2.Finish(); err != nil {
+		log.Fatalf("finish: %v", err)
+	}
+}

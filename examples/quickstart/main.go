@@ -1,0 +1,94 @@
+// Quickstart: record a small message-passing program, look at its history,
+// set a stopline in the timeline, replay to it, and inspect program state —
+// the core trace-driven debugging loop in ~80 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tracedbg"
+)
+
+func main() {
+	// A 4-rank program: rank 0 circulates a token twice around the ring.
+	// Programs are written against *tracedbg.Ctx: the communication API
+	// plus instrumentation entry points (Fn = function prologue call,
+	// Expose = register a variable for debugger inspection).
+	body := func(c *tracedbg.Ctx) {
+		defer c.Fn(tracedbg.Loc("ring.go", 10, "main"))()
+		n := c.Size()
+		token := int64(0)
+		c.Expose("token", &token)
+		for round := 0; round < 2; round++ {
+			if c.Rank() == 0 {
+				c.SendInt64s(1, 0, []int64{token + 1})
+				in, _ := c.RecvInt64s(n-1, 0)
+				token = in[0]
+			} else {
+				in, _ := c.RecvInt64s(c.Rank()-1, 0)
+				token = in[0]
+				c.Compute(100) // some local work
+				c.SendInt64s((c.Rank()+1)%n, 0, []int64{token + 1})
+			}
+		}
+	}
+
+	d := tracedbg.New(tracedbg.Target{
+		Cfg:  tracedbg.Config{NumRanks: 4},
+		Body: body,
+	})
+
+	// 1. Record an execution: the monitor collects the history while the
+	// program runs.
+	if err := d.Record(); err != nil {
+		log.Fatalf("record: %v", err)
+	}
+	tr := d.Trace()
+	st := tr.Summarize()
+	fmt.Printf("recorded %d events, %d messages, end of run at vt=%d\n\n",
+		st.Records, st.Sends, st.EndTime)
+
+	// 2. The big picture: the time-space diagram.
+	fmt.Print(d.RenderASCII(tracedbg.RenderOptions{Width: 78, Messages: true}))
+
+	// 3. Set a stopline halfway through the execution. The debugger turns
+	// the vertical line into a consistent set of per-rank breakpoints
+	// (execution markers).
+	mid := tr.EndTime() / 2
+	sl, err := d.VerticalStopLine(mid)
+	if err != nil {
+		log.Fatalf("stopline: %v", err)
+	}
+	fmt.Printf("\nstopline at vt=%d -> markers %v\n", mid, sl.Markers)
+
+	// 4. Replay: re-execute under the monitor, stopping every rank at its
+	// marker. Message matching is enforced from the recording, so the
+	// replay has identical causality.
+	s, err := d.Replay(sl)
+	if err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+	stops, err := s.WaitAllStopped(30 * time.Second)
+	if err != nil {
+		log.Fatalf("waiting for stops: %v", err)
+	}
+	fmt.Printf("replay stopped %d ranks at the stopline:\n", len(stops))
+	for _, stop := range stops {
+		tok, _ := s.ReadVar(stop.Rank, "token")
+		fmt.Printf("  rank %d at marker %d (%s), token=%s\n",
+			stop.Rank, stop.Marker, stop.Rec.Kind, tok)
+	}
+
+	// 5. Step rank 0 one event and resume everything to completion.
+	if err := s.Step(0); err == nil {
+		if stop, err := s.WaitStop(0, 30*time.Second); err == nil {
+			fmt.Printf("stepped rank 0 to marker %d: %s\n", stop.Marker, stop.Rec.String())
+		}
+	}
+	if err := s.Finish(); err != nil {
+		log.Fatalf("finish: %v", err)
+	}
+	fmt.Println("replay ran to completion")
+}

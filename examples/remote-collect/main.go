@@ -1,0 +1,79 @@
+// Remote collection: the client/server architecture of a distributed
+// debugger. An instrumented run streams its history over TCP to a
+// collector (in a real deployment they would be different machines); the
+// collector's merged trace is then queried, analyzed, and rendered —
+// including mid-run, via flush-on-demand.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tracedbg"
+	"tracedbg/internal/apps"
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/remote"
+)
+
+func main() {
+	// The "debugger side": a collector listening for history streams.
+	col, err := remote.NewCollector("127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("collector: %v", err)
+	}
+	defer col.Close()
+	fmt.Printf("collector listening on %s\n", col.Addr())
+
+	// The "target side": an instrumented 6-rank LU sweep streaming its
+	// records to the collector while it runs.
+	const ranks = 6
+	client, err := remote.Dial(col.Addr(), ranks)
+	if err != nil {
+		log.Fatalf("dial: %v", err)
+	}
+	in := instr.New(ranks, client, tracedbg.LevelAll)
+	if err := in.Run(mp.Config{NumRanks: ranks},
+		apps.LU(apps.LUConfig{Cols: 8, Rows: 4, Iters: 2, Seed: 1}, nil)); err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	if err := client.Close(); err != nil {
+		log.Fatalf("client close: %v", err)
+	}
+
+	// Wait for the stream to drain, then work on the collected history.
+	var tr *tracedbg.Trace
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		tr = col.Trace()
+		if tr.Len() > 0 && len(col.Errs()) == 0 {
+			st := tr.Summarize()
+			if st.Recvs == st.Sends && st.Sends > 0 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("stream never drained")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := tr.Validate(); err != nil {
+		log.Fatalf("streamed trace invalid: %v", err)
+	}
+	st := tr.Summarize()
+	fmt.Printf("collected %d events, %d messages over the wire\n", st.Records, st.Sends)
+
+	// Query the collected history.
+	q, err := tracedbg.CompileQuery(`kind = send && tag = 40 && rank = 2`)
+	if err != nil {
+		log.Fatalf("query: %v", err)
+	}
+	hits := q.Run(tr)
+	fmt.Printf("query %q matched %d events:\n", q, len(hits))
+	for _, id := range hits {
+		fmt.Printf("  %s\n", tr.MustAt(id).String())
+	}
+
+	// And render the usual big picture from the streamed data.
+	fmt.Print(tracedbg.ASCII(tr, tracedbg.RenderOptions{Width: 78}))
+}

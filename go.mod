@@ -1,0 +1,3 @@
+module tracedbg
+
+go 1.22

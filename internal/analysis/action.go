@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"tracedbg/internal/trace"
+)
+
+// ActionKind classifies what a function did while active.
+type ActionKind uint8
+
+// Action kinds.
+const (
+	ActionCall ActionKind = iota
+	ActionSend
+	ActionRecv
+	ActionCollective
+	ActionCompute
+)
+
+// String names the action kind.
+func (k ActionKind) String() string {
+	switch k {
+	case ActionCall:
+		return "call"
+	case ActionSend:
+		return "send"
+	case ActionRecv:
+		return "recv"
+	case ActionCollective:
+		return "collective"
+	case ActionCompute:
+		return "compute"
+	}
+	return fmt.Sprintf("ActionKind(%d)", uint8(k))
+}
+
+// Action is one classified step of a function's activity, with consecutive
+// repetitions folded into a count — the lower-resolution view of history the
+// paper calls the action graph.
+type Action struct {
+	Kind   ActionKind
+	Target string // callee name, peer rank ("->3" / "<-0"), or construct
+	Count  int
+}
+
+// FuncActions summarizes the actions of one function on one rank.
+type FuncActions struct {
+	Rank    int
+	Func    string
+	Actions []Action
+}
+
+// ActionGraph is the per-function action summary of an execution.
+type ActionGraph struct {
+	Funcs []FuncActions
+}
+
+// BuildActionGraph classifies, for every function activation context, the
+// calls, messages, and computation performed while the function was active
+// (directly — nested activity is attributed to the nested function).
+func BuildActionGraph(tr *trace.Trace) *ActionGraph {
+	type key struct {
+		rank int
+		fn   string
+	}
+	byFunc := make(map[key]*FuncActions)
+	var order []key
+	get := func(rank int, fn string) *FuncActions {
+		k := key{rank, fn}
+		if fa, ok := byFunc[k]; ok {
+			return fa
+		}
+		fa := &FuncActions{Rank: rank, Func: fn}
+		byFunc[k] = fa
+		order = append(order, k)
+		return fa
+	}
+	addAction := func(fa *FuncActions, kind ActionKind, target string) {
+		if n := len(fa.Actions); n > 0 {
+			last := &fa.Actions[n-1]
+			if last.Kind == kind && last.Target == target {
+				last.Count++
+				return
+			}
+		}
+		fa.Actions = append(fa.Actions, Action{Kind: kind, Target: target, Count: 1})
+	}
+
+	for rank := 0; rank < tr.NumRanks(); rank++ {
+		stack := []string{"program"}
+		top := func() string { return stack[len(stack)-1] }
+		for i := range tr.Rank(rank) {
+			rec := &tr.Rank(rank)[i]
+			switch rec.Kind {
+			case trace.KindFuncEntry:
+				addAction(get(rank, top()), ActionCall, rec.Name)
+				stack = append(stack, rec.Name)
+			case trace.KindFuncExit:
+				if len(stack) > 1 {
+					stack = stack[:len(stack)-1]
+				}
+			case trace.KindSend:
+				addAction(get(rank, top()), ActionSend, fmt.Sprintf("->%d", rec.Dst))
+			case trace.KindRecv:
+				addAction(get(rank, top()), ActionRecv, fmt.Sprintf("<-%d", rec.Src))
+			case trace.KindCollective:
+				addAction(get(rank, top()), ActionCollective, rec.Name)
+			case trace.KindCompute:
+				addAction(get(rank, top()), ActionCompute, "")
+			}
+		}
+	}
+
+	g := &ActionGraph{}
+	for _, k := range order {
+		g.Funcs = append(g.Funcs, *byFunc[k])
+	}
+	return g
+}
+
+// Text renders the action graph.
+func (g *ActionGraph) Text() string {
+	var sb strings.Builder
+	sb.WriteString("action graph\n")
+	for _, fa := range g.Funcs {
+		fmt.Fprintf(&sb, "  rank %d %s:\n", fa.Rank, fa.Func)
+		for _, a := range fa.Actions {
+			if a.Count > 1 {
+				fmt.Fprintf(&sb, "    %s %s x%d\n", a.Kind, a.Target, a.Count)
+			} else {
+				fmt.Fprintf(&sb, "    %s %s\n", a.Kind, a.Target)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// Lookup finds the action summary for (rank, function).
+func (g *ActionGraph) Lookup(rank int, fn string) (FuncActions, bool) {
+	for _, fa := range g.Funcs {
+		if fa.Rank == rank && fa.Func == fn {
+			return fa, true
+		}
+	}
+	return FuncActions{}, false
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+// WaitEdge is one rank's blocked dependency: From waits for On.
+// On == mp.AnySource means the rank would accept any sender.
+type WaitEdge struct {
+	From int
+	On   int
+	Op   string
+	Tag  int
+	Loc  trace.Location
+}
+
+// DeadlockReport describes circular wait dependencies found in a trace of a
+// stalled execution (the paper: "the debugger is also able to detect
+// deadlocks due to circular dependency in sends or receives").
+type DeadlockReport struct {
+	Blocked []WaitEdge
+	// Cycles lists rank cycles: each is a sequence r0 -> r1 -> ... -> r0.
+	Cycles [][]int
+	// Hopeless lists blocked ranks whose awaited peer finished or is not
+	// itself blocked on them (no cycle, but the wait can never complete).
+	Hopeless []WaitEdge
+}
+
+// HasDeadlock reports whether any circular dependency was found.
+func (r *DeadlockReport) HasDeadlock() bool { return len(r.Cycles) > 0 }
+
+// String renders the report.
+func (r *DeadlockReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "deadlock analysis: %d blocked rank(s), %d cycle(s)\n", len(r.Blocked), len(r.Cycles))
+	for _, c := range r.Cycles {
+		sb.WriteString("  cycle: ")
+		for i, rank := range c {
+			if i > 0 {
+				sb.WriteString(" -> ")
+			}
+			fmt.Fprintf(&sb, "%d", rank)
+		}
+		fmt.Fprintf(&sb, " -> %d\n", c[0])
+	}
+	for _, h := range r.Hopeless {
+		fmt.Fprintf(&sb, "  rank %d waits on %d (%s tag=%d) which will never respond\n", h.From, h.On, h.Op, h.Tag)
+	}
+	return sb.String()
+}
+
+// DetectDeadlock analyzes the blocked operations recorded in a trace (the
+// KindBlocked records written when a stall aborts the world) and finds
+// circular wait dependencies among them.
+func DetectDeadlock(tr *trace.Trace) *DeadlockReport {
+	rep := &DeadlockReport{}
+	waits := make(map[int]WaitEdge) // one blocked op per rank (single-threaded)
+	for r := 0; r < tr.NumRanks(); r++ {
+		for i := range tr.Rank(r) {
+			rec := &tr.Rank(r)[i]
+			if rec.Kind != trace.KindBlocked {
+				continue
+			}
+			e := WaitEdge{From: r, Op: rec.Name, Tag: rec.Tag, Loc: rec.Loc}
+			// Receive-like blocks wait on Src; send-like blocks wait on Dst.
+			if strings.Contains(rec.Name, "Send") {
+				e.On = rec.Dst
+			} else {
+				e.On = rec.Src
+			}
+			waits[r] = e
+			rep.Blocked = append(rep.Blocked, e)
+		}
+	}
+
+	// Follow the wait chain from each blocked rank; a revisit of a rank on
+	// the current path is a cycle. Wildcard waits cannot be followed.
+	inCycle := make(map[int]bool)
+	for start := range waits {
+		if inCycle[start] {
+			continue
+		}
+		path := []int{}
+		onPath := make(map[int]int)
+		cur := start
+		for {
+			e, blocked := waits[cur]
+			if !blocked || e.On == mp.AnySource || e.On == trace.NoRank {
+				break
+			}
+			if pos, seen := onPath[cur]; seen {
+				cycle := append([]int(nil), path[pos:]...)
+				// Canonical rotation: smallest rank first.
+				minI := 0
+				for i, v := range cycle {
+					if v < cycle[minI] {
+						minI = i
+					}
+				}
+				canon := append(append([]int(nil), cycle[minI:]...), cycle[:minI]...)
+				dup := false
+				for _, c := range rep.Cycles {
+					if equalInts(c, canon) {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					rep.Cycles = append(rep.Cycles, canon)
+				}
+				for _, v := range canon {
+					inCycle[v] = true
+				}
+				break
+			}
+			onPath[cur] = len(path)
+			path = append(path, cur)
+			cur = e.On
+		}
+	}
+
+	for _, e := range rep.Blocked {
+		if inCycle[e.From] {
+			continue
+		}
+		if e.On == mp.AnySource || e.On == trace.NoRank {
+			continue
+		}
+		if _, peerBlocked := waits[e.On]; !peerBlocked {
+			// The awaited rank is not blocked: it finished without
+			// satisfying this wait.
+			rep.Hopeless = append(rep.Hopeless, e)
+		}
+	}
+	return rep
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tracedbg/internal/trace"
+)
+
+// Intertwined messages (paper §4.4, after MPI 1.1 p.31): two messages on
+// the same directed channel whose receive order differs from their send
+// order. The non-overtaking rule forbids this for equal tags, so an
+// intertwined pair always involves tag-selective (or wildcard-tag)
+// receiving — legal, but worth surfacing to the user because it is where
+// mentally-simulated FIFO intuition breaks.
+type Intertwined struct {
+	Src, Dst   int
+	First      trace.EventID // the earlier send
+	Second     trace.EventID // the later send, received earlier
+	FirstRecv  trace.EventID
+	SecondRecv trace.EventID
+	FirstTag   int
+	SecondTag  int
+}
+
+// String renders one intertwined pair.
+func (iw Intertwined) String() string {
+	return fmt.Sprintf("channel %d->%d: message tag=%d (send %v) overtaken by tag=%d (send %v)",
+		iw.Src, iw.Dst, iw.FirstTag, iw.First, iw.SecondTag, iw.Second)
+}
+
+// DetectIntertwined finds all out-of-order receive pairs per directed
+// channel.
+func DetectIntertwined(tr *trace.Trace) []Intertwined {
+	matched, _ := tr.MatchSendRecv()
+	recvOf := make(map[trace.EventID]trace.EventID, len(matched))
+	for recv, send := range matched {
+		recvOf[send] = recv
+	}
+
+	type chKey struct{ src, dst int }
+	sends := make(map[chKey][]trace.EventID)
+	for r := 0; r < tr.NumRanks(); r++ {
+		for i := range tr.Rank(r) {
+			rec := &tr.Rank(r)[i]
+			if rec.Kind == trace.KindSend {
+				k := chKey{rec.Src, rec.Dst}
+				sends[k] = append(sends[k], trace.EventID{Rank: r, Index: i})
+			}
+		}
+	}
+
+	var out []Intertwined
+	var keys []chKey
+	for k := range sends {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].dst < keys[j].dst
+	})
+	for _, k := range keys {
+		list := sends[k]
+		// Sends are already in per-rank index order = send order.
+		for i := 0; i < len(list); i++ {
+			ri, ok := recvOf[list[i]]
+			if !ok {
+				continue
+			}
+			for j := i + 1; j < len(list); j++ {
+				rj, ok := recvOf[list[j]]
+				if !ok {
+					continue
+				}
+				// Both received by the same rank; compare receive order.
+				if rj.Index < ri.Index {
+					out = append(out, Intertwined{
+						Src: k.src, Dst: k.dst,
+						First: list[i], Second: list[j],
+						FirstRecv: ri, SecondRecv: rj,
+						FirstTag:  tr.MustAt(list[i]).Tag,
+						SecondTag: tr.MustAt(list[j]).Tag,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IntertwinedReport renders the pairs for the user.
+func IntertwinedReport(tr *trace.Trace) string {
+	pairs := DetectIntertwined(tr)
+	if len(pairs) == 0 {
+		return "no intertwined messages\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d intertwined message pair(s):\n", len(pairs))
+	for _, p := range pairs {
+		fmt.Fprintf(&sb, "  %s\n", p)
+	}
+	return sb.String()
+}

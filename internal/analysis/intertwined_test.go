@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+func TestDetectIntertwinedTagSelective(t *testing.T) {
+	// Rank 0 sends tag 1 then tag 2; rank 1 receives tag 2 first: the tag-1
+	// message is overtaken.
+	sink := instr.NewMemorySink(2)
+	in := instr.New(2, sink, instr.LevelWrappers)
+	if err := in.Run(mp.Config{NumRanks: 2}, func(c *instr.Ctx) {
+		if c.Rank() == 0 {
+			c.SendInt64s(1, 1, []int64{1})
+			c.SendInt64s(1, 2, []int64{2})
+		} else {
+			c.Probe(0, 2) // ensure both are buffered
+			c.Recv(0, 2)
+			c.Recv(0, 1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pairs := DetectIntertwined(sink.Trace())
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	p := pairs[0]
+	if p.Src != 0 || p.Dst != 1 || p.FirstTag != 1 || p.SecondTag != 2 {
+		t.Fatalf("pair = %+v", p)
+	}
+	rep := IntertwinedReport(sink.Trace())
+	if !strings.Contains(rep, "overtaken by tag=2") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestNoIntertwinedInFIFOTraffic(t *testing.T) {
+	sink := instr.NewMemorySink(2)
+	in := instr.New(2, sink, instr.LevelWrappers)
+	if err := in.Run(mp.Config{NumRanks: 2}, func(c *instr.Ctx) {
+		if c.Rank() == 0 {
+			for i := 0; i < 5; i++ {
+				c.SendInt64s(1, i, []int64{int64(i)})
+			}
+		} else {
+			for i := 0; i < 5; i++ {
+				c.Recv(0, i) // in send order
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if pairs := DetectIntertwined(sink.Trace()); len(pairs) != 0 {
+		t.Fatalf("FIFO traffic flagged: %v", pairs)
+	}
+	if rep := IntertwinedReport(sink.Trace()); !strings.Contains(rep, "no intertwined") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestIntertwinedIgnoresUnmatched(t *testing.T) {
+	tr := trace.New(2)
+	tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: 0, Marker: 1, Src: 0, Dst: 1, Tag: 1, MsgID: 1})
+	tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: 0, Marker: 2, Start: 1, End: 1, Src: 0, Dst: 1, Tag: 2, MsgID: 2})
+	// Only the second message was received.
+	tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: 1, Marker: 1, Start: 2, End: 2, Src: 0, Dst: 1, Tag: 2, MsgID: 2})
+	if pairs := DetectIntertwined(tr); len(pairs) != 0 {
+		t.Fatalf("unmatched send produced a pair: %v", pairs)
+	}
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tracedbg/internal/trace"
+)
+
+// Irregularity flags a rank whose message traffic deviates from the
+// behaviour of its peer group — the observation that exposes Figure 6's bug
+// ("processes 1-6 each receive 2 messages and process 7 only receives 1").
+type Irregularity struct {
+	Rank      int
+	Sends     int
+	Recvs     int
+	PeerSends int // the majority signature it deviates from
+	PeerRecvs int
+	Peers     []int // ranks exhibiting the majority signature
+}
+
+// String renders one irregularity.
+func (ir Irregularity) String() string {
+	return fmt.Sprintf("rank %d sent %d / received %d messages; %d peer(s) %v sent %d / received %d",
+		ir.Rank, ir.Sends, ir.Recvs, len(ir.Peers), ir.Peers, ir.PeerSends, ir.PeerRecvs)
+}
+
+// TrafficReport summarizes per-rank message counts and the outliers.
+type TrafficReport struct {
+	Sends []int
+	Recvs []int
+	Odd   []Irregularity
+}
+
+// String renders the report.
+func (r *TrafficReport) String() string {
+	var sb strings.Builder
+	sb.WriteString("message traffic per rank:\n")
+	for rank := range r.Sends {
+		fmt.Fprintf(&sb, "  rank %d: %d sent, %d received\n", rank, r.Sends[rank], r.Recvs[rank])
+	}
+	if len(r.Odd) == 0 {
+		sb.WriteString("no irregularities\n")
+	}
+	for _, ir := range r.Odd {
+		fmt.Fprintf(&sb, "IRREGULAR: %s\n", ir.String())
+	}
+	return sb.String()
+}
+
+// AnalyzeTraffic counts completed sends and receives per rank and flags
+// ranks whose (sends, recvs) signature is in the minority among ranks
+// sharing the majority signature. Ranks with entirely unique roles (for
+// example a master) form their own signature group; a group is flagged only
+// when a strictly larger group exists, so symmetric workers expose the
+// deviant member.
+func AnalyzeTraffic(tr *trace.Trace) *TrafficReport {
+	n := tr.NumRanks()
+	rep := &TrafficReport{Sends: make([]int, n), Recvs: make([]int, n)}
+	for rank := 0; rank < n; rank++ {
+		for i := range tr.Rank(rank) {
+			switch tr.Rank(rank)[i].Kind {
+			case trace.KindSend:
+				rep.Sends[rank]++
+			case trace.KindRecv:
+				rep.Recvs[rank]++
+			}
+		}
+	}
+
+	type sig struct{ s, r int }
+	groups := make(map[sig][]int)
+	for rank := 0; rank < n; rank++ {
+		k := sig{rep.Sends[rank], rep.Recvs[rank]}
+		groups[k] = append(groups[k], rank)
+	}
+	// Find the largest group (ties broken toward the lexicographically
+	// smaller signature for determinism).
+	var major sig
+	majorLen := -1
+	var sigs []sig
+	for k := range groups {
+		sigs = append(sigs, k)
+	}
+	sort.Slice(sigs, func(i, j int) bool {
+		if sigs[i].s != sigs[j].s {
+			return sigs[i].s < sigs[j].s
+		}
+		return sigs[i].r < sigs[j].r
+	})
+	for _, k := range sigs {
+		if len(groups[k]) > majorLen {
+			major, majorLen = k, len(groups[k])
+		}
+	}
+	for _, k := range sigs {
+		if k == major || len(groups[k]) >= majorLen {
+			continue
+		}
+		for _, rank := range groups[k] {
+			rep.Odd = append(rep.Odd, Irregularity{
+				Rank: rank, Sends: k.s, Recvs: k.r,
+				PeerSends: major.s, PeerRecvs: major.r,
+				Peers: append([]int(nil), groups[major]...),
+			})
+		}
+	}
+	sort.Slice(rep.Odd, func(i, j int) bool { return rep.Odd[i].Rank < rep.Odd[j].Rank })
+	return rep
+}

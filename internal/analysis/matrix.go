@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"tracedbg/internal/trace"
+)
+
+// CommMatrix aggregates point-to-point traffic per directed channel: the
+// at-a-glance communication structure of the program.
+type CommMatrix struct {
+	N     int
+	Msgs  [][]int   // Msgs[src][dst]
+	Bytes [][]int64 // Bytes[src][dst]
+}
+
+// BuildCommMatrix counts completed sends per channel.
+func BuildCommMatrix(tr *trace.Trace) *CommMatrix {
+	n := tr.NumRanks()
+	m := &CommMatrix{N: n, Msgs: make([][]int, n), Bytes: make([][]int64, n)}
+	for i := range m.Msgs {
+		m.Msgs[i] = make([]int, n)
+		m.Bytes[i] = make([]int64, n)
+	}
+	for r := 0; r < n; r++ {
+		for i := range tr.Rank(r) {
+			rec := &tr.Rank(r)[i]
+			if rec.Kind != trace.KindSend {
+				continue
+			}
+			if rec.Dst < 0 || rec.Dst >= n {
+				continue
+			}
+			m.Msgs[rec.Src][rec.Dst]++
+			m.Bytes[rec.Src][rec.Dst] += int64(rec.Bytes)
+		}
+	}
+	return m
+}
+
+// TotalMsgs sums all channel counts.
+func (m *CommMatrix) TotalMsgs() int {
+	t := 0
+	for _, row := range m.Msgs {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// Hotspot returns the channel with the most bytes (src, dst, bytes); ok is
+// false for an empty matrix.
+func (m *CommMatrix) Hotspot() (src, dst int, bytes int64, ok bool) {
+	for s := range m.Bytes {
+		for d, v := range m.Bytes[s] {
+			if v > bytes {
+				src, dst, bytes, ok = s, d, v, true
+			}
+		}
+	}
+	return
+}
+
+// Text renders the matrix (message counts, with byte totals per row).
+func (m *CommMatrix) Text() string {
+	var sb strings.Builder
+	sb.WriteString("communication matrix (messages; rows = senders)\n")
+	sb.WriteString("      ")
+	for d := 0; d < m.N; d++ {
+		fmt.Fprintf(&sb, "%6d", d)
+	}
+	sb.WriteString("   bytes-out\n")
+	for s := 0; s < m.N; s++ {
+		fmt.Fprintf(&sb, "%4d: ", s)
+		var rowBytes int64
+		for d := 0; d < m.N; d++ {
+			fmt.Fprintf(&sb, "%6d", m.Msgs[s][d])
+			rowBytes += m.Bytes[s][d]
+		}
+		fmt.Fprintf(&sb, "   %d\n", rowBytes)
+	}
+	return sb.String()
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"tracedbg/internal/trace"
+)
+
+func TestCommMatrix(t *testing.T) {
+	tr := trace.New(3)
+	add := func(src, dst, bytes int, marker uint64) {
+		tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: src, Marker: marker,
+			Start: int64(marker), End: int64(marker), Src: src, Dst: dst, Bytes: bytes, MsgID: uint64(marker)})
+	}
+	add(0, 1, 100, 1)
+	add(0, 1, 50, 2)
+	add(0, 2, 10, 3)
+	add(2, 0, 7, 1)
+
+	m := BuildCommMatrix(tr)
+	if m.Msgs[0][1] != 2 || m.Bytes[0][1] != 150 {
+		t.Errorf("channel 0->1 = %d msgs / %d bytes", m.Msgs[0][1], m.Bytes[0][1])
+	}
+	if m.Msgs[2][0] != 1 || m.Msgs[1][0] != 0 {
+		t.Errorf("matrix rows wrong")
+	}
+	if m.TotalMsgs() != 4 {
+		t.Errorf("total = %d", m.TotalMsgs())
+	}
+	src, dst, bytes, ok := m.Hotspot()
+	if !ok || src != 0 || dst != 1 || bytes != 150 {
+		t.Errorf("hotspot = %d->%d %d, %v", src, dst, bytes, ok)
+	}
+	txt := m.Text()
+	if !strings.Contains(txt, "communication matrix") || !strings.Contains(txt, "160") {
+		t.Errorf("text:\n%s", txt)
+	}
+}
+
+func TestCommMatrixEmpty(t *testing.T) {
+	m := BuildCommMatrix(trace.New(2))
+	if m.TotalMsgs() != 0 {
+		t.Error("empty matrix has messages")
+	}
+	if _, _, _, ok := m.Hotspot(); ok {
+		t.Error("empty matrix has hotspot")
+	}
+}
+
+func TestCommMatrixIgnoresSelfInvalid(t *testing.T) {
+	tr := trace.New(2)
+	// A send whose destination is out of matrix range (defensive).
+	tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: 0, Marker: 1, Src: 0, Dst: 9, MsgID: 1})
+	m := BuildCommMatrix(tr)
+	if m.TotalMsgs() != 0 {
+		t.Error("out-of-range destination counted")
+	}
+}

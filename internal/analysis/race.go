@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tracedbg/internal/causality"
+	"tracedbg/internal/trace"
+)
+
+// Race describes one racing receive: a wildcard receive for which more than
+// one send could have matched, so a different execution could deliver a
+// different message (after Netzer et al. [15], which the paper's race
+// detection feature builds on).
+type Race struct {
+	Recv       trace.EventID
+	Matched    trace.EventID   // the send it actually received
+	Candidates []trace.EventID // other sends that could have matched
+}
+
+// String renders one race.
+func (r Race) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "racing receive %v (matched send %v, %d alternative(s):", r.Recv, r.Matched, len(r.Candidates))
+	for _, c := range r.Candidates {
+		fmt.Fprintf(&sb, " %v", c)
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// DetectRaces finds racing wildcard receives. A send s' is an alternative
+// candidate for wildcard receive r matched to s when:
+//
+//   - s' targets r's rank with the same tag (conservative for AnyTag),
+//   - s' is not the matched send,
+//   - r does not happen before s' (the message could have existed by then),
+//   - the receive that actually consumed s' (if any) does not happen before
+//     r (otherwise s' was necessarily gone in every execution).
+//
+// This is a conservative over-approximation of "could have been delivered
+// to r instead"; deterministic programs produce no races under it.
+func DetectRaces(o *causality.Order) []Race {
+	tr := o.Trace()
+	type sendInfo struct {
+		id  trace.EventID
+		rec *trace.Record
+	}
+	sendsTo := make(map[int][]sendInfo) // dst -> sends
+	for r := 0; r < tr.NumRanks(); r++ {
+		for i := range tr.Rank(r) {
+			rec := &tr.Rank(r)[i]
+			if rec.Kind == trace.KindSend {
+				sendsTo[rec.Dst] = append(sendsTo[rec.Dst], sendInfo{trace.EventID{Rank: r, Index: i}, rec})
+			}
+		}
+	}
+	var races []Race
+	for r := 0; r < tr.NumRanks(); r++ {
+		for i := range tr.Rank(r) {
+			rec := &tr.Rank(r)[i]
+			if rec.Kind != trace.KindRecv || !rec.WasWildcard {
+				continue
+			}
+			rid := trace.EventID{Rank: r, Index: i}
+			matched, ok := o.MatchedSend(rid)
+			if !ok {
+				continue
+			}
+			var cands []trace.EventID
+			for _, s := range sendsTo[r] {
+				if s.id == matched || s.rec.Tag != rec.Tag {
+					continue
+				}
+				if o.HappensBefore(rid, s.id) {
+					continue // sent only after this receive completed
+				}
+				if consumer, ok := o.MatchedRecv(s.id); ok && o.HappensBefore(consumer, rid) {
+					continue // consumed before r in every execution
+				}
+				cands = append(cands, s.id)
+			}
+			if len(cands) > 0 {
+				sort.Slice(cands, func(a, b int) bool { return cands[a].Less(cands[b]) })
+				races = append(races, Race{Recv: rid, Matched: matched, Candidates: cands})
+			}
+		}
+	}
+	sort.Slice(races, func(a, b int) bool { return races[a].Recv.Less(races[b].Recv) })
+	return races
+}

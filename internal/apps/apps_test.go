@@ -1,0 +1,417 @@
+package apps
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tracedbg/internal/analysis"
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/replay"
+	"tracedbg/internal/trace"
+)
+
+func TestMatrixHelpers(t *testing.T) {
+	a := RandomMatrix(6, 1)
+	b := RandomMatrix(6, 2)
+	if MaxDiff(Add(a, b), Add(b, a)) != 0 {
+		t.Error("Add not commutative")
+	}
+	if MaxDiff(Sub(a, a), NewMatrix(6)) != 0 {
+		t.Error("Sub of self not zero")
+	}
+	id := NewMatrix(6)
+	for i := 0; i < 6; i++ {
+		id.Set(i, i, 1)
+	}
+	if MaxDiff(Mul(a, id), a) > 1e-12 {
+		t.Error("Mul by identity changed matrix")
+	}
+	// Quadrant round trip.
+	m := RandomMatrix(8, 3)
+	c := NewMatrix(8)
+	for qi := 0; qi < 2; qi++ {
+		for qj := 0; qj < 2; qj++ {
+			c.SetQuadrant(qi, qj, m.Quadrant(qi, qj))
+		}
+	}
+	if MaxDiff(m, c) != 0 {
+		t.Error("quadrant round trip failed")
+	}
+	if m.At(2, 3) != m.Data[2*8+3] {
+		t.Error("At indexing")
+	}
+	if err := validateEven(7); err == nil {
+		t.Error("odd dimension accepted")
+	}
+}
+
+func TestStrassenCorrect8Ranks(t *testing.T) {
+	cfg := StrassenConfig{N: 32, Seed: 42}
+	got, tr, err := RunStrassen(cfg, 8, instr.LevelAll)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := StrassenReference(cfg)
+	if d := MaxDiff(got, want); d > 1e-9 {
+		t.Fatalf("result differs from reference by %g", d)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	// Figure 3 structure: master sends 14 operand messages, receives 7
+	// results; each worker receives 2 and sends 1.
+	st := tr.Summarize()
+	if st.Sends != 14+7 || st.Recvs != 14+7 {
+		t.Fatalf("message counts: %+v", st)
+	}
+	for w := 1; w < 8; w++ {
+		if st.PerRankMsgs[w] != 2 {
+			t.Errorf("worker %d received %d messages, want 2", w, st.PerRankMsgs[w])
+		}
+	}
+	if st.PerRankMsgs[0] != 7 {
+		t.Errorf("master received %d messages, want 7", st.PerRankMsgs[0])
+	}
+}
+
+func TestStrassenCorrect4Ranks(t *testing.T) {
+	// Table 1's configuration: 4 processes, workers handle multiple
+	// products.
+	cfg := StrassenConfig{N: 16, Seed: 7}
+	got, _, err := RunStrassen(cfg, 4, instr.LevelAll)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if d := MaxDiff(got, StrassenReference(cfg)); d > 1e-9 {
+		t.Fatalf("4-rank result differs by %g", d)
+	}
+}
+
+func TestStrassenUninstrumentedStillCorrect(t *testing.T) {
+	cfg := StrassenConfig{N: 16, Seed: 9}
+	got, tr, err := RunStrassen(cfg, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxDiff(got, StrassenReference(cfg)); d > 1e-9 {
+		t.Fatalf("result differs by %g", d)
+	}
+	if tr.Len() != 0 {
+		t.Errorf("level-0 run recorded %d events", tr.Len())
+	}
+}
+
+func TestStrassenBuggyStalls(t *testing.T) {
+	cfg := StrassenConfig{N: 16, Seed: 42, Buggy: true}
+	_, tr, err := RunStrassen(cfg, 8, instr.LevelAll)
+	var stall *mp.StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("buggy run should stall, got %v", err)
+	}
+	// Figure 5: exactly processes 0 and 7 blocked in receives.
+	if len(stall.Blocked) != 2 {
+		t.Fatalf("blocked: %+v", stall.Blocked)
+	}
+	if stall.Blocked[0].Rank != 0 || stall.Blocked[1].Rank != 7 {
+		t.Fatalf("blocked ranks: %+v", stall.Blocked)
+	}
+	for _, b := range stall.Blocked {
+		if b.Op != mp.OpRecv {
+			t.Errorf("blocked op: %+v", b)
+		}
+	}
+	// Figure 6: workers 1-6 received 2 messages, worker 7 only 1.
+	st := tr.Summarize()
+	for w := 1; w < 7; w++ {
+		if st.PerRankMsgs[w] != 2 {
+			t.Errorf("worker %d received %d", w, st.PerRankMsgs[w])
+		}
+	}
+	if st.PerRankMsgs[7] != 1 {
+		t.Errorf("worker 7 received %d, want 1", st.PerRankMsgs[7])
+	}
+	// The traffic analyzer pinpoints rank 7 as the outlier.
+	rep := analysis.AnalyzeTraffic(tr)
+	found := false
+	for _, ir := range rep.Odd {
+		if ir.Rank == 7 && ir.Recvs == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("irregularity report misses rank 7:\n%s", rep)
+	}
+	// Deadlock analysis finds the 0 -> 7 -> 0 cycle.
+	dl := analysis.DetectDeadlock(tr)
+	if !dl.HasDeadlock() {
+		t.Fatalf("no deadlock found:\n%s", dl)
+	}
+}
+
+func TestFibInstrumentationCounts(t *testing.T) {
+	v, calls, err := RunFib(12, instr.LevelFunctions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 144 {
+		t.Fatalf("fib(12) = %d", v)
+	}
+	if int64(calls) != FibCalls(12) {
+		t.Fatalf("instrumented calls = %d, formula = %d", calls, FibCalls(12))
+	}
+	// Uninstrumented: no ticks.
+	v, calls, err = RunFib(12, 0)
+	if err != nil || v != 144 || calls != 0 {
+		t.Fatalf("bare run: v=%d calls=%d err=%v", v, calls, err)
+	}
+	// FibBare agrees.
+	out := &FibResult{}
+	in := instr.New(1, instr.NullSink{}, 0)
+	if err := in.Run(mp.Config{NumRanks: 1}, FibBare(12, out)); err != nil {
+		t.Fatal(err)
+	}
+	if out.Value != 144 {
+		t.Fatalf("bare fib = %d", out.Value)
+	}
+}
+
+func TestLUWavefrontStructure(t *testing.T) {
+	const ranks, iters = 6, 3
+	out := NewLUOut()
+	sink := instr.NewMemorySink(ranks)
+	in := instr.New(ranks, sink, instr.LevelAll)
+	cfg := LUConfig{Cols: 8, Rows: 4, Iters: iters, Seed: 5}
+	if err := in.Run(mp.Config{NumRanks: ranks}, LU(cfg, out)); err != nil {
+		t.Fatal(err)
+	}
+	tr := sink.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each iteration: ranks 0..n-2 send forward, ranks 1..n-1 send backward.
+	st := tr.Summarize()
+	wantMsgs := iters * 2 * (ranks - 1)
+	if st.Sends != wantMsgs || st.Recvs != wantMsgs {
+		t.Fatalf("messages = %d/%d, want %d", st.Sends, st.Recvs, wantMsgs)
+	}
+	// Wavefront timing: in the first forward sweep, rank r's first send
+	// completes strictly later than rank r-1's (the diagonal of Figure 8).
+	var firstSendEnd [ranks]int64
+	for r := 0; r < ranks-1; r++ {
+		for i := range tr.Rank(r) {
+			rec := &tr.Rank(r)[i]
+			if rec.Kind == trace.KindSend && rec.Tag == tagLULower {
+				firstSendEnd[r] = rec.End
+				break
+			}
+		}
+	}
+	for r := 1; r < ranks-1; r++ {
+		if firstSendEnd[r] <= firstSendEnd[r-1] {
+			t.Errorf("wavefront order violated: rank %d sent at %d, rank %d at %d",
+				r, firstSendEnd[r], r-1, firstSendEnd[r-1])
+		}
+	}
+	// Deterministic checksums.
+	out2 := NewLUOut()
+	in2 := instr.New(ranks, instr.NullSink{}, 0)
+	if err := in2.Run(mp.Config{NumRanks: ranks}, LU(cfg, out2)); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < ranks; r++ {
+		a, _ := out.Checksum(r)
+		b, _ := out2.Checksum(r)
+		if a != b {
+			t.Errorf("rank %d checksum differs across runs: %g vs %g", r, a, b)
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		tok, err := RunRing(n, 4)
+		if err != nil {
+			t.Fatalf("ring %d: %v", n, err)
+		}
+		if tok != ExpectedRingToken(n, 4) {
+			t.Fatalf("ring %d token = %d, want %d", n, tok, ExpectedRingToken(n, 4))
+		}
+	}
+}
+
+func TestJacobiDeterministic(t *testing.T) {
+	const ranks = 4
+	cfg := JacobiConfig{Cells: 16, Iters: 20, Seed: 3}
+	run := func() map[int]float64 {
+		out := NewJacobiOut()
+		in := instr.New(ranks, instr.NullSink{}, instr.LevelAll)
+		if err := in.Run(mp.Config{NumRanks: ranks}, Jacobi(cfg, out)); err != nil {
+			t.Fatal(err)
+		}
+		m := make(map[int]float64)
+		for r := 0; r < ranks; r++ {
+			v, ok := out.Checksum(r)
+			if !ok {
+				t.Fatalf("rank %d missing checksum", r)
+			}
+			m[r] = v
+		}
+		return m
+	}
+	a, b := run(), run()
+	for r := 0; r < ranks; r++ {
+		if a[r] != b[r] {
+			t.Fatalf("rank %d: %g != %g", r, a[r], b[r])
+		}
+	}
+}
+
+func TestJacobiCheckpointResume(t *testing.T) {
+	const ranks = 3
+	store := replay.NewCheckpointStore()
+	full := NewJacobiOut()
+	cfg := JacobiConfig{Cells: 10, Iters: 30, Seed: 11, CheckpointEvery: 5, Store: store}
+	in := instr.New(ranks, instr.NullSink{}, instr.LevelAll)
+	if err := in.Run(mp.Config{NumRanks: ranks}, Jacobi(cfg, full)); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() == 0 {
+		t.Fatal("no checkpoints recorded")
+	}
+
+	// Resume from the snapshot at iteration 14 and run to the end: the
+	// final state must match the full run exactly.
+	var snap *replay.Snapshot
+	for _, s := range store.Snapshots() {
+		if s.Iter == 14 {
+			c := s
+			snap = &c
+		}
+	}
+	if snap == nil {
+		t.Fatalf("no snapshot for iteration 14: %s", store)
+	}
+	resumed := NewJacobiOut()
+	rcfg := cfg
+	rcfg.CheckpointEvery = 0
+	rcfg.Store = nil
+	rcfg.Resume = snap
+	in2 := instr.New(ranks, instr.NullSink{}, instr.LevelAll)
+	if err := in2.Run(mp.Config{NumRanks: ranks}, Jacobi(rcfg, resumed)); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < ranks; r++ {
+		a, _ := full.Checksum(r)
+		b, _ := resumed.Checksum(r)
+		if a != b {
+			t.Fatalf("rank %d resumed checksum %g != full %g", r, b, a)
+		}
+	}
+}
+
+func TestJacobiValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config accepted")
+		}
+	}()
+	Jacobi(JacobiConfig{Cells: 0}, nil)
+}
+
+func TestStrassenValidation(t *testing.T) {
+	// Odd dimension panics inside the rank; the world reports it.
+	err := mp.Run(mp.Config{NumRanks: 2}, func(p *mp.Proc) {
+		in := instr.New(2, instr.NullSink{}, 0)
+		Strassen(StrassenConfig{N: 7}, nil)(in.Ctx(p))
+	})
+	if err == nil {
+		t.Error("odd dimension accepted")
+	}
+	// Buggy variant requires 8 ranks.
+	_, _, err = RunStrassen(StrassenConfig{N: 8, Buggy: true}, 4, 0)
+	if err == nil {
+		t.Error("buggy variant with 4 ranks accepted")
+	}
+}
+
+func TestStrassenPropertyRandomConfigs(t *testing.T) {
+	// Distributed result equals the sequential reference for random sizes
+	// and rank counts.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 8; trial++ {
+		n := 2 * (1 + rng.Intn(12)) // even sizes 2..24
+		ranks := 2 + rng.Intn(9)    // 2..10 ranks
+		cfg := StrassenConfig{N: n, Seed: rng.Int63()}
+		got, _, err := RunStrassen(cfg, ranks, instr.LevelWrappers)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d ranks=%d): %v", trial, n, ranks, err)
+		}
+		if d := MaxDiff(got, StrassenReference(cfg)); d > 1e-9 {
+			t.Fatalf("trial %d (n=%d ranks=%d): diff %g", trial, n, ranks, d)
+		}
+	}
+}
+
+func TestLUNumericalStability(t *testing.T) {
+	// The relaxation is an averaging scheme: checksums stay finite and the
+	// block magnitudes do not blow up across iterations.
+	out := NewLUOut()
+	in := instr.New(4, instr.NullSink{}, 0)
+	if err := in.Run(mp.Config{NumRanks: 4}, LU(LUConfig{Cols: 16, Rows: 8, Iters: 20, Seed: 3}, out)); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		v, ok := out.Checksum(r)
+		if !ok {
+			t.Fatalf("rank %d missing checksum", r)
+		}
+		if v != v { // NaN
+			t.Fatalf("rank %d checksum NaN", r)
+		}
+		if v > 1e9 || v < -1e9 {
+			t.Fatalf("rank %d checksum diverged: %g", r, v)
+		}
+	}
+}
+
+func TestRegistryBuild(t *testing.T) {
+	for _, name := range Names() {
+		ranks := 2
+		if name == "fib" {
+			ranks = 1
+		}
+		if name == "strassen-buggy" {
+			ranks = 8
+		}
+		body, err := Build(name, ranks, Params{Size: 8, Iters: 1, Seed: 1})
+		if err != nil {
+			t.Errorf("build %q: %v", name, err)
+			continue
+		}
+		if body == nil {
+			t.Errorf("build %q returned nil body", name)
+		}
+		if Describe(name) == "" {
+			t.Errorf("workload %q has no description", name)
+		}
+	}
+	if _, err := Build("nope", 2, Params{}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := Build("strassen-buggy", 4, Params{}); err == nil {
+		t.Error("wrong rank count accepted")
+	}
+	if _, err := Build("fib", 3, Params{}); err == nil {
+		t.Error("fib with 3 ranks accepted")
+	}
+	if _, err := Build("ring", 1, Params{}); err == nil {
+		t.Error("ring with 1 rank accepted")
+	}
+	// Parameter defaults are applied.
+	body, err := Build("ring", 2, Params{})
+	if err != nil || body == nil {
+		t.Errorf("defaults: %v", err)
+	}
+}

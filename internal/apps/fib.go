@@ -1,0 +1,82 @@
+package apps
+
+import (
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+)
+
+// Recursive Fibonacci: the paper's Table 1 worst case for function-level
+// instrumentation — a call-dominated program in which the UserMonitor call
+// at every function prologue is a large fraction of the work (the paper
+// measured roughly a 4x slowdown for fib(34)/fib(35); reference [11] used
+// the same function for the software instruction counter).
+
+var locFib = instr.Loc("fib.go", 12, "Fib")
+
+// FibCalls returns the number of Fib invocations the recursion performs:
+// 2*fib(n+1) - 1 (the quantity Table 1 reports as "Number of calls").
+func FibCalls(n int) int64 {
+	return 2*fibPlain(n+1) - 1
+}
+
+func fibPlain(n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	a, b := int64(0), int64(1)
+	for i := 2; i <= n; i++ {
+		a, b = b, a+b
+	}
+	return b
+}
+
+// fibInstr is the instrumented recursion: every call enters through the
+// UserMonitor analogue with its argument recorded.
+func fibInstr(c *instr.Ctx, n int64) int64 {
+	defer c.Fn(locFib, n)()
+	if n < 2 {
+		return n
+	}
+	return fibInstr(c, n-1) + fibInstr(c, n-2)
+}
+
+// fibBare is the uninstrumented baseline.
+func fibBare(n int64) int64 {
+	if n < 2 {
+		return n
+	}
+	return fibBare(n-1) + fibBare(n-2)
+}
+
+// FibResult carries the computed value out of a run.
+type FibResult struct{ Value int64 }
+
+// Fib returns a single-rank body computing fib(n) with instrumented calls.
+func Fib(n int, out *FibResult) func(c *instr.Ctx) {
+	return func(c *instr.Ctx) {
+		v := fibInstr(c, int64(n))
+		if out != nil {
+			out.Value = v
+		}
+	}
+}
+
+// FibBare returns the uninstrumented body (Table 1's baseline column).
+func FibBare(n int, out *FibResult) func(c *instr.Ctx) {
+	return func(c *instr.Ctx) {
+		v := fibBare(int64(n))
+		if out != nil {
+			out.Value = v
+		}
+	}
+}
+
+// RunFib runs fib(n) at the given instrumentation level and reports the
+// value and the number of instrumented calls observed (each call ticks the
+// monitor twice: entry and exit).
+func RunFib(n int, level instr.Level) (int64, uint64, error) {
+	out := &FibResult{}
+	in := instr.New(1, instr.NullSink{}, level)
+	err := in.Run(mp.Config{NumRanks: 1}, Fib(n, out))
+	return out.Value, in.Monitor.Counter(0) / 2, err
+}

@@ -1,0 +1,186 @@
+package apps
+
+import (
+	"fmt"
+	"sync"
+
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/replay"
+)
+
+// Jacobi is an iterative 1D relaxation with halo exchange — the workload
+// used to demonstrate the paper's proposed checkpointing extension: at a
+// configurable interval every rank deposits its state right after a
+// barrier (a globally consistent point), the snapshots are kept with a
+// logarithmic backlog, and a replay can resume from the best snapshot at or
+// before its target instead of re-executing from the start.
+
+var (
+	locJacobiMain = instr.Loc("jacobi.go", 15, "Jacobi")
+	locJacobiIter = instr.Loc("jacobi.go", 30, "Iterate")
+)
+
+// Message tags of the Jacobi app.
+const (
+	tagHaloLeft  = 50
+	tagHaloRight = 51
+)
+
+// JacobiConfig parameterizes the solver.
+type JacobiConfig struct {
+	Cells int // cells per rank
+	Iters int
+	Seed  int64
+
+	// CheckpointEvery deposits a snapshot every k iterations (0 = never).
+	CheckpointEvery int
+	// Store receives assembled snapshots (required when CheckpointEvery>0).
+	Store *replay.CheckpointStore
+	// Resume starts execution from a snapshot instead of from scratch.
+	Resume *replay.Snapshot
+}
+
+// JacobiOut collects per-rank checksums.
+type JacobiOut struct {
+	mu  sync.Mutex
+	sum map[int]float64
+}
+
+// NewJacobiOut allocates the collector.
+func NewJacobiOut() *JacobiOut { return &JacobiOut{sum: make(map[int]float64)} }
+
+// Checksum returns rank r's final checksum.
+func (o *JacobiOut) Checksum(r int) (float64, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	v, ok := o.sum[r]
+	return v, ok
+}
+
+// ckCollector assembles per-rank deposits into consistent snapshots.
+type ckCollector struct {
+	mu      sync.Mutex
+	ranks   int
+	state   map[int][][]byte
+	markers map[int][]uint64
+	counts  map[int]int
+	store   *replay.CheckpointStore
+}
+
+func newCkCollector(ranks int, store *replay.CheckpointStore) *ckCollector {
+	return &ckCollector{
+		ranks:   ranks,
+		state:   make(map[int][][]byte),
+		markers: make(map[int][]uint64),
+		counts:  make(map[int]int),
+		store:   store,
+	}
+}
+
+// deposit records one rank's state for an iteration; the rank that
+// completes the set assembles and stores the snapshot.
+func (ck *ckCollector) deposit(iter, rank int, state []byte, marker uint64) {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if ck.state[iter] == nil {
+		ck.state[iter] = make([][]byte, ck.ranks)
+		ck.markers[iter] = make([]uint64, ck.ranks)
+	}
+	ck.state[iter][rank] = state
+	ck.markers[iter][rank] = marker
+	ck.counts[iter]++
+	if ck.counts[iter] == ck.ranks {
+		ck.store.Add(replay.Snapshot{
+			Iter:    iter,
+			Markers: ck.markers[iter],
+			State:   ck.state[iter],
+		})
+		delete(ck.state, iter)
+		delete(ck.markers, iter)
+		delete(ck.counts, iter)
+	}
+}
+
+// Jacobi returns the rank body. Each returned closure set shares one
+// collector, so build the body once per run.
+func Jacobi(cfg JacobiConfig, out *JacobiOut) func(c *instr.Ctx) {
+	if cfg.Cells <= 0 || cfg.Iters < 0 {
+		panic(fmt.Sprintf("apps: bad Jacobi config %+v", cfg))
+	}
+	if cfg.CheckpointEvery > 0 && cfg.Store == nil {
+		panic("apps: Jacobi checkpointing needs a Store")
+	}
+	var ck *ckCollector
+	var once sync.Once
+	return func(c *instr.Ctx) {
+		once.Do(func() {
+			if cfg.CheckpointEvery > 0 {
+				ck = newCkCollector(c.Size(), cfg.Store)
+			}
+		})
+		defer c.Fn(locJacobiMain, int64(cfg.Iters))()
+		rank, n := c.Rank(), c.Size()
+
+		x := make([]float64, cfg.Cells)
+		start := 0
+		if cfg.Resume != nil {
+			x = mp.BytesFloat64(cfg.Resume.State[rank])
+			start = cfg.Resume.Iter + 1
+		} else {
+			for i := range x {
+				x[i] = float64((int64(rank*1000+i)*16807 + cfg.Seed) % 97)
+			}
+		}
+		c.Expose("iter0", &x[0])
+
+		for it := start; it < cfg.Iters; it++ {
+			exit := c.Fn(locJacobiIter, int64(it))
+			// Halo exchange with neighbors.
+			left, right := x[0], x[cfg.Cells-1]
+			var haloL, haloR float64
+			if rank > 0 {
+				got, _ := c.Sendrecv(rank-1, tagHaloLeft, mp.Float64Bytes([]float64{left}), rank-1, tagHaloRight)
+				haloL = mp.BytesFloat64(got)[0]
+			}
+			if rank < n-1 {
+				got, _ := c.Sendrecv(rank+1, tagHaloRight, mp.Float64Bytes([]float64{right}), rank+1, tagHaloLeft)
+				haloR = mp.BytesFloat64(got)[0]
+			}
+			// Relaxation step. The update is copied back in place so the
+			// pointer registered with Expose stays valid.
+			nx := make([]float64, cfg.Cells)
+			for i := range x {
+				l, r := haloL, haloR
+				if i > 0 {
+					l = x[i-1]
+				}
+				if i < cfg.Cells-1 {
+					r = x[i+1]
+				}
+				nx[i] = 0.5*x[i] + 0.25*l + 0.25*r
+			}
+			copy(x, nx)
+			c.Compute(int64(cfg.Cells) * 3)
+			exit()
+
+			if cfg.CheckpointEvery > 0 && (it+1)%cfg.CheckpointEvery == 0 {
+				c.Barrier() // a globally consistent point
+				marker := c.Instrumenter().Monitor.Counter(rank)
+				ck.deposit(it, rank, mp.Float64Bytes(x), marker)
+				// Leave a checkpoint marker in the history.
+				c.At(instr.Loc("jacobi.go", 60, "Checkpoint"), int64(it))
+			}
+		}
+
+		if out != nil {
+			var s float64
+			for _, v := range x {
+				s += v
+			}
+			out.mu.Lock()
+			out.sum[rank] = s
+			out.mu.Unlock()
+		}
+	}
+}

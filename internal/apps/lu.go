@@ -1,0 +1,153 @@
+package apps
+
+import (
+	"fmt"
+	"sync"
+
+	"tracedbg/internal/instr"
+)
+
+// LU is the stand-in for the NAS Parallel Benchmark LU used in Figure 8:
+// an SSOR-style sweep whose lower-triangular solve is a forward wavefront
+// (each rank waits for its predecessor's boundary row before relaxing its
+// own block and passing the boundary on) and whose upper-triangular solve
+// is the mirror-image backward wavefront. The alternating diagonal message
+// pattern is exactly what gives Figure 8's past/future frontiers their
+// slanted shape; the physics is a simple relaxation on a 1D row-block
+// decomposition, which preserves the communication topology that matters.
+
+var (
+	locLUMain    = instr.Loc("lu.go", 20, "SSOR")
+	locLULower   = instr.Loc("lu.go", 40, "LowerSweep")
+	locLUUpper   = instr.Loc("lu.go", 60, "UpperSweep")
+	locLURelax   = instr.Loc("lu.go", 80, "Relax")
+	locLUScatter = instr.Loc("lu.go", 30, "Scatter")
+)
+
+// Message tags of the LU app.
+const (
+	tagLULower = 40
+	tagLUUpper = 41
+)
+
+// LUConfig parameterizes the sweep.
+type LUConfig struct {
+	Cols  int // unknowns per row (block width)
+	Rows  int // rows owned by each rank
+	Iters int // SSOR iterations (each = forward + backward wavefront)
+	Seed  int64
+}
+
+// LUOut collects per-rank residual-ish checksums for verification.
+type LUOut struct {
+	mu  sync.Mutex
+	sum map[int]float64
+}
+
+// NewLUOut allocates the output collector.
+func NewLUOut() *LUOut { return &LUOut{sum: make(map[int]float64)} }
+
+// Checksum returns rank r's final block checksum.
+func (o *LUOut) Checksum(r int) (float64, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	v, ok := o.sum[r]
+	return v, ok
+}
+
+func (o *LUOut) set(r int, v float64) {
+	o.mu.Lock()
+	o.sum[r] = v
+	o.mu.Unlock()
+}
+
+// LU returns the rank body.
+func LU(cfg LUConfig, out *LUOut) func(c *instr.Ctx) {
+	if cfg.Cols <= 0 || cfg.Rows <= 0 || cfg.Iters <= 0 {
+		panic(fmt.Sprintf("apps: bad LU config %+v", cfg))
+	}
+	return func(c *instr.Ctx) {
+		defer c.Fn(locLUMain, int64(cfg.Iters))()
+		n := c.Size()
+		rank := c.Rank()
+
+		// Local block, deterministically initialized.
+		done := c.Region("init", locLUScatter)
+		block := make([]float64, cfg.Rows*cfg.Cols)
+		for i := range block {
+			block[i] = float64((int64(rank*7919+i)*2654435761 + cfg.Seed) % 1000)
+		}
+		c.Compute(int64(len(block)))
+		done()
+		c.Expose("block0", &block[0])
+
+		boundary := make([]float64, cfg.Cols)
+		for it := 0; it < cfg.Iters; it++ {
+			// Forward (lower-triangular) wavefront.
+			fexit := c.Fn(locLULower, int64(it))
+			if rank > 0 {
+				in, _ := c.RecvFloat64s(rank-1, tagLULower)
+				copy(boundary, in)
+			} else {
+				for i := range boundary {
+					boundary[i] = 0
+				}
+			}
+			relax(c, block, boundary, cfg, +1)
+			if rank < n-1 {
+				c.SendFloat64s(rank+1, tagLULower, block[(cfg.Rows-1)*cfg.Cols:])
+			}
+			fexit()
+
+			// Backward (upper-triangular) wavefront.
+			bexit := c.Fn(locLUUpper, int64(it))
+			if rank < n-1 {
+				in, _ := c.RecvFloat64s(rank+1, tagLUUpper)
+				copy(boundary, in)
+			} else {
+				for i := range boundary {
+					boundary[i] = 0
+				}
+			}
+			relax(c, block, boundary, cfg, -1)
+			if rank > 0 {
+				c.SendFloat64s(rank-1, tagLUUpper, block[:cfg.Cols])
+			}
+			bexit()
+		}
+
+		if out != nil {
+			var s float64
+			for _, v := range block {
+				s += v
+			}
+			out.set(rank, s)
+		}
+	}
+}
+
+// relax performs the local triangular-solve stand-in: a sweep over the
+// block rows in the given direction, each row relaxed against the previous
+// row (or the incoming boundary).
+func relax(c *instr.Ctx, block, boundary []float64, cfg LUConfig, dir int) {
+	defer c.Fn(locLURelax)()
+	prev := boundary
+	if dir > 0 {
+		for r := 0; r < cfg.Rows; r++ {
+			row := block[r*cfg.Cols : (r+1)*cfg.Cols]
+			for j := range row {
+				row[j] = 0.5*row[j] + 0.25*prev[j] + 0.25*prev[(j+1)%cfg.Cols]
+			}
+			prev = row
+		}
+	} else {
+		for r := cfg.Rows - 1; r >= 0; r-- {
+			row := block[r*cfg.Cols : (r+1)*cfg.Cols]
+			for j := range row {
+				row[j] = 0.5*row[j] + 0.25*prev[j] + 0.25*prev[(j+cfg.Cols-1)%cfg.Cols]
+			}
+			prev = row
+		}
+	}
+	c.Compute(int64(cfg.Rows) * int64(cfg.Cols) * 4)
+}

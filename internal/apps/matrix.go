@@ -1,0 +1,119 @@
+// Package apps contains the workloads the paper's evaluation uses:
+// a distributed Strassen matrix multiplication (the running example of
+// Figures 3-7 and Table 1, including the buggy variant with the wrong send
+// destination in MatrSend), a recursive Fibonacci (Table 1's worst-case
+// instrumentation overhead), an SSOR-style wavefront sweep standing in for
+// the NAS LU benchmark (Figure 8), a token ring (quickstart), and an
+// iterative Jacobi solver with checkpoint support (the paper's §6
+// checkpointing extension).
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Matrix is a dense row-major square matrix.
+type Matrix struct {
+	N    int
+	Data []float64
+}
+
+// NewMatrix allocates an N x N zero matrix.
+func NewMatrix(n int) Matrix { return Matrix{N: n, Data: make([]float64, n*n)} }
+
+// RandomMatrix fills a matrix deterministically from a seed.
+func RandomMatrix(n int, seed int64) Matrix {
+	m := NewMatrix(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m Matrix) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Add returns a + b.
+func Add(a, b Matrix) Matrix {
+	c := NewMatrix(a.N)
+	for i := range c.Data {
+		c.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return c
+}
+
+// Sub returns a - b.
+func Sub(a, b Matrix) Matrix {
+	c := NewMatrix(a.N)
+	for i := range c.Data {
+		c.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return c
+}
+
+// Mul returns the classical O(n^3) product a*b (the worker computation and
+// the verification reference).
+func Mul(a, b Matrix) Matrix {
+	n := a.N
+	c := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a.Data[i*n+k]
+			if aik == 0 {
+				continue
+			}
+			row := b.Data[k*n:]
+			out := c.Data[i*n:]
+			for j := 0; j < n; j++ {
+				out[j] += aik * row[j]
+			}
+		}
+	}
+	return c
+}
+
+// MaxDiff returns the largest absolute elementwise difference.
+func MaxDiff(a, b Matrix) float64 {
+	var d float64
+	for i := range a.Data {
+		v := a.Data[i] - b.Data[i]
+		if v < 0 {
+			v = -v
+		}
+		if v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// Quadrant extracts one of the four n/2 quadrants (qi, qj in {0, 1}).
+func (m Matrix) Quadrant(qi, qj int) Matrix {
+	h := m.N / 2
+	q := NewMatrix(h)
+	for i := 0; i < h; i++ {
+		copy(q.Data[i*h:(i+1)*h], m.Data[(qi*h+i)*m.N+qj*h:][:h])
+	}
+	return q
+}
+
+// SetQuadrant writes q into quadrant (qi, qj).
+func (m Matrix) SetQuadrant(qi, qj int, q Matrix) {
+	h := m.N / 2
+	for i := 0; i < h; i++ {
+		copy(m.Data[(qi*h+i)*m.N+qj*h:][:h], q.Data[i*h:(i+1)*h])
+	}
+}
+
+// validateEven reports an error unless n is positive and even.
+func validateEven(n int) error {
+	if n <= 0 || n%2 != 0 {
+		return fmt.Errorf("apps: matrix dimension %d must be positive and even", n)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tracedbg/internal/instr"
+)
+
+// Params are the generic knobs the command-line tools expose.
+type Params struct {
+	Size  int   // problem size (matrix dim, cells, fib n, ...)
+	Iters int   // iterations / rounds
+	Seed  int64 // input seed
+}
+
+// registryEntry describes a named workload.
+type registryEntry struct {
+	describe string
+	minRanks int
+	exact    int // 0 = any >= minRanks
+	build    func(p Params) func(c *instr.Ctx)
+}
+
+var registry = map[string]registryEntry{
+	"ring": {
+		describe: "token ring (quickstart); size ignored, iters = rounds",
+		minRanks: 2,
+		build:    func(p Params) func(c *instr.Ctx) { return Ring(p.Iters, nil) },
+	},
+	"strassen": {
+		describe: "distributed Strassen multiply; size = matrix dim (even)",
+		minRanks: 2,
+		build: func(p Params) func(c *instr.Ctx) {
+			return Strassen(StrassenConfig{N: p.Size, Seed: p.Seed}, nil)
+		},
+	},
+	"strassen-buggy": {
+		describe: "Strassen with the wrong-destination bug of Figures 5-7 (8 ranks)",
+		minRanks: 8,
+		exact:    8,
+		build: func(p Params) func(c *instr.Ctx) {
+			return Strassen(StrassenConfig{N: p.Size, Seed: p.Seed, Buggy: true}, nil)
+		},
+	},
+	"lu": {
+		describe: "SSOR wavefront sweep (the NAS LU analogue of Figure 8)",
+		minRanks: 2,
+		build: func(p Params) func(c *instr.Ctx) {
+			return LU(LUConfig{Cols: p.Size, Rows: max(1, p.Size/4), Iters: p.Iters, Seed: p.Seed}, nil)
+		},
+	},
+	"jacobi": {
+		describe: "iterative Jacobi relaxation with halo exchange",
+		minRanks: 1,
+		build: func(p Params) func(c *instr.Ctx) {
+			return Jacobi(JacobiConfig{Cells: p.Size, Iters: p.Iters, Seed: p.Seed}, nil)
+		},
+	},
+	"fib": {
+		describe: "recursive Fibonacci (Table 1's call-dominated worst case); 1 rank",
+		minRanks: 1,
+		exact:    1,
+		build:    func(p Params) func(c *instr.Ctx) { return Fib(p.Size, nil) },
+	},
+}
+
+// Names lists the registered workloads.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the one-line description of a workload.
+func Describe(name string) string { return registry[name].describe }
+
+// Build returns the rank body for a named workload, validating the rank
+// count and applying parameter defaults.
+func Build(name string, ranks int, p Params) (func(c *instr.Ctx), error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown workload %q (have: %s)", name, strings.Join(Names(), ", "))
+	}
+	if e.exact != 0 && ranks != e.exact {
+		return nil, fmt.Errorf("apps: workload %q requires exactly %d ranks", name, e.exact)
+	}
+	if ranks < e.minRanks {
+		return nil, fmt.Errorf("apps: workload %q requires at least %d ranks", name, e.minRanks)
+	}
+	if p.Size <= 0 {
+		p.Size = 16
+	}
+	if p.Iters <= 0 {
+		p.Iters = 3
+	}
+	return e.build(p), nil
+}

@@ -1,0 +1,81 @@
+package apps
+
+import (
+	"sync"
+
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+)
+
+// Ring is the quickstart workload: a token circulates the ring for the
+// given number of rounds, incremented at every hop; rank 0 verifies the
+// final count. Simple enough to read in one sitting, yet it exercises
+// point-to-point messaging, a collective, and the instrumentation API.
+
+var (
+	locRingMain = instr.Loc("ring.go", 10, "Ring")
+	locRingHop  = instr.Loc("ring.go", 20, "Hop")
+)
+
+// tagRing is the token's message tag.
+const tagRing = 30
+
+// RingOut receives the final token value observed by rank 0.
+type RingOut struct {
+	mu    sync.Mutex
+	token int64
+	ok    bool
+}
+
+// Token returns the final token value.
+func (o *RingOut) Token() (int64, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.token, o.ok
+}
+
+// Ring returns the rank body for the given number of rounds.
+func Ring(rounds int, out *RingOut) func(c *instr.Ctx) {
+	return func(c *instr.Ctx) {
+		defer c.Fn(locRingMain, int64(rounds))()
+		n := c.Size()
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() - 1 + n) % n
+
+		token := int64(0)
+		c.Expose("token", &token)
+		for round := 0; round < rounds; round++ {
+			exit := c.Fn(locRingHop, int64(round), token)
+			if c.Rank() == 0 {
+				c.SendInt64s(next, tagRing, []int64{token + 1})
+				in, _ := c.RecvInt64s(prev, tagRing)
+				token = in[0]
+			} else {
+				in, _ := c.RecvInt64s(prev, tagRing)
+				token = in[0]
+				c.Compute(50)
+				c.SendInt64s(next, tagRing, []int64{token + 1})
+			}
+			exit()
+		}
+		c.Barrier()
+		if c.Rank() == 0 && out != nil {
+			out.mu.Lock()
+			out.token = token
+			out.ok = true
+			out.mu.Unlock()
+		}
+	}
+}
+
+// ExpectedRingToken returns the token value after the rounds complete.
+func ExpectedRingToken(ranks, rounds int) int64 { return int64(ranks * rounds) }
+
+// RunRing runs the ring fully instrumented and returns the final token.
+func RunRing(ranks, rounds int) (int64, error) {
+	out := &RingOut{}
+	in := instr.New(ranks, instr.NullSink{}, instr.LevelAll)
+	err := in.Run(mp.Config{NumRanks: ranks}, Ring(rounds, out))
+	tok, _ := out.Token()
+	return tok, err
+}

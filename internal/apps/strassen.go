@@ -1,0 +1,193 @@
+package apps
+
+import (
+	"fmt"
+	"sync"
+
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+// Distributed Strassen multiplication, the paper's running example: process
+// 0 forms the 7 Strassen operand pairs, distributes them among the other
+// processes (each operand is a separate message, so every worker receives
+// two), collects the 7 partial products and combines them into the result
+// (Figure 3). The buggy variant reproduces Figures 5-7: the destination of
+// the second-operand send at strassen.go:161 uses jres instead of jres+1,
+// so process 7 misses a message and processes 0 and 7 end up blocked in
+// receives waiting for each other.
+
+// Message tag space of the Strassen app.
+const (
+	tagOperandA = 10 // first operands, FIFO-ordered per worker
+	tagOperandB = 11 // second operands
+	tagResult   = 20
+)
+
+// Locations reported to the debugger; line numbers follow the paper's
+// narrative (the bug lives at strassen.go:161).
+var (
+	locStrassenMain = instr.Loc("strassen.go", 100, "StrassenMain")
+	locMatrSend     = instr.Loc("strassen.go", 150, "MatrSend")
+	locSendA        = instr.Loc("strassen.go", 155, "MatrSend")
+	locSendB        = instr.Loc("strassen.go", 161, "MatrSend")
+	locWorker       = instr.Loc("strassen.go", 200, "Worker")
+	locMultiply     = instr.Loc("strassen.go", 220, "Multiply")
+	locMatrRecv     = instr.Loc("strassen.go", 300, "MatrRecv")
+	locCombine      = instr.Loc("strassen.go", 330, "Combine")
+)
+
+// StrassenConfig parameterizes a run.
+type StrassenConfig struct {
+	N     int   // matrix dimension (positive, even)
+	Seed  int64 // input generator seed
+	Buggy bool  // plant the wrong-destination bug (requires 8 ranks)
+}
+
+// StrassenOut receives the master's result.
+type StrassenOut struct {
+	mu sync.Mutex
+	c  Matrix
+	ok bool
+}
+
+// Result returns the combined product (valid after a successful run).
+func (o *StrassenOut) Result() (Matrix, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.c, o.ok
+}
+
+func (o *StrassenOut) set(c Matrix) {
+	o.mu.Lock()
+	o.c = c
+	o.ok = true
+	o.mu.Unlock()
+}
+
+// workerOf maps Strassen product index (0..6) to a worker rank.
+func workerOf(k, size int) int { return 1 + k%(size-1) }
+
+// Strassen returns the rank body. out may be nil when only the trace
+// matters.
+func Strassen(cfg StrassenConfig, out *StrassenOut) func(c *instr.Ctx) {
+	return func(c *instr.Ctx) {
+		if err := validateEven(cfg.N); err != nil {
+			panic(err)
+		}
+		if c.Size() < 2 {
+			panic(fmt.Sprintf("apps: Strassen needs >= 2 ranks, got %d", c.Size()))
+		}
+		if cfg.Buggy && c.Size() != 8 {
+			panic("apps: the buggy Strassen variant is defined for exactly 8 ranks")
+		}
+		if c.Rank() == 0 {
+			strassenMaster(c, cfg, out)
+		} else {
+			strassenWorker(c, cfg)
+		}
+	}
+}
+
+func strassenMaster(c *instr.Ctx, cfg StrassenConfig, out *StrassenOut) {
+	defer c.Fn(locStrassenMain, int64(cfg.N))()
+
+	a := RandomMatrix(cfg.N, cfg.Seed)
+	b := RandomMatrix(cfg.N, cfg.Seed+1)
+	a11, a12 := a.Quadrant(0, 0), a.Quadrant(0, 1)
+	a21, a22 := a.Quadrant(1, 0), a.Quadrant(1, 1)
+	b11, b12 := b.Quadrant(0, 0), b.Quadrant(0, 1)
+	b21, b22 := b.Quadrant(1, 0), b.Quadrant(1, 1)
+
+	// The 7 Strassen operand pairs.
+	opA := [7]Matrix{Add(a11, a22), Add(a21, a22), a11, a22, Add(a11, a12), Sub(a21, a11), Sub(a12, a22)}
+	opB := [7]Matrix{Add(b11, b22), b11, Sub(b12, b22), Sub(b21, b11), b22, Add(b11, b12), Add(b21, b22)}
+	c.Compute(int64(cfg.N) * int64(cfg.N) * 8) // operand preparation
+
+	matrSend(c, cfg, opA, opB)
+	m := matrRecv(c, cfg)
+
+	defer c.Fn(locCombine)()
+	h := cfg.N / 2
+	res := NewMatrix(cfg.N)
+	res.SetQuadrant(0, 0, Add(Sub(Add(m[0], m[3]), m[4]), m[6]))
+	res.SetQuadrant(0, 1, Add(m[2], m[4]))
+	res.SetQuadrant(1, 0, Add(m[1], m[3]))
+	res.SetQuadrant(1, 1, Add(Add(Sub(m[0], m[1]), m[2]), m[5]))
+	c.Compute(int64(h) * int64(h) * 8)
+	if out != nil {
+		out.set(res)
+	}
+}
+
+// matrSend distributes the operand pairs. The buggy variant sends the
+// second operand of product jres to rank jres instead of jres+1 — the
+// paper's line-161 defect.
+func matrSend(c *instr.Ctx, cfg StrassenConfig, opA, opB [7]Matrix) {
+	defer c.Fn(locMatrSend)()
+	for jres := 0; jres < 7; jres++ {
+		c.At(locSendA, int64(jres))
+		c.SendFloat64s(workerOf(jres, c.Size()), tagOperandA, opA[jres].Data)
+	}
+	jres := 0
+	c.Expose("jres", &jres)
+	for jres = 0; jres < 7; jres++ {
+		dst := workerOf(jres, c.Size())
+		if cfg.Buggy {
+			dst = jres // BUG: should be jres+1 (strassen.go:161)
+		}
+		c.At(locSendB, int64(jres), int64(dst))
+		// In the buggy variant jres==0 self-sends: the message is buffered
+		// at the master and never consumed (its tag differs from the result
+		// tags), exactly like an MPI eager self-send would be.
+		c.SendFloat64s(dst, tagOperandB, opB[jres].Data)
+	}
+}
+
+// matrRecv collects the 7 partial products in worker order.
+func matrRecv(c *instr.Ctx, cfg StrassenConfig) [7]Matrix {
+	defer c.Fn(locMatrRecv)()
+	var m [7]Matrix
+	h := cfg.N / 2
+	for k := 0; k < 7; k++ {
+		data, _ := c.RecvFloat64s(workerOf(k, c.Size()), tagResult+k)
+		m[k] = Matrix{N: h, Data: data}
+	}
+	return m
+}
+
+func strassenWorker(c *instr.Ctx, cfg StrassenConfig) {
+	defer c.Fn(locWorker, int64(c.Rank()))()
+	h := cfg.N / 2
+	for k := 0; k < 7; k++ {
+		if workerOf(k, c.Size()) != c.Rank() {
+			continue
+		}
+		aData, _ := c.RecvFloat64s(0, tagOperandA)
+		bData, _ := c.RecvFloat64s(0, tagOperandB)
+		exit := c.Fn(locMultiply, int64(k))
+		prod := Mul(Matrix{N: h, Data: aData}, Matrix{N: h, Data: bData})
+		c.Compute(int64(h) * int64(h) * int64(h))
+		exit()
+		c.SendFloat64s(0, tagResult+k, prod.Data)
+	}
+}
+
+// StrassenReference computes the same product sequentially for verification.
+func StrassenReference(cfg StrassenConfig) Matrix {
+	a := RandomMatrix(cfg.N, cfg.Seed)
+	b := RandomMatrix(cfg.N, cfg.Seed+1)
+	return Mul(a, b)
+}
+
+// RunStrassen is a convenience harness: run the app at the given
+// instrumentation level and return the result and trace.
+func RunStrassen(cfg StrassenConfig, ranks int, level instr.Level) (Matrix, *trace.Trace, error) {
+	out := &StrassenOut{}
+	sink := instr.NewMemorySink(ranks)
+	in := instr.New(ranks, sink, level)
+	err := in.Run(mp.Config{NumRanks: ranks}, Strassen(cfg, out))
+	res, _ := out.Result()
+	return res, sink.Trace(), err
+}

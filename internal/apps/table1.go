@@ -1,0 +1,147 @@
+package apps
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+)
+
+// Table 1 harness: instrumentation overhead of the UserMonitor strategy on
+// the paper's two workloads — Strassen matrix multiplication on 4 processes
+// (coarse-grained: overhead should be negligible) and recursive Fibonacci
+// (call-dominated: overhead was about 4x on the paper's hardware).  The
+// shape, not the absolute seconds, is what the reproduction targets.
+
+// Measurement is one Table 1 cell pair.
+type Measurement struct {
+	Label    string
+	Calls    uint64        // instrumented calls observed
+	Uninstr  time.Duration // wall time without instrumentation
+	Instr    time.Duration // wall time with function-level instrumentation
+	Slowdown float64
+}
+
+// MeasureStrassen times the distributed Strassen multiply with and without
+// instrumentation. reps > 1 reports the minimum (steadier on shared
+// machines).
+func MeasureStrassen(n, ranks, reps int) (Measurement, error) {
+	m := Measurement{Label: fmt.Sprintf("Strassen n=%d (%d procs)", n, ranks)}
+	cfg := StrassenConfig{N: n, Seed: 7}
+
+	run := func(level instr.Level) (time.Duration, uint64, error) {
+		best := time.Duration(0)
+		var calls uint64
+		// One untimed warm-up so neither variant pays first-run costs.
+		{
+			in := instr.New(ranks, instr.NullSink{}, level)
+			if err := in.Run(mp.Config{NumRanks: ranks}, Strassen(cfg, nil)); err != nil {
+				return 0, 0, err
+			}
+		}
+		for i := 0; i < reps; i++ {
+			in := instr.New(ranks, instr.NullSink{}, level)
+			start := time.Now()
+			if err := in.Run(mp.Config{NumRanks: ranks}, Strassen(cfg, nil)); err != nil {
+				return 0, 0, err
+			}
+			d := time.Since(start)
+			if best == 0 || d < best {
+				best = d
+			}
+			var total uint64
+			for r := 0; r < ranks; r++ {
+				total += in.Monitor.Counter(r)
+			}
+			calls = total / 2 // entry + exit per call
+		}
+		return best, calls, nil
+	}
+
+	var err error
+	if m.Uninstr, _, err = run(0); err != nil {
+		return m, err
+	}
+	if m.Instr, m.Calls, err = run(instr.LevelFunctions); err != nil {
+		return m, err
+	}
+	m.Slowdown = float64(m.Instr) / float64(m.Uninstr)
+	return m, nil
+}
+
+// MeasureFib times recursive Fibonacci with and without instrumentation.
+func MeasureFib(n, reps int) (Measurement, error) {
+	m := Measurement{Label: fmt.Sprintf("fib(%d)", n)}
+	run := func(level instr.Level) (time.Duration, uint64, error) {
+		best := time.Duration(0)
+		var calls uint64
+		{
+			in := instr.New(1, instr.NullSink{}, level)
+			body := Fib(n, nil)
+			if level == 0 {
+				body = FibBare(n, nil)
+			}
+			if err := in.Run(mp.Config{NumRanks: 1}, body); err != nil {
+				return 0, 0, err
+			}
+		}
+		for i := 0; i < reps; i++ {
+			in := instr.New(1, instr.NullSink{}, level)
+			start := time.Now()
+			body := Fib(n, nil)
+			if level == 0 {
+				body = FibBare(n, nil)
+			}
+			if err := in.Run(mp.Config{NumRanks: 1}, body); err != nil {
+				return 0, 0, err
+			}
+			d := time.Since(start)
+			if best == 0 || d < best {
+				best = d
+			}
+			calls = in.Monitor.Counter(0) / 2
+		}
+		return best, calls, nil
+	}
+
+	var err error
+	if m.Uninstr, _, err = run(0); err != nil {
+		return m, err
+	}
+	if m.Instr, m.Calls, err = run(instr.LevelFunctions); err != nil {
+		return m, err
+	}
+	m.Slowdown = float64(m.Instr) / float64(m.Uninstr)
+	return m, nil
+}
+
+// Table1 runs the full Table 1 grid and writes it in the paper's layout.
+// Sizes are scaled to laptop budgets; pass larger values to approach the
+// paper's (96x128x112 / 192x256x224 Strassen, fib 34/35).
+func Table1(w io.Writer, strassenSizes []int, fibValues []int, reps int) ([]Measurement, error) {
+	var ms []Measurement
+	for _, n := range strassenSizes {
+		m, err := MeasureStrassen(n, 4, reps)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	for _, n := range fibValues {
+		m, err := MeasureFib(n, reps)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+
+	fmt.Fprintln(w, "TABLE 1. Instrumentation overhead.")
+	fmt.Fprintf(w, "%-28s %15s %15s %15s %10s\n", "workload", "calls", "time(uninstr)", "time(instr)", "slowdown")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%-28s %15d %15s %15s %9.2fx\n",
+			m.Label, m.Calls, m.Uninstr.Round(time.Microsecond), m.Instr.Round(time.Microsecond), m.Slowdown)
+	}
+	return ms, nil
+}

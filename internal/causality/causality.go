@@ -1,0 +1,395 @@
+// Package causality computes the happens-before relation of a trace:
+// program order within each process plus send→receive edges.  On top of it
+// it provides the paper's §4.1 constructs: the past and future of an event,
+// past- and future- consistent frontiers, the concurrency region between
+// them (Figure 8), and consistency checks for cuts (the property that makes
+// stopline breakpoints consistent).
+package causality
+
+import (
+	"fmt"
+
+	"tracedbg/internal/trace"
+)
+
+// Vec is a vector clock: Vec[r] counts the events of rank r that happen
+// before or equal the event it labels.
+type Vec []uint32
+
+// Leq reports componentwise <=.
+func (v Vec) Leq(o Vec) bool {
+	for i := range v {
+		if v[i] > o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Order is the computed happens-before structure of one trace.
+type Order struct {
+	tr       *trace.Trace
+	clocks   [][]Vec // clocks[rank][index]
+	rclocks  [][]Vec // reverse clocks: rclocks[rank][index][r] = events of r at-or-after
+	matched  map[trace.EventID]trace.EventID
+	sendRecv map[trace.EventID]trace.EventID
+
+	// Collective synchronization. Each collective completion event depends
+	// on:
+	//   - Barrier/Allreduce/Alltoall: every participant's *preceding* event
+	//     (everyone's completion is after everyone's entry; completions of
+	//     different ranks stay mutually concurrent);
+	//   - Bcast/Scatter: the binomial-tree parent's completion (the child
+	//     received data the parent forwarded; using the full completion
+	//     keeps the chain to the root transitive, at the cost of a slight
+	//     over-approximation when a parent finishes after a child);
+	//   - Reduce/Gather: the tree children's completions (the parent
+	//     combined data the children sent).
+	// All three are acyclic on traces of completed executions: a cycle
+	// would require a pre-collective receive of a post-collective send in a
+	// pattern that deadlocks for real.
+	collEvents map[int][]trace.EventID           // instance tag -> participants
+	collOf     map[trace.EventID]int             // participant -> instance tag
+	collDeps   map[trace.EventID][]trace.EventID // completion -> prev-event deps
+	collRev    map[trace.EventID][]trace.EventID // prev-event -> dependent completions
+
+	// collCutDeps carries the *cut* dependencies: a completion may only be
+	// inside a cut when these peer completions are inside too. The
+	// distinction from collDeps matters because stop positions live between
+	// events: a rank parked just before its collective has not entered it,
+	// so a replay needs the peer to be stopped at (or after) its own
+	// completion, not merely after its preceding event.
+	collCutDeps map[trace.EventID][]trace.EventID
+}
+
+// lowBit returns the lowest set bit of v (0 for v == 0).
+func lowBit(v int) int { return v & (-v) }
+
+// buildCollectiveDeps fills collDeps/collRev from the instance table.
+func (o *Order) buildCollectiveDeps() {
+	o.collDeps = make(map[trace.EventID][]trace.EventID)
+	o.collRev = make(map[trace.EventID][]trace.EventID)
+	o.collCutDeps = make(map[trace.EventID][]trace.EventID)
+	size := o.tr.NumRanks()
+	prevOf := func(e trace.EventID) (trace.EventID, bool) {
+		if e.Index == 0 {
+			return trace.EventID{}, false
+		}
+		return trace.EventID{Rank: e.Rank, Index: e.Index - 1}, true
+	}
+	addDep := func(c, dep trace.EventID) {
+		o.collDeps[c] = append(o.collDeps[c], dep)
+		o.collRev[dep] = append(o.collRev[dep], c)
+	}
+	addCutDep := func(c, peer trace.EventID) {
+		o.collCutDeps[c] = append(o.collCutDeps[c], peer)
+	}
+	for _, participants := range o.collEvents {
+		byRank := make(map[int]trace.EventID, len(participants))
+		var op string
+		root := 0
+		for _, e := range participants {
+			byRank[e.Rank] = e
+			rec := o.tr.MustAt(e)
+			op = rec.Name
+			if rec.Src >= 0 {
+				root = rec.Src
+			}
+		}
+		parentOf := func(rank int) (int, bool) {
+			rel := (rank - root + size) % size
+			if rel == 0 {
+				return 0, false
+			}
+			prel := rel &^ lowBit(rel)
+			return (prel + root) % size, true
+		}
+		for _, c := range participants {
+			switch op {
+			case "Barrier", "Allreduce", "Alltoall":
+				for _, other := range participants {
+					if other.Rank == c.Rank {
+						continue
+					}
+					if dep, ok := prevOf(other); ok {
+						addDep(c, dep)
+					}
+					addCutDep(c, other)
+				}
+			case "Bcast", "Scatter":
+				if parent, ok := parentOf(c.Rank); ok {
+					if pe, have := byRank[parent]; have {
+						addDep(c, pe)
+						addCutDep(c, pe)
+					}
+				}
+			case "Reduce", "Gather":
+				// c's completion depends on its tree children's completions.
+				for _, other := range participants {
+					if other.Rank == c.Rank {
+						continue
+					}
+					if parent, ok := parentOf(other.Rank); ok && parent == c.Rank {
+						addDep(c, other)
+						addCutDep(c, other)
+					}
+				}
+			}
+		}
+	}
+}
+
+// New computes vector clocks for the trace. It fails if the trace's message
+// edges are cyclic (corrupt history) — which cannot happen for traces the
+// runtime produced.
+func New(tr *trace.Trace) (*Order, error) {
+	o := &Order{tr: tr}
+	matched, _ := tr.MatchSendRecv()
+	o.matched = matched
+	o.sendRecv = make(map[trace.EventID]trace.EventID, len(matched))
+	for recv, send := range matched {
+		o.sendRecv[send] = recv
+	}
+	o.collEvents = make(map[int][]trace.EventID)
+	o.collOf = make(map[trace.EventID]int)
+	for rank := 0; rank < tr.NumRanks(); rank++ {
+		for i := range tr.Rank(rank) {
+			rec := &tr.Rank(rank)[i]
+			if rec.Kind == trace.KindCollective {
+				id := trace.EventID{Rank: rank, Index: i}
+				o.collEvents[rec.Tag] = append(o.collEvents[rec.Tag], id)
+				o.collOf[id] = rec.Tag
+			}
+		}
+	}
+
+	o.buildCollectiveDeps()
+
+	n := tr.NumRanks()
+	o.clocks = make([][]Vec, n)
+	for r := 0; r < n; r++ {
+		o.clocks[r] = make([]Vec, tr.RankLen(r))
+	}
+
+	// Forward pass: Kahn-style per-rank cursors. A receive waits until its
+	// send has been processed.
+	cursor := make([]int, n)
+	remaining := tr.Len()
+	for remaining > 0 {
+		progressed := false
+		for r := 0; r < n; r++ {
+			for cursor[r] < tr.RankLen(r) {
+				i := cursor[r]
+				rec := &tr.Rank(r)[i]
+				var deps []Vec
+				blocked := false
+				if rec.Kind == trace.KindRecv {
+					send, ok := matched[trace.EventID{Rank: r, Index: i}]
+					if ok {
+						sv := o.clocks[send.Rank][send.Index]
+						if sv == nil {
+							blocked = true // send not processed yet
+						} else {
+							deps = append(deps, sv)
+						}
+					}
+					// An orphan receive (send outside the trace window) is
+					// treated as having no incoming edge.
+				}
+				if rec.Kind == trace.KindCollective {
+					for _, dep := range o.collDeps[trace.EventID{Rank: r, Index: i}] {
+						dv := o.clocks[dep.Rank][dep.Index]
+						if dv == nil {
+							blocked = true
+							break
+						}
+						deps = append(deps, dv)
+					}
+				}
+				if blocked {
+					break // try other ranks
+				}
+				vc := make(Vec, n)
+				if i > 0 {
+					copy(vc, o.clocks[r][i-1])
+				}
+				for _, dv := range deps {
+					for k := range vc {
+						if dv[k] > vc[k] {
+							vc[k] = dv[k]
+						}
+					}
+				}
+				vc[r] = uint32(i + 1)
+				o.clocks[r][i] = vc
+				cursor[r]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed && remaining > 0 {
+			return nil, fmt.Errorf("causality: cyclic message dependencies in trace (%d events unresolved)", remaining)
+		}
+	}
+
+	// Reverse pass: future counts. rclocks[r][i][k] = number of events on
+	// rank k at-or-after this event in the happens-before order.
+	o.rclocks = make([][]Vec, n)
+	for r := 0; r < n; r++ {
+		o.rclocks[r] = make([]Vec, tr.RankLen(r))
+	}
+	rcursor := make([]int, n) // counts processed from the end
+	remaining = tr.Len()
+	for remaining > 0 {
+		progressed := false
+		for r := 0; r < n; r++ {
+			for rcursor[r] < tr.RankLen(r) {
+				i := tr.RankLen(r) - 1 - rcursor[r]
+				rec := &tr.Rank(r)[i]
+				var deps []Vec
+				blocked := false
+				if rec.Kind == trace.KindSend {
+					if recv, ok := o.sendRecv[trace.EventID{Rank: r, Index: i}]; ok {
+						rv := o.rclocks[recv.Rank][recv.Index]
+						if rv == nil {
+							blocked = true
+						} else {
+							deps = append(deps, rv)
+						}
+					}
+				}
+				// Dependent collective completions happen after this event.
+				if !blocked {
+					for _, c := range o.collRev[trace.EventID{Rank: r, Index: i}] {
+						cv := o.rclocks[c.Rank][c.Index]
+						if cv == nil {
+							blocked = true
+							break
+						}
+						deps = append(deps, cv)
+					}
+				}
+				if blocked {
+					break
+				}
+				vc := make(Vec, n)
+				if i+1 < tr.RankLen(r) {
+					copy(vc, o.rclocks[r][i+1])
+				}
+				for _, dv := range deps {
+					for k := range vc {
+						if dv[k] > vc[k] {
+							vc[k] = dv[k]
+						}
+					}
+				}
+				vc[r] = uint32(tr.RankLen(r) - i)
+				o.rclocks[r][i] = vc
+				rcursor[r]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed && remaining > 0 {
+			return nil, fmt.Errorf("causality: cyclic message dependencies in reverse pass")
+		}
+	}
+	return o, nil
+}
+
+// Trace returns the underlying trace.
+func (o *Order) Trace() *trace.Trace { return o.tr }
+
+// Clock returns the vector clock of an event.
+func (o *Order) Clock(e trace.EventID) (Vec, error) {
+	if e.Rank < 0 || e.Rank >= len(o.clocks) || e.Index < 0 || e.Index >= len(o.clocks[e.Rank]) {
+		return nil, fmt.Errorf("causality: event %v out of range", e)
+	}
+	return o.clocks[e.Rank][e.Index], nil
+}
+
+// HappensBefore reports whether a strictly happens before b.
+func (o *Order) HappensBefore(a, b trace.EventID) bool {
+	if a == b {
+		return false
+	}
+	va, err := o.Clock(a)
+	if err != nil {
+		return false
+	}
+	vb, err := o.Clock(b)
+	if err != nil {
+		return false
+	}
+	return va.Leq(vb)
+}
+
+// Concurrent reports whether neither event happens before the other.
+func (o *Order) Concurrent(a, b trace.EventID) bool {
+	return a != b && !o.HappensBefore(a, b) && !o.HappensBefore(b, a)
+}
+
+// MatchedSend returns the send event of a receive, if matched.
+func (o *Order) MatchedSend(recv trace.EventID) (trace.EventID, bool) {
+	s, ok := o.matched[recv]
+	return s, ok
+}
+
+// MatchedRecv returns the receive event of a send, if matched.
+func (o *Order) MatchedRecv(send trace.EventID) (trace.EventID, bool) {
+	r, ok := o.sendRecv[send]
+	return r, ok
+}
+
+// PastCount returns, for each rank, the number of its events in the causal
+// past of e (including e itself on e's own rank): exactly e's vector clock.
+func (o *Order) PastCount(e trace.EventID) (Vec, error) { return o.Clock(e) }
+
+// FutureCount returns, for each rank, the number of its events in the causal
+// future of e (including e itself on e's own rank).
+func (o *Order) FutureCount(e trace.EventID) (Vec, error) {
+	if e.Rank < 0 || e.Rank >= len(o.rclocks) || e.Index < 0 || e.Index >= len(o.rclocks[e.Rank]) {
+		return nil, fmt.Errorf("causality: event %v out of range", e)
+	}
+	return o.rclocks[e.Rank][e.Index], nil
+}
+
+// Past returns every event that happens before e (excluding e).
+func (o *Order) Past(e trace.EventID) ([]trace.EventID, error) {
+	vc, err := o.Clock(e)
+	if err != nil {
+		return nil, err
+	}
+	var out []trace.EventID
+	for r := 0; r < len(o.clocks); r++ {
+		n := int(vc[r])
+		if r == e.Rank {
+			n-- // exclude e itself
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, trace.EventID{Rank: r, Index: i})
+		}
+	}
+	return out, nil
+}
+
+// Future returns every event that e happens before (excluding e).
+func (o *Order) Future(e trace.EventID) ([]trace.EventID, error) {
+	rv, err := o.FutureCount(e)
+	if err != nil {
+		return nil, err
+	}
+	var out []trace.EventID
+	for r := 0; r < len(o.rclocks); r++ {
+		total := o.tr.RankLen(r)
+		n := int(rv[r])
+		first := total - n
+		if r == e.Rank {
+			first++ // exclude e itself
+		}
+		for i := first; i < total; i++ {
+			out = append(out, trace.EventID{Rank: r, Index: i})
+		}
+	}
+	return out, nil
+}

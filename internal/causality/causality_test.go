@@ -1,0 +1,289 @@
+package causality
+
+import (
+	"math/rand"
+	"testing"
+
+	"tracedbg/internal/trace"
+)
+
+// pipelineTrace: 0 sends to 1, then 1 sends to 2 (three ranks, two msgs,
+// plus compute events around them).
+func pipelineTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr := trace.New(3)
+	tr.MustAppend(trace.Record{Kind: trace.KindCompute, Rank: 0, Marker: 1, Start: 0, End: 5})
+	tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: 0, Marker: 2, Start: 5, End: 6, Src: 0, Dst: 1, MsgID: 1})
+	tr.MustAppend(trace.Record{Kind: trace.KindCompute, Rank: 0, Marker: 3, Start: 6, End: 20})
+	tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: 1, Marker: 1, Start: 0, End: 7, Src: 0, Dst: 1, MsgID: 1})
+	tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: 1, Marker: 2, Start: 7, End: 8, Src: 1, Dst: 2, MsgID: 2})
+	tr.MustAppend(trace.Record{Kind: trace.KindCompute, Rank: 2, Marker: 1, Start: 0, End: 3})
+	tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: 2, Marker: 2, Start: 3, End: 9, Src: 1, Dst: 2, MsgID: 2})
+	return tr
+}
+
+func TestHappensBeforeBasics(t *testing.T) {
+	o, err := New(pipelineTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := func(r, i int) trace.EventID { return trace.EventID{Rank: r, Index: i} }
+
+	// Program order.
+	if !o.HappensBefore(e(0, 0), e(0, 1)) {
+		t.Error("program order violated")
+	}
+	// Message edge.
+	if !o.HappensBefore(e(0, 1), e(1, 0)) {
+		t.Error("send must precede its receive")
+	}
+	// Transitivity through two messages.
+	if !o.HappensBefore(e(0, 0), e(2, 1)) {
+		t.Error("transitive happens-before missing")
+	}
+	// Rank 2's initial compute is concurrent with everything on rank 0.
+	if !o.Concurrent(e(2, 0), e(0, 1)) {
+		t.Error("expected concurrency")
+	}
+	// Irreflexive, antisymmetric.
+	if o.HappensBefore(e(0, 0), e(0, 0)) {
+		t.Error("HB must be irreflexive")
+	}
+	if o.HappensBefore(e(1, 0), e(0, 1)) {
+		t.Error("receive before its own send")
+	}
+	// Rank 0's last compute is concurrent with rank 1's events.
+	if !o.Concurrent(e(0, 2), e(1, 0)) {
+		t.Error("post-send compute should be concurrent with the receive")
+	}
+}
+
+func TestMatchedAccessors(t *testing.T) {
+	o, err := New(pipelineTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := trace.EventID{Rank: 0, Index: 1}
+	recv := trace.EventID{Rank: 1, Index: 0}
+	if s, ok := o.MatchedSend(recv); !ok || s != send {
+		t.Errorf("MatchedSend = %v, %v", s, ok)
+	}
+	if r, ok := o.MatchedRecv(send); !ok || r != recv {
+		t.Errorf("MatchedRecv = %v, %v", r, ok)
+	}
+	if _, ok := o.MatchedSend(trace.EventID{Rank: 0, Index: 0}); ok {
+		t.Error("compute event has no matched send")
+	}
+}
+
+func TestPastAndFuture(t *testing.T) {
+	o, err := New(pipelineTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Event: rank 1's send (index 1). Past: rank0 compute+send, rank1 recv.
+	e := trace.EventID{Rank: 1, Index: 1}
+	past, err := o.Past(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(past) != 3 {
+		t.Fatalf("past = %v", past)
+	}
+	future, err := o.Future(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Future: rank2's recv only.
+	if len(future) != 1 || future[0] != (trace.EventID{Rank: 2, Index: 1}) {
+		t.Fatalf("future = %v", future)
+	}
+}
+
+func TestCyclicTraceRejected(t *testing.T) {
+	// Craft a causally impossible trace: each rank's receive precedes its
+	// own send, and the two messages cross.
+	tr := trace.New(2)
+	tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: 0, Marker: 1, Start: 0, End: 1, Src: 1, Dst: 0, MsgID: 2})
+	tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: 0, Marker: 2, Start: 1, End: 2, Src: 0, Dst: 1, MsgID: 1})
+	tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: 1, Marker: 1, Start: 0, End: 1, Src: 0, Dst: 1, MsgID: 1})
+	tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: 1, Marker: 2, Start: 1, End: 2, Src: 1, Dst: 0, MsgID: 2})
+	if _, err := New(tr); err == nil {
+		t.Fatal("cyclic trace accepted")
+	}
+}
+
+func TestOrphanReceiveTolerated(t *testing.T) {
+	// A windowed trace may contain a receive whose send fell outside the
+	// window; it should be treated as having no incoming edge.
+	tr := trace.New(2)
+	tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: 1, Marker: 1, Start: 0, End: 1, Src: 0, Dst: 1, MsgID: 99})
+	tr.MustAppend(trace.Record{Kind: trace.KindCompute, Rank: 1, Marker: 2, Start: 1, End: 2})
+	o, err := New(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.HappensBefore(trace.EventID{Rank: 1, Index: 0}, trace.EventID{Rank: 1, Index: 1}) {
+		t.Error("program order lost")
+	}
+}
+
+// randomRunTrace builds a random structurally valid trace (same generator
+// family as the trace package tests).
+func randomRunTrace(rng *rand.Rand, ranks, msgs int) *trace.Trace {
+	tr := trace.New(ranks)
+	clock := make([]int64, ranks)
+	marker := make([]uint64, ranks)
+	var msgID uint64
+	for i := 0; i < msgs; i++ {
+		src := rng.Intn(ranks)
+		dst := rng.Intn(ranks)
+		if src == dst {
+			dst = (dst + 1) % ranks
+		}
+		msgID++
+		s := clock[src]
+		e := s + 1 + int64(rng.Intn(5))
+		clock[src] = e
+		marker[src]++
+		tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: src, Marker: marker[src],
+			Start: s, End: e, Src: src, Dst: dst, MsgID: msgID})
+		if clock[dst] < e {
+			clock[dst] = e
+		}
+		rs := clock[dst]
+		re := rs + 1
+		clock[dst] = re
+		marker[dst]++
+		tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: dst, Marker: marker[dst],
+			Start: rs, End: re, Src: src, Dst: dst, MsgID: msgID})
+		if rng.Intn(4) == 0 {
+			r := rng.Intn(ranks)
+			cs := clock[r]
+			clock[r] += int64(rng.Intn(3))
+			marker[r]++
+			tr.MustAppend(trace.Record{Kind: trace.KindCompute, Rank: r, Marker: marker[r],
+				Start: cs, End: clock[r]})
+		}
+	}
+	return tr
+}
+
+// bruteReach computes reachability by BFS over explicit edges.
+func bruteReach(tr *trace.Trace) map[trace.EventID]map[trace.EventID]bool {
+	adj := make(map[trace.EventID][]trace.EventID)
+	for r := 0; r < tr.NumRanks(); r++ {
+		for i := 0; i+1 < tr.RankLen(r); i++ {
+			a := trace.EventID{Rank: r, Index: i}
+			adj[a] = append(adj[a], trace.EventID{Rank: r, Index: i + 1})
+		}
+	}
+	matched, _ := tr.MatchSendRecv()
+	for recv, send := range matched {
+		adj[send] = append(adj[send], recv)
+	}
+	reach := make(map[trace.EventID]map[trace.EventID]bool)
+	for r := 0; r < tr.NumRanks(); r++ {
+		for i := 0; i < tr.RankLen(r); i++ {
+			start := trace.EventID{Rank: r, Index: i}
+			seen := map[trace.EventID]bool{}
+			queue := []trace.EventID{start}
+			for len(queue) > 0 {
+				cur := queue[0]
+				queue = queue[1:]
+				for _, nxt := range adj[cur] {
+					if !seen[nxt] {
+						seen[nxt] = true
+						queue = append(queue, nxt)
+					}
+				}
+			}
+			reach[start] = seen
+		}
+	}
+	return reach
+}
+
+func TestVectorClocksMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		tr := randomRunTrace(rng, 2+rng.Intn(4), 3+rng.Intn(25))
+		o, err := New(tr)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		reach := bruteReach(tr)
+		for r := 0; r < tr.NumRanks(); r++ {
+			for i := 0; i < tr.RankLen(r); i++ {
+				a := trace.EventID{Rank: r, Index: i}
+				for r2 := 0; r2 < tr.NumRanks(); r2++ {
+					for i2 := 0; i2 < tr.RankLen(r2); i2++ {
+						b := trace.EventID{Rank: r2, Index: i2}
+						want := a != b && reach[a][b]
+						if got := o.HappensBefore(a, b); got != want {
+							t.Fatalf("trial %d: HB(%v,%v) = %v, want %v", trial, a, b, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPastFutureMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		tr := randomRunTrace(rng, 3, 20)
+		o, err := New(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reach := bruteReach(tr)
+		for r := 0; r < tr.NumRanks(); r++ {
+			for i := 0; i < tr.RankLen(r); i++ {
+				e := trace.EventID{Rank: r, Index: i}
+				past, _ := o.Past(e)
+				wantPast := 0
+				for from, set := range reach {
+					if from != e && set[e] {
+						wantPast++
+					}
+				}
+				if len(past) != wantPast {
+					t.Fatalf("past(%v) = %d events, want %d", e, len(past), wantPast)
+				}
+				for _, p := range past {
+					if !reach[p][e] {
+						t.Fatalf("past member %v does not reach %v", p, e)
+					}
+				}
+				future, _ := o.Future(e)
+				if len(future) != len(reach[e]) {
+					t.Fatalf("future(%v) = %d events, want %d", e, len(future), len(reach[e]))
+				}
+			}
+		}
+	}
+}
+
+func TestClockErrors(t *testing.T) {
+	o, err := New(pipelineTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Clock(trace.EventID{Rank: 9, Index: 0}); err == nil {
+		t.Error("bad rank accepted")
+	}
+	if _, err := o.Clock(trace.EventID{Rank: 0, Index: 99}); err == nil {
+		t.Error("bad index accepted")
+	}
+	if _, err := o.FutureCount(trace.EventID{Rank: 9, Index: 0}); err == nil {
+		t.Error("bad rank accepted in FutureCount")
+	}
+	if o.HappensBefore(trace.EventID{Rank: 9, Index: 0}, trace.EventID{Rank: 0, Index: 0}) {
+		t.Error("HB with invalid event should be false")
+	}
+	if o.Trace() == nil {
+		t.Error("Trace accessor")
+	}
+}

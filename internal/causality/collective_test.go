@@ -1,0 +1,189 @@
+package causality
+
+import (
+	"testing"
+
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+// collectTrace runs an instrumented body and returns its trace.
+func collectTrace(t *testing.T, n int, body func(c *instr.Ctx)) *trace.Trace {
+	t.Helper()
+	sink := instr.NewMemorySink(n)
+	in := instr.New(n, sink, instr.LevelAll)
+	if err := in.Run(mp.Config{NumRanks: n}, body); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return sink.Trace()
+}
+
+func collEventOf(t *testing.T, tr *trace.Trace, rank int, name string) trace.EventID {
+	t.Helper()
+	for i := range tr.Rank(rank) {
+		rec := &tr.Rank(rank)[i]
+		if rec.Kind == trace.KindCollective && rec.Name == name {
+			return trace.EventID{Rank: rank, Index: i}
+		}
+	}
+	t.Fatalf("no %s event on rank %d", name, rank)
+	return trace.EventID{}
+}
+
+func TestBarrierCreatesCrossRankOrder(t *testing.T) {
+	// compute; barrier; compute on every rank: pre-barrier events happen
+	// before every post-barrier event, across ranks.
+	tr := collectTrace(t, 3, func(c *instr.Ctx) {
+		c.Compute(100 * int64(c.Rank()+1))
+		c.Barrier()
+		c.Compute(50)
+	})
+	o, err := New(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0's pre-barrier compute happens before rank 2's post-barrier
+	// compute (through the barrier), even though no message connects them.
+	pre := trace.EventID{Rank: 0, Index: 0}
+	post := trace.EventID{Rank: 2, Index: 2}
+	if tr.MustAt(post).Kind != trace.KindCompute {
+		t.Fatalf("post event = %v", tr.MustAt(post))
+	}
+	if !o.HappensBefore(pre, post) {
+		t.Error("barrier does not order pre/post events")
+	}
+	// Pre-barrier computes on different ranks stay concurrent.
+	if !o.Concurrent(trace.EventID{Rank: 0, Index: 0}, trace.EventID{Rank: 1, Index: 0}) {
+		t.Error("pre-barrier events should be concurrent")
+	}
+}
+
+func TestCutMayNotSplitBarrier(t *testing.T) {
+	tr := collectTrace(t, 3, func(c *instr.Ctx) {
+		c.Compute(100)
+		c.Barrier()
+		c.Compute(50)
+	})
+	o, err := New(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := collEventOf(t, tr, 0, "Barrier")
+	b1 := collEventOf(t, tr, 1, "Barrier")
+	// A cut with rank 0 past the barrier but rank 1 before it is
+	// inconsistent.
+	cut := make(Cut, 3)
+	cut[0] = b0.Index + 1
+	cut[1] = b1.Index // excludes rank 1's barrier
+	cut[2] = collEventOf(t, tr, 2, "Barrier").Index + 1
+	ok, err := o.IsConsistentCut(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("cut splitting a barrier accepted")
+	}
+	// MaximalConsistentCut pulls every rank back before the barrier.
+	fixed := o.MaximalConsistentCut(cut)
+	if ok, _ := o.IsConsistentCut(fixed); !ok {
+		t.Fatal("snapped cut still inconsistent")
+	}
+	if fixed[0] > b0.Index {
+		t.Errorf("snapped cut still includes rank 0's barrier: %v", fixed)
+	}
+}
+
+func TestVerticalCutSnapsAroundBarrier(t *testing.T) {
+	// Uneven pre-barrier compute: participants complete the barrier at
+	// different virtual times; a vertical line inside that window must snap
+	// to a consistent cut.
+	tr := collectTrace(t, 4, func(c *instr.Ctx) {
+		c.Compute(1000 * int64(c.Rank()+1))
+		c.Barrier()
+		c.Compute(100)
+	})
+	o, err := New(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample many times across the whole run: every vertical cut is
+	// consistent (the snap guarantees it).
+	end := tr.EndTime()
+	for t64 := int64(0); t64 <= end; t64 += end / 37 {
+		cut := o.VerticalCut(t64)
+		if ok, _ := o.IsConsistentCut(cut); !ok {
+			t.Fatalf("vertical cut at %d inconsistent: %v", t64, cut)
+		}
+	}
+}
+
+func TestRootedCollectiveOrdering(t *testing.T) {
+	// Bcast from root 0: root's pre-bcast event precedes every receiver's
+	// post-bcast event; receivers' pre-events do not precede the root's
+	// completion (root does not wait for leaves).
+	tr := collectTrace(t, 4, func(c *instr.Ctx) {
+		c.Compute(100)
+		c.Bcast(0, []byte("payload"))
+		c.Compute(50)
+	})
+	o, err := New(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootPre := trace.EventID{Rank: 0, Index: 0}
+	leafPost := trace.EventID{Rank: 3, Index: 2}
+	if !o.HappensBefore(rootPre, leafPost) {
+		t.Error("root's pre-bcast should precede leaf's post-bcast")
+	}
+	leafPre := trace.EventID{Rank: 3, Index: 0}
+	rootColl := collEventOf(t, tr, 0, "Bcast")
+	if o.HappensBefore(leafPre, rootColl) {
+		t.Error("leaf's pre-bcast must not precede the root's completion")
+	}
+}
+
+func TestReduceOrdering(t *testing.T) {
+	// Reduce to root 0: every rank's pre-event precedes the root's
+	// completion; the root's pre-event does not precede a leaf's completion.
+	tr := collectTrace(t, 4, func(c *instr.Ctx) {
+		c.Compute(100)
+		c.Reduce(0, mp.Int64Bytes([]int64{int64(c.Rank())}), mp.SumInt64)
+		c.Compute(50)
+	})
+	o, err := New(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootColl := collEventOf(t, tr, 0, "Reduce")
+	for r := 1; r < 4; r++ {
+		pre := trace.EventID{Rank: r, Index: 0}
+		if !o.HappensBefore(pre, rootColl) {
+			t.Errorf("rank %d pre-reduce should precede root completion", r)
+		}
+	}
+	leafColl := collEventOf(t, tr, 3, "Reduce")
+	rootPre := trace.EventID{Rank: 0, Index: 0}
+	if o.HappensBefore(rootPre, leafColl) {
+		t.Error("root's pre-event must not precede a leaf's completion (leaves do not wait for the root)")
+	}
+}
+
+func TestStalledCollectiveTolerated(t *testing.T) {
+	// One rank skips the barrier: the others' records are Blocked, not
+	// Collective; causality still computes.
+	n := 3
+	sink := instr.NewMemorySink(n)
+	in := instr.New(n, sink, instr.LevelAll)
+	err := in.Run(mp.Config{NumRanks: n}, func(c *instr.Ctx) {
+		if c.Rank() != 2 {
+			c.Barrier()
+		}
+	})
+	if err == nil {
+		t.Fatal("expected stall")
+	}
+	if _, err := New(sink.Trace()); err != nil {
+		t.Fatalf("causality on stalled trace: %v", err)
+	}
+}

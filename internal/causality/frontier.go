@@ -1,0 +1,246 @@
+package causality
+
+import (
+	"fmt"
+
+	"tracedbg/internal/trace"
+)
+
+// Cut is a consistent-cut candidate: Cut[r] = number of leading events of
+// rank r inside the cut (0 = none).
+type Cut []int
+
+// Frontier is a set of per-rank events: Frontier[r] is the event index on
+// rank r, or -1 when the rank contributes no event. A *consistent frontier*
+// (paper §4.1, after [15]) is one in which no member happens before another.
+type Frontier []int
+
+// Events lists the frontier's members as event ids.
+func (f Frontier) Events() []trace.EventID {
+	var out []trace.EventID
+	for r, i := range f {
+		if i >= 0 {
+			out = append(out, trace.EventID{Rank: r, Index: i})
+		}
+	}
+	return out
+}
+
+// PastFrontier returns the set of most recent events in the causal past of
+// e: for every rank, the last of its events that happens before (or is) e.
+// The lack of circular message dependencies guarantees the result is a
+// consistent frontier.
+func (o *Order) PastFrontier(e trace.EventID) (Frontier, error) {
+	vc, err := o.Clock(e)
+	if err != nil {
+		return nil, err
+	}
+	f := make(Frontier, len(o.clocks))
+	for r := range f {
+		f[r] = int(vc[r]) - 1 // -1 when no event of r is in the past
+	}
+	return f, nil
+}
+
+// FutureFrontier returns the set of earliest events in the causal future of
+// e: for every rank, the first of its events that e happens before (or is).
+func (o *Order) FutureFrontier(e trace.EventID) (Frontier, error) {
+	rv, err := o.FutureCount(e)
+	if err != nil {
+		return nil, err
+	}
+	f := make(Frontier, len(o.rclocks))
+	for r := range f {
+		if rv[r] == 0 {
+			f[r] = -1
+			continue
+		}
+		f[r] = o.tr.RankLen(r) - int(rv[r])
+	}
+	return f, nil
+}
+
+// ConcurrencyRegion returns, per rank, the half-open index interval
+// [lo, hi) of events concurrent with e (the area between the past and
+// future frontiers in Figure 8). On e's own rank the interval is empty.
+func (o *Order) ConcurrencyRegion(e trace.EventID) (lo, hi []int, err error) {
+	vc, err := o.Clock(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	rv, err := o.FutureCount(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(o.clocks)
+	lo = make([]int, n)
+	hi = make([]int, n)
+	for r := 0; r < n; r++ {
+		lo[r] = int(vc[r])                   // first index after the past
+		hi[r] = o.tr.RankLen(r) - int(rv[r]) // first index of the future
+	}
+	return lo, hi, nil
+}
+
+// IsConsistentFrontier verifies the property that makes a frontier usable
+// as a set of breakpoints: the cut containing everything up to and including
+// each member is a consistent cut (no message is received inside the cut
+// whose send lies outside). The paper states the frontier property as "no
+// event happens before another"; for per-rank maxima of a causal past that
+// literal reading can be violated by a send/receive pair that are both
+// maxima, while the induced cut — which is what replay consistency needs —
+// is always consistent. Use IsAntichain for the strict pairwise property.
+func (o *Order) IsConsistentFrontier(f Frontier) bool {
+	ok, err := o.IsConsistentCut(CutOfFrontier(f))
+	return err == nil && ok
+}
+
+// IsAntichain reports the strict pairwise property: no frontier member
+// happens before another member.
+func (o *Order) IsAntichain(f Frontier) bool {
+	evs := f.Events()
+	for i := 0; i < len(evs); i++ {
+		for j := 0; j < len(evs); j++ {
+			if i != j && o.HappensBefore(evs[i], evs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CutBefore converts a frontier to the cut that *excludes* each member and
+// everything after it; ranks without a member contribute all their events.
+// It is the stop-before cut induced by a future frontier.
+func (o *Order) CutBefore(f Frontier) Cut {
+	c := make(Cut, len(f))
+	for r, i := range f {
+		if i < 0 {
+			c[r] = o.tr.RankLen(r)
+		} else {
+			c[r] = i
+		}
+	}
+	return c
+}
+
+// IsConsistentCut verifies that the cut is causally closed: every matched
+// receive inside the cut has its send inside the cut (no message is
+// received before it is sent), and every collective completion inside the
+// cut has its synchronization dependencies inside (a cut must not split a
+// barrier).
+func (o *Order) IsConsistentCut(c Cut) (bool, error) {
+	if len(c) != o.tr.NumRanks() {
+		return false, fmt.Errorf("causality: cut has %d entries for %d ranks", len(c), o.tr.NumRanks())
+	}
+	for r := range c {
+		if c[r] < 0 || c[r] > o.tr.RankLen(r) {
+			return false, fmt.Errorf("causality: cut[%d] = %d out of range [0,%d]", r, c[r], o.tr.RankLen(r))
+		}
+	}
+	for recv, send := range o.matched {
+		inCut := recv.Index < c[recv.Rank]
+		sendIn := send.Index < c[send.Rank]
+		if inCut && !sendIn {
+			return false, nil
+		}
+	}
+	for ce, peers := range o.collCutDeps {
+		if ce.Index >= c[ce.Rank] {
+			continue // completion outside the cut
+		}
+		for _, peer := range peers {
+			if peer.Index >= c[peer.Rank] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// MaximalConsistentCut shrinks a cut to the largest consistent cut at or
+// below it: events whose dependencies fall outside are excluded, repeatedly,
+// until a fixpoint. Every cut has one because the empty cut is consistent.
+func (o *Order) MaximalConsistentCut(c Cut) Cut {
+	out := make(Cut, len(c))
+	copy(out, c)
+	for r := range out {
+		if out[r] < 0 {
+			out[r] = 0
+		}
+		if out[r] > o.tr.RankLen(r) {
+			out[r] = o.tr.RankLen(r)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for recv, send := range o.matched {
+			if recv.Index < out[recv.Rank] && send.Index >= out[send.Rank] {
+				out[recv.Rank] = recv.Index
+				changed = true
+			}
+		}
+		for ce, peers := range o.collCutDeps {
+			if ce.Index >= out[ce.Rank] {
+				continue
+			}
+			for _, peer := range peers {
+				if peer.Index >= out[peer.Rank] {
+					out[ce.Rank] = ce.Index
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// VerticalCut builds the cut induced by a vertical line at virtual time t:
+// every event that has *completed* by t is inside. Completion is the right
+// membership test: a receive posted before t but still in flight at t (the
+// stopline passes through its bar) must stop *before* completing. Because
+// the runtime's virtual timestamps respect message causality (a receive
+// never ends before its send ends), every completed receive's send has also
+// completed, so vertical cuts are consistent — the property the paper uses
+// to justify stopline consistency.
+func (o *Order) VerticalCut(t int64) Cut {
+	c := make(Cut, o.tr.NumRanks())
+	for r := range c {
+		seq := o.tr.Rank(r)
+		i := 0
+		for i < len(seq) && seq[i].End <= t {
+			i++
+		}
+		c[r] = i
+	}
+	// Point-to-point causality makes time cuts consistent by construction,
+	// but a collective whose participants complete at slightly different
+	// virtual times can straddle t; snap to the nearest consistent cut at
+	// or before the line.
+	return o.MaximalConsistentCut(c)
+}
+
+// CutOfFrontier converts a frontier to the cut containing, on each rank,
+// everything up to and including the frontier event.
+func CutOfFrontier(f Frontier) Cut {
+	c := make(Cut, len(f))
+	for r, i := range f {
+		c[r] = i + 1
+	}
+	return c
+}
+
+// FrontierMarkers maps a frontier to the execution markers of its member
+// events — the form in which a stopline is communicated to the replay
+// machinery. Ranks without a member get a zero marker (stop at start).
+func (o *Order) FrontierMarkers(f Frontier) []trace.Marker {
+	out := make([]trace.Marker, len(f))
+	for r, i := range f {
+		out[r] = trace.Marker{Rank: r}
+		if i >= 0 {
+			out[r].Seq = o.tr.Rank(r)[i].Marker
+		}
+	}
+	return out
+}

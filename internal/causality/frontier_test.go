@@ -1,0 +1,219 @@
+package causality
+
+import (
+	"math/rand"
+	"testing"
+
+	"tracedbg/internal/trace"
+)
+
+func TestPastFutureFrontierPipeline(t *testing.T) {
+	o, err := New(pipelineTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Select rank 1's send.
+	e := trace.EventID{Rank: 1, Index: 1}
+	pf, err := o.PastFrontier(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Past frontier: rank0's send (index 1), rank1's own event (index 1),
+	// nothing on rank 2.
+	if pf[0] != 1 || pf[1] != 1 || pf[2] != -1 {
+		t.Fatalf("past frontier = %v", pf)
+	}
+	ff, err := o.FutureFrontier(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Future frontier: nothing more on rank 0 (its events are all in the
+	// past or concurrent)... rank0 has no event after the send in e's
+	// future, rank1 itself, rank2's recv (index 1).
+	if ff[0] != -1 || ff[1] != 1 || ff[2] != 1 {
+		t.Fatalf("future frontier = %v", ff)
+	}
+	if !o.IsConsistentFrontier(pf) {
+		t.Error("past frontier must induce a consistent cut")
+	}
+	if ok, err := o.IsConsistentCut(o.CutBefore(ff)); err != nil || !ok {
+		t.Errorf("future frontier must induce a consistent stop-before cut (%v)", err)
+	}
+	// The frontier members on other ranks, excluding e itself, are mutually
+	// concurrent here; with e included the chain send->e keeps the set from
+	// being an antichain — which is why consistency is defined via cuts.
+	if o.IsAntichain(pf) {
+		t.Error("pf contains e and its direct cause; antichain check should fail")
+	}
+	reduced := Frontier{1, -1, -1} // just rank 0's send
+	if !o.IsAntichain(reduced) {
+		t.Error("singleton frontier must be an antichain")
+	}
+}
+
+func TestFrontiersConsistentOnRandomTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		tr := randomRunTrace(rng, 2+rng.Intn(4), 5+rng.Intn(30))
+		o, err := New(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < tr.NumRanks(); r++ {
+			for i := 0; i < tr.RankLen(r); i++ {
+				e := trace.EventID{Rank: r, Index: i}
+				pf, err := o.PastFrontier(e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !o.IsConsistentFrontier(pf) {
+					t.Fatalf("past frontier of %v induces inconsistent cut: %v", e, pf)
+				}
+				// Maximality: the event right after a frontier member on its
+				// rank must NOT be in the past of e.
+				for fr, fi := range pf {
+					if fi >= 0 && fi+1 < tr.RankLen(fr) {
+						next := trace.EventID{Rank: fr, Index: fi + 1}
+						if next != e && o.HappensBefore(next, e) {
+							t.Fatalf("past frontier of %v not maximal at rank %d", e, fr)
+						}
+					}
+				}
+				ff, err := o.FutureFrontier(e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The stop-before cut induced by the future frontier is
+				// consistent: nothing inside it is affected by e's future.
+				if ok, err := o.IsConsistentCut(o.CutBefore(ff)); err != nil || !ok {
+					t.Fatalf("future frontier of %v induces inconsistent cut (%v)", e, err)
+				}
+				// Minimality: the event before a future-frontier member must
+				// not be in e's future.
+				for fr, fi := range ff {
+					if fi > 0 {
+						prev := trace.EventID{Rank: fr, Index: fi - 1}
+						if prev != e && o.HappensBefore(e, prev) {
+							t.Fatalf("future frontier of %v not minimal at rank %d", e, fr)
+						}
+					}
+				}
+				// The cut induced by the past frontier is consistent.
+				ok, err := o.IsConsistentCut(CutOfFrontier(pf))
+				if err != nil || !ok {
+					t.Fatalf("past-frontier cut of %v inconsistent (%v)", e, err)
+				}
+			}
+		}
+	}
+}
+
+func TestConcurrencyRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	tr := randomRunTrace(rng, 4, 30)
+	o, err := New(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < tr.NumRanks(); r++ {
+		for i := 0; i < tr.RankLen(r); i += 3 {
+			e := trace.EventID{Rank: r, Index: i}
+			lo, hi, err := o.ConcurrencyRegion(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r2 := 0; r2 < tr.NumRanks(); r2++ {
+				for i2 := 0; i2 < tr.RankLen(r2); i2++ {
+					f := trace.EventID{Rank: r2, Index: i2}
+					inRegion := i2 >= lo[r2] && i2 < hi[r2]
+					if f == e {
+						if inRegion {
+							t.Fatalf("event inside its own concurrency region")
+						}
+						continue
+					}
+					if inRegion != o.Concurrent(e, f) {
+						t.Fatalf("region membership of %v wrt %v = %v, concurrency = %v",
+							f, e, inRegion, o.Concurrent(e, f))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestVerticalCutsConsistent(t *testing.T) {
+	// The property justifying stoplines: any vertical cut through a
+	// causality-respecting trace is a consistent cut.
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 10; trial++ {
+		tr := randomRunTrace(rng, 2+rng.Intn(5), 10+rng.Intn(40))
+		o, err := New(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		end := tr.EndTime()
+		for k := 0; k < 20; k++ {
+			cut := o.VerticalCut(rng.Int63n(end + 1))
+			ok, err := o.IsConsistentCut(cut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("vertical cut %v inconsistent", cut)
+			}
+		}
+	}
+}
+
+func TestIsConsistentCutDetectsViolations(t *testing.T) {
+	tr := pipelineTrace(t)
+	o, err := New(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Include rank1's receive (index 0) but exclude rank0's send.
+	bad := Cut{1, 1, 0}
+	ok, err := o.IsConsistentCut(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("cut with receive-before-send accepted")
+	}
+	good := Cut{2, 1, 0}
+	ok, err = o.IsConsistentCut(good)
+	if err != nil || !ok {
+		t.Errorf("good cut rejected (%v)", err)
+	}
+	if _, err := o.IsConsistentCut(Cut{1}); err == nil {
+		t.Error("short cut accepted")
+	}
+	if _, err := o.IsConsistentCut(Cut{99, 0, 0}); err == nil {
+		t.Error("out-of-range cut accepted")
+	}
+}
+
+func TestFrontierMarkersAndEvents(t *testing.T) {
+	tr := pipelineTrace(t)
+	o, err := New(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := trace.EventID{Rank: 1, Index: 1}
+	pf, _ := o.PastFrontier(e)
+	ms := o.FrontierMarkers(pf)
+	if len(ms) != 3 {
+		t.Fatalf("markers = %v", ms)
+	}
+	if ms[0] != (trace.Marker{Rank: 0, Seq: 2}) { // rank0's send has marker 2
+		t.Errorf("marker[0] = %v", ms[0])
+	}
+	if ms[2] != (trace.Marker{Rank: 2, Seq: 0}) { // no past event on rank 2
+		t.Errorf("marker[2] = %v", ms[2])
+	}
+	evs := pf.Events()
+	if len(evs) != 2 {
+		t.Errorf("events = %v", evs)
+	}
+}

@@ -1,0 +1,60 @@
+package causality
+
+import (
+	"math/rand"
+	"testing"
+
+	"tracedbg/internal/trace"
+)
+
+func TestLamportConsistentWithHappensBefore(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 12; trial++ {
+		tr := randomRunTrace(rng, 2+rng.Intn(4), 5+rng.Intn(30))
+		o, err := New(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clocks, err := o.LamportClocks()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < tr.NumRanks(); r++ {
+			for i := 0; i < tr.RankLen(r); i++ {
+				a := trace.EventID{Rank: r, Index: i}
+				// Program order strictly increases.
+				if i > 0 && clocks[r][i] <= clocks[r][i-1] {
+					t.Fatalf("trial %d: program order violated at %v", trial, a)
+				}
+				for r2 := 0; r2 < tr.NumRanks(); r2++ {
+					for i2 := 0; i2 < tr.RankLen(r2); i2++ {
+						b := trace.EventID{Rank: r2, Index: i2}
+						if o.HappensBefore(a, b) && clocks[r][i] >= clocks[r2][i2] {
+							t.Fatalf("trial %d: HB(%v,%v) but L %d >= %d",
+								trial, a, b, clocks[r][i], clocks[r2][i2])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLamportMessageEdge(t *testing.T) {
+	o, err := New(pipelineTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clocks, err := o.LamportClocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 1's receive must be strictly after rank 0's send.
+	if clocks[1][0] <= clocks[0][1] {
+		t.Fatalf("recv clock %d <= send clock %d", clocks[1][0], clocks[0][1])
+	}
+	// Transitive: rank 2's receive after rank 0's first compute.
+	if clocks[2][1] <= clocks[0][0] {
+		t.Fatal("transitivity violated")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"tracedbg/internal/apps"
+	"tracedbg/internal/debug"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/replay"
+	"tracedbg/internal/trace"
+)
+
+// TestStopLineAcrossBarrier is the regression test for stoplines near
+// collectives: participants complete a barrier at slightly different
+// virtual times, so a naive vertical cut can include one rank's completion
+// while stopping a peer before it even entered — and the replay then hangs
+// with the peer parked and the first rank blocked inside the barrier. The
+// stopline must snap to a consistent cut and the replay must stop cleanly.
+func TestStopLineAcrossBarrier(t *testing.T) {
+	d := New(debug.Target{
+		Cfg: mp.Config{NumRanks: 4},
+		Body: apps.Jacobi(apps.JacobiConfig{
+			Cells: 16, Iters: 40, Seed: 2,
+			// Barrier every 5 iterations via checkpointing.
+			CheckpointEvery: 5, Store: newStore(),
+		}, nil),
+	})
+	if err := d.Record(); err != nil {
+		t.Fatal(err)
+	}
+	tr := d.Trace()
+	o, err := d.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Aim stoplines exactly at every barrier completion time: the most
+	// adversarial positions.
+	var barrierTimes []int64
+	for r := 0; r < tr.NumRanks(); r++ {
+		for i := range tr.Rank(r) {
+			rec := &tr.Rank(r)[i]
+			if rec.Kind == trace.KindCollective {
+				barrierTimes = append(barrierTimes, rec.End-1, rec.End, rec.End+1)
+			}
+		}
+	}
+	if len(barrierTimes) == 0 {
+		t.Fatal("no barrier events recorded")
+	}
+	for _, at := range barrierTimes {
+		sl, err := d.VerticalStopLine(at)
+		if err != nil {
+			t.Fatalf("stopline at %d: %v", at, err)
+		}
+		if ok, _ := o.IsConsistentCut(sl.Cut); !ok {
+			t.Fatalf("stopline cut at %d inconsistent", at)
+		}
+		// No barrier is split: for each collective instance, the cut either
+		// contains all participants' completions or none.
+		inCut := map[int]int{}
+		total := map[int]int{}
+		for r := 0; r < tr.NumRanks(); r++ {
+			for i := range tr.Rank(r) {
+				rec := &tr.Rank(r)[i]
+				if rec.Kind != trace.KindCollective {
+					continue
+				}
+				total[rec.Tag]++
+				if i < sl.Cut[r] {
+					inCut[rec.Tag]++
+				}
+			}
+		}
+		for tag, n := range inCut {
+			if n != 0 && n != total[tag] {
+				t.Fatalf("stopline at %d splits collective %d: %d/%d inside", at, tag, n, total[tag])
+			}
+		}
+	}
+
+	// Replay one of the adversarial stoplines end to end.
+	sl, err := d.VerticalStopLine(barrierTimes[len(barrierTimes)/2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Replay(sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WaitAllStopped(tmo); err != nil {
+		t.Fatalf("replay across barrier: %v", err)
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newStore() *replay.CheckpointStore { return replay.NewCheckpointStore() }

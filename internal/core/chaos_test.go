@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tracedbg/internal/analysis"
+	"tracedbg/internal/debug"
+	"tracedbg/internal/graph"
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+// chaosProgram generates a random deadlock-free message-passing program:
+// a global schedule of messages is drawn first, then each rank executes its
+// slice of the schedule in order (sends are eager, each receive's send is
+// ordered before it transitively, so the dependency graph is acyclic).
+// Ranks flagged wildcard receive with AnySource/AnyTag (all their receives,
+// so a wildcard can never starve a later specific receive).
+type chaosProgram struct {
+	ranks    int
+	ops      [][]chaosOp
+	wildcard []bool
+}
+
+type chaosOp struct {
+	kind byte // 's' send, 'r' recv, 'c' compute
+	peer int
+	tag  int
+	val  int64
+}
+
+func genChaos(rng *rand.Rand, ranks, msgs int) *chaosProgram {
+	p := &chaosProgram{ranks: ranks, ops: make([][]chaosOp, ranks), wildcard: make([]bool, ranks)}
+	for r := range p.wildcard {
+		p.wildcard[r] = rng.Intn(3) == 0
+	}
+	for m := 0; m < msgs; m++ {
+		src := rng.Intn(ranks)
+		dst := rng.Intn(ranks)
+		if src == dst {
+			dst = (dst + 1) % ranks
+		}
+		tag := rng.Intn(3)
+		p.ops[src] = append(p.ops[src], chaosOp{kind: 's', peer: dst, tag: tag, val: int64(m)})
+		p.ops[dst] = append(p.ops[dst], chaosOp{kind: 'r', peer: src, tag: tag})
+		if rng.Intn(4) == 0 {
+			r := rng.Intn(ranks)
+			p.ops[r] = append(p.ops[r], chaosOp{kind: 'c', val: int64(10 + rng.Intn(200))})
+		}
+		// Occasionally a global barrier: every rank gets one at the same
+		// schedule point, which keeps the program deadlock-free. Barriers
+		// exercise collective-atomicity in stoplines and replay.
+		if rng.Intn(8) == 0 {
+			for r := 0; r < ranks; r++ {
+				p.ops[r] = append(p.ops[r], chaosOp{kind: 'b'})
+			}
+		}
+	}
+	return p
+}
+
+func (p *chaosProgram) body() func(c *instr.Ctx) {
+	return func(c *instr.Ctx) {
+		defer c.Fn(instr.Loc("chaos.go", 1, fmt.Sprintf("chaos%d", c.Rank())))()
+		for _, op := range p.ops[c.Rank()] {
+			switch op.kind {
+			case 's':
+				c.SendInt64s(op.peer, op.tag, []int64{op.val})
+			case 'r':
+				if p.wildcard[c.Rank()] {
+					c.Recv(mp.AnySource, mp.AnyTag)
+				} else {
+					c.Recv(op.peer, op.tag)
+				}
+			case 'c':
+				c.Compute(op.val)
+			case 'b':
+				c.Barrier()
+			}
+		}
+	}
+}
+
+// shape extracts the replay-comparable projection of a trace: per-rank
+// sequences of (kind, src, dst, tag, bytes). Message ids are assignment-
+// order artifacts and excluded.
+func shape(tr *trace.Trace) [][]string {
+	out := make([][]string, tr.NumRanks())
+	for r := 0; r < tr.NumRanks(); r++ {
+		for i := range tr.Rank(r) {
+			rec := &tr.Rank(r)[i]
+			out[r] = append(out[r], fmt.Sprintf("%v/%d/%d/%d/%d", rec.Kind, rec.Src, rec.Dst, rec.Tag, rec.Bytes))
+		}
+	}
+	return out
+}
+
+func equalShapes(a, b [][]string) (string, bool) {
+	if len(a) != len(b) {
+		return "rank count", false
+	}
+	for r := range a {
+		if len(a[r]) != len(b[r]) {
+			return fmt.Sprintf("rank %d length %d vs %d", r, len(a[r]), len(b[r])), false
+		}
+		for i := range a[r] {
+			if a[r][i] != b[r][i] {
+				return fmt.Sprintf("rank %d event %d: %s vs %s", r, i, a[r][i], b[r][i]), false
+			}
+		}
+	}
+	return "", true
+}
+
+// TestChaosRecordReplayEquivalence is the system-level property: for random
+// programs (including wildcard ranks), a replay under the enforcer
+// reproduces the recorded event sequences exactly.
+func TestChaosRecordReplayEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 25; trial++ {
+		ranks := 2 + rng.Intn(5)
+		msgs := 5 + rng.Intn(40)
+		prog := genChaos(rng, ranks, msgs)
+
+		d := New(debug.Target{Cfg: mp.Config{NumRanks: ranks}, Body: prog.body()})
+		if err := d.Record(); err != nil {
+			t.Fatalf("trial %d: record: %v", trial, err)
+		}
+		recorded := shape(d.Trace())
+		if err := d.Trace().Validate(); err != nil {
+			t.Fatalf("trial %d: recorded trace invalid: %v", trial, err)
+		}
+
+		for rep := 0; rep < 2; rep++ {
+			s, err := d.Session().Replay(nil)
+			if err != nil {
+				t.Fatalf("trial %d: replay: %v", trial, err)
+			}
+			if err := s.Finish(); err != nil {
+				t.Fatalf("trial %d: replay finish: %v", trial, err)
+			}
+			if msg, ok := equalShapes(recorded, shape(s.Trace())); !ok {
+				t.Fatalf("trial %d rep %d: replay diverged: %s", trial, rep, msg)
+			}
+		}
+	}
+}
+
+// TestChaosStopLinesConsistent checks random vertical stoplines over random
+// programs: every cut is consistent, and a replay to the stopline stops
+// every rank exactly at its marker.
+func TestChaosStopLinesConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		ranks := 2 + rng.Intn(4)
+		prog := genChaos(rng, ranks, 10+rng.Intn(30))
+		d := New(debug.Target{Cfg: mp.Config{NumRanks: ranks}, Body: prog.body()})
+		if err := d.Record(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		tr := d.Trace()
+		o, err := d.Order()
+		if err != nil {
+			t.Fatal(err)
+		}
+		end := tr.EndTime()
+		for k := 0; k < 8; k++ {
+			at := rng.Int63n(end + 1)
+			sl, err := d.VerticalStopLine(at)
+			if err != nil {
+				t.Fatalf("trial %d: stopline at %d: %v", trial, at, err)
+			}
+			if ok, _ := o.IsConsistentCut(sl.Cut); !ok {
+				t.Fatalf("trial %d: inconsistent cut at %d", trial, at)
+			}
+		}
+		// Replay one mid-trace stopline and verify the stop markers.
+		sl, err := d.VerticalStopLine(end / 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := d.Replay(sl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stops, err := s.WaitAllStopped(tmo)
+		if err != nil {
+			t.Fatalf("trial %d: stops: %v", trial, err)
+		}
+		for _, st := range stops {
+			want := sl.Markers.Seq(st.Rank)
+			if want == 0 {
+				want = 1
+			}
+			if st.Marker != want {
+				t.Fatalf("trial %d: rank %d stopped at %d, want %d", trial, st.Rank, st.Marker, want)
+			}
+		}
+		if err := s.Finish(); err != nil {
+			t.Fatalf("trial %d: finish: %v", trial, err)
+		}
+	}
+}
+
+// TestChaosAnalysisSanity: random clean programs never report deadlocks or
+// unmatched messages; races appear only when wildcard ranks with several
+// potential senders exist.
+func TestChaosAnalysisSanity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		ranks := 2 + rng.Intn(5)
+		prog := genChaos(rng, ranks, 5+rng.Intn(30))
+		d := New(debug.Target{Cfg: mp.Config{NumRanks: ranks}, Body: prog.body()})
+		if err := d.Record(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if d.Deadlocks().HasDeadlock() {
+			t.Fatalf("trial %d: phantom deadlock", trial)
+		}
+		um := d.Unmatched()
+		if len(um.UnmatchedSends()) != 0 || len(um.UnmatchedRecvs()) != 0 {
+			t.Fatalf("trial %d: phantom unmatched messages:\n%s", trial, um.Report())
+		}
+		races, err := d.Races()
+		if err != nil {
+			t.Fatal(err)
+		}
+		anyWildcard := false
+		for _, w := range prog.wildcard {
+			anyWildcard = anyWildcard || w
+		}
+		if !anyWildcard && len(races) > 0 {
+			t.Fatalf("trial %d: races without wildcards: %v", trial, races)
+		}
+		// The tag-FIFO matching agrees with exact matching on every trace.
+		tr := d.Trace()
+		exact, _ := tr.MatchSendRecv()
+		fifo, us, ur := matchFIFO(tr)
+		if len(us) != 0 || len(ur) != 0 || len(fifo) != len(exact) {
+			t.Fatalf("trial %d: fifo matching unmatched %d/%d", trial, len(us), len(ur))
+		}
+		for recv, send := range exact {
+			if fifo[recv] != send {
+				t.Fatalf("trial %d: fifo matching disagrees at %v", trial, recv)
+			}
+		}
+		_ = analysis.BuildActionGraph(tr) // must not panic on any shape
+	}
+}
+
+// matchFIFO adapts graph.MatchTagFIFO for the sanity test.
+func matchFIFO(tr *trace.Trace) (map[trace.EventID]trace.EventID, []trace.EventID, []trace.EventID) {
+	return graph.MatchTagFIFO(tr)
+}

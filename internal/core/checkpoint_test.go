@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"tracedbg/internal/apps"
+	"tracedbg/internal/debug"
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/replay"
+)
+
+func TestReplayFromCheckpointViaDebugger(t *testing.T) {
+	const ranks, iters, every = 3, 100, 10
+	store := replay.NewCheckpointStore()
+	mk := func(snap *replay.Snapshot) func(c *instr.Ctx) {
+		cfg := apps.JacobiConfig{Cells: 16, Iters: iters, Seed: 2, CheckpointEvery: every}
+		if snap == nil {
+			cfg.Store = store
+		} else {
+			cfg.Store = replay.NewCheckpointStore()
+			cfg.Resume = snap
+		}
+		return apps.Jacobi(cfg, nil)
+	}
+	d := New(debug.Target{
+		Cfg:     mp.Config{NumRanks: ranks},
+		Body:    mk(nil),
+		BodyFor: mk,
+	})
+	if err := d.Record(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stopline late in the trace.
+	sl, err := d.VerticalStopLine(d.Trace().EndTime() * 4 / 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, snap, err := d.ReplayFromCheckpoint(store, sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("expected a snapshot to be used")
+	}
+	if _, err := s.WaitAllStopped(tmo); err != nil {
+		t.Fatalf("stops: %v", err)
+	}
+	// The resumed session replayed only the suffix.
+	full := d.Session().Counters()
+	for r, rel := range s.Counters() {
+		if rel >= full[r] {
+			t.Errorf("rank %d: resumed replay did %d markers, full history has %d", r, rel, full[r])
+		}
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A stopline before the first snapshot falls back to a from-scratch
+	// replay (snapshot == nil).
+	early, err := d.VerticalStopLine(d.Trace().EndTime() / 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, snap2, err := d.ReplayFromCheckpoint(store, early)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2 != nil {
+		t.Errorf("early stopline should not use a snapshot (got iter %d)", snap2.Iter)
+	}
+	if _, err := s2.WaitAllStopped(tmo); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,351 @@
+// Package core assembles the paper's contribution: trace-driven debugging.
+// A Debugger owns a target program, records its execution history through
+// the instrumentation monitor (building the trace graph online), computes
+// causality over the history, lets the user set stoplines — vertical,
+// past-frontier, or future-frontier breakpoints in the timeline — and
+// drives controlled replay, undo, history analysis, and the time-space
+// displays.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"tracedbg/internal/analysis"
+	"tracedbg/internal/causality"
+	"tracedbg/internal/debug"
+	"tracedbg/internal/graph"
+	"tracedbg/internal/instr"
+	"tracedbg/internal/query"
+	"tracedbg/internal/replay"
+	"tracedbg/internal/trace"
+	"tracedbg/internal/vis"
+)
+
+// Debugger is the trace-driven debugging controller.
+type Debugger struct {
+	tgt     debug.Target
+	tgraph  *graph.TraceGraph
+	tracker *analysis.MatchTracker // online unmatched-message supervision
+
+	mu      sync.Mutex
+	session *debug.Session
+	order   *causality.Order // cached causality of the *completed* recording
+	orderOf *trace.Trace     // the trace the cache was computed from
+}
+
+// ArcMergeLimit is the default dissemination threshold for the online trace
+// graph.
+const ArcMergeLimit = 256
+
+// New prepares a debugger for the target. The trace graph is built online
+// while the target runs (an extra instrumentation sink).
+func New(tgt debug.Target) *Debugger {
+	d := &Debugger{
+		tgraph:  graph.New(tgt.Cfg.NumRanks, ArcMergeLimit),
+		tracker: analysis.NewMatchTracker(),
+	}
+	tgt.ExtraSinks = append(append([]instr.Sink(nil), tgt.ExtraSinks...), d.tgraph, d.tracker)
+	d.tgt = tgt
+	return d
+}
+
+// Record runs the target to completion under the monitor, recording its
+// execution history. The run's error (including a detected global stall,
+// the Figure 5 situation) is returned but the history remains available.
+func (d *Debugger) Record() error {
+	s, err := debug.Launch(d.tgt)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.session = s
+	d.order = nil
+	d.mu.Unlock()
+	return s.Finish()
+}
+
+// Launch starts the target under interactive control without waiting.
+func (d *Debugger) Launch() (*debug.Session, error) {
+	s, err := debug.Launch(d.tgt)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.session = s
+	d.order = nil
+	d.mu.Unlock()
+	return s, nil
+}
+
+// Session returns the most recent session (nil before Record/Launch).
+func (d *Debugger) Session() *debug.Session {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.session
+}
+
+// Trace returns the recorded history of the most recent session.
+func (d *Debugger) Trace() *trace.Trace {
+	d.mu.Lock()
+	s := d.session
+	d.mu.Unlock()
+	if s == nil {
+		return trace.New(d.tgt.Cfg.NumRanks)
+	}
+	return s.Trace()
+}
+
+// Order returns (and caches) the happens-before structure of the recorded
+// history.
+func (d *Debugger) Order() (*causality.Order, error) {
+	tr := d.Trace()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.order != nil && d.orderOf != nil && d.orderOf.Len() == tr.Len() {
+		return d.order, nil
+	}
+	o, err := causality.New(tr)
+	if err != nil {
+		return nil, err
+	}
+	d.order = o
+	d.orderOf = tr
+	return o, nil
+}
+
+// TraceGraph returns the online-built trace graph.
+func (d *Debugger) TraceGraph() *graph.TraceGraph { return d.tgraph }
+
+// CallGraph projects the dynamic call graph of one rank.
+func (d *Debugger) CallGraph(rank int) *graph.CallGraph { return d.tgraph.Project(rank) }
+
+// CommGraph derives the communication graph of the recorded history.
+func (d *Debugger) CommGraph() *graph.CommGraph { return graph.BuildCommGraph(d.Trace()) }
+
+// StopLineKind distinguishes the three stopline shapes.
+type StopLineKind uint8
+
+// Stopline kinds: a vertical slice through the time-space diagram, or the
+// paper's proposed alternatives along the past/future frontier of an event.
+const (
+	Vertical StopLineKind = iota
+	AlongPastFrontier
+	AlongFutureFrontier
+)
+
+// String names the stopline kind.
+func (k StopLineKind) String() string {
+	switch k {
+	case Vertical:
+		return "vertical"
+	case AlongPastFrontier:
+		return "past-frontier"
+	case AlongFutureFrontier:
+		return "future-frontier"
+	}
+	return fmt.Sprintf("StopLineKind(%d)", uint8(k))
+}
+
+// StopLine is a breakpoint in the timeline: a consistent set of per-process
+// breakpoints with the execution markers indicating the corresponding
+// states.
+type StopLine struct {
+	Kind    StopLineKind
+	At      int64 // virtual time (vertical stoplines)
+	Cut     causality.Cut
+	Markers replay.StopSet
+}
+
+// markersOfCut converts a cut to the marker stop set: each rank stops at
+// the marker of its last in-cut event (0 = stop at the rank's first event).
+func markersOfCut(tr *trace.Trace, cut causality.Cut) replay.StopSet {
+	out := make(replay.StopSet, tr.NumRanks())
+	for r := range out {
+		out[r] = trace.Marker{Rank: r}
+		if cut[r] > 0 {
+			out[r].Seq = tr.Rank(r)[cut[r]-1].Marker
+		}
+	}
+	return out
+}
+
+// VerticalStopLine builds the stopline at virtual time t. Consistency of
+// the derived breakpoints follows from the causality of communications in
+// the trace (no message is received before it is sent); it is re-verified
+// here and an inconsistent cut is reported as an error.
+func (d *Debugger) VerticalStopLine(t int64) (StopLine, error) {
+	o, err := d.Order()
+	if err != nil {
+		return StopLine{}, err
+	}
+	cut := o.VerticalCut(t)
+	ok, err := o.IsConsistentCut(cut)
+	if err != nil {
+		return StopLine{}, err
+	}
+	if !ok {
+		return StopLine{}, fmt.Errorf("core: vertical cut at vt=%d is not consistent", t)
+	}
+	return StopLine{Kind: Vertical, At: t, Cut: cut, Markers: markersOfCut(d.Trace(), cut)}, nil
+}
+
+// StopLineAtEvent builds the vertical stopline through an event the user
+// selected in the timeline display.
+func (d *Debugger) StopLineAtEvent(e trace.EventID) (StopLine, error) {
+	rec, err := d.Trace().At(e)
+	if err != nil {
+		return StopLine{}, err
+	}
+	return d.VerticalStopLine(rec.Start)
+}
+
+// PastFrontierStopLine stops every process immediately after the point
+// where it could last affect the selected event (§4.1's proposed frontier
+// stopline).
+func (d *Debugger) PastFrontierStopLine(e trace.EventID) (StopLine, error) {
+	o, err := d.Order()
+	if err != nil {
+		return StopLine{}, err
+	}
+	pf, err := o.PastFrontier(e)
+	if err != nil {
+		return StopLine{}, err
+	}
+	// Snap to the nearest consistent cut: frontier cuts can split a
+	// collective whose atomicity a replay must honour.
+	cut := o.MaximalConsistentCut(causality.CutOfFrontier(pf))
+	return StopLine{Kind: AlongPastFrontier, Cut: cut, Markers: markersOfCut(d.Trace(), cut)}, nil
+}
+
+// FutureFrontierStopLine stops every process immediately before the point
+// where it could first be affected by the selected event.
+func (d *Debugger) FutureFrontierStopLine(e trace.EventID) (StopLine, error) {
+	o, err := d.Order()
+	if err != nil {
+		return StopLine{}, err
+	}
+	ff, err := o.FutureFrontier(e)
+	if err != nil {
+		return StopLine{}, err
+	}
+	cut := o.MaximalConsistentCut(o.CutBefore(ff))
+	return StopLine{Kind: AlongFutureFrontier, Cut: cut, Markers: markersOfCut(d.Trace(), cut)}, nil
+}
+
+// Replay re-executes the recording under enforced message matching and
+// stops at the stopline. The returned session is live: wait for the stops,
+// inspect state, step, continue.
+func (d *Debugger) Replay(sl StopLine) (*debug.Session, error) {
+	d.mu.Lock()
+	s := d.session
+	d.mu.Unlock()
+	if s == nil {
+		return nil, fmt.Errorf("core: nothing recorded yet")
+	}
+	return s.Replay(sl.Markers)
+}
+
+// ReplayFromCheckpoint replays to a stopline starting from the best
+// snapshot in the store at or before it (the paper's §6 checkpointing
+// extension). It returns the session and the snapshot used; ok is false in
+// the snapshot sense — if no snapshot qualifies the replay starts from
+// scratch via the ordinary path.
+func (d *Debugger) ReplayFromCheckpoint(store *replay.CheckpointStore, sl StopLine) (*debug.Session, *replay.Snapshot, error) {
+	d.mu.Lock()
+	s := d.session
+	d.mu.Unlock()
+	if s == nil {
+		return nil, nil, fmt.Errorf("core: nothing recorded yet")
+	}
+	target := make([]uint64, len(sl.Markers))
+	for r := range sl.Markers {
+		target[r] = sl.Markers.Seq(r)
+	}
+	snap, ok := store.BestFor(target)
+	if !ok {
+		ns, err := s.Replay(sl.Markers)
+		return ns, nil, err
+	}
+	ns, err := s.ReplayFromSnapshot(snap, sl.Markers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ns, &snap, nil
+}
+
+// Undo replays to the most recent recorded stop vector of the current
+// session.
+func (d *Debugger) Undo() (*debug.Session, error) {
+	d.mu.Lock()
+	s := d.session
+	d.mu.Unlock()
+	if s == nil {
+		return nil, fmt.Errorf("core: nothing recorded yet")
+	}
+	return s.Undo()
+}
+
+// Find runs a query expression over the recorded history (for example
+// "kind = send && dst = 7 && bytes > 100").
+func (d *Debugger) Find(expr string) ([]trace.EventID, error) {
+	q, err := query.Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	return q.Run(d.Trace()), nil
+}
+
+// Deadlocks analyzes the recorded history for circular wait dependencies.
+func (d *Debugger) Deadlocks() *analysis.DeadlockReport {
+	return analysis.DetectDeadlock(d.Trace())
+}
+
+// Races detects racing wildcard receives in the recorded history.
+func (d *Debugger) Races() ([]analysis.Race, error) {
+	o, err := d.Order()
+	if err != nil {
+		return nil, err
+	}
+	return analysis.DetectRaces(o), nil
+}
+
+// Traffic summarizes per-rank message counts and flags irregular ranks (the
+// Figure 6 missed-message finder).
+func (d *Debugger) Traffic() *analysis.TrafficReport {
+	return analysis.AnalyzeTraffic(d.Trace())
+}
+
+// Actions summarizes history as the action graph.
+func (d *Debugger) Actions() *analysis.ActionGraph {
+	return analysis.BuildActionGraph(d.Trace())
+}
+
+// Unmatched reports the unmatched sends and receives of the recording.
+func (d *Debugger) Unmatched() *analysis.MatchTracker {
+	t := analysis.NewMatchTracker()
+	t.AddTrace(d.Trace())
+	return t
+}
+
+// Supervisor returns the online match tracker, updated as execution
+// progresses — the paper's "list of unmatched sends and receives ...
+// updated as execution progresses" and the abstract's communication
+// supervision. Valid during a live session, not just after completion.
+func (d *Debugger) Supervisor() *analysis.MatchTracker { return d.tracker }
+
+// Intertwined reports out-of-order message pairs per channel.
+func (d *Debugger) Intertwined() []analysis.Intertwined {
+	return analysis.DetectIntertwined(d.Trace())
+}
+
+// RenderSVG draws the recorded history as an SVG time-space diagram.
+func (d *Debugger) RenderSVG(opt vis.Options) string { return vis.SVG(d.Trace(), opt) }
+
+// RenderASCII draws the recorded history as a terminal time-space diagram.
+func (d *Debugger) RenderASCII(opt vis.Options) string { return vis.ASCII(d.Trace(), opt) }
+
+// RenderVK returns the VK-style animation frames.
+func (d *Debugger) RenderVK(window, step int64, opt vis.Options) []string {
+	return vis.VKFrames(d.Trace(), window, step, opt)
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"tracedbg/internal/apps"
+	"tracedbg/internal/debug"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+	"tracedbg/internal/vis"
+)
+
+const tmo = 10 * time.Second
+
+func ringDebugger(t *testing.T, ranks, rounds int) *Debugger {
+	t.Helper()
+	d := New(debug.Target{
+		Cfg:  mp.Config{NumRanks: ranks},
+		Body: apps.Ring(rounds, nil),
+	})
+	if err := d.Record(); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	return d
+}
+
+func TestRecordBuildsHistoryAndGraphs(t *testing.T) {
+	d := ringDebugger(t, 4, 3)
+	tr := d.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	// The online trace graph saw the same events.
+	if d.TraceGraph().EventCount() == 0 {
+		t.Fatal("trace graph empty")
+	}
+	cg := d.CallGraph(0)
+	if cg.Calls("Ring", "Hop") != 3 {
+		t.Errorf("Ring->Hop calls = %d", cg.Calls("Ring", "Hop"))
+	}
+	comm := d.CommGraph()
+	if len(comm.Nodes) != 4*3 {
+		t.Errorf("comm graph nodes = %d", len(comm.Nodes))
+	}
+	if len(d.RenderSVG(RenderOptionsForTest())) == 0 {
+		t.Error("svg empty")
+	}
+	if !strings.Contains(d.RenderASCII(RenderOptionsForTest()), "P0") {
+		t.Error("ascii missing lanes")
+	}
+	if frames := d.RenderVK(0, 0, RenderOptionsForTest()); len(frames) == 0 {
+		t.Error("vk frames empty")
+	}
+}
+
+func TestVerticalStopLineReplay(t *testing.T) {
+	d := ringDebugger(t, 3, 4)
+	tr := d.Trace()
+	mid := tr.EndTime() / 2
+	sl, err := d.VerticalStopLine(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Kind != Vertical || sl.At != mid {
+		t.Fatalf("stopline = %+v", sl)
+	}
+	o, err := d.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := o.IsConsistentCut(sl.Cut); !ok {
+		t.Fatal("stopline cut inconsistent")
+	}
+
+	s, err := d.Replay(sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stops, err := s.WaitAllStopped(tmo)
+	if err != nil {
+		t.Fatalf("replay stops: %v", err)
+	}
+	// Every rank with in-cut events stopped exactly at its stopline marker.
+	for _, st := range stops {
+		want := sl.Markers.Seq(st.Rank)
+		if want == 0 {
+			want = 1
+		}
+		if st.Marker != want {
+			t.Errorf("rank %d stopped at marker %d, want %d", st.Rank, st.Marker, want)
+		}
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopLineAtEvent(t *testing.T) {
+	d := ringDebugger(t, 3, 2)
+	sends := d.Trace().Sends()
+	if len(sends) == 0 {
+		t.Fatal("no sends")
+	}
+	sl, err := d.StopLineAtEvent(sends[len(sends)/2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Kind != Vertical {
+		t.Error("kind")
+	}
+	if _, err := d.StopLineAtEvent(trace.EventID{Rank: 99}); err == nil {
+		t.Error("bogus event accepted")
+	}
+}
+
+func TestFrontierStopLines(t *testing.T) {
+	// LU wavefront: frontier stoplines around a mid-trace event.
+	d := New(debug.Target{
+		Cfg:  mp.Config{NumRanks: 5},
+		Body: apps.LU(apps.LUConfig{Cols: 4, Rows: 2, Iters: 2, Seed: 1}, nil),
+	})
+	if err := d.Record(); err != nil {
+		t.Fatal(err)
+	}
+	tr := d.Trace()
+	// Pick rank 2's first lower-sweep send.
+	var sel trace.EventID
+	found := false
+	for i := range tr.Rank(2) {
+		if tr.Rank(2)[i].Kind == trace.KindSend {
+			sel = trace.EventID{Rank: 2, Index: i}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no send on rank 2")
+	}
+	o, err := d.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	past, err := d.PastFrontierStopLine(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if past.Kind != AlongPastFrontier {
+		t.Error("kind")
+	}
+	if ok, _ := o.IsConsistentCut(past.Cut); !ok {
+		t.Fatal("past frontier cut inconsistent")
+	}
+	// The wavefront means ranks 3,4 have contributed nothing to rank 2's
+	// first send: their cut entries are smaller than rank 1's.
+	if past.Cut[4] >= past.Cut[1] {
+		t.Errorf("wavefront past cut should taper: %v", past.Cut)
+	}
+
+	future, err := d.FutureFrontierStopLine(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if future.Kind != AlongFutureFrontier {
+		t.Error("kind")
+	}
+	if ok, _ := o.IsConsistentCut(future.Cut); !ok {
+		t.Fatal("future frontier cut inconsistent")
+	}
+	// Replaying the past-frontier stopline works like any stopline.
+	s, err := d.Replay(past)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WaitAllStopped(tmo); err != nil {
+		t.Fatalf("frontier replay stops: %v", err)
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if Vertical.String() != "vertical" || AlongPastFrontier.String() != "past-frontier" ||
+		AlongFutureFrontier.String() != "future-frontier" || StopLineKind(9).String() == "" {
+		t.Error("kind names")
+	}
+}
+
+func TestAnalysisPassthroughs(t *testing.T) {
+	d := ringDebugger(t, 3, 2)
+	if d.Deadlocks().HasDeadlock() {
+		t.Error("clean run has deadlock")
+	}
+	races, err := d.Races()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(races) != 0 {
+		t.Errorf("clean run has races: %v", races)
+	}
+	if len(d.Traffic().Odd) != 0 {
+		t.Errorf("ring flagged irregular: %+v", d.Traffic().Odd)
+	}
+	if _, ok := d.Actions().Lookup(0, "Ring"); !ok {
+		t.Error("action graph missing Ring")
+	}
+	um := d.Unmatched()
+	if len(um.UnmatchedSends()) != 0 {
+		t.Errorf("unmatched sends in clean run")
+	}
+}
+
+func TestReplayBeforeRecordFails(t *testing.T) {
+	d := New(debug.Target{Cfg: mp.Config{NumRanks: 2}, Body: apps.Ring(1, nil)})
+	if _, err := d.Replay(StopLine{}); err == nil {
+		t.Error("replay before record accepted")
+	}
+	if _, err := d.Undo(); err == nil {
+		t.Error("undo before record accepted")
+	}
+	if d.Session() != nil {
+		t.Error("session before record")
+	}
+	if d.Trace().Len() != 0 {
+		t.Error("trace before record")
+	}
+}
+
+// TestFigure7FindBug is the paper's §4.1 debugging walkthrough end to end:
+// the buggy Strassen stalls; the traffic report exposes the missed message
+// to process 7; a stopline is set before the second-operand send group; the
+// replay stops there; stepping through the MatrSend loop and watching jres
+// against the actual send destinations identifies the wrong destination at
+// strassen.go:161.
+func TestFigure7FindBug(t *testing.T) {
+	d := New(debug.Target{
+		Cfg:  mp.Config{NumRanks: 8},
+		Body: apps.Strassen(apps.StrassenConfig{N: 16, Seed: 42, Buggy: true}, nil),
+	})
+	err := d.Record()
+	var stall *mp.StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("buggy strassen should stall, got %v", err)
+	}
+
+	// Step 1: the big picture — processes 0 and 7 blocked (Figure 5), and
+	// process 7 received one message instead of two (Figure 6).
+	traffic := d.Traffic()
+	odd7 := false
+	for _, ir := range traffic.Odd {
+		if ir.Rank == 7 && ir.Recvs == 1 && ir.PeerRecvs == 2 {
+			odd7 = true
+		}
+	}
+	if !odd7 {
+		t.Fatalf("traffic report misses the anomaly:\n%s", traffic)
+	}
+
+	// Step 2: set a stopline somewhere before the first send in the group.
+	// The statement marker at strassen.go:161 with jres=0 is that point.
+	tr := d.Trace()
+	var before trace.EventID
+	found := false
+	for i := range tr.Rank(0) {
+		r := &tr.Rank(0)[i]
+		if r.Kind == trace.KindMarker && r.Loc.Line == 161 && r.Args[0] == 0 {
+			before = trace.EventID{Rank: 0, Index: i}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no statement marker before the send group")
+	}
+	sl, err := d.StopLineAtEvent(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 3: replay to the stopline.
+	s, err := d.Replay(sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WaitStop(0, tmo); err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 4: step through the loop watching jres and the send destinations.
+	var evidence []string
+	for hops := 0; hops < 40; hops++ {
+		st := s.Where(0)
+		if st == nil {
+			t.Fatal("rank 0 not stopped")
+		}
+		if st.Rec.Kind == trace.KindSend && st.Rec.Loc.Line == 161 {
+			jres, err := s.ReadVar(0, "jres")
+			if err != nil {
+				t.Fatal(err)
+			}
+			evidence = append(evidence,
+				st.Rec.Loc.String()+" sent to "+itoa(st.Rec.Dst)+" with jres="+jres)
+			// The defect: destination equals jres, not jres+1.
+			if itoa(st.Rec.Dst) != jres {
+				t.Fatalf("expected buggy destination == jres, got dst=%d jres=%s", st.Rec.Dst, jres)
+			}
+			if len(evidence) == 3 {
+				break
+			}
+		}
+		if err := s.Step(0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.WaitStop(0, tmo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(evidence) < 3 {
+		t.Fatalf("stepping never reached the buggy sends: %v", evidence)
+	}
+	s.Kill()
+	_ = s.Wait()
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+// OptionsAlias keeps the test body free of a second vis import path.
+type OptionsAlias = vis.Options
+
+// RenderOptionsForTest returns options exercising the display paths.
+func RenderOptionsForTest() (o OptionsAlias) {
+	o.Messages = true
+	o.Width = 60
+	return
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"tracedbg/internal/apps"
+	"tracedbg/internal/debug"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+// TestScaleWidePipeline pushes a 32-rank wavefront through the entire
+// pipeline: record, causality, stopline, enforced replay to the stopline,
+// analysis, rendering. Guards against anything that only breaks beyond toy
+// rank counts.
+func TestScaleWidePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	const ranks = 32
+	d := New(debug.Target{
+		Cfg:  mp.Config{NumRanks: ranks},
+		Body: apps.LU(apps.LUConfig{Cols: 8, Rows: 2, Iters: 3, Seed: 3}, nil),
+	})
+	if err := d.Record(); err != nil {
+		t.Fatal(err)
+	}
+	tr := d.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() < ranks*30 {
+		t.Fatalf("trace suspiciously small: %d events", tr.Len())
+	}
+
+	o, err := d.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full wavefront ordering: rank 0's first event precedes the last
+	// rank's last event.
+	first := trace.EventID{Rank: 0, Index: 0}
+	last := trace.EventID{Rank: ranks - 1, Index: tr.RankLen(ranks-1) - 1}
+	if !o.HappensBefore(first, last) {
+		t.Error("wavefront ordering lost at scale")
+	}
+
+	sl, err := d.VerticalStopLine(tr.EndTime() / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Replay(sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stops, err := s.WaitAllStopped(tmo)
+	if err != nil {
+		t.Fatalf("replay stops: %v", err)
+	}
+	if len(stops) == 0 {
+		t.Fatal("no stops")
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	if d.Deadlocks().HasDeadlock() {
+		t.Error("phantom deadlock at scale")
+	}
+	if len(d.RenderSVG(RenderOptionsForTest())) == 0 {
+		t.Error("render failed")
+	}
+	// The trace graph only models calls and messages; assert it saw a
+	// plausible share of events.
+	if d.TraceGraph().EventCount() == 0 {
+		t.Error("trace graph empty at scale")
+	}
+}

@@ -1,0 +1,140 @@
+package debug
+
+import (
+	"testing"
+
+	"tracedbg/internal/apps"
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/replay"
+	"tracedbg/internal/trace"
+)
+
+// jacobiTarget builds a checkpoint-capable target: BodyFor(nil) runs from
+// scratch depositing snapshots into store; BodyFor(snap) resumes.
+func jacobiTarget(ranks, iters, every int, store *replay.CheckpointStore) Target {
+	mk := func(snap *replay.Snapshot) func(c *instr.Ctx) {
+		cfg := apps.JacobiConfig{Cells: 32, Iters: iters, Seed: 5}
+		if snap == nil {
+			cfg.CheckpointEvery = every
+			cfg.Store = store
+		} else {
+			cfg.CheckpointEvery = every
+			cfg.Store = replay.NewCheckpointStore() // throwaway on resume
+			cfg.Resume = snap
+		}
+		return apps.Jacobi(cfg, nil)
+	}
+	return Target{
+		Cfg:     mp.Config{NumRanks: ranks},
+		Body:    mk(nil),
+		BodyFor: mk,
+	}
+}
+
+func TestReplayFromSnapshot(t *testing.T) {
+	const ranks, iters, every = 3, 120, 10
+	store := replay.NewCheckpointStore()
+	s, err := Launch(jacobiTarget(ranks, iters, every, store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() == 0 {
+		t.Fatal("no checkpoints")
+	}
+	finalCounters := s.Counters()
+
+	// Stopline late in the run: three quarters of each rank's markers.
+	stops := make(replay.StopSet, ranks)
+	target := make([]uint64, ranks)
+	for r := 0; r < ranks; r++ {
+		target[r] = finalCounters[r] * 3 / 4
+		stops[r] = trace.Marker{Rank: r, Seq: target[r]}
+	}
+
+	snap, ok := store.BestFor(target)
+	if !ok {
+		t.Fatal("no usable snapshot")
+	}
+
+	rs, err := s.ReplayFromSnapshot(snap, stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.WaitAllStopped(tmo); err != nil {
+		t.Fatalf("stops: %v", err)
+	}
+	abs := rs.AbsoluteCounters()
+	rel := rs.Counters()
+	for r := 0; r < ranks; r++ {
+		// The rank stopped at or just past its absolute target; the resumed
+		// prologue introduces a small skew (function entry + expose).
+		if abs[r] < target[r] || abs[r] > target[r]+4 {
+			t.Errorf("rank %d stopped at absolute %d, target %d", r, abs[r], target[r])
+		}
+		// And it replayed far less than the full history.
+		if rel[r] >= finalCounters[r]*3/4 {
+			t.Errorf("rank %d replayed %d markers, no better than from scratch (%d)",
+				r, rel[r], target[r])
+		}
+	}
+	// State is inspectable at the stop. If the stop landed inside the
+	// resumed prologue (before Expose ran), step past it first.
+	for attempt := 0; attempt < 4; attempt++ {
+		if _, err := rs.ReadVar(0, "iter0"); err == nil {
+			break
+		} else if attempt == 3 {
+			t.Errorf("read var: %v", err)
+		}
+		if err := rs.Step(0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rs.WaitStop(0, tmo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rs.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayFromSnapshotValidation(t *testing.T) {
+	store := replay.NewCheckpointStore()
+	s, err := Launch(jacobiTarget(2, 30, 5, store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	snaps := store.Snapshots()
+	snap := snaps[len(snaps)-1]
+
+	// Stop set before the snapshot is rejected.
+	early := replay.StopSet{{Rank: 0, Seq: 1}, {Rank: 1, Seq: 1}}
+	if _, err := s.ReplayFromSnapshot(snap, early); err == nil {
+		t.Error("stop set before snapshot accepted")
+	}
+
+	// A snapshot with the wrong dimension is rejected.
+	bad := snap
+	bad.Markers = []uint64{1}
+	if _, err := s.ReplayFromSnapshot(bad, nil); err == nil {
+		t.Error("wrong-dimension snapshot accepted")
+	}
+
+	// Targets without BodyFor are rejected.
+	plain, err := Launch(pingPongTarget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.ReplayFromSnapshot(snap, nil); err == nil {
+		t.Error("target without BodyFor accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package debug
+
+import (
+	"fmt"
+	"sync"
+
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+// Watchpoints and conditional breakpoints. The software-instruction-counter
+// paper the authors build on ([11], Mellor-Crummey & LeBlanc) used SIC
+// markers "for replaying parallel programs and for organizing watchpoints";
+// the same mechanism works here: every control point is an opportunity to
+// evaluate a predicate against the stopping rank's exposed state.
+
+// Condition decides whether a rank should stop at an event. It runs on the
+// rank's goroutine at the control point; reading the rank's exposed
+// variables there is safe because the rank is parked in the monitor.
+type Condition func(p *mp.Proc, rec *trace.Record) bool
+
+// watchpoint tracks one exposed variable of one rank.
+type watchpoint struct {
+	rank int
+	name string
+	last string
+	seen bool
+}
+
+// watchState is the session's watch/condition registry.
+type watchState struct {
+	mu      sync.Mutex
+	watches []*watchpoint
+	conds   map[string]Condition
+	nextID  int
+}
+
+// WatchVar registers a watchpoint: the rank stops at the first control
+// point after the exposed variable's rendered value changes. The initial
+// value is captured lazily at the first control point.
+func (s *Session) WatchVar(rank int, name string) {
+	s.watch.mu.Lock()
+	defer s.watch.mu.Unlock()
+	s.watch.watches = append(s.watch.watches, &watchpoint{rank: rank, name: name})
+	s.watchActive.Add(1)
+}
+
+// ClearWatches removes all watchpoints.
+func (s *Session) ClearWatches() {
+	s.watch.mu.Lock()
+	defer s.watch.mu.Unlock()
+	s.watchActive.Add(-int32(len(s.watch.watches)))
+	s.watch.watches = nil
+}
+
+// BreakIf installs a named conditional breakpoint evaluated at every
+// control point of every rank. It returns the condition's id for removal.
+func (s *Session) BreakIf(cond Condition) string {
+	s.watch.mu.Lock()
+	defer s.watch.mu.Unlock()
+	if s.watch.conds == nil {
+		s.watch.conds = make(map[string]Condition)
+	}
+	s.watch.nextID++
+	id := fmt.Sprintf("cond-%d", s.watch.nextID)
+	s.watch.conds[id] = cond
+	s.watchActive.Add(1)
+	return id
+}
+
+// ClearConditions removes every conditional breakpoint.
+func (s *Session) ClearConditions() {
+	s.watch.mu.Lock()
+	defer s.watch.mu.Unlock()
+	s.watchActive.Add(-int32(len(s.watch.conds)))
+	s.watch.conds = nil
+}
+
+// ClearBreakIf removes a conditional breakpoint by id.
+func (s *Session) ClearBreakIf(id string) {
+	s.watch.mu.Lock()
+	defer s.watch.mu.Unlock()
+	if _, ok := s.watch.conds[id]; ok {
+		delete(s.watch.conds, id)
+		s.watchActive.Add(-1)
+	}
+}
+
+// watchReason evaluates watchpoints and conditions for a control point. It
+// must run without holding s.mu (conditions may call FormatVar, which takes
+// the proc's own lock).
+func (s *Session) watchReason(p *mp.Proc, rec *trace.Record) (StopReason, string, bool) {
+	s.watch.mu.Lock()
+	watches := append([]*watchpoint(nil), s.watch.watches...)
+	var conds []struct {
+		id string
+		c  Condition
+	}
+	for id, c := range s.watch.conds {
+		conds = append(conds, struct {
+			id string
+			c  Condition
+		}{id, c})
+	}
+	s.watch.mu.Unlock()
+
+	for _, w := range watches {
+		if w.rank != p.Rank() {
+			continue
+		}
+		cur, ok := p.FormatVar(w.name)
+		if !ok {
+			continue // not exposed yet
+		}
+		s.watch.mu.Lock()
+		changed := w.seen && cur != w.last
+		detail := fmt.Sprintf("%s: %q -> %q", w.name, w.last, cur)
+		w.last = cur
+		w.seen = true
+		s.watch.mu.Unlock()
+		if changed {
+			return ReasonWatch, detail, true
+		}
+	}
+	for _, kc := range conds {
+		if kc.c(p, rec) {
+			return ReasonCondition, kc.id, true
+		}
+	}
+	return "", "", false
+}

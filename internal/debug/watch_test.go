@@ -1,0 +1,115 @@
+package debug
+
+import (
+	"strings"
+	"testing"
+
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+func TestWatchVarStopsOnChange(t *testing.T) {
+	s, err := Launch(pingPongTarget(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.WatchVar(1, "sum")
+	// First change: after the first message is accumulated, sum goes 0->1.
+	st, err := s.WaitStop(1, tmo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reason != ReasonWatch {
+		t.Fatalf("stop = %+v", st)
+	}
+	if !strings.Contains(st.Detail, `"0" -> "1"`) {
+		t.Fatalf("detail = %q", st.Detail)
+	}
+	// Continue: next change is 1 -> 3.
+	if err := s.Continue(1); err != nil {
+		t.Fatal(err)
+	}
+	st, err = s.WaitStop(1, tmo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(st.Detail, `"1" -> "3"`) {
+		t.Fatalf("second detail = %q", st.Detail)
+	}
+	s.ClearWatches()
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchOnlyNamedRank(t *testing.T) {
+	s, err := Launch(pingPongTarget(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Watch rank 0's sum: it never changes (rank 0 only sends), so the
+	// program runs to completion without stopping.
+	s.WatchVar(0, "sum")
+	if _, err := s.WaitStop(0, tmo); err != ErrFinished {
+		t.Fatalf("rank 0 stop = %v", err)
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakIfCondition(t *testing.T) {
+	s, err := Launch(pingPongTarget(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop rank 0 when it is about to send payload > 3 (the statement
+	// marker carries the loop counter in Args[0]).
+	id := s.BreakIf(func(p *mp.Proc, rec *trace.Record) bool {
+		return p.Rank() == 0 && rec.Kind == trace.KindMarker && rec.Args[0] == 3
+	})
+	st, err := s.WaitStop(0, tmo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reason != ReasonCondition || st.Rec.Args[0] != 3 {
+		t.Fatalf("stop = %+v", st)
+	}
+	if st.Detail != id {
+		t.Fatalf("detail = %q, want condition id %q", st.Detail, id)
+	}
+	// Removing the condition lets the run finish.
+	s.ClearBreakIf(id)
+	s.ClearBreakIf("bogus") // no-op
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchSurvivesReplay(t *testing.T) {
+	// Watchpoints work in replay sessions too: record first, then watch
+	// during the replay.
+	s, err := Launch(pingPongTarget(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := s.Replay(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.WatchVar(1, "sum")
+	st, err := rs.WaitStop(1, tmo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reason != ReasonWatch {
+		t.Fatalf("replay watch stop = %+v", st)
+	}
+	rs.ClearWatches()
+	if err := rs.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tracedbg/internal/trace"
+)
+
+// CommGraph is the communication graph (Figure 4): each node corresponds to
+// a matched message (send/receive pair); arcs describe the causality of
+// messages — a message precedes another when one of its endpoints is
+// immediately followed, in program order on some rank, by an endpoint of the
+// other.
+type CommGraph struct {
+	Nodes []CommNode
+	Arcs  []CommArc
+}
+
+// CommNode is one matched message.
+type CommNode struct {
+	MsgID    uint64
+	Send     trace.EventID
+	Recv     trace.EventID
+	Src, Dst int
+	Tag      int
+	Bytes    int
+}
+
+// CommArc is a direct causality arc between messages (indexes into Nodes).
+type CommArc struct {
+	From, To int
+	Rank     int // rank whose program order induces the arc
+}
+
+// BuildCommGraph derives the communication graph from a trace.
+func BuildCommGraph(tr *trace.Trace) *CommGraph {
+	matched, _ := tr.MatchSendRecv()
+	cg := &CommGraph{}
+	nodeByMsg := make(map[uint64]int)
+	for recv, send := range matched {
+		sr := tr.MustAt(send)
+		n := CommNode{
+			MsgID: sr.MsgID, Send: send, Recv: recv,
+			Src: sr.Src, Dst: sr.Dst, Tag: sr.Tag, Bytes: sr.Bytes,
+		}
+		nodeByMsg[sr.MsgID] = len(cg.Nodes)
+		cg.Nodes = append(cg.Nodes, n)
+	}
+	// Deterministic node order: by message id.
+	sort.Slice(cg.Nodes, func(i, j int) bool { return cg.Nodes[i].MsgID < cg.Nodes[j].MsgID })
+	for i, n := range cg.Nodes {
+		nodeByMsg[n.MsgID] = i
+	}
+
+	// Program order: per rank, walk message endpoints in record order; each
+	// consecutive pair of distinct messages yields a causality arc.
+	seen := make(map[[2]int]bool)
+	for rank := 0; rank < tr.NumRanks(); rank++ {
+		prev := -1
+		for i := range tr.Rank(rank) {
+			r := &tr.Rank(rank)[i]
+			if r.Kind != trace.KindSend && r.Kind != trace.KindRecv {
+				continue
+			}
+			node, ok := nodeByMsg[r.MsgID]
+			if !ok {
+				continue // unmatched message
+			}
+			if prev >= 0 && prev != node && !seen[[2]int{prev, node}] {
+				seen[[2]int{prev, node}] = true
+				cg.Arcs = append(cg.Arcs, CommArc{From: prev, To: node, Rank: rank})
+			}
+			prev = node
+		}
+	}
+	sort.Slice(cg.Arcs, func(i, j int) bool {
+		a, b := cg.Arcs[i], cg.Arcs[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	return cg
+}
+
+// DOT renders the communication graph for Graphviz.
+func (cg *CommGraph) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph commgraph {\n  node [shape=ellipse];\n")
+	for i, n := range cg.Nodes {
+		fmt.Fprintf(&sb, "  m%d [label=\"%d->%d tag %d\"];\n", i, n.Src, n.Dst, n.Tag)
+	}
+	for _, a := range cg.Arcs {
+		fmt.Fprintf(&sb, "  m%d -> m%d;\n", a.From, a.To)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Text lists nodes and arcs for terminal display.
+func (cg *CommGraph) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "communication graph: %d messages, %d causality arcs\n", len(cg.Nodes), len(cg.Arcs))
+	for i, n := range cg.Nodes {
+		fmt.Fprintf(&sb, "  m%d: %d->%d tag=%d bytes=%d (msg %d)\n", i, n.Src, n.Dst, n.Tag, n.Bytes, n.MsgID)
+	}
+	for _, a := range cg.Arcs {
+		fmt.Fprintf(&sb, "  m%d => m%d (program order on rank %d)\n", a.From, a.To, a.Rank)
+	}
+	return sb.String()
+}
+
+// MatchTagFIFO implements the paper's §3.2 matching: the non-overtaking
+// property allows a unique matching of send arcs with receive arcs incident
+// to the same channel and having the same message tag — sends and receives
+// on each directed channel with equal tags pair up in order. It returns the
+// recv→send matching plus the unmatched leftovers, using only endpoint and
+// tag information (no MsgIDs), and must agree with the exact MsgID matching
+// on every trace the runtime produces.
+func MatchTagFIFO(tr *trace.Trace) (map[trace.EventID]trace.EventID, []trace.EventID, []trace.EventID) {
+	type channelKey struct{ src, dst, tag int }
+	sends := make(map[channelKey][]trace.EventID)
+	for rank := 0; rank < tr.NumRanks(); rank++ {
+		for i := range tr.Rank(rank) {
+			r := &tr.Rank(rank)[i]
+			if r.Kind == trace.KindSend {
+				k := channelKey{r.Src, r.Dst, r.Tag}
+				sends[k] = append(sends[k], trace.EventID{Rank: rank, Index: i})
+			}
+		}
+	}
+	matched := make(map[trace.EventID]trace.EventID)
+	var unmatchedRecvs []trace.EventID
+	used := make(map[channelKey]int)
+	for rank := 0; rank < tr.NumRanks(); rank++ {
+		for i := range tr.Rank(rank) {
+			r := &tr.Rank(rank)[i]
+			if r.Kind != trace.KindRecv {
+				continue
+			}
+			id := trace.EventID{Rank: rank, Index: i}
+			k := channelKey{r.Src, r.Dst, r.Tag}
+			if used[k] < len(sends[k]) {
+				matched[id] = sends[k][used[k]]
+				used[k]++
+			} else {
+				unmatchedRecvs = append(unmatchedRecvs, id)
+			}
+		}
+	}
+	var unmatchedSends []trace.EventID
+	var keys []channelKey
+	for k := range sends {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return a.tag < b.tag
+	})
+	for _, k := range keys {
+		for _, s := range sends[k][used[k]:] {
+			unmatchedSends = append(unmatchedSends, s)
+		}
+	}
+	return matched, unmatchedSends, unmatchedRecvs
+}

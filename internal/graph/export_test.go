@@ -1,0 +1,49 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceGraphDOT(t *testing.T) {
+	g := FromTrace(messageTrace(t), 0)
+	dot := g.DOT()
+	for _, frag := range []string{
+		"digraph tracegraph",
+		"shape=box",         // function nodes
+		"shape=diamond",     // channel nodes
+		`label="ch(0,1)"`,   // the channel between ranks 0 and 1
+		`label="Send3@0"`,   // the sending function
+		"color=forestgreen", // send arcs
+		"color=goldenrod",   // recv arcs
+		`tag 1`,             // message tag labels
+	} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+}
+
+func TestTraceGraphDOTMergedMultiplicity(t *testing.T) {
+	// With a small dissemination limit, merged arcs carry x-counts.
+	tr := messageTrace(t)
+	g := FromTrace(tr, 2)
+	dot := g.DOT()
+	if !strings.Contains(dot, "x2") && !strings.Contains(dot, "x3") {
+		t.Errorf("merged multiplicity missing:\n%s", dot)
+	}
+}
+
+func TestTraceGraphText(t *testing.T) {
+	g := FromTrace(messageTrace(t), 0)
+	txt := g.Text()
+	for _, frag := range []string{
+		"function nodes", "channel nodes",
+		"-[send x1]->", "-[recv x1]->", "-[call x1]->",
+		"markers",
+	} {
+		if !strings.Contains(txt, frag) {
+			t.Errorf("text missing %q:\n%s", frag, txt)
+		}
+	}
+}

@@ -1,0 +1,460 @@
+// Package graph implements the paper's graph abstraction of execution
+// history (§3.2, §4.3): the trace graph — a node for each (process,
+// function) and for each channel (pair of processes), with call arcs and
+// send/receive arcs — plus the dynamic call graph and communication graph
+// derived from it.  The trace graph is built incrementally while the
+// execution is running, keeps its size bounded through the dissemination
+// arc-merging technique, and supports zooming back into the trace file to
+// reconstruct merged arcs.
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"tracedbg/internal/trace"
+)
+
+// NodeKind distinguishes function nodes from channel nodes.
+type NodeKind uint8
+
+const (
+	// FunctionNode represents one function of one process.
+	FunctionNode NodeKind = iota
+	// ChannelNode represents the communication channel between a pair of
+	// processes (one channel per unordered pair).
+	ChannelNode
+)
+
+// NodeID indexes a node within its trace graph.
+type NodeID int
+
+// Node is a trace-graph vertex.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+
+	// Function nodes.
+	Rank int
+	Name string
+
+	// Channel nodes: endpoint ranks with A < B.
+	A, B int
+}
+
+// Label renders the node for display.
+func (n *Node) Label() string {
+	if n.Kind == ChannelNode {
+		return fmt.Sprintf("ch(%d,%d)", n.A, n.B)
+	}
+	return fmt.Sprintf("%s@%d", n.Name, n.Rank)
+}
+
+// ArcKind classifies trace-graph arcs.
+type ArcKind uint8
+
+const (
+	// CallArc goes from caller function to callee function.
+	CallArc ArcKind = iota
+	// SendArc goes from the sending function to the channel.
+	SendArc
+	// RecvArc goes from the channel to the receiving function.
+	RecvArc
+)
+
+// String names the arc kind.
+func (k ArcKind) String() string {
+	switch k {
+	case CallArc:
+		return "call"
+	case SendArc:
+		return "send"
+	case RecvArc:
+		return "recv"
+	}
+	return fmt.Sprintf("ArcKind(%d)", uint8(k))
+}
+
+// maxArcMsgIDs bounds the message ids retained on a merged arc.
+const maxArcMsgIDs = 8
+
+// Arc is a trace-graph edge. Each arc has an image in the execution trace:
+// the marker interval [FirstSeq, LastSeq] on Rank. Merged arcs cover several
+// events (Count > 1).
+type Arc struct {
+	From, To NodeID
+	Kind     ArcKind
+	Tag      int // message arcs only
+
+	Rank     int    // rank whose events generated the arc
+	FirstSeq uint64 // marker of the earliest covered event
+	LastSeq  uint64 // marker of the latest covered event
+	Count    int    // number of events merged into this arc
+
+	MsgIDs    []uint64 // message ids (message arcs), capped
+	Truncated bool     // MsgIDs dropped by merging
+}
+
+func (a *Arc) sameSignature(b *Arc) bool {
+	return a.From == b.From && a.To == b.To && a.Kind == b.Kind &&
+		a.Tag == b.Tag && a.Rank == b.Rank
+}
+
+// TraceGraph is the bounded-size abstraction of an execution history.
+type TraceGraph struct {
+	mu sync.Mutex
+
+	numRanks int
+	limit    int // dissemination threshold (0 = unbounded)
+
+	nodes   []Node
+	byKey   map[nodeKey]NodeID
+	arcs    map[NodeID][]*Arc // arcs grouped by their *source* node
+	inCount map[NodeID]int    // incident (in+out) arc count per node
+
+	stacks  [][]NodeID // per-rank call stacks
+	roots   []NodeID   // per-rank synthetic program node
+	merges  int        // dissemination rounds performed
+	dropped int        // events folded into merged arcs
+}
+
+type nodeKey struct {
+	kind NodeKind
+	rank int
+	a, b int
+	name string
+}
+
+// New creates an empty trace graph for numRanks processes. limit is the
+// dissemination threshold: when a node's incident arc count exceeds it,
+// parallel arcs are pairwise merged. limit <= 0 disables merging.
+func New(numRanks, limit int) *TraceGraph {
+	g := &TraceGraph{
+		numRanks: numRanks,
+		limit:    limit,
+		byKey:    make(map[nodeKey]NodeID),
+		arcs:     make(map[NodeID][]*Arc),
+		inCount:  make(map[NodeID]int),
+		stacks:   make([][]NodeID, numRanks),
+		roots:    make([]NodeID, numRanks),
+	}
+	for r := 0; r < numRanks; r++ {
+		g.roots[r] = g.funcNodeLocked(r, "program")
+	}
+	return g
+}
+
+// FromTrace builds a trace graph from a complete in-memory trace.
+func FromTrace(tr *trace.Trace, limit int) *TraceGraph {
+	g := New(tr.NumRanks(), limit)
+	for rank := 0; rank < tr.NumRanks(); rank++ {
+		for i := range tr.Rank(rank) {
+			g.Add(&tr.Rank(rank)[i])
+		}
+	}
+	return g
+}
+
+// NumRanks returns the process count.
+func (g *TraceGraph) NumRanks() int { return g.numRanks }
+
+// Emit implements the instrumentation Sink interface, so a trace graph can
+// be built online while the program runs (§4.3: "a trace graph which is
+// built as the execution is running").
+func (g *TraceGraph) Emit(rec *trace.Record) { g.Add(rec) }
+
+// Add incorporates one event record.
+func (g *TraceGraph) Add(rec *trace.Record) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if rec.Rank < 0 || rec.Rank >= g.numRanks {
+		return
+	}
+	switch rec.Kind {
+	case trace.KindFuncEntry:
+		callee := g.funcNodeLocked(rec.Rank, rec.Name)
+		caller := g.topLocked(rec.Rank)
+		g.addArcLocked(&Arc{From: caller, To: callee, Kind: CallArc,
+			Rank: rec.Rank, FirstSeq: rec.Marker, LastSeq: rec.Marker, Count: 1})
+		g.stacks[rec.Rank] = append(g.stacks[rec.Rank], callee)
+	case trace.KindFuncExit:
+		if st := g.stacks[rec.Rank]; len(st) > 0 {
+			g.stacks[rec.Rank] = st[:len(st)-1]
+		}
+	case trace.KindSend:
+		fn := g.currentFuncLocked(rec)
+		ch := g.channelNodeLocked(rec.Src, rec.Dst)
+		g.addArcLocked(&Arc{From: fn, To: ch, Kind: SendArc, Tag: rec.Tag,
+			Rank: rec.Rank, FirstSeq: rec.Marker, LastSeq: rec.Marker,
+			Count: 1, MsgIDs: []uint64{rec.MsgID}})
+	case trace.KindRecv:
+		fn := g.currentFuncLocked(rec)
+		ch := g.channelNodeLocked(rec.Src, rec.Dst)
+		g.addArcLocked(&Arc{From: ch, To: fn, Kind: RecvArc, Tag: rec.Tag,
+			Rank: rec.Rank, FirstSeq: rec.Marker, LastSeq: rec.Marker,
+			Count: 1, MsgIDs: []uint64{rec.MsgID}})
+	default:
+		// Compute, regions, markers, collectives and blocked intervals do
+		// not change the graph abstraction.
+	}
+}
+
+// topLocked returns the current stack top (or the program root).
+func (g *TraceGraph) topLocked(rank int) NodeID {
+	if st := g.stacks[rank]; len(st) > 0 {
+		return st[len(st)-1]
+	}
+	return g.roots[rank]
+}
+
+// currentFuncLocked attributes a communication record to a function node:
+// the call-stack top when function instrumentation is active, otherwise the
+// record's own location, otherwise the program root.
+func (g *TraceGraph) currentFuncLocked(rec *trace.Record) NodeID {
+	if st := g.stacks[rec.Rank]; len(st) > 0 {
+		return st[len(st)-1]
+	}
+	if rec.Loc.Func != "" {
+		return g.funcNodeLocked(rec.Rank, rec.Loc.Func)
+	}
+	return g.roots[rec.Rank]
+}
+
+func (g *TraceGraph) funcNodeLocked(rank int, name string) NodeID {
+	key := nodeKey{kind: FunctionNode, rank: rank, name: name}
+	if id, ok := g.byKey[key]; ok {
+		return id
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Kind: FunctionNode, Rank: rank, Name: name})
+	g.byKey[key] = id
+	return id
+}
+
+func (g *TraceGraph) channelNodeLocked(a, b int) NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	key := nodeKey{kind: ChannelNode, a: a, b: b}
+	if id, ok := g.byKey[key]; ok {
+		return id
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Kind: ChannelNode, Rank: trace.NoRank, A: a, B: b})
+	g.byKey[key] = id
+	return id
+}
+
+func (g *TraceGraph) addArcLocked(a *Arc) {
+	g.arcs[a.From] = append(g.arcs[a.From], a)
+	g.inCount[a.From]++
+	g.inCount[a.To]++
+	if g.limit > 0 {
+		if g.inCount[a.From] > g.limit {
+			g.disseminateLocked(a.From)
+		}
+		if g.inCount[a.To] > g.limit {
+			g.disseminateLocked(a.To)
+		}
+	}
+}
+
+// disseminateLocked applies the paper's arc-merging: when the number of
+// arcs incident to a node exceeds the limit, every other arc is merged with
+// the previous one (chronological pairwise merge), trading resolution for
+// bounded size. Only arcs with identical signature (endpoints, kind, tag)
+// are merged so the graph's structure is preserved; the marker interval of
+// the merged arc widens to cover both, and zooming re-reads the trace file.
+func (g *TraceGraph) disseminateLocked(n NodeID) {
+	merge := func(list []*Arc) []*Arc {
+		out := list[:0]
+		i := 0
+		for i < len(list) {
+			cur := list[i]
+			if i+1 < len(list) && cur.sameSignature(list[i+1]) {
+				nxt := list[i+1]
+				cur.Count += nxt.Count
+				if nxt.FirstSeq < cur.FirstSeq {
+					cur.FirstSeq = nxt.FirstSeq
+				}
+				if nxt.LastSeq > cur.LastSeq {
+					cur.LastSeq = nxt.LastSeq
+				}
+				cur.MsgIDs = append(cur.MsgIDs, nxt.MsgIDs...)
+				if len(cur.MsgIDs) > maxArcMsgIDs {
+					cur.MsgIDs = cur.MsgIDs[:maxArcMsgIDs]
+					cur.Truncated = true
+				}
+				cur.Truncated = cur.Truncated || nxt.Truncated
+				g.dropped++
+				i += 2
+			} else {
+				i++
+			}
+			out = append(out, cur)
+		}
+		return out
+	}
+
+	// Arcs out of n.
+	g.arcs[n] = merge(g.arcs[n])
+
+	// Arcs into n live in other nodes' out-lists; merge those that target n.
+	for from, list := range g.arcs {
+		if from == n {
+			continue
+		}
+		var targeting []*Arc
+		var others []*Arc
+		for _, a := range list {
+			if a.To == n {
+				targeting = append(targeting, a)
+			} else {
+				others = append(others, a)
+			}
+		}
+		if len(targeting) < 2 {
+			continue
+		}
+		targeting = merge(targeting)
+		g.arcs[from] = append(others, targeting...)
+	}
+
+	// Merging changed incidence at n and at every peer; recompute. The
+	// dissemination threshold makes this rare, so the O(arcs) sweep is fine.
+	for id := range g.inCount {
+		g.inCount[id] = 0
+	}
+	for _, list := range g.arcs {
+		for _, a := range list {
+			g.inCount[a.From]++
+			g.inCount[a.To]++
+		}
+	}
+	g.merges++
+}
+
+// Nodes returns a snapshot of all nodes.
+func (g *TraceGraph) Nodes() []Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]Node(nil), g.nodes...)
+}
+
+// Node returns a node by id.
+func (g *TraceGraph) Node(id NodeID) (Node, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id < 0 || int(id) >= len(g.nodes) {
+		return Node{}, false
+	}
+	return g.nodes[int(id)], true
+}
+
+// FuncNode finds the node of a function on a rank.
+func (g *TraceGraph) FuncNode(rank int, name string) (NodeID, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	id, ok := g.byKey[nodeKey{kind: FunctionNode, rank: rank, name: name}]
+	return id, ok
+}
+
+// ChannelNodeID finds the channel node between two ranks.
+func (g *TraceGraph) ChannelNodeID(a, b int) (NodeID, bool) {
+	if a > b {
+		a, b = b, a
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	id, ok := g.byKey[nodeKey{kind: ChannelNode, a: a, b: b}]
+	return id, ok
+}
+
+// OutArcs returns copies of the arcs leaving a node.
+func (g *TraceGraph) OutArcs(id NodeID) []Arc {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Arc, 0, len(g.arcs[id]))
+	for _, a := range g.arcs[id] {
+		out = append(out, *a)
+	}
+	return out
+}
+
+// Arcs returns copies of every arc, ordered by source node then insertion.
+func (g *TraceGraph) Arcs() []Arc {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var ids []NodeID
+	for id := range g.arcs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []Arc
+	for _, id := range ids {
+		for _, a := range g.arcs[id] {
+			out = append(out, *a)
+		}
+	}
+	return out
+}
+
+// ArcCount returns the total number of arcs currently stored.
+func (g *TraceGraph) ArcCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, list := range g.arcs {
+		n += len(list)
+	}
+	return n
+}
+
+// EventCount returns the total number of events represented (sum of arc
+// counts): unaffected by dissemination.
+func (g *TraceGraph) EventCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, list := range g.arcs {
+		for _, a := range list {
+			n += a.Count
+		}
+	}
+	return n
+}
+
+// Merges reports how many dissemination rounds have run.
+func (g *TraceGraph) Merges() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.merges
+}
+
+// ExpandArc reconstructs the events a (possibly merged) arc covers by
+// rescanning the trace file through its navigation index — the zoom-in
+// operation. Only records relevant to the arc's kind are returned.
+func ExpandArc(ix *trace.Index, rs io.ReadSeeker, a Arc) ([]trace.Record, error) {
+	recs, err := ix.RescanMarkers(rs, a.Rank, a.FirstSeq, a.LastSeq)
+	if err != nil {
+		return nil, err
+	}
+	var want trace.Kind
+	switch a.Kind {
+	case CallArc:
+		want = trace.KindFuncEntry
+	case SendArc:
+		want = trace.KindSend
+	case RecvArc:
+		want = trace.KindRecv
+	}
+	out := recs[:0]
+	for _, r := range recs {
+		if r.Kind == want {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,370 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tracedbg/internal/trace"
+)
+
+// callTrace builds a single-rank trace: main calls A twice, A calls B once
+// per invocation.
+func callTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr := trace.New(1)
+	var m uint64
+	var clock int64
+	add := func(kind trace.Kind, name string) {
+		m++
+		clock++
+		tr.MustAppend(trace.Record{Kind: kind, Rank: 0, Marker: m,
+			Start: clock, End: clock, Name: name, Src: trace.NoRank, Dst: trace.NoRank})
+	}
+	add(trace.KindFuncEntry, "main")
+	for i := 0; i < 2; i++ {
+		add(trace.KindFuncEntry, "A")
+		add(trace.KindFuncEntry, "B")
+		add(trace.KindFuncExit, "B")
+		add(trace.KindFuncExit, "A")
+	}
+	add(trace.KindFuncExit, "main")
+	return tr
+}
+
+func TestCallArcsAndProjection(t *testing.T) {
+	g := FromTrace(callTrace(t), 0)
+	cg := g.Project(0)
+	if got := cg.Calls("main", "A"); got != 2 {
+		t.Errorf("main->A calls = %d", got)
+	}
+	if got := cg.Calls("A", "B"); got != 2 {
+		t.Errorf("A->B calls = %d", got)
+	}
+	if got := cg.Calls("program", "main"); got != 1 {
+		t.Errorf("program->main calls = %d", got)
+	}
+	if got := cg.Calls("B", "A"); got != 0 {
+		t.Errorf("B->A calls = %d", got)
+	}
+	if got := cg.Calls("missing", "A"); got != 0 {
+		t.Errorf("missing caller = %d", got)
+	}
+}
+
+// messageTrace builds a 2-rank trace with function context and messages.
+func messageTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr := trace.New(2)
+	// Rank 0: main -> sends 3 messages tag 1 from inside Send3.
+	tr.MustAppend(trace.Record{Kind: trace.KindFuncEntry, Rank: 0, Marker: 1, Name: "main"})
+	tr.MustAppend(trace.Record{Kind: trace.KindFuncEntry, Rank: 0, Marker: 2, Start: 1, End: 1, Name: "Send3"})
+	for i := 0; i < 3; i++ {
+		tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: 0, Marker: uint64(3 + i),
+			Start: int64(2 + i), End: int64(2 + i), Src: 0, Dst: 1, Tag: 1, MsgID: uint64(i + 1), Bytes: 8})
+	}
+	tr.MustAppend(trace.Record{Kind: trace.KindFuncExit, Rank: 0, Marker: 6, Start: 5, End: 5, Name: "Send3"})
+	// Rank 1: receives them inside main.
+	tr.MustAppend(trace.Record{Kind: trace.KindFuncEntry, Rank: 1, Marker: 1, Name: "main"})
+	for i := 0; i < 3; i++ {
+		tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: 1, Marker: uint64(2 + i),
+			Start: int64(10 + i), End: int64(10 + i), Src: 0, Dst: 1, Tag: 1, MsgID: uint64(i + 1), Bytes: 8})
+	}
+	return tr
+}
+
+func TestMessageArcs(t *testing.T) {
+	g := FromTrace(messageTrace(t), 0)
+	chID, ok := g.ChannelNodeID(1, 0) // order-insensitive
+	if !ok {
+		t.Fatal("channel node missing")
+	}
+	sendFn, ok := g.FuncNode(0, "Send3")
+	if !ok {
+		t.Fatal("Send3 node missing")
+	}
+	var sendArcs, recvArcs int
+	for _, a := range g.Arcs() {
+		switch a.Kind {
+		case SendArc:
+			sendArcs += a.Count
+			if a.From != sendFn || a.To != chID {
+				t.Errorf("send arc endpoints: %+v", a)
+			}
+		case RecvArc:
+			recvArcs += a.Count
+			if a.From != chID {
+				t.Errorf("recv arc source: %+v", a)
+			}
+		}
+	}
+	if sendArcs != 3 || recvArcs != 3 {
+		t.Errorf("send/recv arc events = %d/%d", sendArcs, recvArcs)
+	}
+	if g.EventCount() != 3+3+3 { // 3 call arcs (program->main x2, main->Send3), 3 sends, 3 recvs
+		t.Errorf("event count = %d", g.EventCount())
+	}
+}
+
+func TestDisseminationBoundsArcs(t *testing.T) {
+	// One function sending many messages: without a limit the channel node
+	// accumulates one arc per message; with a limit the arc count stays
+	// bounded while the event count is preserved.
+	mk := func(limit int) *TraceGraph {
+		tr := trace.New(2)
+		tr.MustAppend(trace.Record{Kind: trace.KindFuncEntry, Rank: 0, Marker: 1, Name: "main"})
+		for i := 0; i < 1000; i++ {
+			tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: 0, Marker: uint64(2 + i),
+				Start: int64(i + 1), End: int64(i + 1), Src: 0, Dst: 1, Tag: 0, MsgID: uint64(i + 1)})
+		}
+		return FromTrace(tr, limit)
+	}
+	unbounded := mk(0)
+	if unbounded.ArcCount() != 1001 {
+		t.Fatalf("unbounded arcs = %d", unbounded.ArcCount())
+	}
+	bounded := mk(16)
+	if bounded.ArcCount() > 32 {
+		t.Errorf("bounded arcs = %d, want <= 32", bounded.ArcCount())
+	}
+	if bounded.EventCount() != 1001 {
+		t.Errorf("bounded event count = %d, merging lost events", bounded.EventCount())
+	}
+	if bounded.Merges() == 0 {
+		t.Error("no dissemination rounds ran")
+	}
+	// Merged arcs keep a widened marker interval and flag truncation.
+	var sawMerged bool
+	for _, a := range bounded.Arcs() {
+		if a.Kind == SendArc && a.Count > 1 {
+			sawMerged = true
+			if a.LastSeq <= a.FirstSeq {
+				t.Errorf("merged arc interval not widened: %+v", a)
+			}
+		}
+	}
+	if !sawMerged {
+		t.Error("no merged send arc found")
+	}
+}
+
+func TestExpandArcReconstructsEvents(t *testing.T) {
+	tr := trace.New(2)
+	tr.MustAppend(trace.Record{Kind: trace.KindFuncEntry, Rank: 0, Marker: 1, Name: "main"})
+	for i := 0; i < 100; i++ {
+		tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: 0, Marker: uint64(2 + i),
+			Start: int64(i + 1), End: int64(i + 1), Src: 0, Dst: 1, Tag: 0, MsgID: uint64(i + 1)})
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteAll(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := trace.BuildIndex(bytes.NewReader(buf.Bytes()), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FromTrace(tr, 8)
+	var merged *Arc
+	for _, a := range g.Arcs() {
+		if a.Kind == SendArc && a.Count > 1 {
+			c := a
+			merged = &c
+			break
+		}
+	}
+	if merged == nil {
+		t.Fatal("no merged arc")
+	}
+	recs, err := ExpandArc(ix, bytes.NewReader(buf.Bytes()), *merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != merged.Count {
+		t.Fatalf("expanded %d records for arc count %d", len(recs), merged.Count)
+	}
+	for _, r := range recs {
+		if r.Kind != trace.KindSend {
+			t.Errorf("expanded wrong kind: %v", r.Kind)
+		}
+		if r.Marker < merged.FirstSeq || r.Marker > merged.LastSeq {
+			t.Errorf("expanded marker %d outside [%d,%d]", r.Marker, merged.FirstSeq, merged.LastSeq)
+		}
+	}
+}
+
+func TestNodeBounds(t *testing.T) {
+	// Node count <= functions*ranks + ranks^2 (the paper's bound), here
+	// exercised with a random workload.
+	rng := rand.New(rand.NewSource(2))
+	const ranks, funcs = 4, 6
+	tr := trace.New(ranks)
+	markers := make([]uint64, ranks)
+	clocks := make([]int64, ranks)
+	var msg uint64
+	for i := 0; i < 500; i++ {
+		r := rng.Intn(ranks)
+		markers[r]++
+		clocks[r]++
+		switch rng.Intn(3) {
+		case 0:
+			tr.MustAppend(trace.Record{Kind: trace.KindFuncEntry, Rank: r, Marker: markers[r],
+				Start: clocks[r], End: clocks[r], Name: string(rune('A' + rng.Intn(funcs)))})
+		case 1:
+			tr.MustAppend(trace.Record{Kind: trace.KindFuncExit, Rank: r, Marker: markers[r],
+				Start: clocks[r], End: clocks[r]})
+		case 2:
+			dst := (r + 1 + rng.Intn(ranks-1)) % ranks
+			msg++
+			tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: r, Marker: markers[r],
+				Start: clocks[r], End: clocks[r], Src: r, Dst: dst, MsgID: msg})
+		}
+	}
+	g := FromTrace(tr, 0)
+	bound := (funcs+1)*ranks + ranks*ranks // +1 for the synthetic program node
+	if n := len(g.Nodes()); n > bound {
+		t.Errorf("nodes = %d exceeds paper bound %d", n, bound)
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := FromTrace(messageTrace(t), 0)
+	if g.NumRanks() != 2 {
+		t.Error("NumRanks")
+	}
+	id, ok := g.FuncNode(0, "main")
+	if !ok {
+		t.Fatal("main node missing")
+	}
+	n, ok := g.Node(id)
+	if !ok || n.Name != "main" || n.Kind != FunctionNode {
+		t.Errorf("node = %+v", n)
+	}
+	if n.Label() != "main@0" {
+		t.Errorf("label = %q", n.Label())
+	}
+	if _, ok := g.Node(NodeID(999)); ok {
+		t.Error("bogus node id resolved")
+	}
+	chID, _ := g.ChannelNodeID(0, 1)
+	ch, _ := g.Node(chID)
+	if ch.Label() != "ch(0,1)" {
+		t.Errorf("channel label = %q", ch.Label())
+	}
+	if len(g.OutArcs(id)) == 0 {
+		t.Error("main should have out arcs")
+	}
+	if CallArc.String() != "call" || SendArc.String() != "send" || RecvArc.String() != "recv" {
+		t.Error("arc kind names")
+	}
+}
+
+func TestCallGraphExports(t *testing.T) {
+	// Without dissemination, repeated calls appear as parallel arcs (the
+	// paper's "multiple arcs show multiple function calls").
+	g := FromTrace(callTrace(t), 0)
+	cg := g.Project(0)
+	dot := cg.DOT()
+	for _, frag := range []string{"digraph", "\"main\"", "\"A\"", "\"B\""} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+	if got := strings.Count(dot, "n1 -> n2"); got != 2 {
+		t.Errorf("parallel main->A arcs in DOT = %d, want 2:\n%s", got, dot)
+	}
+	vcg := cg.VCG()
+	for _, frag := range []string{"graph: {", "node: {", "edge: {", "\"main\""} {
+		if !strings.Contains(vcg, frag) {
+			t.Errorf("VCG missing %q:\n%s", frag, vcg)
+		}
+	}
+	txt := cg.Text()
+	if !strings.Contains(txt, "main -> A (x1") {
+		t.Errorf("text output:\n%s", txt)
+	}
+
+	// Merged arcs carry multiplicity labels ("the number of calls per arc
+	// is adjustable").
+	merged := &CallGraph{Rank: 0, Funcs: []string{"main", "A"},
+		Arcs: []CallArcE{{Caller: 0, Callee: 1, Count: 2, FirstSeq: 1, LastSeq: 5}}}
+	if !strings.Contains(merged.DOT(), "x2") || !strings.Contains(merged.VCG(), "x2") {
+		t.Error("multiplicity label missing from merged-arc exports")
+	}
+	if !strings.Contains(merged.Text(), "main -> A (x2") {
+		t.Errorf("merged text:\n%s", merged.Text())
+	}
+}
+
+func TestEmitAsSink(t *testing.T) {
+	// The graph can be used directly as an instrumentation sink.
+	g := New(1, 0)
+	rec := trace.Record{Kind: trace.KindFuncEntry, Rank: 0, Marker: 1, Name: "f"}
+	g.Emit(&rec)
+	if _, ok := g.FuncNode(0, "f"); !ok {
+		t.Error("emit did not add node")
+	}
+	bad := trace.Record{Kind: trace.KindFuncEntry, Rank: 9, Name: "g"}
+	g.Emit(&bad) // out of range: ignored, no panic
+}
+
+func TestExpandArcAllKinds(t *testing.T) {
+	// Calls and receives reconstruct from the file just like sends.
+	tr := trace.New(2)
+	var m0, m1 uint64
+	var c0, c1 int64
+	for i := 0; i < 60; i++ {
+		m0++
+		c0++
+		tr.MustAppend(trace.Record{Kind: trace.KindFuncEntry, Rank: 0, Marker: m0,
+			Start: c0, End: c0, Name: "F"})
+		m0++
+		c0++
+		tr.MustAppend(trace.Record{Kind: trace.KindFuncExit, Rank: 0, Marker: m0,
+			Start: c0, End: c0, Name: "F"})
+		m1++
+		c1++
+		tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: 1, Marker: m1,
+			Start: c1, End: c1, Src: 0, Dst: 1, MsgID: uint64(i + 1)})
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteAll(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := trace.BuildIndex(bytes.NewReader(buf.Bytes()), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FromTrace(tr, 4)
+	var call, recv *Arc
+	for _, a := range g.Arcs() {
+		a := a
+		if a.Kind == CallArc && a.Count > 1 && call == nil {
+			call = &a
+		}
+		if a.Kind == RecvArc && a.Count > 1 && recv == nil {
+			recv = &a
+		}
+	}
+	if call == nil || recv == nil {
+		t.Fatalf("no merged call/recv arcs (call=%v recv=%v)", call, recv)
+	}
+	recs, err := ExpandArc(ix, bytes.NewReader(buf.Bytes()), *call)
+	if err != nil || len(recs) != call.Count {
+		t.Fatalf("call expand: %d records (want %d), err %v", len(recs), call.Count, err)
+	}
+	for _, r := range recs {
+		if r.Kind != trace.KindFuncEntry {
+			t.Fatalf("call expand returned %v", r.Kind)
+		}
+	}
+	recs, err = ExpandArc(ix, bytes.NewReader(buf.Bytes()), *recv)
+	if err != nil || len(recs) != recv.Count {
+		t.Fatalf("recv expand: %d records (want %d), err %v", len(recs), recv.Count, err)
+	}
+	for _, r := range recs {
+		if r.Kind != trace.KindRecv {
+			t.Fatalf("recv expand returned %v", r.Kind)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package instr
+
+import (
+	"path/filepath"
+	"runtime"
+
+	"tracedbg/internal/trace"
+)
+
+// FnAuto is Fn with the location captured automatically from the Go runtime
+// — the "compiler inserts the call for you" convenience the paper's
+// conclusion asks for ("a presence of a command line option such as -i or
+// even -g should cause the compiler to insert instrumentation calls").
+// It costs a runtime.Caller lookup per call; hot recursive code should use
+// Fn with a precomputed location.
+//
+//	defer ctx.FnAuto()()
+func (c *Ctx) FnAuto(args ...int64) func() {
+	if c.in == nil || c.in.Level&LevelFunctions == 0 {
+		return func() {}
+	}
+	return c.Fn(callerLocation(2), args...)
+}
+
+// AtAuto is At with an automatically captured location.
+func (c *Ctx) AtAuto(args ...int64) {
+	if c.in == nil || c.in.Level&LevelConstructs == 0 {
+		return
+	}
+	c.At(callerLocation(2), args...)
+}
+
+// callerLocation resolves the caller's file, line and function name.
+func callerLocation(skip int) trace.Location {
+	pc, file, line, ok := runtime.Caller(skip)
+	if !ok {
+		return trace.Location{}
+	}
+	loc := trace.Location{File: filepath.Base(file), Line: line}
+	if fn := runtime.FuncForPC(pc); fn != nil {
+		name := fn.Name()
+		// Trim the package path: "tracedbg/internal/apps.worker" -> "worker".
+		for i := len(name) - 1; i >= 0; i-- {
+			if name[i] == '.' {
+				name = name[i+1:]
+				break
+			}
+			if name[i] == '/' {
+				break
+			}
+		}
+		loc.Func = name
+	}
+	return loc
+}

@@ -1,0 +1,69 @@
+package instr
+
+import (
+	"strings"
+	"testing"
+
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+func autoHelper(c *Ctx) {
+	defer c.FnAuto(7)()
+	c.AtAuto(9)
+}
+
+func TestFnAutoCapturesRealLocation(t *testing.T) {
+	sink := NewMemorySink(1)
+	in := New(1, sink, LevelAll)
+	if err := in.Run(mp.Config{NumRanks: 1}, func(c *Ctx) {
+		autoHelper(c)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr := sink.Trace()
+	entries := tr.OfKind(trace.KindFuncEntry)
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	rec := tr.MustAt(entries[0])
+	if rec.Loc.File != "auto_test.go" {
+		t.Errorf("file = %q", rec.Loc.File)
+	}
+	if !strings.Contains(rec.Loc.Func, "autoHelper") {
+		t.Errorf("func = %q", rec.Loc.Func)
+	}
+	if rec.Args[0] != 7 {
+		t.Errorf("args = %v", rec.Args)
+	}
+	markers := tr.OfKind(trace.KindMarker)
+	if len(markers) != 1 {
+		t.Fatalf("markers = %d", len(markers))
+	}
+	mrec := tr.MustAt(markers[0])
+	if mrec.Loc.File != "auto_test.go" || mrec.Args[0] != 9 {
+		t.Errorf("marker = %+v", mrec)
+	}
+	// Line numbers: the At call is one line after the Fn call site.
+	if mrec.Loc.Line <= rec.Loc.Line {
+		t.Errorf("marker line %d should follow entry line %d", mrec.Loc.Line, rec.Loc.Line)
+	}
+	// Exits balance entries.
+	if exits := tr.OfKind(trace.KindFuncExit); len(exits) != 1 {
+		t.Errorf("exits = %d", len(exits))
+	}
+}
+
+func TestAutoNoOpsWhenDisabled(t *testing.T) {
+	sink := NewMemorySink(1)
+	in := New(1, sink, 0)
+	if err := in.Run(mp.Config{NumRanks: 1}, func(c *Ctx) {
+		defer c.FnAuto()()
+		c.AtAuto()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Trace().Len() != 0 {
+		t.Errorf("disabled auto instrumentation recorded %d events", sink.Trace().Len())
+	}
+}

@@ -1,0 +1,52 @@
+package instr
+
+import (
+	"testing"
+
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+// BenchmarkMonitorTick is the cost of one UserMonitor call: counter bump,
+// sink emission, control check.
+func BenchmarkMonitorTick(b *testing.B) {
+	m := NewMonitor(1)
+	b.Run("null-sink", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec := trace.Record{Kind: trace.KindMarker, Rank: 0}
+			m.tick(nil, &rec, NullSink{})
+		}
+	})
+	b.Run("memory-sink", func(b *testing.B) {
+		sink := NewMemorySink(1)
+		for i := 0; i < b.N; i++ {
+			rec := trace.Record{Kind: trace.KindMarker, Rank: 0, Start: int64(i), End: int64(i)}
+			m.tick(nil, &rec, sink)
+		}
+	})
+	b.Run("collection-off", func(b *testing.B) {
+		sink := NewMemorySink(1)
+		m.SetCollect(0, false)
+		defer m.SetCollect(0, true)
+		for i := 0; i < b.N; i++ {
+			rec := trace.Record{Kind: trace.KindMarker, Rank: 0}
+			m.tick(nil, &rec, sink)
+		}
+	})
+}
+
+// BenchmarkFnEntryExit is the full function-instrumentation path the Table 1
+// Fibonacci numbers are made of.
+func BenchmarkFnEntryExit(b *testing.B) {
+	in := New(1, NullSink{}, LevelFunctions)
+	loc := Loc("bench.go", 1, "f")
+	err := in.Run(mp.Config{NumRanks: 1}, func(c *Ctx) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Fn(loc, int64(i))()
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package instr
+
+import (
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+// Level selects which instrumentation strategies are active.
+type Level uint8
+
+// Strategy bits. They correspond to the paper's three acquisition methods
+// and may be combined freely ("the techniques ... can be used in
+// combination").
+const (
+	// LevelWrappers records communication operations via the PMPI-style
+	// hook: portable, lowest resolution.
+	LevelWrappers Level = 1 << iota
+	// LevelFunctions records function entries/exits via Fn — the
+	// compiler-inserted UserMonitor strategy.
+	LevelFunctions
+	// LevelConstructs records source-level regions and statements — the
+	// AIMS source-to-source strategy, arbitrary resolution.
+	LevelConstructs
+
+	// LevelAll enables everything.
+	LevelAll = LevelWrappers | LevelFunctions | LevelConstructs
+)
+
+// Instrumenter couples a Monitor, a Sink and a strategy selection. One
+// Instrumenter serves a whole world.
+type Instrumenter struct {
+	Monitor *Monitor
+	Sink    Sink
+	Level   Level
+}
+
+// New creates an instrumenter with a fresh monitor.
+func New(numRanks int, sink Sink, level Level) *Instrumenter {
+	return &Instrumenter{Monitor: NewMonitor(numRanks), Sink: sink, Level: level}
+}
+
+// Ctx returns the per-rank instrumentation context. Applications receive a
+// *Ctx instead of a bare *mp.Proc; the embedded Proc keeps the full
+// communication API available.
+func (in *Instrumenter) Ctx(p *mp.Proc) *Ctx { return &Ctx{Proc: p, in: in} }
+
+// Ctx is the application-side instrumentation handle for one rank.
+type Ctx struct {
+	*mp.Proc
+	in *Instrumenter
+}
+
+// Instrumenter returns the owning instrumenter.
+func (c *Ctx) Instrumenter() *Instrumenter { return c.in }
+
+// Fn is the UserMonitor call placed at the top of every instrumented
+// function (the uinst strategy): it increments the execution-marker counter,
+// records the call site and up to two arguments, and passes through the
+// debugger control point. It returns the matching exit function:
+//
+//	defer ctx.Fn(locFib, int64(n), 0)()
+//
+// The location also becomes the rank's current location, so communication
+// records between entry and exit are attributed to this function.
+func (c *Ctx) Fn(loc trace.Location, args ...int64) func() {
+	if c.in == nil || c.in.Level&LevelFunctions == 0 {
+		return func() {}
+	}
+	c.SetLoc(loc)
+	var a [2]int64
+	copy(a[:], args)
+	now := c.Clock()
+	rec := trace.Record{
+		Kind: trace.KindFuncEntry, Rank: c.Rank(), Loc: loc,
+		Start: now, End: now,
+		Src: trace.NoRank, Dst: trace.NoRank,
+		Name: loc.Func, Args: a,
+	}
+	c.in.Monitor.tick(c.Proc, &rec, c.in.Sink)
+	return func() {
+		end := c.Clock()
+		exit := trace.Record{
+			Kind: trace.KindFuncExit, Rank: c.Rank(), Loc: loc,
+			Start: end, End: end,
+			Src: trace.NoRank, Dst: trace.NoRank,
+			Name: loc.Func,
+		}
+		c.in.Monitor.tick(c.Proc, &exit, c.in.Sink)
+	}
+}
+
+// Region instruments a source-level construct (loop, phase, statement
+// group) AIMS-style. It returns the function closing the region:
+//
+//	done := ctx.Region("distribute", loc)
+//	... construct body ...
+//	done()
+func (c *Ctx) Region(name string, loc trace.Location) func() {
+	if c.in == nil || c.in.Level&LevelConstructs == 0 {
+		return func() {}
+	}
+	c.SetLoc(loc)
+	start := c.Clock()
+	rec := trace.Record{
+		Kind: trace.KindRegionBegin, Rank: c.Rank(), Loc: loc,
+		Start: start, End: start,
+		Src: trace.NoRank, Dst: trace.NoRank, Name: name,
+	}
+	c.in.Monitor.tick(c.Proc, &rec, c.in.Sink)
+	return func() {
+		end := c.Clock()
+		exit := trace.Record{
+			Kind: trace.KindRegionEnd, Rank: c.Rank(), Loc: loc,
+			Start: end, End: end,
+			Src: trace.NoRank, Dst: trace.NoRank, Name: name,
+		}
+		c.in.Monitor.tick(c.Proc, &exit, c.in.Sink)
+	}
+}
+
+// At declares the current statement location (statement-level resolution)
+// and emits a bare marker event, giving the debugger a stoppable point
+// between communication events.
+func (c *Ctx) At(loc trace.Location, args ...int64) {
+	if c.in == nil || c.in.Level&LevelConstructs == 0 {
+		return
+	}
+	c.SetLoc(loc)
+	var a [2]int64
+	copy(a[:], args)
+	now := c.Clock()
+	rec := trace.Record{
+		Kind: trace.KindMarker, Rank: c.Rank(), Loc: loc,
+		Start: now, End: now,
+		Src: trace.NoRank, Dst: trace.NoRank, Args: a,
+	}
+	c.in.Monitor.tick(c.Proc, &rec, c.in.Sink)
+}
+
+// Loc builds a Location; sugar that keeps application code compact.
+func Loc(file string, line int, fn string) trace.Location {
+	return trace.Location{File: file, Line: line, Func: fn}
+}

@@ -1,0 +1,99 @@
+package instr
+
+import (
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+// Hook returns the PMPI-style communication wrapper: an mp.Hook that turns
+// completed operations into trace records and routes them through the
+// monitor. Install it in mp.Config.Hooks; history collection is then
+// automatic, exactly like linking against the instrumented MPI library.
+func (in *Instrumenter) Hook() mp.Hook { return wrapperHook{in: in} }
+
+type wrapperHook struct{ in *Instrumenter }
+
+// Pre implements mp.Hook. Event records are emitted at completion; nothing
+// to do on entry.
+func (wrapperHook) Pre(*mp.Proc, *mp.OpInfo) {}
+
+// Post implements mp.Hook.
+func (h wrapperHook) Post(p *mp.Proc, info *mp.OpInfo) {
+	if h.in.Level&LevelWrappers == 0 {
+		return
+	}
+	rec := RecordFromOp(info)
+	if rec == nil {
+		return
+	}
+	h.in.Monitor.tick(p, rec, h.in.Sink)
+}
+
+// RecordFromOp converts a completed operation into a trace record, or nil
+// for operations that do not produce history events (probes, request posts,
+// send-side waits).
+func RecordFromOp(info *mp.OpInfo) *trace.Record {
+	rec := trace.Record{
+		Rank:  info.Rank,
+		Loc:   info.Loc,
+		Start: info.Start,
+		End:   info.End,
+		Src:   info.Src,
+		Dst:   info.Dst,
+		Tag:   info.Tag,
+		Bytes: info.Bytes,
+		MsgID: info.MsgID,
+
+		WasWildcard: info.Wildcard,
+		Name:        info.Op.String(),
+	}
+	if info.Blocked {
+		// The operation never completed (world aborted / stall): record the
+		// blocked interval so displays can show it (Figure 5).
+		rec.Kind = trace.KindBlocked
+		rec.Name = "Blocked(" + info.Op.String() + ")"
+		return &rec
+	}
+	switch info.Op {
+	case mp.OpSend, mp.OpIsend:
+		rec.Kind = trace.KindSend
+	case mp.OpRecv:
+		rec.Kind = trace.KindRecv
+	case mp.OpWait:
+		if info.Name != mp.OpIrecv.String() {
+			return nil // send-side wait: the send was recorded at Isend time
+		}
+		rec.Kind = trace.KindRecv
+		rec.Name = "Wait(Irecv)"
+	case mp.OpCompute:
+		rec.Kind = trace.KindCompute
+		rec.Src, rec.Dst = trace.NoRank, trace.NoRank
+	case mp.OpBarrier, mp.OpBcast, mp.OpReduce, mp.OpAllreduce,
+		mp.OpGather, mp.OpScatter, mp.OpAlltoall:
+		rec.Kind = trace.KindCollective
+		rec.Dst = trace.NoRank
+	default:
+		return nil // OpIrecv post, OpProbe: no history event
+	}
+	return &rec
+}
+
+// World builds an instrumented world: the wrapper hook is installed in
+// addition to any hooks the caller supplies.
+func (in *Instrumenter) World(cfg mp.Config) (*mp.World, error) {
+	cfg.Hooks = append(append([]mp.Hook(nil), cfg.Hooks...), in.Hook())
+	return mp.NewWorld(cfg)
+}
+
+// Run starts an instrumented world where each rank's body receives the
+// instrumentation context, and waits for completion.
+func (in *Instrumenter) Run(cfg mp.Config, body func(c *Ctx)) error {
+	w, err := in.World(cfg)
+	if err != nil {
+		return err
+	}
+	if err := w.Start(func(p *mp.Proc) { body(in.Ctx(p)) }); err != nil {
+		return err
+	}
+	return w.Wait()
+}

@@ -1,0 +1,387 @@
+package instr
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+func TestMonitorCounters(t *testing.T) {
+	m := NewMonitor(3)
+	if m.NumRanks() != 3 {
+		t.Fatalf("NumRanks = %d", m.NumRanks())
+	}
+	sink := NewMemorySink(3)
+	rec := trace.Record{Kind: trace.KindMarker, Rank: 1}
+	m.tick(nil, &rec, sink)
+	m.tick(nil, &rec, sink)
+	if m.Counter(1) != 2 || m.Counter(0) != 0 {
+		t.Fatalf("counters = %v", m.Counters())
+	}
+	if m.Counter(-1) != 0 || m.Counter(99) != 0 {
+		t.Error("out-of-range counter should be 0")
+	}
+	snap := m.Counters()
+	if snap[0] != 0 || snap[1] != 2 || snap[2] != 0 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestMonitorCollectToggle(t *testing.T) {
+	m := NewMonitor(2)
+	sink := NewMemorySink(2)
+	rec := func() *trace.Record { return &trace.Record{Kind: trace.KindMarker, Rank: 0} }
+	m.tick(nil, rec(), sink)
+	m.SetCollect(0, false)
+	if m.Collecting(0) {
+		t.Error("collect should be off")
+	}
+	m.tick(nil, rec(), sink) // marker advances, record suppressed
+	m.SetCollect(0, true)
+	m.tick(nil, rec(), sink)
+	if m.Counter(0) != 3 {
+		t.Errorf("markers must advance while collection is off: %d", m.Counter(0))
+	}
+	tr := sink.Trace()
+	if tr.RankLen(0) != 2 {
+		t.Errorf("collected %d records, want 2", tr.RankLen(0))
+	}
+	// The collected markers are 1 and 3 — the gap is the suppressed event.
+	if tr.Rank(0)[0].Marker != 1 || tr.Rank(0)[1].Marker != 3 {
+		t.Errorf("markers = %d,%d", tr.Rank(0)[0].Marker, tr.Rank(0)[1].Marker)
+	}
+	m.SetCollect(99, true) // out of range: no panic
+	if m.Collecting(99) {
+		t.Error("out of range collecting")
+	}
+}
+
+func TestMonitorControlPoint(t *testing.T) {
+	m := NewMonitor(1)
+	var seen []uint64
+	m.SetControl(func(p *mp.Proc, rec *trace.Record) {
+		seen = append(seen, rec.Marker)
+	})
+	rec := trace.Record{Kind: trace.KindMarker, Rank: 0}
+	m.tick(nil, &rec, nil)
+	rec2 := trace.Record{Kind: trace.KindMarker, Rank: 0}
+	m.tick(nil, &rec2, nil)
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("control saw %v", seen)
+	}
+	m.SetControl(nil)
+	rec3 := trace.Record{Kind: trace.KindMarker, Rank: 0}
+	m.tick(nil, &rec3, nil) // must not panic
+	if m.Counter(0) != 3 {
+		t.Errorf("counter = %d", m.Counter(0))
+	}
+}
+
+func TestSinks(t *testing.T) {
+	mem := NewMemorySink(1)
+	var buf bytes.Buffer
+	fs, err := NewFileSink(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := FilterSink{
+		Keep: func(r *trace.Record) bool { return r.Kind == trace.KindSend },
+		Next: mem,
+	}
+	tee := TeeSink{filter, fs, NullSink{}}
+
+	send := trace.Record{Kind: trace.KindSend, Rank: 0, Src: 0, Dst: 0, MsgID: 1}
+	comp := trace.Record{Kind: trace.KindCompute, Rank: 0}
+	tee.Emit(&send)
+	tee.Emit(&comp)
+
+	if mem.Trace().Len() != 1 {
+		t.Errorf("filter passed %d records", mem.Trace().Len())
+	}
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Errorf("file sink wrote %d records", got.Len())
+	}
+	if mem.Err() != nil || fs.Err() != nil {
+		t.Errorf("sink errors: %v %v", mem.Err(), fs.Err())
+	}
+}
+
+func TestFilterSinkNilKeepPassesAll(t *testing.T) {
+	mem := NewMemorySink(1)
+	f := FilterSink{Next: mem}
+	f.Emit(&trace.Record{Kind: trace.KindMarker, Rank: 0})
+	if mem.Trace().Len() != 1 {
+		t.Error("nil Keep should pass records")
+	}
+}
+
+func TestMemorySinkRejectsInvalid(t *testing.T) {
+	mem := NewMemorySink(1)
+	mem.Emit(&trace.Record{Rank: 7}) // bad rank
+	if mem.Err() == nil {
+		t.Error("invalid record should set Err")
+	}
+}
+
+// instrumentedPingPong runs a 2-rank exchange with full instrumentation and
+// returns the collected trace.
+func instrumentedPingPong(t *testing.T, level Level) *trace.Trace {
+	t.Helper()
+	sink := NewMemorySink(2)
+	in := New(2, sink, level)
+	err := in.Run(mp.Config{NumRanks: 2}, func(c *Ctx) {
+		defer c.Fn(Loc("pp.go", 1, "main"), int64(c.Rank()))()
+		if c.Rank() == 0 {
+			done := c.Region("exchange", Loc("pp.go", 3, "main"))
+			c.Send(1, 5, []byte("ping"))
+			c.At(Loc("pp.go", 5, "main"))
+			c.Recv(1, 6)
+			done()
+		} else {
+			c.Recv(0, 5)
+			c.Compute(100)
+			c.Send(0, 6, []byte("pong"))
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sink.Err() != nil {
+		t.Fatalf("sink: %v", sink.Err())
+	}
+	return sink.Trace()
+}
+
+func TestEndToEndFullInstrumentation(t *testing.T) {
+	tr := instrumentedPingPong(t, LevelAll)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	st := tr.Summarize()
+	if st.Sends != 2 || st.Recvs != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.PerKind[trace.KindFuncEntry] != 2 || st.PerKind[trace.KindFuncExit] != 2 {
+		t.Errorf("function events: %+v", st.PerKind)
+	}
+	if st.PerKind[trace.KindRegionBegin] != 1 || st.PerKind[trace.KindRegionEnd] != 1 {
+		t.Errorf("region events: %+v", st.PerKind)
+	}
+	if st.PerKind[trace.KindMarker] != 1 {
+		t.Errorf("statement markers: %+v", st.PerKind)
+	}
+	if st.PerKind[trace.KindCompute] != 1 {
+		t.Errorf("compute events: %+v", st.PerKind)
+	}
+	// Markers are dense (1..n per rank): every event has a distinct marker.
+	for rank := 0; rank < 2; rank++ {
+		for i, r := range tr.Rank(rank) {
+			if r.Marker != uint64(i+1) {
+				t.Fatalf("rank %d record %d has marker %d", rank, i, r.Marker)
+			}
+		}
+	}
+	// Send records carry the function's location.
+	sends := tr.Sends()
+	for _, id := range sends {
+		if tr.MustAt(id).Loc.File == "" {
+			t.Errorf("send %v missing location", id)
+		}
+	}
+	matched, orphans := tr.MatchSendRecv()
+	if len(matched) != 2 || len(orphans) != 0 {
+		t.Errorf("matching: %d matched, %v orphans", len(matched), orphans)
+	}
+}
+
+func TestLevelGating(t *testing.T) {
+	tr := instrumentedPingPong(t, LevelWrappers)
+	st := tr.Summarize()
+	if st.PerKind[trace.KindFuncEntry] != 0 || st.PerKind[trace.KindRegionBegin] != 0 || st.PerKind[trace.KindMarker] != 0 {
+		t.Errorf("wrappers-only trace has app events: %+v", st.PerKind)
+	}
+	if st.Sends != 2 || st.Recvs != 2 {
+		t.Errorf("wrappers-only trace missing comm events: %+v", st)
+	}
+
+	tr = instrumentedPingPong(t, LevelFunctions)
+	st = tr.Summarize()
+	if st.Sends != 0 {
+		t.Errorf("functions-only trace has comm events: %+v", st)
+	}
+	if st.PerKind[trace.KindFuncEntry] != 2 {
+		t.Errorf("functions-only trace: %+v", st.PerKind)
+	}
+}
+
+func TestHookRecordMapping(t *testing.T) {
+	cases := []struct {
+		info mp.OpInfo
+		kind trace.Kind
+		nil_ bool
+	}{
+		{mp.OpInfo{Op: mp.OpSend, Rank: 0, Src: 0, Dst: 1, Tag: 2, MsgID: 5}, trace.KindSend, false},
+		{mp.OpInfo{Op: mp.OpIsend, Rank: 0, Src: 0, Dst: 1}, trace.KindSend, false},
+		{mp.OpInfo{Op: mp.OpRecv, Rank: 1, Src: 0, Dst: 1}, trace.KindRecv, false},
+		{mp.OpInfo{Op: mp.OpWait, Rank: 1, Name: "Irecv"}, trace.KindRecv, false},
+		{mp.OpInfo{Op: mp.OpWait, Rank: 0, Name: "Isend"}, 0, true},
+		{mp.OpInfo{Op: mp.OpIrecv, Rank: 1}, 0, true},
+		{mp.OpInfo{Op: mp.OpProbe, Rank: 1}, 0, true},
+		{mp.OpInfo{Op: mp.OpCompute, Rank: 0}, trace.KindCompute, false},
+		{mp.OpInfo{Op: mp.OpBarrier, Rank: 0}, trace.KindCollective, false},
+		{mp.OpInfo{Op: mp.OpBcast, Rank: 0, Src: 0}, trace.KindCollective, false},
+		{mp.OpInfo{Op: mp.OpRecv, Rank: 1, Blocked: true}, trace.KindBlocked, false},
+		{mp.OpInfo{Op: mp.OpBarrier, Rank: 1, Blocked: true}, trace.KindBlocked, false},
+	}
+	for i, c := range cases {
+		rec := RecordFromOp(&c.info)
+		if c.nil_ {
+			if rec != nil {
+				t.Errorf("case %d: expected nil record, got %v", i, rec)
+			}
+			continue
+		}
+		if rec == nil {
+			t.Errorf("case %d: nil record", i)
+			continue
+		}
+		if rec.Kind != c.kind {
+			t.Errorf("case %d: kind = %v, want %v", i, rec.Kind, c.kind)
+		}
+	}
+	blocked := RecordFromOp(&mp.OpInfo{Op: mp.OpRecv, Blocked: true, Src: 3, Tag: 9})
+	if blocked.Name != "Blocked(Recv)" || blocked.Src != 3 {
+		t.Errorf("blocked record: %+v", blocked)
+	}
+}
+
+func TestBlockedEventRecorded(t *testing.T) {
+	sink := NewMemorySink(2)
+	in := New(2, sink, LevelAll)
+	err := in.Run(mp.Config{NumRanks: 2}, func(c *Ctx) {
+		if c.Rank() == 1 {
+			c.Recv(0, 1) // never satisfied
+		}
+	})
+	var stall *mp.StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("expected stall, got %v", err)
+	}
+	tr := sink.Trace()
+	blocked := tr.OfKind(trace.KindBlocked)
+	if len(blocked) != 1 {
+		t.Fatalf("blocked records = %d", len(blocked))
+	}
+	b := tr.MustAt(blocked[0])
+	if b.Rank != 1 || b.Src != 0 || b.Tag != 1 {
+		t.Errorf("blocked record: %+v", b)
+	}
+}
+
+func TestFlushOnDemandDuringRun(t *testing.T) {
+	var buf bytes.Buffer
+	fs, err := NewFileSink(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(2, fs, LevelAll)
+	w, err := in.World(mp.Config{NumRanks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := make(chan struct{})
+	release := make(chan struct{})
+	if err := w.Start(func(p *mp.Proc) {
+		c := in.Ctx(p)
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("mid-run"))
+			close(sent)
+			<-release
+		} else {
+			c.Recv(0, 1)
+			<-release
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-sent
+	// The debugger asks the monitor to flush and reads the partial history.
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	partial, err := trace.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial.Sends()) != 1 {
+		t.Errorf("partial trace sends = %d", len(partial.Sends()))
+	}
+	close(release)
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentTicksAreSafe(t *testing.T) {
+	// Many ranks ticking concurrently: counters per rank must be exact.
+	const n, per = 8, 500
+	m := NewMonitor(n)
+	sink := NewMemorySink(n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rec := trace.Record{Kind: trace.KindMarker, Rank: rank}
+				m.tick(nil, &rec, sink)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < n; r++ {
+		if m.Counter(r) != per {
+			t.Fatalf("rank %d counter = %d", r, m.Counter(r))
+		}
+		if sink.Trace().RankLen(r) != per {
+			t.Fatalf("rank %d records = %d", r, sink.Trace().RankLen(r))
+		}
+	}
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+}
+
+func TestUninstrumentedCtxIsCheap(t *testing.T) {
+	// A Ctx from a zero-level instrumenter must not record anything, and
+	// its Fn/Region/At must be safe no-ops.
+	sink := NewMemorySink(1)
+	in := New(1, sink, 0)
+	err := in.Run(mp.Config{NumRanks: 1}, func(c *Ctx) {
+		defer c.Fn(Loc("x.go", 1, "f"))()
+		done := c.Region("r", Loc("x.go", 2, "f"))
+		c.At(Loc("x.go", 3, "f"))
+		done()
+		c.Compute(10)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Trace().Len() != 0 {
+		t.Errorf("zero-level instrumentation recorded %d events", sink.Trace().Len())
+	}
+	if in.Monitor.Counter(0) != 0 {
+		t.Errorf("zero-level instrumentation ticked markers: %d", in.Monitor.Counter(0))
+	}
+}

@@ -1,0 +1,108 @@
+// Package instr implements the paper's three history-acquisition strategies
+// on top of the mp runtime:
+//
+//  1. construct-level instrumentation (the AIMS source-to-source analogue):
+//     explicit Region/Construct calls with arbitrary resolution;
+//  2. function-level instrumentation (the uinst/UserMonitor analogue): a
+//     call at the top of every application function that increments the
+//     per-process execution-marker counter, records the call site and the
+//     first two arguments, and gives the debugger a control point;
+//  3. communication wrappers (the PMPI profiling-interface analogue): an
+//     mp.Hook that records every message-passing operation.
+//
+// All three feed the same Monitor, so every event carries an execution
+// marker and passes through the same control point — which is what makes
+// marker-threshold replay uniform across strategies.
+package instr
+
+import (
+	"sync/atomic"
+
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+// ControlFunc is the debugger's control point. It runs synchronously on the
+// rank's goroutine immediately after each event is generated; the debugger
+// blocks inside it to stop the process (breakpoints, stoplines, stepping).
+type ControlFunc func(p *mp.Proc, rec *trace.Record)
+
+// Monitor is the UserMonitor analogue: it owns the per-rank execution-marker
+// counters, the collection toggle, and the control point.
+type Monitor struct {
+	counters []atomic.Uint64
+	collect  []atomic.Bool
+	control  atomic.Pointer[ControlFunc]
+}
+
+// NewMonitor creates a monitor for numRanks processes with collection
+// enabled everywhere.
+func NewMonitor(numRanks int) *Monitor {
+	m := &Monitor{
+		counters: make([]atomic.Uint64, numRanks),
+		collect:  make([]atomic.Bool, numRanks),
+	}
+	for i := range m.collect {
+		m.collect[i].Store(true)
+	}
+	return m
+}
+
+// NumRanks returns the number of ranks the monitor covers.
+func (m *Monitor) NumRanks() int { return len(m.counters) }
+
+// SetControl installs the debugger's control point (nil removes it).
+func (m *Monitor) SetControl(f ControlFunc) {
+	if f == nil {
+		m.control.Store(nil)
+		return
+	}
+	m.control.Store(&f)
+}
+
+// Counter returns the current execution-marker counter of a rank.
+func (m *Monitor) Counter(rank int) uint64 {
+	if rank < 0 || rank >= len(m.counters) {
+		return 0
+	}
+	return m.counters[rank].Load()
+}
+
+// Counters returns a snapshot of all counters — the marker vector the undo
+// operation records at every stop.
+func (m *Monitor) Counters() []uint64 {
+	out := make([]uint64, len(m.counters))
+	for i := range m.counters {
+		out[i] = m.counters[i].Load()
+	}
+	return out
+}
+
+// SetCollect toggles trace collection for one rank. Markers keep advancing
+// while collection is off (replay positions stay exact); only sink emission
+// is suppressed, which is how the paper bounds trace-file size.
+func (m *Monitor) SetCollect(rank int, on bool) {
+	if rank >= 0 && rank < len(m.collect) {
+		m.collect[rank].Store(on)
+	}
+}
+
+// Collecting reports whether a rank's events are being recorded.
+func (m *Monitor) Collecting(rank int) bool {
+	return rank >= 0 && rank < len(m.collect) && m.collect[rank].Load()
+}
+
+// tick advances the rank's marker counter, stamps and (if collecting) emits
+// the record, then runs the control point. It is the single path every
+// instrumentation strategy funnels through.
+func (m *Monitor) tick(p *mp.Proc, rec *trace.Record, sink Sink) {
+	rank := rec.Rank
+	seq := m.counters[rank].Add(1)
+	rec.Marker = seq
+	if sink != nil && m.collect[rank].Load() {
+		sink.Emit(rec)
+	}
+	if f := m.control.Load(); f != nil {
+		(*f)(p, rec)
+	}
+}

@@ -1,0 +1,130 @@
+package instr
+
+import (
+	"io"
+	"sync"
+
+	"tracedbg/internal/trace"
+)
+
+// Sink consumes event records as they are generated. Implementations must be
+// safe for concurrent use by all rank goroutines.
+type Sink interface {
+	Emit(rec *trace.Record)
+}
+
+// MemorySink accumulates records into an in-memory trace.
+type MemorySink struct {
+	mu sync.Mutex
+	tr *trace.Trace
+	// err remembers the first structurally invalid record; the runtime
+	// never produces one, so a non-nil err indicates an instrumentation bug.
+	err error
+}
+
+// NewMemorySink creates a sink for numRanks ranks.
+func NewMemorySink(numRanks int) *MemorySink {
+	return &MemorySink{tr: trace.New(numRanks)}
+}
+
+// Emit implements Sink.
+func (s *MemorySink) Emit(rec *trace.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.tr.Append(*rec); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// Trace returns the collected trace. Call only after the world has finished
+// (or while all ranks are stopped); the returned trace is the live one.
+func (s *MemorySink) Trace() *trace.Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr
+}
+
+// Snapshot returns a deep copy of the trace collected so far; safe to use
+// while rank goroutines are still emitting.
+func (s *MemorySink) Snapshot() *trace.Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.Clone()
+}
+
+// Err returns the first append error, if any record was rejected.
+func (s *MemorySink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// FileSink streams records to a trace file with on-demand flushing.
+type FileSink struct {
+	fw *trace.FileWriter
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewFileSink writes a trace-file header for numRanks ranks to w.
+func NewFileSink(w io.Writer, numRanks int) (*FileSink, error) {
+	fw, err := trace.NewFileWriter(w, numRanks)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSink{fw: fw}, nil
+}
+
+// Emit implements Sink.
+func (s *FileSink) Emit(rec *trace.Record) {
+	if err := s.fw.Write(rec); err != nil {
+		s.mu.Lock()
+		if s.err == nil {
+			s.err = err
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Flush forces buffered records to the underlying writer — the monitor
+// flush-on-demand the debugger uses to read history mid-execution.
+func (s *FileSink) Flush() error { return s.fw.Flush() }
+
+// Err returns the first write error encountered.
+func (s *FileSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// TeeSink duplicates records to several sinks.
+type TeeSink []Sink
+
+// Emit implements Sink.
+func (t TeeSink) Emit(rec *trace.Record) {
+	for _, s := range t {
+		s.Emit(rec)
+	}
+}
+
+// NullSink discards records; used to measure pure marker overhead.
+type NullSink struct{}
+
+// Emit implements Sink.
+func (NullSink) Emit(*trace.Record) {}
+
+// FilterSink forwards only records satisfying Keep — the selective
+// instrumentation mechanism (record only communication constructs, only a
+// particular function, ...).
+type FilterSink struct {
+	Keep func(*trace.Record) bool
+	Next Sink
+}
+
+// Emit implements Sink.
+func (f FilterSink) Emit(rec *trace.Record) {
+	if f.Keep == nil || f.Keep(rec) {
+		f.Next.Emit(rec)
+	}
+}

@@ -1,0 +1,75 @@
+package mp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPingPong measures round-trip latency of the runtime.
+func BenchmarkPingPong(b *testing.B) {
+	for _, size := range []int{8, 1024, 65536} {
+		b.Run(fmt.Sprintf("bytes=%d", size), func(b *testing.B) {
+			payload := make([]byte, size)
+			err := Run(Config{NumRanks: 2}, func(p *Proc) {
+				if p.Rank() == 0 {
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						p.Send(1, 0, payload)
+						p.Recv(1, 0)
+					}
+					b.SetBytes(int64(2 * size))
+				} else {
+					for i := 0; i < b.N; i++ {
+						p.Recv(0, 0)
+						p.Send(0, 0, payload)
+					}
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkFanIn measures wildcard matching under contention.
+func BenchmarkFanIn(b *testing.B) {
+	const n = 8
+	err := Run(Config{NumRanks: n}, func(p *Proc) {
+		if p.Rank() == 0 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for w := 1; w < n; w++ {
+					p.Recv(AnySource, AnyTag)
+				}
+			}
+		} else {
+			msg := []byte{1}
+			for i := 0; i < b.N; i++ {
+				p.Send(0, p.Rank(), msg)
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBarrier measures collective synchronization cost.
+func BenchmarkBarrier(b *testing.B) {
+	for _, n := range []int{2, 8, 16} {
+		b.Run(fmt.Sprintf("ranks=%d", n), func(b *testing.B) {
+			err := Run(Config{NumRanks: n}, func(p *Proc) {
+				if p.Rank() == 0 {
+					b.ResetTimer()
+				}
+				for i := 0; i < b.N; i++ {
+					p.Barrier()
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

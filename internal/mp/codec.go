@@ -1,0 +1,107 @@
+package mp
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Payload codecs. Messages carry []byte on the wire; these helpers give
+// applications typed views, plus ReduceFuncs for the common reductions.
+
+// Float64Bytes encodes a float64 slice (little endian).
+func Float64Bytes(xs []float64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return b
+}
+
+// BytesFloat64 decodes a float64 slice. Trailing bytes that do not fill a
+// full element are ignored.
+func BytesFloat64(b []byte) []float64 {
+	xs := make([]float64, len(b)/8)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return xs
+}
+
+// Int64Bytes encodes an int64 slice (little endian).
+func Int64Bytes(xs []int64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(x))
+	}
+	return b
+}
+
+// BytesInt64 decodes an int64 slice.
+func BytesInt64(b []byte) []int64 {
+	xs := make([]int64, len(b)/8)
+	for i := range xs {
+		xs[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return xs
+}
+
+// SendFloat64s sends a float64 slice.
+func (p *Proc) SendFloat64s(dst, tag int, xs []float64) { p.Send(dst, tag, Float64Bytes(xs)) }
+
+// RecvFloat64s receives a float64 slice.
+func (p *Proc) RecvFloat64s(src, tag int) ([]float64, Status) {
+	b, st := p.Recv(src, tag)
+	return BytesFloat64(b), st
+}
+
+// SendInt64s sends an int64 slice.
+func (p *Proc) SendInt64s(dst, tag int, xs []int64) { p.Send(dst, tag, Int64Bytes(xs)) }
+
+// RecvInt64s receives an int64 slice.
+func (p *Proc) RecvInt64s(src, tag int) ([]int64, Status) {
+	b, st := p.Recv(src, tag)
+	return BytesInt64(b), st
+}
+
+// SumFloat64 is a ReduceFunc adding float64 vectors elementwise. A nil
+// accumulator adopts the incoming value.
+func SumFloat64(acc, in []byte) []byte {
+	if acc == nil {
+		return append([]byte(nil), in...)
+	}
+	a, b := BytesFloat64(acc), BytesFloat64(in)
+	for i := range a {
+		if i < len(b) {
+			a[i] += b[i]
+		}
+	}
+	return Float64Bytes(a)
+}
+
+// MaxFloat64 is a ReduceFunc taking the elementwise maximum.
+func MaxFloat64(acc, in []byte) []byte {
+	if acc == nil {
+		return append([]byte(nil), in...)
+	}
+	a, b := BytesFloat64(acc), BytesFloat64(in)
+	for i := range a {
+		if i < len(b) && b[i] > a[i] {
+			a[i] = b[i]
+		}
+	}
+	return Float64Bytes(a)
+}
+
+// SumInt64 is a ReduceFunc adding int64 vectors elementwise.
+func SumInt64(acc, in []byte) []byte {
+	if acc == nil {
+		return append([]byte(nil), in...)
+	}
+	a, b := BytesInt64(acc), BytesInt64(in)
+	for i := range a {
+		if i < len(b) {
+			a[i] += b[i]
+		}
+	}
+	return Int64Bytes(a)
+}

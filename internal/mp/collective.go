@@ -1,0 +1,291 @@
+package mp
+
+import (
+	"fmt"
+
+	"tracedbg/internal/trace"
+)
+
+// Collectives are implemented over internal point-to-point messages that are
+// invisible to hooks and delivery controllers — the same way PMPI-level
+// profiling sees MPI_Bcast as one event, not its tree of internal sends.
+// Every rank must call the same collectives in the same order (the MPI
+// rule); a rank that fails to participate shows up as a global stall whose
+// BlockedOp names the collective.
+
+// collTag derives the internal tag for a collective instance and phase. The
+// per-rank collective sequence number is identical across ranks because
+// collectives execute in program order on every rank.
+func collTag(op Op, seq, phase int) int {
+	return seq*1_000_000 + int(op)*10_000 + phase
+}
+
+// internalSend deposits an internal envelope (always eager).
+func (p *Proc) internalSend(dst, tag int, data []byte) {
+	w := p.w
+	w.mu.Lock()
+	p.abortCheckLocked()
+	end := p.clock + w.cfg.OpCost + int64(len(data))*w.cfg.ByteTime
+	env := &envelope{
+		src: p.rank, dst: dst, tag: tag,
+		data:     append([]byte(nil), data...),
+		arrive:   end + w.cfg.Latency,
+		internal: true,
+		sender:   p,
+	}
+	w.depositLocked(env)
+	p.setClockLocked(end)
+	w.bumpClockLocked(end)
+	w.mu.Unlock()
+}
+
+// internalRecv blocks for an internal message. info identifies the owning
+// collective so stall reports name it.
+func (p *Proc) internalRecv(src, tag int, info *OpInfo) []byte {
+	w := p.w
+	w.mu.Lock()
+	p.abortCheckLocked()
+	req := &request{proc: p, srcSpec: src, tagSpec: tag, internal: true, postClock: p.clock}
+	p.posted = append(p.posted, req)
+	w.sweepLocked(p)
+	p.blockUntilLocked(info, func() bool { return req.done })
+	env := req.env
+	end := max(p.clock, env.arrive) + w.cfg.OpCost
+	p.setClockLocked(end)
+	w.bumpClockLocked(end)
+	w.mu.Unlock()
+	return env.data
+}
+
+func (p *Proc) collStart(op Op, root int, bytes int) *OpInfo {
+	p.collSeq++
+	// Tag carries the collective instance number: all ranks execute
+	// collectives in the same program order, so equal tags identify the
+	// same instance across ranks — which is what lets the causality engine
+	// model the synchronization.
+	info := &OpInfo{Op: op, Rank: p.rank, Src: root, Dst: trace.NoRank,
+		Tag: p.collSeq, Bytes: bytes, Loc: p.loc}
+	p.firePre(info)
+	w := p.w
+	w.mu.Lock()
+	p.abortCheckLocked()
+	info.Start = p.clock
+	w.mu.Unlock()
+	return info
+}
+
+func (p *Proc) collEnd(info *OpInfo) {
+	w := p.w
+	w.mu.Lock()
+	info.End = p.clock
+	w.mu.Unlock()
+	p.firePost(info)
+}
+
+// Barrier blocks until every rank has entered it (dissemination algorithm).
+func (p *Proc) Barrier() {
+	info := p.collStart(OpBarrier, trace.NoRank, 0)
+	n := p.Size()
+	for k, phase := 1, 0; k < n; k, phase = k<<1, phase+1 {
+		dst := (p.rank + k) % n
+		src := (p.rank - k + n) % n
+		tag := collTag(OpBarrier, p.collSeq, phase)
+		p.internalSend(dst, tag, nil)
+		p.internalRecv(src, tag, info)
+	}
+	p.collEnd(info)
+}
+
+// Bcast distributes root's data to every rank (binomial tree) and returns
+// the received copy (root returns its own data unchanged).
+func (p *Proc) Bcast(root int, data []byte) []byte {
+	p.validatePeer(OpBcast, root)
+	info := p.collStart(OpBcast, root, len(data))
+	n := p.Size()
+	rel := (p.rank - root + n) % n
+	tag := collTag(OpBcast, p.collSeq, 0)
+
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := p.rank - mask
+			if src < 0 {
+				src += n
+			}
+			data = p.internalRecv(src, tag, info)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			dst := p.rank + mask
+			if dst >= n {
+				dst -= n
+			}
+			p.internalSend(dst, tag, data)
+		}
+		mask >>= 1
+	}
+	p.collEnd(info)
+	return data
+}
+
+// ReduceFunc combines an accumulated payload with an incoming one.
+type ReduceFunc func(acc, in []byte) []byte
+
+// Reduce combines every rank's data at root (binomial tree). Root receives
+// the combined result; other ranks return nil.
+func (p *Proc) Reduce(root int, data []byte, combine ReduceFunc) []byte {
+	p.validatePeer(OpReduce, root)
+	info := p.collStart(OpReduce, root, len(data))
+	n := p.Size()
+	rel := (p.rank - root + n) % n
+	tag := collTag(OpReduce, p.collSeq, 0)
+
+	result := append([]byte(nil), data...)
+	for mask := 1; mask < n; mask <<= 1 {
+		if rel&mask != 0 {
+			dst := ((rel &^ mask) + root) % n
+			p.internalSend(dst, tag, result)
+			result = nil
+			break
+		}
+		srcRel := rel | mask
+		if srcRel < n {
+			src := (srcRel + root) % n
+			got := p.internalRecv(src, tag, info)
+			result = combine(result, got)
+		}
+	}
+	p.collEnd(info)
+	if p.rank == root {
+		return result
+	}
+	return nil
+}
+
+// Allreduce combines every rank's data and distributes the result to all.
+func (p *Proc) Allreduce(data []byte, combine ReduceFunc) []byte {
+	info := p.collStart(OpAllreduce, trace.NoRank, len(data))
+	n := p.Size()
+	rtag := collTag(OpAllreduce, p.collSeq, 0)
+	btag := collTag(OpAllreduce, p.collSeq, 1)
+
+	// Reduce to rank 0, then broadcast, both inline so the hook event spans
+	// the whole operation.
+	rel := p.rank
+	result := append([]byte(nil), data...)
+	for mask := 1; mask < n; mask <<= 1 {
+		if rel&mask != 0 {
+			p.internalSend(rel&^mask, rtag, result)
+			result = nil
+			break
+		}
+		if src := rel | mask; src < n {
+			result = combine(result, p.internalRecv(src, rtag, info))
+		}
+	}
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			result = p.internalRecv(p.rank-mask, btag, info)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			p.internalSend(p.rank+mask, btag, result)
+		}
+		mask >>= 1
+	}
+	p.collEnd(info)
+	return result
+}
+
+// Gather collects every rank's data at root, indexed by rank. Non-root
+// ranks return nil.
+func (p *Proc) Gather(root int, data []byte) [][]byte {
+	p.validatePeer(OpGather, root)
+	info := p.collStart(OpGather, root, len(data))
+	tag := collTag(OpGather, p.collSeq, 0)
+	n := p.Size()
+	var out [][]byte
+	if p.rank == root {
+		out = make([][]byte, n)
+		out[root] = append([]byte(nil), data...)
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			out[r] = p.internalRecv(r, tag, info)
+		}
+	} else {
+		p.internalSend(root, tag, data)
+	}
+	p.collEnd(info)
+	return out
+}
+
+// Scatter distributes parts[i] from root to rank i and returns this rank's
+// part. parts is only read at root and must have one entry per rank.
+func (p *Proc) Scatter(root int, parts [][]byte) []byte {
+	p.validatePeer(OpScatter, root)
+	bytes := 0
+	if p.rank == root {
+		if len(parts) != p.Size() {
+			panic(fmt.Sprintf("mp: rank %d: Scatter needs %d parts, got %d", p.rank, p.Size(), len(parts)))
+		}
+		for _, part := range parts {
+			bytes += len(part)
+		}
+	}
+	info := p.collStart(OpScatter, root, bytes)
+	tag := collTag(OpScatter, p.collSeq, 0)
+	var own []byte
+	if p.rank == root {
+		own = append([]byte(nil), parts[root]...)
+		for r := 0; r < p.Size(); r++ {
+			if r == root {
+				continue
+			}
+			p.internalSend(r, tag, parts[r])
+		}
+	} else {
+		own = p.internalRecv(root, tag, info)
+	}
+	p.collEnd(info)
+	return own
+}
+
+// Alltoall exchanges parts[j] with every rank j and returns the received
+// parts indexed by source rank.
+func (p *Proc) Alltoall(parts [][]byte) [][]byte {
+	if len(parts) != p.Size() {
+		panic(fmt.Sprintf("mp: rank %d: Alltoall needs %d parts, got %d", p.rank, p.Size(), len(parts)))
+	}
+	bytes := 0
+	for _, part := range parts {
+		bytes += len(part)
+	}
+	info := p.collStart(OpAlltoall, trace.NoRank, bytes)
+	tag := collTag(OpAlltoall, p.collSeq, 0)
+	n := p.Size()
+	out := make([][]byte, n)
+	out[p.rank] = append([]byte(nil), parts[p.rank]...)
+	for r := 0; r < n; r++ {
+		if r != p.rank {
+			p.internalSend(r, tag, parts[r])
+		}
+	}
+	for r := 0; r < n; r++ {
+		if r != p.rank {
+			out[r] = p.internalRecv(r, tag, info)
+		}
+	}
+	p.collEnd(info)
+	return out
+}

@@ -1,0 +1,239 @@
+package mp
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestBarrierSynchronizes(t *testing.T) {
+	// After a barrier, every rank's clock must be >= the max entry clock of
+	// all ranks (everyone waited for the slowest).
+	const n = 7
+	after := make([]int64, n)
+	err := Run(Config{NumRanks: n}, func(p *Proc) {
+		p.Compute(int64(1000 * (p.Rank() + 1))) // rank n-1 is slowest
+		p.Barrier()
+		after[p.Rank()] = p.Clock()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	slowest := int64(1000 * n)
+	for r, c := range after {
+		if c < slowest {
+			t.Errorf("rank %d clock %d < slowest entry %d: barrier did not synchronize", r, c, slowest)
+		}
+	}
+}
+
+func TestBcastAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 13} {
+		for root := 0; root < n; root += max(1, n/3) {
+			got := make([][]byte, n)
+			err := Run(Config{NumRanks: n}, func(p *Proc) {
+				var data []byte
+				if p.Rank() == root {
+					data = []byte("payload")
+				}
+				got[p.Rank()] = p.Bcast(root, data)
+			})
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+			for r := 0; r < n; r++ {
+				if string(got[r]) != "payload" {
+					t.Fatalf("n=%d root=%d rank=%d got %q", n, root, r, got[r])
+				}
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6, 9} {
+		root := n / 2
+		var result []float64
+		err := Run(Config{NumRanks: n}, func(p *Proc) {
+			data := Float64Bytes([]float64{float64(p.Rank()), 1})
+			out := p.Reduce(root, data, SumFloat64)
+			if p.Rank() == root {
+				result = BytesFloat64(out)
+			} else if out != nil {
+				t.Errorf("non-root rank %d got non-nil reduce result", p.Rank())
+			}
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		wantSum := float64(n*(n-1)) / 2
+		if result[0] != wantSum || result[1] != float64(n) {
+			t.Fatalf("n=%d reduce = %v, want [%v %v]", n, result, wantSum, n)
+		}
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	const n = 6
+	results := make([][]float64, n)
+	err := Run(Config{NumRanks: n}, func(p *Proc) {
+		out := p.Allreduce(Float64Bytes([]float64{float64(p.Rank() + 1)}), SumFloat64)
+		results[p.Rank()] = BytesFloat64(out)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := float64(n * (n + 1) / 2)
+	for r := 0; r < n; r++ {
+		if results[r][0] != want {
+			t.Fatalf("rank %d allreduce = %v, want %v", r, results[r], want)
+		}
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	const n = 5
+	var gathered [][]byte
+	scattered := make([]string, n)
+	err := Run(Config{NumRanks: n}, func(p *Proc) {
+		out := p.Gather(0, []byte{byte('a' + p.Rank())})
+		if p.Rank() == 0 {
+			gathered = out
+		} else if out != nil {
+			t.Errorf("non-root gather returned data")
+		}
+		var parts [][]byte
+		if p.Rank() == 0 {
+			parts = make([][]byte, n)
+			for i := range parts {
+				parts[i] = []byte{byte('A' + i)}
+			}
+		}
+		own := p.Scatter(0, parts)
+		scattered[p.Rank()] = string(own)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for r := 0; r < n; r++ {
+		if string(gathered[r]) != string([]byte{byte('a' + r)}) {
+			t.Fatalf("gathered[%d] = %q", r, gathered[r])
+		}
+		if scattered[r] != string([]byte{byte('A' + r)}) {
+			t.Fatalf("scattered[%d] = %q", r, scattered[r])
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 4
+	results := make([][][]byte, n)
+	err := Run(Config{NumRanks: n}, func(p *Proc) {
+		parts := make([][]byte, n)
+		for j := range parts {
+			parts[j] = []byte{byte(p.Rank()*10 + j)}
+		}
+		results[p.Rank()] = p.Alltoall(parts)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := []byte{byte(j*10 + i)}
+			if !reflect.DeepEqual(results[i][j], want) {
+				t.Fatalf("alltoall[%d][%d] = %v, want %v", i, j, results[i][j], want)
+			}
+		}
+	}
+}
+
+func TestCollectivesDoNotDisturbUserMessages(t *testing.T) {
+	// Internal collective traffic must not be matched by user wildcard
+	// receives, even greedy ones posted concurrently.
+	const n = 4
+	var sum int64
+	err := Run(Config{NumRanks: n}, func(p *Proc) {
+		p.Barrier()
+		if p.Rank() == 0 {
+			for i := 0; i < n-1; i++ {
+				xs, _ := p.RecvInt64s(AnySource, AnyTag)
+				sum += xs[0]
+			}
+		} else {
+			p.SendInt64s(0, 99, []int64{int64(p.Rank())})
+		}
+		p.Barrier()
+		p.Allreduce(Int64Bytes([]int64{1}), SumInt64)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum != 6 {
+		t.Fatalf("user messages corrupted by collective traffic: sum = %d", sum)
+	}
+}
+
+func TestCollectiveHookEvents(t *testing.T) {
+	// Each collective produces exactly one hook event per rank, and no
+	// internal sends/recvs leak to hooks.
+	const n = 4
+	var mu sync.Mutex
+	ops := make(map[Op]int)
+	hook := HookFuncs{PostFunc: func(p *Proc, info *OpInfo) {
+		mu.Lock()
+		ops[info.Op]++
+		mu.Unlock()
+	}}
+	err := Run(Config{NumRanks: n, Hooks: []Hook{hook}}, func(p *Proc) {
+		p.Barrier()
+		p.Bcast(0, []byte("x"))
+		p.Allreduce(Int64Bytes([]int64{1}), SumInt64)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ops[OpBarrier] != n || ops[OpBcast] != n || ops[OpAllreduce] != n {
+		t.Fatalf("collective hook counts: %v", ops)
+	}
+	if ops[OpSend] != 0 || ops[OpRecv] != 0 {
+		t.Fatalf("internal traffic leaked to hooks: %v", ops)
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	err := Run(Config{NumRanks: 2}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Scatter(0, [][]byte{{1}}) // wrong part count
+		} else {
+			p.Scatter(0, nil)
+		}
+	})
+	if err == nil {
+		t.Fatal("scatter with wrong part count should fail")
+	}
+}
+
+func TestCollectiveTimesSpanOperation(t *testing.T) {
+	var info OpInfo
+	hook := HookFuncs{PostFunc: func(p *Proc, oi *OpInfo) {
+		if oi.Op == OpBarrier && p.Rank() == 0 {
+			info = *oi
+		}
+	}}
+	err := Run(Config{NumRanks: 4, Hooks: []Hook{hook}}, func(p *Proc) {
+		if p.Rank() == 3 {
+			p.Compute(50_000)
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if info.Start != 0 {
+		t.Errorf("rank 0 barrier start = %d", info.Start)
+	}
+	if info.End < 50_000 {
+		t.Errorf("rank 0 barrier end = %d; should wait for slow rank", info.End)
+	}
+}

@@ -1,0 +1,144 @@
+package mp
+
+import (
+	"testing"
+)
+
+func TestZeroByteMessages(t *testing.T) {
+	run2(t, Config{}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 0, nil)
+			p.Send(1, 1, []byte{})
+		} else {
+			data, st := p.Recv(0, 0)
+			if len(data) != 0 || st.Bytes != 0 {
+				t.Errorf("nil payload: %v, %+v", data, st)
+			}
+			data, st = p.Recv(0, 1)
+			if len(data) != 0 || st.Bytes != 0 {
+				t.Errorf("empty payload: %v, %+v", data, st)
+			}
+		}
+	})
+}
+
+func TestExtremeUserTags(t *testing.T) {
+	// User tags may be any int, including values in the internal collective
+	// tag space and negatives below AnyTag: the internal flag keeps the
+	// namespaces separate.
+	tags := []int{0, -2, -1000, 1 << 30, collTag(OpBarrier, 1, 0)}
+	run2(t, Config{}, func(p *Proc) {
+		if p.Rank() == 0 {
+			for i, tag := range tags {
+				p.SendInt64s(1, tag, []int64{int64(i)})
+			}
+			p.Barrier()
+		} else {
+			for i, tag := range tags {
+				xs, st := p.RecvInt64s(0, tag)
+				if xs[0] != int64(i) || st.Tag != tag {
+					t.Errorf("tag %d: got %v, %+v", tag, xs, st)
+				}
+			}
+			p.Barrier()
+		}
+	})
+}
+
+func TestAnyTagIsNegativeOne(t *testing.T) {
+	// A user tag of -1 is indistinguishable from AnyTag in a receive
+	// specifier (as in MPI); sending with tag -1 and receiving with -1
+	// therefore matches anything. Document via behaviour: the receive gets
+	// whichever message is first.
+	run2(t, Config{}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.SendInt64s(1, 5, []int64{5})
+		} else {
+			_, st := p.Recv(0, AnyTag)
+			if st.Tag != 5 {
+				t.Errorf("tag = %d", st.Tag)
+			}
+		}
+	})
+}
+
+func TestLargePayload(t *testing.T) {
+	const n = 1 << 20 // 1 MiB
+	run2(t, Config{}, func(p *Proc) {
+		if p.Rank() == 0 {
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+			p.Send(1, 0, buf)
+		} else {
+			data, st := p.Recv(0, 0)
+			if st.Bytes != n || len(data) != n {
+				t.Fatalf("size = %d", st.Bytes)
+			}
+			for i := 0; i < n; i += 4097 {
+				if data[i] != byte(i) {
+					t.Fatalf("corruption at %d", i)
+				}
+			}
+		}
+	})
+}
+
+func TestManyRanksBarrierStorm(t *testing.T) {
+	const n = 24
+	err := Run(Config{NumRanks: n}, func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleRankCollectives(t *testing.T) {
+	err := Run(Config{NumRanks: 1}, func(p *Proc) {
+		p.Barrier()
+		if got := p.Bcast(0, []byte("x")); string(got) != "x" {
+			t.Errorf("bcast = %q", got)
+		}
+		if got := p.Reduce(0, Int64Bytes([]int64{7}), SumInt64); BytesInt64(got)[0] != 7 {
+			t.Errorf("reduce = %v", got)
+		}
+		if got := p.Allreduce(Int64Bytes([]int64{3}), SumInt64); BytesInt64(got)[0] != 3 {
+			t.Errorf("allreduce = %v", got)
+		}
+		if got := p.Gather(0, []byte{9}); len(got) != 1 || got[0][0] != 9 {
+			t.Errorf("gather = %v", got)
+		}
+		if got := p.Scatter(0, [][]byte{{4}}); got[0] != 4 {
+			t.Errorf("scatter = %v", got)
+		}
+		if got := p.Alltoall([][]byte{{5}}); got[0][0] != 5 {
+			t.Errorf("alltoall = %v", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualCostModelKnobs(t *testing.T) {
+	cfg := Config{NumRanks: 2, Latency: 1, ByteTime: 100, OpCost: 1}
+	var sendEnd int64
+	if err := Run(cfg, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 0, make([]byte, 10))
+			sendEnd = p.Clock()
+		} else {
+			p.Recv(0, 0)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// end = opCost(1) + 10 bytes * 100 = 1001.
+	if sendEnd != 1001 {
+		t.Fatalf("sendEnd = %d", sendEnd)
+	}
+}

@@ -1,0 +1,85 @@
+package mp
+
+import "tracedbg/internal/trace"
+
+// Iprobe reports, without blocking or consuming, whether a message matching
+// (src, tag) is currently deliverable, returning its status if so.
+func (p *Proc) Iprobe(src, tag int) (Status, bool) {
+	if src != AnySource {
+		p.validatePeer(OpProbe, src)
+	}
+	info := OpInfo{Op: OpProbe, Rank: p.rank, Src: src, Dst: p.rank, Tag: tag,
+		Wildcard: src == AnySource || tag == AnyTag, Loc: p.loc, Name: "Iprobe"}
+	p.firePre(&info)
+
+	w := p.w
+	w.mu.Lock()
+	p.abortCheckLocked()
+	info.Start = p.clock
+	info.End = p.clock
+	req := &request{proc: p, srcSpec: src, tagSpec: tag, probe: true, postClock: p.clock}
+	idx := w.matchLocked(p, req)
+	var st Status
+	found := idx >= 0
+	if found {
+		env := p.pending[idx]
+		st = Status{Source: env.src, Tag: env.tag, Bytes: len(env.data), MsgID: env.msgID}
+		info.Src = env.src
+		info.Tag = env.tag
+		info.Bytes = len(env.data)
+		info.MsgID = env.msgID
+	}
+	w.mu.Unlock()
+	p.firePost(&info)
+	return st, found
+}
+
+// Waitall completes every request, returning the statuses in order. Receive
+// payloads are returned in the parallel slice (nil entries for sends).
+func (p *Proc) Waitall(reqs []*Request) ([][]byte, []Status) {
+	data := make([][]byte, len(reqs))
+	sts := make([]Status, len(reqs))
+	for i, r := range reqs {
+		data[i], sts[i] = r.Wait()
+	}
+	return data, sts
+}
+
+// Pending returns the number of messages buffered at this rank but not yet
+// received — debugger-visible state for "what is sitting in the mailbox".
+func (p *Proc) Pending() int {
+	p.w.mu.Lock()
+	defer p.w.mu.Unlock()
+	n := 0
+	for _, env := range p.pending {
+		if !env.internal {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingMessages describes the buffered user messages (endpoints, tags,
+// sizes) without consuming them; used by the debugger's mailbox inspection.
+func (p *Proc) PendingMessages() []PendingMsg {
+	p.w.mu.Lock()
+	defer p.w.mu.Unlock()
+	var out []PendingMsg
+	for _, env := range p.pending {
+		if env.internal {
+			continue
+		}
+		out = append(out, PendingMsg{
+			Src: env.src, Tag: env.tag, Bytes: len(env.data),
+			MsgID: env.msgID, ChanSeq: env.chanSeq, Arrive: env.arrive,
+		})
+	}
+	return out
+}
+
+// Sendrecv tags both operations with the caller's location; this helper
+// declares a location first (sugar for instrumented applications).
+func (p *Proc) SendrecvAt(loc trace.Location, dst, sendTag int, data []byte, src, recvTag int) ([]byte, Status) {
+	p.SetLoc(loc)
+	return p.Sendrecv(dst, sendTag, data, src, recvTag)
+}

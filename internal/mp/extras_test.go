@@ -1,0 +1,118 @@
+package mp
+
+import (
+	"testing"
+
+	"tracedbg/internal/trace"
+)
+
+func TestIprobe(t *testing.T) {
+	run2(t, Config{}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 4, []byte("probe"))
+		} else {
+			// Nothing deliverable with a different tag.
+			if _, ok := p.Iprobe(0, 9); ok {
+				t.Errorf("iprobe matched wrong tag")
+			}
+			// Wait until deliverable, then Iprobe sees it without consuming.
+			p.Probe(0, 4)
+			st, ok := p.Iprobe(AnySource, AnyTag)
+			if !ok || st.Source != 0 || st.Bytes != 5 {
+				t.Errorf("iprobe = %+v, %v", st, ok)
+			}
+			data, _ := p.Recv(0, 4)
+			if string(data) != "probe" {
+				t.Errorf("recv after iprobe: %q", data)
+			}
+			if _, ok := p.Iprobe(AnySource, AnyTag); ok {
+				t.Errorf("iprobe after consume should find nothing")
+			}
+		}
+	})
+}
+
+func TestWaitall(t *testing.T) {
+	run2(t, Config{}, func(p *Proc) {
+		if p.Rank() == 0 {
+			var reqs []*Request
+			for i := 0; i < 3; i++ {
+				reqs = append(reqs, p.Isend(1, i, Int64Bytes([]int64{int64(i)})))
+			}
+			p.Waitall(reqs)
+		} else {
+			var reqs []*Request
+			for i := 0; i < 3; i++ {
+				reqs = append(reqs, p.Irecv(0, i))
+			}
+			data, sts := p.Waitall(reqs)
+			for i := range reqs {
+				if BytesInt64(data[i])[0] != int64(i) || sts[i].Tag != i {
+					t.Errorf("waitall[%d] = %v, %+v", i, BytesInt64(data[i]), sts[i])
+				}
+			}
+		}
+	})
+}
+
+func TestPendingInspection(t *testing.T) {
+	w, err := NewWorld(Config{NumRanks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := make(chan struct{})
+	release := make(chan struct{})
+	if err := w.Start(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 7, []byte("abc"))
+			p.Send(1, 8, []byte("de"))
+			close(sent)
+		} else {
+			<-sent
+			if n := p.Pending(); n != 2 {
+				t.Errorf("pending = %d", n)
+			}
+			msgs := p.PendingMessages()
+			if len(msgs) != 2 || msgs[0].Tag != 7 || msgs[1].Bytes != 2 {
+				t.Errorf("pending messages = %+v", msgs)
+			}
+			p.Recv(0, 7)
+			p.Recv(0, 8)
+			close(release)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-release
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfSendReceive(t *testing.T) {
+	// Eager self-sends buffer and can be received by the same rank — the
+	// semantics the buggy Strassen's stray jres=0 send relies on.
+	run2(t, Config{NumRanks: 1}, func(p *Proc) {
+		p.Send(0, 3, []byte("self"))
+		data, st := p.Recv(0, 3)
+		if string(data) != "self" || st.Source != 0 {
+			t.Errorf("self message = %q, %+v", data, st)
+		}
+	})
+}
+
+func TestSendrecvAt(t *testing.T) {
+	var loc trace.Location
+	hook := HookFuncs{PostFunc: func(p *Proc, info *OpInfo) {
+		if info.Op == OpIsend && p.Rank() == 0 {
+			loc = info.Loc
+		}
+	}}
+	run2(t, Config{Hooks: []Hook{hook}}, func(p *Proc) {
+		other := 1 - p.Rank()
+		p.SendrecvAt(trace.Location{File: "x.go", Line: 12, Func: "f"}, other, 0, nil, other, 0)
+	})
+	if loc.File != "x.go" || loc.Line != 12 {
+		t.Errorf("location = %+v", loc)
+	}
+}

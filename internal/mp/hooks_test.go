@@ -1,0 +1,248 @@
+package mp
+
+import (
+	"sync"
+	"testing"
+
+	"tracedbg/internal/trace"
+)
+
+// recordingHook captures all Pre/Post events per rank.
+type recordingHook struct {
+	mu    sync.Mutex
+	pres  []OpInfo
+	posts []OpInfo
+}
+
+func (h *recordingHook) Pre(p *Proc, info *OpInfo) {
+	h.mu.Lock()
+	h.pres = append(h.pres, *info)
+	h.mu.Unlock()
+}
+
+func (h *recordingHook) Post(p *Proc, info *OpInfo) {
+	h.mu.Lock()
+	h.posts = append(h.posts, *info)
+	h.mu.Unlock()
+}
+
+func (h *recordingHook) postsFor(rank int) []OpInfo {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []OpInfo
+	for _, i := range h.posts {
+		if i.Rank == rank {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestHookSeesSendAndRecv(t *testing.T) {
+	h := &recordingHook{}
+	err := Run(Config{NumRanks: 2, Hooks: []Hook{h}}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.SetLoc(trace.Location{File: "app.go", Line: 10, Func: "main"})
+			p.Send(1, 3, []byte("abc"))
+		} else {
+			p.Recv(AnySource, 3)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	sends := h.postsFor(0)
+	if len(sends) != 1 || sends[0].Op != OpSend {
+		t.Fatalf("rank 0 posts: %+v", sends)
+	}
+	s := sends[0]
+	if s.Src != 0 || s.Dst != 1 || s.Tag != 3 || s.Bytes != 3 || s.MsgID == 0 {
+		t.Errorf("send info: %+v", s)
+	}
+	if s.Loc.File != "app.go" || s.Loc.Line != 10 {
+		t.Errorf("send location: %+v", s.Loc)
+	}
+	recvs := h.postsFor(1)
+	if len(recvs) != 1 || recvs[0].Op != OpRecv {
+		t.Fatalf("rank 1 posts: %+v", recvs)
+	}
+	r := recvs[0]
+	if r.Src != 0 { // actual source resolved from wildcard
+		t.Errorf("recv actual source = %d", r.Src)
+	}
+	if !r.Wildcard {
+		t.Error("wildcard flag not set")
+	}
+	if r.MsgID != s.MsgID {
+		t.Errorf("msg ids differ: send %d recv %d", s.MsgID, r.MsgID)
+	}
+	if r.End < s.End {
+		t.Errorf("recv end %d before send end %d", r.End, s.End)
+	}
+}
+
+func TestHookPreSeesSpecifierPostSeesActual(t *testing.T) {
+	h := &recordingHook{}
+	err := Run(Config{NumRanks: 2, Hooks: []Hook{h}}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 1, nil)
+		} else {
+			p.Recv(AnySource, AnyTag)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var preRecv, postRecv *OpInfo
+	for i := range h.pres {
+		if h.pres[i].Op == OpRecv {
+			preRecv = &h.pres[i]
+		}
+	}
+	for i := range h.posts {
+		if h.posts[i].Op == OpRecv {
+			postRecv = &h.posts[i]
+		}
+	}
+	if preRecv == nil || postRecv == nil {
+		t.Fatal("missing recv hook events")
+	}
+	if preRecv.Src != AnySource || preRecv.Tag != AnyTag {
+		t.Errorf("pre recv should carry specifiers: %+v", preRecv)
+	}
+	if postRecv.Src != 0 || postRecv.Tag != 1 {
+		t.Errorf("post recv should carry actuals: %+v", postRecv)
+	}
+}
+
+func TestHookOrderAndChaining(t *testing.T) {
+	var order []string
+	var mu sync.Mutex
+	mk := func(name string) Hook {
+		return HookFuncs{
+			PreFunc: func(p *Proc, info *OpInfo) {
+				mu.Lock()
+				order = append(order, "pre-"+name)
+				mu.Unlock()
+			},
+			PostFunc: func(p *Proc, info *OpInfo) {
+				mu.Lock()
+				order = append(order, "post-"+name)
+				mu.Unlock()
+			},
+		}
+	}
+	err := Run(Config{NumRanks: 1, Hooks: []Hook{mk("a"), mk("b")}}, func(p *Proc) {
+		p.Compute(1)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"pre-a", "pre-b", "post-a", "post-b"}
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestIsendIrecvWaitHookEvents(t *testing.T) {
+	h := &recordingHook{}
+	err := Run(Config{NumRanks: 2, Hooks: []Hook{h}}, func(p *Proc) {
+		if p.Rank() == 0 {
+			req := p.Isend(1, 2, []byte("xy"))
+			req.Wait()
+		} else {
+			req := p.Irecv(0, 2)
+			req.Wait()
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r0 := h.postsFor(0)
+	if len(r0) != 2 || r0[0].Op != OpIsend || r0[1].Op != OpWait {
+		t.Fatalf("rank 0 ops: %+v", r0)
+	}
+	if r0[0].MsgID == 0 {
+		t.Error("isend post should carry msg id")
+	}
+	r1 := h.postsFor(1)
+	if len(r1) != 2 || r1[0].Op != OpIrecv || r1[1].Op != OpWait {
+		t.Fatalf("rank 1 ops: %+v", r1)
+	}
+	w := r1[1]
+	if w.Src != 0 || w.Bytes != 2 || w.MsgID != r0[0].MsgID {
+		t.Errorf("wait info: %+v", w)
+	}
+	if w.Name != "Irecv" {
+		t.Errorf("wait should name the waited op, got %q", w.Name)
+	}
+}
+
+func TestDeliveryControllerForcedOrder(t *testing.T) {
+	// A controller that insists on receiving from rank 2 first, then 1,
+	// regardless of arrival order: the replay-enforcement mechanism.
+	forced := []int{2, 1}
+	ctl := controllerFunc(func(rank int, recvSeq uint64, eligible []PendingMsg) int {
+		want := forced[int(recvSeq)-1]
+		for i, m := range eligible {
+			if m.Src == want {
+				return i
+			}
+		}
+		return -1 // wait until the wanted sender's message arrives
+	})
+	var sources []int
+	err := Run(Config{NumRanks: 3, Delivery: ctl}, func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			for i := 0; i < 2; i++ {
+				_, st := p.Recv(AnySource, AnyTag)
+				sources = append(sources, st.Source)
+			}
+		case 1:
+			p.Send(0, 0, []byte("from1"))
+		case 2:
+			p.Send(0, 0, []byte("from2"))
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sources[0] != 2 || sources[1] != 1 {
+		t.Fatalf("forced order violated: %v", sources)
+	}
+}
+
+type controllerFunc func(rank int, recvSeq uint64, eligible []PendingMsg) int
+
+func (f controllerFunc) Pick(rank int, recvSeq uint64, eligible []PendingMsg) int {
+	return f(rank, recvSeq, eligible)
+}
+
+func TestEarliestArrivalPick(t *testing.T) {
+	c := EarliestArrival{}
+	if got := c.Pick(0, 1, nil); got != -1 {
+		t.Errorf("empty pick = %d", got)
+	}
+	msgs := []PendingMsg{
+		{Src: 3, Arrive: 100},
+		{Src: 1, Arrive: 50},
+		{Src: 2, Arrive: 50},
+	}
+	if got := c.Pick(0, 1, msgs); got != 1 {
+		t.Errorf("pick = %d, want 1 (earliest arrive, lowest src)", got)
+	}
+}
+
+func TestHookFuncsNilSafe(t *testing.T) {
+	var h HookFuncs
+	h.Pre(nil, nil)  // must not panic
+	h.Post(nil, nil) // must not panic
+}

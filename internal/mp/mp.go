@@ -1,0 +1,227 @@
+// Package mp is a message-passing runtime modeled on the subset of MPI that
+// the paper's debugger targets: single-threaded processes (ranks) exchanging
+// tagged point-to-point messages with blocking and nonblocking operations,
+// wildcard receives, and collectives.  It substitutes for the MPI/PVM layer
+// of the original p2d2 work (which ran on SGI clusters): ranks are goroutines,
+// messages are delivered through in-memory mailboxes, and every operation is
+// stamped with a deterministic per-rank virtual clock so that traces have
+// reproducible, causality-respecting timestamps.
+//
+// Key semantic properties preserved from MPI (the features the paper's
+// techniques depend on):
+//
+//   - blocking Send/Recv with integer tags;
+//   - the non-overtaking property (MPI 1.1 §3.5): two messages from the same
+//     sender that both match a receive are received in send order;
+//   - AnySource/AnyTag wildcards, the paper's source of replay-relevant
+//     nondeterminism, routed through a pluggable DeliveryController so that a
+//     replay can force recorded matching;
+//   - a profiling interposition layer (Hook) equivalent to the PMPI_
+//     interface: every operation invokes registered hooks before and after.
+//
+// The runtime additionally detects global communication stalls (every
+// unfinished rank blocked with nothing deliverable), turning the paper's
+// Figure 5 hang into a reportable error carrying per-rank blocked-operation
+// details.
+package mp
+
+import (
+	"fmt"
+
+	"tracedbg/internal/trace"
+)
+
+// Wildcard receive specifiers, the analogues of MPI_ANY_SOURCE and
+// MPI_ANY_TAG.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Op identifies a runtime operation for the profiling hooks.
+type Op uint8
+
+// Operations visible to hooks.
+const (
+	OpSend Op = iota
+	OpRecv
+	OpIsend
+	OpIrecv
+	OpWait
+	OpProbe
+	OpSendrecv
+	OpBarrier
+	OpBcast
+	OpReduce
+	OpAllreduce
+	OpGather
+	OpScatter
+	OpAlltoall
+	OpCompute
+
+	numOps = int(OpCompute) + 1
+)
+
+var opNames = [numOps]string{
+	"Send", "Recv", "Isend", "Irecv", "Wait", "Probe", "Sendrecv",
+	"Barrier", "Bcast", "Reduce", "Allreduce", "Gather", "Scatter",
+	"Alltoall", "Compute",
+}
+
+// String returns the canonical operation name.
+func (o Op) String() string {
+	if int(o) < numOps {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// IsCollective reports whether the operation involves all ranks.
+func (o Op) IsCollective() bool {
+	switch o {
+	case OpBarrier, OpBcast, OpReduce, OpAllreduce, OpGather, OpScatter, OpAlltoall:
+		return true
+	}
+	return false
+}
+
+// OpInfo describes one operation instance to the profiling hooks. Pre hooks
+// observe Start and the requested endpoints; Post hooks additionally observe
+// End, Bytes, MsgID and—for receives—the actual source.
+type OpInfo struct {
+	Op   Op
+	Rank int
+
+	// Src and Dst are the message endpoints: for OpSend, Src is the rank
+	// and Dst the destination; for OpRecv/OpIrecv, Dst is the rank and Src
+	// the source specifier (possibly AnySource in Pre, the actual source in
+	// Post). Collectives put the root in Src and NoRank in Dst.
+	Src, Dst int
+
+	Tag   int
+	Bytes int
+
+	// Start and End are virtual-time nanoseconds.
+	Start, End int64
+
+	// MsgID is the global message id (sends and completed receives).
+	MsgID uint64
+
+	// Wildcard reports that a receive was posted with AnySource or AnyTag.
+	Wildcard bool
+
+	// Blocked reports that the operation never completed: the world was
+	// aborted (stall detected or killed) while this rank was blocked in it.
+	Blocked bool
+
+	// Loc is the source location the application declared via Proc.SetLoc
+	// before issuing the operation (empty when the raw API is used).
+	Loc trace.Location
+
+	// Name is a construct name supplied by instrumentation wrappers.
+	Name string
+}
+
+// Hook is the profiling interposition interface, the analogue of wrapping
+// MPI_ functions around their PMPI_ implementations. Pre runs before the
+// operation blocks; Post runs after it completes (or, with info.Blocked set,
+// when the world aborts while the operation is still blocked). Hooks run on
+// the rank's own goroutine and must not call back into communication
+// operations of the same Proc.
+type Hook interface {
+	Pre(p *Proc, info *OpInfo)
+	Post(p *Proc, info *OpInfo)
+}
+
+// HookFuncs adapts two functions to the Hook interface; either may be nil.
+type HookFuncs struct {
+	PreFunc  func(p *Proc, info *OpInfo)
+	PostFunc func(p *Proc, info *OpInfo)
+}
+
+// Pre implements Hook.
+func (h HookFuncs) Pre(p *Proc, info *OpInfo) {
+	if h.PreFunc != nil {
+		h.PreFunc(p, info)
+	}
+}
+
+// Post implements Hook.
+func (h HookFuncs) Post(p *Proc, info *OpInfo) {
+	if h.PostFunc != nil {
+		h.PostFunc(p, info)
+	}
+}
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Bytes  int
+	MsgID  uint64
+}
+
+// PendingMsg is the controller-visible description of a deliverable message.
+type PendingMsg struct {
+	Src     int
+	Tag     int
+	Bytes   int
+	MsgID   uint64
+	ChanSeq uint64 // per (src,dst) channel sequence number
+	Arrive  int64  // virtual arrival time at the receiver
+}
+
+// DeliveryController chooses which eligible pending message a receive
+// consumes. recvSeq is the per-rank ordinal of the user-level receive being
+// matched (receives are numbered from 1 in posting order, which is
+// deterministic for single-threaded ranks — the property replay relies on).
+// Returning -1 defers matching until more messages arrive.
+//
+// The eligible slice already honours the non-overtaking rule: for every
+// sender it contains only that sender's earliest matching message.
+type DeliveryController interface {
+	Pick(rank int, recvSeq uint64, eligible []PendingMsg) int
+}
+
+// EarliestArrival is the default controller: it consumes the eligible message
+// with the smallest virtual arrival time, breaking ties by source rank. With
+// wildcard receives the outcome still depends on which messages have been
+// deposited when the sweep runs — exactly the nondeterminism the paper's
+// replay mechanism controls.
+type EarliestArrival struct{}
+
+// Pick implements DeliveryController.
+func (EarliestArrival) Pick(rank int, recvSeq uint64, eligible []PendingMsg) int {
+	best := -1
+	for i, m := range eligible {
+		if best == -1 {
+			best = i
+			continue
+		}
+		b := eligible[best]
+		if m.Arrive < b.Arrive || (m.Arrive == b.Arrive && m.Src < b.Src) {
+			best = i
+		}
+	}
+	return best
+}
+
+// SendMode selects point-to-point completion semantics.
+type SendMode uint8
+
+const (
+	// Eager completes a send as soon as the message is buffered at the
+	// receiver (small-message MPI behaviour).
+	Eager SendMode = iota
+	// Rendezvous blocks the sender until the receiver consumes the message
+	// (synchronous-send behaviour; enables send-side deadlocks).
+	Rendezvous
+)
+
+// String names the send mode.
+func (m SendMode) String() string {
+	if m == Rendezvous {
+		return "Rendezvous"
+	}
+	return "Eager"
+}

@@ -1,0 +1,422 @@
+package mp
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func run2(t *testing.T, cfg Config, body func(p *Proc)) {
+	t.Helper()
+	if cfg.NumRanks == 0 {
+		cfg.NumRanks = 2
+	}
+	if err := Run(cfg, body); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	var got []byte
+	var st Status
+	run2(t, Config{}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 7, []byte("hello"))
+		} else {
+			got, st = p.Recv(0, 7)
+		}
+	})
+	if string(got) != "hello" {
+		t.Fatalf("payload = %q", got)
+	}
+	if st.Source != 0 || st.Tag != 7 || st.Bytes != 5 || st.MsgID == 0 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestPayloadIsolation(t *testing.T) {
+	// The receiver must see the payload as of send time, even if the sender
+	// mutates its buffer afterwards.
+	var got []byte
+	run2(t, Config{}, func(p *Proc) {
+		if p.Rank() == 0 {
+			buf := []byte("aaaa")
+			p.Send(1, 0, buf)
+			buf[0] = 'z'
+			p.Send(1, 1, buf)
+		} else {
+			got, _ = p.Recv(0, 0)
+		}
+	})
+	if string(got) != "aaaa" {
+		t.Fatalf("payload mutated after send: %q", got)
+	}
+}
+
+func TestNonOvertakingSameTag(t *testing.T) {
+	// Two messages with the same tag from the same sender arrive in order.
+	var order []int64
+	run2(t, Config{}, func(p *Proc) {
+		if p.Rank() == 0 {
+			for i := int64(0); i < 10; i++ {
+				p.SendInt64s(1, 5, []int64{i})
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				xs, _ := p.RecvInt64s(0, 5)
+				order = append(order, xs[0])
+			}
+		}
+	})
+	for i, v := range order {
+		if v != int64(i) {
+			t.Fatalf("message %d arrived out of order: %v", i, order)
+		}
+	}
+}
+
+func TestTagSelectivity(t *testing.T) {
+	// A receive for tag B may overtake an earlier pending message with tag A.
+	var first int64
+	run2(t, Config{}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.SendInt64s(1, 1, []int64{111})
+			p.SendInt64s(1, 2, []int64{222})
+		} else {
+			// Wait until both are deposited so the test is deterministic.
+			p.Probe(0, 2)
+			xs, _ := p.RecvInt64s(0, 2)
+			first = xs[0]
+			p.RecvInt64s(0, 1)
+		}
+	})
+	if first != 222 {
+		t.Fatalf("tag-selective receive got %d", first)
+	}
+}
+
+func TestAnySourceAndAnyTag(t *testing.T) {
+	counts := make(map[int]int)
+	err := Run(Config{NumRanks: 4}, func(p *Proc) {
+		if p.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				_, st := p.Recv(AnySource, AnyTag)
+				counts[st.Source]++
+			}
+		} else {
+			p.SendInt64s(0, 10+p.Rank(), []int64{int64(p.Rank())})
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(counts) != 3 || counts[1] != 1 || counts[2] != 1 || counts[3] != 1 {
+		t.Fatalf("wildcard receive sources: %v", counts)
+	}
+}
+
+func TestRecvSpecificSourceWaitsForIt(t *testing.T) {
+	// A receive naming rank 2 must not consume rank 1's message.
+	var from int
+	err := Run(Config{NumRanks: 3}, func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			_, st := p.Recv(2, AnyTag)
+			from = st.Source
+			p.Recv(1, AnyTag) // drain
+		case 1:
+			p.Send(0, 1, []byte("one"))
+		case 2:
+			p.Send(0, 2, []byte("two"))
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if from != 2 {
+		t.Fatalf("Recv(2) returned message from %d", from)
+	}
+}
+
+func TestIsendIrecvWait(t *testing.T) {
+	var got []byte
+	run2(t, Config{}, func(p *Proc) {
+		if p.Rank() == 0 {
+			req := p.Isend(1, 3, []byte("async"))
+			_, st := req.Wait()
+			if st.MsgID == 0 {
+				t.Errorf("isend wait status: %+v", st)
+			}
+		} else {
+			req := p.Irecv(0, 3)
+			got, _ = req.Wait()
+		}
+	})
+	if string(got) != "async" {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+func TestMultipleIrecvsMatchInPostOrder(t *testing.T) {
+	var a, b []byte
+	run2(t, Config{}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.SendInt64s(1, 4, []int64{1})
+			p.SendInt64s(1, 4, []int64{2})
+		} else {
+			r1 := p.Irecv(0, 4)
+			r2 := p.Irecv(0, 4)
+			a, _ = r1.Wait()
+			b, _ = r2.Wait()
+		}
+	})
+	if BytesInt64(a)[0] != 1 || BytesInt64(b)[0] != 2 {
+		t.Fatalf("posted order violated: %v %v", BytesInt64(a), BytesInt64(b))
+	}
+}
+
+func TestRequestTest(t *testing.T) {
+	run2(t, Config{}, func(p *Proc) {
+		if p.Rank() == 0 {
+			req := p.Isend(1, 9, []byte("x"))
+			if !req.Test() {
+				t.Errorf("eager isend should complete immediately")
+			}
+		} else {
+			req := p.Irecv(0, 9)
+			req.Wait()
+			if !req.Test() {
+				t.Errorf("completed irecv should Test true")
+			}
+		}
+	})
+}
+
+func TestProbeDoesNotConsume(t *testing.T) {
+	run2(t, Config{}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 6, []byte("probe-me"))
+		} else {
+			st := p.Probe(AnySource, 6)
+			if st.Source != 0 || st.Bytes != 8 {
+				t.Errorf("probe status: %+v", st)
+			}
+			data, _ := p.Recv(st.Source, st.Tag)
+			if string(data) != "probe-me" {
+				t.Errorf("recv after probe: %q", data)
+			}
+		}
+	})
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	vals := make([]int64, 2)
+	run2(t, Config{}, func(p *Proc) {
+		other := 1 - p.Rank()
+		got, _ := p.Sendrecv(other, 0, Int64Bytes([]int64{int64(p.Rank())}), other, 0)
+		vals[p.Rank()] = BytesInt64(got)[0]
+	})
+	if vals[0] != 1 || vals[1] != 0 {
+		t.Fatalf("sendrecv exchange: %v", vals)
+	}
+}
+
+func TestSendrecvRendezvousNoDeadlock(t *testing.T) {
+	// In rendezvous mode a plain Send+Recv exchange would deadlock;
+	// Sendrecv must not.
+	vals := make([]int64, 2)
+	run2(t, Config{SendMode: Rendezvous}, func(p *Proc) {
+		other := 1 - p.Rank()
+		got, _ := p.Sendrecv(other, 0, Int64Bytes([]int64{int64(p.Rank())}), other, 0)
+		vals[p.Rank()] = BytesInt64(got)[0]
+	})
+	if vals[0] != 1 || vals[1] != 0 {
+		t.Fatalf("rendezvous sendrecv: %v", vals)
+	}
+}
+
+func TestRendezvousSendBlocksUntilConsumed(t *testing.T) {
+	// The receiver delays posting its receive; a rendezvous send cannot
+	// return before the matching receive is posted.
+	const delay = 50 * time.Millisecond
+	var sendTook time.Duration
+	run2(t, Config{SendMode: Rendezvous}, func(p *Proc) {
+		if p.Rank() == 0 {
+			start := time.Now()
+			p.Send(1, 0, []byte("sync"))
+			sendTook = time.Since(start)
+		} else {
+			time.Sleep(delay)
+			p.Recv(0, 0)
+		}
+	})
+	if sendTook < delay/2 {
+		t.Fatalf("rendezvous send returned after %v, before the receive was posted", sendTook)
+	}
+}
+
+func TestVirtualClockCausality(t *testing.T) {
+	// The receiver's clock after a receive must be at least the sender's
+	// send-completion time plus latency.
+	var sendEnd, recvEnd int64
+	cfg := Config{Latency: 500, ByteTime: 2, OpCost: 10}
+	run2(t, cfg, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Compute(10_000)
+			p.Send(1, 0, make([]byte, 100))
+			sendEnd = p.Clock()
+		} else {
+			p.Recv(0, 0)
+			recvEnd = p.Clock()
+		}
+	})
+	// sendEnd = 10000 + 10 + 200 = 10210; arrive = 10710; recvEnd = 10720.
+	if sendEnd != 10210 {
+		t.Fatalf("sendEnd = %d", sendEnd)
+	}
+	if recvEnd != sendEnd+500+10 {
+		t.Fatalf("recvEnd = %d, want %d", recvEnd, sendEnd+510)
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	run2(t, Config{NumRanks: 1}, func(p *Proc) {
+		p.Compute(12345)
+		if p.Clock() != 12345 {
+			t.Errorf("clock = %d", p.Clock())
+		}
+		p.Compute(-5) // negative clamps to zero
+		if p.Clock() != 12345 {
+			t.Errorf("negative compute changed clock: %d", p.Clock())
+		}
+	})
+}
+
+func TestInvalidPeerPanicsAsRankError(t *testing.T) {
+	err := Run(Config{NumRanks: 2}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(5, 0, nil) // invalid destination
+		} else {
+			p.Recv(0, 0)
+		}
+	})
+	if err == nil {
+		t.Fatal("send to invalid rank should fail the world")
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(Config{NumRanks: 0}); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	w, err := NewWorld(Config{NumRanks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Start(func(p *Proc) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Start(func(p *Proc) {}); err == nil {
+		t.Error("double start accepted")
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Proc(0) == nil || w.Proc(5) != nil || w.Proc(-1) != nil {
+		t.Error("Proc accessor bounds")
+	}
+}
+
+func TestExposeAndFormatVar(t *testing.T) {
+	w, err := NewWorld(Config{NumRanks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	if err := w.Start(func(p *Proc) {
+		x := 42
+		s := "str"
+		p.Expose("x", &x)
+		p.Expose("s", &s)
+		p.Expose("lit", 7)
+		close(done)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	p := w.Proc(0)
+	if names := p.VarNames(); !reflect.DeepEqual(names, []string{"lit", "s", "x"}) {
+		t.Fatalf("VarNames = %v", names)
+	}
+	if v, ok := p.FormatVar("x"); !ok || v != "42" {
+		t.Errorf("x = %q, %v", v, ok)
+	}
+	if v, ok := p.FormatVar("lit"); !ok || v != "7" {
+		t.Errorf("lit = %q, %v", v, ok)
+	}
+	if _, ok := p.FormatVar("missing"); ok {
+		t.Error("missing var found")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	f := func(xs []float64) bool {
+		got := BytesFloat64(Float64Bytes(xs))
+		if len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			// NaN-safe bit comparison.
+			if fmt.Sprintf("%x", got[i]) != fmt.Sprintf("%x", xs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(xs []int64) bool {
+		return reflect.DeepEqual(BytesInt64(Int64Bytes(xs)), xs) || len(xs) == 0
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceFuncs(t *testing.T) {
+	a := Float64Bytes([]float64{1, 2, 3})
+	b := Float64Bytes([]float64{10, 20, 30})
+	if got := BytesFloat64(SumFloat64(a, b)); !reflect.DeepEqual(got, []float64{11, 22, 33}) {
+		t.Errorf("SumFloat64 = %v", got)
+	}
+	if got := BytesFloat64(MaxFloat64(Float64Bytes([]float64{5, 1}), Float64Bytes([]float64{2, 9}))); !reflect.DeepEqual(got, []float64{5, 9}) {
+		t.Errorf("MaxFloat64 = %v", got)
+	}
+	if got := BytesInt64(SumInt64(Int64Bytes([]int64{1}), Int64Bytes([]int64{2}))); got[0] != 3 {
+		t.Errorf("SumInt64 = %v", got)
+	}
+	if got := BytesFloat64(SumFloat64(nil, b)); !reflect.DeepEqual(got, []float64{10, 20, 30}) {
+		t.Errorf("nil acc = %v", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpSend.String() != "Send" || OpAlltoall.String() != "Alltoall" {
+		t.Error("op names wrong")
+	}
+	if Op(99).String() != "Op(99)" {
+		t.Error("unknown op name")
+	}
+	if !OpBarrier.IsCollective() || OpSend.IsCollective() {
+		t.Error("IsCollective wrong")
+	}
+	if Eager.String() != "Eager" || Rendezvous.String() != "Rendezvous" {
+		t.Error("send mode names wrong")
+	}
+}

@@ -1,0 +1,453 @@
+package mp
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tracedbg/internal/trace"
+)
+
+// Request is the caller-visible handle of a nonblocking operation.
+type Request struct {
+	p    *Proc
+	req  *request  // posted receive (OpIrecv)
+	env  *envelope // rendezvous isend envelope (OpIsend)
+	info OpInfo    // the Irecv/Isend info, completed by Wait
+	data []byte
+	kind Op
+	done bool
+	st   Status
+}
+
+// Proc is one process (rank) of a World. All communication methods must be
+// called from the rank's own goroutine (the body function passed to Start);
+// the single-threaded-process model is the one the paper's techniques are
+// stated for.
+type Proc struct {
+	w    *World
+	rank int
+
+	// clockA mirrors clock for lock-free reads by the instrumentation
+	// fast path (only the owning rank writes it, under w.mu).
+	clockA atomic.Int64
+
+	// Guarded by w.mu.
+	cond      *sync.Cond
+	state     procState
+	blockOp   *OpInfo
+	blockPred func() bool // satisfied => the rank is about to wake
+	pending   []*envelope
+	posted    []*request
+	clock     int64
+
+	recvSeq uint64
+	collSeq int
+
+	loc trace.Location
+
+	varsMu sync.Mutex
+	vars   map[string]any
+}
+
+// Rank returns this process's rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the number of ranks in the world.
+func (p *Proc) Size() int { return p.w.cfg.NumRanks }
+
+// World returns the owning world.
+func (p *Proc) World() *World { return p.w }
+
+// Clock returns the rank's current virtual time. Reads are lock free so
+// the per-event instrumentation path stays cheap.
+func (p *Proc) Clock() int64 { return p.clockA.Load() }
+
+// setClockLocked advances the virtual clock (w.mu held).
+func (p *Proc) setClockLocked(v int64) {
+	p.clock = v
+	p.clockA.Store(v)
+}
+
+// SetLoc declares the source location of the next operation(s); the
+// instrumentation wrappers use it so trace records can point back at the
+// user's code, the way the UserMonitor records its call address.
+func (p *Proc) SetLoc(loc trace.Location) { p.loc = loc }
+
+// Loc returns the currently declared source location.
+func (p *Proc) Loc() trace.Location { return p.loc }
+
+// Expose registers a named variable (pass a pointer) for debugger
+// inspection. It is the stand-in for the symbol-table access a native
+// debugger has; programs expose the state they want inspectable at stops.
+func (p *Proc) Expose(name string, v any) {
+	p.varsMu.Lock()
+	defer p.varsMu.Unlock()
+	p.vars[name] = v
+}
+
+// VarNames lists the exposed variable names in sorted order.
+func (p *Proc) VarNames() []string {
+	p.varsMu.Lock()
+	defer p.varsMu.Unlock()
+	names := make([]string, 0, len(p.vars))
+	for n := range p.vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FormatVar renders an exposed variable's current value. Pointers are
+// dereferenced one level so the caller sees the value, not the address.
+// It must only be called while the rank is stopped (the debugger guarantees
+// this), otherwise the read races with the program.
+func (p *Proc) FormatVar(name string) (string, bool) {
+	p.varsMu.Lock()
+	v, ok := p.vars[name]
+	p.varsMu.Unlock()
+	if !ok {
+		return "", false
+	}
+	rv := reflect.ValueOf(v)
+	if rv.Kind() == reflect.Ptr && !rv.IsNil() {
+		rv = rv.Elem()
+	}
+	return fmt.Sprintf("%v", rv.Interface()), true
+}
+
+func (p *Proc) firePre(info *OpInfo) {
+	for _, h := range p.w.cfg.Hooks {
+		h.Pre(p, info)
+	}
+}
+
+func (p *Proc) firePost(info *OpInfo) {
+	for _, h := range p.w.cfg.Hooks {
+		h.Post(p, info)
+	}
+}
+
+// abortCheckLocked unwinds the rank if the world has been aborted. Called
+// with w.mu held at operation entry; panics after unlocking.
+func (p *Proc) abortCheckLocked() {
+	if p.w.aborted {
+		err := p.w.abortErr
+		p.w.mu.Unlock()
+		panic(abortPanic{err})
+	}
+}
+
+// blockUntilLocked parks the rank until pred holds or the world aborts.
+// Must be entered with w.mu held; returns with w.mu held if pred holds,
+// otherwise fires the Blocked post-hook and unwinds the rank.
+func (p *Proc) blockUntilLocked(info *OpInfo, pred func() bool) {
+	w := p.w
+	for !pred() && !w.aborted {
+		p.state = stateBlocked
+		p.blockOp = info
+		p.blockPred = pred
+		w.blocked++
+		w.checkStallLocked()
+		if !pred() && !w.aborted {
+			p.cond.Wait()
+		}
+		w.blocked--
+		p.state = stateRunning
+		p.blockOp = nil
+		p.blockPred = nil
+	}
+	if !pred() {
+		// Aborted while blocked: report the incomplete operation so the
+		// trace can show the blocked interval (Figure 5), then unwind.
+		info.Blocked = true
+		info.End = max(info.Start, w.maxClock)
+		err := w.abortErr
+		w.mu.Unlock()
+		p.firePost(info)
+		panic(abortPanic{err})
+	}
+}
+
+// depositLocked buffers an envelope at the destination and runs the
+// matching sweep on the destination's behalf.
+func (w *World) depositLocked(env *envelope) {
+	d := w.procs[env.dst]
+	w.nextMsg++
+	env.msgID = w.nextMsg
+	w.chanSeq[env.src][env.dst]++
+	env.chanSeq = w.chanSeq[env.src][env.dst]
+	d.pending = append(d.pending, env)
+	w.sweepLocked(d)
+}
+
+func (p *Proc) validatePeer(op Op, peer int) {
+	if peer < 0 || peer >= p.w.cfg.NumRanks {
+		panic(fmt.Sprintf("mp: rank %d: %v to/from invalid rank %d (world size %d)",
+			p.rank, op, peer, p.w.cfg.NumRanks))
+	}
+}
+
+// Send transmits data to dst with the given tag. In Eager mode it returns
+// once the message is buffered at the receiver; in Rendezvous mode it blocks
+// until the receiver consumes the message.
+func (p *Proc) Send(dst, tag int, data []byte) {
+	p.validatePeer(OpSend, dst)
+	info := OpInfo{Op: OpSend, Rank: p.rank, Src: p.rank, Dst: dst, Tag: tag,
+		Bytes: len(data), Loc: p.loc}
+	p.firePre(&info)
+
+	w := p.w
+	w.mu.Lock()
+	p.abortCheckLocked()
+	info.Start = p.clock
+	end := p.clock + w.cfg.OpCost + int64(len(data))*w.cfg.ByteTime
+	env := &envelope{
+		src: p.rank, dst: dst, tag: tag,
+		data:       append([]byte(nil), data...),
+		arrive:     end + w.cfg.Latency,
+		rendezvous: w.cfg.SendMode == Rendezvous,
+		sender:     p,
+	}
+	w.depositLocked(env)
+	p.setClockLocked(end)
+	info.End = end
+	info.MsgID = env.msgID
+	w.bumpClockLocked(end)
+	if env.rendezvous && !env.consumed {
+		p.blockUntilLocked(&info, func() bool { return env.consumed })
+		// The receiver consumed the message; synchronize our clock with the
+		// completion point so rendezvous sends exhibit their coupling.
+		if p.clock < w.maxClock {
+			p.setClockLocked(w.maxClock)
+			info.End = p.clock
+		}
+	}
+	w.mu.Unlock()
+	p.firePost(&info)
+}
+
+// Recv blocks until a message matching (src, tag) — either may be a
+// wildcard — is delivered, and returns its payload and status.
+func (p *Proc) Recv(src, tag int) ([]byte, Status) {
+	if src != AnySource {
+		p.validatePeer(OpRecv, src)
+	}
+	info := OpInfo{Op: OpRecv, Rank: p.rank, Src: src, Dst: p.rank, Tag: tag,
+		Wildcard: src == AnySource || tag == AnyTag, Loc: p.loc}
+	p.firePre(&info)
+
+	w := p.w
+	w.mu.Lock()
+	p.abortCheckLocked()
+	info.Start = p.clock
+	p.recvSeq++
+	req := &request{proc: p, seq: p.recvSeq, srcSpec: src, tagSpec: tag, postClock: p.clock}
+	p.posted = append(p.posted, req)
+	w.sweepLocked(p)
+	p.blockUntilLocked(&info, func() bool { return req.done })
+
+	env := req.env
+	end := max(p.clock, env.arrive) + w.cfg.OpCost
+	p.setClockLocked(end)
+	w.bumpClockLocked(end)
+	info.End = end
+	info.Src = env.src
+	info.Tag = env.tag
+	info.Bytes = len(env.data)
+	info.MsgID = env.msgID
+	st := Status{Source: env.src, Tag: env.tag, Bytes: len(env.data), MsgID: env.msgID}
+	w.mu.Unlock()
+	p.firePost(&info)
+	return env.data, st
+}
+
+// Probe blocks until a message matching (src, tag) is deliverable and
+// returns its status without consuming it.
+func (p *Proc) Probe(src, tag int) Status {
+	if src != AnySource {
+		p.validatePeer(OpProbe, src)
+	}
+	info := OpInfo{Op: OpProbe, Rank: p.rank, Src: src, Dst: p.rank, Tag: tag,
+		Wildcard: src == AnySource || tag == AnyTag, Loc: p.loc}
+	p.firePre(&info)
+
+	w := p.w
+	w.mu.Lock()
+	p.abortCheckLocked()
+	info.Start = p.clock
+	req := &request{proc: p, srcSpec: src, tagSpec: tag, probe: true, postClock: p.clock}
+	p.posted = append(p.posted, req)
+	w.sweepLocked(p)
+	p.blockUntilLocked(&info, func() bool { return req.done })
+
+	env := req.env
+	end := p.clock + w.cfg.OpCost
+	p.setClockLocked(end)
+	w.bumpClockLocked(end)
+	info.End = end
+	info.Src = env.src
+	info.Tag = env.tag
+	info.Bytes = len(env.data)
+	info.MsgID = env.msgID
+	st := Status{Source: env.src, Tag: env.tag, Bytes: len(env.data), MsgID: env.msgID}
+	w.mu.Unlock()
+	p.firePost(&info)
+	return st
+}
+
+// Isend starts a nonblocking send and returns its request handle.
+func (p *Proc) Isend(dst, tag int, data []byte) *Request {
+	p.validatePeer(OpIsend, dst)
+	info := OpInfo{Op: OpIsend, Rank: p.rank, Src: p.rank, Dst: dst, Tag: tag,
+		Bytes: len(data), Loc: p.loc}
+	p.firePre(&info)
+
+	w := p.w
+	w.mu.Lock()
+	p.abortCheckLocked()
+	info.Start = p.clock
+	end := p.clock + w.cfg.OpCost + int64(len(data))*w.cfg.ByteTime
+	env := &envelope{
+		src: p.rank, dst: dst, tag: tag,
+		data:       append([]byte(nil), data...),
+		arrive:     end + w.cfg.Latency,
+		rendezvous: w.cfg.SendMode == Rendezvous,
+		sender:     p,
+	}
+	w.depositLocked(env)
+	p.setClockLocked(end)
+	info.End = end
+	info.MsgID = env.msgID
+	w.bumpClockLocked(end)
+	r := &Request{p: p, kind: OpIsend, info: info, data: env.data,
+		st: Status{Source: p.rank, Tag: tag, Bytes: len(data), MsgID: env.msgID}}
+	if !env.rendezvous || env.consumed {
+		r.done = true
+	} else {
+		r.env = env // Wait watches env.consumed
+	}
+	w.mu.Unlock()
+	p.firePost(&info)
+	return r
+}
+
+// Irecv posts a nonblocking receive and returns its request handle.
+func (p *Proc) Irecv(src, tag int) *Request {
+	if src != AnySource {
+		p.validatePeer(OpIrecv, src)
+	}
+	info := OpInfo{Op: OpIrecv, Rank: p.rank, Src: src, Dst: p.rank, Tag: tag,
+		Wildcard: src == AnySource || tag == AnyTag, Loc: p.loc}
+	p.firePre(&info)
+
+	w := p.w
+	w.mu.Lock()
+	p.abortCheckLocked()
+	info.Start = p.clock
+	info.End = p.clock
+	p.recvSeq++
+	req := &request{proc: p, seq: p.recvSeq, srcSpec: src, tagSpec: tag, postClock: p.clock}
+	p.posted = append(p.posted, req)
+	w.sweepLocked(p)
+	r := &Request{p: p, kind: OpIrecv, info: info, req: req}
+	w.mu.Unlock()
+	p.firePost(&info)
+	return r
+}
+
+// Wait blocks until the request completes. For receives it returns the
+// payload and status; for sends the payload is nil.
+func (r *Request) Wait() ([]byte, Status) {
+	p := r.p
+	w := p.w
+	info := OpInfo{Op: OpWait, Rank: p.rank, Src: r.info.Src, Dst: r.info.Dst,
+		Tag: r.info.Tag, Wildcard: r.info.Wildcard, Loc: p.loc, Name: r.kind.String()}
+	p.firePre(&info)
+
+	w.mu.Lock()
+	p.abortCheckLocked()
+	info.Start = p.clock
+
+	if r.kind == OpIsend {
+		if !r.done {
+			p.blockUntilLocked(&info, func() bool { return r.env.consumed })
+			r.done = true
+		}
+		end := p.clock + w.cfg.OpCost
+		p.setClockLocked(end)
+		w.bumpClockLocked(end)
+		info.End = end
+		info.MsgID = r.st.MsgID
+		info.Bytes = r.st.Bytes
+		st := r.st
+		w.mu.Unlock()
+		p.firePost(&info)
+		return nil, st
+	}
+
+	req := r.req
+	if !r.done {
+		p.blockUntilLocked(&info, func() bool { return req.done })
+		r.done = true
+	}
+	env := req.env
+	end := max(p.clock, env.arrive) + w.cfg.OpCost
+	p.setClockLocked(end)
+	w.bumpClockLocked(end)
+	info.End = end
+	info.Src = env.src
+	info.Tag = env.tag
+	info.Bytes = len(env.data)
+	info.MsgID = env.msgID
+	r.st = Status{Source: env.src, Tag: env.tag, Bytes: len(env.data), MsgID: env.msgID}
+	st := r.st
+	w.mu.Unlock()
+	p.firePost(&info)
+	return env.data, st
+}
+
+// Test reports whether the request has completed, without blocking.
+func (r *Request) Test() bool {
+	p := r.p
+	w := p.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if r.done {
+		return true
+	}
+	if r.kind == OpIsend {
+		return r.env == nil || r.env.consumed
+	}
+	return r.req.done
+}
+
+// Sendrecv performs a combined send and receive, safe in both send modes.
+func (p *Proc) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) ([]byte, Status) {
+	sreq := p.Isend(dst, sendTag, data)
+	got, st := p.Recv(src, recvTag)
+	sreq.Wait()
+	return got, st
+}
+
+// Compute advances the rank's virtual clock by d nanoseconds, representing
+// local computation. Hooks observe it as OpCompute so computation bars
+// appear in time-space diagrams.
+func (p *Proc) Compute(d int64) {
+	if d < 0 {
+		d = 0
+	}
+	info := OpInfo{Op: OpCompute, Rank: p.rank, Src: trace.NoRank, Dst: trace.NoRank, Loc: p.loc}
+	p.firePre(&info)
+	w := p.w
+	w.mu.Lock()
+	p.abortCheckLocked()
+	info.Start = p.clock
+	p.setClockLocked(p.clock + d)
+	info.End = p.clock
+	w.bumpClockLocked(p.clock)
+	w.mu.Unlock()
+	p.firePost(&info)
+}

@@ -1,0 +1,230 @@
+package mp
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStallTwoRanksCrossedReceives(t *testing.T) {
+	// The Figure 5 situation: both ranks blocked in receives waiting for
+	// data from each other.
+	err := Run(Config{NumRanks: 2}, func(p *Proc) {
+		p.Recv(1-p.Rank(), 0)
+	})
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("expected StallError, got %v", err)
+	}
+	if len(stall.Blocked) != 2 {
+		t.Fatalf("blocked ranks = %d, want 2", len(stall.Blocked))
+	}
+	for i, b := range stall.Blocked {
+		if b.Rank != i || b.Op != OpRecv || b.Src != 1-i {
+			t.Errorf("blocked[%d] = %+v", i, b)
+		}
+	}
+	if !strings.Contains(err.Error(), "blocked in Recv") {
+		t.Errorf("stall message: %v", err)
+	}
+}
+
+func TestStallSomeRanksFinished(t *testing.T) {
+	// Ranks 1..n-1 finish; rank 0 blocks forever. Stall must be detected
+	// even though most ranks exited normally.
+	err := Run(Config{NumRanks: 4}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Recv(3, 77) // never sent
+		}
+	})
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("expected StallError, got %v", err)
+	}
+	if len(stall.Blocked) != 1 || stall.Blocked[0].Rank != 0 || stall.Blocked[0].Tag != 77 {
+		t.Fatalf("blocked = %+v", stall.Blocked)
+	}
+}
+
+func TestStallPendingButIneligible(t *testing.T) {
+	// A message is buffered but does not match the posted receive (wrong
+	// tag); the receiver is genuinely stuck and Pending should report the
+	// buffered message.
+	err := Run(Config{NumRanks: 2}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 5, []byte("wrong tag"))
+		} else {
+			p.Recv(0, 6)
+		}
+	})
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("expected StallError, got %v", err)
+	}
+	if len(stall.Blocked) != 1 || stall.Blocked[0].Pending != 1 {
+		t.Fatalf("blocked = %+v", stall.Blocked)
+	}
+}
+
+func TestStallRendezvousSend(t *testing.T) {
+	// A rendezvous send with no matching receive stalls on the sender side.
+	err := Run(Config{NumRanks: 2, SendMode: Rendezvous}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 1, []byte("never consumed"))
+		}
+	})
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("expected StallError, got %v", err)
+	}
+	if len(stall.Blocked) != 1 || stall.Blocked[0].Op != OpSend || stall.Blocked[0].Dst != 1 {
+		t.Fatalf("blocked = %+v", stall.Blocked)
+	}
+	if !strings.Contains(stall.Error(), "blocked in Send to 1") {
+		t.Errorf("message: %v", stall)
+	}
+}
+
+func TestStallInCollective(t *testing.T) {
+	// One rank skips the barrier: the others stall inside it and the report
+	// names the collective.
+	err := Run(Config{NumRanks: 3}, func(p *Proc) {
+		if p.Rank() != 2 {
+			p.Barrier()
+		}
+	})
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("expected StallError, got %v", err)
+	}
+	for _, b := range stall.Blocked {
+		if b.Op != OpBarrier {
+			t.Errorf("blocked op = %v, want Barrier", b.Op)
+		}
+	}
+}
+
+func TestNoFalseStallUnderLoad(t *testing.T) {
+	// Heavy traffic with staggered timing must never trip stall detection.
+	const n = 8
+	err := Run(Config{NumRanks: n}, func(p *Proc) {
+		for round := 0; round < 50; round++ {
+			dst := (p.Rank() + 1) % n
+			src := (p.Rank() - 1 + n) % n
+			if p.Rank()%2 == 0 {
+				p.SendInt64s(dst, round, []int64{int64(round)})
+				p.RecvInt64s(src, round)
+			} else {
+				p.RecvInt64s(src, round)
+				p.SendInt64s(dst, round, []int64{int64(round)})
+			}
+			if round%10 == p.Rank()%10 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("false stall or error: %v", err)
+	}
+}
+
+func TestAbortUnblocksEveryone(t *testing.T) {
+	w, err := NewWorld(Config{NumRanks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{}, 3)
+	if err := w.Start(func(p *Proc) {
+		started <- struct{}{}
+		if p.Rank() == 2 {
+			// Keep one rank unblocked so no stall is detected; abort comes
+			// from outside.
+			for i := 0; i < 100; i++ {
+				time.Sleep(time.Millisecond)
+				if w.Stalled() != nil {
+					break
+				}
+			}
+			return
+		}
+		p.Recv(2, 9) // never satisfied; must be released by Abort
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		<-started
+	}
+	cause := errors.New("killed by debugger")
+	w.Abort(cause)
+	err = w.Wait()
+	if err == nil || !strings.Contains(err.Error(), "killed by debugger") {
+		t.Fatalf("Wait after abort = %v", err)
+	}
+}
+
+func TestBlockedHookFiredOnAbort(t *testing.T) {
+	// A rank aborted while blocked must emit a Post hook with Blocked set,
+	// so traces show the blocked interval (Figure 5 rendering).
+	var mu sync.Mutex
+	var blockedInfos []OpInfo
+	hook := HookFuncs{PostFunc: func(p *Proc, info *OpInfo) {
+		if info.Blocked {
+			mu.Lock()
+			blockedInfos = append(blockedInfos, *info)
+			mu.Unlock()
+		}
+	}}
+	err := Run(Config{NumRanks: 2, Hooks: []Hook{hook}}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Compute(5000)
+		} else {
+			p.Recv(0, 1) // rank 0 never sends
+		}
+	})
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("expected stall, got %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(blockedInfos) != 1 {
+		t.Fatalf("blocked hook count = %d", len(blockedInfos))
+	}
+	bi := blockedInfos[0]
+	if bi.Op != OpRecv || bi.Rank != 1 || !bi.Blocked {
+		t.Fatalf("blocked info = %+v", bi)
+	}
+	if bi.End < 5000 {
+		t.Errorf("blocked interval end = %d, should extend to world max clock", bi.End)
+	}
+}
+
+func TestRankPanicPropagates(t *testing.T) {
+	err := Run(Config{NumRanks: 2}, func(p *Proc) {
+		if p.Rank() == 0 {
+			panic("application bug")
+		}
+		p.Recv(0, 0) // would hang; the panic must abort it
+	})
+	if err == nil || !strings.Contains(err.Error(), "application bug") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMaxClockTracksProgress(t *testing.T) {
+	w, err := NewWorld(Config{NumRanks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Start(func(p *Proc) { p.Compute(7777) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if w.MaxClock() != 7777 {
+		t.Fatalf("MaxClock = %d", w.MaxClock())
+	}
+}

@@ -1,0 +1,445 @@
+package mp
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+
+	"tracedbg/internal/trace"
+)
+
+// Config parameterizes a World.
+type Config struct {
+	// NumRanks is the number of processes. Required, >= 1.
+	NumRanks int
+
+	// SendMode selects eager (default) or rendezvous send completion.
+	SendMode SendMode
+
+	// Virtual-time cost model. Zero values select defaults chosen so that
+	// compute, transfer and latency are all visible in time-space diagrams.
+	Latency  int64 // per-message wire latency (default 1000)
+	ByteTime int64 // per-byte transfer cost (default 1)
+	OpCost   int64 // fixed per-operation cost (default 100)
+
+	// Hooks is the PMPI-style interposition chain, invoked in order.
+	Hooks []Hook
+
+	// Delivery chooses among eligible messages for wildcard receives.
+	// Nil selects EarliestArrival.
+	Delivery DeliveryController
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.Latency == 0 {
+		cfg.Latency = 1000
+	}
+	if cfg.ByteTime == 0 {
+		cfg.ByteTime = 1
+	}
+	if cfg.OpCost == 0 {
+		cfg.OpCost = 100
+	}
+	if cfg.Delivery == nil {
+		cfg.Delivery = EarliestArrival{}
+	}
+	return cfg
+}
+
+type procState uint8
+
+const (
+	stateRunning procState = iota
+	stateBlocked
+	stateFinished
+)
+
+// envelope is a message in flight or buffered at the receiver.
+type envelope struct {
+	src, dst   int
+	tag        int
+	data       []byte
+	msgID      uint64
+	chanSeq    uint64
+	arrive     int64
+	internal   bool // collective plumbing, invisible to hooks/controllers
+	rendezvous bool
+	consumed   bool
+	sender     *Proc
+}
+
+// request is a posted receive (or probe).
+type request struct {
+	proc      *Proc
+	seq       uint64 // user receive ordinal (0 for internal requests)
+	srcSpec   int
+	tagSpec   int
+	internal  bool
+	probe     bool
+	done      bool
+	env       *envelope
+	postClock int64
+}
+
+// World is a running (or runnable) message-passing job.
+type World struct {
+	cfg Config
+
+	mu       sync.Mutex
+	procs    []*Proc
+	nextMsg  uint64
+	chanSeq  [][]uint64
+	blocked  int
+	finished int
+	aborted  bool
+	abortErr error
+	stall    *StallError
+	maxClock int64
+	started  bool
+	rankErrs []error
+
+	wg sync.WaitGroup
+}
+
+// NewWorld validates the configuration and creates a world.
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.NumRanks < 1 {
+		return nil, fmt.Errorf("mp: NumRanks must be >= 1, got %d", cfg.NumRanks)
+	}
+	c := cfg.withDefaults()
+	w := &World{
+		cfg:      c,
+		procs:    make([]*Proc, c.NumRanks),
+		chanSeq:  make([][]uint64, c.NumRanks),
+		rankErrs: make([]error, c.NumRanks),
+	}
+	for i := range w.chanSeq {
+		w.chanSeq[i] = make([]uint64, c.NumRanks)
+	}
+	for r := 0; r < c.NumRanks; r++ {
+		p := &Proc{w: w, rank: r, vars: make(map[string]any)}
+		p.cond = sync.NewCond(&w.mu)
+		w.procs[r] = p
+	}
+	return w, nil
+}
+
+// NumRanks returns the world size.
+func (w *World) NumRanks() int { return w.cfg.NumRanks }
+
+// Config returns the effective configuration (defaults applied).
+func (w *World) Config() Config { return w.cfg }
+
+// Proc returns the process object for a rank (valid before Start, used by
+// debuggers to pre-register state).
+func (w *World) Proc(rank int) *Proc {
+	if rank < 0 || rank >= len(w.procs) {
+		return nil
+	}
+	return w.procs[rank]
+}
+
+// abortPanic unwinds a rank goroutine when the world is aborted.
+type abortPanic struct{ err error }
+
+// Start launches one goroutine per rank running body. It may be called once.
+func (w *World) Start(body func(p *Proc)) error {
+	w.mu.Lock()
+	if w.started {
+		w.mu.Unlock()
+		return fmt.Errorf("mp: world already started")
+	}
+	w.started = true
+	w.mu.Unlock()
+
+	w.wg.Add(w.cfg.NumRanks)
+	for r := 0; r < w.cfg.NumRanks; r++ {
+		p := w.procs[r]
+		go func() {
+			defer w.wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(abortPanic); ok {
+						// Normal unwinding of an aborted world.
+					} else {
+						err := fmt.Errorf("mp: rank %d panicked: %v\n%s", p.rank, rec, debug.Stack())
+						w.mu.Lock()
+						w.rankErrs[p.rank] = err
+						w.mu.Unlock()
+						w.Abort(err)
+					}
+				}
+				w.finishRank(p)
+			}()
+			body(p)
+		}()
+	}
+	return nil
+}
+
+// Wait blocks until every rank goroutine has finished and returns the
+// world's error: a *StallError if a global communication stall was detected,
+// any rank panic errors, or nil.
+func (w *World) Wait() error {
+	w.wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stall != nil {
+		return w.stall
+	}
+	var msgs []string
+	for _, err := range w.rankErrs {
+		if err != nil {
+			msgs = append(msgs, err.Error())
+		}
+	}
+	if len(msgs) > 0 {
+		return fmt.Errorf("%s", strings.Join(msgs, "; "))
+	}
+	if w.aborted && w.abortErr != nil {
+		return w.abortErr
+	}
+	return nil
+}
+
+// Run is the convenience one-shot: create, start, wait.
+func Run(cfg Config, body func(p *Proc)) error {
+	w, err := NewWorld(cfg)
+	if err != nil {
+		return err
+	}
+	if err := w.Start(body); err != nil {
+		return err
+	}
+	return w.Wait()
+}
+
+// Abort terminates the world: all blocked operations unwind their ranks.
+// The first abort cause wins.
+func (w *World) Abort(cause error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.abortLocked(cause)
+}
+
+func (w *World) abortLocked(cause error) {
+	if w.aborted {
+		return
+	}
+	w.aborted = true
+	w.abortErr = cause
+	for _, p := range w.procs {
+		p.cond.Broadcast()
+	}
+}
+
+// Stalled returns the stall error if a global stall was detected, else nil.
+func (w *World) Stalled() *StallError {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stall
+}
+
+// MaxClock returns the largest virtual time reached by any rank so far.
+func (w *World) MaxClock() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.maxClock
+}
+
+func (w *World) bumpClockLocked(vt int64) {
+	if vt > w.maxClock {
+		w.maxClock = vt
+	}
+}
+
+// finishRank records rank completion and re-checks for global stall, since
+// the remaining ranks may now all be blocked.
+func (w *World) finishRank(p *Proc) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if p.state == stateFinished {
+		return
+	}
+	p.state = stateFinished
+	w.finished++
+	w.checkStallLocked()
+	// A finishing rank can never unblock anyone (all its sends are already
+	// deposited), but waking blocked ranks lets them re-check abort flags.
+	if w.aborted {
+		for _, q := range w.procs {
+			q.cond.Broadcast()
+		}
+	}
+}
+
+// BlockedOp describes one rank's blocked operation in a StallError.
+type BlockedOp struct {
+	Rank    int
+	Op      Op
+	Src     int // source specifier for receives (may be AnySource)
+	Dst     int
+	Tag     int
+	Since   int64 // virtual time at which the rank blocked
+	Loc     trace.Location
+	Pending int // messages buffered at the rank but not eligible
+}
+
+// String renders one blocked operation.
+func (b BlockedOp) String() string {
+	switch b.Op {
+	case OpSend, OpIsend:
+		return fmt.Sprintf("rank %d blocked in %v to %d tag=%d since vt=%d at %s",
+			b.Rank, b.Op, b.Dst, b.Tag, b.Since, b.Loc)
+	default:
+		src := fmt.Sprintf("%d", b.Src)
+		if b.Src == AnySource {
+			src = "ANY"
+		}
+		return fmt.Sprintf("rank %d blocked in %v from %s tag=%d since vt=%d at %s",
+			b.Rank, b.Op, src, b.Tag, b.Since, b.Loc)
+	}
+}
+
+// StallError reports a global communication stall: every unfinished rank is
+// blocked in an operation that nothing pending can complete. This is the
+// runtime counterpart of the paper's Figure 5 (processes 0 and 7 blocked in
+// receives waiting for data from each other).
+type StallError struct {
+	Blocked []BlockedOp
+	At      int64 // virtual time of detection (max clock)
+}
+
+// Error implements error.
+func (e *StallError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "mp: global stall at vt=%d: %d rank(s) blocked", e.At, len(e.Blocked))
+	for _, b := range e.Blocked {
+		sb.WriteString("; ")
+		sb.WriteString(b.String())
+	}
+	return sb.String()
+}
+
+// checkStallLocked detects the exact global-stall condition. Every message
+// deposit performs matching on behalf of the receiver (sweepLocked), so a
+// blocked rank whose block predicate is still unsatisfied genuinely has
+// nothing actionable; when all unfinished ranks are in that state the world
+// can make no further progress. A rank whose predicate has been satisfied by
+// a sweep but which has not yet woken is treated as live.
+func (w *World) checkStallLocked() {
+	if w.aborted || w.blocked == 0 || w.blocked+w.finished != w.cfg.NumRanks {
+		return
+	}
+	for _, p := range w.procs {
+		if p.state == stateBlocked && p.blockPred != nil && p.blockPred() {
+			return // that rank is about to wake and make progress
+		}
+	}
+	stall := &StallError{At: w.maxClock}
+	for _, p := range w.procs {
+		if p.state != stateBlocked || p.blockOp == nil {
+			continue
+		}
+		b := BlockedOp{
+			Rank: p.rank, Op: p.blockOp.Op,
+			Src: p.blockOp.Src, Dst: p.blockOp.Dst, Tag: p.blockOp.Tag,
+			Since: p.blockOp.Start, Loc: p.blockOp.Loc,
+			Pending: len(p.pending),
+		}
+		stall.Blocked = append(stall.Blocked, b)
+	}
+	sort.Slice(stall.Blocked, func(i, j int) bool { return stall.Blocked[i].Rank < stall.Blocked[j].Rank })
+	w.stall = stall
+	w.abortLocked(stall)
+}
+
+// sweepLocked matches the destination rank's posted requests against its
+// pending messages, in posting order, honouring non-overtaking eligibility
+// and the delivery controller. Runs under w.mu on behalf of whichever rank
+// caused new state (a deposit or a fresh post). Matching a request completes
+// it immediately; the owning rank is woken if blocked.
+func (w *World) sweepLocked(d *Proc) {
+	progress := true
+	for progress {
+		progress = false
+		for _, req := range d.posted {
+			if req.done {
+				continue
+			}
+			idx := w.matchLocked(d, req)
+			if idx < 0 {
+				continue
+			}
+			env := d.pending[idx]
+			req.env = env
+			req.done = true
+			if !req.probe {
+				d.pending = append(d.pending[:idx], d.pending[idx+1:]...)
+				if env.rendezvous && !env.consumed {
+					env.consumed = true
+					env.sender.cond.Broadcast()
+				}
+			}
+			d.cond.Broadcast()
+			if !req.probe {
+				progress = true
+			}
+		}
+		// Drop completed non-probe requests from the posted list so later
+		// requests can match subsequent messages.
+		kept := d.posted[:0]
+		for _, req := range d.posted {
+			if !req.done {
+				kept = append(kept, req)
+			}
+		}
+		d.posted = kept
+	}
+}
+
+// matchLocked computes the eligible set for a request and asks the
+// controller to pick. It returns the index into d.pending, or -1.
+func (w *World) matchLocked(d *Proc, req *request) int {
+	// For each sender, only its earliest matching message is eligible
+	// (non-overtaking).
+	var eligible []PendingMsg
+	var idxs []int
+	seen := make(map[int]bool)
+	for i, env := range d.pending {
+		if env.internal != req.internal {
+			continue
+		}
+		if req.srcSpec != AnySource && env.src != req.srcSpec {
+			continue
+		}
+		if req.tagSpec != AnyTag && env.tag != req.tagSpec {
+			continue
+		}
+		if seen[env.src] {
+			continue // a matching earlier message from this sender exists
+		}
+		seen[env.src] = true
+		eligible = append(eligible, PendingMsg{
+			Src: env.src, Tag: env.tag, Bytes: len(env.data),
+			MsgID: env.msgID, ChanSeq: env.chanSeq, Arrive: env.arrive,
+		})
+		idxs = append(idxs, i)
+	}
+	if len(eligible) == 0 {
+		return -1
+	}
+	var pick int
+	if req.internal {
+		pick = EarliestArrival{}.Pick(d.rank, 0, eligible)
+	} else {
+		pick = w.cfg.Delivery.Pick(d.rank, req.seq, eligible)
+	}
+	if pick < 0 || pick >= len(eligible) {
+		return -1
+	}
+	return idxs[pick]
+}

@@ -1,0 +1,332 @@
+// Package pvm is a PVM-flavored veneer over the mp runtime. p2d2 debugged
+// both PVM and MPI programs; this package lets workloads be written against
+// the PVM idioms — task ids instead of ranks, typed pack/unpack message
+// buffers, mcast — while everything underneath (instrumentation, markers,
+// replay, stoplines) works unchanged, because the veneer delegates to the
+// same Proc operations the hooks observe.
+package pvm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"tracedbg/internal/mp"
+)
+
+// TID is a PVM task identifier. Like real pvmd-assigned tids, they are
+// offset from a base so that raw ranks and tids cannot be confused.
+type TID int32
+
+// tidBase mimics the pvmd tid encoding offset.
+const tidBase = 0x40000
+
+// PvmNoParent is returned by Parent for the master task.
+const PvmNoParent TID = -23 // PVM's PvmNoParent value
+
+// AnyTID matches any source task in Recv/Probe.
+const AnyTID TID = -1
+
+// TIDOf converts a rank to its task id.
+func TIDOf(rank int) TID { return TID(tidBase + rank) }
+
+// Rank converts a task id back to a rank (-1 if not a task tid).
+func (t TID) Rank() int {
+	if t < tidBase {
+		return -1
+	}
+	return int(t) - tidBase
+}
+
+// String renders the tid in the traditional hex form.
+func (t TID) String() string { return fmt.Sprintf("t%x", int32(t)) }
+
+// Task is one PVM task (a rank of the underlying world).
+type Task struct {
+	p *mp.Proc
+}
+
+// Wrap adapts an mp.Proc (or the Proc embedded in an instrumented Ctx).
+func Wrap(p *mp.Proc) *Task { return &Task{p: p} }
+
+// Proc exposes the underlying process.
+func (t *Task) Proc() *mp.Proc { return t.p }
+
+// MyTID returns this task's id (pvm_mytid).
+func (t *Task) MyTID() TID { return TIDOf(t.p.Rank()) }
+
+// Parent returns the master's tid, or PvmNoParent for the master itself
+// (pvm_parent; the spawn-tree is flattened to master/workers).
+func (t *Task) Parent() TID {
+	if t.p.Rank() == 0 {
+		return PvmNoParent
+	}
+	return TIDOf(0)
+}
+
+// Tasks lists every task id in the virtual machine (pvm_tasks).
+func (t *Task) Tasks() []TID {
+	out := make([]TID, t.p.Size())
+	for i := range out {
+		out[i] = TIDOf(i)
+	}
+	return out
+}
+
+// errBadTID reports an invalid destination.
+var errBadTID = errors.New("pvm: invalid task id")
+
+func (t *Task) rankOf(tid TID) (int, error) {
+	r := tid.Rank()
+	if r < 0 || r >= t.p.Size() {
+		return 0, fmt.Errorf("%w: %v", errBadTID, tid)
+	}
+	return r, nil
+}
+
+// Send transmits a packed buffer (pvm_send).
+func (t *Task) Send(dst TID, msgtag int, buf *Buffer) error {
+	r, err := t.rankOf(dst)
+	if err != nil {
+		return err
+	}
+	t.p.Send(r, msgtag, buf.Bytes())
+	return nil
+}
+
+// Recv blocks for a message (pvm_recv); src may be AnyTID and msgtag may be
+// mp.AnyTag. It returns the unpacking buffer and the actual sender.
+func (t *Task) Recv(src TID, msgtag int) (*Buffer, TID, error) {
+	srcRank := mp.AnySource
+	if src != AnyTID {
+		r, err := t.rankOf(src)
+		if err != nil {
+			return nil, 0, err
+		}
+		srcRank = r
+	}
+	data, st := t.p.Recv(srcRank, msgtag)
+	return NewReadBuffer(data), TIDOf(st.Source), nil
+}
+
+// NRecv is the nonblocking receive (pvm_nrecv): ok is false when nothing
+// matching is deliverable right now.
+func (t *Task) NRecv(src TID, msgtag int) (*Buffer, TID, bool, error) {
+	srcRank := mp.AnySource
+	if src != AnyTID {
+		r, err := t.rankOf(src)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		srcRank = r
+	}
+	st, ok := t.p.Iprobe(srcRank, msgtag)
+	if !ok {
+		return nil, 0, false, nil
+	}
+	data, st2 := t.p.Recv(st.Source, st.Tag)
+	return NewReadBuffer(data), TIDOf(st2.Source), true, nil
+}
+
+// Probe reports whether a matching message is deliverable (pvm_probe).
+func (t *Task) Probe(src TID, msgtag int) bool {
+	srcRank := mp.AnySource
+	if src != AnyTID {
+		r, err := t.rankOf(src)
+		if err != nil {
+			return false
+		}
+		srcRank = r
+	}
+	_, ok := t.p.Iprobe(srcRank, msgtag)
+	return ok
+}
+
+// Mcast sends the buffer to several tasks (pvm_mcast).
+func (t *Task) Mcast(tids []TID, msgtag int, buf *Buffer) error {
+	for _, tid := range tids {
+		if tid == t.MyTID() {
+			continue // PVM mcast does not deliver to self
+		}
+		if err := t.Send(tid, msgtag, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Barrier joins the whole-machine barrier (pvm_barrier with the implicit
+// world group).
+func (t *Task) Barrier() { t.p.Barrier() }
+
+// --- pack/unpack buffers -------------------------------------------------
+
+// Buffer is the PVM message buffer: values are packed in order with type
+// tags and unpacked in the same order (pvm_pk*/pvm_upk*). Unpacking a
+// different type than was packed is reported as an error, which catches the
+// classic PVM mistake silently tolerated by the original library.
+type Buffer struct {
+	data []byte
+	off  int
+}
+
+// Type tags in the buffer encoding.
+const (
+	tagInt32 byte = iota + 1
+	tagInt64
+	tagFloat64
+	tagBytes
+	tagString
+)
+
+// NewBuffer creates an empty packing buffer (pvm_initsend).
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// NewReadBuffer wraps received bytes for unpacking.
+func NewReadBuffer(data []byte) *Buffer { return &Buffer{data: data} }
+
+// Bytes returns the wire form.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+func (b *Buffer) packHeader(tag byte, n int) {
+	b.data = append(b.data, tag)
+	b.data = binary.AppendUvarint(b.data, uint64(n))
+}
+
+func (b *Buffer) unpackHeader(tag byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, fmt.Errorf("pvm: unpack past end of buffer")
+	}
+	got := b.data[b.off]
+	if got != tag {
+		return 0, fmt.Errorf("pvm: unpack type mismatch: packed tag %d, unpacking tag %d", got, tag)
+	}
+	b.off++
+	n, sz := binary.Uvarint(b.data[b.off:])
+	if sz <= 0 {
+		return 0, fmt.Errorf("pvm: corrupt buffer length")
+	}
+	b.off += sz
+	return int(n), nil
+}
+
+// PackInt32s packs a []int32 (pvm_pkint).
+func (b *Buffer) PackInt32s(xs []int32) *Buffer {
+	b.packHeader(tagInt32, len(xs))
+	for _, x := range xs {
+		b.data = binary.LittleEndian.AppendUint32(b.data, uint32(x))
+	}
+	return b
+}
+
+// UnpackInt32s unpacks a []int32 (pvm_upkint).
+func (b *Buffer) UnpackInt32s() ([]int32, error) {
+	n, err := b.unpackHeader(tagInt32)
+	if err != nil {
+		return nil, err
+	}
+	if b.off+4*n > len(b.data) {
+		return nil, fmt.Errorf("pvm: truncated int32 block")
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b.data[b.off:]))
+		b.off += 4
+	}
+	return out, nil
+}
+
+// PackInt64s packs a []int64 (pvm_pklong).
+func (b *Buffer) PackInt64s(xs []int64) *Buffer {
+	b.packHeader(tagInt64, len(xs))
+	for _, x := range xs {
+		b.data = binary.LittleEndian.AppendUint64(b.data, uint64(x))
+	}
+	return b
+}
+
+// UnpackInt64s unpacks a []int64.
+func (b *Buffer) UnpackInt64s() ([]int64, error) {
+	n, err := b.unpackHeader(tagInt64)
+	if err != nil {
+		return nil, err
+	}
+	if b.off+8*n > len(b.data) {
+		return nil, fmt.Errorf("pvm: truncated int64 block")
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b.data[b.off:]))
+		b.off += 8
+	}
+	return out, nil
+}
+
+// PackFloat64s packs a []float64 (pvm_pkdouble).
+func (b *Buffer) PackFloat64s(xs []float64) *Buffer {
+	b.packHeader(tagFloat64, len(xs))
+	for _, x := range xs {
+		b.data = binary.LittleEndian.AppendUint64(b.data, math.Float64bits(x))
+	}
+	return b
+}
+
+// UnpackFloat64s unpacks a []float64.
+func (b *Buffer) UnpackFloat64s() ([]float64, error) {
+	n, err := b.unpackHeader(tagFloat64)
+	if err != nil {
+		return nil, err
+	}
+	if b.off+8*n > len(b.data) {
+		return nil, fmt.Errorf("pvm: truncated float64 block")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b.data[b.off:]))
+		b.off += 8
+	}
+	return out, nil
+}
+
+// PackBytes packs raw bytes (pvm_pkbyte).
+func (b *Buffer) PackBytes(p []byte) *Buffer {
+	b.packHeader(tagBytes, len(p))
+	b.data = append(b.data, p...)
+	return b
+}
+
+// UnpackBytes unpacks raw bytes.
+func (b *Buffer) UnpackBytes() ([]byte, error) {
+	n, err := b.unpackHeader(tagBytes)
+	if err != nil {
+		return nil, err
+	}
+	if b.off+n > len(b.data) {
+		return nil, fmt.Errorf("pvm: truncated byte block")
+	}
+	out := append([]byte(nil), b.data[b.off:b.off+n]...)
+	b.off += n
+	return out, nil
+}
+
+// PackString packs a string (pvm_pkstr).
+func (b *Buffer) PackString(s string) *Buffer {
+	b.packHeader(tagString, len(s))
+	b.data = append(b.data, s...)
+	return b
+}
+
+// UnpackString unpacks a string.
+func (b *Buffer) UnpackString() (string, error) {
+	n, err := b.unpackHeader(tagString)
+	if err != nil {
+		return "", err
+	}
+	if b.off+n > len(b.data) {
+		return "", fmt.Errorf("pvm: truncated string")
+	}
+	out := string(b.data[b.off : b.off+n])
+	b.off += n
+	return out, nil
+}

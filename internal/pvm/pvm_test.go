@@ -1,0 +1,225 @@
+package pvm
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+func TestTIDConversions(t *testing.T) {
+	if TIDOf(0).Rank() != 0 || TIDOf(7).Rank() != 7 {
+		t.Error("tid round trip")
+	}
+	if TID(5).Rank() != -1 {
+		t.Error("raw int accepted as tid")
+	}
+	if TIDOf(3).String() != "t40003" {
+		t.Errorf("tid string = %s", TIDOf(3))
+	}
+}
+
+func TestBufferRoundTrip(t *testing.T) {
+	b := NewBuffer().
+		PackInt32s([]int32{1, -2, 3}).
+		PackFloat64s([]float64{3.14, -1}).
+		PackString("hello pvm").
+		PackBytes([]byte{9, 8}).
+		PackInt64s([]int64{1 << 40})
+	r := NewReadBuffer(b.Bytes())
+	i32, err := r.UnpackInt32s()
+	if err != nil || !reflect.DeepEqual(i32, []int32{1, -2, 3}) {
+		t.Fatalf("int32s = %v, %v", i32, err)
+	}
+	f64, err := r.UnpackFloat64s()
+	if err != nil || f64[0] != 3.14 {
+		t.Fatalf("float64s = %v, %v", f64, err)
+	}
+	s, err := r.UnpackString()
+	if err != nil || s != "hello pvm" {
+		t.Fatalf("string = %q, %v", s, err)
+	}
+	bs, err := r.UnpackBytes()
+	if err != nil || !reflect.DeepEqual(bs, []byte{9, 8}) {
+		t.Fatalf("bytes = %v, %v", bs, err)
+	}
+	i64, err := r.UnpackInt64s()
+	if err != nil || i64[0] != 1<<40 {
+		t.Fatalf("int64s = %v, %v", i64, err)
+	}
+}
+
+func TestBufferTypeMismatchDetected(t *testing.T) {
+	b := NewBuffer().PackInt32s([]int32{1})
+	r := NewReadBuffer(b.Bytes())
+	if _, err := r.UnpackFloat64s(); err == nil {
+		t.Error("type mismatch not detected")
+	}
+	// Unpacking past the end fails cleanly.
+	r2 := NewReadBuffer(nil)
+	if _, err := r2.UnpackInt32s(); err == nil {
+		t.Error("empty buffer unpack accepted")
+	}
+	// Truncated payload fails cleanly.
+	data := NewBuffer().PackInt64s([]int64{1, 2}).Bytes()
+	r3 := NewReadBuffer(data[:len(data)-3])
+	if _, err := r3.UnpackInt64s(); err == nil {
+		t.Error("truncated buffer accepted")
+	}
+}
+
+func TestBufferProperty(t *testing.T) {
+	f := func(a []int32, b []float64, s string) bool {
+		buf := NewBuffer().PackInt32s(a).PackFloat64s(b).PackString(s)
+		r := NewReadBuffer(buf.Bytes())
+		ga, err := r.UnpackInt32s()
+		if err != nil {
+			return false
+		}
+		gb, err := r.UnpackFloat64s()
+		if err != nil {
+			return false
+		}
+		gs, err := r.UnpackString()
+		if err != nil {
+			return false
+		}
+		if len(a) == 0 && len(ga) == 0 {
+			// nil vs empty slices compare fine below via len
+		} else if !reflect.DeepEqual(ga, a) {
+			return false
+		}
+		for i := range b {
+			if gb[i] != b[i] && !(b[i] != b[i] && gb[i] != gb[i]) { // NaN-safe
+				return false
+			}
+		}
+		return gs == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPVMMasterWorker(t *testing.T) {
+	// A classic PVM master/worker program running under full
+	// instrumentation: the veneer is transparent to the monitor.
+	const n = 4
+	sink := instr.NewMemorySink(n)
+	in := instr.New(n, sink, instr.LevelAll)
+	var sum int64
+	err := in.Run(mp.Config{NumRanks: n}, func(c *instr.Ctx) {
+		tk := Wrap(c.Proc)
+		if tk.Parent() == PvmNoParent {
+			// Master: mcast work, gather replies.
+			work := NewBuffer().PackInt64s([]int64{100})
+			if err := tk.Mcast(tk.Tasks(), 1, work); err != nil {
+				t.Error(err)
+			}
+			for i := 0; i < n-1; i++ {
+				buf, src, err := tk.Recv(AnyTID, 2)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				vals, err := buf.UnpackInt64s()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if src.Rank() < 1 {
+					t.Errorf("reply from %v", src)
+				}
+				sum += vals[0]
+			}
+		} else {
+			buf, _, err := tk.Recv(TIDOf(0), 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			vals, err := buf.UnpackInt64s()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			reply := NewBuffer().PackInt64s([]int64{vals[0] + int64(tk.MyTID().Rank())})
+			if err := tk.Send(tk.Parent(), 2, reply); err != nil {
+				t.Error(err)
+			}
+		}
+		tk.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 3*100+1+2+3 {
+		t.Fatalf("sum = %d", sum)
+	}
+	// The monitor saw everything: PVM messages are ordinary trace records.
+	st := sink.Trace().Summarize()
+	if st.Sends != (n-1)*2 || st.Recvs != (n-1)*2 {
+		t.Fatalf("trace: %+v", st)
+	}
+	if st.PerKind[trace.KindCollective] != n {
+		t.Fatalf("barrier events: %+v", st.PerKind)
+	}
+}
+
+func TestPVMProbeAndNRecv(t *testing.T) {
+	err := mp.Run(mp.Config{NumRanks: 2}, func(p *mp.Proc) {
+		tk := Wrap(p)
+		if p.Rank() == 0 {
+			tk.Send(TIDOf(1), 9, NewBuffer().PackString("x"))
+		} else {
+			// NRecv polls until the message is there.
+			for {
+				buf, src, ok, err := tk.NRecv(AnyTID, 9)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ok {
+					if src != TIDOf(0) {
+						t.Errorf("src = %v", src)
+					}
+					s, _ := buf.UnpackString()
+					if s != "x" {
+						t.Errorf("payload = %q", s)
+					}
+					return
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPVMErrors(t *testing.T) {
+	err := mp.Run(mp.Config{NumRanks: 2}, func(p *mp.Proc) {
+		tk := Wrap(p)
+		if p.Rank() != 0 {
+			return
+		}
+		if err := tk.Send(TID(12345), 0, NewBuffer()); err == nil {
+			t.Error("bad tid send accepted")
+		}
+		if _, _, err := tk.Recv(TID(1), 0); err == nil {
+			t.Error("bad tid recv accepted")
+		}
+		if tk.Probe(TID(2), 0) {
+			t.Error("bad tid probe matched")
+		}
+		if _, _, _, err := tk.NRecv(TID(2), 0); err == nil {
+			t.Error("bad tid nrecv accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,430 @@
+// Package query implements a small expression language for searching
+// execution histories — the programmable query interface that trace-based
+// debugging toolkits expose (cf. the integrated toolkit of LeBlanc,
+// Mellor-Crummey & Fowler cited by the paper). Queries compile to record
+// predicates and run over traces:
+//
+//	kind = send && dst = 7 && bytes > 100
+//	(rank = 0 || rank = 1) && name =~ "Matr"
+//	kind = recv && wildcard && tag != 3
+//
+// Fields: kind, rank, src, dst, tag, bytes, marker, msgid, start, end,
+// dur, line, name, func, file, wildcard. Comparisons: = != < <= > >= and =~
+// (substring match on string fields). Kind values are the record kind names
+// (send, recv, funcentry, ...), case-insensitive.
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tracedbg/internal/trace"
+)
+
+// Query is a compiled predicate.
+type Query struct {
+	expr expr
+	src  string
+}
+
+// Compile parses and compiles a query expression.
+func Compile(s string) (*Query, error) {
+	toks, err := lex(s)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("query: unexpected %q after expression", p.toks[p.pos].text)
+	}
+	return &Query{expr: e, src: s}, nil
+}
+
+// String returns the original expression.
+func (q *Query) String() string { return q.src }
+
+// Match evaluates the query against one record.
+func (q *Query) Match(rec *trace.Record) bool { return q.expr.eval(rec) }
+
+// Run returns the matching events of a trace in (rank, index) order.
+func (q *Query) Run(tr *trace.Trace) []trace.EventID {
+	return tr.Filter(func(rec *trace.Record) bool { return q.expr.eval(rec) })
+}
+
+// --- lexer ---------------------------------------------------------------
+
+type tokKind uint8
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokString
+	tokOp    // = != < <= > >= =~
+	tokAndOr // && ||
+	tokNot   // !
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case c == '&' && i+1 < len(s) && s[i+1] == '&':
+			toks = append(toks, token{tokAndOr, "&&"})
+			i += 2
+		case c == '|' && i+1 < len(s) && s[i+1] == '|':
+			toks = append(toks, token{tokAndOr, "||"})
+			i += 2
+		case c == '!' && i+1 < len(s) && s[i+1] == '=':
+			toks = append(toks, token{tokOp, "!="})
+			i += 2
+		case c == '!':
+			toks = append(toks, token{tokNot, "!"})
+			i++
+		case c == '=' && i+1 < len(s) && s[i+1] == '~':
+			toks = append(toks, token{tokOp, "=~"})
+			i += 2
+		case c == '=':
+			toks = append(toks, token{tokOp, "="})
+			i++
+		case c == '<' || c == '>':
+			op := string(c)
+			i++
+			if i < len(s) && s[i] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokOp, op})
+		case c == '"':
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				j++
+			}
+			if j == len(s) {
+				return nil, fmt.Errorf("query: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, s[i+1 : j]})
+			i = j + 1
+		case c == '-' || (c >= '0' && c <= '9'):
+			j := i + 1
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokNumber, s[i:j]})
+			i = j
+		case isIdentChar(c):
+			j := i
+			for j < len(s) && isIdentChar(s[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, s[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// --- parser --------------------------------------------------------------
+//
+// or   := and ( "||" and )*
+// and  := not ( "&&" not )*
+// not  := "!" not | "(" or ")" | cmp | flag
+// cmp  := field op value
+// flag := "wildcard" | "message"
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return token{}, false
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *parser) parseOr() (expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokAndOr || t.text != "||" {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = orExpr{left, right}
+	}
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokAndOr || t.text != "&&" {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = andExpr{left, right}
+	}
+}
+
+func (p *parser) parseNot() (expr, error) {
+	t, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("query: unexpected end of expression")
+	}
+	switch t.kind {
+	case tokNot:
+		p.pos++
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{inner}, nil
+	case tokLParen:
+		p.pos++
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if t, ok := p.next(); !ok || t.kind != tokRParen {
+			return nil, fmt.Errorf("query: missing closing parenthesis")
+		}
+		return inner, nil
+	case tokIdent:
+		return p.parseCmp()
+	}
+	return nil, fmt.Errorf("query: unexpected %q", t.text)
+}
+
+func (p *parser) parseCmp() (expr, error) {
+	field, _ := p.next()
+	name := strings.ToLower(field.text)
+
+	// Bare flags.
+	switch name {
+	case "wildcard":
+		return flagExpr{get: func(r *trace.Record) bool { return r.WasWildcard }}, nil
+	case "message":
+		return flagExpr{get: func(r *trace.Record) bool { return r.Kind.IsMessage() }}, nil
+	}
+
+	op, ok := p.next()
+	if !ok || op.kind != tokOp {
+		return nil, fmt.Errorf("query: field %q needs a comparison operator", field.text)
+	}
+	val, ok := p.next()
+	if !ok {
+		return nil, fmt.Errorf("query: comparison with %q has no value", field.text)
+	}
+
+	if sget, isStr := stringFields[name]; isStr {
+		if val.kind != tokString && val.kind != tokIdent {
+			return nil, fmt.Errorf("query: field %q compares against strings", field.text)
+		}
+		switch op.text {
+		case "=", "!=", "=~":
+		default:
+			return nil, fmt.Errorf("query: operator %q not defined on string field %q", op.text, field.text)
+		}
+		return strExpr{get: sget, op: op.text, val: val.text}, nil
+	}
+
+	if name == "kind" {
+		if val.kind != tokIdent && val.kind != tokString {
+			return nil, fmt.Errorf("query: kind compares against a kind name")
+		}
+		k, err := kindByName(val.text)
+		if err != nil {
+			return nil, err
+		}
+		switch op.text {
+		case "=":
+			return flagExpr{get: func(r *trace.Record) bool { return r.Kind == k }}, nil
+		case "!=":
+			return flagExpr{get: func(r *trace.Record) bool { return r.Kind != k }}, nil
+		}
+		return nil, fmt.Errorf("query: operator %q not defined on kind", op.text)
+	}
+
+	iget, isInt := intFields[name]
+	if !isInt {
+		return nil, fmt.Errorf("query: unknown field %q", field.text)
+	}
+	if val.kind != tokNumber {
+		return nil, fmt.Errorf("query: field %q compares against numbers", field.text)
+	}
+	n, err := strconv.ParseInt(val.text, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("query: bad number %q", val.text)
+	}
+	switch op.text {
+	case "=", "!=", "<", "<=", ">", ">=":
+	default:
+		return nil, fmt.Errorf("query: operator %q not defined on numeric field %q", op.text, field.text)
+	}
+	return intExpr{get: iget, op: op.text, val: n}, nil
+}
+
+// --- field tables ----------------------------------------------------------
+
+var intFields = map[string]func(*trace.Record) int64{
+	"rank":   func(r *trace.Record) int64 { return int64(r.Rank) },
+	"src":    func(r *trace.Record) int64 { return int64(r.Src) },
+	"dst":    func(r *trace.Record) int64 { return int64(r.Dst) },
+	"tag":    func(r *trace.Record) int64 { return int64(r.Tag) },
+	"bytes":  func(r *trace.Record) int64 { return int64(r.Bytes) },
+	"marker": func(r *trace.Record) int64 { return int64(r.Marker) },
+	"msgid":  func(r *trace.Record) int64 { return int64(r.MsgID) },
+	"start":  func(r *trace.Record) int64 { return r.Start },
+	"end":    func(r *trace.Record) int64 { return r.End },
+	"line":   func(r *trace.Record) int64 { return int64(r.Loc.Line) },
+	"dur":    func(r *trace.Record) int64 { return r.Duration() },
+}
+
+var stringFields = map[string]func(*trace.Record) string{
+	"name": func(r *trace.Record) string { return r.Name },
+	"func": func(r *trace.Record) string { return r.Loc.Func },
+	"file": func(r *trace.Record) string { return r.Loc.File },
+}
+
+func kindByName(s string) (trace.Kind, error) {
+	switch strings.ToLower(s) {
+	case "funcentry":
+		return trace.KindFuncEntry, nil
+	case "funcexit":
+		return trace.KindFuncExit, nil
+	case "regionbegin":
+		return trace.KindRegionBegin, nil
+	case "regionend":
+		return trace.KindRegionEnd, nil
+	case "compute":
+		return trace.KindCompute, nil
+	case "send":
+		return trace.KindSend, nil
+	case "recv":
+		return trace.KindRecv, nil
+	case "collective":
+		return trace.KindCollective, nil
+	case "blocked":
+		return trace.KindBlocked, nil
+	case "marker":
+		return trace.KindMarker, nil
+	case "checkpoint":
+		return trace.KindCheckpoint, nil
+	}
+	return 0, fmt.Errorf("query: unknown kind %q", s)
+}
+
+// --- expressions -----------------------------------------------------------
+
+type expr interface{ eval(*trace.Record) bool }
+
+type andExpr struct{ l, r expr }
+
+func (e andExpr) eval(rec *trace.Record) bool { return e.l.eval(rec) && e.r.eval(rec) }
+
+type orExpr struct{ l, r expr }
+
+func (e orExpr) eval(rec *trace.Record) bool { return e.l.eval(rec) || e.r.eval(rec) }
+
+type notExpr struct{ inner expr }
+
+func (e notExpr) eval(rec *trace.Record) bool { return !e.inner.eval(rec) }
+
+type flagExpr struct{ get func(*trace.Record) bool }
+
+func (e flagExpr) eval(rec *trace.Record) bool { return e.get(rec) }
+
+type intExpr struct {
+	get func(*trace.Record) int64
+	op  string
+	val int64
+}
+
+func (e intExpr) eval(rec *trace.Record) bool {
+	v := e.get(rec)
+	switch e.op {
+	case "=":
+		return v == e.val
+	case "!=":
+		return v != e.val
+	case "<":
+		return v < e.val
+	case "<=":
+		return v <= e.val
+	case ">":
+		return v > e.val
+	case ">=":
+		return v >= e.val
+	}
+	return false
+}
+
+type strExpr struct {
+	get func(*trace.Record) string
+	op  string
+	val string
+}
+
+func (e strExpr) eval(rec *trace.Record) bool {
+	v := e.get(rec)
+	switch e.op {
+	case "=":
+		return v == e.val
+	case "!=":
+		return v != e.val
+	case "=~":
+		return strings.Contains(v, e.val)
+	}
+	return false
+}

@@ -1,0 +1,156 @@
+package query
+
+import (
+	"testing"
+
+	"tracedbg/internal/trace"
+)
+
+func sampleTrace() *trace.Trace {
+	tr := trace.New(2)
+	tr.MustAppend(trace.Record{Kind: trace.KindFuncEntry, Rank: 0, Marker: 1, Name: "MatrSend",
+		Loc: trace.Location{File: "strassen.go", Line: 150, Func: "MatrSend"}})
+	tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: 0, Marker: 2, Start: 1, End: 2,
+		Src: 0, Dst: 1, Tag: 7, Bytes: 128, MsgID: 1, Name: "Send",
+		Loc: trace.Location{File: "strassen.go", Line: 161, Func: "MatrSend"}})
+	tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: 1, Marker: 1, Start: 0, End: 3,
+		Src: 0, Dst: 1, Tag: 7, Bytes: 128, MsgID: 1, WasWildcard: true, Name: "Recv"})
+	tr.MustAppend(trace.Record{Kind: trace.KindCompute, Rank: 1, Marker: 2, Start: 3, End: 10})
+	return tr
+}
+
+func mustRun(t *testing.T, q string) []trace.EventID {
+	t.Helper()
+	c, err := Compile(q)
+	if err != nil {
+		t.Fatalf("compile %q: %v", q, err)
+	}
+	return c.Run(sampleTrace())
+}
+
+func TestBasicQueries(t *testing.T) {
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"kind = send", 1},
+		{"kind != send", 3},
+		{"rank = 0", 2},
+		{"rank = 1 && kind = compute", 1},
+		{"tag = 7", 2},
+		{"bytes > 100", 2},
+		{"bytes >= 128 && bytes <= 128", 2},
+		{"marker < 2", 2},
+		{"wildcard", 1},
+		{"message", 2},
+		{"!message", 2},
+		{"name =~ \"Matr\"", 1},
+		{"func = \"MatrSend\"", 2},
+		{"file =~ \"strassen\"", 2},
+		{"line = 161", 1},
+		{"(rank = 0 || rank = 1) && kind = recv", 1},
+		{"kind = send || kind = recv", 2},
+		{"!(kind = send || kind = recv)", 2},
+		{"end > 2 && start < 5", 2},
+		{"msgid = 1", 2},
+		{"dst = 1 && src = 0", 2},
+	}
+	for _, c := range cases {
+		if got := len(mustRun(t, c.q)); got != c.want {
+			t.Errorf("query %q matched %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// && binds tighter than ||.
+	a := len(mustRun(t, "rank = 1 || rank = 0 && kind = send"))
+	b := len(mustRun(t, "rank = 1 || (rank = 0 && kind = send)"))
+	c := len(mustRun(t, "(rank = 1 || rank = 0) && kind = send"))
+	if a != b {
+		t.Errorf("precedence: %d vs %d", a, b)
+	}
+	if a == c {
+		t.Errorf("parenthesization had no effect (%d)", a)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"kind =",
+		"kind = bogus",
+		"unknownfield = 3",
+		"rank = \"zero\"",
+		"name < \"a\"",
+		"rank =~ 3",
+		"(rank = 1",
+		"rank = 1 extra",
+		"rank = 1 &&",
+		"kind > send",
+		"name = ",
+		"rank ? 3",
+		"\"unterminated",
+		"rank = 99999999999999999999999",
+	}
+	for _, q := range bad {
+		if _, err := Compile(q); err == nil {
+			t.Errorf("query %q compiled unexpectedly", q)
+		}
+	}
+}
+
+func TestKindNamesComplete(t *testing.T) {
+	for _, name := range []string{
+		"funcentry", "funcexit", "regionbegin", "regionend", "compute",
+		"send", "recv", "collective", "blocked", "marker", "checkpoint",
+	} {
+		if _, err := Compile("kind = " + name); err != nil {
+			t.Errorf("kind %q rejected: %v", name, err)
+		}
+	}
+	// Case-insensitive.
+	if _, err := Compile("kind = SEND"); err != nil {
+		t.Errorf("upper-case kind rejected: %v", err)
+	}
+}
+
+func TestMatchSingleRecord(t *testing.T) {
+	q, err := Compile("kind = blocked && src = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.Record{Kind: trace.KindBlocked, Src: 3}
+	if !q.Match(&rec) {
+		t.Error("match failed")
+	}
+	rec.Src = 4
+	if q.Match(&rec) {
+		t.Error("match should fail")
+	}
+	if q.String() != "kind = blocked && src = 3" {
+		t.Errorf("String = %q", q.String())
+	}
+}
+
+func TestNegativeNumbers(t *testing.T) {
+	// src = -1 finds records with NoRank endpoints.
+	q, err := Compile("src = -1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.Record{Kind: trace.KindCompute, Src: trace.NoRank}
+	if !q.Match(&rec) {
+		t.Error("negative comparison failed")
+	}
+}
+
+func TestDurationField(t *testing.T) {
+	// The recv in the sample spans 0..3; the compute 3..10.
+	if got := len(mustRun(t, "dur >= 7")); got != 1 {
+		t.Errorf("dur >= 7 matched %d", got)
+	}
+	if got := len(mustRun(t, "dur = 0")); got != 1 { // the zero-length entry
+		t.Errorf("dur = 0 matched %d", got)
+	}
+}

@@ -1,0 +1,233 @@
+// Package remote streams execution history over the network — the
+// client/server split of the original p2d2, which ran a debug server next
+// to each target process and a central debugger UI. Here each world runs a
+// Client sink that streams its records to a Collector, which merges the
+// streams into one history the debugger consumes (optionally while the
+// target is still running, via the same flush-on-demand the local pipeline
+// has).
+//
+// Wire protocol: each connection starts with a handshake line
+// ("TDBGREMOTE1 <numRanks>\n") and then carries an ordinary trace-file
+// stream (the same format trace.FileWriter produces), so the collector can
+// reuse the trace.Scanner and files captured with tcpdump-style tools stay
+// debuggable.
+package remote
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"tracedbg/internal/trace"
+)
+
+// handshakePrefix starts every connection.
+const handshakePrefix = "TDBGREMOTE1 "
+
+// Collector accepts client connections and merges their records.
+type Collector struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	tr       *trace.Trace
+	numRanks int
+	errs     []error
+	conns    int
+	done     chan struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewCollector listens on addr (e.g. "127.0.0.1:0") and serves until Close.
+func NewCollector(addr string) (*Collector, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: listen: %w", err)
+	}
+	c := &Collector{ln: ln, done: make(chan struct{})}
+	c.wg.Add(1)
+	go c.serve()
+	return c, nil
+}
+
+// Addr returns the listening address for clients.
+func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+func (c *Collector) serve() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.mu.Lock()
+		c.conns++
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			if err := c.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+				c.mu.Lock()
+				c.errs = append(c.errs, err)
+				c.mu.Unlock()
+			}
+		}()
+	}
+}
+
+func (c *Collector) handle(conn net.Conn) error {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("remote: handshake: %w", err)
+	}
+	if !strings.HasPrefix(line, handshakePrefix) {
+		return fmt.Errorf("remote: bad handshake %q", strings.TrimSpace(line))
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, handshakePrefix)))
+	if err != nil || n <= 0 {
+		return fmt.Errorf("remote: bad rank count in handshake %q", strings.TrimSpace(line))
+	}
+	c.mu.Lock()
+	if c.tr == nil {
+		c.numRanks = n
+		c.tr = trace.New(n)
+	} else if c.numRanks != n {
+		c.mu.Unlock()
+		return fmt.Errorf("remote: rank count mismatch: collector has %d, client sent %d", c.numRanks, n)
+	}
+	c.mu.Unlock()
+
+	sc, err := trace.NewScanner(br)
+	if err != nil {
+		return fmt.Errorf("remote: stream header: %w", err)
+	}
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("remote: stream: %w", err)
+		}
+		c.mu.Lock()
+		_, aerr := c.tr.Append(*rec)
+		if aerr != nil {
+			c.errs = append(c.errs, aerr)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Trace returns a snapshot of everything received so far.
+func (c *Collector) Trace() *trace.Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tr == nil {
+		return trace.New(0)
+	}
+	return c.tr.Clone()
+}
+
+// Errs returns stream errors observed so far.
+func (c *Collector) Errs() []error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]error(nil), c.errs...)
+}
+
+// Close stops accepting and waits for active streams to drain.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.ln.Close()
+	c.wg.Wait()
+	return err
+}
+
+// Client is an instrumentation sink that streams records to a collector.
+// It is safe for concurrent use by all rank goroutines.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	fw   *trace.FileWriter
+	err  error
+}
+
+// Dial connects to a collector and performs the handshake.
+func Dial(addr string, numRanks int) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial: %w", err)
+	}
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	if _, err := fmt.Fprintf(bw, "%s%d\n", handshakePrefix, numRanks); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("remote: handshake: %w", err)
+	}
+	fw, err := trace.NewFileWriter(bw, numRanks)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Client{conn: conn, bw: bw, fw: fw}, nil
+}
+
+// Emit implements the instrumentation Sink interface.
+func (cl *Client) Emit(rec *trace.Record) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.err != nil {
+		return
+	}
+	if err := cl.fw.Write(rec); err != nil {
+		cl.err = err
+	}
+}
+
+// Flush pushes buffered records onto the wire (monitor flush-on-demand).
+func (cl *Client) Flush() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.err != nil {
+		return cl.err
+	}
+	if err := cl.fw.Flush(); err != nil {
+		cl.err = err
+		return err
+	}
+	if err := cl.bw.Flush(); err != nil {
+		cl.err = err
+		return err
+	}
+	return nil
+}
+
+// Err returns the first streaming error.
+func (cl *Client) Err() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.err
+}
+
+// Close flushes and closes the connection.
+func (cl *Client) Close() error {
+	flushErr := cl.Flush()
+	closeErr := cl.conn.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}

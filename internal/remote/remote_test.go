@@ -1,0 +1,223 @@
+package remote
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"tracedbg/internal/apps"
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+func TestStreamWholeRun(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	const ranks = 3
+	client, err := Dial(col.Addr(), ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record locally too, for comparison.
+	local := instr.NewMemorySink(ranks)
+	in := instr.New(ranks, instr.TeeSink{local, client}, instr.LevelAll)
+	if err := in.Run(mp.Config{NumRanks: ranks}, apps.Ring(3, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatalf("client close: %v", err)
+	}
+	// Wait for the collector to drain the stream.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if col.Trace().Len() == local.Trace().Len() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("collector has %d records, want %d", col.Trace().Len(), local.Trace().Len())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got := col.Trace()
+	if err := got.Validate(); err != nil {
+		t.Fatalf("streamed trace invalid: %v", err)
+	}
+	for r := 0; r < ranks; r++ {
+		if got.RankLen(r) != local.Trace().RankLen(r) {
+			t.Errorf("rank %d: %d streamed vs %d local", r, got.RankLen(r), local.Trace().RankLen(r))
+		}
+	}
+	if errs := col.Errs(); len(errs) != 0 {
+		t.Errorf("collector errors: %v", errs)
+	}
+	if client.Err() != nil {
+		t.Errorf("client error: %v", client.Err())
+	}
+}
+
+func TestFlushOnDemandMidRun(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	client, err := Dial(col.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	in := instr.New(2, client, instr.LevelAll)
+	w, err := in.World(mp.Config{NumRanks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := make(chan struct{})
+	release := make(chan struct{})
+	if err := w.Start(func(p *mp.Proc) {
+		c := in.Ctx(p)
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("mid-run"))
+			close(sent)
+		} else {
+			c.Recv(0, 1)
+		}
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-sent
+	if err := client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The collector sees the partial history while the target still runs.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if len(col.Trace().Sends()) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("mid-run flush never reached the collector")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(release)
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectorServesOneExecution(t *testing.T) {
+	// A collector holds ONE execution history. A second session streaming
+	// into the same collector regresses per-rank clocks, which the append
+	// validation rejects and reports — instead of silently corrupting the
+	// history.
+	col, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	for i := 0; i < 2; i++ {
+		client, err := Dial(col.Addr(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := instr.New(2, client, instr.LevelWrappers)
+		if err := in.Run(mp.Config{NumRanks: 2}, apps.Ring(1, nil)); err != nil {
+			t.Fatal(err)
+		}
+		if err := client.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(col.Errs()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second session's clock regression not reported")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The first session's history is intact and valid.
+	if err := col.Trace().Validate(); err != nil {
+		t.Fatalf("history corrupted: %v", err)
+	}
+}
+
+func TestHandshakeErrors(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	// Garbage handshake.
+	conn, err := net.Dial("tcp", col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("NOT A HANDSHAKE\n"))
+	conn.Close()
+
+	// Mismatched rank count after a good client.
+	good, err := Dial(col.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good.Emit(&trace.Record{Kind: trace.KindMarker, Rank: 0, Marker: 1})
+	good.Close()
+
+	bad, err := Dial(col.Addr(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		errs := col.Errs()
+		var sawHandshake, sawMismatch bool
+		for _, e := range errs {
+			if strings.Contains(e.Error(), "bad handshake") {
+				sawHandshake = true
+			}
+			if strings.Contains(e.Error(), "rank count mismatch") {
+				sawMismatch = true
+			}
+		}
+		if sawHandshake && sawMismatch {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("expected handshake errors, got %v", errs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 2); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestCollectorCloseIdempotent(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Trace().NumRanks() != 0 {
+		t.Error("empty collector trace")
+	}
+}

@@ -1,0 +1,125 @@
+package replay
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Snapshot is one checkpoint of program state: the per-rank application
+// state captured at a globally consistent point (a barrier), together with
+// the monitor counters at that moment. Snapshots let a replay start from
+// the nearest checkpoint instead of from the beginning — the improvement the
+// paper's conclusion proposes over straightforward re-execution, "keeping a
+// logarithmic backlog of process states".
+type Snapshot struct {
+	ID      int      // monotonically increasing checkpoint number
+	Iter    int      // application-level iteration the snapshot represents
+	Markers []uint64 // monitor counters per rank at the checkpoint
+	State   [][]byte // per-rank serialized application state
+}
+
+// leq reports whether every marker of s is <= the target vector.
+func (s *Snapshot) leq(target []uint64) bool {
+	if len(s.Markers) != len(target) {
+		return false
+	}
+	for i := range s.Markers {
+		if s.Markers[i] > target[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckpointStore holds snapshots with a logarithmic backlog: after n
+// checkpoints, O(log n) are retained, spaced exponentially — dense near the
+// present, sparse in the distant past, so any replay target is within a
+// factor-two re-execution distance of a retained checkpoint.
+type CheckpointStore struct {
+	mu     sync.Mutex
+	snaps  []Snapshot
+	nextID int
+}
+
+// NewCheckpointStore creates an empty store.
+func NewCheckpointStore() *CheckpointStore { return &CheckpointStore{} }
+
+// Add stores a snapshot (assigning its ID) and prunes the backlog.
+func (cs *CheckpointStore) Add(snap Snapshot) int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	snap.ID = cs.nextID
+	cs.nextID++
+	cs.snaps = append(cs.snaps, snap)
+	cs.pruneLocked()
+	return snap.ID
+}
+
+// pruneLocked keeps a snapshot at distance d from the newest only if its ID
+// is divisible by 2^floor(log2(d)). Each distance window [2^k, 2^(k+1))
+// contains exactly one such ID, so O(log n) snapshots survive; and the rule
+// is stable under incremental insertion — a snapshot retained now is exactly
+// the one the rule will want when the window shifts, so eager pruning never
+// discards history that would be needed later.
+func (cs *CheckpointStore) pruneLocked() {
+	if len(cs.snaps) == 0 {
+		return
+	}
+	latest := cs.snaps[len(cs.snaps)-1].ID
+	kept := cs.snaps[:0]
+	for _, s := range cs.snaps {
+		d := latest - s.ID
+		if d == 0 {
+			kept = append(kept, s)
+			continue
+		}
+		level := 0
+		for (1 << (level + 1)) <= d {
+			level++
+		}
+		if s.ID%(1<<level) == 0 {
+			kept = append(kept, s)
+		}
+	}
+	cs.snaps = kept
+}
+
+// Len returns the number of retained snapshots.
+func (cs *CheckpointStore) Len() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return len(cs.snaps)
+}
+
+// Snapshots returns the retained snapshots, oldest first.
+func (cs *CheckpointStore) Snapshots() []Snapshot {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return append([]Snapshot(nil), cs.snaps...)
+}
+
+// BestFor returns the most recent snapshot whose marker vector is
+// componentwise <= the replay target, so re-execution can start there
+// instead of from the beginning. ok is false when no snapshot qualifies
+// (replay must start from scratch).
+func (cs *CheckpointStore) BestFor(target []uint64) (Snapshot, bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for i := len(cs.snaps) - 1; i >= 0; i-- {
+		if cs.snaps[i].leq(target) {
+			return cs.snaps[i], true
+		}
+	}
+	return Snapshot{}, false
+}
+
+// String renders the retained backlog compactly.
+func (cs *CheckpointStore) String() string {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	s := "checkpoints:"
+	for _, snap := range cs.snaps {
+		s += fmt.Sprintf(" #%d(iter %d)", snap.ID, snap.Iter)
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+// Package replay implements controlled re-execution (paper §2, §4.1, §4.2):
+// enforcing recorded message matching so wildcard receives behave
+// identically during replay, marker stop-sets derived from stoplines, and
+// the checkpoint store with logarithmic backlog proposed in the paper's
+// conclusions.
+package replay
+
+import (
+	"fmt"
+
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+// Enforcer is a DeliveryController that forces every receive to consume the
+// same message (same sender and tag) as in a recorded execution. This is
+// the mechanism that controls "the behavior of nondeterministic statements
+// (such as statements using the MPI_ANY_SOURCE wild card) ... with the
+// information available in the program trace", ensuring the replay has
+// identical event causality with the original execution.
+type Enforcer struct {
+	// want[rank][recvSeq-1] = (src, tag) the k-th receive must consume.
+	want [][]wantEntry
+	// fallback handles receives beyond the recorded history (a replay that
+	// runs past the recorded stop, or a diverged program).
+	fallback mp.DeliveryController
+}
+
+type wantEntry struct {
+	src int
+	tag int
+}
+
+// NewEnforcer builds an enforcer from a recorded trace. The k-th receive
+// record of each rank (in program order) corresponds to the k-th receive
+// the rank will post during replay — exact for the single-threaded blocking
+// programs the paper targets.
+func NewEnforcer(tr *trace.Trace) *Enforcer {
+	e := &Enforcer{
+		want:     make([][]wantEntry, tr.NumRanks()),
+		fallback: mp.EarliestArrival{},
+	}
+	for rank := 0; rank < tr.NumRanks(); rank++ {
+		for i := range tr.Rank(rank) {
+			rec := &tr.Rank(rank)[i]
+			if rec.Kind == trace.KindRecv {
+				e.want[rank] = append(e.want[rank], wantEntry{src: rec.Src, tag: rec.Tag})
+			}
+		}
+	}
+	return e
+}
+
+// NewEnforcerOffset builds an enforcer for a replay that resumes from a
+// checkpoint: the receives recorded at or before the snapshot's marker
+// vector already happened in the restored state and are skipped; matching
+// is enforced for the suffix only.
+func NewEnforcerOffset(tr *trace.Trace, base []uint64) *Enforcer {
+	e := &Enforcer{
+		want:     make([][]wantEntry, tr.NumRanks()),
+		fallback: mp.EarliestArrival{},
+	}
+	for rank := 0; rank < tr.NumRanks(); rank++ {
+		var b uint64
+		if rank < len(base) {
+			b = base[rank]
+		}
+		for i := range tr.Rank(rank) {
+			rec := &tr.Rank(rank)[i]
+			if rec.Kind == trace.KindRecv && rec.Marker > b {
+				e.want[rank] = append(e.want[rank], wantEntry{src: rec.Src, tag: rec.Tag})
+			}
+		}
+	}
+	return e
+}
+
+// Recorded returns the number of receives recorded for a rank.
+func (e *Enforcer) Recorded(rank int) int {
+	if rank < 0 || rank >= len(e.want) {
+		return 0
+	}
+	return len(e.want[rank])
+}
+
+// Pick implements mp.DeliveryController: deliver only the recorded message,
+// waiting (-1) until it is available.
+func (e *Enforcer) Pick(rank int, recvSeq uint64, eligible []mp.PendingMsg) int {
+	if rank < 0 || rank >= len(e.want) || recvSeq == 0 || recvSeq > uint64(len(e.want[rank])) {
+		return e.fallback.Pick(rank, recvSeq, eligible)
+	}
+	w := e.want[rank][recvSeq-1]
+	for i, m := range eligible {
+		if m.Src == w.src && m.Tag == w.tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// StopSet is a consistent set of per-rank marker thresholds — the form in
+// which a stopline is communicated to the replay machinery ("The stopline
+// will be communicated to p2d2 as a set of breakpoints along with the
+// execution markers indicating the corresponding states").
+type StopSet []trace.Marker
+
+// NewStopSet validates that markers form one entry per rank, in rank order.
+func NewStopSet(markers []trace.Marker) (StopSet, error) {
+	for i, m := range markers {
+		if m.Rank != i {
+			return nil, fmt.Errorf("replay: stop set entry %d has rank %d", i, m.Rank)
+		}
+	}
+	return StopSet(markers), nil
+}
+
+// Seq returns the marker threshold for a rank (0 = stop at first event).
+func (s StopSet) Seq(rank int) uint64 {
+	if rank < 0 || rank >= len(s) {
+		return 0
+	}
+	return s[rank].Seq
+}
+
+// FromCounters builds the stop set for replaying to a previously observed
+// monitor state (the undo target).
+func FromCounters(counters []uint64) StopSet {
+	out := make(StopSet, len(counters))
+	for r, c := range counters {
+		out[r] = trace.Marker{Rank: r, Seq: c}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+// wildcardFanIn is a nondeterministic program: rank 0 receives n-1 wildcard
+// messages and returns the observed source order.
+func runFanIn(t *testing.T, n int, ctl mp.DeliveryController) ([]int, *trace.Trace) {
+	t.Helper()
+	sink := instr.NewMemorySink(n)
+	in := instr.New(n, sink, instr.LevelWrappers)
+	var order []int
+	err := in.Run(mp.Config{NumRanks: n, Delivery: ctl}, func(c *instr.Ctx) {
+		if c.Rank() == 0 {
+			for i := 0; i < c.Size()-1; i++ {
+				_, st := c.Recv(mp.AnySource, mp.AnyTag)
+				order = append(order, st.Source)
+			}
+		} else {
+			c.SendInt64s(0, c.Rank(), []int64{int64(c.Rank())})
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return order, sink.Trace()
+}
+
+func TestEnforcerReproducesWildcardOrder(t *testing.T) {
+	// Force an unusual delivery order in the recording, then verify the
+	// enforcer reproduces it exactly on replay.
+	const n = 5
+	forced := forceOrder{4, 3, 2, 1}
+	recordedOrder, recordedTrace := runFanIn(t, n, forced)
+	if !reflect.DeepEqual(recordedOrder, []int{4, 3, 2, 1}) {
+		t.Fatalf("recorded order = %v", recordedOrder)
+	}
+	for trial := 0; trial < 5; trial++ {
+		replayOrder, replayTrace := runFanIn(t, n, NewEnforcer(recordedTrace))
+		if !reflect.DeepEqual(replayOrder, recordedOrder) {
+			t.Fatalf("replay order = %v, recorded %v", replayOrder, recordedOrder)
+		}
+		// Event causality identical: same per-rank (kind, src, tag) record
+		// sequences.
+		for r := 0; r < n; r++ {
+			a, b := recordedTrace.Rank(r), replayTrace.Rank(r)
+			if len(a) != len(b) {
+				t.Fatalf("rank %d record count differs: %d vs %d", r, len(a), len(b))
+			}
+			for i := range a {
+				if a[i].Kind != b[i].Kind || a[i].Src != b[i].Src || a[i].Tag != b[i].Tag {
+					t.Fatalf("rank %d record %d differs: %v vs %v", r, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// forceOrder delivers wildcard receives from the listed sources in order.
+type forceOrder []int
+
+func (f forceOrder) Pick(rank int, recvSeq uint64, eligible []mp.PendingMsg) int {
+	if recvSeq == 0 || recvSeq > uint64(len(f)) {
+		return mp.EarliestArrival{}.Pick(rank, recvSeq, eligible)
+	}
+	want := f[recvSeq-1]
+	for i, m := range eligible {
+		if m.Src == want {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestEnforcerFallsBackBeyondRecording(t *testing.T) {
+	// Recording covers 2 receives; the program posts 4: the extra receives
+	// use the fallback controller instead of hanging.
+	tr := trace.New(2)
+	tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: 0, Marker: 1, Src: 1, Dst: 0, Tag: 7, MsgID: 1})
+	tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: 0, Marker: 2, Start: 1, End: 1, Src: 1, Dst: 0, Tag: 7, MsgID: 2})
+	e := NewEnforcer(tr)
+	if e.Recorded(0) != 2 || e.Recorded(1) != 0 || e.Recorded(9) != 0 {
+		t.Fatalf("recorded counts wrong")
+	}
+	eligible := []mp.PendingMsg{{Src: 1, Tag: 7, Arrive: 5}}
+	if got := e.Pick(0, 1, eligible); got != 0 {
+		t.Errorf("pick recorded = %d", got)
+	}
+	if got := e.Pick(0, 3, eligible); got != 0 {
+		t.Errorf("pick beyond recording should fall back, got %d", got)
+	}
+	// Wrong source must wait.
+	if got := e.Pick(0, 1, []mp.PendingMsg{{Src: 0, Tag: 7}}); got != -1 {
+		t.Errorf("pick wrong source = %d", got)
+	}
+	// Wrong tag must wait.
+	if got := e.Pick(0, 2, []mp.PendingMsg{{Src: 1, Tag: 9}}); got != -1 {
+		t.Errorf("pick wrong tag = %d", got)
+	}
+}
+
+func TestStopSet(t *testing.T) {
+	ms := []trace.Marker{{Rank: 0, Seq: 5}, {Rank: 1, Seq: 9}}
+	ss, err := NewStopSet(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Seq(0) != 5 || ss.Seq(1) != 9 || ss.Seq(7) != 0 {
+		t.Errorf("seqs wrong")
+	}
+	if _, err := NewStopSet([]trace.Marker{{Rank: 1, Seq: 5}}); err == nil {
+		t.Error("misordered stop set accepted")
+	}
+	fc := FromCounters([]uint64{3, 4})
+	if fc.Seq(0) != 3 || fc.Seq(1) != 4 {
+		t.Errorf("FromCounters wrong: %v", fc)
+	}
+}
+
+func TestCheckpointStoreLogarithmicBacklog(t *testing.T) {
+	cs := NewCheckpointStore()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		cs.Add(Snapshot{Iter: i, Markers: []uint64{uint64(i), uint64(i)}})
+	}
+	if got := cs.Len(); got > 12 {
+		t.Fatalf("backlog = %d snapshots for %d checkpoints, want O(log n)", got, n)
+	}
+	snaps := cs.Snapshots()
+	// Newest must be retained.
+	if snaps[len(snaps)-1].Iter != n-1 {
+		t.Fatalf("newest snapshot lost: %+v", snaps[len(snaps)-1])
+	}
+	// IDs strictly increasing, and gaps grow going backwards.
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].ID <= snaps[i-1].ID {
+			t.Fatalf("ids not increasing: %v", snaps)
+		}
+	}
+	// Exponential spacing: distance of the k-th newest from the newest is
+	// at most 2^k.
+	latest := snaps[len(snaps)-1].ID
+	for i := 0; i < len(snaps); i++ {
+		back := len(snaps) - 1 - i
+		d := latest - snaps[i].ID
+		if d > (1 << (back + 1)) {
+			t.Fatalf("snapshot %d is %d back but at level depth %d", snaps[i].ID, d, back)
+		}
+	}
+}
+
+func TestCheckpointBestFor(t *testing.T) {
+	cs := NewCheckpointStore()
+	for i := 1; i <= 8; i++ {
+		cs.Add(Snapshot{Iter: i, Markers: []uint64{uint64(10 * i), uint64(10 * i)}})
+	}
+	// Target between snapshots: must pick the latest not exceeding it.
+	snap, ok := cs.BestFor([]uint64{45, 99})
+	if !ok {
+		t.Fatal("no snapshot found")
+	}
+	if snap.Markers[0] > 45 {
+		t.Fatalf("snapshot exceeds target: %+v", snap)
+	}
+	// Targets before the first snapshot: none qualifies.
+	if _, ok := cs.BestFor([]uint64{5, 5}); ok {
+		t.Error("snapshot before target found unexpectedly")
+	}
+	// Mismatched dimensionality never qualifies.
+	if _, ok := cs.BestFor([]uint64{1000}); ok {
+		t.Error("dimension mismatch accepted")
+	}
+	if cs.String() == "" {
+		t.Error("string render empty")
+	}
+}
+
+func TestCheckpointExactReplayDistance(t *testing.T) {
+	// The guarantee that matters for the ablation: replay distance to any
+	// target is bounded by roughly half the distance from start.
+	cs := NewCheckpointStore()
+	const n = 512
+	for i := 0; i < n; i++ {
+		cs.Add(Snapshot{Iter: i, Markers: []uint64{uint64(i)}})
+	}
+	for target := n / 2; target < n; target += 37 {
+		snap, ok := cs.BestFor([]uint64{uint64(target)})
+		if !ok {
+			t.Fatalf("no snapshot for target %d", target)
+		}
+		dist := target - int(snap.Markers[0])
+		if dist > target {
+			t.Fatalf("checkpoint further than scratch for %d", target)
+		}
+		// Within the exponential window: the worst case is about half the
+		// distance from the newest checkpoint.
+		if dist > (n-target)*2+64 {
+			t.Errorf("target %d: replay distance %d too large (snapshot %d)", target, dist, snap.Markers[0])
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// File format
+//
+//	magic "TDBGTRC1"
+//	uvarint numRanks
+//	blocks:
+//	  'S' uvarint id, uvarint len, bytes        -- string-table entry
+//	  'R' encoded record                        -- one event
+//
+// Strings (file names, function names, construct names) are interned: each
+// distinct string is emitted once, before its first use.  Records refer to
+// strings by table id.  The format is append-only so the monitor can flush
+// partial traces on demand (the paper's extension of the AIMS monitor) and
+// the debugger can consume the file while the target is still running.
+
+const fileMagic = "TDBGTRC1"
+
+const (
+	blockString byte = 'S'
+	blockRecord byte = 'R'
+)
+
+// FileWriter serializes records to a trace file. It is safe for concurrent
+// use by multiple rank goroutines.
+type FileWriter struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	under   io.Writer
+	strings map[string]uint64
+	scratch []byte
+	n       int // records written
+}
+
+// NewFileWriter writes the header and returns a writer for numRanks ranks.
+func NewFileWriter(w io.Writer, numRanks int) (*FileWriter, error) {
+	fw := &FileWriter{
+		w:       bufio.NewWriterSize(w, 1<<16),
+		under:   w,
+		strings: make(map[string]uint64),
+	}
+	if _, err := fw.w.WriteString(fileMagic); err != nil {
+		return nil, fmt.Errorf("trace: writing magic: %w", err)
+	}
+	fw.scratch = binary.AppendUvarint(fw.scratch[:0], uint64(numRanks))
+	if _, err := fw.w.Write(fw.scratch); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return fw, nil
+}
+
+func (fw *FileWriter) internLocked(s string) (uint64, error) {
+	if id, ok := fw.strings[s]; ok {
+		return id, nil
+	}
+	id := uint64(len(fw.strings) + 1) // 0 means "empty string"
+	fw.strings[s] = id
+	buf := fw.scratch[:0]
+	buf = append(buf, blockString)
+	buf = binary.AppendUvarint(buf, id)
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	fw.scratch = buf
+	if _, err := fw.w.Write(buf); err != nil {
+		return 0, err
+	}
+	if _, err := fw.w.WriteString(s); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Write appends one record to the file.
+func (fw *FileWriter) Write(r *Record) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+
+	var fileID, funcID, nameID uint64
+	var err error
+	if r.Loc.File != "" {
+		if fileID, err = fw.internLocked(r.Loc.File); err != nil {
+			return fmt.Errorf("trace: interning file: %w", err)
+		}
+	}
+	if r.Loc.Func != "" {
+		if funcID, err = fw.internLocked(r.Loc.Func); err != nil {
+			return fmt.Errorf("trace: interning func: %w", err)
+		}
+	}
+	if r.Name != "" {
+		if nameID, err = fw.internLocked(r.Name); err != nil {
+			return fmt.Errorf("trace: interning name: %w", err)
+		}
+	}
+
+	buf := fw.scratch[:0]
+	buf = append(buf, blockRecord, byte(r.Kind))
+	buf = binary.AppendUvarint(buf, uint64(r.Rank))
+	buf = binary.AppendUvarint(buf, fileID)
+	buf = binary.AppendUvarint(buf, uint64(r.Loc.Line))
+	buf = binary.AppendUvarint(buf, funcID)
+	buf = binary.AppendVarint(buf, r.Start)
+	buf = binary.AppendVarint(buf, r.End-r.Start) // durations compress better
+	buf = binary.AppendUvarint(buf, r.Marker)
+	buf = binary.AppendVarint(buf, int64(r.Src))
+	buf = binary.AppendVarint(buf, int64(r.Dst))
+	buf = binary.AppendVarint(buf, int64(r.Tag))
+	buf = binary.AppendUvarint(buf, uint64(r.Bytes))
+	buf = binary.AppendUvarint(buf, r.MsgID)
+	if r.WasWildcard {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, nameID)
+	buf = binary.AppendVarint(buf, r.Args[0])
+	buf = binary.AppendVarint(buf, r.Args[1])
+	fw.scratch = buf
+	if _, err := fw.w.Write(buf); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	fw.n++
+	return nil
+}
+
+// Flush forces buffered records to the underlying writer. This is the
+// monitor-flush-on-demand operation the debugger uses to obtain trace data
+// during execution rather than post mortem.
+func (fw *FileWriter) Flush() error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.w.Flush()
+}
+
+// Count returns the number of records written so far.
+func (fw *FileWriter) Count() int {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.n
+}
+
+// Close flushes the writer. It does not close the underlying writer, which
+// the caller owns.
+func (fw *FileWriter) Close() error { return fw.Flush() }
+
+// Scanner streams records from a trace file.
+type Scanner struct {
+	r        *bufio.Reader
+	numRanks int
+	strings  []string // id-1 indexed
+	offset   int64    // bytes consumed so far
+}
+
+// NewScanner validates the header and returns a streaming reader.
+func NewScanner(r io.Reader) (*Scanner, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	sc := &Scanner{r: br, offset: int64(len(fileMagic))}
+	n, err := sc.readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading rank count: %w", err)
+	}
+	sc.numRanks = int(n)
+	return sc, nil
+}
+
+// NumRanks returns the rank count from the file header.
+func (sc *Scanner) NumRanks() int { return sc.numRanks }
+
+// Offset returns the number of bytes consumed so far. The value before a
+// Next call is the offset of the next block, which the Index stores for
+// later rescanning.
+func (sc *Scanner) Offset() int64 { return sc.offset }
+
+func (sc *Scanner) readByte() (byte, error) {
+	b, err := sc.r.ReadByte()
+	if err == nil {
+		sc.offset++
+	}
+	return b, err
+}
+
+func (sc *Scanner) readUvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(byteReaderFunc(sc.readByte))
+	return v, err
+}
+
+func (sc *Scanner) readVarint() (int64, error) {
+	v, err := binary.ReadVarint(byteReaderFunc(sc.readByte))
+	return v, err
+}
+
+type byteReaderFunc func() (byte, error)
+
+func (f byteReaderFunc) ReadByte() (byte, error) { return f() }
+
+func (sc *Scanner) str(id uint64) (string, error) {
+	if id == 0 {
+		return "", nil
+	}
+	if int(id) > len(sc.strings) {
+		return "", fmt.Errorf("trace: string id %d not yet defined", id)
+	}
+	return sc.strings[id-1], nil
+}
+
+// SeedStrings installs a previously collected string table, allowing a
+// Scanner positioned mid-file (via Index offsets) to resolve string ids that
+// were defined earlier in the file.
+func (sc *Scanner) SeedStrings(table []string) { sc.strings = append([]string(nil), table...) }
+
+// Strings returns a copy of the string table collected so far.
+func (sc *Scanner) Strings() []string { return append([]string(nil), sc.strings...) }
+
+// Next returns the next record, or io.EOF at end of file.
+func (sc *Scanner) Next() (*Record, error) {
+	for {
+		tag, err := sc.readByte()
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading block tag: %w", err)
+		}
+		switch tag {
+		case blockString:
+			id, err := sc.readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("trace: string id: %w", err)
+			}
+			n, err := sc.readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("trace: string len: %w", err)
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(sc.r, buf); err != nil {
+				return nil, fmt.Errorf("trace: string bytes: %w", err)
+			}
+			sc.offset += int64(n)
+			if int(id) != len(sc.strings)+1 {
+				// Mid-file rescans revisit string blocks already seeded;
+				// tolerate redefinitions that match the table.
+				s, serr := sc.str(id)
+				if serr != nil || s != string(buf) {
+					return nil, fmt.Errorf("trace: string id %d out of order", id)
+				}
+				continue
+			}
+			sc.strings = append(sc.strings, string(buf))
+		case blockRecord:
+			return sc.readRecord()
+		default:
+			return nil, fmt.Errorf("trace: unknown block tag %q at offset %d", tag, sc.offset-1)
+		}
+	}
+}
+
+func (sc *Scanner) readRecord() (*Record, error) {
+	var r Record
+	kb, err := sc.readByte()
+	if err != nil {
+		return nil, fmt.Errorf("trace: record kind: %w", err)
+	}
+	if int(kb) >= numKinds {
+		return nil, fmt.Errorf("trace: invalid record kind %d", kb)
+	}
+	r.Kind = Kind(kb)
+
+	fail := func(field string, err error) (*Record, error) {
+		return nil, fmt.Errorf("trace: record %s: %w", field, err)
+	}
+	var u uint64
+	var v int64
+	if u, err = sc.readUvarint(); err != nil {
+		return fail("rank", err)
+	}
+	r.Rank = int(u)
+	if u, err = sc.readUvarint(); err != nil {
+		return fail("file", err)
+	}
+	if r.Loc.File, err = sc.str(u); err != nil {
+		return nil, err
+	}
+	if u, err = sc.readUvarint(); err != nil {
+		return fail("line", err)
+	}
+	r.Loc.Line = int(u)
+	if u, err = sc.readUvarint(); err != nil {
+		return fail("func", err)
+	}
+	if r.Loc.Func, err = sc.str(u); err != nil {
+		return nil, err
+	}
+	if v, err = sc.readVarint(); err != nil {
+		return fail("start", err)
+	}
+	r.Start = v
+	if v, err = sc.readVarint(); err != nil {
+		return fail("duration", err)
+	}
+	r.End = r.Start + v
+	if u, err = sc.readUvarint(); err != nil {
+		return fail("marker", err)
+	}
+	r.Marker = u
+	if v, err = sc.readVarint(); err != nil {
+		return fail("src", err)
+	}
+	r.Src = int(v)
+	if v, err = sc.readVarint(); err != nil {
+		return fail("dst", err)
+	}
+	r.Dst = int(v)
+	if v, err = sc.readVarint(); err != nil {
+		return fail("tag", err)
+	}
+	r.Tag = int(v)
+	if u, err = sc.readUvarint(); err != nil {
+		return fail("bytes", err)
+	}
+	r.Bytes = int(u)
+	if u, err = sc.readUvarint(); err != nil {
+		return fail("msgid", err)
+	}
+	r.MsgID = u
+	wb, err := sc.readByte()
+	if err != nil {
+		return fail("wildcard", err)
+	}
+	r.WasWildcard = wb != 0
+	if u, err = sc.readUvarint(); err != nil {
+		return fail("name", err)
+	}
+	if r.Name, err = sc.str(u); err != nil {
+		return nil, err
+	}
+	if v, err = sc.readVarint(); err != nil {
+		return fail("arg0", err)
+	}
+	r.Args[0] = v
+	if v, err = sc.readVarint(); err != nil {
+		return fail("arg1", err)
+	}
+	r.Args[1] = v
+	return &r, nil
+}
+
+// ReadAll loads an entire trace file into memory.
+func ReadAll(r io.Reader) (*Trace, error) {
+	sc, err := NewScanner(r)
+	if err != nil {
+		return nil, err
+	}
+	t := New(sc.NumRanks())
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if _, err := t.Append(*rec); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// WriteAll serializes an in-memory trace in merged time order.
+func WriteAll(w io.Writer, t *Trace) error {
+	fw, err := NewFileWriter(w, t.NumRanks())
+	if err != nil {
+		return err
+	}
+	for _, id := range t.MergedOrder() {
+		if err := fw.Write(t.MustAt(id)); err != nil {
+			return err
+		}
+	}
+	return fw.Close()
+}

@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripSample(t *testing.T) {
+	tr := buildSample(t)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, tr); err != nil {
+		t.Fatalf("WriteAll: %v", err)
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if got.NumRanks() != tr.NumRanks() || got.Len() != tr.Len() {
+		t.Fatalf("round trip shape: ranks %d/%d len %d/%d",
+			got.NumRanks(), tr.NumRanks(), got.Len(), tr.Len())
+	}
+	for rank := 0; rank < tr.NumRanks(); rank++ {
+		if !reflect.DeepEqual(got.Rank(rank), tr.Rank(rank)) {
+			t.Errorf("rank %d records differ:\n got %v\nwant %v", rank, got.Rank(rank), tr.Rank(rank))
+		}
+	}
+}
+
+func TestRoundTripRecordProperty(t *testing.T) {
+	// Any single record (with normalized fields) survives a round trip.
+	f := func(kind uint8, rank uint8, line uint16, start int64, dur uint32,
+		marker uint64, src, dst int8, tag int16, nbytes uint16, msgID uint64,
+		wild bool, a0, a1 int64, file, fn, name string) bool {
+		r := Record{
+			Kind:   Kind(int(kind) % numKinds),
+			Rank:   int(rank),
+			Loc:    Location{File: file, Line: int(line), Func: fn},
+			Start:  start,
+			End:    start + int64(dur),
+			Marker: marker,
+			Src:    int(src), Dst: int(dst), Tag: int(tag),
+			Bytes: int(nbytes), MsgID: msgID, WasWildcard: wild,
+			Name: name, Args: [2]int64{a0, a1},
+		}
+		var buf bytes.Buffer
+		fw, err := NewFileWriter(&buf, 256)
+		if err != nil {
+			return false
+		}
+		if err := fw.Write(&r); err != nil {
+			return false
+		}
+		if err := fw.Close(); err != nil {
+			return false
+		}
+		sc, err := NewScanner(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		got, err := sc.Next()
+		if err != nil {
+			return false
+		}
+		if _, err := sc.Next(); err != io.EOF {
+			return false
+		}
+		return reflect.DeepEqual(*got, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripRandomTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		tr := randomTrace(rng, 2+rng.Intn(5), 1+rng.Intn(100))
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, tr); err != nil {
+			t.Fatalf("WriteAll: %v", err)
+		}
+		got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadAll: %v", err)
+		}
+		for rank := 0; rank < tr.NumRanks(); rank++ {
+			if !reflect.DeepEqual(got.Rank(rank), tr.Rank(rank)) {
+				t.Fatalf("trace %d rank %d differs after round trip", i, rank)
+			}
+		}
+	}
+}
+
+func TestStringInterning(t *testing.T) {
+	var buf bytes.Buffer
+	fw, err := NewFileWriter(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Record{Kind: KindFuncEntry, Rank: 0, Name: "VeryLongFunctionNameRepeated", Loc: Location{File: "f.go", Func: "VeryLongFunctionNameRepeated"}}
+	if err := fw.Write(&r); err != nil {
+		t.Fatal(err)
+	}
+	size1 := buf.Len()
+	for i := 0; i < 99; i++ {
+		r.Start = int64(i + 1)
+		r.End = r.Start
+		if err := fw.Write(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	perRecord := (buf.Len() - size1) / 99
+	// Interned records must not repeat the 28-byte strings.
+	if perRecord > 25 {
+		t.Errorf("interning ineffective: %d bytes per repeated record", perRecord)
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 100 {
+		t.Fatalf("got %d records", got.Len())
+	}
+	last := got.Rank(0)[99]
+	if last.Name != "VeryLongFunctionNameRepeated" || last.Loc.File != "f.go" {
+		t.Errorf("interned strings corrupted: %+v", last)
+	}
+}
+
+func TestFlushMakesDataVisible(t *testing.T) {
+	// The debugger reads trace data during execution: after Flush, a reader
+	// of the bytes written so far must see all flushed records.
+	var buf bytes.Buffer
+	fw, err := NewFileWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		rec := Record{Kind: KindMarker, Rank: i % 2, Marker: uint64(i), Start: int64(i), End: int64(i)}
+		if err := fw.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 10 {
+		t.Fatalf("after flush reader sees %d records, want 10", got.Len())
+	}
+	if fw.Count() != 10 {
+		t.Fatalf("Count = %d", fw.Count())
+	}
+}
+
+func TestScannerErrors(t *testing.T) {
+	if _, err := NewScanner(bytes.NewReader([]byte("BOGUS"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewScanner(bytes.NewReader(nil)); err == nil {
+		t.Error("empty file accepted")
+	}
+	// Truncated record: header then garbage tag.
+	var buf bytes.Buffer
+	fw, _ := NewFileWriter(&buf, 1)
+	_ = fw.Close()
+	buf.WriteByte('Z')
+	sc, err := NewScanner(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Next(); err == nil || err == io.EOF {
+		t.Errorf("unknown block tag: err = %v", err)
+	}
+}
+
+func TestReadAllRejectsBadRank(t *testing.T) {
+	var buf bytes.Buffer
+	fw, _ := NewFileWriter(&buf, 1) // one rank
+	rec := Record{Kind: KindMarker, Rank: 5}
+	if err := fw.Write(&rec); err != nil {
+		t.Fatal(err)
+	}
+	_ = fw.Close()
+	if _, err := ReadAll(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("record with rank outside header range accepted")
+	}
+}

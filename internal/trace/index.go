@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Index supports fast navigation of a trace file that may be too large to
+// hold in memory (paper §4.3): it stores, for every rank, periodic
+// checkpoints of (execution marker, start time, file offset), plus the full
+// string table, so that any portion of the trace can be rescanned without
+// reading the file from the beginning.
+type Index struct {
+	NumRanks int
+	Stride   int
+	strings  []string
+	perRank  [][]indexEntry
+}
+
+type indexEntry struct {
+	marker uint64
+	start  int64
+	offset int64
+}
+
+// DefaultIndexStride is the records-per-checkpoint granularity used when the
+// caller does not choose one.
+const DefaultIndexStride = 64
+
+// BuildIndex makes one streaming pass over the trace file and returns its
+// navigation index. stride <= 0 selects DefaultIndexStride.
+func BuildIndex(r io.Reader, stride int) (*Index, error) {
+	if stride <= 0 {
+		stride = DefaultIndexStride
+	}
+	sc, err := NewScanner(r)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		NumRanks: sc.NumRanks(),
+		Stride:   stride,
+		perRank:  make([][]indexEntry, sc.NumRanks()),
+	}
+	counts := make([]int, sc.NumRanks())
+	for {
+		off := sc.Offset()
+		rec, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Rank < 0 || rec.Rank >= ix.NumRanks {
+			return nil, fmt.Errorf("trace: index: record rank %d out of range", rec.Rank)
+		}
+		if counts[rec.Rank]%stride == 0 {
+			ix.perRank[rec.Rank] = append(ix.perRank[rec.Rank],
+				indexEntry{marker: rec.Marker, start: rec.Start, offset: off})
+		}
+		counts[rec.Rank]++
+	}
+	ix.strings = sc.Strings()
+	return ix, nil
+}
+
+// Entries returns the number of checkpoints stored for a rank.
+func (ix *Index) Entries(rank int) int {
+	if rank < 0 || rank >= len(ix.perRank) {
+		return 0
+	}
+	return len(ix.perRank[rank])
+}
+
+// seekEntryByMarker returns the checkpoint with the largest marker <= seq.
+func (ix *Index) seekEntryByMarker(rank int, seq uint64) (indexEntry, error) {
+	if rank < 0 || rank >= len(ix.perRank) {
+		return indexEntry{}, fmt.Errorf("trace: index: rank %d out of range", rank)
+	}
+	ents := ix.perRank[rank]
+	if len(ents) == 0 {
+		return indexEntry{}, ErrNotFound
+	}
+	i := sort.Search(len(ents), func(i int) bool { return ents[i].marker > seq })
+	if i == 0 {
+		return indexEntry{}, ErrNotFound
+	}
+	return ents[i-1], nil
+}
+
+// seekEntryByTime returns the checkpoint with the largest start <= vt.
+func (ix *Index) seekEntryByTime(rank int, vt int64) (indexEntry, error) {
+	if rank < 0 || rank >= len(ix.perRank) {
+		return indexEntry{}, fmt.Errorf("trace: index: rank %d out of range", rank)
+	}
+	ents := ix.perRank[rank]
+	if len(ents) == 0 {
+		return indexEntry{}, ErrNotFound
+	}
+	i := sort.Search(len(ents), func(i int) bool { return ents[i].start > vt })
+	if i == 0 {
+		return indexEntry{}, ErrNotFound
+	}
+	return ents[i-1], nil
+}
+
+func (ix *Index) scannerAt(rs io.ReadSeeker, offset int64) (*Scanner, error) {
+	if _, err := rs.Seek(offset, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("trace: index: seek: %w", err)
+	}
+	sc := &Scanner{
+		r:        bufio.NewReaderSize(rs, 1<<16),
+		numRanks: ix.NumRanks,
+		offset:   offset,
+	}
+	sc.SeedStrings(ix.strings)
+	return sc, nil
+}
+
+// RescanMarkers reads back the records of one rank whose execution markers
+// lie in [fromSeq, toSeq], seeking directly to the nearest checkpoint instead
+// of scanning the file from the start. This is the reconstruction path used
+// when a dissemination-merged trace-graph arc must be zoomed into.
+func (ix *Index) RescanMarkers(rs io.ReadSeeker, rank int, fromSeq, toSeq uint64) ([]Record, error) {
+	ent, err := ix.seekEntryByMarker(rank, fromSeq)
+	if err == ErrNotFound {
+		// Nothing indexed at or before fromSeq: start from the first
+		// checkpoint if any records exist at all.
+		if ix.Entries(rank) == 0 {
+			return nil, nil
+		}
+		ent = ix.perRank[rank][0]
+	} else if err != nil {
+		return nil, err
+	}
+	sc, err := ix.scannerAt(rs, ent.offset)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Rank != rank {
+			continue
+		}
+		if rec.Marker > toSeq {
+			return out, nil
+		}
+		if rec.Marker >= fromSeq {
+			out = append(out, *rec)
+		}
+	}
+}
+
+// RescanWindow reads back the records of one rank overlapping the virtual
+// time window [t0, t1].
+func (ix *Index) RescanWindow(rs io.ReadSeeker, rank int, t0, t1 int64) ([]Record, error) {
+	ent, err := ix.seekEntryByTime(rank, t0)
+	if err == ErrNotFound {
+		if ix.Entries(rank) == 0 {
+			return nil, nil
+		}
+		ent = ix.perRank[rank][0]
+	} else if err != nil {
+		return nil, err
+	}
+	sc, err := ix.scannerAt(rs, ent.offset)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Rank != rank {
+			continue
+		}
+		if rec.Start > t1 {
+			return out, nil
+		}
+		if rec.End >= t0 {
+			out = append(out, *rec)
+		}
+	}
+}
+
+// LinearScanMarkers is the unindexed baseline for RescanMarkers: it reads
+// the file from the beginning. Used by the navigation ablation benchmark.
+func LinearScanMarkers(r io.Reader, rank int, fromSeq, toSeq uint64) ([]Record, error) {
+	sc, err := NewScanner(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Rank != rank || rec.Marker < fromSeq {
+			continue
+		}
+		if rec.Marker > toSeq {
+			return out, nil
+		}
+		out = append(out, *rec)
+	}
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// fileOf serializes a trace and returns the bytes.
+func fileOf(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, tr); err != nil {
+		t.Fatalf("WriteAll: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestIndexRescanMarkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := randomTrace(rng, 4, 300)
+	data := fileOf(t, tr)
+
+	ix, err := BuildIndex(bytes.NewReader(data), 16)
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	if ix.NumRanks != 4 {
+		t.Fatalf("NumRanks = %d", ix.NumRanks)
+	}
+	for rank := 0; rank < 4; rank++ {
+		if ix.Entries(rank) == 0 && tr.RankLen(rank) > 0 {
+			t.Fatalf("rank %d has records but no index entries", rank)
+		}
+	}
+
+	for trial := 0; trial < 40; trial++ {
+		rank := rng.Intn(4)
+		n := tr.RankLen(rank)
+		if n == 0 {
+			continue
+		}
+		i := rng.Intn(n)
+		j := i + rng.Intn(n-i)
+		from := tr.Rank(rank)[i].Marker
+		to := tr.Rank(rank)[j].Marker
+
+		got, err := ix.RescanMarkers(bytes.NewReader(data), rank, from, to)
+		if err != nil {
+			t.Fatalf("RescanMarkers: %v", err)
+		}
+		want, err := LinearScanMarkers(bytes.NewReader(data), rank, from, to)
+		if err != nil {
+			t.Fatalf("LinearScanMarkers: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("rescan(rank=%d, %d..%d): got %d records, want %d",
+				rank, from, to, len(got), len(want))
+		}
+		// Cross-check against the in-memory trace.
+		var mem []Record
+		for _, r := range tr.Rank(rank) {
+			if r.Marker >= from && r.Marker <= to {
+				mem = append(mem, r)
+			}
+		}
+		if !reflect.DeepEqual(got, mem) {
+			t.Fatalf("rescan disagrees with in-memory trace for rank %d, markers %d..%d", rank, from, to)
+		}
+	}
+}
+
+func TestIndexRescanWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := randomTrace(rng, 3, 200)
+	data := fileOf(t, tr)
+	ix, err := BuildIndex(bytes.NewReader(data), 0) // default stride
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Stride != DefaultIndexStride {
+		t.Fatalf("Stride = %d", ix.Stride)
+	}
+	end := tr.EndTime()
+	for trial := 0; trial < 30; trial++ {
+		rank := rng.Intn(3)
+		t0 := rng.Int63n(end + 1)
+		t1 := t0 + rng.Int63n(end-t0+1)
+		got, err := ix.RescanWindow(bytes.NewReader(data), rank, t0, t1)
+		if err != nil {
+			t.Fatalf("RescanWindow: %v", err)
+		}
+		var want []Record
+		for _, r := range tr.Rank(rank) {
+			if r.End >= t0 && r.Start <= t1 {
+				want = append(want, r)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("window rescan (rank %d, [%d,%d]): got %d want %d records",
+				rank, t0, t1, len(got), len(want))
+		}
+	}
+}
+
+func TestIndexEmptyRank(t *testing.T) {
+	tr := New(3) // rank 2 never records anything
+	tr.MustAppend(Record{Kind: KindMarker, Rank: 0, Marker: 1})
+	data := fileOf(t, tr)
+	ix, err := BuildIndex(bytes.NewReader(data), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.RescanMarkers(bytes.NewReader(data), 2, 0, 100)
+	if err != nil {
+		t.Fatalf("rescan empty rank: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty rank returned %d records", len(got))
+	}
+	got, err = ix.RescanWindow(bytes.NewReader(data), 2, 0, 100)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("window on empty rank: %v, %d records", err, len(got))
+	}
+	if _, err := ix.RescanMarkers(bytes.NewReader(data), 99, 0, 1); err == nil {
+		t.Error("bad rank accepted")
+	}
+}
+
+func TestIndexStringTableSeeding(t *testing.T) {
+	// Records late in the file reference strings interned early; a rescan
+	// that seeks past the interning point must still resolve them.
+	tr := New(2)
+	var clock int64
+	for i := 0; i < 200; i++ {
+		rank := i % 2
+		clock++
+		tr.MustAppend(Record{
+			Kind: KindFuncEntry, Rank: rank, Marker: uint64(i/2 + 1),
+			Start: clock, End: clock,
+			Name: "SharedFunctionName", Loc: Location{File: "app.go", Line: 42, Func: "SharedFunctionName"},
+		})
+	}
+	data := fileOf(t, tr)
+	ix, err := BuildIndex(bytes.NewReader(data), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.RescanMarkers(bytes.NewReader(data), 1, 90, 95)
+	if err != nil {
+		t.Fatalf("rescan: %v", err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("got %d records, want 6", len(got))
+	}
+	for _, r := range got {
+		if r.Name != "SharedFunctionName" || r.Loc.File != "app.go" {
+			t.Fatalf("string resolution failed mid-file: %+v", r)
+		}
+	}
+}
+
+func BenchmarkIndexedRescan(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	tr := randomTrace(rng, 4, 5000)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	ix, err := BuildIndex(bytes.NewReader(data), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := tr.RankLen(1)
+	from := tr.Rank(1)[n-50].Marker
+	to := tr.Rank(1)[n-1].Marker
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.RescanMarkers(bytes.NewReader(data), 1, from, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinearRescan(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	tr := randomTrace(rng, 4, 5000)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	n := tr.RankLen(1)
+	from := tr.Rank(1)[n-50].Marker
+	to := tr.Rank(1)[n-1].Marker
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LinearScanMarkers(bytes.NewReader(data), 1, from, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

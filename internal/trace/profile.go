@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Profiling views of a trace. AIMS, the source of the paper's trace format,
+// is a performance measurement toolkit; these summaries give the debugger
+// the same "where did the time go" answers from the same records: inclusive
+// and exclusive virtual time per function, and a communication/computation
+// breakdown per rank.
+
+// FuncStat aggregates one function on one rank.
+type FuncStat struct {
+	Rank      int
+	Func      string
+	Calls     int
+	Inclusive int64 // virtual time between entry and exit, summed
+	Exclusive int64 // inclusive minus time attributed to callees
+}
+
+// Profile is the per-function summary of an execution.
+type Profile struct {
+	Stats []FuncStat
+}
+
+// BuildProfile computes per-function virtual-time statistics from the
+// function entry/exit events. Unbalanced entries (a function still active
+// when the trace ends — for example in a stalled run) are attributed up to
+// the trace's end time.
+func BuildProfile(tr *Trace) *Profile {
+	type frame struct {
+		fn      string
+		entry   int64
+		childVT int64
+	}
+	byKey := make(map[[2]string]*FuncStat)
+	var order [][2]string
+	get := func(rank int, fn string) *FuncStat {
+		k := [2]string{fmt.Sprint(rank), fn}
+		if s, ok := byKey[k]; ok {
+			return s
+		}
+		s := &FuncStat{Rank: rank, Func: fn}
+		byKey[k] = s
+		order = append(order, k)
+		return s
+	}
+	end := tr.EndTime()
+
+	for rank := 0; rank < tr.NumRanks(); rank++ {
+		var stack []frame
+		pop := func(at int64) {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			incl := at - f.entry
+			if incl < 0 {
+				incl = 0
+			}
+			st := get(rank, f.fn)
+			st.Calls++
+			st.Inclusive += incl
+			st.Exclusive += incl - f.childVT
+			if len(stack) > 0 {
+				stack[len(stack)-1].childVT += incl
+			}
+		}
+		for i := range tr.Rank(rank) {
+			rec := &tr.Rank(rank)[i]
+			switch rec.Kind {
+			case KindFuncEntry:
+				stack = append(stack, frame{fn: rec.Name, entry: rec.Start})
+			case KindFuncExit:
+				if len(stack) > 0 {
+					pop(rec.End)
+				}
+			}
+		}
+		for len(stack) > 0 {
+			pop(end)
+		}
+	}
+
+	p := &Profile{}
+	for _, k := range order {
+		p.Stats = append(p.Stats, *byKey[k])
+	}
+	sort.Slice(p.Stats, func(i, j int) bool {
+		a, b := p.Stats[i], p.Stats[j]
+		if a.Inclusive != b.Inclusive {
+			return a.Inclusive > b.Inclusive
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		return a.Func < b.Func
+	})
+	return p
+}
+
+// Lookup finds the stats of (rank, function).
+func (p *Profile) Lookup(rank int, fn string) (FuncStat, bool) {
+	for _, s := range p.Stats {
+		if s.Rank == rank && s.Func == fn {
+			return s, true
+		}
+	}
+	return FuncStat{}, false
+}
+
+// Text renders the profile as a table.
+func (p *Profile) Text() string {
+	var sb strings.Builder
+	sb.WriteString("function profile (virtual time)\n")
+	fmt.Fprintf(&sb, "%-4s %-24s %8s %12s %12s\n", "rank", "function", "calls", "inclusive", "exclusive")
+	for _, s := range p.Stats {
+		fmt.Fprintf(&sb, "%-4d %-24s %8d %12d %12d\n", s.Rank, s.Func, s.Calls, s.Inclusive, s.Exclusive)
+	}
+	return sb.String()
+}
+
+// RankBreakdown classifies one rank's virtual time.
+type RankBreakdown struct {
+	Rank     int
+	Compute  int64 // compute records
+	Send     int64 // send-record durations
+	Recv     int64 // receive durations (includes waiting for the message)
+	Coll     int64 // collectives
+	Blocked  int64 // blocked-forever intervals
+	Total    int64 // rank's last End
+	Overhead int64 // total minus the categories (bookkeeping, zero-length events)
+}
+
+// Utilization returns the per-rank time breakdown — the quick answer to
+// "who is waiting on whom" before any zooming.
+func Utilization(tr *Trace) []RankBreakdown {
+	out := make([]RankBreakdown, tr.NumRanks())
+	for rank := 0; rank < tr.NumRanks(); rank++ {
+		b := &out[rank]
+		b.Rank = rank
+		for i := range tr.Rank(rank) {
+			rec := &tr.Rank(rank)[i]
+			d := rec.Duration()
+			switch rec.Kind {
+			case KindCompute:
+				b.Compute += d
+			case KindSend:
+				b.Send += d
+			case KindRecv:
+				b.Recv += d
+			case KindCollective:
+				b.Coll += d
+			case KindBlocked:
+				b.Blocked += d
+			}
+			if rec.End > b.Total {
+				b.Total = rec.End
+			}
+		}
+		b.Overhead = b.Total - b.Compute - b.Send - b.Recv - b.Coll - b.Blocked
+		if b.Overhead < 0 {
+			b.Overhead = 0 // overlapping zero-length bookkeeping
+		}
+	}
+	return out
+}
+
+// UtilizationText renders the breakdown table.
+func UtilizationText(tr *Trace) string {
+	var sb strings.Builder
+	sb.WriteString("per-rank virtual-time breakdown\n")
+	fmt.Fprintf(&sb, "%-4s %10s %10s %10s %10s %10s %10s\n",
+		"rank", "compute", "send", "recv", "collective", "blocked", "total")
+	for _, b := range Utilization(tr) {
+		fmt.Fprintf(&sb, "%-4d %10d %10d %10d %10d %10d %10d\n",
+			b.Rank, b.Compute, b.Send, b.Recv, b.Coll, b.Blocked, b.Total)
+	}
+	return sb.String()
+}
+
+// TSV writes the trace as tab-separated values, one record per line, for
+// spreadsheet or awk consumption.
+func TSV(tr *Trace) string {
+	var sb strings.Builder
+	sb.WriteString("rank\tmarker\tkind\tstart\tend\tsrc\tdst\ttag\tbytes\tmsgid\tname\tfile\tline\tfunc\n")
+	for _, id := range tr.MergedOrder() {
+		r := tr.MustAt(id)
+		fmt.Fprintf(&sb, "%d\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%d\t%s\n",
+			r.Rank, r.Marker, r.Kind, r.Start, r.End, r.Src, r.Dst, r.Tag, r.Bytes, r.MsgID,
+			r.Name, r.Loc.File, r.Loc.Line, r.Loc.Func)
+	}
+	return sb.String()
+}

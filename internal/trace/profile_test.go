@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// profileTrace: rank 0 runs main(0..100) which calls work(10..60), which
+// calls inner(20..40); plus a compute and a send.
+func profileTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr := New(2)
+	add := func(kind Kind, marker uint64, start, end int64, name string) {
+		tr.MustAppend(Record{Kind: kind, Rank: 0, Marker: marker, Start: start, End: end,
+			Name: name, Src: NoRank, Dst: NoRank})
+	}
+	add(KindFuncEntry, 1, 0, 0, "main")
+	add(KindFuncEntry, 2, 10, 10, "work")
+	add(KindFuncEntry, 3, 20, 20, "inner")
+	add(KindFuncExit, 4, 40, 40, "inner")
+	add(KindFuncExit, 5, 60, 60, "work")
+	tr.MustAppend(Record{Kind: KindCompute, Rank: 0, Marker: 6, Start: 60, End: 80})
+	tr.MustAppend(Record{Kind: KindSend, Rank: 0, Marker: 7, Start: 80, End: 90, Src: 0, Dst: 1, MsgID: 1})
+	add(KindFuncExit, 8, 100, 100, "main")
+	tr.MustAppend(Record{Kind: KindRecv, Rank: 1, Marker: 1, Start: 0, End: 95, Src: 0, Dst: 1, MsgID: 1})
+	return tr
+}
+
+func TestBuildProfile(t *testing.T) {
+	p := BuildProfile(profileTrace(t))
+	main, ok := p.Lookup(0, "main")
+	if !ok {
+		t.Fatal("main missing")
+	}
+	if main.Calls != 1 || main.Inclusive != 100 || main.Exclusive != 100-50 {
+		t.Fatalf("main = %+v", main)
+	}
+	work, _ := p.Lookup(0, "work")
+	if work.Inclusive != 50 || work.Exclusive != 30 {
+		t.Fatalf("work = %+v", work)
+	}
+	inner, _ := p.Lookup(0, "inner")
+	if inner.Inclusive != 20 || inner.Exclusive != 20 {
+		t.Fatalf("inner = %+v", inner)
+	}
+	// Sorted by inclusive descending: main first.
+	if p.Stats[0].Func != "main" {
+		t.Errorf("sort order: %+v", p.Stats[0])
+	}
+	if _, ok := p.Lookup(3, "nope"); ok {
+		t.Error("bogus lookup")
+	}
+	txt := p.Text()
+	if !strings.Contains(txt, "main") || !strings.Contains(txt, "inclusive") {
+		t.Errorf("profile text:\n%s", txt)
+	}
+}
+
+func TestProfileRecursion(t *testing.T) {
+	// Recursive calls: f(0..90) -> f(10..80) -> f(20..70).
+	tr := New(1)
+	add := func(kind Kind, marker uint64, at int64) {
+		tr.MustAppend(Record{Kind: kind, Rank: 0, Marker: marker, Start: at, End: at,
+			Name: "f", Src: NoRank, Dst: NoRank})
+	}
+	add(KindFuncEntry, 1, 0)
+	add(KindFuncEntry, 2, 10)
+	add(KindFuncEntry, 3, 20)
+	add(KindFuncExit, 4, 70)
+	add(KindFuncExit, 5, 80)
+	add(KindFuncExit, 6, 90)
+	p := BuildProfile(tr)
+	f, ok := p.Lookup(0, "f")
+	if !ok {
+		t.Fatal("f missing")
+	}
+	if f.Calls != 3 {
+		t.Errorf("calls = %d", f.Calls)
+	}
+	// Inclusive: 90 + 70 + 50 = 210; exclusive: (90-70)+(70-50)+50 = 90.
+	if f.Inclusive != 210 || f.Exclusive != 90 {
+		t.Errorf("f = %+v", f)
+	}
+}
+
+func TestProfileUnbalancedEntries(t *testing.T) {
+	// A stalled run: g entered but never exited; attributed to trace end.
+	tr := New(1)
+	tr.MustAppend(Record{Kind: KindFuncEntry, Rank: 0, Marker: 1, Start: 0, End: 0, Name: "g"})
+	tr.MustAppend(Record{Kind: KindBlocked, Rank: 0, Marker: 2, Start: 5, End: 50, Src: 1, Name: "Blocked(Recv)"})
+	p := BuildProfile(tr)
+	g, ok := p.Lookup(0, "g")
+	if !ok || g.Inclusive != 50 {
+		t.Fatalf("g = %+v, ok=%v", g, ok)
+	}
+	// A stray exit with an empty stack must not panic.
+	tr2 := New(1)
+	tr2.MustAppend(Record{Kind: KindFuncExit, Rank: 0, Marker: 1, Name: "x"})
+	_ = BuildProfile(tr2)
+}
+
+func TestUtilization(t *testing.T) {
+	tr := profileTrace(t)
+	u := Utilization(tr)
+	if len(u) != 2 {
+		t.Fatalf("breakdowns = %d", len(u))
+	}
+	b0 := u[0]
+	if b0.Compute != 20 || b0.Send != 10 || b0.Total != 100 {
+		t.Fatalf("rank 0 breakdown = %+v", b0)
+	}
+	if b0.Overhead != 100-20-10 {
+		t.Errorf("overhead = %d", b0.Overhead)
+	}
+	b1 := u[1]
+	if b1.Recv != 95 || b1.Total != 95 {
+		t.Fatalf("rank 1 breakdown = %+v", b1)
+	}
+	txt := UtilizationText(tr)
+	if !strings.Contains(txt, "per-rank virtual-time breakdown") {
+		t.Errorf("text:\n%s", txt)
+	}
+}
+
+func TestUtilizationBlocked(t *testing.T) {
+	tr := New(1)
+	tr.MustAppend(Record{Kind: KindBlocked, Rank: 0, Marker: 1, Start: 10, End: 60, Src: 1})
+	u := Utilization(tr)
+	if u[0].Blocked != 50 {
+		t.Fatalf("blocked = %d", u[0].Blocked)
+	}
+}
+
+func TestTSV(t *testing.T) {
+	tr := profileTrace(t)
+	tsv := TSV(tr)
+	// Split on raw newlines: trailing tabs (empty last fields) are
+	// significant and must not be trimmed away.
+	lines := strings.Split(tsv, "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) != tr.Len()+1 {
+		t.Fatalf("tsv lines = %d, want %d", len(lines), tr.Len()+1)
+	}
+	if !strings.HasPrefix(lines[0], "rank\tmarker\tkind") {
+		t.Errorf("header: %s", lines[0])
+	}
+	// Every line has the same number of fields.
+	nf := len(strings.Split(lines[0], "\t"))
+	for i, l := range lines {
+		if len(strings.Split(l, "\t")) != nf {
+			t.Fatalf("line %d has wrong field count: %q", i, l)
+		}
+	}
+	if !strings.Contains(tsv, "Send") || !strings.Contains(tsv, "main") {
+		t.Error("tsv content missing fields")
+	}
+}

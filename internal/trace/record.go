@@ -1,0 +1,205 @@
+// Package trace defines the execution-history representation used by the
+// trace-driven debugger: event records, execution markers, in-memory traces,
+// and an indexed on-disk trace-file format with on-demand flushing.
+//
+// The design follows the AIMS trace format described in the paper: a record
+// per execution of each instrumented construct, identifying the construct by
+// program location, the id of the process that executed it, and the start and
+// end (virtual) time of the construct execution.  Message records additionally
+// carry the message tag together with the source and destination of the
+// message.  Every record carries the execution marker (the per-process
+// UserMonitor counter value) at the time of its generation, which is what
+// makes controlled replay possible.
+package trace
+
+import "fmt"
+
+// Kind classifies an event record.
+type Kind uint8
+
+// Record kinds. The granularity spectrum mirrors the paper's three
+// instrumentation strategies: construct-level records (source-to-source),
+// function entry/exit records (compiler-inserted UserMonitor calls), and
+// communication records (library wrappers).
+const (
+	// KindFuncEntry is generated at the top of a function prologue by the
+	// compiler-inserted instrumentation (the UserMonitor call).
+	KindFuncEntry Kind = iota
+	// KindFuncExit is generated when an instrumented function returns.
+	KindFuncExit
+	// KindRegionBegin and KindRegionEnd delimit a source-level construct
+	// (loop, statement group) instrumented AIMS-style.
+	KindRegionBegin
+	KindRegionEnd
+	// KindCompute records a computation interval (a bar in the time-space
+	// diagram that is neither communication nor idle).
+	KindCompute
+	// KindSend records a completed point-to-point send.
+	KindSend
+	// KindRecv records a completed point-to-point receive.
+	KindRecv
+	// KindCollective records participation in a collective operation.
+	KindCollective
+	// KindBlocked records an interval during which the process was blocked
+	// inside a communication operation that did not complete (used for
+	// post-mortem display of stalled executions, Figure 5).
+	KindBlocked
+	// KindMarker is a bare UserMonitor tick with no construct attached.
+	KindMarker
+	// KindCheckpoint marks a state snapshot taken by the checkpoint
+	// manager (the paper's §6 logarithmic-backlog extension).
+	KindCheckpoint
+
+	numKinds = int(KindCheckpoint) + 1
+)
+
+var kindNames = [numKinds]string{
+	"FuncEntry", "FuncExit", "RegionBegin", "RegionEnd", "Compute",
+	"Send", "Recv", "Collective", "Blocked", "Marker", "Checkpoint",
+}
+
+// String returns the canonical name of the kind.
+func (k Kind) String() string {
+	if int(k) < numKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsMessage reports whether records of this kind carry message endpoint
+// fields (Src, Dst, Tag, Bytes).
+func (k Kind) IsMessage() bool {
+	return k == KindSend || k == KindRecv || k == KindBlocked
+}
+
+// NoRank is used in endpoint fields that do not apply (for example Dst of a
+// compute record).
+const NoRank = -1
+
+// Location identifies a point in the program source, the analogue of the
+// address recorded by the UserMonitor function.
+type Location struct {
+	File string
+	Line int
+	Func string
+}
+
+// String renders the location as file:line(func).
+func (l Location) String() string {
+	switch {
+	case l.File == "" && l.Func == "":
+		return "?"
+	case l.File == "":
+		return l.Func
+	case l.Func == "":
+		return fmt.Sprintf("%s:%d", l.File, l.Line)
+	}
+	return fmt.Sprintf("%s:%d(%s)", l.File, l.Line, l.Func)
+}
+
+// IsZero reports whether the location is entirely unset.
+func (l Location) IsZero() bool { return l.File == "" && l.Line == 0 && l.Func == "" }
+
+// Marker is an execution marker: a tag that allows mapping from a particular
+// trace record back to the point of its generation.  Seq is the value of the
+// per-process UserMonitor counter when the record was generated.
+type Marker struct {
+	Rank int
+	Seq  uint64
+}
+
+// String renders the marker as rank@seq.
+func (m Marker) String() string { return fmt.Sprintf("%d@%d", m.Rank, m.Seq) }
+
+// Before reports whether m precedes o on the same rank. Markers on different
+// ranks are not ordered by this relation (use the causality package).
+func (m Marker) Before(o Marker) bool { return m.Rank == o.Rank && m.Seq < o.Seq }
+
+// Record is one entry of the execution history.
+type Record struct {
+	Kind Kind
+	Rank int
+	Loc  Location
+
+	// Start and End are virtual-time nanoseconds assigned by the runtime's
+	// deterministic clock. End >= Start.
+	Start int64
+	End   int64
+
+	// Marker is the per-rank execution-marker counter value at generation.
+	Marker uint64
+
+	// Message fields (valid when Kind.IsMessage(), and for collectives where
+	// Tag holds the collective id). For KindRecv, Src is the actual source
+	// even when the receive was posted with AnySource.
+	Src   int
+	Dst   int
+	Tag   int
+	Bytes int
+
+	// MsgID is a globally unique message identifier assigned at send time
+	// and repeated on the matching receive record.  It gives exact
+	// send/receive matching; the graph package also implements the paper's
+	// tag-FIFO matching which must agree with MsgID on wildcard-free runs.
+	MsgID uint64
+
+	// WasWildcard records that a receive was posted with AnySource and/or
+	// AnyTag, which is what makes its matching nondeterministic and subject
+	// to replay enforcement.
+	WasWildcard bool
+
+	// Name is the construct, function, or collective name.
+	Name string
+
+	// Args holds the first two arguments passed to the UserMonitor call,
+	// as in the paper's prototype.
+	Args [2]int64
+}
+
+// ExecMarker returns the execution marker of the record.
+func (r *Record) ExecMarker() Marker { return Marker{Rank: r.Rank, Seq: r.Marker} }
+
+// Duration returns End-Start.
+func (r *Record) Duration() int64 { return r.End - r.Start }
+
+// String renders a compact single-line description, used by the text trace
+// displays and in test failure messages.
+func (r *Record) String() string {
+	switch {
+	case r.Kind == KindSend:
+		return fmt.Sprintf("[%d@%d %d..%d] Send %d->%d tag=%d bytes=%d msg=%d %s",
+			r.Rank, r.Marker, r.Start, r.End, r.Src, r.Dst, r.Tag, r.Bytes, r.MsgID, r.Name)
+	case r.Kind == KindRecv:
+		wc := ""
+		if r.WasWildcard {
+			wc = " wildcard"
+		}
+		return fmt.Sprintf("[%d@%d %d..%d] Recv %d->%d tag=%d bytes=%d msg=%d%s %s",
+			r.Rank, r.Marker, r.Start, r.End, r.Src, r.Dst, r.Tag, r.Bytes, r.MsgID, wc, r.Name)
+	case r.Kind == KindBlocked:
+		return fmt.Sprintf("[%d@%d %d..%d] Blocked src=%d tag=%d %s",
+			r.Rank, r.Marker, r.Start, r.End, r.Src, r.Tag, r.Name)
+	case r.Kind.IsMessage():
+		return fmt.Sprintf("[%d@%d %d..%d] %s %d->%d tag=%d", r.Rank, r.Marker, r.Start, r.End, r.Kind, r.Src, r.Dst, r.Tag)
+	}
+	return fmt.Sprintf("[%d@%d %d..%d] %s %s", r.Rank, r.Marker, r.Start, r.End, r.Kind, r.Name)
+}
+
+// EventID identifies an event inside an in-memory Trace: the rank and the
+// index of the record within that rank's record sequence.
+type EventID struct {
+	Rank  int
+	Index int
+}
+
+// String renders the id as rank/index.
+func (e EventID) String() string { return fmt.Sprintf("%d/%d", e.Rank, e.Index) }
+
+// Less orders event ids lexicographically (rank, then index); used only for
+// canonical sorting of id sets, not for causality.
+func (e EventID) Less(o EventID) bool {
+	if e.Rank != o.Rank {
+		return e.Rank < o.Rank
+	}
+	return e.Index < o.Index
+}

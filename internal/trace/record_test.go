@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindFuncEntry:  "FuncEntry",
+		KindFuncExit:   "FuncExit",
+		KindSend:       "Send",
+		KindRecv:       "Recv",
+		KindBlocked:    "Blocked",
+		KindCheckpoint: "Checkpoint",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(200).String(); got != "Kind(200)" {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestKindIsMessage(t *testing.T) {
+	for _, k := range []Kind{KindSend, KindRecv, KindBlocked} {
+		if !k.IsMessage() {
+			t.Errorf("%v should be a message kind", k)
+		}
+	}
+	for _, k := range []Kind{KindFuncEntry, KindFuncExit, KindCompute, KindMarker, KindCollective} {
+		if k.IsMessage() {
+			t.Errorf("%v should not be a message kind", k)
+		}
+	}
+}
+
+func TestLocationString(t *testing.T) {
+	cases := []struct {
+		loc  Location
+		want string
+	}{
+		{Location{}, "?"},
+		{Location{Func: "MatrSend"}, "MatrSend"},
+		{Location{File: "strassen.go", Line: 161}, "strassen.go:161"},
+		{Location{File: "strassen.go", Line: 161, Func: "MatrSend"}, "strassen.go:161(MatrSend)"},
+	}
+	for _, c := range cases {
+		if got := c.loc.String(); got != c.want {
+			t.Errorf("Location%+v.String() = %q, want %q", c.loc, got, c.want)
+		}
+	}
+	if !(Location{}).IsZero() {
+		t.Error("zero location should report IsZero")
+	}
+	if (Location{Line: 3}).IsZero() {
+		t.Error("location with line should not be zero")
+	}
+}
+
+func TestMarkerOrdering(t *testing.T) {
+	a := Marker{Rank: 1, Seq: 5}
+	b := Marker{Rank: 1, Seq: 9}
+	c := Marker{Rank: 2, Seq: 9}
+	if !a.Before(b) {
+		t.Error("5 should be before 9 on same rank")
+	}
+	if b.Before(a) {
+		t.Error("9 should not be before 5")
+	}
+	if a.Before(c) || c.Before(a) {
+		t.Error("markers on different ranks are unordered")
+	}
+	if got := a.String(); got != "1@5" {
+		t.Errorf("marker string = %q", got)
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	send := Record{Kind: KindSend, Rank: 0, Marker: 3, Start: 10, End: 20,
+		Src: 0, Dst: 7, Tag: 42, Bytes: 128, MsgID: 9, Name: "MPI_Send"}
+	s := send.String()
+	for _, frag := range []string{"Send", "0->7", "tag=42", "bytes=128", "msg=9"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("send string %q missing %q", s, frag)
+		}
+	}
+	recv := Record{Kind: KindRecv, Rank: 7, Marker: 1, Src: 0, Dst: 7, Tag: 42, WasWildcard: true}
+	if !strings.Contains(recv.String(), "wildcard") {
+		t.Errorf("wildcard receive string %q should mention wildcard", recv.String())
+	}
+	blocked := Record{Kind: KindBlocked, Rank: 7, Src: 0, Tag: 42}
+	if !strings.Contains(blocked.String(), "Blocked") {
+		t.Errorf("blocked string %q", blocked.String())
+	}
+	fn := Record{Kind: KindFuncEntry, Rank: 2, Name: "Fib"}
+	if !strings.Contains(fn.String(), "FuncEntry") || !strings.Contains(fn.String(), "Fib") {
+		t.Errorf("func entry string %q", fn.String())
+	}
+}
+
+func TestEventIDOrdering(t *testing.T) {
+	a := EventID{Rank: 0, Index: 5}
+	b := EventID{Rank: 0, Index: 6}
+	c := EventID{Rank: 1, Index: 0}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Error("event id ordering is wrong")
+	}
+	if got := c.String(); got != "1/0" {
+		t.Errorf("event id string = %q", got)
+	}
+}
+
+func TestRecordAccessors(t *testing.T) {
+	r := Record{Kind: KindCompute, Rank: 3, Marker: 17, Start: 100, End: 250}
+	if m := r.ExecMarker(); m != (Marker{Rank: 3, Seq: 17}) {
+		t.Errorf("ExecMarker = %v", m)
+	}
+	if d := r.Duration(); d != 150 {
+		t.Errorf("Duration = %d, want 150", d)
+	}
+}

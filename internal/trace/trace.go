@@ -1,0 +1,355 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Trace is an in-memory execution history: per-rank sequences of records,
+// each sequence ordered by Start time (the runtime's per-rank virtual clock
+// is monotonic, so records are appended in order).
+type Trace struct {
+	byRank [][]Record
+}
+
+// New returns an empty trace for numRanks processes.
+func New(numRanks int) *Trace {
+	if numRanks < 0 {
+		numRanks = 0
+	}
+	return &Trace{byRank: make([][]Record, numRanks)}
+}
+
+// NumRanks returns the number of process streams in the trace.
+func (t *Trace) NumRanks() int { return len(t.byRank) }
+
+// Append adds a record to its rank's stream. It returns the EventID assigned
+// to the record. Records must be appended in nondecreasing Start order per
+// rank; Append reports an error otherwise so that runtime bugs surface early.
+func (t *Trace) Append(r Record) (EventID, error) {
+	if r.Rank < 0 || r.Rank >= len(t.byRank) {
+		return EventID{}, fmt.Errorf("trace: record rank %d out of range [0,%d)", r.Rank, len(t.byRank))
+	}
+	seq := t.byRank[r.Rank]
+	if n := len(seq); n > 0 && seq[n-1].Start > r.Start {
+		return EventID{}, fmt.Errorf("trace: rank %d record start %d precedes previous start %d",
+			r.Rank, r.Start, seq[n-1].Start)
+	}
+	t.byRank[r.Rank] = append(seq, r)
+	return EventID{Rank: r.Rank, Index: len(t.byRank[r.Rank]) - 1}, nil
+}
+
+// MustAppend is Append for callers that have already validated the record.
+func (t *Trace) MustAppend(r Record) EventID {
+	id, err := t.Append(r)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Len returns the total number of records across all ranks.
+func (t *Trace) Len() int {
+	n := 0
+	for _, seq := range t.byRank {
+		n += len(seq)
+	}
+	return n
+}
+
+// RankLen returns the number of records for one rank.
+func (t *Trace) RankLen(rank int) int {
+	if rank < 0 || rank >= len(t.byRank) {
+		return 0
+	}
+	return len(t.byRank[rank])
+}
+
+// Rank returns the record stream of one rank. The returned slice is owned by
+// the trace and must not be modified.
+func (t *Trace) Rank(rank int) []Record {
+	if rank < 0 || rank >= len(t.byRank) {
+		return nil
+	}
+	return t.byRank[rank]
+}
+
+// At returns the record for an event id.
+func (t *Trace) At(id EventID) (*Record, error) {
+	if id.Rank < 0 || id.Rank >= len(t.byRank) {
+		return nil, fmt.Errorf("trace: event %v: rank out of range", id)
+	}
+	seq := t.byRank[id.Rank]
+	if id.Index < 0 || id.Index >= len(seq) {
+		return nil, fmt.Errorf("trace: event %v: index out of range [0,%d)", id, len(seq))
+	}
+	return &seq[id.Index], nil
+}
+
+// MustAt is At for event ids known to be valid.
+func (t *Trace) MustAt(id EventID) *Record {
+	r, err := t.At(id)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// EndTime returns the largest End across all records (0 for an empty trace).
+func (t *Trace) EndTime() int64 {
+	var end int64
+	for _, seq := range t.byRank {
+		for i := range seq {
+			if seq[i].End > end {
+				end = seq[i].End
+			}
+		}
+	}
+	return end
+}
+
+// StartTime returns the smallest Start across all records (0 if empty).
+func (t *Trace) StartTime() int64 {
+	first := true
+	var start int64
+	for _, seq := range t.byRank {
+		if len(seq) == 0 {
+			continue
+		}
+		if first || seq[0].Start < start {
+			start = seq[0].Start
+			first = false
+		}
+	}
+	return start
+}
+
+// ErrNotFound is returned by lookup helpers when no record matches.
+var ErrNotFound = errors.New("trace: no matching record")
+
+// FindMarker locates the event carrying the given execution marker. Records
+// per rank have nondecreasing Marker values, so this is a binary search.
+func (t *Trace) FindMarker(m Marker) (EventID, error) {
+	if m.Rank < 0 || m.Rank >= len(t.byRank) {
+		return EventID{}, fmt.Errorf("trace: marker %v: rank out of range", m)
+	}
+	seq := t.byRank[m.Rank]
+	i := sort.Search(len(seq), func(i int) bool { return seq[i].Marker >= m.Seq })
+	if i == len(seq) || seq[i].Marker != m.Seq {
+		return EventID{}, ErrNotFound
+	}
+	return EventID{Rank: m.Rank, Index: i}, nil
+}
+
+// LastBefore returns the last event on rank whose Start is <= vt, or
+// ErrNotFound if the rank has no event that early.
+func (t *Trace) LastBefore(rank int, vt int64) (EventID, error) {
+	if rank < 0 || rank >= len(t.byRank) {
+		return EventID{}, fmt.Errorf("trace: rank %d out of range", rank)
+	}
+	seq := t.byRank[rank]
+	i := sort.Search(len(seq), func(i int) bool { return seq[i].Start > vt })
+	if i == 0 {
+		return EventID{}, ErrNotFound
+	}
+	return EventID{Rank: rank, Index: i - 1}, nil
+}
+
+// FirstAfter returns the first event on rank whose Start is >= vt.
+func (t *Trace) FirstAfter(rank int, vt int64) (EventID, error) {
+	if rank < 0 || rank >= len(t.byRank) {
+		return EventID{}, fmt.Errorf("trace: rank %d out of range", rank)
+	}
+	seq := t.byRank[rank]
+	i := sort.Search(len(seq), func(i int) bool { return seq[i].Start >= vt })
+	if i == len(seq) {
+		return EventID{}, ErrNotFound
+	}
+	return EventID{Rank: rank, Index: i}, nil
+}
+
+// Sends returns the event ids of all send records, in per-rank order.
+func (t *Trace) Sends() []EventID { return t.OfKind(KindSend) }
+
+// Recvs returns the event ids of all receive records, in per-rank order.
+func (t *Trace) Recvs() []EventID { return t.OfKind(KindRecv) }
+
+// OfKind returns all events of the given kind in (rank, index) order.
+func (t *Trace) OfKind(k Kind) []EventID {
+	var ids []EventID
+	for rank, seq := range t.byRank {
+		for i := range seq {
+			if seq[i].Kind == k {
+				ids = append(ids, EventID{Rank: rank, Index: i})
+			}
+		}
+	}
+	return ids
+}
+
+// Filter returns the events satisfying keep, in (rank, index) order.
+func (t *Trace) Filter(keep func(*Record) bool) []EventID {
+	var ids []EventID
+	for rank, seq := range t.byRank {
+		for i := range seq {
+			if keep(&seq[i]) {
+				ids = append(ids, EventID{Rank: rank, Index: i})
+			}
+		}
+	}
+	return ids
+}
+
+// MatchSendRecv returns, for every receive record, the event id of the send
+// that produced its message, using the exact MsgID correlation. Sends whose
+// message was never received do not appear. The second return value lists
+// receives whose MsgID has no send in the trace (possible when the trace was
+// truncated by a window).
+func (t *Trace) MatchSendRecv() (map[EventID]EventID, []EventID) {
+	sendByMsg := make(map[uint64]EventID)
+	for rank, seq := range t.byRank {
+		for i := range seq {
+			if seq[i].Kind == KindSend {
+				sendByMsg[seq[i].MsgID] = EventID{Rank: rank, Index: i}
+			}
+		}
+	}
+	matched := make(map[EventID]EventID)
+	var orphans []EventID
+	for rank, seq := range t.byRank {
+		for i := range seq {
+			if seq[i].Kind != KindRecv {
+				continue
+			}
+			id := EventID{Rank: rank, Index: i}
+			if s, ok := sendByMsg[seq[i].MsgID]; ok {
+				matched[id] = s
+			} else {
+				orphans = append(orphans, id)
+			}
+		}
+	}
+	return matched, orphans
+}
+
+// MergedOrder returns all event ids sorted by (Start, rank, index): the
+// global time-ordered view used by the time-space displays.
+func (t *Trace) MergedOrder() []EventID {
+	ids := make([]EventID, 0, t.Len())
+	for rank, seq := range t.byRank {
+		for i := range seq {
+			ids = append(ids, EventID{Rank: rank, Index: i})
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ra, rb := t.MustAt(ids[a]), t.MustAt(ids[b])
+		if ra.Start != rb.Start {
+			return ra.Start < rb.Start
+		}
+		if ids[a].Rank != ids[b].Rank {
+			return ids[a].Rank < ids[b].Rank
+		}
+		return ids[a].Index < ids[b].Index
+	})
+	return ids
+}
+
+// Window returns a new trace containing only records overlapping the virtual
+// time interval [t0, t1]. Event indexes are renumbered; MsgIDs are preserved
+// so message matching still works within the window.
+func (t *Trace) Window(t0, t1 int64) *Trace {
+	w := New(len(t.byRank))
+	for _, seq := range t.byRank {
+		for i := range seq {
+			r := seq[i]
+			if r.End < t0 || r.Start > t1 {
+				continue
+			}
+			w.byRank[r.Rank] = append(w.byRank[r.Rank], r)
+		}
+	}
+	return w
+}
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	c := New(len(t.byRank))
+	for rank, seq := range t.byRank {
+		c.byRank[rank] = append([]Record(nil), seq...)
+	}
+	return c
+}
+
+// Validate checks the structural invariants the rest of the system relies
+// on: per-rank Start monotonicity, nondecreasing markers, End >= Start, and
+// message causality (every matched receive ends at or after its send ends).
+// It returns the first violation found.
+func (t *Trace) Validate() error {
+	for rank, seq := range t.byRank {
+		var lastStart int64
+		var lastMarker uint64
+		for i := range seq {
+			r := &seq[i]
+			if r.Rank != rank {
+				return fmt.Errorf("trace: rank %d stream holds record for rank %d at index %d", rank, r.Rank, i)
+			}
+			if r.End < r.Start {
+				return fmt.Errorf("trace: %v: End %d < Start %d", EventID{rank, i}, r.End, r.Start)
+			}
+			if i > 0 && r.Start < lastStart {
+				return fmt.Errorf("trace: %v: Start %d < previous Start %d", EventID{rank, i}, r.Start, lastStart)
+			}
+			if i > 0 && r.Marker < lastMarker {
+				return fmt.Errorf("trace: %v: Marker %d < previous Marker %d", EventID{rank, i}, r.Marker, lastMarker)
+			}
+			lastStart, lastMarker = r.Start, r.Marker
+		}
+	}
+	matched, _ := t.MatchSendRecv()
+	for recv, send := range matched {
+		rr, sr := t.MustAt(recv), t.MustAt(send)
+		if rr.End < sr.End {
+			return fmt.Errorf("trace: receive %v (end %d) precedes its send %v (end %d)", recv, rr.End, send, sr.End)
+		}
+		if rr.Src != sr.Rank || sr.Dst != rr.Rank {
+			return fmt.Errorf("trace: endpoint mismatch between send %v and receive %v", send, recv)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a trace; used by reports and tests.
+type Stats struct {
+	Records     int
+	PerKind     map[Kind]int
+	Sends       int
+	Recvs       int
+	BytesSent   int
+	EndTime     int64
+	PerRankMsgs []int // receives per rank
+}
+
+// Summarize computes summary statistics.
+func (t *Trace) Summarize() Stats {
+	st := Stats{PerKind: make(map[Kind]int), PerRankMsgs: make([]int, len(t.byRank))}
+	for rank, seq := range t.byRank {
+		for i := range seq {
+			r := &seq[i]
+			st.Records++
+			st.PerKind[r.Kind]++
+			switch r.Kind {
+			case KindSend:
+				st.Sends++
+				st.BytesSent += r.Bytes
+			case KindRecv:
+				st.Recvs++
+				st.PerRankMsgs[rank]++
+			}
+			if r.End > st.EndTime {
+				st.EndTime = r.End
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,336 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildSample constructs a small two-rank trace with one message 0->1.
+func buildSample(t *testing.T) *Trace {
+	t.Helper()
+	tr := New(2)
+	recs := []Record{
+		{Kind: KindFuncEntry, Rank: 0, Marker: 1, Start: 0, End: 0, Name: "main"},
+		{Kind: KindCompute, Rank: 0, Marker: 2, Start: 0, End: 10, Name: "setup"},
+		{Kind: KindSend, Rank: 0, Marker: 3, Start: 10, End: 15, Src: 0, Dst: 1, Tag: 7, Bytes: 64, MsgID: 1},
+		{Kind: KindFuncEntry, Rank: 1, Marker: 1, Start: 0, End: 0, Name: "main"},
+		{Kind: KindRecv, Rank: 1, Marker: 2, Start: 2, End: 18, Src: 0, Dst: 1, Tag: 7, Bytes: 64, MsgID: 1},
+		{Kind: KindFuncExit, Rank: 1, Marker: 3, Start: 18, End: 18, Name: "main"},
+	}
+	for _, r := range recs {
+		if _, err := tr.Append(r); err != nil {
+			t.Fatalf("append %v: %v", r, err)
+		}
+	}
+	return tr
+}
+
+func TestAppendAndQuery(t *testing.T) {
+	tr := buildSample(t)
+	if tr.NumRanks() != 2 {
+		t.Fatalf("NumRanks = %d", tr.NumRanks())
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", tr.Len())
+	}
+	if tr.RankLen(0) != 3 || tr.RankLen(1) != 3 {
+		t.Fatalf("RankLen = %d,%d", tr.RankLen(0), tr.RankLen(1))
+	}
+	if tr.RankLen(9) != 0 {
+		t.Error("out-of-range RankLen should be 0")
+	}
+	r, err := tr.At(EventID{Rank: 0, Index: 2})
+	if err != nil || r.Kind != KindSend {
+		t.Fatalf("At = %v, %v", r, err)
+	}
+	if _, err := tr.At(EventID{Rank: 0, Index: 99}); err == nil {
+		t.Error("At out of range should fail")
+	}
+	if _, err := tr.At(EventID{Rank: 9, Index: 0}); err == nil {
+		t.Error("At bad rank should fail")
+	}
+	if got := tr.EndTime(); got != 18 {
+		t.Errorf("EndTime = %d, want 18", got)
+	}
+	if got := tr.StartTime(); got != 0 {
+		t.Errorf("StartTime = %d, want 0", got)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	tr := New(1)
+	if _, err := tr.Append(Record{Rank: 5}); err == nil {
+		t.Error("append with bad rank should fail")
+	}
+	if _, err := tr.Append(Record{Rank: 0, Start: 100, End: 100}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if _, err := tr.Append(Record{Rank: 0, Start: 50, End: 60}); err == nil {
+		t.Error("append going backwards in time should fail")
+	}
+}
+
+func TestFindMarker(t *testing.T) {
+	tr := buildSample(t)
+	id, err := tr.FindMarker(Marker{Rank: 0, Seq: 3})
+	if err != nil {
+		t.Fatalf("FindMarker: %v", err)
+	}
+	if tr.MustAt(id).Kind != KindSend {
+		t.Errorf("marker 0@3 should be the send, got %v", tr.MustAt(id))
+	}
+	if _, err := tr.FindMarker(Marker{Rank: 0, Seq: 99}); err != ErrNotFound {
+		t.Errorf("missing marker should give ErrNotFound, got %v", err)
+	}
+	if _, err := tr.FindMarker(Marker{Rank: 9, Seq: 1}); err == nil {
+		t.Error("bad rank should fail")
+	}
+}
+
+func TestTimeSearches(t *testing.T) {
+	tr := buildSample(t)
+	id, err := tr.LastBefore(0, 10)
+	if err != nil {
+		t.Fatalf("LastBefore: %v", err)
+	}
+	// Two rank-0 events start at <=10; the last is the send (start 10).
+	if tr.MustAt(id).Kind != KindSend {
+		t.Errorf("LastBefore(0,10) = %v", tr.MustAt(id))
+	}
+	if _, err := tr.LastBefore(0, -5); err != ErrNotFound {
+		t.Errorf("LastBefore before all events: %v", err)
+	}
+	id, err = tr.FirstAfter(1, 3)
+	if err != nil {
+		t.Fatalf("FirstAfter: %v", err)
+	}
+	if tr.MustAt(id).Kind != KindFuncExit {
+		t.Errorf("FirstAfter(1,3) = %v", tr.MustAt(id))
+	}
+	if _, err := tr.FirstAfter(1, 1000); err != ErrNotFound {
+		t.Errorf("FirstAfter past all events: %v", err)
+	}
+}
+
+func TestKindQueries(t *testing.T) {
+	tr := buildSample(t)
+	if got := len(tr.Sends()); got != 1 {
+		t.Errorf("Sends = %d", got)
+	}
+	if got := len(tr.Recvs()); got != 1 {
+		t.Errorf("Recvs = %d", got)
+	}
+	entries := tr.Filter(func(r *Record) bool { return r.Kind == KindFuncEntry })
+	if len(entries) != 2 {
+		t.Errorf("Filter entries = %d", len(entries))
+	}
+}
+
+func TestMatchSendRecv(t *testing.T) {
+	tr := buildSample(t)
+	matched, orphans := tr.MatchSendRecv()
+	if len(orphans) != 0 {
+		t.Fatalf("orphans = %v", orphans)
+	}
+	if len(matched) != 1 {
+		t.Fatalf("matched = %v", matched)
+	}
+	for recv, send := range matched {
+		if tr.MustAt(recv).Kind != KindRecv || tr.MustAt(send).Kind != KindSend {
+			t.Errorf("bad match %v -> %v", recv, send)
+		}
+	}
+	// A receive with no corresponding send must be reported as an orphan.
+	tr2 := New(1)
+	tr2.MustAppend(Record{Kind: KindRecv, Rank: 0, MsgID: 42, Src: 0, Dst: 0})
+	_, orphans = tr2.MatchSendRecv()
+	if len(orphans) != 1 {
+		t.Errorf("expected 1 orphan, got %v", orphans)
+	}
+}
+
+func TestMergedOrder(t *testing.T) {
+	tr := buildSample(t)
+	ids := tr.MergedOrder()
+	if len(ids) != tr.Len() {
+		t.Fatalf("merged length %d != %d", len(ids), tr.Len())
+	}
+	for i := 1; i < len(ids); i++ {
+		a, b := tr.MustAt(ids[i-1]), tr.MustAt(ids[i])
+		if a.Start > b.Start {
+			t.Fatalf("merged order violated at %d: %d > %d", i, a.Start, b.Start)
+		}
+		if a.Start == b.Start && ids[i-1].Rank > ids[i].Rank {
+			t.Fatalf("tie-break by rank violated at %d", i)
+		}
+	}
+}
+
+func TestWindowAndClone(t *testing.T) {
+	tr := buildSample(t)
+	w := tr.Window(5, 12)
+	// Rank 0: compute (0..10) and send (10..15) overlap; entry (0..0) does not.
+	if w.RankLen(0) != 2 {
+		t.Errorf("window rank0 = %d records", w.RankLen(0))
+	}
+	// Rank 1: recv (2..18) overlaps; entry(0..0) and exit(18..18) do not... exit starts at 18 > 12.
+	if w.RankLen(1) != 1 {
+		t.Errorf("window rank1 = %d records", w.RankLen(1))
+	}
+	c := tr.Clone()
+	if c.Len() != tr.Len() {
+		t.Fatalf("clone length mismatch")
+	}
+	// Mutating the clone must not affect the original.
+	c.MustAppend(Record{Kind: KindMarker, Rank: 0, Marker: 99, Start: 1000, End: 1000})
+	if tr.RankLen(0) == c.RankLen(0) {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr := buildSample(t)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+
+	// End before Start.
+	bad := New(1)
+	bad.byRank[0] = append(bad.byRank[0], Record{Rank: 0, Start: 10, End: 5})
+	if err := bad.Validate(); err == nil {
+		t.Error("End<Start should be rejected")
+	}
+
+	// Receive ending before its send ends violates causality.
+	bad2 := New(2)
+	bad2.byRank[0] = append(bad2.byRank[0], Record{Kind: KindSend, Rank: 0, Src: 0, Dst: 1, Start: 10, End: 20, MsgID: 1})
+	bad2.byRank[1] = append(bad2.byRank[1], Record{Kind: KindRecv, Rank: 1, Src: 0, Dst: 1, Start: 0, End: 5, MsgID: 1})
+	if err := bad2.Validate(); err == nil {
+		t.Error("recv-before-send should be rejected")
+	}
+
+	// Endpoint mismatch.
+	bad3 := New(3)
+	bad3.byRank[0] = append(bad3.byRank[0], Record{Kind: KindSend, Rank: 0, Src: 0, Dst: 1, Start: 0, End: 1, MsgID: 1})
+	bad3.byRank[2] = append(bad3.byRank[2], Record{Kind: KindRecv, Rank: 2, Src: 0, Dst: 2, Start: 5, End: 6, MsgID: 1})
+	if err := bad3.Validate(); err == nil {
+		t.Error("endpoint mismatch should be rejected")
+	}
+
+	// Marker regression.
+	bad4 := New(1)
+	bad4.byRank[0] = append(bad4.byRank[0],
+		Record{Rank: 0, Marker: 5, Start: 0, End: 0},
+		Record{Rank: 0, Marker: 3, Start: 1, End: 1})
+	if err := bad4.Validate(); err == nil {
+		t.Error("marker regression should be rejected")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := buildSample(t)
+	st := tr.Summarize()
+	if st.Records != 6 || st.Sends != 1 || st.Recvs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesSent != 64 {
+		t.Errorf("BytesSent = %d", st.BytesSent)
+	}
+	if st.PerRankMsgs[1] != 1 || st.PerRankMsgs[0] != 0 {
+		t.Errorf("PerRankMsgs = %v", st.PerRankMsgs)
+	}
+	if st.EndTime != 18 {
+		t.Errorf("EndTime = %d", st.EndTime)
+	}
+	if st.PerKind[KindFuncEntry] != 2 {
+		t.Errorf("PerKind[FuncEntry] = %d", st.PerKind[KindFuncEntry])
+	}
+}
+
+// randomTrace builds a structurally valid random trace: per-rank monotone
+// clocks/markers, and each message's receive after its send.
+func randomTrace(rng *rand.Rand, ranks, msgs int) *Trace {
+	tr := New(ranks)
+	clock := make([]int64, ranks)
+	marker := make([]uint64, ranks)
+	var msgID uint64
+	tick := func(rank int, d int64) (start, end int64) {
+		start = clock[rank]
+		end = start + d
+		clock[rank] = end
+		marker[rank]++
+		return
+	}
+	for i := 0; i < msgs; i++ {
+		src := rng.Intn(ranks)
+		dst := rng.Intn(ranks)
+		if src == dst {
+			dst = (dst + 1) % ranks
+		}
+		msgID++
+		s, e := tick(src, 1+int64(rng.Intn(10)))
+		tr.MustAppend(Record{Kind: KindSend, Rank: src, Marker: marker[src],
+			Start: s, End: e, Src: src, Dst: dst, Tag: rng.Intn(4), Bytes: 8, MsgID: msgID})
+		// Receive must end no earlier than the send ends.
+		if clock[dst] < e {
+			clock[dst] = e
+		}
+		rs, re := tick(dst, 1+int64(rng.Intn(10)))
+		tr.MustAppend(Record{Kind: KindRecv, Rank: dst, Marker: marker[dst],
+			Start: rs, End: re, Src: src, Dst: dst, Tag: 0, Bytes: 8, MsgID: msgID})
+		// Occasionally interleave compute records.
+		if rng.Intn(3) == 0 {
+			r := rng.Intn(ranks)
+			cs, ce := tick(r, int64(rng.Intn(5)))
+			tr.MustAppend(Record{Kind: KindCompute, Rank: r, Marker: marker[r], Start: cs, End: ce})
+		}
+	}
+	return tr
+}
+
+func TestRandomTracesValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		tr := randomTrace(rng, 2+rng.Intn(6), 1+rng.Intn(40))
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("random trace %d invalid: %v", i, err)
+		}
+		matched, orphans := tr.MatchSendRecv()
+		if len(orphans) != 0 {
+			t.Fatalf("random trace %d: orphans %v", i, orphans)
+		}
+		if len(matched) != len(tr.Recvs()) {
+			t.Fatalf("random trace %d: %d matches for %d recvs", i, len(matched), len(tr.Recvs()))
+		}
+	}
+}
+
+// Property: windowing never produces records outside the window and keeps
+// per-rank ordering.
+func TestWindowProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64, lo, hi uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTrace(r, 3, 30)
+		t0, t1 := int64(lo), int64(lo)+int64(hi)
+		w := tr.Window(t0, t1)
+		for rank := 0; rank < w.NumRanks(); rank++ {
+			prev := int64(-1 << 62)
+			for _, rec := range w.Rank(rank) {
+				if rec.End < t0 || rec.Start > t1 {
+					return false
+				}
+				if rec.Start < prev {
+					return false
+				}
+				prev = rec.Start
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package vis
+
+import (
+	"fmt"
+	"strings"
+
+	"tracedbg/internal/trace"
+)
+
+// ASCII renders the trace as a terminal time-space diagram: one line per
+// process, columns are time buckets, glyphs encode construct types, and an
+// optional '|' column marks the stopline. Messages are listed below the
+// grid (terminal art cannot draw good diagonals).
+func ASCII(tr *trace.Trace, opt Options) string {
+	opt = opt.withDefaults(100)
+	t0, t1 := opt.window(tr)
+	cols := opt.Width
+	n := tr.NumRanks()
+
+	colOf := func(t int64) int {
+		c := int(float64(t-t0) / float64(t1-t0) * float64(cols))
+		if c < 0 {
+			c = 0
+		}
+		if c >= cols {
+			c = cols - 1
+		}
+		return c
+	}
+
+	var sb strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", opt.Title)
+	}
+	fmt.Fprintf(&sb, "time-space diagram vt=[%d..%d] (%d columns)\n", t0, t1, cols)
+
+	stopCol := -1
+	if opt.Stopline >= t0 && opt.Stopline <= t1 {
+		stopCol = colOf(opt.Stopline)
+	}
+
+	for r := 0; r < n; r++ {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		for i := range tr.Rank(r) {
+			rec := &tr.Rank(r)[i]
+			if rec.End < t0 || rec.Start > t1 {
+				continue
+			}
+			a := colOf(max64(rec.Start, t0))
+			b := colOf(min64(rec.End, t1))
+			g := barGlyph(rec.Kind)
+			for c := a; c <= b; c++ {
+				row[c] = g
+			}
+		}
+		if stopCol >= 0 {
+			row[stopCol] = '|'
+		}
+		// Mark frontier positions at event completion (receives span from
+		// their early post to completion; the completion is the causally
+		// meaningful point). The past mark is drawn after the future mark
+		// so it wins a column collision.
+		if opt.Future != nil && r < len(opt.Future) && opt.Future[r] >= 0 && opt.Future[r] < tr.RankLen(r) {
+			row[colOf(clamp64(tr.Rank(r)[opt.Future[r]].End, t0, t1))] = '>'
+		}
+		if opt.Past != nil && r < len(opt.Past) && opt.Past[r] >= 0 && opt.Past[r] < tr.RankLen(r) {
+			row[colOf(clamp64(tr.Rank(r)[opt.Past[r]].End, t0, t1))] = '<'
+		}
+		if opt.Selected != nil && opt.Selected.Rank == r {
+			if rec, err := tr.At(*opt.Selected); err == nil {
+				row[colOf(clamp64(rec.Start, t0, t1))] = '@'
+			}
+		}
+		fmt.Fprintf(&sb, "P%-3d %s\n", r, row)
+	}
+	sb.WriteString("legend: #=compute S=send R=recv C=collective x=blocked f=func r=region ,=marker |=stopline @=selected <=past-frontier >=future-frontier\n")
+
+	if opt.Messages {
+		matched, _ := tr.MatchSendRecv()
+		ids := make([]trace.EventID, 0, len(matched))
+		for recv := range matched {
+			ids = append(ids, recv)
+		}
+		// Deterministic order by (send time, msg id).
+		sortEventsBy(ids, func(a, b trace.EventID) bool {
+			ra, rb := tr.MustAt(a), tr.MustAt(b)
+			if ra.End != rb.End {
+				return ra.End < rb.End
+			}
+			return ra.MsgID < rb.MsgID
+		})
+		fmt.Fprintf(&sb, "messages (%d):\n", len(ids))
+		for _, recv := range ids {
+			rr := tr.MustAt(recv)
+			sr := tr.MustAt(matched[recv])
+			fmt.Fprintf(&sb, "  %d->%d tag=%d bytes=%d sent@%d recv@%d\n",
+				sr.Src, sr.Dst, sr.Tag, sr.Bytes, sr.End, rr.End)
+		}
+	}
+	return sb.String()
+}
+
+func sortEventsBy(ids []trace.EventID, less func(a, b trace.EventID) bool) {
+	// Insertion sort: message lists are small and this avoids pulling in a
+	// comparator adapter.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && less(ids[j], ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// VKFrames renders the VK-style animated view: a sequence of fixed-width
+// windows scrolling through the history ("a window into the trace file ...
+// an animated view of the events of execution"). step is the window advance
+// per frame; window is the time span shown by each frame.
+func VKFrames(tr *trace.Trace, window, step int64, opt Options) []string {
+	if window <= 0 {
+		window = (tr.EndTime() - tr.StartTime()) / 4
+		if window <= 0 {
+			window = 1
+		}
+	}
+	if step <= 0 {
+		step = window / 2
+		if step <= 0 {
+			step = 1
+		}
+	}
+	var frames []string
+	end := tr.EndTime()
+	for t := tr.StartTime(); ; t += step {
+		o := opt
+		o.T0, o.T1 = t, t+window
+		o.Title = fmt.Sprintf("%s [frame @vt=%d]", opt.Title, t)
+		frames = append(frames, ASCII(tr, o))
+		if t+window >= end {
+			break
+		}
+	}
+	return frames
+}

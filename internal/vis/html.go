@@ -1,0 +1,107 @@
+package vis
+
+import (
+	"fmt"
+	"html"
+	"strings"
+
+	"tracedbg/internal/analysis"
+	"tracedbg/internal/causality"
+	"tracedbg/internal/graph"
+	"tracedbg/internal/trace"
+)
+
+// HTMLReport bundles everything a user wants after a run into one
+// self-contained file: the SVG time-space diagram, per-rank utilization,
+// the function profile, message traffic with irregularities, unmatched
+// messages, deadlock and race analysis, and the communication graph.
+type HTMLReport struct {
+	Title string
+	// Diagram options (the SVG section).
+	Options Options
+}
+
+// Render produces the report for a trace.
+func (h HTMLReport) Render(tr *trace.Trace) string {
+	title := h.Title
+	if title == "" {
+		title = "tracedbg report"
+	}
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&sb, "<title>%s</title>\n", html.EscapeString(title))
+	sb.WriteString(`<style>
+body { font-family: sans-serif; margin: 2em; max-width: 1100px; }
+pre { background: #f6f6f6; padding: 0.8em; overflow-x: auto; font-size: 12px; }
+h2 { border-bottom: 1px solid #ccc; padding-bottom: 0.2em; }
+.warn { color: #b00; font-weight: bold; }
+</style></head><body>` + "\n")
+	fmt.Fprintf(&sb, "<h1>%s</h1>\n", html.EscapeString(title))
+
+	st := tr.Summarize()
+	fmt.Fprintf(&sb, "<p>%d ranks, %d events, %d messages (%d bytes), virtual end time %d.</p>\n",
+		tr.NumRanks(), st.Records, st.Sends, st.BytesSent, st.EndTime)
+
+	sb.WriteString("<h2>Time-space diagram</h2>\n")
+	opt := h.Options
+	if opt.Width == 0 {
+		opt.Width = 1000
+	}
+	sb.WriteString(SVG(tr, opt))
+
+	sb.WriteString("<h2>Per-rank utilization</h2>\n<pre>")
+	sb.WriteString(html.EscapeString(trace.UtilizationText(tr)))
+	sb.WriteString("</pre>\n")
+
+	prof := trace.BuildProfile(tr)
+	if len(prof.Stats) > 0 {
+		sb.WriteString("<h2>Function profile</h2>\n<pre>")
+		sb.WriteString(html.EscapeString(prof.Text()))
+		sb.WriteString("</pre>\n")
+	}
+
+	sb.WriteString("<h2>Message traffic</h2>\n<pre>")
+	traffic := analysis.AnalyzeTraffic(tr)
+	sb.WriteString(html.EscapeString(traffic.String()))
+	sb.WriteString(html.EscapeString(analysis.BuildCommMatrix(tr).Text()))
+	sb.WriteString("</pre>\n")
+	if len(traffic.Odd) > 0 {
+		fmt.Fprintf(&sb, "<p class=\"warn\">%d irregular rank(s) flagged.</p>\n", len(traffic.Odd))
+	}
+
+	mt := analysis.NewMatchTracker()
+	mt.AddTrace(tr)
+	sb.WriteString("<h2>Unmatched messages</h2>\n<pre>")
+	sb.WriteString(html.EscapeString(mt.Report()))
+	sb.WriteString("</pre>\n")
+
+	dl := analysis.DetectDeadlock(tr)
+	sb.WriteString("<h2>Deadlock analysis</h2>\n<pre>")
+	sb.WriteString(html.EscapeString(dl.String()))
+	sb.WriteString("</pre>\n")
+	if dl.HasDeadlock() {
+		sb.WriteString("<p class=\"warn\">Circular wait detected.</p>\n")
+	}
+
+	if o, err := causality.New(tr); err == nil {
+		races := analysis.DetectRaces(o)
+		sb.WriteString("<h2>Message races</h2>\n<pre>")
+		if len(races) == 0 {
+			sb.WriteString("none\n")
+		}
+		for _, r := range races {
+			sb.WriteString(html.EscapeString(r.String()) + "\n")
+		}
+		sb.WriteString("</pre>\n")
+	} else {
+		fmt.Fprintf(&sb, "<p class=\"warn\">causality analysis failed: %s</p>\n", html.EscapeString(err.Error()))
+	}
+
+	cg := graph.BuildCommGraph(tr)
+	sb.WriteString("<h2>Communication graph</h2>\n<pre>")
+	sb.WriteString(html.EscapeString(cg.Text()))
+	sb.WriteString("</pre>\n")
+
+	sb.WriteString("</body></html>\n")
+	return sb.String()
+}

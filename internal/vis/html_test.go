@@ -1,0 +1,48 @@
+package vis
+
+import (
+	"strings"
+	"testing"
+
+	"tracedbg/internal/trace"
+)
+
+func TestHTMLReportSections(t *testing.T) {
+	tr := sampleTrace(t)
+	out := HTMLReport{Title: "demo <run>"}.Render(tr)
+	for _, frag := range []string{
+		"<!DOCTYPE html>",
+		"demo &lt;run&gt;", // escaped title
+		"Time-space diagram",
+		"<svg",
+		"Per-rank utilization",
+		"Message traffic",
+		"Unmatched messages",
+		"Deadlock analysis",
+		"Message races",
+		"Communication graph",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+	// The sample has a blocked rank: the blocked receive shows up as an
+	// unmatched receive.
+	if !strings.Contains(out, "unmatched recv") {
+		t.Error("blocked receive not reported")
+	}
+}
+
+func TestHTMLReportEmptyTrace(t *testing.T) {
+	out := HTMLReport{}.Render(trace.New(2))
+	if !strings.Contains(out, "tracedbg report") {
+		t.Error("default title missing")
+	}
+	if !strings.Contains(out, "2 ranks, 0 events") {
+		t.Error("summary missing")
+	}
+	// No function profile section for an empty trace.
+	if strings.Contains(out, "Function profile") {
+		t.Error("empty profile rendered")
+	}
+}

@@ -1,0 +1,160 @@
+package vis
+
+import (
+	"fmt"
+	"strings"
+
+	"tracedbg/internal/trace"
+)
+
+// SVG geometry constants.
+const (
+	laneHeight  = 28
+	barHeight   = 14
+	marginLeft  = 60
+	marginTop   = 34
+	marginRight = 16
+	marginBot   = 20
+)
+
+// SVG renders the trace as a scalable time-space diagram (NTV-style: the
+// viewport in Options selects the zoom window).
+func SVG(tr *trace.Trace, opt Options) string {
+	opt = opt.withDefaults(800)
+	t0, t1 := opt.window(tr)
+	n := tr.NumRanks()
+	plotW := opt.Width - marginLeft - marginRight
+	if plotW < 10 {
+		plotW = 10
+	}
+	height := marginTop + n*laneHeight + marginBot
+	x := func(t int64) float64 {
+		return marginLeft + float64(t-t0)/float64(t1-t0)*float64(plotW)
+	}
+	laneY := func(rank int) float64 { return float64(marginTop + rank*laneHeight + laneHeight/2) }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opt.Width, height, opt.Width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if opt.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="18" font-family="monospace" font-size="13">%s</text>`+"\n",
+			marginLeft, escape(opt.Title))
+	}
+
+	// Lanes and rank labels.
+	for r := 0; r < n; r++ {
+		y := laneY(r)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, y, opt.Width-marginRight, y)
+		fmt.Fprintf(&sb, `<text x="8" y="%.1f" font-family="monospace" font-size="11">P%d</text>`+"\n", y+4, r)
+	}
+
+	// Construct bars.
+	for r := 0; r < n; r++ {
+		for i := range tr.Rank(r) {
+			rec := &tr.Rank(r)[i]
+			if rec.End < t0 || rec.Start > t1 {
+				continue
+			}
+			xa, xb := x(max64(rec.Start, t0)), x(min64(rec.End, t1))
+			w := xb - xa
+			if w < 1 {
+				w = 1
+			}
+			fmt.Fprintf(&sb,
+				`<rect x="%.1f" y="%.1f" width="%.1f" height="%d" fill="%s"><title>%s</title></rect>`+"\n",
+				xa, laneY(r)-barHeight/2, w, barHeight, barColor(rec.Kind), escape(rec.String()))
+		}
+	}
+
+	// Message lines: (time_sent, source) -> (time_received, destination),
+	// drawn in message-id order so renderings are deterministic.
+	if opt.Messages {
+		matched, _ := tr.MatchSendRecv()
+		recvs := make([]trace.EventID, 0, len(matched))
+		for recv := range matched {
+			recvs = append(recvs, recv)
+		}
+		sortEventsBy(recvs, func(a, b trace.EventID) bool {
+			return tr.MustAt(a).MsgID < tr.MustAt(b).MsgID
+		})
+		for _, recv := range recvs {
+			send := matched[recv]
+			sr, rr := tr.MustAt(send), tr.MustAt(recv)
+			if rr.End < t0 || sr.End > t1 {
+				continue
+			}
+			fmt.Fprintf(&sb,
+				`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333" stroke-width="0.8" marker-end="url(#arrow)"/>`+"\n",
+				x(sr.End), laneY(sr.Rank), x(rr.End), laneY(rr.Rank))
+		}
+		sb.WriteString(`<defs><marker id="arrow" viewBox="0 0 10 10" refX="9" refY="5" markerWidth="5" markerHeight="5" orient="auto"><path d="M 0 0 L 10 5 L 0 10 z" fill="#333"/></marker></defs>` + "\n")
+	}
+
+	// Stopline: the vertical breakpoint-in-the-timeline indicator.
+	if opt.Stopline >= 0 && opt.Stopline >= t0 && opt.Stopline <= t1 {
+		sx := x(opt.Stopline)
+		fmt.Fprintf(&sb,
+			`<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="red" stroke-width="1.5" stroke-dasharray="4,2"/>`+"\n",
+			sx, marginTop-6, sx, height-marginBot+6)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" fill="red" font-family="monospace" font-size="10">stopline</text>`+"\n",
+			sx+3, marginTop-8)
+	}
+
+	// Frontier polylines (slanted black lines of Figure 8).
+	drawFrontier := func(f []int, color, label string) {
+		var pts []string
+		for r, idx := range f {
+			if idx < 0 || idx >= tr.RankLen(r) {
+				continue
+			}
+			rec := tr.Rank(r)[idx]
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(clamp64(rec.End, t0, t1)), laneY(r)))
+		}
+		if len(pts) < 2 {
+			return
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.Join(pts, " "), color)
+		fmt.Fprintf(&sb, `<!-- frontier: %s -->`+"\n", label)
+	}
+	if opt.Past != nil {
+		drawFrontier(opt.Past, "#000", "past")
+	}
+	if opt.Future != nil {
+		drawFrontier(opt.Future, "#555", "future")
+	}
+
+	// Selected event (the circle of Figure 8).
+	if opt.Selected != nil {
+		if rec, err := tr.At(*opt.Selected); err == nil {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="7" fill="none" stroke="red" stroke-width="2"/>`+"\n",
+				x(clamp64(rec.Start, t0, t1)), laneY(rec.Rank))
+		}
+	}
+
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clamp64(v, lo, hi int64) int64 { return max64(lo, min64(v, hi)) }

@@ -1,0 +1,115 @@
+// Package vis renders execution histories as time-space diagrams — the
+// paper's §3 displays. Two display paradigms are provided, mirroring the two
+// visualizers integrated into p2d2: the NTV mode presents the entire trace
+// with zooming and panning (a viewport); the VK mode presents an animated
+// sequence of fixed-width windows scrolling through history. Both draw one
+// horizontal lane per process with bars for constructs (colored by type) and
+// straight lines for messages from (time_sent, source) to (time_received,
+// destination); overlays show the stopline, a selected event, and past/
+// future frontiers (Figures 2, 3, 5, 6, 8).
+//
+// Renderers emit SVG (for files) and plain text (for terminals).
+package vis
+
+import (
+	"tracedbg/internal/causality"
+	"tracedbg/internal/trace"
+)
+
+// Options controls a rendering.
+type Options struct {
+	// Width is the drawing width (SVG pixels or text columns). 0 selects a
+	// default (800 px / 100 columns).
+	Width int
+
+	// T0, T1 give the virtual-time viewport; T1 <= T0 means the full trace
+	// (NTV zoom/pan is expressed by narrowing this window).
+	T0, T1 int64
+
+	// Messages draws send->receive lines.
+	Messages bool
+
+	// Stopline draws a vertical line at this virtual time; negative = none.
+	Stopline int64
+
+	// Selected marks one event (the clicked point of Figure 8).
+	Selected *trace.EventID
+
+	// Past and Future draw frontier polylines (Figure 8); nil = none.
+	Past   causality.Frontier
+	Future causality.Frontier
+
+	// Title annotates the rendering.
+	Title string
+}
+
+func (o *Options) window(tr *trace.Trace) (int64, int64) {
+	t0, t1 := o.T0, o.T1
+	if t1 <= t0 {
+		t0, t1 = tr.StartTime(), tr.EndTime()
+	}
+	if t1 == t0 {
+		t1 = t0 + 1
+	}
+	return t0, t1
+}
+
+// defaultOptions fills zero fields.
+func (o Options) withDefaults(width int) Options {
+	if o.Width <= 0 {
+		o.Width = width
+	}
+	if o.Stopline == 0 {
+		o.Stopline = -1
+	}
+	return o
+}
+
+// barGlyph maps record kinds to single-character glyphs for text output.
+func barGlyph(k trace.Kind) byte {
+	switch k {
+	case trace.KindCompute:
+		return '#'
+	case trace.KindSend:
+		return 'S'
+	case trace.KindRecv:
+		return 'R'
+	case trace.KindCollective:
+		return 'C'
+	case trace.KindBlocked:
+		return 'x'
+	case trace.KindFuncEntry, trace.KindFuncExit:
+		return 'f'
+	case trace.KindRegionBegin, trace.KindRegionEnd:
+		return 'r'
+	case trace.KindMarker:
+		return ','
+	case trace.KindCheckpoint:
+		return 'K'
+	}
+	return '?'
+}
+
+// barColor maps record kinds to SVG fill colors (the "bar is colored
+// depending on the type of the construct" rule).
+func barColor(k trace.Kind) string {
+	switch k {
+	case trace.KindCompute:
+		return "#4e79a7" // blue: computation
+	case trace.KindSend:
+		return "#59a14f" // green: sends
+	case trace.KindRecv:
+		return "#edc948" // yellow: receives
+	case trace.KindCollective:
+		return "#b07aa1" // purple: collectives
+	case trace.KindBlocked:
+		return "#e15759" // red: blocked
+	case trace.KindFuncEntry, trace.KindFuncExit:
+		return "#9c755f"
+	case trace.KindRegionBegin, trace.KindRegionEnd:
+		return "#bab0ac"
+	case trace.KindCheckpoint:
+		return "#76b7b2"
+	}
+	return "#79706e"
+}

@@ -1,0 +1,189 @@
+package vis
+
+import (
+	"strings"
+	"testing"
+
+	"tracedbg/internal/causality"
+	"tracedbg/internal/trace"
+)
+
+func sampleTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr := trace.New(3)
+	tr.MustAppend(trace.Record{Kind: trace.KindCompute, Rank: 0, Marker: 1, Start: 0, End: 40})
+	tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: 0, Marker: 2, Start: 40, End: 50, Src: 0, Dst: 1, Tag: 3, Bytes: 8, MsgID: 1})
+	tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: 1, Marker: 1, Start: 0, End: 60, Src: 0, Dst: 1, Tag: 3, Bytes: 8, MsgID: 1})
+	tr.MustAppend(trace.Record{Kind: trace.KindCompute, Rank: 1, Marker: 2, Start: 60, End: 100})
+	tr.MustAppend(trace.Record{Kind: trace.KindBlocked, Rank: 2, Marker: 1, Start: 0, End: 100, Src: 0, Tag: 9, Name: "Blocked(Recv)"})
+	return tr
+}
+
+func TestSVGStructure(t *testing.T) {
+	tr := sampleTrace(t)
+	svg := SVG(tr, Options{Messages: true, Stopline: 55, Title: "test run"})
+	for _, frag := range []string{
+		"<svg", "</svg>", "test run",
+		`>P0<`, `>P1<`, `>P2<`,
+		barColor(trace.KindCompute), barColor(trace.KindSend),
+		barColor(trace.KindRecv), barColor(trace.KindBlocked),
+		"stopline", `stroke="red"`,
+		"marker-end", // message arrow
+	} {
+		if !strings.Contains(svg, frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+	// One message line between lanes.
+	if !strings.Contains(svg, `<line x1=`) {
+		t.Error("no message line drawn")
+	}
+}
+
+func TestSVGViewportClipsEvents(t *testing.T) {
+	tr := sampleTrace(t)
+	full := SVG(tr, Options{})
+	zoomed := SVG(tr, Options{T0: 60, T1: 100})
+	if len(zoomed) >= len(full) {
+		t.Errorf("zoomed view should contain fewer elements (%d vs %d bytes)", len(zoomed), len(full))
+	}
+	// The send (ends at 50) is outside the zoom window.
+	if strings.Count(zoomed, barColor(trace.KindSend)) != 0 {
+		t.Error("zoom window should exclude the send bar")
+	}
+}
+
+func TestSVGFrontiersAndSelection(t *testing.T) {
+	tr := sampleTrace(t)
+	o, err := causality.New(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := trace.EventID{Rank: 1, Index: 0}
+	pf, _ := o.PastFrontier(sel)
+	ff, _ := o.FutureFrontier(sel)
+	svg := SVG(tr, Options{Past: pf, Future: ff, Selected: &sel})
+	if !strings.Contains(svg, "<polyline") {
+		t.Error("frontier polyline missing")
+	}
+	if !strings.Contains(svg, "<circle") {
+		t.Error("selected-event circle missing")
+	}
+}
+
+func TestASCIILayout(t *testing.T) {
+	tr := sampleTrace(t)
+	out := ASCII(tr, Options{Width: 50, Messages: true, Stopline: 55})
+	lines := strings.Split(out, "\n")
+	var rows []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "P") {
+			rows = append(rows, l)
+		}
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d:\n%s", len(rows), out)
+	}
+	if !strings.Contains(rows[0], "#") || !strings.Contains(rows[0], "S") {
+		t.Errorf("rank 0 row missing glyphs: %s", rows[0])
+	}
+	if !strings.Contains(rows[1], "R") {
+		t.Errorf("rank 1 row missing recv: %s", rows[1])
+	}
+	if !strings.Contains(rows[2], "x") {
+		t.Errorf("rank 2 row missing blocked: %s", rows[2])
+	}
+	if !strings.Contains(out, "|") {
+		t.Error("stopline column missing")
+	}
+	if !strings.Contains(out, "0->1 tag=3 bytes=8") {
+		t.Errorf("message list missing:\n%s", out)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Error("legend missing")
+	}
+}
+
+func TestASCIIFrontierMarks(t *testing.T) {
+	tr := sampleTrace(t)
+	o, err := causality.New(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := trace.EventID{Rank: 1, Index: 1}
+	pf, _ := o.PastFrontier(sel)
+	ff, _ := o.FutureFrontier(sel)
+	out := ASCII(tr, Options{Width: 60, Past: pf, Future: ff, Selected: &sel})
+	if !strings.Contains(out, "<") {
+		t.Error("past frontier mark missing")
+	}
+	if !strings.Contains(out, "@") {
+		t.Error("selected mark missing")
+	}
+	_ = ff
+}
+
+func TestVKFrames(t *testing.T) {
+	tr := sampleTrace(t)
+	frames := VKFrames(tr, 40, 30, Options{Width: 40, Title: "vk"})
+	if len(frames) < 3 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	for i, f := range frames {
+		if !strings.Contains(f, "vk [frame @vt=") {
+			t.Errorf("frame %d missing title: %s", i, f[:40])
+		}
+	}
+	// First frame shows early compute; last frame shows late compute only.
+	if !strings.Contains(frames[0], "#") {
+		t.Error("first frame missing compute bar")
+	}
+	// Defaults: zero window/step pick something sane.
+	def := VKFrames(tr, 0, 0, Options{Width: 40})
+	if len(def) == 0 {
+		t.Error("default frames empty")
+	}
+}
+
+func TestEmptyTraceRendering(t *testing.T) {
+	tr := trace.New(2)
+	if svg := SVG(tr, Options{}); !strings.Contains(svg, "<svg") {
+		t.Error("empty SVG broken")
+	}
+	if out := ASCII(tr, Options{}); !strings.Contains(out, "P0") {
+		t.Error("empty ASCII broken")
+	}
+}
+
+func TestGlyphAndColorTotality(t *testing.T) {
+	for k := trace.Kind(0); k <= trace.KindCheckpoint; k++ {
+		if barGlyph(k) == '?' {
+			t.Errorf("kind %v has no glyph", k)
+		}
+		if barColor(k) == "" {
+			t.Errorf("kind %v has no color", k)
+		}
+	}
+}
+
+func TestRenderingDeterministic(t *testing.T) {
+	tr := sampleTrace(t)
+	// Add more messages so map iteration order would show.
+	for i := 0; i < 20; i++ {
+		m := uint64(100 + i)
+		tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: 0, Marker: m,
+			Start: 200 + int64(i), End: 201 + int64(i), Src: 0, Dst: 1, Tag: i, Bytes: 4, MsgID: m})
+		tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: 1, Marker: m,
+			Start: 200 + int64(i), End: 202 + int64(i), Src: 0, Dst: 1, Tag: i, Bytes: 4, MsgID: m})
+	}
+	a := SVG(tr, Options{Messages: true})
+	b := SVG(tr, Options{Messages: true})
+	if a != b {
+		t.Error("SVG rendering nondeterministic")
+	}
+	x := ASCII(tr, Options{Messages: true})
+	y := ASCII(tr, Options{Messages: true})
+	if x != y {
+		t.Error("ASCII rendering nondeterministic")
+	}
+}

@@ -1,0 +1,157 @@
+// Package tracedbg is a trace-driven debugger for message passing programs,
+// reproducing Frumkin, Hood & Lopez, "Trace-Driven Debugging of Message
+// Passing Programs" (IPPS 1998) — the history-based features of the NASA
+// p2d2 debugger: execution-history acquisition at three instrumentation
+// levels, time-space visualization, consistent stopline breakpoints,
+// controlled replay with enforced message matching, parallel undo, and
+// history analysis (unmatched messages, deadlock cycles, message races).
+//
+// The message-passing substrate is an MPI-like runtime (ranks are
+// goroutines) implemented in internal/mp; programs are written against
+// *tracedbg.Ctx, which combines the communication API with the
+// instrumentation entry points.
+//
+// Quick start:
+//
+//	tgt := tracedbg.Target{
+//	    Cfg:  tracedbg.Config{NumRanks: 4},
+//	    Body: func(c *tracedbg.Ctx) { ... c.Send(1, 0, data) ... },
+//	}
+//	d := tracedbg.New(tgt)
+//	if err := d.Record(); err != nil { ... }
+//	fmt.Println(d.RenderASCII(tracedbg.RenderOptions{Messages: true}))
+//	sl, _ := d.VerticalStopLine(d.Trace().EndTime() / 2)
+//	s, _ := d.Replay(sl)
+//	s.WaitAllStopped(5 * time.Second)
+//	fmt.Println(s.ReadVar(0, "x"))
+package tracedbg
+
+import (
+	"tracedbg/internal/analysis"
+	"tracedbg/internal/causality"
+	"tracedbg/internal/core"
+	"tracedbg/internal/debug"
+	"tracedbg/internal/graph"
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/query"
+	"tracedbg/internal/replay"
+	"tracedbg/internal/trace"
+	"tracedbg/internal/vis"
+)
+
+// Core API.
+type (
+	// Debugger orchestrates trace-driven debugging of one target.
+	Debugger = core.Debugger
+	// StopLine is a breakpoint in the timeline.
+	StopLine = core.StopLine
+	// StopLineKind selects vertical or frontier stoplines.
+	StopLineKind = core.StopLineKind
+
+	// Target describes the debuggee.
+	Target = debug.Target
+	// Session is one controlled execution.
+	Session = debug.Session
+	// Stop describes a rank parked at a control point.
+	Stop = debug.Stop
+
+	// Config is the runtime configuration (rank count, send mode, costs).
+	Config = mp.Config
+	// Ctx is the per-rank program handle: communication + instrumentation.
+	Ctx = instr.Ctx
+	// Level selects instrumentation strategies.
+	Level = instr.Level
+
+	// Trace is an in-memory execution history.
+	Trace = trace.Trace
+	// Record is one history event.
+	Record = trace.Record
+	// EventID identifies an event in a trace.
+	EventID = trace.EventID
+	// Marker is an execution marker (rank + monitor counter).
+	Marker = trace.Marker
+	// Location is a source position.
+	Location = trace.Location
+
+	// Order is the happens-before structure of a trace.
+	Order = causality.Order
+	// Frontier is a per-rank event set (past/future frontiers).
+	Frontier = causality.Frontier
+	// Cut is a consistent-cut candidate.
+	Cut = causality.Cut
+
+	// StopSet is the marker form of a stopline.
+	StopSet = replay.StopSet
+	// Enforcer replays recorded message matching.
+	Enforcer = replay.Enforcer
+	// CheckpointStore keeps snapshots with a logarithmic backlog.
+	CheckpointStore = replay.CheckpointStore
+	// Snapshot is one stored checkpoint.
+	Snapshot = replay.Snapshot
+
+	// TraceGraph is the bounded graph abstraction of history.
+	TraceGraph = graph.TraceGraph
+	// CallGraph is a per-process dynamic call graph.
+	CallGraph = graph.CallGraph
+	// CommGraph is the message causality graph.
+	CommGraph = graph.CommGraph
+
+	// DeadlockReport lists blocked ranks and wait cycles.
+	DeadlockReport = analysis.DeadlockReport
+	// Race is a racing wildcard receive.
+	Race = analysis.Race
+	// TrafficReport flags irregular per-rank message counts.
+	TrafficReport = analysis.TrafficReport
+
+	// RenderOptions controls time-space diagram rendering.
+	RenderOptions = vis.Options
+
+	// StallError reports a global communication stall.
+	StallError = mp.StallError
+)
+
+// Stopline kinds.
+const (
+	Vertical            = core.Vertical
+	AlongPastFrontier   = core.AlongPastFrontier
+	AlongFutureFrontier = core.AlongFutureFrontier
+)
+
+// Instrumentation levels (combinable).
+const (
+	LevelWrappers   = instr.LevelWrappers
+	LevelFunctions  = instr.LevelFunctions
+	LevelConstructs = instr.LevelConstructs
+	LevelAll        = instr.LevelAll
+)
+
+// Wildcard receive specifiers.
+const (
+	AnySource = mp.AnySource
+	AnyTag    = mp.AnyTag
+)
+
+// New prepares a Debugger for the target.
+func New(tgt Target) *Debugger { return core.New(tgt) }
+
+// Loc builds a source location for instrumentation calls.
+func Loc(file string, line int, fn string) Location { return instr.Loc(file, line, fn) }
+
+// CompileQuery compiles a history query expression (see internal/query).
+func CompileQuery(expr string) (*TraceQuery, error) { return query.Compile(expr) }
+
+// TraceQuery is a compiled history query.
+type TraceQuery = query.Query
+
+// NewOrder computes the happens-before structure of a trace.
+func NewOrder(tr *Trace) (*Order, error) { return causality.New(tr) }
+
+// NewCheckpointStore creates an empty checkpoint store.
+func NewCheckpointStore() *CheckpointStore { return replay.NewCheckpointStore() }
+
+// SVG renders a trace as an SVG time-space diagram.
+func SVG(tr *Trace, opt RenderOptions) string { return vis.SVG(tr, opt) }
+
+// ASCII renders a trace as a terminal time-space diagram.
+func ASCII(tr *Trace, opt RenderOptions) string { return vis.ASCII(tr, opt) }

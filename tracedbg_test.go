@@ -1,0 +1,153 @@
+package tracedbg_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"tracedbg"
+)
+
+// facadeTarget is a small pipeline written purely against the public API.
+func facadeTarget() tracedbg.Target {
+	return tracedbg.Target{
+		Cfg: tracedbg.Config{NumRanks: 3},
+		Body: func(c *tracedbg.Ctx) {
+			defer c.Fn(tracedbg.Loc("pipe.go", 1, "stage"))()
+			x := int64(0)
+			c.Expose("x", &x)
+			switch c.Rank() {
+			case 0:
+				c.SendInt64s(1, 0, []int64{10})
+			case 1:
+				in, _ := c.RecvInt64s(0, 0)
+				x = in[0] + 1
+				c.Compute(100)
+				c.SendInt64s(2, 0, []int64{x})
+			case 2:
+				in, _ := c.RecvInt64s(mp0(), 0) // wildcard via facade const
+				x = in[0]
+			}
+			c.Barrier()
+		},
+	}
+}
+
+func mp0() int { return tracedbg.AnySource }
+
+func TestFacadeRecordInspectReplay(t *testing.T) {
+	d := tracedbg.New(facadeTarget())
+	if err := d.Record(); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	tr := d.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Sends()) != 2 || len(tr.Recvs()) != 2 {
+		t.Fatalf("messages: %d/%d", len(tr.Sends()), len(tr.Recvs()))
+	}
+
+	// Rendering through the facade.
+	if !strings.Contains(d.RenderASCII(tracedbg.RenderOptions{Width: 60}), "P2") {
+		t.Error("ascii render")
+	}
+	if !strings.Contains(tracedbg.SVG(tr, tracedbg.RenderOptions{}), "<svg") {
+		t.Error("svg render")
+	}
+	if !strings.Contains(tracedbg.ASCII(tr, tracedbg.RenderOptions{}), "legend") {
+		t.Error("ascii helper")
+	}
+
+	// Causality through the facade.
+	o, err := tracedbg.NewOrder(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send0 := tr.Sends()[0]
+	recvLast := tr.Recvs()[len(tr.Recvs())-1]
+	if !o.HappensBefore(send0, recvLast) {
+		t.Error("pipeline causality missing")
+	}
+
+	// Stopline + replay + inspection.
+	sl, err := d.VerticalStopLine(tr.EndTime() / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Replay(sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WaitAllStopped(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadVar(1, "x"); err != nil {
+		t.Errorf("read var: %v", err)
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Analyses through the facade.
+	if d.Deadlocks().HasDeadlock() {
+		t.Error("phantom deadlock")
+	}
+	races, err := d.Races()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rank-2 wildcard has a single possible sender: no race.
+	if len(races) != 0 {
+		t.Errorf("races: %v", races)
+	}
+	if got := d.CallGraph(1).Calls("program", "stage"); got != 1 {
+		t.Errorf("call graph: %d", got)
+	}
+	if len(d.CommGraph().Nodes) != 2 {
+		t.Errorf("comm graph nodes: %d", len(d.CommGraph().Nodes))
+	}
+}
+
+func TestFacadeStallSurfacesTypedError(t *testing.T) {
+	d := tracedbg.New(tracedbg.Target{
+		Cfg: tracedbg.Config{NumRanks: 2},
+		Body: func(c *tracedbg.Ctx) {
+			c.Recv(1-c.Rank(), 0)
+		},
+	})
+	err := d.Record()
+	var stall *tracedbg.StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("want StallError, got %v", err)
+	}
+	if len(stall.Blocked) != 2 {
+		t.Fatalf("blocked: %+v", stall.Blocked)
+	}
+}
+
+func TestFacadeCheckpointStore(t *testing.T) {
+	cs := tracedbg.NewCheckpointStore()
+	for i := 0; i < 100; i++ {
+		cs.Add(tracedbg.Snapshot{Iter: i, Markers: []uint64{uint64(i)}})
+	}
+	if cs.Len() > 10 {
+		t.Errorf("backlog = %d", cs.Len())
+	}
+	if _, ok := cs.BestFor([]uint64{50}); !ok {
+		t.Error("no snapshot found")
+	}
+}
+
+func TestFacadeLevelsAndConstants(t *testing.T) {
+	if tracedbg.LevelAll&tracedbg.LevelWrappers == 0 {
+		t.Error("LevelAll should include wrappers")
+	}
+	if tracedbg.AnySource != -1 || tracedbg.AnyTag != -1 {
+		t.Error("wildcard constants")
+	}
+	if tracedbg.Vertical.String() != "vertical" {
+		t.Error("stopline kind")
+	}
+}
