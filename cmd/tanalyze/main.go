@@ -78,7 +78,16 @@ func load(in, app string, ranks, size, iters int, seed int64, w io.Writer) (*tra
 			return nil, err
 		}
 		defer f.Close()
-		return trace.ReadAll(f)
+		// Salvage what a crashed or interrupted producer managed to write:
+		// a partial history is still analyzable, just flagged.
+		tr, err := trace.ReadAllPartial(f)
+		if err != nil {
+			return nil, err
+		}
+		if tr.Incomplete() {
+			fmt.Fprintf(w, "warning: history incomplete: %s\n", tr.IncompleteReason())
+		}
+		return tr, nil
 	}
 	body, err := apps.Build(app, ranks, apps.Params{Size: size, Iters: iters, Seed: seed})
 	if err != nil {

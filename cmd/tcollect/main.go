@@ -8,7 +8,11 @@
 //	tcollect -addr 127.0.0.1:7777 -out run.trace
 //
 // The collector exits after all clients disconnect (at least one must have
-// connected), or after -max-wait if nothing ever connects.
+// connected), or after -max-wait if nothing ever connects. When replacing a
+// crashed collector on a fixed port, -retry keeps attempting the bind until
+// the OS releases the address. Clients reconnect on their own and resume
+// from whatever the new collector acknowledges, so a restarted tcollect
+// ends up with the complete history.
 package main
 
 import (
@@ -21,21 +25,51 @@ import (
 	"tracedbg/internal/trace"
 )
 
+// options bundles the collector invocation parameters.
+type options struct {
+	addr       string
+	out        string
+	maxWait    time.Duration
+	retry      int           // bind attempts before giving up
+	backoffMax time.Duration // cap on the bind retry delay
+	col        remote.CollectorOptions
+}
+
 func main() {
-	var (
-		addr    = flag.String("addr", "127.0.0.1:0", "listen address")
-		out     = flag.String("out", "run.trace", "output trace file")
-		maxWait = flag.Duration("max-wait", time.Minute, "give up if no client connects in time")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:0", "listen address")
+	flag.StringVar(&o.out, "out", "run.trace", "output trace file")
+	flag.DurationVar(&o.maxWait, "max-wait", time.Minute, "give up if no client connects in time")
+	flag.IntVar(&o.retry, "retry", 1, "attempts to bind the listen address (a just-killed collector may still hold it)")
+	flag.DurationVar(&o.backoffMax, "backoff-max", 2*time.Second, "cap on the delay between bind attempts")
+	flag.DurationVar(&o.col.Heartbeat, "heartbeat", 500*time.Millisecond, "interval between acknowledgement heartbeats to clients")
+	flag.DurationVar(&o.col.IdleTimeout, "idle-timeout", 0, "drop connections silent for this long (0 = never)")
 	flag.Parse()
-	if err := run(*addr, *out, *maxWait, os.Stdout); err != nil {
+	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tcollect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, out string, maxWait time.Duration, log interface{ Write([]byte) (int, error) }) error {
-	col, err := remote.NewCollector(addr)
+// listen binds the collector, retrying with growing delays: a collector
+// restarted in place of a crashed one may race the kernel for the port.
+func listen(o options) (*remote.Collector, error) {
+	delay := 100 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		col, err := remote.NewCollectorOptions(o.addr, o.col)
+		if err == nil || attempt >= o.retry {
+			return col, err
+		}
+		if delay > o.backoffMax {
+			delay = o.backoffMax
+		}
+		time.Sleep(delay)
+		delay *= 2
+	}
+}
+
+func run(o options, log interface{ Write([]byte) (int, error) }) error {
+	col, err := listen(o)
 	if err != nil {
 		return err
 	}
@@ -61,13 +95,13 @@ func run(addr, out string, maxWait time.Duration, log interface{ Write([]byte) (
 		if sawClient && time.Since(stableSince) > 500*time.Millisecond {
 			break
 		}
-		if !sawClient && time.Since(start) > maxWait {
-			return fmt.Errorf("no client connected within %v", maxWait)
+		if !sawClient && time.Since(start) > o.maxWait {
+			return fmt.Errorf("no client connected within %v", o.maxWait)
 		}
 	}
 
 	tr := col.Trace()
-	f, err := os.Create(out)
+	f, err := os.Create(o.out)
 	if err != nil {
 		return err
 	}
@@ -75,7 +109,10 @@ func run(addr, out string, maxWait time.Duration, log interface{ Write([]byte) (
 	if err := trace.WriteAll(f, tr); err != nil {
 		return err
 	}
-	fmt.Fprintf(log, "tcollect: wrote %d records from %d ranks to %s\n", tr.Len(), tr.NumRanks(), out)
+	fmt.Fprintf(log, "tcollect: wrote %d records from %d ranks to %s\n", tr.Len(), tr.NumRanks(), o.out)
+	if tr.Incomplete() {
+		fmt.Fprintf(log, "tcollect: history incomplete: %s\n", tr.IncompleteReason())
+	}
 	for _, e := range col.Errs() {
 		fmt.Fprintf(log, "tcollect: stream error: %v\n", e)
 	}

@@ -42,7 +42,7 @@ func TestCollectEndToEnd(t *testing.T) {
 	// chosen by the OS via a pre-bound listener is not exposed, so use a
 	// known port via remote directly... instead: start run() with :0 and
 	// parse the printed address.
-	go func() { done <- run("127.0.0.1:0", out, 10*time.Second, log) }()
+	go func() { done <- run(testOptions("127.0.0.1:0", out, 10*time.Second), log) }()
 
 	var addr string
 	deadline := time.Now().Add(5 * time.Second)
@@ -95,14 +95,36 @@ func TestCollectEndToEnd(t *testing.T) {
 
 func TestCollectTimeout(t *testing.T) {
 	log := &logBuf{}
-	err := run("127.0.0.1:0", filepath.Join(t.TempDir(), "x.trace"), 200*time.Millisecond, log)
+	err := run(testOptions("127.0.0.1:0", filepath.Join(t.TempDir(), "x.trace"), 200*time.Millisecond), log)
 	if err == nil || !strings.Contains(err.Error(), "no client connected") {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestCollectBadAddr(t *testing.T) {
-	if err := run("999.999.999.999:1", "x", time.Second, &logBuf{}); err == nil {
+	if err := run(testOptions("999.999.999.999:1", "x", time.Second), &logBuf{}); err == nil {
 		t.Error("bad address accepted")
+	}
+}
+
+func TestCollectBadAddrRetriesThenFails(t *testing.T) {
+	o := testOptions("999.999.999.999:1", "x", time.Second)
+	o.retry = 3
+	o.backoffMax = 10 * time.Millisecond
+	start := time.Now()
+	if err := run(o, &logBuf{}); err == nil {
+		t.Error("bad address accepted")
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("retry loop did not back off between attempts")
+	}
+}
+
+// testOptions mirrors the flag defaults for direct run() invocations.
+func testOptions(addr, out string, maxWait time.Duration) options {
+	return options{
+		addr: addr, out: out, maxWait: maxWait,
+		retry: 1, backoffMax: 2 * time.Second,
+		col: remote.CollectorOptions{Heartbeat: 20 * time.Millisecond},
 	}
 }

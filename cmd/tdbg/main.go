@@ -55,6 +55,7 @@ import (
 	"tracedbg/internal/apps"
 	"tracedbg/internal/core"
 	"tracedbg/internal/debug"
+	"tracedbg/internal/fault"
 	"tracedbg/internal/mp"
 	"tracedbg/internal/trace"
 	"tracedbg/internal/vis"
@@ -62,11 +63,12 @@ import (
 
 func main() {
 	var (
-		app   = flag.String("app", "ring", "workload: "+strings.Join(apps.Names(), ", "))
-		ranks = flag.Int("ranks", 4, "number of processes")
-		size  = flag.Int("size", 16, "problem size")
-		iters = flag.Int("iters", 3, "iterations / rounds")
-		seed  = flag.Int64("seed", 42, "input seed")
+		app      = flag.String("app", "ring", "workload: "+strings.Join(apps.Names(), ", "))
+		ranks    = flag.Int("ranks", 4, "number of processes")
+		size     = flag.Int("size", 16, "problem size")
+		iters    = flag.Int("iters", 3, "iterations / rounds")
+		seed     = flag.Int64("seed", 42, "input seed")
+		faultPln = flag.String("fault-plan", "", "JSON fault plan injected into the target (drops, delays, duplicates, crashes, slow ranks)")
 	)
 	flag.Parse()
 
@@ -75,12 +77,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	d := core.New(debug.Target{Cfg: mp.Config{NumRanks: *ranks}, Body: body})
+	cfg := mp.Config{NumRanks: *ranks}
+	if *faultPln != "" {
+		plan, err := installFaultPlan(*faultPln, &cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stdout, "loaded %s\n", plan)
+	}
+	d := core.New(debug.Target{Cfg: cfg, Body: body})
 	r := &repl{d: d, out: os.Stdout, timeout: 30 * time.Second}
 	if err := r.Run(os.Stdin); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// installFaultPlan loads a fault plan file and installs its injector in the
+// target configuration. The same injector serves the record run and every
+// replay, so injected faults strike identically across them.
+func installFaultPlan(path string, cfg *mp.Config) (fault.Plan, error) {
+	plan, err := fault.Load(path)
+	if err != nil {
+		return fault.Plan{}, err
+	}
+	if _, err := fault.Install(plan, cfg); err != nil {
+		return fault.Plan{}, err
+	}
+	return plan, nil
 }
 
 // repl executes debugger commands.

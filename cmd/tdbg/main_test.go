@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -8,6 +10,7 @@ import (
 	"tracedbg/internal/apps"
 	"tracedbg/internal/core"
 	"tracedbg/internal/debug"
+	"tracedbg/internal/fault"
 	"tracedbg/internal/mp"
 )
 
@@ -214,5 +217,57 @@ quit
 	}
 	if !strings.Contains(s, "error:") {
 		t.Errorf("bad query should error:\n%s", s)
+	}
+}
+
+func TestScriptFaultPlan(t *testing.T) {
+	// A plan that drops the ring's first hop: the run stalls and the
+	// analyzer must attribute the hang to the injected drop.
+	plan := fault.Plan{Seed: 11, Rules: []fault.Rule{fault.DropNth(0, 1, 1)}}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := plan.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	body, err := apps.Build("ring", 3, apps.Params{Iters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mp.Config{NumRanks: 3}
+	loaded, err := installFaultPlan(path, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Fault == nil || len(loaded.Rules) != 1 {
+		t.Fatalf("plan not installed: %+v", loaded)
+	}
+	out := &strings.Builder{}
+	r := &repl{
+		d:       core.New(debug.Target{Cfg: cfg, Body: body}),
+		out:     out,
+		timeout: 30 * time.Second,
+	}
+	if err := r.Run(strings.NewReader("run\nanalyze\nquit\n")); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "execution ended with error") {
+		t.Errorf("dropped message did not stall the run:\n%s", s)
+	}
+	if !strings.Contains(s, "injected fault dropped the message") {
+		t.Errorf("analyze did not blame the injected drop:\n%s", s)
+	}
+}
+
+func TestInstallFaultPlanErrors(t *testing.T) {
+	cfg := mp.Config{NumRanks: 2}
+	if _, err := installFaultPlan("/no/such/plan.json", &cfg); err == nil {
+		t.Error("missing plan file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"rules": [{"kind": "explode"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := installFaultPlan(bad, &cfg); err == nil {
+		t.Error("invalid plan accepted")
 	}
 }

@@ -95,7 +95,16 @@ func load(in, app string, ranks, size, iters int, seed int64) (*trace.Trace, err
 			return nil, err
 		}
 		defer f.Close()
-		return trace.ReadAll(f)
+		// Salvage what a crashed or interrupted producer managed to write:
+		// a truncated history still renders, just flagged on stderr.
+		tr, err := trace.ReadAllPartial(f)
+		if err != nil {
+			return nil, err
+		}
+		if tr.Incomplete() {
+			fmt.Fprintln(os.Stderr, "tvis: warning: history incomplete:", tr.IncompleteReason())
+		}
+		return tr, nil
 	}
 	body, err := apps.Build(app, ranks, apps.Params{Size: size, Iters: iters, Seed: seed})
 	if err != nil {

@@ -11,11 +11,12 @@ import (
 // WaitEdge is one rank's blocked dependency: From waits for On.
 // On == mp.AnySource means the rank would accept any sender.
 type WaitEdge struct {
-	From int
-	On   int
-	Op   string
-	Tag  int
-	Loc  trace.Location
+	From  int
+	On    int
+	Op    string
+	Tag   int
+	Loc   trace.Location
+	Fault string // fault annotation on the blocked record itself, if any
 }
 
 // DeadlockReport describes circular wait dependencies found in a trace of a
@@ -28,10 +29,25 @@ type DeadlockReport struct {
 	// Hopeless lists blocked ranks whose awaited peer finished or is not
 	// itself blocked on them (no cycle, but the wait can never complete).
 	Hopeless []WaitEdge
+	// InjectedDrops lists blocked operations explained by an injected
+	// message drop recorded in the history: the awaited message (or the
+	// blocked rendezvous send itself) was removed from the wire by fault
+	// injection. These hangs are artifacts of the fault plan, not program
+	// bugs.
+	InjectedDrops []WaitEdge
+	// CrashedPeers lists blocked operations waiting on a rank that the
+	// history records as crashed (injected crash or Proc.Crash).
+	CrashedPeers []WaitEdge
 }
 
 // HasDeadlock reports whether any circular dependency was found.
 func (r *DeadlockReport) HasDeadlock() bool { return len(r.Cycles) > 0 }
+
+// FaultInduced reports whether any blocked operation is explained by an
+// injected fault rather than program logic.
+func (r *DeadlockReport) FaultInduced() bool {
+	return len(r.InjectedDrops) > 0 || len(r.CrashedPeers) > 0
+}
 
 // String renders the report.
 func (r *DeadlockReport) String() string {
@@ -50,6 +66,12 @@ func (r *DeadlockReport) String() string {
 	for _, h := range r.Hopeless {
 		fmt.Fprintf(&sb, "  rank %d waits on %d (%s tag=%d) which will never respond\n", h.From, h.On, h.Op, h.Tag)
 	}
+	for _, h := range r.InjectedDrops {
+		fmt.Fprintf(&sb, "  rank %d hangs in %s because an injected fault dropped the message (not a program bug)\n", h.From, h.Op)
+	}
+	for _, h := range r.CrashedPeers {
+		fmt.Fprintf(&sb, "  rank %d waits on rank %d, which crashed (injected fault)\n", h.From, h.On)
+	}
 	return sb.String()
 }
 
@@ -59,13 +81,28 @@ func (r *DeadlockReport) String() string {
 func DetectDeadlock(tr *trace.Trace) *DeadlockReport {
 	rep := &DeadlockReport{}
 	waits := make(map[int]WaitEdge) // one blocked op per rank (single-threaded)
+	var dropped []droppedSend
+	crashed := make(map[int]bool)
 	for r := 0; r < tr.NumRanks(); r++ {
 		for i := range tr.Rank(r) {
 			rec := &tr.Rank(r)[i]
-			if rec.Kind != trace.KindBlocked {
+			switch rec.Kind {
+			case trace.KindSend:
+				if strings.Contains(rec.Fault, trace.FaultDrop) {
+					dropped = append(dropped, droppedSend{src: r, dst: rec.Dst, tag: rec.Tag})
+				}
+				continue
+			case trace.KindFault:
+				if rec.Fault == trace.FaultCrash {
+					crashed[r] = true
+				}
+				continue
+			case trace.KindBlocked:
+				// Fall through to wait-edge construction.
+			default:
 				continue
 			}
-			e := WaitEdge{From: r, Op: rec.Name, Tag: rec.Tag, Loc: rec.Loc}
+			e := WaitEdge{From: r, Op: rec.Name, Tag: rec.Tag, Loc: rec.Loc, Fault: rec.Fault}
 			// Receive-like blocks wait on Src; send-like blocks wait on Dst.
 			if strings.Contains(rec.Name, "Send") {
 				e.On = rec.Dst
@@ -77,8 +114,34 @@ func DetectDeadlock(tr *trace.Trace) *DeadlockReport {
 		}
 	}
 
+	// Classify fault-induced hangs before looking for cycles: an edge that
+	// would have been satisfied but for an injected drop or a crashed peer
+	// is not a genuine wait dependency, so it cannot participate in a
+	// deadlock cycle. (A ring where one hop is dropped stalls with a
+	// structurally circular wait graph — but the cause is the fault, not a
+	// circular dependency the programmer wrote.)
+	const (
+		byDrop  = "drop"
+		byCrash = "crash"
+	)
+	faultCause := make(map[int]string)
+	for r, e := range waits {
+		sendLike := strings.Contains(e.Op, "Send")
+		switch {
+		case strings.Contains(e.Fault, trace.FaultDrop):
+			// A blocked rendezvous send whose own message was dropped: the
+			// receiver can never consume it.
+			faultCause[r] = byDrop
+		case !sendLike && dropExplains(e, dropped):
+			faultCause[r] = byDrop
+		case e.On != mp.AnySource && e.On != trace.NoRank && crashed[e.On]:
+			faultCause[r] = byCrash
+		}
+	}
+
 	// Follow the wait chain from each blocked rank; a revisit of a rank on
-	// the current path is a cycle. Wildcard waits cannot be followed.
+	// the current path is a cycle. Wildcard and fault-explained waits
+	// cannot be followed.
 	inCycle := make(map[int]bool)
 	for start := range waits {
 		if inCycle[start] {
@@ -89,7 +152,7 @@ func DetectDeadlock(tr *trace.Trace) *DeadlockReport {
 		cur := start
 		for {
 			e, blocked := waits[cur]
-			if !blocked || e.On == mp.AnySource || e.On == trace.NoRank {
+			if !blocked || e.On == mp.AnySource || e.On == trace.NoRank || faultCause[cur] != "" {
 				break
 			}
 			if pos, seen := onPath[cur]; seen {
@@ -123,11 +186,17 @@ func DetectDeadlock(tr *trace.Trace) *DeadlockReport {
 		}
 	}
 
+	// Report the classifications.
 	for _, e := range rep.Blocked {
-		if inCycle[e.From] {
+		switch faultCause[e.From] {
+		case byDrop:
+			rep.InjectedDrops = append(rep.InjectedDrops, e)
+			continue
+		case byCrash:
+			rep.CrashedPeers = append(rep.CrashedPeers, e)
 			continue
 		}
-		if e.On == mp.AnySource || e.On == trace.NoRank {
+		if inCycle[e.From] || e.On == mp.AnySource || e.On == trace.NoRank {
 			continue
 		}
 		if _, peerBlocked := waits[e.On]; !peerBlocked {
@@ -137,6 +206,27 @@ func DetectDeadlock(tr *trace.Trace) *DeadlockReport {
 		}
 	}
 	return rep
+}
+
+// droppedSend is a send the history records as removed by fault injection.
+type droppedSend struct{ src, dst, tag int }
+
+// dropExplains reports whether a recorded dropped send could have satisfied
+// the blocked receive, honouring its wildcard source/tag specifiers.
+func dropExplains(e WaitEdge, dropped []droppedSend) bool {
+	for _, d := range dropped {
+		if d.dst != e.From {
+			continue
+		}
+		if e.On != mp.AnySource && e.On != d.src {
+			continue
+		}
+		if e.Tag != mp.AnyTag && e.Tag != d.tag {
+			continue
+		}
+		return true
+	}
+	return false
 }
 
 func equalInts(a, b []int) bool {

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tracedbg/internal/fault"
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+// faultStalledTrace runs a program under the given fault plan, requires it to
+// stall, and returns its trace.
+func faultStalledTrace(t *testing.T, n int, p fault.Plan, body func(c *instr.Ctx)) *trace.Trace {
+	t.Helper()
+	sink := instr.NewMemorySink(n)
+	in := instr.New(n, sink, instr.LevelAll)
+	cfg := mp.Config{NumRanks: n}
+	if _, err := fault.Install(p, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	err := in.Run(cfg, body)
+	var stall *mp.StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("expected stall, got %v", err)
+	}
+	return sink.Trace()
+}
+
+func TestDroppedMessageHangIsNotADeadlock(t *testing.T) {
+	// Rank 0 sends to rank 1; the fault plan drops the message, so rank 1's
+	// receive hangs. The analyzer must blame the injected drop, not report
+	// a hopeless wait or a deadlock.
+	plan := fault.Plan{Seed: 3, Rules: []fault.Rule{fault.DropNth(0, 1, 1)}}
+	tr := faultStalledTrace(t, 2, plan, func(c *instr.Ctx) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("lost"))
+		} else {
+			c.Recv(0, 7)
+		}
+	})
+	rep := DetectDeadlock(tr)
+	if rep.HasDeadlock() {
+		t.Fatalf("drop misdiagnosed as deadlock: %s", rep)
+	}
+	if len(rep.InjectedDrops) != 1 || rep.InjectedDrops[0].From != 1 {
+		t.Fatalf("InjectedDrops = %+v", rep.InjectedDrops)
+	}
+	if len(rep.Hopeless) != 0 {
+		t.Errorf("drop also reported hopeless: %+v", rep.Hopeless)
+	}
+	if !rep.FaultInduced() {
+		t.Error("FaultInduced() = false")
+	}
+	if !strings.Contains(rep.String(), "injected fault dropped the message") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestDroppedWildcardReceiveIsClassified(t *testing.T) {
+	plan := fault.Plan{Seed: 3, Rules: []fault.Rule{fault.DropNth(0, 1, 1)}}
+	tr := faultStalledTrace(t, 2, plan, func(c *instr.Ctx) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("lost"))
+		} else {
+			c.Recv(mp.AnySource, mp.AnyTag)
+		}
+	})
+	rep := DetectDeadlock(tr)
+	if len(rep.InjectedDrops) != 1 {
+		t.Fatalf("wildcard hang not attributed to drop: %s", rep)
+	}
+}
+
+func TestCrashedPeerHangIsClassified(t *testing.T) {
+	// Rank 1 crashes before sending; rank 0's receive hangs on the corpse.
+	plan := fault.Plan{Seed: 3, Rules: []fault.Rule{fault.CrashRule(1, 1)}}
+	tr := faultStalledTrace(t, 2, plan, func(c *instr.Ctx) {
+		if c.Rank() == 1 {
+			c.Send(0, 7, []byte("never sent"))
+			return
+		}
+		c.Recv(1, 7)
+	})
+	rep := DetectDeadlock(tr)
+	if rep.HasDeadlock() {
+		t.Fatalf("crash misdiagnosed as deadlock: %s", rep)
+	}
+	if len(rep.CrashedPeers) != 1 || rep.CrashedPeers[0].From != 0 || rep.CrashedPeers[0].On != 1 {
+		t.Fatalf("CrashedPeers = %+v", rep.CrashedPeers)
+	}
+	if len(rep.Hopeless) != 0 {
+		t.Errorf("crash also reported hopeless: %+v", rep.Hopeless)
+	}
+	if !strings.Contains(rep.String(), "which crashed") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestGenuineDeadlockStillDetectedUnderInjector(t *testing.T) {
+	// An installed injector whose rules never fire must not change the
+	// verdict on a real circular wait.
+	plan := fault.Plan{Seed: 3, Rules: []fault.Rule{fault.DropNth(0, 1, 99)}}
+	tr := faultStalledTrace(t, 2, plan, func(c *instr.Ctx) {
+		c.Recv(1-c.Rank(), 0)
+	})
+	rep := DetectDeadlock(tr)
+	if !rep.HasDeadlock() {
+		t.Fatalf("deadlock not found: %s", rep)
+	}
+	if rep.FaultInduced() {
+		t.Errorf("clean deadlock blamed on faults: %s", rep)
+	}
+}

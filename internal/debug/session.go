@@ -454,8 +454,21 @@ func (s *Session) VarNames(rank int) []string {
 	return nil
 }
 
-// Trace returns a snapshot of the history collected so far.
-func (s *Session) Trace() *trace.Trace { return s.sink.Snapshot() }
+// Trace returns a snapshot of the history collected so far. A history cut
+// short by an abort or a rank crash is marked Incomplete so downstream
+// analyses know they are looking at a partial execution.
+func (s *Session) Trace() *trace.Trace {
+	tr := s.sink.Snapshot()
+	if err := s.w.Aborted(); err != nil {
+		tr.MarkIncomplete("world aborted: " + err.Error())
+	}
+	for rank, err := range s.w.RankErrs() {
+		if err != nil {
+			tr.MarkIncomplete(fmt.Sprintf("rank %d died: %v", rank, err))
+		}
+	}
+	return tr
+}
 
 // Mailbox lists the messages buffered at a rank but not yet received —
 // live communication supervision. Safe at any time; most meaningful while

@@ -1,0 +1,299 @@
+package fault
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tracedbg/internal/mp"
+)
+
+func TestCoinDeterministicAndUniformish(t *testing.T) {
+	in1, _ := New(Plan{Seed: 42})
+	in2, _ := New(Plan{Seed: 42})
+	in3, _ := New(Plan{Seed: 43})
+	diff := 0
+	var sum float64
+	for seq := uint64(1); seq <= 1000; seq++ {
+		a := in1.coin(0, 1, 2, seq)
+		b := in2.coin(0, 1, 2, seq)
+		if a != b {
+			t.Fatalf("same seed, different coin at seq %d: %g vs %g", seq, a, b)
+		}
+		if a < 0 || a >= 1 {
+			t.Fatalf("coin out of range: %g", a)
+		}
+		if in3.coin(0, 1, 2, seq) != a {
+			diff++
+		}
+		sum += a
+	}
+	if diff < 900 {
+		t.Errorf("different seeds agree on %d/1000 coins", 1000-diff)
+	}
+	if mean := sum / 1000; mean < 0.4 || mean > 0.6 {
+		t.Errorf("coin mean %g far from 0.5", mean)
+	}
+}
+
+func TestPlanJSONRoundTripAndDefaults(t *testing.T) {
+	p := Plan{Seed: 7, Rules: []Rule{
+		DropNth(0, 1, 3),
+		DelayRule(AnyRank, 2, 5, 500, 0.25),
+		CrashRule(1, 10),
+		SlowRule(2, 50),
+	}}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+
+	// Omitted selectors default to wildcards, not rank 0.
+	min, err := Parse([]byte(`{"seed": 1, "rules": [{"kind": "drop"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := min.Rules[0]
+	if r.Src != AnyRank || r.Dst != AnyRank || r.Tag != AnyTag {
+		t.Errorf("omitted selectors not wildcards: %+v", r)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := []Plan{
+		{Rules: []Rule{{Kind: "explode"}}},
+		{Rules: []Rule{{Kind: Delay, Src: AnyRank, Dst: AnyRank, Tag: AnyTag}}}, // no delay
+		{Rules: []Rule{{Kind: Crash, Rank: 0}}},                                 // no at_op
+		{Rules: []Rule{{Kind: Crash, Rank: -1, AtOp: 1}}},
+		{Rules: []Rule{{Kind: Slow, Rank: 0}}}, // no delay
+		{Rules: []Rule{{Kind: Drop, Prob: 1.5}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+		if _, err := New(p); err == nil {
+			t.Errorf("New accepted bad plan %d", i)
+		}
+	}
+}
+
+func TestDropNthDropsExactlyThatMessage(t *testing.T) {
+	in, err := New(Plan{Seed: 1, Rules: []Rule{DropNth(0, 1, 2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		f := in.Wire(mp.WireMsg{Src: 0, Dst: 1, Tag: 9, ChanSeq: seq, MsgID: seq})
+		if got, want := f.Drop, seq == 2; got != want {
+			t.Errorf("seq %d: drop=%v want %v", seq, got, want)
+		}
+	}
+	// Other channels are untouched.
+	if f := in.Wire(mp.WireMsg{Src: 1, Dst: 0, Tag: 9, ChanSeq: 2}); !f.None() {
+		t.Errorf("wrong channel faulted: %+v", f)
+	}
+	if n := len(in.Events()); n != 1 {
+		t.Errorf("logged %d events, want 1", n)
+	}
+}
+
+func TestCountCapResetsAcrossReplays(t *testing.T) {
+	in, err := New(Plan{Seed: 1, Rules: []Rule{
+		{Kind: Duplicate, Src: 0, Dst: 1, Tag: AnyTag, Count: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []bool {
+		var out []bool
+		for seq := uint64(1); seq <= 4; seq++ {
+			out = append(out, in.Wire(mp.WireMsg{Src: 0, Dst: 1, Tag: 3, ChanSeq: seq}).Duplicate)
+		}
+		return out
+	}
+	first := run()
+	second := run() // a replay restarts chanSeq from 1
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("record run %v != replay run %v", first, second)
+	}
+	hits := 0
+	for _, d := range first {
+		if d {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Errorf("count=1 rule fired %d times in one run", hits)
+	}
+}
+
+func TestProbabilisticDelayIsPerMessageDeterministic(t *testing.T) {
+	mk := func() *Injector {
+		in, err := New(Plan{Seed: 99, Rules: []Rule{
+			DelayRule(AnyRank, AnyRank, AnyTag, 200, 0.5),
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	a, b := mk(), mk()
+	delayed := 0
+	for seq := uint64(1); seq <= 200; seq++ {
+		fa := a.Wire(mp.WireMsg{Src: 2, Dst: 3, Tag: 1, ChanSeq: seq})
+		fb := b.Wire(mp.WireMsg{Src: 2, Dst: 3, Tag: 1, ChanSeq: seq})
+		if fa != fb {
+			t.Fatalf("seq %d: verdicts differ: %+v vs %+v", seq, fa, fb)
+		}
+		if fa.Delay > 0 {
+			delayed++
+		}
+	}
+	if delayed < 50 || delayed > 150 {
+		t.Errorf("p=0.5 delayed %d/200 messages", delayed)
+	}
+}
+
+func TestCrashPointAndSlow(t *testing.T) {
+	in, err := New(Plan{Seed: 1, Rules: []Rule{CrashRule(2, 5), SlowRule(1, 40)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op := uint64(1); op <= 10; op++ {
+		err := in.CrashPoint(2, op)
+		if (err != nil) != (op == 5) {
+			t.Errorf("rank 2 op %d: err=%v", op, err)
+		}
+	}
+	if err := in.CrashPoint(1, 5); err != nil {
+		t.Errorf("wrong rank crashed: %v", err)
+	}
+	if d := in.OpDelay(1, mp.OpSend); d != 40 {
+		t.Errorf("slow rank delay = %d, want 40", d)
+	}
+	if d := in.OpDelay(0, mp.OpSend); d != 0 {
+		t.Errorf("unaffected rank delayed by %d", d)
+	}
+}
+
+// TestInjectedCrashTerminatesOnlyThatRank runs a real world: rank 1 crashes
+// at its first operation, the others finish; Wait surfaces the crash.
+func TestInjectedCrashTerminatesOnlyThatRank(t *testing.T) {
+	cfg := mp.Config{NumRanks: 3}
+	if _, err := Install(Plan{Seed: 1, Rules: []Rule{CrashRule(1, 1)}}, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	err := mp.Run(cfg, func(p *mp.Proc) {
+		p.Compute(10) // rank 1 dies here
+	})
+	var cerr *mp.CrashError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("Wait error = %v, want CrashError", err)
+	}
+	if cerr.Rank != 1 {
+		t.Errorf("crashed rank = %d, want 1", cerr.Rank)
+	}
+}
+
+// TestCrashStrandsPeersAsStall: rank 0 waits for a message from the crashed
+// rank; the world must report a stall (the realistic dead-process signature),
+// not run forever or abort early.
+func TestCrashStrandsPeersAsStall(t *testing.T) {
+	cfg := mp.Config{NumRanks: 2}
+	if _, err := Install(Plan{Seed: 1, Rules: []Rule{CrashRule(1, 1)}}, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	err := mp.Run(cfg, func(p *mp.Proc) {
+		if p.Rank() == 1 {
+			p.Send(0, 7, []byte("never sent")) // crashes at op 1, before sending
+			return
+		}
+		p.Recv(1, 7)
+	})
+	var stall *mp.StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("Wait error = %v, want StallError", err)
+	}
+	if len(stall.Blocked) != 1 || stall.Blocked[0].Rank != 0 {
+		t.Errorf("blocked set = %+v, want rank 0 only", stall.Blocked)
+	}
+}
+
+// TestWireFaultsInsideWorld exercises drop/delay/duplicate against real
+// message flow with payload checks.
+func TestWireFaultsInsideWorld(t *testing.T) {
+	// Rank 0 sends three tagged messages to rank 1; the second is dropped.
+	cfg := mp.Config{NumRanks: 2}
+	if _, err := Install(Plan{Seed: 5, Rules: []Rule{DropNth(0, 1, 2)}}, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan string, 2)
+	err := mp.Run(cfg, func(p *mp.Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 1, []byte("a"))
+			p.Send(1, 2, []byte("b")) // dropped
+			p.Send(1, 3, []byte("c"))
+			return
+		}
+		d1, _ := p.Recv(0, 1)
+		d3, _ := p.Recv(0, 3)
+		got <- string(d1)
+		got <- string(d3)
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if a, c := <-got, <-got; a != "a" || c != "c" {
+		t.Errorf("received %q/%q, want a/c", a, c)
+	}
+
+	// Duplicate: one send, two receives of the same payload.
+	cfg2 := mp.Config{NumRanks: 2}
+	if _, err := Install(Plan{Seed: 5, Rules: []Rule{DuplicateRule(0, 1, AnyTag, 0)}}, &cfg2); err != nil {
+		t.Fatal(err)
+	}
+	dups := make(chan string, 2)
+	err = mp.Run(cfg2, func(p *mp.Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 1, []byte("x"))
+			return
+		}
+		a, _ := p.Recv(0, 1)
+		b, _ := p.Recv(0, 1) // the injected duplicate
+		dups <- string(a)
+		dups <- string(b)
+	})
+	if err != nil {
+		t.Fatalf("duplicate run: %v", err)
+	}
+	if a, b := <-dups, <-dups; a != "x" || b != "x" {
+		t.Errorf("duplicate payloads %q/%q, want x/x", a, b)
+	}
+}
+
+// Install knows the world size, so rules naming ranks outside it must be
+// rejected instead of silently never firing.
+func TestInstallRejectsOutOfRangeRanks(t *testing.T) {
+	cfg := mp.Config{NumRanks: 3}
+	for _, p := range []Plan{
+		{Rules: []Rule{CrashRule(9, 1)}},
+		{Rules: []Rule{SlowRule(3, 10)}},
+		{Rules: []Rule{DropRule(0, 5, AnyTag)}},
+	} {
+		if _, err := Install(p, &cfg); err == nil {
+			t.Errorf("out-of-range plan accepted: %+v", p.Rules[0])
+		}
+	}
+	if _, err := Install(Plan{Rules: []Rule{DropRule(AnyRank, 2, AnyTag)}}, &cfg); err != nil {
+		t.Errorf("valid wildcard plan rejected: %v", err)
+	}
+}

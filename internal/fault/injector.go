@@ -1,0 +1,229 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+
+	"tracedbg/internal/mp"
+)
+
+// Event is one fault application, recorded by the injector for audits and
+// reports.
+type Event struct {
+	Rule    int // index into Plan.Rules
+	Kind    Kind
+	Src     int // message faults
+	Dst     int
+	Tag     int
+	ChanSeq uint64
+	MsgID   uint64
+	Rank    int    // crash/slow faults
+	OpSeq   uint64 // crash faults
+	Delay   int64  // delay/slow faults
+}
+
+// String renders the event.
+func (e Event) String() string {
+	switch e.Kind {
+	case Crash:
+		return fmt.Sprintf("rule %d: crash rank %d at op %d", e.Rule, e.Rank, e.OpSeq)
+	case Slow:
+		return fmt.Sprintf("rule %d: slow rank %d by %d/op", e.Rule, e.Rank, e.Delay)
+	case Delay:
+		return fmt.Sprintf("rule %d: delay %d->%d tag=%d seq=%d msg=%d by %d",
+			e.Rule, e.Src, e.Dst, e.Tag, e.ChanSeq, e.MsgID, e.Delay)
+	}
+	return fmt.Sprintf("rule %d: %s %d->%d tag=%d seq=%d msg=%d",
+		e.Rule, e.Kind, e.Src, e.Dst, e.Tag, e.ChanSeq, e.MsgID)
+}
+
+// Injector implements mp.FaultInjector for a Plan. One instance may serve a
+// record run and all replays launched from it: its only mutable state, the
+// per-channel rule application counters, resets when a channel's sequence
+// numbers restart from the beginning.
+type Injector struct {
+	plan     Plan
+	msgRules []int         // indexes of message rules
+	slowAny  int64         // summed delay of slow rules matching any rank
+	slowRank map[int]int64 // summed delay of rank-specific slow rules
+	crashAt  map[int]map[uint64]int
+	hasCrash bool
+
+	mu     sync.Mutex
+	counts map[chanKey]*chanCount
+	events []Event
+	logged map[int]bool // slow rules already logged once
+}
+
+type chanKey struct {
+	rule     int
+	src, dst int
+}
+
+type chanCount struct {
+	n       int
+	lastSeq uint64
+}
+
+// New validates the plan and builds its injector.
+func New(p Plan) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{
+		plan:     p,
+		slowRank: make(map[int]int64),
+		crashAt:  make(map[int]map[uint64]int),
+		counts:   make(map[chanKey]*chanCount),
+		logged:   make(map[int]bool),
+	}
+	for i, r := range p.Rules {
+		switch {
+		case r.isMessageRule():
+			in.msgRules = append(in.msgRules, i)
+		case r.Kind == Crash:
+			at := in.crashAt[r.Rank]
+			if at == nil {
+				at = make(map[uint64]int)
+				in.crashAt[r.Rank] = at
+			}
+			at[r.AtOp] = i
+			in.hasCrash = true
+		case r.Kind == Slow:
+			if r.Rank == AnyRank {
+				in.slowAny += r.Delay
+			} else {
+				in.slowRank[r.Rank] += r.Delay
+			}
+		}
+	}
+	return in, nil
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Events returns a copy of the fault applications so far.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.events...)
+}
+
+// splitmix64 finalizer: a statistically strong 64-bit mixer.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// coin returns a uniform [0,1) value that depends only on the seed, the rule
+// and the message's deterministic coordinates — never on MsgID or timing.
+func (in *Injector) coin(rule, src, dst int, seq uint64) float64 {
+	h := mix(uint64(in.plan.Seed) ^ uint64(rule+1))
+	h = mix(h ^ uint64(uint32(src))<<32 ^ uint64(uint32(dst)))
+	h = mix(h ^ seq)
+	return float64(h>>11) / float64(1<<53)
+}
+
+func matchSel(sel, v int) bool { return sel == AnyRank || sel == v }
+
+// applies decides whether rule i fires for the message, honouring the
+// probability coin and the per-channel count cap. Caller holds in.mu.
+func (in *Injector) appliesLocked(i int, r Rule, m mp.WireMsg) bool {
+	if !matchSel(r.Src, m.Src) || !matchSel(r.Dst, m.Dst) || !matchSel(r.Tag, m.Tag) {
+		return false
+	}
+	if r.ChanSeq != 0 && r.ChanSeq != m.ChanSeq {
+		return false
+	}
+	p := r.Prob
+	if p <= 0 {
+		p = 1
+	}
+	if p < 1 && in.coin(i, m.Src, m.Dst, m.ChanSeq) >= p {
+		return false
+	}
+	c := in.counts[chanKey{i, m.Src, m.Dst}]
+	if c == nil {
+		c = &chanCount{}
+		in.counts[chanKey{i, m.Src, m.Dst}] = c
+	}
+	// A channel sequence that regresses means a fresh execution of the same
+	// world (a replay): start the cap over so both runs see the same faults.
+	if m.ChanSeq <= c.lastSeq {
+		c.n = 0
+	}
+	c.lastSeq = m.ChanSeq
+	if r.Count > 0 && c.n >= r.Count {
+		return false
+	}
+	c.n++
+	return true
+}
+
+// Wire implements mp.FaultInjector.
+func (in *Injector) Wire(m mp.WireMsg) mp.WireFault {
+	if len(in.msgRules) == 0 {
+		return mp.WireFault{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var f mp.WireFault
+	for _, i := range in.msgRules {
+		r := in.plan.Rules[i]
+		if !in.appliesLocked(i, r, m) {
+			continue
+		}
+		ev := Event{Rule: i, Kind: r.Kind, Src: m.Src, Dst: m.Dst, Tag: m.Tag,
+			ChanSeq: m.ChanSeq, MsgID: m.MsgID}
+		switch r.Kind {
+		case Drop:
+			f.Drop = true
+		case Delay:
+			f.Delay += r.Delay
+			ev.Delay = r.Delay
+		case Duplicate:
+			f.Duplicate = true
+		}
+		in.events = append(in.events, ev)
+		if f.Drop {
+			break // drop wins; later rules are moot
+		}
+	}
+	return f
+}
+
+// OpDelay implements mp.FaultInjector (the slow-rank fault).
+func (in *Injector) OpDelay(rank int, op mp.Op) int64 {
+	d := in.slowAny + in.slowRank[rank]
+	if d > 0 {
+		in.mu.Lock()
+		if !in.logged[rank] {
+			in.logged[rank] = true
+			in.events = append(in.events, Event{Rule: -1, Kind: Slow, Rank: rank, Delay: d})
+		}
+		in.mu.Unlock()
+	}
+	return d
+}
+
+// CrashPoint implements mp.FaultInjector.
+func (in *Injector) CrashPoint(rank int, opSeq uint64) error {
+	if !in.hasCrash {
+		return nil
+	}
+	at := in.crashAt[rank]
+	if at == nil {
+		return nil
+	}
+	i, ok := at[opSeq]
+	if !ok {
+		return nil
+	}
+	in.mu.Lock()
+	in.events = append(in.events, Event{Rule: i, Kind: Crash, Rank: rank, OpSeq: opSeq})
+	in.mu.Unlock()
+	return fmt.Errorf("fault: injected crash (rule %d) at op %d", i, opSeq)
+}

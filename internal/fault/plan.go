@@ -1,0 +1,312 @@
+// Package fault implements deterministic, seed-driven fault injection for
+// mp worlds: message drops, delays, duplicate deliveries, rank crashes at a
+// given operation ordinal, and slow ranks.
+//
+// Determinism is the whole point — the injector exists to exercise the
+// debugger's record/replay machinery, so an injected fault must strike the
+// same message on every run with the same seed. Decisions are therefore
+// keyed on coordinates that do not depend on goroutine scheduling:
+//
+//   - wire faults hash (seed, rule index, src, dst, channel sequence
+//     number) into a per-message coin — the per-(src,dst) channel sequence
+//     is assigned in program order on single-threaded ranks;
+//   - crashes fire at a rank's N-th hooked operation, counted in program
+//     order;
+//   - slow-rank delays are a pure function of the rank.
+//
+// Per-channel application counters (Rule.Count) reset whenever a channel's
+// sequence number regresses, so one Injector instance behaves identically
+// across a record run and the replays launched from it.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"tracedbg/internal/mp"
+)
+
+// Kind names a fault rule type.
+type Kind string
+
+// Rule kinds.
+const (
+	// Drop removes matching messages from the wire.
+	Drop Kind = "drop"
+	// Delay adds Rule.Delay virtual time to matching messages' arrival.
+	Delay Kind = "delay"
+	// Duplicate delivers a second copy of matching messages.
+	Duplicate Kind = "duplicate"
+	// Crash terminates Rule.Rank at its Rule.AtOp-th hooked operation.
+	Crash Kind = "crash"
+	// Slow adds Rule.Delay virtual time to every operation of Rule.Rank.
+	Slow Kind = "slow"
+)
+
+// AnyRank matches any rank in a rule selector (mirrors mp.AnySource).
+const AnyRank = -1
+
+// AnyTag matches any tag in a rule selector.
+const AnyTag = -1
+
+// Rule is one entry of a fault plan.
+//
+// Message rules (drop, delay, duplicate) select messages by Src/Dst/Tag
+// (each may be -1 for "any"; omitted JSON fields default to "any") and
+// optionally by ChanSeq, the 1-based per-(src,dst) message ordinal. Prob
+// applies the rule to each matching message with the given probability
+// (deterministically per message; 0 means "always"). Count caps how many
+// times the rule fires per (src,dst) channel (0 = unlimited).
+type Rule struct {
+	Kind Kind `json:"kind"`
+
+	// Message selectors.
+	Src     int     `json:"src,omitempty"`
+	Dst     int     `json:"dst,omitempty"`
+	Tag     int     `json:"tag,omitempty"`
+	ChanSeq uint64  `json:"chan_seq,omitempty"`
+	Prob    float64 `json:"prob,omitempty"`
+	Count   int     `json:"count,omitempty"`
+
+	// Delay is the injected virtual time (delay and slow rules).
+	Delay int64 `json:"delay,omitempty"`
+
+	// Rank and AtOp select the victim of crash/slow rules. AtOp is the
+	// 1-based hooked-operation ordinal at which the crash fires.
+	Rank int    `json:"rank,omitempty"`
+	AtOp uint64 `json:"at_op,omitempty"`
+}
+
+// ruleJSON mirrors Rule with pointer selectors so omitted fields can default
+// to "any" rather than rank/tag 0.
+type ruleJSON struct {
+	Kind    Kind    `json:"kind"`
+	Src     *int    `json:"src,omitempty"`
+	Dst     *int    `json:"dst,omitempty"`
+	Tag     *int    `json:"tag,omitempty"`
+	ChanSeq uint64  `json:"chan_seq,omitempty"`
+	Prob    float64 `json:"prob,omitempty"`
+	Count   int     `json:"count,omitempty"`
+	Delay   int64   `json:"delay,omitempty"`
+	Rank    *int    `json:"rank,omitempty"`
+	AtOp    uint64  `json:"at_op,omitempty"`
+}
+
+// MarshalJSON encodes a rule. Selectors relevant to the rule kind are always
+// written, even when zero — "omitempty" would turn an explicit rank 0 into an
+// omitted field that decodes back as "any".
+func (r Rule) MarshalJSON() ([]byte, error) {
+	raw := ruleJSON{Kind: r.Kind, ChanSeq: r.ChanSeq, Prob: r.Prob,
+		Count: r.Count, Delay: r.Delay, AtOp: r.AtOp}
+	if r.isMessageRule() {
+		src, dst, tag := r.Src, r.Dst, r.Tag
+		raw.Src, raw.Dst, raw.Tag = &src, &dst, &tag
+	}
+	if r.Kind == Crash || r.Kind == Slow {
+		rank := r.Rank
+		raw.Rank = &rank
+	}
+	return json.Marshal(raw)
+}
+
+// UnmarshalJSON decodes a rule, defaulting omitted Src/Dst/Tag selectors to
+// "any" and an omitted Rank to 0.
+func (r *Rule) UnmarshalJSON(data []byte) error {
+	var raw ruleJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	*r = Rule{Kind: raw.Kind, Src: AnyRank, Dst: AnyRank, Tag: AnyTag,
+		ChanSeq: raw.ChanSeq, Prob: raw.Prob, Count: raw.Count,
+		Delay: raw.Delay, AtOp: raw.AtOp}
+	if raw.Src != nil {
+		r.Src = *raw.Src
+	}
+	if raw.Dst != nil {
+		r.Dst = *raw.Dst
+	}
+	if raw.Tag != nil {
+		r.Tag = *raw.Tag
+	}
+	if raw.Rank != nil {
+		r.Rank = *raw.Rank
+	}
+	return nil
+}
+
+// String renders a compact one-line description of the rule.
+func (r Rule) String() string {
+	sel := func(v int) string {
+		if v == AnyRank {
+			return "*"
+		}
+		return fmt.Sprintf("%d", v)
+	}
+	switch r.Kind {
+	case Crash:
+		return fmt.Sprintf("crash rank %d at op %d", r.Rank, r.AtOp)
+	case Slow:
+		return fmt.Sprintf("slow rank %s by %d", sel(r.Rank), r.Delay)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s->%s tag=%s", r.Kind, sel(r.Src), sel(r.Dst), sel(r.Tag))
+	if r.ChanSeq > 0 {
+		fmt.Fprintf(&sb, " seq=%d", r.ChanSeq)
+	}
+	if r.Prob > 0 && r.Prob < 1 {
+		fmt.Fprintf(&sb, " p=%g", r.Prob)
+	}
+	if r.Count > 0 {
+		fmt.Fprintf(&sb, " count=%d", r.Count)
+	}
+	if r.Kind == Delay {
+		fmt.Fprintf(&sb, " delay=%d", r.Delay)
+	}
+	return sb.String()
+}
+
+func (r Rule) isMessageRule() bool {
+	return r.Kind == Drop || r.Kind == Delay || r.Kind == Duplicate
+}
+
+// Plan is a complete, serializable fault schedule.
+type Plan struct {
+	Seed  int64  `json:"seed"`
+	Rules []Rule `json:"rules"`
+}
+
+// Validate checks the plan for unknown kinds and out-of-range parameters.
+func (p Plan) Validate() error {
+	for i, r := range p.Rules {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("fault: rule %d (%s): %s", i, r.Kind, fmt.Sprintf(format, args...))
+		}
+		switch r.Kind {
+		case Drop, Delay, Duplicate:
+			if r.Prob < 0 || r.Prob > 1 {
+				return fail("prob %g outside [0,1]", r.Prob)
+			}
+			if r.Kind == Delay && r.Delay <= 0 {
+				return fail("delay rule needs delay > 0")
+			}
+			if r.Count < 0 {
+				return fail("negative count %d", r.Count)
+			}
+		case Crash:
+			if r.Rank < 0 {
+				return fail("crash rule needs an explicit rank >= 0")
+			}
+			if r.AtOp < 1 {
+				return fail("crash rule needs at_op >= 1")
+			}
+		case Slow:
+			if r.Delay <= 0 {
+				return fail("slow rule needs delay > 0")
+			}
+			if r.Rank < AnyRank {
+				return fail("bad rank %d", r.Rank)
+			}
+		default:
+			return fail("unknown kind")
+		}
+	}
+	return nil
+}
+
+// String summarizes the plan.
+func (p Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fault plan (seed %d, %d rule(s))", p.Seed, len(p.Rules))
+	for _, r := range p.Rules {
+		sb.WriteString("; ")
+		sb.WriteString(r.String())
+	}
+	return sb.String()
+}
+
+// Parse decodes and validates a JSON plan.
+func Parse(data []byte) (Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Plan{}, fmt.Errorf("fault: parsing plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// Load reads and validates a JSON plan file.
+func Load(path string) (Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Plan{}, fmt.Errorf("fault: reading plan: %w", err)
+	}
+	return Parse(data)
+}
+
+// Save writes the plan as indented JSON.
+func (p Plan) Save(path string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("fault: encoding plan: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Convenience rule constructors used by tests and examples.
+
+// DropRule drops every message matching the selectors.
+func DropRule(src, dst, tag int) Rule {
+	return Rule{Kind: Drop, Src: src, Dst: dst, Tag: tag}
+}
+
+// DropNth drops exactly the n-th (1-based) message of the (src,dst) channel.
+func DropNth(src, dst int, n uint64) Rule {
+	return Rule{Kind: Drop, Src: src, Dst: dst, Tag: AnyTag, ChanSeq: n}
+}
+
+// DelayRule delays matching messages by d virtual time with probability p.
+func DelayRule(src, dst, tag int, d int64, p float64) Rule {
+	return Rule{Kind: Delay, Src: src, Dst: dst, Tag: tag, Delay: d, Prob: p}
+}
+
+// DuplicateRule duplicates matching messages with probability p.
+func DuplicateRule(src, dst, tag int, p float64) Rule {
+	return Rule{Kind: Duplicate, Src: src, Dst: dst, Tag: tag, Prob: p}
+}
+
+// CrashRule crashes rank at its n-th hooked operation.
+func CrashRule(rank int, n uint64) Rule {
+	return Rule{Kind: Crash, Src: AnyRank, Dst: AnyRank, Tag: AnyTag, Rank: rank, AtOp: n}
+}
+
+// SlowRule slows every operation of rank by d virtual time.
+func SlowRule(rank int, d int64) Rule {
+	return Rule{Kind: Slow, Src: AnyRank, Dst: AnyRank, Tag: AnyTag, Rank: rank, Delay: d}
+}
+
+// Install builds an Injector for the plan and installs it in cfg. The
+// injector is returned so callers can inspect its event log afterwards.
+// Unlike Validate, Install knows the world size, so rules naming a rank
+// outside it are rejected here — a crash rule for rank 9 of a 3-rank world
+// would otherwise load fine and silently never fire.
+func Install(p Plan, cfg *mp.Config) (*Injector, error) {
+	inRange := func(r int) bool { return r == AnyRank || (r >= 0 && r < cfg.NumRanks) }
+	for i, r := range p.Rules {
+		if !inRange(r.Src) || !inRange(r.Dst) {
+			return nil, fmt.Errorf("fault: rule %d (%s): src/dst outside the %d-rank world", i, r.Kind, cfg.NumRanks)
+		}
+		if (r.Kind == Crash || r.Kind == Slow) && !inRange(r.Rank) {
+			return nil, fmt.Errorf("fault: rule %d (%s): rank %d outside the %d-rank world", i, r.Kind, r.Rank, cfg.NumRanks)
+		}
+	}
+	in, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Fault = in
+	return in, nil
+}

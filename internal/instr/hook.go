@@ -45,6 +45,7 @@ func RecordFromOp(info *mp.OpInfo) *trace.Record {
 		MsgID: info.MsgID,
 
 		WasWildcard: info.Wildcard,
+		Fault:       info.Fault,
 		Name:        info.Op.String(),
 	}
 	if info.Blocked {
@@ -68,6 +69,13 @@ func RecordFromOp(info *mp.OpInfo) *trace.Record {
 	case mp.OpCompute:
 		rec.Kind = trace.KindCompute
 		rec.Src, rec.Dst = trace.NoRank, trace.NoRank
+	case mp.OpCrash:
+		// A rank terminated by fault injection (or Proc.Crash): the crash
+		// itself becomes part of the recorded history, with the cause in
+		// Name, so analyses can attribute downstream stalls to it.
+		rec.Kind = trace.KindFault
+		rec.Src, rec.Dst = trace.NoRank, trace.NoRank
+		rec.Name = info.Name
 	case mp.OpBarrier, mp.OpBcast, mp.OpReduce, mp.OpAllreduce,
 		mp.OpGather, mp.OpScatter, mp.OpAlltoall:
 		rec.Kind = trace.KindCollective

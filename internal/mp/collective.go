@@ -25,7 +25,7 @@ func (p *Proc) internalSend(dst, tag int, data []byte) {
 	w := p.w
 	w.mu.Lock()
 	p.abortCheckLocked()
-	end := p.clock + w.cfg.OpCost + int64(len(data))*w.cfg.ByteTime
+	end := p.clock + w.opCost(p.rank, OpSend) + int64(len(data))*w.cfg.ByteTime
 	env := &envelope{
 		src: p.rank, dst: dst, tag: tag,
 		data:     append([]byte(nil), data...),
@@ -50,7 +50,7 @@ func (p *Proc) internalRecv(src, tag int, info *OpInfo) []byte {
 	w.sweepLocked(p)
 	p.blockUntilLocked(info, func() bool { return req.done })
 	env := req.env
-	end := max(p.clock, env.arrive) + w.cfg.OpCost
+	end := max(p.clock, env.arrive) + w.opCost(p.rank, OpRecv)
 	p.setClockLocked(end)
 	w.bumpClockLocked(end)
 	w.mu.Unlock()

@@ -1,0 +1,117 @@
+package mp
+
+import (
+	"fmt"
+
+	"tracedbg/internal/trace"
+)
+
+// Fault injection hooks into the runtime at the same PMPI-style layer the
+// profiling hooks use: the wire (depositLocked), the per-operation cost
+// model, and the operation entry point. An injector sees deterministic
+// coordinates — channel sequence numbers and per-rank operation ordinals —
+// never goroutine scheduling, so a seeded injector makes identical decisions
+// on record and on replay.
+
+// WireMsg describes a message entering the (virtual) wire, as seen by a
+// FaultInjector. ChanSeq is the per-(src,dst) channel sequence number over
+// user-level messages only (collective plumbing is not numbered), which is
+// deterministic across runs (unlike MsgID, whose assignment order depends
+// on goroutine interleaving).
+type WireMsg struct {
+	Src, Dst int
+	Tag      int
+	Bytes    int
+	MsgID    uint64
+	ChanSeq  uint64
+}
+
+// WireFault is an injector's verdict for one wire message. Drop wins over
+// the other effects; Delay adds virtual time to the arrival; Duplicate
+// deposits a second copy of the message (same MsgID, next ChanSeq).
+type WireFault struct {
+	Drop      bool
+	Delay     int64
+	Duplicate bool
+}
+
+// None reports that no fault applies.
+func (f WireFault) None() bool { return !f.Drop && !f.Duplicate && f.Delay == 0 }
+
+// String renders the verdict as a trace fault annotation ("drop",
+// "delay+500", "dup", "delay+500+dup").
+func (f WireFault) String() string {
+	switch {
+	case f.Drop:
+		return "drop"
+	case f.Delay > 0 && f.Duplicate:
+		return fmt.Sprintf("delay+%d+dup", f.Delay)
+	case f.Delay > 0:
+		return fmt.Sprintf("delay+%d", f.Delay)
+	case f.Duplicate:
+		return "dup"
+	}
+	return ""
+}
+
+// FaultInjector is consulted by the runtime at its interposition points.
+// Implementations must be deterministic functions of their arguments (plus
+// any pre-seeded state): the same run replayed issues the same calls in the
+// same per-rank/per-channel order and must receive the same verdicts.
+//
+// Wire and OpDelay are called with the world lock held and must not call
+// back into the world. CrashPoint runs on the rank's own goroutine without
+// the lock.
+type FaultInjector interface {
+	// Wire is consulted once per user-level message deposit (collective
+	// plumbing is exempt). A duplicated copy is NOT re-consulted.
+	Wire(m WireMsg) WireFault
+
+	// OpDelay returns extra virtual-time cost for one operation of a rank
+	// (the "slow rank" fault). It is called on every costed operation.
+	OpDelay(rank int, op Op) int64
+
+	// CrashPoint is consulted before each operation with the rank's
+	// operation ordinal (1-based, counting every hooked operation entry).
+	// A non-nil return crashes the rank at that point: the rank terminates
+	// without completing the operation, leaving its peers to stall.
+	CrashPoint(rank int, opSeq uint64) error
+}
+
+// CrashError reports a rank terminated by an injected (or program-requested)
+// crash. Other ranks keep running; if they wait on the crashed rank the
+// world stalls, which is the realistic failure signature of a died process.
+type CrashError struct {
+	Rank   int
+	Reason error
+}
+
+// Error implements error.
+func (e *CrashError) Error() string { return fmt.Sprintf("mp: rank %d crashed: %v", e.Rank, e.Reason) }
+
+// Unwrap exposes the crash cause.
+func (e *CrashError) Unwrap() error { return e.Reason }
+
+// crashPanic unwinds a crashing rank's goroutine.
+type crashPanic struct{ err *CrashError }
+
+// Crash terminates this rank as a simulated process death: a Fault record is
+// observable by hooks, the rank's goroutine unwinds, and the world does NOT
+// abort — surviving ranks run on until they finish or stall waiting on the
+// dead rank. The cause is reported by World.Wait (after any stall error).
+func (p *Proc) Crash(cause error) {
+	if cause == nil {
+		cause = fmt.Errorf("crash requested")
+	}
+	p.crash(cause)
+}
+
+// crash fires the synthetic crash event and unwinds the goroutine.
+func (p *Proc) crash(cause error) {
+	cerr := &CrashError{Rank: p.rank, Reason: cause}
+	now := p.Clock()
+	info := OpInfo{Op: OpCrash, Rank: p.rank, Src: trace.NoRank, Dst: trace.NoRank,
+		Start: now, End: now, Loc: p.loc, Fault: trace.FaultCrash, Name: cause.Error()}
+	p.firePost(&info)
+	panic(crashPanic{cerr})
+}

@@ -58,14 +58,18 @@ const (
 	OpScatter
 	OpAlltoall
 	OpCompute
+	// OpCrash is the synthetic operation fired (Post only) when a rank is
+	// terminated by fault injection or Proc.Crash; instrumentation records
+	// it as a KindFault event.
+	OpCrash
 
-	numOps = int(OpCompute) + 1
+	numOps = int(OpCrash) + 1
 )
 
 var opNames = [numOps]string{
 	"Send", "Recv", "Isend", "Irecv", "Wait", "Probe", "Sendrecv",
 	"Barrier", "Bcast", "Reduce", "Allreduce", "Gather", "Scatter",
-	"Alltoall", "Compute",
+	"Alltoall", "Compute", "Crash",
 }
 
 // String returns the canonical operation name.
@@ -113,6 +117,12 @@ type OpInfo struct {
 	// Blocked reports that the operation never completed: the world was
 	// aborted (stall detected or killed) while this rank was blocked in it.
 	Blocked bool
+
+	// Fault, when nonempty, annotates the operation with the fault-injection
+	// verdict that applied to it ("drop", "delay+N", "dup", "crash"); it is
+	// copied onto the trace record so injected faults are part of the
+	// recorded, replayable history.
+	Fault string
 
 	// Loc is the source location the application declared via Proc.SetLoc
 	// before issuing the operation (empty when the raw API is used).

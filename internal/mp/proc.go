@@ -45,6 +45,7 @@ type Proc struct {
 
 	recvSeq uint64
 	collSeq int
+	opSeq   uint64 // hooked-operation ordinal; only the rank goroutine touches it
 
 	loc trace.Location
 
@@ -119,6 +120,15 @@ func (p *Proc) FormatVar(name string) (string, bool) {
 }
 
 func (p *Proc) firePre(info *OpInfo) {
+	// The per-rank operation ordinal is deterministic (single-threaded
+	// ranks, counted in program order), which makes crash-at-operation-N a
+	// replayable fault. Counted and consulted outside w.mu.
+	if f := p.w.cfg.Fault; f != nil {
+		p.opSeq++
+		if err := f.CrashPoint(p.rank, p.opSeq); err != nil {
+			p.crash(err)
+		}
+	}
 	for _, h := range p.w.cfg.Hooks {
 		h.Pre(p, info)
 	}
@@ -172,15 +182,54 @@ func (p *Proc) blockUntilLocked(info *OpInfo, pred func() bool) {
 }
 
 // depositLocked buffers an envelope at the destination and runs the
-// matching sweep on the destination's behalf.
-func (w *World) depositLocked(env *envelope) {
+// matching sweep on the destination's behalf. User-level messages pass
+// through the fault injector first; the returned verdict is what actually
+// happened on the wire, so callers can annotate their send records.
+func (w *World) depositLocked(env *envelope) WireFault {
 	d := w.procs[env.dst]
 	w.nextMsg++
 	env.msgID = w.nextMsg
-	w.chanSeq[env.src][env.dst]++
-	env.chanSeq = w.chanSeq[env.src][env.dst]
+	if !env.internal {
+		// Only user-level messages are numbered: ChanSeq N means "the nth
+		// message the program sent on this channel", stable no matter how
+		// much collective plumbing traffic interleaves.
+		w.chanSeq[env.src][env.dst]++
+		env.chanSeq = w.chanSeq[env.src][env.dst]
+	}
+
+	var verdict WireFault
+	if f := w.cfg.Fault; f != nil && !env.internal {
+		verdict = f.Wire(WireMsg{Src: env.src, Dst: env.dst, Tag: env.tag,
+			Bytes: len(env.data), MsgID: env.msgID, ChanSeq: env.chanSeq})
+		if verdict.Drop {
+			// The message vanishes on the wire: it is never deposited. The
+			// send record keeps its MsgID so analyses can correlate the
+			// loss; a rendezvous sender blocks forever, exactly like a real
+			// lost message.
+			return verdict
+		}
+		if verdict.Delay > 0 {
+			env.arrive += verdict.Delay
+			env.fault = fmt.Sprintf("%s+%d", trace.FaultDelay, verdict.Delay)
+		}
+		if verdict.Duplicate {
+			// Redelivery: a second copy with the same MsgID but its own
+			// channel sequence number, non-rendezvous (the sender already
+			// completed against the original).
+			dup := &envelope{src: env.src, dst: env.dst, tag: env.tag,
+				data:   append([]byte(nil), env.data...),
+				msgID:  env.msgID,
+				arrive: env.arrive, fault: trace.FaultDup, sender: env.sender}
+			w.chanSeq[env.src][env.dst]++
+			dup.chanSeq = w.chanSeq[env.src][env.dst]
+			d.pending = append(d.pending, env, dup)
+			w.sweepLocked(d)
+			return verdict
+		}
+	}
 	d.pending = append(d.pending, env)
 	w.sweepLocked(d)
+	return verdict
 }
 
 func (p *Proc) validatePeer(op Op, peer int) {
@@ -203,7 +252,7 @@ func (p *Proc) Send(dst, tag int, data []byte) {
 	w.mu.Lock()
 	p.abortCheckLocked()
 	info.Start = p.clock
-	end := p.clock + w.cfg.OpCost + int64(len(data))*w.cfg.ByteTime
+	end := p.clock + w.opCost(p.rank, OpSend) + int64(len(data))*w.cfg.ByteTime
 	env := &envelope{
 		src: p.rank, dst: dst, tag: tag,
 		data:       append([]byte(nil), data...),
@@ -211,7 +260,8 @@ func (p *Proc) Send(dst, tag int, data []byte) {
 		rendezvous: w.cfg.SendMode == Rendezvous,
 		sender:     p,
 	}
-	w.depositLocked(env)
+	verdict := w.depositLocked(env)
+	info.Fault = verdict.String()
 	p.setClockLocked(end)
 	info.End = end
 	info.MsgID = env.msgID
@@ -250,7 +300,7 @@ func (p *Proc) Recv(src, tag int) ([]byte, Status) {
 	p.blockUntilLocked(&info, func() bool { return req.done })
 
 	env := req.env
-	end := max(p.clock, env.arrive) + w.cfg.OpCost
+	end := max(p.clock, env.arrive) + w.opCost(p.rank, OpRecv)
 	p.setClockLocked(end)
 	w.bumpClockLocked(end)
 	info.End = end
@@ -258,6 +308,7 @@ func (p *Proc) Recv(src, tag int) ([]byte, Status) {
 	info.Tag = env.tag
 	info.Bytes = len(env.data)
 	info.MsgID = env.msgID
+	info.Fault = env.fault
 	st := Status{Source: env.src, Tag: env.tag, Bytes: len(env.data), MsgID: env.msgID}
 	w.mu.Unlock()
 	p.firePost(&info)
@@ -284,7 +335,7 @@ func (p *Proc) Probe(src, tag int) Status {
 	p.blockUntilLocked(&info, func() bool { return req.done })
 
 	env := req.env
-	end := p.clock + w.cfg.OpCost
+	end := p.clock + w.opCost(p.rank, OpProbe)
 	p.setClockLocked(end)
 	w.bumpClockLocked(end)
 	info.End = end
@@ -309,7 +360,7 @@ func (p *Proc) Isend(dst, tag int, data []byte) *Request {
 	w.mu.Lock()
 	p.abortCheckLocked()
 	info.Start = p.clock
-	end := p.clock + w.cfg.OpCost + int64(len(data))*w.cfg.ByteTime
+	end := p.clock + w.opCost(p.rank, OpIsend) + int64(len(data))*w.cfg.ByteTime
 	env := &envelope{
 		src: p.rank, dst: dst, tag: tag,
 		data:       append([]byte(nil), data...),
@@ -317,7 +368,8 @@ func (p *Proc) Isend(dst, tag int, data []byte) *Request {
 		rendezvous: w.cfg.SendMode == Rendezvous,
 		sender:     p,
 	}
-	w.depositLocked(env)
+	verdict := w.depositLocked(env)
+	info.Fault = verdict.String()
 	p.setClockLocked(end)
 	info.End = end
 	info.MsgID = env.msgID
@@ -376,7 +428,7 @@ func (r *Request) Wait() ([]byte, Status) {
 			p.blockUntilLocked(&info, func() bool { return r.env.consumed })
 			r.done = true
 		}
-		end := p.clock + w.cfg.OpCost
+		end := p.clock + w.opCost(p.rank, OpWait)
 		p.setClockLocked(end)
 		w.bumpClockLocked(end)
 		info.End = end
@@ -394,7 +446,7 @@ func (r *Request) Wait() ([]byte, Status) {
 		r.done = true
 	}
 	env := req.env
-	end := max(p.clock, env.arrive) + w.cfg.OpCost
+	end := max(p.clock, env.arrive) + w.opCost(p.rank, OpWait)
 	p.setClockLocked(end)
 	w.bumpClockLocked(end)
 	info.End = end
@@ -402,6 +454,7 @@ func (r *Request) Wait() ([]byte, Status) {
 	info.Tag = env.tag
 	info.Bytes = len(env.data)
 	info.MsgID = env.msgID
+	info.Fault = env.fault
 	r.st = Status{Source: env.src, Tag: env.tag, Bytes: len(env.data), MsgID: env.msgID}
 	st := r.st
 	w.mu.Unlock()

@@ -1,6 +1,7 @@
 package mp
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"sort"
@@ -30,6 +31,12 @@ type Config struct {
 	// Delivery chooses among eligible messages for wildcard receives.
 	// Nil selects EarliestArrival.
 	Delivery DeliveryController
+
+	// Fault, when non-nil, injects deterministic faults (drops, delays,
+	// duplicates, crashes, slow ranks) at the runtime's interposition
+	// points. Injected faults are reported through the hook chain so they
+	// become part of the recorded history.
+	Fault FaultInjector
 }
 
 func (c *Config) withDefaults() Config {
@@ -65,7 +72,8 @@ type envelope struct {
 	msgID      uint64
 	chanSeq    uint64
 	arrive     int64
-	internal   bool // collective plumbing, invisible to hooks/controllers
+	internal   bool   // collective plumbing, invisible to hooks/controllers
+	fault      string // fault annotation carried onto the receive record
 	rendezvous bool
 	consumed   bool
 	sender     *Proc
@@ -162,9 +170,18 @@ func (w *World) Start(body func(p *Proc)) error {
 			defer w.wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
-					if _, ok := rec.(abortPanic); ok {
+					switch pv := rec.(type) {
+					case abortPanic:
 						// Normal unwinding of an aborted world.
-					} else {
+					case crashPanic:
+						// An injected rank crash kills only this rank: the
+						// world keeps running so surviving ranks either
+						// finish or stall on the dead rank — the realistic
+						// failure the stall analyzer must then explain.
+						w.mu.Lock()
+						w.rankErrs[p.rank] = pv.err
+						w.mu.Unlock()
+					default:
 						err := fmt.Errorf("mp: rank %d panicked: %v\n%s", p.rank, rec, debug.Stack())
 						w.mu.Lock()
 						w.rankErrs[p.rank] = err
@@ -187,17 +204,20 @@ func (w *World) Wait() error {
 	w.wg.Wait()
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	var errs []error
 	if w.stall != nil {
-		return w.stall
+		errs = append(errs, w.stall)
 	}
-	var msgs []string
 	for _, err := range w.rankErrs {
 		if err != nil {
-			msgs = append(msgs, err.Error())
+			errs = append(errs, err)
 		}
 	}
-	if len(msgs) > 0 {
-		return fmt.Errorf("%s", strings.Join(msgs, "; "))
+	if len(errs) > 0 {
+		// errors.Join keeps the stall and each rank error reachable by
+		// errors.As/Is — a *CrashError from fault injection stays visible
+		// alongside the stall it caused.
+		return errors.Join(errs...)
 	}
 	if w.aborted && w.abortErr != nil {
 		return w.abortErr
@@ -241,6 +261,36 @@ func (w *World) Stalled() *StallError {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.stall
+}
+
+// Aborted returns the abort cause if the world was aborted (stall, kill, or
+// rank panic), else nil.
+func (w *World) Aborted() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.aborted {
+		return w.abortErr
+	}
+	return nil
+}
+
+// RankErrs returns a copy of the per-rank error slots (crashes, panics).
+func (w *World) RankErrs() []error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]error(nil), w.rankErrs...)
+}
+
+// opCost returns the fixed per-operation cost for one rank, including any
+// injected slow-rank delay. Called with w.mu held.
+func (w *World) opCost(rank int, op Op) int64 {
+	c := w.cfg.OpCost
+	if f := w.cfg.Fault; f != nil {
+		if d := f.OpDelay(rank, op); d > 0 {
+			c += d
+		}
+	}
+	return c
 }
 
 // MaxClock returns the largest virtual time reached by any rank so far.

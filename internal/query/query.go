@@ -361,6 +361,8 @@ func kindByName(s string) (trace.Kind, error) {
 		return trace.KindMarker, nil
 	case "checkpoint":
 		return trace.KindCheckpoint, nil
+	case "fault":
+		return trace.KindFault, nil
 	}
 	return 0, fmt.Errorf("query: unknown kind %q", s)
 }

@@ -1,0 +1,506 @@
+package remote
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tracedbg/internal/trace"
+)
+
+// ClientOptions tunes the client's buffering and reconnection machinery.
+// Zero values select defaults.
+type ClientOptions struct {
+	// ID is the stable client identity used for resume after reconnects.
+	// Default: a random 16-hex-digit string.
+	ID string
+	// MaxRetries bounds consecutive failed reconnect attempts before the
+	// client gives up and sets Err. Default 10; negative means unlimited.
+	MaxRetries int
+	// BackoffBase is the first reconnect delay; each attempt doubles it up
+	// to BackoffMax, with random jitter. Defaults 50ms and 5s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MemLimit is the number of records held in memory before the oldest
+	// overflow to a disk spill file. Default 4096.
+	MemLimit int
+	// SpillDir is where the spill file is created. Default os.TempDir().
+	SpillDir string
+	// HandshakeTimeout bounds the wait for the collector's TDBGACK reply.
+	// Default 5s.
+	HandshakeTimeout time.Duration
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.ID == "" {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			o.ID = hex.EncodeToString(b[:])
+		} else {
+			o.ID = "client"
+		}
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 10
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.MemLimit <= 0 {
+		o.MemLimit = 4096
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Client is an instrumentation sink that streams records to a collector.
+// It is safe for concurrent use by all rank goroutines.
+//
+// Every emitted record is buffered — in memory up to MemLimit records,
+// beyond that in an append-only disk spill file — until Close. The buffer
+// is the source of truth for retransmission: when the connection drops the
+// client reconnects with exponential backoff, learns from the collector's
+// handshake acknowledgement how many records arrived, and retransmits
+// exactly the rest. The spill file is never pruned, so even a collector
+// that restarts from scratch (acknowledging 0) can be replayed the full
+// history with no gaps and no duplicates.
+type Client struct {
+	opts     ClientOptions
+	addr     string
+	numRanks int
+
+	mu      sync.Mutex
+	mem     []trace.Record // records memBase+1 .. total, in emit order
+	memBase uint64         // records 1 .. memBase live in the spill file
+	total   uint64         // records emitted so far
+	acked   uint64         // records the collector has acknowledged
+
+	spillPath string
+	spillF    *os.File
+	spillBW   *bufio.Writer
+	spillFW   *trace.FileWriter
+
+	conn    net.Conn
+	connGen int // bumped on every (re)attach; stale goroutines check it
+	bw      *bufio.Writer
+	fw      *trace.FileWriter
+
+	err          error // fatal: retries exhausted
+	closed       bool
+	closedCh     chan struct{}
+	reconnecting bool
+	wg           sync.WaitGroup
+}
+
+// Dial connects to a collector with default options.
+func Dial(addr string, numRanks int) (*Client, error) {
+	return DialOptions(addr, numRanks, ClientOptions{})
+}
+
+// DialOptions connects to a collector and performs the handshake. The
+// initial connection is synchronous — a collector that is down at start is
+// an immediate error; later outages are retried in the background.
+func DialOptions(addr string, numRanks int, opts ClientOptions) (*Client, error) {
+	cl := &Client{
+		opts:     opts.withDefaults(),
+		addr:     addr,
+		numRanks: numRanks,
+		closedCh: make(chan struct{}),
+	}
+	conn, br, ack, err := cl.connect()
+	if err != nil {
+		return nil, err
+	}
+	cl.mu.Lock()
+	err = cl.attachLocked(conn, br, ack)
+	cl.mu.Unlock()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// ID returns the client's resume identity.
+func (cl *Client) ID() string { return cl.opts.ID }
+
+// connect dials and handshakes, returning the connection, its buffered
+// reader (which owns the ack heartbeat stream), and the collector's
+// acknowledged record count.
+func (cl *Client) connect() (net.Conn, *bufio.Reader, uint64, error) {
+	conn, err := net.Dial("tcp", cl.addr)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("remote: dial: %w", err)
+	}
+	if _, err := fmt.Fprintf(conn, "%s%d %s\n", handshakeV2, cl.numRanks, cl.opts.ID); err != nil {
+		conn.Close()
+		return nil, nil, 0, fmt.Errorf("remote: handshake: %w", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(cl.opts.HandshakeTimeout))
+	br := bufio.NewReaderSize(conn, 1<<16)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, nil, 0, fmt.Errorf("remote: handshake ack: %w", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	ack, ok := parseAck(line)
+	if !ok {
+		conn.Close()
+		return nil, nil, 0, fmt.Errorf("remote: bad handshake ack %q", strings.TrimSpace(line))
+	}
+	return conn, br, ack, nil
+}
+
+func parseAck(line string) (uint64, bool) {
+	if !strings.HasPrefix(line, ackPrefix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(strings.TrimPrefix(line, ackPrefix)), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// attachLocked installs a fresh connection and retransmits everything the
+// collector has not acknowledged. Caller holds cl.mu.
+func (cl *Client) attachLocked(conn net.Conn, br *bufio.Reader, ack uint64) error {
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	fw, err := trace.NewFileWriter(bw, cl.numRanks)
+	if err != nil {
+		return err
+	}
+	cl.conn = conn
+	cl.connGen++
+	cl.bw = bw
+	cl.fw = fw
+	if ack > cl.total {
+		ack = cl.total // a confused collector cannot ack the future
+	}
+	cl.acked = ack
+	err = cl.resendLocked(ack)
+	if err == nil {
+		err = fw.Flush()
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		cl.conn = nil
+		cl.bw, cl.fw = nil, nil
+		return fmt.Errorf("remote: retransmit: %w", err)
+	}
+	cl.wg.Add(1)
+	go cl.ackReader(conn, br, cl.connGen)
+	return nil
+}
+
+// resendLocked writes records from+1 .. total to the current writer,
+// reading the spilled prefix back from disk if the resume point predates
+// the in-memory window.
+func (cl *Client) resendLocked(from uint64) error {
+	if from >= cl.total {
+		return nil
+	}
+	if from < cl.memBase {
+		if err := cl.flushSpillLocked(); err != nil {
+			return err
+		}
+		f, err := os.Open(cl.spillPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc, err := trace.NewScanner(bufio.NewReaderSize(f, 1<<16))
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < cl.memBase; i++ {
+			rec, err := sc.Next()
+			if err != nil {
+				return fmt.Errorf("spill readback at record %d: %w", i+1, err)
+			}
+			if i < from {
+				continue // already acknowledged
+			}
+			if err := cl.fw.Write(rec); err != nil {
+				return err
+			}
+		}
+		from = cl.memBase
+	}
+	for i := from - cl.memBase; i < uint64(len(cl.mem)); i++ {
+		if err := cl.fw.Write(&cl.mem[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cl *Client) flushSpillLocked() error {
+	if cl.spillFW == nil {
+		return nil
+	}
+	if err := cl.spillFW.Flush(); err != nil {
+		return err
+	}
+	return cl.spillBW.Flush()
+}
+
+// spillLocked moves the oldest n in-memory records to the spill file.
+func (cl *Client) spillLocked(n int) error {
+	if cl.spillFW == nil {
+		dir := cl.opts.SpillDir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		f, err := os.CreateTemp(dir, "tdbg-spill-*.trace")
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriterSize(f, 1<<16)
+		fw, err := trace.NewFileWriter(bw, cl.numRanks)
+		if err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return err
+		}
+		cl.spillPath, cl.spillF, cl.spillBW, cl.spillFW = f.Name(), f, bw, fw
+	}
+	for i := 0; i < n; i++ {
+		if err := cl.spillFW.Write(&cl.mem[i]); err != nil {
+			return err
+		}
+	}
+	cl.memBase += uint64(n)
+	cl.mem = append(cl.mem[:0], cl.mem[n:]...)
+	return nil
+}
+
+// Emit implements the instrumentation Sink interface. Records are always
+// buffered; when connected they are also written to the wire immediately.
+func (cl *Client) Emit(rec *trace.Record) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed || cl.err != nil {
+		return
+	}
+	cl.mem = append(cl.mem, *rec)
+	cl.total++
+	if len(cl.mem) > cl.opts.MemLimit {
+		if err := cl.spillLocked(len(cl.mem) - cl.opts.MemLimit); err != nil {
+			// Disk refused the overflow: keep everything in memory rather
+			// than drop history; record the condition once.
+			cl.err = fmt.Errorf("remote: spill: %w", err)
+			return
+		}
+	}
+	if cl.fw != nil {
+		if err := cl.fw.Write(rec); err != nil {
+			cl.dropConnLocked()
+		}
+	}
+}
+
+// dropConnLocked abandons the current connection and starts the background
+// reconnect loop. The record that failed to send stays buffered, so
+// nothing is lost. Caller holds cl.mu.
+func (cl *Client) dropConnLocked() {
+	if cl.conn != nil {
+		cl.conn.Close()
+		cl.conn = nil
+		cl.bw, cl.fw = nil, nil
+		cl.connGen++
+	}
+	if !cl.reconnecting && !cl.closed && cl.err == nil {
+		cl.reconnecting = true
+		cl.wg.Add(1)
+		go cl.reconnectLoop()
+	}
+}
+
+// ackReader consumes TDBGACK heartbeat lines for one connection. A read
+// error is the outage signal: it triggers the reconnect loop.
+func (cl *Client) ackReader(conn net.Conn, br *bufio.Reader, gen int) {
+	defer cl.wg.Done()
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			cl.mu.Lock()
+			if cl.connGen == gen && cl.conn != nil {
+				cl.dropConnLocked()
+			}
+			cl.mu.Unlock()
+			return
+		}
+		if n, ok := parseAck(line); ok {
+			cl.mu.Lock()
+			if cl.connGen == gen && n > cl.acked && n <= cl.total {
+				cl.acked = n
+			}
+			cl.mu.Unlock()
+		}
+	}
+}
+
+// backoff computes the delay before reconnect attempt i: exponential in i,
+// capped at BackoffMax, with uniform jitter over the upper half so a fleet
+// of clients does not stampede a restarted collector in lockstep.
+func (cl *Client) backoff(attempt int) time.Duration {
+	d := cl.opts.BackoffBase
+	for i := 0; i < attempt && d < cl.opts.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > cl.opts.BackoffMax {
+		d = cl.opts.BackoffMax
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	j, err := rand.Int(rand.Reader, big.NewInt(half+1))
+	if err != nil {
+		return d
+	}
+	return time.Duration(half + j.Int64())
+}
+
+func (cl *Client) reconnectLoop() {
+	defer cl.wg.Done()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if cl.opts.MaxRetries >= 0 && attempt >= cl.opts.MaxRetries {
+			cl.mu.Lock()
+			cl.err = fmt.Errorf("remote: gave up after %d reconnect attempts: %w", attempt, lastErr)
+			cl.reconnecting = false
+			cl.mu.Unlock()
+			return
+		}
+		select {
+		case <-cl.closedCh:
+			cl.mu.Lock()
+			cl.reconnecting = false
+			cl.mu.Unlock()
+			return
+		case <-time.After(cl.backoff(attempt)):
+		}
+		conn, br, ack, err := cl.connect()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cl.mu.Lock()
+		if cl.closed {
+			cl.reconnecting = false
+			cl.mu.Unlock()
+			conn.Close()
+			return
+		}
+		err = cl.attachLocked(conn, br, ack)
+		if err == nil {
+			cl.reconnecting = false
+			cl.mu.Unlock()
+			return
+		}
+		cl.mu.Unlock()
+		conn.Close()
+		lastErr = err
+	}
+}
+
+// Flush pushes buffered records onto the wire (monitor flush-on-demand).
+// While disconnected it is a no-op: the records stay buffered and flow on
+// reconnect.
+func (cl *Client) Flush() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.err != nil {
+		return cl.err
+	}
+	if cl.fw == nil {
+		return nil
+	}
+	err := cl.fw.Flush()
+	if err == nil {
+		err = cl.bw.Flush()
+	}
+	if err != nil {
+		cl.dropConnLocked()
+	}
+	return nil
+}
+
+// Err returns the client's fatal error, set when reconnection gives up.
+func (cl *Client) Err() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.err
+}
+
+// Acked returns how many records the collector has acknowledged.
+func (cl *Client) Acked() uint64 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.acked
+}
+
+// Total returns how many records have been emitted.
+func (cl *Client) Total() uint64 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.total
+}
+
+// Close flushes, stops the reconnect machinery, closes the connection and
+// deletes the spill file. If the client is disconnected with unsent
+// records, Close reports how many were abandoned.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	var err error
+	if cl.fw != nil {
+		err = cl.fw.Flush()
+		if err == nil {
+			err = cl.bw.Flush()
+		}
+	} else if cl.err == nil && cl.total > cl.acked {
+		err = fmt.Errorf("remote: closed while disconnected with %d unsent record(s)", cl.total-cl.acked)
+	}
+	if cl.conn != nil {
+		cl.conn.Close()
+		cl.conn = nil
+		cl.bw, cl.fw = nil, nil
+	}
+	if cl.err != nil && err == nil {
+		err = cl.err
+	}
+	cl.mu.Unlock()
+	close(cl.closedCh)
+	cl.wg.Wait()
+	cl.mu.Lock()
+	if cl.spillF != nil {
+		cl.spillF.Close()
+		os.Remove(cl.spillPath)
+		cl.spillF, cl.spillBW, cl.spillFW = nil, nil, nil
+	}
+	cl.mu.Unlock()
+	return err
+}

@@ -52,7 +52,7 @@ func TestCorruptedFilesNeverPanic(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		garbage := make([]byte, rng.Intn(200))
 		rng.Read(garbage)
-		scanAll(append([]byte("TDBGTRC1"), garbage...))
+		scanAll(append([]byte("TDBGTRC2"), garbage...))
 	}
 }
 

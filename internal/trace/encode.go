@@ -10,23 +10,30 @@ import (
 
 // File format
 //
-//	magic "TDBGTRC1"
+//	magic "TDBGTRC2"
 //	uvarint numRanks
 //	blocks:
 //	  'S' uvarint id, uvarint len, bytes        -- string-table entry
 //	  'R' encoded record                        -- one event
+//	  'I' uvarint len, bytes                    -- incomplete-history marker
 //
 // Strings (file names, function names, construct names) are interned: each
 // distinct string is emitted once, before its first use.  Records refer to
 // strings by table id.  The format is append-only so the monitor can flush
 // partial traces on demand (the paper's extension of the AIMS monitor) and
 // the debugger can consume the file while the target is still running.
+//
+// Version 2 extends version 1 with the per-record fault annotation (an
+// interned string id) and the 'I' block, which marks the history as partial
+// (the bytes are the human-readable reason). An 'I' block may appear
+// anywhere after the header; readers OR the flags together.
 
-const fileMagic = "TDBGTRC1"
+const fileMagic = "TDBGTRC2"
 
 const (
-	blockString byte = 'S'
-	blockRecord byte = 'R'
+	blockString     byte = 'S'
+	blockRecord     byte = 'R'
+	blockIncomplete byte = 'I'
 )
 
 // FileWriter serializes records to a trace file. It is safe for concurrent
@@ -99,6 +106,12 @@ func (fw *FileWriter) Write(r *Record) error {
 			return fmt.Errorf("trace: interning name: %w", err)
 		}
 	}
+	var faultID uint64
+	if r.Fault != "" {
+		if faultID, err = fw.internLocked(r.Fault); err != nil {
+			return fmt.Errorf("trace: interning fault: %w", err)
+		}
+	}
 
 	buf := fw.scratch[:0]
 	buf = append(buf, blockRecord, byte(r.Kind))
@@ -119,6 +132,7 @@ func (fw *FileWriter) Write(r *Record) error {
 	} else {
 		buf = append(buf, 0)
 	}
+	buf = binary.AppendUvarint(buf, faultID)
 	buf = binary.AppendUvarint(buf, nameID)
 	buf = binary.AppendVarint(buf, r.Args[0])
 	buf = binary.AppendVarint(buf, r.Args[1])
@@ -127,6 +141,25 @@ func (fw *FileWriter) Write(r *Record) error {
 		return fmt.Errorf("trace: writing record: %w", err)
 	}
 	fw.n++
+	return nil
+}
+
+// WriteIncomplete appends an incomplete-history marker: readers of the file
+// will see a trace flagged Incomplete with the given reason. Used when the
+// producer knows the history is partial (aborted run, lossy collection).
+func (fw *FileWriter) WriteIncomplete(reason string) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	buf := fw.scratch[:0]
+	buf = append(buf, blockIncomplete)
+	buf = binary.AppendUvarint(buf, uint64(len(reason)))
+	fw.scratch = buf
+	if _, err := fw.w.Write(buf); err != nil {
+		return fmt.Errorf("trace: writing incomplete marker: %w", err)
+	}
+	if _, err := fw.w.WriteString(reason); err != nil {
+		return fmt.Errorf("trace: writing incomplete marker: %w", err)
+	}
 	return nil
 }
 
@@ -156,6 +189,9 @@ type Scanner struct {
 	numRanks int
 	strings  []string // id-1 indexed
 	offset   int64    // bytes consumed so far
+
+	incomplete       bool // an 'I' block was seen
+	incompleteReason string
 }
 
 // NewScanner validates the header and returns a streaming reader.
@@ -179,6 +215,10 @@ func NewScanner(r io.Reader) (*Scanner, error) {
 
 // NumRanks returns the rank count from the file header.
 func (sc *Scanner) NumRanks() int { return sc.numRanks }
+
+// Incomplete reports whether an incomplete-history marker has been scanned
+// so far, and its reason.
+func (sc *Scanner) Incomplete() (bool, string) { return sc.incomplete, sc.incompleteReason }
 
 // Offset returns the number of bytes consumed so far. The value before a
 // Next call is the offset of the next block, which the Index stores for
@@ -262,6 +302,20 @@ func (sc *Scanner) Next() (*Record, error) {
 			sc.strings = append(sc.strings, string(buf))
 		case blockRecord:
 			return sc.readRecord()
+		case blockIncomplete:
+			n, err := sc.readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("trace: incomplete marker len: %w", err)
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(sc.r, buf); err != nil {
+				return nil, fmt.Errorf("trace: incomplete marker reason: %w", err)
+			}
+			sc.offset += int64(n)
+			if !sc.incomplete {
+				sc.incompleteReason = string(buf)
+			}
+			sc.incomplete = true
 		default:
 			return nil, fmt.Errorf("trace: unknown block tag %q at offset %d", tag, sc.offset-1)
 		}
@@ -342,6 +396,12 @@ func (sc *Scanner) readRecord() (*Record, error) {
 	}
 	r.WasWildcard = wb != 0
 	if u, err = sc.readUvarint(); err != nil {
+		return fail("fault", err)
+	}
+	if r.Fault, err = sc.str(u); err != nil {
+		return nil, err
+	}
+	if u, err = sc.readUvarint(); err != nil {
 		return fail("name", err)
 	}
 	if r.Name, err = sc.str(u); err != nil {
@@ -358,7 +418,8 @@ func (sc *Scanner) readRecord() (*Record, error) {
 	return &r, nil
 }
 
-// ReadAll loads an entire trace file into memory.
+// ReadAll loads an entire trace file into memory. Any error — including
+// mid-file truncation — is fatal; use ReadAllPartial to salvage a prefix.
 func ReadAll(r io.Reader) (*Trace, error) {
 	sc, err := NewScanner(r)
 	if err != nil {
@@ -368,6 +429,9 @@ func ReadAll(r io.Reader) (*Trace, error) {
 	for {
 		rec, err := sc.Next()
 		if err == io.EOF {
+			if inc, reason := sc.Incomplete(); inc {
+				t.MarkIncomplete(reason)
+			}
 			return t, nil
 		}
 		if err != nil {
@@ -379,7 +443,38 @@ func ReadAll(r io.Reader) (*Trace, error) {
 	}
 }
 
-// WriteAll serializes an in-memory trace in merged time order.
+// ReadAllPartial loads as much of a trace file as is decodable. A damaged or
+// truncated tail stops the scan and marks the result Incomplete instead of
+// failing, so a history cut off by a crash stays analyzable. Only a
+// missing/corrupt header (no decodable prefix at all) is an error.
+func ReadAllPartial(r io.Reader) (*Trace, error) {
+	sc, err := NewScanner(r)
+	if err != nil {
+		return nil, err
+	}
+	t := New(sc.NumRanks())
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.MarkIncomplete(fmt.Sprintf("trace file truncated: %v", err))
+			break
+		}
+		if _, err := t.Append(*rec); err != nil {
+			t.MarkIncomplete(fmt.Sprintf("trace file damaged: %v", err))
+			break
+		}
+	}
+	if inc, reason := sc.Incomplete(); inc {
+		t.MarkIncomplete(reason)
+	}
+	return t, nil
+}
+
+// WriteAll serializes an in-memory trace in merged time order, preserving an
+// Incomplete flag as a trailer block.
 func WriteAll(w io.Writer, t *Trace) error {
 	fw, err := NewFileWriter(w, t.NumRanks())
 	if err != nil {
@@ -387,6 +482,11 @@ func WriteAll(w io.Writer, t *Trace) error {
 	}
 	for _, id := range t.MergedOrder() {
 		if err := fw.Write(t.MustAt(id)); err != nil {
+			return err
+		}
+	}
+	if t.Incomplete() {
+		if err := fw.WriteIncomplete(t.IncompleteReason()); err != nil {
 			return err
 		}
 	}

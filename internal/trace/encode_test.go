@@ -34,7 +34,7 @@ func TestRoundTripRecordProperty(t *testing.T) {
 	// Any single record (with normalized fields) survives a round trip.
 	f := func(kind uint8, rank uint8, line uint16, start int64, dur uint32,
 		marker uint64, src, dst int8, tag int16, nbytes uint16, msgID uint64,
-		wild bool, a0, a1 int64, file, fn, name string) bool {
+		wild bool, a0, a1 int64, file, fn, name, fault string) bool {
 		r := Record{
 			Kind:   Kind(int(kind) % numKinds),
 			Rank:   int(rank),
@@ -44,7 +44,7 @@ func TestRoundTripRecordProperty(t *testing.T) {
 			Marker: marker,
 			Src:    int(src), Dst: int(dst), Tag: int(tag),
 			Bytes: int(nbytes), MsgID: msgID, WasWildcard: wild,
-			Name: name, Args: [2]int64{a0, a1},
+			Fault: fault, Name: name, Args: [2]int64{a0, a1},
 		}
 		var buf bytes.Buffer
 		fw, err := NewFileWriter(&buf, 256)

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestIncompleteRoundTrip(t *testing.T) {
+	tr := New(2)
+	tr.MustAppend(Record{Kind: KindSend, Rank: 0, Dst: 1, Tag: 7, MsgID: 1, Fault: FaultDrop})
+	tr.MustAppend(Record{Kind: KindFault, Rank: 1, Src: NoRank, Dst: NoRank, Fault: FaultCrash, Name: "injected"})
+	tr.MarkIncomplete("rank 1 crashed")
+
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, tr); err != nil {
+		t.Fatalf("WriteAll: %v", err)
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !got.Incomplete() || got.IncompleteReason() != "rank 1 crashed" {
+		t.Fatalf("incomplete flag lost: %v %q", got.Incomplete(), got.IncompleteReason())
+	}
+	if got.Rank(0)[0].Fault != FaultDrop {
+		t.Errorf("send fault annotation lost: %+v", got.Rank(0)[0])
+	}
+	if r := got.Rank(1)[0]; r.Kind != KindFault || r.Fault != FaultCrash {
+		t.Errorf("crash record lost: %+v", r)
+	}
+}
+
+func TestIncompletePreservedByCloneAndWindow(t *testing.T) {
+	tr := New(1)
+	tr.MustAppend(Record{Kind: KindMarker, Rank: 0, Start: 5, End: 5})
+	tr.MarkIncomplete("stream cut")
+	if c := tr.Clone(); !c.Incomplete() || c.IncompleteReason() != "stream cut" {
+		t.Error("Clone dropped the incomplete flag")
+	}
+	if w := tr.Window(0, 10); !w.Incomplete() {
+		t.Error("Window dropped the incomplete flag")
+	}
+	// First reason sticks.
+	tr.MarkIncomplete("second reason")
+	if tr.IncompleteReason() != "stream cut" {
+		t.Errorf("reason overwritten: %q", tr.IncompleteReason())
+	}
+}
+
+func TestReadAllPartialSalvagesTruncatedFile(t *testing.T) {
+	var buf bytes.Buffer
+	fw, err := NewFileWriter(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		rec := Record{Kind: KindMarker, Rank: 0, Marker: uint64(i + 1), Start: int64(i), End: int64(i)}
+		if err := fw.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	// Strict reader rejects the cut file; the tolerant one salvages a prefix.
+	cut := whole[:len(whole)-3]
+	if _, err := ReadAll(bytes.NewReader(cut)); err == nil {
+		t.Error("ReadAll accepted a truncated file")
+	}
+	got, err := ReadAllPartial(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatalf("ReadAllPartial: %v", err)
+	}
+	if !got.Incomplete() {
+		t.Error("salvaged trace not marked incomplete")
+	}
+	if got.Len() == 0 || got.Len() >= 10 {
+		t.Errorf("salvaged %d records, want a proper nonempty prefix", got.Len())
+	}
+
+	// A pristine file stays complete through the tolerant reader.
+	full, err := ReadAllPartial(bytes.NewReader(whole))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Incomplete() || full.Len() != 10 {
+		t.Errorf("pristine file misread: incomplete=%v len=%d", full.Incomplete(), full.Len())
+	}
+
+	// Garbage without a decodable header is still an error.
+	if _, err := ReadAllPartial(bytes.NewReader([]byte("BOGUS"))); err == nil {
+		t.Error("ReadAllPartial accepted garbage header")
+	}
+}

@@ -49,13 +49,19 @@ const (
 	// KindCheckpoint marks a state snapshot taken by the checkpoint
 	// manager (the paper's §6 logarithmic-backlog extension).
 	KindCheckpoint
+	// KindFault records a fault-injection event that is not attached to a
+	// message operation (currently: an injected rank crash). Message-level
+	// faults (drop, delay, duplicate) annotate the affected Send/Recv record
+	// via the Fault field instead.
+	KindFault
 
-	numKinds = int(KindCheckpoint) + 1
+	numKinds = int(KindFault) + 1
 )
 
 var kindNames = [numKinds]string{
 	"FuncEntry", "FuncExit", "RegionBegin", "RegionEnd", "Compute",
 	"Send", "Recv", "Collective", "Blocked", "Marker", "Checkpoint",
+	"Fault",
 }
 
 // String returns the canonical name of the kind.
@@ -75,6 +81,21 @@ func (k Kind) IsMessage() bool {
 // NoRank is used in endpoint fields that do not apply (for example Dst of a
 // compute record).
 const NoRank = -1
+
+// Fault annotation values. A record's Fault field is empty for normal
+// events; fault-injected events carry one of these (FaultDelay with the
+// injected delay appended, e.g. "delay+500").
+const (
+	// FaultDrop marks a send whose message was dropped on the wire.
+	FaultDrop = "drop"
+	// FaultDup marks the redelivered copy of a duplicated message (on the
+	// send record) and the receive that consumed such a copy.
+	FaultDup = "dup"
+	// FaultCrash marks a KindFault record terminating a rank.
+	FaultCrash = "crash"
+	// FaultDelay prefixes delay annotations: "delay+<extra virtual time>".
+	FaultDelay = "delay"
+)
 
 // Location identifies a point in the program source, the analogue of the
 // address recorded by the UserMonitor function.
@@ -148,6 +169,12 @@ type Record struct {
 	// to replay enforcement.
 	WasWildcard bool
 
+	// Fault, when nonempty, marks the record as produced under fault
+	// injection (see the Fault* constants). Faults are part of the recorded
+	// history so a fault-injected run replays exactly and so the stall
+	// analyzer can distinguish injected hangs from genuine deadlocks.
+	Fault string
+
 	// Name is the construct, function, or collective name.
 	Name string
 
@@ -165,17 +192,23 @@ func (r *Record) Duration() int64 { return r.End - r.Start }
 // String renders a compact single-line description, used by the text trace
 // displays and in test failure messages.
 func (r *Record) String() string {
+	ft := ""
+	if r.Fault != "" {
+		ft = " fault=" + r.Fault
+	}
 	switch {
 	case r.Kind == KindSend:
-		return fmt.Sprintf("[%d@%d %d..%d] Send %d->%d tag=%d bytes=%d msg=%d %s",
-			r.Rank, r.Marker, r.Start, r.End, r.Src, r.Dst, r.Tag, r.Bytes, r.MsgID, r.Name)
+		return fmt.Sprintf("[%d@%d %d..%d] Send %d->%d tag=%d bytes=%d msg=%d%s %s",
+			r.Rank, r.Marker, r.Start, r.End, r.Src, r.Dst, r.Tag, r.Bytes, r.MsgID, ft, r.Name)
 	case r.Kind == KindRecv:
 		wc := ""
 		if r.WasWildcard {
 			wc = " wildcard"
 		}
-		return fmt.Sprintf("[%d@%d %d..%d] Recv %d->%d tag=%d bytes=%d msg=%d%s %s",
-			r.Rank, r.Marker, r.Start, r.End, r.Src, r.Dst, r.Tag, r.Bytes, r.MsgID, wc, r.Name)
+		return fmt.Sprintf("[%d@%d %d..%d] Recv %d->%d tag=%d bytes=%d msg=%d%s%s %s",
+			r.Rank, r.Marker, r.Start, r.End, r.Src, r.Dst, r.Tag, r.Bytes, r.MsgID, wc, ft, r.Name)
+	case r.Kind == KindFault:
+		return fmt.Sprintf("[%d@%d %d..%d] Fault %s %s", r.Rank, r.Marker, r.Start, r.End, r.Fault, r.Name)
 	case r.Kind == KindBlocked:
 		return fmt.Sprintf("[%d@%d %d..%d] Blocked src=%d tag=%d %s",
 			r.Rank, r.Marker, r.Start, r.End, r.Src, r.Tag, r.Name)

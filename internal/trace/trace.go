@@ -11,7 +11,29 @@ import (
 // is monotonic, so records are appended in order).
 type Trace struct {
 	byRank [][]Record
+
+	// incomplete marks a partial history: the execution aborted, a rank
+	// crashed, or the collection stream was truncated. Analyses still run on
+	// incomplete traces; consumers use the flag to qualify their verdicts.
+	incomplete       bool
+	incompleteReason string
 }
+
+// MarkIncomplete flags the trace as a partial history. The first reason
+// sticks; later calls only set the flag.
+func (t *Trace) MarkIncomplete(reason string) {
+	if !t.incomplete {
+		t.incompleteReason = reason
+	}
+	t.incomplete = true
+}
+
+// Incomplete reports whether the trace is a partial history.
+func (t *Trace) Incomplete() bool { return t.incomplete }
+
+// IncompleteReason returns the reason recorded by the first MarkIncomplete
+// call ("" for complete traces).
+func (t *Trace) IncompleteReason() string { return t.incompleteReason }
 
 // New returns an empty trace for numRanks processes.
 func New(numRanks int) *Trace {
@@ -260,6 +282,7 @@ func (t *Trace) MergedOrder() []EventID {
 // so message matching still works within the window.
 func (t *Trace) Window(t0, t1 int64) *Trace {
 	w := New(len(t.byRank))
+	w.incomplete, w.incompleteReason = t.incomplete, t.incompleteReason
 	for _, seq := range t.byRank {
 		for i := range seq {
 			r := seq[i]
@@ -275,6 +298,7 @@ func (t *Trace) Window(t0, t1 int64) *Trace {
 // Clone returns a deep copy of the trace.
 func (t *Trace) Clone() *Trace {
 	c := New(len(t.byRank))
+	c.incomplete, c.incompleteReason = t.incomplete, t.incompleteReason
 	for rank, seq := range t.byRank {
 		c.byRank[rank] = append([]Record(nil), seq...)
 	}

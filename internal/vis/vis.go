@@ -86,6 +86,8 @@ func barGlyph(k trace.Kind) byte {
 		return ','
 	case trace.KindCheckpoint:
 		return 'K'
+	case trace.KindFault:
+		return '!'
 	}
 	return '?'
 }
@@ -110,6 +112,8 @@ func barColor(k trace.Kind) string {
 		return "#bab0ac"
 	case trace.KindCheckpoint:
 		return "#76b7b2"
+	case trace.KindFault:
+		return "#d37295" // pink: injected faults
 	}
 	return "#79706e"
 }
