@@ -21,6 +21,7 @@ import (
 	"tracedbg/internal/causality"
 	"tracedbg/internal/instr"
 	"tracedbg/internal/mp"
+	"tracedbg/internal/query"
 	"tracedbg/internal/trace"
 )
 
@@ -33,18 +34,25 @@ func main() {
 		iters   = flag.Int("iters", 3, "iterations")
 		seed    = flag.Int64("seed", 42, "seed")
 		actions = flag.Bool("actions", false, "include the action-graph summary")
+		find    = flag.String("find", "", "semicolon-separated query expressions to run over the trace")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *in, *app, *ranks, *size, *iters, *seed, *actions); err != nil {
+	if err := run(os.Stdout, *in, *app, *ranks, *size, *iters, *seed, *actions, *find); err != nil {
 		fmt.Fprintln(os.Stderr, "tanalyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, in, app string, ranks, size, iters int, seed int64, actions bool) error {
+func run(w io.Writer, in, app string, ranks, size, iters int, seed int64, actions bool, find string) error {
 	tr, err := load(in, app, ranks, size, iters, seed, w)
 	if err != nil {
 		return err
+	}
+
+	if find != "" {
+		if err := runQueries(w, tr, find); err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprint(w, analysis.AnalyzeTraffic(tr).String())
@@ -71,16 +79,36 @@ func run(w io.Writer, in, app string, ranks, size, iters int, seed int64, action
 	return nil
 }
 
+// queries caches compiled expressions so repeated -find terms (and repeated
+// invocations of runQueries in tests) compile once.
+var queries = query.NewCache()
+
+// runQueries evaluates each semicolon-separated expression and prints the
+// matching events.
+func runQueries(w io.Writer, tr *trace.Trace, find string) error {
+	for _, src := range strings.Split(find, ";") {
+		src = strings.TrimSpace(src)
+		if src == "" {
+			continue
+		}
+		q, err := queries.Compile(src)
+		if err != nil {
+			return err
+		}
+		ids := q.RunParallel(tr)
+		fmt.Fprintf(w, "find %q: %d events\n", src, len(ids))
+		for _, id := range ids {
+			fmt.Fprintf(w, "  %v %s\n", id, tr.MustAt(id))
+		}
+	}
+	return nil
+}
+
 func load(in, app string, ranks, size, iters int, seed int64, w io.Writer) (*trace.Trace, error) {
 	if in != "" {
-		f, err := os.Open(in)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
 		// Salvage what a crashed or interrupted producer managed to write:
 		// a partial history is still analyzable, just flagged.
-		tr, err := trace.ReadAllPartial(f)
+		tr, err := trace.LoadFileParallel(in)
 		if err != nil {
 			return nil, err
 		}

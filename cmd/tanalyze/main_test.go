@@ -7,7 +7,7 @@ import (
 
 func TestAnalyzeCleanRun(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "", "ring", 3, 8, 2, 1, true); err != nil {
+	if err := run(&sb, "", "ring", 3, 8, 2, 1, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -24,7 +24,7 @@ func TestAnalyzeCleanRun(t *testing.T) {
 
 func TestAnalyzeBuggyStrassen(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "", "strassen-buggy", 8, 8, 1, 42, false); err != nil {
+	if err := run(&sb, "", "strassen-buggy", 8, 8, 1, 42, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -45,10 +45,10 @@ func TestAnalyzeBuggyStrassen(t *testing.T) {
 
 func TestAnalyzeErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "/no/such/file", "", 0, 0, 0, 0, false); err == nil {
+	if err := run(&sb, "/no/such/file", "", 0, 0, 0, 0, false, ""); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run(&sb, "", "nope", 2, 8, 1, 1, false); err == nil {
+	if err := run(&sb, "", "nope", 2, 8, 1, 1, false, ""); err == nil {
 		t.Error("bogus app accepted")
 	}
 }

@@ -75,7 +75,7 @@ func run(in, app string, ranks, size, iters int, seed int64, mode, out string,
 	case "commgraph":
 		text = graph.BuildCommGraph(tr).DOT()
 	case "callgraph":
-		g := graph.FromTrace(tr, 0)
+		g := graph.FromTraceParallel(tr, 0)
 		text = g.Project(rank).VCG()
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
@@ -90,14 +90,9 @@ func run(in, app string, ranks, size, iters int, seed int64, mode, out string,
 // load reads a trace file, or records the named workload when in is empty.
 func load(in, app string, ranks, size, iters int, seed int64) (*trace.Trace, error) {
 	if in != "" {
-		f, err := os.Open(in)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
 		// Salvage what a crashed or interrupted producer managed to write:
 		// a truncated history still renders, just flagged on stderr.
-		tr, err := trace.ReadAllPartial(f)
+		tr, err := trace.LoadFileParallel(in)
 		if err != nil {
 			return nil, err
 		}

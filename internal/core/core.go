@@ -32,6 +32,8 @@ type Debugger struct {
 	session *debug.Session
 	order   *causality.Order // cached causality of the *completed* recording
 	orderOf *trace.Trace     // the trace the cache was computed from
+
+	queries *query.Cache // compiled Find expressions, reused across repl loops
 }
 
 // ArcMergeLimit is the default dissemination threshold for the online trace
@@ -44,6 +46,7 @@ func New(tgt debug.Target) *Debugger {
 	d := &Debugger{
 		tgraph:  graph.New(tgt.Cfg.NumRanks, ArcMergeLimit),
 		tracker: analysis.NewMatchTracker(),
+		queries: query.NewCache(),
 	}
 	tgt.ExtraSinks = append(append([]instr.Sink(nil), tgt.ExtraSinks...), d.tgraph, d.tracker)
 	d.tgt = tgt
@@ -287,9 +290,10 @@ func (d *Debugger) Undo() (*debug.Session, error) {
 }
 
 // Find runs a query expression over the recorded history (for example
-// "kind = send && dst = 7 && bytes > 100").
+// "kind = send && dst = 7 && bytes > 100"). Compiled expressions are cached,
+// so a repl loop re-issuing the same query only pays for the scan.
 func (d *Debugger) Find(expr string) ([]trace.EventID, error) {
-	q, err := query.Compile(expr)
+	q, err := d.queries.Compile(expr)
 	if err != nil {
 		return nil, err
 	}

@@ -118,6 +118,12 @@ type TraceGraph struct {
 	roots   []NodeID   // per-rank synthetic program node
 	merges  int        // dissemination rounds performed
 	dropped int        // events folded into merged arcs
+
+	// trackOrder keeps arcs in insertion order for the parallel builder's
+	// merge replay. Only meaningful with limit == 0: dissemination mutates
+	// and drops arcs, which would invalidate the log.
+	trackOrder bool
+	order      []*Arc
 }
 
 type nodeKey struct {
@@ -251,6 +257,9 @@ func (g *TraceGraph) addArcLocked(a *Arc) {
 	g.arcs[a.From] = append(g.arcs[a.From], a)
 	g.inCount[a.From]++
 	g.inCount[a.To]++
+	if g.trackOrder {
+		g.order = append(g.order, a)
+	}
 	if g.limit > 0 {
 		if g.inCount[a.From] > g.limit {
 			g.disseminateLocked(a.From)
@@ -340,7 +349,9 @@ func (g *TraceGraph) disseminateLocked(n NodeID) {
 func (g *TraceGraph) Nodes() []Node {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return append([]Node(nil), g.nodes...)
+	out := make([]Node, len(g.nodes))
+	copy(out, g.nodes)
+	return out
 }
 
 // Node returns a node by id.
@@ -387,12 +398,14 @@ func (g *TraceGraph) OutArcs(id NodeID) []Arc {
 func (g *TraceGraph) Arcs() []Arc {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	var ids []NodeID
-	for id := range g.arcs {
+	ids := make([]NodeID, 0, len(g.arcs))
+	n := 0
+	for id, list := range g.arcs {
 		ids = append(ids, id)
+		n += len(list)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	var out []Arc
+	out := make([]Arc, 0, n)
 	for _, id := range ids {
 		for _, a := range g.arcs[id] {
 			out = append(out, *a)

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+
+	"tracedbg/internal/trace"
+)
+
+// FromTraceParallel builds the same trace graph as FromTrace by constructing
+// per-rank partial graphs on GOMAXPROCS workers and merging them rank by
+// rank. The result is identical to the serial build — node ids, arc lists,
+// dissemination rounds and all — because:
+//
+//   - FromTrace itself processes ranks sequentially, so serial node-id
+//     assignment is "first use within rank 0's stream, then new nodes first
+//     used in rank 1's stream, ...". A partial graph records exactly the
+//     first-use order of its own rank; remapping its nodes in id order
+//     through the merged graph's lookup-or-create reproduces the serial ids.
+//   - Partials are built with limit 0 and an insertion-order arc log, so the
+//     merge replays arcs through addArcLocked in the exact serial order with
+//     the real limit; dissemination therefore fires at identical points.
+func FromTraceParallel(tr *trace.Trace, limit int) *TraceGraph {
+	numRanks := tr.NumRanks()
+	nw := runtime.GOMAXPROCS(0)
+	if nw > numRanks {
+		nw = numRanks
+	}
+	if nw <= 1 {
+		return FromTrace(tr, limit)
+	}
+	partials := make([]*TraceGraph, numRanks)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rank := w; rank < numRanks; rank += nw {
+				p := New(numRanks, 0)
+				p.trackOrder = true
+				recs := tr.Rank(rank)
+				for i := range recs {
+					p.Add(&recs[i])
+				}
+				partials[rank] = p
+			}
+		}(w)
+	}
+	wg.Wait()
+	g := New(numRanks, limit)
+	for rank := 0; rank < numRanks; rank++ {
+		g.absorb(partials[rank], rank)
+	}
+	return g
+}
+
+// absorb merges one rank's partial graph: nodes are remapped in id order
+// (reproducing serial id assignment), then the partial's arcs replay through
+// the normal insertion path so the dissemination rules of the merged graph
+// apply exactly as they would have serially.
+func (g *TraceGraph) absorb(p *TraceGraph, rank int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	idMap := make([]NodeID, len(p.nodes))
+	for i := range p.nodes {
+		n := &p.nodes[i]
+		if n.Kind == ChannelNode {
+			idMap[i] = g.channelNodeLocked(n.A, n.B)
+		} else {
+			idMap[i] = g.funcNodeLocked(n.Rank, n.Name)
+		}
+	}
+	for _, a := range p.order {
+		na := *a
+		na.From, na.To = idMap[a.From], idMap[a.To]
+		if a.MsgIDs != nil {
+			na.MsgIDs = append([]uint64(nil), a.MsgIDs...)
+		}
+		g.addArcLocked(&na)
+	}
+	// Carry over the rank's final call-stack state, as a serial build would
+	// leave it for subsequent online Adds.
+	if len(p.stacks[rank]) > 0 {
+		st := make([]NodeID, len(p.stacks[rank]))
+		for i, id := range p.stacks[rank] {
+			st[i] = idMap[id]
+		}
+		g.stacks[rank] = st
+	}
+}

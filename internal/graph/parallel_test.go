@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"tracedbg/internal/trace"
+)
+
+// callMsgTrace builds a trace mixing nested calls with messaging, the record
+// mix FromTrace actually consumes.
+func callMsgTrace(rng *rand.Rand, ranks, events int) *trace.Trace {
+	tr := trace.New(ranks)
+	clock := make([]int64, ranks)
+	marker := make([]uint64, ranks)
+	depth := make([]int, ranks)
+	funcs := []string{"main", "solve", "exchange", "reduce", "factor"}
+	var msgID uint64
+	for i := 0; i < events; i++ {
+		r := rng.Intn(ranks)
+		start := clock[r]
+		end := start + 1 + int64(rng.Intn(5))
+		clock[r] = end
+		marker[r]++
+		switch c := rng.Intn(6); {
+		case c == 0:
+			tr.MustAppend(trace.Record{Kind: trace.KindFuncEntry, Rank: r, Marker: marker[r],
+				Start: start, End: end, Name: funcs[rng.Intn(len(funcs))]})
+			depth[r]++
+		case c == 1 && depth[r] > 0:
+			tr.MustAppend(trace.Record{Kind: trace.KindFuncExit, Rank: r, Marker: marker[r],
+				Start: start, End: end})
+			depth[r]--
+		case c <= 3:
+			dst := rng.Intn(ranks)
+			if dst == r {
+				dst = (dst + 1) % ranks
+			}
+			msgID++
+			tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: r, Marker: marker[r],
+				Start: start, End: end, Src: r, Dst: dst, Tag: rng.Intn(3),
+				Bytes: 16, MsgID: msgID, Loc: trace.Location{Func: funcs[rng.Intn(len(funcs))]}})
+		case c == 4:
+			src := rng.Intn(ranks)
+			if src == r {
+				src = (src + 1) % ranks
+			}
+			tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: r, Marker: marker[r],
+				Start: start, End: end, Src: src, Dst: r, Tag: rng.Intn(3),
+				Bytes: 16, MsgID: uint64(rng.Intn(int(msgID + 1)))})
+		default:
+			tr.MustAppend(trace.Record{Kind: trace.KindCompute, Rank: r, Marker: marker[r],
+				Start: start, End: end})
+		}
+	}
+	return tr
+}
+
+// TestFromTraceParallelIdentity: the parallel builder must be indistinguishable
+// from the serial one — node ids, arc lists, dissemination statistics — both
+// with merging disabled and with an aggressive merge limit.
+func TestFromTraceParallelIdentity(t *testing.T) {
+	// A single-CPU machine would fall back to the serial builder; force the
+	// worker + merge path so its parity is actually exercised.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	rng := rand.New(rand.NewSource(53))
+	for i := 0; i < 8; i++ {
+		ranks := 2 + rng.Intn(7)
+		tr := callMsgTrace(rng, ranks, 200+rng.Intn(800))
+		for _, limit := range []int{0, 4, 16, 256} {
+			serial := FromTrace(tr, limit)
+			par := FromTraceParallel(tr, limit)
+			if !reflect.DeepEqual(par.Nodes(), serial.Nodes()) {
+				t.Fatalf("trace %d limit %d: nodes differ\n got %v\nwant %v",
+					i, limit, par.Nodes(), serial.Nodes())
+			}
+			if !reflect.DeepEqual(par.Arcs(), serial.Arcs()) {
+				t.Fatalf("trace %d limit %d: arcs differ", i, limit)
+			}
+			if par.Merges() != serial.Merges() {
+				t.Fatalf("trace %d limit %d: merges %d, want %d",
+					i, limit, par.Merges(), serial.Merges())
+			}
+			if par.EventCount() != serial.EventCount() || par.ArcCount() != serial.ArcCount() {
+				t.Fatalf("trace %d limit %d: counts differ", i, limit)
+			}
+		}
+	}
+}
+
+// TestFromTraceParallelEmptyAndSingle covers the degenerate shapes.
+func TestFromTraceParallelEmptyAndSingle(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	empty := trace.New(4)
+	g := FromTraceParallel(empty, 8)
+	if len(g.Nodes()) != 4 { // the per-rank program roots
+		t.Fatalf("empty trace nodes = %d", len(g.Nodes()))
+	}
+	if len(g.Arcs()) != 0 {
+		t.Fatalf("empty trace arcs = %d", len(g.Arcs()))
+	}
+
+	one := trace.New(1)
+	one.MustAppend(trace.Record{Kind: trace.KindFuncEntry, Rank: 0, Marker: 1, Name: "f"})
+	serial := FromTrace(one, 0)
+	par := FromTraceParallel(one, 0)
+	if !reflect.DeepEqual(par.Nodes(), serial.Nodes()) || !reflect.DeepEqual(par.Arcs(), serial.Arcs()) {
+		t.Fatal("single-rank parallel build differs from serial")
+	}
+}

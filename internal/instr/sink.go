@@ -1,6 +1,7 @@
 package instr
 
 import (
+	"fmt"
 	"io"
 	"sync"
 
@@ -13,43 +14,84 @@ type Sink interface {
 	Emit(rec *trace.Record)
 }
 
-// MemorySink accumulates records into an in-memory trace.
+// MemorySink accumulates records into an in-memory trace. Each rank appends
+// into a private shard under its own mutex, so rank goroutines never contend
+// with each other on the hot path.
 type MemorySink struct {
+	shards []memShard
+
 	mu sync.Mutex
-	tr *trace.Trace
 	// err remembers the first structurally invalid record; the runtime
 	// never produces one, so a non-nil err indicates an instrumentation bug.
 	err error
 }
 
+type memShard struct {
+	mu   sync.Mutex
+	recs []trace.Record
+	_    [40]byte // pad to reduce false sharing between shards
+}
+
 // NewMemorySink creates a sink for numRanks ranks.
 func NewMemorySink(numRanks int) *MemorySink {
-	return &MemorySink{tr: trace.New(numRanks)}
+	if numRanks < 0 {
+		numRanks = 0
+	}
+	return &MemorySink{shards: make([]memShard, numRanks)}
 }
 
 // Emit implements Sink.
 func (s *MemorySink) Emit(rec *trace.Record) {
+	if rec.Rank < 0 || rec.Rank >= len(s.shards) {
+		s.fail(fmt.Errorf("trace: record rank %d out of range [0,%d)", rec.Rank, len(s.shards)))
+		return
+	}
+	sh := &s.shards[rec.Rank]
+	sh.mu.Lock()
+	if n := len(sh.recs); n > 0 && sh.recs[n-1].Start > rec.Start {
+		prev := sh.recs[n-1].Start
+		sh.mu.Unlock()
+		s.fail(fmt.Errorf("trace: rank %d record start %d precedes previous start %d",
+			rec.Rank, rec.Start, prev))
+		return
+	}
+	sh.recs = append(sh.recs, *rec)
+	sh.mu.Unlock()
+}
+
+func (s *MemorySink) fail(err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := s.tr.Append(*rec); err != nil && s.err == nil {
+	if s.err == nil {
 		s.err = err
 	}
+	s.mu.Unlock()
 }
 
 // Trace returns the collected trace. Call only after the world has finished
-// (or while all ranks are stopped); the returned trace is the live one.
+// (or while all ranks are stopped); the returned trace aliases the live
+// per-rank slices.
 func (s *MemorySink) Trace() *trace.Trace {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tr
+	byRank := make([][]trace.Record, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		byRank[i] = sh.recs
+		sh.mu.Unlock()
+	}
+	return trace.FromRanks(byRank)
 }
 
 // Snapshot returns a deep copy of the trace collected so far; safe to use
 // while rank goroutines are still emitting.
 func (s *MemorySink) Snapshot() *trace.Trace {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tr.Clone()
+	byRank := make([][]trace.Record, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		byRank[i] = append([]trace.Record(nil), sh.recs...)
+		sh.mu.Unlock()
+	}
+	return trace.FromRanks(byRank)
 }
 
 // Err returns the first append error, if any record was rejected.
@@ -59,9 +101,11 @@ func (s *MemorySink) Err() error {
 	return s.err
 }
 
-// FileSink streams records to a trace file with on-demand flushing.
+// FileSink streams records to a trace file with on-demand flushing. Records
+// are batched per rank by a sharded writer, so concurrent rank goroutines
+// contend on the file mutex once per chunk instead of once per event.
 type FileSink struct {
-	fw *trace.FileWriter
+	sw *trace.ShardedWriter
 
 	mu  sync.Mutex
 	err error
@@ -69,16 +113,16 @@ type FileSink struct {
 
 // NewFileSink writes a trace-file header for numRanks ranks to w.
 func NewFileSink(w io.Writer, numRanks int) (*FileSink, error) {
-	fw, err := trace.NewFileWriter(w, numRanks)
+	sw, err := trace.NewShardedWriter(w, numRanks)
 	if err != nil {
 		return nil, err
 	}
-	return &FileSink{fw: fw}, nil
+	return &FileSink{sw: sw}, nil
 }
 
 // Emit implements Sink.
 func (s *FileSink) Emit(rec *trace.Record) {
-	if err := s.fw.Write(rec); err != nil {
+	if err := s.sw.Write(rec); err != nil {
 		s.mu.Lock()
 		if s.err == nil {
 			s.err = err
@@ -89,7 +133,7 @@ func (s *FileSink) Emit(rec *trace.Record) {
 
 // Flush forces buffered records to the underlying writer — the monitor
 // flush-on-demand the debugger uses to read history mid-execution.
-func (s *FileSink) Flush() error { return s.fw.Flush() }
+func (s *FileSink) Flush() error { return s.sw.Flush() }
 
 // Err returns the first write error encountered.
 func (s *FileSink) Err() error {

@@ -47,6 +47,12 @@ type Proc struct {
 	collSeq int
 	opSeq   uint64 // hooked-operation ordinal; only the rank goroutine touches it
 
+	// matchLocked scratch (under w.mu): reused across match attempts so the
+	// sweep after every deposit/post does not allocate.
+	matchSeen     []bool // indexed by sender rank
+	matchEligible []PendingMsg
+	matchIdxs     []int
+
 	loc trace.Location
 
 	varsMu sync.Mutex

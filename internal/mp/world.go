@@ -452,13 +452,17 @@ func (w *World) sweepLocked(d *Proc) {
 }
 
 // matchLocked computes the eligible set for a request and asks the
-// controller to pick. It returns the index into d.pending, or -1.
+// controller to pick. It returns the index into d.pending, or -1. The
+// eligibility buffers live on the receiving Proc and are reused call to call
+// (controllers must not retain the eligible slice past Pick).
 func (w *World) matchLocked(d *Proc, req *request) int {
+	if n := w.cfg.NumRanks; len(d.matchSeen) < n {
+		d.matchSeen = make([]bool, n)
+	}
 	// For each sender, only its earliest matching message is eligible
 	// (non-overtaking).
-	var eligible []PendingMsg
-	var idxs []int
-	seen := make(map[int]bool)
+	eligible := d.matchEligible[:0]
+	idxs := d.matchIdxs[:0]
 	for i, env := range d.pending {
 		if env.internal != req.internal {
 			continue
@@ -469,15 +473,19 @@ func (w *World) matchLocked(d *Proc, req *request) int {
 		if req.tagSpec != AnyTag && env.tag != req.tagSpec {
 			continue
 		}
-		if seen[env.src] {
+		if d.matchSeen[env.src] {
 			continue // a matching earlier message from this sender exists
 		}
-		seen[env.src] = true
+		d.matchSeen[env.src] = true
 		eligible = append(eligible, PendingMsg{
 			Src: env.src, Tag: env.tag, Bytes: len(env.data),
 			MsgID: env.msgID, ChanSeq: env.chanSeq, Arrive: env.arrive,
 		})
 		idxs = append(idxs, i)
+	}
+	d.matchEligible, d.matchIdxs = eligible, idxs // keep grown capacity
+	for _, m := range eligible {
+		d.matchSeen[m.Src] = false
 	}
 	if len(eligible) == 0 {
 		return -1

@@ -1,0 +1,199 @@
+package query
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"tracedbg/internal/trace"
+)
+
+// Bounds analysis
+//
+// A compiled query implies, for the indexable fields (rank, start, marker),
+// a conservative interval outside which no record can match. Run uses those
+// intervals to prune: whole ranks are skipped, and within a rank the per-rank
+// Start monotonicity (and the nondecreasing-marker invariant FindMarker
+// already relies on) turn the interval into a binary-searched index window,
+// so only candidate records are evaluated. Pruning never changes results:
+// every surviving record still goes through the full predicate.
+
+// span is an inclusive interval; lo > hi means empty.
+type span struct{ lo, hi int64 }
+
+var fullSpan = span{math.MinInt64, math.MaxInt64}
+
+func (s span) empty() bool { return s.lo > s.hi }
+func (s span) full() bool  { return s == fullSpan }
+
+func (s span) intersect(o span) span {
+	if o.lo > s.lo {
+		s.lo = o.lo
+	}
+	if o.hi < s.hi {
+		s.hi = o.hi
+	}
+	return s
+}
+
+// hull is the smallest span covering both (the union need not be contiguous).
+func (s span) hull(o span) span {
+	if s.empty() {
+		return o
+	}
+	if o.empty() {
+		return s
+	}
+	if o.lo < s.lo {
+		s.lo = o.lo
+	}
+	if o.hi > s.hi {
+		s.hi = o.hi
+	}
+	return s
+}
+
+// bounds are the per-field spans a record must lie in to possibly match.
+type bounds struct{ rank, start, marker span }
+
+var fullBounds = bounds{rank: fullSpan, start: fullSpan, marker: fullSpan}
+
+func (b bounds) empty() bool { return b.rank.empty() || b.start.empty() || b.marker.empty() }
+
+func (b bounds) intersect(o bounds) bounds {
+	return bounds{
+		rank:   b.rank.intersect(o.rank),
+		start:  b.start.intersect(o.start),
+		marker: b.marker.intersect(o.marker),
+	}
+}
+
+func (b bounds) hull(o bounds) bounds {
+	if b.empty() {
+		return o
+	}
+	if o.empty() {
+		return b
+	}
+	return bounds{
+		rank:   b.rank.hull(o.rank),
+		start:  b.start.hull(o.start),
+		marker: b.marker.hull(o.marker),
+	}
+}
+
+// cmpSpan converts one numeric comparison into a span.
+func cmpSpan(op string, v int64) span {
+	switch op {
+	case "=":
+		return span{v, v}
+	case "<":
+		if v == math.MinInt64 {
+			return span{1, 0} // empty
+		}
+		return span{math.MinInt64, v - 1}
+	case "<=":
+		return span{math.MinInt64, v}
+	case ">":
+		if v == math.MaxInt64 {
+			return span{1, 0}
+		}
+		return span{v + 1, math.MaxInt64}
+	case ">=":
+		return span{v, math.MaxInt64}
+	}
+	return fullSpan // != and anything else prune nothing
+}
+
+// analyze computes conservative bounds for an expression tree. Anything it
+// does not understand (negation, string matches, flags) contributes the full
+// space, keeping the analysis sound.
+func analyze(e expr) bounds {
+	switch x := e.(type) {
+	case andExpr:
+		return analyze(x.l).intersect(analyze(x.r))
+	case orExpr:
+		return analyze(x.l).hull(analyze(x.r))
+	case intExpr:
+		b := fullBounds
+		switch x.field {
+		case "rank":
+			b.rank = cmpSpan(x.op, x.val)
+		case "start":
+			b.start = cmpSpan(x.op, x.val)
+		case "marker":
+			b.marker = cmpSpan(x.op, x.val)
+		}
+		return b
+	}
+	return fullBounds
+}
+
+// runRank appends the rank's matching events to out, using the bounds to
+// binary-search the candidate index window instead of scanning everything.
+func (q *Query) runRank(tr *trace.Trace, rank int, out []trace.EventID) []trace.EventID {
+	b := q.b
+	if int64(rank) < b.rank.lo || int64(rank) > b.rank.hi {
+		return out
+	}
+	recs := tr.Rank(rank)
+	lo, hi := 0, len(recs)
+	if !b.start.full() {
+		lo = sort.Search(len(recs), func(i int) bool { return recs[i].Start >= b.start.lo })
+		hi = sort.Search(len(recs), func(i int) bool { return recs[i].Start > b.start.hi })
+	}
+	if !b.marker.full() {
+		// Markers are nondecreasing per rank (the FindMarker invariant) and
+		// in practice well below 2^63, so int64 order matches uint64 order.
+		mlo := sort.Search(len(recs), func(i int) bool { return int64(recs[i].Marker) >= b.marker.lo })
+		mhi := sort.Search(len(recs), func(i int) bool { return int64(recs[i].Marker) > b.marker.hi })
+		if mlo > lo {
+			lo = mlo
+		}
+		if mhi < hi {
+			hi = mhi
+		}
+	}
+	for i := lo; i < hi; i++ {
+		if q.expr.eval(&recs[i]) {
+			out = append(out, trace.EventID{Rank: rank, Index: i})
+		}
+	}
+	return out
+}
+
+// RunParallel is Run with the per-rank scans fanned out across GOMAXPROCS
+// workers. The result is identical to Run: per-rank matches are produced
+// independently and concatenated in rank order.
+func (q *Query) RunParallel(tr *trace.Trace) []trace.EventID {
+	n := tr.NumRanks()
+	nw := runtime.GOMAXPROCS(0)
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 {
+		return q.Run(tr)
+	}
+	perRank := make([][]trace.EventID, n)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rank := w; rank < n; rank += nw {
+				perRank[rank] = q.runRank(tr, rank, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, ids := range perRank {
+		total += len(ids)
+	}
+	out := make([]trace.EventID, 0, total)
+	for _, ids := range perRank {
+		out = append(out, ids...)
+	}
+	return out
+}

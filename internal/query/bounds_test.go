@@ -1,0 +1,187 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"tracedbg/internal/trace"
+)
+
+func boundsTrace(rng *rand.Rand, ranks, events int) *trace.Trace {
+	tr := trace.New(ranks)
+	clock := make([]int64, ranks)
+	marker := make([]uint64, ranks)
+	names := []string{"Send", "Recv", "Work"}
+	for i := 0; i < events; i++ {
+		r := rng.Intn(ranks)
+		start := clock[r]
+		end := start + 1 + int64(rng.Intn(8))
+		clock[r] = end
+		marker[r]++
+		kind := trace.KindCompute
+		switch rng.Intn(3) {
+		case 0:
+			kind = trace.KindSend
+		case 1:
+			kind = trace.KindRecv
+		}
+		tr.MustAppend(trace.Record{Kind: kind, Rank: r, Marker: marker[r],
+			Start: start, End: end, Src: rng.Intn(ranks), Dst: rng.Intn(ranks),
+			Tag: rng.Intn(4), Bytes: rng.Intn(200), MsgID: uint64(i),
+			WasWildcard: rng.Intn(5) == 0, Name: names[rng.Intn(len(names))]})
+	}
+	return tr
+}
+
+// TestPrunedRunMatchesFullScan is the differential test for index pruning:
+// every query must return exactly what an unpruned scan of every record
+// returns, in the same order.
+func TestPrunedRunMatchesFullScan(t *testing.T) {
+	// Force the fan-out path of RunParallel even on a single-CPU machine.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	rng := rand.New(rand.NewSource(41))
+	tr := boundsTrace(rng, 8, 4000)
+	exprs := []string{
+		"rank = 3",
+		"rank = 3 && start >= 100 && start < 900",
+		"rank >= 2 && rank <= 4",
+		"start > 500",
+		"start >= 200 && start <= 210",
+		"marker = 17",
+		"marker >= 10 && marker < 40 && kind = send",
+		"rank = 1 || rank = 6",
+		"(rank = 1 && start < 50) || (rank = 2 && start > 950)",
+		"!(rank = 3)",
+		"rank != 3",
+		"kind = send && bytes > 100",
+		"wildcard",
+		"name =~ \"Re\"",
+		"rank = 0 && marker > 5 && start > 10 && !(tag = 2)",
+		"start < -1",
+		"rank = 99",
+		"rank = 3 && rank = 4", // contradiction: empty bounds
+	}
+	for _, src := range exprs {
+		q, err := Compile(src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		want := tr.Filter(q.Match)
+		got := q.Run(tr)
+		if !sameIDs(got, want) {
+			t.Errorf("%q: pruned Run differs\n got %v\nwant %v", src, got, want)
+		}
+		par := q.RunParallel(tr)
+		if !sameIDs(par, want) {
+			t.Errorf("%q: RunParallel differs\n got %v\nwant %v", src, par, want)
+		}
+	}
+}
+
+func sameIDs(a, b []trace.EventID) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// TestPrunedRunRandomQueries fuzzes the comparison space: random conjunctions
+// of rank/start/marker constraints against the full scan.
+func TestPrunedRunRandomQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	tr := boundsTrace(rng, 6, 1500)
+	fields := []string{"rank", "start", "marker", "bytes", "tag"}
+	ops := []string{"=", "!=", "<", "<=", ">", ">="}
+	junct := []string{" && ", " || "}
+	for i := 0; i < 300; i++ {
+		n := 1 + rng.Intn(3)
+		src := ""
+		for j := 0; j < n; j++ {
+			if j > 0 {
+				src += junct[rng.Intn(2)]
+			}
+			f := fields[rng.Intn(len(fields))]
+			v := rng.Intn(60)
+			src += f + " " + ops[rng.Intn(len(ops))] + " " + itoa(v)
+		}
+		q, err := Compile(src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		want := tr.Filter(q.Match)
+		if got := q.Run(tr); !sameIDs(got, want) {
+			t.Fatalf("%q: pruned Run differs", src)
+		}
+		if got := q.RunParallel(tr); !sameIDs(got, want) {
+			t.Fatalf("%q: RunParallel differs", src)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestBoundsAnalysis(t *testing.T) {
+	cases := []struct {
+		src   string
+		check func(b bounds) bool
+	}{
+		{"rank = 3", func(b bounds) bool { return b.rank == span{3, 3} && b.start.full() }},
+		{"rank >= 2 && rank < 5", func(b bounds) bool { return b.rank == span{2, 4} }},
+		{"rank = 1 || rank = 6", func(b bounds) bool { return b.rank == span{1, 6} }},
+		{"rank = 3 && rank = 4", func(b bounds) bool { return b.empty() }},
+		{"!(rank = 3)", func(b bounds) bool { return b.rank.full() }},
+		{"rank != 3", func(b bounds) bool { return b.rank.full() }},
+		{"start > 10 && marker <= 7", func(b bounds) bool {
+			return b.start.lo == 11 && b.marker.hi == 7 && b.rank.full()
+		}},
+		{"kind = send && rank = 2", func(b bounds) bool { return b.rank == span{2, 2} }},
+		{"rank = 2 || start > 5", func(b bounds) bool { return b.rank.full() && b.start.full() }},
+	}
+	for _, c := range cases {
+		q, err := Compile(c.src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", c.src, err)
+		}
+		if !c.check(q.b) {
+			t.Errorf("%q: bounds = %+v", c.src, q.b)
+		}
+	}
+}
+
+func TestQueryCache(t *testing.T) {
+	c := NewCache()
+	q1, err := c.Compile("rank = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := c.Compile("rank = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != q2 {
+		t.Error("cache returned a recompiled query")
+	}
+	if _, err := c.Compile("rank ="); err == nil {
+		t.Fatal("bad query accepted")
+	}
+	if _, err2 := c.Compile("rank ="); err2 == nil {
+		t.Fatal("cached error lost")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}

@@ -1,0 +1,40 @@
+package query
+
+import "sync"
+
+// Cache memoizes compiled queries by source text. Interactive loops (the
+// tdbg repl, tanalyze batch filters) re-issue the same expressions; caching
+// makes recompilation free without changing any semantics — compiled queries
+// are immutable, so sharing one across goroutines is safe. Compile errors are
+// cached too, so a repeatedly mistyped expression does not re-lex every time.
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]cacheEntry
+}
+
+type cacheEntry struct {
+	q   *Query
+	err error
+}
+
+// NewCache returns an empty query cache.
+func NewCache() *Cache { return &Cache{m: make(map[string]cacheEntry)} }
+
+// Compile returns the cached compilation of src, compiling on first use.
+func (c *Cache) Compile(src string) (*Query, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[src]; ok {
+		return e.q, e.err
+	}
+	q, err := Compile(src)
+	c.m[src] = cacheEntry{q: q, err: err}
+	return q, err
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -26,6 +26,7 @@ import (
 type Query struct {
 	expr expr
 	src  string
+	b    bounds // conservative (rank, start, marker) intervals for pruning
 }
 
 // Compile parses and compiles a query expression.
@@ -42,7 +43,7 @@ func Compile(s string) (*Query, error) {
 	if p.pos != len(p.toks) {
 		return nil, fmt.Errorf("query: unexpected %q after expression", p.toks[p.pos].text)
 	}
-	return &Query{expr: e, src: s}, nil
+	return &Query{expr: e, src: s, b: analyze(e)}, nil
 }
 
 // String returns the original expression.
@@ -51,9 +52,15 @@ func (q *Query) String() string { return q.src }
 // Match evaluates the query against one record.
 func (q *Query) Match(rec *trace.Record) bool { return q.expr.eval(rec) }
 
-// Run returns the matching events of a trace in (rank, index) order.
+// Run returns the matching events of a trace in (rank, index) order. Ranks
+// and index windows excluded by the query's bounds are skipped entirely; the
+// result is identical to filtering every record through Match.
 func (q *Query) Run(tr *trace.Trace) []trace.EventID {
-	return tr.Filter(func(rec *trace.Record) bool { return q.expr.eval(rec) })
+	var out []trace.EventID
+	for rank := 0; rank < tr.NumRanks(); rank++ {
+		out = q.runRank(tr, rank, out)
+	}
+	return out
 }
 
 // --- lexer ---------------------------------------------------------------
@@ -312,7 +319,7 @@ func (p *parser) parseCmp() (expr, error) {
 	default:
 		return nil, fmt.Errorf("query: operator %q not defined on numeric field %q", op.text, field.text)
 	}
-	return intExpr{get: iget, op: op.text, val: n}, nil
+	return intExpr{field: name, get: iget, op: op.text, val: n}, nil
 }
 
 // --- field tables ----------------------------------------------------------
@@ -388,9 +395,10 @@ type flagExpr struct{ get func(*trace.Record) bool }
 func (e flagExpr) eval(rec *trace.Record) bool { return e.get(rec) }
 
 type intExpr struct {
-	get func(*trace.Record) int64
-	op  string
-	val int64
+	field string // for bounds analysis
+	get   func(*trace.Record) int64
+	op    string
+	val   int64
 }
 
 func (e intExpr) eval(rec *trace.Record) bool {

@@ -36,13 +36,58 @@ const (
 	blockIncomplete byte = 'I'
 )
 
+// stringTable interns strings concurrently. New entries are assigned ids in
+// order and their encoded 'S' blocks accumulate in pending; whichever writer
+// next touches the file drains pending first, so every string block reaches
+// the file before any record that references it. Lookups of already-interned
+// strings (the overwhelmingly common case) take only a read lock.
+type stringTable struct {
+	mu      sync.RWMutex
+	ids     map[string]uint64
+	pending []byte // encoded 'S' blocks not yet written to the file
+}
+
+func (st *stringTable) intern(s string) uint64 {
+	if s == "" {
+		return 0 // 0 means "empty string"
+	}
+	st.mu.RLock()
+	id, ok := st.ids[s]
+	st.mu.RUnlock()
+	if ok {
+		return id
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if id, ok := st.ids[s]; ok {
+		return id
+	}
+	id = uint64(len(st.ids) + 1)
+	st.ids[s] = id
+	st.pending = append(st.pending, blockString)
+	st.pending = binary.AppendUvarint(st.pending, id)
+	st.pending = binary.AppendUvarint(st.pending, uint64(len(s)))
+	st.pending = append(st.pending, s...)
+	return id
+}
+
+// take removes and returns the pending string blocks.
+func (st *stringTable) take() []byte {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	p := st.pending
+	st.pending = nil
+	return p
+}
+
 // FileWriter serializes records to a trace file. It is safe for concurrent
-// use by multiple rank goroutines.
+// use by multiple rank goroutines; for high rank counts prefer ShardedWriter,
+// which batches per-rank buffers into this writer in large chunks.
 type FileWriter struct {
-	mu      sync.Mutex
+	mu      sync.Mutex // guards w, scratch, n
 	w       *bufio.Writer
 	under   io.Writer
-	strings map[string]uint64
+	strings stringTable
 	scratch []byte
 	n       int // records written
 }
@@ -52,7 +97,7 @@ func NewFileWriter(w io.Writer, numRanks int) (*FileWriter, error) {
 	fw := &FileWriter{
 		w:       bufio.NewWriterSize(w, 1<<16),
 		under:   w,
-		strings: make(map[string]uint64),
+		strings: stringTable{ids: make(map[string]uint64)},
 	}
 	if _, err := fw.w.WriteString(fileMagic); err != nil {
 		return nil, fmt.Errorf("trace: writing magic: %w", err)
@@ -64,56 +109,15 @@ func NewFileWriter(w io.Writer, numRanks int) (*FileWriter, error) {
 	return fw, nil
 }
 
-func (fw *FileWriter) internLocked(s string) (uint64, error) {
-	if id, ok := fw.strings[s]; ok {
-		return id, nil
-	}
-	id := uint64(len(fw.strings) + 1) // 0 means "empty string"
-	fw.strings[s] = id
-	buf := fw.scratch[:0]
-	buf = append(buf, blockString)
-	buf = binary.AppendUvarint(buf, id)
-	buf = binary.AppendUvarint(buf, uint64(len(s)))
-	fw.scratch = buf
-	if _, err := fw.w.Write(buf); err != nil {
-		return 0, err
-	}
-	if _, err := fw.w.WriteString(s); err != nil {
-		return 0, err
-	}
-	return id, nil
+// internRecord resolves the four interned string fields of a record.
+func (fw *FileWriter) internRecord(r *Record) (fileID, funcID, nameID, faultID uint64) {
+	return fw.strings.intern(r.Loc.File), fw.strings.intern(r.Loc.Func),
+		fw.strings.intern(r.Name), fw.strings.intern(r.Fault)
 }
 
-// Write appends one record to the file.
-func (fw *FileWriter) Write(r *Record) error {
-	fw.mu.Lock()
-	defer fw.mu.Unlock()
-
-	var fileID, funcID, nameID uint64
-	var err error
-	if r.Loc.File != "" {
-		if fileID, err = fw.internLocked(r.Loc.File); err != nil {
-			return fmt.Errorf("trace: interning file: %w", err)
-		}
-	}
-	if r.Loc.Func != "" {
-		if funcID, err = fw.internLocked(r.Loc.Func); err != nil {
-			return fmt.Errorf("trace: interning func: %w", err)
-		}
-	}
-	if r.Name != "" {
-		if nameID, err = fw.internLocked(r.Name); err != nil {
-			return fmt.Errorf("trace: interning name: %w", err)
-		}
-	}
-	var faultID uint64
-	if r.Fault != "" {
-		if faultID, err = fw.internLocked(r.Fault); err != nil {
-			return fmt.Errorf("trace: interning fault: %w", err)
-		}
-	}
-
-	buf := fw.scratch[:0]
+// appendRecord appends the encoded 'R' block for r, whose string fields have
+// already been interned as the given table ids.
+func appendRecord(buf []byte, r *Record, fileID, funcID, nameID, faultID uint64) []byte {
 	buf = append(buf, blockRecord, byte(r.Kind))
 	buf = binary.AppendUvarint(buf, uint64(r.Rank))
 	buf = binary.AppendUvarint(buf, fileID)
@@ -136,8 +140,46 @@ func (fw *FileWriter) Write(r *Record) error {
 	buf = binary.AppendUvarint(buf, nameID)
 	buf = binary.AppendVarint(buf, r.Args[0])
 	buf = binary.AppendVarint(buf, r.Args[1])
-	fw.scratch = buf
+	return buf
+}
+
+// writePendingLocked drains the string-table deltas to the file. Must run
+// with fw.mu held, before any record bytes referencing those ids are written.
+func (fw *FileWriter) writePendingLocked() error {
+	p := fw.strings.take()
+	if len(p) == 0 {
+		return nil
+	}
+	_, err := fw.w.Write(p)
+	return err
+}
+
+// writeChunk appends a batch of pre-encoded record blocks (nrec records) in
+// one critical section, draining pending string deltas first. This is the
+// entry point ShardedWriter batches through.
+func (fw *FileWriter) writeChunk(buf []byte, nrec int) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if err := fw.writePendingLocked(); err != nil {
+		return fmt.Errorf("trace: writing string table: %w", err)
+	}
 	if _, err := fw.w.Write(buf); err != nil {
+		return fmt.Errorf("trace: writing records: %w", err)
+	}
+	fw.n += nrec
+	return nil
+}
+
+// Write appends one record to the file.
+func (fw *FileWriter) Write(r *Record) error {
+	fileID, funcID, nameID, faultID := fw.internRecord(r)
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if err := fw.writePendingLocked(); err != nil {
+		return fmt.Errorf("trace: writing string table: %w", err)
+	}
+	fw.scratch = appendRecord(fw.scratch[:0], r, fileID, funcID, nameID, faultID)
+	if _, err := fw.w.Write(fw.scratch); err != nil {
 		return fmt.Errorf("trace: writing record: %w", err)
 	}
 	fw.n++
@@ -169,6 +211,9 @@ func (fw *FileWriter) WriteIncomplete(reason string) error {
 func (fw *FileWriter) Flush() error {
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
+	if err := fw.writePendingLocked(); err != nil {
+		return err
+	}
 	return fw.w.Flush()
 }
 
@@ -426,6 +471,35 @@ func ReadAll(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	t := New(sc.NumRanks())
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			if inc, reason := sc.Incomplete(); inc {
+				t.MarkIncomplete(reason)
+			}
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if _, err := t.Append(*rec); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// ReadAllIndexed is ReadAll with the per-rank slices preallocated from the
+// exact record counts of a previously built index, so loading large traces
+// does not pay repeated slice regrowth.
+func ReadAllIndexed(r io.Reader, ix *Index) (*Trace, error) {
+	sc, err := NewScanner(r)
+	if err != nil {
+		return nil, err
+	}
+	t := New(sc.NumRanks())
+	if ix != nil {
+		t.Grow(ix.Counts())
+	}
 	for {
 		rec, err := sc.Next()
 		if err == io.EOF {

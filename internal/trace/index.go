@@ -17,6 +17,7 @@ type Index struct {
 	Stride   int
 	strings  []string
 	perRank  [][]indexEntry
+	counts   []int // records per rank, known exactly after the build pass
 }
 
 type indexEntry struct {
@@ -64,8 +65,21 @@ func BuildIndex(r io.Reader, stride int) (*Index, error) {
 		counts[rec.Rank]++
 	}
 	ix.strings = sc.Strings()
+	ix.counts = counts
 	return ix, nil
 }
+
+// RecordCount returns the exact number of records a rank has in the indexed
+// file. Loaders use it to preallocate per-rank slices instead of growing them.
+func (ix *Index) RecordCount(rank int) int {
+	if rank < 0 || rank >= len(ix.counts) {
+		return 0
+	}
+	return ix.counts[rank]
+}
+
+// Counts returns a copy of the per-rank record counts.
+func (ix *Index) Counts() []int { return append([]int(nil), ix.counts...) }
 
 // Entries returns the number of checkpoints stored for a rank.
 func (ix *Index) Entries(rank int) int {

@@ -1,0 +1,551 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel loader
+//
+// The serial Scanner pays per byte: every varint goes through an interface
+// ReadByte call and every record through a heap-allocated *Record. The loader
+// here instead holds the whole file in memory and splits it into byte-range
+// segments, each starting at a block boundary. A cheap structural pass (or the
+// checkpoints of a prebuilt Index) finds those boundaries, collects the string
+// table and exact per-rank record counts; segments are then fully decoded on
+// GOMAXPROCS workers straight from the byte slice, and the per-segment record
+// runs are merged back into per-rank streams in file order.
+//
+// The result is bit-identical to ReadAll: any deviation the fast path cannot
+// reproduce exactly (corrupt block, string id used before definition,
+// out-of-range rank, non-monotonic start) makes it step aside and rerun the
+// serial path over the same bytes, so error messages and partial-salvage
+// semantics are exactly the serial ones.
+
+// minSegmentBytes bounds segmentation overhead: files smaller than this decode
+// as a single segment.
+const minSegmentBytes = 64 << 10
+
+// segment is a byte range of the file starting at a block boundary.
+type segment struct {
+	off, end int
+	nrec     int // records in the range (0 = unknown, preallocation hint only)
+	strAvail int // string-table entries defined before off
+}
+
+// structure is what the structural pass learns about a file.
+type structure struct {
+	numRanks int
+	strings  []string
+	segs     []segment
+	counts   []int // records per rank
+}
+
+func parseHeader(data []byte) (numRanks, pos int, err error) {
+	if len(data) < len(fileMagic) || string(data[:len(fileMagic)]) != fileMagic {
+		return 0, 0, fmt.Errorf("trace: bad magic")
+	}
+	pos = len(fileMagic)
+	nr, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("trace: reading rank count: truncated")
+	}
+	return int(nr), pos + n, nil
+}
+
+// skipUvarint advances past one varint (signed and unsigned skip identically).
+func skipUvarint(data []byte, pos int) (int, bool) {
+	for i := 0; i < binary.MaxVarintLen64 && pos < len(data); i++ {
+		b := data[pos]
+		pos++
+		if b < 0x80 {
+			return pos, true
+		}
+	}
+	return pos, false
+}
+
+var errStructure = fmt.Errorf("trace: parallel loader: structure error")
+
+// scanStructure walks the block framing of the whole file without decoding
+// record fields (it extracts only the rank, for the per-rank counts). It cuts
+// a segment boundary roughly every targetSeg bytes, always at a block start.
+func scanStructure(data []byte, targetSeg int) (*structure, error) {
+	numRanks, pos, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if numRanks < 0 {
+		return nil, errStructure
+	}
+	st := &structure{numRanks: numRanks, counts: make([]int, numRanks)}
+	segStart, segRecs, segAvail := pos, 0, 0
+	ok := true
+	for pos < len(data) {
+		if pos-segStart >= targetSeg {
+			st.segs = append(st.segs, segment{off: segStart, end: pos, nrec: segRecs, strAvail: segAvail})
+			segStart, segRecs, segAvail = pos, 0, len(st.strings)
+		}
+		tag := data[pos]
+		pos++
+		switch tag {
+		case blockString:
+			var id, n uint64
+			var sn int
+			if id, sn = binary.Uvarint(data[pos:]); sn <= 0 {
+				return nil, errStructure
+			}
+			pos += sn
+			if n, sn = binary.Uvarint(data[pos:]); sn <= 0 {
+				return nil, errStructure
+			}
+			pos += sn
+			if pos+int(n) > len(data) || int(n) < 0 {
+				return nil, errStructure
+			}
+			s := data[pos : pos+int(n)]
+			pos += int(n)
+			if int(id) == len(st.strings)+1 {
+				st.strings = append(st.strings, string(s))
+			} else if int(id) >= 1 && int(id) <= len(st.strings) && st.strings[id-1] == string(s) {
+				// matching redefinition: tolerated, as in the serial scanner
+			} else {
+				return nil, errStructure
+			}
+		case blockRecord:
+			if pos >= len(data) || int(data[pos]) >= numKinds {
+				return nil, errStructure
+			}
+			pos++ // kind
+			rank, sn := binary.Uvarint(data[pos:])
+			if sn <= 0 {
+				return nil, errStructure
+			}
+			pos += sn
+			if int(rank) < 0 || int(rank) >= numRanks {
+				return nil, errStructure
+			}
+			// file line func start dur marker src dst tag bytes msgid
+			for i := 0; i < 11; i++ {
+				if pos, ok = skipUvarint(data, pos); !ok {
+					return nil, errStructure
+				}
+			}
+			pos++ // wildcard byte
+			// fault name arg0 arg1
+			for i := 0; i < 4; i++ {
+				if pos, ok = skipUvarint(data, pos); !ok {
+					return nil, errStructure
+				}
+			}
+			if pos > len(data) {
+				return nil, errStructure
+			}
+			st.counts[rank]++
+			segRecs++
+		case blockIncomplete:
+			n, sn := binary.Uvarint(data[pos:])
+			if sn <= 0 {
+				return nil, errStructure
+			}
+			pos += sn + int(n)
+			if pos > len(data) || int(n) < 0 {
+				return nil, errStructure
+			}
+		default:
+			return nil, errStructure
+		}
+	}
+	if pos > segStart {
+		st.segs = append(st.segs, segment{off: segStart, end: pos, nrec: segRecs, strAvail: segAvail})
+	}
+	return st, nil
+}
+
+// segResult is one decoded segment.
+type segResult struct {
+	recs             []Record
+	incomplete       bool
+	incompleteReason string
+}
+
+// decodeSegment fully decodes the blocks in [seg.off, seg.end). table is the
+// complete string table of the file; avail starts at the number of entries
+// defined before the segment and grows as the segment's own 'S' blocks pass,
+// so a record referencing a string defined later in the file fails exactly as
+// it does in the serial scanner.
+func decodeSegment(data []byte, seg segment, table []string, out *segResult) error {
+	pos := seg.off
+	avail := seg.strAvail
+	recs := make([]Record, 0, seg.nrec)
+	str := func(id uint64) (string, error) {
+		if id == 0 {
+			return "", nil
+		}
+		if int(id) > avail {
+			return "", fmt.Errorf("trace: string id %d not yet defined", id)
+		}
+		return table[id-1], nil
+	}
+	uv := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:seg.end])
+		if n <= 0 {
+			return 0, errStructure
+		}
+		pos += n
+		return v, nil
+	}
+	vv := func() (int64, error) {
+		v, n := binary.Varint(data[pos:seg.end])
+		if n <= 0 {
+			return 0, errStructure
+		}
+		pos += n
+		return v, nil
+	}
+	for pos < seg.end {
+		tag := data[pos]
+		pos++
+		switch tag {
+		case blockString:
+			id, err := uv()
+			if err != nil {
+				return err
+			}
+			n, err := uv()
+			if err != nil {
+				return err
+			}
+			if pos+int(n) > seg.end || int(n) < 0 {
+				return errStructure
+			}
+			s := data[pos : pos+int(n)]
+			pos += int(n)
+			if int(id) < 1 || int(id) > len(table) || table[id-1] != string(s) {
+				return errStructure
+			}
+			if int(id) == avail+1 {
+				avail++
+			} else if int(id) > avail+1 {
+				return errStructure
+			}
+		case blockRecord:
+			if pos >= seg.end {
+				return errStructure
+			}
+			kb := data[pos]
+			pos++
+			if int(kb) >= numKinds {
+				return errStructure
+			}
+			var r Record
+			r.Kind = Kind(kb)
+			var u uint64
+			var v int64
+			var err error
+			if u, err = uv(); err != nil {
+				return err
+			}
+			r.Rank = int(u)
+			if u, err = uv(); err != nil {
+				return err
+			}
+			if r.Loc.File, err = str(u); err != nil {
+				return err
+			}
+			if u, err = uv(); err != nil {
+				return err
+			}
+			r.Loc.Line = int(u)
+			if u, err = uv(); err != nil {
+				return err
+			}
+			if r.Loc.Func, err = str(u); err != nil {
+				return err
+			}
+			if v, err = vv(); err != nil {
+				return err
+			}
+			r.Start = v
+			if v, err = vv(); err != nil {
+				return err
+			}
+			r.End = r.Start + v
+			if u, err = uv(); err != nil {
+				return err
+			}
+			r.Marker = u
+			if v, err = vv(); err != nil {
+				return err
+			}
+			r.Src = int(v)
+			if v, err = vv(); err != nil {
+				return err
+			}
+			r.Dst = int(v)
+			if v, err = vv(); err != nil {
+				return err
+			}
+			r.Tag = int(v)
+			if u, err = uv(); err != nil {
+				return err
+			}
+			r.Bytes = int(u)
+			if u, err = uv(); err != nil {
+				return err
+			}
+			r.MsgID = u
+			if pos >= seg.end {
+				return errStructure
+			}
+			r.WasWildcard = data[pos] != 0
+			pos++
+			if u, err = uv(); err != nil {
+				return err
+			}
+			if r.Fault, err = str(u); err != nil {
+				return err
+			}
+			if u, err = uv(); err != nil {
+				return err
+			}
+			if r.Name, err = str(u); err != nil {
+				return err
+			}
+			if v, err = vv(); err != nil {
+				return err
+			}
+			r.Args[0] = v
+			if v, err = vv(); err != nil {
+				return err
+			}
+			r.Args[1] = v
+			recs = append(recs, r)
+		case blockIncomplete:
+			n, err := uv()
+			if err != nil {
+				return err
+			}
+			if pos+int(n) > seg.end || int(n) < 0 {
+				return errStructure
+			}
+			if !out.incomplete {
+				out.incompleteReason = string(data[pos : pos+int(n)])
+			}
+			out.incomplete = true
+			pos += int(n)
+		default:
+			return errStructure
+		}
+	}
+	out.recs = recs
+	return nil
+}
+
+// decodeSegments runs the segment decoders on up to GOMAXPROCS workers.
+func decodeSegments(data []byte, segs []segment, table []string) ([]segResult, error) {
+	results := make([]segResult, len(segs))
+	errs := make([]error, len(segs))
+	nw := runtime.GOMAXPROCS(0)
+	if nw > len(segs) {
+		nw = len(segs)
+	}
+	if nw <= 1 {
+		for i := range segs {
+			if err := decodeSegment(data, segs[i], table, &results[i]); err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(segs) {
+					return
+				}
+				errs[i] = decodeSegment(data, segs[i], table, &results[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// assemble distributes decoded segments (in file order) into per-rank streams
+// preallocated from the exact counts, enforcing the same invariants as
+// Trace.Append.
+func assemble(numRanks int, counts []int, results []segResult) (*Trace, error) {
+	byRank := make([][]Record, numRanks)
+	for r := range byRank {
+		n := 0
+		if r < len(counts) {
+			n = counts[r]
+		}
+		byRank[r] = make([]Record, 0, n)
+	}
+	incomplete := false
+	reason := ""
+	for i := range results {
+		res := &results[i]
+		for j := range res.recs {
+			r := &res.recs[j]
+			if r.Rank < 0 || r.Rank >= numRanks {
+				return nil, fmt.Errorf("trace: record rank %d out of range [0,%d)", r.Rank, numRanks)
+			}
+			seq := byRank[r.Rank]
+			if n := len(seq); n > 0 && seq[n-1].Start > r.Start {
+				return nil, fmt.Errorf("trace: rank %d record start %d precedes previous start %d",
+					r.Rank, r.Start, seq[n-1].Start)
+			}
+			byRank[r.Rank] = append(seq, *r)
+		}
+		if res.incomplete && !incomplete {
+			incomplete = true
+			reason = res.incompleteReason
+		}
+	}
+	t := FromRanks(byRank)
+	if incomplete {
+		t.MarkIncomplete(reason)
+	}
+	return t, nil
+}
+
+func segTarget(total int) int {
+	n := runtime.GOMAXPROCS(0) * 4
+	t := total / n
+	if t < minSegmentBytes {
+		t = minSegmentBytes
+	}
+	return t
+}
+
+// loadParallel is the strict fast path; any error means "let the serial path
+// decide" rather than a final verdict on the file.
+func loadParallel(data []byte) (*Trace, error) {
+	st, err := scanStructure(data, segTarget(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	results, err := decodeSegments(data, st.segs, st.strings)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(st.numRanks, st.counts, results)
+}
+
+// LoadParallel decodes an in-memory trace file on all available CPUs and
+// returns a trace identical to ReadAll over the same bytes. Errors fall back
+// to the serial reader so diagnostics and failure behavior match it exactly.
+func LoadParallel(data []byte) (*Trace, error) {
+	if t, err := loadParallel(data); err == nil {
+		return t, nil
+	}
+	return ReadAll(bytes.NewReader(data))
+}
+
+// LoadParallelPartial is LoadParallel with ReadAllPartial salvage semantics:
+// a damaged or truncated tail marks the trace Incomplete instead of failing.
+func LoadParallelPartial(data []byte) (*Trace, error) {
+	if t, err := loadParallel(data); err == nil {
+		return t, nil
+	}
+	return ReadAllPartial(bytes.NewReader(data))
+}
+
+// LoadFileParallel reads and decodes a whole trace file with the salvage
+// semantics the CLIs want (partial histories stay analyzable).
+func LoadFileParallel(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return LoadParallelPartial(data)
+}
+
+// LoadParallelIndexed decodes using a prebuilt Index: its checkpoints provide
+// the segment boundaries and exact per-rank counts, and its string table lets
+// every segment start decoding immediately, skipping the structural pass.
+// Falls back to LoadParallel (and transitively the serial reader) on any
+// mismatch between index and bytes.
+func LoadParallelIndexed(data []byte, ix *Index) (*Trace, error) {
+	if ix == nil {
+		return LoadParallel(data)
+	}
+	t, err := loadParallelIndexed(data, ix)
+	if err != nil {
+		return LoadParallel(data)
+	}
+	return t, nil
+}
+
+func loadParallelIndexed(data []byte, ix *Index) (*Trace, error) {
+	numRanks, headerEnd, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if numRanks != ix.NumRanks {
+		return nil, errStructure
+	}
+	// Collect checkpoint offsets across all ranks as candidate cut points.
+	var cuts []int
+	for _, ents := range ix.perRank {
+		for _, e := range ents {
+			if e.offset > int64(headerEnd) && e.offset < int64(len(data)) {
+				cuts = append(cuts, int(e.offset))
+			}
+		}
+	}
+	sort.Ints(cuts)
+	target := segTarget(len(data))
+	table := ix.strings
+	// Index checkpoints land on record-block starts; every segment gets the
+	// full table (exactly the Scanner.SeedStrings semantics of indexed
+	// rescans), with matching redefinitions tolerated by the decoder.
+	var segs []segment
+	prev := headerEnd
+	for _, c := range cuts {
+		if c <= prev {
+			continue
+		}
+		if c-prev >= target {
+			segs = append(segs, segment{off: prev, end: c, strAvail: len(table)})
+			prev = c
+		}
+	}
+	if prev < len(data) {
+		segs = append(segs, segment{off: prev, end: len(data), strAvail: len(table)})
+	}
+	total := 0
+	for _, n := range ix.counts {
+		total += n
+	}
+	if len(segs) > 0 {
+		per := total/len(segs) + 1
+		for i := range segs {
+			segs[i].nrec = per
+		}
+	}
+	results, err := decodeSegments(data, segs, table)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(numRanks, ix.counts, results)
+}

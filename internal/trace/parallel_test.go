@@ -1,0 +1,447 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// richTrace is randomTrace plus the fields that exercise the string table
+// and the fault/wildcard paths: locations, construct names, fault labels.
+func richTrace(rng *rand.Rand, ranks, msgs int) *Trace {
+	files := []string{"ring.go", "lu.go", "strassen.go", "main.go"}
+	funcs := []string{"main", "worker", "exchange", "reduce", "multiply"}
+	names := []string{"Send", "Recv", "Barrier", "Bcast"}
+	faults := []string{"", "", "", "drop", "dup", "delay"}
+	tr := New(ranks)
+	clock := make([]int64, ranks)
+	marker := make([]uint64, ranks)
+	var msgID uint64
+	tick := func(rank int, d int64) (start, end int64) {
+		start = clock[rank]
+		end = start + d
+		clock[rank] = end
+		marker[rank]++
+		return
+	}
+	loc := func() Location {
+		return Location{File: files[rng.Intn(len(files))], Line: 1 + rng.Intn(200),
+			Func: funcs[rng.Intn(len(funcs))]}
+	}
+	for i := 0; i < msgs; i++ {
+		src := rng.Intn(ranks)
+		dst := rng.Intn(ranks)
+		if src == dst {
+			dst = (dst + 1) % ranks
+		}
+		msgID++
+		s, e := tick(src, 1+int64(rng.Intn(10)))
+		tr.MustAppend(Record{Kind: KindSend, Rank: src, Marker: marker[src],
+			Loc: loc(), Name: names[0], Start: s, End: e,
+			Src: src, Dst: dst, Tag: rng.Intn(4), Bytes: 8 + rng.Intn(100), MsgID: msgID,
+			Fault: faults[rng.Intn(len(faults))], Args: [2]int64{int64(i), -int64(i)}})
+		if clock[dst] < e {
+			clock[dst] = e
+		}
+		rs, re := tick(dst, 1+int64(rng.Intn(10)))
+		tr.MustAppend(Record{Kind: KindRecv, Rank: dst, Marker: marker[dst],
+			Loc: loc(), Name: names[1], Start: rs, End: re,
+			Src: src, Dst: dst, Tag: 0, Bytes: 8, MsgID: msgID,
+			WasWildcard: rng.Intn(4) == 0, Fault: faults[rng.Intn(len(faults))]})
+		if rng.Intn(3) == 0 {
+			r := rng.Intn(ranks)
+			cs, ce := tick(r, int64(rng.Intn(5)))
+			tr.MustAppend(Record{Kind: KindCompute, Rank: r, Marker: marker[r],
+				Loc: loc(), Name: names[2+rng.Intn(2)], Start: cs, End: ce})
+		}
+	}
+	return tr
+}
+
+func encodeTrace(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, tr); err != nil {
+		t.Fatalf("WriteAll: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func tracesEqual(t *testing.T, label string, got, want *Trace) {
+	t.Helper()
+	if got.NumRanks() != want.NumRanks() {
+		t.Fatalf("%s: ranks %d, want %d", label, got.NumRanks(), want.NumRanks())
+	}
+	for r := 0; r < want.NumRanks(); r++ {
+		g, w := got.Rank(r), want.Rank(r)
+		if len(g) == 0 && len(w) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("%s: rank %d records differ\n got %v\nwant %v", label, r, g, w)
+		}
+	}
+	if got.Incomplete() != want.Incomplete() || got.IncompleteReason() != want.IncompleteReason() {
+		t.Fatalf("%s: incomplete (%v, %q), want (%v, %q)", label,
+			got.Incomplete(), got.IncompleteReason(), want.Incomplete(), want.IncompleteReason())
+	}
+}
+
+// TestLoadParallelMatchesSerial is the differential test of the acceptance
+// criteria: the parallel decode + merge must reproduce the serial scanner's
+// records exactly, including with faults and incomplete markers present.
+func TestLoadParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i, tr := range []*Trace{
+		New(3), // empty
+		richTrace(rng, 1, 40),
+		richTrace(rng, 4, 200),
+		richTrace(rng, 8, 2000),
+		richTrace(rng, 16, 500),
+	} {
+		if i == 2 {
+			tr.MarkIncomplete("collector died")
+		}
+		data := encodeTrace(t, tr)
+		want, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("trace %d: ReadAll: %v", i, err)
+		}
+		got, err := LoadParallel(data)
+		if err != nil {
+			t.Fatalf("trace %d: LoadParallel: %v", i, err)
+		}
+		tracesEqual(t, fmt.Sprintf("trace %d", i), got, want)
+	}
+}
+
+// TestLoadParallelManySegments drives the internal pipeline with a tiny
+// segment target so a modest file splits into many ranges, exercising
+// cross-segment string availability and the merge.
+func TestLoadParallelManySegments(t *testing.T) {
+	// Force the multi-worker decode path even on a single-CPU machine.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	rng := rand.New(rand.NewSource(11))
+	tr := richTrace(rng, 8, 3000)
+	tr.MarkIncomplete("cut")
+	data := encodeTrace(t, tr)
+	want, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []int{128, 1 << 10, 16 << 10} {
+		st, err := scanStructure(data, target)
+		if err != nil {
+			t.Fatalf("target %d: scanStructure: %v", target, err)
+		}
+		if target < len(data)/2 && len(st.segs) < 2 {
+			t.Fatalf("target %d: expected multiple segments, got %d", target, len(st.segs))
+		}
+		results, err := decodeSegments(data, st.segs, st.strings)
+		if err != nil {
+			t.Fatalf("target %d: decodeSegments: %v", target, err)
+		}
+		got, err := assemble(st.numRanks, st.counts, results)
+		if err != nil {
+			t.Fatalf("target %d: assemble: %v", target, err)
+		}
+		tracesEqual(t, fmt.Sprintf("target %d", target), got, want)
+	}
+}
+
+// TestLoadParallelPartialTruncation compares the salvage paths at many cut
+// points: parallel partial load must agree with ReadAllPartial byte for byte.
+func TestLoadParallelPartialTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := richTrace(rng, 6, 300)
+	data := encodeTrace(t, tr)
+	cuts := []int{0, 1, len(fileMagic), len(fileMagic) + 1}
+	for i := 0; i < 120; i++ {
+		cuts = append(cuts, rng.Intn(len(data)))
+	}
+	cuts = append(cuts, len(data)-1, len(data))
+	for _, cut := range cuts {
+		chopped := data[:cut]
+		want, wantErr := ReadAllPartial(bytes.NewReader(chopped))
+		got, gotErr := LoadParallelPartial(chopped)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("cut %d: error mismatch: serial %v, parallel %v", cut, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		tracesEqual(t, fmt.Sprintf("cut %d", cut), got, want)
+	}
+}
+
+// TestLoadParallelMidFileIncomplete places 'I' blocks between records (not
+// just at the trailer), as a crash-tolerant collector does.
+func TestLoadParallelMidFileIncomplete(t *testing.T) {
+	var buf bytes.Buffer
+	fw, err := NewFileWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		rec := Record{Kind: KindCompute, Rank: i % 2, Marker: uint64(i), Start: int64(i), End: int64(i + 1),
+			Loc: Location{File: "f.go", Func: "f"}, Name: "step"}
+		if err := fw.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+		if i == 20 {
+			if err := fw.WriteIncomplete("stream lost"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i == 40 {
+			if err := fw.WriteIncomplete("second reason ignored"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	want, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadParallel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, "mid-file incomplete", got, want)
+	if !got.Incomplete() || got.IncompleteReason() != "stream lost" {
+		t.Fatalf("incomplete = (%v, %q)", got.Incomplete(), got.IncompleteReason())
+	}
+}
+
+func TestLoadParallelIndexed(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tr := richTrace(rng, 8, 1500)
+	data := encodeTrace(t, tr)
+	want, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndex(bytes.NewReader(data), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadParallelIndexed(data, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, "indexed", got, want)
+
+	// A mismatched index must not corrupt the result: the loader falls back.
+	other := encodeTrace(t, richTrace(rng, 3, 50))
+	wrongIx, err := BuildIndex(bytes.NewReader(other), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadParallelIndexed(data, wrongIx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, "wrong index fallback", got, want)
+
+	if got, err := LoadParallelIndexed(data, nil); err != nil {
+		t.Fatal(err)
+	} else {
+		tracesEqual(t, "nil index", got, want)
+	}
+}
+
+func TestIndexRecordCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	tr := richTrace(rng, 5, 400)
+	data := encodeTrace(t, tr)
+	ix, err := BuildIndex(bytes.NewReader(data), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < tr.NumRanks(); r++ {
+		if ix.RecordCount(r) != tr.RankLen(r) {
+			t.Errorf("RecordCount(%d) = %d, want %d", r, ix.RecordCount(r), tr.RankLen(r))
+		}
+	}
+	if ix.RecordCount(-1) != 0 || ix.RecordCount(99) != 0 {
+		t.Error("out-of-range RecordCount should be 0")
+	}
+	counts := ix.Counts()
+	counts[0] = -5 // must be a copy
+	if ix.RecordCount(0) == -5 {
+		t.Error("Counts aliases internal state")
+	}
+}
+
+func TestReadAllIndexedMatchesReadAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tr := richTrace(rng, 4, 300)
+	data := encodeTrace(t, tr)
+	ix, err := BuildIndex(bytes.NewReader(data), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllIndexed(bytes.NewReader(data), ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, "indexed read", got, want)
+}
+
+// TestShardedWriterConcurrent hammers one writer from every rank goroutine
+// with a tiny chunk size (maximal interleaving) and concurrent on-demand
+// flushes, then proves the file decodes to exactly the per-rank sequences
+// that were written. Run with -race in CI.
+func TestShardedWriterConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	const ranks = 8
+	tr := richTrace(rng, ranks, 1200)
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	lw := lockedWriter{mu: &mu, w: &buf}
+	sw, err := NewShardedWriterSize(&lw, ranks, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			recs := tr.Rank(r)
+			for i := range recs {
+				if err := sw.Write(&recs[i]); err != nil {
+					t.Errorf("rank %d write: %v", r, err)
+					return
+				}
+				if i%100 == 99 {
+					if err := sw.Flush(); err != nil {
+						t.Errorf("rank %d flush: %v", r, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Count() != tr.Len() {
+		t.Fatalf("Count = %d, want %d", sw.Count(), tr.Len())
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAll of sharded output: %v", err)
+	}
+	tracesEqual(t, "sharded write", got, tr)
+
+	// And the parallel loader agrees on chunk-interleaved files too.
+	pgot, err := LoadParallel(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, "sharded write, parallel load", pgot, tr)
+}
+
+// lockedWriter serializes Write calls; ShardedWriter already holds the file
+// mutex around writes, so this only guards against regressions in that claim.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+func TestShardedWriterRejectsBadRank(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewShardedWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Write(&Record{Rank: 2}); err == nil {
+		t.Error("rank 2 accepted by 2-rank writer")
+	}
+	if err := sw.Write(&Record{Rank: -1}); err == nil {
+		t.Error("rank -1 accepted")
+	}
+}
+
+func TestShardedWriterIncompleteMarker(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewShardedWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Write(&Record{Rank: 0, Kind: KindCompute, Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteIncomplete("lost"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Incomplete() || tr.IncompleteReason() != "lost" {
+		t.Fatalf("incomplete = (%v, %q)", tr.Incomplete(), tr.IncompleteReason())
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+// TestMergedOrderMatchesReference pins the k-way merge to the sort it
+// replaced.
+func TestMergedOrderMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 10; i++ {
+		tr := randomTrace(rng, 1+rng.Intn(7), rng.Intn(120))
+		got := tr.MergedOrder()
+		want := mergedOrderReference(tr)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trace %d: merged order differs\n got %v\nwant %v", i, got, want)
+		}
+	}
+}
+
+func mergedOrderReference(t *Trace) []EventID {
+	ids := make([]EventID, 0, t.Len())
+	for rank := 0; rank < t.NumRanks(); rank++ {
+		for i := range t.Rank(rank) {
+			ids = append(ids, EventID{Rank: rank, Index: i})
+		}
+	}
+	// Insertion sort by (Start, rank, index): obviously correct reference.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0; j-- {
+			a, b := t.MustAt(ids[j-1]), t.MustAt(ids[j])
+			if a.Start < b.Start ||
+				(a.Start == b.Start && (ids[j-1].Rank < ids[j].Rank ||
+					(ids[j-1].Rank == ids[j].Rank && ids[j-1].Index < ids[j].Index))) {
+				break
+			}
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	return ids
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// DefaultChunkSize is the per-rank encode-buffer size at which a shard
+// flushes its batch into the shared file writer.
+const DefaultChunkSize = 32 << 10
+
+// ShardedWriter is the low-contention trace writer: every rank owns a
+// private append buffer into which its records are encoded without taking
+// any shared lock on the hot path. Buffers are batched into the shared
+// FileWriter in large chunks, so rank goroutines contend on the file mutex
+// once per chunk instead of once per event. String interning goes through a
+// read-mostly shared table whose deltas are drained ahead of any chunk that
+// could reference them, preserving the string-before-use file invariant.
+//
+// The file stays append-only and Flush retains the on-demand semantics the
+// monitor needs: after Flush returns, everything written so far is decodable
+// by a concurrent reader. Records of one rank appear in the file in emission
+// order; records of different ranks interleave at chunk granularity, which
+// every reader (Scanner, ReadAll, Index, the parallel loader) already
+// tolerates because traces are keyed by (rank, marker), not by file order.
+type ShardedWriter struct {
+	fw     *FileWriter
+	chunk  int
+	shards []writeShard
+}
+
+type writeShard struct {
+	mu  sync.Mutex
+	ids map[string]uint64 // rank-local cache over the shared string table
+	buf []byte            // encoded records awaiting a chunk flush
+	n   int               // records in buf
+	_   [24]byte          // pad to reduce false sharing between shards
+}
+
+// NewShardedWriter writes the file header and returns a sharded writer for
+// numRanks ranks with the default chunk size.
+func NewShardedWriter(w io.Writer, numRanks int) (*ShardedWriter, error) {
+	return NewShardedWriterSize(w, numRanks, DefaultChunkSize)
+}
+
+// NewShardedWriterSize is NewShardedWriter with an explicit chunk size in
+// bytes (<= 0 selects DefaultChunkSize). Small sizes are useful in tests to
+// force frequent chunk interleaving.
+func NewShardedWriterSize(w io.Writer, numRanks, chunk int) (*ShardedWriter, error) {
+	if chunk <= 0 {
+		chunk = DefaultChunkSize
+	}
+	fw, err := NewFileWriter(w, numRanks)
+	if err != nil {
+		return nil, err
+	}
+	if numRanks < 0 {
+		numRanks = 0
+	}
+	sw := &ShardedWriter{fw: fw, chunk: chunk, shards: make([]writeShard, numRanks)}
+	for i := range sw.shards {
+		sw.shards[i].ids = make(map[string]uint64)
+	}
+	return sw, nil
+}
+
+// intern resolves a string id through the shard's local cache, falling back
+// to the shared table only on a cold miss.
+func (sh *writeShard) intern(st *stringTable, s string) uint64 {
+	if s == "" {
+		return 0
+	}
+	if id, ok := sh.ids[s]; ok {
+		return id
+	}
+	id := st.intern(s)
+	sh.ids[s] = id
+	return id
+}
+
+// Write appends one record to its rank's buffer, flushing the buffer as a
+// chunk when it reaches the chunk size. Safe for concurrent use by all rank
+// goroutines; calls for the same rank are serialized by the shard mutex.
+func (sw *ShardedWriter) Write(r *Record) error {
+	if r.Rank < 0 || r.Rank >= len(sw.shards) {
+		return fmt.Errorf("trace: sharded writer: record rank %d out of range [0,%d)", r.Rank, len(sw.shards))
+	}
+	sh := &sw.shards[r.Rank]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := &sw.fw.strings
+	fileID := sh.intern(st, r.Loc.File)
+	funcID := sh.intern(st, r.Loc.Func)
+	nameID := sh.intern(st, r.Name)
+	faultID := sh.intern(st, r.Fault)
+	sh.buf = appendRecord(sh.buf, r, fileID, funcID, nameID, faultID)
+	sh.n++
+	if len(sh.buf) >= sw.chunk {
+		return sw.flushShardLocked(sh)
+	}
+	return nil
+}
+
+// flushShardLocked batches the shard's buffer into the shared file writer.
+// Called with the shard mutex held.
+func (sw *ShardedWriter) flushShardLocked(sh *writeShard) error {
+	if sh.n == 0 {
+		return nil
+	}
+	err := sw.fw.writeChunk(sh.buf, sh.n)
+	sh.buf = sh.buf[:0]
+	sh.n = 0
+	return err
+}
+
+// WriteIncomplete appends an incomplete-history marker. Rank buffers are not
+// flushed first: an 'I' block may appear anywhere and readers OR the flags,
+// so the marker stays valid regardless of what is still buffered.
+func (sw *ShardedWriter) WriteIncomplete(reason string) error {
+	return sw.fw.WriteIncomplete(reason)
+}
+
+// Flush drains every rank buffer into the file and flushes it to the
+// underlying writer — the monitor flush-on-demand the debugger uses to read
+// history mid-execution.
+func (sw *ShardedWriter) Flush() error {
+	var first error
+	for i := range sw.shards {
+		sh := &sw.shards[i]
+		sh.mu.Lock()
+		if err := sw.flushShardLocked(sh); err != nil && first == nil {
+			first = err
+		}
+		sh.mu.Unlock()
+	}
+	if err := sw.fw.Flush(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Count returns the number of records accepted so far (buffered or written).
+func (sw *ShardedWriter) Count() int {
+	n := sw.fw.Count()
+	for i := range sw.shards {
+		sh := &sw.shards[i]
+		sh.mu.Lock()
+		n += sh.n
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Close flushes all buffers. It does not close the underlying writer, which
+// the caller owns.
+func (sw *ShardedWriter) Close() error { return sw.Flush() }

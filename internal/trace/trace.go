@@ -43,6 +43,27 @@ func New(numRanks int) *Trace {
 	return &Trace{byRank: make([][]Record, numRanks)}
 }
 
+// FromRanks wraps per-rank record streams as a Trace without copying. Each
+// stream must already be in emission order (nondecreasing Start); the caller
+// asserts that invariant. Used by sinks and loaders that accumulate per-rank
+// slices directly.
+func FromRanks(byRank [][]Record) *Trace {
+	return &Trace{byRank: byRank}
+}
+
+// Grow ensures capacity for at least counts[r] records on each rank whose
+// stream is still empty, so bulk loaders can append without regrowth.
+func (t *Trace) Grow(counts []int) {
+	for r, n := range counts {
+		if r >= len(t.byRank) {
+			return
+		}
+		if len(t.byRank[r]) == 0 && cap(t.byRank[r]) < n {
+			t.byRank[r] = make([]Record, 0, n)
+		}
+	}
+}
+
 // NumRanks returns the number of process streams in the trace.
 func (t *Trace) NumRanks() int { return len(t.byRank) }
 
@@ -256,24 +277,55 @@ func (t *Trace) MatchSendRecv() (map[EventID]EventID, []EventID) {
 }
 
 // MergedOrder returns all event ids sorted by (Start, rank, index): the
-// global time-ordered view used by the time-space displays.
+// global time-ordered view used by the time-space displays. Because every
+// rank stream is already Start-ordered, this is a k-way merge over per-rank
+// cursors (O(n log k)) rather than a global sort (O(n log n)).
 func (t *Trace) MergedOrder() []EventID {
 	ids := make([]EventID, 0, t.Len())
-	for rank, seq := range t.byRank {
-		for i := range seq {
-			ids = append(ids, EventID{Rank: rank, Index: i})
-		}
-	}
-	sort.Slice(ids, func(a, b int) bool {
-		ra, rb := t.MustAt(ids[a]), t.MustAt(ids[b])
+	heap := make([]EventID, 0, len(t.byRank)) // min-heap of per-rank cursors
+	less := func(a, b EventID) bool {
+		ra, rb := &t.byRank[a.Rank][a.Index], &t.byRank[b.Rank][b.Index]
 		if ra.Start != rb.Start {
 			return ra.Start < rb.Start
 		}
-		if ids[a].Rank != ids[b].Rank {
-			return ids[a].Rank < ids[b].Rank
+		return a.Rank < b.Rank // one cursor per rank: index never ties
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(heap) && less(heap[l], heap[min]) {
+				min = l
+			}
+			if r < len(heap) && less(heap[r], heap[min]) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			heap[i], heap[min] = heap[min], heap[i]
+			i = min
 		}
-		return ids[a].Index < ids[b].Index
-	})
+	}
+	for rank, seq := range t.byRank {
+		if len(seq) > 0 {
+			heap = append(heap, EventID{Rank: rank})
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(heap) > 0 {
+		top := heap[0]
+		ids = append(ids, top)
+		if top.Index+1 < len(t.byRank[top.Rank]) {
+			heap[0].Index++
+		} else {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		siftDown(0)
+	}
 	return ids
 }
 

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Run the sharded-pipeline benchmarks and record a JSON baseline.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# Writes one JSON object per benchmark: name, iterations, ns/op, and any
+# extra metrics (MB/s, B/op, allocs/op). The default output is BENCH_PR2.json
+# at the repo root — the checked-in baseline for the perf PR; regenerate it
+# when the pipeline changes materially and mention the delta in the PR.
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR2.json}"
+benchtime="${BENCHTIME:-1s}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+    -bench 'SerialLoad|ParallelLoad|QuerySerial|QueryIndexed|QueryParallel|FileWriterSerial|ShardedWrite|GraphFromTrace|MergedOrder' \
+    -benchtime "$benchtime" -benchmem . | tee "$raw"
+
+awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s", name, $2, $3
+    for (i = 6; i <= NF; i += 2) {
+        unit = $(i)
+        gsub(/\//, "_per_", unit)
+        printf ", \"%s\": %s", unit, $(i - 1)
+    }
+    printf "}"
+}
+/^goos:/ { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/ { cpu = substr($0, 6); sub(/^[ \t]+/, "", cpu) }
+END {
+    if (!first) printf ",\n"
+    printf "  \"_meta\": {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\"}\n",
+        goos, goarch, cpu
+    print "}"
+}' "$raw" > "$out"
+
+echo "wrote $out"
