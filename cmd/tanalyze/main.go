@@ -21,6 +21,7 @@ import (
 	"tracedbg/internal/causality"
 	"tracedbg/internal/instr"
 	"tracedbg/internal/mp"
+	"tracedbg/internal/obs"
 	"tracedbg/internal/query"
 	"tracedbg/internal/trace"
 )
@@ -35,12 +36,42 @@ func main() {
 		seed    = flag.Int64("seed", 42, "seed")
 		actions = flag.Bool("actions", false, "include the action-graph summary")
 		find    = flag.String("find", "", "semicolon-separated query expressions to run over the trace")
+		stats   = flag.Bool("stats", false, "print the pipeline self-observability snapshot after the analyses")
+		statsJS = flag.String("stats-json", "", "also write the observability snapshot as JSON to this file")
 	)
 	flag.Parse()
 	if err := run(os.Stdout, *in, *app, *ranks, *size, *iters, *seed, *actions, *find); err != nil {
 		fmt.Fprintln(os.Stderr, "tanalyze:", err)
 		os.Exit(1)
 	}
+	if err := emitStats(os.Stdout, *stats, *statsJS); err != nil {
+		fmt.Fprintln(os.Stderr, "tanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+// emitStats reports the process's observability snapshot: every pipeline
+// stage exercised by this invocation (recording, loading, querying, ...)
+// has left its counters in the default registry.
+func emitStats(w io.Writer, table bool, jsonPath string) error {
+	if !table && jsonPath == "" {
+		return nil
+	}
+	snap := obs.Default().Snapshot()
+	if table {
+		fmt.Fprint(w, snap.Table())
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := snap.WriteJSON(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func run(w io.Writer, in, app string, ranks, size, iters int, seed int64, actions bool, find string) error {

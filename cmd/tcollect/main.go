@@ -21,18 +21,21 @@ import (
 	"os"
 	"time"
 
+	"tracedbg/internal/obs"
 	"tracedbg/internal/remote"
 	"tracedbg/internal/trace"
 )
 
 // options bundles the collector invocation parameters.
 type options struct {
-	addr       string
-	out        string
-	maxWait    time.Duration
-	retry      int           // bind attempts before giving up
-	backoffMax time.Duration // cap on the bind retry delay
-	col        remote.CollectorOptions
+	addr        string
+	out         string
+	maxWait     time.Duration
+	retry       int           // bind attempts before giving up
+	backoffMax  time.Duration // cap on the bind retry delay
+	metricsAddr string        // observability endpoint; "" disables
+	logLevel    string        // structured event log threshold; "" disables
+	col         remote.CollectorOptions
 }
 
 func main() {
@@ -44,11 +47,36 @@ func main() {
 	flag.DurationVar(&o.backoffMax, "backoff-max", 2*time.Second, "cap on the delay between bind attempts")
 	flag.DurationVar(&o.col.Heartbeat, "heartbeat", 500*time.Millisecond, "interval between acknowledgement heartbeats to clients")
 	flag.DurationVar(&o.col.IdleTimeout, "idle-timeout", 0, "drop connections silent for this long (0 = never)")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "",
+		"serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9100; empty = off)")
+	flag.StringVar(&o.logLevel, "log-level", "",
+		"emit structured JSON events to stderr at this level or above (debug|info|warn|error; empty = off)")
 	flag.Parse()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tcollect:", err)
 		os.Exit(1)
 	}
+}
+
+// setupObs wires the opt-in observability surfaces: the live endpoint and
+// the structured event log. It returns a teardown func (never nil).
+func setupObs(o options, log interface{ Write([]byte) (int, error) }) (func(), error) {
+	if o.logLevel != "" {
+		lv, ok := obs.ParseLevel(o.logLevel)
+		if !ok {
+			return nil, fmt.Errorf("bad -log-level %q (want debug|info|warn|error)", o.logLevel)
+		}
+		obs.SetEvents(obs.NewEventLog(os.Stderr, lv))
+	}
+	if o.metricsAddr == "" {
+		return func() {}, nil
+	}
+	srv, err := obs.Serve(o.metricsAddr, obs.Default())
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(log, "tcollect: metrics on %s/metrics\n", srv.URL())
+	return func() { srv.Close() }, nil
 }
 
 // listen binds the collector, retrying with growing delays: a collector
@@ -69,6 +97,11 @@ func listen(o options) (*remote.Collector, error) {
 }
 
 func run(o options, log interface{ Write([]byte) (int, error) }) error {
+	stopObs, err := setupObs(o, log)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	col, err := listen(o)
 	if err != nil {
 		return err

@@ -57,6 +57,7 @@ import (
 	"tracedbg/internal/debug"
 	"tracedbg/internal/fault"
 	"tracedbg/internal/mp"
+	"tracedbg/internal/obs"
 	"tracedbg/internal/trace"
 	"tracedbg/internal/vis"
 )
@@ -69,8 +70,20 @@ func main() {
 		iters    = flag.Int("iters", 3, "iterations / rounds")
 		seed     = flag.Int64("seed", 42, "input seed")
 		faultPln = flag.String("fault-plan", "", "JSON fault plan injected into the target (drops, delays, duplicates, crashes, slow ranks)")
+		metrics  = flag.String("metrics-addr", "",
+			"serve /metrics and /debug/pprof on this address during the session (empty = off)")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		srv, err := obs.Serve(*metrics, obs.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stdout, "metrics on %s/metrics\n", srv.URL())
+	}
 
 	body, err := apps.Build(*app, *ranks, apps.Params{Size: *size, Iters: *iters, Seed: *seed})
 	if err != nil {

@@ -188,6 +188,7 @@ func (in *Injector) Wire(m mp.WireMsg) mp.WireFault {
 			f.Duplicate = true
 		}
 		in.events = append(in.events, ev)
+		countInjection(ev)
 		if f.Drop {
 			break // drop wins; later rules are moot
 		}
@@ -202,7 +203,9 @@ func (in *Injector) OpDelay(rank int, op mp.Op) int64 {
 		in.mu.Lock()
 		if !in.logged[rank] {
 			in.logged[rank] = true
-			in.events = append(in.events, Event{Rule: -1, Kind: Slow, Rank: rank, Delay: d})
+			ev := Event{Rule: -1, Kind: Slow, Rank: rank, Delay: d}
+			in.events = append(in.events, ev)
+			countInjection(ev)
 		}
 		in.mu.Unlock()
 	}
@@ -222,8 +225,10 @@ func (in *Injector) CrashPoint(rank int, opSeq uint64) error {
 	if !ok {
 		return nil
 	}
+	ev := Event{Rule: i, Kind: Crash, Rank: rank, OpSeq: opSeq}
 	in.mu.Lock()
-	in.events = append(in.events, Event{Rule: i, Kind: Crash, Rank: rank, OpSeq: opSeq})
+	in.events = append(in.events, ev)
 	in.mu.Unlock()
+	countInjection(ev)
 	return fmt.Errorf("fault: injected crash (rule %d) at op %d", i, opSeq)
 }

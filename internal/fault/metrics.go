@@ -1,0 +1,45 @@
+package fault
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"tracedbg/internal/obs"
+)
+
+// faultMetrics is the package's self-observability set: one labeled counter
+// per plan rule, so a run's injected-fault mix is visible at a glance.
+type faultMetrics struct {
+	injections *obs.CounterVec
+}
+
+func newFaultMetrics(r *obs.Registry) *faultMetrics {
+	return &faultMetrics{
+		injections: r.CounterVec("tracedbg_fault_injections_total",
+			"fault applications by plan rule index (\"slow\" for per-op slowdown)", "rule"),
+	}
+}
+
+var faultObs atomic.Pointer[faultMetrics]
+
+func init() { faultObs.Store(newFaultMetrics(obs.Default())) }
+
+// SetObsRegistry re-points the package's metrics at a registry (obs.Nop()
+// disables them); restore with SetObsRegistry(obs.Default()).
+func SetObsRegistry(r *obs.Registry) {
+	faultObs.Store(newFaultMetrics(r))
+}
+
+func metrics() *faultMetrics { return faultObs.Load() }
+
+// countInjection bumps the per-rule injection counter for a recorded event.
+func countInjection(ev Event) {
+	label := "slow"
+	if ev.Rule >= 0 {
+		label = strconv.Itoa(ev.Rule)
+	}
+	metrics().injections.With(label).Inc()
+	if l := obs.Events(); l.Enabled(obs.LevelDebug) {
+		l.Log(obs.LevelDebug, "fault.injected", obs.F("fault", ev.String()))
+	}
+}

@@ -1,0 +1,43 @@
+package instr
+
+import (
+	"sync/atomic"
+
+	"tracedbg/internal/obs"
+)
+
+// instrMetrics is the package's self-observability set: the monitor's tick
+// path is the single hottest instrumentation point in the system (every
+// event of every strategy funnels through it), so its counters are
+// rank-sharded single atomic adds.
+type instrMetrics struct {
+	ticks        *obs.ShardedCounter
+	emitted      *obs.ShardedCounter
+	suppressed   *obs.ShardedCounter
+	collectFlips *obs.Counter
+}
+
+func newInstrMetrics(r *obs.Registry) *instrMetrics {
+	return &instrMetrics{
+		ticks: r.ShardedCounter("tracedbg_instr_ticks_total",
+			"monitor ticks (execution-marker advances) across all strategies"),
+		emitted: r.ShardedCounter("tracedbg_instr_records_emitted_total",
+			"records emitted into sinks; for an accumulating memory sink this is its depth"),
+		suppressed: r.ShardedCounter("tracedbg_instr_records_suppressed_total",
+			"ticks whose record was dropped because collection was toggled off"),
+		collectFlips: r.Counter("tracedbg_instr_collect_flips_total",
+			"collection on/off toggles that changed a rank's state"),
+	}
+}
+
+var instrObs atomic.Pointer[instrMetrics]
+
+func init() { instrObs.Store(newInstrMetrics(obs.Default())) }
+
+// SetObsRegistry re-points the package's metrics at a registry (obs.Nop()
+// disables them); used by the instrumentation-overhead benchmarks.
+func SetObsRegistry(r *obs.Registry) {
+	instrObs.Store(newInstrMetrics(r))
+}
+
+func metrics() *instrMetrics { return instrObs.Load() }

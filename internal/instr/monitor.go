@@ -83,7 +83,9 @@ func (m *Monitor) Counters() []uint64 {
 // is suppressed, which is how the paper bounds trace-file size.
 func (m *Monitor) SetCollect(rank int, on bool) {
 	if rank >= 0 && rank < len(m.collect) {
-		m.collect[rank].Store(on)
+		if was := m.collect[rank].Swap(on); was != on {
+			metrics().collectFlips.Inc()
+		}
 	}
 }
 
@@ -99,8 +101,13 @@ func (m *Monitor) tick(p *mp.Proc, rec *trace.Record, sink Sink) {
 	rank := rec.Rank
 	seq := m.counters[rank].Add(1)
 	rec.Marker = seq
+	om := metrics()
+	om.ticks.Inc(rank)
 	if sink != nil && m.collect[rank].Load() {
 		sink.Emit(rec)
+		om.emitted.Inc(rank)
+	} else {
+		om.suppressed.Inc(rank)
 	}
 	if f := m.control.Load(); f != nil {
 		(*f)(p, rec)

@@ -1,0 +1,42 @@
+package mp
+
+import (
+	"sync/atomic"
+
+	"tracedbg/internal/obs"
+)
+
+// mpMetrics is the runtime's self-observability set. Deposits happen under
+// the world mutex on every message, so the counters are rank-sharded
+// (by sender) single atomic adds.
+type mpMetrics struct {
+	messages  *obs.ShardedCounter
+	bytes     *obs.ShardedCounter
+	internal  *obs.Counter
+	wildcards *obs.ShardedCounter
+}
+
+func newMPMetrics(r *obs.Registry) *mpMetrics {
+	return &mpMetrics{
+		messages: r.ShardedCounter("tracedbg_mp_messages_total",
+			"user-level messages deposited on the wire, by sender"),
+		bytes: r.ShardedCounter("tracedbg_mp_message_bytes_total",
+			"payload bytes of user-level messages, by sender"),
+		internal: r.Counter("tracedbg_mp_internal_messages_total",
+			"collective-plumbing messages (not numbered on any channel)"),
+		wildcards: r.ShardedCounter("tracedbg_mp_wildcard_recvs_total",
+			"receives posted with a wildcard source or tag, by receiver"),
+	}
+}
+
+var mpObs atomic.Pointer[mpMetrics]
+
+func init() { mpObs.Store(newMPMetrics(obs.Default())) }
+
+// SetObsRegistry re-points the package's metrics at a registry (obs.Nop()
+// disables them); restore with SetObsRegistry(obs.Default()).
+func SetObsRegistry(r *obs.Registry) {
+	mpObs.Store(newMPMetrics(r))
+}
+
+func metrics() *mpMetrics { return mpObs.Load() }

@@ -195,12 +195,17 @@ func (w *World) depositLocked(env *envelope) WireFault {
 	d := w.procs[env.dst]
 	w.nextMsg++
 	env.msgID = w.nextMsg
+	m := metrics()
 	if !env.internal {
 		// Only user-level messages are numbered: ChanSeq N means "the nth
 		// message the program sent on this channel", stable no matter how
 		// much collective plumbing traffic interleaves.
 		w.chanSeq[env.src][env.dst]++
 		env.chanSeq = w.chanSeq[env.src][env.dst]
+		m.messages.Inc(env.src)
+		m.bytes.Add(env.src, uint64(len(env.data)))
+	} else {
+		m.internal.Inc()
 	}
 
 	var verdict WireFault
@@ -293,6 +298,9 @@ func (p *Proc) Recv(src, tag int) ([]byte, Status) {
 	}
 	info := OpInfo{Op: OpRecv, Rank: p.rank, Src: src, Dst: p.rank, Tag: tag,
 		Wildcard: src == AnySource || tag == AnyTag, Loc: p.loc}
+	if info.Wildcard {
+		metrics().wildcards.Inc(p.rank)
+	}
 	p.firePre(&info)
 
 	w := p.w

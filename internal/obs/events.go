@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders event severities.
+type Level int8
+
+// Severity levels, lowest first.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "level(" + strconv.Itoa(int(l)) + ")"
+}
+
+// ParseLevel parses a level name ("debug", "info", "warn", "error").
+func ParseLevel(s string) (Level, bool) {
+	switch s {
+	case "debug":
+		return LevelDebug, true
+	case "info":
+		return LevelInfo, true
+	case "warn", "warning":
+		return LevelWarn, true
+	case "error":
+		return LevelError, true
+	}
+	return 0, false
+}
+
+// Field is one structured key/value pair of an event.
+type Field struct {
+	Key string
+	Val any
+}
+
+// F builds a Field; sugar that keeps call sites compact.
+func F(key string, val any) Field { return Field{Key: key, Val: val} }
+
+// DefaultEventRate is the per-event-name emission budget: at most this many
+// lines per second per event name; the excess is counted and reported as a
+// "suppressed" field on the next emitted line.
+const DefaultEventRate = 50
+
+// EventLog writes leveled, structured, rate-limited JSON lines. It is safe
+// for concurrent use; a nil *EventLog discards everything, so packages hold
+// one unconditionally. The rate limit is a per-event-name token bucket —
+// pipeline failure modes (reconnect storms, repeated fallbacks) emit the
+// same event name at high frequency, and bounding each name separately
+// keeps a noisy event from silencing a rare one.
+type EventLog struct {
+	min     atomic.Int32
+	rate    float64 // tokens per second per event name
+	burst   float64
+	now     func() time.Time // indirected for tests
+	dropped atomic.Uint64    // total suppressed lines
+
+	mu      sync.Mutex
+	w       io.Writer
+	buckets map[string]*eventBucket
+}
+
+type eventBucket struct {
+	tokens     float64
+	last       time.Time
+	suppressed uint64
+}
+
+// NewEventLog creates a log writing events at or above min to w, with the
+// default per-event rate limit.
+func NewEventLog(w io.Writer, min Level) *EventLog {
+	return NewEventLogRate(w, min, DefaultEventRate)
+}
+
+// NewEventLogRate is NewEventLog with an explicit per-event-name budget in
+// lines per second (<= 0 selects the default).
+func NewEventLogRate(w io.Writer, min Level, perSec float64) *EventLog {
+	if perSec <= 0 {
+		perSec = DefaultEventRate
+	}
+	l := &EventLog{w: w, rate: perSec, burst: perSec, now: time.Now,
+		buckets: make(map[string]*eventBucket)}
+	l.min.Store(int32(min))
+	return l
+}
+
+// SetMinLevel changes the emission threshold.
+func (l *EventLog) SetMinLevel(min Level) {
+	if l != nil {
+		l.min.Store(int32(min))
+	}
+}
+
+// Enabled reports whether events at lv would be emitted — guard construction
+// of expensive fields with it.
+func (l *EventLog) Enabled(lv Level) bool {
+	return l != nil && int32(lv) >= l.min.Load()
+}
+
+// Dropped returns the number of lines suppressed by rate limiting so far.
+func (l *EventLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped.Load()
+}
+
+// Log emits one event line: {"ts":...,"level":...,"event":...,fields...}.
+// Field values marshal through encoding/json; unmarshalable values render
+// as their error string rather than dropping the line.
+func (l *EventLog) Log(lv Level, event string, fields ...Field) {
+	if !l.Enabled(lv) {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[event]
+	now := l.now()
+	if b == nil {
+		b = &eventBucket{tokens: l.burst, last: now}
+		l.buckets[event] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		b.suppressed++
+		l.dropped.Add(1)
+		return
+	}
+	b.tokens--
+
+	buf := make([]byte, 0, 128)
+	buf = append(buf, `{"ts":"`...)
+	buf = now.UTC().AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, `","level":"`...)
+	buf = append(buf, lv.String()...)
+	buf = append(buf, `","event":`...)
+	buf = appendJSON(buf, event)
+	if b.suppressed > 0 {
+		buf = append(buf, `,"suppressed":`...)
+		buf = strconv.AppendUint(buf, b.suppressed, 10)
+		b.suppressed = 0
+	}
+	for _, f := range fields {
+		buf = append(buf, ',')
+		buf = appendJSON(buf, f.Key)
+		buf = append(buf, ':')
+		buf = appendJSON(buf, f.Val)
+	}
+	buf = append(buf, '}', '\n')
+	l.w.Write(buf)
+}
+
+// appendJSON appends the JSON encoding of v, falling back to a quoted error
+// string for values encoding/json rejects.
+func appendJSON(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		// Fast path for the overwhelmingly common field type.
+		if enc, err := json.Marshal(x); err == nil {
+			return append(buf, enc...)
+		}
+	case int:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(buf, x, 10)
+	case uint64:
+		return strconv.AppendUint(buf, x, 10)
+	case bool:
+		return strconv.AppendBool(buf, x)
+	case error:
+		if x != nil {
+			enc, _ := json.Marshal(x.Error())
+			return append(buf, enc...)
+		}
+		return append(buf, "null"...)
+	}
+	enc, err := json.Marshal(v)
+	if err != nil {
+		enc, _ = json.Marshal("!marshal: " + err.Error())
+	}
+	return append(buf, enc...)
+}
+
+// EventNames returns the event names seen so far, sorted — handy in tests.
+func (l *EventLog) EventNames() []string {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names := make([]string, 0, len(l.buckets))
+	for n := range l.buckets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// --- global event log ------------------------------------------------------
+
+var globalEvents atomic.Pointer[EventLog]
+
+// SetEvents installs the process-wide event log (nil disables). Pipeline
+// packages emit through Events(), so one call lights up structured logging
+// everywhere.
+func SetEvents(l *EventLog) { globalEvents.Store(l) }
+
+// Events returns the process-wide event log; nil (meaning "discard") until
+// SetEvents installs one. All EventLog methods are nil-safe.
+func Events() *EventLog { return globalEvents.Load() }

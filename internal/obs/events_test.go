@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// decodeLines parses every JSON line the log emitted.
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("event line is not valid JSON: %v\n%s", err, line)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestEventLogLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf, LevelWarn)
+	l.Log(LevelDebug, "dropped.debug")
+	l.Log(LevelInfo, "dropped.info")
+	l.Log(LevelWarn, "kept.warn", F("k", "v"))
+	l.Log(LevelError, "kept.error", F("n", 7), F("err", errors.New("boom")))
+	lines := decodeLines(t, &buf)
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	if lines[0]["event"] != "kept.warn" || lines[0]["level"] != "warn" || lines[0]["k"] != "v" {
+		t.Fatalf("bad warn line: %v", lines[0])
+	}
+	if lines[1]["n"] != float64(7) || lines[1]["err"] != "boom" {
+		t.Fatalf("bad error line: %v", lines[1])
+	}
+	if _, err := time.Parse(time.RFC3339Nano, lines[0]["ts"].(string)); err != nil {
+		t.Fatalf("bad timestamp: %v", err)
+	}
+	if !l.Enabled(LevelError) || l.Enabled(LevelInfo) {
+		t.Fatal("Enabled disagrees with the threshold")
+	}
+	l.SetMinLevel(LevelDebug)
+	if !l.Enabled(LevelDebug) {
+		t.Fatal("SetMinLevel did not lower the threshold")
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Log(LevelError, "nothing")
+	l.SetMinLevel(LevelDebug)
+	if l.Enabled(LevelError) || l.Dropped() != 0 || l.EventNames() != nil {
+		t.Fatal("nil event log must be inert")
+	}
+}
+
+func TestEventLogRateLimit(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLogRate(&buf, LevelInfo, 2) // budget: 2 lines/s per event name
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < 10; i++ {
+		l.Log(LevelInfo, "storm", F("i", i))
+	}
+	l.Log(LevelInfo, "rare") // a different name has its own bucket
+	if got := l.Dropped(); got != 8 {
+		t.Fatalf("dropped = %d, want 8", got)
+	}
+	// One second later the bucket refills; the next line reports the backlog.
+	now = now.Add(time.Second)
+	l.Log(LevelInfo, "storm", F("after", true))
+
+	lines := decodeLines(t, &buf)
+	if len(lines) != 4 { // 2 storm + 1 rare + 1 storm-after-refill
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	last := lines[len(lines)-1]
+	if last["suppressed"] != float64(8) {
+		t.Fatalf("refill line must report suppressed=8, got %v", last["suppressed"])
+	}
+	names := l.EventNames()
+	if len(names) != 2 || names[0] != "rare" || names[1] != "storm" {
+		t.Fatalf("EventNames = %v", names)
+	}
+}
+
+func TestEventLogConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf, LevelDebug)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Log(LevelInfo, "concurrent", F("g", g), F("i", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every emitted line must still be standalone valid JSON (no interleaving).
+	decodeLines(t, &buf)
+}
+
+func TestGlobalEvents(t *testing.T) {
+	if Events() != nil {
+		t.Skip("another test installed a global event log")
+	}
+	var buf bytes.Buffer
+	l := NewEventLog(&buf, LevelInfo)
+	SetEvents(l)
+	defer SetEvents(nil)
+	if Events() != l {
+		t.Fatal("Events did not return the installed log")
+	}
+	Events().Log(LevelInfo, "global")
+	if !strings.Contains(buf.String(), `"event":"global"`) {
+		t.Fatalf("global log did not write: %q", buf.String())
+	}
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Metric type names used in snapshots and expositions.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// Snapshot is a point-in-time copy of a registry, sorted by metric name.
+// It carries no timestamp: expositions are deterministic for a given state,
+// which keeps golden tests and benchmark deltas exact.
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// MetricSnapshot is one exported series.
+type MetricSnapshot struct {
+	Name       string   `json:"name"`
+	Type       string   `json:"type"`
+	Help       string   `json:"help,omitempty"`
+	LabelKey   string   `json:"label,omitempty"`
+	LabelValue string   `json:"label_value,omitempty"`
+	Value      float64  `json:"value"`             // counters and gauges
+	Count      uint64   `json:"count,omitempty"`   // histograms
+	Sum        float64  `json:"sum,omitempty"`     // histograms
+	Buckets    []Bucket `json:"buckets,omitempty"` // histograms, cumulative
+}
+
+// Bucket is one cumulative histogram bucket: Count observations <= LE.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// Get returns the snapshot entry for a metric name (first label child for
+// vectors) — convenience for tests and delta reports.
+func (s Snapshot) Get(name string) (MetricSnapshot, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MetricSnapshot{}, false
+}
+
+// WriteJSON writes the snapshot as an indented JSON document.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// num formats a float that is an exact integer without a fractional part,
+// matching how Prometheus clients render counter values.
+func num(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promEscape escapes a label value per the Prometheus text exposition rules.
+func promEscape(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, one sample per line,
+// histograms as cumulative _bucket series plus _sum and _count.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var prev string
+	for _, m := range s.Metrics {
+		if m.Name != prev {
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+				return err
+			}
+			prev = m.Name
+		}
+		var err error
+		switch m.Type {
+		case TypeHistogram:
+			for _, b := range m.Buckets {
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, num(b.LE), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.Name, m.Count); err != nil {
+				return err
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", m.Name, num(m.Sum), m.Name, m.Count); err != nil {
+				return err
+			}
+		default:
+			if m.LabelKey != "" {
+				_, err = fmt.Fprintf(w, "%s{%s=\"%s\"} %s\n", m.Name, m.LabelKey, promEscape(m.LabelValue), num(m.Value))
+			} else {
+				_, err = fmt.Fprintf(w, "%s %s\n", m.Name, num(m.Value))
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Table renders the snapshot as an aligned two-space-separated text table —
+// the `tanalyze -stats` view. Histograms show count, sum and mean.
+func (s Snapshot) Table() string {
+	var b strings.Builder
+	rows := make([][3]string, 0, len(s.Metrics)+1)
+	rows = append(rows, [3]string{"METRIC", "TYPE", "VALUE"})
+	for _, m := range s.Metrics {
+		name := m.Name
+		if m.LabelKey != "" {
+			name += "{" + m.LabelKey + "=" + m.LabelValue + "}"
+		}
+		val := num(m.Value)
+		if m.Type == TypeHistogram {
+			mean := 0.0
+			if m.Count > 0 {
+				mean = m.Sum / float64(m.Count)
+			}
+			val = fmt.Sprintf("count=%d sum=%s mean=%.1f", m.Count, num(m.Sum), mean)
+		}
+		rows = append(rows, [3]string{name, m.Type, val})
+	}
+	var w0, w1 int
+	for _, r := range rows {
+		w0 = max(w0, len(r[0]))
+		w1 = max(w1, len(r[1]))
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s  %-*s  %s\n", w0, r[0], w1, r[1], r[2])
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+)
+
+// Handler returns the observability endpoint for a registry:
+//
+//	/metrics            Prometheus text exposition (JSON with ?format=json
+//	                    or an Accept: application/json header)
+//	/metrics.json       JSON snapshot unconditionally
+//	/debug/pprof/...    the standard net/http/pprof profiles
+//
+// The handler performs no authentication; bind it to loopback (the CLIs
+// default to 127.0.0.1) or put it behind whatever fronts the deployment.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" ||
+			strings.Contains(r.Header.Get("Accept"), "application/json") {
+			serveJSON(w, reg)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, reg)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func serveJSON(w http.ResponseWriter, reg *Registry) {
+	w.Header().Set("Content-Type", "application/json")
+	reg.Snapshot().WriteJSON(w)
+}
+
+// Server is a live observability endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability endpoint on addr (e.g. "127.0.0.1:0") and
+// returns once it is listening. Close shuts it down.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen: %w", err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the listening address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the base URL of the endpoint.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the endpoint.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func httpRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("tracedbg_test_hits_total", "test counter").Add(5)
+	r.Histogram("tracedbg_test_ns", "test histogram").Observe(100)
+	return r
+}
+
+func get(t *testing.T, h http.Handler, url string, hdr map[string]string) (int, string, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	body, _ := io.ReadAll(rw.Result().Body)
+	return rw.Code, rw.Result().Header.Get("Content-Type"), string(body)
+}
+
+func TestHandlerPrometheus(t *testing.T) {
+	h := Handler(httpRegistry())
+	code, ctype, body := get(t, h, "/metrics", nil)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(ctype, "text/plain") || !strings.Contains(ctype, "0.0.4") {
+		t.Fatalf("content type %q", ctype)
+	}
+	if !strings.Contains(body, "tracedbg_test_hits_total 5") ||
+		!strings.Contains(body, `tracedbg_test_ns_bucket{le="+Inf"} 1`) {
+		t.Fatalf("exposition body:\n%s", body)
+	}
+}
+
+func TestHandlerJSON(t *testing.T) {
+	h := Handler(httpRegistry())
+	for _, tc := range []struct {
+		url string
+		hdr map[string]string
+	}{
+		{"/metrics?format=json", nil},
+		{"/metrics", map[string]string{"Accept": "application/json"}},
+		{"/metrics.json", nil},
+	} {
+		code, ctype, body := get(t, h, tc.url, tc.hdr)
+		if code != 200 || !strings.Contains(ctype, "application/json") {
+			t.Fatalf("%s: status %d, content type %q", tc.url, code, ctype)
+		}
+		if !strings.Contains(body, `"name": "tracedbg_test_hits_total"`) {
+			t.Fatalf("%s: body:\n%s", tc.url, body)
+		}
+	}
+}
+
+func TestHandlerPprof(t *testing.T) {
+	h := Handler(httpRegistry())
+	code, _, body := get(t, h, "/debug/pprof/", nil)
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status %d\n%s", code, body)
+	}
+	code, _, _ = get(t, h, "/debug/pprof/cmdline", nil)
+	if code != 200 {
+		t.Fatalf("pprof cmdline: status %d", code)
+	}
+}
+
+func TestServe(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", httpRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "tracedbg_test_hits_total") {
+		t.Fatalf("live endpoint: status %d\n%s", resp.StatusCode, body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

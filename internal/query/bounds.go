@@ -134,9 +134,12 @@ func analyze(e expr) bounds {
 // binary-search the candidate index window instead of scanning everything.
 func (q *Query) runRank(tr *trace.Trace, rank int, out []trace.EventID) []trace.EventID {
 	b := q.b
+	m := metrics()
 	if int64(rank) < b.rank.lo || int64(rank) > b.rank.hi {
+		m.ranksPruned.Inc()
 		return out
 	}
+	m.ranksScan.Inc()
 	recs := tr.Rank(rank)
 	lo, hi := 0, len(recs)
 	if !b.start.full() {
@@ -155,11 +158,17 @@ func (q *Query) runRank(tr *trace.Trace, rank int, out []trace.EventID) []trace.
 			hi = mhi
 		}
 	}
+	before := len(out)
 	for i := lo; i < hi; i++ {
 		if q.expr.eval(&recs[i]) {
 			out = append(out, trace.EventID{Rank: rank, Index: i})
 		}
 	}
+	if hi > lo {
+		m.recsEval.Add(uint64(hi - lo))
+	}
+	m.recsSkipped.Add(uint64(len(recs) - max(hi-lo, 0)))
+	m.matches.Add(uint64(len(out) - before))
 	return out
 }
 
@@ -175,6 +184,7 @@ func (q *Query) RunParallel(tr *trace.Trace) []trace.EventID {
 	if nw <= 1 {
 		return q.Run(tr)
 	}
+	metrics().queries.Inc()
 	perRank := make([][]trace.EventID, n)
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {

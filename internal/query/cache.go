@@ -1,34 +1,66 @@
 package query
 
-import "sync"
+import (
+	"container/list"
+	"sync"
+)
 
-// Cache memoizes compiled queries by source text. Interactive loops (the
-// tdbg repl, tanalyze batch filters) re-issue the same expressions; caching
-// makes recompilation free without changing any semantics — compiled queries
-// are immutable, so sharing one across goroutines is safe. Compile errors are
+// DefaultCacheSize is the entry capacity of caches made by NewCache. A few
+// hundred distinct expressions is far beyond any interactive session; the
+// bound exists so a driver that machine-generates expressions (one per
+// message ID, say) cannot grow the cache without limit.
+const DefaultCacheSize = 256
+
+// Cache memoizes compiled queries by source text, evicting the least
+// recently used entry at capacity. Interactive loops (the tdbg repl,
+// tanalyze batch filters) re-issue the same expressions; caching makes
+// recompilation free without changing any semantics — compiled queries are
+// immutable, so sharing one across goroutines is safe. Compile errors are
 // cached too, so a repeatedly mistyped expression does not re-lex every time.
 type Cache struct {
-	mu sync.Mutex
-	m  map[string]cacheEntry
+	mu  sync.Mutex
+	cap int // <= 0 means unbounded
+	m   map[string]*list.Element
+	lru *list.List // front = most recently used
 }
 
 type cacheEntry struct {
+	src string
 	q   *Query
 	err error
 }
 
-// NewCache returns an empty query cache.
-func NewCache() *Cache { return &Cache{m: make(map[string]cacheEntry)} }
+// NewCache returns an empty query cache with DefaultCacheSize capacity.
+func NewCache() *Cache { return NewCacheSize(DefaultCacheSize) }
+
+// NewCacheSize returns an empty query cache holding at most n entries;
+// n <= 0 means unbounded.
+func NewCacheSize(n int) *Cache {
+	return &Cache{cap: n, m: make(map[string]*list.Element), lru: list.New()}
+}
 
 // Compile returns the cached compilation of src, compiling on first use.
 func (c *Cache) Compile(src string) (*Query, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.m[src]; ok {
+	m := metrics()
+	if el, ok := c.m[src]; ok {
+		c.lru.MoveToFront(el)
+		m.cacheHits.Inc()
+		e := el.Value.(*cacheEntry)
 		return e.q, e.err
 	}
+	m.cacheMisses.Inc()
 	q, err := Compile(src)
-	c.m[src] = cacheEntry{q: q, err: err}
+	c.m[src] = c.lru.PushFront(&cacheEntry{src: src, q: q, err: err})
+	m.cacheEntries.Add(1)
+	if c.cap > 0 && c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).src)
+		m.cacheEvictions.Inc()
+		m.cacheEntries.Add(-1)
+	}
 	return q, err
 }
 
@@ -38,3 +70,6 @@ func (c *Cache) Len() int {
 	defer c.mu.Unlock()
 	return len(c.m)
 }
+
+// Cap returns the cache's entry capacity (<= 0 means unbounded).
+func (c *Cache) Cap() int { return c.cap }

@@ -1,0 +1,62 @@
+package query
+
+import (
+	"sync/atomic"
+
+	"tracedbg/internal/obs"
+)
+
+// queryMetrics is the package's self-observability set. Per-record work is
+// accounted with window-sized Adds in runRank (one atomic add per rank per
+// query), never per-record increments, so instrumented queries stay as fast
+// as uninstrumented ones.
+type queryMetrics struct {
+	queries     *obs.Counter
+	ranksScan   *obs.Counter
+	ranksPruned *obs.Counter
+	recsEval    *obs.Counter
+	recsSkipped *obs.Counter
+	matches     *obs.Counter
+
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	cacheEntries   *obs.Gauge
+}
+
+func newQueryMetrics(r *obs.Registry) *queryMetrics {
+	return &queryMetrics{
+		queries: r.Counter("tracedbg_query_runs_total",
+			"query executions (Run or RunParallel)"),
+		ranksScan: r.Counter("tracedbg_query_ranks_scanned_total",
+			"per-rank scans whose index window was evaluated"),
+		ranksPruned: r.Counter("tracedbg_query_ranks_pruned_total",
+			"per-rank scans skipped entirely by the bounds analysis"),
+		recsEval: r.Counter("tracedbg_query_records_evaluated_total",
+			"records run through the full predicate"),
+		recsSkipped: r.Counter("tracedbg_query_records_skipped_total",
+			"records excluded by binary-searched index windows without evaluation"),
+		matches: r.Counter("tracedbg_query_matches_total",
+			"records that satisfied a query"),
+		cacheHits: r.Counter("tracedbg_query_cache_hits_total",
+			"compilations served from the query cache"),
+		cacheMisses: r.Counter("tracedbg_query_cache_misses_total",
+			"compilations the cache had to perform"),
+		cacheEvictions: r.Counter("tracedbg_query_cache_evictions_total",
+			"entries evicted from the query cache at capacity"),
+		cacheEntries: r.Gauge("tracedbg_query_cache_entries",
+			"entries currently held by query caches"),
+	}
+}
+
+var queryObs atomic.Pointer[queryMetrics]
+
+func init() { queryObs.Store(newQueryMetrics(obs.Default())) }
+
+// SetObsRegistry re-points the package's metrics at a registry (obs.Nop()
+// disables them); restore with SetObsRegistry(obs.Default()).
+func SetObsRegistry(r *obs.Registry) {
+	queryObs.Store(newQueryMetrics(r))
+}
+
+func metrics() *queryMetrics { return queryObs.Load() }

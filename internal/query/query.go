@@ -56,6 +56,7 @@ func (q *Query) Match(rec *trace.Record) bool { return q.expr.eval(rec) }
 // and index windows excluded by the query's bounds are skipped entirely; the
 // result is identical to filtering every record through Match.
 func (q *Query) Run(tr *trace.Trace) []trace.EventID {
+	metrics().queries.Inc()
 	var out []trace.EventID
 	for rank := 0; rank < tr.NumRanks(); rank++ {
 		out = q.runRank(tr, rank, out)

@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"math/big"
 	"net"
 	"os"
@@ -13,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"tracedbg/internal/obs"
 	"tracedbg/internal/trace"
 )
 
@@ -192,6 +194,9 @@ func (cl *Client) attachLocked(conn net.Conn, br *bufio.Reader, ack uint64) erro
 		ack = cl.total // a confused collector cannot ack the future
 	}
 	cl.acked = ack
+	m := metrics()
+	m.clientResumeGap.Observe(cl.total - ack)
+	m.clientUnacked.Set(int64(cl.total - ack))
 	err = cl.resendLocked(ack)
 	if err == nil {
 		err = fw.Flush()
@@ -272,7 +277,11 @@ func (cl *Client) spillLocked(n int) error {
 		if err != nil {
 			return err
 		}
-		bw := bufio.NewWriterSize(f, 1<<16)
+		if l := obs.Events(); l.Enabled(obs.LevelInfo) {
+			l.Log(obs.LevelInfo, "remote.spill_open",
+				obs.F("client", cl.opts.ID), obs.F("path", f.Name()))
+		}
+		bw := bufio.NewWriterSize(&countingWriter{w: f, c: metrics().clientSpillBytes}, 1<<16)
 		fw, err := trace.NewFileWriter(bw, cl.numRanks)
 		if err != nil {
 			f.Close()
@@ -288,7 +297,20 @@ func (cl *Client) spillLocked(n int) error {
 	}
 	cl.memBase += uint64(n)
 	cl.mem = append(cl.mem[:0], cl.mem[n:]...)
+	metrics().clientSpillRecords.Add(uint64(n))
 	return nil
+}
+
+// countingWriter counts bytes flowing to the spill file.
+type countingWriter struct {
+	w io.Writer
+	c *obs.Counter
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(uint64(n))
+	return n, err
 }
 
 // Emit implements the instrumentation Sink interface. Records are always
@@ -301,6 +323,7 @@ func (cl *Client) Emit(rec *trace.Record) {
 	}
 	cl.mem = append(cl.mem, *rec)
 	cl.total++
+	metrics().clientUnacked.Add(1)
 	if len(cl.mem) > cl.opts.MemLimit {
 		if err := cl.spillLocked(len(cl.mem) - cl.opts.MemLimit); err != nil {
 			// Disk refused the overflow: keep everything in memory rather
@@ -325,6 +348,10 @@ func (cl *Client) dropConnLocked() {
 		cl.conn = nil
 		cl.bw, cl.fw = nil, nil
 		cl.connGen++
+		metrics().clientDrops.Inc()
+		if l := obs.Events(); l.Enabled(obs.LevelWarn) {
+			l.Log(obs.LevelWarn, "remote.conn_drop", obs.F("client", cl.opts.ID))
+		}
 	}
 	if !cl.reconnecting && !cl.closed && cl.err == nil {
 		cl.reconnecting = true
@@ -337,6 +364,7 @@ func (cl *Client) dropConnLocked() {
 // error is the outage signal: it triggers the reconnect loop.
 func (cl *Client) ackReader(conn net.Conn, br *bufio.Reader, gen int) {
 	defer cl.wg.Done()
+	var lastAck time.Time
 	for {
 		line, err := br.ReadString('\n')
 		if err != nil {
@@ -348,10 +376,17 @@ func (cl *Client) ackReader(conn net.Conn, br *bufio.Reader, gen int) {
 			return
 		}
 		if n, ok := parseAck(line); ok {
+			now := time.Now()
+			m := metrics()
+			if !lastAck.IsZero() {
+				m.clientAckGapNs.Observe(uint64(now.Sub(lastAck)))
+			}
+			lastAck = now
 			cl.mu.Lock()
 			if cl.connGen == gen && n > cl.acked && n <= cl.total {
 				cl.acked = n
 			}
+			m.clientUnacked.Set(int64(cl.total - cl.acked))
 			cl.mu.Unlock()
 		}
 	}
@@ -388,6 +423,10 @@ func (cl *Client) reconnectLoop() {
 			cl.err = fmt.Errorf("remote: gave up after %d reconnect attempts: %w", attempt, lastErr)
 			cl.reconnecting = false
 			cl.mu.Unlock()
+			if l := obs.Events(); l.Enabled(obs.LevelError) {
+				l.Log(obs.LevelError, "remote.gave_up",
+					obs.F("client", cl.opts.ID), obs.F("attempts", attempt), obs.F("cause", lastErr))
+			}
 			return
 		}
 		select {
@@ -398,6 +437,7 @@ func (cl *Client) reconnectLoop() {
 			return
 		case <-time.After(cl.backoff(attempt)):
 		}
+		metrics().clientRetries.Inc()
 		conn, br, ack, err := cl.connect()
 		if err != nil {
 			lastErr = err
@@ -414,6 +454,11 @@ func (cl *Client) reconnectLoop() {
 		if err == nil {
 			cl.reconnecting = false
 			cl.mu.Unlock()
+			metrics().clientReconnects.Inc()
+			if l := obs.Events(); l.Enabled(obs.LevelInfo) {
+				l.Log(obs.LevelInfo, "remote.reconnected",
+					obs.F("client", cl.opts.ID), obs.F("attempt", attempt+1), obs.F("acked", ack))
+			}
 			return
 		}
 		cl.mu.Unlock()

@@ -1,0 +1,76 @@
+package remote
+
+import (
+	"sync/atomic"
+
+	"tracedbg/internal/obs"
+)
+
+// remoteMetrics is the package's self-observability set, covering both ends
+// of the wire: the client's buffering/reconnect machinery and the
+// collector's merge loop. The per-record receive counter is rank-sharded;
+// everything else fires at connection or chunk granularity.
+type remoteMetrics struct {
+	// client side
+	clientReconnects   *obs.Counter
+	clientRetries      *obs.Counter
+	clientDrops        *obs.Counter
+	clientSpillRecords *obs.Counter
+	clientSpillBytes   *obs.Counter
+	clientResumeGap    *obs.Histogram
+	clientAckGapNs     *obs.Histogram
+	clientUnacked      *obs.Gauge
+
+	// collector side
+	collConns      *obs.Counter
+	collActive     *obs.Gauge
+	collReceived   *obs.ShardedCounter
+	collResumes    *obs.Counter
+	collIdleDrops  *obs.Counter
+	collHeartbeats *obs.Counter
+}
+
+func newRemoteMetrics(r *obs.Registry) *remoteMetrics {
+	return &remoteMetrics{
+		clientReconnects: r.Counter("tracedbg_remote_client_reconnects_total",
+			"successful client reattaches after a connection drop"),
+		clientRetries: r.Counter("tracedbg_remote_client_retry_attempts_total",
+			"reconnect attempts, including failures"),
+		clientDrops: r.Counter("tracedbg_remote_client_conn_drops_total",
+			"connections the client abandoned after a write or heartbeat error"),
+		clientSpillRecords: r.Counter("tracedbg_remote_client_spill_records_total",
+			"records overflowed from the in-memory window to the disk spill file"),
+		clientSpillBytes: r.Counter("tracedbg_remote_client_spill_bytes_total",
+			"bytes written to the disk spill file"),
+		clientResumeGap: r.Histogram("tracedbg_remote_client_resume_gap_records",
+			"records retransmitted per (re)attach (total minus collector ack)"),
+		clientAckGapNs: r.Histogram("tracedbg_remote_client_heartbeat_gap_ns",
+			"observed spacing between collector TDBGACK heartbeats, nanoseconds"),
+		clientUnacked: r.Gauge("tracedbg_remote_client_unacked_records",
+			"records emitted but not yet acknowledged by the collector"),
+		collConns: r.Counter("tracedbg_remote_collector_connections_total",
+			"client connections accepted by the collector"),
+		collActive: r.Gauge("tracedbg_remote_collector_active_connections",
+			"connections currently open on the collector"),
+		collReceived: r.ShardedCounter("tracedbg_remote_collector_records_received_total",
+			"records the collector accepted into the merged history"),
+		collResumes: r.Counter("tracedbg_remote_collector_resumes_total",
+			"v2 handshakes that resumed a known client at a nonzero record count"),
+		collIdleDrops: r.Counter("tracedbg_remote_collector_idle_drops_total",
+			"connections dropped for exceeding the idle timeout"),
+		collHeartbeats: r.Counter("tracedbg_remote_collector_heartbeats_sent_total",
+			"TDBGACK heartbeat lines sent to v2 clients"),
+	}
+}
+
+var remoteObs atomic.Pointer[remoteMetrics]
+
+func init() { remoteObs.Store(newRemoteMetrics(obs.Default())) }
+
+// SetObsRegistry re-points the package's metrics at a registry (obs.Nop()
+// disables them); restore with SetObsRegistry(obs.Default()).
+func SetObsRegistry(r *obs.Registry) {
+	remoteObs.Store(newRemoteMetrics(r))
+}
+
+func metrics() *remoteMetrics { return remoteObs.Load() }

@@ -37,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"tracedbg/internal/obs"
 	"tracedbg/internal/trace"
 )
 
@@ -132,11 +133,15 @@ func (c *Collector) serve() {
 		}
 		c.conns[conn] = phaseHandshake
 		c.mu.Unlock()
+		m := metrics()
+		m.collConns.Inc()
+		m.collActive.Add(1)
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
 			err := c.handle(conn)
 			conn.Close()
+			metrics().collActive.Add(-1)
 			c.mu.Lock()
 			delete(c.conns, conn)
 			if err != nil && !errors.Is(err, io.EOF) && !c.closed {
@@ -201,6 +206,13 @@ func (c *Collector) handle(conn net.Conn) error {
 		c.conns[conn] = phaseStreaming
 		count := c.recv[clientID]
 		c.mu.Unlock()
+		if count > 0 {
+			metrics().collResumes.Inc()
+			if l := obs.Events(); l.Enabled(obs.LevelInfo) {
+				l.Log(obs.LevelInfo, "remote.resume",
+					obs.F("client", clientID), obs.F("acked", count))
+			}
+		}
 		if _, err := fmt.Fprintf(conn, "%s%d\n", ackPrefix, count); err != nil {
 			return fmt.Errorf("handshake ack: %w", err)
 		}
@@ -253,6 +265,8 @@ func (c *Collector) handle(conn net.Conn) error {
 		}
 		if _, aerr := c.tr.Append(*rec); aerr != nil {
 			c.errs = append(c.errs, aerr)
+		} else {
+			metrics().collReceived.Inc(rec.Rank)
 		}
 		if clientID != "" {
 			c.recv[clientID]++
@@ -275,6 +289,11 @@ func (c *Collector) idleDropped(conn net.Conn, err error) error {
 		c.tr.MarkIncomplete(fmt.Sprintf("client %v idle for %v, dropped", conn.RemoteAddr(), c.opts.IdleTimeout))
 	}
 	c.mu.Unlock()
+	metrics().collIdleDrops.Inc()
+	if l := obs.Events(); l.Enabled(obs.LevelWarn) {
+		l.Log(obs.LevelWarn, "remote.idle_drop",
+			obs.F("peer", conn.RemoteAddr().String()), obs.F("idle", c.opts.IdleTimeout.String()))
+	}
 	return fmt.Errorf("idle timeout after %v", c.opts.IdleTimeout)
 }
 
@@ -300,6 +319,7 @@ func (c *Collector) heartbeat(conn net.Conn, clientID string, myGen int, stop <-
 		if _, err := fmt.Fprintf(conn, "%s%d\n", ackPrefix, count); err != nil {
 			return // the reader side will notice the broken connection
 		}
+		metrics().collHeartbeats.Inc()
 	}
 }
 

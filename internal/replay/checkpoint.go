@@ -52,6 +52,9 @@ func (cs *CheckpointStore) Add(snap Snapshot) int {
 	cs.nextID++
 	cs.snaps = append(cs.snaps, snap)
 	cs.pruneLocked()
+	m := metrics()
+	m.checkpoints.Inc()
+	m.ckptRetained.Set(int64(len(cs.snaps)))
 	return snap.ID
 }
 
@@ -107,9 +110,11 @@ func (cs *CheckpointStore) BestFor(target []uint64) (Snapshot, bool) {
 	defer cs.mu.Unlock()
 	for i := len(cs.snaps) - 1; i >= 0; i-- {
 		if cs.snaps[i].leq(target) {
+			metrics().ckptHits.Inc()
 			return cs.snaps[i], true
 		}
 	}
+	metrics().ckptMisses.Inc()
 	return Snapshot{}, false
 }
 

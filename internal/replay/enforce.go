@@ -87,14 +87,17 @@ func (e *Enforcer) Recorded(rank int) int {
 // waiting (-1) until it is available.
 func (e *Enforcer) Pick(rank int, recvSeq uint64, eligible []mp.PendingMsg) int {
 	if rank < 0 || rank >= len(e.want) || recvSeq == 0 || recvSeq > uint64(len(e.want[rank])) {
+		metrics().picksFallback.Inc()
 		return e.fallback.Pick(rank, recvSeq, eligible)
 	}
 	w := e.want[rank][recvSeq-1]
 	for i, m := range eligible {
 		if m.Src == w.src && m.Tag == w.tag {
+			metrics().picksEnforced.Inc()
 			return i
 		}
 	}
+	metrics().picksWaited.Inc()
 	return -1
 }
 

@@ -1,0 +1,52 @@
+package replay
+
+import (
+	"sync/atomic"
+
+	"tracedbg/internal/obs"
+)
+
+// replayMetrics is the package's self-observability set: how often replays
+// actually enforce recorded matching versus running off the end of the
+// history, and how the logarithmic checkpoint backlog behaves.
+type replayMetrics struct {
+	picksEnforced *obs.Counter
+	picksFallback *obs.Counter
+	picksWaited   *obs.Counter
+
+	checkpoints  *obs.Counter
+	ckptRetained *obs.Gauge
+	ckptHits     *obs.Counter
+	ckptMisses   *obs.Counter
+}
+
+func newReplayMetrics(r *obs.Registry) *replayMetrics {
+	return &replayMetrics{
+		picksEnforced: r.Counter("tracedbg_replay_picks_enforced_total",
+			"receives matched to their recorded (src, tag) by the enforcer"),
+		picksFallback: r.Counter("tracedbg_replay_picks_fallback_total",
+			"receives beyond the recorded history, delegated to the fallback controller"),
+		picksWaited: r.Counter("tracedbg_replay_picks_waited_total",
+			"enforcer decisions that had to wait because the recorded message was not yet pending"),
+		checkpoints: r.Counter("tracedbg_replay_checkpoints_total",
+			"snapshots added to the checkpoint store"),
+		ckptRetained: r.Gauge("tracedbg_replay_checkpoints_retained",
+			"snapshots currently retained by the logarithmic backlog"),
+		ckptHits: r.Counter("tracedbg_replay_checkpoint_hits_total",
+			"replay targets served from a retained snapshot"),
+		ckptMisses: r.Counter("tracedbg_replay_checkpoint_misses_total",
+			"replay targets that had to re-execute from the beginning"),
+	}
+}
+
+var replayObs atomic.Pointer[replayMetrics]
+
+func init() { replayObs.Store(newReplayMetrics(obs.Default())) }
+
+// SetObsRegistry re-points the package's metrics at a registry (obs.Nop()
+// disables them); restore with SetObsRegistry(obs.Default()).
+func SetObsRegistry(r *obs.Registry) {
+	replayObs.Store(newReplayMetrics(r))
+}
+
+func metrics() *replayMetrics { return replayObs.Load() }

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"sync/atomic"
+
+	"tracedbg/internal/obs"
+)
+
+// traceMetrics is the package's self-observability set. Write-path counters
+// are rank-sharded so publications land on the rank's own cache line; the
+// sharded writer batches them under its shard mutex (see obsPublishEvery) so
+// the per-record hot path carries no atomic ops at all. Chunk-granularity
+// and load-path metrics use plain cells.
+type traceMetrics struct {
+	recordsWritten *obs.ShardedCounter
+	bufferBytes    *obs.ShardedGauge
+	bytesEncoded   *obs.ShardedCounter
+	chunkFlushes   *obs.Counter
+	chunkBytes     *obs.Histogram
+
+	loadParallel   *obs.Counter
+	loadFallback   *obs.Counter
+	loadSegments   *obs.Counter
+	loadWorkers    *obs.Gauge
+	loadScanNs     *obs.Histogram
+	loadDecodeNs   *obs.Histogram
+	loadRecords    *obs.Counter
+	loadIndexed    *obs.Counter
+	loadIndexMiss  *obs.Counter
+}
+
+func newTraceMetrics(r *obs.Registry) *traceMetrics {
+	return &traceMetrics{
+		recordsWritten: r.ShardedCounter("tracedbg_trace_records_written_total",
+			"records accepted by the sharded trace writer"),
+		bufferBytes: r.ShardedGauge("tracedbg_trace_buffer_bytes",
+			"encoded bytes currently buffered in per-rank shards awaiting a chunk flush"),
+		bytesEncoded: r.ShardedCounter("tracedbg_trace_bytes_encoded_total",
+			"encoded record bytes handed to the shared file writer"),
+		chunkFlushes: r.Counter("tracedbg_trace_chunk_flushes_total",
+			"per-rank buffer batches drained into the shared file writer"),
+		chunkBytes: r.Histogram("tracedbg_trace_chunk_bytes",
+			"size distribution of flushed chunks in bytes"),
+		loadParallel: r.Counter("tracedbg_trace_load_parallel_total",
+			"trace loads served by the parallel segment decoder"),
+		loadFallback: r.Counter("tracedbg_trace_load_serial_fallback_total",
+			"trace loads that stepped aside to the serial scanner"),
+		loadSegments: r.Counter("tracedbg_trace_load_segments_total",
+			"byte-range segments decoded by parallel loads"),
+		loadWorkers: r.Gauge("tracedbg_trace_load_workers",
+			"decode workers used by the most recent parallel load"),
+		loadScanNs: r.Histogram("tracedbg_trace_load_scan_ns",
+			"duration of the structural pass per parallel load, nanoseconds"),
+		loadDecodeNs: r.Histogram("tracedbg_trace_load_decode_ns",
+			"duration of segment decode + assembly per parallel load, nanoseconds"),
+		loadRecords: r.Counter("tracedbg_trace_load_records_total",
+			"records materialized by parallel loads"),
+		loadIndexed: r.Counter("tracedbg_trace_load_indexed_total",
+			"parallel loads that reused a prebuilt index for segmentation"),
+		loadIndexMiss: r.Counter("tracedbg_trace_load_index_mismatch_total",
+			"indexed loads whose index disagreed with the bytes (re-ran unindexed)"),
+	}
+}
+
+var traceObs atomic.Pointer[traceMetrics]
+
+func init() { traceObs.Store(newTraceMetrics(obs.Default())) }
+
+// SetObsRegistry re-points the package's metrics at a registry; obs.Nop()
+// yields nil metrics whose increments are no-ops. It exists for the
+// instrumentation-overhead benchmarks; restore with
+// SetObsRegistry(obs.Default()).
+func SetObsRegistry(r *obs.Registry) {
+	traceObs.Store(newTraceMetrics(r))
+}
+
+func metrics() *traceMetrics { return traceObs.Load() }

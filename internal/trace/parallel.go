@@ -9,6 +9,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"tracedbg/internal/obs"
 )
 
 // Parallel loader
@@ -440,33 +443,62 @@ func segTarget(total int) int {
 // loadParallel is the strict fast path; any error means "let the serial path
 // decide" rather than a final verdict on the file.
 func loadParallel(data []byte) (*Trace, error) {
+	m := metrics()
+	scanStart := time.Now()
 	st, err := scanStructure(data, segTarget(len(data)))
 	if err != nil {
 		return nil, err
 	}
+	m.loadScanNs.Observe(uint64(time.Since(scanStart)))
+	decodeStart := time.Now()
 	results, err := decodeSegments(data, st.segs, st.strings)
 	if err != nil {
 		return nil, err
 	}
-	return assemble(st.numRanks, st.counts, results)
+	t, err := assemble(st.numRanks, st.counts, results)
+	if err != nil {
+		return nil, err
+	}
+	m.loadDecodeNs.Observe(uint64(time.Since(decodeStart)))
+	m.loadParallel.Inc()
+	m.loadSegments.Add(uint64(len(st.segs)))
+	nw := runtime.GOMAXPROCS(0)
+	if nw > len(st.segs) {
+		nw = len(st.segs)
+	}
+	m.loadWorkers.Set(int64(nw))
+	m.loadRecords.Add(uint64(t.Len()))
+	return t, nil
+}
+
+// serialFallback records that the fast path stepped aside for these bytes.
+func serialFallback(err error) {
+	metrics().loadFallback.Inc()
+	if l := obs.Events(); l.Enabled(obs.LevelWarn) {
+		l.Log(obs.LevelWarn, "trace.load_serial_fallback", obs.F("cause", err))
+	}
 }
 
 // LoadParallel decodes an in-memory trace file on all available CPUs and
 // returns a trace identical to ReadAll over the same bytes. Errors fall back
 // to the serial reader so diagnostics and failure behavior match it exactly.
 func LoadParallel(data []byte) (*Trace, error) {
-	if t, err := loadParallel(data); err == nil {
+	t, err := loadParallel(data)
+	if err == nil {
 		return t, nil
 	}
+	serialFallback(err)
 	return ReadAll(bytes.NewReader(data))
 }
 
 // LoadParallelPartial is LoadParallel with ReadAllPartial salvage semantics:
 // a damaged or truncated tail marks the trace Incomplete instead of failing.
 func LoadParallelPartial(data []byte) (*Trace, error) {
-	if t, err := loadParallel(data); err == nil {
+	t, err := loadParallel(data)
+	if err == nil {
 		return t, nil
 	}
+	serialFallback(err)
 	return ReadAllPartial(bytes.NewReader(data))
 }
 
@@ -491,8 +523,10 @@ func LoadParallelIndexed(data []byte, ix *Index) (*Trace, error) {
 	}
 	t, err := loadParallelIndexed(data, ix)
 	if err != nil {
+		metrics().loadIndexMiss.Inc()
 		return LoadParallel(data)
 	}
+	metrics().loadIndexed.Inc()
 	return t, nil
 }
 

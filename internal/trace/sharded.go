@@ -28,15 +28,25 @@ type ShardedWriter struct {
 	fw     *FileWriter
 	chunk  int
 	shards []writeShard
+	om     *traceMetrics // captured at construction: no registry load per record
 }
 
 type writeShard struct {
-	mu  sync.Mutex
-	ids map[string]uint64 // rank-local cache over the shared string table
-	buf []byte            // encoded records awaiting a chunk flush
-	n   int               // records in buf
-	_   [24]byte          // pad to reduce false sharing between shards
+	mu       sync.Mutex
+	ids      map[string]uint64 // rank-local cache over the shared string table
+	buf      []byte            // encoded records awaiting a chunk flush
+	n        int               // records in buf
+	pendRecs int               // records accepted but not yet published to metrics
+	pubBytes int64             // buffer occupancy last published to the gauge
+	_        [24]byte          // pad to reduce false sharing between shards
 }
+
+// obsPublishEvery bounds how many accepted records a shard may hold back
+// before publishing them to the metrics registry. Accumulating in plain ints
+// under the shard mutex keeps the per-record hot path free of atomic ops;
+// publication at this cadence (and at every chunk flush) keeps a live
+// /metrics scrape at most a few dozen records stale per rank.
+const obsPublishEvery = 64
 
 // NewShardedWriter writes the file header and returns a sharded writer for
 // numRanks ranks with the default chunk size.
@@ -58,7 +68,7 @@ func NewShardedWriterSize(w io.Writer, numRanks, chunk int) (*ShardedWriter, err
 	if numRanks < 0 {
 		numRanks = 0
 	}
-	sw := &ShardedWriter{fw: fw, chunk: chunk, shards: make([]writeShard, numRanks)}
+	sw := &ShardedWriter{fw: fw, chunk: chunk, shards: make([]writeShard, numRanks), om: metrics()}
 	for i := range sw.shards {
 		sw.shards[i].ids = make(map[string]uint64)
 	}
@@ -96,19 +106,47 @@ func (sw *ShardedWriter) Write(r *Record) error {
 	faultID := sh.intern(st, r.Fault)
 	sh.buf = appendRecord(sh.buf, r, fileID, funcID, nameID, faultID)
 	sh.n++
+	sh.pendRecs++
 	if len(sh.buf) >= sw.chunk {
-		return sw.flushShardLocked(sh)
+		return sw.flushShardLocked(sh, r.Rank)
+	}
+	if sh.pendRecs >= obsPublishEvery {
+		sw.publishLocked(sh, r.Rank)
 	}
 	return nil
 }
 
+// publishLocked drains the shard's pending record count and buffer-occupancy
+// delta into the registry. Called with the shard mutex held.
+func (sw *ShardedWriter) publishLocked(sh *writeShard, rank int) {
+	m := sw.om
+	if sh.pendRecs > 0 {
+		m.recordsWritten.Add(rank, uint64(sh.pendRecs))
+		sh.pendRecs = 0
+	}
+	if d := int64(len(sh.buf)) - sh.pubBytes; d != 0 {
+		m.bufferBytes.Add(rank, d)
+		sh.pubBytes += d
+	}
+}
+
 // flushShardLocked batches the shard's buffer into the shared file writer.
 // Called with the shard mutex held.
-func (sw *ShardedWriter) flushShardLocked(sh *writeShard) error {
+func (sw *ShardedWriter) flushShardLocked(sh *writeShard, rank int) error {
 	if sh.n == 0 {
 		return nil
 	}
 	err := sw.fw.writeChunk(sh.buf, sh.n)
+	m := sw.om
+	if sh.pendRecs > 0 {
+		m.recordsWritten.Add(rank, uint64(sh.pendRecs))
+		sh.pendRecs = 0
+	}
+	m.chunkFlushes.Inc()
+	m.chunkBytes.Observe(uint64(len(sh.buf)))
+	m.bytesEncoded.Add(rank, uint64(len(sh.buf)))
+	m.bufferBytes.Add(rank, -sh.pubBytes)
+	sh.pubBytes = 0
 	sh.buf = sh.buf[:0]
 	sh.n = 0
 	return err
@@ -129,7 +167,7 @@ func (sw *ShardedWriter) Flush() error {
 	for i := range sw.shards {
 		sh := &sw.shards[i]
 		sh.mu.Lock()
-		if err := sw.flushShardLocked(sh); err != nil && first == nil {
+		if err := sw.flushShardLocked(sh, i); err != nil && first == nil {
 			first = err
 		}
 		sh.mu.Unlock()

@@ -5,21 +5,30 @@
 #   scripts/bench.sh [output.json]
 #
 # Writes one JSON object per benchmark: name, iterations, ns/op, and any
-# extra metrics (MB/s, B/op, allocs/op). The default output is BENCH_PR2.json
-# at the repo root — the checked-in baseline for the perf PR; regenerate it
-# when the pipeline changes materially and mention the delta in the PR.
+# extra metrics (MB/s, B/op, allocs/op), plus an "obs_snapshot" key holding
+# the self-observability metrics of a representative tanalyze run — so each
+# baseline records not just how fast the pipeline was but how much work
+# (records written, chunks flushed, ranks pruned, ...) the numbers represent.
+# The default output is BENCH_PR3.json at the repo root — the checked-in
+# baseline for the observability PR; regenerate it when the pipeline changes
+# materially and mention the delta in the PR.
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR3.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+snap="$(mktemp)"
+trap 'rm -f "$raw" "$snap"' EXIT
 
 go test -run '^$' \
-    -bench 'SerialLoad|ParallelLoad|QuerySerial|QueryIndexed|QueryParallel|FileWriterSerial|ShardedWrite|GraphFromTrace|MergedOrder' \
+    -bench 'SerialLoad|ParallelLoad|QuerySerial|QueryIndexed|QueryParallel|FileWriterSerial|ShardedWrite|GraphFromTrace|MergedOrder|ObsOverhead' \
     -benchtime "$benchtime" -benchmem . | tee "$raw"
+
+# Capture the obs snapshot of an in-process record + analyze pass: the
+# counters land in the same JSON as the timings they contextualize.
+go run ./cmd/tanalyze -app strassen -ranks 8 -size 16 -stats-json "$snap" > /dev/null
 
 awk '
 BEGIN { print "{"; first = 1 }
@@ -40,9 +49,12 @@ BEGIN { print "{"; first = 1 }
 /^cpu:/ { cpu = substr($0, 6); sub(/^[ \t]+/, "", cpu) }
 END {
     if (!first) printf ",\n"
-    printf "  \"_meta\": {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\"}\n",
+    printf "  \"_meta\": {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\"},\n",
         goos, goarch, cpu
-    print "}"
+    printf "  \"obs_snapshot\":\n"
 }' "$raw" > "$out"
+
+sed 's/^/  /' "$snap" >> "$out"
+echo "}" >> "$out"
 
 echo "wrote $out"
