@@ -146,6 +146,24 @@ func load(in, app string, ranks, size, iters int, seed int64, w io.Writer) (*tra
 		if tr.Incomplete() {
 			fmt.Fprintf(w, "warning: history incomplete: %s\n", tr.IncompleteReason())
 		}
+		if gaps := tr.Gaps(); len(gaps) > 0 {
+			var lost uint64
+			for r := 0; r < tr.NumRanks(); r++ {
+				lost += tr.PossiblyLost(r)
+			}
+			st := tr.Summarize()
+			fmt.Fprintf(w, "warning: %d damaged span(s) quarantined (%d bytes); up to %d events possibly lost\n",
+				st.Gaps, st.GapBytes, lost)
+			for _, g := range gaps {
+				fmt.Fprintf(w, "  gap at byte %d (%d bytes): %s\n", g.Offset, g.Bytes, g.Reason)
+				for rank, rg := range g.Ranks {
+					if n := rg.PossiblyLost(); n > 0 {
+						fmt.Fprintf(w, "    rank %d: up to %d events lost between markers %d and %d\n",
+							rank, n, rg.LastBefore, rg.FirstAfter)
+					}
+				}
+			}
+		}
 		return tr, nil
 	}
 	body, err := apps.Build(app, ranks, apps.Params{Size: size, Iters: iters, Seed: seed})

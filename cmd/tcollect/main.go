@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"tracedbg/internal/obs"
@@ -35,6 +37,8 @@ type options struct {
 	backoffMax  time.Duration // cap on the bind retry delay
 	metricsAddr string        // observability endpoint; "" disables
 	logLevel    string        // structured event log threshold; "" disables
+	sync        string        // output durability policy
+	segBytes    int64         // rotate output into segments of this size; 0 = single file
 	col         remote.CollectorOptions
 }
 
@@ -51,6 +55,10 @@ func main() {
 		"serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9100; empty = off)")
 	flag.StringVar(&o.logLevel, "log-level", "",
 		"emit structured JSON events to stderr at this level or above (debug|info|warn|error; empty = off)")
+	flag.StringVar(&o.sync, "sync", "none",
+		"output durability policy: none, interval, every-chunk")
+	flag.Int64Var(&o.segBytes, "segment-bytes", 0,
+		"rotate the output into size-bounded segments with a checksummed manifest (0 = single file)")
 	flag.Parse()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tcollect:", err)
@@ -134,12 +142,16 @@ func run(o options, log interface{ Write([]byte) (int, error) }) error {
 	}
 
 	tr := col.Trace()
-	f, err := os.Create(o.out)
+	policy, err := trace.ParseSyncPolicy(o.sync)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := trace.WriteAll(f, tr); err != nil {
+	wopts := trace.WriterOptions{Writer: "tcollect", Sync: policy}
+	if o.segBytes > 0 {
+		if err := writeSegmented(o, tr, wopts); err != nil {
+			return err
+		}
+	} else if err := trace.WriteFileAtomic(o.out, tr, wopts); err != nil {
 		return err
 	}
 	fmt.Fprintf(log, "tcollect: wrote %d records from %d ranks to %s\n", tr.Len(), tr.NumRanks(), o.out)
@@ -150,4 +162,27 @@ func run(o options, log interface{ Write([]byte) (int, error) }) error {
 		fmt.Fprintf(log, "tcollect: stream error: %v\n", e)
 	}
 	return nil
+}
+
+// writeSegmented rotates the collected history into size-bounded segment
+// files next to -out, each independently checksummed and loadable, with a
+// manifest tying them together (trace.LoadSegmented reassembles).
+func writeSegmented(o options, tr *trace.Trace, wopts trace.WriterOptions) error {
+	dir := filepath.Dir(o.out)
+	base := strings.TrimSuffix(filepath.Base(o.out), filepath.Ext(o.out))
+	gw, err := trace.NewSegmentedWriter(dir, base, tr.NumRanks(), o.segBytes, wopts)
+	if err != nil {
+		return err
+	}
+	for _, id := range tr.MergedOrder() {
+		if err := gw.Write(tr.MustAt(id)); err != nil {
+			return err
+		}
+	}
+	if tr.Incomplete() {
+		if err := gw.WriteIncomplete(tr.IncompleteReason()); err != nil {
+			return err
+		}
+	}
+	return gw.Close()
 }

@@ -1,0 +1,155 @@
+// Command trepair verifies, salvages, and migrates trace files.
+//
+// Usage:
+//
+//	trepair -verify run.trace              # per-chunk CRC report, exit 1 if damaged
+//	trepair -salvage run.trace -o out.trace  # recover all undamaged chunks + gap summary
+//	trepair -migrate legacy.trace -o out.trace  # rewrite in the current format
+//
+// -verify walks the checksummed chunk framing (format version 3) and reports
+// every damaged frame; legacy version-2 files are verified by a full decode,
+// the only check their format supports. -salvage runs the resynchronizing
+// salvage reader: records from every CRC-verified chunk are recovered — the
+// tail beyond damaged spans included — and each quarantined span is reported
+// with its byte extent and per-rank possibly-lost event bounds. -migrate
+// re-encodes a cleanly readable file in the current checksummed format
+// (or back to the legacy format with -legacy, for old tooling).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"tracedbg/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("trepair", flag.ContinueOnError)
+	var (
+		verify  = fs.Bool("verify", false, "verify the file chunk by chunk and report damage")
+		salvage = fs.Bool("salvage", false, "rewrite a damaged file into a clean one (requires -o)")
+		migrate = fs.Bool("migrate", false, "re-encode a clean file in the current format (requires -o)")
+		out     = fs.String("o", "", "output path for -salvage / -migrate")
+		legacy  = fs.Bool("legacy", false, "with -migrate: write the legacy v2 format instead")
+		writer  = fs.String("writer", "trepair", "writer identity recorded in the output header")
+		sync    = fs.String("sync", "none", "output durability policy: none, interval, every-chunk")
+		quiet   = fs.Bool("q", false, "suppress per-chunk detail, print summaries only")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: trepair [-verify|-salvage|-migrate] [-o out.trace] file.trace")
+		return 2
+	}
+	modes := 0
+	for _, m := range []bool{*verify, *salvage, *migrate} {
+		if m {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "trepair: choose exactly one of -verify, -salvage, -migrate")
+		return 2
+	}
+	path := fs.Arg(0)
+	policy, err := trace.ParseSyncPolicy(*sync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trepair:", err)
+		return 2
+	}
+	opts := trace.WriterOptions{Writer: *writer, Sync: policy, LegacyV2: *legacy}
+
+	switch {
+	case *verify:
+		return runVerify(path, *quiet)
+	case *salvage:
+		return runSalvage(path, *out, opts, *quiet)
+	default:
+		return runMigrate(path, *out, opts)
+	}
+}
+
+func runVerify(path string, quiet bool) int {
+	vr, err := trace.VerifyFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trepair: %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Printf("%s: %s\n", path, vr)
+	if !quiet && vr.BadChunks() > 0 {
+		vr.WriteVerifyDetail(os.Stdout)
+	}
+	if !vr.OK() {
+		return 1
+	}
+	return 0
+}
+
+func runSalvage(path, out string, opts trace.WriterOptions, quiet bool) int {
+	if out == "" {
+		fmt.Fprintln(os.Stderr, "trepair: -salvage requires -o <output>")
+		return 2
+	}
+	t, rep, err := trace.SalvageFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trepair: %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Printf("%s: %s\n", path, rep)
+	if !quiet {
+		for i, g := range rep.Gaps {
+			fmt.Printf("  gap %d: bytes %d..%d (%d bytes): %s\n", i, g.Offset, g.Offset+g.Bytes, g.Bytes, g.Reason)
+			for rank, rg := range g.Ranks {
+				if n := rg.PossiblyLost(); n > 0 {
+					fmt.Printf("    rank %d: up to %d events possibly lost (markers %d..%d survive)\n",
+						rank, n, rg.LastBefore, rg.FirstAfter)
+				} else if rg.HaveBefore && !rg.HaveAfter {
+					fmt.Printf("    rank %d: silent after marker %d\n", rank, rg.LastBefore)
+				}
+			}
+		}
+	}
+	// The salvaged output is a clean, complete-format file; the gap record
+	// itself lives in the Incomplete reason so downstream loads still know
+	// the history has holes.
+	if err := trace.WriteFileAtomic(out, t, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "trepair: writing %s: %v\n", out, err)
+		return 1
+	}
+	fmt.Printf("%s: %d records written\n", out, t.Len())
+	return 0
+}
+
+func runMigrate(path, out string, opts trace.WriterOptions) int {
+	if out == "" {
+		fmt.Fprintln(os.Stderr, "trepair: -migrate requires -o <output>")
+		return 2
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trepair: %v\n", err)
+		return 1
+	}
+	t, err := trace.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trepair: %s does not decode cleanly (%v); salvage it first\n", path, err)
+		return 1
+	}
+	if err := trace.WriteFileAtomic(out, t, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "trepair: writing %s: %v\n", out, err)
+		return 1
+	}
+	to := "current"
+	if opts.LegacyV2 {
+		to = "legacy v2"
+	}
+	fmt.Printf("%s: %d records migrated to %s format at %s\n", path, t.Len(), to, out)
+	return 0
+}

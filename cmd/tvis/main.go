@@ -99,6 +99,10 @@ func load(in, app string, ranks, size, iters int, seed int64) (*trace.Trace, err
 		if tr.Incomplete() {
 			fmt.Fprintln(os.Stderr, "tvis: warning: history incomplete:", tr.IncompleteReason())
 		}
+		for _, g := range tr.Gaps() {
+			fmt.Fprintf(os.Stderr, "tvis: warning: damaged span at byte %d (%d bytes) quarantined: %s\n",
+				g.Offset, g.Bytes, g.Reason)
+		}
 		return tr, nil
 	}
 	body, err := apps.Build(app, ranks, apps.Params{Size: size, Iters: iters, Seed: seed})

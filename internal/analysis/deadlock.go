@@ -38,6 +38,12 @@ type DeadlockReport struct {
 	// CrashedPeers lists blocked operations waiting on a rank that the
 	// history records as crashed (injected crash or Proc.Crash).
 	CrashedPeers []WaitEdge
+	// GapObscured lists blocked operations whose verdict cannot be trusted
+	// because the salvaged history has a quarantined gap touching the
+	// awaited rank: the event that would have satisfied the wait may have
+	// been LOST with the damaged chunk, not absent from the execution. Such
+	// edges are withheld from Hopeless rather than misreported.
+	GapObscured []WaitEdge
 }
 
 // HasDeadlock reports whether any circular dependency was found.
@@ -71,6 +77,9 @@ func (r *DeadlockReport) String() string {
 	}
 	for _, h := range r.CrashedPeers {
 		fmt.Fprintf(&sb, "  rank %d waits on rank %d, which crashed (injected fault)\n", h.From, h.On)
+	}
+	for _, h := range r.GapObscured {
+		fmt.Fprintf(&sb, "  rank %d waits on rank %d, whose events may be lost in a damaged trace span (verdict withheld)\n", h.From, h.On)
 	}
 	return sb.String()
 }
@@ -201,8 +210,14 @@ func DetectDeadlock(tr *trace.Trace) *DeadlockReport {
 		}
 		if _, peerBlocked := waits[e.On]; !peerBlocked {
 			// The awaited rank is not blocked: it finished without
-			// satisfying this wait.
-			rep.Hopeless = append(rep.Hopeless, e)
+			// satisfying this wait — unless the history lost events of
+			// that rank to trace damage, in which case the satisfying
+			// operation may simply be missing from the salvage.
+			if tr.GapTouches(e.On) {
+				rep.GapObscured = append(rep.GapObscured, e)
+			} else {
+				rep.Hopeless = append(rep.Hopeless, e)
+			}
 		}
 	}
 	return rep

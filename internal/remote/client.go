@@ -182,7 +182,7 @@ func parseAck(line string) (uint64, bool) {
 // collector has not acknowledged. Caller holds cl.mu.
 func (cl *Client) attachLocked(conn net.Conn, br *bufio.Reader, ack uint64) error {
 	bw := bufio.NewWriterSize(conn, 1<<16)
-	fw, err := trace.NewFileWriter(bw, cl.numRanks)
+	fw, err := trace.NewFileWriterOptions(bw, cl.numRanks, cl.writerOptions())
 	if err != nil {
 		return err
 	}
@@ -256,6 +256,13 @@ func (cl *Client) resendLocked(from uint64) error {
 	return nil
 }
 
+// writerOptions stamps the client's identity into the headers of both its
+// spill file and the wire stream (the checksummed chunk framing rides along
+// automatically for either sink).
+func (cl *Client) writerOptions() trace.WriterOptions {
+	return trace.WriterOptions{Writer: "tdbg-client/" + cl.opts.ID}
+}
+
 func (cl *Client) flushSpillLocked() error {
 	if cl.spillFW == nil {
 		return nil
@@ -263,7 +270,12 @@ func (cl *Client) flushSpillLocked() error {
 	if err := cl.spillFW.Flush(); err != nil {
 		return err
 	}
-	return cl.spillBW.Flush()
+	if err := cl.spillBW.Flush(); err != nil {
+		return err
+	}
+	// The spill file is the retransmission source of truth after a crash:
+	// force it to stable storage whenever its contents are about to matter.
+	return cl.spillF.Sync()
 }
 
 // spillLocked moves the oldest n in-memory records to the spill file.
@@ -282,7 +294,7 @@ func (cl *Client) spillLocked(n int) error {
 				obs.F("client", cl.opts.ID), obs.F("path", f.Name()))
 		}
 		bw := bufio.NewWriterSize(&countingWriter{w: f, c: metrics().clientSpillBytes}, 1<<16)
-		fw, err := trace.NewFileWriter(bw, cl.numRanks)
+		fw, err := trace.NewFileWriterOptions(bw, cl.numRanks, cl.writerOptions())
 		if err != nil {
 			f.Close()
 			os.Remove(f.Name())

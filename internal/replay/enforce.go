@@ -24,6 +24,11 @@ type Enforcer struct {
 	// fallback handles receives beyond the recorded history (a replay that
 	// runs past the recorded stop, or a diverged program).
 	fallback mp.DeliveryController
+	// gapLimited marks ranks whose enforcement was cut short because the
+	// salvaged trace has a quarantined gap touching them: past the gap the
+	// k-th-receive alignment is unknowable, so enforcing recorded matches
+	// there would silently force WRONG matches. Those receives fall back.
+	gapLimited []bool
 }
 
 type wantEntry struct {
@@ -36,19 +41,33 @@ type wantEntry struct {
 // the rank will post during replay — exact for the single-threaded blocking
 // programs the paper targets.
 func NewEnforcer(tr *trace.Trace) *Enforcer {
-	e := &Enforcer{
-		want:     make([][]wantEntry, tr.NumRanks()),
-		fallback: mp.EarliestArrival{},
+	return NewEnforcerOffset(tr, nil)
+}
+
+// gapTrust returns, per rank, the last execution marker before the rank's
+// first damage-touched gap — the point beyond which recorded receives can
+// no longer be aligned with replayed ones. Ranks untouched by damage get
+// the maximum marker (full trust).
+func gapTrust(tr *trace.Trace) []uint64 {
+	trust := make([]uint64, tr.NumRanks())
+	for r := range trust {
+		trust[r] = ^uint64(0)
 	}
-	for rank := 0; rank < tr.NumRanks(); rank++ {
-		for i := range tr.Rank(rank) {
-			rec := &tr.Rank(rank)[i]
-			if rec.Kind == trace.KindRecv {
-				e.want[rank] = append(e.want[rank], wantEntry{src: rec.Src, tag: rec.Tag})
+	for _, g := range tr.Gaps() {
+		for rank := 0; rank < tr.NumRanks(); rank++ {
+			if !g.Touches(rank) {
+				continue
+			}
+			var limit uint64 // no surviving record before the gap: trust nothing
+			if rank < len(g.Ranks) && g.Ranks[rank].HaveBefore {
+				limit = g.Ranks[rank].LastBefore
+			}
+			if limit < trust[rank] {
+				trust[rank] = limit
 			}
 		}
 	}
-	return e
+	return trust
 }
 
 // NewEnforcerOffset builds an enforcer for a replay that resumes from a
@@ -57,9 +76,11 @@ func NewEnforcer(tr *trace.Trace) *Enforcer {
 // is enforced for the suffix only.
 func NewEnforcerOffset(tr *trace.Trace, base []uint64) *Enforcer {
 	e := &Enforcer{
-		want:     make([][]wantEntry, tr.NumRanks()),
-		fallback: mp.EarliestArrival{},
+		want:       make([][]wantEntry, tr.NumRanks()),
+		fallback:   mp.EarliestArrival{},
+		gapLimited: make([]bool, tr.NumRanks()),
 	}
+	trust := gapTrust(tr)
 	for rank := 0; rank < tr.NumRanks(); rank++ {
 		var b uint64
 		if rank < len(base) {
@@ -67,9 +88,14 @@ func NewEnforcerOffset(tr *trace.Trace, base []uint64) *Enforcer {
 		}
 		for i := range tr.Rank(rank) {
 			rec := &tr.Rank(rank)[i]
-			if rec.Kind == trace.KindRecv && rec.Marker > b {
-				e.want[rank] = append(e.want[rank], wantEntry{src: rec.Src, tag: rec.Tag})
+			if rec.Kind != trace.KindRecv || rec.Marker <= b {
+				continue
 			}
+			if rec.Marker > trust[rank] {
+				e.gapLimited[rank] = true
+				break
+			}
+			e.want[rank] = append(e.want[rank], wantEntry{src: rec.Src, tag: rec.Tag})
 		}
 	}
 	return e
@@ -81,6 +107,13 @@ func (e *Enforcer) Recorded(rank int) int {
 		return 0
 	}
 	return len(e.want[rank])
+}
+
+// GapLimited reports whether enforcement for the rank was cut short at a
+// quarantined trace gap (receives past the gap replay under the fallback
+// controller instead of recorded matching).
+func (e *Enforcer) GapLimited(rank int) bool {
+	return rank >= 0 && rank < len(e.gapLimited) && e.gapLimited[rank]
 }
 
 // Pick implements mp.DeliveryController: deliver only the recorded message,

@@ -1,0 +1,165 @@
+// Crash-durability tests: a writer process dying mid-stream (the scenario
+// v3's chunk framing and sync policies exist for) must leave a file that
+// reopens cleanly up to the last synced chunk. The writer runs in a real
+// subprocess — re-executing this test binary — and dies with os.Exit at a
+// point chosen by an internal/fault crash rule, so no buffered bytes are
+// flushed on the way down, exactly like a killed collector.
+package trace_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"tracedbg/internal/fault"
+	"tracedbg/internal/trace"
+)
+
+const crashHelperExit = 7
+
+// TestCrashWriterHelper is the subprocess body, inert unless the parent
+// test re-executes the binary with TRACE_CRASH_HELPER=1.
+func TestCrashWriterHelper(t *testing.T) {
+	if os.Getenv("TRACE_CRASH_HELPER") != "1" {
+		t.Skip("subprocess helper for TestShardedWriterCrashDurability")
+	}
+	path := os.Getenv("TRACE_CRASH_FILE")
+	policy, err := trace.ParseSyncPolicy(os.Getenv("TRACE_CRASH_SYNC"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(2)
+	}
+	atOp, err := strconv.ParseUint(os.Getenv("TRACE_CRASH_ATOP"), 10, 64)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(2)
+	}
+
+	// The crash point comes from a fault plan, the same rule machinery that
+	// injects crashes into instrumented runs: rank 0's AtOp'th hooked
+	// operation is its last.
+	inj, err := fault.New(fault.Plan{Rules: []fault.Rule{
+		{Kind: fault.Crash, Rank: 0, AtOp: atOp},
+	}})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(2)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(2)
+	}
+	const ranks = 3
+	// Shard chunk size 1: every record seals (and, per policy, syncs) its
+	// own frame, so the durability floor under every-chunk is exact.
+	sw, err := trace.NewShardedWriterOptions(f, ranks, 1, trace.WriterOptions{
+		Writer:    "crash-helper",
+		Sync:      policy,
+		SyncEvery: time.Hour, // interval policy: no deadline fires in-test
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(2)
+	}
+	marker := make([]uint64, ranks)
+	clock := make([]int64, ranks)
+	for op := uint64(1); ; op++ {
+		if inj.CrashPoint(0, op) != nil {
+			// Die hard: no Flush, no Close, no file cleanup — the kernel
+			// keeps what reached the fd, the rest is gone.
+			os.Exit(crashHelperExit)
+		}
+		rank := int(op % ranks)
+		marker[rank]++
+		clock[rank] += 2
+		if err := sw.Write(&trace.Record{
+			Kind: trace.KindCompute, Rank: rank, Marker: marker[rank],
+			Start: clock[rank] - 1, End: clock[rank], Name: "step",
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "helper:", err)
+			os.Exit(2)
+		}
+	}
+}
+
+// TestShardedWriterCrashDurability kills a writer subprocess mid-stream
+// under each sync policy and checks what the surviving file guarantees.
+func TestShardedWriterCrashDurability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	const atOp = 40 // 39 records reach the writer before the crash
+
+	for _, tc := range []struct {
+		policy string
+		// exact guarantees only the strongest policy: every sealed chunk was
+		// fsynced, so all 39 records must survive the crash.
+		wantExact int
+	}{
+		{policy: "every-chunk", wantExact: atOp - 1},
+		{policy: "interval", wantExact: -1},
+		{policy: "none", wantExact: -1},
+	} {
+		t.Run(tc.policy, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "crash.trace")
+			cmd := exec.Command(exe, "-test.run", "^TestCrashWriterHelper$")
+			cmd.Env = append(os.Environ(),
+				"TRACE_CRASH_HELPER=1",
+				"TRACE_CRASH_FILE="+path,
+				"TRACE_CRASH_SYNC="+tc.policy,
+				"TRACE_CRASH_ATOP="+strconv.Itoa(atOp),
+			)
+			out, err := cmd.CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != crashHelperExit {
+				t.Fatalf("helper did not crash as planned: err=%v\n%s", err, out)
+			}
+
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading crashed file: %v", err)
+			}
+			t.Logf("policy %s: %d bytes survived the crash", tc.policy, len(data))
+
+			// Whatever survived, salvage must handle it without panicking
+			// and never produce more records than were written.
+			tr, _, serr := trace.SalvageBytes(data)
+			recovered := 0
+			if serr == nil {
+				recovered = tr.Len()
+			}
+			if recovered > atOp-1 {
+				t.Fatalf("recovered %d records, only %d were written", recovered, atOp-1)
+			}
+
+			if tc.wantExact >= 0 {
+				// The strong policy's contract: the reopened file verifies
+				// cleanly (every frame present and CRC-intact) and holds
+				// every record whose chunk was sealed before the kill.
+				vr, err := trace.VerifyBytes(data)
+				if err != nil {
+					t.Fatalf("VerifyBytes: %v", err)
+				}
+				if !vr.OK() {
+					t.Fatalf("crashed %s file does not verify cleanly:\n%s", tc.policy, vr)
+				}
+				if recovered != tc.wantExact {
+					t.Fatalf("recovered %d records under %s, want %d", recovered, tc.policy, tc.wantExact)
+				}
+				if tr.HasGaps() {
+					t.Fatalf("unexpected gaps in a cleanly synced file: %v", tr.Gaps())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,432 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy selects how aggressively a FileWriter forces sealed chunks to
+// stable storage. The policies trade write throughput against how much
+// history a host crash can cost (see DESIGN.md §11 for measurements).
+type SyncPolicy int
+
+const (
+	// SyncNone never fsyncs; the OS flushes on its own schedule. A crash
+	// may lose everything since the last kernel writeback. Fastest.
+	SyncNone SyncPolicy = iota
+	// SyncInterval fsyncs at chunk seals, at most once per
+	// WriterOptions.SyncEvery. Bounds crash loss to one interval.
+	SyncInterval
+	// SyncEveryChunk fsyncs after every sealed chunk. A crash loses at most
+	// the chunk under construction. Slowest.
+	SyncEveryChunk
+)
+
+// DefaultSyncInterval is the SyncInterval cadence when WriterOptions.SyncEvery
+// is unset.
+const DefaultSyncInterval = time.Second
+
+// String returns the policy's flag spelling (see ParseSyncPolicy).
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNone:
+		return "none"
+	case SyncInterval:
+		return "interval"
+	case SyncEveryChunk:
+		return "every-chunk"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses a policy flag value: "none", "interval", or
+// "every-chunk".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none", "":
+		return SyncNone, nil
+	case "interval":
+		return SyncInterval, nil
+	case "every-chunk", "everychunk", "every":
+		return SyncEveryChunk, nil
+	}
+	return SyncNone, fmt.Errorf("trace: unknown sync policy %q (want none, interval, or every-chunk)", s)
+}
+
+// WriterOptions configures a FileWriter's format revision and durability.
+// The zero value is the default: version-3 framing, writer identity
+// DefaultWriterIdentity, DefaultChunkSize chunks, no fsync.
+type WriterOptions struct {
+	// Writer is the identity recorded in the version-3 header (a host name,
+	// collector id, or tool name). "" selects DefaultWriterIdentity.
+	Writer string
+	// ChunkBytes is the payload size at which directly written records seal
+	// into a chunk frame. <= 0 selects DefaultChunkSize. ShardedWriter
+	// batches are framed one chunk per batch regardless.
+	ChunkBytes int
+	// Sync is the durability policy applied at chunk seals.
+	Sync SyncPolicy
+	// SyncEvery is the minimum spacing between fsyncs under SyncInterval.
+	// <= 0 selects DefaultSyncInterval.
+	SyncEvery time.Duration
+	// LegacyV2 emits the version-2 format (no framing, no checksums) for
+	// compatibility tooling and format tests.
+	LegacyV2 bool
+}
+
+func (o WriterOptions) withDefaults() WriterOptions {
+	if o.Writer == "" {
+		o.Writer = DefaultWriterIdentity
+	}
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = DefaultChunkSize
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = DefaultSyncInterval
+	}
+	return o
+}
+
+// WriteFileAtomic serializes t to path with crash-safe finalization: the
+// bytes go to path+".tmp", are fsynced, and the file is renamed into place
+// (then the directory is fsynced), so a crash mid-write can never leave a
+// half-written file under the final name — readers see the old file or the
+// complete new one.
+func WriteFileAtomic(path string, t *Trace, opts WriterOptions) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = WriteAllOptions(f, t, opts); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Filesystems that refuse directory fsync (some CI sandboxes) are ignored.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}
+
+// manifestMagic heads a segment manifest file, followed by the CRC32C of
+// the JSON body in hex and a newline.
+const manifestMagic = "TDBGMAN1"
+
+// Manifest describes a rotated trace: an ordered list of standalone segment
+// files that together form one history. The manifest file is itself
+// checksummed (magic + body CRC on the first line).
+type Manifest struct {
+	FormatVersion int           `json:"format_version"`
+	NumRanks      int           `json:"num_ranks"`
+	Writer        string        `json:"writer"`
+	Segments      []SegmentInfo `json:"segments"`
+}
+
+// SegmentInfo is one rotated segment file, named relative to the manifest.
+type SegmentInfo struct {
+	Name    string `json:"name"`
+	Bytes   int64  `json:"bytes"`
+	Records int    `json:"records"`
+}
+
+// WriteManifest writes m to path atomically (tmp + fsync + rename) with a
+// checksummed header line.
+func WriteManifest(path string, m *Manifest) (err error) {
+	body, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	body = append(body, '\n')
+	head := fmt.Sprintf("%s %08x\n", manifestMagic, crcChunk(body))
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.WriteString(head); err != nil {
+		return err
+	}
+	if _, err = f.Write(body); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// LoadManifest reads and checksum-verifies a segment manifest.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var want uint32
+	var consumed int
+	if n, err := fmt.Sscanf(string(data), manifestMagic+" %08x\n", &want); err != nil || n != 1 {
+		return nil, fmt.Errorf("trace: %s: not a segment manifest", path)
+	}
+	nl := 0
+	for nl < len(data) && data[nl] != '\n' {
+		nl++
+	}
+	consumed = nl + 1
+	if consumed >= len(data) {
+		return nil, fmt.Errorf("trace: %s: manifest body missing", path)
+	}
+	body := data[consumed:]
+	if crcChunk(body) != want {
+		return nil, fmt.Errorf("trace: %s: manifest checksum mismatch", path)
+	}
+	var m Manifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("trace: %s: manifest: %w", path, err)
+	}
+	return &m, nil
+}
+
+// countingFile wraps an *os.File with a racily readable byte count and
+// forwards Sync so FileWriter's durability policy still reaches the file.
+type countingFile struct {
+	f *os.File
+	n atomic.Int64
+}
+
+func (c *countingFile) Write(p []byte) (int, error) {
+	n, err := c.f.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+func (c *countingFile) Sync() error { return c.f.Sync() }
+
+// SegmentedWriter rotates a sharded trace writer across size-bounded segment
+// files, each a standalone (independently loadable, independently
+// verifiable) trace file, recording the sequence in a checksummed manifest
+// at Close. Rotation drains every rank buffer first, so each rank's records
+// split across segments in emission order and LoadSegmented can concatenate
+// per-rank streams without sorting.
+type SegmentedWriter struct {
+	mu       sync.Mutex
+	dir      string
+	base     string
+	numRanks int
+	segBytes int64
+	opts     WriterOptions
+
+	cf   *countingFile
+	sw   *ShardedWriter
+	segs []SegmentInfo
+	done int // records in finished segments
+}
+
+// DefaultSegmentBytes is the rotation threshold when NewSegmentedWriter is
+// given a non-positive one.
+const DefaultSegmentBytes int64 = 256 << 20
+
+// NewSegmentedWriter creates dir/base-00000.trace and returns a writer that
+// rotates to a new segment whenever the current one exceeds segBytes.
+func NewSegmentedWriter(dir, base string, numRanks int, segBytes int64, opts WriterOptions) (*SegmentedWriter, error) {
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	gw := &SegmentedWriter{dir: dir, base: base, numRanks: numRanks, segBytes: segBytes, opts: opts}
+	if err := gw.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	return gw, nil
+}
+
+func (gw *SegmentedWriter) segName(i int) string {
+	return fmt.Sprintf("%s-%05d.trace", gw.base, i)
+}
+
+// ManifestPath returns where Close will write the manifest.
+func (gw *SegmentedWriter) ManifestPath() string {
+	return filepath.Join(gw.dir, gw.base+".manifest")
+}
+
+func (gw *SegmentedWriter) openSegmentLocked() error {
+	name := gw.segName(len(gw.segs))
+	f, err := os.Create(filepath.Join(gw.dir, name))
+	if err != nil {
+		return err
+	}
+	cf := &countingFile{f: f}
+	sw, err := NewShardedWriterOptions(cf, gw.numRanks, DefaultChunkSize, gw.opts)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	gw.cf = cf
+	gw.sw = sw
+	return nil
+}
+
+// finishSegmentLocked flushes, fsyncs, and closes the current segment,
+// appending its manifest entry.
+func (gw *SegmentedWriter) finishSegmentLocked() error {
+	if gw.sw == nil {
+		return nil
+	}
+	if err := gw.sw.Flush(); err != nil {
+		return err
+	}
+	n := gw.sw.Count()
+	if err := gw.cf.f.Sync(); err != nil {
+		return err
+	}
+	if err := gw.cf.f.Close(); err != nil {
+		return err
+	}
+	gw.segs = append(gw.segs, SegmentInfo{
+		Name:    gw.segName(len(gw.segs)),
+		Bytes:   gw.cf.n.Load(),
+		Records: n,
+	})
+	gw.done += n
+	gw.sw, gw.cf = nil, nil
+	return nil
+}
+
+// Write appends one record, rotating to a fresh segment when the current
+// file has outgrown the threshold. Safe for concurrent use.
+func (gw *SegmentedWriter) Write(r *Record) error {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	if gw.sw == nil {
+		return fmt.Errorf("trace: segmented writer is closed")
+	}
+	if gw.sw.BytesAccepted() >= gw.segBytes {
+		if err := gw.finishSegmentLocked(); err != nil {
+			return err
+		}
+		if err := gw.openSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	return gw.sw.Write(r)
+}
+
+// WriteIncomplete marks the current segment's history incomplete.
+func (gw *SegmentedWriter) WriteIncomplete(reason string) error {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	if gw.sw == nil {
+		return fmt.Errorf("trace: segmented writer is closed")
+	}
+	return gw.sw.WriteIncomplete(reason)
+}
+
+// Flush drains buffers of the current segment to its file.
+func (gw *SegmentedWriter) Flush() error {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	if gw.sw == nil {
+		return nil
+	}
+	return gw.sw.Flush()
+}
+
+// Count returns records accepted across all segments.
+func (gw *SegmentedWriter) Count() int {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	n := gw.done
+	if gw.sw != nil {
+		n += gw.sw.Count()
+	}
+	return n
+}
+
+// Close finishes the current segment and writes the checksummed manifest.
+func (gw *SegmentedWriter) Close() error {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	if err := gw.finishSegmentLocked(); err != nil {
+		return err
+	}
+	opts := gw.opts.withDefaults()
+	return WriteManifest(gw.ManifestPath(), &Manifest{
+		FormatVersion: FormatVersion,
+		NumRanks:      gw.numRanks,
+		Writer:        opts.Writer,
+		Segments:      gw.segs,
+	})
+}
+
+// LoadSegmented reassembles a rotated trace from its manifest: segments are
+// loaded in order (with salvage semantics — a damaged segment contributes
+// what it can and records gaps) and concatenated per rank. A missing segment
+// file becomes a recorded gap rather than an error.
+func LoadSegmented(manifestPath string) (*Trace, error) {
+	m, err := LoadManifest(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(manifestPath)
+	out := New(m.NumRanks)
+	for _, seg := range m.Segments {
+		t, err := LoadFileParallel(filepath.Join(dir, seg.Name))
+		if err != nil {
+			out.MarkIncomplete(fmt.Sprintf("segment %s unreadable: %v", seg.Name, err))
+			out.RecordGap(Gap{Reason: fmt.Sprintf("segment %s unreadable", seg.Name), Bytes: seg.Bytes})
+			continue
+		}
+		for rank := 0; rank < t.NumRanks() && rank < out.NumRanks(); rank++ {
+			for _, r := range t.Rank(rank) {
+				if _, err := out.Append(r); err != nil {
+					return nil, fmt.Errorf("trace: segment %s: %w", seg.Name, err)
+				}
+			}
+		}
+		if t.Incomplete() {
+			out.MarkIncomplete(t.IncompleteReason())
+		}
+		for _, g := range t.Gaps() {
+			out.RecordGap(g)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,287 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"none": SyncNone, "interval": SyncInterval, "every-chunk": SyncEveryChunk,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+		if got.String() != in {
+			t.Errorf("SyncPolicy(%v).String() = %q, want %q", got, got.String(), in)
+		}
+	}
+	if _, err := ParseSyncPolicy("always"); err == nil {
+		t.Error("ParseSyncPolicy accepted an unknown policy")
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	want := richTrace(rng, 3, 150)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.trace")
+	if err := WriteFileAtomic(path, want, WriterOptions{Writer: "test"}); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	got, err := LoadFileParallel(path)
+	if err != nil {
+		t.Fatalf("LoadFileParallel: %v", err)
+	}
+	tracesEqual(t, "atomic round trip", got, want)
+
+	// No temporary debris under the final name's directory.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leftover temporary file %s", e.Name())
+		}
+	}
+
+	// The written identity is in the header.
+	vr, err := VerifyFile(path)
+	if err != nil {
+		t.Fatalf("VerifyFile: %v", err)
+	}
+	if vr.Writer != "test" {
+		t.Errorf("writer identity %q, want %q", vr.Writer, "test")
+	}
+}
+
+func TestSegmentedWriterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	want := richTrace(rng, 4, 500)
+	dir := t.TempDir()
+
+	gw, err := NewSegmentedWriter(dir, "run", want.NumRanks(), 4096, WriterOptions{Writer: "seg-test"})
+	if err != nil {
+		t.Fatalf("NewSegmentedWriter: %v", err)
+	}
+	for _, id := range want.MergedOrder() {
+		if err := gw.Write(want.MustAt(id)); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	m, err := LoadManifest(gw.ManifestPath())
+	if err != nil {
+		t.Fatalf("LoadManifest: %v", err)
+	}
+	if len(m.Segments) < 2 {
+		t.Fatalf("rotation produced %d segment(s), want several at 4 KiB", len(m.Segments))
+	}
+	for _, seg := range m.Segments {
+		fi, err := os.Stat(filepath.Join(dir, seg.Name))
+		if err != nil {
+			t.Fatalf("segment %s: %v", seg.Name, err)
+		}
+		if fi.Size() != seg.Bytes {
+			t.Errorf("segment %s: %d bytes on disk, manifest says %d", seg.Name, fi.Size(), seg.Bytes)
+		}
+		// Every segment is independently loadable and clean.
+		vr, err := VerifyFile(filepath.Join(dir, seg.Name))
+		if err != nil || !vr.OK() {
+			t.Errorf("segment %s does not verify: %v %s", seg.Name, err, vr)
+		}
+	}
+
+	got, err := LoadSegmented(gw.ManifestPath())
+	if err != nil {
+		t.Fatalf("LoadSegmented: %v", err)
+	}
+	tracesEqual(t, "segmented round trip", got, want)
+}
+
+func TestSegmentedMissingSegment(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	want := richTrace(rng, 3, 400)
+	dir := t.TempDir()
+	gw, err := NewSegmentedWriter(dir, "run", want.NumRanks(), 4096, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range want.MergedOrder() {
+		if err := gw.Write(want.MustAt(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadManifest(gw.ManifestPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Segments) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(m.Segments))
+	}
+	victim := m.Segments[1].Name
+	if err := os.Remove(filepath.Join(dir, victim)); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadSegmented(gw.ManifestPath())
+	if err != nil {
+		t.Fatalf("LoadSegmented with missing segment: %v", err)
+	}
+	if !got.Incomplete() || !got.HasGaps() {
+		t.Fatalf("missing segment not surfaced: incomplete=%v gaps=%v", got.Incomplete(), got.Gaps())
+	}
+	if got.Len() == 0 || got.Len() >= want.Len() {
+		t.Errorf("recovered %d of %d records around the missing segment", got.Len(), want.Len())
+	}
+	for r := 0; r < want.NumRanks(); r++ {
+		if !isSubsequence(got.Rank(r), want.Rank(r)) {
+			t.Errorf("rank %d: surviving records are not a subsequence of the original", r)
+		}
+	}
+}
+
+func TestManifestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.manifest")
+	m := &Manifest{FormatVersion: FormatVersion, NumRanks: 4, Writer: "x",
+		Segments: []SegmentInfo{{Name: "run-00000.trace", Bytes: 123, Records: 7}}}
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatalf("WriteManifest: %v", err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatalf("LoadManifest: %v", err)
+	}
+	if got.NumRanks != 4 || len(got.Segments) != 1 || got.Segments[0].Bytes != 123 {
+		t.Fatalf("manifest round trip mismatch: %+v", got)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the JSON body: the CRC line must catch it.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0x20
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); err == nil {
+		t.Error("LoadManifest accepted a corrupted manifest")
+	}
+}
+
+// TestSyncIntervalElapses: under the interval policy an fsync happens once
+// the spacing has passed, at the next chunk seal.
+func TestSyncIntervalElapses(t *testing.T) {
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "t.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fw, err := NewFileWriterOptions(f, 1, WriterOptions{
+		ChunkBytes: 1, Sync: SyncInterval, SyncEvery: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := metrics().fsyncs.Value()
+	for i := 0; i < 5; i++ {
+		time.Sleep(time.Millisecond)
+		if err := fw.Write(&Record{Kind: KindCompute, Rank: 0, Marker: uint64(i + 1),
+			Start: int64(i), End: int64(i), Name: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics().fsyncs.Value(); got <= before {
+		t.Errorf("no fsyncs recorded under SyncInterval (counter %d -> %d)", before, got)
+	}
+}
+
+// goldenTrace is a fixed trace, independent of any PRNG, for format
+// stability tests: the encoded bytes must never change for a given format
+// version.
+func goldenTrace() *Trace {
+	tr := New(2)
+	tr.MustAppend(Record{Kind: KindSend, Rank: 0, Marker: 1,
+		Loc: Location{File: "ring.go", Line: 10, Func: "main"},
+		Start: 0, End: 3, Src: 0, Dst: 1, Tag: 2, Bytes: 64, MsgID: 1,
+		Name: "Send", Args: [2]int64{5, -5}})
+	tr.MustAppend(Record{Kind: KindRecv, Rank: 1, Marker: 1,
+		Loc: Location{File: "ring.go", Line: 20, Func: "worker"},
+		Start: 3, End: 5, Src: 0, Dst: 1, Tag: 2, Bytes: 64, MsgID: 1,
+		WasWildcard: true, Name: "Recv"})
+	tr.MustAppend(Record{Kind: KindCompute, Rank: 0, Marker: 2,
+		Loc: Location{File: "ring.go", Line: 11, Func: "main"},
+		Start: 3, End: 9, Name: "mul"})
+	tr.MustAppend(Record{Kind: KindFault, Rank: 1, Marker: 2,
+		Start: 5, End: 5, Fault: FaultDrop, Name: "drop"})
+	tr.MarkIncomplete("golden: stopped early")
+	return tr
+}
+
+// TestGoldenFormatStability pins both on-disk formats: the bytes in
+// testdata are what today's writers produce (no silent format drift), and
+// both decode to the same records (the compatibility promise: files written
+// by any released version keep loading bit-identically).
+func TestGoldenFormatStability(t *testing.T) {
+	want := goldenTrace()
+	for _, tc := range []struct {
+		name string
+		file string
+		opts WriterOptions
+	}{
+		{"v2", "testdata/legacy_v2.trace", WriterOptions{LegacyV2: true}},
+		{"v3", "testdata/golden_v3.trace", WriterOptions{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteAllOptions(&buf, want, tc.opts); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			golden, err := os.ReadFile(tc.file)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate by writing the encode output): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), golden) {
+				t.Errorf("%s encoding drifted from the golden bytes (%d vs %d bytes)",
+					tc.name, buf.Len(), len(golden))
+			}
+			got, err := ReadAll(bytes.NewReader(golden))
+			if err != nil {
+				t.Fatalf("ReadAll golden: %v", err)
+			}
+			tracesEqual(t, tc.name+" golden", got, want)
+
+			// The salvage and parallel paths agree on pristine goldens too.
+			sTr, rep, err := ReadAllSalvage(bytes.NewReader(golden))
+			if err != nil || !rep.Clean() {
+				t.Fatalf("salvage golden: %v %s", err, rep)
+			}
+			tracesEqual(t, tc.name+" salvage", sTr, want)
+			pTr, err := LoadParallel(golden)
+			if err != nil {
+				t.Fatalf("parallel golden: %v", err)
+			}
+			tracesEqual(t, tc.name+" parallel", pTr, want)
+		})
+	}
+}

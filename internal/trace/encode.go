@@ -6,16 +6,14 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 )
 
-// File format
+// Block codec (shared by both format revisions)
 //
-//	magic "TDBGTRC2"
-//	uvarint numRanks
-//	blocks:
-//	  'S' uvarint id, uvarint len, bytes        -- string-table entry
-//	  'R' encoded record                        -- one event
-//	  'I' uvarint len, bytes                    -- incomplete-history marker
+//	'S' uvarint id, uvarint len, bytes        -- string-table entry
+//	'R' encoded record                        -- one event
+//	'I' uvarint len, bytes                    -- incomplete-history marker
 //
 // Strings (file names, function names, construct names) are interned: each
 // distinct string is emitted once, before its first use.  Records refer to
@@ -23,12 +21,11 @@ import (
 // partial traces on demand (the paper's extension of the AIMS monitor) and
 // the debugger can consume the file while the target is still running.
 //
-// Version 2 extends version 1 with the per-record fault annotation (an
-// interned string id) and the 'I' block, which marks the history as partial
-// (the bytes are the human-readable reason). An 'I' block may appear
-// anywhere after the header; readers OR the flags together.
-
-const fileMagic = "TDBGTRC2"
+// Version 2 ("TDBGTRC2") is a bare header followed by a raw block stream.
+// Version 3 ("TDBGTRC3") wraps the same blocks in checksummed chunk frames
+// and records a writer identity in the header; see frame.go for the
+// envelope and the compatibility promise. An 'I' block may appear anywhere
+// after the header; readers OR the flags together.
 
 const (
 	blockString     byte = 'S'
@@ -80,33 +77,92 @@ func (st *stringTable) take() []byte {
 	return p
 }
 
+// syncer is the subset of *os.File the durability policies need. Writers
+// whose underlying sink does not implement it (network connections, byte
+// buffers) silently skip fsync.
+type syncer interface{ Sync() error }
+
 // FileWriter serializes records to a trace file. It is safe for concurrent
 // use by multiple rank goroutines; for high rank counts prefer ShardedWriter,
 // which batches per-rank buffers into this writer in large chunks.
+//
+// In the default version-3 format, blocks accumulate into a chunk buffer
+// that is sealed — framed with its length and CRC32C — when it reaches
+// WriterOptions.ChunkBytes, on Flush, and around every ShardedWriter batch.
+// The configured SyncPolicy decides which chunk seals also reach stable
+// storage via fsync.
 type FileWriter struct {
-	mu      sync.Mutex // guards w, scratch, n
-	w       *bufio.Writer
-	under   io.Writer
-	strings stringTable
-	scratch []byte
-	n       int // records written
+	mu       sync.Mutex // guards everything below
+	w        *bufio.Writer
+	under    io.Writer
+	sync     syncer // non-nil when under supports fsync
+	opts     WriterOptions
+	legacy   bool
+	strings  stringTable
+	scratch  []byte
+	cbuf     []byte // version 3: chunk payload under construction
+	frameBuf []byte // version 3: frame header/trailer scratch
+	n        int   // records written
+	out      int64 // bytes handed to the buffered writer (file size once flushed)
+	lastSync time.Time
+	om       *traceMetrics
 }
 
-// NewFileWriter writes the header and returns a writer for numRanks ranks.
+// NewFileWriter writes the header and returns a writer for numRanks ranks
+// with default options (version-3 format, no fsync).
 func NewFileWriter(w io.Writer, numRanks int) (*FileWriter, error) {
+	return NewFileWriterOptions(w, numRanks, WriterOptions{})
+}
+
+// NewFileWriterOptions is NewFileWriter with explicit format and durability
+// options.
+func NewFileWriterOptions(w io.Writer, numRanks int, opts WriterOptions) (*FileWriter, error) {
+	opts = opts.withDefaults()
 	fw := &FileWriter{
 		w:       bufio.NewWriterSize(w, 1<<16),
 		under:   w,
+		opts:    opts,
+		legacy:  opts.LegacyV2,
 		strings: stringTable{ids: make(map[string]uint64)},
+		om:      metrics(),
 	}
-	if _, err := fw.w.WriteString(fileMagic); err != nil {
-		return nil, fmt.Errorf("trace: writing magic: %w", err)
+	if s, ok := w.(syncer); ok {
+		fw.sync = s
 	}
-	fw.scratch = binary.AppendUvarint(fw.scratch[:0], uint64(numRanks))
-	if _, err := fw.w.Write(fw.scratch); err != nil {
+	fw.lastSync = time.Now()
+	if fw.legacy {
+		if err := fw.put([]byte(fileMagicV2)); err != nil {
+			return nil, fmt.Errorf("trace: writing magic: %w", err)
+		}
+		fw.scratch = binary.AppendUvarint(fw.scratch[:0], uint64(numRanks))
+		if err := fw.put(fw.scratch); err != nil {
+			return nil, fmt.Errorf("trace: writing header: %w", err)
+		}
+		return fw, nil
+	}
+	fw.scratch = appendHeaderV3(fw.scratch[:0], numRanks, opts.Writer)
+	if err := fw.put(fw.scratch); err != nil {
 		return nil, fmt.Errorf("trace: writing header: %w", err)
 	}
 	return fw, nil
+}
+
+// put writes to the buffered writer, accounting for the bytes: fw.out is
+// the exact file size once buffers flush, which segment rotation consults
+// without waiting for the 64 KiB buffer to drain.
+func (fw *FileWriter) put(p []byte) error {
+	n, err := fw.w.Write(p)
+	fw.out += int64(n)
+	return err
+}
+
+// BytesEmitted returns the bytes committed to the file so far plus the
+// pending chunk payload — the file's size once buffers flush and the
+// pending chunk seals.
+func (fw *FileWriter) BytesEmitted() int64 {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.out + int64(len(fw.cbuf))
 }
 
 // internRecord resolves the four interned string fields of a record.
@@ -143,27 +199,112 @@ func appendRecord(buf []byte, r *Record, fileID, funcID, nameID, faultID uint64)
 	return buf
 }
 
-// writePendingLocked drains the string-table deltas to the file. Must run
-// with fw.mu held, before any record bytes referencing those ids are written.
+// writePendingLocked drains the string-table deltas: directly to the file
+// in the legacy format, into the pending chunk in version 3. Must run with
+// fw.mu held, before any record bytes referencing those ids are written.
 func (fw *FileWriter) writePendingLocked() error {
 	p := fw.strings.take()
 	if len(p) == 0 {
 		return nil
 	}
-	_, err := fw.w.Write(p)
+	if fw.legacy {
+		return fw.put(p)
+	}
+	fw.cbuf = append(fw.cbuf, p...)
+	return nil
+}
+
+// emitFrameLocked writes one sealed chunk frame whose payload is the
+// concatenation of parts, without copying them together.
+func (fw *FileWriter) emitFrameLocked(parts ...[]byte) error {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil
+	}
+	fw.frameBuf = appendFrameHeader(fw.frameBuf[:0], total)
+	if err := fw.put(fw.frameBuf); err != nil {
+		return err
+	}
+	for _, p := range parts {
+		if err := fw.put(p); err != nil {
+			return err
+		}
+	}
+	fw.frameBuf = appendFrameCRC(fw.frameBuf[:0], parts...)
+	if err := fw.put(fw.frameBuf); err != nil {
+		return err
+	}
+	fw.om.chunksSealed.Inc()
+	return fw.afterChunkLocked()
+}
+
+// sealChunkLocked frames and writes the pending chunk buffer, if any.
+func (fw *FileWriter) sealChunkLocked() error {
+	if len(fw.cbuf) == 0 {
+		return nil
+	}
+	err := fw.emitFrameLocked(fw.cbuf)
+	fw.cbuf = fw.cbuf[:0]
 	return err
+}
+
+// afterChunkLocked applies the durability policy after a chunk seal.
+func (fw *FileWriter) afterChunkLocked() error {
+	switch fw.opts.Sync {
+	case SyncEveryChunk:
+		return fw.fsyncLocked()
+	case SyncInterval:
+		if time.Since(fw.lastSync) >= fw.opts.SyncEvery {
+			return fw.fsyncLocked()
+		}
+	}
+	return nil
+}
+
+// fsyncLocked flushes buffered bytes and forces them to stable storage.
+func (fw *FileWriter) fsyncLocked() error {
+	fw.lastSync = time.Now()
+	if err := fw.w.Flush(); err != nil {
+		return err
+	}
+	if fw.sync == nil {
+		return nil
+	}
+	if err := fw.sync.Sync(); err != nil {
+		return fmt.Errorf("trace: fsync: %w", err)
+	}
+	fw.om.fsyncs.Inc()
+	return nil
 }
 
 // writeChunk appends a batch of pre-encoded record blocks (nrec records) in
 // one critical section, draining pending string deltas first. This is the
-// entry point ShardedWriter batches through.
+// entry point ShardedWriter batches through. In version 3 the batch becomes
+// exactly one sealed chunk (string deltas prepended), so each ShardedWriter
+// flush is independently checksummed.
 func (fw *FileWriter) writeChunk(buf []byte, nrec int) error {
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
-	if err := fw.writePendingLocked(); err != nil {
-		return fmt.Errorf("trace: writing string table: %w", err)
+	if fw.legacy {
+		if err := fw.writePendingLocked(); err != nil {
+			return fmt.Errorf("trace: writing string table: %w", err)
+		}
+		if err := fw.put(buf); err != nil {
+			return fmt.Errorf("trace: writing records: %w", err)
+		}
+		fw.n += nrec
+		return nil
 	}
-	if _, err := fw.w.Write(buf); err != nil {
+	// Anything buffered from direct Writes must precede this batch in the
+	// file, so seal it first.
+	if err := fw.sealChunkLocked(); err != nil {
+		return fmt.Errorf("trace: writing records: %w", err)
+	}
+	pending := fw.strings.take()
+	if err := fw.emitFrameLocked(pending, buf); err != nil {
 		return fmt.Errorf("trace: writing records: %w", err)
 	}
 	fw.n += nrec
@@ -178,43 +319,86 @@ func (fw *FileWriter) Write(r *Record) error {
 	if err := fw.writePendingLocked(); err != nil {
 		return fmt.Errorf("trace: writing string table: %w", err)
 	}
-	fw.scratch = appendRecord(fw.scratch[:0], r, fileID, funcID, nameID, faultID)
-	if _, err := fw.w.Write(fw.scratch); err != nil {
-		return fmt.Errorf("trace: writing record: %w", err)
+	if fw.legacy {
+		fw.scratch = appendRecord(fw.scratch[:0], r, fileID, funcID, nameID, faultID)
+		if err := fw.put(fw.scratch); err != nil {
+			return fmt.Errorf("trace: writing record: %w", err)
+		}
+		fw.n++
+		return nil
 	}
+	fw.cbuf = appendRecord(fw.cbuf, r, fileID, funcID, nameID, faultID)
 	fw.n++
+	if len(fw.cbuf) >= fw.opts.ChunkBytes {
+		if err := fw.sealChunkLocked(); err != nil {
+			return fmt.Errorf("trace: writing record: %w", err)
+		}
+	}
 	return nil
 }
 
 // WriteIncomplete appends an incomplete-history marker: readers of the file
 // will see a trace flagged Incomplete with the given reason. Used when the
 // producer knows the history is partial (aborted run, lossy collection).
+// In version 3 the marker's chunk is sealed immediately so the flag itself
+// cannot be lost to a later torn write.
 func (fw *FileWriter) WriteIncomplete(reason string) error {
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
-	buf := fw.scratch[:0]
-	buf = append(buf, blockIncomplete)
-	buf = binary.AppendUvarint(buf, uint64(len(reason)))
-	fw.scratch = buf
-	if _, err := fw.w.Write(buf); err != nil {
-		return fmt.Errorf("trace: writing incomplete marker: %w", err)
+	if fw.legacy {
+		buf := fw.scratch[:0]
+		buf = append(buf, blockIncomplete)
+		buf = binary.AppendUvarint(buf, uint64(len(reason)))
+		fw.scratch = buf
+		if err := fw.put(buf); err != nil {
+			return fmt.Errorf("trace: writing incomplete marker: %w", err)
+		}
+		if err := fw.put([]byte(reason)); err != nil {
+			return fmt.Errorf("trace: writing incomplete marker: %w", err)
+		}
+		return nil
 	}
-	if _, err := fw.w.WriteString(reason); err != nil {
+	fw.cbuf = append(fw.cbuf, blockIncomplete)
+	fw.cbuf = binary.AppendUvarint(fw.cbuf, uint64(len(reason)))
+	fw.cbuf = append(fw.cbuf, reason...)
+	if err := fw.sealChunkLocked(); err != nil {
 		return fmt.Errorf("trace: writing incomplete marker: %w", err)
 	}
 	return nil
 }
 
-// Flush forces buffered records to the underlying writer. This is the
-// monitor-flush-on-demand operation the debugger uses to obtain trace data
-// during execution rather than post mortem.
+// Flush forces buffered records to the underlying writer, sealing the
+// pending chunk so everything written so far is decodable by a concurrent
+// reader. This is the monitor-flush-on-demand operation the debugger uses
+// to obtain trace data during execution rather than post mortem.
 func (fw *FileWriter) Flush() error {
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
 	if err := fw.writePendingLocked(); err != nil {
 		return err
 	}
+	if !fw.legacy {
+		if err := fw.sealChunkLocked(); err != nil {
+			return err
+		}
+	}
 	return fw.w.Flush()
+}
+
+// Sync flushes and forces the file to stable storage, regardless of the
+// configured policy. No-op fsync when the underlying writer is not a file.
+func (fw *FileWriter) Sync() error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if err := fw.writePendingLocked(); err != nil {
+		return err
+	}
+	if !fw.legacy {
+		if err := fw.sealChunkLocked(); err != nil {
+			return err
+		}
+	}
+	return fw.fsyncLocked()
 }
 
 // Count returns the number of records written so far.
@@ -228,54 +412,221 @@ func (fw *FileWriter) Count() int {
 // the caller owns.
 func (fw *FileWriter) Close() error { return fw.Flush() }
 
-// Scanner streams records from a trace file.
+// ChunkError reports a damaged chunk frame: its checksum failed, its length
+// overran the file, or the bytes at Offset are not a frame at all. The
+// salvage reader treats it as the signal to resynchronize.
+type ChunkError struct {
+	Offset int64 // file offset of the frame (or where one was expected)
+	Err    error
+}
+
+func (e *ChunkError) Error() string {
+	return fmt.Sprintf("trace: damaged chunk at byte %d: %v", e.Offset, e.Err)
+}
+
+func (e *ChunkError) Unwrap() error { return e.Err }
+
+// Scanner streams records from a trace file of either format revision.
 type Scanner struct {
 	r        *bufio.Reader
+	version  int
+	writer   string // header identity (version 3)
 	numRanks int
 	strings  []string // id-1 indexed
-	offset   int64    // bytes consumed so far
+	offset   int64    // bytes consumed from the underlying reader
+
+	framed     bool   // version >= 3: blocks come from verified chunks
+	chunk      []byte // current chunk payload
+	cpos       int    // read position within chunk
+	chunkStart int64  // file offset of the current chunk's frame
 
 	incomplete       bool // an 'I' block was seen
 	incompleteReason string
 }
 
-// NewScanner validates the header and returns a streaming reader.
+// NewScanner validates the header and returns a streaming reader. The
+// format revision is sniffed from the 8-byte magic; version-2 files decode
+// exactly as they always have.
 func NewScanner(r io.Reader) (*Scanner, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	magic := make([]byte, len(fileMagic))
+	magic := make([]byte, 8)
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if string(magic) != fileMagic {
+	sc := &Scanner{r: br, offset: 8}
+	switch string(magic) {
+	case fileMagicV2:
+		sc.version = FormatVersionLegacy
+		n, err := sc.readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading rank count: %w", err)
+		}
+		sc.numRanks = int(n)
+		return sc, nil
+	case fileMagicV3:
+		sc.version = FormatVersion
+		if err := sc.readHeaderV3(); err != nil {
+			return nil, err
+		}
+		sc.framed = true
+		return sc, nil
+	default:
 		return nil, fmt.Errorf("trace: bad magic %q", magic)
 	}
-	sc := &Scanner{r: br, offset: int64(len(fileMagic))}
-	n, err := sc.readUvarint()
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading rank count: %w", err)
+}
+
+// readHeaderV3 reads the version-3 header body (after the magic) and
+// verifies its checksum.
+func (sc *Scanner) readHeaderV3() error {
+	var body []byte
+	readVar := func(field string) (uint64, error) {
+		v, err := binary.ReadUvarint(byteReaderFunc(func() (byte, error) {
+			b, err := sc.r.ReadByte()
+			if err == nil {
+				sc.offset++
+				body = append(body, b)
+			}
+			return b, err
+		}))
+		if err != nil {
+			return 0, fmt.Errorf("trace: reading %s: %w", field, err)
+		}
+		return v, nil
 	}
-	sc.numRanks = int(n)
-	return sc, nil
+	nr, err := readVar("rank count")
+	if err != nil {
+		return err
+	}
+	wl, err := readVar("writer identity")
+	if err != nil {
+		return err
+	}
+	if wl > maxWriterLen {
+		return fmt.Errorf("trace: writer identity length %d out of range", wl)
+	}
+	buf := make([]byte, wl+4)
+	if _, err := io.ReadFull(sc.r, buf); err != nil {
+		return fmt.Errorf("trace: reading header: %w", err)
+	}
+	sc.offset += int64(len(buf))
+	body = append(body, buf[:wl]...)
+	if crcChunk(body) != binary.LittleEndian.Uint32(buf[wl:]) {
+		return errBadHeaderCRC
+	}
+	sc.numRanks = int(nr)
+	sc.writer = string(buf[:wl])
+	return nil
+}
+
+// loadChunk reads and verifies the next chunk frame. io.EOF at a clean end
+// of file; a *ChunkError for a damaged frame.
+func (sc *Scanner) loadChunk() error {
+	sc.chunkStart = sc.offset
+	var hdr [4]byte
+	n, err := io.ReadFull(sc.r, hdr[:])
+	if err == io.EOF {
+		return io.EOF
+	}
+	sc.offset += int64(n)
+	if err != nil {
+		return &ChunkError{Offset: sc.chunkStart, Err: fmt.Errorf("truncated frame: %w", err)}
+	}
+	if hdr != chunkMagic {
+		return &ChunkError{Offset: sc.chunkStart, Err: fmt.Errorf("bad chunk magic %q", hdr[:])}
+	}
+	plen, err := binary.ReadUvarint(byteReaderFunc(func() (byte, error) {
+		b, err := sc.r.ReadByte()
+		if err == nil {
+			sc.offset++
+		}
+		return b, err
+	}))
+	if err != nil {
+		return &ChunkError{Offset: sc.chunkStart, Err: fmt.Errorf("chunk length: %w", err)}
+	}
+	if plen > maxChunkPayload {
+		return &ChunkError{Offset: sc.chunkStart, Err: fmt.Errorf("chunk length %d out of range", plen)}
+	}
+	if cap(sc.chunk) < int(plen) {
+		sc.chunk = make([]byte, plen)
+	}
+	sc.chunk = sc.chunk[:plen]
+	if _, err := io.ReadFull(sc.r, sc.chunk); err != nil {
+		return &ChunkError{Offset: sc.chunkStart, Err: fmt.Errorf("chunk payload: %w", err)}
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(sc.r, crc[:]); err != nil {
+		sc.offset += int64(len(sc.chunk))
+		return &ChunkError{Offset: sc.chunkStart, Err: fmt.Errorf("chunk checksum: %w", err)}
+	}
+	sc.offset += int64(len(sc.chunk)) + 4
+	if crcChunk(sc.chunk) != binary.LittleEndian.Uint32(crc[:]) {
+		metrics().crcErrors.Inc()
+		sc.chunk = sc.chunk[:0]
+		sc.cpos = 0
+		return &ChunkError{Offset: sc.chunkStart, Err: fmt.Errorf("checksum mismatch")}
+	}
+	sc.cpos = 0
+	return nil
 }
 
 // NumRanks returns the rank count from the file header.
 func (sc *Scanner) NumRanks() int { return sc.numRanks }
 
+// Version returns the file's format revision (2 or 3).
+func (sc *Scanner) Version() int { return sc.version }
+
+// Writer returns the writer identity from a version-3 header ("" for
+// legacy files).
+func (sc *Scanner) Writer() string { return sc.writer }
+
 // Incomplete reports whether an incomplete-history marker has been scanned
 // so far, and its reason.
 func (sc *Scanner) Incomplete() (bool, string) { return sc.incomplete, sc.incompleteReason }
 
-// Offset returns the number of bytes consumed so far. The value before a
-// Next call is the offset of the next block, which the Index stores for
-// later rescanning.
-func (sc *Scanner) Offset() int64 { return sc.offset }
+// Offset returns a rescannable position for the next block: in a legacy
+// file the exact byte offset, in a framed file the offset of the chunk
+// frame containing it (chunk frames are the only positions a reader can
+// verify from). The Index stores these for later seeks.
+func (sc *Scanner) Offset() int64 {
+	if sc.framed && sc.cpos < len(sc.chunk) {
+		return sc.chunkStart
+	}
+	return sc.offset
+}
 
 func (sc *Scanner) readByte() (byte, error) {
+	if sc.framed {
+		if sc.cpos >= len(sc.chunk) {
+			return 0, io.ErrUnexpectedEOF // block truncated by chunk boundary
+		}
+		b := sc.chunk[sc.cpos]
+		sc.cpos++
+		return b, nil
+	}
 	b, err := sc.r.ReadByte()
 	if err == nil {
 		sc.offset++
 	}
 	return b, err
+}
+
+// readFull returns the next n block-stream bytes (string payloads).
+func (sc *Scanner) readFull(n int) ([]byte, error) {
+	if sc.framed {
+		if sc.cpos+n > len(sc.chunk) || n < 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		b := sc.chunk[sc.cpos : sc.cpos+n]
+		sc.cpos += n
+		return b, nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(sc.r, buf); err != nil {
+		return nil, err
+	}
+	sc.offset += int64(n)
+	return buf, nil
 }
 
 func (sc *Scanner) readUvarint() (uint64, error) {
@@ -310,9 +661,16 @@ func (sc *Scanner) SeedStrings(table []string) { sc.strings = append([]string(ni
 // Strings returns a copy of the string table collected so far.
 func (sc *Scanner) Strings() []string { return append([]string(nil), sc.strings...) }
 
-// Next returns the next record, or io.EOF at end of file.
+// Next returns the next record, or io.EOF at end of file. A damaged chunk
+// in a framed file surfaces as a *ChunkError carrying the frame's offset.
 func (sc *Scanner) Next() (*Record, error) {
 	for {
+		if sc.framed && sc.cpos >= len(sc.chunk) {
+			if err := sc.loadChunk(); err != nil {
+				return nil, err
+			}
+			continue // the chunk may be empty in degenerate files
+		}
 		tag, err := sc.readByte()
 		if err == io.EOF {
 			return nil, io.EOF
@@ -330,11 +688,10 @@ func (sc *Scanner) Next() (*Record, error) {
 			if err != nil {
 				return nil, fmt.Errorf("trace: string len: %w", err)
 			}
-			buf := make([]byte, n)
-			if _, err := io.ReadFull(sc.r, buf); err != nil {
+			buf, err := sc.readFull(int(n))
+			if err != nil {
 				return nil, fmt.Errorf("trace: string bytes: %w", err)
 			}
-			sc.offset += int64(n)
 			if int(id) != len(sc.strings)+1 {
 				// Mid-file rescans revisit string blocks already seeded;
 				// tolerate redefinitions that match the table.
@@ -352,11 +709,10 @@ func (sc *Scanner) Next() (*Record, error) {
 			if err != nil {
 				return nil, fmt.Errorf("trace: incomplete marker len: %w", err)
 			}
-			buf := make([]byte, n)
-			if _, err := io.ReadFull(sc.r, buf); err != nil {
+			buf, err := sc.readFull(int(n))
+			if err != nil {
 				return nil, fmt.Errorf("trace: incomplete marker reason: %w", err)
 			}
-			sc.offset += int64(n)
 			if !sc.incomplete {
 				sc.incompleteReason = string(buf)
 			}
@@ -464,7 +820,9 @@ func (sc *Scanner) readRecord() (*Record, error) {
 }
 
 // ReadAll loads an entire trace file into memory. Any error — including
-// mid-file truncation — is fatal; use ReadAllPartial to salvage a prefix.
+// mid-file truncation or a failed chunk checksum — is fatal; use
+// ReadAllPartial to salvage a prefix or ReadAllSalvage to also recover the
+// tail beyond damaged chunks.
 func ReadAll(r io.Reader) (*Trace, error) {
 	sc, err := NewScanner(r)
 	if err != nil {
@@ -517,10 +875,12 @@ func ReadAllIndexed(r io.Reader, ix *Index) (*Trace, error) {
 	}
 }
 
-// ReadAllPartial loads as much of a trace file as is decodable. A damaged or
+// ReadAllPartial loads the clean prefix of a trace file. A damaged or
 // truncated tail stops the scan and marks the result Incomplete instead of
-// failing, so a history cut off by a crash stays analyzable. Only a
-// missing/corrupt header (no decodable prefix at all) is an error.
+// failing, so a history cut off by a crash stays analyzable; the reason
+// records the byte offset of the damage and the per-rank extent of what was
+// salvaged. Only a missing/corrupt header (no decodable prefix at all) is
+// an error. ReadAllSalvage additionally recovers records beyond the damage.
 func ReadAllPartial(r io.Reader) (*Trace, error) {
 	sc, err := NewScanner(r)
 	if err != nil {
@@ -533,11 +893,11 @@ func ReadAllPartial(r io.Reader) (*Trace, error) {
 			break
 		}
 		if err != nil {
-			t.MarkIncomplete(fmt.Sprintf("trace file truncated: %v", err))
+			t.MarkIncomplete(partialReason("trace file truncated", sc, t, err))
 			break
 		}
 		if _, err := t.Append(*rec); err != nil {
-			t.MarkIncomplete(fmt.Sprintf("trace file damaged: %v", err))
+			t.MarkIncomplete(partialReason("trace file damaged", sc, t, err))
 			break
 		}
 	}
@@ -547,10 +907,70 @@ func ReadAllPartial(r io.Reader) (*Trace, error) {
 	return t, nil
 }
 
+// partialReason renders the Incomplete reason for a prefix salvage: where
+// the damage begins (byte offset), what was recovered up to it (per-rank
+// record extent), and the underlying decode error.
+func partialReason(what string, sc *Scanner, t *Trace, cause error) string {
+	off := sc.Offset()
+	var ce *ChunkError
+	if asChunkError(cause, &ce) {
+		off = ce.Offset
+	}
+	return fmt.Sprintf("%s at byte %d (salvaged prefix: %s): %v", what, off, rankExtentSummary(t), cause)
+}
+
+// asChunkError unwraps cause into a *ChunkError without importing errors
+// (kept local: errors.As on a double pointer reads worse than this).
+func asChunkError(cause error, out **ChunkError) bool {
+	for cause != nil {
+		if ce, ok := cause.(*ChunkError); ok {
+			*out = ce
+			return true
+		}
+		u, ok := cause.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		cause = u.Unwrap()
+	}
+	return false
+}
+
+// rankExtentSummary renders "N records, ranks r0..rk to markers m0..mk" for
+// damage reports.
+func rankExtentSummary(t *Trace) string {
+	total := 0
+	lo, hi := -1, -1
+	var maxMarker uint64
+	for r := 0; r < t.NumRanks(); r++ {
+		n := t.RankLen(r)
+		if n == 0 {
+			continue
+		}
+		total += n
+		if lo < 0 {
+			lo = r
+		}
+		hi = r
+		if m := t.Rank(r)[n-1].Marker; m > maxMarker {
+			maxMarker = m
+		}
+	}
+	if total == 0 {
+		return "0 records"
+	}
+	return fmt.Sprintf("%d records, ranks %d-%d, last marker %d", total, lo, hi, maxMarker)
+}
+
 // WriteAll serializes an in-memory trace in merged time order, preserving an
 // Incomplete flag as a trailer block.
 func WriteAll(w io.Writer, t *Trace) error {
-	fw, err := NewFileWriter(w, t.NumRanks())
+	return WriteAllOptions(w, t, WriterOptions{})
+}
+
+// WriteAllOptions is WriteAll with explicit format and durability options.
+func WriteAllOptions(w io.Writer, t *Trace, opts WriterOptions) error {
+	fw, err := NewFileWriterOptions(w, t.NumRanks(), opts)
 	if err != nil {
 		return err
 	}

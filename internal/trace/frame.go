@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Format revision 3: checksummed chunk framing.
+//
+// A version-3 trace file is a header followed by a sequence of self-
+// delimiting, individually checksummed chunks:
+//
+//	header:  magic "TDBGTRC3"
+//	         uvarint numRanks
+//	         uvarint len(writer), writer bytes   -- writer identity
+//	         4-byte LE CRC32C of the header bytes after the magic
+//	chunk:   chunkMagic (4 bytes)
+//	         uvarint len(payload)
+//	         payload                             -- version-2 blocks
+//	         4-byte LE CRC32C of the payload
+//
+// The payload of a chunk is exactly the version-2 block stream ('S' string
+// deltas, 'R' records, 'I' incomplete markers), so the two format revisions
+// share one block codec; version 3 only adds the integrity envelope. The
+// CRC is Castagnoli (hardware-accelerated by hash/crc32 on amd64/arm64).
+//
+// The frame magic exists so a reader that hits a damaged chunk can scan
+// forward to the next frame boundary and keep decoding — recovering the
+// tail of the file, not just the clean prefix (see salvage.go). False
+// positives (payload bytes that happen to spell the magic) are harmless:
+// the frame parsed at a false boundary fails its CRC and the scan resumes.
+//
+// Compatibility promise: version-2 files (magic "TDBGTRC2") remain readable
+// forever through the same Scanner/loader entry points, bit-compatibly;
+// version sniffing happens on the 8-byte magic. Writers emit version 3
+// unless WriterOptions.LegacyV2 asks for the old format.
+
+const (
+	fileMagicV2 = "TDBGTRC2"
+	fileMagicV3 = "TDBGTRC3"
+
+	// FormatVersionLegacy and FormatVersion name the two on-disk revisions.
+	FormatVersionLegacy = 2
+	FormatVersion       = 3
+
+	// DefaultWriterIdentity is recorded in version-3 headers when the
+	// producer does not identify itself.
+	DefaultWriterIdentity = "tracedbg"
+
+	// maxChunkPayload bounds the declared payload length a reader will
+	// accept, so a corrupted length varint cannot demand an absurd
+	// allocation.
+	maxChunkPayload = 1 << 26
+
+	// maxWriterLen bounds the header's writer-identity string.
+	maxWriterLen = 1 << 10
+)
+
+// chunkMagic starts every version-3 frame. 0xF7 never begins a block tag
+// ('S', 'R', 'I'), which keeps accidental matches in block streams rare;
+// the CRC catches the rest.
+var chunkMagic = [4]byte{0xF7, 'T', 'D', 'C'}
+
+// castagnoli is the CRC32C table; crc32 dispatches to SSE4.2/ARMv8
+// instructions for this polynomial.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcChunk computes the chunk checksum over one or more payload slices.
+func crcChunk(parts ...[]byte) uint32 {
+	var c uint32
+	for _, p := range parts {
+		c = crc32.Update(c, castagnoli, p)
+	}
+	return c
+}
+
+// appendHeaderV3 appends the version-3 file header for numRanks and the
+// given writer identity ("" selects DefaultWriterIdentity).
+func appendHeaderV3(buf []byte, numRanks int, writer string) []byte {
+	if writer == "" {
+		writer = DefaultWriterIdentity
+	}
+	if len(writer) > maxWriterLen {
+		writer = writer[:maxWriterLen]
+	}
+	buf = append(buf, fileMagicV3...)
+	body := len(buf)
+	buf = binary.AppendUvarint(buf, uint64(numRanks))
+	buf = binary.AppendUvarint(buf, uint64(len(writer)))
+	buf = append(buf, writer...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crcChunk(buf[body:]))
+	return append(buf, crc[:]...)
+}
+
+// appendFrameHeader appends the chunk magic and payload length.
+func appendFrameHeader(buf []byte, payloadLen int) []byte {
+	buf = append(buf, chunkMagic[:]...)
+	return binary.AppendUvarint(buf, uint64(payloadLen))
+}
+
+// appendFrameCRC appends the little-endian checksum of the payload parts.
+func appendFrameCRC(buf []byte, parts ...[]byte) []byte {
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crcChunk(parts...))
+	return append(buf, crc[:]...)
+}
+
+// header is the decoded file header of either format revision.
+type header struct {
+	version  int
+	numRanks int
+	writer   string // "" for version 2
+	end      int    // bytes consumed
+}
+
+// errBadHeaderCRC distinguishes a header whose fields parsed but whose
+// checksum does not match — the one corruption a version-3 reader cannot
+// salvage around, because numRanks shapes everything after it.
+var errBadHeaderCRC = fmt.Errorf("trace: header checksum mismatch")
+
+// parseHeaderBytes decodes the file header from an in-memory file image.
+func parseHeaderBytes(data []byte) (header, error) {
+	if len(data) < 8 {
+		return header{}, fmt.Errorf("trace: bad magic")
+	}
+	switch string(data[:8]) {
+	case fileMagicV2:
+		nr, n := binary.Uvarint(data[8:])
+		if n <= 0 {
+			return header{}, fmt.Errorf("trace: reading rank count: truncated")
+		}
+		return header{version: FormatVersionLegacy, numRanks: int(nr), end: 8 + n}, nil
+	case fileMagicV3:
+		pos := 8
+		nr, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return header{}, fmt.Errorf("trace: reading rank count: truncated")
+		}
+		pos += n
+		wl, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return header{}, fmt.Errorf("trace: reading writer identity: truncated")
+		}
+		pos += n
+		if wl > maxWriterLen || pos+int(wl)+4 > len(data) {
+			return header{}, fmt.Errorf("trace: writer identity length %d out of range", wl)
+		}
+		writer := string(data[pos : pos+int(wl)])
+		pos += int(wl)
+		want := binary.LittleEndian.Uint32(data[pos : pos+4])
+		if crcChunk(data[8:pos]) != want {
+			return header{}, errBadHeaderCRC
+		}
+		pos += 4
+		return header{version: FormatVersion, numRanks: int(nr), writer: writer, end: pos}, nil
+	default:
+		return header{}, fmt.Errorf("trace: bad magic %q", data[:8])
+	}
+}
+
+// frame is a parsed version-3 chunk frame within an in-memory file image.
+type frame struct {
+	start        int // offset of the chunk magic
+	payloadStart int
+	payloadEnd   int
+	end          int // offset just past the CRC
+	crcOK        bool
+}
+
+// parseFrame parses the frame starting at pos. It fails (without a frame)
+// when the bytes at pos are not a structurally plausible frame; a frame
+// whose payload merely fails its checksum is returned with crcOK=false so
+// callers can quarantine exactly that span.
+func parseFrame(data []byte, pos int) (frame, error) {
+	if pos+len(chunkMagic) > len(data) || string(data[pos:pos+4]) != string(chunkMagic[:]) {
+		return frame{}, fmt.Errorf("trace: no chunk magic at offset %d", pos)
+	}
+	p := pos + 4
+	n, sn := binary.Uvarint(data[p:])
+	if sn <= 0 || n > maxChunkPayload {
+		return frame{}, fmt.Errorf("trace: bad chunk length at offset %d", pos)
+	}
+	p += sn
+	if p+int(n)+4 > len(data) {
+		return frame{}, fmt.Errorf("trace: chunk at offset %d overruns file", pos)
+	}
+	f := frame{start: pos, payloadStart: p, payloadEnd: p + int(n), end: p + int(n) + 4}
+	want := binary.LittleEndian.Uint32(data[f.payloadEnd:f.end])
+	f.crcOK = crcChunk(data[f.payloadStart:f.payloadEnd]) == want
+	return f, nil
+}
+
+// nextFrameCandidate returns the offset of the next chunk-magic occurrence
+// at or after pos, or -1. This is the resynchronization scan of the salvage
+// reader.
+func nextFrameCandidate(data []byte, pos int) int {
+	if pos < 0 {
+		pos = 0
+	}
+	if pos >= len(data) {
+		return -1
+	}
+	i := bytes.Index(data[pos:], chunkMagic[:])
+	if i < 0 {
+		return -1
+	}
+	return pos + i
+}

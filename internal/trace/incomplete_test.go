@@ -49,7 +49,9 @@ func TestIncompletePreservedByCloneAndWindow(t *testing.T) {
 
 func TestReadAllPartialSalvagesTruncatedFile(t *testing.T) {
 	var buf bytes.Buffer
-	fw, err := NewFileWriter(&buf, 1)
+	// Tiny chunks so each record seals its own frame: truncation then
+	// damages only the last chunk and the salvageable prefix is nonempty.
+	fw, err := NewFileWriterOptions(&buf, 1, WriterOptions{ChunkBytes: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@ import (
 type Index struct {
 	NumRanks int
 	Stride   int
+	version  int // format revision of the indexed file
 	strings  []string
 	perRank  [][]indexEntry
 	counts   []int // records per rank, known exactly after the build pass
@@ -43,6 +44,7 @@ func BuildIndex(r io.Reader, stride int) (*Index, error) {
 	ix := &Index{
 		NumRanks: sc.NumRanks(),
 		Stride:   stride,
+		version:  sc.Version(),
 		perRank:  make([][]indexEntry, sc.NumRanks()),
 	}
 	counts := make([]int, sc.NumRanks())
@@ -130,6 +132,14 @@ func (ix *Index) scannerAt(rs io.ReadSeeker, offset int64) (*Scanner, error) {
 		numRanks: ix.NumRanks,
 		offset:   offset,
 	}
+	// Checkpoint offsets in a framed file are chunk-frame starts (that is
+	// what Scanner.Offset reports there), so the scanner resumes in framed
+	// mode at a frame boundary.
+	sc.version = ix.version
+	if sc.version == 0 {
+		sc.version = FormatVersionLegacy
+	}
+	sc.framed = sc.version >= FormatVersion
 	sc.SeedStrings(ix.strings)
 	return sc, nil
 }

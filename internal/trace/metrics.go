@@ -27,6 +27,13 @@ type traceMetrics struct {
 	loadRecords    *obs.Counter
 	loadIndexed    *obs.Counter
 	loadIndexMiss  *obs.Counter
+
+	chunksSealed   *obs.Counter
+	crcErrors      *obs.Counter
+	chunksSalvaged *obs.Counter
+	fsyncs         *obs.Counter
+	gapSpans       *obs.Gauge
+	gapBytes       *obs.Gauge
 }
 
 func newTraceMetrics(r *obs.Registry) *traceMetrics {
@@ -59,6 +66,18 @@ func newTraceMetrics(r *obs.Registry) *traceMetrics {
 			"parallel loads that reused a prebuilt index for segmentation"),
 		loadIndexMiss: r.Counter("tracedbg_trace_load_index_mismatch_total",
 			"indexed loads whose index disagreed with the bytes (re-ran unindexed)"),
+		chunksSealed: r.Counter("tracedbg_trace_chunks_sealed_total",
+			"checksummed chunk frames written to trace files"),
+		crcErrors: r.Counter("tracedbg_trace_crc_errors_total",
+			"chunk frames rejected for checksum mismatch or damaged framing"),
+		chunksSalvaged: r.Counter("tracedbg_trace_chunks_salvaged_total",
+			"chunk frames recovered by resynchronizing salvage after damage"),
+		fsyncs: r.Counter("tracedbg_trace_fsyncs_total",
+			"fsyncs issued by trace writers under their durability policy"),
+		gapSpans: r.Gauge("tracedbg_trace_gaps",
+			"damaged spans quarantined by the most recent salvaged load"),
+		gapBytes: r.Gauge("tracedbg_trace_gap_bytes",
+			"bytes quarantined by the most recent salvaged load"),
 	}
 }
 

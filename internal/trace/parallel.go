@@ -50,16 +50,73 @@ type structure struct {
 	counts   []int // records per rank
 }
 
-func parseHeader(data []byte) (numRanks, pos int, err error) {
-	if len(data) < len(fileMagic) || string(data[:len(fileMagic)]) != fileMagic {
-		return 0, 0, fmt.Errorf("trace: bad magic")
+// framePos maps a version-3 chunk frame to its place in the normalized
+// block stream.
+type framePos struct {
+	fileOff  int // offset of the frame in the file image
+	blockOff int // offset of its payload in the normalized stream
+	pStart   int // payload bounds in the file image
+	pEnd     int
+}
+
+// normalized is a file image reduced to the form the segment decoders
+// consume: one contiguous block stream. Legacy files are already that shape
+// (blocks aliases the input, start skips the header); framed files have
+// every chunk CRC-verified and their payloads concatenated, with frames
+// recording the offset mapping for index-driven segmentation.
+type normalized struct {
+	blocks   []byte
+	start    int // offset of the first block within blocks
+	numRanks int
+	version  int
+	frames   []framePos // nil for legacy files
+}
+
+// normalize verifies and flattens a file image. It is strict: any framing
+// damage is an error, and the caller falls back to the serial or salvage
+// reader — which is what keeps the parallel and serial paths in exact
+// agreement on damaged files.
+func normalize(data []byte) (*normalized, error) {
+	hdr, err := parseHeaderBytes(data)
+	if err != nil {
+		return nil, err
 	}
-	pos = len(fileMagic)
-	nr, n := binary.Uvarint(data[pos:])
-	if n <= 0 {
-		return 0, 0, fmt.Errorf("trace: reading rank count: truncated")
+	if hdr.version == FormatVersionLegacy {
+		return &normalized{blocks: data, start: hdr.end, numRanks: hdr.numRanks, version: hdr.version}, nil
 	}
-	return int(nr), pos + n, nil
+	var frames []framePos
+	total := 0
+	for pos := hdr.end; pos < len(data); {
+		f, err := parseFrame(data, pos)
+		if err != nil {
+			return nil, err
+		}
+		if !f.crcOK {
+			metrics().crcErrors.Inc()
+			return nil, &ChunkError{Offset: int64(pos), Err: fmt.Errorf("checksum mismatch")}
+		}
+		frames = append(frames, framePos{fileOff: pos, blockOff: total, pStart: f.payloadStart, pEnd: f.payloadEnd})
+		total += f.payloadEnd - f.payloadStart
+		pos = f.end
+	}
+	blocks := make([]byte, 0, total)
+	for _, fp := range frames {
+		blocks = append(blocks, data[fp.pStart:fp.pEnd]...)
+	}
+	return &normalized{blocks: blocks, numRanks: hdr.numRanks, version: hdr.version, frames: frames}, nil
+}
+
+// blockOffset translates a file offset (a chunk-frame start, as stored by
+// the Index) into the normalized stream, or -1 when it is not one.
+func (nm *normalized) blockOffset(fileOff int64) int {
+	if nm.frames == nil {
+		return int(fileOff)
+	}
+	i := sort.Search(len(nm.frames), func(i int) bool { return int64(nm.frames[i].fileOff) >= fileOff })
+	if i < len(nm.frames) && int64(nm.frames[i].fileOff) == fileOff {
+		return nm.frames[i].blockOff
+	}
+	return -1
 }
 
 // skipUvarint advances past one varint (signed and unsigned skip identically).
@@ -76,14 +133,10 @@ func skipUvarint(data []byte, pos int) (int, bool) {
 
 var errStructure = fmt.Errorf("trace: parallel loader: structure error")
 
-// scanStructure walks the block framing of the whole file without decoding
+// scanStructure walks the block stream starting at pos without decoding
 // record fields (it extracts only the rank, for the per-rank counts). It cuts
 // a segment boundary roughly every targetSeg bytes, always at a block start.
-func scanStructure(data []byte, targetSeg int) (*structure, error) {
-	numRanks, pos, err := parseHeader(data)
-	if err != nil {
-		return nil, err
-	}
+func scanStructure(data []byte, pos, numRanks, targetSeg int) (*structure, error) {
 	if numRanks < 0 {
 		return nil, errStructure
 	}
@@ -445,13 +498,17 @@ func segTarget(total int) int {
 func loadParallel(data []byte) (*Trace, error) {
 	m := metrics()
 	scanStart := time.Now()
-	st, err := scanStructure(data, segTarget(len(data)))
+	nm, err := normalize(data)
+	if err != nil {
+		return nil, err
+	}
+	st, err := scanStructure(nm.blocks, nm.start, nm.numRanks, segTarget(len(nm.blocks)))
 	if err != nil {
 		return nil, err
 	}
 	m.loadScanNs.Observe(uint64(time.Since(scanStart)))
 	decodeStart := time.Now()
-	results, err := decodeSegments(data, st.segs, st.strings)
+	results, err := decodeSegments(nm.blocks, st.segs, st.strings)
 	if err != nil {
 		return nil, err
 	}
@@ -491,8 +548,9 @@ func LoadParallel(data []byte) (*Trace, error) {
 	return ReadAll(bytes.NewReader(data))
 }
 
-// LoadParallelPartial is LoadParallel with ReadAllPartial salvage semantics:
-// a damaged or truncated tail marks the trace Incomplete instead of failing.
+// LoadParallelPartial is LoadParallel with ReadAllPartial semantics: a
+// damaged or truncated tail marks the trace Incomplete (keeping only the
+// clean prefix) instead of failing.
 func LoadParallelPartial(data []byte) (*Trace, error) {
 	t, err := loadParallel(data)
 	if err == nil {
@@ -502,14 +560,30 @@ func LoadParallelPartial(data []byte) (*Trace, error) {
 	return ReadAllPartial(bytes.NewReader(data))
 }
 
+// LoadParallelSalvage is LoadParallel with ReadAllSalvage semantics: damage
+// anywhere in the file is quarantined as recorded gaps and every record from
+// undamaged chunks — the tail included — is recovered. Undamaged files take
+// the parallel fast path; the salvage reader only runs when something is
+// actually wrong.
+func LoadParallelSalvage(data []byte) (*Trace, error) {
+	t, err := loadParallel(data)
+	if err == nil {
+		return t, nil
+	}
+	serialFallback(err)
+	t, _, err = SalvageBytes(data)
+	return t, err
+}
+
 // LoadFileParallel reads and decodes a whole trace file with the salvage
-// semantics the CLIs want (partial histories stay analyzable).
+// semantics the CLIs want: partial or damaged histories stay analyzable,
+// with quarantined spans recorded as gaps on the trace.
 func LoadFileParallel(path string) (*Trace, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return LoadParallelPartial(data)
+	return LoadParallelSalvage(data)
 }
 
 // LoadParallelIndexed decodes using a prebuilt Index: its checkpoints provide
@@ -531,24 +605,32 @@ func LoadParallelIndexed(data []byte, ix *Index) (*Trace, error) {
 }
 
 func loadParallelIndexed(data []byte, ix *Index) (*Trace, error) {
-	numRanks, headerEnd, err := parseHeader(data)
+	nm, err := normalize(data)
 	if err != nil {
 		return nil, err
 	}
-	if numRanks != ix.NumRanks {
+	if nm.numRanks != ix.NumRanks {
 		return nil, errStructure
 	}
-	// Collect checkpoint offsets across all ranks as candidate cut points.
+	headerEnd := nm.start
+	// Collect checkpoint offsets across all ranks as candidate cut points,
+	// translated into the normalized block stream (for framed files a
+	// checkpoint is a chunk-frame start; one that is not maps to -1 and
+	// means the index belongs to different bytes).
 	var cuts []int
 	for _, ents := range ix.perRank {
 		for _, e := range ents {
-			if e.offset > int64(headerEnd) && e.offset < int64(len(data)) {
-				cuts = append(cuts, int(e.offset))
+			c := nm.blockOffset(e.offset)
+			if c < 0 {
+				return nil, errStructure
+			}
+			if c > headerEnd && c < len(nm.blocks) {
+				cuts = append(cuts, c)
 			}
 		}
 	}
 	sort.Ints(cuts)
-	target := segTarget(len(data))
+	target := segTarget(len(nm.blocks))
 	table := ix.strings
 	// Index checkpoints land on record-block starts; every segment gets the
 	// full table (exactly the Scanner.SeedStrings semantics of indexed
@@ -564,8 +646,8 @@ func loadParallelIndexed(data []byte, ix *Index) (*Trace, error) {
 			prev = c
 		}
 	}
-	if prev < len(data) {
-		segs = append(segs, segment{off: prev, end: len(data), strAvail: len(table)})
+	if prev < len(nm.blocks) {
+		segs = append(segs, segment{off: prev, end: len(nm.blocks), strAvail: len(table)})
 	}
 	total := 0
 	for _, n := range ix.counts {
@@ -577,9 +659,9 @@ func loadParallelIndexed(data []byte, ix *Index) (*Trace, error) {
 			segs[i].nrec = per
 		}
 	}
-	results, err := decodeSegments(data, segs, table)
+	results, err := decodeSegments(nm.blocks, segs, table)
 	if err != nil {
 		return nil, err
 	}
-	return assemble(numRanks, ix.counts, results)
+	return assemble(nm.numRanks, ix.counts, results)
 }

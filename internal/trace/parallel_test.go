@@ -133,15 +133,19 @@ func TestLoadParallelManySegments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	nm, err := normalize(data)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
 	for _, target := range []int{128, 1 << 10, 16 << 10} {
-		st, err := scanStructure(data, target)
+		st, err := scanStructure(nm.blocks, nm.start, nm.numRanks, target)
 		if err != nil {
 			t.Fatalf("target %d: scanStructure: %v", target, err)
 		}
 		if target < len(data)/2 && len(st.segs) < 2 {
 			t.Fatalf("target %d: expected multiple segments, got %d", target, len(st.segs))
 		}
-		results, err := decodeSegments(data, st.segs, st.strings)
+		results, err := decodeSegments(nm.blocks, st.segs, st.strings)
 		if err != nil {
 			t.Fatalf("target %d: decodeSegments: %v", target, err)
 		}
@@ -159,7 +163,7 @@ func TestLoadParallelPartialTruncation(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	tr := richTrace(rng, 6, 300)
 	data := encodeTrace(t, tr)
-	cuts := []int{0, 1, len(fileMagic), len(fileMagic) + 1}
+	cuts := []int{0, 1, len(fileMagicV3), len(fileMagicV3) + 1}
 	for i := 0; i < 120; i++ {
 		cuts = append(cuts, rng.Intn(len(data)))
 	}

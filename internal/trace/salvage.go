@@ -1,0 +1,557 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Resynchronizing salvage.
+//
+// ReadAllPartial stops at the first damage and keeps only the clean prefix.
+// The salvage reader goes further: when a chunk frame fails (bad magic, bad
+// length, checksum mismatch, truncation) it scans forward for the next
+// chunk-magic occurrence, quarantines the damaged span as a Gap on the
+// resulting Trace, and keeps decoding — recovering the tail of the file.
+//
+// Salvage is conservative: nothing from a failed chunk is trusted. Records
+// in later chunks that reference string-table ids defined inside a lost
+// chunk are dropped (their names cannot be resolved), as are records that
+// would violate the per-rank Start/Marker monotonicity invariant (possible
+// only for spliced or reordered chunk bytes). Every record that survives
+// came from a CRC-verified frame and decoded exactly as written.
+//
+// The state machine (see DESIGN.md §11):
+//
+//	DECODE --frame ok--> DECODE        (append records, note markers)
+//	DECODE --frame bad--> SCAN         (open a gap at the frame offset)
+//	SCAN   --magic found--> TRY        (parse candidate frame)
+//	TRY    --crc ok--> DECODE          (close the gap at the frame start)
+//	TRY    --bad--> SCAN               (false positive; continue from +1)
+//	SCAN   --no magic--> END           (gap runs to end of file)
+
+// SalvageReport summarizes what the salvage reader did to one file.
+type SalvageReport struct {
+	Version  int    // format revision of the file
+	Writer   string // writer identity from the header ("" for legacy)
+	NumRanks int
+
+	ChunksOK      int // frames that verified and decoded
+	ChunksBad     int // frames quarantined (counting each opened gap's first failure)
+	Records       int // records appended to the trace
+	DroppedString int // records dropped for unresolvable string ids
+	DroppedOrder  int // records dropped for violating per-rank order
+	Gaps          []Gap
+}
+
+// TotalGapBytes returns the byte total quarantined across all gaps.
+func (r *SalvageReport) TotalGapBytes() int64 {
+	var n int64
+	for _, g := range r.Gaps {
+		n += g.Bytes
+	}
+	return n
+}
+
+// Clean reports whether the file salvaged without any damage or drops.
+func (r *SalvageReport) Clean() bool {
+	return len(r.Gaps) == 0 && r.DroppedString == 0 && r.DroppedOrder == 0
+}
+
+// String renders a one-line summary for CLI output.
+func (r *SalvageReport) String() string {
+	if r.Clean() {
+		return fmt.Sprintf("clean: v%d, %d ranks, %d chunks, %d records", r.Version, r.NumRanks, r.ChunksOK, r.Records)
+	}
+	return fmt.Sprintf("damaged: v%d, %d ranks, %d chunks ok, %d quarantined (%d bytes in %d gaps), %d records salvaged, %d dropped",
+		r.Version, r.NumRanks, r.ChunksOK, r.ChunksBad, r.TotalGapBytes(), len(r.Gaps), r.Records, r.DroppedString+r.DroppedOrder)
+}
+
+// ReadAllSalvage loads a trace file with resynchronizing salvage: all
+// records from undamaged chunks are recovered — the tail beyond a damaged
+// span included — and each quarantined span is recorded as a Gap on the
+// trace (and in the report). Only an unreadable header is an error.
+func ReadAllSalvage(r io.Reader) (*Trace, *SalvageReport, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return SalvageBytes(data)
+}
+
+// SalvageFile is ReadAllSalvage over a file path.
+func SalvageFile(path string) (*Trace, *SalvageReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return SalvageBytes(data)
+}
+
+// SalvageBytes is ReadAllSalvage over an in-memory file image (the salvage
+// scan needs arbitrary lookahead, so the image form is the primitive).
+func SalvageBytes(data []byte) (*Trace, *SalvageReport, error) {
+	hdr, err := parseHeaderBytes(data)
+	if err != nil {
+		// Without numRanks nothing downstream can be trusted.
+		return nil, nil, err
+	}
+	if hdr.version == FormatVersionLegacy {
+		return salvageLegacy(data, hdr)
+	}
+	s := &salvager{
+		data:   data,
+		t:      New(hdr.numRanks),
+		report: &SalvageReport{Version: hdr.version, Writer: hdr.writer, NumRanks: hdr.numRanks},
+		strs:   make(map[uint64]string),
+		last:   make([]rankMark, hdr.numRanks),
+	}
+	s.run(hdr.end)
+	s.finish()
+	return s.t, s.report, nil
+}
+
+// salvageLegacy handles version-2 files, which have no frames to
+// resynchronize on: the clean prefix is all that can be trusted, and the
+// rest of the file becomes a single gap.
+func salvageLegacy(data []byte, hdr header) (*Trace, *SalvageReport, error) {
+	report := &SalvageReport{Version: hdr.version, NumRanks: hdr.numRanks}
+	sc, err := NewScanner(bytes.NewReader(data))
+	if err != nil {
+		return nil, nil, err
+	}
+	t := New(sc.NumRanks())
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err == nil {
+			if _, aerr := t.Append(*rec); aerr == nil {
+				report.Records++
+				continue
+			}
+			err = fmt.Errorf("out-of-order record")
+		}
+		off := sc.Offset()
+		g := Gap{
+			Offset: off,
+			Bytes:  int64(len(data)) - off,
+			Reason: fmt.Sprintf("legacy file damaged: %v (no frames to resynchronize on)", err),
+			Ranks:  beforeMarks(t),
+		}
+		t.RecordGap(g)
+		report.Gaps = append(report.Gaps, g)
+		t.MarkIncomplete(partialReason("trace file damaged", sc, t, err))
+		break
+	}
+	if inc, reason := sc.Incomplete(); inc {
+		t.MarkIncomplete(reason)
+	}
+	return t, report, nil
+}
+
+// beforeMarks snapshots each rank's last appended marker as the HaveBefore
+// side of a RankGap slice.
+func beforeMarks(t *Trace) []RankGap {
+	rgs := make([]RankGap, t.NumRanks())
+	for r := range rgs {
+		if n := t.RankLen(r); n > 0 {
+			rgs[r].LastBefore = t.Rank(r)[n-1].Marker
+			rgs[r].HaveBefore = true
+		}
+	}
+	return rgs
+}
+
+// rankMark tracks the last accepted (Start, Marker) per rank so splice
+// damage cannot smuggle out-of-order records past Trace.Append.
+type rankMark struct {
+	start  int64
+	marker uint64
+	have   bool
+}
+
+type salvager struct {
+	data   []byte
+	t      *Trace
+	report *SalvageReport
+	strs   map[uint64]string // sparse: ids defined in lost chunks are absent
+	last   []rankMark
+
+	pending  []*Gap // gaps whose FirstAfter sides are not all filled yet
+	damaged  bool   // at least one gap opened (chunks after it count as salvaged)
+	openGap  *Gap   // gap under construction during SCAN
+	sawInc   bool
+	incWhy   string
+}
+
+// run walks frames from pos to the end of the image.
+func (s *salvager) run(pos int) {
+	m := metrics()
+	for pos < len(s.data) {
+		f, err := parseFrame(s.data, pos)
+		if err == nil && f.crcOK {
+			if s.openGap != nil {
+				s.closeGap(int64(pos))
+			}
+			s.decodeChunk(s.data[f.payloadStart:f.payloadEnd], int64(pos))
+			s.report.ChunksOK++
+			if s.damaged {
+				m.chunksSalvaged.Inc()
+			}
+			pos = f.end
+			continue
+		}
+		// Damage. Open a gap (once per contiguous damaged span) and scan
+		// forward for the next frame candidate.
+		reason := "checksum mismatch"
+		if err != nil {
+			reason = err.Error()
+		}
+		if s.openGap == nil {
+			m.crcErrors.Inc()
+			s.report.ChunksBad++
+			s.openGap = &Gap{Offset: int64(pos), Reason: reason, Ranks: beforeMarks(s.t)}
+			s.damaged = true
+		}
+		next := nextFrameCandidate(s.data, pos+1)
+		if next < 0 {
+			pos = len(s.data)
+			break
+		}
+		pos = next
+	}
+	if s.openGap != nil {
+		s.closeGap(int64(len(s.data)))
+	}
+}
+
+// closeGap finalizes the open gap at the resynchronization offset and queues
+// it to collect FirstAfter markers from subsequently decoded records.
+func (s *salvager) closeGap(end int64) {
+	g := s.openGap
+	s.openGap = nil
+	g.Bytes = end - g.Offset
+	s.t.RecordGap(*g)
+	s.report.Gaps = append(s.report.Gaps, *g)
+	// Track the stored copy so the after-markers land on the trace.
+	stored := &s.t.gaps[len(s.t.gaps)-1]
+	s.pending = append(s.pending, stored)
+}
+
+// noteAfter fills the FirstAfter side of pending gaps with the first record
+// seen per rank after each gap closed.
+func (s *salvager) noteAfter(rec *Record) {
+	live := s.pending[:0]
+	for _, g := range s.pending {
+		if !g.Ranks[rec.Rank].HaveAfter {
+			g.Ranks[rec.Rank].FirstAfter = rec.Marker
+			g.Ranks[rec.Rank].HaveAfter = true
+		}
+		filled := true
+		for i := range g.Ranks {
+			if !g.Ranks[i].HaveAfter {
+				filled = false
+				break
+			}
+		}
+		if !filled {
+			live = append(live, g)
+		}
+	}
+	s.pending = live
+}
+
+// decodeChunk decodes one CRC-verified chunk payload. Structural damage
+// inside a verified chunk is only possible for spliced bytes; the remainder
+// of such a chunk is quarantined.
+func (s *salvager) decodeChunk(payload []byte, frameOff int64) {
+	c := byteCursor{data: payload}
+	for c.pos < len(c.data) {
+		blockStart := c.pos
+		tag, _ := c.byte()
+		var err error
+		switch tag {
+		case blockString:
+			err = s.decodeString(&c)
+		case blockRecord:
+			err = s.decodeRecord(&c)
+		case blockIncomplete:
+			err = s.decodeIncomplete(&c)
+		default:
+			err = fmt.Errorf("unknown block tag %q", tag)
+		}
+		if err != nil {
+			// Quarantine the rest of the chunk.
+			g := Gap{
+				Offset: frameOff,
+				Bytes:  int64(len(c.data) - blockStart),
+				Reason: fmt.Sprintf("verified chunk with undecodable block: %v", err),
+				Ranks:  beforeMarks(s.t),
+			}
+			s.report.ChunksBad++
+			s.t.RecordGap(g)
+			s.report.Gaps = append(s.report.Gaps, g)
+			stored := &s.t.gaps[len(s.t.gaps)-1]
+			s.pending = append(s.pending, stored)
+			s.damaged = true
+			return
+		}
+	}
+}
+
+func (s *salvager) decodeString(c *byteCursor) error {
+	id, err := c.uvarint()
+	if err != nil {
+		return err
+	}
+	n, err := c.uvarint()
+	if err != nil {
+		return err
+	}
+	b, err := c.take(int(n))
+	if err != nil {
+		return err
+	}
+	if prev, ok := s.strs[id]; ok && prev != string(b) {
+		return fmt.Errorf("string id %d redefined", id)
+	}
+	s.strs[id] = string(b)
+	return nil
+}
+
+func (s *salvager) decodeIncomplete(c *byteCursor) error {
+	n, err := c.uvarint()
+	if err != nil {
+		return err
+	}
+	b, err := c.take(int(n))
+	if err != nil {
+		return err
+	}
+	if !s.sawInc {
+		s.incWhy = string(b)
+	}
+	s.sawInc = true
+	return nil
+}
+
+// decodeRecord decodes one 'R' block. Structural failures are errors (the
+// chunk remainder is quarantined); an intact record may still be dropped —
+// unresolvable string id, or out of order for its rank — without stopping
+// the chunk.
+func (s *salvager) decodeRecord(c *byteCursor) error {
+	var r Record
+	kb, err := c.byte()
+	if err != nil {
+		return err
+	}
+	if int(kb) >= numKinds {
+		return fmt.Errorf("invalid record kind %d", kb)
+	}
+	r.Kind = Kind(kb)
+	strsOK := true
+	getStr := func(id uint64) string {
+		if id == 0 {
+			return ""
+		}
+		sv, ok := s.strs[id]
+		if !ok {
+			strsOK = false
+		}
+		return sv
+	}
+	var u uint64
+	var v int64
+	if u, err = c.uvarint(); err != nil {
+		return err
+	}
+	r.Rank = int(u)
+	if u, err = c.uvarint(); err != nil {
+		return err
+	}
+	r.Loc.File = getStr(u)
+	if u, err = c.uvarint(); err != nil {
+		return err
+	}
+	r.Loc.Line = int(u)
+	if u, err = c.uvarint(); err != nil {
+		return err
+	}
+	r.Loc.Func = getStr(u)
+	if v, err = c.varint(); err != nil {
+		return err
+	}
+	r.Start = v
+	if v, err = c.varint(); err != nil {
+		return err
+	}
+	r.End = r.Start + v
+	if u, err = c.uvarint(); err != nil {
+		return err
+	}
+	r.Marker = u
+	if v, err = c.varint(); err != nil {
+		return err
+	}
+	r.Src = int(v)
+	if v, err = c.varint(); err != nil {
+		return err
+	}
+	r.Dst = int(v)
+	if v, err = c.varint(); err != nil {
+		return err
+	}
+	r.Tag = int(v)
+	if u, err = c.uvarint(); err != nil {
+		return err
+	}
+	r.Bytes = int(u)
+	if u, err = c.uvarint(); err != nil {
+		return err
+	}
+	r.MsgID = u
+	wb, err := c.byte()
+	if err != nil {
+		return err
+	}
+	r.WasWildcard = wb != 0
+	if u, err = c.uvarint(); err != nil {
+		return err
+	}
+	r.Fault = getStr(u)
+	if u, err = c.uvarint(); err != nil {
+		return err
+	}
+	r.Name = getStr(u)
+	if v, err = c.varint(); err != nil {
+		return err
+	}
+	r.Args[0] = v
+	if v, err = c.varint(); err != nil {
+		return err
+	}
+	r.Args[1] = v
+
+	if r.Rank < 0 || r.Rank >= s.t.NumRanks() || r.End < r.Start {
+		return fmt.Errorf("record fields out of range")
+	}
+	if !strsOK {
+		s.report.DroppedString++
+		return nil
+	}
+	lm := &s.last[r.Rank]
+	if lm.have && (r.Start < lm.start || r.Marker < lm.marker) {
+		s.report.DroppedOrder++
+		return nil
+	}
+	if lm.have && r.Start == lm.start && r.Marker == lm.marker {
+		// Equal position: a spliced-in replay of an already-salvaged chunk
+		// re-presents its final record (earlier ones regress the marker and
+		// are caught above). Identical bytes are a duplicate, not new data.
+		if n := s.t.RankLen(r.Rank); n > 0 && s.t.Rank(r.Rank)[n-1] == r {
+			s.report.DroppedOrder++
+			return nil
+		}
+	}
+	if _, err := s.t.Append(r); err != nil {
+		s.report.DroppedOrder++
+		return nil
+	}
+	lm.start, lm.marker, lm.have = r.Start, r.Marker, true
+	s.report.Records++
+	if len(s.pending) > 0 {
+		s.noteAfter(&r)
+	}
+	return nil
+}
+
+// finish applies the incomplete flag and publishes the gap gauges.
+func (s *salvager) finish() {
+	if s.sawInc {
+		s.t.MarkIncomplete(s.incWhy)
+	}
+	if len(s.report.Gaps) > 0 {
+		g := s.report.Gaps[0]
+		s.t.MarkIncomplete(fmt.Sprintf(
+			"trace file damaged at byte %d (%s): %d bytes in %d gaps quarantined, %d records salvaged",
+			g.Offset, g.Reason, s.report.TotalGapBytes(), len(s.report.Gaps), s.report.Records))
+	} else if d := s.report.DroppedString + s.report.DroppedOrder; d > 0 {
+		// No checksum failure, but the file presented records salvage had to
+		// refuse (replayed or out-of-order chunks): the history may be
+		// missing data even though every chunk verified.
+		s.t.MarkIncomplete(fmt.Sprintf(
+			"trace file inconsistent: %d record(s) dropped (%d unresolvable strings, %d out of order), %d salvaged",
+			d, s.report.DroppedString, s.report.DroppedOrder, s.report.Records))
+	}
+	m := metrics()
+	m.gapSpans.Set(int64(len(s.report.Gaps)))
+	m.gapBytes.Set(s.report.TotalGapBytes())
+}
+
+// byteCursor is a bounds-checked reader over a chunk payload.
+type byteCursor struct {
+	data []byte
+	pos  int
+}
+
+func (c *byteCursor) byte() (byte, error) {
+	if c.pos >= len(c.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := c.data[c.pos]
+	c.pos++
+	return b, nil
+}
+
+func (c *byteCursor) uvarint() (uint64, error) {
+	v, err := binaryReadUvarint(c)
+	return v, err
+}
+
+func (c *byteCursor) varint() (int64, error) {
+	ux, err := binaryReadUvarint(c)
+	if err != nil {
+		return 0, err
+	}
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
+	}
+	return x, nil
+}
+
+func (c *byteCursor) take(n int) ([]byte, error) {
+	if n < 0 || c.pos+n > len(c.data) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b := c.data[c.pos : c.pos+n]
+	c.pos += n
+	return b, nil
+}
+
+// binaryReadUvarint is binary.ReadUvarint over a byteCursor without the
+// interface allocation.
+func binaryReadUvarint(c *byteCursor) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := c.byte()
+		if err != nil {
+			return 0, err
+		}
+		if i == 10 {
+			return 0, fmt.Errorf("uvarint overflows 64 bits")
+		}
+		if b < 0x80 {
+			if i == 9 && b > 1 {
+				return 0, fmt.Errorf("uvarint overflows 64 bits")
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}

@@ -1,0 +1,421 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// encodeChunked writes a trace in the v3 framed format with a small chunk
+// budget so the file is split across many independently-checksummed frames.
+func encodeChunked(t *testing.T, tr *Trace, chunkBytes int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteAllOptions(&buf, tr, WriterOptions{ChunkBytes: chunkBytes}); err != nil {
+		t.Fatalf("WriteAllOptions: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// frameBounds walks a pristine v3 file and returns its frames in order.
+func frameBounds(t *testing.T, data []byte) []frame {
+	t.Helper()
+	hdr, err := parseHeaderBytes(data)
+	if err != nil {
+		t.Fatalf("parseHeaderBytes: %v", err)
+	}
+	if hdr.version != FormatVersion {
+		t.Fatalf("version %d, want %d", hdr.version, FormatVersion)
+	}
+	var out []frame
+	for pos := hdr.end; pos < len(data); {
+		fr, err := parseFrame(data, pos)
+		if err != nil {
+			t.Fatalf("parseFrame at %d: %v", pos, err)
+		}
+		if !fr.crcOK {
+			t.Fatalf("pristine frame at %d fails CRC", pos)
+		}
+		out = append(out, fr)
+		pos = fr.end
+	}
+	return out
+}
+
+// isSubsequence checks that every record of sub appears in full, in order —
+// the invariant salvage must uphold: it may drop records lost to damage but
+// must never invent or reorder one.
+func isSubsequence(sub, full []Record) bool {
+	j := 0
+	for i := range sub {
+		found := false
+		for j < len(full) {
+			if reflect.DeepEqual(sub[i], full[j]) {
+				found = true
+				j++
+				break
+			}
+			j++
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// maxStart returns the largest Start timestamp in the trace (the "tail
+// reached" witness: the final records live in the file's last chunk).
+func maxStart(tr *Trace) int64 {
+	var m int64 = -1
+	for r := 0; r < tr.NumRanks(); r++ {
+		for i := range tr.Rank(r) {
+			if s := tr.Rank(r)[i].Start; s > m {
+				m = s
+			}
+		}
+	}
+	return m
+}
+
+// TestSalvageRecoversTailAfterMidChunkCorruption is the acceptance
+// criterion: a trace file with a single corrupted chunk in the middle must
+// yield, through ReadAllSalvage, all records from every undamaged chunk —
+// including everything after the damage — with the gap recorded on the
+// Trace. Plain ReadAllPartial only keeps the prefix; salvage must do
+// strictly better.
+func TestSalvageRecoversTailAfterMidChunkCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	want := richTrace(rng, 4, 600)
+	data := encodeChunked(t, want, 512)
+	frames := frameBounds(t, data)
+	if len(frames) < 8 {
+		t.Fatalf("need many frames for a meaningful test, got %d", len(frames))
+	}
+
+	// Corrupt one payload byte in a frame near the middle.
+	mid := frames[len(frames)/2]
+	corrupt := append([]byte(nil), data...)
+	corrupt[mid.payloadStart+(mid.payloadEnd-mid.payloadStart)/2] ^= 0x40
+
+	part, err := ReadAllPartial(bytes.NewReader(corrupt))
+	if err != nil {
+		t.Fatalf("ReadAllPartial: %v", err)
+	}
+	got, rep, err := ReadAllSalvage(bytes.NewReader(corrupt))
+	if err != nil {
+		t.Fatalf("ReadAllSalvage: %v", err)
+	}
+
+	if rep.ChunksBad == 0 || len(rep.Gaps) != 1 {
+		t.Fatalf("report: %d bad chunks, %d gaps, want 1 damaged span: %s", rep.ChunksBad, len(rep.Gaps), rep)
+	}
+	g := rep.Gaps[0]
+	if g.Offset != int64(mid.start) {
+		t.Errorf("gap offset %d, want frame start %d", g.Offset, mid.start)
+	}
+	if got.Len() <= part.Len() {
+		t.Errorf("salvage recovered %d records, prefix-partial got %d: no tail recovered", got.Len(), part.Len())
+	}
+	if !got.Incomplete() {
+		t.Error("salvaged trace not marked incomplete")
+	}
+	if !got.HasGaps() || len(got.Gaps()) != 1 {
+		t.Fatalf("trace gaps = %v, want exactly one", got.Gaps())
+	}
+
+	// The tail survived: the very last records of the run (largest virtual
+	// times, living in the final chunk) are present.
+	if gm, wm := maxStart(got), maxStart(want); gm != wm {
+		t.Errorf("max Start in salvage %d, want %d (tail chunk lost)", gm, wm)
+	}
+
+	// Every surviving record is genuine and in order; only records from the
+	// damaged chunk are missing.
+	lost := 0
+	for r := 0; r < want.NumRanks(); r++ {
+		if !isSubsequence(got.Rank(r), want.Rank(r)) {
+			t.Fatalf("rank %d: salvage is not a subsequence of the original", r)
+		}
+		lost += len(want.Rank(r)) - len(got.Rank(r))
+	}
+	if lost == 0 {
+		t.Error("corrupting a chunk lost no records — frame too small to matter")
+	}
+
+	// Gap extents bracket the loss exactly: for each rank the missing
+	// markers all lie strictly between LastBefore and FirstAfter, and
+	// PossiblyLost bounds the per-rank loss.
+	tg := got.Gaps()[0]
+	for r := 0; r < want.NumRanks(); r++ {
+		present := make(map[uint64]bool, len(got.Rank(r)))
+		for i := range got.Rank(r) {
+			present[got.Rank(r)[i].Marker] = true
+		}
+		missing := 0
+		for i := range want.Rank(r) {
+			m := want.Rank(r)[i].Marker
+			if present[m] {
+				continue
+			}
+			missing++
+			rg := tg.Ranks[r]
+			if rg.HaveBefore && m <= rg.LastBefore {
+				t.Errorf("rank %d: lost marker %d at or before gap LastBefore %d", r, m, rg.LastBefore)
+			}
+			if rg.HaveAfter && m >= rg.FirstAfter {
+				t.Errorf("rank %d: lost marker %d at or after gap FirstAfter %d", r, m, rg.FirstAfter)
+			}
+		}
+		if missing > 0 && !tg.Touches(r) {
+			t.Errorf("rank %d lost %d records but gap does not touch it", r, missing)
+		}
+		if pl := got.PossiblyLost(r); uint64(missing) > pl {
+			t.Errorf("rank %d: lost %d records, PossiblyLost bound only %d", r, missing, pl)
+		}
+	}
+}
+
+// TestSalvageCleanFile: on an undamaged file salvage is exact — identical
+// records, a clean report, and no gaps.
+func TestSalvageCleanFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	want := richTrace(rng, 3, 200)
+	want.MarkIncomplete("collector died")
+	data := encodeChunked(t, want, 1024)
+
+	got, rep, err := ReadAllSalvage(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadAllSalvage: %v", err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("report not clean on pristine file: %s", rep)
+	}
+	if got.HasGaps() {
+		t.Fatalf("gaps on pristine file: %v", got.Gaps())
+	}
+	tracesEqual(t, "clean salvage", got, want)
+}
+
+// TestSalvageLegacyPrefix: v2 files have no frame boundaries to resync on,
+// so salvage degrades to prefix recovery with the damaged remainder
+// quarantined as one gap.
+func TestSalvageLegacyPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	want := richTrace(rng, 3, 300)
+	var buf bytes.Buffer
+	if err := WriteAllOptions(&buf, want, WriterOptions{LegacyV2: true}); err != nil {
+		t.Fatalf("WriteAllOptions legacy: %v", err)
+	}
+	data := buf.Bytes()
+	if !bytes.HasPrefix(data, []byte(fileMagicV2)) {
+		t.Fatalf("legacy write did not produce a v2 file: % x", data[:8])
+	}
+	// v2 has no checksums, so a bit flip passes silently (the motivation for
+	// v3); truncation is the damage the legacy decoder can actually detect.
+	corrupt := data[:len(data)/2]
+
+	got, rep, err := ReadAllSalvage(bytes.NewReader(corrupt))
+	if err != nil {
+		t.Fatalf("ReadAllSalvage legacy: %v", err)
+	}
+	if rep.Version != FormatVersionLegacy {
+		t.Errorf("report version %d, want %d", rep.Version, FormatVersionLegacy)
+	}
+	if len(rep.Gaps) != 1 {
+		t.Fatalf("legacy salvage gaps = %d, want 1", len(rep.Gaps))
+	}
+	if got.Len() == 0 || got.Len() >= want.Len() {
+		t.Errorf("legacy salvage kept %d of %d records, want a proper prefix", got.Len(), want.Len())
+	}
+	for r := 0; r < want.NumRanks(); r++ {
+		g := got.Rank(r)
+		if !reflect.DeepEqual(g, want.Rank(r)[:len(g)]) {
+			t.Errorf("rank %d: legacy salvage is not a prefix", r)
+		}
+	}
+}
+
+// TestSalvageBoundaryDifferential corrupts one byte at every chunk boundary
+// and one byte to either side of it, then checks that the parallel loaders
+// agree exactly with their serial counterparts — the framing must not open
+// a gap between the two decode paths at its most sensitive offsets.
+func TestSalvageBoundaryDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	tr := richTrace(rng, 4, 250)
+	data := encodeChunked(t, tr, 768)
+	frames := frameBounds(t, data)
+	if len(frames) < 4 {
+		t.Fatalf("need several frames, got %d", len(frames))
+	}
+
+	offsets := make(map[int]bool)
+	for _, fr := range frames {
+		for _, off := range []int{fr.start - 1, fr.start, fr.start + 1} {
+			if off >= 0 && off < len(data) {
+				offsets[off] = true
+			}
+		}
+	}
+
+	for off := range offsets {
+		corrupt := append([]byte(nil), data...)
+		corrupt[off] ^= 0x01
+
+		// Strict paths: parallel load and serial ReadAll fail or succeed
+		// together, and agree when they succeed.
+		serial, serr := ReadAll(bytes.NewReader(corrupt))
+		par, perr := LoadParallel(corrupt)
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("offset %d: serial err=%v, parallel err=%v", off, serr, perr)
+		}
+		if serr == nil {
+			tracesEqual(t, "strict", par, serial)
+		}
+
+		// Salvage paths must fail or succeed together (a corrupted header
+		// leaves nothing to salvage) and agree when they succeed.
+		sTr, sRep, serr := ReadAllSalvage(bytes.NewReader(corrupt))
+		pTr, perr := LoadParallelSalvage(corrupt)
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("offset %d: salvage serial err=%v, parallel err=%v", off, serr, perr)
+		}
+		if serr != nil {
+			continue
+		}
+		tracesEqual(t, "salvage", pTr, sTr)
+		if len(sTr.Gaps()) != len(pTr.Gaps()) {
+			t.Fatalf("offset %d: gap counts diverge: serial %d vs parallel %d (report %s)",
+				off, len(sTr.Gaps()), len(pTr.Gaps()), sRep)
+		}
+
+		// And salvage never does worse than prefix-partial recovery.
+		if part, err := ReadAllPartial(bytes.NewReader(corrupt)); err == nil {
+			for r := 0; r < part.NumRanks() && r < sTr.NumRanks(); r++ {
+				if len(sTr.Rank(r)) < len(part.Rank(r)) {
+					t.Fatalf("offset %d rank %d: salvage %d records < partial %d",
+						off, r, len(sTr.Rank(r)), len(part.Rank(r)))
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyBytes: the verifier locates the damaged chunk precisely and
+// passes pristine files.
+func TestVerifyBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	tr := richTrace(rng, 3, 300)
+	data := encodeChunked(t, tr, 512)
+	frames := frameBounds(t, data)
+
+	vr, err := VerifyBytes(data)
+	if err != nil {
+		t.Fatalf("VerifyBytes clean: %v", err)
+	}
+	if !vr.OK() || vr.BadChunks() != 0 || len(vr.Chunks) != len(frames) {
+		t.Fatalf("clean verify: OK=%v bad=%d chunks=%d (want %d): %s",
+			vr.OK(), vr.BadChunks(), len(vr.Chunks), len(frames), vr)
+	}
+	if vr.Version != FormatVersion || vr.Writer != DefaultWriterIdentity || vr.NumRanks != 3 {
+		t.Errorf("verify identity: version=%d writer=%q ranks=%d", vr.Version, vr.Writer, vr.NumRanks)
+	}
+
+	target := frames[1]
+	corrupt := append([]byte(nil), data...)
+	corrupt[target.payloadStart] ^= 0x80
+	vr, err = VerifyBytes(corrupt)
+	if err != nil {
+		t.Fatalf("VerifyBytes corrupt: %v", err)
+	}
+	if vr.OK() || vr.BadChunks() == 0 {
+		t.Fatalf("verifier passed a corrupted file: %s", vr)
+	}
+	found := false
+	for _, c := range vr.Chunks {
+		if !c.OK && c.Offset == int64(target.start) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no bad chunk reported at offset %d: %s", target.start, vr)
+	}
+	var detail bytes.Buffer
+	vr.WriteVerifyDetail(&detail)
+	if detail.Len() == 0 {
+		t.Error("WriteVerifyDetail produced nothing")
+	}
+}
+
+// TestPartialReasonDetail: a prefix salvage names where the damage begins
+// (byte offset) and what survived (rank extent and last marker), so
+// tanalyze -stats can show operators exactly what they are missing.
+func TestPartialReasonDetail(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tr := richTrace(rng, 3, 300)
+	data := encodeChunked(t, tr, 512)
+	frames := frameBounds(t, data)
+	mid := frames[len(frames)/2]
+	corrupt := append([]byte(nil), data...)
+	corrupt[mid.payloadStart] ^= 0x01
+
+	part, err := ReadAllPartial(bytes.NewReader(corrupt))
+	if err != nil {
+		t.Fatalf("ReadAllPartial: %v", err)
+	}
+	if !part.Incomplete() {
+		t.Fatal("damaged file not marked incomplete")
+	}
+	reason := part.IncompleteReason()
+	for _, want := range []string{
+		fmt.Sprintf("at byte %d", mid.start), // where
+		"records",                            // how much survived
+		"ranks",                              // which ranks
+		"marker",                             // up to when
+	} {
+		if !strings.Contains(reason, want) {
+			t.Errorf("incomplete reason %q lacks %q", reason, want)
+		}
+	}
+}
+
+// TestSalvageResistsSplicedChunks: duplicating a whole frame elsewhere in
+// the file must not let stale records slip in out of order — the salvager's
+// monotonicity guard drops them.
+func TestSalvageResistsSplicedChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	want := richTrace(rng, 3, 400)
+	data := encodeChunked(t, want, 512)
+	frames := frameBounds(t, data)
+	if len(frames) < 6 {
+		t.Fatalf("need several frames, got %d", len(frames))
+	}
+
+	// Splice an early frame between two late ones: a valid CRC carrying
+	// records that already appeared.
+	early := data[frames[1].start:frames[1].end]
+	cut := frames[len(frames)-2].start
+	spliced := append([]byte(nil), data[:cut]...)
+	spliced = append(spliced, early...)
+	spliced = append(spliced, data[cut:]...)
+
+	got, _, err := ReadAllSalvage(bytes.NewReader(spliced))
+	if err != nil {
+		t.Fatalf("ReadAllSalvage: %v", err)
+	}
+	for r := 0; r < want.NumRanks(); r++ {
+		if !isSubsequence(got.Rank(r), want.Rank(r)) {
+			t.Fatalf("rank %d: spliced chunk introduced out-of-order or duplicate records", r)
+		}
+		recs := got.Rank(r)
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Marker <= recs[i-1].Marker {
+				t.Fatalf("rank %d: markers not strictly increasing after splice: %d then %d",
+					r, recs[i-1].Marker, recs[i].Marker)
+			}
+		}
+	}
+}

@@ -58,10 +58,17 @@ func NewShardedWriter(w io.Writer, numRanks int) (*ShardedWriter, error) {
 // bytes (<= 0 selects DefaultChunkSize). Small sizes are useful in tests to
 // force frequent chunk interleaving.
 func NewShardedWriterSize(w io.Writer, numRanks, chunk int) (*ShardedWriter, error) {
+	return NewShardedWriterOptions(w, numRanks, chunk, WriterOptions{})
+}
+
+// NewShardedWriterOptions is NewShardedWriterSize with explicit format and
+// durability options. Each flushed rank batch becomes one checksummed chunk
+// frame, and the options' sync policy decides which frames are fsynced.
+func NewShardedWriterOptions(w io.Writer, numRanks, chunk int, opts WriterOptions) (*ShardedWriter, error) {
 	if chunk <= 0 {
 		chunk = DefaultChunkSize
 	}
-	fw, err := NewFileWriter(w, numRanks)
+	fw, err := NewFileWriterOptions(w, numRanks, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -176,6 +183,21 @@ func (sw *ShardedWriter) Flush() error {
 		first = err
 	}
 	return first
+}
+
+// BytesAccepted estimates the encoded size of everything accepted so far:
+// bytes already emitted toward the file plus bytes still in rank buffers.
+// Segment rotation consults this instead of the on-disk size, which lags
+// behind by up to the 64 KiB write buffer plus every rank's batch buffer.
+func (sw *ShardedWriter) BytesAccepted() int64 {
+	n := sw.fw.BytesEmitted()
+	for i := range sw.shards {
+		sh := &sw.shards[i]
+		sh.mu.Lock()
+		n += int64(len(sh.buf))
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Count returns the number of records accepted so far (buffered or written).

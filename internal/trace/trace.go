@@ -17,6 +17,97 @@ type Trace struct {
 	// incomplete traces; consumers use the flag to qualify their verdicts.
 	incomplete       bool
 	incompleteReason string
+
+	// gaps records quarantined damaged spans of the file this trace was
+	// salvaged from. A gap is stronger information than the incomplete
+	// flag: it says events may have been LOST between specific surviving
+	// events, letting analyses distinguish "no event" from "lost event".
+	gaps []Gap
+}
+
+// Gap describes one quarantined span of a damaged trace file: the byte
+// extent skipped by the salvage reader and, per rank, the execution-marker
+// extent of the surviving records around it.
+type Gap struct {
+	Offset int64  // file offset where the damaged span begins
+	Bytes  int64  // length of the quarantined span
+	Reason string // what failed (checksum mismatch, truncated frame, ...)
+
+	// Ranks bounds the gap per rank. Index i describes rank i; a trace
+	// salvaged without rank context may leave Ranks nil.
+	Ranks []RankGap
+}
+
+// RankGap bounds a gap on one rank by the execution markers of the nearest
+// surviving records. Markers are the per-rank UserMonitor counter, dense
+// and strictly increasing while collection is on, so the bound doubles as
+// an upper estimate of lost events (collection toggles also skip markers,
+// hence "possibly").
+type RankGap struct {
+	// LastBefore is the marker of the rank's last record decoded before the
+	// gap; HaveBefore is false when the rank had none.
+	LastBefore uint64
+	HaveBefore bool
+	// FirstAfter is the marker of the rank's first record decoded after the
+	// gap; HaveAfter is false when the rank never reappears.
+	FirstAfter uint64
+	HaveAfter  bool
+}
+
+// PossiblyLost returns an upper bound on the rank's events lost in the gap,
+// or 0 when the surviving markers are adjacent (nothing lost) or the bound
+// is unknowable on this side of the file.
+func (rg RankGap) PossiblyLost() uint64 {
+	if !rg.HaveBefore || !rg.HaveAfter || rg.FirstAfter <= rg.LastBefore+1 {
+		return 0
+	}
+	return rg.FirstAfter - rg.LastBefore - 1
+}
+
+// Touches reports whether the gap may have swallowed events of the rank:
+// either the marker bound is positive, or the rank vanishes after the gap
+// (no surviving record to bound it).
+func (g Gap) Touches(rank int) bool {
+	if rank < 0 || rank >= len(g.Ranks) {
+		return len(g.Ranks) == 0 // a gap with no rank context may touch anyone
+	}
+	rg := g.Ranks[rank]
+	if rg.PossiblyLost() > 0 {
+		return true
+	}
+	return rg.HaveBefore && !rg.HaveAfter
+}
+
+// RecordGap attaches a quarantined-span descriptor to the trace.
+func (t *Trace) RecordGap(g Gap) { t.gaps = append(t.gaps, g) }
+
+// Gaps returns the quarantined damaged spans recorded by salvage ("nil" for
+// traces loaded from undamaged files). The slice is owned by the trace.
+func (t *Trace) Gaps() []Gap { return t.gaps }
+
+// HasGaps reports whether salvage quarantined any damage.
+func (t *Trace) HasGaps() bool { return len(t.gaps) > 0 }
+
+// PossiblyLost returns an upper bound on events lost to damage for one rank,
+// summed over all gaps.
+func (t *Trace) PossiblyLost(rank int) uint64 {
+	var n uint64
+	for _, g := range t.gaps {
+		if rank >= 0 && rank < len(g.Ranks) {
+			n += g.Ranks[rank].PossiblyLost()
+		}
+	}
+	return n
+}
+
+// GapTouches reports whether any gap may have swallowed events of the rank.
+func (t *Trace) GapTouches(rank int) bool {
+	for _, g := range t.gaps {
+		if g.Touches(rank) {
+			return true
+		}
+	}
+	return false
 }
 
 // MarkIncomplete flags the trace as a partial history. The first reason
@@ -335,6 +426,7 @@ func (t *Trace) MergedOrder() []EventID {
 func (t *Trace) Window(t0, t1 int64) *Trace {
 	w := New(len(t.byRank))
 	w.incomplete, w.incompleteReason = t.incomplete, t.incompleteReason
+	w.gaps = append([]Gap(nil), t.gaps...)
 	for _, seq := range t.byRank {
 		for i := range seq {
 			r := seq[i]
@@ -351,6 +443,7 @@ func (t *Trace) Window(t0, t1 int64) *Trace {
 func (t *Trace) Clone() *Trace {
 	c := New(len(t.byRank))
 	c.incomplete, c.incompleteReason = t.incomplete, t.incompleteReason
+	c.gaps = append([]Gap(nil), t.gaps...)
 	for rank, seq := range t.byRank {
 		c.byRank[rank] = append([]Record(nil), seq...)
 	}
@@ -404,6 +497,11 @@ type Stats struct {
 	BytesSent   int
 	EndTime     int64
 	PerRankMsgs []int // receives per rank
+
+	// Salvage damage, when the trace came through the salvage reader.
+	Gaps         int    // quarantined damaged spans
+	GapBytes     int64  // total bytes quarantined
+	PossiblyLost uint64 // upper bound on lost events across all ranks
 }
 
 // Summarize computes summary statistics.
@@ -425,6 +523,13 @@ func (t *Trace) Summarize() Stats {
 			if r.End > st.EndTime {
 				st.EndTime = r.End
 			}
+		}
+	}
+	st.Gaps = len(t.gaps)
+	for _, g := range t.gaps {
+		st.GapBytes += g.Bytes
+		for _, rg := range g.Ranks {
+			st.PossiblyLost += rg.PossiblyLost()
 		}
 	}
 	return st

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+// VerifyChunk is one line of a verification report: a chunk frame (or, in a
+// damaged file, the span where one should have been).
+type VerifyChunk struct {
+	Offset int64  // frame offset in the file
+	Bytes  int64  // frame length including magic, length, and CRC
+	OK     bool   // checksum verified
+	Err    string // what failed, for damaged entries
+}
+
+// VerifyReport is the result of a per-chunk integrity pass over a trace
+// file, the -verify output of cmd/trepair.
+type VerifyReport struct {
+	Version  int
+	Writer   string
+	NumRanks int
+	Chunks   []VerifyChunk
+	// Decode reports whether the surviving block stream fully decodes into
+	// a valid trace (legacy files have no checksums, so this is their only
+	// verification).
+	Decode    bool
+	DecodeErr string
+}
+
+// OK reports whether the file verified clean: every chunk checksummed and
+// the block stream decoded.
+func (vr *VerifyReport) OK() bool {
+	for _, c := range vr.Chunks {
+		if !c.OK {
+			return false
+		}
+	}
+	return vr.Decode
+}
+
+// BadChunks counts the damaged entries.
+func (vr *VerifyReport) BadChunks() int {
+	n := 0
+	for _, c := range vr.Chunks {
+		if !c.OK {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders a one-line summary.
+func (vr *VerifyReport) String() string {
+	if vr.OK() {
+		return fmt.Sprintf("ok: v%d, %d ranks, %d chunks verified", vr.Version, vr.NumRanks, len(vr.Chunks))
+	}
+	if !vr.Decode {
+		return fmt.Sprintf("damaged: v%d, %d ranks, %d/%d chunks bad, decode failed: %s",
+			vr.Version, vr.NumRanks, vr.BadChunks(), len(vr.Chunks), vr.DecodeErr)
+	}
+	return fmt.Sprintf("damaged: v%d, %d ranks, %d/%d chunks bad",
+		vr.Version, vr.NumRanks, vr.BadChunks(), len(vr.Chunks))
+}
+
+// VerifyFile is VerifyBytes over a file path.
+func VerifyFile(path string) (*VerifyReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return VerifyBytes(data)
+}
+
+// VerifyBytes checks the integrity of a trace file image chunk by chunk:
+// header checksum, every frame's CRC32C, and a full decode of the clean
+// block stream. Only an unreadable header is an error; damage is reported,
+// not failed on. Legacy (version-2) files carry no checksums, so their
+// verification is the decode alone.
+func VerifyBytes(data []byte) (*VerifyReport, error) {
+	hdr, err := parseHeaderBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	vr := &VerifyReport{Version: hdr.version, Writer: hdr.writer, NumRanks: hdr.numRanks}
+	if hdr.version == FormatVersionLegacy {
+		vr.Chunks = []VerifyChunk{{Offset: int64(hdr.end), Bytes: int64(len(data) - hdr.end), OK: true}}
+		if _, err := ReadAll(bytes.NewReader(data)); err != nil {
+			vr.Chunks[0].OK = false
+			vr.Chunks[0].Err = err.Error()
+			vr.DecodeErr = err.Error()
+		} else {
+			vr.Decode = true
+		}
+		return vr, nil
+	}
+	pos := hdr.end
+	damaged := false
+	for pos < len(data) {
+		f, err := parseFrame(data, pos)
+		if err == nil && f.crcOK {
+			vr.Chunks = append(vr.Chunks, VerifyChunk{Offset: int64(pos), Bytes: int64(f.end - f.start), OK: true})
+			pos = f.end
+			continue
+		}
+		damaged = true
+		reason := "checksum mismatch"
+		end := len(data)
+		if err != nil {
+			reason = err.Error()
+		} else {
+			// CRC failure on a structurally complete frame: the span is known.
+			end = f.end
+		}
+		if next := nextFrameCandidate(data, pos+1); next >= 0 {
+			// Resync exactly like salvage so the reported span matches what
+			// -salvage would quarantine.
+			if err != nil || next < end {
+				end = next
+			}
+		}
+		vr.Chunks = append(vr.Chunks, VerifyChunk{Offset: int64(pos), Bytes: int64(end - pos), OK: false, Err: reason})
+		pos = end
+	}
+	if damaged {
+		// The stream cannot fully decode; report what salvage would say.
+		_, rep, err := SalvageBytes(data)
+		if err != nil {
+			vr.DecodeErr = err.Error()
+		} else {
+			vr.DecodeErr = rep.String()
+		}
+		return vr, nil
+	}
+	if _, err := ReadAll(bytes.NewReader(data)); err != nil {
+		vr.DecodeErr = err.Error()
+		return vr, nil
+	}
+	vr.Decode = true
+	return vr, nil
+}
+
+// WriteVerifyDetail writes the per-chunk lines of the report.
+func (vr *VerifyReport) WriteVerifyDetail(w io.Writer) {
+	for _, c := range vr.Chunks {
+		status := "ok"
+		if !c.OK {
+			status = "BAD " + c.Err
+		}
+		fmt.Fprintf(w, "  chunk @%-10d %8d bytes  %s\n", c.Offset, c.Bytes, status)
+	}
+}

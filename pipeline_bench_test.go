@@ -10,6 +10,8 @@ package tracedbg_test
 import (
 	"bytes"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -238,6 +240,38 @@ func writeAllRanks(b *testing.B, write func(*trace.Record) error, tr *trace.Trac
 		}(r)
 	}
 	wg.Wait()
+}
+
+// --- Durability: sync policy cost -----------------------------------------
+
+// BenchmarkSyncPolicy prices the durability ladder on the sharded write
+// path against a real file: none (kernel buffering only), interval (fsync
+// at most once per spacing), every-chunk (fsync at every sealed frame).
+func BenchmarkSyncPolicy(b *testing.B) {
+	tr := pipelineTrace(benchRanks, benchEvents/4)
+	for _, policy := range []trace.SyncPolicy{trace.SyncNone, trace.SyncInterval, trace.SyncEveryChunk} {
+		b.Run(policy.String(), func(b *testing.B) {
+			path := filepath.Join(b.TempDir(), "bench.trace")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f, err := os.Create(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sw, err := trace.NewShardedWriterOptions(f, benchRanks, 0, trace.WriterOptions{Sync: policy})
+				if err != nil {
+					b.Fatal(err)
+				}
+				writeAllRanks(b, sw.Write, tr)
+				if err := sw.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- Graph: serial vs merged parallel build -------------------------------

@@ -9,13 +9,13 @@
 # the self-observability metrics of a representative tanalyze run — so each
 # baseline records not just how fast the pipeline was but how much work
 # (records written, chunks flushed, ranks pruned, ...) the numbers represent.
-# The default output is BENCH_PR3.json at the repo root — the checked-in
-# baseline for the observability PR; regenerate it when the pipeline changes
-# materially and mention the delta in the PR.
+# The default output is BENCH_PR4.json at the repo root — the checked-in
+# baseline for the durable-storage PR; regenerate it when the pipeline
+# changes materially and mention the delta in the PR.
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR4.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw="$(mktemp)"
@@ -23,7 +23,7 @@ snap="$(mktemp)"
 trap 'rm -f "$raw" "$snap"' EXIT
 
 go test -run '^$' \
-    -bench 'SerialLoad|ParallelLoad|QuerySerial|QueryIndexed|QueryParallel|FileWriterSerial|ShardedWrite|GraphFromTrace|MergedOrder|ObsOverhead' \
+    -bench 'SerialLoad|ParallelLoad|QuerySerial|QueryIndexed|QueryParallel|FileWriterSerial|ShardedWrite|SyncPolicy|GraphFromTrace|MergedOrder|ObsOverhead' \
     -benchtime "$benchtime" -benchmem . | tee "$raw"
 
 # Capture the obs snapshot of an in-process record + analyze pass: the
