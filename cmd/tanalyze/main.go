@@ -23,6 +23,7 @@ import (
 	"tracedbg/internal/mp"
 	"tracedbg/internal/obs"
 	"tracedbg/internal/query"
+	"tracedbg/internal/store"
 	"tracedbg/internal/trace"
 )
 
@@ -137,9 +138,14 @@ func runQueries(w io.Writer, tr *trace.Trace, find string) error {
 
 func load(in, app string, ranks, size, iters int, seed int64, w io.Writer) (*trace.Trace, error) {
 	if in != "" {
-		// Salvage what a crashed or interrupted producer managed to write:
+		// store.Open sniffs the format (v2, v3, or segment manifest) and
+		// salvages what a crashed or interrupted producer managed to write:
 		// a partial history is still analyzable, just flagged.
-		tr, err := trace.LoadFileParallel(in)
+		st, err := store.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := st.Trace()
 		if err != nil {
 			return nil, err
 		}

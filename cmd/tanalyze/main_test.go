@@ -3,6 +3,11 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"tracedbg/internal/apps"
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
 )
 
 func TestAnalyzeCleanRun(t *testing.T) {
@@ -51,4 +56,43 @@ func TestAnalyzeErrors(t *testing.T) {
 	if err := run(&sb, "", "nope", 2, 8, 1, 1, false, ""); err == nil {
 		t.Error("bogus app accepted")
 	}
+}
+
+// TestAnalyzeSegmentedManifest is the regression test for opening segmented
+// tcollect output: the analyzer must accept a TDBGMAN1 manifest wherever a
+// trace file is accepted.
+func TestAnalyzeSegmentedManifest(t *testing.T) {
+	manifest := writeSegmentedRun(t)
+	var sb strings.Builder
+	if err := run(&sb, manifest, "", 0, 0, 0, 0, false, ""); err != nil {
+		t.Fatalf("manifest input: %v", err)
+	}
+	if !strings.Contains(sb.String(), "message traffic per rank") {
+		t.Errorf("analysis output missing traffic report:\n%s", sb.String())
+	}
+}
+
+// writeSegmentedRun records a ring run and writes it as size-bounded
+// segments, returning the manifest path.
+func writeSegmentedRun(t *testing.T) string {
+	t.Helper()
+	sink := instr.NewMemorySink(3)
+	in := instr.New(3, sink, instr.LevelAll)
+	if err := in.Run(mp.Config{NumRanks: 3}, apps.Ring(2, nil)); err != nil {
+		t.Fatal(err)
+	}
+	tr := sink.Trace()
+	gw, err := trace.NewSegmentedWriter(t.TempDir(), "run", tr.NumRanks(), 1<<10, trace.WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range tr.MergedOrder() {
+		if err := gw.Write(tr.MustAt(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return gw.ManifestPath()
 }

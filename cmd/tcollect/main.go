@@ -25,6 +25,7 @@ import (
 
 	"tracedbg/internal/obs"
 	"tracedbg/internal/remote"
+	"tracedbg/internal/store"
 	"tracedbg/internal/trace"
 )
 
@@ -39,6 +40,7 @@ type options struct {
 	logLevel    string        // structured event log threshold; "" disables
 	sync        string        // output durability policy
 	segBytes    int64         // rotate output into segments of this size; 0 = single file
+	verify      bool          // round-trip the written output through store.Open
 	col         remote.CollectorOptions
 }
 
@@ -59,6 +61,8 @@ func main() {
 		"output durability policy: none, interval, every-chunk")
 	flag.Int64Var(&o.segBytes, "segment-bytes", 0,
 		"rotate the output into size-bounded segments with a checksummed manifest (0 = single file)")
+	flag.BoolVar(&o.verify, "verify", false,
+		"after writing, re-open the output through the trace store and check it round-trips cleanly")
 	flag.Parse()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tcollect:", err)
@@ -147,10 +151,13 @@ func run(o options, log interface{ Write([]byte) (int, error) }) error {
 		return err
 	}
 	wopts := trace.WriterOptions{Writer: "tcollect", Sync: policy}
+	written := o.out
 	if o.segBytes > 0 {
-		if err := writeSegmented(o, tr, wopts); err != nil {
+		manifest, err := writeSegmented(o, tr, wopts)
+		if err != nil {
 			return err
 		}
+		written = manifest
 	} else if err := trace.WriteFileAtomic(o.out, tr, wopts); err != nil {
 		return err
 	}
@@ -158,31 +165,64 @@ func run(o options, log interface{ Write([]byte) (int, error) }) error {
 	if tr.Incomplete() {
 		fmt.Fprintf(log, "tcollect: history incomplete: %s\n", tr.IncompleteReason())
 	}
+	if o.verify {
+		if err := verifyOutput(written, tr); err != nil {
+			return fmt.Errorf("verify %s: %w", written, err)
+		}
+		fmt.Fprintf(log, "tcollect: verified %s: %d records round-trip\n", written, tr.Len())
+	}
 	for _, e := range col.Errs() {
 		fmt.Fprintf(log, "tcollect: stream error: %v\n", e)
 	}
 	return nil
 }
 
+// verifyOutput re-opens what was just written through the store — the same
+// path every consumer takes — and checks the history round-tripped intact.
+func verifyOutput(path string, want *trace.Trace) error {
+	st, err := store.Open(path)
+	if err != nil {
+		return err
+	}
+	got, err := st.Trace()
+	if err != nil {
+		return err
+	}
+	if got.Len() != want.Len() {
+		return fmt.Errorf("record count mismatch: wrote %d, read back %d", want.Len(), got.Len())
+	}
+	if got.NumRanks() != want.NumRanks() {
+		return fmt.Errorf("rank count mismatch: wrote %d, read back %d", want.NumRanks(), got.NumRanks())
+	}
+	if got.HasGaps() {
+		return fmt.Errorf("read back %d damaged span(s)", len(got.Gaps()))
+	}
+	if got.Incomplete() != want.Incomplete() {
+		return fmt.Errorf("incomplete flag mismatch: wrote %v, read back %v", want.Incomplete(), got.Incomplete())
+	}
+	return nil
+}
+
 // writeSegmented rotates the collected history into size-bounded segment
 // files next to -out, each independently checksummed and loadable, with a
-// manifest tying them together (trace.LoadSegmented reassembles).
-func writeSegmented(o options, tr *trace.Trace, wopts trace.WriterOptions) error {
+// manifest tying them together (store.Open reassembles). Returns the
+// manifest path.
+func writeSegmented(o options, tr *trace.Trace, wopts trace.WriterOptions) (string, error) {
 	dir := filepath.Dir(o.out)
 	base := strings.TrimSuffix(filepath.Base(o.out), filepath.Ext(o.out))
 	gw, err := trace.NewSegmentedWriter(dir, base, tr.NumRanks(), o.segBytes, wopts)
 	if err != nil {
-		return err
+		return "", err
 	}
 	for _, id := range tr.MergedOrder() {
 		if err := gw.Write(tr.MustAt(id)); err != nil {
-			return err
+			return "", err
 		}
 	}
 	if tr.Incomplete() {
 		if err := gw.WriteIncomplete(tr.IncompleteReason()); err != nil {
-			return err
+			return "", err
 		}
 	}
-	return gw.Close()
+	return gw.ManifestPath(), gw.Close()
 }

@@ -128,3 +128,50 @@ func testOptions(addr, out string, maxWait time.Duration) options {
 		col: remote.CollectorOptions{Heartbeat: 20 * time.Millisecond},
 	}
 }
+
+// ringTrace records a small run in memory for writer tests.
+func ringTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	sink := instr.NewMemorySink(3)
+	in := instr.New(3, sink, instr.LevelAll)
+	if err := in.Run(mp.Config{NumRanks: 3}, apps.Ring(2, nil)); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Trace()
+}
+
+// TestSegmentedWriteAndVerify: -segment-bytes output must round-trip through
+// the store (the -verify path), and the manifest is what gets verified.
+func TestSegmentedWriteAndVerify(t *testing.T) {
+	tr := ringTrace(t)
+	o := testOptions("", filepath.Join(t.TempDir(), "run.trace"), time.Second)
+	o.segBytes = 1 << 10
+	manifest, err := writeSegmented(o, tr, trace.WriterOptions{Writer: "tcollect"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Ext(manifest) != ".manifest" {
+		t.Fatalf("writeSegmented returned %q, want the manifest path", manifest)
+	}
+	if err := verifyOutput(manifest, tr); err != nil {
+		t.Fatalf("verify of segmented output: %v", err)
+	}
+}
+
+func TestVerifyOutputDetectsMismatch(t *testing.T) {
+	tr := ringTrace(t)
+	out := filepath.Join(t.TempDir(), "run.trace")
+	if err := trace.WriteFileAtomic(out, tr, trace.WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyOutput(out, tr); err != nil {
+		t.Fatalf("clean round-trip rejected: %v", err)
+	}
+	other := trace.New(tr.NumRanks() + 1)
+	if err := verifyOutput(out, other); err == nil {
+		t.Error("rank mismatch not detected")
+	}
+	if err := verifyOutput(filepath.Join(t.TempDir(), "absent"), tr); err == nil {
+		t.Error("missing output not detected")
+	}
+}

@@ -58,12 +58,14 @@ import (
 	"tracedbg/internal/fault"
 	"tracedbg/internal/mp"
 	"tracedbg/internal/obs"
+	"tracedbg/internal/store"
 	"tracedbg/internal/trace"
 	"tracedbg/internal/vis"
 )
 
 func main() {
 	var (
+		in       = flag.String("in", "", "open a recorded trace (v2, v3, or segment manifest) as the session history")
 		app      = flag.String("app", "ring", "workload: "+strings.Join(apps.Names(), ", "))
 		ranks    = flag.Int("ranks", 4, "number of processes")
 		size     = flag.Int("size", 16, "problem size")
@@ -100,11 +102,41 @@ func main() {
 		fmt.Fprintf(os.Stdout, "loaded %s\n", plan)
 	}
 	d := core.New(debug.Target{Cfg: cfg, Body: body})
+	if *in != "" {
+		if err := loadTraceInto(d, *in, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	r := &repl{d: d, out: os.Stdout, timeout: 30 * time.Second}
 	if err := r.Run(os.Stdin); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// loadTraceInto opens a recorded trace — v2, v3, or segment manifest, the
+// store sniffs it — and installs it as the debugger's session history, so
+// view/analyze/find commands work without a live run.
+func loadTraceInto(d *core.Debugger, path string, out io.Writer) error {
+	st, err := store.Open(path)
+	if err != nil {
+		return err
+	}
+	tr, err := st.Trace()
+	if err != nil {
+		return err
+	}
+	d.SetTrace(tr)
+	fmt.Fprintf(out, "loaded %s: %d records, %d ranks\n", path, tr.Len(), tr.NumRanks())
+	if tr.Incomplete() {
+		fmt.Fprintf(out, "warning: history incomplete: %s\n", tr.IncompleteReason())
+	}
+	for _, g := range tr.Gaps() {
+		fmt.Fprintf(out, "warning: damaged span at byte %d (%d bytes) quarantined: %s\n",
+			g.Offset, g.Bytes, g.Reason)
+	}
+	return nil
 }
 
 // installFaultPlan loads a fault plan file and installs its injector in the

@@ -11,7 +11,9 @@ import (
 	"tracedbg/internal/core"
 	"tracedbg/internal/debug"
 	"tracedbg/internal/fault"
+	"tracedbg/internal/instr"
 	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
 )
 
 func newRepl(t *testing.T, app string, ranks int, p apps.Params) (*repl, *strings.Builder) {
@@ -269,5 +271,101 @@ func TestInstallFaultPlanErrors(t *testing.T) {
 	}
 	if _, err := installFaultPlan(bad, &cfg); err == nil {
 		t.Error("invalid plan accepted")
+	}
+}
+
+// writeRingHistory records a ring run and returns both its trace and a
+// single-file encoding on disk.
+func writeRingHistory(t *testing.T) (*trace.Trace, string) {
+	t.Helper()
+	sink := instr.NewMemorySink(3)
+	in := instr.New(3, sink, instr.LevelAll)
+	if err := in.Run(mp.Config{NumRanks: 3}, apps.Ring(2, nil)); err != nil {
+		t.Fatal(err)
+	}
+	tr := sink.Trace()
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if err := trace.WriteFileAtomic(path, tr, trace.WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return tr, path
+}
+
+// TestLoadTraceIntoSession: -in installs a recorded trace as the session
+// history, so view/analyze/find work without a live run.
+func TestLoadTraceIntoSession(t *testing.T) {
+	tr, path := writeRingHistory(t)
+	r, out := newRepl(t, "ring", 3, apps.Params{Iters: 2})
+	if err := loadTraceInto(r.d, path, out); err != nil {
+		t.Fatal(err)
+	}
+	if r.d.Trace().Len() != tr.Len() {
+		t.Fatalf("installed %d records, want %d", r.d.Trace().Len(), tr.Len())
+	}
+	script := `
+trace 60
+analyze
+callgraph 0
+find kind = send
+quit
+`
+	if err := r.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"loaded", "time-space diagram", "message traffic per rank",
+		"dynamic call graph", "event(s) match"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("output missing %q:\n%s", frag, s)
+		}
+	}
+	if strings.Contains(s, "error:") {
+		t.Errorf("script errors:\n%s", s)
+	}
+}
+
+// TestLoadTraceIntoManifest: the -in flag accepts a TDBGMAN1 segment
+// manifest — the regression test for segmented tcollect output.
+func TestLoadTraceIntoManifest(t *testing.T) {
+	tr, _ := writeRingHistory(t)
+	gw, err := trace.NewSegmentedWriter(t.TempDir(), "run", tr.NumRanks(), 1<<10, trace.WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range tr.MergedOrder() {
+		if err := gw.Write(tr.MustAt(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, out := newRepl(t, "ring", 3, apps.Params{Iters: 2})
+	if err := loadTraceInto(r.d, gw.ManifestPath(), out); err != nil {
+		t.Fatal(err)
+	}
+	if r.d.Trace().Len() != tr.Len() {
+		t.Fatalf("installed %d records, want %d", r.d.Trace().Len(), tr.Len())
+	}
+	if err := r.Run(strings.NewReader("analyze\nquit\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "message traffic per rank") {
+		t.Errorf("analyze over manifest history failed:\n%s", out.String())
+	}
+}
+
+// TestLoadTraceThenRecordClears: a live run replaces the injected history.
+func TestLoadTraceThenRecordClears(t *testing.T) {
+	_, path := writeRingHistory(t)
+	r, out := newRepl(t, "ring", 3, apps.Params{Iters: 1})
+	if err := loadTraceInto(r.d, path, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(strings.NewReader("run\nquit\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "execution completed") {
+		t.Errorf("live run after -in failed:\n%s", out.String())
 	}
 }

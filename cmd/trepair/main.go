@@ -14,14 +14,21 @@
 // with its byte extent and per-rank possibly-lost event bounds. -migrate
 // re-encodes a cleanly readable file in the current checksummed format
 // (or back to the legacy format with -legacy, for old tooling).
+//
+// All three modes accept a TDBGMAN1 segment manifest in place of a trace
+// file: -verify checks each segment, -salvage and -migrate reassemble the
+// segments into a single output file.
+//
+// Verification and salvage stream the input through the chunk cursor, so
+// repairing a multi-gigabyte trace needs O(chunk) memory, not O(file).
 package main
 
 import (
-	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
+	"tracedbg/internal/store"
 	"tracedbg/internal/trace"
 )
 
@@ -77,6 +84,26 @@ func run(args []string) int {
 }
 
 func runVerify(path string, quiet bool) int {
+	st, err := store.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trepair: %s: %v\n", path, err)
+		return 1
+	}
+	if segs := st.SegmentPaths(); segs != nil {
+		info := st.Info()
+		fmt.Printf("%s: manifest, v%d, %d ranks, %d segment(s)\n", path, info.Version, info.NumRanks, len(segs))
+		rc := 0
+		for _, sp := range segs {
+			if verifyOne(sp, quiet) != 0 {
+				rc = 1
+			}
+		}
+		return rc
+	}
+	return verifyOne(path, quiet)
+}
+
+func verifyOne(path string, quiet bool) int {
 	vr, err := trace.VerifyFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "trepair: %s: %v\n", path, err)
@@ -97,11 +124,48 @@ func runSalvage(path, out string, opts trace.WriterOptions, quiet bool) int {
 		fmt.Fprintln(os.Stderr, "trepair: -salvage requires -o <output>")
 		return 2
 	}
-	t, rep, err := trace.SalvageFile(path)
+	st, err := store.Open(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "trepair: %s: %v\n", path, err)
 		return 1
 	}
+	if st.Info().Segmented {
+		// A manifest's damage tolerance lives in the segmented loader; the
+		// reassembled trace is small enough per segment to materialize.
+		t, err := st.Trace()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trepair: %s: %v\n", path, err)
+			return 1
+		}
+		if t.Incomplete() {
+			fmt.Printf("%s: incomplete: %s\n", path, t.IncompleteReason())
+		}
+		if err := trace.WriteFileAtomic(out, t, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "trepair: writing %s: %v\n", out, err)
+			return 1
+		}
+		fmt.Printf("%s: %d records written\n", out, t.Len())
+		return 0
+	}
+
+	// Pass 1 streams the damage report; pass 2 streams the records in
+	// merged order straight into the output writer. Neither holds the
+	// trace in memory.
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trepair: %s: %v\n", path, err)
+		return 1
+	}
+	c, err := trace.NewSalvageCursor(f)
+	if err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "trepair: %s: %v\n", path, err)
+		return 1
+	}
+	c.Drain()
+	rep := c.Report()
+	incomplete, reason := c.Incomplete()
+	f.Close()
 	fmt.Printf("%s: %s\n", path, rep)
 	if !quiet {
 		for i, g := range rep.Gaps {
@@ -119,11 +183,18 @@ func runSalvage(path, out string, opts trace.WriterOptions, quiet bool) int {
 	// The salvaged output is a clean, complete-format file; the gap record
 	// itself lives in the Incomplete reason so downstream loads still know
 	// the history has holes.
-	if err := trace.WriteFileAtomic(out, t, opts); err != nil {
+	mc, err := st.Merged()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trepair: %s: %v\n", path, err)
+		return 1
+	}
+	defer mc.Close()
+	n, err := trace.WriteFileAtomicCursor(out, st.NumRanks(), mc, incomplete, reason, opts)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "trepair: writing %s: %v\n", out, err)
 		return 1
 	}
-	fmt.Printf("%s: %d records written\n", out, t.Len())
+	fmt.Printf("%s: %d records written\n", out, n)
 	return 0
 }
 
@@ -132,12 +203,12 @@ func runMigrate(path, out string, opts trace.WriterOptions) int {
 		fmt.Fprintln(os.Stderr, "trepair: -migrate requires -o <output>")
 		return 2
 	}
-	data, err := os.ReadFile(path)
+	st, err := store.Open(path, store.Options{Mode: store.ModeStrict})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "trepair: %v\n", err)
 		return 1
 	}
-	t, err := trace.ReadAll(bytes.NewReader(data))
+	t, err := st.Trace()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "trepair: %s does not decode cleanly (%v); salvage it first\n", path, err)
 		return 1

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tracedbg/internal/store"
+	"tracedbg/internal/trace"
+)
+
+func testTrace(seed int64, ranks, msgs int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := trace.New(ranks)
+	clock := make([]int64, ranks)
+	marker := make([]uint64, ranks)
+	var msgID uint64
+	for i := 0; i < msgs; i++ {
+		src := rng.Intn(ranks)
+		dst := (src + 1) % ranks
+		msgID++
+		s := clock[src]
+		e := s + 1 + int64(rng.Intn(6))
+		clock[src] = e
+		marker[src]++
+		tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: src, Marker: marker[src],
+			Start: s, End: e, Src: src, Dst: dst, Bytes: 32, MsgID: msgID,
+			Loc: trace.Location{File: "ring.go", Line: 10, Func: "main"}, Name: "Send"})
+		marker[dst]++
+		rs := clock[dst]
+		clock[dst] = rs + 1
+		tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: dst, Marker: marker[dst],
+			Start: rs, End: rs + 1, Src: src, Dst: dst, Bytes: 32, MsgID: msgID, Name: "Recv"})
+	}
+	return tr
+}
+
+func writeFile(t *testing.T, dir, name string, tr *trace.Trace, opts trace.WriterOptions) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteAllOptions(&buf, tr, opts); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeManifest(t *testing.T, tr *trace.Trace, segBytes int64) string {
+	t.Helper()
+	gw, err := trace.NewSegmentedWriter(t.TempDir(), "run", tr.NumRanks(), segBytes, trace.WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range tr.MergedOrder() {
+		if err := gw.Write(tr.MustAt(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return gw.ManifestPath()
+}
+
+func TestVerifyCleanAndDamaged(t *testing.T) {
+	tr := testTrace(3, 4, 200)
+	path := writeFile(t, t.TempDir(), "run.trace", tr, trace.WriterOptions{})
+	if rc := run([]string{"-verify", path}); rc != 0 {
+		t.Fatalf("clean verify rc = %d", rc)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if rc := run([]string{"-verify", path}); rc != 1 {
+		t.Fatalf("damaged verify rc = %d", rc)
+	}
+}
+
+// TestSalvageStreamingParity: the two-pass streaming salvage must produce a
+// byte-identical output to the old materialize-then-write path.
+func TestSalvageStreamingParity(t *testing.T) {
+	tr := testTrace(5, 4, 300)
+	dir := t.TempDir()
+	path := writeFile(t, dir, "run.trace", tr, trace.WriterOptions{})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x55
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "salvaged.trace")
+	if rc := run([]string{"-salvage", "-o", out, path}); rc != 0 {
+		t.Fatalf("salvage rc = %d", rc)
+	}
+
+	// Reference: materialized salvage written the legacy way.
+	salvaged, _, err := trace.ReadAllSalvage(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := filepath.Join(dir, "ref.trace")
+	if err := trace.WriteFileAtomic(ref, salvaged, trace.WriterOptions{Writer: "trepair"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("streamed salvage output differs from materialized reference (%d vs %d bytes)",
+			len(got), len(want))
+	}
+	if rc := run([]string{"-verify", out}); rc != 0 {
+		t.Fatal("salvaged output does not verify clean")
+	}
+}
+
+func TestVerifyAndSalvageManifest(t *testing.T) {
+	tr := testTrace(7, 3, 300)
+	manifest := writeManifest(t, tr, 4<<10)
+	if rc := run([]string{"-verify", manifest}); rc != 0 {
+		t.Fatalf("manifest verify rc = %d", rc)
+	}
+
+	out := filepath.Join(t.TempDir(), "joined.trace")
+	if rc := run([]string{"-salvage", "-o", out, manifest}); rc != 0 {
+		t.Fatalf("manifest salvage rc = %d", rc)
+	}
+	st, err := store.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() || got.NumRanks() != tr.NumRanks() {
+		t.Fatalf("reassembled: %d records/%d ranks, want %d/%d",
+			got.Len(), got.NumRanks(), tr.Len(), tr.NumRanks())
+	}
+}
+
+func TestMigrateBothWays(t *testing.T) {
+	tr := testTrace(9, 3, 150)
+	dir := t.TempDir()
+	v2 := writeFile(t, dir, "old.trace", tr, trace.WriterOptions{LegacyV2: true})
+
+	up := filepath.Join(dir, "new.trace")
+	if rc := run([]string{"-migrate", "-o", up, v2}); rc != 0 {
+		t.Fatalf("migrate rc = %d", rc)
+	}
+	st, err := store.Open(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Info().Version != trace.FormatVersion {
+		t.Fatalf("migrated version = %d", st.Info().Version)
+	}
+	got, err := st.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("migrated %d records, want %d", got.Len(), tr.Len())
+	}
+
+	down := filepath.Join(dir, "legacy.trace")
+	if rc := run([]string{"-migrate", "-legacy", "-o", down, up}); rc != 0 {
+		t.Fatalf("downgrade rc = %d", rc)
+	}
+	st2, err := store.Open(down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Info().Version != trace.FormatVersionLegacy {
+		t.Fatalf("downgraded version = %d", st2.Info().Version)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if rc := run([]string{"-verify"}); rc != 2 {
+		t.Errorf("no file rc = %d", rc)
+	}
+	if rc := run([]string{"-verify", "-salvage", "x"}); rc != 2 {
+		t.Errorf("two modes rc = %d", rc)
+	}
+	if rc := run([]string{"-salvage", "x"}); rc != 2 {
+		t.Errorf("salvage without -o rc = %d", rc)
+	}
+	if rc := run([]string{"-verify", filepath.Join(t.TempDir(), "absent.trace")}); rc != 1 {
+		t.Errorf("missing file rc = %d", rc)
+	}
+}

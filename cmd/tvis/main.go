@@ -24,6 +24,7 @@ import (
 	"tracedbg/internal/graph"
 	"tracedbg/internal/instr"
 	"tracedbg/internal/mp"
+	"tracedbg/internal/store"
 	"tracedbg/internal/trace"
 	"tracedbg/internal/vis"
 )
@@ -90,9 +91,14 @@ func run(in, app string, ranks, size, iters int, seed int64, mode, out string,
 // load reads a trace file, or records the named workload when in is empty.
 func load(in, app string, ranks, size, iters int, seed int64) (*trace.Trace, error) {
 	if in != "" {
-		// Salvage what a crashed or interrupted producer managed to write:
+		// store.Open sniffs the format (v2, v3, or segment manifest) and
+		// salvages what a crashed or interrupted producer managed to write:
 		// a truncated history still renders, just flagged on stderr.
-		tr, err := trace.LoadFileParallel(in)
+		st, err := store.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := st.Trace()
 		if err != nil {
 			return nil, err
 		}

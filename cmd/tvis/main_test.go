@@ -88,3 +88,45 @@ func TestViewportFlagsNarrowOutput(t *testing.T) {
 		t.Errorf("zoomed svg (%d bytes) not smaller than full (%d bytes)", len(z), len(f))
 	}
 }
+
+// TestRenderSegmentedManifest is the regression test for opening segmented
+// tcollect output: every render mode must accept a TDBGMAN1 manifest.
+func TestRenderSegmentedManifest(t *testing.T) {
+	manifest := writeSegmentedRun(t)
+	out := filepath.Join(t.TempDir(), "seg.txt")
+	if err := run(manifest, "", 0, 0, 0, 0, "ascii", out, 80, 0, 0, -1, 0, 0, 0); err != nil {
+		t.Fatalf("manifest input: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "time-space diagram") {
+		t.Errorf("render missing diagram:\n%s", data)
+	}
+}
+
+// writeSegmentedRun records a ring run and writes it as size-bounded
+// segments, returning the manifest path.
+func writeSegmentedRun(t *testing.T) string {
+	t.Helper()
+	sink := instr.NewMemorySink(3)
+	in := instr.New(3, sink, instr.LevelAll)
+	if err := in.Run(mp.Config{NumRanks: 3}, apps.Ring(2, nil)); err != nil {
+		t.Fatal(err)
+	}
+	tr := sink.Trace()
+	gw, err := trace.NewSegmentedWriter(t.TempDir(), "run", tr.NumRanks(), 1<<10, trace.WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range tr.MergedOrder() {
+		if err := gw.Write(tr.MustAt(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return gw.ManifestPath()
+}

@@ -24,6 +24,7 @@ import (
 	"tracedbg/internal/obs"
 	"tracedbg/internal/query"
 	"tracedbg/internal/remote"
+	"tracedbg/internal/store"
 	"tracedbg/internal/trace"
 )
 
@@ -123,8 +124,13 @@ func main() {
 	}
 	snap = stage(snap, fmt.Sprintf("persist (%d bytes)", buf.Len()))
 
-	// Stage 3 — load: the parallel segment decoder reads it back.
-	loaded, err := trace.LoadParallel(buf.Bytes())
+	// Stage 3 — load: the trace store sniffs the image and negotiates the
+	// parallel segment decoder for it.
+	stc, err := store.OpenBytes(buf.Bytes())
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	loaded, err := stc.Trace()
 	if err != nil {
 		log.Fatalf("load: %v", err)
 	}

@@ -68,7 +68,14 @@ func AnalyzeTraffic(tr *trace.Trace) *TrafficReport {
 			}
 		}
 	}
+	classifyTraffic(rep)
+	return rep
+}
 
+// classifyTraffic fills rep.Odd from the per-rank counts: signature-group
+// the ranks and flag every group strictly smaller than the largest.
+func classifyTraffic(rep *TrafficReport) {
+	n := len(rep.Sends)
 	type sig struct{ s, r int }
 	groups := make(map[sig][]int)
 	for rank := 0; rank < n; rank++ {
@@ -107,5 +114,4 @@ func AnalyzeTraffic(tr *trace.Trace) *TrafficReport {
 		}
 	}
 	sort.Slice(rep.Odd, func(i, j int) bool { return rep.Odd[i].Rank < rep.Odd[j].Rank })
-	return rep
 }

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"io"
+
+	"tracedbg/internal/trace"
+)
+
+// The streaming variants consume a record cursor (store.All, or any other
+// trace.RecordCursor) instead of a materialized trace. Both analyses are
+// order-independent counts, so one pass in any record order produces the
+// same report as the materialized builders — in O(chunk) memory.
+
+// AnalyzeTrafficStream is AnalyzeTraffic over a record cursor. The cursor
+// is drained but not closed.
+func AnalyzeTrafficStream(numRanks int, c trace.RecordCursor) (*TrafficReport, error) {
+	rep := &TrafficReport{Sends: make([]int, numRanks), Recvs: make([]int, numRanks)}
+	for {
+		rec, err := c.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Rank < 0 || rec.Rank >= numRanks {
+			continue
+		}
+		switch rec.Kind {
+		case trace.KindSend:
+			rep.Sends[rec.Rank]++
+		case trace.KindRecv:
+			rep.Recvs[rec.Rank]++
+		}
+	}
+	classifyTraffic(rep)
+	return rep, nil
+}
+
+// BuildCommMatrixStream is BuildCommMatrix over a record cursor. The
+// cursor is drained but not closed.
+func BuildCommMatrixStream(numRanks int, c trace.RecordCursor) (*CommMatrix, error) {
+	m := &CommMatrix{N: numRanks, Msgs: make([][]int, numRanks), Bytes: make([][]int64, numRanks)}
+	for i := range m.Msgs {
+		m.Msgs[i] = make([]int, numRanks)
+		m.Bytes[i] = make([]int64, numRanks)
+	}
+	for {
+		rec, err := c.Next()
+		if err == io.EOF {
+			return m, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Kind != trace.KindSend {
+			continue
+		}
+		if rec.Src < 0 || rec.Src >= numRanks || rec.Dst < 0 || rec.Dst >= numRanks {
+			continue
+		}
+		m.Msgs[rec.Src][rec.Dst]++
+		m.Bytes[rec.Src][rec.Dst] += int64(rec.Bytes)
+	}
+}

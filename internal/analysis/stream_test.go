@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tracedbg/internal/trace"
+)
+
+type sliceCursor struct {
+	recs []trace.Record
+	i    int
+}
+
+func (c *sliceCursor) Next() (*trace.Record, error) {
+	if c.i >= len(c.recs) {
+		return nil, io.EOF
+	}
+	rec := &c.recs[c.i]
+	c.i++
+	return rec, nil
+}
+
+func (c *sliceCursor) Close() error { return nil }
+
+// allCursor replays the trace's merged order, the shape store.All yields.
+func allCursor(tr *trace.Trace) trace.RecordCursor {
+	var recs []trace.Record
+	for _, id := range tr.MergedOrder() {
+		recs = append(recs, *tr.MustAt(id))
+	}
+	return &sliceCursor{recs: recs}
+}
+
+func trafficTrace(rng *rand.Rand, ranks, msgs int) *trace.Trace {
+	tr := trace.New(ranks)
+	clock := make([]int64, ranks)
+	marker := make([]uint64, ranks)
+	var msgID uint64
+	for i := 0; i < msgs; i++ {
+		src := rng.Intn(ranks)
+		dst := (src + 1 + rng.Intn(ranks-1)) % ranks
+		msgID++
+		s := clock[src]
+		e := s + 1 + int64(rng.Intn(5))
+		clock[src] = e
+		marker[src]++
+		tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: src, Marker: marker[src],
+			Start: s, End: e, Src: src, Dst: dst, Bytes: 8 + rng.Intn(100), MsgID: msgID})
+		// Skew the rank-0 traffic so Odd irregularities actually appear.
+		if src == 0 && rng.Intn(2) == 0 {
+			continue
+		}
+		marker[dst]++
+		rs := clock[dst]
+		re := rs + 1
+		clock[dst] = re
+		tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: dst, Marker: marker[dst],
+			Start: rs, End: re, Src: src, Dst: dst, Bytes: 8, MsgID: msgID})
+	}
+	return tr
+}
+
+// TestAnalyzeTrafficStreamIdentity: the streaming analyzer over a cursor
+// must produce the exact report of the materialized analyzer, including the
+// irregularity classification.
+func TestAnalyzeTrafficStreamIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for i := 0; i < 6; i++ {
+		tr := trafficTrace(rng, 3+rng.Intn(5), 100+rng.Intn(400))
+		want := AnalyzeTraffic(tr)
+		got, err := AnalyzeTrafficStream(tr.NumRanks(), allCursor(tr))
+		if err != nil {
+			t.Fatalf("trace %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trace %d: stream report differs\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestBuildCommMatrixStreamIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for i := 0; i < 6; i++ {
+		tr := trafficTrace(rng, 3+rng.Intn(5), 100+rng.Intn(400))
+		want := BuildCommMatrix(tr)
+		got, err := BuildCommMatrixStream(tr.NumRanks(), allCursor(tr))
+		if err != nil {
+			t.Fatalf("trace %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trace %d: stream matrix differs\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+// TestStreamOutOfRangeRanks: records with ranks outside [0, numRanks) are
+// skipped, not a panic.
+func TestStreamOutOfRangeRanks(t *testing.T) {
+	recs := []trace.Record{
+		{Kind: trace.KindSend, Rank: -1, Src: -1, Dst: 0, Bytes: 4},
+		{Kind: trace.KindSend, Rank: 5, Src: 5, Dst: 1, Bytes: 4},
+		{Kind: trace.KindSend, Rank: 0, Src: 0, Dst: 1, Bytes: 4},
+	}
+	rep, err := AnalyzeTrafficStream(2, &sliceCursor{recs: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sends[0] != 1 || rep.Sends[1] != 0 {
+		t.Fatalf("sends = %v", rep.Sends)
+	}
+	m, err := BuildCommMatrixStream(2, &sliceCursor{recs: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Msgs[0][1] != 1 {
+		t.Fatalf("msgs = %v", m.Msgs)
+	}
+}

@@ -33,6 +33,9 @@ type Debugger struct {
 	order   *causality.Order // cached causality of the *completed* recording
 	orderOf *trace.Trace     // the trace the cache was computed from
 
+	loaded      *trace.Trace      // externally opened history (SetTrace)
+	loadedGraph *graph.TraceGraph // trace graph rebuilt from it
+
 	queries *query.Cache // compiled Find expressions, reused across repl loops
 }
 
@@ -64,6 +67,7 @@ func (d *Debugger) Record() error {
 	d.mu.Lock()
 	d.session = s
 	d.order = nil
+	d.loaded, d.loadedGraph = nil, nil
 	d.mu.Unlock()
 	return s.Finish()
 }
@@ -77,8 +81,23 @@ func (d *Debugger) Launch() (*debug.Session, error) {
 	d.mu.Lock()
 	d.session = s
 	d.order = nil
+	d.loaded, d.loadedGraph = nil, nil
 	d.mu.Unlock()
 	return s, nil
+}
+
+// SetTrace installs an externally recorded history — typically a trace
+// file opened through store.Open — as the debugger's current history.
+// Analyses, displays, queries, and stopline computation operate over it
+// exactly as over a fresh recording; the trace graph is rebuilt from the
+// records. A subsequent Record or Launch replaces it with the live run.
+func (d *Debugger) SetTrace(tr *trace.Trace) {
+	g := graph.FromTrace(tr, ArcMergeLimit)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.loaded = tr
+	d.loadedGraph = g
+	d.order, d.orderOf = nil, nil
 }
 
 // Session returns the most recent session (nil before Record/Launch).
@@ -88,11 +107,15 @@ func (d *Debugger) Session() *debug.Session {
 	return d.session
 }
 
-// Trace returns the recorded history of the most recent session.
+// Trace returns the recorded history of the most recent session (or the
+// history installed with SetTrace, until a new session replaces it).
 func (d *Debugger) Trace() *trace.Trace {
 	d.mu.Lock()
-	s := d.session
+	s, ld := d.session, d.loaded
 	d.mu.Unlock()
+	if ld != nil {
+		return ld
+	}
 	if s == nil {
 		return trace.New(d.tgt.Cfg.NumRanks)
 	}
@@ -117,11 +140,20 @@ func (d *Debugger) Order() (*causality.Order, error) {
 	return o, nil
 }
 
-// TraceGraph returns the online-built trace graph.
-func (d *Debugger) TraceGraph() *graph.TraceGraph { return d.tgraph }
+// TraceGraph returns the online-built trace graph (or the graph rebuilt
+// from a SetTrace history while one is installed).
+func (d *Debugger) TraceGraph() *graph.TraceGraph {
+	d.mu.Lock()
+	lg := d.loadedGraph
+	d.mu.Unlock()
+	if lg != nil {
+		return lg
+	}
+	return d.tgraph
+}
 
 // CallGraph projects the dynamic call graph of one rank.
-func (d *Debugger) CallGraph(rank int) *graph.CallGraph { return d.tgraph.Project(rank) }
+func (d *Debugger) CallGraph(rank int) *graph.CallGraph { return d.TraceGraph().Project(rank) }
 
 // CommGraph derives the communication graph of the recorded history.
 func (d *Debugger) CommGraph() *graph.CommGraph { return graph.BuildCommGraph(d.Trace()) }

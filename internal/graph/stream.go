@@ -1,0 +1,35 @@
+package graph
+
+import (
+	"io"
+
+	"tracedbg/internal/trace"
+)
+
+// FromStream builds a trace graph from streaming per-rank cursors — the
+// same accumulation FromTrace performs, without materializing the trace.
+// open is called once per rank in rank order (store.Records is directly
+// assignable); node ids are identical to FromTrace's because Add sees the
+// records in the same order. Memory is the graph plus O(chunk).
+func FromStream(numRanks, limit int, open func(int) (trace.RecordCursor, error)) (*TraceGraph, error) {
+	g := New(numRanks, limit)
+	for rank := 0; rank < numRanks; rank++ {
+		c, err := open(rank)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			rec, err := c.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			g.Add(rec)
+		}
+		c.Close()
+	}
+	return g, nil
+}

@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tracedbg/internal/trace"
+)
+
+type sliceCursor struct {
+	recs []trace.Record
+	i    int
+}
+
+func (c *sliceCursor) Next() (*trace.Record, error) {
+	if c.i >= len(c.recs) {
+		return nil, io.EOF
+	}
+	rec := &c.recs[c.i]
+	c.i++
+	return rec, nil
+}
+
+func (c *sliceCursor) Close() error { return nil }
+
+// TestFromStreamIdentity: the streaming builder must be indistinguishable
+// from the materialized one — node ids, arc lists, merge statistics.
+func TestFromStreamIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for i := 0; i < 8; i++ {
+		ranks := 2 + rng.Intn(7)
+		tr := callMsgTrace(rng, ranks, 200+rng.Intn(800))
+		for _, limit := range []int{0, 4, 16, 256} {
+			serial := FromTrace(tr, limit)
+			open := func(rank int) (trace.RecordCursor, error) {
+				return &sliceCursor{recs: tr.Rank(rank)}, nil
+			}
+			stream, err := FromStream(ranks, limit, open)
+			if err != nil {
+				t.Fatalf("trace %d limit %d: FromStream: %v", i, limit, err)
+			}
+			if !reflect.DeepEqual(stream.Nodes(), serial.Nodes()) {
+				t.Fatalf("trace %d limit %d: nodes differ", i, limit)
+			}
+			if !reflect.DeepEqual(stream.Arcs(), serial.Arcs()) {
+				t.Fatalf("trace %d limit %d: arcs differ", i, limit)
+			}
+			if stream.Merges() != serial.Merges() {
+				t.Fatalf("trace %d limit %d: merges %d, want %d",
+					i, limit, stream.Merges(), serial.Merges())
+			}
+			if stream.EventCount() != serial.EventCount() || stream.ArcCount() != serial.ArcCount() {
+				t.Fatalf("trace %d limit %d: counts differ", i, limit)
+			}
+		}
+	}
+}
+
+func TestFromStreamOpenError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := FromStream(2, 0, func(int) (trace.RecordCursor, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("open error lost: %v", err)
+	}
+}

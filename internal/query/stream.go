@@ -1,0 +1,81 @@
+package query
+
+import (
+	"io"
+
+	"tracedbg/internal/trace"
+)
+
+// RunStream evaluates the query over streaming per-rank cursors instead of
+// a materialized trace, in O(chunk) memory. open is called once per rank
+// (store.Records is directly assignable) and each cursor is closed before
+// the next rank opens. The result is identical to Run over the same
+// records: event ids carry the record's ordinal position in its rank.
+//
+// Pruning differs in mechanism, not in result: bounds still skip whole
+// ranks, and within a rank the start/marker windows skip records before the
+// window and stop the scan past it (per-rank Start and marker
+// monotonicity), but there is no binary search — skipped records are still
+// read from the stream. The records-skipped metric therefore counts only
+// records the stream actually saw.
+func (q *Query) RunStream(numRanks int, open func(int) (trace.RecordCursor, error)) ([]trace.EventID, error) {
+	m := metrics()
+	m.queries.Inc()
+	var out []trace.EventID
+	for rank := 0; rank < numRanks; rank++ {
+		var err error
+		out, err = q.runRankStream(rank, open, out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (q *Query) runRankStream(rank int, open func(int) (trace.RecordCursor, error), out []trace.EventID) ([]trace.EventID, error) {
+	b := q.b
+	m := metrics()
+	if int64(rank) < b.rank.lo || int64(rank) > b.rank.hi {
+		m.ranksPruned.Inc()
+		return out, nil
+	}
+	m.ranksScan.Inc()
+	c, err := open(rank)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	var evaluated, skipped, matched uint64
+	for i := 0; ; i++ {
+		rec, err := c.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Start and markers are nondecreasing within a rank, so the bounds
+		// window is a contiguous run: records before it are skipped,
+		// records past it end the scan.
+		if (!b.start.full() && rec.Start > b.start.hi) ||
+			(!b.marker.full() && int64(rec.Marker) > b.marker.hi) {
+			break
+		}
+		if (!b.start.full() && rec.Start < b.start.lo) ||
+			(!b.marker.full() && int64(rec.Marker) < b.marker.lo) {
+			skipped++
+			continue
+		}
+		evaluated++
+		if q.expr.eval(rec) {
+			out = append(out, trace.EventID{Rank: rank, Index: i})
+			matched++
+		}
+	}
+	if evaluated > 0 {
+		m.recsEval.Add(evaluated)
+	}
+	m.recsSkipped.Add(skipped)
+	m.matches.Add(matched)
+	return out, nil
+}

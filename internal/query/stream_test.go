@@ -1,0 +1,130 @@
+package query
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"tracedbg/internal/trace"
+)
+
+// sliceCursor replays a rank's records; the test stand-in for a store cursor.
+type sliceCursor struct {
+	recs   []trace.Record
+	i      int
+	closed bool
+}
+
+func (c *sliceCursor) Next() (*trace.Record, error) {
+	if c.i >= len(c.recs) {
+		return nil, io.EOF
+	}
+	rec := &c.recs[c.i]
+	c.i++
+	return rec, nil
+}
+
+func (c *sliceCursor) Close() error { c.closed = true; return nil }
+
+func rankOpener(tr *trace.Trace) (func(int) (trace.RecordCursor, error), []*sliceCursor) {
+	curs := make([]*sliceCursor, tr.NumRanks())
+	return func(rank int) (trace.RecordCursor, error) {
+		c := &sliceCursor{recs: tr.Rank(rank)}
+		curs[rank] = c
+		return c, nil
+	}, curs
+}
+
+// TestRunStreamMatchesRun is the differential test for the streaming path:
+// every query over cursors must return exactly what the materialized pruned
+// Run returns, in the same order.
+func TestRunStreamMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	tr := boundsTrace(rng, 8, 4000)
+	exprs := []string{
+		"rank = 3",
+		"rank = 3 && start >= 100 && start < 900",
+		"rank >= 2 && rank <= 4",
+		"start > 500",
+		"start >= 200 && start <= 210",
+		"marker = 17",
+		"marker >= 10 && marker < 40 && kind = send",
+		"rank = 1 || rank = 6",
+		"(rank = 1 && start < 50) || (rank = 2 && start > 950)",
+		"!(rank = 3)",
+		"rank != 3",
+		"kind = send && bytes > 100",
+		"wildcard",
+		"name =~ \"Re\"",
+		"rank = 0 && marker > 5 && start > 10 && !(tag = 2)",
+		"start < -1",
+		"rank = 99",
+		"rank = 3 && rank = 4",
+	}
+	for _, src := range exprs {
+		q, err := Compile(src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		want := q.Run(tr)
+		open, curs := rankOpener(tr)
+		got, err := q.RunStream(tr.NumRanks(), open)
+		if err != nil {
+			t.Fatalf("%q: RunStream: %v", src, err)
+		}
+		if !sameIDs(got, want) {
+			t.Errorf("%q: RunStream differs\n got %v\nwant %v", src, got, want)
+		}
+		for r, c := range curs {
+			if c != nil && !c.closed {
+				t.Errorf("%q: cursor for rank %d left open", src, r)
+			}
+		}
+	}
+}
+
+func TestRunStreamRandomQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	tr := boundsTrace(rng, 6, 1500)
+	fields := []string{"rank", "start", "marker", "bytes", "tag"}
+	ops := []string{"=", "!=", "<", "<=", ">", ">="}
+	junct := []string{" && ", " || "}
+	for i := 0; i < 300; i++ {
+		n := 1 + rng.Intn(3)
+		src := ""
+		for j := 0; j < n; j++ {
+			if j > 0 {
+				src += junct[rng.Intn(2)]
+			}
+			f := fields[rng.Intn(len(fields))]
+			v := rng.Intn(60)
+			src += f + " " + ops[rng.Intn(len(ops))] + " " + itoa(v)
+		}
+		q, err := Compile(src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		want := q.Run(tr)
+		open, _ := rankOpener(tr)
+		got, err := q.RunStream(tr.NumRanks(), open)
+		if err != nil {
+			t.Fatalf("%q: RunStream: %v", src, err)
+		}
+		if !sameIDs(got, want) {
+			t.Fatalf("%q: RunStream differs", src)
+		}
+	}
+}
+
+func TestRunStreamOpenError(t *testing.T) {
+	q, err := Compile("rank >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	_, err = q.RunStream(2, func(int) (trace.RecordCursor, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("open error lost: %v", err)
+	}
+}

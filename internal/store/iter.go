@@ -1,0 +1,284 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"tracedbg/internal/trace"
+)
+
+// All returns a cursor over every record of the store in file order
+// (appearance order for single files, manifest order across segments),
+// salvaging past damage the same way Trace would. Memory stays O(chunk)
+// regardless of trace size.
+func (s *Store) All() (trace.RecordCursor, error) {
+	metrics().cursors.Inc()
+	if s.manifest != nil {
+		return s.chainCursor(), nil
+	}
+	return s.fileCursor()
+}
+
+// Records returns a cursor over one rank's records in recorded (Start)
+// order. The method value `s.Records` satisfies the open-func shape the
+// streaming query/graph/analysis entry points take.
+func (s *Store) Records(rank int) (trace.RecordCursor, error) {
+	all, err := s.All()
+	if err != nil {
+		return nil, err
+	}
+	return &rankCursor{rank: rank, in: all}, nil
+}
+
+// Merged returns a cursor over all records in global (Start, rank) order —
+// the streaming equivalent of Trace().MergedOrder(). It holds one cursor
+// per rank open, so memory is O(numRanks × chunk).
+func (s *Store) Merged() (trace.RecordCursor, error) {
+	mc := &mergedCursor{last: -1}
+	for rank := 0; rank < s.info.NumRanks; rank++ {
+		c, err := s.Records(rank)
+		if err != nil {
+			mc.Close()
+			return nil, err
+		}
+		mc.curs = append(mc.curs, c)
+	}
+	if err := mc.prime(); err != nil {
+		mc.Close()
+		return nil, err
+	}
+	return mc, nil
+}
+
+func (s *Store) fileCursor() (trace.RecordCursor, error) {
+	r, cl, err := s.openRaw()
+	if err != nil {
+		return nil, err
+	}
+	c, err := trace.NewSalvageCursor(r)
+	if err != nil {
+		if cl != nil {
+			cl.Close()
+		}
+		return nil, err
+	}
+	return &fileCursor{c: c, cl: cl}, nil
+}
+
+// fileCursor streams one single-file input, counting yielded records.
+type fileCursor struct {
+	c  *trace.SalvageCursor
+	cl io.Closer
+}
+
+func (fc *fileCursor) Next() (*trace.Record, error) {
+	rec, err := fc.c.Next()
+	if err == nil {
+		metrics().cursorRecords.Inc()
+	}
+	return rec, err
+}
+
+func (fc *fileCursor) Close() error {
+	if fc.cl != nil {
+		return fc.cl.Close()
+	}
+	return nil
+}
+
+// rankCursor filters an underlying cursor down to one rank.
+type rankCursor struct {
+	rank int
+	in   trace.RecordCursor
+}
+
+func (rc *rankCursor) Next() (*trace.Record, error) {
+	for {
+		rec, err := rc.in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if rec.Rank == rc.rank {
+			return rec, nil
+		}
+	}
+}
+
+func (rc *rankCursor) Close() error { return rc.in.Close() }
+
+// chainCursor streams a segmented trace: each segment in manifest order
+// through its own salvage cursor, with per-rank start ordering enforced
+// across segment boundaries exactly like LoadSegmented's appends.
+// Unreadable segments are skipped, matching LoadSegmented's tolerance.
+func (s *Store) chainCursor() trace.RecordCursor {
+	nr := s.info.NumRanks
+	if nr < 0 {
+		nr = 0
+	}
+	return &chainCursor{
+		dir:       s.dir,
+		segs:      s.manifest.Segments,
+		lastStart: make([]int64, nr),
+		have:      make([]bool, nr),
+	}
+}
+
+type chainCursor struct {
+	dir  string
+	segs []trace.SegmentInfo
+	i    int // next segment to open
+
+	cur     *trace.SalvageCursor
+	curCl   io.Closer
+	curName string
+
+	lastStart []int64
+	have      []bool
+}
+
+func (cc *chainCursor) Next() (*trace.Record, error) {
+	for {
+		if cc.cur == nil {
+			if cc.i >= len(cc.segs) {
+				return nil, io.EOF
+			}
+			seg := cc.segs[cc.i]
+			cc.i++
+			f, err := os.Open(filepath.Join(cc.dir, seg.Name))
+			if err != nil {
+				continue // unreadable segment: skip, like LoadSegmented
+			}
+			c, err := trace.NewSalvageCursor(f)
+			if err != nil {
+				f.Close()
+				continue
+			}
+			cc.cur, cc.curCl, cc.curName = c, f, seg.Name
+		}
+		rec, err := cc.cur.Next()
+		if err == io.EOF {
+			cc.closeCur()
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: segment %s: %w", cc.curName, err)
+		}
+		if rec.Rank >= 0 && rec.Rank < len(cc.lastStart) {
+			if cc.have[rec.Rank] && cc.lastStart[rec.Rank] > rec.Start {
+				return nil, fmt.Errorf("trace: segment %s: %w", cc.curName,
+					fmt.Errorf("trace: rank %d record start %d precedes previous start %d",
+						rec.Rank, rec.Start, cc.lastStart[rec.Rank]))
+			}
+			cc.lastStart[rec.Rank] = rec.Start
+			cc.have[rec.Rank] = true
+		}
+		metrics().cursorRecords.Inc()
+		return rec, nil
+	}
+}
+
+func (cc *chainCursor) closeCur() {
+	if cc.curCl != nil {
+		cc.curCl.Close()
+	}
+	cc.cur, cc.curCl, cc.curName = nil, nil, ""
+}
+
+func (cc *chainCursor) Close() error {
+	cc.closeCur()
+	cc.i = len(cc.segs)
+	return nil
+}
+
+// mergedCursor k-way-merges per-rank cursors by (Start, rank) — the same
+// comparison MergedOrder uses, so the streamed order is bit-identical.
+type mergedCursor struct {
+	curs  []trace.RecordCursor
+	heads []*trace.Record
+	heap  []int // rank indices with a live head
+	last  int   // rank whose head was handed out by the previous Next
+}
+
+func (mc *mergedCursor) prime() error {
+	mc.heads = make([]*trace.Record, len(mc.curs))
+	for rank, c := range mc.curs {
+		rec, err := c.Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		mc.heads[rank] = rec
+		mc.heap = append(mc.heap, rank)
+	}
+	for i := len(mc.heap)/2 - 1; i >= 0; i-- {
+		mc.siftDown(i)
+	}
+	return nil
+}
+
+func (mc *mergedCursor) less(a, b int) bool {
+	ra, rb := mc.heads[a], mc.heads[b]
+	if ra.Start != rb.Start {
+		return ra.Start < rb.Start
+	}
+	return a < b
+}
+
+func (mc *mergedCursor) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(mc.heap) && mc.less(mc.heap[l], mc.heap[min]) {
+			min = l
+		}
+		if r < len(mc.heap) && mc.less(mc.heap[r], mc.heap[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		mc.heap[i], mc.heap[min] = mc.heap[min], mc.heap[i]
+		i = min
+	}
+}
+
+func (mc *mergedCursor) Next() (*trace.Record, error) {
+	if mc.last >= 0 {
+		// Advance the cursor whose head was just consumed; its record
+		// pointer is only guaranteed until that cursor's next Next.
+		rec, err := mc.curs[mc.last].Next()
+		switch {
+		case err == io.EOF:
+			mc.heads[mc.last] = nil
+			mc.heap[0] = mc.heap[len(mc.heap)-1]
+			mc.heap = mc.heap[:len(mc.heap)-1]
+		case err != nil:
+			return nil, err
+		default:
+			mc.heads[mc.last] = rec
+		}
+		if len(mc.heap) > 0 {
+			mc.siftDown(0)
+		}
+		mc.last = -1
+	}
+	if len(mc.heap) == 0 {
+		return nil, io.EOF
+	}
+	mc.last = mc.heap[0]
+	return mc.heads[mc.last], nil
+}
+
+func (mc *mergedCursor) Close() error {
+	var first error
+	for _, c := range mc.curs {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

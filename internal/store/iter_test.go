@@ -1,0 +1,238 @@
+package store_test
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tracedbg/internal/store"
+	"tracedbg/internal/trace"
+)
+
+// drain collects every record from a cursor, copying each (the pointer is
+// only valid until the next Next).
+func drain(t *testing.T, c trace.RecordCursor) []trace.Record {
+	t.Helper()
+	defer c.Close()
+	var out []trace.Record
+	for {
+		rec, err := c.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("cursor: %v", err)
+		}
+		out = append(out, *rec)
+	}
+}
+
+// mergedReference materializes the trace's canonical merged order.
+func mergedReference(tr *trace.Trace) []trace.Record {
+	var out []trace.Record
+	for _, id := range tr.MergedOrder() {
+		out = append(out, *tr.MustAt(id))
+	}
+	return out
+}
+
+func storeFor(t *testing.T, tr *trace.Trace) *store.Store {
+	t.Helper()
+	data := encode(t, tr, trace.WriterOptions{})
+	st, err := store.OpenBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestCursorAllDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tr := genTrace(rng, 5, 250)
+	st := storeFor(t, tr)
+
+	// WriteAll emits merged order, so the raw file scan must replay it.
+	c, err := st.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, c)
+	want := mergedReference(tr)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("All: %d records differ from merged order (%d)", len(got), len(want))
+	}
+}
+
+func TestCursorRecordsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	tr := genTrace(rng, 4, 200)
+	st := storeFor(t, tr)
+	for r := 0; r < tr.NumRanks(); r++ {
+		c, err := st.Records(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drain(t, c)
+		want := tr.Rank(r)
+		if len(got) != len(want) {
+			t.Fatalf("rank %d: %d records, want %d", r, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("rank %d record %d differs", r, i)
+			}
+		}
+	}
+}
+
+func TestCursorMergedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	tr := genTrace(rng, 6, 300)
+	st := storeFor(t, tr)
+	c, err := st.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, c)
+	want := mergedReference(tr)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Merged: %d records differ from MergedOrder (%d)", len(got), len(want))
+	}
+}
+
+func TestCursorSegmentedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	tr := genTrace(rng, 4, 350)
+	manifest := writeSegments(t, tr, 4<<10)
+	st, err := store.Open(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mergedReference(tr)
+
+	// Sharded segments batch records per rank, so the raw chain scan is not
+	// globally ordered — but each rank's subsequence must be intact.
+	c, err := st.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRank := make([][]trace.Record, tr.NumRanks())
+	for _, rec := range drain(t, c) {
+		perRank[rec.Rank] = append(perRank[rec.Rank], rec)
+	}
+	for r := 0; r < tr.NumRanks(); r++ {
+		wantR := tr.Rank(r)
+		if len(perRank[r]) != len(wantR) {
+			t.Fatalf("segmented All rank %d: %d records, want %d", r, len(perRank[r]), len(wantR))
+		}
+		for i := range wantR {
+			if !reflect.DeepEqual(perRank[r][i], wantR[i]) {
+				t.Fatalf("segmented All rank %d record %d differs", r, i)
+			}
+		}
+	}
+
+	m, err := st.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, m); !reflect.DeepEqual(got, want) {
+		t.Fatalf("segmented Merged: records differ")
+	}
+
+	for r := 0; r < tr.NumRanks(); r++ {
+		c, err := st.Records(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drain(t, c)
+		wantR := tr.Rank(r)
+		if len(got) != len(wantR) {
+			t.Fatalf("segmented rank %d: %d records, want %d", r, len(got), len(wantR))
+		}
+	}
+}
+
+// TestCursorSegmentedMissingSegment: the chain cursor must skip an absent
+// segment like LoadSegmented does, yielding the surviving records.
+func TestCursorSegmentedMissingSegment(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	tr := genTrace(rng, 3, 300)
+	manifest := writeSegments(t, tr, 4<<10)
+	st, err := store.Open(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := st.SegmentPaths()
+	if len(paths) < 3 {
+		t.Skipf("only %d segments", len(paths))
+	}
+	if err := os.Remove(paths[1]); err != nil {
+		t.Fatal(err)
+	}
+	want, err := trace.LoadSegmented(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := st.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, c)
+	if len(got) != want.Len() {
+		t.Fatalf("chain over missing segment: %d records, want %d", len(got), want.Len())
+	}
+}
+
+// TestCursorTruncatedFile: cursors over a truncated file must yield exactly
+// the records salvage recovers, then io.EOF — never a panic or hang.
+func TestCursorTruncatedFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	tr := genTrace(rng, 4, 200)
+	data := encode(t, tr, trace.WriterOptions{})
+	chopped := data[:len(data)*3/4]
+	want, _, err := trace.ReadAllSalvage(bytes.NewReader(chopped))
+	if err != nil {
+		t.Fatalf("salvage reference: %v", err)
+	}
+	st, err := store.OpenBytes(chopped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := st.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, c)
+	if len(got) != want.Len() {
+		t.Fatalf("truncated All: %d records, want %d", len(got), want.Len())
+	}
+}
+
+// TestCursorFileByPath: cursors opened on a path stream from disk.
+func TestCursorFileByPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	tr := genTrace(rng, 3, 120)
+	data := encode(t, tr, trace.WriterOptions{})
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := st.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, c)
+	want := mergedReference(tr)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("path-opened Merged differs from MergedOrder")
+	}
+}

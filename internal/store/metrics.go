@@ -1,0 +1,60 @@
+package store
+
+import (
+	"sync/atomic"
+
+	"tracedbg/internal/obs"
+)
+
+// storeMetrics is the package's self-observability set: how traces are
+// opened, which capabilities each open negotiated, and how much data moves
+// through the streaming cursors.
+type storeMetrics struct {
+	opens         *obs.Counter
+	opensManifest *obs.Counter
+	opensLegacy   *obs.Counter
+	openErrors    *obs.Counter
+
+	loads        *obs.Counter
+	loadsPruned  *obs.Counter
+	loadsDamaged *obs.Counter
+
+	cursors       *obs.Counter
+	cursorRecords *obs.Counter
+}
+
+func newStoreMetrics(r *obs.Registry) *storeMetrics {
+	return &storeMetrics{
+		opens: r.Counter("tracedbg_store_opens_total",
+			"trace stores opened (all formats)"),
+		opensManifest: r.Counter("tracedbg_store_opens_manifest_total",
+			"stores opened on a TDBGMAN1 segment manifest"),
+		opensLegacy: r.Counter("tracedbg_store_opens_legacy_total",
+			"stores opened on a version-2 legacy file"),
+		openErrors: r.Counter("tracedbg_store_open_errors_total",
+			"store opens rejected (unreadable header or manifest)"),
+		loads: r.Counter("tracedbg_store_loads_total",
+			"materialized trace loads served by stores"),
+		loadsPruned: r.Counter("tracedbg_store_loads_index_pruned_total",
+			"materialized loads that reused a prebuilt index"),
+		loadsDamaged: r.Counter("tracedbg_store_loads_damaged_total",
+			"materialized loads that salvaged past damage or drops"),
+		cursors: r.Counter("tracedbg_store_cursors_total",
+			"streaming record cursors opened on stores"),
+		cursorRecords: r.Counter("tracedbg_store_cursor_records_total",
+			"records yielded by streaming cursors"),
+	}
+}
+
+var storeObs atomic.Pointer[storeMetrics]
+
+func init() { storeObs.Store(newStoreMetrics(obs.Default())) }
+
+// SetObsRegistry re-points the package's metrics at a registry; obs.Nop()
+// yields nil metrics whose increments are no-ops. Restore with
+// SetObsRegistry(obs.Default()).
+func SetObsRegistry(r *obs.Registry) {
+	storeObs.Store(newStoreMetrics(r))
+}
+
+func metrics() *storeMetrics { return storeObs.Load() }

@@ -1,0 +1,263 @@
+// Package store is the single entry point for opening recorded traces.
+//
+// Historically every consumer hand-picked one of eight loader entry points
+// (ReadAll, ReadAllPartial, ReadAllIndexed, ReadAllSalvage, LoadParallel and
+// its Partial/Salvage/Indexed variants, LoadSegmented) and each CLI made a
+// different choice — none of which understood all the on-disk forms. Open
+// sniffs the input (version-2 file, version-3 file, TDBGMAN1 segment
+// manifest), negotiates capabilities (index available → pruned load;
+// corruption → salvage with Gap reporting; truncation → incomplete
+// marking), and picks serial vs parallel decode automatically.
+//
+// A Store serves the history two ways:
+//
+//   - Trace() materializes the whole history once, lazily, with the same
+//     bytes-identical semantics as the legacy loaders.
+//   - Records/All/Merged stream records through bounded-memory cursors
+//     built on the chunk framing, so a query or graph build over a huge
+//     trace never holds more than a chunk (per open cursor) in RAM.
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"tracedbg/internal/trace"
+)
+
+// Mode selects how much damage a materialized load tolerates.
+type Mode int
+
+const (
+	// ModeAuto salvages past damage, quarantining Gaps — the behaviour a
+	// debugger wants for a possibly crash-truncated recording.
+	ModeAuto Mode = iota
+	// ModeStrict fails on any damage (ReadAll/LoadParallel semantics).
+	ModeStrict
+	// ModePartial keeps the clean prefix before the first damage and marks
+	// the trace incomplete (ReadAllPartial semantics).
+	ModePartial
+)
+
+// Options tunes Open. The zero value is ModeAuto with no index.
+type Options struct {
+	Mode Mode
+	// Index, when non-nil, lets materialized loads segment and preallocate
+	// from the prebuilt checkpoint index instead of re-scanning structure.
+	Index *trace.Index
+}
+
+// Info describes what Open found.
+type Info struct {
+	Path      string // "" for OpenBytes
+	Version   int    // trace format revision (2 or 3)
+	NumRanks  int
+	Writer    string // writer identity ("" for legacy files)
+	Segmented bool   // input is a TDBGMAN1 manifest
+	Segments  int    // segment count when Segmented
+}
+
+// Store is an opened trace input. It is safe for concurrent use; each
+// cursor it hands out is independent.
+type Store struct {
+	info Info
+	opts Options
+
+	data     []byte          // OpenBytes image (nil for path opens)
+	manifest *trace.Manifest // non-nil for segmented inputs
+	dir      string          // manifest directory
+
+	mu     sync.Mutex
+	cached *trace.Trace
+	report *trace.SalvageReport
+	loaded bool
+	lerr   error
+}
+
+// Open sniffs and opens a trace input by path: a version-2 or version-3
+// trace file, or a TDBGMAN1 segment manifest (whose segment files are
+// resolved relative to it). Only an unreadable header or manifest is an
+// error; damage inside the data is negotiated at load/iteration time.
+func Open(path string, opts ...Options) (*Store, error) {
+	m := metrics()
+	opt := pickOptions(opts)
+	f, err := os.Open(path)
+	if err != nil {
+		m.openErrors.Inc()
+		return nil, err
+	}
+	defer f.Close()
+	var pre [8]byte
+	n, _ := io.ReadFull(f, pre[:])
+	if trace.IsManifest(pre[:n]) {
+		man, err := trace.LoadManifest(path)
+		if err != nil {
+			m.openErrors.Inc()
+			return nil, err
+		}
+		m.opens.Inc()
+		m.opensManifest.Inc()
+		return &Store{
+			info: Info{Path: path, Version: man.FormatVersion, NumRanks: man.NumRanks,
+				Writer: man.Writer, Segmented: true, Segments: len(man.Segments)},
+			opts:     opt,
+			manifest: man,
+			dir:      filepath.Dir(path),
+		}, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		m.openErrors.Inc()
+		return nil, err
+	}
+	c, err := trace.NewSalvageCursor(f)
+	if err != nil {
+		m.openErrors.Inc()
+		return nil, err
+	}
+	m.opens.Inc()
+	if c.Version() == trace.FormatVersionLegacy {
+		m.opensLegacy.Inc()
+	}
+	return &Store{
+		info: Info{Path: path, Version: c.Version(), NumRanks: c.NumRanks(), Writer: c.Writer()},
+		opts: opt,
+	}, nil
+}
+
+// OpenBytes is Open over an in-memory file image. Manifests cannot be
+// opened this way (their segments live in separate files).
+func OpenBytes(data []byte, opts ...Options) (*Store, error) {
+	m := metrics()
+	if trace.IsManifest(data) {
+		m.openErrors.Inc()
+		return nil, fmt.Errorf("store: segment manifests must be opened by path")
+	}
+	c, err := trace.NewSalvageCursor(bytes.NewReader(data))
+	if err != nil {
+		m.openErrors.Inc()
+		return nil, err
+	}
+	m.opens.Inc()
+	if c.Version() == trace.FormatVersionLegacy {
+		m.opensLegacy.Inc()
+	}
+	return &Store{
+		info: Info{Version: c.Version(), NumRanks: c.NumRanks(), Writer: c.Writer()},
+		opts: pickOptions(opts),
+		data: data,
+	}, nil
+}
+
+func pickOptions(opts []Options) Options {
+	if len(opts) > 0 {
+		return opts[0]
+	}
+	return Options{}
+}
+
+// Info returns what Open found in the header (or manifest).
+func (s *Store) Info() Info { return s.info }
+
+// SegmentPaths returns the resolved path of every segment of a manifest
+// store, in manifest order; nil for single-file inputs.
+func (s *Store) SegmentPaths() []string {
+	if s.manifest == nil {
+		return nil
+	}
+	paths := make([]string, len(s.manifest.Segments))
+	for i, seg := range s.manifest.Segments {
+		paths[i] = filepath.Join(s.dir, seg.Name)
+	}
+	return paths
+}
+
+// NumRanks returns the process count of the recorded history.
+func (s *Store) NumRanks() int { return s.info.NumRanks }
+
+// Close releases the store. Cursors already handed out stay valid (they
+// hold their own file descriptors).
+func (s *Store) Close() error { return nil }
+
+// Trace materializes the whole history, lazily and at most once. The load
+// path is negotiated from what Open found and the Options:
+//
+//	manifest          → gap-tolerant segmented load
+//	index + ModeAuto  → index-pruned parallel load, salvage on mismatch
+//	ModeAuto          → parallel decode with resynchronizing salvage
+//	ModeStrict        → parallel decode, error on any damage
+//	ModePartial       → clean prefix, incomplete marking
+func (s *Store) Trace() (*trace.Trace, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.loaded {
+		s.cached, s.report, s.lerr = s.load()
+		s.loaded = true
+	}
+	return s.cached, s.lerr
+}
+
+// Report returns the salvage report of the materialized load, when the
+// negotiated path produced one (ModeAuto over a file or image). It is nil
+// before the first Trace call and for segmented/strict/partial loads.
+func (s *Store) Report() *trace.SalvageReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.report
+}
+
+func (s *Store) load() (*trace.Trace, *trace.SalvageReport, error) {
+	m := metrics()
+	m.loads.Inc()
+	if s.manifest != nil {
+		t, err := trace.LoadSegmented(s.info.Path)
+		if err == nil && (t.Incomplete() || t.HasGaps()) {
+			m.loadsDamaged.Inc()
+		}
+		return t, nil, err
+	}
+	data := s.data
+	if data == nil {
+		var err error
+		data, err = os.ReadFile(s.info.Path)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	switch s.opts.Mode {
+	case ModeStrict:
+		t, err := trace.LoadParallel(data)
+		return t, nil, err
+	case ModePartial:
+		t, err := trace.LoadParallelPartial(data)
+		return t, nil, err
+	}
+	if s.opts.Index != nil {
+		if t, err := trace.LoadParallelIndexed(data, s.opts.Index); err == nil {
+			m.loadsPruned.Inc()
+			return t, nil, nil
+		}
+		// The index disagreed with the bytes (damage, or a stale index):
+		// fall through to salvage, which negotiates damage itself.
+	}
+	t, rep, err := trace.LoadParallelSalvageReport(data)
+	if err == nil && rep != nil && !rep.Clean() {
+		m.loadsDamaged.Inc()
+	}
+	return t, rep, err
+}
+
+// openRaw opens an independent reader over a single-file input.
+func (s *Store) openRaw() (io.Reader, io.Closer, error) {
+	if s.data != nil {
+		return bytes.NewReader(s.data), nil, nil
+	}
+	f, err := os.Open(s.info.Path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f, nil
+}

@@ -1,0 +1,393 @@
+package store_test
+
+// Differential suite: store.Open must behave exactly like the legacy entry
+// point each capability negotiation resolves to — same records, same gaps,
+// same incomplete reasons, same salvage reports — across v2, v3, indexed,
+// truncated, corrupted, and segmented inputs. These tests pin the legacy
+// loaders as the reference semantics for the one release they remain
+// exported.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tracedbg/internal/store"
+	"tracedbg/internal/trace"
+)
+
+// genTrace builds a deterministic multi-rank history exercising the string
+// table (locations, names, faults), markers, and message fields.
+func genTrace(rng *rand.Rand, ranks, msgs int) *trace.Trace {
+	files := []string{"ring.go", "lu.go", "main.go"}
+	funcs := []string{"main", "worker", "exchange"}
+	faults := []string{"", "", "drop", "delay"}
+	tr := trace.New(ranks)
+	clock := make([]int64, ranks)
+	marker := make([]uint64, ranks)
+	var msgID uint64
+	for i := 0; i < msgs; i++ {
+		src := rng.Intn(ranks)
+		dst := (src + 1 + rng.Intn(ranks-1)) % ranks
+		msgID++
+		loc := trace.Location{File: files[rng.Intn(len(files))], Line: 1 + rng.Intn(99),
+			Func: funcs[rng.Intn(len(funcs))]}
+		s := clock[src]
+		e := s + 1 + int64(rng.Intn(9))
+		clock[src] = e
+		marker[src]++
+		tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: src, Marker: marker[src],
+			Loc: loc, Name: "Send", Start: s, End: e, Src: src, Dst: dst,
+			Tag: rng.Intn(3), Bytes: 8 + rng.Intn(64), MsgID: msgID,
+			Fault: faults[rng.Intn(len(faults))]})
+		if clock[dst] < e {
+			clock[dst] = e
+		}
+		rs := clock[dst]
+		re := rs + 1 + int64(rng.Intn(9))
+		clock[dst] = re
+		marker[dst]++
+		tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: dst, Marker: marker[dst],
+			Loc: loc, Name: "Recv", Start: rs, End: re, Src: src, Dst: dst,
+			Bytes: 8, MsgID: msgID, WasWildcard: rng.Intn(4) == 0})
+		if rng.Intn(3) == 0 {
+			r := rng.Intn(ranks)
+			cs := clock[r]
+			ce := cs + int64(rng.Intn(4))
+			clock[r] = ce
+			marker[r]++
+			tr.MustAppend(trace.Record{Kind: trace.KindCompute, Rank: r, Marker: marker[r],
+				Loc: loc, Name: "step", Start: cs, End: ce})
+		}
+	}
+	return tr
+}
+
+func encode(t *testing.T, tr *trace.Trace, opts trace.WriterOptions) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteAllOptions(&buf, tr, opts); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func tracesEqual(t *testing.T, label string, got, want *trace.Trace) {
+	t.Helper()
+	if got.NumRanks() != want.NumRanks() {
+		t.Fatalf("%s: ranks %d, want %d", label, got.NumRanks(), want.NumRanks())
+	}
+	for r := 0; r < want.NumRanks(); r++ {
+		g, w := got.Rank(r), want.Rank(r)
+		if len(g) == 0 && len(w) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("%s: rank %d records differ (%d vs %d)", label, r, len(g), len(w))
+		}
+	}
+	if got.Incomplete() != want.Incomplete() || got.IncompleteReason() != want.IncompleteReason() {
+		t.Fatalf("%s: incomplete (%v, %q), want (%v, %q)", label,
+			got.Incomplete(), got.IncompleteReason(), want.Incomplete(), want.IncompleteReason())
+	}
+	if !reflect.DeepEqual(got.Gaps(), want.Gaps()) {
+		t.Fatalf("%s: gaps differ\n got %+v\nwant %+v", label, got.Gaps(), want.Gaps())
+	}
+}
+
+func openTrace(t *testing.T, data []byte, opts ...store.Options) (*trace.Trace, error) {
+	t.Helper()
+	st, err := store.OpenBytes(data, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return st.Trace()
+}
+
+func TestOpenCleanV3Differential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := genTrace(rng, 5, 200)
+	data := encode(t, tr, trace.WriterOptions{Writer: "test"})
+
+	want, wantRep, err := trace.ReadAllSalvage(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	if !wantRep.Clean() {
+		t.Fatalf("reference not clean")
+	}
+	for _, mode := range []store.Mode{store.ModeAuto, store.ModeStrict, store.ModePartial} {
+		got, err := openTrace(t, data, store.Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		tracesEqual(t, fmt.Sprintf("mode %d", mode), got, want)
+	}
+
+	st, err := store.OpenBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := st.Info()
+	if info.Version != trace.FormatVersion || info.NumRanks != 5 || info.Writer != "test" || info.Segmented {
+		t.Fatalf("info mismatch: %+v", info)
+	}
+}
+
+func TestOpenLegacyV2Differential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := genTrace(rng, 4, 150)
+	data := encode(t, tr, trace.WriterOptions{LegacyV2: true})
+
+	want, err := trace.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	got, err := openTrace(t, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, "legacy auto", got, want)
+
+	st, err := store.OpenBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := st.Info().Version; v != trace.FormatVersionLegacy {
+		t.Fatalf("version %d, want %d", v, trace.FormatVersionLegacy)
+	}
+}
+
+// TestOpenTruncationSweep reuses the ~126-point sweep shape of the parallel
+// loader tests: every cut of the file must load through the store exactly
+// as through the legacy partial and salvage readers.
+func TestOpenTruncationSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := genTrace(rng, 6, 300)
+	data := encode(t, tr, trace.WriterOptions{})
+	cuts := []int{0, 1, 8, 9}
+	for i := 0; i < 120; i++ {
+		cuts = append(cuts, rng.Intn(len(data)))
+	}
+	cuts = append(cuts, len(data)-1, len(data))
+	for _, cut := range cuts {
+		chopped := data[:cut]
+
+		wantP, wantPErr := trace.ReadAllPartial(bytes.NewReader(chopped))
+		gotP, gotPErr := openTrace(t, chopped, store.Options{Mode: store.ModePartial})
+		if (wantPErr == nil) != (gotPErr == nil) {
+			t.Fatalf("cut %d partial: error mismatch: legacy %v, store %v", cut, wantPErr, gotPErr)
+		}
+		if wantPErr == nil {
+			tracesEqual(t, fmt.Sprintf("cut %d partial", cut), gotP, wantP)
+		}
+
+		wantS, _, wantSErr := trace.ReadAllSalvage(bytes.NewReader(chopped))
+		gotS, gotSErr := openTrace(t, chopped)
+		if (wantSErr == nil) != (gotSErr == nil) {
+			t.Fatalf("cut %d salvage: error mismatch: legacy %v, store %v", cut, wantSErr, gotSErr)
+		}
+		if wantSErr == nil {
+			tracesEqual(t, fmt.Sprintf("cut %d salvage", cut), gotS, wantS)
+		}
+	}
+}
+
+// TestOpenCorruptedDifferential flips bytes mid-file: the store's default
+// mode must match the salvage reader record for record, gap for gap, and
+// its report must match the reference report.
+func TestOpenCorruptedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tr := genTrace(rng, 4, 250)
+	clean := encode(t, tr, trace.WriterOptions{})
+	for trial := 0; trial < 40; trial++ {
+		data := append([]byte(nil), clean...)
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			pos := 16 + rng.Intn(len(data)-16)
+			data[pos] ^= byte(1 + rng.Intn(255))
+		}
+		want, wantRep, wantErr := trace.ReadAllSalvage(bytes.NewReader(data))
+		st, openErr := store.OpenBytes(data)
+		if wantErr != nil {
+			if openErr == nil {
+				if _, err := st.Trace(); err == nil {
+					t.Fatalf("trial %d: store loaded, reference failed: %v", trial, wantErr)
+				}
+			}
+			continue
+		}
+		if openErr != nil {
+			t.Fatalf("trial %d: store open failed: %v", trial, openErr)
+		}
+		got, err := st.Trace()
+		if err != nil {
+			t.Fatalf("trial %d: store load failed: %v", trial, err)
+		}
+		tracesEqual(t, fmt.Sprintf("trial %d", trial), got, want)
+		if !wantRep.Clean() {
+			rep := st.Report()
+			if rep == nil {
+				t.Fatalf("trial %d: no salvage report for damaged input", trial)
+			}
+			if rep.String() != wantRep.String() {
+				t.Fatalf("trial %d: report %q, want %q", trial, rep, wantRep)
+			}
+		}
+	}
+}
+
+func TestOpenIndexed(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	tr := genTrace(rng, 4, 200)
+	data := encode(t, tr, trace.WriterOptions{})
+	ix, err := trace.BuildIndex(bytes.NewReader(data), 16)
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	want, err := trace.LoadParallelIndexed(data, ix)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	got, err := openTrace(t, data, store.Options{Index: ix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, "indexed", got, want)
+
+	// A store whose index disagrees with the bytes (here: damage after
+	// indexing) must fall back to salvage rather than fail.
+	damaged := append([]byte(nil), data...)
+	damaged[len(damaged)/2] ^= 0xFF
+	wantS, _, err := trace.ReadAllSalvage(bytes.NewReader(damaged))
+	if err != nil {
+		t.Fatalf("salvage reference: %v", err)
+	}
+	gotS, err := openTrace(t, damaged, store.Options{Index: ix})
+	if err != nil {
+		t.Fatalf("indexed fallback: %v", err)
+	}
+	tracesEqual(t, "indexed fallback", gotS, wantS)
+}
+
+func writeSegments(t *testing.T, tr *trace.Trace, segBytes int64) string {
+	t.Helper()
+	dir := t.TempDir()
+	gw, err := trace.NewSegmentedWriter(dir, "run", tr.NumRanks(), segBytes, trace.WriterOptions{Writer: "test"})
+	if err != nil {
+		t.Fatalf("NewSegmentedWriter: %v", err)
+	}
+	for _, id := range tr.MergedOrder() {
+		if err := gw.Write(tr.MustAt(id)); err != nil {
+			t.Fatalf("segment write: %v", err)
+		}
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatalf("segment close: %v", err)
+	}
+	return gw.ManifestPath()
+}
+
+func TestOpenSegmentedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tr := genTrace(rng, 4, 400)
+	manifest := writeSegments(t, tr, 4<<10)
+
+	want, err := trace.LoadSegmented(manifest)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	st, err := store.Open(manifest)
+	if err != nil {
+		t.Fatalf("store.Open(manifest): %v", err)
+	}
+	info := st.Info()
+	if !info.Segmented || info.Segments < 2 || info.NumRanks != 4 {
+		t.Fatalf("manifest info mismatch: %+v", info)
+	}
+	got, err := st.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, "segmented", got, want)
+}
+
+func TestOpenSegmentedMissingSegment(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	tr := genTrace(rng, 3, 300)
+	manifest := writeSegments(t, tr, 4<<10)
+	st0, err := store.Open(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := st0.SegmentPaths()[1]
+	if err := os.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := trace.LoadSegmented(manifest)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	got, err := openPath(t, manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, "missing segment", got, want)
+	if !got.Incomplete() || !got.HasGaps() {
+		t.Fatalf("missing segment not surfaced: incomplete=%v gaps=%v", got.Incomplete(), got.HasGaps())
+	}
+}
+
+func openPath(t *testing.T, path string, opts ...store.Options) (*trace.Trace, error) {
+	t.Helper()
+	st, err := store.Open(path, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return st.Trace()
+}
+
+func TestOpenBytesRejectsManifest(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tr := genTrace(rng, 2, 50)
+	manifest := writeSegments(t, tr, 1<<10)
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.OpenBytes(data); err == nil {
+		t.Fatal("OpenBytes accepted a manifest")
+	}
+}
+
+func TestOpenFileMatchesOpenBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	tr := genTrace(rng, 4, 200)
+	data := encode(t, tr, trace.WriterOptions{})
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	byBytes, err := openTrace(t, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath, err := openPath(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, "file vs bytes", byPath, byBytes)
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := store.Open(filepath.Join(t.TempDir(), "absent.trace")); err == nil {
+		t.Fatal("Open of a missing file succeeded")
+	}
+	if _, err := store.OpenBytes([]byte("not a trace at all")); err == nil {
+		t.Fatal("OpenBytes of junk succeeded")
+	}
+}

@@ -3,6 +3,7 @@ package trace
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -125,6 +126,60 @@ func WriteFileAtomic(path string, t *Trace, opts WriterOptions) (err error) {
 	return syncDir(filepath.Dir(path))
 }
 
+// WriteFileAtomicCursor is WriteFileAtomic for a record stream: records
+// are drawn from cur — already in the desired write order — instead of a
+// materialized trace, so the peak memory is the writer's chunk buffer.
+// The incomplete flag and reason are preserved as the trailer marker.
+// Returns the number of records written.
+func WriteFileAtomicCursor(path string, numRanks int, cur RecordCursor, incomplete bool, reason string, opts WriterOptions) (n int, err error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	fw, err := NewFileWriterOptions(f, numRanks, opts)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		rec, rerr := cur.Next()
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			err = rerr
+			return 0, err
+		}
+		if err = fw.Write(rec); err != nil {
+			return 0, err
+		}
+	}
+	if incomplete {
+		if err = fw.WriteIncomplete(reason); err != nil {
+			return 0, err
+		}
+	}
+	if err = fw.Close(); err != nil {
+		return 0, err
+	}
+	if err = f.Sync(); err != nil {
+		return 0, err
+	}
+	if err = f.Close(); err != nil {
+		return 0, err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	return fw.Count(), syncDir(filepath.Dir(path))
+}
+
 // syncDir fsyncs a directory so a just-renamed entry survives a crash.
 // Filesystems that refuse directory fsync (some CI sandboxes) are ignored.
 func syncDir(dir string) error {
@@ -140,6 +195,12 @@ func syncDir(dir string) error {
 // manifestMagic heads a segment manifest file, followed by the CRC32C of
 // the JSON body in hex and a newline.
 const manifestMagic = "TDBGMAN1"
+
+// IsManifest reports whether the byte prefix identifies a segment manifest
+// — the format sniff used by store.Open.
+func IsManifest(prefix []byte) bool {
+	return len(prefix) >= len(manifestMagic) && string(prefix[:len(manifestMagic)]) == manifestMagic
+}
 
 // Manifest describes a rotated trace: an ordered list of standalone segment
 // files that together form one history. The manifest file is itself
@@ -400,6 +461,9 @@ func (gw *SegmentedWriter) Close() error {
 // loaded in order (with salvage semantics — a damaged segment contributes
 // what it can and records gaps) and concatenated per rank. A missing segment
 // file becomes a recorded gap rather than an error.
+//
+// Deprecated: consumers outside internal/trace and internal/store should
+// open manifests through store.Open, which sniffs them transparently.
 func LoadSegmented(manifestPath string) (*Trace, error) {
 	m, err := LoadManifest(manifestPath)
 	if err != nil {

@@ -823,6 +823,9 @@ func (sc *Scanner) readRecord() (*Record, error) {
 // mid-file truncation or a failed chunk checksum — is fatal; use
 // ReadAllPartial to salvage a prefix or ReadAllSalvage to also recover the
 // tail beyond damaged chunks.
+//
+// Deprecated: consumers outside internal/trace and internal/store should
+// open traces through store.Open, which negotiates the right loader.
 func ReadAll(r io.Reader) (*Trace, error) {
 	sc, err := NewScanner(r)
 	if err != nil {
@@ -849,6 +852,9 @@ func ReadAll(r io.Reader) (*Trace, error) {
 // ReadAllIndexed is ReadAll with the per-rank slices preallocated from the
 // exact record counts of a previously built index, so loading large traces
 // does not pay repeated slice regrowth.
+//
+// Deprecated: consumers outside internal/trace and internal/store should
+// open traces through store.Open with Options.Index.
 func ReadAllIndexed(r io.Reader, ix *Index) (*Trace, error) {
 	sc, err := NewScanner(r)
 	if err != nil {
@@ -881,6 +887,9 @@ func ReadAllIndexed(r io.Reader, ix *Index) (*Trace, error) {
 // records the byte offset of the damage and the per-rank extent of what was
 // salvaged. Only a missing/corrupt header (no decodable prefix at all) is
 // an error. ReadAllSalvage additionally recovers records beyond the damage.
+//
+// Deprecated: consumers outside internal/trace and internal/store should
+// open traces through store.Open with ModePartial.
 func ReadAllPartial(r io.Reader) (*Trace, error) {
 	sc, err := NewScanner(r)
 	if err != nil {
@@ -911,12 +920,17 @@ func ReadAllPartial(r io.Reader) (*Trace, error) {
 // the damage begins (byte offset), what was recovered up to it (per-rank
 // record extent), and the underlying decode error.
 func partialReason(what string, sc *Scanner, t *Trace, cause error) string {
-	off := sc.Offset()
+	return partialReasonAt(what, sc.Offset(), rankExtentSummary(t), cause)
+}
+
+// partialReasonAt is partialReason for callers that track the offset and
+// salvaged-prefix summary themselves (the streaming salvage path).
+func partialReasonAt(what string, off int64, summary string, cause error) string {
 	var ce *ChunkError
 	if asChunkError(cause, &ce) {
 		off = ce.Offset
 	}
-	return fmt.Sprintf("%s at byte %d (salvaged prefix: %s): %v", what, off, rankExtentSummary(t), cause)
+	return fmt.Sprintf("%s at byte %d (salvaged prefix: %s): %v", what, off, summary, cause)
 }
 
 // asChunkError unwraps cause into a *ChunkError without importing errors

@@ -539,6 +539,9 @@ func serialFallback(err error) {
 // LoadParallel decodes an in-memory trace file on all available CPUs and
 // returns a trace identical to ReadAll over the same bytes. Errors fall back
 // to the serial reader so diagnostics and failure behavior match it exactly.
+//
+// Deprecated: consumers outside internal/trace and internal/store should
+// open traces through store.Open with ModeStrict.
 func LoadParallel(data []byte) (*Trace, error) {
 	t, err := loadParallel(data)
 	if err == nil {
@@ -551,6 +554,9 @@ func LoadParallel(data []byte) (*Trace, error) {
 // LoadParallelPartial is LoadParallel with ReadAllPartial semantics: a
 // damaged or truncated tail marks the trace Incomplete (keeping only the
 // clean prefix) instead of failing.
+//
+// Deprecated: consumers outside internal/trace and internal/store should
+// open traces through store.Open with ModePartial.
 func LoadParallelPartial(data []byte) (*Trace, error) {
 	t, err := loadParallel(data)
 	if err == nil {
@@ -565,19 +571,31 @@ func LoadParallelPartial(data []byte) (*Trace, error) {
 // undamaged chunks — the tail included — is recovered. Undamaged files take
 // the parallel fast path; the salvage reader only runs when something is
 // actually wrong.
+//
+// Deprecated: consumers outside internal/trace and internal/store should
+// open traces through store.Open (its default mode salvages).
 func LoadParallelSalvage(data []byte) (*Trace, error) {
+	t, _, err := LoadParallelSalvageReport(data)
+	return t, err
+}
+
+// LoadParallelSalvageReport is LoadParallelSalvage exposing the salvage
+// report; it is nil when the file was clean and the fast path served it.
+func LoadParallelSalvageReport(data []byte) (*Trace, *SalvageReport, error) {
 	t, err := loadParallel(data)
 	if err == nil {
-		return t, nil
+		return t, nil, nil
 	}
 	serialFallback(err)
-	t, _, err = SalvageBytes(data)
-	return t, err
+	return SalvageBytes(data)
 }
 
 // LoadFileParallel reads and decodes a whole trace file with the salvage
 // semantics the CLIs want: partial or damaged histories stay analyzable,
 // with quarantined spans recorded as gaps on the trace.
+//
+// Deprecated: consumers outside internal/trace and internal/store should
+// open traces through store.Open, which adds format sniffing on top.
 func LoadFileParallel(path string) (*Trace, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -591,6 +609,9 @@ func LoadFileParallel(path string) (*Trace, error) {
 // every segment start decoding immediately, skipping the structural pass.
 // Falls back to LoadParallel (and transitively the serial reader) on any
 // mismatch between index and bytes.
+//
+// Deprecated: consumers outside internal/trace and internal/store should
+// open traces through store.Open with Options.Index.
 func LoadParallelIndexed(data []byte, ix *Index) (*Trace, error) {
 	if ix == nil {
 		return LoadParallel(data)

@@ -30,6 +30,10 @@ import (
 //	TRY    --crc ok--> DECODE          (close the gap at the frame start)
 //	TRY    --bad--> SCAN               (false positive; continue from +1)
 //	SCAN   --no magic--> END           (gap runs to end of file)
+//
+// The machine runs over a frameWalker (stream.go), so the same code serves
+// both the materializing loaders here and the streaming SalvageCursor: one
+// chunk of lookahead, never the whole file.
 
 // SalvageReport summarizes what the salvage reader did to one file.
 type SalvageReport struct {
@@ -72,6 +76,9 @@ func (r *SalvageReport) String() string {
 // records from undamaged chunks are recovered — the tail beyond a damaged
 // span included — and each quarantined span is recorded as a Gap on the
 // trace (and in the report). Only an unreadable header is an error.
+//
+// Deprecated: consumers outside internal/trace and internal/store should
+// open traces through store.Open (its default mode salvages).
 func ReadAllSalvage(r io.Reader) (*Trace, *SalvageReport, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -80,89 +87,33 @@ func ReadAllSalvage(r io.Reader) (*Trace, *SalvageReport, error) {
 	return SalvageBytes(data)
 }
 
-// SalvageFile is ReadAllSalvage over a file path.
+// SalvageFile is ReadAllSalvage over a file path, streamed in O(chunk)
+// memory (only the records kept, never the file image). A read error
+// mid-file is treated as truncation at the point the data stopped.
 func SalvageFile(path string) (*Trace, *SalvageReport, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	return SalvageBytes(data)
+	defer f.Close()
+	return salvageStream(f)
 }
 
-// SalvageBytes is ReadAllSalvage over an in-memory file image (the salvage
-// scan needs arbitrary lookahead, so the image form is the primitive).
+// SalvageBytes is ReadAllSalvage over an in-memory file image.
 func SalvageBytes(data []byte) (*Trace, *SalvageReport, error) {
-	hdr, err := parseHeaderBytes(data)
+	return salvageStream(bytes.NewReader(data))
+}
+
+// salvageStream drives the streaming salvage machine to completion in
+// materializing mode.
+func salvageStream(r io.Reader) (*Trace, *SalvageReport, error) {
+	c, err := newSalvageCursor(r, true)
 	if err != nil {
 		// Without numRanks nothing downstream can be trusted.
 		return nil, nil, err
 	}
-	if hdr.version == FormatVersionLegacy {
-		return salvageLegacy(data, hdr)
-	}
-	s := &salvager{
-		data:   data,
-		t:      New(hdr.numRanks),
-		report: &SalvageReport{Version: hdr.version, Writer: hdr.writer, NumRanks: hdr.numRanks},
-		strs:   make(map[uint64]string),
-		last:   make([]rankMark, hdr.numRanks),
-	}
-	s.run(hdr.end)
-	s.finish()
-	return s.t, s.report, nil
-}
-
-// salvageLegacy handles version-2 files, which have no frames to
-// resynchronize on: the clean prefix is all that can be trusted, and the
-// rest of the file becomes a single gap.
-func salvageLegacy(data []byte, hdr header) (*Trace, *SalvageReport, error) {
-	report := &SalvageReport{Version: hdr.version, NumRanks: hdr.numRanks}
-	sc, err := NewScanner(bytes.NewReader(data))
-	if err != nil {
-		return nil, nil, err
-	}
-	t := New(sc.NumRanks())
-	for {
-		rec, err := sc.Next()
-		if err == io.EOF {
-			break
-		}
-		if err == nil {
-			if _, aerr := t.Append(*rec); aerr == nil {
-				report.Records++
-				continue
-			}
-			err = fmt.Errorf("out-of-order record")
-		}
-		off := sc.Offset()
-		g := Gap{
-			Offset: off,
-			Bytes:  int64(len(data)) - off,
-			Reason: fmt.Sprintf("legacy file damaged: %v (no frames to resynchronize on)", err),
-			Ranks:  beforeMarks(t),
-		}
-		t.RecordGap(g)
-		report.Gaps = append(report.Gaps, g)
-		t.MarkIncomplete(partialReason("trace file damaged", sc, t, err))
-		break
-	}
-	if inc, reason := sc.Incomplete(); inc {
-		t.MarkIncomplete(reason)
-	}
-	return t, report, nil
-}
-
-// beforeMarks snapshots each rank's last appended marker as the HaveBefore
-// side of a RankGap slice.
-func beforeMarks(t *Trace) []RankGap {
-	rgs := make([]RankGap, t.NumRanks())
-	for r := range rgs {
-		if n := t.RankLen(r); n > 0 {
-			rgs[r].LastBefore = t.Rank(r)[n-1].Marker
-			rgs[r].HaveBefore = true
-		}
-	}
-	return rgs
+	c.Drain()
+	return c.s.t, c.s.report, nil
 }
 
 // rankMark tracks the last accepted (Start, Marker) per rank so splice
@@ -173,36 +124,72 @@ type rankMark struct {
 	have   bool
 }
 
+// salvager is the salvage state machine. It shadows the per-rank accept
+// state (last record, counts) itself, so it runs identically whether a
+// materialized Trace is attached (t != nil) or records flow out through the
+// emit hook of a SalvageCursor.
 type salvager struct {
-	data   []byte
-	t      *Trace
+	w      *frameWalker
+	t      *Trace // nil in streaming (cursor) mode
 	report *SalvageReport
 	strs   map[uint64]string // sparse: ids defined in lost chunks are absent
-	last   []rankMark
 
-	pending  []*Gap // gaps whose FirstAfter sides are not all filled yet
-	damaged  bool   // at least one gap opened (chunks after it count as salvaged)
-	openGap  *Gap   // gap under construction during SCAN
-	sawInc   bool
-	incWhy   string
+	last    []rankMark
+	lastRec []Record // last accepted record per rank (duplicate-splice check)
+	counts  []int    // accepted records per rank
+	emit    func(Record)
+	ownGaps []Gap // gap storage when no trace is attached
+
+	pending []*Gap // gaps whose FirstAfter sides are not all filled yet
+	damaged bool   // at least one gap opened (chunks after it count as salvaged)
+	openGap *Gap   // gap under construction during SCAN
+	sawInc  bool
+	incWhy  string
+	finInc  bool   // resolved incomplete flag (mirrors t.Incomplete())
+	finWhy  string // resolved incomplete reason
 }
 
-// run walks frames from pos to the end of the image.
-func (s *salvager) run(pos int) {
+func newSalvager(w *frameWalker, t *Trace, hdr header) *salvager {
+	nr := hdr.numRanks
+	if nr < 0 {
+		nr = 0
+	}
+	return &salvager{
+		w:       w,
+		t:       t,
+		report:  &SalvageReport{Version: hdr.version, Writer: hdr.writer, NumRanks: hdr.numRanks},
+		strs:    make(map[uint64]string),
+		last:    make([]rankMark, nr),
+		lastRec: make([]Record, nr),
+		counts:  make([]int, nr),
+	}
+}
+
+func (s *salvager) numRanks() int { return len(s.last) }
+
+// step advances past one event: a decoded chunk (true) or the end of input
+// (false, closing any open gap at the file length).
+func (s *salvager) step() bool {
 	m := metrics()
-	for pos < len(s.data) {
-		f, err := parseFrame(s.data, pos)
+	for {
+		if s.w.atEnd() {
+			if s.openGap != nil {
+				s.closeGap(s.w.offset())
+			}
+			return false
+		}
+		f, err := s.w.frame()
 		if err == nil && f.crcOK {
 			if s.openGap != nil {
-				s.closeGap(int64(pos))
+				s.closeGap(f.off)
 			}
-			s.decodeChunk(s.data[f.payloadStart:f.payloadEnd], int64(pos))
+			s.decodeChunk(f.payload, f.off)
 			s.report.ChunksOK++
 			if s.damaged {
 				m.chunksSalvaged.Inc()
 			}
-			pos = f.end
-			continue
+			s.w.advanceTo(f.end)
+			return true
 		}
 		// Damage. Open a gap (once per contiguous damaged span) and scan
 		// forward for the next frame candidate.
@@ -213,18 +200,103 @@ func (s *salvager) run(pos int) {
 		if s.openGap == nil {
 			m.crcErrors.Inc()
 			s.report.ChunksBad++
-			s.openGap = &Gap{Offset: int64(pos), Reason: reason, Ranks: beforeMarks(s.t)}
+			s.openGap = &Gap{Offset: s.w.offset(), Reason: reason, Ranks: s.beforeMarks()}
 			s.damaged = true
 		}
-		next := nextFrameCandidate(s.data, pos+1)
-		if next < 0 {
-			pos = len(s.data)
-			break
-		}
-		pos = next
+		s.w.scanMagic(s.w.offset() + 1)
 	}
-	if s.openGap != nil {
-		s.closeGap(int64(len(s.data)))
+}
+
+// beforeMarks snapshots each rank's last accepted marker as the HaveBefore
+// side of a RankGap slice.
+func (s *salvager) beforeMarks() []RankGap {
+	rgs := make([]RankGap, s.numRanks())
+	for r := range rgs {
+		if s.last[r].have {
+			rgs[r].LastBefore = s.last[r].marker
+			rgs[r].HaveBefore = true
+		}
+	}
+	return rgs
+}
+
+// extentSummary renders the salvaged-prefix summary for damage reports,
+// identically to rankExtentSummary over the materialized trace.
+func (s *salvager) extentSummary() string {
+	total := 0
+	lo, hi := -1, -1
+	var maxMarker uint64
+	for r := range s.counts {
+		n := s.counts[r]
+		if n == 0 {
+			continue
+		}
+		total += n
+		if lo < 0 {
+			lo = r
+		}
+		hi = r
+		if m := s.lastRec[r].Marker; m > maxMarker {
+			maxMarker = m
+		}
+	}
+	if total == 0 {
+		return "0 records"
+	}
+	return fmt.Sprintf("%d records, ranks %d-%d, last marker %d", total, lo, hi, maxMarker)
+}
+
+// storeGap records g on the attached trace (or the cursor's own list) and
+// returns a pointer to the stored copy for FirstAfter tracking.
+func (s *salvager) storeGap(g Gap) *Gap {
+	if s.t != nil {
+		s.t.RecordGap(g)
+		return &s.t.gaps[len(s.t.gaps)-1]
+	}
+	s.ownGaps = append(s.ownGaps, g)
+	return &s.ownGaps[len(s.ownGaps)-1]
+}
+
+// allGaps returns the stored gaps, wherever they live.
+func (s *salvager) allGaps() []Gap {
+	if s.t != nil {
+		return s.t.Gaps()
+	}
+	return s.ownGaps
+}
+
+// mark resolves the incomplete flag with first-reason-wins semantics,
+// mirroring Trace.MarkIncomplete onto the attached trace when present.
+func (s *salvager) mark(why string) {
+	if !s.finInc {
+		s.finWhy = why
+	}
+	s.finInc = true
+	if s.t != nil {
+		s.t.MarkIncomplete(why)
+	}
+}
+
+// accept keeps r: appends it to the attached trace, updates the shadow
+// per-rank state, and feeds the emit hook. Callers have already enforced
+// the Append invariants.
+func (s *salvager) accept(r Record) {
+	if s.t != nil {
+		if _, err := s.t.Append(r); err != nil {
+			s.report.DroppedOrder++
+			return
+		}
+	}
+	lm := &s.last[r.Rank]
+	lm.start, lm.marker, lm.have = r.Start, r.Marker, true
+	s.lastRec[r.Rank] = r
+	s.counts[r.Rank]++
+	s.report.Records++
+	if len(s.pending) > 0 {
+		s.noteAfter(&r)
+	}
+	if s.emit != nil {
+		s.emit(r)
 	}
 }
 
@@ -234,10 +306,9 @@ func (s *salvager) closeGap(end int64) {
 	g := s.openGap
 	s.openGap = nil
 	g.Bytes = end - g.Offset
-	s.t.RecordGap(*g)
+	stored := s.storeGap(*g)
 	s.report.Gaps = append(s.report.Gaps, *g)
 	// Track the stored copy so the after-markers land on the trace.
-	stored := &s.t.gaps[len(s.t.gaps)-1]
 	s.pending = append(s.pending, stored)
 }
 
@@ -289,12 +360,11 @@ func (s *salvager) decodeChunk(payload []byte, frameOff int64) {
 				Offset: frameOff,
 				Bytes:  int64(len(c.data) - blockStart),
 				Reason: fmt.Sprintf("verified chunk with undecodable block: %v", err),
-				Ranks:  beforeMarks(s.t),
+				Ranks:  s.beforeMarks(),
 			}
 			s.report.ChunksBad++
-			s.t.RecordGap(g)
+			stored := s.storeGap(g)
 			s.report.Gaps = append(s.report.Gaps, g)
-			stored := &s.t.gaps[len(s.t.gaps)-1]
 			s.pending = append(s.pending, stored)
 			s.damaged = true
 			return
@@ -435,7 +505,7 @@ func (s *salvager) decodeRecord(c *byteCursor) error {
 	}
 	r.Args[1] = v
 
-	if r.Rank < 0 || r.Rank >= s.t.NumRanks() || r.End < r.Start {
+	if r.Rank < 0 || r.Rank >= s.numRanks() || r.End < r.Start {
 		return fmt.Errorf("record fields out of range")
 	}
 	if !strsOK {
@@ -451,38 +521,30 @@ func (s *salvager) decodeRecord(c *byteCursor) error {
 		// Equal position: a spliced-in replay of an already-salvaged chunk
 		// re-presents its final record (earlier ones regress the marker and
 		// are caught above). Identical bytes are a duplicate, not new data.
-		if n := s.t.RankLen(r.Rank); n > 0 && s.t.Rank(r.Rank)[n-1] == r {
+		if s.lastRec[r.Rank] == r {
 			s.report.DroppedOrder++
 			return nil
 		}
 	}
-	if _, err := s.t.Append(r); err != nil {
-		s.report.DroppedOrder++
-		return nil
-	}
-	lm.start, lm.marker, lm.have = r.Start, r.Marker, true
-	s.report.Records++
-	if len(s.pending) > 0 {
-		s.noteAfter(&r)
-	}
+	s.accept(r)
 	return nil
 }
 
 // finish applies the incomplete flag and publishes the gap gauges.
 func (s *salvager) finish() {
 	if s.sawInc {
-		s.t.MarkIncomplete(s.incWhy)
+		s.mark(s.incWhy)
 	}
 	if len(s.report.Gaps) > 0 {
 		g := s.report.Gaps[0]
-		s.t.MarkIncomplete(fmt.Sprintf(
+		s.mark(fmt.Sprintf(
 			"trace file damaged at byte %d (%s): %d bytes in %d gaps quarantined, %d records salvaged",
 			g.Offset, g.Reason, s.report.TotalGapBytes(), len(s.report.Gaps), s.report.Records))
 	} else if d := s.report.DroppedString + s.report.DroppedOrder; d > 0 {
 		// No checksum failure, but the file presented records salvage had to
 		// refuse (replayed or out-of-order chunks): the history may be
 		// missing data even though every chunk verified.
-		s.t.MarkIncomplete(fmt.Sprintf(
+		s.mark(fmt.Sprintf(
 			"trace file inconsistent: %d record(s) dropped (%d unresolvable strings, %d out of order), %d salvaged",
 			d, s.report.DroppedString, s.report.DroppedOrder, s.report.Records))
 	}

@@ -1,0 +1,408 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Streaming access to trace files.
+//
+// The image-based readers (ReadAll, SalvageBytes, ...) hold the whole file
+// in memory. The frameWalker below is the streaming primitive underneath
+// them: a sliding window over an io.Reader that parses chunk frames with
+// exactly the image semantics — same offsets, same error strings, same
+// resynchronization scan — while retaining only the bytes of the frame in
+// flight. SalvageCursor builds the record-at-a-time pull interface on top,
+// and SalvageBytes/SalvageFile drive the very same machine to completion,
+// so the streaming and materialized paths cannot drift apart.
+
+// frameWalker is a sliding window over a chunk-framed byte stream. At most
+// one claimed frame (≤ maxChunkPayload plus framing) is buffered at a time;
+// consumed bytes are discarded on refill. Read errors other than EOF are
+// treated as truncation — the stream ends where the data stopped — and kept
+// in err for callers that care.
+type frameWalker struct {
+	r    io.Reader
+	buf  []byte // window; buf[pos:] is unconsumed
+	base int64  // absolute offset of buf[0]
+	pos  int
+	eof  bool
+	err  error // first non-EOF read error, if any
+}
+
+func newFrameWalker(r io.Reader) *frameWalker { return &frameWalker{r: r} }
+
+// offset returns the absolute offset of the next unconsumed byte.
+func (w *frameWalker) offset() int64 { return w.base + int64(w.pos) }
+
+func (w *frameWalker) avail() int { return len(w.buf) - w.pos }
+
+// compact drops the consumed prefix of the window.
+func (w *frameWalker) compact() {
+	if w.pos == 0 {
+		return
+	}
+	n := copy(w.buf, w.buf[w.pos:])
+	w.buf = w.buf[:n]
+	w.base += int64(w.pos)
+	w.pos = 0
+}
+
+// ensure buffers at least n unconsumed bytes when the stream has them,
+// returning the number actually available (less only at end of input).
+func (w *frameWalker) ensure(n int) int {
+	if w.avail() >= n {
+		return n
+	}
+	for w.avail() < n && !w.eof {
+		w.compact()
+		grow := n - w.avail()
+		if grow < 64<<10 {
+			grow = 64 << 10
+		}
+		off := len(w.buf)
+		w.buf = append(w.buf, make([]byte, grow)...)
+		m, err := io.ReadFull(w.r, w.buf[off:])
+		w.buf = w.buf[:off+m]
+		if err != nil {
+			w.eof = true
+			if err != io.EOF && err != io.ErrUnexpectedEOF && w.err == nil {
+				w.err = err
+			}
+		}
+	}
+	if w.avail() < n {
+		return w.avail()
+	}
+	return n
+}
+
+// atEnd reports whether the stream is exhausted.
+func (w *frameWalker) atEnd() bool { return w.ensure(1) == 0 }
+
+// advanceTo consumes up to absolute offset abs, which must lie within the
+// buffered window.
+func (w *frameWalker) advanceTo(abs int64) { w.pos = int(abs - w.base) }
+
+// drain consumes the rest of the stream and returns the total length.
+func (w *frameWalker) drain() int64 {
+	for w.ensure(1) > 0 {
+		w.pos = len(w.buf)
+	}
+	return w.offset()
+}
+
+// streamFrame is one parsed chunk frame; payload aliases the window and is
+// valid only until the next walker operation.
+type streamFrame struct {
+	off     int64
+	end     int64
+	payload []byte
+	crcOK   bool
+}
+
+// frame parses the frame at the current offset without consuming it,
+// mirroring parseFrame byte for byte (including error strings).
+func (w *frameWalker) frame() (streamFrame, error) {
+	off := w.offset()
+	if w.ensure(len(chunkMagic)) < len(chunkMagic) || !bytes.Equal(w.buf[w.pos:w.pos+len(chunkMagic)], chunkMagic[:]) {
+		return streamFrame{}, fmt.Errorf("trace: no chunk magic at offset %d", off)
+	}
+	w.ensure(len(chunkMagic) + binary.MaxVarintLen64)
+	n, sn := binary.Uvarint(w.buf[w.pos+len(chunkMagic):])
+	if sn <= 0 || n > maxChunkPayload {
+		return streamFrame{}, fmt.Errorf("trace: bad chunk length at offset %d", off)
+	}
+	total := len(chunkMagic) + sn + int(n) + 4
+	if w.ensure(total) < total {
+		return streamFrame{}, fmt.Errorf("trace: chunk at offset %d overruns file", off)
+	}
+	ps := w.pos + len(chunkMagic) + sn
+	payload := w.buf[ps : ps+int(n)]
+	crc := binary.LittleEndian.Uint32(w.buf[w.pos+total-4 : w.pos+total])
+	return streamFrame{off: off, end: off + int64(total), payload: payload, crcOK: crcChunk(payload) == crc}, nil
+}
+
+// scanMagic advances to the next chunk-magic occurrence at or after absolute
+// offset from — the streaming nextFrameCandidate. When none remains the
+// stream is consumed to its end and false is returned.
+func (w *frameWalker) scanMagic(from int64) bool {
+	if p := from - w.base; p <= int64(len(w.buf)) {
+		w.pos = int(p)
+	} else {
+		w.pos = len(w.buf)
+	}
+	for {
+		if i := bytes.Index(w.buf[w.pos:], chunkMagic[:]); i >= 0 {
+			w.pos += i
+			return true
+		}
+		// Everything searched except a possible partial-magic tail is dead.
+		keep := len(chunkMagic) - 1
+		if w.avail() < keep {
+			keep = w.avail()
+		}
+		w.pos = len(w.buf) - keep
+		if w.ensure(keep+1) <= keep {
+			w.pos = len(w.buf)
+			return false
+		}
+	}
+}
+
+// candidateWithin returns the first chunk-magic offset in [from, limit), or
+// -1. The window must already cover the range (true after a successful
+// frame parse ending at limit); a match may extend past limit.
+func (w *frameWalker) candidateWithin(from, limit int64) int64 {
+	lo := int(from - w.base)
+	hi := int(limit-w.base) + len(chunkMagic) - 1
+	if hi > len(w.buf) {
+		hi = len(w.buf)
+	}
+	if lo < 0 || lo > hi {
+		return -1
+	}
+	if i := bytes.Index(w.buf[lo:hi], chunkMagic[:]); i >= 0 {
+		if c := from + int64(i); c < limit {
+			return c
+		}
+	}
+	return -1
+}
+
+// readHeader parses the file header at the start of the stream and consumes
+// it, with parseHeaderBytes error parity.
+func (w *frameWalker) readHeader() (header, error) {
+	const maxHeader = 8 + 2*binary.MaxVarintLen64 + maxWriterLen + 4
+	n := w.ensure(maxHeader)
+	hdr, err := parseHeaderBytes(w.buf[w.pos : w.pos+n])
+	if err != nil {
+		return header{}, err
+	}
+	w.advanceTo(w.offset() + int64(hdr.end))
+	return hdr, nil
+}
+
+// countReader counts bytes consumed from the underlying reader, so the
+// legacy salvage path can compute damaged-span extents without an image.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// RecordCursor is a pull iterator over trace records in storage order. Next
+// returns io.EOF after the last record; the returned pointer is valid only
+// until the following Next call. Close releases any underlying resources.
+type RecordCursor interface {
+	Next() (*Record, error)
+	Close() error
+}
+
+// SalvageCursor streams records out of a trace file with full salvage
+// semantics — resynchronizing past damaged chunks, dropping unresolvable or
+// out-of-order records — in O(chunk) memory. On a clean file it yields
+// exactly the records ReadAll materializes, in file order; on a damaged one
+// exactly what SalvageBytes would keep. Report, Gaps, and Incomplete carry
+// the salvage outcome once Next has returned io.EOF.
+type SalvageCursor struct {
+	s   *salvager
+	hdr header
+
+	// Legacy (version-2) path: no frames to walk, so the Scanner streams
+	// until the first damage and the remainder becomes one gap.
+	sc        *Scanner
+	cr        *countReader
+	legacyEOF bool
+
+	queue []Record
+	qpos  int
+	done  bool
+}
+
+// NewSalvageCursor opens a streaming salvage pass over r. Only an
+// unreadable header is an error. The cursor does not take ownership of r.
+func NewSalvageCursor(r io.Reader) (*SalvageCursor, error) {
+	return newSalvageCursor(r, false)
+}
+
+// newSalvageCursor builds the cursor; with materialize set, every accepted
+// record and gap also lands on an attached Trace (the mode SalvageBytes and
+// SalvageFile drive to completion).
+func newSalvageCursor(r io.Reader, materialize bool) (*SalvageCursor, error) {
+	w := newFrameWalker(r)
+	hdr, err := w.readHeader()
+	if err != nil {
+		return nil, err
+	}
+	var t *Trace
+	if materialize {
+		t = New(hdr.numRanks)
+	}
+	c := &SalvageCursor{hdr: hdr}
+	if hdr.version == FormatVersionLegacy {
+		c.s = newSalvager(nil, t, hdr)
+		// The Scanner re-parses the header itself, so feed it the full
+		// stream: the walker's buffered prefix followed by the rest.
+		c.cr = &countReader{r: io.MultiReader(bytes.NewReader(w.buf), w.r)}
+		sc, err := NewScanner(c.cr)
+		if err != nil {
+			return nil, err
+		}
+		c.sc = sc
+		return c, nil
+	}
+	c.s = newSalvager(w, t, hdr)
+	return c, nil
+}
+
+// NumRanks returns the rank count from the file header.
+func (c *SalvageCursor) NumRanks() int { return c.hdr.numRanks }
+
+// Version returns the file format revision (2 or 3).
+func (c *SalvageCursor) Version() int { return c.hdr.version }
+
+// Writer returns the writer identity from the header ("" for legacy files).
+func (c *SalvageCursor) Writer() string { return c.hdr.writer }
+
+// Next returns the next salvaged record in file order, or io.EOF.
+func (c *SalvageCursor) Next() (*Record, error) {
+	for c.qpos >= len(c.queue) {
+		if c.done {
+			return nil, io.EOF
+		}
+		c.queue = c.queue[:0]
+		c.qpos = 0
+		c.s.emit = func(r Record) { c.queue = append(c.queue, r) }
+		more := c.step()
+		c.s.emit = nil
+		if !more {
+			c.done = true
+			c.finish()
+		}
+	}
+	r := &c.queue[c.qpos]
+	c.qpos++
+	return r, nil
+}
+
+// Close releases nothing (the cursor does not own its reader) but satisfies
+// RecordCursor.
+func (c *SalvageCursor) Close() error { return nil }
+
+// Drain runs the cursor to completion, discarding any queued records; used
+// by the materializing and report-only drivers.
+func (c *SalvageCursor) Drain() {
+	for !c.done {
+		if !c.step() {
+			c.done = true
+			c.finish()
+		}
+	}
+	c.queue = nil
+	c.qpos = 0
+}
+
+// Report returns the salvage report; final once Next returned io.EOF.
+func (c *SalvageCursor) Report() *SalvageReport { return c.s.report }
+
+// Gaps returns the quarantined spans with their per-rank marker extents;
+// final once Next returned io.EOF.
+func (c *SalvageCursor) Gaps() []Gap { return c.s.allGaps() }
+
+// Incomplete reports whether the salvaged history is incomplete and why;
+// final once Next returned io.EOF.
+func (c *SalvageCursor) Incomplete() (bool, string) { return c.s.finInc, c.s.finWhy }
+
+func (c *SalvageCursor) step() bool {
+	if c.sc != nil {
+		return c.legacyStep()
+	}
+	return c.s.step()
+}
+
+func (c *SalvageCursor) finish() {
+	if c.sc != nil {
+		// The framed finish applies only to resynchronizable files; the
+		// legacy path marked its damage inline. Only the trailer remains.
+		if inc, reason := c.sc.Incomplete(); inc {
+			c.s.mark(reason)
+		}
+		return
+	}
+	c.s.finish()
+}
+
+// legacyStep advances the version-2 path by one record. The first damage
+// ends the stream: legacy files carry no frames to resynchronize on.
+func (c *SalvageCursor) legacyStep() bool {
+	if c.legacyEOF {
+		return false
+	}
+	rec, err := c.sc.Next()
+	if err == io.EOF {
+		c.legacyEOF = true
+		return false
+	}
+	if err == nil {
+		r := *rec
+		if r.Rank >= 0 && r.Rank < c.s.numRanks() &&
+			!(c.s.last[r.Rank].have && r.Start < c.s.lastRec[r.Rank].Start) {
+			c.s.accept(r)
+			return true
+		}
+		err = fmt.Errorf("out-of-order record")
+	}
+	off := c.sc.Offset()
+	// Total file length: whatever the scanner consumed plus the rest.
+	io.Copy(io.Discard, c.cr)
+	g := Gap{
+		Offset: off,
+		Bytes:  c.cr.n - off,
+		Reason: fmt.Sprintf("legacy file damaged: %v (no frames to resynchronize on)", err),
+		Ranks:  c.s.beforeMarks(),
+	}
+	c.s.storeGap(g)
+	c.s.report.Gaps = append(c.s.report.Gaps, g)
+	c.s.mark(partialReasonAt("trace file damaged", off, c.s.extentSummary(), err))
+	c.legacyEOF = true
+	return false
+}
+
+// decodeCheck re-reads a stream exactly as ReadAll would — scanner decode
+// plus the per-rank Append invariants — without materializing records, and
+// returns the error ReadAll would return (nil when the stream is clean).
+func decodeCheck(r io.Reader) error {
+	sc, err := NewScanner(r)
+	if err != nil {
+		return err
+	}
+	numRanks := sc.NumRanks()
+	lastStart := make([]int64, numRanks)
+	haveLast := make([]bool, numRanks)
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if rec.Rank < 0 || rec.Rank >= numRanks {
+			return fmt.Errorf("trace: record rank %d out of range [0,%d)", rec.Rank, numRanks)
+		}
+		if haveLast[rec.Rank] && lastStart[rec.Rank] > rec.Start {
+			return fmt.Errorf("trace: rank %d record start %d precedes previous start %d",
+				rec.Rank, rec.Start, lastStart[rec.Rank])
+		}
+		lastStart[rec.Rank] = rec.Start
+		haveLast[rec.Rank] = true
+	}
+}

@@ -65,13 +65,16 @@ func (vr *VerifyReport) String() string {
 		vr.Version, vr.NumRanks, vr.BadChunks(), len(vr.Chunks))
 }
 
-// VerifyFile is VerifyBytes over a file path.
+// VerifyFile verifies a trace file in O(chunk) memory: a streaming frame
+// pass over one open of the file, then a streaming decode (or salvage
+// summary) pass over a second. Multi-gigabyte traces verify without ever
+// being held in RAM.
 func VerifyFile(path string) (*VerifyReport, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
+	open := func() (io.Reader, io.Closer, error) {
+		f, err := os.Open(path)
+		return f, f, err
 	}
-	return VerifyBytes(data)
+	return verifyStream(open)
 }
 
 // VerifyBytes checks the integrity of a trace file image chunk by chunk:
@@ -80,66 +83,108 @@ func VerifyFile(path string) (*VerifyReport, error) {
 // not failed on. Legacy (version-2) files carry no checksums, so their
 // verification is the decode alone.
 func VerifyBytes(data []byte) (*VerifyReport, error) {
-	hdr, err := parseHeaderBytes(data)
+	open := func() (io.Reader, io.Closer, error) {
+		return bytes.NewReader(data), nil, nil
+	}
+	return verifyStream(open)
+}
+
+// verifyStream runs the two verification passes over independently opened
+// readers of the same input.
+func verifyStream(open func() (io.Reader, io.Closer, error)) (*VerifyReport, error) {
+	r, cl, err := open()
 	if err != nil {
 		return nil, err
 	}
-	vr := &VerifyReport{Version: hdr.version, Writer: hdr.writer, NumRanks: hdr.numRanks}
-	if hdr.version == FormatVersionLegacy {
-		vr.Chunks = []VerifyChunk{{Offset: int64(hdr.end), Bytes: int64(len(data) - hdr.end), OK: true}}
-		if _, err := ReadAll(bytes.NewReader(data)); err != nil {
+	vr, legacy, damaged, err := verifyFramePass(r)
+	if cl != nil {
+		cl.Close()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	r, cl, err = open()
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cl != nil {
+			cl.Close()
+		}
+	}()
+	switch {
+	case legacy:
+		if err := decodeCheck(r); err != nil {
 			vr.Chunks[0].OK = false
 			vr.Chunks[0].Err = err.Error()
 			vr.DecodeErr = err.Error()
 		} else {
 			vr.Decode = true
 		}
-		return vr, nil
+	case damaged:
+		// The stream cannot fully decode; report what salvage would say.
+		c, err := NewSalvageCursor(r)
+		if err != nil {
+			vr.DecodeErr = err.Error()
+			break
+		}
+		c.Drain()
+		vr.DecodeErr = c.Report().String()
+	default:
+		if err := decodeCheck(r); err != nil {
+			vr.DecodeErr = err.Error()
+		} else {
+			vr.Decode = true
+		}
 	}
-	pos := hdr.end
-	damaged := false
-	for pos < len(data) {
-		f, err := parseFrame(data, pos)
-		if err == nil && f.crcOK {
-			vr.Chunks = append(vr.Chunks, VerifyChunk{Offset: int64(pos), Bytes: int64(f.end - f.start), OK: true})
-			pos = f.end
+	return vr, nil
+}
+
+// verifyFramePass walks the chunk frames of one reader, recording a
+// VerifyChunk per frame (or per damaged span, resynchronizing exactly like
+// salvage so the reported spans match what -salvage would quarantine).
+func verifyFramePass(r io.Reader) (vr *VerifyReport, legacy, damaged bool, err error) {
+	w := newFrameWalker(r)
+	hdr, err := w.readHeader()
+	if err != nil {
+		return nil, false, false, err
+	}
+	vr = &VerifyReport{Version: hdr.version, Writer: hdr.writer, NumRanks: hdr.numRanks}
+	if hdr.version == FormatVersionLegacy {
+		total := w.drain()
+		vr.Chunks = []VerifyChunk{{Offset: int64(hdr.end), Bytes: total - int64(hdr.end), OK: true}}
+		return vr, true, false, nil
+	}
+	for !w.atEnd() {
+		pos := w.offset()
+		f, ferr := w.frame()
+		if ferr == nil && f.crcOK {
+			vr.Chunks = append(vr.Chunks, VerifyChunk{Offset: pos, Bytes: f.end - f.off, OK: true})
+			w.advanceTo(f.end)
 			continue
 		}
 		damaged = true
 		reason := "checksum mismatch"
-		end := len(data)
-		if err != nil {
-			reason = err.Error()
+		var end int64
+		if ferr != nil {
+			reason = ferr.Error()
+			// The span is unknown; it runs to the next magic candidate or
+			// the end of the file.
+			w.scanMagic(pos + 1)
+			end = w.offset()
 		} else {
-			// CRC failure on a structurally complete frame: the span is known.
+			// CRC failure on a structurally complete frame: the span is
+			// known, unless an earlier magic candidate resyncs sooner.
 			end = f.end
-		}
-		if next := nextFrameCandidate(data, pos+1); next >= 0 {
-			// Resync exactly like salvage so the reported span matches what
-			// -salvage would quarantine.
-			if err != nil || next < end {
+			if next := w.candidateWithin(pos+1, f.end); next >= 0 {
 				end = next
 			}
+			w.advanceTo(end)
 		}
-		vr.Chunks = append(vr.Chunks, VerifyChunk{Offset: int64(pos), Bytes: int64(end - pos), OK: false, Err: reason})
-		pos = end
+		vr.Chunks = append(vr.Chunks, VerifyChunk{Offset: pos, Bytes: end - pos, OK: false, Err: reason})
 	}
-	if damaged {
-		// The stream cannot fully decode; report what salvage would say.
-		_, rep, err := SalvageBytes(data)
-		if err != nil {
-			vr.DecodeErr = err.Error()
-		} else {
-			vr.DecodeErr = rep.String()
-		}
-		return vr, nil
-	}
-	if _, err := ReadAll(bytes.NewReader(data)); err != nil {
-		vr.DecodeErr = err.Error()
-		return vr, nil
-	}
-	vr.Decode = true
-	return vr, nil
+	return vr, false, damaged, nil
 }
 
 // WriteVerifyDetail writes the per-chunk lines of the report.

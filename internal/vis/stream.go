@@ -1,0 +1,134 @@
+package vis
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"tracedbg/internal/trace"
+)
+
+// ASCIIStream renders the time-space diagram from streaming per-rank
+// cursors, never materializing the trace. open is called once per rank per
+// pass (store.Records is directly assignable): a window pre-pass when the
+// options don't pin the viewport, then one painting pass. For options it
+// supports the output is byte-identical to ASCII.
+//
+// Overlays that need random access into the trace — Messages, Selected,
+// and the Past/Future frontiers — are not supported and return an error;
+// render those from a materialized trace.
+func ASCIIStream(numRanks int, open func(int) (trace.RecordCursor, error), opt Options) (string, error) {
+	if opt.Messages || opt.Selected != nil || opt.Past != nil || opt.Future != nil {
+		return "", fmt.Errorf("vis: streaming render does not support messages, selection, or frontier overlays")
+	}
+	opt = opt.withDefaults(100)
+
+	t0, t1 := opt.T0, opt.T1
+	if t1 <= t0 {
+		var err error
+		t0, t1, err = streamWindow(numRanks, open)
+		if err != nil {
+			return "", err
+		}
+	}
+	if t1 == t0 {
+		t1 = t0 + 1
+	}
+	cols := opt.Width
+
+	colOf := func(t int64) int {
+		c := int(float64(t-t0) / float64(t1-t0) * float64(cols))
+		if c < 0 {
+			c = 0
+		}
+		if c >= cols {
+			c = cols - 1
+		}
+		return c
+	}
+
+	var sb strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", opt.Title)
+	}
+	fmt.Fprintf(&sb, "time-space diagram vt=[%d..%d] (%d columns)\n", t0, t1, cols)
+
+	stopCol := -1
+	if opt.Stopline >= t0 && opt.Stopline <= t1 {
+		stopCol = colOf(opt.Stopline)
+	}
+
+	for r := 0; r < numRanks; r++ {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		c, err := open(r)
+		if err != nil {
+			return "", err
+		}
+		for {
+			rec, err := c.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				c.Close()
+				return "", err
+			}
+			if rec.End < t0 || rec.Start > t1 {
+				continue
+			}
+			a := colOf(max64(rec.Start, t0))
+			b := colOf(min64(rec.End, t1))
+			g := barGlyph(rec.Kind)
+			for col := a; col <= b; col++ {
+				row[col] = g
+			}
+		}
+		c.Close()
+		if stopCol >= 0 {
+			row[stopCol] = '|'
+		}
+		fmt.Fprintf(&sb, "P%-3d %s\n", r, row)
+	}
+	sb.WriteString("legend: #=compute S=send R=recv C=collective x=blocked f=func r=region ,=marker |=stopline @=selected <=past-frontier >=future-frontier\n")
+	return sb.String(), nil
+}
+
+// streamWindow computes the full-trace viewport the way Trace.StartTime and
+// Trace.EndTime do: smallest first-record Start across ranks (0 if no
+// records at all) and largest End across all records.
+func streamWindow(numRanks int, open func(int) (trace.RecordCursor, error)) (int64, int64, error) {
+	first := true
+	var start, end int64
+	for r := 0; r < numRanks; r++ {
+		c, err := open(r)
+		if err != nil {
+			return 0, 0, err
+		}
+		firstOfRank := true
+		for {
+			rec, err := c.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				c.Close()
+				return 0, 0, err
+			}
+			if firstOfRank {
+				if first || rec.Start < start {
+					start = rec.Start
+					first = false
+				}
+				firstOfRank = false
+			}
+			if rec.End > end {
+				end = rec.End
+			}
+		}
+		c.Close()
+	}
+	return start, end, nil
+}

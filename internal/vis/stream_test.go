@@ -1,0 +1,114 @@
+package vis
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"tracedbg/internal/trace"
+)
+
+type sliceCursor struct {
+	recs []trace.Record
+	i    int
+}
+
+func (c *sliceCursor) Next() (*trace.Record, error) {
+	if c.i >= len(c.recs) {
+		return nil, io.EOF
+	}
+	rec := &c.recs[c.i]
+	c.i++
+	return rec, nil
+}
+
+func (c *sliceCursor) Close() error { return nil }
+
+func rankOpener(tr *trace.Trace) func(int) (trace.RecordCursor, error) {
+	return func(rank int) (trace.RecordCursor, error) {
+		return &sliceCursor{recs: tr.Rank(rank)}, nil
+	}
+}
+
+func visTrace(rng *rand.Rand, ranks, events int) *trace.Trace {
+	tr := trace.New(ranks)
+	clock := make([]int64, ranks)
+	marker := make([]uint64, ranks)
+	var msgID uint64
+	for i := 0; i < events; i++ {
+		r := rng.Intn(ranks)
+		s := clock[r]
+		e := s + 1 + int64(rng.Intn(7))
+		clock[r] = e
+		marker[r]++
+		kind := trace.KindCompute
+		switch rng.Intn(4) {
+		case 0:
+			kind = trace.KindSend
+			msgID++
+		case 1:
+			kind = trace.KindRecv
+		case 2:
+			kind = trace.KindBlocked
+		}
+		tr.MustAppend(trace.Record{Kind: kind, Rank: r, Marker: marker[r],
+			Start: s, End: e, Src: r, Dst: (r + 1) % ranks, MsgID: msgID})
+	}
+	return tr
+}
+
+// TestASCIIStreamIdentity: for every option shape the streaming renderer
+// supports, its output must be byte-identical to the materialized ASCII.
+func TestASCIIStreamIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for i := 0; i < 5; i++ {
+		tr := visTrace(rng, 2+rng.Intn(6), 100+rng.Intn(300))
+		opts := []Options{
+			{},
+			{Width: 60},
+			{Width: 120, Stopline: 40},
+			{T0: 10, T1: 80},
+			{Width: 40, T0: 5, T1: 25, Stopline: 15},
+		}
+		for j, opt := range opts {
+			if opt.Stopline == 0 {
+				opt.Stopline = -1
+			}
+			want := ASCII(tr, opt)
+			got, err := ASCIIStream(tr.NumRanks(), rankOpener(tr), opt)
+			if err != nil {
+				t.Fatalf("trace %d opt %d: %v", i, j, err)
+			}
+			if got != want {
+				t.Fatalf("trace %d opt %d: stream render differs\n got:\n%s\nwant:\n%s", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestASCIIStreamEmpty(t *testing.T) {
+	tr := trace.New(3)
+	want := ASCII(tr, Options{Stopline: -1})
+	got, err := ASCIIStream(3, rankOpener(tr), Options{Stopline: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("empty stream render differs\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestASCIIStreamRejectsOverlays: message lines, selection, and frontier
+// overlays need random access and must be refused, not silently dropped.
+func TestASCIIStreamRejectsOverlays(t *testing.T) {
+	tr := visTrace(rand.New(rand.NewSource(101)), 3, 50)
+	id := trace.EventID{Rank: 0, Index: 0}
+	for _, opt := range []Options{
+		{Messages: true, Stopline: -1},
+		{Selected: &id, Stopline: -1},
+	} {
+		if _, err := ASCIIStream(tr.NumRanks(), rankOpener(tr), opt); err == nil {
+			t.Fatalf("overlay options %+v accepted", opt)
+		}
+	}
+}

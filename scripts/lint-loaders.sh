@@ -1,0 +1,29 @@
+#!/bin/sh
+# Forbid direct use of the legacy trace loaders outside the two packages
+# that own them. Every other consumer must open traces through store.Open,
+# which sniffs the format (v2, v3, segment manifest), negotiates salvage /
+# partial / indexed loading, and exposes streaming cursors — eight loader
+# entry points collapsed into one.
+#
+# The legacy loaders stay exported for one release (pinned by the
+# differential tests in internal/store), so _test.go files may still call
+# them as references; production code may not.
+#
+# Usage: scripts/lint-loaders.sh   (exit 1 and a file:line listing on hits)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern='trace\.(ReadAll(Partial|Indexed|Salvage)?|LoadParallel(Partial|Salvage|SalvageReport|Indexed)?|LoadFileParallel|LoadSegmented|SalvageBytes|SalvageFile)\('
+
+hits="$(grep -rEn "$pattern" --include='*.go' --exclude='*_test.go' \
+    cmd examples internal ./*.go 2>/dev/null \
+    | grep -v '^internal/trace/' | grep -v '^internal/store/' || true)"
+
+if [ -n "$hits" ]; then
+    echo "lint-loaders: legacy trace loaders used outside internal/trace and internal/store:" >&2
+    echo "$hits" >&2
+    echo "lint-loaders: open traces through internal/store (store.Open / store.OpenBytes) instead" >&2
+    exit 1
+fi
+echo "lint-loaders: ok"

@@ -1,0 +1,246 @@
+// BenchmarkStreamVsMaterialize compares the two consumption models the trace
+// store offers over the same ≥100k-record file: materializing the whole
+// history (store.Trace) versus bounded-memory streaming through record
+// cursors (store.Records). Each side runs the same query and builds the same
+// graph; besides ns/op and B/op, every sub-benchmark reports its live-heap
+// working set — the bytes still reachable mid-consumption — which is the
+// number that stays flat for streaming no matter how large the file grows.
+//
+// Run with scripts/bench.sh to capture the JSON baseline (BENCH_PR5.json).
+package tracedbg_test
+
+import (
+	"io"
+	"math/rand"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"tracedbg/internal/graph"
+	"tracedbg/internal/query"
+	"tracedbg/internal/store"
+	"tracedbg/internal/trace"
+)
+
+const (
+	streamBenchRanks  = 8
+	streamBenchEvents = 120_000
+)
+
+// liveHeap measures the reachable heap while hold's return value is alive:
+// the streaming/materialized working-set comparison the benchmark reports.
+func liveHeap(hold func() func()) float64 {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	release := hold()
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	release()
+	if m1.HeapAlloc <= m0.HeapAlloc {
+		return 0
+	}
+	return float64(m1.HeapAlloc - m0.HeapAlloc)
+}
+
+// streamBenchTrace is pipelineTrace with a single message tag: neighbouring
+// arcs then share signatures the way a real exchange loop's do, so graph
+// dissemination merges instead of degenerating on synthetic tag noise.
+func streamBenchTrace(ranks, events int) *trace.Trace {
+	rng := rand.New(rand.NewSource(97))
+	files := []string{"ring.go", "lu.go", "strassen.go"}
+	funcs := []string{"main", "worker", "exchange", "reduce"}
+	tr := trace.New(ranks)
+	clock := make([]int64, ranks)
+	marker := make([]uint64, ranks)
+	for i := 0; i < events; i++ {
+		r := i % ranks
+		start := clock[r]
+		end := start + 1 + int64(rng.Intn(6))
+		clock[r] = end
+		marker[r]++
+		kind := trace.KindCompute
+		switch rng.Intn(3) {
+		case 0:
+			kind = trace.KindSend
+		case 1:
+			kind = trace.KindRecv
+		}
+		tr.MustAppend(trace.Record{Kind: kind, Rank: r, Marker: marker[r],
+			Loc:   trace.Location{File: files[rng.Intn(len(files))], Line: 10 + rng.Intn(100), Func: funcs[rng.Intn(len(funcs))]},
+			Start: start, End: end, Src: r, Dst: (r + 1) % ranks,
+			Bytes: 64, MsgID: uint64(i), Name: "op"})
+	}
+	return tr
+}
+
+func writeStreamBenchFile(b *testing.B) string {
+	b.Helper()
+	tr := streamBenchTrace(streamBenchRanks, streamBenchEvents)
+	path := filepath.Join(b.TempDir(), "bench.trace")
+	if err := trace.WriteFileAtomic(path, tr, trace.WriterOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+func BenchmarkStreamVsMaterialize(b *testing.B) {
+	path := writeStreamBenchFile(b)
+	q, err := query.Compile("kind = send && bytes > 32 && rank >= 2")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("QueryMaterialize", func(b *testing.B) {
+		live := liveHeap(func() func() {
+			st, err := store.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := st.Trace()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return func() { runtime.KeepAlive(tr) }
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := store.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := st.Trace()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ids := q.Run(tr); len(ids) == 0 {
+				b.Fatal("no matches")
+			}
+		}
+		b.ReportMetric(live, "live-heap-B")
+	})
+
+	b.Run("QueryStream", func(b *testing.B) {
+		// The streaming working set: one open cursor mid-file.
+		live := liveHeap(func() func() {
+			st, err := store.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := st.Records(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < streamBenchEvents/streamBenchRanks/2; i++ {
+				if _, err := c.Next(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return func() { c.Close() }
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := store.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids, err := q.RunStream(st.NumRanks(), st.Records)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(ids) == 0 {
+				b.Fatal("no matches")
+			}
+		}
+		b.ReportMetric(live, "live-heap-B")
+	})
+
+	b.Run("GraphMaterialize", func(b *testing.B) {
+		live := liveHeap(func() func() {
+			st, err := store.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := st.Trace()
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := graph.FromTrace(tr, 256)
+			return func() { runtime.KeepAlive(tr); runtime.KeepAlive(g) }
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := store.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := st.Trace()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if g := graph.FromTrace(tr, 256); g.EventCount() == 0 {
+				b.Fatal("empty graph")
+			}
+		}
+		b.ReportMetric(live, "live-heap-B")
+	})
+
+	b.Run("GraphStream", func(b *testing.B) {
+		live := liveHeap(func() func() {
+			st, err := store.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := graph.FromStream(streamBenchRanks, 256, st.Records)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return func() { runtime.KeepAlive(g) }
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := store.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := graph.FromStream(streamBenchRanks, 256, st.Records)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if g.EventCount() == 0 {
+				b.Fatal("empty graph")
+			}
+		}
+		b.ReportMetric(live, "live-heap-B")
+	})
+
+	b.Run("MergedScan", func(b *testing.B) {
+		// The ordered full-trace scan analysis and vis run on: k cursors + a
+		// min-heap, never the materialized history.
+		for i := 0; i < b.N; i++ {
+			st, err := store.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := st.Merged()
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for {
+				_, err := c.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				n++
+			}
+			c.Close()
+			if n != streamBenchEvents {
+				b.Fatalf("scanned %d records", n)
+			}
+		}
+	})
+}
