@@ -13,14 +13,25 @@
 // the OS releases the address. Clients reconnect on their own and resume
 // from whatever the new collector acknowledges, so a restarted tcollect
 // ends up with the complete history.
+//
+// With -daemon, tcollect instead runs as a long-lived multi-session
+// collector: every v3 client session lands in its own live-openable segment
+// store under -dir, admission control and quotas bound resource use
+// (-max-sessions, -session-quota-bytes, -disk-budget-bytes, ...), and
+// SIGTERM/SIGINT triggers a graceful drain that finalizes every session's
+// manifest within -drain-timeout:
+//
+//	tcollect -daemon -addr 127.0.0.1:7777 -dir /var/lib/tracedbg/sessions
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"tracedbg/internal/obs"
@@ -42,6 +53,10 @@ type options struct {
 	segBytes    int64         // rotate output into segments of this size; 0 = single file
 	verify      bool          // round-trip the written output through store.Open
 	col         remote.CollectorOptions
+
+	daemon       bool          // long-lived multi-session mode
+	drainTimeout time.Duration // graceful-drain budget on SIGTERM/SIGINT
+	dmn          remote.DaemonOptions
 }
 
 func main() {
@@ -63,7 +78,34 @@ func main() {
 		"rotate the output into size-bounded segments with a checksummed manifest (0 = single file)")
 	flag.BoolVar(&o.verify, "verify", false,
 		"after writing, re-open the output through the trace store and check it round-trips cleanly")
+	flag.BoolVar(&o.daemon, "daemon", false,
+		"run as a long-lived multi-session daemon; every session lands under -dir")
+	flag.StringVar(&o.dmn.Dir, "dir", "tcollect-sessions",
+		"daemon mode: session root directory (one segment store per session)")
+	flag.IntVar(&o.dmn.MaxSessions, "max-sessions", 64,
+		"daemon mode: max concurrently active sessions before admission rejects")
+	flag.IntVar(&o.dmn.MaxSessionsPerClient, "max-sessions-per-client", 4,
+		"daemon mode: max active sessions per client ID")
+	flag.Int64Var(&o.dmn.SessionQuotaBytes, "session-quota-bytes", 0,
+		"daemon mode: byte quota per session (0 = unlimited)")
+	flag.Uint64Var(&o.dmn.SessionQuotaRecords, "session-quota-records", 0,
+		"daemon mode: record quota per session (0 = unlimited)")
+	flag.Int64Var(&o.dmn.DiskBudgetBytes, "disk-budget-bytes", 0,
+		"daemon mode: global disk budget across all sessions (0 = unlimited)")
+	flag.IntVar(&o.dmn.QueueRecords, "queue-records", 1024,
+		"daemon mode: per-session ingest queue capacity = client credit window")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second,
+		"daemon mode: graceful-drain budget on SIGTERM/SIGINT")
 	flag.Parse()
+	if o.daemon {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+		if err := runDaemon(o, os.Stdout, sig); err != nil {
+			fmt.Fprintln(os.Stderr, "tcollect:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tcollect:", err)
 		os.Exit(1)
@@ -175,6 +217,70 @@ func run(o options, log interface{ Write([]byte) (int, error) }) error {
 		fmt.Fprintf(log, "tcollect: stream error: %v\n", e)
 	}
 	return nil
+}
+
+// runDaemon is the -daemon entry point: serve multi-session collection until
+// a SIGTERM/SIGINT arrives, then drain gracefully — every admitted session's
+// manifest is finalized before exit, so each one opens via the trace store.
+func runDaemon(o options, log interface{ Write([]byte) (int, error) }, sig <-chan os.Signal) error {
+	stopObs, err := setupObs(o, log)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
+	policy, err := trace.ParseSyncPolicy(o.sync)
+	if err != nil {
+		return err
+	}
+	o.dmn.Sync = policy
+	o.dmn.Heartbeat = o.col.Heartbeat
+	o.dmn.IdleTimeout = o.col.IdleTimeout
+	if o.segBytes > 0 {
+		o.dmn.SegmentBytes = o.segBytes
+	}
+	d, err := listenDaemon(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(log, "tcollect: daemon listening on %s, sessions in %s\n", d.Addr(), d.Dir())
+	if n := len(d.Sessions()); n > 0 {
+		fmt.Fprintf(log, "tcollect: recovered %d session(s) from a previous run\n", n)
+	}
+
+	s := <-sig
+	fmt.Fprintf(log, "tcollect: %v: draining (budget %v)\n", s, o.drainTimeout)
+	drainErr := d.Drain(o.drainTimeout)
+	for _, st := range d.Sessions() {
+		note := "complete"
+		if st.State != "done" {
+			note = "UNFINALIZED"
+		} else if st.Recovered {
+			note = "recovered"
+		}
+		fmt.Fprintf(log, "tcollect: session %s: %d records, %d bytes (%s)\n",
+			st.ID, st.Durable, st.Bytes, note)
+	}
+	for _, e := range d.Errs() {
+		fmt.Fprintf(log, "tcollect: stream error: %v\n", e)
+	}
+	fmt.Fprintf(log, "tcollect: drained, %d bytes on disk\n", d.DiskUsed())
+	return drainErr
+}
+
+// listenDaemon binds the daemon with the same bind-retry policy as listen.
+func listenDaemon(o options) (*remote.Daemon, error) {
+	delay := 100 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		d, err := remote.NewDaemon(o.addr, o.dmn)
+		if err == nil || attempt >= o.retry {
+			return d, err
+		}
+		if delay > o.backoffMax {
+			delay = o.backoffMax
+		}
+		time.Sleep(delay)
+		delay *= 2
+	}
 }
 
 // verifyOutput re-opens what was just written through the store — the same

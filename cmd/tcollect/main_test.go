@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"tracedbg/internal/instr"
 	"tracedbg/internal/mp"
 	"tracedbg/internal/remote"
+	"tracedbg/internal/store"
 	"tracedbg/internal/trace"
 )
 
@@ -126,6 +128,93 @@ func testOptions(addr, out string, maxWait time.Duration) options {
 		addr: addr, out: out, maxWait: maxWait,
 		retry: 1, backoffMax: 2 * time.Second,
 		col: remote.CollectorOptions{Heartbeat: 20 * time.Millisecond},
+	}
+}
+
+// waitAddr polls the log for a listen line with the given prefix and returns
+// the address that follows it.
+func waitAddr(t *testing.T, log *logBuf, prefix string) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, line := range strings.Split(log.String(), "\n") {
+			if strings.HasPrefix(line, prefix) {
+				return strings.TrimPrefix(line, prefix)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("collector never printed its address: %q", log.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDaemonEndToEnd drives the -daemon mode in-process: two instrumented
+// sessions stream concurrently, SIGTERM drains, and both sessions come back
+// intact through the store.
+func TestDaemonEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	log := &logBuf{}
+	sig := make(chan os.Signal, 1)
+
+	o := testOptions("127.0.0.1:0", "", time.Second)
+	o.daemon = true
+	o.drainTimeout = 5 * time.Second
+	o.dmn = remote.DaemonOptions{Dir: dir, Heartbeat: 5 * time.Millisecond, ManifestEvery: 10 * time.Millisecond}
+	done := make(chan error, 1)
+	go func() { done <- runDaemon(o, log, sig) }()
+	addr := strings.TrimSuffix(waitAddr(t, log, "tcollect: daemon listening on "), ", sessions in "+dir)
+
+	for _, session := range []string{"ring-a", "ring-b"} {
+		cl, err := remote.DialOptions(addr, 3, remote.ClientOptions{
+			ID: "tcollect-test-" + session, SessionID: session, MaxRetries: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := instr.New(3, cl, instr.LevelAll)
+		if err := in.Run(mp.Config{NumRanks: 3}, apps.Ring(2, nil)); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Close(); err != nil {
+			t.Fatalf("session %s close: %v", session, err)
+		}
+	}
+
+	sig <- syscall.SIGTERM
+	if err := <-done; err != nil {
+		t.Fatalf("daemon: %v", err)
+	}
+	for _, session := range []string{"ring-a", "ring-b"} {
+		st, err := store.Open(filepath.Join(dir, session, "trace.manifest"))
+		if err != nil {
+			t.Fatalf("open session %s: %v", session, err)
+		}
+		tr, err := st.Trace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.NumRanks() != 3 || tr.Len() == 0 {
+			t.Fatalf("session %s: %d ranks, %d records", session, tr.NumRanks(), tr.Len())
+		}
+		if tr.Incomplete() {
+			t.Fatalf("session %s marked incomplete: %s", session, tr.IncompleteReason())
+		}
+		if !strings.Contains(log.String(), "session "+session+": ") {
+			t.Errorf("drain summary missing session %s: %q", session, log.String())
+		}
+	}
+	if !strings.Contains(log.String(), "drained") {
+		t.Errorf("log: %q", log.String())
+	}
+}
+
+func TestDaemonBadDir(t *testing.T) {
+	o := testOptions("127.0.0.1:0", "", time.Second)
+	o.daemon = true
+	o.dmn.Dir = ""
+	if err := runDaemon(o, &logBuf{}, make(chan os.Signal)); err == nil {
+		t.Error("empty -dir accepted")
 	}
 }
 

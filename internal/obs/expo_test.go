@@ -35,6 +35,16 @@ func goldenRegistry() *Registry {
 	v := r.CounterVec("tracedbg_fault_injections_total", "fault applications by plan rule index", "rule")
 	v.With("0").Add(3)
 	v.With("slow").Inc()
+	// The collector daemon's admission/quota/backpressure set, as exported
+	// while sessions are in flight.
+	r.Gauge("tracedbg_collector_sessions_active", "sessions currently admitted and not yet finalized on the daemon").Set(3)
+	r.Counter("tracedbg_collector_sessions_admitted_total", "sessions that passed admission control").Add(11)
+	r.Counter("tracedbg_collector_sessions_rejected_total", "handshakes refused with a typed TDBGREJ rejection").Add(2)
+	r.Counter("tracedbg_collector_sessions_drained_total", "sessions finalized (manifest written) by close, drain or quota kill").Add(8)
+	r.Counter("tracedbg_collector_quota_kills_total", "sessions terminated for exceeding a byte/record quota or the disk budget").Inc()
+	r.Gauge("tracedbg_collector_disk_used_bytes", "bytes of segment data written across all sessions, against the disk budget").Set(1 << 20)
+	r.Gauge("tracedbg_collector_queue_records", "records buffered in per-session ingest queues (the daemon's live-heap bound)").Set(96)
+	r.Counter("tracedbg_collector_ingest_stalls_total", "ingest reads that blocked on a full session queue (TCP backpressure engaged)").Add(4)
 	return r
 }
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"math/big"
@@ -24,6 +25,15 @@ type ClientOptions struct {
 	// ID is the stable client identity used for resume after reconnects.
 	// Default: a random 16-hex-digit string.
 	ID string
+	// SessionID, when set, selects the v3 daemon protocol: the handshake
+	// carries this session identity, the client honors the daemon's credit
+	// window (backpressure) and typed rejection/quota replies. Empty keeps
+	// the v2 single-trace protocol.
+	SessionID string
+	// DrainTimeout bounds how long Close waits for the daemon's credit
+	// window to admit the remaining backlog. Default 30s. Only meaningful
+	// with SessionID set.
+	DrainTimeout time.Duration
 	// MaxRetries bounds consecutive failed reconnect attempts before the
 	// client gives up and sets Err. Default 10; negative means unlimited.
 	MaxRetries int
@@ -65,6 +75,9 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	if o.HandshakeTimeout <= 0 {
 		o.HandshakeTimeout = 5 * time.Second
 	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 30 * time.Second
+	}
 	return o
 }
 
@@ -89,6 +102,8 @@ type Client struct {
 	memBase uint64         // records 1 .. memBase live in the spill file
 	total   uint64         // records emitted so far
 	acked   uint64         // records the collector has acknowledged
+	sent    uint64         // records written to the current connection
+	win     uint64         // absolute send limit (acked+credit); 0 = no window
 
 	spillPath string
 	spillF    *os.File
@@ -122,12 +137,12 @@ func DialOptions(addr string, numRanks int, opts ClientOptions) (*Client, error)
 		numRanks: numRanks,
 		closedCh: make(chan struct{}),
 	}
-	conn, br, ack, err := cl.connect()
+	conn, br, ack, win, err := cl.connect()
 	if err != nil {
 		return nil, err
 	}
 	cl.mu.Lock()
-	err = cl.attachLocked(conn, br, ack)
+	err = cl.attachLocked(conn, br, ack, win)
 	cl.mu.Unlock()
 	if err != nil {
 		conn.Close()
@@ -140,47 +155,90 @@ func DialOptions(addr string, numRanks int, opts ClientOptions) (*Client, error)
 func (cl *Client) ID() string { return cl.opts.ID }
 
 // connect dials and handshakes, returning the connection, its buffered
-// reader (which owns the ack heartbeat stream), and the collector's
-// acknowledged record count.
-func (cl *Client) connect() (net.Conn, *bufio.Reader, uint64, error) {
+// reader (which owns the ack heartbeat stream), the collector's acknowledged
+// record count and its credit window (0: no windowing). A typed *ErrRejected
+// is returned when a v3 daemon refuses admission.
+func (cl *Client) connect() (net.Conn, *bufio.Reader, uint64, uint64, error) {
 	conn, err := net.Dial("tcp", cl.addr)
 	if err != nil {
-		return nil, nil, 0, fmt.Errorf("remote: dial: %w", err)
+		return nil, nil, 0, 0, fmt.Errorf("remote: dial: %w", err)
 	}
-	if _, err := fmt.Fprintf(conn, "%s%d %s\n", handshakeV2, cl.numRanks, cl.opts.ID); err != nil {
+	if cl.opts.SessionID != "" {
+		_, err = fmt.Fprintf(conn, "%s%d %s %s\n", handshakeV3, cl.numRanks, cl.opts.ID, cl.opts.SessionID)
+	} else {
+		_, err = fmt.Fprintf(conn, "%s%d %s\n", handshakeV2, cl.numRanks, cl.opts.ID)
+	}
+	if err != nil {
 		conn.Close()
-		return nil, nil, 0, fmt.Errorf("remote: handshake: %w", err)
+		return nil, nil, 0, 0, fmt.Errorf("remote: handshake: %w", err)
 	}
 	conn.SetReadDeadline(time.Now().Add(cl.opts.HandshakeTimeout))
 	br := bufio.NewReaderSize(conn, 1<<16)
 	line, err := br.ReadString('\n')
 	if err != nil {
 		conn.Close()
-		return nil, nil, 0, fmt.Errorf("remote: handshake ack: %w", err)
+		return nil, nil, 0, 0, fmt.Errorf("remote: handshake ack: %w", err)
 	}
 	conn.SetReadDeadline(time.Time{})
-	ack, ok := parseAck(line)
+	if strings.HasPrefix(line, rejPrefix) {
+		conn.Close()
+		metrics().clientRejections.Inc()
+		return nil, nil, 0, 0, parseReject(line)
+	}
+	ack, win, ok := parseAck(line)
 	if !ok {
 		conn.Close()
-		return nil, nil, 0, fmt.Errorf("remote: bad handshake ack %q", strings.TrimSpace(line))
+		return nil, nil, 0, 0, fmt.Errorf("remote: bad handshake ack %q", strings.TrimSpace(line))
 	}
-	return conn, br, ack, nil
+	return conn, br, ack, win, nil
 }
 
-func parseAck(line string) (uint64, bool) {
+// parseAck parses "TDBGACK <n>\n" (v2) or "TDBGACK <n> <win>\n" (v3).
+func parseAck(line string) (ack, win uint64, ok bool) {
 	if !strings.HasPrefix(line, ackPrefix) {
-		return 0, false
+		return 0, 0, false
 	}
-	n, err := strconv.ParseUint(strings.TrimSpace(strings.TrimPrefix(line, ackPrefix)), 10, 64)
+	fields := strings.Fields(strings.TrimPrefix(line, ackPrefix))
+	if len(fields) != 1 && len(fields) != 2 {
+		return 0, 0, false
+	}
+	ack, err := strconv.ParseUint(fields[0], 10, 64)
 	if err != nil {
-		return 0, false
+		return 0, 0, false
 	}
-	return n, true
+	if len(fields) == 2 {
+		if win, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+			return 0, 0, false
+		}
+	}
+	return ack, win, true
+}
+
+// parseReject parses "TDBGREJ <reason> <retryAfterMs>\n" into the typed
+// error. A malformed line degrades to a retryable one-second hint rather
+// than a permanent refusal.
+func parseReject(line string) *ErrRejected {
+	fields := strings.Fields(strings.TrimPrefix(line, rejPrefix))
+	e := &ErrRejected{Reason: "unknown", RetryAfter: time.Second}
+	if len(fields) >= 1 {
+		e.Reason = fields[0]
+	}
+	if len(fields) >= 2 {
+		if ms, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+			if ms < 0 {
+				e.RetryAfter = -1
+			} else {
+				e.RetryAfter = time.Duration(ms) * time.Millisecond
+			}
+		}
+	}
+	return e
 }
 
 // attachLocked installs a fresh connection and retransmits everything the
-// collector has not acknowledged. Caller holds cl.mu.
-func (cl *Client) attachLocked(conn net.Conn, br *bufio.Reader, ack uint64) error {
+// collector has not acknowledged — bounded by the credit window when the
+// handshake granted one. Caller holds cl.mu.
+func (cl *Client) attachLocked(conn net.Conn, br *bufio.Reader, ack, win uint64) error {
 	bw := bufio.NewWriterSize(conn, 1<<16)
 	fw, err := trace.NewFileWriterOptions(bw, cl.numRanks, cl.writerOptions())
 	if err != nil {
@@ -194,10 +252,15 @@ func (cl *Client) attachLocked(conn net.Conn, br *bufio.Reader, ack uint64) erro
 		ack = cl.total // a confused collector cannot ack the future
 	}
 	cl.acked = ack
+	cl.sent = ack
+	cl.win = 0
+	if win > 0 {
+		cl.win = ack + win
+	}
 	m := metrics()
 	m.clientResumeGap.Observe(cl.total - ack)
 	m.clientUnacked.Set(int64(cl.total - ack))
-	err = cl.resendLocked(ack)
+	err = cl.sendRangeLocked(ack, cl.sendLimitLocked())
 	if err == nil {
 		err = fw.Flush()
 	}
@@ -214,11 +277,22 @@ func (cl *Client) attachLocked(conn net.Conn, br *bufio.Reader, ack uint64) erro
 	return nil
 }
 
-// resendLocked writes records from+1 .. total to the current writer,
+// sendLimitLocked returns the highest record count the window lets us send.
+func (cl *Client) sendLimitLocked() uint64 {
+	if cl.win > 0 && cl.win < cl.total {
+		return cl.win
+	}
+	return cl.total
+}
+
+// sendRangeLocked writes records from+1 .. to to the current writer,
 // reading the spilled prefix back from disk if the resume point predates
-// the in-memory window.
-func (cl *Client) resendLocked(from uint64) error {
-	if from >= cl.total {
+// the in-memory window, and advances cl.sent.
+func (cl *Client) sendRangeLocked(from, to uint64) error {
+	if to > cl.total {
+		to = cl.total
+	}
+	if from >= to {
 		return nil
 	}
 	if from < cl.memBase {
@@ -234,7 +308,7 @@ func (cl *Client) resendLocked(from uint64) error {
 		if err != nil {
 			return err
 		}
-		for i := uint64(0); i < cl.memBase; i++ {
+		for i := uint64(0); i < cl.memBase && i < to; i++ {
 			rec, err := sc.Next()
 			if err != nil {
 				return fmt.Errorf("spill readback at record %d: %w", i+1, err)
@@ -246,13 +320,18 @@ func (cl *Client) resendLocked(from uint64) error {
 				return err
 			}
 		}
+		if to <= cl.memBase {
+			cl.sent = to
+			return nil
+		}
 		from = cl.memBase
 	}
-	for i := from - cl.memBase; i < uint64(len(cl.mem)); i++ {
+	for i := from - cl.memBase; i < to-cl.memBase; i++ {
 		if err := cl.fw.Write(&cl.mem[i]); err != nil {
 			return err
 		}
 	}
+	cl.sent = to
 	return nil
 }
 
@@ -345,8 +424,23 @@ func (cl *Client) Emit(rec *trace.Record) {
 		}
 	}
 	if cl.fw != nil {
+		if cl.win > 0 && cl.sent >= cl.win {
+			// Credit window exhausted: the record stays buffered; the
+			// ackReader pumps it out when the daemon grants more credit.
+			metrics().clientWindowStalls.Inc()
+			return
+		}
+		if cl.sent < cl.total-1 {
+			// Older records are still window-stalled; writing this one now
+			// would ship it out of order and again when the pump sends the
+			// backlog range. It waits its turn behind them.
+			metrics().clientWindowStalls.Inc()
+			return
+		}
 		if err := cl.fw.Write(rec); err != nil {
 			cl.dropConnLocked()
+		} else {
+			cl.sent++
 		}
 	}
 }
@@ -373,7 +467,9 @@ func (cl *Client) dropConnLocked() {
 }
 
 // ackReader consumes TDBGACK heartbeat lines for one connection. A read
-// error is the outage signal: it triggers the reconnect loop.
+// error is the outage signal: it triggers the reconnect loop. On v3
+// connections it also applies credit-window growth (pumping buffered
+// backlog onto the wire) and terminal TDBGQUO quota kills.
 func (cl *Client) ackReader(conn net.Conn, br *bufio.Reader, gen int) {
 	defer cl.wg.Done()
 	var lastAck time.Time
@@ -387,7 +483,24 @@ func (cl *Client) ackReader(conn net.Conn, br *bufio.Reader, gen int) {
 			cl.mu.Unlock()
 			return
 		}
-		if n, ok := parseAck(line); ok {
+		if strings.HasPrefix(line, quoPrefix) {
+			reason := strings.TrimSpace(strings.TrimPrefix(line, quoPrefix))
+			metrics().clientQuotaKills.Inc()
+			cl.mu.Lock()
+			if cl.connGen == gen {
+				if cl.err == nil {
+					cl.err = &ErrQuotaExceeded{Reason: reason}
+				}
+				cl.dropConnLocked() // err set: no reconnect loop starts
+			}
+			cl.mu.Unlock()
+			if l := obs.Events(); l.Enabled(obs.LevelError) {
+				l.Log(obs.LevelError, "remote.quota_killed",
+					obs.F("client", cl.opts.ID), obs.F("reason", reason))
+			}
+			return
+		}
+		if n, win, ok := parseAck(line); ok {
 			now := time.Now()
 			m := metrics()
 			if !lastAck.IsZero() {
@@ -398,9 +511,33 @@ func (cl *Client) ackReader(conn net.Conn, br *bufio.Reader, gen int) {
 			if cl.connGen == gen && n > cl.acked && n <= cl.total {
 				cl.acked = n
 			}
+			if cl.connGen == gen && win > 0 && cl.fw != nil {
+				if nw := n + win; nw > cl.win {
+					cl.win = nw
+				}
+				cl.pumpLocked()
+			}
 			m.clientUnacked.Set(int64(cl.total - cl.acked))
 			cl.mu.Unlock()
 		}
+	}
+}
+
+// pumpLocked pushes window-stalled backlog onto the wire after a credit
+// grant. Caller holds cl.mu with a live connection.
+func (cl *Client) pumpLocked() {
+	if cl.sent >= cl.total || cl.sent >= cl.sendLimitLocked() {
+		return
+	}
+	err := cl.sendRangeLocked(cl.sent, cl.sendLimitLocked())
+	if err == nil {
+		err = cl.fw.Flush()
+	}
+	if err == nil {
+		err = cl.bw.Flush()
+	}
+	if err != nil {
+		cl.dropConnLocked()
 	}
 }
 
@@ -429,6 +566,7 @@ func (cl *Client) backoff(attempt int) time.Duration {
 func (cl *Client) reconnectLoop() {
 	defer cl.wg.Done()
 	var lastErr error
+	var retryAfter time.Duration // server-demanded extra wait (admission reject)
 	for attempt := 0; ; attempt++ {
 		if cl.opts.MaxRetries >= 0 && attempt >= cl.opts.MaxRetries {
 			cl.mu.Lock()
@@ -441,18 +579,47 @@ func (cl *Client) reconnectLoop() {
 			}
 			return
 		}
+		wait := cl.backoff(attempt)
+		if retryAfter > 0 {
+			// Respect the server's retry-after hint, keeping the jittered
+			// backoff as a floor so rejected clients never retry hot and
+			// never stampede back in lockstep when the hint expires.
+			wait += retryAfter
+			retryAfter = 0
+		}
 		select {
 		case <-cl.closedCh:
 			cl.mu.Lock()
 			cl.reconnecting = false
 			cl.mu.Unlock()
 			return
-		case <-time.After(cl.backoff(attempt)):
+		case <-time.After(wait):
 		}
 		metrics().clientRetries.Inc()
-		conn, br, ack, err := cl.connect()
+		conn, br, ack, win, err := cl.connect()
 		if err != nil {
 			lastErr = err
+			var rej *ErrRejected
+			if errors.As(err, &rej) {
+				if rej.RetryAfter < 0 {
+					// Permanent refusal: retrying cannot help.
+					cl.mu.Lock()
+					cl.err = rej
+					cl.reconnecting = false
+					cl.mu.Unlock()
+					if l := obs.Events(); l.Enabled(obs.LevelError) {
+						l.Log(obs.LevelError, "remote.rejected_permanent",
+							obs.F("client", cl.opts.ID), obs.F("reason", rej.Reason))
+					}
+					return
+				}
+				retryAfter = rej.RetryAfter
+				if l := obs.Events(); l.Enabled(obs.LevelWarn) {
+					l.Log(obs.LevelWarn, "remote.rejected",
+						obs.F("client", cl.opts.ID), obs.F("reason", rej.Reason),
+						obs.F("retry_after", rej.RetryAfter.String()))
+				}
+			}
 			continue
 		}
 		cl.mu.Lock()
@@ -462,7 +629,7 @@ func (cl *Client) reconnectLoop() {
 			conn.Close()
 			return
 		}
-		err = cl.attachLocked(conn, br, ack)
+		err = cl.attachLocked(conn, br, ack, win)
 		if err == nil {
 			cl.reconnecting = false
 			cl.mu.Unlock()
@@ -524,8 +691,24 @@ func (cl *Client) Total() uint64 {
 
 // Close flushes, stops the reconnect machinery, closes the connection and
 // deletes the spill file. If the client is disconnected with unsent
-// records, Close reports how many were abandoned.
+// records, Close reports how many were abandoned. On a windowed (v3)
+// session, Close first waits up to DrainTimeout for the daemon's credit
+// grants to admit the remaining backlog, so a clean shutdown delivers the
+// whole history even if the tail was stalled behind backpressure.
 func (cl *Client) Close() error {
+	if cl.opts.SessionID != "" {
+		cl.Flush() // the tail must be on the wire before acks can drain it
+		deadline := time.Now().Add(cl.opts.DrainTimeout)
+		for {
+			cl.mu.Lock()
+			drained := cl.closed || cl.err != nil || cl.conn == nil || cl.sent >= cl.total
+			cl.mu.Unlock()
+			if drained || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
 	cl.mu.Lock()
 	if cl.closed {
 		cl.mu.Unlock()
@@ -540,6 +723,25 @@ func (cl *Client) Close() error {
 		}
 	} else if cl.err == nil && cl.total > cl.acked {
 		err = fmt.Errorf("remote: closed while disconnected with %d unsent record(s)", cl.total-cl.acked)
+	}
+	if cl.conn != nil && err == nil {
+		// Graceful shutdown: half-close so the collector reads a clean EOF at
+		// the frame boundary, then let the ackReader keep draining heartbeats
+		// until the collector finalizes and closes its end. A blunt Close here
+		// would RST the socket whenever an unread heartbeat sits in our
+		// receive buffer, and the collector would see a torn stream instead
+		// of a completed session.
+		if hc, ok := cl.conn.(interface{ CloseWrite() error }); ok {
+			if hc.CloseWrite() == nil {
+				cl.bw, cl.fw = nil, nil
+				deadline := time.Now().Add(cl.opts.DrainTimeout)
+				for cl.conn != nil && time.Now().Before(deadline) {
+					cl.mu.Unlock()
+					time.Sleep(2 * time.Millisecond)
+					cl.mu.Lock()
+				}
+			}
+		}
 	}
 	if cl.conn != nil {
 		cl.conn.Close()

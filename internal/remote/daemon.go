@@ -1,0 +1,1108 @@
+package remote
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tracedbg/internal/obs"
+	"tracedbg/internal/store"
+	"tracedbg/internal/trace"
+)
+
+// Rejection reason tokens sent on the TDBGREJ wire line. Retryable reasons
+// carry the daemon's RetryAfter hint; permanent ones carry -1.
+const (
+	RejectDraining    = "draining"
+	RejectMaxSessions = "max-sessions"
+	RejectClientLimit = "client-limit"
+	RejectDiskBudget  = "disk-budget"
+	RejectBadSession  = "bad-session"    // permanent: malformed session ID
+	RejectRankCount   = "rank-mismatch"  // permanent: resume with different ranks
+	RejectClosed      = "session-closed" // permanent: session already finalized
+)
+
+// Quota kill reason tokens sent on the TDBGQUO wire line.
+const (
+	QuotaSessionBytes   = "session-bytes"
+	QuotaSessionRecords = "session-records"
+	QuotaDiskBudget     = "disk-budget"
+)
+
+// sessionBase is the segment base name inside every session directory:
+// <dir>/<sessionID>/trace-00000.trace ... plus trace.manifest.
+const sessionBase = "trace"
+
+// sessionMetaName is the per-session metadata file used by crash recovery.
+const sessionMetaName = "session.json"
+
+// DaemonOptions tunes the multi-session collector daemon. Zero values
+// select defaults; quotas and budgets default to unlimited.
+type DaemonOptions struct {
+	// Dir is the root directory; each session lands in Dir/<sessionID>/.
+	// Required.
+	Dir string
+	// MaxSessions caps concurrently active sessions (admission control).
+	// Default 64.
+	MaxSessions int
+	// MaxSessionsPerClient caps active sessions per client ID. Default 4.
+	MaxSessionsPerClient int
+	// SessionQuotaBytes caps encoded bytes per session (0 = unlimited).
+	SessionQuotaBytes int64
+	// SessionQuotaRecords caps records per session (0 = unlimited).
+	SessionQuotaRecords uint64
+	// DiskBudgetBytes caps bytes across all sessions, finalized ones
+	// included (0 = unlimited). Enforced at admission and at ingest.
+	DiskBudgetBytes int64
+	// QueueRecords is the per-session ingest queue capacity, which is also
+	// the credit window advertised to clients. Default 1024.
+	QueueRecords int
+	// SegmentBytes is the segment rotation threshold. Default 4 MiB.
+	SegmentBytes int64
+	// Heartbeat is the TDBGACK cadence (durable count + credit window).
+	// Default 500ms; negative disables.
+	Heartbeat time.Duration
+	// IdleTimeout drops a connection silent for this long. 0 disables.
+	IdleTimeout time.Duration
+	// RetryAfter is the hint attached to retryable rejections. Default 2s.
+	RetryAfter time.Duration
+	// ManifestEvery is the live-manifest sync cadence in the session writer
+	// loop — the staleness bound on store.Open of a growing session.
+	// Default 500ms.
+	ManifestEvery time.Duration
+	// Sync is the segment fsync policy. Default SyncNone (the OS page cache
+	// still survives a daemon SIGKILL; raise it to survive host crashes).
+	Sync trace.SyncPolicy
+}
+
+func (o DaemonOptions) withDefaults() DaemonOptions {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 64
+	}
+	if o.MaxSessionsPerClient <= 0 {
+		o.MaxSessionsPerClient = 4
+	}
+	if o.QueueRecords <= 0 {
+		o.QueueRecords = 1024
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.Heartbeat == 0 {
+		o.Heartbeat = 500 * time.Millisecond
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 2 * time.Second
+	}
+	if o.ManifestEvery <= 0 {
+		o.ManifestEvery = 500 * time.Millisecond
+	}
+	return o
+}
+
+type sessionState int
+
+const (
+	sessActive sessionState = iota // admitted; connected or awaiting resume
+	sessKilled                     // quota-killed; finalize in progress
+	sessDone                       // finalized, manifest written
+)
+
+func (s sessionState) String() string {
+	switch s {
+	case sessActive:
+		return "active"
+	case sessKilled:
+		return "killed"
+	case sessDone:
+		return "done"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// session is one admitted trace run. Its records flow handshake → bounded
+// queue → writer goroutine → sequential SegmentedWriter, so "durable" (the
+// count flushed to segment files) is an exact resume point: the sequential
+// sink frames records in wire order, and a crash-truncated segment salvages
+// to a strict prefix of that order.
+type session struct {
+	id       string
+	clientID string
+	numRanks int
+	dir      string
+	gw       *trace.SegmentedWriter
+
+	queue chan trace.Record
+	qdone chan struct{} // writer loop exited
+
+	// All mutable fields below are guarded by the daemon's mu.
+	gen        int      // connection generation; latest wins
+	conn       net.Conn // live connection, nil while disconnected
+	state      sessionState
+	accepted   uint64 // records read off the wire since session birth
+	durable    uint64 // records flushed to segment files
+	lastBytes  int64  // BytesWritten at last disk accounting
+	killReason string
+	incomplete string // finalize reason ("" = complete)
+	recovered  bool   // reopened from a partial dir after a restart
+	finalizing bool
+
+	handlerWG sync.WaitGroup // in-flight connection handlers for this session
+}
+
+// SessionStatus is a point-in-time snapshot of one session for CLIs/tests.
+type SessionStatus struct {
+	ID        string
+	ClientID  string
+	State     string
+	Accepted  uint64
+	Durable   uint64
+	Bytes     int64
+	Recovered bool
+	Connected bool
+}
+
+// sessionMeta is the crash-recovery metadata persisted as session.json.
+type sessionMeta struct {
+	SessionID  string `json:"session_id"`
+	ClientID   string `json:"client_id"`
+	NumRanks   int    `json:"num_ranks"`
+	Complete   bool   `json:"complete"`
+	Incomplete string `json:"incomplete_reason,omitempty"`
+}
+
+// Daemon is the long-running multi-session collector: it admits v3 (and v2)
+// client sessions under explicit resource governance — max sessions, per
+// client caps, byte/record quotas, a global disk budget, credit-window
+// backpressure — lands each session in its own live-openable segment store,
+// and finalizes every admitted session's manifest on drain. On startup it
+// salvages partial session directories left by a crash.
+type Daemon struct {
+	ln   net.Listener
+	opts DaemonOptions
+
+	mu        sync.Mutex
+	sessions  map[string]*session
+	perClient map[string]int
+	active    int   // sessions not yet finalized
+	diskUsed  int64 // bytes across all session dirs, finalized included
+	draining  bool
+	errs      []error
+	conns     map[net.Conn]connPhase
+	wg        sync.WaitGroup
+}
+
+// NewDaemon recovers any partial sessions under opts.Dir, then listens on
+// addr and serves until Drain/Close.
+func NewDaemon(addr string, opts DaemonOptions) (*Daemon, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("remote: daemon needs a session directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o777); err != nil {
+		return nil, fmt.Errorf("remote: daemon dir: %w", err)
+	}
+	d := &Daemon{
+		opts:      opts,
+		sessions:  make(map[string]*session),
+		perClient: make(map[string]int),
+		conns:     make(map[net.Conn]connPhase),
+	}
+	if err := d.recoverSessions(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: listen: %w", err)
+	}
+	d.ln = ln
+	d.wg.Add(1)
+	go d.serve()
+	return d, nil
+}
+
+// Addr returns the listening address for clients.
+func (d *Daemon) Addr() string { return d.ln.Addr().String() }
+
+// Dir returns the session root directory.
+func (d *Daemon) Dir() string { return d.opts.Dir }
+
+func (d *Daemon) serve() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		d.mu.Lock()
+		if d.draining {
+			d.mu.Unlock()
+			writeReject(conn, RejectDraining, d.opts.RetryAfter)
+			conn.Close()
+			continue
+		}
+		d.conns[conn] = phaseHandshake
+		d.mu.Unlock()
+		m := metrics()
+		m.collConns.Inc()
+		m.collActive.Add(1)
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			err := d.handle(conn)
+			conn.Close()
+			metrics().collActive.Add(-1)
+			d.mu.Lock()
+			delete(d.conns, conn)
+			if err != nil && !errors.Is(err, io.EOF) && !d.draining {
+				d.errs = append(d.errs, fmt.Errorf("remote: client %v: %w", conn.RemoteAddr(), err))
+			}
+			d.mu.Unlock()
+		}()
+	}
+}
+
+func (d *Daemon) bumpDeadline(conn net.Conn) {
+	if d.opts.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(d.opts.IdleTimeout))
+	}
+}
+
+// writeReject sends a typed admission refusal. retryAfter < 0 marks the
+// refusal permanent.
+func writeReject(conn net.Conn, reason string, retryAfter time.Duration) {
+	ms := int64(-1)
+	if retryAfter >= 0 {
+		ms = retryAfter.Milliseconds()
+	}
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	fmt.Fprintf(conn, "%s%s %d\n", rejPrefix, reason, ms)
+	conn.SetWriteDeadline(time.Time{})
+}
+
+// validSessionID enforces the charset that makes a session ID safe to use
+// as a directory name.
+func validSessionID(id string) bool {
+	if id == "" || len(id) > 128 || id[0] == '.' {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (d *Daemon) handle(conn net.Conn) error {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	d.bumpDeadline(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+
+	var clientID, sessionID string
+	var numRanks int
+	switch {
+	case strings.HasPrefix(line, handshakeV3):
+		fields := strings.Fields(line)[1:]
+		if len(fields) != 3 {
+			return fmt.Errorf("bad handshake %q", strings.TrimSpace(line))
+		}
+		numRanks, err = strconv.Atoi(fields[0])
+		if err != nil || numRanks <= 0 {
+			return fmt.Errorf("bad rank count in handshake %q", strings.TrimSpace(line))
+		}
+		clientID, sessionID = fields[1], fields[2]
+	case strings.HasPrefix(line, handshakeV2):
+		// v2 clients get a synthesized one-session-per-client identity; the
+		// two-field acks they receive still parse (the second field is
+		// ignored by pre-window clients, applied by current ones).
+		fields := strings.Fields(line)[1:]
+		if len(fields) != 2 {
+			return fmt.Errorf("bad handshake %q", strings.TrimSpace(line))
+		}
+		numRanks, err = strconv.Atoi(fields[0])
+		if err != nil || numRanks <= 0 {
+			return fmt.Errorf("bad rank count in handshake %q", strings.TrimSpace(line))
+		}
+		clientID = fields[1]
+		sessionID = "c-" + clientID
+	default:
+		// v1 has no client identity, so no resume and no quota attribution:
+		// the daemon refuses it rather than accepting records it could lose.
+		return fmt.Errorf("daemon requires v2/v3 handshake, got %q", strings.TrimSpace(line))
+	}
+
+	s, myGen, ack, rejReason, retryAfter := d.admit(conn, clientID, sessionID, numRanks)
+	if rejReason != "" {
+		metrics().sessRejected.Inc()
+		if l := obs.Events(); l.Enabled(obs.LevelWarn) {
+			l.Log(obs.LevelWarn, "daemon.rejected", obs.F("client", clientID),
+				obs.F("session", sessionID), obs.F("reason", rejReason))
+		}
+		writeReject(conn, rejReason, retryAfter)
+		return nil
+	}
+	defer s.handlerWG.Done()
+	win := uint64(d.opts.QueueRecords)
+	if _, err := fmt.Fprintf(conn, "%s%d %d\n", ackPrefix, ack, win); err != nil {
+		return fmt.Errorf("handshake ack: %w", err)
+	}
+
+	if d.opts.Heartbeat > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		d.wg.Add(1)
+		go d.heartbeat(conn, s, myGen, stop)
+	}
+
+	sc, err := trace.NewScanner(br)
+	if err != nil {
+		if terr := d.idleDropped(conn, s, err); terr != nil {
+			return terr
+		}
+		return fmt.Errorf("stream header: %w", err)
+	}
+	for n := uint64(0); ; n++ {
+		d.bumpDeadline(conn)
+		rec, err := sc.Next()
+		if err == io.EOF {
+			// Clean end of stream at a frame boundary: the client closed the
+			// session. Finalize asynchronously (it waits for this handler).
+			d.goFinalize(s, "")
+			return nil
+		}
+		if err != nil {
+			if terr := d.idleDropped(conn, s, err); terr != nil {
+				return terr
+			}
+			// Outage mid-stream: the session stays admitted, awaiting resume.
+			return fmt.Errorf("stream: %w", err)
+		}
+		d.mu.Lock()
+		if s.gen != myGen || s.state != sessActive || s.finalizing {
+			d.mu.Unlock()
+			return nil // superseded, killed, or finalizing
+		}
+		if d.opts.SessionQuotaRecords > 0 && s.accepted >= d.opts.SessionQuotaRecords {
+			d.mu.Unlock()
+			d.killSession(s, QuotaSessionRecords)
+			return nil
+		}
+		s.accepted++
+		d.mu.Unlock()
+		metrics().collReceived.Inc(rec.Rank)
+		select {
+		case s.queue <- *rec:
+		default:
+			// Queue full: a compliant client cannot get here (the credit
+			// window equals the queue capacity); a non-compliant one now
+			// rides TCP backpressure while the writer drains.
+			metrics().sessIngestStalls.Inc()
+			s.queue <- *rec
+		}
+		metrics().sessQueueRecords.Add(1)
+		if n%128 == 127 && d.overByteQuota(s) {
+			return nil // killSession already notified the client
+		}
+	}
+}
+
+// admit runs admission control under the daemon lock. On success it returns
+// the session, the connection generation, and the resume point; on refusal
+// it returns a reason token and retry-after (<0: permanent).
+func (d *Daemon) admit(conn net.Conn, clientID, sessionID string, numRanks int) (s *session, gen int, ack uint64, reject string, retryAfter time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		return nil, 0, 0, RejectDraining, d.opts.RetryAfter
+	}
+	if !validSessionID(sessionID) {
+		return nil, 0, 0, RejectBadSession, -1
+	}
+	if s := d.sessions[sessionID]; s != nil {
+		// Resume of a known session.
+		if s.state == sessDone || s.finalizing {
+			return nil, 0, 0, RejectClosed, -1
+		}
+		if s.state == sessKilled {
+			return nil, 0, 0, s.killReason, -1
+		}
+		if s.numRanks != numRanks {
+			return nil, 0, 0, RejectRankCount, -1
+		}
+		if prev := s.conn; prev != nil && prev != conn {
+			prev.Close() // latest connection wins
+		}
+		s.gen++
+		s.conn = conn
+		d.conns[conn] = phaseStreaming
+		s.handlerWG.Add(1)
+		metrics().collResumes.Inc()
+		if l := obs.Events(); l.Enabled(obs.LevelInfo) {
+			l.Log(obs.LevelInfo, "daemon.resume", obs.F("session", sessionID),
+				obs.F("client", clientID), obs.F("accepted", s.accepted))
+		}
+		// The resume point is accepted, not durable: every accepted record
+		// is either already in segment files or sitting in the (still-live)
+		// queue, so resending from durable would duplicate the queued span.
+		// After a crash the queue is gone and recovery resets accepted to
+		// the salvaged durable count, so the client refills exactly the gap.
+		return s, s.gen, s.accepted, "", 0
+	}
+	// New session: capacity, per-client, and disk-budget gates.
+	if d.active >= d.opts.MaxSessions {
+		return nil, 0, 0, RejectMaxSessions, d.opts.RetryAfter
+	}
+	if d.perClient[clientID] >= d.opts.MaxSessionsPerClient {
+		return nil, 0, 0, RejectClientLimit, d.opts.RetryAfter
+	}
+	if d.opts.DiskBudgetBytes > 0 && d.diskUsed >= d.opts.DiskBudgetBytes {
+		return nil, 0, 0, RejectDiskBudget, d.opts.RetryAfter
+	}
+	s, err := d.openSessionLocked(sessionID, clientID, numRanks)
+	if err != nil {
+		d.errs = append(d.errs, fmt.Errorf("remote: session %s: %w", sessionID, err))
+		return nil, 0, 0, RejectMaxSessions, d.opts.RetryAfter
+	}
+	s.gen = 1
+	s.conn = conn
+	d.conns[conn] = phaseStreaming
+	s.handlerWG.Add(1)
+	metrics().sessAdmitted.Inc()
+	metrics().sessActive.Add(1)
+	if l := obs.Events(); l.Enabled(obs.LevelInfo) {
+		l.Log(obs.LevelInfo, "daemon.admitted", obs.F("session", sessionID),
+			obs.F("client", clientID), obs.F("ranks", numRanks))
+	}
+	return s, 1, 0, "", 0
+}
+
+// openSessionLocked creates the session directory, metadata, segment writer
+// and writer goroutine. Caller holds d.mu.
+func (d *Daemon) openSessionLocked(sessionID, clientID string, numRanks int) (*session, error) {
+	dir := filepath.Join(d.opts.Dir, sessionID)
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	if err := writeSessionMeta(dir, &sessionMeta{
+		SessionID: sessionID, ClientID: clientID, NumRanks: numRanks,
+	}); err != nil {
+		return nil, err
+	}
+	gw, err := trace.NewSequentialSegmentedWriter(dir, sessionBase, numRanks, d.opts.SegmentBytes,
+		trace.WriterOptions{Writer: "tcollect-daemon/" + sessionID, Sync: d.opts.Sync})
+	if err != nil {
+		return nil, err
+	}
+	s := &session{
+		id: sessionID, clientID: clientID, numRanks: numRanks, dir: dir, gw: gw,
+		queue: make(chan trace.Record, d.opts.QueueRecords),
+		qdone: make(chan struct{}),
+	}
+	d.sessions[sessionID] = s
+	d.perClient[clientID]++
+	d.active++
+	d.wg.Add(1)
+	go d.writerLoop(s)
+	return s, nil
+}
+
+// writerLoop is the single consumer of one session's queue: it batches
+// records into the segment writer, publishes the durable count after each
+// flush (that count backs the acks clients prune and resume by), keeps the
+// live manifest fresh, and enforces byte quotas against actually-written
+// bytes. Exits when the queue closes (finalize).
+func (d *Daemon) writerLoop(s *session) {
+	defer d.wg.Done()
+	defer close(s.qdone)
+	lastSync := time.Now()
+	for rec := range s.queue {
+		batch := 1
+		if err := s.gw.Write(&rec); err != nil {
+			d.sessionError(s, err)
+		}
+	fill:
+		for batch < 512 {
+			select {
+			case r2, ok := <-s.queue:
+				if !ok {
+					break fill
+				}
+				if err := s.gw.Write(&r2); err != nil {
+					d.sessionError(s, err)
+				}
+				batch++
+			default:
+				break fill
+			}
+		}
+		if err := s.gw.Flush(); err != nil {
+			d.sessionError(s, err)
+		}
+		metrics().sessQueueRecords.Add(-int64(batch))
+		d.mu.Lock()
+		s.durable = uint64(s.gw.Count())
+		d.mu.Unlock()
+		d.accountDisk(s)
+		d.overByteQuota(s)
+		if time.Since(lastSync) >= d.opts.ManifestEvery {
+			if err := s.gw.SyncManifest(); err != nil {
+				d.sessionError(s, err)
+			}
+			lastSync = time.Now()
+		}
+	}
+	if err := s.gw.Flush(); err != nil {
+		d.sessionError(s, err)
+	}
+	d.mu.Lock()
+	s.durable = uint64(s.gw.Count())
+	d.mu.Unlock()
+	d.accountDisk(s)
+}
+
+// accountDisk folds a session's byte growth into the global disk gauge.
+func (d *Daemon) accountDisk(s *session) {
+	b := s.gw.BytesWritten()
+	d.mu.Lock()
+	delta := b - s.lastBytes
+	s.lastBytes = b
+	d.diskUsed += delta
+	used := d.diskUsed
+	d.mu.Unlock()
+	metrics().sessDiskUsed.Set(used)
+}
+
+// overByteQuota enforces the per-session byte quota and the global disk
+// budget against durable bytes, killing the offending session.
+func (d *Daemon) overByteQuota(s *session) bool {
+	b := s.gw.BytesWritten()
+	if d.opts.SessionQuotaBytes > 0 && b > d.opts.SessionQuotaBytes {
+		d.killSession(s, QuotaSessionBytes)
+		return true
+	}
+	if d.opts.DiskBudgetBytes > 0 {
+		d.mu.Lock()
+		over := d.diskUsed > d.opts.DiskBudgetBytes
+		d.mu.Unlock()
+		if over {
+			d.killSession(s, QuotaDiskBudget)
+			return true
+		}
+	}
+	return false
+}
+
+// killSession terminates a session for quota exhaustion: the client gets a
+// terminal TDBGQUO line, the connection is severed, and the session is
+// finalized (everything accepted so far stays durable, marked incomplete).
+func (d *Daemon) killSession(s *session, reason string) {
+	d.mu.Lock()
+	if s.state != sessActive {
+		d.mu.Unlock()
+		return
+	}
+	s.state = sessKilled
+	s.killReason = reason
+	conn := s.conn
+	d.mu.Unlock()
+	metrics().sessQuotaKills.Inc()
+	if l := obs.Events(); l.Enabled(obs.LevelWarn) {
+		l.Log(obs.LevelWarn, "daemon.quota_kill",
+			obs.F("session", s.id), obs.F("reason", reason))
+	}
+	if conn != nil {
+		conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		fmt.Fprintf(conn, "%s%s\n", quoPrefix, reason)
+		conn.Close()
+	}
+	d.goFinalize(s, "quota exceeded: "+reason)
+}
+
+// sessionError records a session-scoped error.
+func (d *Daemon) sessionError(s *session, err error) {
+	d.mu.Lock()
+	d.errs = append(d.errs, fmt.Errorf("remote: session %s: %w", s.id, err))
+	d.mu.Unlock()
+}
+
+// goFinalize runs finalizeSession on its own goroutine (it blocks on the
+// session's handler and writer, so callers on those paths must not wait).
+func (d *Daemon) goFinalize(s *session, incompleteReason string) {
+	d.mu.Lock()
+	if s.finalizing {
+		d.mu.Unlock()
+		return
+	}
+	s.finalizing = true
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		d.finalizeSession(s, incompleteReason)
+	}()
+}
+
+// finalizeSession drains and closes one session: sever the connection, wait
+// for its handler, close the queue, wait for the writer, stamp incomplete
+// reasons, write the final manifest and metadata. Runs at most once per
+// session (goFinalize guards).
+func (d *Daemon) finalizeSession(s *session, incompleteReason string) {
+	d.mu.Lock()
+	conn := s.conn
+	s.conn = nil
+	d.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	s.handlerWG.Wait()
+	close(s.queue)
+	<-s.qdone
+	if s.recovered {
+		// The pre-crash tail may be missing even if the resumed stream ended
+		// cleanly only when the client never came back; a resumed session
+		// retransmitted everything past the salvage point, so it is whole.
+		d.mu.Lock()
+		resumed := s.gen > 0
+		d.mu.Unlock()
+		if !resumed && incompleteReason == "" {
+			incompleteReason = "recovered after collector crash; client never resumed"
+		}
+	}
+	if incompleteReason != "" {
+		if err := s.gw.WriteIncomplete(incompleteReason); err != nil {
+			d.sessionError(s, err)
+		}
+	}
+	if err := s.gw.Close(); err != nil {
+		d.sessionError(s, err)
+	}
+	d.accountDisk(s)
+	complete := incompleteReason == ""
+	if err := writeSessionMeta(s.dir, &sessionMeta{
+		SessionID: s.id, ClientID: s.clientID, NumRanks: s.numRanks,
+		Complete: complete, Incomplete: incompleteReason,
+	}); err != nil {
+		d.sessionError(s, err)
+	}
+	d.mu.Lock()
+	s.state = sessDone
+	s.incomplete = incompleteReason
+	d.active--
+	d.perClient[s.clientID]--
+	if d.perClient[s.clientID] <= 0 {
+		delete(d.perClient, s.clientID)
+	}
+	d.mu.Unlock()
+	metrics().sessActive.Add(-1)
+	metrics().sessDrained.Inc()
+	if l := obs.Events(); l.Enabled(obs.LevelInfo) {
+		l.Log(obs.LevelInfo, "daemon.finalized", obs.F("session", s.id),
+			obs.F("complete", complete), obs.F("records", s.durable))
+	}
+}
+
+// heartbeat sends "TDBGACK <durable> <win>" on the daemon cadence: durable
+// is the resume point, win the credit window. It stops when the connection
+// is superseded or the session leaves the active state.
+func (d *Daemon) heartbeat(conn net.Conn, s *session, myGen int, stop <-chan struct{}) {
+	defer d.wg.Done()
+	tick := time.NewTicker(d.opts.Heartbeat)
+	defer tick.Stop()
+	win := uint64(d.opts.QueueRecords)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		d.mu.Lock()
+		durable := s.durable
+		stale := s.gen != myGen || s.conn != conn || s.state != sessActive
+		d.mu.Unlock()
+		if stale {
+			return
+		}
+		conn.SetWriteDeadline(time.Now().Add(d.opts.Heartbeat * 4))
+		_, err := fmt.Fprintf(conn, "%s%d %d\n", ackPrefix, durable, win)
+		conn.SetWriteDeadline(time.Time{})
+		if err != nil {
+			return // the reader side will notice the broken connection
+		}
+		metrics().collHeartbeats.Inc()
+	}
+}
+
+// idleDropped classifies a read error as the idle-timeout deadline firing.
+func (d *Daemon) idleDropped(conn net.Conn, s *session, err error) error {
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		return nil
+	}
+	metrics().collIdleDrops.Inc()
+	if l := obs.Events(); l.Enabled(obs.LevelWarn) {
+		l.Log(obs.LevelWarn, "daemon.idle_drop", obs.F("session", s.id),
+			obs.F("peer", conn.RemoteAddr().String()))
+	}
+	return fmt.Errorf("idle timeout after %v", d.opts.IdleTimeout)
+}
+
+// Sessions returns a snapshot of every session the daemon knows.
+func (d *Daemon) Sessions() []SessionStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]SessionStatus, 0, len(d.sessions))
+	for _, s := range d.sessions {
+		out = append(out, SessionStatus{
+			ID: s.id, ClientID: s.clientID, State: s.state.String(),
+			Accepted: s.accepted, Durable: s.durable, Bytes: s.lastBytes,
+			Recovered: s.recovered, Connected: s.conn != nil,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SessionManifest returns the manifest path of a session's segment store —
+// the path to hand to store.Open.
+func (d *Daemon) SessionManifest(sessionID string) string {
+	return filepath.Join(d.opts.Dir, sessionID, sessionBase+".manifest")
+}
+
+// DiskUsed returns bytes written across all sessions.
+func (d *Daemon) DiskUsed() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.diskUsed
+}
+
+// Errs returns stream and session errors observed so far.
+func (d *Daemon) Errs() []error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]error(nil), d.errs...)
+}
+
+// Drain stops accepting, finalizes every session (writing each manifest and
+// marking unfinished ones incomplete), and waits for all daemon goroutines
+// to exit, up to timeout (<= 0: wait forever). Sessions finalize in
+// parallel; a drain that times out returns an error with the laggard count.
+func (d *Daemon) Drain(timeout time.Duration) error {
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		d.wg.Wait()
+		return nil
+	}
+	d.draining = true
+	open := make([]*session, 0, len(d.sessions))
+	for _, s := range d.sessions {
+		if s.state != sessDone {
+			open = append(open, s)
+		}
+	}
+	// Unblock handshake-phase connections that will never finish.
+	for conn, phase := range d.conns {
+		if phase == phaseHandshake {
+			conn.Close()
+		}
+	}
+	d.mu.Unlock()
+	d.ln.Close()
+	if l := obs.Events(); l.Enabled(obs.LevelInfo) {
+		l.Log(obs.LevelInfo, "daemon.drain", obs.F("sessions", len(open)))
+	}
+	for _, s := range open {
+		d.goFinalize(s, "daemon drained before session completed")
+	}
+	done := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(done)
+	}()
+	if timeout <= 0 {
+		<-done
+		return nil
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		d.mu.Lock()
+		laggards := 0
+		for _, s := range d.sessions {
+			if s.state != sessDone {
+				laggards++
+			}
+		}
+		d.mu.Unlock()
+		return fmt.Errorf("remote: drain timed out after %v with %d session(s) unfinalized", timeout, laggards)
+	}
+}
+
+// Close is Drain with no time bound.
+func (d *Daemon) Close() error { return d.Drain(0) }
+
+// Kill tears the daemon down without finalizing: no manifests are written
+// and session metadata stays in the not-complete state, leaving the session
+// directories exactly as crash recovery expects to find them. Unlike a real
+// crash it still waits for every goroutine (so tests stay leak-clean), which
+// flushes queued records — tests wanting a torn tail truncate the last
+// segment afterwards.
+func (d *Daemon) Kill() {
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		d.wg.Wait()
+		return
+	}
+	d.draining = true
+	conns := make([]net.Conn, 0, len(d.conns))
+	for conn := range d.conns {
+		conns = append(conns, conn)
+	}
+	open := make([]*session, 0, len(d.sessions))
+	for _, s := range d.sessions {
+		if s.state != sessDone && !s.finalizing {
+			s.finalizing = true // block any later finalize from double-closing
+			open = append(open, s)
+		}
+	}
+	d.mu.Unlock()
+	d.ln.Close()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	for _, s := range open {
+		s.handlerWG.Wait()
+		close(s.queue)
+		<-s.qdone
+	}
+	d.wg.Wait()
+}
+
+// writeSessionMeta persists session.json atomically (tmp + rename) so crash
+// recovery never reads a torn metadata file.
+func writeSessionMeta(dir string, m *sessionMeta) error {
+	body, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	body = append(body, '\n')
+	tmp := filepath.Join(dir, sessionMetaName+".tmp")
+	if err := os.WriteFile(tmp, body, 0o666); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, sessionMetaName))
+}
+
+func readSessionMeta(dir string) (*sessionMeta, error) {
+	body, err := os.ReadFile(filepath.Join(dir, sessionMetaName))
+	if err != nil {
+		return nil, err
+	}
+	var m sessionMeta
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// recoverSessions scans the root directory for sessions a previous daemon
+// left behind. Finalized sessions only contribute their bytes to the disk
+// budget; partial ones are salvaged — every segment is reduced to its clean
+// prefix (rewritten atomically when damaged) — and reopened for resume, so
+// no accepted-then-durable record is ever lost to a daemon crash.
+func (d *Daemon) recoverSessions() error {
+	entries, err := os.ReadDir(d.opts.Dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(d.opts.Dir, e.Name())
+		meta, err := readSessionMeta(dir)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // not a session directory
+			}
+			d.errs = append(d.errs, fmt.Errorf("remote: recover %s: %w", e.Name(), err))
+			continue
+		}
+		bytes := sessionDirBytes(dir)
+		if meta.Complete || meta.Incomplete != "" {
+			d.diskUsed += bytes
+			continue
+		}
+		s, err := d.salvageSession(dir, meta)
+		if err != nil {
+			d.errs = append(d.errs, fmt.Errorf("remote: recover %s: %w", e.Name(), err))
+			continue
+		}
+		d.diskUsed += s.lastBytes
+		metrics().sessRecovered.Inc()
+		metrics().sessActive.Add(1)
+		if l := obs.Events(); l.Enabled(obs.LevelInfo) {
+			l.Log(obs.LevelInfo, "daemon.recovered", obs.F("session", s.id),
+				obs.F("durable", s.durable))
+		}
+	}
+	metrics().sessDiskUsed.Set(d.diskUsed)
+	return nil
+}
+
+// sessionDirBytes sums the segment bytes of a session directory.
+func sessionDirBytes(dir string) int64 {
+	var n int64
+	names, _ := filepath.Glob(filepath.Join(dir, sessionBase+"-*.trace"))
+	for _, name := range names {
+		if fi, err := os.Stat(name); err == nil {
+			n += fi.Size()
+		}
+	}
+	return n
+}
+
+// salvageSession rebuilds a partial session directory into a resumable
+// session. Each segment is loaded with clean-prefix semantics (the
+// sequential sink guarantees the prefix is wire-order, so the surviving
+// record count is an exact resume point); damaged segments are rewritten
+// atomically without incomplete markers — whether the *session* ends up
+// incomplete is decided at finalize time, once we know whether the client
+// resumed.
+func (d *Daemon) salvageSession(dir string, meta *sessionMeta) (*session, error) {
+	names, err := filepath.Glob(filepath.Join(dir, sessionBase+"-*.trace"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names) // zero-padded numbering sorts chronologically
+	segs := make([]trace.SegmentInfo, 0, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		info, err := salvageSegment(name, data, meta.NumRanks)
+		if err != nil {
+			return nil, fmt.Errorf("segment %s: %w", filepath.Base(name), err)
+		}
+		segs = append(segs, info)
+	}
+	gw, err := trace.ResumeSegmentedWriter(dir, sessionBase, meta.NumRanks, d.opts.SegmentBytes, segs,
+		trace.WriterOptions{Writer: "tcollect-daemon/" + meta.SessionID, Sync: d.opts.Sync})
+	if err != nil {
+		return nil, err
+	}
+	if err := gw.SyncManifest(); err != nil {
+		return nil, err
+	}
+	durable := uint64(0)
+	for _, seg := range segs {
+		durable += uint64(seg.Records)
+	}
+	s := &session{
+		id: meta.SessionID, clientID: meta.ClientID, numRanks: meta.NumRanks,
+		dir: dir, gw: gw, recovered: true,
+		accepted: durable, durable: durable, lastBytes: gw.BytesWritten(),
+		queue: make(chan trace.Record, d.opts.QueueRecords),
+		qdone: make(chan struct{}),
+	}
+	d.sessions[meta.SessionID] = s
+	d.perClient[meta.ClientID]++
+	d.active++
+	d.wg.Add(1)
+	go d.writerLoop(s)
+	return s, nil
+}
+
+// salvageSegment reduces one segment file to its clean record prefix. An
+// empty or headerless file (created but never flushed) becomes an empty
+// segment; a damaged one is rewritten in place (atomic rename) holding just
+// the prefix.
+func salvageSegment(path string, data []byte, numRanks int) (trace.SegmentInfo, error) {
+	info := trace.SegmentInfo{Name: filepath.Base(path)}
+	st, err := store.OpenBytes(data, store.Options{Mode: store.ModePartial})
+	var t *trace.Trace
+	if err == nil {
+		t, err = st.Trace()
+	}
+	if err != nil {
+		// Unreadable header: nothing salvageable. Rewrite as an empty,
+		// well-formed segment so the store stays loadable.
+		t = trace.New(numRanks)
+	}
+	if err == nil && !t.Incomplete() && !t.HasGaps() {
+		// Fully clean: keep the original bytes untouched.
+		info.Bytes = int64(len(data))
+		info.Records = t.Len()
+		return info, nil
+	}
+	n, werr := rewriteSegment(path, t)
+	if werr != nil {
+		return info, werr
+	}
+	fi, serr := os.Stat(path)
+	if serr != nil {
+		return info, serr
+	}
+	info.Bytes = fi.Size()
+	info.Records = n
+	return info, nil
+}
+
+// rewriteSegment atomically replaces a segment file with the salvaged
+// records, dropping damage markers (session-level incompleteness is decided
+// at finalize).
+func rewriteSegment(path string, t *trace.Trace) (n int, err error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	fw, err := trace.NewFileWriterOptions(f, t.NumRanks(), trace.WriterOptions{Writer: "tcollect-recovery"})
+	if err != nil {
+		return 0, err
+	}
+	for _, id := range t.MergedOrder() {
+		if err = fw.Write(t.MustAt(id)); err != nil {
+			return 0, err
+		}
+	}
+	if err = fw.Flush(); err != nil {
+		return 0, err
+	}
+	if err = f.Sync(); err != nil {
+		return 0, err
+	}
+	if err = f.Close(); err != nil {
+		return 0, err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	return t.Len(), nil
+}

@@ -1,0 +1,205 @@
+// Daemon crash-recovery under real process death: the daemon runs in a
+// subprocess (re-executing this test binary) and is SIGKILLed mid-ingest at
+// a point chosen by an internal/fault crash rule, so nothing is flushed or
+// finalized on the way down. A replacement daemon on the same address must
+// salvage every session, resume the same clients, and end with complete,
+// gap-free histories — no accepted-then-lost records.
+package remote
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"tracedbg/internal/fault"
+	"tracedbg/internal/store"
+	"tracedbg/internal/trace"
+)
+
+// daemonCrashAddrPrefix marks the helper's address announcement on stdout.
+const daemonCrashAddrPrefix = "DAEMONADDR "
+
+// TestDaemonCrashHelper is the subprocess body, inert unless re-executed
+// with REMOTE_DAEMON_CRASH=1. It serves sessions under the given directory
+// until the parent kills it.
+func TestDaemonCrashHelper(t *testing.T) {
+	if os.Getenv("REMOTE_DAEMON_CRASH") != "1" {
+		t.Skip("subprocess helper for TestDaemonSIGKILLRecovery")
+	}
+	d, err := NewDaemon("127.0.0.1:0", DaemonOptions{
+		Dir:           os.Getenv("REMOTE_DAEMON_DIR"),
+		Heartbeat:     2 * time.Millisecond,
+		ManifestEvery: 5 * time.Millisecond,
+		SegmentBytes:  4096,
+		Sync:          trace.SyncEveryChunk,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(2)
+	}
+	fmt.Println(daemonCrashAddrPrefix + d.Addr())
+	os.Stdout.Sync()
+	// The parent SIGKILLs this process; the sleep is only an orphan guard.
+	time.Sleep(2 * time.Minute)
+	os.Exit(3)
+}
+
+// TestDaemonSIGKILLRecovery streams several sessions into a subprocess
+// daemon, SIGKILLs it when the fault plan's crash point fires on the
+// acknowledged-record count, restarts a daemon on the same address over the
+// same directory, and checks that the original clients resume and every
+// session finalizes complete with contiguous per-rank histories.
+func TestDaemonSIGKILLRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	const ranks, perRank = 2, 150
+	const crashSum = 200 // SIGKILL once this many records are acked across sessions
+	sessions := []string{"kill-a", "kill-b", "kill-c"}
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(exe, "-test.run", "^TestDaemonCrashHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), "REMOTE_DAEMON_CRASH=1", "REMOTE_DAEMON_DIR="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), daemonCrashAddrPrefix) {
+				addrCh <- strings.TrimPrefix(sc.Text(), daemonCrashAddrPrefix)
+				return
+			}
+		}
+		addrCh <- ""
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+	}
+	if addr == "" {
+		t.Fatal("helper daemon never announced its address")
+	}
+
+	clients := make([]*Client, len(sessions))
+	next := make([]uint64, len(sessions))
+	for i, id := range sessions {
+		cl, err := DialOptions(addr, ranks, sessionClient(id))
+		if err != nil {
+			t.Fatalf("dial %s: %v", id, err)
+		}
+		defer cl.Close()
+		clients[i] = cl
+	}
+
+	// The kill point comes from a fault plan — the same rule machinery that
+	// injects crashes into instrumented runs — fired on the cross-session
+	// acknowledged-record count, so the SIGKILL always lands mid-ingest.
+	inj, err := fault.New(fault.Plan{Rules: []fault.Rule{
+		{Kind: fault.Crash, Rank: 0, AtOp: crashSum},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	var op uint64
+	pollKill := func() {
+		if killed {
+			return
+		}
+		var sum uint64
+		for _, cl := range clients {
+			sum += cl.Acked()
+		}
+		for ; op < sum; op++ {
+			if inj.CrashPoint(0, op+1) != nil {
+				cmd.Process.Kill() // SIGKILL: no flush, no manifests, no teardown
+				killed = true
+				return
+			}
+		}
+	}
+	for m := 0; m < perRank/10; m++ {
+		for i := range clients {
+			emitMarkers(clients[i], ranks, 10, &next[i])
+			clients[i].Flush()
+		}
+		pollKill()
+		time.Sleep(time.Millisecond)
+	}
+	// All records are emitted; acks keep flowing until the crash point fires.
+	waitFor(t, "fault-plan crash point", func() bool {
+		pollKill()
+		return killed
+	})
+	if err := cmd.Wait(); err == nil {
+		t.Fatal("helper exited cleanly, expected SIGKILL")
+	}
+
+	// Restart over the same directory on the same address: salvage must
+	// reopen every session, and the very same clients must resume into it.
+	d2 := restartDaemon(t, addr, DaemonOptions{
+		Dir:           dir,
+		Heartbeat:     2 * time.Millisecond,
+		ManifestEvery: 5 * time.Millisecond,
+		SegmentBytes:  4096,
+	})
+	defer d2.Close()
+	for _, st := range d2.Sessions() {
+		if !st.Recovered {
+			t.Errorf("session %s not flagged recovered after restart", st.ID)
+		}
+		if st.Durable == 0 {
+			t.Errorf("session %s salvaged no records; %d were acked before the kill", st.ID, crashSum)
+		}
+	}
+
+	want := uint64(ranks * perRank)
+	waitFor(t, "all sessions durable after resume", func() bool {
+		n := 0
+		for _, st := range d2.Sessions() {
+			if st.Durable == want {
+				n++
+			}
+		}
+		return n == len(sessions)
+	})
+	for _, cl := range clients {
+		if err := cl.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+	for _, id := range sessions {
+		waitDone(t, d2, id)
+		st, err := store.Open(d2.SessionManifest(id))
+		if err != nil {
+			t.Fatalf("open session %s: %v", id, err)
+		}
+		tr, err := st.Trace()
+		if err != nil {
+			t.Fatalf("session %s trace: %v", id, err)
+		}
+		if tr.Incomplete() {
+			t.Errorf("session %s incomplete after clean resume: %s", id, tr.IncompleteReason())
+		}
+		if tr.HasGaps() {
+			t.Errorf("session %s has %d damaged span(s)", id, len(tr.Gaps()))
+		}
+		auditMarkers(t, tr, ranks, perRank)
+	}
+}

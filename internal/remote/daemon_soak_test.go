@@ -1,0 +1,206 @@
+// Soak: many concurrent sessions against one daemon, with deliberate
+// over-admission, a fault-plan-chosen mid-soak kill/restart, and the obs
+// queue gauge sampled throughout to prove the collector's live heap stays
+// bounded by sessions x queue capacity no matter how hard clients push.
+package remote
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"tracedbg/internal/fault"
+)
+
+func TestDaemonSoak(t *testing.T) {
+	const (
+		ranks      = 2
+		perRank    = 120
+		admitted   = 8  // concurrently admitted sessions
+		overflow   = 2  // extra sessions dialed beyond MaxSessions
+		queueCap   = 32 // per-session queue = credit window
+		crashSum   = 600
+		retryAfter = 20 * time.Millisecond
+	)
+	dir := t.TempDir()
+	opts := DaemonOptions{
+		Dir: dir, MaxSessions: admitted, QueueRecords: queueCap,
+		Heartbeat: 2 * time.Millisecond, ManifestEvery: 5 * time.Millisecond,
+		SegmentBytes: 4096, RetryAfter: retryAfter,
+	}
+	d, err := NewDaemon("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { d.Close() }()
+	addr := d.Addr()
+	rejectedBase := metrics().sessRejected.Value()
+
+	// Admit a full house and make sure every session is live on the daemon.
+	names := make([]string, admitted)
+	clients := make([]*Client, admitted)
+	next := make([]uint64, admitted)
+	for i := range clients {
+		names[i] = "soak-" + string(rune('a'+i))
+		cl, err := DialOptions(addr, ranks, sessionClient(names[i]))
+		if err != nil {
+			t.Fatalf("dial %s: %v", names[i], err)
+		}
+		defer cl.Close()
+		clients[i] = cl
+		emitMarkers(cl, ranks, 1, &next[i])
+		cl.Flush()
+	}
+	waitFor(t, "all sessions admitted", func() bool {
+		return len(d.Sessions()) == admitted
+	})
+
+	// Deliberate over-admission: with the house full, extra sessions must be
+	// refused with a typed, retryable rejection carrying the daemon's hint.
+	for i := 0; i < overflow; i++ {
+		id := "soak-over-" + string(rune('a'+i))
+		_, err := DialOptions(addr, ranks, sessionClient(id))
+		var rej *ErrRejected
+		if !errors.As(err, &rej) {
+			t.Fatalf("over-admission dial %s: err = %v, want ErrRejected", id, err)
+		}
+		if rej.Reason != RejectMaxSessions || rej.RetryAfter != retryAfter {
+			t.Fatalf("rejection = %+v, want reason %s retry-after %v", rej, RejectMaxSessions, retryAfter)
+		}
+	}
+	if got := metrics().sessRejected.Value() - rejectedBase; got < overflow {
+		t.Errorf("sessions_rejected_total grew by %d, want >= %d", got, overflow)
+	}
+
+	// Sample the queue gauge while the soak runs: the daemon's live heap of
+	// buffered records must never exceed sessions x queue capacity.
+	var monWG sync.WaitGroup
+	monDone := make(chan struct{})
+	var maxQueued int64
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		for {
+			select {
+			case <-monDone:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			if q := metrics().sessQueueRecords.Value(); q > maxQueued {
+				maxQueued = q
+			}
+		}
+	}()
+
+	// Stream all sessions concurrently, as fast as the windows allow.
+	var emitWG sync.WaitGroup
+	for i := range clients {
+		emitWG.Add(1)
+		go func(i int) {
+			defer emitWG.Done()
+			for next[i] < perRank {
+				batch := perRank - int(next[i])
+				if batch > 10 {
+					batch = 10
+				}
+				emitMarkers(clients[i], ranks, batch, &next[i])
+				clients[i].Flush()
+				time.Sleep(time.Millisecond)
+			}
+		}(i)
+	}
+
+	// Mid-soak, a fault-plan crash rule fires on the cross-session durable
+	// count and the daemon dies without finalizing anything; a replacement on
+	// the same address salvages all sessions and the clients resume into it.
+	inj, err := fault.New(fault.Plan{Rules: []fault.Rule{
+		{Kind: fault.Crash, Rank: 0, AtOp: crashSum},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var op uint64
+	waitFor(t, "fault-plan crash point", func() bool {
+		var sum uint64
+		for _, st := range d.Sessions() {
+			sum += st.Durable
+		}
+		for ; op < sum; op++ {
+			if inj.CrashPoint(0, op+1) != nil {
+				return true
+			}
+		}
+		return false
+	})
+	d.Kill()
+	d = restartDaemon(t, addr, opts)
+	recovered := 0
+	for _, st := range d.Sessions() {
+		if st.Recovered {
+			recovered++
+		}
+	}
+	if recovered != admitted {
+		t.Errorf("recovered %d sessions after kill, want %d", recovered, admitted)
+	}
+
+	emitWG.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := 0
+		for _, st := range d.Sessions() {
+			if st.Durable == uint64(ranks*perRank) {
+				n++
+			}
+		}
+		if n == admitted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for all sessions durable; sessions %+v", d.Sessions())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for i, cl := range clients {
+		if err := cl.Close(); err != nil {
+			t.Fatalf("close %s: %v", names[i], err)
+		}
+	}
+	for _, id := range names {
+		waitDone(t, d, id)
+	}
+	close(monDone)
+	monWG.Wait()
+
+	// The live-heap bound, from the same gauge /metrics exports.
+	if bound := int64(admitted * queueCap); maxQueued > bound {
+		t.Errorf("queue gauge peaked at %d records, bound is %d", maxQueued, bound)
+	}
+	if q := metrics().sessQueueRecords.Value(); q != 0 {
+		t.Errorf("queue gauge = %d after all sessions finalized, want 0", q)
+	}
+
+	// With the house no longer full, the over-admitted sessions get in and
+	// complete; every session on disk then audits gap- and duplicate-free.
+	overNames := []string{"soak-over-a", "soak-over-b"}
+	for _, id := range overNames {
+		cl, err := DialOptions(addr, ranks, sessionClient(id))
+		if err != nil {
+			t.Fatalf("re-dial %s after capacity freed: %v", id, err)
+		}
+		var n uint64
+		emitMarkers(cl, ranks, perRank, &n)
+		if err := cl.Close(); err != nil {
+			t.Fatalf("close %s: %v", id, err)
+		}
+		waitDone(t, d, id)
+	}
+	for _, id := range append(names, overNames...) {
+		tr := openSession(t, d, id)
+		if tr.Incomplete() {
+			t.Errorf("session %s incomplete: %s", id, tr.IncompleteReason())
+		}
+		auditMarkers(t, tr, ranks, perRank)
+	}
+}

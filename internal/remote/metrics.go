@@ -20,6 +20,9 @@ type remoteMetrics struct {
 	clientResumeGap    *obs.Histogram
 	clientAckGapNs     *obs.Histogram
 	clientUnacked      *obs.Gauge
+	clientRejections   *obs.Counter
+	clientQuotaKills   *obs.Counter
+	clientWindowStalls *obs.Counter
 
 	// collector side
 	collConns      *obs.Counter
@@ -28,6 +31,17 @@ type remoteMetrics struct {
 	collResumes    *obs.Counter
 	collIdleDrops  *obs.Counter
 	collHeartbeats *obs.Counter
+
+	// daemon (multi-session) side
+	sessActive       *obs.Gauge
+	sessAdmitted     *obs.Counter
+	sessRejected     *obs.Counter
+	sessDrained      *obs.Counter
+	sessRecovered    *obs.Counter
+	sessQuotaKills   *obs.Counter
+	sessDiskUsed     *obs.Gauge
+	sessQueueRecords *obs.Gauge
+	sessIngestStalls *obs.Counter
 }
 
 func newRemoteMetrics(r *obs.Registry) *remoteMetrics {
@@ -48,6 +62,12 @@ func newRemoteMetrics(r *obs.Registry) *remoteMetrics {
 			"observed spacing between collector TDBGACK heartbeats, nanoseconds"),
 		clientUnacked: r.Gauge("tracedbg_remote_client_unacked_records",
 			"records emitted but not yet acknowledged by the collector"),
+		clientRejections: r.Counter("tracedbg_remote_client_rejections_total",
+			"typed TDBGREJ admission refusals received from the collector"),
+		clientQuotaKills: r.Counter("tracedbg_remote_client_quota_kills_total",
+			"terminal TDBGQUO quota kills received mid-session"),
+		clientWindowStalls: r.Counter("tracedbg_remote_client_window_stalls_total",
+			"emits deferred to the buffer because the credit window was full"),
 		collConns: r.Counter("tracedbg_remote_collector_connections_total",
 			"client connections accepted by the collector"),
 		collActive: r.Gauge("tracedbg_remote_collector_active_connections",
@@ -60,6 +80,24 @@ func newRemoteMetrics(r *obs.Registry) *remoteMetrics {
 			"connections dropped for exceeding the idle timeout"),
 		collHeartbeats: r.Counter("tracedbg_remote_collector_heartbeats_sent_total",
 			"TDBGACK heartbeat lines sent to v2 clients"),
+		sessActive: r.Gauge("tracedbg_collector_sessions_active",
+			"sessions currently admitted and not yet finalized on the daemon"),
+		sessAdmitted: r.Counter("tracedbg_collector_sessions_admitted_total",
+			"sessions that passed admission control"),
+		sessRejected: r.Counter("tracedbg_collector_sessions_rejected_total",
+			"handshakes refused with a typed TDBGREJ rejection"),
+		sessDrained: r.Counter("tracedbg_collector_sessions_drained_total",
+			"sessions finalized (manifest written) by close, drain or quota kill"),
+		sessRecovered: r.Counter("tracedbg_collector_sessions_recovered_total",
+			"partial session directories salvaged and reopened after a restart"),
+		sessQuotaKills: r.Counter("tracedbg_collector_quota_kills_total",
+			"sessions terminated for exceeding a byte/record quota or the disk budget"),
+		sessDiskUsed: r.Gauge("tracedbg_collector_disk_used_bytes",
+			"bytes of segment data written across all sessions, against the disk budget"),
+		sessQueueRecords: r.Gauge("tracedbg_collector_queue_records",
+			"records buffered in per-session ingest queues (the daemon's live-heap bound)"),
+		sessIngestStalls: r.Counter("tracedbg_collector_ingest_stalls_total",
+			"ingest reads that blocked on a full session queue (TCP backpressure engaged)"),
 	}
 }
 

@@ -24,6 +24,24 @@
 //
 // The v1 handshake ("TDBGREMOTE1 <numRanks>\n") is still accepted for old
 // capture tools; v1 connections get no acknowledgements and no resume.
+//
+// Wire protocol (v3, daemon mode): the handshake gains a session identity —
+// "TDBGREMOTE3 <numRanks> <clientID> <sessionID>\n" — and the collector's
+// replies gain resource governance:
+//
+//	TDBGACK <n> <win>\n   admission/heartbeat: n records durable, the client
+//	                      may have at most win records in flight beyond n
+//	TDBGREJ <reason> <retryAfterMs>\n   admission refused; retryAfterMs < 0
+//	                      means permanent (do not retry)
+//	TDBGQUO <reason>\n    terminal mid-session quota kill
+//
+// The credit window is what keeps an overloaded daemon's memory bounded: a
+// v3 client never has more than win unacknowledged-but-sent records
+// outstanding, so the daemon's per-session queue (capacity win) cannot be
+// overrun by a compliant client, and non-compliant ones fall back to TCP
+// backpressure. The single-trace Collector below still speaks v2 (and
+// tolerates a v3 handshake by ignoring the session ID); the multi-session
+// Daemon is the v3 server.
 package remote
 
 import (
@@ -44,7 +62,10 @@ import (
 const (
 	handshakeV1 = "TDBGREMOTE1 "
 	handshakeV2 = "TDBGREMOTE2 "
+	handshakeV3 = "TDBGREMOTE3 "
 	ackPrefix   = "TDBGACK "
+	rejPrefix   = "TDBGREJ "
+	quoPrefix   = "TDBGQUO "
 )
 
 // CollectorOptions tunes the collector's liveness machinery. Zero values
@@ -172,9 +193,12 @@ func (c *Collector) handle(conn net.Conn) error {
 	var clientID string
 	var n int
 	switch {
-	case strings.HasPrefix(line, handshakeV2):
-		fields := strings.Fields(strings.TrimPrefix(line, handshakeV2))
-		if len(fields) != 2 {
+	case strings.HasPrefix(line, handshakeV2), strings.HasPrefix(line, handshakeV3):
+		// A v3 client talking to the single-trace collector degrades
+		// gracefully: the session ID is ignored and the plain v2 ack
+		// (no credit window) tells it windowing is off.
+		fields := strings.Fields(line)[1:]
+		if len(fields) != 2 && !(strings.HasPrefix(line, handshakeV3) && len(fields) == 3) {
 			return fmt.Errorf("bad handshake %q", strings.TrimSpace(line))
 		}
 		n, err = strconv.Atoi(fields[0])

@@ -302,12 +302,34 @@ func (c *countingFile) Write(p []byte) (int, error) {
 
 func (c *countingFile) Sync() error { return c.f.Sync() }
 
-// SegmentedWriter rotates a sharded trace writer across size-bounded segment
-// files, each a standalone (independently loadable, independently
-// verifiable) trace file, recording the sequence in a checksummed manifest
-// at Close. Rotation drains every rank buffer first, so each rank's records
-// split across segments in emission order and LoadSegmented can concatenate
-// per-rank streams without sorting.
+// segmentSink is the writer a SegmentedWriter rotates over: the sharded
+// (per-rank batched) writer for throughput, or a plain FileWriter when the
+// caller needs records framed in exactly the order they were written.
+type segmentSink interface {
+	Write(r *Record) error
+	WriteIncomplete(reason string) error
+	Flush() error
+	Count() int
+	BytesAccepted() int64
+}
+
+// seqSink adapts FileWriter to the segmentSink interface.
+type seqSink struct{ *FileWriter }
+
+func (s seqSink) BytesAccepted() int64 { return s.BytesEmitted() }
+
+// SegmentedWriter rotates a trace writer across size-bounded segment files,
+// each a standalone (independently loadable, independently verifiable)
+// trace file, recording the sequence in a checksummed manifest at Close.
+//
+// The default sink is a ShardedWriter: rotation drains every rank buffer
+// first, so each rank's records split across segments in emission order and
+// LoadSegmented can concatenate per-rank streams without sorting. The
+// sequential variant (NewSequentialSegmentedWriter) frames records in exact
+// write order instead — what a collector session needs so that, after a
+// crash, the salvageable prefix of the last segment corresponds one to one
+// with a prefix of the client's record sequence and the record count is an
+// exact resume point.
 type SegmentedWriter struct {
 	mu       sync.Mutex
 	dir      string
@@ -315,11 +337,13 @@ type SegmentedWriter struct {
 	numRanks int
 	segBytes int64
 	opts     WriterOptions
+	seq      bool // sequential (FileWriter) sink instead of sharded
 
-	cf   *countingFile
-	sw   *ShardedWriter
-	segs []SegmentInfo
-	done int // records in finished segments
+	cf       *countingFile
+	sw       segmentSink
+	segs     []SegmentInfo
+	done     int // records in finished segments
+	manifest int // segments covered by the last SyncManifest
 }
 
 // DefaultSegmentBytes is the rotation threshold when NewSegmentedWriter is
@@ -333,6 +357,42 @@ func NewSegmentedWriter(dir, base string, numRanks int, segBytes int64, opts Wri
 		segBytes = DefaultSegmentBytes
 	}
 	gw := &SegmentedWriter{dir: dir, base: base, numRanks: numRanks, segBytes: segBytes, opts: opts}
+	if err := gw.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	return gw, nil
+}
+
+// NewSequentialSegmentedWriter is NewSegmentedWriter with a sequential sink:
+// records are framed in exactly the order they are written (no per-rank
+// batching), so a crash-truncated segment salvages to a strict prefix of
+// the write sequence. Collector sessions use this to make "records
+// accepted" a durable, exact resume point.
+func NewSequentialSegmentedWriter(dir, base string, numRanks int, segBytes int64, opts WriterOptions) (*SegmentedWriter, error) {
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	gw := &SegmentedWriter{dir: dir, base: base, numRanks: numRanks, segBytes: segBytes, opts: opts, seq: true}
+	if err := gw.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	return gw, nil
+}
+
+// ResumeSegmentedWriter reopens an existing segment store for appending:
+// the already-finished segments (typically rebuilt by crash recovery) are
+// carried into the manifest as-is and writing continues in a fresh segment
+// numbered after them. The sink is sequential (see
+// NewSequentialSegmentedWriter).
+func ResumeSegmentedWriter(dir, base string, numRanks int, segBytes int64, existing []SegmentInfo, opts WriterOptions) (*SegmentedWriter, error) {
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	gw := &SegmentedWriter{dir: dir, base: base, numRanks: numRanks, segBytes: segBytes, opts: opts, seq: true,
+		segs: append([]SegmentInfo(nil), existing...)}
+	for _, s := range existing {
+		gw.done += s.Records
+	}
 	if err := gw.openSegmentLocked(); err != nil {
 		return nil, err
 	}
@@ -355,10 +415,21 @@ func (gw *SegmentedWriter) openSegmentLocked() error {
 		return err
 	}
 	cf := &countingFile{f: f}
-	sw, err := NewShardedWriterOptions(cf, gw.numRanks, DefaultChunkSize, gw.opts)
-	if err != nil {
-		f.Close()
-		return err
+	var sw segmentSink
+	if gw.seq {
+		fw, err := NewFileWriterOptions(cf, gw.numRanks, gw.opts)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		sw = seqSink{fw}
+	} else {
+		shw, err := NewShardedWriterOptions(cf, gw.numRanks, DefaultChunkSize, gw.opts)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		sw = shw
 	}
 	gw.cf = cf
 	gw.sw = sw
@@ -441,6 +512,54 @@ func (gw *SegmentedWriter) Count() int {
 	return n
 }
 
+// BytesWritten returns encoded bytes accepted across all segments: finished
+// segment files plus the bytes of the segment under construction.
+func (gw *SegmentedWriter) BytesWritten() int64 {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	var n int64
+	for _, s := range gw.segs {
+		n += s.Bytes
+	}
+	if gw.sw != nil {
+		n += gw.sw.BytesAccepted()
+	}
+	return n
+}
+
+func (gw *SegmentedWriter) writeManifestLocked(segs []SegmentInfo) error {
+	opts := gw.opts.withDefaults()
+	return WriteManifest(gw.ManifestPath(), &Manifest{
+		FormatVersion: FormatVersion,
+		NumRanks:      gw.numRanks,
+		Writer:        opts.Writer,
+		Segments:      segs,
+	})
+}
+
+// SyncManifest atomically writes a manifest covering everything written so
+// far, including a snapshot of the in-progress segment, so the store is
+// openable (store.Open, ModeAuto) while still growing — a live reader sees
+// all flushed chunks and salvages past any partially written tail. Writes
+// are skipped when nothing changed since the last sync and no segment is in
+// progress.
+func (gw *SegmentedWriter) SyncManifest() error {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	segs := gw.segs
+	if gw.sw != nil {
+		segs = append(append([]SegmentInfo(nil), gw.segs...), SegmentInfo{
+			Name:    gw.segName(len(gw.segs)),
+			Bytes:   gw.cf.n.Load(),
+			Records: gw.sw.Count(),
+		})
+	} else if gw.manifest == len(gw.segs) {
+		return nil
+	}
+	gw.manifest = len(segs)
+	return gw.writeManifestLocked(segs)
+}
+
 // Close finishes the current segment and writes the checksummed manifest.
 func (gw *SegmentedWriter) Close() error {
 	gw.mu.Lock()
@@ -448,13 +567,7 @@ func (gw *SegmentedWriter) Close() error {
 	if err := gw.finishSegmentLocked(); err != nil {
 		return err
 	}
-	opts := gw.opts.withDefaults()
-	return WriteManifest(gw.ManifestPath(), &Manifest{
-		FormatVersion: FormatVersion,
-		NumRanks:      gw.numRanks,
-		Writer:        opts.Writer,
-		Segments:      gw.segs,
-	})
+	return gw.writeManifestLocked(gw.segs)
 }
 
 // LoadSegmented reassembles a rotated trace from its manifest: segments are

@@ -102,8 +102,8 @@ type FileWriter struct {
 	scratch  []byte
 	cbuf     []byte // version 3: chunk payload under construction
 	frameBuf []byte // version 3: frame header/trailer scratch
-	n        int   // records written
-	out      int64 // bytes handed to the buffered writer (file size once flushed)
+	n        int    // records written
+	out      int64  // bytes handed to the buffered writer (file size once flushed)
 	lastSync time.Time
 	om       *traceMetrics
 }

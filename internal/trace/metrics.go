@@ -18,15 +18,15 @@ type traceMetrics struct {
 	chunkFlushes   *obs.Counter
 	chunkBytes     *obs.Histogram
 
-	loadParallel   *obs.Counter
-	loadFallback   *obs.Counter
-	loadSegments   *obs.Counter
-	loadWorkers    *obs.Gauge
-	loadScanNs     *obs.Histogram
-	loadDecodeNs   *obs.Histogram
-	loadRecords    *obs.Counter
-	loadIndexed    *obs.Counter
-	loadIndexMiss  *obs.Counter
+	loadParallel  *obs.Counter
+	loadFallback  *obs.Counter
+	loadSegments  *obs.Counter
+	loadWorkers   *obs.Gauge
+	loadScanNs    *obs.Histogram
+	loadDecodeNs  *obs.Histogram
+	loadRecords   *obs.Counter
+	loadIndexed   *obs.Counter
+	loadIndexMiss *obs.Counter
 
 	chunksSealed   *obs.Counter
 	crcErrors      *obs.Counter

@@ -9,14 +9,14 @@
 # the self-observability metrics of a representative tanalyze run — so each
 # baseline records not just how fast the pipeline was but how much work
 # (records written, chunks flushed, ranks pruned, ...) the numbers represent.
-# The default output is BENCH_PR5.json at the repo root — the checked-in
-# baseline for the unified trace store PR (stream-vs-materialize memory
-# numbers included); regenerate it when the pipeline changes materially and
-# mention the delta in the PR.
+# The default output is BENCH_PR6.json at the repo root — the checked-in
+# baseline for the multi-session collector daemon PR (single- and
+# multi-session ingest throughput included); regenerate it when the pipeline
+# changes materially and mention the delta in the PR.
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw="$(mktemp)"
@@ -24,7 +24,7 @@ snap="$(mktemp)"
 trap 'rm -f "$raw" "$snap"' EXIT
 
 go test -run '^$' \
-    -bench 'SerialLoad|ParallelLoad|QuerySerial|QueryIndexed|QueryParallel|FileWriterSerial|ShardedWrite|SyncPolicy|GraphFromTrace|MergedOrder|ObsOverhead|StreamVsMaterialize' \
+    -bench 'SerialLoad|ParallelLoad|QuerySerial|QueryIndexed|QueryParallel|FileWriterSerial|ShardedWrite|SyncPolicy|GraphFromTrace|MergedOrder|ObsOverhead|StreamVsMaterialize|DaemonIngest' \
     -benchtime "$benchtime" -benchmem . | tee "$raw"
 
 # Capture the obs snapshot of an in-process record + analyze pass: the
