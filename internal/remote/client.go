@@ -691,12 +691,18 @@ func (cl *Client) Total() uint64 {
 
 // Close flushes, stops the reconnect machinery, closes the connection and
 // deletes the spill file. If the client is disconnected with unsent
-// records, Close reports how many were abandoned. On a windowed (v3)
-// session, Close first waits up to DrainTimeout for the daemon's credit
-// grants to admit the remaining backlog, so a clean shutdown delivers the
-// whole history even if the tail was stalled behind backpressure.
+// records, Close reports how many were abandoned. On a windowed
+// connection (any collector that granted a credit window, regardless of
+// SessionID), Close first waits up to DrainTimeout for the daemon's credit
+// grants to admit the remaining backlog; if records are still stalled when
+// the wait expires, Close aborts the connection (so the collector sees a
+// torn stream, never a falsely complete session) and returns an error
+// naming the abandoned count instead of reporting success.
 func (cl *Client) Close() error {
-	if cl.opts.SessionID != "" {
+	cl.mu.Lock()
+	windowed := cl.win > 0
+	cl.mu.Unlock()
+	if windowed {
 		cl.Flush() // the tail must be on the wire before acks can drain it
 		deadline := time.Now().Add(cl.opts.DrainTimeout)
 		for {
@@ -716,10 +722,20 @@ func (cl *Client) Close() error {
 	}
 	cl.closed = true
 	var err error
+	abandoned := false
 	if cl.fw != nil {
 		err = cl.fw.Flush()
 		if err == nil {
 			err = cl.bw.Flush()
+		}
+		if err == nil && cl.sent < cl.total {
+			// The drain wait expired with records still stalled behind the
+			// credit window. They never reached the wire, so a graceful
+			// half-close would let the collector finalize the session as
+			// complete with the tail missing; surface the loss instead.
+			err = fmt.Errorf("remote: closed with %d record(s) undelivered after %v drain wait",
+				cl.total-cl.sent, cl.opts.DrainTimeout)
+			abandoned = true
 		}
 	} else if cl.err == nil && cl.total > cl.acked {
 		err = fmt.Errorf("remote: closed while disconnected with %d unsent record(s)", cl.total-cl.acked)
@@ -744,6 +760,16 @@ func (cl *Client) Close() error {
 		}
 	}
 	if cl.conn != nil {
+		if abandoned {
+			// Abort rather than shut down: an RST guarantees the collector
+			// observes a torn stream and keeps the session open for resume
+			// (finalizing it incomplete at drain), instead of reading a clean
+			// EOF at the frame boundary and stamping it complete with the
+			// stalled tail missing.
+			if tc, ok := cl.conn.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+		}
 		cl.conn.Close()
 		cl.conn = nil
 		cl.bw, cl.fw = nil, nil

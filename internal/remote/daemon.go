@@ -2,6 +2,7 @@ package remote
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -172,6 +173,23 @@ type SessionStatus struct {
 	Connected bool
 }
 
+// retiredRetention caps how many finalized sessions the daemon remembers —
+// enough for status reporting and RejectClosed admission semantics without
+// letting a long-lived daemon's memory grow with every session it has ever
+// served. Beyond the cap the oldest retirees are forgotten (a resume attempt
+// for one then reads as a new session ID).
+const retiredRetention = 4096
+
+// retiredSession is the compact tombstone kept after a session finalizes:
+// the reject reason a late resume attempt receives, plus (for sessions that
+// finalized in this daemon's lifetime) the last status snapshot so
+// Sessions() keeps reporting them. The heavy session object — queue, writer,
+// segment store handles — is released at retirement.
+type retiredSession struct {
+	status *SessionStatus // nil for sessions finalized by a previous daemon
+	reject string         // RejectClosed, or the quota kill reason
+}
+
 // sessionMeta is the crash-recovery metadata persisted as session.json.
 type sessionMeta struct {
 	SessionID  string `json:"session_id"`
@@ -191,19 +209,24 @@ type Daemon struct {
 	ln   net.Listener
 	opts DaemonOptions
 
-	mu        sync.Mutex
-	sessions  map[string]*session
-	perClient map[string]int
-	active    int   // sessions not yet finalized
-	diskUsed  int64 // bytes across all session dirs, finalized included
-	draining  bool
-	errs      []error
-	conns     map[net.Conn]connPhase
-	wg        sync.WaitGroup
+	mu           sync.Mutex
+	sessions     map[string]*session        // live (not yet finalized) sessions
+	retired      map[string]*retiredSession // finalized; capped tombstones
+	retiredOrder []string                   // FIFO eviction order for retired
+	perClient    map[string]int
+	active       int   // sessions not yet finalized
+	diskUsed     int64 // bytes across all session dirs, finalized included
+	draining     bool
+	errs         []error
+	conns        map[net.Conn]connPhase
+	wg           sync.WaitGroup
 }
 
-// NewDaemon recovers any partial sessions under opts.Dir, then listens on
-// addr and serves until Drain/Close.
+// NewDaemon listens on addr, recovers any partial sessions under opts.Dir,
+// then serves until Drain/Close. The listen comes first: binding a contended
+// address is the common failure (a just-killed daemon may still hold it),
+// and recovery spawns writer goroutines and reopens segment files that a
+// failed constructor would otherwise leak on every retry.
 func NewDaemon(addr string, opts DaemonOptions) (*Daemon, error) {
 	opts = opts.withDefaults()
 	if opts.Dir == "" {
@@ -216,16 +239,25 @@ func NewDaemon(addr string, opts DaemonOptions) (*Daemon, error) {
 		opts:      opts,
 		sessions:  make(map[string]*session),
 		perClient: make(map[string]int),
+		retired:   make(map[string]*retiredSession),
 		conns:     make(map[net.Conn]connPhase),
-	}
-	if err := d.recoverSessions(); err != nil {
-		return nil, err
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("remote: listen: %w", err)
 	}
 	d.ln = ln
+	if err := d.recoverSessions(); err != nil {
+		// Tear down whatever recovery spun up before failing; connections
+		// queued on the listener backlog are dropped with it.
+		ln.Close()
+		for _, s := range d.sessions {
+			close(s.queue)
+			<-s.qdone
+		}
+		d.wg.Wait()
+		return nil, err
+	}
 	d.wg.Add(1)
 	go d.serve()
 	return d, nil
@@ -317,6 +349,7 @@ func (d *Daemon) handle(conn net.Conn) error {
 
 	var clientID, sessionID string
 	var numRanks int
+	legacyV2 := false
 	switch {
 	case strings.HasPrefix(line, handshakeV3):
 		fields := strings.Fields(line)[1:]
@@ -329,9 +362,10 @@ func (d *Daemon) handle(conn net.Conn) error {
 		}
 		clientID, sessionID = fields[1], fields[2]
 	case strings.HasPrefix(line, handshakeV2):
-		// v2 clients get a synthesized one-session-per-client identity; the
-		// two-field acks they receive still parse (the second field is
-		// ignored by pre-window clients, applied by current ones).
+		// v2 clients get a synthesized one-session-per-client identity and
+		// plain one-field acks: a pre-window v2 binary parses exactly one
+		// field after TDBGACK, so a credit window would break it. Windowless
+		// sessions ride TCP backpressure when the queue fills (below).
 		fields := strings.Fields(line)[1:]
 		if len(fields) != 2 {
 			return fmt.Errorf("bad handshake %q", strings.TrimSpace(line))
@@ -342,6 +376,7 @@ func (d *Daemon) handle(conn net.Conn) error {
 		}
 		clientID = fields[1]
 		sessionID = "c-" + clientID
+		legacyV2 = true
 	default:
 		// v1 has no client identity, so no resume and no quota attribution:
 		// the daemon refuses it rather than accepting records it could lose.
@@ -360,7 +395,10 @@ func (d *Daemon) handle(conn net.Conn) error {
 	}
 	defer s.handlerWG.Done()
 	win := uint64(d.opts.QueueRecords)
-	if _, err := fmt.Fprintf(conn, "%s%d %d\n", ackPrefix, ack, win); err != nil {
+	if legacyV2 {
+		win = 0 // windowing is v3-only; v2 acks carry a single field
+	}
+	if err := writeAck(conn, ack, win); err != nil {
 		return fmt.Errorf("handshake ack: %w", err)
 	}
 
@@ -368,7 +406,7 @@ func (d *Daemon) handle(conn net.Conn) error {
 		stop := make(chan struct{})
 		defer close(stop)
 		d.wg.Add(1)
-		go d.heartbeat(conn, s, myGen, stop)
+		go d.heartbeat(conn, s, myGen, win, stop)
 	}
 
 	sc, err := trace.NewScanner(br)
@@ -434,6 +472,11 @@ func (d *Daemon) admit(conn net.Conn, clientID, sessionID string, numRanks int) 
 	}
 	if !validSessionID(sessionID) {
 		return nil, 0, 0, RejectBadSession, -1
+	}
+	if r := d.retired[sessionID]; r != nil {
+		// The session finalized (possibly in a previous daemon life): admitting
+		// it as new would clobber the sealed store on disk.
+		return nil, 0, 0, r.reject, -1
 	}
 	if s := d.sessions[sessionID]; s != nil {
 		// Resume of a known session.
@@ -709,6 +752,18 @@ func (d *Daemon) finalizeSession(s *session, incompleteReason string) {
 	if d.perClient[s.clientID] <= 0 {
 		delete(d.perClient, s.clientID)
 	}
+	reject := RejectClosed
+	if s.killReason != "" {
+		reject = s.killReason
+	}
+	d.retireLocked(s.id, &retiredSession{
+		status: &SessionStatus{
+			ID: s.id, ClientID: s.clientID, State: sessDone.String(),
+			Accepted: s.accepted, Durable: s.durable, Bytes: s.lastBytes,
+			Recovered: s.recovered,
+		},
+		reject: reject,
+	})
 	d.mu.Unlock()
 	metrics().sessActive.Add(-1)
 	metrics().sessDrained.Inc()
@@ -718,14 +773,42 @@ func (d *Daemon) finalizeSession(s *session, incompleteReason string) {
 	}
 }
 
-// heartbeat sends "TDBGACK <durable> <win>" on the daemon cadence: durable
-// is the resume point, win the credit window. It stops when the connection
-// is superseded or the session leaves the active state.
-func (d *Daemon) heartbeat(conn net.Conn, s *session, myGen int, stop <-chan struct{}) {
+// retireLocked evicts a finalized session from the live map, keeping a
+// capped tombstone so resume attempts are refused and Sessions() keeps
+// reporting it. Caller holds d.mu.
+func (d *Daemon) retireLocked(id string, r *retiredSession) {
+	delete(d.sessions, id)
+	if _, known := d.retired[id]; !known {
+		d.retiredOrder = append(d.retiredOrder, id)
+	}
+	d.retired[id] = r
+	for len(d.retiredOrder) > retiredRetention {
+		delete(d.retired, d.retiredOrder[0])
+		d.retiredOrder = d.retiredOrder[1:]
+	}
+}
+
+// writeAck sends one acknowledgement line: "TDBGACK <n> <win>" for windowed
+// (v3) connections, the one-field v2 form when win is zero — pre-window v2
+// binaries parse exactly one field.
+func writeAck(conn net.Conn, n, win uint64) error {
+	var err error
+	if win > 0 {
+		_, err = fmt.Fprintf(conn, "%s%d %d\n", ackPrefix, n, win)
+	} else {
+		_, err = fmt.Fprintf(conn, "%s%d\n", ackPrefix, n)
+	}
+	return err
+}
+
+// heartbeat sends acknowledgement lines on the daemon cadence: durable is
+// the resume point, win the credit window (0 on v2 connections, which get
+// the one-field form). It stops when the connection is superseded or the
+// session leaves the active state.
+func (d *Daemon) heartbeat(conn net.Conn, s *session, myGen int, win uint64, stop <-chan struct{}) {
 	defer d.wg.Done()
 	tick := time.NewTicker(d.opts.Heartbeat)
 	defer tick.Stop()
-	win := uint64(d.opts.QueueRecords)
 	for {
 		select {
 		case <-stop:
@@ -740,7 +823,7 @@ func (d *Daemon) heartbeat(conn net.Conn, s *session, myGen int, stop <-chan str
 			return
 		}
 		conn.SetWriteDeadline(time.Now().Add(d.opts.Heartbeat * 4))
-		_, err := fmt.Fprintf(conn, "%s%d %d\n", ackPrefix, durable, win)
+		err := writeAck(conn, durable, win)
 		conn.SetWriteDeadline(time.Time{})
 		if err != nil {
 			return // the reader side will notice the broken connection
@@ -763,17 +846,24 @@ func (d *Daemon) idleDropped(conn net.Conn, s *session, err error) error {
 	return fmt.Errorf("idle timeout after %v", d.opts.IdleTimeout)
 }
 
-// Sessions returns a snapshot of every session the daemon knows.
+// Sessions returns a snapshot of every live session plus the retained
+// statuses of recently finalized ones (sessions finalized by a previous
+// daemon life are admission tombstones only and are not listed).
 func (d *Daemon) Sessions() []SessionStatus {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	out := make([]SessionStatus, 0, len(d.sessions))
+	out := make([]SessionStatus, 0, len(d.sessions)+len(d.retired))
 	for _, s := range d.sessions {
 		out = append(out, SessionStatus{
 			ID: s.id, ClientID: s.clientID, State: s.state.String(),
 			Accepted: s.accepted, Durable: s.durable, Bytes: s.lastBytes,
 			Recovered: s.recovered, Connected: s.conn != nil,
 		})
+	}
+	for _, r := range d.retired {
+		if r.status != nil {
+			out = append(out, *r.status)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -947,9 +1037,13 @@ func (d *Daemon) recoverSessions() error {
 			d.errs = append(d.errs, fmt.Errorf("remote: recover %s: %w", e.Name(), err))
 			continue
 		}
-		bytes := sessionDirBytes(dir)
+		size := sessionDirBytes(dir)
 		if meta.Complete || meta.Incomplete != "" {
-			d.diskUsed += bytes
+			// Already finalized: count its bytes against the disk budget and
+			// leave an admission tombstone (status nil: not listed) so a late
+			// resume attempt is refused instead of clobbering the sealed store.
+			d.diskUsed += size
+			d.retireLocked(meta.SessionID, &retiredSession{reject: RejectClosed})
 			continue
 		}
 		s, err := d.salvageSession(dir, meta)
@@ -1036,7 +1130,10 @@ func (d *Daemon) salvageSession(dir string, meta *sessionMeta) (*session, error)
 // salvageSegment reduces one segment file to its clean record prefix. An
 // empty or headerless file (created but never flushed) becomes an empty
 // segment; a damaged one is rewritten in place (atomic rename) holding just
-// the prefix.
+// the prefix. The prefix property is load-bearing: the surviving record
+// count feeds the session's durable/accepted resume point, so keeping any
+// record from BEYOND a damaged span would let the client skip retransmitting
+// the span and finalize the session "complete" around a silent hole.
 func salvageSegment(path string, data []byte, numRanks int) (trace.SegmentInfo, error) {
 	info := trace.SegmentInfo{Name: filepath.Base(path)}
 	st, err := store.OpenBytes(data, store.Options{Mode: store.ModePartial})
@@ -1044,12 +1141,19 @@ func salvageSegment(path string, data []byte, numRanks int) (trace.SegmentInfo, 
 	if err == nil {
 		t, err = st.Trace()
 	}
+	if err == nil && t.HasGaps() {
+		// ModePartial stops at the first damage and records no gaps today; if
+		// its semantics ever drift toward salvage (records surviving beyond
+		// quarantined spans), fall back to the scanner's strict clean-prefix
+		// decode rather than counting post-gap records into the resume point.
+		t, err = trace.ReadAllPartial(bytes.NewReader(data))
+	}
 	if err != nil {
 		// Unreadable header: nothing salvageable. Rewrite as an empty,
 		// well-formed segment so the store stays loadable.
 		t = trace.New(numRanks)
 	}
-	if err == nil && !t.Incomplete() && !t.HasGaps() {
+	if err == nil && !t.Incomplete() {
 		// Fully clean: keep the original bytes untouched.
 		info.Bytes = int64(len(data))
 		info.Records = t.Len()

@@ -1,11 +1,15 @@
 package remote
 
 import (
+	"bufio"
 	"errors"
+	"fmt"
+	"io"
 	"net"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -542,6 +546,172 @@ func TestDaemonV2ClientCompat(t *testing.T) {
 	session := "c-" + cl.ID()
 	waitDone(t, d, session)
 	auditMarkers(t, openSession(t, d, session), 2, 60)
+}
+
+// TestDaemonV2AckSingleField emulates a pre-window v2 binary, whose ack
+// parser treats everything after "TDBGACK " as one integer: the daemon's
+// handshake ack and heartbeats to v2 sessions must carry no window field.
+func TestDaemonV2AckSingleField(t *testing.T) {
+	d, err := NewDaemon("127.0.0.1:0", fastDaemon(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	conn, err := net.Dial("tcp", d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "%s1 oldie\n", handshakeV2); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	for i := 0; i < 2; i++ { // handshake ack, then a heartbeat
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading ack %d: %v", i, err)
+		}
+		if !strings.HasPrefix(line, ackPrefix) {
+			t.Fatalf("ack %d = %q, want %q prefix", i, line, ackPrefix)
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(line, ackPrefix))
+		if _, perr := strconv.ParseUint(rest, 10, 64); perr != nil {
+			t.Fatalf("v2 ack %q does not parse as a single count (old binaries break): %v", strings.TrimSpace(line), perr)
+		}
+	}
+}
+
+// TestCloseSurfacesWindowStalledTail: against a collector that grants a
+// credit window and then never acks, Close must not report success while
+// records are still stalled behind the window — and must abort the
+// connection so the server cannot mistake the stream for complete.
+func TestCloseSurfacesWindowStalledTail(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srvErr := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		if _, err := br.ReadString('\n'); err != nil { // handshake
+			srvErr <- err
+			return
+		}
+		fmt.Fprintf(conn, "%s0 4\n", ackPrefix) // window of 4, then silence
+		_, err = io.Copy(io.Discard, br)        // clean EOF only on half-close
+		srvErr <- err
+	}()
+
+	o := fastClient()
+	o.SessionID = "stalled"
+	o.DrainTimeout = 50 * time.Millisecond
+	cl, err := DialOptions(ln.Addr().String(), 1, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next uint64
+	emitMarkers(cl, 1, 10, &next) // 10 records; the window admits 4
+	err = cl.Close()
+	if err == nil {
+		t.Fatal("Close reported success with a window-stalled tail")
+	}
+	if !strings.Contains(err.Error(), "undelivered") {
+		t.Errorf("Close error = %v, want undelivered-records report", err)
+	}
+	// The abort must reach the server as a torn stream, not a clean EOF at
+	// a frame boundary (which would finalize the session as complete).
+	select {
+	case serr := <-srvErr:
+		if serr == nil {
+			t.Error("server read a clean EOF; an abandoned tail must tear the stream")
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("server never observed the connection ending")
+	}
+}
+
+// TestDaemonFinalizedSessionRefusedAfterRestart: a finalized session must
+// stay sealed — resume attempts are refused permanently both in the same
+// daemon life (eviction tombstone) and after a restart over the same
+// directory (recovery tombstone), never clobbering the store on disk.
+func TestDaemonFinalizedSessionRefusedAfterRestart(t *testing.T) {
+	opts := fastDaemon(t)
+	d1, err := NewDaemon("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := DialOptions(d1.Addr(), 1, sessionClient("sealed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next uint64
+	emitMarkers(cl, 1, 20, &next)
+	if err := cl.Close(); err != nil {
+		t.Fatalf("client close: %v", err)
+	}
+	waitDone(t, d1, "sealed")
+
+	// Same daemon life: the finalized session is evicted from the live map
+	// but a rejoin still gets the permanent typed refusal.
+	_, err = DialOptions(d1.Addr(), 1, sessionClient("sealed"))
+	var rej *ErrRejected
+	if !errors.As(err, &rej) || rej.Reason != RejectClosed || rej.RetryAfter >= 0 {
+		t.Fatalf("rejoin of finalized session = %v, want permanent *ErrRejected(%s)", err, RejectClosed)
+	}
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restarted daemon over the same directory: still refused, store intact.
+	d2, err := NewDaemon("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	_, err = DialOptions(d2.Addr(), 1, sessionClient("sealed"))
+	if !errors.As(err, &rej) || rej.Reason != RejectClosed || rej.RetryAfter >= 0 {
+		t.Fatalf("post-restart rejoin = %v, want permanent *ErrRejected(%s)", err, RejectClosed)
+	}
+	auditMarkers(t, openSession(t, d2, "sealed"), 1, 20)
+}
+
+// TestDaemonBindFailureRecoversNothing: a constructor that cannot bind its
+// address must fail before recovery — no writer goroutines, no freshly
+// opened segment files — so bind-retry loops don't leak per attempt.
+func TestDaemonBindFailureRecoversNothing(t *testing.T) {
+	base := remoteGoroutines()
+	blocker, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blocker.Close()
+	dir := t.TempDir()
+	sdir := filepath.Join(dir, "partial")
+	if err := os.MkdirAll(sdir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSessionMeta(sdir, &sessionMeta{
+		SessionID: "partial", ClientID: "c", NumRanks: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	opts := fastDaemon(t)
+	opts.Dir = dir
+	if _, err := NewDaemon(blocker.Addr().String(), opts); err == nil {
+		t.Fatal("NewDaemon bound an address another listener holds")
+	}
+	segs, _ := filepath.Glob(filepath.Join(sdir, sessionBase+"-*.trace"))
+	if len(segs) != 0 {
+		t.Errorf("failed bind left %d segment file(s) behind: %v", len(segs), segs)
+	}
+	waitNoRemoteGoroutines(t, base, "failed NewDaemon")
 }
 
 // TestDaemonRejectsV1 documents that the daemon refuses identity-less v1
