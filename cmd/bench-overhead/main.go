@@ -8,9 +8,11 @@
 //
 //	bench-overhead                         # scaled defaults
 //	bench-overhead -strassen 96,192 -fib 30,31 -reps 5
+//	bench-overhead -json overhead.json     # archive the numbers a README quotes
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,7 @@ func main() {
 		strassen = flag.String("strassen", "128,192", "comma-separated Strassen matrix sizes")
 		fib      = flag.String("fib", "24,26", "comma-separated Fibonacci arguments")
 		reps     = flag.Int("reps", 3, "repetitions (minimum is reported)")
+		jsonOut  = flag.String("json", "", "also write the measurements as JSON to this path")
 	)
 	flag.Parse()
 
@@ -38,9 +41,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench-overhead: -fib:", err)
 		os.Exit(2)
 	}
-	if _, err := apps.Table1(os.Stdout, sizes, fibs, *reps); err != nil {
+	ms, err := apps.Table1(os.Stdout, sizes, fibs, *reps)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench-overhead:", err)
 		os.Exit(1)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(ms, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-overhead: -json:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-overhead: -json:", err)
+			os.Exit(1)
+		}
 	}
 }
 

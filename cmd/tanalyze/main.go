@@ -138,10 +138,11 @@ func runQueries(w io.Writer, tr *trace.Trace, find string) error {
 
 func load(in, app string, ranks, size, iters int, seed int64, w io.Writer) (*trace.Trace, error) {
 	if in != "" {
-		// store.Open sniffs the format (v2, v3, or segment manifest) and
+		// store.OpenMmap sniffs the format (v2, v3, or segment manifest) and
 		// salvages what a crashed or interrupted producer managed to write:
-		// a partial history is still analyzable, just flagged.
-		st, err := store.Open(in)
+		// a partial history is still analyzable, just flagged. The
+		// materialized Trace is heap-owned, so it outlives the mapping.
+		st, err := store.OpenMmap(in)
 		if err != nil {
 			return nil, err
 		}

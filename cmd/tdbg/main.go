@@ -119,7 +119,7 @@ func main() {
 // store sniffs it — and installs it as the debugger's session history, so
 // view/analyze/find commands work without a live run.
 func loadTraceInto(d *core.Debugger, path string, out io.Writer) error {
-	st, err := store.Open(path)
+	st, err := store.OpenMmap(path)
 	if err != nil {
 		return err
 	}

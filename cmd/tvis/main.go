@@ -91,10 +91,11 @@ func run(in, app string, ranks, size, iters int, seed int64, mode, out string,
 // load reads a trace file, or records the named workload when in is empty.
 func load(in, app string, ranks, size, iters int, seed int64) (*trace.Trace, error) {
 	if in != "" {
-		// store.Open sniffs the format (v2, v3, or segment manifest) and
+		// store.OpenMmap sniffs the format (v2, v3, or segment manifest) and
 		// salvages what a crashed or interrupted producer managed to write:
-		// a truncated history still renders, just flagged on stderr.
-		st, err := store.Open(in)
+		// a truncated history still renders, just flagged on stderr. The
+		// materialized Trace is heap-owned, so it outlives the mapping.
+		st, err := store.OpenMmap(in)
 		if err != nil {
 			return nil, err
 		}

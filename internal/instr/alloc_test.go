@@ -1,0 +1,99 @@
+//go:build !race
+
+package instr
+
+import (
+	"bytes"
+	"testing"
+
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+// Tier-2 allocation pins for the instrumentation hot paths: the whole point
+// of the rank-local event path is that steady-state event emission performs
+// no per-event heap allocation, and these tests keep it that way. (Guarded
+// from -race builds, whose instrumentation adds allocations of its own.)
+
+// TestCtxEventAllocs pins Fn entry+exit, Region begin+end, and At at zero
+// allocations per event against a null sink: the context's scratch record
+// and shared exit closure must absorb everything.
+func TestCtxEventAllocs(t *testing.T) {
+	in := New(1, NullSink{}, LevelAll)
+	locA := Loc("a.go", 1, "f")
+	locB := Loc("b.go", 2, "g")
+	err := in.Run(mp.Config{NumRanks: 1}, func(c *Ctx) {
+		// Warm the frame stack past its initial capacity.
+		for i := 0; i < 64; i++ {
+			c.Fn(locA, int64(i))()
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			c.Fn(locA, 1, 2)()
+		}); n != 0 {
+			t.Errorf("Fn entry+exit: %.2f allocs/event, want 0", n)
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			c.Region("phase", locB)()
+		}); n != 0 {
+			t.Errorf("Region begin+end: %.2f allocs/event, want 0", n)
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			c.At(locA, 7)
+		}); n != 0 {
+			t.Errorf("At: %.2f allocs/event, want 0", n)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileSinkEmitAllocs pins the full write path per event — staging copy,
+// batched WriteBatch handoff, chunk encode — at well under one allocation
+// per event in steady state. The residue is the underlying bytes.Buffer
+// growing as the file accumulates, amortized across thousands of events.
+func TestFileSinkEmitAllocs(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Grow(1 << 20)
+	sink, err := NewFileSink(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.Record{Kind: trace.KindMarker, Rank: 0,
+		Loc: trace.Location{File: "a.go", Line: 1, Func: "f"}, Name: "op"}
+	// Warm: intern the strings, fill the first chunks.
+	for i := 0; i < 4*emitBatchSize; i++ {
+		rec.Start, rec.End = int64(i), int64(i)
+		rec.Marker++
+		sink.Emit(&rec)
+	}
+	n := testing.AllocsPerRun(5000, func() {
+		rec.Start++
+		rec.End = rec.Start
+		rec.Marker++
+		sink.Emit(&rec)
+	})
+	if n >= 0.05 {
+		t.Errorf("FileSink.Emit: %.4f allocs/event, want < 0.05", n)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHookPostAllocs pins the communication-wrapper path (fillRecordFromOp
+// into the rank's padded scratch) at zero allocations per operation.
+func TestHookPostAllocs(t *testing.T) {
+	in := New(1, NullSink{}, LevelWrappers)
+	h := in.Hook()
+	info := mp.OpInfo{Op: mp.OpSend, Rank: 0, Src: 0, Dst: 0,
+		Loc: trace.Location{File: "a.go", Line: 1, Func: "f"}, Bytes: 8}
+	if n := testing.AllocsPerRun(500, func() {
+		info.Start++
+		info.End = info.Start
+		info.MsgID++
+		h.Post(nil, &info)
+	}); n != 0 {
+		t.Errorf("hook Post: %.2f allocs/op, want 0", n)
+	}
+}

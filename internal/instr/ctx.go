@@ -32,23 +32,90 @@ type Instrumenter struct {
 	Monitor *Monitor
 	Sink    Sink
 	Level   Level
+
+	// hookScratch holds one cache-line-padded record per rank for the
+	// communication wrapper (each rank's hook runs on that rank's goroutine,
+	// so the slot needs no lock). Nil when the Instrumenter was built as a
+	// bare literal instead of through New; the hook then falls back to the
+	// allocating RecordFromOp.
+	hookScratch []hookShard
+}
+
+type hookShard struct {
+	rec trace.Record
+	_   [64]byte // pad so neighbouring ranks' scratch stays off each other's line
 }
 
 // New creates an instrumenter with a fresh monitor.
 func New(numRanks int, sink Sink, level Level) *Instrumenter {
-	return &Instrumenter{Monitor: NewMonitor(numRanks), Sink: sink, Level: level}
+	if numRanks < 0 {
+		numRanks = 0
+	}
+	return &Instrumenter{
+		Monitor:     NewMonitor(numRanks),
+		Sink:        sink,
+		Level:       level,
+		hookScratch: make([]hookShard, numRanks),
+	}
 }
 
 // Ctx returns the per-rank instrumentation context. Applications receive a
 // *Ctx instead of a bare *mp.Proc; the embedded Proc keeps the full
 // communication API available.
-func (in *Instrumenter) Ctx(p *mp.Proc) *Ctx { return &Ctx{Proc: p, in: in} }
+func (in *Instrumenter) Ctx(p *mp.Proc) *Ctx {
+	c := &Ctx{Proc: p, in: in, frames: make([]ctxFrame, 0, 16)}
+	// One exit closure serves every Fn and Region of this context: each
+	// entry pushes a frame, the shared closure pops and emits the matching
+	// exit. This is what makes the per-event path allocation-free — the
+	// alternative (a fresh closure per call) costs one heap object per
+	// instrumented function entry.
+	c.exit = func() {
+		n := len(c.frames) - 1
+		if n < 0 {
+			return // unbalanced extra close: nothing open, nothing to emit
+		}
+		f := c.frames[n]
+		c.frames = c.frames[:n]
+		end := c.Clock()
+		r := &c.scratch
+		*r = trace.Record{
+			Kind: f.kind, Rank: c.Rank(), Loc: f.loc,
+			Start: end, End: end,
+			Src: trace.NoRank, Dst: trace.NoRank, Name: f.name,
+		}
+		c.in.Monitor.tick(c.Proc, r, c.in.Sink)
+	}
+	return c
+}
 
-// Ctx is the application-side instrumentation handle for one rank.
+// Ctx is the application-side instrumentation handle for one rank. All its
+// event state is rank-local: events are staged in a scratch record reused
+// call after call, and open Fn/Region frames live on a context-owned stack,
+// so the per-event fast path performs no heap allocation and touches no
+// shared memory beyond the monitor's per-rank atomics.
+//
+// The record pointer handed to the Sink (and the debugger control point) is
+// this scratch: it is valid only for the duration of the call, and sinks
+// that defer processing must copy it (every sink in this repository does).
 type Ctx struct {
 	*mp.Proc
 	in *Instrumenter
+
+	scratch trace.Record // staging slot for every event this rank emits
+	frames  []ctxFrame   // open Fn/Region entries, innermost last
+	exit    func()       // shared closure closing the innermost open frame
 }
+
+// ctxFrame is one open Fn or Region entry awaiting its exit.
+type ctxFrame struct {
+	loc  trace.Location
+	name string
+	kind trace.Kind // KindFuncExit or KindRegionEnd
+}
+
+// noopExit is returned when a strategy is disabled; taking the address of a
+// top-level function does not allocate.
+func noopExit() {}
 
 // Instrumenter returns the owning instrumenter.
 func (c *Ctx) Instrumenter() *Instrumenter { return c.in }
@@ -62,31 +129,29 @@ func (c *Ctx) Instrumenter() *Instrumenter { return c.in }
 //
 // The location also becomes the rank's current location, so communication
 // records between entry and exit are attributed to this function.
+//
+// Entries and exits nest: the returned function closes the innermost Fn or
+// Region still open on this context, which is exactly the defer/paired-call
+// discipline instrumented code follows (calls are properly nested on the
+// call stack). Closing out of that order mis-attributes the exit events;
+// closing more times than entries is a no-op.
 func (c *Ctx) Fn(loc trace.Location, args ...int64) func() {
 	if c.in == nil || c.in.Level&LevelFunctions == 0 {
-		return func() {}
+		return noopExit
 	}
 	c.SetLoc(loc)
-	var a [2]int64
-	copy(a[:], args)
 	now := c.Clock()
-	rec := trace.Record{
+	r := &c.scratch
+	*r = trace.Record{
 		Kind: trace.KindFuncEntry, Rank: c.Rank(), Loc: loc,
 		Start: now, End: now,
 		Src: trace.NoRank, Dst: trace.NoRank,
-		Name: loc.Func, Args: a,
+		Name: loc.Func,
 	}
-	c.in.Monitor.tick(c.Proc, &rec, c.in.Sink)
-	return func() {
-		end := c.Clock()
-		exit := trace.Record{
-			Kind: trace.KindFuncExit, Rank: c.Rank(), Loc: loc,
-			Start: end, End: end,
-			Src: trace.NoRank, Dst: trace.NoRank,
-			Name: loc.Func,
-		}
-		c.in.Monitor.tick(c.Proc, &exit, c.in.Sink)
-	}
+	copy(r.Args[:], args)
+	c.in.Monitor.tick(c.Proc, r, c.in.Sink)
+	c.frames = append(c.frames, ctxFrame{loc: loc, name: loc.Func, kind: trace.KindFuncExit})
+	return c.exit
 }
 
 // Region instruments a source-level construct (loop, phase, statement
@@ -95,27 +160,24 @@ func (c *Ctx) Fn(loc trace.Location, args ...int64) func() {
 //	done := ctx.Region("distribute", loc)
 //	... construct body ...
 //	done()
+//
+// Regions nest with Fn frames under the same discipline (see Fn): the
+// returned function closes the innermost open frame.
 func (c *Ctx) Region(name string, loc trace.Location) func() {
 	if c.in == nil || c.in.Level&LevelConstructs == 0 {
-		return func() {}
+		return noopExit
 	}
 	c.SetLoc(loc)
 	start := c.Clock()
-	rec := trace.Record{
+	r := &c.scratch
+	*r = trace.Record{
 		Kind: trace.KindRegionBegin, Rank: c.Rank(), Loc: loc,
 		Start: start, End: start,
 		Src: trace.NoRank, Dst: trace.NoRank, Name: name,
 	}
-	c.in.Monitor.tick(c.Proc, &rec, c.in.Sink)
-	return func() {
-		end := c.Clock()
-		exit := trace.Record{
-			Kind: trace.KindRegionEnd, Rank: c.Rank(), Loc: loc,
-			Start: end, End: end,
-			Src: trace.NoRank, Dst: trace.NoRank, Name: name,
-		}
-		c.in.Monitor.tick(c.Proc, &exit, c.in.Sink)
-	}
+	c.in.Monitor.tick(c.Proc, r, c.in.Sink)
+	c.frames = append(c.frames, ctxFrame{loc: loc, name: name, kind: trace.KindRegionEnd})
+	return c.exit
 }
 
 // At declares the current statement location (statement-level resolution)
@@ -126,15 +188,15 @@ func (c *Ctx) At(loc trace.Location, args ...int64) {
 		return
 	}
 	c.SetLoc(loc)
-	var a [2]int64
-	copy(a[:], args)
 	now := c.Clock()
-	rec := trace.Record{
+	r := &c.scratch
+	*r = trace.Record{
 		Kind: trace.KindMarker, Rank: c.Rank(), Loc: loc,
 		Start: now, End: now,
-		Src: trace.NoRank, Dst: trace.NoRank, Args: a,
+		Src: trace.NoRank, Dst: trace.NoRank,
 	}
-	c.in.Monitor.tick(c.Proc, &rec, c.in.Sink)
+	copy(r.Args[:], args)
+	c.in.Monitor.tick(c.Proc, r, c.in.Sink)
 }
 
 // Loc builds a Location; sugar that keeps application code compact.

@@ -17,11 +17,22 @@ type wrapperHook struct{ in *Instrumenter }
 // to do on entry.
 func (wrapperHook) Pre(*mp.Proc, *mp.OpInfo) {}
 
-// Post implements mp.Hook.
+// Post implements mp.Hook. The record is staged in the rank's padded
+// scratch slot (each rank's hook runs on that rank's own goroutine), so the
+// wrapper path allocates nothing per operation; sinks copy synchronously.
 func (h wrapperHook) Post(p *mp.Proc, info *mp.OpInfo) {
 	if h.in.Level&LevelWrappers == 0 {
 		return
 	}
+	if sc := h.in.hookScratch; info.Rank >= 0 && info.Rank < len(sc) {
+		rec := &sc[info.Rank].rec
+		if !fillRecordFromOp(info, rec) {
+			return
+		}
+		h.in.Monitor.tick(p, rec, h.in.Sink)
+		return
+	}
+	// Instrumenter built as a bare literal (no scratch): allocating path.
 	rec := RecordFromOp(info)
 	if rec == nil {
 		return
@@ -31,9 +42,21 @@ func (h wrapperHook) Post(p *mp.Proc, info *mp.OpInfo) {
 
 // RecordFromOp converts a completed operation into a trace record, or nil
 // for operations that do not produce history events (probes, request posts,
-// send-side waits).
+// send-side waits). It allocates a fresh record per call; the hook's hot
+// path uses fillRecordFromOp over the rank's scratch slot instead.
 func RecordFromOp(info *mp.OpInfo) *trace.Record {
-	rec := trace.Record{
+	var rec trace.Record
+	if !fillRecordFromOp(info, &rec) {
+		return nil
+	}
+	return &rec
+}
+
+// fillRecordFromOp writes the history event for a completed operation into
+// rec, reporting false for operations that produce none (probes, request
+// posts, send-side waits). rec is fully overwritten either way.
+func fillRecordFromOp(info *mp.OpInfo, rec *trace.Record) bool {
+	*rec = trace.Record{
 		Rank:  info.Rank,
 		Loc:   info.Loc,
 		Start: info.Start,
@@ -53,7 +76,7 @@ func RecordFromOp(info *mp.OpInfo) *trace.Record {
 		// blocked interval so displays can show it (Figure 5).
 		rec.Kind = trace.KindBlocked
 		rec.Name = "Blocked(" + info.Op.String() + ")"
-		return &rec
+		return true
 	}
 	switch info.Op {
 	case mp.OpSend, mp.OpIsend:
@@ -62,7 +85,7 @@ func RecordFromOp(info *mp.OpInfo) *trace.Record {
 		rec.Kind = trace.KindRecv
 	case mp.OpWait:
 		if info.Name != mp.OpIrecv.String() {
-			return nil // send-side wait: the send was recorded at Isend time
+			return false // send-side wait: the send was recorded at Isend time
 		}
 		rec.Kind = trace.KindRecv
 		rec.Name = "Wait(Irecv)"
@@ -81,9 +104,9 @@ func RecordFromOp(info *mp.OpInfo) *trace.Record {
 		rec.Kind = trace.KindCollective
 		rec.Dst = trace.NoRank
 	default:
-		return nil // OpIrecv post, OpProbe: no history event
+		return false // OpIrecv post, OpProbe: no history event
 	}
-	return &rec
+	return true
 }
 
 // World builds an instrumented world: the wrapper hook is installed in

@@ -32,6 +32,102 @@ func (q *Query) RunStream(numRanks int, open func(int) (trace.RecordCursor, erro
 	return out, nil
 }
 
+// RunStreamAll evaluates the query in a single pass over one all-ranks
+// cursor (store.All is directly assignable as open), instead of RunStream's
+// one full file scan per rank. The result is identical to RunStream over
+// per-rank cursors of the same store: event ids carry each record's ordinal
+// position within its rank, and matches are reported rank-major.
+//
+// Bounds pruning keeps its RunStream semantics per rank — ranks outside the
+// rank window are never evaluated, and within a rank the contiguous
+// start/marker window skips records before it and retires the rank past it.
+// The scan ends early once every rank is pruned or retired. Memory is
+// O(matches + numRanks) on top of the cursor's own footprint, which is what
+// lets a query over an mmap-backed store run without materializing anything.
+func (q *Query) RunStreamAll(numRanks int, open func() (trace.RecordCursor, error)) ([]trace.EventID, error) {
+	m := metrics()
+	m.queries.Inc()
+	b := q.b
+	if numRanks < 0 {
+		numRanks = 0
+	}
+	done := make([]bool, numRanks) // pruned, or retired past its bounds window
+	idx := make([]int, numRanks)   // next ordinal within the rank
+	perRank := make([][]trace.EventID, numRanks)
+	active := 0
+	for rank := 0; rank < numRanks; rank++ {
+		if int64(rank) < b.rank.lo || int64(rank) > b.rank.hi {
+			m.ranksPruned.Inc()
+			done[rank] = true
+			continue
+		}
+		m.ranksScan.Inc()
+		active++
+	}
+	var out []trace.EventID
+	if active == 0 {
+		return out, nil
+	}
+	c, err := open()
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	var evaluated, skipped, matched uint64
+scan:
+	for {
+		rec, err := c.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		rank := rec.Rank
+		if rank < 0 || rank >= numRanks {
+			continue
+		}
+		i := idx[rank]
+		idx[rank]++
+		if done[rank] {
+			// RunStream's per-rank cursor would have stopped (or never
+			// started) reading here; the shared cursor cannot, so the record
+			// is discarded without counting it as seen.
+			continue
+		}
+		// Start and markers are nondecreasing within a rank, so the bounds
+		// window is a contiguous run per rank: records before it are
+		// skipped, records past it retire the rank.
+		if (!b.start.full() && rec.Start > b.start.hi) ||
+			(!b.marker.full() && int64(rec.Marker) > b.marker.hi) {
+			done[rank] = true
+			if active--; active == 0 {
+				break scan
+			}
+			continue
+		}
+		if (!b.start.full() && rec.Start < b.start.lo) ||
+			(!b.marker.full() && int64(rec.Marker) < b.marker.lo) {
+			skipped++
+			continue
+		}
+		evaluated++
+		if q.expr.eval(rec) {
+			perRank[rank] = append(perRank[rank], trace.EventID{Rank: rank, Index: i})
+			matched++
+		}
+	}
+	if evaluated > 0 {
+		m.recsEval.Add(evaluated)
+	}
+	m.recsSkipped.Add(skipped)
+	m.matches.Add(matched)
+	for rank := range perRank {
+		out = append(out, perRank[rank]...)
+	}
+	return out, nil
+}
+
 func (q *Query) runRankStream(rank int, open func(int) (trace.RecordCursor, error), out []trace.EventID) ([]trace.EventID, error) {
 	b := q.b
 	m := metrics()

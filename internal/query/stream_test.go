@@ -117,6 +117,129 @@ func TestRunStreamRandomQueries(t *testing.T) {
 	}
 }
 
+// allOpener interleaves every rank's records at a fixed chunk granularity —
+// the file order a sharded writer produces and store.All replays.
+func allOpener(tr *trace.Trace, chunk int) func() (trace.RecordCursor, error) {
+	var all []trace.Record
+	cursors := make([][]trace.Record, tr.NumRanks())
+	for r := range cursors {
+		cursors[r] = tr.Rank(r)
+	}
+	for {
+		n := 0
+		for r := range cursors {
+			take := chunk
+			if take > len(cursors[r]) {
+				take = len(cursors[r])
+			}
+			all = append(all, cursors[r][:take]...)
+			cursors[r] = cursors[r][take:]
+			n += take
+		}
+		if n == 0 {
+			break
+		}
+	}
+	return func() (trace.RecordCursor, error) {
+		return &sliceCursor{recs: all}, nil
+	}
+}
+
+// TestRunStreamAllMatchesRunStream: the single-pass shared-cursor path must
+// return exactly what the per-rank streaming path (and the materialized
+// pruned Run) returns, in the same rank-major order, regardless of how the
+// ranks interleave in the file.
+func TestRunStreamAllMatchesRunStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	tr := boundsTrace(rng, 8, 4000)
+	exprs := []string{
+		"rank = 3",
+		"rank = 3 && start >= 100 && start < 900",
+		"rank >= 2 && rank <= 4",
+		"start > 500",
+		"start >= 200 && start <= 210",
+		"marker = 17",
+		"marker >= 10 && marker < 40 && kind = send",
+		"rank = 1 || rank = 6",
+		"(rank = 1 && start < 50) || (rank = 2 && start > 950)",
+		"!(rank = 3)",
+		"kind = send && bytes > 100",
+		"wildcard",
+		"name =~ \"Re\"",
+		"start < -1",
+		"rank = 99",
+	}
+	for _, chunk := range []int{1, 7, 64, 1 << 20} {
+		for _, src := range exprs {
+			q, err := Compile(src)
+			if err != nil {
+				t.Fatalf("compile %q: %v", src, err)
+			}
+			want := q.Run(tr)
+			got, err := q.RunStreamAll(tr.NumRanks(), allOpener(tr, chunk))
+			if err != nil {
+				t.Fatalf("%q (chunk %d): RunStreamAll: %v", src, chunk, err)
+			}
+			if !sameIDs(got, want) {
+				t.Errorf("%q (chunk %d): RunStreamAll differs\n got %v\nwant %v", src, chunk, got, want)
+			}
+		}
+	}
+}
+
+func TestRunStreamAllRandomQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	tr := boundsTrace(rng, 6, 1500)
+	fields := []string{"rank", "start", "marker", "bytes", "tag"}
+	ops := []string{"=", "!=", "<", "<=", ">", ">="}
+	junct := []string{" && ", " || "}
+	for i := 0; i < 300; i++ {
+		n := 1 + rng.Intn(3)
+		src := ""
+		for j := 0; j < n; j++ {
+			if j > 0 {
+				src += junct[rng.Intn(2)]
+			}
+			f := fields[rng.Intn(len(fields))]
+			v := rng.Intn(60)
+			src += f + " " + ops[rng.Intn(len(ops))] + " " + itoa(v)
+		}
+		q, err := Compile(src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		want := q.Run(tr)
+		got, err := q.RunStreamAll(tr.NumRanks(), allOpener(tr, 16))
+		if err != nil {
+			t.Fatalf("%q: RunStreamAll: %v", src, err)
+		}
+		if !sameIDs(got, want) {
+			t.Fatalf("%q: RunStreamAll differs", src)
+		}
+	}
+}
+
+func TestRunStreamAllOpenError(t *testing.T) {
+	q, err := Compile("rank >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	_, err = q.RunStreamAll(2, func() (trace.RecordCursor, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("open error lost: %v", err)
+	}
+	// A fully rank-pruned query must not open the cursor at all.
+	q2, err := Compile("rank = 99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := q2.RunStreamAll(2, func() (trace.RecordCursor, error) { return nil, boom })
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("pruned query opened the cursor: ids=%v err=%v", ids, err)
+	}
+}
+
 func TestRunStreamOpenError(t *testing.T) {
 	q, err := Compile("rank >= 0")
 	if err != nil {

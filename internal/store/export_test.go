@@ -1,0 +1,19 @@
+package store
+
+import "os"
+
+// SetMmapFunc swaps the mmap implementation, returning a restore func — the
+// hook the fallback tests use to simulate a platform or filesystem that
+// refuses the mapping.
+func SetMmapFunc(fn func(*os.File, int) ([]byte, error)) func() {
+	old := mmapFile
+	mmapFile = fn
+	return func() { mmapFile = old }
+}
+
+// Mapped reports whether the store currently holds a live memory mapping.
+func (s *Store) Mapped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mapped != nil
+}

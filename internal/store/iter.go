@@ -53,6 +53,17 @@ func (s *Store) Merged() (trace.RecordCursor, error) {
 }
 
 func (s *Store) fileCursor() (trace.RecordCursor, error) {
+	// An in-memory image (OpenBytes or the OpenMmap page-cache mapping)
+	// streams through the zero-copy byte cursor: no read buffer, no
+	// compaction copies — the walker aliases the image directly, which is
+	// what makes a PROT_READ mapping safe to iterate.
+	if s.data != nil {
+		c, err := trace.NewSalvageCursorBytes(s.data)
+		if err != nil {
+			return nil, err
+		}
+		return &fileCursor{c: c}, nil
+	}
 	r, cl, err := s.openRaw()
 	if err != nil {
 		return nil, err

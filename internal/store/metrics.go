@@ -10,10 +10,12 @@ import (
 // opened, which capabilities each open negotiated, and how much data moves
 // through the streaming cursors.
 type storeMetrics struct {
-	opens         *obs.Counter
-	opensManifest *obs.Counter
-	opensLegacy   *obs.Counter
-	openErrors    *obs.Counter
+	opens             *obs.Counter
+	opensManifest     *obs.Counter
+	opensLegacy       *obs.Counter
+	opensMmap         *obs.Counter
+	opensMmapFallback *obs.Counter
+	openErrors        *obs.Counter
 
 	loads        *obs.Counter
 	loadsPruned  *obs.Counter
@@ -31,6 +33,10 @@ func newStoreMetrics(r *obs.Registry) *storeMetrics {
 			"stores opened on a TDBGMAN1 segment manifest"),
 		opensLegacy: r.Counter("tracedbg_store_opens_legacy_total",
 			"stores opened on a version-2 legacy file"),
+		opensMmap: r.Counter("tracedbg_store_opens_mmap_total",
+			"stores opened over a shared read-only memory mapping"),
+		opensMmapFallback: r.Counter("tracedbg_store_opens_mmap_fallback_total",
+			"OpenMmap calls that fell back to the ordinary read path"),
 		openErrors: r.Counter("tracedbg_store_open_errors_total",
 			"store opens rejected (unreadable header or manifest)"),
 		loads: r.Counter("tracedbg_store_loads_total",

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapFile on platforms without a usable mmap always refuses, which makes
+// OpenMmap fall back to the ordinary read path.
+var mmapFile = func(f *os.File, size int) ([]byte, error) {
+	return nil, fmt.Errorf("store: mmap unsupported on this platform")
+}
+
+var munmapFile = func(data []byte) error { return nil }

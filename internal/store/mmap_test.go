@@ -1,0 +1,250 @@
+package store_test
+
+// Differential suite for OpenMmap: the memory-mapped read path must be
+// indistinguishable from Open and OpenBytes — same materialized traces,
+// same streamed records, same errors — across clean v3, legacy v2,
+// corrupted, truncated, and segmented inputs, and it must degrade to the
+// ordinary read path whenever the platform refuses the mapping.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tracedbg/internal/store"
+	"tracedbg/internal/trace"
+)
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// openAllThreeWays opens the same image by mmap, by path, and by bytes, and
+// checks the three stores agree on Trace() and the All() stream. It returns
+// the mmap store's materialized trace (nil when all three opens failed).
+func openAllThreeWays(t *testing.T, label string, data []byte, opts ...store.Options) *trace.Trace {
+	t.Helper()
+	path := writeTemp(t, data)
+
+	stM, errM := store.OpenMmap(path, opts...)
+	stP, errP := store.Open(path, opts...)
+	stB, errB := store.OpenBytes(data, opts...)
+	if (errM == nil) != (errP == nil) || (errM == nil) != (errB == nil) {
+		t.Fatalf("%s: open error mismatch: mmap %v, path %v, bytes %v", label, errM, errP, errB)
+	}
+	if errM != nil {
+		return nil
+	}
+	defer stM.Close()
+
+	if got, want := stM.Info(), stP.Info(); got != want {
+		t.Fatalf("%s: info mismatch: mmap %+v, path %+v", label, got, want)
+	}
+
+	trM, lerrM := stM.Trace()
+	trP, lerrP := stP.Trace()
+	trB, lerrB := stB.Trace()
+	if (lerrM == nil) != (lerrP == nil) || (lerrM == nil) != (lerrB == nil) {
+		t.Fatalf("%s: load error mismatch: mmap %v, path %v, bytes %v", label, lerrM, lerrP, lerrB)
+	}
+	if lerrM != nil {
+		return nil
+	}
+	tracesEqual(t, label+" mmap-vs-path", trM, trP)
+	tracesEqual(t, label+" mmap-vs-bytes", trM, trB)
+
+	repM, repP := stM.Report(), stP.Report()
+	if (repM == nil) != (repP == nil) {
+		t.Fatalf("%s: report presence mismatch: mmap %v, path %v", label, repM, repP)
+	}
+	if repM != nil && repM.String() != repP.String() {
+		t.Fatalf("%s: report %q, want %q", label, repM, repP)
+	}
+
+	cM, errCM := stM.All()
+	cP, errCP := stP.All()
+	if (errCM == nil) != (errCP == nil) {
+		t.Fatalf("%s: cursor open mismatch: mmap %v, path %v", label, errCM, errCP)
+	}
+	if errCM == nil {
+		recsM, recsP := drain(t, cM), drain(t, cP)
+		if !reflect.DeepEqual(recsM, recsP) {
+			t.Fatalf("%s: streamed records differ (%d vs %d)", label, len(recsM), len(recsP))
+		}
+	}
+	return trM
+}
+
+func TestOpenMmapCleanV3Differential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tr := genTrace(rng, 5, 250)
+	data := encode(t, tr, trace.WriterOptions{Writer: "test"})
+	got := openAllThreeWays(t, "clean v3", data)
+	if got == nil {
+		t.Fatal("clean v3 failed to open")
+	}
+	tracesEqual(t, "clean v3 vs source", got, tr)
+}
+
+func TestOpenMmapLegacyV2Differential(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	tr := genTrace(rng, 4, 150)
+	data := encode(t, tr, trace.WriterOptions{LegacyV2: true})
+	openAllThreeWays(t, "legacy v2", data)
+}
+
+func TestOpenMmapCorruptedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	tr := genTrace(rng, 4, 250)
+	clean := encode(t, tr, trace.WriterOptions{})
+	for trial := 0; trial < 20; trial++ {
+		data := append([]byte(nil), clean...)
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			pos := 16 + rng.Intn(len(data)-16)
+			data[pos] ^= byte(1 + rng.Intn(255))
+		}
+		openAllThreeWays(t, fmt.Sprintf("corrupt trial %d", trial), data)
+	}
+}
+
+func TestOpenMmapTruncationSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	tr := genTrace(rng, 6, 300)
+	data := encode(t, tr, trace.WriterOptions{})
+	cuts := []int{0, 1, 8, 9}
+	for i := 0; i < 40; i++ {
+		cuts = append(cuts, rng.Intn(len(data)))
+	}
+	cuts = append(cuts, len(data)-1, len(data))
+	for _, cut := range cuts {
+		openAllThreeWays(t, fmt.Sprintf("cut %d", cut), data[:cut])
+		openAllThreeWays(t, fmt.Sprintf("cut %d partial", cut), data[:cut],
+			store.Options{Mode: store.ModePartial})
+	}
+}
+
+// TestOpenMmapSegmentedFallback: a manifest cannot be mapped as one image
+// (its segments are separate files) — OpenMmap must silently hand off to
+// the ordinary segmented open with identical results.
+func TestOpenMmapSegmentedFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	tr := genTrace(rng, 4, 300)
+	manifest := writeSegments(t, tr, 4<<10)
+
+	st, err := store.OpenMmap(manifest)
+	if err != nil {
+		t.Fatalf("OpenMmap(manifest): %v", err)
+	}
+	defer st.Close()
+	if !st.Info().Segmented {
+		t.Fatalf("manifest fallback lost segmented info: %+v", st.Info())
+	}
+	if st.Mapped() {
+		t.Fatal("manifest store claims a live mapping")
+	}
+	want, err := trace.LoadSegmented(manifest)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	got, err := st.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, "segmented fallback", got, want)
+}
+
+// TestOpenMmapRefusedFallback simulates a platform/filesystem refusing the
+// mapping: OpenMmap must fall back to the byte path and produce the same
+// trace and the same streamed records.
+func TestOpenMmapRefusedFallback(t *testing.T) {
+	restore := store.SetMmapFunc(func(*os.File, int) ([]byte, error) {
+		return nil, fmt.Errorf("mmap refused for test")
+	})
+	defer restore()
+
+	rng := rand.New(rand.NewSource(61))
+	tr := genTrace(rng, 4, 200)
+	data := encode(t, tr, trace.WriterOptions{})
+	path := writeTemp(t, data)
+
+	st, err := store.OpenMmap(path)
+	if err != nil {
+		t.Fatalf("OpenMmap with refused mmap: %v", err)
+	}
+	defer st.Close()
+	if st.Mapped() {
+		t.Fatal("store claims a mapping the stub refused")
+	}
+	got, err := st.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := trace.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, "refused fallback", got, want)
+
+	c, err := st.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(drain(t, c)); n != tr.Len() {
+		t.Fatalf("fallback cursor yielded %d records, want %d", n, tr.Len())
+	}
+}
+
+// TestOpenMmapClose pins the lifetime rules: records drained (copied) before
+// Close stay valid, Close is idempotent, and a materialized Trace taken
+// before Close survives it (decode copies out of the image).
+func TestOpenMmapClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	tr := genTrace(rng, 3, 150)
+	data := encode(t, tr, trace.WriterOptions{})
+	path := writeTemp(t, data)
+
+	st, err := store.OpenMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Mapped() {
+		t.Skip("mmap unavailable on this platform")
+	}
+	got, err := st.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := st.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := drain(t, c)
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if st.Mapped() {
+		t.Fatal("mapping survived Close")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// The materialized trace and the copied records are heap-owned: both
+	// must remain fully readable after the image is unmapped.
+	tracesEqual(t, "post-close trace", got, tr)
+	if len(recs) != tr.Len() {
+		t.Fatalf("drained %d records, want %d", len(recs), tr.Len())
+	}
+	for i := range recs {
+		_ = recs[i].Loc.File
+		_ = recs[i].Name
+	}
+}

@@ -1,0 +1,21 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared, so every store (and
+// every process) opening the same trace shares one page-cache image instead
+// of each paying a private heap copy. It is a variable so tests can stub a
+// refusal and exercise OpenMmap's fallback to the byte path.
+var mmapFile = func(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+var munmapFile = func(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -67,7 +67,8 @@ type Store struct {
 	info Info
 	opts Options
 
-	data     []byte          // OpenBytes image (nil for path opens)
+	data     []byte          // OpenBytes/OpenMmap image (nil for plain path opens)
+	mapped   []byte          // the mmap region to release on Close (nil unless OpenMmap)
 	manifest *trace.Manifest // non-nil for segmented inputs
 	dir      string          // manifest directory
 
@@ -152,6 +153,64 @@ func OpenBytes(data []byte, opts ...Options) (*Store, error) {
 	}, nil
 }
 
+// OpenMmap is Open with the file image memory-mapped read-only instead of
+// read into the heap: materialized loads decode straight out of the page
+// cache, streaming cursors walk the mapping zero-copy, and concurrent
+// debugger sessions over the same recording share one physical image. Any
+// obstacle — a segment manifest (segments live in separate files), an empty
+// file, a platform or filesystem that refuses the mapping — falls back to
+// Open's ordinary read path with identical results, so callers can use
+// OpenMmap unconditionally.
+//
+// Unlike Open, the returned store owns an OS resource: Close releases the
+// mapping, and cursors handed out by All/Records/Merged alias it, so they
+// must be drained or closed before Close. (Plain Open has no such coupling.)
+func OpenMmap(path string, opts ...Options) (*Store, error) {
+	m := metrics()
+	f, err := os.Open(path)
+	if err != nil {
+		m.openErrors.Inc()
+		return nil, err
+	}
+	defer f.Close() // the mapping outlives the descriptor
+	fi, err := f.Stat()
+	if err != nil {
+		m.openErrors.Inc()
+		return nil, err
+	}
+	size := fi.Size()
+	if size <= 0 || size != int64(int(size)) || !fi.Mode().IsRegular() {
+		return Open(path, opts...) // empty, huge-on-32bit, or not mappable
+	}
+	var pre [8]byte
+	n, _ := io.ReadFull(f, pre[:])
+	if trace.IsManifest(pre[:n]) {
+		return Open(path, opts...) // segments live in separate files
+	}
+	data, err := mmapFile(f, int(size))
+	if err != nil {
+		m.opensMmapFallback.Inc()
+		return Open(path, opts...)
+	}
+	c, err := trace.NewSalvageCursorBytes(data)
+	if err != nil {
+		munmapFile(data)
+		m.openErrors.Inc()
+		return nil, err
+	}
+	m.opens.Inc()
+	m.opensMmap.Inc()
+	if c.Version() == trace.FormatVersionLegacy {
+		m.opensLegacy.Inc()
+	}
+	return &Store{
+		info:   Info{Path: path, Version: c.Version(), NumRanks: c.NumRanks(), Writer: c.Writer()},
+		opts:   pickOptions(opts),
+		data:   data,
+		mapped: data,
+	}, nil
+}
+
 func pickOptions(opts []Options) Options {
 	if len(opts) > 0 {
 		return opts[0]
@@ -178,9 +237,23 @@ func (s *Store) SegmentPaths() []string {
 // NumRanks returns the process count of the recorded history.
 func (s *Store) NumRanks() int { return s.info.NumRanks }
 
-// Close releases the store. Cursors already handed out stay valid (they
-// hold their own file descriptors).
-func (s *Store) Close() error { return nil }
+// Close releases the store. For Open/OpenBytes stores this is a no-op and
+// cursors already handed out stay valid (they hold their own file
+// descriptors or alias caller-owned bytes). For OpenMmap stores Close
+// unmaps the file image — cursors and zero-copy records aliasing it must
+// not be used afterwards (see DESIGN.md §14 for the ownership rules).
+// A materialized Trace() is always safe: decode copies every field out of
+// the image into ordinary heap records.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	data := s.mapped
+	s.mapped, s.data = nil, nil
+	s.mu.Unlock()
+	if data == nil {
+		return nil
+	}
+	return munmapFile(data)
+}
 
 // Trace materializes the whole history, lazily and at most once. The load
 // path is negotiated from what Open found and the Options:

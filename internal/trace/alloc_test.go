@@ -1,0 +1,60 @@
+//go:build !race
+
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestCursorNextAllocs pins the per-record cost of the zero-copy byte
+// cursor: once the string table is interned and the chunk queue has reached
+// its steady size, Next must average well under one allocation per record —
+// the pooled-decode guarantee the streaming query and graph paths rely on.
+// (Guarded from -race builds, whose instrumentation adds allocations.)
+func TestCursorNextAllocs(t *testing.T) {
+	tr := New(4)
+	clock := make([]int64, 4)
+	marker := make([]uint64, 4)
+	files := []string{"a.go", "b.go"}
+	for i := 0; i < 20000; i++ {
+		r := i % 4
+		clock[r]++
+		marker[r]++
+		tr.MustAppend(Record{Kind: KindCompute, Rank: r, Marker: marker[r],
+			Loc:   Location{File: files[i%2], Line: 1 + i%40, Func: "f"},
+			Start: clock[r], End: clock[r], Src: NoRank, Dst: NoRank, Name: "op"})
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	c, err := NewSalvageCursorBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := 0
+	n := testing.AllocsPerRun(1, func() {
+		for {
+			_, err := c.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			records++
+		}
+	})
+	if records != tr.Len() {
+		t.Fatalf("cursor yielded %d records, want %d", records, tr.Len())
+	}
+	perRecord := n / float64(records)
+	if perRecord >= 0.05 {
+		t.Errorf("cursor Next: %.4f allocs/record (%.0f total over %d), want < 0.05",
+			perRecord, n, records)
+	}
+}

@@ -171,32 +171,79 @@ func (fw *FileWriter) internRecord(r *Record) (fileID, funcID, nameID, faultID u
 		fw.strings.intern(r.Name), fw.strings.intern(r.Fault)
 }
 
+// maxRecordEncoded bounds the encoded size of one 'R' block: the block tag,
+// kind, and wildcard bytes plus 16 varints of at most 10 bytes each.
+const maxRecordEncoded = 3 + 16*binary.MaxVarintLen64
+
 // appendRecord appends the encoded 'R' block for r, whose string fields have
-// already been interned as the given table ids.
+// already been interned as the given table ids. Capacity for a worst-case
+// record is reserved once up front so every field store is a plain indexed
+// write — this is the innermost loop of both file writers, hot enough that
+// per-field append bookkeeping shows up in profiles.
 func appendRecord(buf []byte, r *Record, fileID, funcID, nameID, faultID uint64) []byte {
-	buf = append(buf, blockRecord, byte(r.Kind))
-	buf = binary.AppendUvarint(buf, uint64(r.Rank))
-	buf = binary.AppendUvarint(buf, fileID)
-	buf = binary.AppendUvarint(buf, uint64(r.Loc.Line))
-	buf = binary.AppendUvarint(buf, funcID)
-	buf = binary.AppendVarint(buf, r.Start)
-	buf = binary.AppendVarint(buf, r.End-r.Start) // durations compress better
-	buf = binary.AppendUvarint(buf, r.Marker)
-	buf = binary.AppendVarint(buf, int64(r.Src))
-	buf = binary.AppendVarint(buf, int64(r.Dst))
-	buf = binary.AppendVarint(buf, int64(r.Tag))
-	buf = binary.AppendUvarint(buf, uint64(r.Bytes))
-	buf = binary.AppendUvarint(buf, r.MsgID)
-	if r.WasWildcard {
-		buf = append(buf, 1)
-	} else {
-		buf = append(buf, 0)
+	if cap(buf)-len(buf) < maxRecordEncoded {
+		grown := make([]byte, len(buf), 2*cap(buf)+maxRecordEncoded)
+		copy(grown, buf)
+		buf = grown
 	}
-	buf = binary.AppendUvarint(buf, faultID)
-	buf = binary.AppendUvarint(buf, nameID)
-	buf = binary.AppendVarint(buf, r.Args[0])
-	buf = binary.AppendVarint(buf, r.Args[1])
-	return buf
+	b := buf[:cap(buf)]
+	n := len(buf)
+	b[n] = blockRecord
+	b[n+1] = byte(r.Kind)
+	n += 2
+	n = putUvarint(b, n, uint64(r.Rank))
+	n = putUvarint(b, n, fileID)
+	n = putUvarint(b, n, uint64(r.Loc.Line))
+	n = putUvarint(b, n, funcID)
+	n = putVarint(b, n, r.Start)
+	n = putVarint(b, n, r.End-r.Start) // durations compress better
+	n = putUvarint(b, n, r.Marker)
+	n = putVarint(b, n, int64(r.Src))
+	n = putVarint(b, n, int64(r.Dst))
+	n = putVarint(b, n, int64(r.Tag))
+	n = putUvarint(b, n, uint64(r.Bytes))
+	n = putUvarint(b, n, r.MsgID)
+	if r.WasWildcard {
+		b[n] = 1
+	} else {
+		b[n] = 0
+	}
+	n++
+	n = putUvarint(b, n, faultID)
+	n = putUvarint(b, n, nameID)
+	n = putVarint(b, n, r.Args[0])
+	n = putVarint(b, n, r.Args[1])
+	return buf[:n]
+}
+
+// putUvarint writes v at b[n:] — the caller has reserved the space — and
+// returns the advanced cursor. The single-byte case is split out so the
+// common small-field store inlines at each appendRecord call site.
+func putUvarint(b []byte, n int, v uint64) int {
+	if v < 0x80 {
+		b[n] = byte(v)
+		return n + 1
+	}
+	return putUvarintMulti(b, n, v)
+}
+
+func putUvarintMulti(b []byte, n int, v uint64) int {
+	for v >= 0x80 {
+		b[n] = byte(v) | 0x80
+		n++
+		v >>= 7
+	}
+	b[n] = byte(v)
+	return n + 1
+}
+
+// putVarint is putUvarint with zig-zag encoding, matching binary.AppendVarint.
+func putVarint(b []byte, n int, v int64) int {
+	uv := uint64(v) << 1
+	if v < 0 {
+		uv = ^uv
+	}
+	return putUvarint(b, n, uv)
 }
 
 // writePendingLocked drains the string-table deltas: directly to the file
@@ -427,6 +474,10 @@ func (e *ChunkError) Error() string {
 func (e *ChunkError) Unwrap() error { return e.Err }
 
 // Scanner streams records from a trace file of either format revision.
+//
+// Next decodes into a scratch record owned by the Scanner: the returned
+// pointer is valid only until the following Next call, exactly like a
+// RecordCursor. Callers that retain records copy them (every loader does).
 type Scanner struct {
 	r        *bufio.Reader
 	version  int
@@ -434,6 +485,7 @@ type Scanner struct {
 	numRanks int
 	strings  []string // id-1 indexed
 	offset   int64    // bytes consumed from the underlying reader
+	rec      Record   // scratch for Next; reused across calls
 
 	framed     bool   // version >= 3: blocks come from verified chunks
 	chunk      []byte // current chunk payload
@@ -629,14 +681,45 @@ func (sc *Scanner) readFull(n int) ([]byte, error) {
 	return buf, nil
 }
 
+// errVarintOverflow matches the stdlib binary.ReadUvarint overflow error
+// byte for byte, so hand-rolled decoding reports identical diagnostics.
+var errVarintOverflow = fmt.Errorf("binary: varint overflows a 64-bit integer")
+
+// readUvarint is binary.ReadUvarint inlined over sc.readByte: the stdlib
+// version takes an io.ByteReader, and wrapping the bound method in an
+// interface allocates a closure per call — sixteen allocations per record
+// on the serial decode path. Semantics (including the EOF-after-first-byte
+// promotion and the overflow error text) are identical.
 func (sc *Scanner) readUvarint() (uint64, error) {
-	v, err := binary.ReadUvarint(byteReaderFunc(sc.readByte))
-	return v, err
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := sc.readByte()
+		if err != nil {
+			if i > 0 && err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return x, err
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return x, errVarintOverflow
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return x, errVarintOverflow
 }
 
 func (sc *Scanner) readVarint() (int64, error) {
-	v, err := binary.ReadVarint(byteReaderFunc(sc.readByte))
-	return v, err
+	ux, err := sc.readUvarint()
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
+	}
+	return x, err
 }
 
 type byteReaderFunc func() (byte, error)
@@ -724,7 +807,8 @@ func (sc *Scanner) Next() (*Record, error) {
 }
 
 func (sc *Scanner) readRecord() (*Record, error) {
-	var r Record
+	r := &sc.rec
+	*r = Record{}
 	kb, err := sc.readByte()
 	if err != nil {
 		return nil, fmt.Errorf("trace: record kind: %w", err)
@@ -816,7 +900,7 @@ func (sc *Scanner) readRecord() (*Record, error) {
 		return fail("arg1", err)
 	}
 	r.Args[1] = v
-	return &r, nil
+	return r, nil
 }
 
 // ReadAll loads an entire trace file into memory. Any error — including

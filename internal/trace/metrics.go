@@ -8,9 +8,10 @@ import (
 
 // traceMetrics is the package's self-observability set. Write-path counters
 // are rank-sharded so publications land on the rank's own cache line; the
-// sharded writer batches them under its shard mutex (see obsPublishEvery) so
-// the per-record hot path carries no atomic ops at all. Chunk-granularity
-// and load-path metrics use plain cells.
+// sharded writer publishes them only at drain points (chunk flushes and
+// on-demand Flush) so the per-record hot path carries no atomic ops or
+// registry traffic at all. Chunk-granularity and load-path metrics use
+// plain cells.
 type traceMetrics struct {
 	recordsWritten *obs.ShardedCounter
 	bufferBytes    *obs.ShardedGauge
@@ -41,7 +42,7 @@ func newTraceMetrics(r *obs.Registry) *traceMetrics {
 		recordsWritten: r.ShardedCounter("tracedbg_trace_records_written_total",
 			"records accepted by the sharded trace writer"),
 		bufferBytes: r.ShardedGauge("tracedbg_trace_buffer_bytes",
-			"encoded bytes currently buffered in per-rank shards awaiting a chunk flush"),
+			"encoded bytes buffered in per-rank shards at the last on-demand flush"),
 		bytesEncoded: r.ShardedCounter("tracedbg_trace_bytes_encoded_total",
 			"encoded record bytes handed to the shared file writer"),
 		chunkFlushes: r.Counter("tracedbg_trace_chunk_flushes_total",

@@ -484,6 +484,376 @@ func assemble(numRanks int, counts []int, results []segResult) (*Trace, error) {
 	return t, nil
 }
 
+// Fused serial fast path
+//
+// With one worker (GOMAXPROCS=1, or a file too small to segment) the
+// two-pass machinery above still pays for a full payload concatenation, a
+// per-segment record buffer, and a second copy of every record during
+// assembly — pure GC pressure with no parallelism to show for it. The fused
+// path decodes the file image in place: frames are CRC-verified where they
+// lie, a cheap structural scan sizes the per-rank slices exactly, and each
+// record is decoded once, directly into its rank's slice. Any anomaly is an
+// error, and the caller falls back exactly as for the segmented path, so
+// bit-identity with ReadAll is preserved the same way.
+
+// payloadRanges collects the block-stream byte ranges of a file image:
+// the single post-header range for a legacy file, one CRC-verified payload
+// range per chunk frame for version 3.
+func payloadRanges(data []byte) (header, [][2]int, error) {
+	hdr, err := parseHeaderBytes(data)
+	if err != nil {
+		return header{}, nil, err
+	}
+	if hdr.version == FormatVersionLegacy {
+		return hdr, [][2]int{{hdr.end, len(data)}}, nil
+	}
+	var ranges [][2]int
+	for pos := hdr.end; pos < len(data); {
+		f, err := parseFrame(data, pos)
+		if err != nil {
+			return header{}, nil, err
+		}
+		if !f.crcOK {
+			metrics().crcErrors.Inc()
+			return header{}, nil, &ChunkError{Offset: int64(pos), Err: fmt.Errorf("checksum mismatch")}
+		}
+		ranges = append(ranges, [2]int{f.payloadStart, f.payloadEnd})
+		pos = f.end
+	}
+	return hdr, ranges, nil
+}
+
+// scanRanges is the structural pass over in-place payload ranges: it
+// collects the string table and exact per-rank record counts without
+// decoding record fields. Blocks never span chunk frames (writers seal
+// chunks only at block boundaries), so every block must complete within its
+// range — a violation is a structure error, exactly like a block truncated
+// at a chunk boundary in the serial scanner.
+func scanRanges(data []byte, ranges [][2]int, numRanks int) ([]string, []int, error) {
+	if numRanks < 0 {
+		return nil, nil, errStructure
+	}
+	counts := make([]int, numRanks)
+	var strs []string
+	for _, rg := range ranges {
+		pos, end := rg[0], rg[1]
+		for pos < end {
+			tag := data[pos]
+			pos++
+			switch tag {
+			case blockString:
+				id, sn := binary.Uvarint(data[pos:end])
+				if sn <= 0 {
+					return nil, nil, errStructure
+				}
+				pos += sn
+				n, sn := binary.Uvarint(data[pos:end])
+				if sn <= 0 {
+					return nil, nil, errStructure
+				}
+				pos += sn
+				if pos+int(n) > end || int(n) < 0 {
+					return nil, nil, errStructure
+				}
+				s := data[pos : pos+int(n)]
+				pos += int(n)
+				if int(id) == len(strs)+1 {
+					strs = append(strs, string(s))
+				} else if int(id) >= 1 && int(id) <= len(strs) && strs[id-1] == string(s) {
+					// matching redefinition: tolerated, as in the serial scanner
+				} else {
+					return nil, nil, errStructure
+				}
+			case blockRecord:
+				if pos >= end || int(data[pos]) >= numKinds {
+					return nil, nil, errStructure
+				}
+				pos++ // kind
+				rank, sn := binary.Uvarint(data[pos:end])
+				if sn <= 0 {
+					return nil, nil, errStructure
+				}
+				pos += sn
+				if int(rank) < 0 || int(rank) >= numRanks {
+					return nil, nil, errStructure
+				}
+				ok := true
+				// file line func start dur marker src dst tag bytes msgid
+				for i := 0; i < 11; i++ {
+					if pos, ok = skipUvarintIn(data, pos, end); !ok {
+						return nil, nil, errStructure
+					}
+				}
+				pos++ // wildcard byte
+				// fault name arg0 arg1
+				for i := 0; i < 4; i++ {
+					if pos, ok = skipUvarintIn(data, pos, end); !ok {
+						return nil, nil, errStructure
+					}
+				}
+				if pos > end {
+					return nil, nil, errStructure
+				}
+				counts[rank]++
+			case blockIncomplete:
+				n, sn := binary.Uvarint(data[pos:end])
+				if sn <= 0 {
+					return nil, nil, errStructure
+				}
+				pos += sn + int(n)
+				if pos > end || int(n) < 0 {
+					return nil, nil, errStructure
+				}
+			default:
+				return nil, nil, errStructure
+			}
+		}
+	}
+	return strs, counts, nil
+}
+
+// skipUvarintIn is skipUvarint bounded to end.
+func skipUvarintIn(data []byte, pos, end int) (int, bool) {
+	for i := 0; i < binary.MaxVarintLen64 && pos < end; i++ {
+		b := data[pos]
+		pos++
+		if b < 0x80 {
+			return pos, true
+		}
+	}
+	return pos, false
+}
+
+// decodeRanges decodes every block in the given ranges straight into
+// per-rank slices preallocated from counts, enforcing the Trace.Append
+// invariants inline. avail is the number of string-table entries usable
+// before the first range (0 for a plain load, the full table for an
+// index-seeded one); it grows as 'S' blocks pass, so forward references
+// fail exactly as in the serial scanner.
+func decodeRanges(data []byte, ranges [][2]int, numRanks int, table []string, counts []int, avail int) (*Trace, error) {
+	byRank := make([][]Record, numRanks)
+	for r := range byRank {
+		n := 0
+		if r < len(counts) {
+			n = counts[r]
+		}
+		byRank[r] = make([]Record, 0, n)
+	}
+	incomplete := false
+	reason := ""
+	for _, rg := range ranges {
+		pos, end := rg[0], rg[1]
+		str := func(id uint64) (string, error) {
+			if id == 0 {
+				return "", nil
+			}
+			if int(id) > avail {
+				return "", fmt.Errorf("trace: string id %d not yet defined", id)
+			}
+			return table[id-1], nil
+		}
+		uv := func() (uint64, error) {
+			v, n := binary.Uvarint(data[pos:end])
+			if n <= 0 {
+				return 0, errStructure
+			}
+			pos += n
+			return v, nil
+		}
+		vv := func() (int64, error) {
+			v, n := binary.Varint(data[pos:end])
+			if n <= 0 {
+				return 0, errStructure
+			}
+			pos += n
+			return v, nil
+		}
+		for pos < end {
+			tag := data[pos]
+			pos++
+			switch tag {
+			case blockString:
+				id, err := uv()
+				if err != nil {
+					return nil, err
+				}
+				n, err := uv()
+				if err != nil {
+					return nil, err
+				}
+				if pos+int(n) > end || int(n) < 0 {
+					return nil, errStructure
+				}
+				s := data[pos : pos+int(n)]
+				pos += int(n)
+				if int(id) < 1 || int(id) > len(table) || table[id-1] != string(s) {
+					return nil, errStructure
+				}
+				if int(id) == avail+1 {
+					avail++
+				} else if int(id) > avail+1 {
+					return nil, errStructure
+				}
+			case blockRecord:
+				if pos >= end {
+					return nil, errStructure
+				}
+				kb := data[pos]
+				pos++
+				if int(kb) >= numKinds {
+					return nil, errStructure
+				}
+				u, err := uv()
+				if err != nil {
+					return nil, err
+				}
+				rank := int(u)
+				if rank < 0 || rank >= numRanks {
+					return nil, fmt.Errorf("trace: record rank %d out of range [0,%d)", rank, numRanks)
+				}
+				seq := append(byRank[rank], Record{})
+				byRank[rank] = seq
+				r := &seq[len(seq)-1]
+				r.Kind = Kind(kb)
+				r.Rank = rank
+				var v int64
+				if u, err = uv(); err != nil {
+					return nil, err
+				}
+				if r.Loc.File, err = str(u); err != nil {
+					return nil, err
+				}
+				if u, err = uv(); err != nil {
+					return nil, err
+				}
+				r.Loc.Line = int(u)
+				if u, err = uv(); err != nil {
+					return nil, err
+				}
+				if r.Loc.Func, err = str(u); err != nil {
+					return nil, err
+				}
+				if v, err = vv(); err != nil {
+					return nil, err
+				}
+				r.Start = v
+				if v, err = vv(); err != nil {
+					return nil, err
+				}
+				r.End = r.Start + v
+				if u, err = uv(); err != nil {
+					return nil, err
+				}
+				r.Marker = u
+				if v, err = vv(); err != nil {
+					return nil, err
+				}
+				r.Src = int(v)
+				if v, err = vv(); err != nil {
+					return nil, err
+				}
+				r.Dst = int(v)
+				if v, err = vv(); err != nil {
+					return nil, err
+				}
+				r.Tag = int(v)
+				if u, err = uv(); err != nil {
+					return nil, err
+				}
+				r.Bytes = int(u)
+				if u, err = uv(); err != nil {
+					return nil, err
+				}
+				r.MsgID = u
+				if pos >= end {
+					return nil, errStructure
+				}
+				r.WasWildcard = data[pos] != 0
+				pos++
+				if u, err = uv(); err != nil {
+					return nil, err
+				}
+				if r.Fault, err = str(u); err != nil {
+					return nil, err
+				}
+				if u, err = uv(); err != nil {
+					return nil, err
+				}
+				if r.Name, err = str(u); err != nil {
+					return nil, err
+				}
+				if v, err = vv(); err != nil {
+					return nil, err
+				}
+				r.Args[0] = v
+				if v, err = vv(); err != nil {
+					return nil, err
+				}
+				r.Args[1] = v
+				if n := len(seq); n > 1 && seq[n-2].Start > r.Start {
+					return nil, fmt.Errorf("trace: rank %d record start %d precedes previous start %d",
+						rank, r.Start, seq[n-2].Start)
+				}
+			case blockIncomplete:
+				n, err := uv()
+				if err != nil {
+					return nil, err
+				}
+				if pos+int(n) > end || int(n) < 0 {
+					return nil, errStructure
+				}
+				if !incomplete {
+					reason = string(data[pos : pos+int(n)])
+				}
+				incomplete = true
+				pos += int(n)
+			default:
+				return nil, errStructure
+			}
+		}
+	}
+	t := FromRanks(byRank)
+	if incomplete {
+		t.MarkIncomplete(reason)
+	}
+	return t, nil
+}
+
+// loadFused is the single-pass-per-stage serial fast path; see the comment
+// block above. Like loadParallel, any error means "let the serial path
+// decide", never a final verdict on the file.
+func loadFused(data []byte) (*Trace, error) {
+	m := metrics()
+	scanStart := time.Now()
+	hdr, ranges, err := payloadRanges(data)
+	if err != nil {
+		return nil, err
+	}
+	table, counts, err := scanRanges(data, ranges, hdr.numRanks)
+	if err != nil {
+		return nil, err
+	}
+	m.loadScanNs.Observe(uint64(time.Since(scanStart)))
+	decodeStart := time.Now()
+	t, err := decodeRanges(data, ranges, hdr.numRanks, table, counts, 0)
+	if err != nil {
+		return nil, err
+	}
+	m.loadDecodeNs.Observe(uint64(time.Since(decodeStart)))
+	m.loadParallel.Inc()
+	m.loadSegments.Add(1)
+	m.loadWorkers.Set(1)
+	m.loadRecords.Add(uint64(t.Len()))
+	return t, nil
+}
+
+// useFused reports whether the fused serial path should serve this image:
+// one worker means segmentation is pure overhead, and a file below the
+// segmentation threshold decodes as a single segment anyway.
+func useFused(data []byte) bool {
+	return runtime.GOMAXPROCS(0) == 1 || len(data) <= minSegmentBytes
+}
+
 func segTarget(total int) int {
 	n := runtime.GOMAXPROCS(0) * 4
 	t := total / n
@@ -496,6 +866,9 @@ func segTarget(total int) int {
 // loadParallel is the strict fast path; any error means "let the serial path
 // decide" rather than a final verdict on the file.
 func loadParallel(data []byte) (*Trace, error) {
+	if useFused(data) {
+		return loadFused(data)
+	}
 	m := metrics()
 	scanStart := time.Now()
 	nm, err := normalize(data)
@@ -626,6 +999,19 @@ func LoadParallelIndexed(data []byte, ix *Index) (*Trace, error) {
 }
 
 func loadParallelIndexed(data []byte, ix *Index) (*Trace, error) {
+	if useFused(data) {
+		// The index supplies the string table and exact counts, so the fused
+		// path skips even the structural scan: one decode pass, full table
+		// available from the start (SeedStrings semantics).
+		hdr, ranges, err := payloadRanges(data)
+		if err != nil {
+			return nil, err
+		}
+		if hdr.numRanks != ix.NumRanks {
+			return nil, errStructure
+		}
+		return decodeRanges(data, ranges, hdr.numRanks, ix.strings, ix.counts, len(ix.strings))
+	}
 	nm, err := normalize(data)
 	if err != nil {
 		return nil, err

@@ -373,6 +373,79 @@ func (l *lockedWriter) Write(p []byte) (int, error) {
 	return l.w.Write(p)
 }
 
+// TestShardedWriterBatchEquivalence proves WriteBatch is observably identical
+// to per-record Write: same decoded trace from concurrent mixed-size batched
+// emission (with mid-stream flushes), and batch-boundary chunk behavior
+// handled (a batch larger than the chunk size flushes mid-batch). Run with
+// -race in CI.
+func TestShardedWriterBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const ranks = 6
+	tr := richTrace(rng, ranks, 900)
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	lw := lockedWriter{mu: &mu, w: &buf}
+	sw, err := NewShardedWriterSize(&lw, ranks, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rg := rand.New(rand.NewSource(int64(100 + r)))
+			recs := tr.Rank(r)
+			for len(recs) > 0 {
+				n := 1 + rg.Intn(50)
+				if n > len(recs) {
+					n = len(recs)
+				}
+				if err := sw.WriteBatch(r, recs[:n]); err != nil {
+					t.Errorf("rank %d batch: %v", r, err)
+					return
+				}
+				recs = recs[n:]
+				if rg.Intn(10) == 0 {
+					if err := sw.Flush(); err != nil {
+						t.Errorf("rank %d flush: %v", r, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Count() != tr.Len() {
+		t.Fatalf("Count = %d, want %d", sw.Count(), tr.Len())
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAll of batched output: %v", err)
+	}
+	tracesEqual(t, "batched sharded write", got, tr)
+}
+
+func TestShardedWriterBatchRejectsMixedRanks(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewShardedWriter(&buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteBatch(1, []Record{{Rank: 1}, {Rank: 2}}); err == nil {
+		t.Error("mixed-rank batch accepted")
+	}
+	if err := sw.WriteBatch(4, []Record{{Rank: 4}}); err == nil {
+		t.Error("out-of-range batch rank accepted")
+	}
+	if err := sw.WriteBatch(0, nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}
+
 func TestShardedWriterRejectsBadRank(t *testing.T) {
 	var buf bytes.Buffer
 	sw, err := NewShardedWriter(&buf, 2)

@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -99,9 +98,16 @@ func SalvageFile(path string) (*Trace, *SalvageReport, error) {
 	return salvageStream(f)
 }
 
-// SalvageBytes is ReadAllSalvage over an in-memory file image.
+// SalvageBytes is ReadAllSalvage over an in-memory file image. The salvage
+// machine walks the image in place — the zero-copy walker of
+// NewSalvageCursorBytes — rather than re-buffering it through a reader.
 func SalvageBytes(data []byte) (*Trace, *SalvageReport, error) {
-	return salvageStream(bytes.NewReader(data))
+	c, err := newSalvageCursorBytes(data, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.Drain()
+	return c.s.t, c.s.report, nil
 }
 
 // salvageStream drives the streaming salvage machine to completion in
@@ -132,7 +138,7 @@ type salvager struct {
 	w      *frameWalker
 	t      *Trace // nil in streaming (cursor) mode
 	report *SalvageReport
-	strs   map[uint64]string // sparse: ids defined in lost chunks are absent
+	strs   stringStore // ids defined in lost chunks are absent
 
 	last    []rankMark
 	lastRec []Record // last accepted record per rank (duplicate-splice check)
@@ -158,11 +164,64 @@ func newSalvager(w *frameWalker, t *Trace, hdr header) *salvager {
 		w:       w,
 		t:       t,
 		report:  &SalvageReport{Version: hdr.version, Writer: hdr.writer, NumRanks: hdr.numRanks},
-		strs:    make(map[uint64]string),
 		last:    make([]rankMark, nr),
 		lastRec: make([]Record, nr),
 		counts:  make([]int, nr),
 	}
+}
+
+// stringStore is the salvager's string table. Writers assign ids densely
+// from 1, so the common case is a slice lookup — one bounds check per
+// resolve instead of a map hash, which matters because every record resolves
+// four ids. Damage can make ids sparse (definitions lost with their chunk)
+// or absurd (spliced bytes): absent ids inside the dense range read as
+// undefined via the parallel bitmap, and ids beyond a sanity bound overflow
+// into a map rather than growing the slice unboundedly.
+type stringStore struct {
+	dense   []string
+	defined []bool
+	sparse  map[uint64]string
+}
+
+// denseStringLimit bounds slice growth; a legitimate writer interning more
+// distinct strings than this is implausible, so anything beyond is treated
+// as suspect and kept in the sparse overflow.
+const denseStringLimit = 1 << 20
+
+// get resolves id; ok is false when the definition was never seen (lost
+// with a damaged chunk, or never existed).
+func (st *stringStore) get(id uint64) (string, bool) {
+	if i := id - 1; i < uint64(len(st.dense)) {
+		return st.dense[i], st.defined[i]
+	}
+	s, ok := st.sparse[id]
+	return s, ok
+}
+
+// set records a definition; redefinition with a different value is the
+// caller's error to raise, so it returns the previous value if present.
+func (st *stringStore) set(id uint64, s string) (prev string, existed bool) {
+	if id >= 1 && id <= denseStringLimit {
+		i := id - 1
+		for uint64(len(st.dense)) <= i {
+			st.dense = append(st.dense, "")
+			st.defined = append(st.defined, false)
+		}
+		if st.defined[i] {
+			return st.dense[i], true
+		}
+		st.dense[i] = s
+		st.defined[i] = true
+		return "", false
+	}
+	if st.sparse == nil {
+		st.sparse = make(map[uint64]string)
+	}
+	if prev, ok := st.sparse[id]; ok {
+		return prev, true
+	}
+	st.sparse[id] = s
+	return "", false
 }
 
 func (s *salvager) numRanks() int { return len(s.last) }
@@ -385,10 +444,9 @@ func (s *salvager) decodeString(c *byteCursor) error {
 	if err != nil {
 		return err
 	}
-	if prev, ok := s.strs[id]; ok && prev != string(b) {
+	if prev, existed := s.strs.set(id, string(b)); existed && prev != string(b) {
 		return fmt.Errorf("string id %d redefined", id)
 	}
-	s.strs[id] = string(b)
 	return nil
 }
 
@@ -427,7 +485,7 @@ func (s *salvager) decodeRecord(c *byteCursor) error {
 		if id == 0 {
 			return ""
 		}
-		sv, ok := s.strs[id]
+		sv, ok := s.strs.get(id)
 		if !ok {
 			strsOK = false
 		}

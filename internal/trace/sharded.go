@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"unsafe"
 )
 
 // DefaultChunkSize is the per-rank encode-buffer size at which a shard
@@ -34,19 +35,65 @@ type ShardedWriter struct {
 type writeShard struct {
 	mu       sync.Mutex
 	ids      map[string]uint64 // rank-local cache over the shared string table
+	file     fieldCache        // per-field MRU caches in front of ids: a rank
+	fn       fieldCache        // cycles through a handful of locations, so the
+	name     fieldCache        // common case resolves with a pointer-equal
+	fault    fieldCache        // string compare instead of a map hash
 	buf      []byte            // encoded records awaiting a chunk flush
 	n        int               // records in buf
-	pendRecs int               // records accepted but not yet published to metrics
-	pubBytes int64             // buffer occupancy last published to the gauge
+	pubBytes int64             // occupancy last published to the gauge; touched only by Flush
 	_        [24]byte          // pad to reduce false sharing between shards
 }
 
-// obsPublishEvery bounds how many accepted records a shard may hold back
-// before publishing them to the metrics registry. Accumulating in plain ints
-// under the shard mutex keeps the per-record hot path free of atomic ops;
-// publication at this cadence (and at every chunk flush) keeps a live
-// /metrics scrape at most a few dozen records stale per rank.
-const obsPublishEvery = 64
+// fieldCache is a tiny direct-scan intern cache for one record field.
+// Instrumented programs emit the same few file/func/name strings over and
+// over from the same string constants, so a hit is usually decided by a
+// pointer comparison without touching bytes. Entries are position-stable
+// (no move-to-front shuffling — the access pattern is a small rotation, so
+// reordering only adds copies) with a round-robin victim on insert.
+type fieldCache struct {
+	s    [4]string
+	id   [4]uint64
+	next uint8 // round-robin insert position
+}
+
+// lookup resolves s through the cache, falling back to the shard map (and
+// transitively the shared table) on a miss. Called with the shard mutex held.
+// A content-equal string with a different backing array misses the pointer
+// scan and takes the slow path; that is only a detour — the map hands back
+// the same id, so the file never interns a duplicate.
+func (c *fieldCache) lookup(sh *writeShard, st *stringTable, s string) uint64 {
+	if s == "" {
+		return 0
+	}
+	// The first two slots are checked inline in Write (the unrolled pair is
+	// what fits the inliner budget); pointer equality first because
+	// instrumentation resubmits the same string constants. Note pointer
+	// equality alone is not enough — a prefix slice shares its backing
+	// array's data pointer — hence the length check.
+	p := unsafe.StringData(s)
+	if unsafe.StringData(c.s[0]) == p && len(c.s[0]) == len(s) {
+		return c.id[0]
+	}
+	if unsafe.StringData(c.s[1]) == p && len(c.s[1]) == len(s) {
+		return c.id[1]
+	}
+	return c.lookupSlow(sh, st, s, p)
+}
+
+// lookupSlow scans the remaining slots, then resolves through the shard map
+// and installs the entry at the round-robin victim slot.
+func (c *fieldCache) lookupSlow(sh *writeShard, st *stringTable, s string, p *byte) uint64 {
+	for i := 2; i < len(c.s); i++ {
+		if unsafe.StringData(c.s[i]) == p && len(c.s[i]) == len(s) {
+			return c.id[i]
+		}
+	}
+	id := sh.intern(st, s)
+	c.s[c.next], c.id[c.next] = s, id
+	c.next = (c.next + 1) % uint8(len(c.s))
+	return id
+}
 
 // NewShardedWriter writes the file header and returns a sharded writer for
 // numRanks ranks with the default chunk size.
@@ -78,6 +125,10 @@ func NewShardedWriterOptions(w io.Writer, numRanks, chunk int, opts WriterOption
 	sw := &ShardedWriter{fw: fw, chunk: chunk, shards: make([]writeShard, numRanks), om: metrics()}
 	for i := range sw.shards {
 		sw.shards[i].ids = make(map[string]uint64)
+		// One chunk plus slack for the record that overflows it: flushes
+		// reuse the buffer via buf[:0], so this is the only allocation the
+		// shard's encode path ever makes.
+		sw.shards[i].buf = make([]byte, 0, chunk+512)
 	}
 	return sw, nil
 }
@@ -105,39 +156,65 @@ func (sw *ShardedWriter) Write(r *Record) error {
 	}
 	sh := &sw.shards[r.Rank]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	st := &sw.fw.strings
-	fileID := sh.intern(st, r.Loc.File)
-	funcID := sh.intern(st, r.Loc.Func)
-	nameID := sh.intern(st, r.Name)
-	faultID := sh.intern(st, r.Fault)
+	fileID := sh.file.lookup(sh, st, r.Loc.File)
+	funcID := sh.fn.lookup(sh, st, r.Loc.Func)
+	nameID := sh.name.lookup(sh, st, r.Name)
+	faultID := sh.fault.lookup(sh, st, r.Fault)
 	sh.buf = appendRecord(sh.buf, r, fileID, funcID, nameID, faultID)
 	sh.n++
-	sh.pendRecs++
 	if len(sh.buf) >= sw.chunk {
-		return sw.flushShardLocked(sh, r.Rank)
+		err := sw.flushShardLocked(sh, r.Rank)
+		sh.mu.Unlock()
+		return err
 	}
-	if sh.pendRecs >= obsPublishEvery {
-		sw.publishLocked(sh, r.Rank)
-	}
+	sh.mu.Unlock()
 	return nil
 }
 
-// publishLocked drains the shard's pending record count and buffer-occupancy
-// delta into the registry. Called with the shard mutex held.
-func (sw *ShardedWriter) publishLocked(sh *writeShard, rank int) {
-	m := sw.om
-	if sh.pendRecs > 0 {
-		m.recordsWritten.Add(rank, uint64(sh.pendRecs))
-		sh.pendRecs = 0
+// WriteBatch appends a run of records, all of the given rank, under one
+// shard-mutex acquisition — the batched handoff the instrumentation layer's
+// rank-local event buffers use, amortizing lock traffic to one atomic pair
+// per drain instead of one per event. Equivalent to calling Write on each
+// record in order; chunks flush mid-batch exactly as they would mid-stream.
+func (sw *ShardedWriter) WriteBatch(rank int, recs []Record) error {
+	if len(recs) == 0 {
+		return nil
 	}
-	if d := int64(len(sh.buf)) - sh.pubBytes; d != 0 {
-		m.bufferBytes.Add(rank, d)
-		sh.pubBytes += d
+	if rank < 0 || rank >= len(sw.shards) {
+		return fmt.Errorf("trace: sharded writer: record rank %d out of range [0,%d)", rank, len(sw.shards))
 	}
+	sh := &sw.shards[rank]
+	sh.mu.Lock()
+	st := &sw.fw.strings
+	for i := range recs {
+		r := &recs[i]
+		if r.Rank != rank {
+			sh.mu.Unlock()
+			return fmt.Errorf("trace: sharded writer: batch for rank %d contains record of rank %d", rank, r.Rank)
+		}
+		fileID := sh.file.lookup(sh, st, r.Loc.File)
+		funcID := sh.fn.lookup(sh, st, r.Loc.Func)
+		nameID := sh.name.lookup(sh, st, r.Name)
+		faultID := sh.fault.lookup(sh, st, r.Fault)
+		sh.buf = appendRecord(sh.buf, r, fileID, funcID, nameID, faultID)
+		sh.n++
+		if len(sh.buf) >= sw.chunk {
+			if err := sw.flushShardLocked(sh, rank); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+		}
+	}
+	sh.mu.Unlock()
+	return nil
 }
 
-// flushShardLocked batches the shard's buffer into the shared file writer.
+// flushShardLocked batches the shard's buffer into the shared file writer
+// and publishes the batch to the metrics registry — the drain point is the
+// only place the write path touches obs state, so the per-record path stays
+// free of atomics and registry traffic. A live scrape lags by at most one
+// partially filled chunk per rank (Flush publishes the remainder).
 // Called with the shard mutex held.
 func (sw *ShardedWriter) flushShardLocked(sh *writeShard, rank int) error {
 	if sh.n == 0 {
@@ -145,15 +222,10 @@ func (sw *ShardedWriter) flushShardLocked(sh *writeShard, rank int) error {
 	}
 	err := sw.fw.writeChunk(sh.buf, sh.n)
 	m := sw.om
-	if sh.pendRecs > 0 {
-		m.recordsWritten.Add(rank, uint64(sh.pendRecs))
-		sh.pendRecs = 0
-	}
+	m.recordsWritten.Add(rank, uint64(sh.n))
 	m.chunkFlushes.Inc()
 	m.chunkBytes.Observe(uint64(len(sh.buf)))
 	m.bytesEncoded.Add(rank, uint64(len(sh.buf)))
-	m.bufferBytes.Add(rank, -sh.pubBytes)
-	sh.pubBytes = 0
 	sh.buf = sh.buf[:0]
 	sh.n = 0
 	return err
@@ -174,6 +246,13 @@ func (sw *ShardedWriter) Flush() error {
 	for i := range sw.shards {
 		sh := &sw.shards[i]
 		sh.mu.Lock()
+		// Publish the occupancy observed at this drain; the per-record path
+		// never touches the gauge, so its value is "buffered bytes at the
+		// last on-demand flush".
+		if d := int64(len(sh.buf)) - sh.pubBytes; d != 0 {
+			sw.om.bufferBytes.Add(i, d)
+			sh.pubBytes += d
+		}
 		if err := sw.flushShardLocked(sh, i); err != nil && first == nil {
 			first = err
 		}

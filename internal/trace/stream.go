@@ -238,6 +238,33 @@ func NewSalvageCursor(r io.Reader) (*SalvageCursor, error) {
 // SalvageFile drive to completion).
 func newSalvageCursor(r io.Reader, materialize bool) (*SalvageCursor, error) {
 	w := newFrameWalker(r)
+	// The Scanner on the legacy path re-parses the header itself, so feed it
+	// the full stream: the walker's buffered prefix followed by the rest.
+	return salvageCursorFrom(w, func() io.Reader {
+		return io.MultiReader(bytes.NewReader(w.buf), w.r)
+	}, materialize)
+}
+
+// NewSalvageCursorBytes is NewSalvageCursor over an in-memory file image.
+// The walker aliases data directly — no window copies, no read-ahead — so a
+// store backed by mmap streams records straight off the page cache. The
+// cursor never mutates data (an already-at-EOF walker never compacts its
+// window), which is what makes it safe over a PROT_READ mapping.
+func NewSalvageCursorBytes(data []byte) (*SalvageCursor, error) {
+	return newSalvageCursorBytes(data, false)
+}
+
+func newSalvageCursorBytes(data []byte, materialize bool) (*SalvageCursor, error) {
+	w := &frameWalker{buf: data, eof: true}
+	return salvageCursorFrom(w, func() io.Reader {
+		return bytes.NewReader(data)
+	}, materialize)
+}
+
+// salvageCursorFrom finishes cursor construction over a prepared walker;
+// restream supplies the legacy path's full-file reader (the Scanner parses
+// the header again itself).
+func salvageCursorFrom(w *frameWalker, restream func() io.Reader, materialize bool) (*SalvageCursor, error) {
 	hdr, err := w.readHeader()
 	if err != nil {
 		return nil, err
@@ -249,9 +276,7 @@ func newSalvageCursor(r io.Reader, materialize bool) (*SalvageCursor, error) {
 	c := &SalvageCursor{hdr: hdr}
 	if hdr.version == FormatVersionLegacy {
 		c.s = newSalvager(nil, t, hdr)
-		// The Scanner re-parses the header itself, so feed it the full
-		// stream: the walker's buffered prefix followed by the rest.
-		c.cr = &countReader{r: io.MultiReader(bytes.NewReader(w.buf), w.r)}
+		c.cr = &countReader{r: restream()}
 		sc, err := NewScanner(c.cr)
 		if err != nil {
 			return nil, err

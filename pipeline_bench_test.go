@@ -190,9 +190,10 @@ func BenchmarkQueryParallel(b *testing.B) {
 // funnels each record through the shared writer.
 func BenchmarkFileWriterSerial(b *testing.B) {
 	tr := pipelineTrace(benchRanks, benchEvents/4)
+	var buf bytes.Buffer // reused across iterations: measure the writer, not buffer regrowth
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		var buf bytes.Buffer
+		buf.Reset()
 		fw, err := trace.NewFileWriter(&buf, benchRanks)
 		if err != nil {
 			b.Fatal(err)
@@ -204,21 +205,55 @@ func BenchmarkFileWriterSerial(b *testing.B) {
 	}
 }
 
-// BenchmarkShardedWrite batches per-rank buffers into the file in chunks.
+// BenchmarkShardedWrite batches per-rank buffers into the file in chunks,
+// driving the writer the way the instrumentation layer does: each rank
+// goroutine hands off runs of records through WriteBatch (the drain cadence
+// of the rank-local event buffers), not one mutex acquisition per event.
 func BenchmarkShardedWrite(b *testing.B) {
 	tr := pipelineTrace(benchRanks, benchEvents/4)
+	var buf bytes.Buffer // reused across iterations: measure the writer, not buffer regrowth
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		var buf bytes.Buffer
+		buf.Reset()
 		sw, err := trace.NewShardedWriter(&buf, benchRanks)
 		if err != nil {
 			b.Fatal(err)
 		}
-		writeAllRanks(b, sw.Write, tr)
+		writeAllRanksBatched(b, sw, tr)
 		if err := sw.Close(); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// writeBatchSize mirrors the drain cadence of the instrumentation layer's
+// rank-local event buffers (instr.emitBatch).
+const writeBatchSize = 64
+
+// writeAllRanksBatched emits every rank's records from its own goroutine in
+// WriteBatch runs, the handoff pattern of a live instrumented run.
+func writeAllRanksBatched(b *testing.B, sw *trace.ShardedWriter, tr *trace.Trace) {
+	b.Helper()
+	var wg sync.WaitGroup
+	for r := 0; r < tr.NumRanks(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			recs := tr.Rank(r)
+			for len(recs) > 0 {
+				n := writeBatchSize
+				if n > len(recs) {
+					n = len(recs)
+				}
+				if err := sw.WriteBatch(r, recs[:n]); err != nil {
+					b.Error(err)
+					return
+				}
+				recs = recs[n:]
+			}
+		}(r)
+	}
+	wg.Wait()
 }
 
 // writeAllRanks emits every rank's records from its own goroutine, the

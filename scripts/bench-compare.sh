@@ -1,0 +1,60 @@
+#!/bin/sh
+# Compare a fresh benchmark run against a checked-in baseline and fail on
+# regressions in the gated hot paths.
+#
+# Usage:
+#   scripts/bench-compare.sh baseline.json current.json [threshold-pct]
+#
+# Gated benchmarks (ns/op): the sharded write path, the parallel loader, and
+# daemon ingest. A gated benchmark regressing by more than threshold-pct
+# (default 10) fails the script; improvements and missing entries (a renamed
+# benchmark must update its baseline) are reported but only missing entries
+# fail. Override the gate for a known-noisy or intentionally slower commit
+# by putting "[bench-skip]" in the commit message — CI checks the tag before
+# invoking this script.
+set -eu
+
+if [ $# -lt 2 ]; then
+    echo "usage: scripts/bench-compare.sh baseline.json current.json [threshold-pct]" >&2
+    exit 2
+fi
+base="$1"
+cur="$2"
+threshold="${3:-10}"
+
+# ns_per_op extractor: tolerant of the single-line and pretty-printed JSON
+# layouts bench.sh produces.
+ns_of() {
+    tr ',' '\n' < "$1" | tr -d ' "' | awk -F: -v key="$2" '
+        $0 ~ key { grab = 1 }
+        grab && $1 == "ns_per_op" { print $2; exit }
+    '
+}
+
+fail=0
+for name in \
+    'BenchmarkShardedWrite' \
+    'BenchmarkParallelLoad' \
+    'BenchmarkDaemonIngest/SingleSession' \
+    'BenchmarkDaemonIngest/MultiSession8'
+do
+    b="$(ns_of "$base" "$name")"
+    c="$(ns_of "$cur" "$name")"
+    if [ -z "$b" ] || [ -z "$c" ]; then
+        echo "bench-compare: $name missing (baseline='$b' current='$c')" >&2
+        fail=1
+        continue
+    fi
+    verdict="$(awk -v b="$b" -v c="$c" -v t="$threshold" -v n="$name" 'BEGIN {
+        delta = (c - b) / b * 100
+        printf "%-45s %14.0f -> %14.0f ns/op  %+7.1f%%\n", n, b, c, delta
+        exit (delta > t) ? 1 : 0
+    }')" || { echo "$verdict  REGRESSION (> ${threshold}%)"; fail=1; continue; }
+    echo "$verdict"
+done
+
+if [ "$fail" = 1 ]; then
+    echo "bench-compare: gated benchmark regressed beyond ${threshold}% (tag the commit [bench-skip] to override)" >&2
+    exit 1
+fi
+echo "bench-compare: all gated benchmarks within ${threshold}% of baseline"

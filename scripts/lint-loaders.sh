@@ -16,9 +16,16 @@ cd "$(dirname "$0")/.."
 
 pattern='trace\.(ReadAll(Partial|Indexed|Salvage)?|LoadParallel(Partial|Salvage|SalvageReport|Indexed)?|LoadFileParallel|LoadSegmented|SalvageBytes|SalvageFile)\('
 
+# Documented exception: the daemon's crash-recovery salvage keeps the legacy
+# strict clean-prefix scanner as a backstop against store ModePartial semantics
+# ever drifting toward salvage (records surviving beyond quarantined spans
+# must not count into the resume point) — see the comment at the call site.
+allow='^internal/remote/daemon\.go:[0-9]+:.*trace\.ReadAllPartial\('
+
 hits="$(grep -rEn "$pattern" --include='*.go' --exclude='*_test.go' \
     cmd examples internal ./*.go 2>/dev/null \
-    | grep -v '^internal/trace/' | grep -v '^internal/store/' || true)"
+    | grep -v '^internal/trace/' | grep -v '^internal/store/' \
+    | grep -Ev "$allow" || true)"
 
 if [ -n "$hits" ]; then
     echo "lint-loaders: legacy trace loaders used outside internal/trace and internal/store:" >&2

@@ -121,35 +121,42 @@ func BenchmarkStreamVsMaterialize(b *testing.B) {
 	})
 
 	b.Run("QueryStream", func(b *testing.B) {
-		// The streaming working set: one open cursor mid-file.
+		// Single-pass streaming over the mmap image: one shared cursor walks
+		// the page-cache mapping zero-copy (RunStreamAll), so the heap holds
+		// only per-rank counters and the match list — never the file and
+		// never a materialized trace. The live-heap number is the working
+		// set mid-scan with the cursor halfway through the file.
 		live := liveHeap(func() func() {
-			st, err := store.Open(path)
+			st, err := store.OpenMmap(path)
 			if err != nil {
 				b.Fatal(err)
 			}
-			c, err := st.Records(2)
+			c, err := st.All()
 			if err != nil {
 				b.Fatal(err)
 			}
-			for i := 0; i < streamBenchEvents/streamBenchRanks/2; i++ {
+			for i := 0; i < streamBenchEvents/2; i++ {
 				if _, err := c.Next(); err != nil {
 					b.Fatal(err)
 				}
 			}
-			return func() { c.Close() }
+			return func() { c.Close(); st.Close() }
 		})
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			st, err := store.Open(path)
+			st, err := store.OpenMmap(path)
 			if err != nil {
 				b.Fatal(err)
 			}
-			ids, err := q.RunStream(st.NumRanks(), st.Records)
+			ids, err := q.RunStreamAll(st.NumRanks(), st.All)
 			if err != nil {
 				b.Fatal(err)
 			}
 			if len(ids) == 0 {
 				b.Fatal("no matches")
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
 			}
 		}
 		b.ReportMetric(live, "live-heap-B")
