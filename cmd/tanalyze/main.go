@@ -7,14 +7,27 @@
 //
 //	tanalyze -in run.trace
 //	tanalyze -app strassen-buggy -ranks 8 -size 16
+//
+// With -follow, tanalyze attaches to a still-growing input (a live trace,
+// segment manifest, or collector session directory) and runs the analyses
+// incrementally as records become durable: live traffic/unmatched status
+// every -refresh, stopline crossings (-stopline) the moment a rank reaches
+// them, and a debounced fault-aware deadlock check. When the producer
+// finalizes it prints the ordinary full report over the complete history:
+//
+//	tanalyze -in sessions/run-a/trace.manifest -follow -stopline 5000
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"tracedbg/internal/analysis"
 	"tracedbg/internal/apps"
@@ -39,8 +52,28 @@ func main() {
 		find    = flag.String("find", "", "semicolon-separated query expressions to run over the trace")
 		stats   = flag.Bool("stats", false, "print the pipeline self-observability snapshot after the analyses")
 		statsJS = flag.String("stats-json", "", "also write the observability snapshot as JSON to this file")
+		followF = flag.Bool("follow", false, "follow a still-growing -in live, analyzing incrementally")
+		refresh = flag.Duration("refresh", 500*time.Millisecond, "status cadence with -follow")
+		stopAt  = flag.Int64("stopline", -1, "with -follow, report each rank the moment it crosses this virtual time")
 	)
 	flag.Parse()
+	if *followF {
+		if *in == "" {
+			fmt.Fprintln(os.Stderr, "tanalyze: -follow needs -in (a live trace, manifest, or session directory)")
+			os.Exit(1)
+		}
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer cancel()
+		if err := follow(ctx, os.Stdout, *in, *refresh, *stopAt, *actions); err != nil {
+			fmt.Fprintln(os.Stderr, "tanalyze:", err)
+			os.Exit(1)
+		}
+		if err := emitStats(os.Stdout, *stats, *statsJS); err != nil {
+			fmt.Fprintln(os.Stderr, "tanalyze:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdout, *in, *app, *ranks, *size, *iters, *seed, *actions, *find); err != nil {
 		fmt.Fprintln(os.Stderr, "tanalyze:", err)
 		os.Exit(1)
@@ -86,7 +119,14 @@ func run(w io.Writer, in, app string, ranks, size, iters int, seed int64, action
 			return err
 		}
 	}
+	return report(w, tr, actions)
+}
 
+// report prints the full §4.4 analysis suite over a complete trace. Both the
+// post-mortem path (run) and the live path (follow, after the producer
+// finalizes) end here, so a followed session and a re-analyzed file produce
+// the same report.
+func report(w io.Writer, tr *trace.Trace, actions bool) error {
 	fmt.Fprint(w, analysis.AnalyzeTraffic(tr).String())
 
 	mt := analysis.NewMatchTracker()
@@ -109,6 +149,96 @@ func run(w io.Writer, in, app string, ranks, size, iters int, seed int64, action
 		fmt.Fprint(w, analysis.BuildActionGraph(tr).Text())
 	}
 	return nil
+}
+
+// deadlockDebounce is how many new records must arrive before the live
+// deadlock detector re-runs on a refresh tick. The detector walks the whole
+// accumulated history, so re-running it on every tick of a chatty producer
+// would dominate the monitor's cost.
+const deadlockDebounce = 256
+
+// follow attaches a live tail cursor to in and runs the analyses
+// incrementally: a status line every refresh while records arrive, stopline
+// crossings the moment a rank reaches them, and a debounced fault-aware
+// deadlock check whose verdict is announced once when it first trips. When
+// the producer finalizes (io.EOF from the tail) the full post-mortem report
+// is printed over the accumulated history; Ctrl-C detaches early with the
+// partial report.
+func follow(ctx context.Context, w io.Writer, in string, refresh time.Duration, stopline int64, actions bool) error {
+	if refresh <= 0 {
+		refresh = 500 * time.Millisecond
+	}
+	st, err := store.Open(in, store.Options{Mode: store.ModeLive})
+	if err != nil {
+		return err
+	}
+	tc, err := st.Tail(store.TailOptions{})
+	if err != nil {
+		return err
+	}
+	defer tc.Close()
+
+	nr := st.NumRanks()
+	if nr < 0 {
+		nr = 0
+	}
+	m := analysis.NewMonitor(nr, stopline)
+
+	announced := false  // deadlock verdict already printed
+	allCrossed := false // "all ranks crossed" already printed
+	tick := func(debounce int) {
+		for _, rank := range m.Crossings() {
+			fmt.Fprintf(w, "stopline: rank %d crossed %d at vt=%d\n", rank, stopline, m.CrossedAt(rank))
+		}
+		if !allCrossed && m.AllCrossed() {
+			allCrossed = true
+			fmt.Fprintf(w, "stopline: all %d ranks crossed %d\n", nr, stopline)
+		}
+		if rep := m.CheckDeadlock(debounce); rep.HasDeadlock() && !announced {
+			announced = true
+			fmt.Fprintf(w, "deadlock detected after %d records:\n%s", m.Records(), rep.String())
+		}
+		fmt.Fprintf(w, "live: %s\n", m.Status())
+	}
+
+	dirty := true                        // emit at least one status line, even over an idle producer
+	lastTick := time.Now().Add(-refresh) // so the first status prints immediately
+	finish := func(status string) error {
+		if dirty {
+			// Drain pending announcements (crossings, a deadlock verdict the
+			// debounce deferred) before the final report.
+			tick(0)
+		}
+		fmt.Fprintf(w, "tanalyze: %s %s: %s\n", status, in, m.Status())
+		return report(w, m.Trace(), actions)
+	}
+	for {
+		if dirty && time.Since(lastTick) >= refresh {
+			tick(deadlockDebounce)
+			dirty = false
+			lastTick = time.Now()
+		}
+		// Bound each wait by the refresh cadence so a lulling producer still
+		// gets its pending status line.
+		wctx, wcancel := context.WithTimeout(ctx, refresh)
+		rec, err := tc.Next(wctx)
+		wcancel()
+		switch {
+		case err == nil:
+			if oerr := m.Observe(rec); oerr != nil {
+				return oerr
+			}
+			dirty = true
+		case errors.Is(err, io.EOF):
+			return finish("finalized")
+		case ctx.Err() != nil:
+			return finish("detached from")
+		case errors.Is(err, context.DeadlineExceeded):
+			// idle tick; the check at the top of the loop emits any pending status
+		default:
+			return err
+		}
+	}
 }
 
 // queries caches compiled expressions so repeated -find terms (and repeated

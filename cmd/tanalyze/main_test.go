@@ -1,8 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"tracedbg/internal/apps"
 	"tracedbg/internal/instr"
@@ -95,4 +101,190 @@ func writeSegmentedRun(t *testing.T) string {
 		t.Fatal(err)
 	}
 	return gw.ManifestPath()
+}
+
+// TestFollowLiveSession drives -follow against a segment store that is still
+// being written: status lines and stopline crossings appear while records
+// arrive, and finalizing the producer (manifest close + complete
+// session.json) ends the follow with the full post-mortem report.
+func TestFollowLiveSession(t *testing.T) {
+	dir := t.TempDir()
+	gw, err := trace.NewSequentialSegmentedWriter(dir, "trace", 3, 1<<20, trace.WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := instr.NewMemorySink(3)
+	in := instr.New(3, sink, instr.LevelAll)
+	if err := in.Run(mp.Config{NumRanks: 3}, apps.Ring(2, nil)); err != nil {
+		t.Fatal(err)
+	}
+	src := sink.Trace()
+	ids := src.MergedOrder()
+	half := len(ids) / 2
+	for _, id := range ids[:half] {
+		if err := gw.Write(src.MustAt(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.SyncManifest(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- follow(context.Background(), out, gw.ManifestPath(), 5*time.Millisecond, 0, false) }()
+
+	// Live status must appear while the producer is still writing.
+	waitFor(t, func() bool { return strings.Contains(out.String(), "live: ") })
+
+	for _, id := range ids[half:] {
+		if err := gw.Write(src.MustAt(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "session.json"), []byte(`{"complete":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+	text := out.String()
+	// Stopline 0 is crossed by every rank's first event.
+	for _, frag := range []string{
+		"stopline: all 3 ranks crossed 0",
+		"tanalyze: finalized",
+		"message traffic per rank",
+		"matched, 0 unmatched sends",
+		"deadlock analysis: 0 blocked",
+		"message races: 0",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("follow output missing %q:\n%s", frag, text)
+		}
+	}
+	// The final report must match the post-mortem report of the same history.
+	var want strings.Builder
+	if err := report(&want, src, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, want.String()) {
+		t.Errorf("final report diverges from post-mortem report.\nwant:\n%s\ngot:\n%s", want.String(), text)
+	}
+}
+
+// TestFollowDeadlockAnnounce: a follow over a stalled run announces the
+// deadlock verdict while live, then prints it again in the final report.
+func TestFollowDeadlockAnnounce(t *testing.T) {
+	dir := t.TempDir()
+	gw, err := trace.NewSequentialSegmentedWriter(dir, "trace", 2, 1<<20, trace.WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := instr.NewMemorySink(2)
+	in := instr.New(2, sink, instr.LevelAll)
+	// Both ranks receive from each other first: classic circular wait.
+	_ = in.Run(mp.Config{NumRanks: 2}, func(c *instr.Ctx) {
+		c.Recv(1-c.Rank(), 0)
+		c.Send(1-c.Rank(), 0, nil)
+	})
+	src := sink.Trace()
+	for _, id := range src.MergedOrder() {
+		if err := gw.Write(src.MustAt(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "session.json"), []byte(`{"complete":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := &syncBuffer{}
+	if err := follow(context.Background(), out, gw.ManifestPath(), 5*time.Millisecond, -1, false); err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+	text := out.String()
+	for _, frag := range []string{"deadlock detected after", "cycle:"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("follow output missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+// TestFollowDetach: cancelling the context prints the partial report and
+// returns cleanly even though the producer never finalizes.
+func TestFollowDetach(t *testing.T) {
+	dir := t.TempDir()
+	gw, err := trace.NewSequentialSegmentedWriter(dir, "trace", 3, 1<<20, trace.WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := instr.NewMemorySink(3)
+	in := instr.New(3, sink, instr.LevelAll)
+	if err := in.Run(mp.Config{NumRanks: 3}, apps.Ring(2, nil)); err != nil {
+		t.Fatal(err)
+	}
+	src := sink.Trace()
+	for _, id := range src.MergedOrder() {
+		if err := gw.Write(src.MustAt(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.SyncManifest(); err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- follow(ctx, out, gw.ManifestPath(), 5*time.Millisecond, -1, false) }()
+	waitFor(t, func() bool { return strings.Contains(out.String(), "live: ") })
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+	if !strings.Contains(out.String(), "tanalyze: detached from") {
+		t.Fatalf("no detach notice:\n%s", out.String())
+	}
+}
+
+// syncBuffer is a concurrency-safe bytes.Buffer for follow output.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// waitFor polls cond until it holds or a deadline lapses.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }

@@ -22,16 +22,27 @@
 // manifest within -drain-timeout:
 //
 //	tcollect -daemon -addr 127.0.0.1:7777 -dir /var/lib/tracedbg/sessions
+//
+// With -metrics-addr, a daemon also serves its streaming session API next to
+// /metrics: GET /sessions is a JSON overview of live sessions and retained
+// tombstones, and GET /sessions/<id>/tail streams a session's records as
+// NDJSON (or SSE) while they arrive. The -sessions one-shot queries the
+// overview of a running daemon and prints it as a table:
+//
+//	tcollect -sessions 127.0.0.1:9100
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
 	"tracedbg/internal/obs"
@@ -57,6 +68,8 @@ type options struct {
 	daemon       bool          // long-lived multi-session mode
 	drainTimeout time.Duration // graceful-drain budget on SIGTERM/SIGINT
 	dmn          remote.DaemonOptions
+
+	sessionsAddr string // one-shot: query a running daemon's /sessions and exit
 }
 
 func main() {
@@ -96,7 +109,16 @@ func main() {
 		"daemon mode: per-session ingest queue capacity = client credit window")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second,
 		"daemon mode: graceful-drain budget on SIGTERM/SIGINT")
+	flag.StringVar(&o.sessionsAddr, "sessions", "",
+		"one-shot: query a running daemon's session overview at this metrics address and exit")
 	flag.Parse()
+	if o.sessionsAddr != "" {
+		if err := runSessions(o.sessionsAddr, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tcollect:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if o.daemon {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -112,9 +134,10 @@ func main() {
 	}
 }
 
-// setupObs wires the opt-in observability surfaces: the live endpoint and
+// setupObs wires the opt-in observability surfaces: the live endpoint (with
+// any extra application mounts — the daemon's /sessions streaming API) and
 // the structured event log. It returns a teardown func (never nil).
-func setupObs(o options, log interface{ Write([]byte) (int, error) }) (func(), error) {
+func setupObs(o options, log interface{ Write([]byte) (int, error) }, mounts map[string]http.Handler) (func(), error) {
 	if o.logLevel != "" {
 		lv, ok := obs.ParseLevel(o.logLevel)
 		if !ok {
@@ -125,11 +148,14 @@ func setupObs(o options, log interface{ Write([]byte) (int, error) }) (func(), e
 	if o.metricsAddr == "" {
 		return func() {}, nil
 	}
-	srv, err := obs.Serve(o.metricsAddr, obs.Default())
+	srv, err := obs.ServeWith(o.metricsAddr, obs.Default(), mounts)
 	if err != nil {
 		return nil, err
 	}
 	fmt.Fprintf(log, "tcollect: metrics on %s/metrics\n", srv.URL())
+	if mounts != nil {
+		fmt.Fprintf(log, "tcollect: session API on %s/sessions\n", srv.URL())
+	}
 	return func() { srv.Close() }, nil
 }
 
@@ -151,7 +177,7 @@ func listen(o options) (*remote.Collector, error) {
 }
 
 func run(o options, log interface{ Write([]byte) (int, error) }) error {
-	stopObs, err := setupObs(o, log)
+	stopObs, err := setupObs(o, log, nil)
 	if err != nil {
 		return err
 	}
@@ -223,11 +249,6 @@ func run(o options, log interface{ Write([]byte) (int, error) }) error {
 // a SIGTERM/SIGINT arrives, then drain gracefully — every admitted session's
 // manifest is finalized before exit, so each one opens via the trace store.
 func runDaemon(o options, log interface{ Write([]byte) (int, error) }, sig <-chan os.Signal) error {
-	stopObs, err := setupObs(o, log)
-	if err != nil {
-		return err
-	}
-	defer stopObs()
 	policy, err := trace.ParseSyncPolicy(o.sync)
 	if err != nil {
 		return err
@@ -238,10 +259,18 @@ func runDaemon(o options, log interface{ Write([]byte) (int, error) }, sig <-cha
 	if o.segBytes > 0 {
 		o.dmn.SegmentBytes = o.segBytes
 	}
+	// Bind the daemon before the observability endpoint so its streaming
+	// session API (/sessions, /sessions/<id>/tail) can mount next to /metrics.
 	d, err := listenDaemon(o)
 	if err != nil {
 		return err
 	}
+	stopObs, err := setupObs(o, log, d.Mounts())
+	if err != nil {
+		d.Close()
+		return err
+	}
+	defer stopObs()
 	fmt.Fprintf(log, "tcollect: daemon listening on %s, sessions in %s\n", d.Addr(), d.Dir())
 	if n := len(d.Sessions()); n > 0 {
 		fmt.Fprintf(log, "tcollect: recovered %d session(s) from a previous run\n", n)
@@ -265,6 +294,56 @@ func runDaemon(o options, log interface{ Write([]byte) (int, error) }, sig <-cha
 	}
 	fmt.Fprintf(log, "tcollect: drained, %d bytes on disk\n", d.DiskUsed())
 	return drainErr
+}
+
+// runSessions is the -sessions one-shot: fetch a running daemon's session
+// overview from its metrics endpoint and print it as a table.
+func runSessions(addr string, log interface{ Write([]byte) (int, error) }) error {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/sessions"
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var ov remote.SessionsOverview
+	if err := json.NewDecoder(resp.Body).Decode(&ov); err != nil {
+		return fmt.Errorf("decode %s: %w", url, err)
+	}
+	state := "accepting"
+	if ov.Draining {
+		state = "draining"
+	}
+	fmt.Fprintf(log, "daemon: %s, %d/%d active session(s), %d bytes on disk", state, ov.Active, ov.MaxSessions, ov.DiskUsedBytes)
+	if ov.DiskBudgetBytes > 0 {
+		fmt.Fprintf(log, " (budget %d)", ov.DiskBudgetBytes)
+	}
+	fmt.Fprintln(log)
+	if len(ov.Sessions) == 0 {
+		fmt.Fprintln(log, "no sessions")
+		return nil
+	}
+	tw := tabwriter.NewWriter(log, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "SESSION\tCLIENT\tSTATE\tACCEPTED\tDURABLE\tQUEUED\tBYTES\tFLAGS")
+	for _, s := range ov.Sessions {
+		var flags []string
+		if s.Recovered {
+			flags = append(flags, "recovered")
+		}
+		if s.Connected {
+			flags = append(flags, "connected")
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+			s.ID, s.ClientID, s.State, s.Accepted, s.Durable, s.Queued, s.Bytes, strings.Join(flags, ","))
+	}
+	return tw.Flush()
 }
 
 // listenDaemon binds the daemon with the same bind-retry policy as listen.

@@ -209,6 +209,59 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDaemonSessionsQuery runs -daemon with a metrics endpoint (which mounts
+// the streaming session API) and checks the -sessions one-shot against it.
+func TestDaemonSessionsQuery(t *testing.T) {
+	dir := t.TempDir()
+	log := &logBuf{}
+	sig := make(chan os.Signal, 1)
+
+	o := testOptions("127.0.0.1:0", "", time.Second)
+	o.daemon = true
+	o.drainTimeout = 5 * time.Second
+	o.metricsAddr = "127.0.0.1:0"
+	o.dmn = remote.DaemonOptions{Dir: dir, Heartbeat: 5 * time.Millisecond, ManifestEvery: 10 * time.Millisecond}
+	done := make(chan error, 1)
+	go func() { done <- runDaemon(o, log, sig) }()
+	apiURL := waitAddr(t, log, "tcollect: session API on ")
+	apiURL = strings.TrimSuffix(apiURL, "/sessions")
+	addr := strings.TrimSuffix(waitAddr(t, log, "tcollect: daemon listening on "), ", sessions in "+dir)
+
+	cl, err := remote.DialOptions(addr, 3, remote.ClientOptions{
+		ID: "tcollect-test-query", SessionID: "query-a", MaxRetries: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := instr.New(3, cl, instr.LevelAll)
+	if err := in.Run(mp.Config{NumRanks: 3}, apps.Ring(2, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	qlog := &logBuf{}
+	if err := runSessions(apiURL, qlog); err != nil {
+		t.Fatalf("runSessions: %v", err)
+	}
+	out := qlog.String()
+	for _, want := range []string{"daemon: accepting", "SESSION", "query-a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sessions output missing %q:\n%s", want, out)
+		}
+	}
+
+	if err := runSessions("127.0.0.1:1", &logBuf{}); err == nil {
+		t.Error("unreachable daemon accepted")
+	}
+
+	sig <- syscall.SIGTERM
+	if err := <-done; err != nil {
+		t.Fatalf("daemon: %v", err)
+	}
+}
+
 func TestDaemonBadDir(t *testing.T) {
 	o := testOptions("127.0.0.1:0", "", time.Second)
 	o.daemon = true

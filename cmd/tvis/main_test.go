@@ -2,15 +2,20 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"tracedbg/internal/apps"
 	"tracedbg/internal/instr"
 	"tracedbg/internal/mp"
 	"tracedbg/internal/trace"
+	"tracedbg/internal/vis"
 )
 
 // writeTraceFile records a ring run into a trace file and returns its path.
@@ -129,4 +134,142 @@ func writeSegmentedRun(t *testing.T) string {
 		t.Fatal(err)
 	}
 	return gw.ManifestPath()
+}
+
+// TestFollowLiveManifest drives -follow against a segment store that is
+// still being written: frames render while records arrive, and finalizing
+// the producer (manifest close + complete session.json) ends the follow
+// with a final frame.
+func TestFollowLiveManifest(t *testing.T) {
+	dir := t.TempDir()
+	gw, err := trace.NewSequentialSegmentedWriter(dir, "trace", 3, 1<<20, trace.WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ringTraceTvis(t)
+	ids := src.MergedOrder()
+	half := len(ids) / 2
+	for _, id := range ids[:half] {
+		if err := gw.Write(src.MustAt(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.SyncManifest(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- follow(context.Background(), gw.ManifestPath(), 5*time.Millisecond, vis.Options{Width: 80}, out, false)
+	}()
+
+	// The first half must render while the producer is still live.
+	waitFor(t, func() bool { return strings.Contains(out.String(), "(live)") })
+
+	for _, id := range ids[half:] {
+		if err := gw.Write(src.MustAt(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "session.json"), []byte(`{"complete":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "(finalized)") {
+		t.Fatalf("no final frame:\n%s", text)
+	}
+	want := fmt.Sprintf("%d records", src.Len())
+	if !strings.Contains(text, want) {
+		t.Fatalf("final frame missing %q:\n%s", want, text)
+	}
+	if !strings.Contains(text, "time-space diagram") {
+		t.Fatalf("no diagram rendered:\n%s", text)
+	}
+}
+
+// TestFollowDetach: cancelling the context draws a detach frame and returns
+// cleanly even though the producer never finalizes.
+func TestFollowDetach(t *testing.T) {
+	dir := t.TempDir()
+	gw, err := trace.NewSequentialSegmentedWriter(dir, "trace", 3, 1<<20, trace.WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ringTraceTvis(t)
+	for _, id := range src.MergedOrder() {
+		if err := gw.Write(src.MustAt(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.SyncManifest(); err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- follow(ctx, gw.ManifestPath(), 5*time.Millisecond, vis.Options{Width: 80}, out, false) }()
+	waitFor(t, func() bool { return strings.Contains(out.String(), "(live)") })
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+	if !strings.Contains(out.String(), "(detached)") {
+		t.Fatalf("no detach frame:\n%s", out.String())
+	}
+}
+
+// ringTraceTvis records a small ring run in memory.
+func ringTraceTvis(t *testing.T) *trace.Trace {
+	t.Helper()
+	sink := instr.NewMemorySink(3)
+	in := instr.New(3, sink, instr.LevelAll)
+	if err := in.Run(mp.Config{NumRanks: 3}, apps.Ring(2, nil)); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Trace()
+}
+
+// syncBuffer is a concurrency-safe bytes.Buffer for follow output.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// waitFor polls cond until it holds or a deadline lapses.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }

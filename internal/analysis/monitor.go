@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"tracedbg/internal/trace"
+)
+
+// Monitor is the incremental (always-on) form of the §4.4 history analyses:
+// it consumes a live record stream one record at a time — a Store.Tail
+// cursor, an instrumentation sink — and keeps the traffic counts, the
+// unmatched send/receive lists, stopline crossings, and a debounced deadlock
+// verdict current while the run is still executing. Every analysis reuses
+// the post-mortem implementation (MatchTracker online, DetectDeadlock over
+// the accumulated history), so a monitor that has seen the whole stream
+// reports exactly what the post-mortem run of the finalized trace reports —
+// including the fault-aware classification of blocked operations.
+type Monitor struct {
+	mu       sync.Mutex
+	tr       *trace.Trace
+	mt       *MatchTracker
+	stopline int64
+
+	sends, recvs []int
+	crossedAt    []int64 // first End >= stopline per rank; -1 = not yet
+	newCross     []int   // ranks that crossed since the last Crossings call
+
+	lastDeadlockLen int
+	deadlock        *DeadlockReport
+}
+
+// NewMonitor creates a monitor for numRanks ranks. stopline < 0 disables
+// stopline tracking.
+func NewMonitor(numRanks int, stopline int64) *Monitor {
+	crossed := make([]int64, numRanks)
+	for i := range crossed {
+		crossed[i] = -1
+	}
+	return &Monitor{
+		tr:              trace.New(numRanks),
+		mt:              NewMatchTracker(),
+		stopline:        stopline,
+		sends:           make([]int, numRanks),
+		recvs:           make([]int, numRanks),
+		crossedAt:       crossed,
+		lastDeadlockLen: -1,
+	}
+}
+
+// Observe feeds one record. It is safe for concurrent use, though a tail
+// cursor delivers serially. Records must arrive in per-rank start order
+// (what any trace cursor yields); a violation is reported by the underlying
+// trace append and the record is dropped.
+func (m *Monitor) Observe(rec *trace.Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.tr.Append(*rec); err != nil {
+		return err
+	}
+	m.mt.Emit(rec)
+	if rec.Rank >= 0 && rec.Rank < len(m.sends) {
+		switch rec.Kind {
+		case trace.KindSend:
+			m.sends[rec.Rank]++
+		case trace.KindRecv:
+			m.recvs[rec.Rank]++
+		}
+		if m.stopline >= 0 && m.crossedAt[rec.Rank] < 0 && rec.End >= m.stopline {
+			m.crossedAt[rec.Rank] = rec.End
+			m.newCross = append(m.newCross, rec.Rank)
+		}
+	}
+	return nil
+}
+
+// Records returns how many records the monitor has absorbed.
+func (m *Monitor) Records() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tr.Len()
+}
+
+// Trace exposes the accumulated history (for a final full analysis pass).
+// The monitor keeps appending to it; callers should only use it after the
+// stream has ended.
+func (m *Monitor) Trace() *trace.Trace {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tr
+}
+
+// Traffic snapshots the incremental per-rank counts through the same
+// irregularity classification as the post-mortem AnalyzeTraffic.
+func (m *Monitor) Traffic() *TrafficReport {
+	m.mu.Lock()
+	rep := &TrafficReport{
+		Sends: append([]int(nil), m.sends...),
+		Recvs: append([]int(nil), m.recvs...),
+	}
+	m.mu.Unlock()
+	classifyTraffic(rep)
+	return rep
+}
+
+// Unmatched returns the current unmatched send and receive counts.
+func (m *Monitor) Unmatched() (sends, recvs int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.mt.UnmatchedSends()), len(m.mt.UnmatchedRecvs())
+}
+
+// MatchReport renders the unmatched lists (the online §4.4 lists).
+func (m *Monitor) MatchReport() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mt.Report()
+}
+
+// Crossings drains the stopline crossings observed since the previous call:
+// each entry is a rank that has just reached the stopline, in observation
+// order. CrossedAt reports the crossing time of a rank, or -1.
+func (m *Monitor) Crossings() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.newCross
+	m.newCross = nil
+	return out
+}
+
+// CrossedAt returns the virtual time at which rank first crossed the
+// stopline, or -1 if it has not (or stopline tracking is off).
+func (m *Monitor) CrossedAt(rank int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rank < 0 || rank >= len(m.crossedAt) {
+		return -1
+	}
+	return m.crossedAt[rank]
+}
+
+// AllCrossed reports whether every rank has crossed the stopline.
+func (m *Monitor) AllCrossed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopline < 0 || len(m.crossedAt) == 0 {
+		return false
+	}
+	for _, at := range m.crossedAt {
+		if at < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckDeadlock runs the full fault-aware deadlock detection over the
+// accumulated history, debounced: the (potentially quadratic) detector only
+// re-runs when at least minNewRecords records arrived since the previous
+// check; otherwise the cached report is returned. minNewRecords <= 0 always
+// re-runs.
+func (m *Monitor) CheckDeadlock(minNewRecords int) *DeadlockReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.tr.Len()
+	if m.deadlock != nil && m.lastDeadlockLen >= 0 && n-m.lastDeadlockLen < minNewRecords {
+		return m.deadlock
+	}
+	m.deadlock = DetectDeadlock(m.tr)
+	m.lastDeadlockLen = n
+	return m.deadlock
+}
+
+// Status renders a one-line live summary: record count, unmatched totals,
+// irregular ranks, stopline progress.
+func (m *Monitor) Status() string {
+	traffic := m.Traffic()
+	us, ur := m.Unmatched()
+	m.mu.Lock()
+	n := m.tr.Len()
+	var crossed []int
+	if m.stopline >= 0 {
+		for r, at := range m.crossedAt {
+			if at >= 0 {
+				crossed = append(crossed, r)
+			}
+		}
+	}
+	stopline := m.stopline
+	m.mu.Unlock()
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d records, %d unmatched send(s), %d unmatched recv(s)", n, us, ur)
+	if len(traffic.Odd) > 0 {
+		ranks := make([]int, 0, len(traffic.Odd))
+		for _, ir := range traffic.Odd {
+			ranks = append(ranks, ir.Rank)
+		}
+		sort.Ints(ranks)
+		fmt.Fprintf(&sb, ", irregular ranks %v", ranks)
+	}
+	if stopline >= 0 {
+		fmt.Fprintf(&sb, ", stopline %d crossed by %d/%d ranks", stopline, len(crossed), len(m.crossedAt))
+	}
+	return sb.String()
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"tracedbg/internal/instr"
+	"tracedbg/internal/mp"
+	"tracedbg/internal/trace"
+)
+
+// completionOrder returns the trace's records in the order a live run would
+// have emitted them (AddTrace's ordering).
+func completionOrder(tr *trace.Trace) []*trace.Record {
+	var ids []trace.EventID
+	for r := 0; r < tr.NumRanks(); r++ {
+		for i := range tr.Rank(r) {
+			ids = append(ids, trace.EventID{Rank: r, Index: i})
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ra, rb := tr.MustAt(ids[a]), tr.MustAt(ids[b])
+		if ra.End != rb.End {
+			return ra.End < rb.End
+		}
+		if ra.Kind == trace.KindSend && rb.Kind == trace.KindRecv {
+			return true
+		}
+		if ra.Kind == trace.KindRecv && rb.Kind == trace.KindSend {
+			return false
+		}
+		return ids[a].Less(ids[b])
+	})
+	out := make([]*trace.Record, len(ids))
+	for i, id := range ids {
+		out[i] = tr.MustAt(id)
+	}
+	return out
+}
+
+// TestMonitorMatchesPostMortem: a monitor that absorbed the whole stream
+// reports the same traffic and unmatched lists as the post-mortem analyses
+// of the finalized trace.
+func TestMonitorMatchesPostMortem(t *testing.T) {
+	sink := instr.NewMemorySink(3)
+	in := instr.New(3, sink, instr.LevelAll)
+	if err := in.Run(mp.Config{NumRanks: 3}, func(c *instr.Ctx) {
+		next := (c.Rank() + 1) % 3
+		prev := (c.Rank() + 2) % 3
+		for i := 0; i < 3; i++ {
+			if c.Rank()%2 == 0 {
+				c.Send(next, 7, make([]byte, 64))
+				c.Recv(prev, 7)
+			} else {
+				c.Recv(prev, 7)
+				c.Send(next, 7, make([]byte, 64))
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr := sink.Trace()
+
+	m := NewMonitor(tr.NumRanks(), -1)
+	for _, rec := range completionOrder(tr) {
+		if err := m.Observe(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Records() != tr.Len() {
+		t.Fatalf("absorbed %d records, trace has %d", m.Records(), tr.Len())
+	}
+	if got, want := m.Traffic().String(), AnalyzeTraffic(tr).String(); got != want {
+		t.Errorf("traffic diverged:\nlive:\n%s\npost-mortem:\n%s", got, want)
+	}
+	want := NewMatchTracker()
+	want.AddTrace(tr)
+	if got := m.MatchReport(); got != want.Report() {
+		t.Errorf("match report diverged:\nlive:\n%s\npost-mortem:\n%s", got, want.Report())
+	}
+	status := m.Status()
+	if !strings.Contains(status, "records") {
+		t.Errorf("status: %q", status)
+	}
+}
+
+// TestMonitorStopline: ranks report exactly one crossing each, at the first
+// record whose End reaches the stopline.
+func TestMonitorStopline(t *testing.T) {
+	m := NewMonitor(2, 100)
+	feed := []trace.Record{
+		{Kind: trace.KindMarker, Rank: 0, Start: 10, End: 50},
+		{Kind: trace.KindMarker, Rank: 1, Start: 10, End: 99},
+		{Kind: trace.KindMarker, Rank: 0, Start: 60, End: 120},
+		{Kind: trace.KindMarker, Rank: 0, Start: 130, End: 200},
+		{Kind: trace.KindMarker, Rank: 1, Start: 100, End: 100},
+	}
+	for i := range feed {
+		if err := m.Observe(&feed[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cross := m.Crossings()
+	if len(cross) != 2 || cross[0] != 0 || cross[1] != 1 {
+		t.Fatalf("crossings = %v", cross)
+	}
+	if again := m.Crossings(); len(again) != 0 {
+		t.Fatalf("crossings not drained: %v", again)
+	}
+	if at := m.CrossedAt(0); at != 120 {
+		t.Errorf("rank 0 crossed at %d, want 120", at)
+	}
+	if at := m.CrossedAt(1); at != 100 {
+		t.Errorf("rank 1 crossed at %d, want 100", at)
+	}
+	if !m.AllCrossed() {
+		t.Error("AllCrossed = false")
+	}
+	if !strings.Contains(m.Status(), "stopline 100 crossed by 2/2 ranks") {
+		t.Errorf("status: %q", m.Status())
+	}
+}
+
+// TestMonitorDeadlockDebounce: the incremental deadlock check reproduces
+// the post-mortem fault-aware report and reuses the cached verdict until
+// enough new records arrive.
+func TestMonitorDeadlockDebounce(t *testing.T) {
+	tr := stalledTrace(t, 2, func(c *instr.Ctx) {
+		c.Recv(1-c.Rank(), 0)
+	})
+	m := NewMonitor(tr.NumRanks(), -1)
+	for _, rec := range completionOrder(tr) {
+		if err := m.Observe(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := m.CheckDeadlock(0)
+	if !rep.HasDeadlock() {
+		t.Fatalf("no deadlock found: %s", rep)
+	}
+	if got, want := rep.String(), DetectDeadlock(tr).String(); got != want {
+		t.Errorf("deadlock report diverged:\nlive:\n%s\npost-mortem:\n%s", got, want)
+	}
+	if again := m.CheckDeadlock(1000); again != rep {
+		t.Error("debounced check re-ran with no new records")
+	}
+	if fresh := m.CheckDeadlock(0); fresh == rep {
+		t.Error("forced check returned the cached report")
+	}
+}

@@ -45,6 +45,19 @@ func goldenRegistry() *Registry {
 	r.Gauge("tracedbg_collector_disk_used_bytes", "bytes of segment data written across all sessions, against the disk budget").Set(1 << 20)
 	r.Gauge("tracedbg_collector_queue_records", "records buffered in per-session ingest queues (the daemon's live-heap bound)").Set(96)
 	r.Counter("tracedbg_collector_ingest_stalls_total", "ingest reads that blocked on a full session queue (TCP backpressure engaged)").Add(4)
+	// The live-monitoring set: store-level tail cursors and the daemon's
+	// HTTP streaming consumers.
+	r.Counter("tracedbg_store_tails_total", "live tail cursors opened on stores").Add(5)
+	r.Counter("tracedbg_store_tail_records_total", "records delivered by live tail cursors").Add(1200)
+	r.Counter("tracedbg_store_tail_polls_total", "tail growth re-checks that found nothing new").Add(37)
+	r.Counter("tracedbg_store_tail_resyncs_total", "mid-tail damage resynchronizations").Inc()
+	r.Counter("tracedbg_store_tail_rotations_total", "segment-chain handoffs performed by live tails").Add(6)
+	r.Counter("tracedbg_store_tail_reopens_total", "tails restarted because the file was rewritten underneath").Inc()
+	r.Gauge("tracedbg_store_tail_active", "live tail cursors currently open").Set(2)
+	r.Counter("tracedbg_collector_streams_total", "HTTP tail streams opened on daemon sessions").Add(3)
+	r.Counter("tracedbg_collector_stream_records_total", "records delivered to HTTP tail consumers").Add(900)
+	r.Counter("tracedbg_collector_stream_dropped_total", "records dropped on slow HTTP tail consumers (bounded queue overflow)").Add(7)
+	r.Gauge("tracedbg_collector_stream_consumers", "HTTP tail consumers currently connected").Set(1)
 	return r
 }
 

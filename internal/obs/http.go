@@ -19,7 +19,19 @@ import (
 // The handler performs no authentication; bind it to loopback (the CLIs
 // default to 127.0.0.1) or put it behind whatever fronts the deployment.
 func Handler(reg *Registry) http.Handler {
+	return HandlerWith(reg, nil)
+}
+
+// HandlerWith is Handler with extra application endpoints mounted on the
+// same mux — the collector daemon uses it to expose its session streaming
+// API next to /metrics. Patterns use net/http mux syntax (a trailing slash
+// matches the subtree); mounting over the reserved observability patterns
+// panics like any duplicate mux registration would.
+func HandlerWith(reg *Registry, mounts map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
+	for pattern, h := range mounts {
+		mux.Handle(pattern, h)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("format") == "json" ||
 			strings.Contains(r.Header.Get("Accept"), "application/json") {
@@ -54,11 +66,17 @@ type Server struct {
 // Serve starts the observability endpoint on addr (e.g. "127.0.0.1:0") and
 // returns once it is listening. Close shuts it down.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeWith(addr, reg, nil)
+}
+
+// ServeWith is Serve over HandlerWith: the observability endpoint plus the
+// given application mounts on one listener.
+func ServeWith(addr string, reg *Registry, mounts map[string]http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen: %w", err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: HandlerWith(reg, mounts), ReadHeaderTimeout: 5 * time.Second}}
 	go s.srv.Serve(ln)
 	return s, nil
 }

@@ -68,6 +68,10 @@ type DaemonOptions struct {
 	// QueueRecords is the per-session ingest queue capacity, which is also
 	// the credit window advertised to clients. Default 1024.
 	QueueRecords int
+	// StreamQueueRecords is the per-consumer record queue of the HTTP tail
+	// API: a consumer slower than ingest loses (and is told it lost)
+	// overflow records instead of buffering without bound. Default 256.
+	StreamQueueRecords int
 	// SegmentBytes is the segment rotation threshold. Default 4 MiB.
 	SegmentBytes int64
 	// Heartbeat is the TDBGACK cadence (durable count + credit window).
@@ -95,6 +99,9 @@ func (o DaemonOptions) withDefaults() DaemonOptions {
 	}
 	if o.QueueRecords <= 0 {
 		o.QueueRecords = 1024
+	}
+	if o.StreamQueueRecords <= 0 {
+		o.StreamQueueRecords = 256
 	}
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 4 << 20
@@ -553,6 +560,12 @@ func (d *Daemon) openSessionLocked(sessionID, clientID string, numRanks int) (*s
 	if err != nil {
 		return nil, err
 	}
+	// Publish the manifest immediately so live tail consumers can attach to
+	// the session before its first record becomes durable.
+	if err := gw.SyncManifest(); err != nil {
+		gw.Close()
+		return nil, err
+	}
 	s := &session{
 		id: sessionID, clientID: clientID, numRanks: numRanks, dir: dir, gw: gw,
 		queue: make(chan trace.Record, d.opts.QueueRecords),
@@ -571,11 +584,39 @@ func (d *Daemon) openSessionLocked(sessionID, clientID string, numRanks int) (*s
 // flush (that count backs the acks clients prune and resume by), keeps the
 // live manifest fresh, and enforces byte quotas against actually-written
 // bytes. Exits when the queue closes (finalize).
+//
+// The manifest sync must also fire on an idle queue: a burst of records
+// inside one ManifestEvery window followed by silence would otherwise leave
+// durable segments invisible to live tail consumers until the next record
+// or finalize.
 func (d *Daemon) writerLoop(s *session) {
 	defer d.wg.Done()
 	defer close(s.qdone)
 	lastSync := time.Now()
-	for rec := range s.queue {
+	dirty := false
+	idle := time.NewTicker(d.opts.ManifestEvery)
+	defer idle.Stop()
+	syncNow := func() {
+		if err := s.gw.SyncManifest(); err != nil {
+			d.sessionError(s, err)
+		}
+		lastSync = time.Now()
+		dirty = false
+	}
+	for {
+		var rec trace.Record
+		var open bool
+		select {
+		case rec, open = <-s.queue:
+		case <-idle.C:
+			if dirty && time.Since(lastSync) >= d.opts.ManifestEvery {
+				syncNow()
+			}
+			continue
+		}
+		if !open {
+			break
+		}
 		batch := 1
 		if err := s.gw.Write(&rec); err != nil {
 			d.sessionError(s, err)
@@ -604,11 +645,9 @@ func (d *Daemon) writerLoop(s *session) {
 		d.mu.Unlock()
 		d.accountDisk(s)
 		d.overByteQuota(s)
+		dirty = true
 		if time.Since(lastSync) >= d.opts.ManifestEvery {
-			if err := s.gw.SyncManifest(); err != nil {
-				d.sessionError(s, err)
-			}
-			lastSync = time.Now()
+			syncNow()
 		}
 	}
 	if err := s.gw.Flush(); err != nil {

@@ -5,7 +5,12 @@
 package remote
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
 	"errors"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -111,6 +116,45 @@ func TestDaemonSoak(t *testing.T) {
 		}(i)
 	}
 
+	// An always-on HTTP consumer tails one session while the soak hammers the
+	// daemon: live records must reach it during ingest, and cancelling its
+	// request (before the kill below tears the daemon down) must detach it
+	// cleanly without wedging the writer path.
+	consumersBase := metrics().streamConsumers.Value()
+	srv := httptest.NewServer(d.HTTPHandler())
+	tailCtx, tailCancel := context.WithCancel(context.Background())
+	tailLive := make(chan struct{})
+	tailDone := make(chan struct{})
+	go func() {
+		defer close(tailDone)
+		req, err := http.NewRequestWithContext(tailCtx, http.MethodGet, srv.URL+"/sessions/soak-a/tail", nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Errorf("live tail: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		first := true
+		for sc.Scan() {
+			if first {
+				first = false
+				close(tailLive)
+			}
+		}
+		// The scan ends with a context-cancel read error; that is the
+		// expected detach path, not a failure.
+	}()
+	select {
+	case <-tailLive:
+	case <-time.After(5 * time.Second):
+		t.Fatal("HTTP tailer saw no records while ingest was running")
+	}
+
 	// Mid-soak, a fault-plan crash rule fires on the cross-session durable
 	// count and the daemon dies without finalizing anything; a replacement on
 	// the same address salvages all sessions and the clients resume into it.
@@ -133,6 +177,9 @@ func TestDaemonSoak(t *testing.T) {
 		}
 		return false
 	})
+	tailCancel()
+	<-tailDone
+	srv.Close()
 	d.Kill()
 	d = restartDaemon(t, addr, opts)
 	recovered := 0
@@ -172,6 +219,39 @@ func TestDaemonSoak(t *testing.T) {
 	}
 	close(monDone)
 	monWG.Wait()
+
+	// A fresh consumer against the restarted daemon replays the finalized
+	// session it never watched live: the trailing eof accounting must cover
+	// every record the session ingested, and no consumers may leak.
+	srv2 := httptest.NewServer(d.HTTPHandler())
+	resp, err := http.Get(srv2.URL + "/sessions/soak-b/tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eof wireLine
+	sc := bufio.NewScanner(resp.Body)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var l wireLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if l.EOF {
+			eof = l
+		}
+	}
+	resp.Body.Close()
+	srv2.Close()
+	if !eof.EOF {
+		t.Fatal("replay tail ended without an eof line")
+	}
+	if total := int64(ranks * perRank); eof.Records+eof.Dropped != total {
+		t.Errorf("replay accounted for %d records + %d dropped, want %d total", eof.Records, eof.Dropped, total)
+	}
+	waitFor(t, "stream consumers drained", func() bool {
+		return metrics().streamConsumers.Value() == consumersBase
+	})
 
 	// The live-heap bound, from the same gauge /metrics exports.
 	if bound := int64(admitted * queueCap); maxQueued > bound {

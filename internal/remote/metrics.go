@@ -42,6 +42,12 @@ type remoteMetrics struct {
 	sessDiskUsed     *obs.Gauge
 	sessQueueRecords *obs.Gauge
 	sessIngestStalls *obs.Counter
+
+	// daemon streaming API (HTTP tail consumers)
+	streams         *obs.Counter
+	streamRecords   *obs.Counter
+	streamDropped   *obs.Counter
+	streamConsumers *obs.Gauge
 }
 
 func newRemoteMetrics(r *obs.Registry) *remoteMetrics {
@@ -98,6 +104,14 @@ func newRemoteMetrics(r *obs.Registry) *remoteMetrics {
 			"records buffered in per-session ingest queues (the daemon's live-heap bound)"),
 		sessIngestStalls: r.Counter("tracedbg_collector_ingest_stalls_total",
 			"ingest reads that blocked on a full session queue (TCP backpressure engaged)"),
+		streams: r.Counter("tracedbg_collector_streams_total",
+			"HTTP tail streams opened on daemon sessions"),
+		streamRecords: r.Counter("tracedbg_collector_stream_records_total",
+			"records delivered to HTTP tail consumers"),
+		streamDropped: r.Counter("tracedbg_collector_stream_dropped_total",
+			"records dropped on slow HTTP tail consumers (bounded queue overflow)"),
+		streamConsumers: r.Gauge("tracedbg_collector_stream_consumers",
+			"HTTP tail consumers currently connected"),
 	}
 }
 

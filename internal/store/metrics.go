@@ -23,6 +23,14 @@ type storeMetrics struct {
 
 	cursors       *obs.Counter
 	cursorRecords *obs.Counter
+
+	tails         *obs.Counter
+	tailRecords   *obs.Counter
+	tailPolls     *obs.Counter
+	tailResyncs   *obs.Counter
+	tailRotations *obs.Counter
+	tailReopens   *obs.Counter
+	tailActive    *obs.Gauge
 }
 
 func newStoreMetrics(r *obs.Registry) *storeMetrics {
@@ -49,6 +57,20 @@ func newStoreMetrics(r *obs.Registry) *storeMetrics {
 			"streaming record cursors opened on stores"),
 		cursorRecords: r.Counter("tracedbg_store_cursor_records_total",
 			"records yielded by streaming cursors"),
+		tails: r.Counter("tracedbg_store_tails_total",
+			"live tail cursors opened on stores"),
+		tailRecords: r.Counter("tracedbg_store_tail_records_total",
+			"records delivered by live tail cursors"),
+		tailPolls: r.Counter("tracedbg_store_tail_polls_total",
+			"tail growth re-checks that found nothing new"),
+		tailResyncs: r.Counter("tracedbg_store_tail_resyncs_total",
+			"mid-tail damage resynchronizations"),
+		tailRotations: r.Counter("tracedbg_store_tail_rotations_total",
+			"segment-chain handoffs performed by live tails"),
+		tailReopens: r.Counter("tracedbg_store_tail_reopens_total",
+			"tails restarted because the file was rewritten underneath"),
+		tailActive: r.Gauge("tracedbg_store_tail_active",
+			"live tail cursors currently open"),
 	}
 }
 

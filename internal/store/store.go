@@ -41,6 +41,13 @@ const (
 	// ModePartial keeps the clean prefix before the first damage and marks
 	// the trace incomplete (ReadAllPartial semantics).
 	ModePartial
+	// ModeLive opens an input that may still be growing — a file another
+	// process is writing, an unfinalized segment manifest, a collector
+	// session directory. It unlocks Tail (blocking live cursors), and
+	// Trace() snapshots the durable prefix without reporting the growth
+	// frontier (a trailing partial frame) as damage. Following an
+	// unfinalized trace is an explicit choice: no other mode does it.
+	ModeLive
 )
 
 // Options tunes Open. The zero value is ModeAuto with no index.
@@ -285,6 +292,13 @@ func (s *Store) Report() *trace.SalvageReport {
 func (s *Store) load() (*trace.Trace, *trace.SalvageReport, error) {
 	m := metrics()
 	m.loads.Inc()
+	if s.opts.Mode == ModeLive {
+		t, rep, err := s.loadLive()
+		if err == nil && (t.Incomplete() || t.HasGaps()) {
+			m.loadsDamaged.Inc()
+		}
+		return t, rep, err
+	}
 	if s.manifest != nil {
 		t, err := trace.LoadSegmented(s.info.Path)
 		if err == nil && (t.Incomplete() || t.HasGaps()) {

@@ -1,0 +1,341 @@
+package store_test
+
+// Live-tail differential suite: a Store.Tail cursor following a growing
+// input must deliver exactly the record stream a post-mortem Open of the
+// finalized input yields — over plain files, rotating segment chains, and
+// collector session directories. These tests run under -race in CI (the
+// store package is on the race list): the writer goroutines here are real
+// concurrency, not staged replays.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tracedbg/internal/obs"
+	"tracedbg/internal/store"
+	"tracedbg/internal/trace"
+)
+
+// mergedOrder flattens a trace into one globally Start-ordered sequence —
+// the order a collector writes a multi-rank session in.
+func mergedOrder(tr *trace.Trace) []trace.Record {
+	var out []trace.Record
+	for r := 0; r < tr.NumRanks(); r++ {
+		out = append(out, tr.Rank(r)...)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Start < out[j-1].Start; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func drainTailCursor(t *testing.T, tc store.TailCursor) []trace.Record {
+	t.Helper()
+	var out []trace.Record
+	for {
+		rec, err := tc.Next(context.Background())
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("tail Next: %v", err)
+		}
+		out = append(out, *rec)
+	}
+}
+
+func drainRecordCursor(t *testing.T, c trace.RecordCursor) []trace.Record {
+	t.Helper()
+	defer c.Close()
+	var out []trace.Record
+	for {
+		rec, err := c.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("cursor Next: %v", err)
+		}
+		out = append(out, *rec)
+	}
+}
+
+func TestTailRequiresModeLive(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	tr := genTrace(rng, 2, 20)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	if err := trace.WriteFileAtomic(path, tr, trace.WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []store.Mode{store.ModeAuto, store.ModeStrict, store.ModePartial} {
+		st, err := store.Open(path, store.Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("Open mode %d: %v", mode, err)
+		}
+		if _, err := st.Tail(); err == nil {
+			t.Fatalf("Tail allowed in mode %d", mode)
+		}
+	}
+	st, err := store.Open(path, store.Options{Mode: store.ModeLive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := st.Tail(store.TailOptions{Done: func() bool { return true }})
+	if err != nil {
+		t.Fatalf("Tail in ModeLive: %v", err)
+	}
+	defer tc.Close()
+	got := drainTailCursor(t, tc)
+	want := mergedOrder(tr)
+	// File order for a single-writer file is merged Start order.
+	if len(got) != len(want) {
+		t.Fatalf("tailed %d records, want %d", len(got), len(want))
+	}
+}
+
+// TestTailChainDifferential runs a segment writer and a chain tailer
+// concurrently; once the writer finalizes, the tailed stream must equal the
+// post-mortem store's file-order cursor over the same finalized manifest.
+func TestTailChainDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	tr := genTrace(rng, 3, 400)
+	recs := mergedOrder(tr)
+	dir := t.TempDir()
+	gw, err := trace.NewSequentialSegmentedWriter(dir, "trace", tr.NumRanks(), 4096,
+		trace.WriterOptions{ChunkBytes: 512, Writer: "tail-differential"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done atomic.Bool
+	go func() {
+		defer done.Store(true)
+		wrng := rand.New(rand.NewSource(92))
+		for i := range recs {
+			if err := gw.Write(&recs[i]); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			if wrng.Intn(32) == 0 {
+				gw.Flush()
+				gw.SyncManifest()
+				if wrng.Intn(4) == 0 {
+					time.Sleep(time.Duration(wrng.Intn(300)) * time.Microsecond)
+				}
+			}
+		}
+		if err := gw.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	manifest := gw.ManifestPath()
+	// The store may open before the writer's first manifest sync: retry the
+	// way a live consumer has to.
+	var st *store.Store
+	for {
+		st, err = store.Open(manifest, store.Options{Mode: store.ModeLive})
+		if err == nil {
+			break
+		}
+		if done.Load() {
+			if st, err = store.Open(manifest, store.Options{Mode: store.ModeLive}); err != nil {
+				t.Fatalf("Open after writer done: %v", err)
+			}
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	tc, err := st.Tail(store.TailOptions{Poll: 200 * time.Microsecond, Done: done.Load})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	got := drainTailCursor(t, tc)
+
+	post, err := store.Open(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := post.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drainRecordCursor(t, all)
+	if len(got) != len(want) {
+		t.Fatalf("tailed %d records, post-mortem has %d", len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("record %d: tail %+v, post-mortem %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTailSessionAutoDone pins the collector-session convention: with no
+// explicit Done, a path-backed tail finalizes when a sibling session.json
+// marks the session complete.
+func TestTailSessionAutoDone(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	tr := genTrace(rng, 2, 60)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace-00000.trace")
+	if err := trace.WriteFileAtomic(path, tr, trace.WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(path, store.Options{Mode: store.ModeLive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := st.Tail(store.TailOptions{Poll: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+
+	// Without session.json the tail keeps following.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	n := 0
+	for {
+		_, err := tc.Next(ctx)
+		if err == context.DeadlineExceeded {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		n++
+	}
+	cancel()
+	if n == 0 {
+		t.Fatal("no records before session finalized")
+	}
+
+	// Finalize the session: the same cursor must now drain to EOF.
+	meta := filepath.Join(dir, "session.json")
+	if err := os.WriteFile(meta, []byte(`{"complete":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rest := drainTailCursor(t, tc)
+	total := n + len(rest)
+	want := 0
+	for r := 0; r < tr.NumRanks(); r++ {
+		want += len(tr.Rank(r))
+	}
+	if total != want {
+		t.Fatalf("delivered %d records, want %d", total, want)
+	}
+}
+
+// TestLiveTraceSnapshot pins ModeLive materialization: a trailing partial
+// frame is the growth frontier, not damage — unlike ModeAuto over the same
+// bytes — while interior damage stays quarantined.
+func TestLiveTraceSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	tr := genTrace(rng, 2, 120)
+	var buf bytes.Buffer
+	if err := trace.WriteAllOptions(&buf, tr, trace.WriterOptions{ChunkBytes: 256}); err != nil {
+		t.Fatal(err)
+	}
+	image := buf.Bytes()
+	cut := image[:len(image)-7] // mid-frame: a partial trailing chunk
+
+	postSt, err := store.OpenBytes(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postTr, err := postSt.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !postTr.Incomplete() || !postTr.HasGaps() {
+		t.Fatal("post-mortem load of a truncated file must flag damage")
+	}
+
+	liveSt, err := store.OpenBytes(cut, store.Options{Mode: store.ModeLive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveTr, err := liveSt.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveTr.Incomplete() {
+		t.Fatalf("live snapshot marked incomplete: %s", liveTr.IncompleteReason())
+	}
+	if liveTr.HasGaps() {
+		t.Fatalf("live snapshot reported the growth frontier as damage: %+v", liveTr.Gaps())
+	}
+	// Same records either way: the frontier only defers, never changes.
+	for r := 0; r < postTr.NumRanks(); r++ {
+		if !reflect.DeepEqual(postTr.Rank(r), liveTr.Rank(r)) {
+			t.Fatalf("rank %d: live snapshot diverges from post-mortem records", r)
+		}
+	}
+
+	// Interior damage (more verified frames after the corruption) stays
+	// quarantined even live.
+	corrupt := append([]byte(nil), image...)
+	corrupt[len(image)/2] ^= 0x42
+	liveC, err := store.OpenBytes(corrupt, store.Options{Mode: store.ModeLive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveCT, err := liveC.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !liveCT.HasGaps() {
+		t.Fatal("live snapshot dropped interior damage")
+	}
+}
+
+// TestTailMetrics pins the tracedbg_store_tail_* instrumentation.
+func TestTailMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	store.SetObsRegistry(reg)
+	defer store.SetObsRegistry(obs.Default())
+
+	rng := rand.New(rand.NewSource(95))
+	tr := genTrace(rng, 2, 30)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.trace")
+	if err := trace.WriteFileAtomic(path, tr, trace.WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(path, store.Options{Mode: store.ModeLive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := st.Tail(store.TailOptions{Done: func() bool { return true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainTailCursor(t, tc)
+	tc.Close()
+	tc.Close() // idempotent: the active gauge must not go negative
+
+	snap := map[string]float64{}
+	for _, m := range reg.Snapshot().Metrics {
+		snap[m.Name] = m.Value
+	}
+	if snap["tracedbg_store_tails_total"] != 1 {
+		t.Fatalf("tails_total = %v, want 1", snap["tracedbg_store_tails_total"])
+	}
+	if snap["tracedbg_store_tail_records_total"] != float64(len(got)) {
+		t.Fatalf("tail_records_total = %v, want %d", snap["tracedbg_store_tail_records_total"], len(got))
+	}
+	if snap["tracedbg_store_tail_active"] != 0 {
+		t.Fatalf("tail_active = %v after Close, want 0", snap["tracedbg_store_tail_active"])
+	}
+}

@@ -346,6 +346,12 @@ func (c *SalvageCursor) Gaps() []Gap { return c.s.allGaps() }
 // final once Next returned io.EOF.
 func (c *SalvageCursor) Incomplete() (bool, string) { return c.s.finInc, c.s.finWhy }
 
+// WriterIncomplete reports whether the writer itself declared the history
+// incomplete (an 'I' marker in the stream), as distinct from incompleteness
+// inferred from damage or a missing completion trailer. Live readers use
+// the distinction: a still-growing file is expected to lack its trailer.
+func (c *SalvageCursor) WriterIncomplete() (bool, string) { return c.s.sawInc, c.s.incWhy }
+
 func (c *SalvageCursor) step() bool {
 	if c.sc != nil {
 		return c.legacyStep()

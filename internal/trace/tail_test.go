@@ -1,0 +1,484 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// drainTail collects every record from a tail cursor until io.EOF.
+func drainTail(t *testing.T, tc TailCursor, ctx context.Context) ([]Record, error) {
+	t.Helper()
+	var out []Record
+	for {
+		rec, err := tc.Next(ctx)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, *rec)
+	}
+}
+
+// drainSalvage collects every record a post-mortem salvage cursor yields.
+func drainSalvage(t *testing.T, c *SalvageCursor) []Record {
+	t.Helper()
+	var out []Record
+	for {
+		rec, err := c.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("salvage Next: %v", err)
+		}
+		out = append(out, *rec)
+	}
+}
+
+// doneTrue finalizes immediately: the tail reads whatever is on disk and
+// runs the post-mortem machine over the remainder.
+func doneTrue() bool { return true }
+
+// recordsEqual fails the test when the tailed stream diverges from the
+// post-mortem one.
+func recordsEqual(t *testing.T, label string, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d records, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("%s: record %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestTailFinalizedParity sweeps truncation points over a pristine and a
+// corrupted chunked file: tailing the prefix with an immediately-done
+// producer must reproduce the post-mortem salvage of the same bytes exactly —
+// records, gaps, incomplete marking, and header errors alike.
+func TestTailFinalizedParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	tr := richTrace(rng, 3, 120)
+	pristine := encodeChunked(t, tr, 256)
+	frames := frameBounds(t, pristine)
+	if len(frames) < 4 {
+		t.Fatalf("want >= 4 frames, got %d", len(frames))
+	}
+
+	corrupted := append([]byte(nil), pristine...)
+	corrupted[frames[1].start+10] ^= 0x5a // CRC failure mid-file
+
+	images := map[string][]byte{"pristine": pristine, "corrupted": corrupted}
+	for name, image := range images {
+		// Truncation points: inside the header, at frame boundaries, and at
+		// awkward interior offsets (split magic, split varint, mid-payload,
+		// inside the trailing CRC).
+		cuts := []int{0, 3, 7, 8, 12, frames[0].start}
+		for _, fr := range frames[:4] {
+			cuts = append(cuts, fr.start+1, fr.start+3, fr.start+5, fr.start+len(chunkMagic)+1,
+				(fr.start+fr.end)/2, fr.end-2, fr.end)
+		}
+		cuts = append(cuts, len(image))
+		for _, cut := range cuts {
+			if cut > len(image) {
+				continue
+			}
+			prefix := image[:cut]
+			dir := t.TempDir()
+			path := filepath.Join(dir, "cut.trace")
+			if err := os.WriteFile(path, prefix, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ft, err := TailFile(path, TailOptions{Poll: time.Millisecond, Done: doneTrue})
+			if err != nil {
+				t.Fatalf("%s cut=%d: TailFile: %v", name, cut, err)
+			}
+			got, tailErr := drainTail(t, ft, context.Background())
+			ft.Close()
+
+			pc, pmErr := NewSalvageCursorBytes(prefix)
+			if pmErr != nil {
+				if tailErr == nil || tailErr.Error() != pmErr.Error() {
+					t.Fatalf("%s cut=%d: tail err %v, post-mortem err %v", name, cut, tailErr, pmErr)
+				}
+				continue
+			}
+			if tailErr != nil {
+				t.Fatalf("%s cut=%d: tail err %v, post-mortem ok", name, cut, tailErr)
+			}
+			want := drainSalvage(t, pc)
+			recordsEqual(t, name, got, want)
+			if !reflect.DeepEqual(ft.Gaps(), pc.Gaps()) {
+				t.Fatalf("%s cut=%d: gaps %+v, want %+v", name, cut, ft.Gaps(), pc.Gaps())
+			}
+			gi, gw := ft.Incomplete()
+			wi, ww := pc.Incomplete()
+			if gi != wi || gw != ww {
+				t.Fatalf("%s cut=%d: incomplete (%v,%q), want (%v,%q)", name, cut, gi, gw, wi, ww)
+			}
+		}
+	}
+}
+
+// TestTailConcurrentDifferential grows a file in adversarial slab sizes
+// (including single bytes across magic and varint boundaries) while a tailer
+// follows it live; the tailed stream must equal the post-mortem salvage of
+// the final bytes. Runs over a pristine and a mid-file-corrupted image so
+// the live resynchronization path is exercised under growth.
+func TestTailConcurrentDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	tr := richTrace(rng, 4, 200)
+	pristine := encodeChunked(t, tr, 512)
+	frames := frameBounds(t, pristine)
+	corrupted := append([]byte(nil), pristine...)
+	corrupted[frames[len(frames)/2].start+7] ^= 0xff
+
+	for name, image := range map[string][]byte{"pristine": pristine, "corrupted": corrupted} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "grow.trace")
+			f, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var done atomic.Bool
+			var resyncs atomic.Int64
+			go func() {
+				defer done.Store(true)
+				defer f.Close()
+				wrng := rand.New(rand.NewSource(83))
+				for pos := 0; pos < len(image); {
+					n := 1 + wrng.Intn(7)
+					if wrng.Intn(4) == 0 {
+						n = 1 + wrng.Intn(300)
+					}
+					if pos+n > len(image) {
+						n = len(image) - pos
+					}
+					if _, err := f.Write(image[pos : pos+n]); err != nil {
+						t.Errorf("write: %v", err)
+						return
+					}
+					pos += n
+					if wrng.Intn(8) == 0 {
+						time.Sleep(time.Duration(wrng.Intn(200)) * time.Microsecond)
+					}
+				}
+			}()
+			ft, err := TailFile(path, TailOptions{
+				Poll:     200 * time.Microsecond,
+				Done:     done.Load,
+				OnResync: func() { resyncs.Add(1) },
+			})
+			if err != nil {
+				t.Fatalf("TailFile: %v", err)
+			}
+			defer ft.Close()
+			got, tailErr := drainTail(t, ft, context.Background())
+			if tailErr != nil {
+				t.Fatalf("tail: %v", tailErr)
+			}
+			pc, err := NewSalvageCursorBytes(image)
+			if err != nil {
+				t.Fatalf("NewSalvageCursorBytes: %v", err)
+			}
+			want := drainSalvage(t, pc)
+			recordsEqual(t, name, got, want)
+			if !reflect.DeepEqual(ft.Gaps(), pc.Gaps()) {
+				t.Fatalf("gaps %+v, want %+v", ft.Gaps(), pc.Gaps())
+			}
+			if name == "corrupted" && resyncs.Load() == 0 {
+				// The corruption may only have been seen post-finalize if the
+				// writer outran the tailer; the gap still must exist.
+				if len(ft.Gaps()) == 0 {
+					t.Fatal("corrupted image produced no gap")
+				}
+			}
+		})
+	}
+}
+
+// TestTailChainRotation follows a segment store while a writer rotates
+// through several segments; the tailed stream must equal the post-mortem
+// per-segment salvage concatenation, and the handoffs must be counted.
+func TestTailChainRotation(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	tr := richTrace(rng, 3, 300)
+	recs := mergedRecords(tr)
+	dir := t.TempDir()
+	gw, err := NewSequentialSegmentedWriter(dir, "sess", tr.NumRanks(), 2048, WriterOptions{ChunkBytes: 256, Writer: "tail-test"})
+	if err != nil {
+		t.Fatalf("NewSequentialSegmentedWriter: %v", err)
+	}
+	var done atomic.Bool
+	go func() {
+		defer done.Store(true)
+		for i := range recs {
+			if err := gw.Write(&recs[i]); err != nil {
+				t.Errorf("segment write: %v", err)
+				return
+			}
+			if i%64 == 0 {
+				gw.Flush()
+				gw.SyncManifest()
+			}
+		}
+		if err := gw.Close(); err != nil {
+			t.Errorf("segment close: %v", err)
+		}
+	}()
+
+	var rotations atomic.Int64
+	ct, err := TailChain(gw.ManifestPath(), TailOptions{
+		Poll:     200 * time.Microsecond,
+		Done:     done.Load,
+		OnRotate: func() { rotations.Add(1) },
+	})
+	if err != nil {
+		t.Fatalf("TailChain: %v", err)
+	}
+	defer ct.Close()
+	got, tailErr := drainTail(t, ct, context.Background())
+	if tailErr != nil {
+		t.Fatalf("chain tail: %v", tailErr)
+	}
+
+	m, err := LoadManifest(gw.ManifestPath())
+	if err != nil {
+		t.Fatalf("LoadManifest: %v", err)
+	}
+	if len(m.Segments) < 3 {
+		t.Fatalf("want >= 3 segments for a rotation test, got %d", len(m.Segments))
+	}
+	var want []Record
+	for _, seg := range m.Segments {
+		body, err := os.ReadFile(filepath.Join(dir, seg.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, err := NewSalvageCursorBytes(body)
+		if err != nil {
+			t.Fatalf("segment %s: %v", seg.Name, err)
+		}
+		want = append(want, drainSalvage(t, pc)...)
+	}
+	recordsEqual(t, "chain", got, want)
+	if rotations.Load() < int64(len(m.Segments)) {
+		t.Fatalf("rotations = %d, want >= %d", rotations.Load(), len(m.Segments))
+	}
+	if ct.NumRanks() != tr.NumRanks() {
+		t.Fatalf("NumRanks = %d, want %d", ct.NumRanks(), tr.NumRanks())
+	}
+}
+
+// mergedRecords flattens a trace into one globally Start-ordered sequence —
+// the order a real collector writes a multi-rank session in.
+func mergedRecords(tr *Trace) []Record {
+	var out []Record
+	for r := 0; r < tr.NumRanks(); r++ {
+		out = append(out, tr.Rank(r)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// TestTailReopenOnRewrite simulates crash recovery replacing the tailed file
+// (atomic rename of a rewrite preserving the record prefix): the tail must
+// notice the identity change, re-read, and deliver exactly the remaining
+// records once.
+func TestTailReopenOnRewrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	tr := richTrace(rng, 2, 80)
+	full := encodeChunked(t, tr, 256)
+	frames := frameBounds(t, full)
+	cut := frames[len(frames)/2].end
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rw.trace")
+	if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var done atomic.Bool
+	var reopens atomic.Int64
+	ft, err := TailFile(path, TailOptions{
+		Poll:     time.Millisecond,
+		Done:     done.Load,
+		OnReopen: func() { reopens.Add(1) },
+	})
+	if err != nil {
+		t.Fatalf("TailFile: %v", err)
+	}
+	defer ft.Close()
+
+	pc, err := NewSalvageCursorBytes(full[:cut])
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := drainSalvage(t, pc)
+	var got []Record
+	for len(got) < len(prefix) {
+		rec, err := ft.Next(context.Background())
+		if err != nil {
+			t.Fatalf("Next before rewrite: %v", err)
+		}
+		got = append(got, *rec)
+	}
+
+	// Recovery rewrite: same prefix, rest of the history appended, swapped
+	// in atomically under a new inode.
+	tmp := filepath.Join(dir, "rw.trace.tmp")
+	if err := os.WriteFile(tmp, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+	done.Store(true)
+
+	rest, tailErr := drainTail(t, ft, context.Background())
+	if tailErr != nil {
+		t.Fatalf("tail after rewrite: %v", tailErr)
+	}
+	got = append(got, rest...)
+
+	fc, err := NewSalvageCursorBytes(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsEqual(t, "reopen", got, drainSalvage(t, fc))
+	if reopens.Load() == 0 {
+		t.Fatal("rewrite did not trigger a reopen")
+	}
+}
+
+// TestTailHeaderTrickle feeds the header a byte at a time: the tail must
+// wait, not misclassify the partial header as damage.
+func TestTailHeaderTrickle(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	tr := richTrace(rng, 2, 20)
+	image := encodeChunked(t, tr, 1024)
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trickle.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done atomic.Bool
+	go func() {
+		defer done.Store(true)
+		defer f.Close()
+		for i := range image {
+			f.Write(image[i : i+1])
+		}
+	}()
+	ft, err := TailFile(path, TailOptions{Poll: 100 * time.Microsecond, Done: done.Load})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ft.Close()
+	got, tailErr := drainTail(t, ft, context.Background())
+	if tailErr != nil {
+		t.Fatalf("tail: %v", tailErr)
+	}
+	pc, err := NewSalvageCursorBytes(image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsEqual(t, "trickle", got, drainSalvage(t, pc))
+	if inc, why := ft.Incomplete(); inc {
+		t.Fatalf("complete file tailed as incomplete: %s", why)
+	}
+}
+
+// TestTailLegacyRefused pins that version-2 files cannot be tailed.
+func TestTailLegacyRefused(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	tr := richTrace(rng, 2, 10)
+	var buf bytes.Buffer
+	if err := WriteAllOptions(&buf, tr, WriterOptions{LegacyV2: true}); err != nil {
+		t.Fatalf("WriteAllOptions: %v", err)
+	}
+	legacy := buf.Bytes()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v2.trace")
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ft, err := TailFile(path, TailOptions{Done: doneTrue})
+	if err != nil {
+		t.Fatalf("TailFile: %v", err)
+	}
+	defer ft.Close()
+	if _, err := ft.Next(context.Background()); err == nil || err == io.EOF {
+		t.Fatalf("tailing a v2 file: err = %v, want refusal", err)
+	}
+}
+
+// TestTailCancel pins that a blocked Next honors context cancellation.
+func TestTailCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	tr := richTrace(rng, 2, 10)
+	image := encodeChunked(t, tr, 1024)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wait.trace")
+	if err := os.WriteFile(path, image, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ft, err := TailFile(path, TailOptions{Poll: time.Millisecond}) // no Done: tails forever
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ft.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	for {
+		_, err := ft.Next(ctx)
+		if err == context.DeadlineExceeded {
+			return
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+}
+
+// TestTailDoneWhenComplete pins the collector-session Done predicate.
+func TestTailDoneWhenComplete(t *testing.T) {
+	dir := t.TempDir()
+	done := TailDoneWhenComplete(dir)
+	if done() {
+		t.Fatal("missing session.json reads as done")
+	}
+	meta := filepath.Join(dir, "session.json")
+	if err := os.WriteFile(meta, []byte(`{"complete":false,"incomplete_reason":""}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if done() {
+		t.Fatal("running session reads as done")
+	}
+	if err := os.WriteFile(meta, []byte(`{"complete":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !done() {
+		t.Fatal("complete session reads as running")
+	}
+	if err := os.WriteFile(meta, []byte(`{"complete":false,"incomplete_reason":"client lost"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !done() {
+		t.Fatal("incomplete session reads as running")
+	}
+}

@@ -9,10 +9,10 @@
 # the self-observability metrics of a representative tanalyze run — so each
 # baseline records not just how fast the pipeline was but how much work
 # (records written, chunks flushed, ranks pruned, ...) the numbers represent.
-# The default output is BENCH_PR7.json at the repo root — the checked-in
-# baseline for the zero-copy hot-paths PR (rank-local instrumentation write
-# path, mmap-backed reads, pooled decode); regenerate it when the pipeline
-# changes materially and mention the delta in the PR.
+# The default output is BENCH_PR8.json at the repo root — the checked-in
+# baseline for the live-tailing PR (tail cursors, streaming session API,
+# tvis/tanalyze -follow); regenerate it when the pipeline changes materially
+# and mention the delta in the PR.
 #
 # With -profile, CPU and allocation profiles of the write, load, and query
 # benchmark groups are additionally captured into bench-profiles/ (one
@@ -30,7 +30,7 @@ if [ "${1:-}" = "-profile" ]; then
     profile=1
     shift
 fi
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw="$(mktemp)"
@@ -38,7 +38,7 @@ snap="$(mktemp)"
 trap 'rm -f "$raw" "$snap"' EXIT
 
 go test -run '^$' \
-    -bench 'SerialLoad|ParallelLoad|QuerySerial|QueryIndexed|QueryParallel|FileWriterSerial|ShardedWrite|SyncPolicy|GraphFromTrace|MergedOrder|ObsOverhead|StreamVsMaterialize|DaemonIngest' \
+    -bench 'SerialLoad|ParallelLoad|QuerySerial|QueryIndexed|QueryParallel|FileWriterSerial|ShardedWrite|SyncPolicy|GraphFromTrace|MergedOrder|ObsOverhead|StreamVsMaterialize|DaemonIngest|TailLatency' \
     -benchtime "$benchtime" -benchmem . | tee "$raw"
 
 # Pin the obs-layer overhead criterion on timed runs: the single-iteration

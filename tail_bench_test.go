@@ -1,0 +1,69 @@
+// BenchmarkTailLatency measures the live-monitoring hot path end to end: a
+// producer writes one record, flushes it durable, syncs the manifest, and an
+// attached tail cursor (store.Open in ModeLive + Store.Tail) waits for it.
+// An iteration is one durable-to-delivered round trip, so ns/op is the
+// latency floor a `tvis -follow` or HTTP tail consumer can expect on top of
+// the producer's own flush cadence.
+//
+// Run with scripts/bench.sh to capture the JSON baseline (BENCH_PR8.json).
+package tracedbg_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"tracedbg/internal/store"
+	"tracedbg/internal/trace"
+)
+
+func BenchmarkTailLatency(b *testing.B) {
+	const ranks = 2
+	dir := b.TempDir()
+	gw, err := trace.NewSequentialSegmentedWriter(dir, "trace", ranks, 1<<30, trace.WriterOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer gw.Close()
+	// Seed one record so the manifest exists before the cursor attaches.
+	write := func(marker uint64) {
+		clock := int64(marker) * 2
+		if err := gw.Write(&trace.Record{
+			Kind: trace.KindMarker, Rank: int(marker) % ranks, Marker: marker,
+			Start: clock - 1, End: clock, Name: "bench",
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if err := gw.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if err := gw.SyncManifest(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	marker := uint64(1)
+	write(marker)
+
+	st, err := store.Open(gw.ManifestPath(), store.Options{Mode: store.ModeLive})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tc, err := st.Tail(store.TailOptions{Poll: time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tc.Close()
+	ctx := context.Background()
+	if _, err := tc.Next(ctx); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		marker++
+		write(marker)
+		if _, err := tc.Next(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
