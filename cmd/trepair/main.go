@@ -5,6 +5,7 @@
 //	trepair -verify run.trace              # per-chunk CRC report, exit 1 if damaged
 //	trepair -salvage run.trace -o out.trace  # recover all undamaged chunks + gap summary
 //	trepair -migrate legacy.trace -o out.trace  # rewrite in the current format
+//	trepair -scrub run.manifest            # CRC-walk segments, heal damage in place
 //
 // -verify walks the checksummed chunk framing (format version 3) and reports
 // every damaged frame; legacy version-2 files are verified by a full decode,
@@ -15,9 +16,15 @@
 // re-encodes a cleanly readable file in the current checksummed format
 // (or back to the legacy format with -legacy, for old tooling).
 //
-// All three modes accept a TDBGMAN1 segment manifest in place of a trace
-// file: -verify checks each segment, -salvage and -migrate reassemble the
-// segments into a single output file.
+// -scrub is the self-healing pass the collector daemon runs in the
+// background (store.Scrub): every segment is CRC-walked; damaged ones are
+// quarantined (renamed aside with a .quarantine suffix, never deleted) and
+// rewritten in place from their salvage, and the manifest is updated to the
+// surviving counts. -scrub -dry reports without touching anything.
+//
+// All modes accept a TDBGMAN1 segment manifest in place of a trace
+// file: -verify and -scrub check each segment, -salvage and -migrate
+// reassemble the segments into a single output file.
 //
 // Verification and salvage stream the input through the chunk cursor, so
 // repairing a multi-gigabyte trace needs O(chunk) memory, not O(file).
@@ -42,6 +49,8 @@ func run(args []string) int {
 		verify  = fs.Bool("verify", false, "verify the file chunk by chunk and report damage")
 		salvage = fs.Bool("salvage", false, "rewrite a damaged file into a clean one (requires -o)")
 		migrate = fs.Bool("migrate", false, "re-encode a clean file in the current format (requires -o)")
+		scrub   = fs.Bool("scrub", false, "CRC-walk all segments, quarantine and heal damage in place")
+		dry     = fs.Bool("dry", false, "with -scrub: report damage without repairing")
 		out     = fs.String("o", "", "output path for -salvage / -migrate")
 		legacy  = fs.Bool("legacy", false, "with -migrate: write the legacy v2 format instead")
 		writer  = fs.String("writer", "trepair", "writer identity recorded in the output header")
@@ -52,17 +61,17 @@ func run(args []string) int {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: trepair [-verify|-salvage|-migrate] [-o out.trace] file.trace")
+		fmt.Fprintln(os.Stderr, "usage: trepair [-verify|-salvage|-migrate|-scrub] [-o out.trace] file.trace")
 		return 2
 	}
 	modes := 0
-	for _, m := range []bool{*verify, *salvage, *migrate} {
+	for _, m := range []bool{*verify, *salvage, *migrate, *scrub} {
 		if m {
 			modes++
 		}
 	}
 	if modes != 1 {
-		fmt.Fprintln(os.Stderr, "trepair: choose exactly one of -verify, -salvage, -migrate")
+		fmt.Fprintln(os.Stderr, "trepair: choose exactly one of -verify, -salvage, -migrate, -scrub")
 		return 2
 	}
 	path := fs.Arg(0)
@@ -78,9 +87,45 @@ func run(args []string) int {
 		return runVerify(path, *quiet)
 	case *salvage:
 		return runSalvage(path, *out, opts, *quiet)
+	case *scrub:
+		return runScrub(path, *writer, *dry, *quiet)
 	default:
 		return runMigrate(path, *out, opts)
 	}
+}
+
+func runScrub(path, writer string, dry, quiet bool) int {
+	res, err := store.Scrub(path, store.ScrubOptions{Repair: !dry, Writer: writer})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trepair: %v\n", err)
+		return 1
+	}
+	fmt.Printf("%s: %s\n", path, res)
+	if !quiet {
+		for _, seg := range res.Segments {
+			switch {
+			case seg.Err != "":
+				fmt.Printf("  %s: ERROR: %s\n", seg.Name, seg.Err)
+			case seg.Repaired:
+				fmt.Printf("  %s: repaired (%d bad chunk(s)); %d records survive; original at %s\n",
+					seg.Name, seg.BadChunks, seg.Records, seg.Quarantine)
+			case seg.Damaged:
+				fmt.Printf("  %s: damaged (%d bad chunk(s))\n", seg.Name, seg.BadChunks)
+			}
+		}
+	}
+	// Dry runs fail on any damage (nothing was healed); repair runs fail
+	// only when the store is still unhealthy afterwards.
+	if dry {
+		if !res.Clean() {
+			return 1
+		}
+		return 0
+	}
+	if !res.Healthy() {
+		return 1
+	}
+	return 0
 }
 
 func runVerify(path string, quiet bool) int {

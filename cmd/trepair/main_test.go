@@ -208,3 +208,50 @@ func TestUsageErrors(t *testing.T) {
 		t.Errorf("missing file rc = %d", rc)
 	}
 }
+
+func TestScrubMode(t *testing.T) {
+	tr := testTrace(11, 3, 400)
+	manifest := writeManifest(t, tr, 4<<10)
+	if rc := run([]string{"-scrub", manifest}); rc != 0 {
+		t.Fatalf("clean scrub rc = %d", rc)
+	}
+
+	// Damage one segment; a dry scrub reports it (rc 1) without touching it.
+	man, err := trace.LoadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(filepath.Dir(manifest), man.Segments[0].Name)
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if rc := run([]string{"-scrub", "-dry", manifest}); rc != 1 {
+		t.Fatalf("dry scrub of damaged store rc = %d", rc)
+	}
+	if after, _ := os.ReadFile(victim); !bytes.Equal(after, data) {
+		t.Fatal("dry scrub modified the segment")
+	}
+
+	// Repair scrub heals in place: rc 0, quarantine left behind, store loads.
+	if rc := run([]string{"-scrub", manifest}); rc != 0 {
+		t.Fatalf("repair scrub rc = %d", rc)
+	}
+	if qs, _ := filepath.Glob(victim + store.QuarantineSuffix + "*"); len(qs) != 1 {
+		t.Fatalf("want one quarantine file, got %v", qs)
+	}
+	st, err := store.Open(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Trace(); err != nil {
+		t.Fatalf("store load after scrub: %v", err)
+	}
+	if rc := run([]string{"-scrub", "-dry", manifest}); rc != 0 {
+		t.Fatalf("healed store dry scrub rc = %d", rc)
+	}
+}

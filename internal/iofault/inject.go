@@ -1,0 +1,476 @@
+package iofault
+
+import (
+	"io/fs"
+	"path"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Event is one injected fault, recorded for audit and replay comparison.
+// Two runs of the same workload under the same plan and seed produce the
+// same event sequence (for single-threaded workloads, bit-for-bit; for
+// concurrent ones, up to goroutine interleaving of the op ordinals).
+type Event struct {
+	Seq  uint64 `json:"seq"`  // injector op sequence number
+	Rule int    `json:"rule"` // index into Plan.Rules
+	Kind Kind   `json:"kind"`
+	Op   string `json:"op"`
+	Path string `json:"path"`
+}
+
+// maxEvents bounds the audit log so a long-lived injector (a soak daemon
+// under a persistent ENOSPC plan) cannot grow without bound.
+const maxEvents = 8192
+
+// Injector is an FS middleware that applies a fault plan to every operation
+// before (maybe) forwarding it to the base filesystem. All decisions are
+// deterministic functions of the plan, its seed, and per-rule match
+// ordinals.
+type Injector struct {
+	base FS
+
+	mu      sync.Mutex
+	rules   []Rule
+	seed    int64
+	seq     uint64   // ops seen (monotone, assigned under mu)
+	matches []uint64 // per-rule count of matching ops
+	fired   []int    // per-rule count of injections
+	bytes   int64    // accepted write payload bytes (ENOSPC budget meter)
+	crashed bool
+	events  []Event
+	dropped int
+}
+
+// NewInjector wraps base with the plan's rules. The plan must validate.
+func NewInjector(base FS, p *Plan) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		base:    base,
+		rules:   append([]Rule(nil), p.Rules...),
+		seed:    p.Seed,
+		matches: make([]uint64, len(p.Rules)),
+		fired:   make([]int, len(p.Rules)),
+	}, nil
+}
+
+// Base returns the wrapped filesystem.
+func (in *Injector) Base() FS { return in.base }
+
+// Clear removes every rule — the disk "recovers" (space returns, the
+// controller stops erroring). Counters and the crash latch are kept: a
+// crashed machine stays crashed.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+}
+
+// SetRules replaces the rule set at runtime (counters reset). The seed is
+// kept. Invalid rules are rejected.
+func (in *Injector) SetRules(rules []Rule) error {
+	p := Plan{Seed: in.seed, Rules: rules}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append([]Rule(nil), rules...)
+	in.matches = make([]uint64, len(rules))
+	in.fired = make([]int, len(rules))
+	return nil
+}
+
+// Ops returns how many FS operations the injector has seen — the coordinate
+// space crash points are expressed in.
+func (in *Injector) Ops() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.seq
+}
+
+// Crashed reports whether a crash rule has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Events returns the audit log of injected faults (oldest first; bounded,
+// with Dropped reporting overflow).
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.events...)
+}
+
+// Dropped reports audit-log entries lost to the bound.
+func (in *Injector) Dropped() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.dropped
+}
+
+// splitmix64 finalizer — the same bit mixer internal/fault uses, so the
+// determinism story is one story.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// coin returns a deterministic uniform [0,1) keyed on (seed, rule, n).
+func (in *Injector) coin(rule int, n uint64) float64 {
+	h := mix(uint64(in.seed) ^ mix(uint64(rule)))
+	h = mix(h ^ n)
+	return float64(h>>11) / float64(1<<53)
+}
+
+// spaceConsuming reports whether an op eats into the ENOSPC budget.
+func spaceConsuming(op string) bool {
+	switch op {
+	case OpWrite, OpWriteFile, OpCreate, OpMkdir:
+		return true
+	}
+	return false
+}
+
+// kindOpMatch reports whether a rule kind can apply to an op when the rule
+// does not name one explicitly.
+func kindOpMatch(k Kind, op string) bool {
+	switch k {
+	case KindENOSPC:
+		return spaceConsuming(op)
+	case KindShortWrite:
+		return op == OpWrite || op == OpWriteFile
+	case KindLyingFsync:
+		return op == OpSync || op == OpSyncDir
+	case KindRenameFail:
+		return op == OpRename
+	default: // eio, slow, crash: any op
+		return true
+	}
+}
+
+func pathMatch(glob, p string) bool {
+	if glob == "" {
+		return true
+	}
+	ok, err := path.Match(glob, filepath.Base(p))
+	return err == nil && ok
+}
+
+// decision is the outcome of consulting the plan for one op.
+type decision struct {
+	delay   time.Duration
+	allowed int  // payload bytes to apply before failing (write ops)
+	skip    bool // report success without touching base (lying fsync)
+	err     error
+}
+
+// check consults the plan for one operation. payload is the write size (0
+// for non-writes); paths lists every path the op touches (two for rename).
+func (in *Injector) check(op string, payload int, paths ...string) decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.seq++
+	seq := in.seq
+	m := metrics()
+	m.ops.Inc()
+	p := paths[0]
+	if in.crashed {
+		return decision{err: &Error{Kind: KindCrash, Rule: -1, Op: op, Path: p, Seq: seq, Err: ErrCrashed}}
+	}
+	var d decision
+	d.allowed = payload
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		if r.Op == "" && !kindOpMatch(r.Kind, op) {
+			continue
+		}
+		matched := false
+		for _, cand := range paths {
+			if pathMatch(r.Path, cand) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		in.matches[i]++
+		n := in.matches[i]
+		// Trigger condition, per kind.
+		switch r.Kind {
+		case KindCrash:
+			if n < r.AtOp {
+				continue
+			}
+		case KindENOSPC:
+			// A write that would overshoot the budget triggers (and tears at
+			// the boundary); other space-consuming ops fail once it is spent.
+			if op == OpWrite || op == OpWriteFile {
+				if in.bytes+int64(payload) <= r.AfterBytes {
+					continue
+				}
+			} else if in.bytes < r.AfterBytes {
+				continue
+			}
+		default:
+			if r.AtOp != 0 && n != r.AtOp {
+				continue
+			}
+		}
+		if r.Count > 0 && in.fired[i] >= r.Count {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && in.coin(i, n) >= r.Prob {
+			continue
+		}
+		in.fired[i]++
+		in.record(Event{Seq: seq, Rule: i, Kind: r.Kind, Op: op, Path: p})
+		m.injected.Inc()
+		switch r.Kind {
+		case KindSlow:
+			// A modifier, not a terminal fault: accumulate and keep scanning.
+			d.delay += time.Duration(r.DelayMs) * time.Millisecond
+			continue
+		case KindCrash:
+			in.crashed = true
+			m.crashes.Inc()
+			d.err = &Error{Kind: KindCrash, Rule: i, Op: op, Path: p, Seq: seq, Err: ErrCrashed}
+			return d
+		case KindLyingFsync:
+			d.skip = true
+			return d
+		case KindENOSPC:
+			// A write straddling the budget is applied up to it — torn, like
+			// the real thing. Everything else fails outright.
+			d.allowed = 0
+			if op == OpWrite || op == OpWriteFile {
+				if left := r.AfterBytes - in.bytes; left > 0 && int64(payload) > left {
+					d.allowed = int(left)
+				}
+			}
+			d.err = &Error{Kind: r.Kind, Rule: i, Op: op, Path: p, Seq: seq, Err: syscall.ENOSPC}
+			return d
+		case KindShortWrite:
+			if payload > 0 {
+				d.allowed = int(mix(uint64(in.seed)^mix(uint64(i)<<32|n)) % uint64(payload))
+			}
+			d.err = &Error{Kind: r.Kind, Rule: i, Op: op, Path: p, Seq: seq, Err: syscall.EIO}
+			return d
+		default: // eio, rename-fail
+			d.allowed = 0
+			d.err = &Error{Kind: r.Kind, Rule: i, Op: op, Path: p, Seq: seq, Err: syscall.EIO}
+			return d
+		}
+	}
+	return d
+}
+
+func (in *Injector) record(ev Event) {
+	if len(in.events) >= maxEvents {
+		in.dropped++
+		return
+	}
+	in.events = append(in.events, ev)
+}
+
+// account meters accepted write bytes against the ENOSPC budget.
+func (in *Injector) account(n int) {
+	if n <= 0 {
+		return
+	}
+	in.mu.Lock()
+	in.bytes += int64(n)
+	in.mu.Unlock()
+}
+
+// ---- FS implementation ----
+
+func (in *Injector) Create(name string) (File, error) {
+	d := in.check(OpCreate, 0, name)
+	sleep(d.delay)
+	if d.err != nil {
+		return nil, d.err
+	}
+	f, err := in.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	d := in.check(OpOpen, 0, name)
+	sleep(d.delay)
+	if d.err != nil {
+		return nil, d.err
+	}
+	f, err := in.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	d := in.check(OpRead, 0, name)
+	sleep(d.delay)
+	if d.err != nil {
+		return nil, d.err
+	}
+	return in.base.ReadFile(name)
+}
+
+func (in *Injector) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	d := in.check(OpWriteFile, len(data), name)
+	sleep(d.delay)
+	if d.err != nil {
+		// Torn WriteFile: apply the allowed prefix so the damage is visible.
+		if d.allowed > 0 {
+			in.base.WriteFile(name, data[:d.allowed], perm) //nolint:ioerr // injected failure already reported
+			in.account(d.allowed)
+		}
+		return d.err
+	}
+	if err := in.base.WriteFile(name, data, perm); err != nil {
+		return err
+	}
+	in.account(len(data))
+	return nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	d := in.check(OpRename, 0, newpath, oldpath)
+	sleep(d.delay)
+	if d.err != nil {
+		return d.err
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	d := in.check(OpRemove, 0, name)
+	sleep(d.delay)
+	if d.err != nil {
+		return d.err
+	}
+	return in.base.Remove(name)
+}
+
+func (in *Injector) MkdirAll(p string, perm fs.FileMode) error {
+	d := in.check(OpMkdir, 0, p)
+	sleep(d.delay)
+	if d.err != nil {
+		return d.err
+	}
+	return in.base.MkdirAll(p, perm)
+}
+
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	d := in.check(OpStat, 0, name)
+	sleep(d.delay)
+	if d.err != nil {
+		return nil, d.err
+	}
+	return in.base.ReadDir(name)
+}
+
+func (in *Injector) Stat(name string) (fs.FileInfo, error) {
+	d := in.check(OpStat, 0, name)
+	sleep(d.delay)
+	if d.err != nil {
+		return nil, d.err
+	}
+	return in.base.Stat(name)
+}
+
+func (in *Injector) Glob(pattern string) ([]string, error) {
+	d := in.check(OpStat, 0, pattern)
+	sleep(d.delay)
+	if d.err != nil {
+		return nil, d.err
+	}
+	return in.base.Glob(pattern)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	d := in.check(OpSyncDir, 0, dir)
+	sleep(d.delay)
+	if d.skip || d.err != nil {
+		// A failed directory fsync is surfaced (unlike the OS passthrough,
+		// which swallows refusals): the injector exists to expose it.
+		return d.err
+	}
+	return in.base.SyncDir(dir)
+}
+
+func sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// injFile routes per-handle ops back through the injector.
+type injFile struct {
+	in *Injector
+	f  File
+}
+
+func (jf *injFile) Name() string { return jf.f.Name() }
+
+func (jf *injFile) Read(p []byte) (int, error) {
+	d := jf.in.check(OpRead, 0, jf.f.Name())
+	sleep(d.delay)
+	if d.err != nil {
+		return 0, d.err
+	}
+	return jf.f.Read(p)
+}
+
+func (jf *injFile) Write(p []byte) (int, error) {
+	d := jf.in.check(OpWrite, len(p), jf.f.Name())
+	sleep(d.delay)
+	if d.err != nil {
+		n := 0
+		if d.allowed > 0 {
+			n, _ = jf.f.Write(p[:d.allowed])
+			jf.in.account(n)
+		}
+		return n, d.err
+	}
+	n, err := jf.f.Write(p)
+	jf.in.account(n)
+	return n, err
+}
+
+func (jf *injFile) Sync() error {
+	d := jf.in.check(OpSync, 0, jf.f.Name())
+	sleep(d.delay)
+	if d.skip || d.err != nil {
+		return d.err
+	}
+	return jf.f.Sync()
+}
+
+func (jf *injFile) Close() error {
+	d := jf.in.check(OpClose, 0, jf.f.Name())
+	sleep(d.delay)
+	if d.err != nil {
+		// The handle is still closed underneath — a failed close must not
+		// leak the descriptor — but the injected error is what surfaces.
+		jf.f.Close() //nolint:ioerr // injected failure already reported
+		return d.err
+	}
+	return jf.f.Close()
+}

@@ -1,0 +1,181 @@
+// Package iofault is the deterministic I/O fault-injection seam for the
+// storage stack. Every component that persists trace data — the segment
+// writers and atomic-rename helpers in internal/trace, the read paths in
+// internal/store, and the collector daemon's session stores — performs its
+// file operations through the FS interface instead of calling the os
+// package directly. In production the seam is the zero-cost OS passthrough;
+// under test an Injector wraps any base FS and applies seeded, replayable
+// fault rules (EIO on the nth op, ENOSPC after a byte budget, short/torn
+// writes, lying fsync, rename failure, slow I/O, hard crash), and MemDisk
+// models a volatile disk whose durable image after a crash can be
+// materialized and recovered from.
+//
+// The plan format and determinism discipline mirror internal/fault (PR 1):
+// JSON rules, a seed, and hashed coins keyed on op ordinals — never on
+// wall-clock time — so the same plan and seed replay identically.
+package iofault
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// File is the writable handle the seam hands out. It is the subset of
+// *os.File the storage stack needs: streaming reads and writes, fsync, and
+// close. Name reports the path the file was opened under.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Name() string
+}
+
+// FS is the virtual filesystem seam. The method set is exactly the os-level
+// surface the trace/store/remote storage paths use; anything not listed here
+// (mmap, CreateTemp, ...) intentionally stays outside the fault domain.
+//
+// SyncDir fsyncs a directory so just-renamed or just-created entries survive
+// a crash; implementations where directory fsync is unsupported may treat it
+// as a no-op, but fault injectors still count and may fail it.
+type FS interface {
+	Create(name string) (File, error)
+	Open(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Stat(name string) (fs.FileInfo, error)
+	Glob(pattern string) ([]string, error)
+	SyncDir(dir string) error
+}
+
+// OS returns the production filesystem: direct passthrough to the os
+// package. The returned value is stateless and shared.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+type osFile struct{ *os.File }
+
+func (osFS) Create(name string) (File, error) {
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+// SyncDir fsyncs the directory. Filesystems that refuse directory fsync
+// (some CI sandboxes, some network filesystems) are treated as success:
+// there is nothing the caller can do and the data-file fsyncs still hold.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync() //nolint:ioerr // best-effort: refusal (ENOTSUP/EINVAL) is not actionable
+	return nil
+}
+
+// Or returns fsys if non-nil and the OS passthrough otherwise — the idiom
+// options structs use to default their FS field.
+func Or(fsys FS) FS {
+	if fsys == nil {
+		return OS()
+	}
+	return fsys
+}
+
+// ErrCrashed is the terminal error every FS operation returns once an
+// injected crash point has fired: the simulated machine is down, nothing
+// reaches the disk model anymore. Recovery is exercised by materializing
+// the durable image (MemDisk.Materialize) and reopening it.
+var ErrCrashed = errors.New("iofault: simulated crash")
+
+// Error is an injected fault, carrying where it fired so tests and logs can
+// attribute failures to plan rules. It unwraps to the underlying errno
+// (syscall.EIO, syscall.ENOSPC, ...) so errors.Is works on the cause.
+type Error struct {
+	Kind Kind   // rule kind that fired
+	Rule int    // index into Plan.Rules
+	Op   string // vfs op ("write", "sync", "rename", ...)
+	Path string // path the op targeted
+	Seq  uint64 // injector op sequence number
+	Err  error  // underlying cause (errno or ErrCrashed)
+}
+
+func (e *Error) Error() string {
+	return "iofault: injected " + string(e.Kind) + " (rule " + itoa(e.Rule) + ") on " +
+		e.Op + " " + e.Path + ": " + e.Err.Error()
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [24]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// IsInjected reports whether err originated from a fault plan (including
+// crash points).
+func IsInjected(err error) bool {
+	var ie *Error
+	return errors.As(err, &ie) || errors.Is(err, ErrCrashed)
+}
+
+// IsDiskFull reports whether err is an out-of-space condition — injected or
+// real — that should push a storage consumer into degraded mode rather than
+// be treated as a transient per-file failure.
+func IsDiskFull(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT)
+}

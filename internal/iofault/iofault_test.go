@@ -1,0 +1,388 @@
+package iofault
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+)
+
+// writeN writes n bytes in chunks of c through fsys to path.
+func writeN(t *testing.T, fsys FS, path string, n, c int) error {
+	t.Helper()
+	f, err := fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, c)
+	for w := 0; w < n; w += c {
+		if _, err := f.Write(buf); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	p := &Plan{Seed: 42, Rules: []Rule{
+		EIONth(OpWrite, "*.trace", 3),
+		ENOSPCAfter(1 << 16),
+		ShortWriteNth("", 2),
+		LyingFsync("*.manifest"),
+		RenameFailNth("", 1),
+		CrashAtOp(17),
+	}}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", p, back)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{Rules: []Rule{{Kind: "nope"}}},
+		{Rules: []Rule{{Kind: KindEIO, Prob: 1.5}}},
+		{Rules: []Rule{{Kind: KindSlow}}},
+		{Rules: []Rule{{Kind: KindCrash}}},
+		{Rules: []Rule{{Kind: KindEIO, Path: "[", AtOp: 1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d: want validation error", i)
+		}
+	}
+}
+
+func TestEIONthDeterministic(t *testing.T) {
+	run := func() (error, []Event) {
+		in, err := NewInjector(NewMemDisk(1), &Plan{Seed: 7, Rules: []Rule{
+			EIONth(OpWrite, "*.trace", 3),
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		werr := writeN(t, in, "a.trace", 4096, 512)
+		return werr, in.Events()
+	}
+	err1, ev1 := run()
+	err2, ev2 := run()
+	if err1 == nil || !errors.Is(err1, syscall.EIO) {
+		t.Fatalf("want EIO, got %v", err1)
+	}
+	if !IsInjected(err1) {
+		t.Fatalf("want injected error, got %v", err1)
+	}
+	if err1.Error() != err2.Error() || !reflect.DeepEqual(ev1, ev2) {
+		t.Fatalf("replay mismatch:\n%v %v\n%v %v", err1, ev1, err2, ev2)
+	}
+	if len(ev1) != 1 || ev1[0].Kind != KindEIO || ev1[0].Op != OpWrite {
+		t.Fatalf("events: %+v", ev1)
+	}
+}
+
+func TestENOSPCTornAtBudget(t *testing.T) {
+	disk := NewMemDisk(1)
+	in, err := NewInjector(disk, &Plan{Seed: 1, Rules: []Rule{ENOSPCAfter(1000)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := in.Create("seg.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 300)
+	var total int
+	var werr error
+	for i := 0; i < 10; i++ {
+		n, err := f.Write(buf)
+		total += n
+		if err != nil {
+			werr = err
+			break
+		}
+	}
+	if !errors.Is(werr, syscall.ENOSPC) || !IsDiskFull(werr) {
+		t.Fatalf("want ENOSPC, got %v", werr)
+	}
+	// 3 full writes (900) then a torn 100-byte tail at the budget boundary.
+	if total != 1000 {
+		t.Fatalf("accepted %d bytes, want exactly the 1000-byte budget", total)
+	}
+	data, err := disk.ReadFile("seg.trace")
+	if err != nil || len(data) != 1000 {
+		t.Fatalf("disk holds %d bytes (%v), want 1000", len(data), err)
+	}
+	// Creates now fail too; after Clear the disk has space again.
+	if _, err := in.Create("next.trace"); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("create under full disk: %v", err)
+	}
+	in.Clear()
+	if err := writeN(t, in, "next.trace", 2048, 512); err != nil {
+		t.Fatalf("after clear: %v", err)
+	}
+}
+
+func TestShortWriteDeterministic(t *testing.T) {
+	lens := make(map[int]int)
+	for i := 0; i < 3; i++ {
+		disk := NewMemDisk(1)
+		in, err := NewInjector(disk, &Plan{Seed: 99, Rules: []Rule{ShortWriteNth("", 1)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, _ := in.Create("x")
+		n, werr := f.Write(make([]byte, 1024))
+		if !errors.Is(werr, syscall.EIO) {
+			t.Fatalf("want EIO, got %v", werr)
+		}
+		if n >= 1024 || n < 0 {
+			t.Fatalf("short write applied %d of 1024", n)
+		}
+		lens[n]++
+	}
+	if len(lens) != 1 {
+		t.Fatalf("torn length not deterministic: %v", lens)
+	}
+}
+
+func TestLyingFsyncLosesData(t *testing.T) {
+	disk := NewMemDisk(1)
+	in, err := NewInjector(disk, &Plan{Seed: 1, Rules: []Rule{LyingFsync("*")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := in.Create("lie.trace")
+	if _, err := f.Write(make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("lying fsync must report success, got %v", err)
+	}
+	if err := in.SyncDir("."); err != nil {
+		t.Fatalf("lying dir fsync must report success, got %v", err)
+	}
+	// The entry never became durable (dir sync was swallowed), and even the
+	// data sync was a lie: nothing survives.
+	if got := disk.DurableLen("lie.trace"); got != 0 {
+		t.Fatalf("durable length %d after lying fsyncs, want 0", got)
+	}
+}
+
+func TestRenameFailAndCrash(t *testing.T) {
+	disk := NewMemDisk(1)
+	in, err := NewInjector(disk, &Plan{Seed: 1, Rules: []Rule{
+		RenameFailNth("*.manifest", 1),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeN(t, in, "m.manifest.tmp", 64, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Rename("m.manifest.tmp", "m.manifest"); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want injected rename failure, got %v", err)
+	}
+	if _, err := disk.ReadFile("m.manifest.tmp"); err != nil {
+		t.Fatalf("old name must survive a failed rename: %v", err)
+	}
+
+	// Crash: halt at a definite op, everything after fails terminally.
+	in2, err := NewInjector(disk, &Plan{Seed: 1, Rules: []Rule{CrashAtOp(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := in2.Create("c.trace") // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) { // op 2
+		t.Fatalf("want crash at op 2, got %v", err)
+	}
+	if !in2.Crashed() {
+		t.Fatal("injector not latched crashed")
+	}
+	if _, err := in2.Create("after"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash op must fail: %v", err)
+	}
+}
+
+func TestProbSeedStability(t *testing.T) {
+	// A probabilistic rule fires on the same subset of ops for a fixed seed
+	// and a (statistically) different subset for another.
+	run := func(seed int64) []uint64 {
+		in, err := NewInjector(NewMemDisk(1), &Plan{Seed: seed, Rules: []Rule{
+			{Kind: KindEIO, Op: OpWrite, Prob: 0.3},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, _ := in.Create("p")
+		for i := 0; i < 64; i++ {
+			f.Write([]byte("x")) //nolint:ioerr // probing injections, errors expected
+		}
+		var seqs []uint64
+		for _, ev := range in.Events() {
+			seqs = append(seqs, ev.Seq)
+		}
+		return seqs
+	}
+	a1, a2, b := run(5), run(5), run(6)
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatalf("same seed differs: %v vs %v", a1, a2)
+	}
+	if reflect.DeepEqual(a1, b) {
+		t.Fatalf("different seeds agree: %v", a1)
+	}
+	if len(a1) == 0 || len(a1) == 64 {
+		t.Fatalf("prob 0.3 fired %d/64 times", len(a1))
+	}
+}
+
+func TestMemDiskCrashSemantics(t *testing.T) {
+	disk := NewMemDisk(3)
+
+	// File data: durable only to the last sync.
+	f, _ := disk.Create("d/file")
+	disk.MkdirAll("d", 0o777)
+	f2, err := disk.Create("d/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f
+	f2.Write([]byte("durable-part"))
+	f2.Sync()
+	f2.Write([]byte("-volatile"))
+	f2.Close()
+	disk.SyncDir("d")
+
+	// Atomic publish: tmp written+synced, renamed, but dir NOT resynced →
+	// crash shows the old binding.
+	old, _ := disk.Create("d/pub")
+	old.Write([]byte("old"))
+	old.Sync()
+	old.Close()
+	disk.SyncDir("d")
+	tmp, _ := disk.Create("d/pub.tmp")
+	tmp.Write([]byte("new-content"))
+	tmp.Sync()
+	tmp.Close()
+	if err := disk.Rename("d/pub.tmp", "d/pub"); err != nil {
+		t.Fatal(err)
+	}
+
+	dest := t.TempDir()
+	if err := disk.Materialize(dest, MaterializeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dest, "d/file"))
+	if err != nil || string(got) != "durable-part" {
+		t.Fatalf("d/file = %q (%v), want synced prefix only", got, err)
+	}
+	got, err = os.ReadFile(filepath.Join(dest, "d/pub"))
+	if err != nil || string(got) != "old" {
+		t.Fatalf("d/pub = %q (%v), want pre-rename content", got, err)
+	}
+	if _, err := os.Stat(filepath.Join(dest, "d/pub.tmp")); err == nil {
+		t.Fatal("pub.tmp entry was never dir-synced; must not materialize")
+	}
+
+	// After the dir sync the rename is durable; old inode unreachable.
+	disk.SyncDir("d")
+	dest2 := t.TempDir()
+	if err := disk.Materialize(dest2, MaterializeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = os.ReadFile(filepath.Join(dest2, "d/pub"))
+	if err != nil || string(got) != "new-content" {
+		t.Fatalf("after dir sync d/pub = %q (%v)", got, err)
+	}
+}
+
+func TestMemDiskTornTailDeterministic(t *testing.T) {
+	image := func(crashOp uint64) []byte {
+		disk := NewMemDisk(11)
+		f, _ := disk.Create("t")
+		f.Write([]byte("0123456789"))
+		f.Sync()
+		f.Write([]byte("abcdefghij"))
+		disk.SyncDir(".")
+		dest := t.TempDir()
+		if err := disk.Materialize(dest, MaterializeOptions{Torn: true, CrashOp: crashOp}); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dest, "t"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a1, a2 := image(5), image(5)
+	if string(a1) != string(a2) {
+		t.Fatalf("torn tail not deterministic: %q vs %q", a1, a2)
+	}
+	if len(a1) < 10 || len(a1) > 20 {
+		t.Fatalf("torn image %q outside [synced, full]", a1)
+	}
+	// Different crash ops should eventually tear differently.
+	diff := false
+	for op := uint64(1); op <= 16; op++ {
+		if len(image(op)) != len(a1) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("torn tail ignores crash op")
+	}
+}
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS()
+	p := filepath.Join(dir, "x.trace")
+	f, err := fsys.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(p, filepath.Join(dir, "y.trace")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadFile(filepath.Join(dir, "y.trace"))
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	names, err := fsys.Glob(filepath.Join(dir, "*.trace"))
+	if err != nil || len(names) != 1 {
+		t.Fatalf("glob: %v %v", names, err)
+	}
+	if Or(nil) == nil || Or(fsys) != fsys {
+		t.Fatal("Or defaulting broken")
+	}
+}

@@ -1,0 +1,442 @@
+package iofault
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MemDisk is an in-memory filesystem that models what a real disk keeps
+// across a crash, for the ALICE-style crash-consistency sweep:
+//
+//   - File data is durable only up to the last Sync of its handle; bytes
+//     written after it are volatile and lost (or torn) at a crash.
+//   - Directory entries (creates, renames, removes) are durable only once
+//     the parent directory is fsynced (SyncDir). Until then a crash shows
+//     the previous binding: an atomically renamed file falls back to its
+//     old content, a fresh file vanishes. Create and WriteFile bind a NEW
+//     inode, so an unsynced rename-over never tears the old durable bytes.
+//   - Directories themselves are treated as durable on creation (journaled
+//     metadata), a deliberate simplification documented in DESIGN.md §16.
+//
+// Materialize writes the durable view into a real scratch directory so the
+// ordinary recovery paths (store.Open, daemon salvage) can run against it.
+// All modelling is deterministic: the torn tail of an unsynced file is a
+// seeded hash of (seed, crash op, path), never randomness or time.
+type MemDisk struct {
+	seed int64
+
+	mu      sync.Mutex
+	names   map[string]*inode // volatile namespace, cleaned paths
+	durable map[string]*inode // entry-durable namespace
+	dirs    map[string]bool   // existing directories (durable on creation)
+}
+
+type inode struct {
+	data   []byte
+	synced int // durable prefix length
+}
+
+// NewMemDisk returns an empty disk. The seed drives torn-tail choices at
+// materialization.
+func NewMemDisk(seed int64) *MemDisk {
+	return &MemDisk{
+		seed:    seed,
+		names:   make(map[string]*inode),
+		durable: make(map[string]*inode),
+		dirs:    map[string]bool{".": true},
+	}
+}
+
+func clean(p string) string { return filepath.Clean(p) }
+
+func (d *MemDisk) dirExistsLocked(dir string) bool {
+	return dir == "." || dir == "/" || d.dirs[dir]
+}
+
+func pathErr(op, p string, err error) error {
+	return &fs.PathError{Op: op, Path: p, Err: err}
+}
+
+// Create truncate-creates name by binding a fresh inode; the durable
+// namespace keeps the old binding until the parent directory is synced.
+func (d *MemDisk) Create(name string) (File, error) {
+	name = clean(name)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.dirExistsLocked(filepath.Dir(name)) {
+		return nil, pathErr("create", name, fs.ErrNotExist)
+	}
+	ino := &inode{}
+	d.names[name] = ino
+	return &memHandle{d: d, ino: ino, path: name}, nil
+}
+
+// Open opens name for reading.
+func (d *MemDisk) Open(name string) (File, error) {
+	name = clean(name)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ino, ok := d.names[name]
+	if !ok {
+		return nil, pathErr("open", name, fs.ErrNotExist)
+	}
+	return &memHandle{d: d, ino: ino, path: name, ro: true}, nil
+}
+
+func (d *MemDisk) ReadFile(name string) ([]byte, error) {
+	name = clean(name)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ino, ok := d.names[name]
+	if !ok {
+		return nil, pathErr("open", name, fs.ErrNotExist)
+	}
+	return append([]byte(nil), ino.data...), nil
+}
+
+// WriteFile binds a fresh inode with the given content — and, like
+// os.WriteFile, no fsync: the content is entirely volatile until a Sync
+// or a crash-free shutdown.
+func (d *MemDisk) WriteFile(name string, data []byte, _ fs.FileMode) error {
+	name = clean(name)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.dirExistsLocked(filepath.Dir(name)) {
+		return pathErr("open", name, fs.ErrNotExist)
+	}
+	d.names[name] = &inode{data: append([]byte(nil), data...)}
+	return nil
+}
+
+func (d *MemDisk) Rename(oldpath, newpath string) error {
+	oldpath, newpath = clean(oldpath), clean(newpath)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ino, ok := d.names[oldpath]
+	if !ok {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: fs.ErrNotExist}
+	}
+	if !d.dirExistsLocked(filepath.Dir(newpath)) {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: fs.ErrNotExist}
+	}
+	delete(d.names, oldpath)
+	d.names[newpath] = ino
+	return nil
+}
+
+func (d *MemDisk) Remove(name string) error {
+	name = clean(name)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.names[name]; !ok {
+		if !d.dirs[name] {
+			return pathErr("remove", name, fs.ErrNotExist)
+		}
+		delete(d.dirs, name)
+		return nil
+	}
+	delete(d.names, name)
+	return nil
+}
+
+func (d *MemDisk) MkdirAll(p string, _ fs.FileMode) error {
+	p = clean(p)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for cur := p; cur != "." && cur != "/" && cur != string(filepath.Separator); cur = filepath.Dir(cur) {
+		d.dirs[cur] = true
+	}
+	return nil
+}
+
+func (d *MemDisk) ReadDir(name string) ([]fs.DirEntry, error) {
+	name = clean(name)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.dirExistsLocked(name) {
+		return nil, pathErr("open", name, fs.ErrNotExist)
+	}
+	seen := make(map[string]fs.DirEntry)
+	for p, ino := range d.names {
+		if filepath.Dir(p) == name {
+			base := filepath.Base(p)
+			seen[base] = memEntry{name: base, size: int64(len(ino.data))}
+		}
+	}
+	for p := range d.dirs {
+		if filepath.Dir(p) == name {
+			base := filepath.Base(p)
+			seen[base] = memEntry{name: base, dir: true}
+		}
+	}
+	out := make([]fs.DirEntry, 0, len(seen))
+	for _, e := range seen {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out, nil
+}
+
+func (d *MemDisk) Stat(name string) (fs.FileInfo, error) {
+	name = clean(name)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ino, ok := d.names[name]; ok {
+		return memInfo{name: filepath.Base(name), size: int64(len(ino.data))}, nil
+	}
+	if d.dirExistsLocked(name) {
+		return memInfo{name: filepath.Base(name), dir: true}, nil
+	}
+	return nil, pathErr("stat", name, fs.ErrNotExist)
+}
+
+func (d *MemDisk) Glob(pattern string) ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for p := range d.names {
+		ok, err := filepath.Match(pattern, p)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SyncDir makes the directory's current entries durable: bindings created,
+// renamed, or removed since the last sync are committed.
+func (d *MemDisk) SyncDir(dir string) error {
+	dir = clean(dir)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.dirExistsLocked(dir) {
+		return nil
+	}
+	for p := range d.durable {
+		if filepath.Dir(p) == dir {
+			if _, ok := d.names[p]; !ok {
+				delete(d.durable, p)
+			}
+		}
+	}
+	for p, ino := range d.names {
+		if filepath.Dir(p) == dir {
+			d.durable[p] = ino
+		}
+	}
+	return nil
+}
+
+// Shutdown commits everything — the clean-exit image (no crash): all
+// entries durable, all data synced. Used by sweeps to model a run that was
+// allowed to finish.
+func (d *MemDisk) Shutdown() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for p := range d.durable {
+		if _, ok := d.names[p]; !ok {
+			delete(d.durable, p)
+		}
+	}
+	for p, ino := range d.names {
+		d.durable[p] = ino
+		ino.synced = len(ino.data)
+	}
+}
+
+// MaterializeOptions configures the durable image.
+type MaterializeOptions struct {
+	// Torn extends each durable file past its synced prefix by a
+	// deterministic 0..unsynced extra bytes — in-flight writeback caught
+	// mid-page. Without it the image is the pessimal synced-only view.
+	Torn bool
+	// CrashOp keys the torn-tail hash so different crash points tear
+	// differently under one seed.
+	CrashOp uint64
+}
+
+// Materialize writes the durable view into destDir (a real directory) so
+// recovery code paths can run against it. destDir must exist and be empty.
+func (d *MemDisk) Materialize(destDir string, opts MaterializeOptions) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for p := range d.dirs {
+		if p == "." {
+			continue
+		}
+		if err := os.MkdirAll(filepath.Join(destDir, p), 0o777); err != nil {
+			return err
+		}
+	}
+	for p, ino := range d.durable {
+		n := ino.synced
+		if opts.Torn && len(ino.data) > n {
+			extra := len(ino.data) - n
+			h := mix(uint64(d.seed) ^ mix(opts.CrashOp) ^ hashPath(p))
+			n += int(h % uint64(extra+1))
+		}
+		dst := filepath.Join(destDir, p)
+		if err := os.MkdirAll(filepath.Dir(dst), 0o777); err != nil {
+			return err
+		}
+		if err := os.WriteFile(dst, ino.data[:n], 0o666); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DurableLen reports the synced prefix length of the inode durably bound to
+// path (0 if the entry is not durable) — what a pessimal crash preserves.
+func (d *MemDisk) DurableLen(p string) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ino, ok := d.durable[clean(p)]
+	if !ok {
+		return 0
+	}
+	return int64(ino.synced)
+}
+
+func hashPath(p string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(p); i++ {
+		h ^= uint64(p[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// memHandle is an open MemDisk file.
+type memHandle struct {
+	d    *MemDisk
+	ino  *inode
+	path string
+	pos  int
+	ro   bool
+	done bool
+}
+
+func (h *memHandle) Name() string { return h.path }
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	if h.done {
+		return 0, pathErr("read", h.path, fs.ErrClosed)
+	}
+	if h.pos >= len(h.ino.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.ino.data[h.pos:])
+	h.pos += n
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	if h.done {
+		return 0, pathErr("write", h.path, fs.ErrClosed)
+	}
+	if h.ro {
+		return 0, pathErr("write", h.path, fs.ErrPermission)
+	}
+	h.ino.data = append(h.ino.data, p...)
+	return len(p), nil
+}
+
+// Sync makes every byte written so far durable.
+func (h *memHandle) Sync() error {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	if h.done {
+		return pathErr("sync", h.path, fs.ErrClosed)
+	}
+	h.ino.synced = len(h.ino.data)
+	return nil
+}
+
+// Close releases the handle. Like a real close it implies no durability.
+func (h *memHandle) Close() error {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	if h.done {
+		return pathErr("close", h.path, fs.ErrClosed)
+	}
+	h.done = true
+	return nil
+}
+
+type memEntry struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (e memEntry) Name() string { return e.name }
+func (e memEntry) IsDir() bool  { return e.dir }
+func (e memEntry) Type() fs.FileMode {
+	if e.dir {
+		return fs.ModeDir
+	}
+	return 0
+}
+func (e memEntry) Info() (fs.FileInfo, error) {
+	return memInfo{name: e.name, size: e.size, dir: e.dir}, nil
+}
+
+type memInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (i memInfo) Name() string { return i.name }
+func (i memInfo) Size() int64  { return i.size }
+func (i memInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o777
+	}
+	return 0o666
+}
+func (i memInfo) ModTime() time.Time { return time.Time{} }
+func (i memInfo) IsDir() bool        { return i.dir }
+func (i memInfo) Sys() any           { return nil }
+
+// String renders the volatile vs durable view for test failure messages.
+func (d *MemDisk) String() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var b strings.Builder
+	paths := make([]string, 0, len(d.names))
+	for p := range d.names {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		ino := d.names[p]
+		dur, durable := d.durable[p]
+		tag := "volatile-entry"
+		if durable {
+			if dur == ino {
+				tag = fmt.Sprintf("durable %d/%d", ino.synced, len(ino.data))
+			} else {
+				tag = fmt.Sprintf("durable-old %d/%d (new %d)", dur.synced, len(dur.data), len(ino.data))
+			}
+		}
+		fmt.Fprintf(&b, "%s: %d bytes [%s]\n", p, len(ino.data), tag)
+	}
+	return b.String()
+}

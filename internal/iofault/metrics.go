@@ -1,0 +1,39 @@
+package iofault
+
+import (
+	"sync/atomic"
+
+	"tracedbg/internal/obs"
+)
+
+// iofaultMetrics counts injector activity. The OS passthrough publishes
+// nothing — only installed injectors do — so a clean-path run carries zero
+// metric traffic from this package.
+type iofaultMetrics struct {
+	ops      *obs.Counter
+	injected *obs.Counter
+	crashes  *obs.Counter
+}
+
+func newIofaultMetrics(r *obs.Registry) *iofaultMetrics {
+	return &iofaultMetrics{
+		ops: r.Counter("tracedbg_iofault_ops_total",
+			"filesystem operations routed through installed fault injectors"),
+		injected: r.Counter("tracedbg_iofault_injected_total",
+			"faults injected by disk fault plans (all kinds, including delays)"),
+		crashes: r.Counter("tracedbg_iofault_crashes_total",
+			"simulated machine crashes fired by crash rules"),
+	}
+}
+
+var iofaultObs atomic.Pointer[iofaultMetrics]
+
+func init() { iofaultObs.Store(newIofaultMetrics(obs.Default())) }
+
+// SetObsRegistry re-points the package's metrics at a registry (see
+// trace.SetObsRegistry for the convention).
+func SetObsRegistry(r *obs.Registry) {
+	iofaultObs.Store(newIofaultMetrics(r))
+}
+
+func metrics() *iofaultMetrics { return iofaultObs.Load() }

@@ -1,0 +1,271 @@
+package iofault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path"
+	"time"
+)
+
+// Kind names a disk-fault behaviour, mirroring the message-fault kinds of
+// internal/fault: each rule applies one kind at deterministically selected
+// operations.
+type Kind string
+
+const (
+	// KindEIO fails the selected operation with EIO. Nothing reaches the
+	// underlying filesystem.
+	KindEIO Kind = "eio"
+	// KindENOSPC models a full disk: once the injector has accepted
+	// Rule.AfterBytes payload bytes, space-consuming ops (write, create,
+	// writefile, mkdir) fail with ENOSPC. A write straddling the budget is
+	// applied up to the budget and then fails — a torn tail, exactly what a
+	// real filesystem leaves behind. Persists until the plan is cleared.
+	KindENOSPC Kind = "enospc"
+	// KindShortWrite applies a seeded-deterministic prefix of the buffer and
+	// fails the rest with EIO — a torn write inside the budget.
+	KindShortWrite Kind = "short-write"
+	// KindLyingFsync makes the selected Sync/SyncDir report success without
+	// forwarding to the underlying filesystem: the classic firmware lie.
+	// Data the caller now believes durable is still volatile, which a later
+	// crash point (or MemDisk materialization) exposes.
+	KindLyingFsync Kind = "lying-fsync"
+	// KindRenameFail fails the selected rename with EIO, leaving the old
+	// name in place — the atomic-publish step that never happened.
+	KindRenameFail Kind = "rename-fail"
+	// KindSlow delays the selected operations by Rule.DelayMs before
+	// performing them normally. Unlike the error kinds it does not consume
+	// the op: later rules still apply.
+	KindSlow Kind = "slow"
+	// KindCrash halts the simulated machine at the rule's AtOp'th matching
+	// operation: that op and every subsequent FS call fail with ErrCrashed.
+	// With a MemDisk base, the durable image at the crash instant can then
+	// be materialized and recovered from.
+	KindCrash Kind = "crash"
+)
+
+// Op selector names. A Rule.Op of "" matches any operation the kind can
+// apply to.
+const (
+	OpCreate    = "create"
+	OpOpen      = "open"
+	OpRead      = "read"  // File.Read and FS.ReadFile
+	OpWrite     = "write" // File.Write and FS.WriteFile
+	OpSync      = "sync"
+	OpSyncDir   = "syncdir"
+	OpClose     = "close"
+	OpRename    = "rename"
+	OpRemove    = "remove"
+	OpMkdir     = "mkdir"
+	OpStat      = "stat" // Stat, ReadDir, Glob
+	OpWriteFile = "writefile"
+)
+
+// Rule selects operations and applies one fault kind to them. Selection is
+// deterministic: each rule keeps its own counter of matching ops, and AtOp /
+// Prob are evaluated against that counter (and the plan seed), never against
+// time.
+type Rule struct {
+	// Kind is the fault behaviour.
+	Kind Kind
+	// Op restricts the rule to one operation kind ("write", "sync",
+	// "rename", ...). Empty matches any op the kind can apply to.
+	Op string
+	// Path restricts the rule to paths whose base name matches this glob
+	// (path.Match). Empty matches every path.
+	Path string
+	// AtOp fires the rule at its AtOp'th matching operation (1-based).
+	// Zero means every matching operation (gated by Prob and Count).
+	// Persistent kinds (crash, enospc) stay triggered from that op on.
+	AtOp uint64
+	// AfterBytes is the ENOSPC byte budget: accepted payload bytes before
+	// the disk is full. Only meaningful for KindENOSPC.
+	AfterBytes int64
+	// Count caps how many times the rule injects. Zero means unlimited.
+	Count int
+	// Prob gates each triggered injection on a deterministic coin in [0,1]
+	// keyed on (seed, rule, match ordinal). Zero or one means always.
+	Prob float64
+	// DelayMs is the KindSlow delay in milliseconds.
+	DelayMs int64
+}
+
+// ruleJSON is the wire form. Pointers make "omitted" distinguishable from
+// zero so plans stay terse (same convention as internal/fault).
+type ruleJSON struct {
+	Kind       Kind     `json:"kind"`
+	Op         *string  `json:"op,omitempty"`
+	Path       *string  `json:"path,omitempty"`
+	AtOp       *uint64  `json:"at_op,omitempty"`
+	AfterBytes *int64   `json:"after_bytes,omitempty"`
+	Count      *int     `json:"count,omitempty"`
+	Prob       *float64 `json:"prob,omitempty"`
+	DelayMs    *int64   `json:"delay_ms,omitempty"`
+}
+
+// MarshalJSON emits the compact wire form.
+func (r Rule) MarshalJSON() ([]byte, error) {
+	j := ruleJSON{Kind: r.Kind}
+	if r.Op != "" {
+		j.Op = &r.Op
+	}
+	if r.Path != "" {
+		j.Path = &r.Path
+	}
+	if r.AtOp != 0 {
+		j.AtOp = &r.AtOp
+	}
+	if r.AfterBytes != 0 {
+		j.AfterBytes = &r.AfterBytes
+	}
+	if r.Count != 0 {
+		j.Count = &r.Count
+	}
+	if r.Prob != 0 {
+		j.Prob = &r.Prob
+	}
+	if r.DelayMs != 0 {
+		j.DelayMs = &r.DelayMs
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON accepts the wire form, defaulting omitted fields.
+func (r *Rule) UnmarshalJSON(data []byte) error {
+	var j ruleJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*r = Rule{Kind: j.Kind}
+	if j.Op != nil {
+		r.Op = *j.Op
+	}
+	if j.Path != nil {
+		r.Path = *j.Path
+	}
+	if j.AtOp != nil {
+		r.AtOp = *j.AtOp
+	}
+	if j.AfterBytes != nil {
+		r.AfterBytes = *j.AfterBytes
+	}
+	if j.Count != nil {
+		r.Count = *j.Count
+	}
+	if j.Prob != nil {
+		r.Prob = *j.Prob
+	}
+	if j.DelayMs != nil {
+		r.DelayMs = *j.DelayMs
+	}
+	return nil
+}
+
+// Plan is a seeded set of disk-fault rules. The zero value (no rules) is a
+// valid plan that injects nothing.
+type Plan struct {
+	Seed  int64  `json:"seed"`
+	Rules []Rule `json:"rules,omitempty"`
+}
+
+// Validate rejects rules the injector would silently ignore.
+func (p *Plan) Validate() error {
+	for i, r := range p.Rules {
+		prefix := fmt.Sprintf("iofault: rule %d (%s)", i, r.Kind)
+		switch r.Kind {
+		case KindEIO, KindENOSPC, KindShortWrite, KindLyingFsync, KindRenameFail, KindSlow, KindCrash:
+		default:
+			return fmt.Errorf("%s: unknown kind", prefix)
+		}
+		if r.Prob < 0 || r.Prob > 1 {
+			return fmt.Errorf("%s: prob %v outside [0,1]", prefix, r.Prob)
+		}
+		if r.DelayMs < 0 {
+			return fmt.Errorf("%s: negative delay", prefix)
+		}
+		if r.AfterBytes < 0 {
+			return fmt.Errorf("%s: negative byte budget", prefix)
+		}
+		if r.Kind == KindSlow && r.DelayMs == 0 {
+			return fmt.Errorf("%s: slow rule without delay_ms", prefix)
+		}
+		if r.Kind == KindCrash && r.AtOp == 0 {
+			return fmt.Errorf("%s: crash rule needs at_op (a definite crash point)", prefix)
+		}
+		if r.Path != "" {
+			if _, err := path.Match(r.Path, "probe"); err != nil {
+				return fmt.Errorf("%s: bad path glob %q: %v", prefix, r.Path, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Parse decodes and validates a JSON plan.
+func Parse(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("iofault: parse plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Load reads a plan file written by Save (or by hand).
+func Load(planPath string) (*Plan, error) {
+	data, err := os.ReadFile(planPath)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Save writes the plan as indented JSON.
+func (p *Plan) Save(planPath string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(planPath, append(data, '\n'), 0o644)
+}
+
+// Convenience constructors in the internal/fault style: each returns one
+// rule ready to drop into a Plan.
+
+// EIONth fails the n-th op of the given kind (and optional path glob).
+func EIONth(op, pathGlob string, n uint64) Rule {
+	return Rule{Kind: KindEIO, Op: op, Path: pathGlob, AtOp: n, Count: 1}
+}
+
+// ENOSPCAfter models a disk with the given byte budget left.
+func ENOSPCAfter(budget int64) Rule {
+	return Rule{Kind: KindENOSPC, AfterBytes: budget}
+}
+
+// ShortWriteNth tears the n-th matching write.
+func ShortWriteNth(pathGlob string, n uint64) Rule {
+	return Rule{Kind: KindShortWrite, Op: OpWrite, Path: pathGlob, AtOp: n, Count: 1}
+}
+
+// LyingFsync swallows every matching fsync (file and directory).
+func LyingFsync(pathGlob string) Rule {
+	return Rule{Kind: KindLyingFsync, Path: pathGlob}
+}
+
+// RenameFailNth fails the n-th matching rename.
+func RenameFailNth(pathGlob string, n uint64) Rule {
+	return Rule{Kind: KindRenameFail, Op: OpRename, Path: pathGlob, AtOp: n, Count: 1}
+}
+
+// SlowIO delays every matching op by d.
+func SlowIO(op string, d time.Duration) Rule {
+	return Rule{Kind: KindSlow, Op: op, DelayMs: int64(d / time.Millisecond)}
+}
+
+// CrashAtOp halts the machine at the n-th FS operation.
+func CrashAtOp(n uint64) Rule {
+	return Rule{Kind: KindCrash, AtOp: n}
+}

@@ -145,7 +145,7 @@ func DialOptions(addr string, numRanks int, opts ClientOptions) (*Client, error)
 	err = cl.attachLocked(conn, br, ack, win)
 	cl.mu.Unlock()
 	if err != nil {
-		conn.Close()
+		conn.Close() //nolint:ioerr // dial teardown; the attach error is surfaced
 		return nil, err
 	}
 	return cl, nil
@@ -169,25 +169,25 @@ func (cl *Client) connect() (net.Conn, *bufio.Reader, uint64, uint64, error) {
 		_, err = fmt.Fprintf(conn, "%s%d %s\n", handshakeV2, cl.numRanks, cl.opts.ID)
 	}
 	if err != nil {
-		conn.Close()
+		conn.Close() //nolint:ioerr // handshake teardown; the handshake error is surfaced
 		return nil, nil, 0, 0, fmt.Errorf("remote: handshake: %w", err)
 	}
 	conn.SetReadDeadline(time.Now().Add(cl.opts.HandshakeTimeout))
 	br := bufio.NewReaderSize(conn, 1<<16)
 	line, err := br.ReadString('\n')
 	if err != nil {
-		conn.Close()
+		conn.Close() //nolint:ioerr // handshake teardown; the handshake error is surfaced
 		return nil, nil, 0, 0, fmt.Errorf("remote: handshake ack: %w", err)
 	}
 	conn.SetReadDeadline(time.Time{})
 	if strings.HasPrefix(line, rejPrefix) {
-		conn.Close()
+		conn.Close() //nolint:ioerr // handshake teardown; the rejection is surfaced
 		metrics().clientRejections.Inc()
 		return nil, nil, 0, 0, parseReject(line)
 	}
 	ack, win, ok := parseAck(line)
 	if !ok {
-		conn.Close()
+		conn.Close() //nolint:ioerr // handshake teardown; the protocol error is surfaced
 		return nil, nil, 0, 0, fmt.Errorf("remote: bad handshake ack %q", strings.TrimSpace(line))
 	}
 	return conn, br, ack, win, nil
@@ -375,8 +375,8 @@ func (cl *Client) spillLocked(n int) error {
 		bw := bufio.NewWriterSize(&countingWriter{w: f, c: metrics().clientSpillBytes}, 1<<16)
 		fw, err := trace.NewFileWriterOptions(bw, cl.numRanks, cl.writerOptions())
 		if err != nil {
-			f.Close()
-			os.Remove(f.Name())
+			f.Close()           //nolint:ioerr // error path; the spill-setup error is surfaced
+			os.Remove(f.Name()) //nolint:ioerr // best-effort cleanup of the failed spill file
 			return err
 		}
 		cl.spillPath, cl.spillF, cl.spillBW, cl.spillFW = f.Name(), f, bw, fw
@@ -450,7 +450,7 @@ func (cl *Client) Emit(rec *trace.Record) {
 // nothing is lost. Caller holds cl.mu.
 func (cl *Client) dropConnLocked() {
 	if cl.conn != nil {
-		cl.conn.Close()
+		cl.conn.Close() //nolint:ioerr // dropping a dead conn; unacked records will be resent
 		cl.conn = nil
 		cl.bw, cl.fw = nil, nil
 		cl.connGen++
@@ -626,7 +626,7 @@ func (cl *Client) reconnectLoop() {
 		if cl.closed {
 			cl.reconnecting = false
 			cl.mu.Unlock()
-			conn.Close()
+			conn.Close() //nolint:ioerr // client closed mid-reconnect; the conn is abandoned
 			return
 		}
 		err = cl.attachLocked(conn, br, ack, win)
@@ -641,7 +641,7 @@ func (cl *Client) reconnectLoop() {
 			return
 		}
 		cl.mu.Unlock()
-		conn.Close()
+		conn.Close() //nolint:ioerr // attach failed; the retry loop owns the error
 		lastErr = err
 	}
 }
@@ -703,7 +703,7 @@ func (cl *Client) Close() error {
 	windowed := cl.win > 0
 	cl.mu.Unlock()
 	if windowed {
-		cl.Flush() // the tail must be on the wire before acks can drain it
+		cl.Flush() //nolint:ioerr // tail must hit the wire before acks drain; failure surfaces via cl.err below
 		deadline := time.Now().Add(cl.opts.DrainTimeout)
 		for {
 			cl.mu.Lock()
@@ -770,7 +770,7 @@ func (cl *Client) Close() error {
 				tc.SetLinger(0)
 			}
 		}
-		cl.conn.Close()
+		cl.conn.Close() //nolint:ioerr // post-drain teardown; acks are already accounted
 		cl.conn = nil
 		cl.bw, cl.fw = nil, nil
 	}
@@ -782,8 +782,8 @@ func (cl *Client) Close() error {
 	cl.wg.Wait()
 	cl.mu.Lock()
 	if cl.spillF != nil {
-		cl.spillF.Close()
-		os.Remove(cl.spillPath)
+		cl.spillF.Close()       //nolint:ioerr // spill is discard-only once the session is over
+		os.Remove(cl.spillPath) //nolint:ioerr // spill is discard-only once the session is over
 		cl.spillF, cl.spillBW, cl.spillFW = nil, nil, nil
 	}
 	cl.mu.Unlock()

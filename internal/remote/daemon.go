@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"tracedbg/internal/iofault"
 	"tracedbg/internal/obs"
 	"tracedbg/internal/store"
 	"tracedbg/internal/trace"
@@ -25,6 +26,7 @@ import (
 // carry the daemon's RetryAfter hint; permanent ones carry -1.
 const (
 	RejectDraining    = "draining"
+	RejectDegraded    = "degraded" // disk trouble; retry once storage recovers
 	RejectMaxSessions = "max-sessions"
 	RejectClientLimit = "client-limit"
 	RejectDiskBudget  = "disk-budget"
@@ -39,6 +41,11 @@ const (
 	QuotaSessionRecords = "session-records"
 	QuotaDiskBudget     = "disk-budget"
 )
+
+// KillDiskError is the terminal TDBGQUO reason for sessions whose write path
+// hit a disk error: everything durable so far is preserved and the session
+// finalizes incomplete with the error in its manifest marker.
+const KillDiskError = "disk-error"
 
 // sessionBase is the segment base name inside every session directory:
 // <dir>/<sessionID>/trace-00000.trace ... plus trace.manifest.
@@ -88,6 +95,17 @@ type DaemonOptions struct {
 	// Sync is the segment fsync policy. Default SyncNone (the OS page cache
 	// still survives a daemon SIGKILL; raise it to survive host crashes).
 	Sync trace.SyncPolicy
+	// DegradedProbeEvery is the cadence of disk-recovery probes while the
+	// daemon is degraded (not admitting because of disk trouble). Default 1s.
+	DegradedProbeEvery time.Duration
+	// ScrubEvery enables the background storage scrub: every interval the
+	// daemon CRC-walks the segments of each finalized session, quarantining
+	// and re-salvaging damaged ones in place (store.Scrub in repair mode).
+	// 0 disables.
+	ScrubEvery time.Duration
+	// FS overrides the filesystem used for session directories, metadata and
+	// segment files — the deterministic fault-injection seam. Nil uses the OS.
+	FS iofault.FS
 }
 
 func (o DaemonOptions) withDefaults() DaemonOptions {
@@ -114,6 +132,9 @@ func (o DaemonOptions) withDefaults() DaemonOptions {
 	}
 	if o.ManifestEvery <= 0 {
 		o.ManifestEvery = 500 * time.Millisecond
+	}
+	if o.DegradedProbeEvery <= 0 {
+		o.DegradedProbeEvery = time.Second
 	}
 	return o
 }
@@ -163,6 +184,7 @@ type session struct {
 	killReason string
 	incomplete string // finalize reason ("" = complete)
 	recovered  bool   // reopened from a partial dir after a restart
+	ioFailed   bool   // write path hit a disk error; queue drains discarding
 	finalizing bool
 
 	handlerWG sync.WaitGroup // in-flight connection handlers for this session
@@ -215,18 +237,23 @@ type sessionMeta struct {
 type Daemon struct {
 	ln   net.Listener
 	opts DaemonOptions
+	fs   iofault.FS
+	stop chan struct{} // closed once, when drain/kill begins
 
-	mu           sync.Mutex
-	sessions     map[string]*session        // live (not yet finalized) sessions
-	retired      map[string]*retiredSession // finalized; capped tombstones
-	retiredOrder []string                   // FIFO eviction order for retired
-	perClient    map[string]int
-	active       int   // sessions not yet finalized
-	diskUsed     int64 // bytes across all session dirs, finalized included
-	draining     bool
-	errs         []error
-	conns        map[net.Conn]connPhase
-	wg           sync.WaitGroup
+	mu             sync.Mutex
+	sessions       map[string]*session        // live (not yet finalized) sessions
+	retired        map[string]*retiredSession // finalized; capped tombstones
+	retiredOrder   []string                   // FIFO eviction order for retired
+	perClient      map[string]int
+	active         int   // sessions not yet finalized
+	diskUsed       int64 // bytes across all session dirs, finalized included
+	draining       bool
+	degraded       bool   // disk trouble: admission paused, reads keep serving
+	degradedReason string // what pushed the daemon into degraded mode
+	probing        bool   // a disk-recovery probe goroutine is running
+	errs           []error
+	conns          map[net.Conn]connPhase
+	wg             sync.WaitGroup
 }
 
 // NewDaemon listens on addr, recovers any partial sessions under opts.Dir,
@@ -239,11 +266,14 @@ func NewDaemon(addr string, opts DaemonOptions) (*Daemon, error) {
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("remote: daemon needs a session directory")
 	}
-	if err := os.MkdirAll(opts.Dir, 0o777); err != nil {
+	fsys := iofault.Or(opts.FS)
+	if err := fsys.MkdirAll(opts.Dir, 0o777); err != nil {
 		return nil, fmt.Errorf("remote: daemon dir: %w", err)
 	}
 	d := &Daemon{
 		opts:      opts,
+		fs:        fsys,
+		stop:      make(chan struct{}),
 		sessions:  make(map[string]*session),
 		perClient: make(map[string]int),
 		retired:   make(map[string]*retiredSession),
@@ -257,7 +287,7 @@ func NewDaemon(addr string, opts DaemonOptions) (*Daemon, error) {
 	if err := d.recoverSessions(); err != nil {
 		// Tear down whatever recovery spun up before failing; connections
 		// queued on the listener backlog are dropped with it.
-		ln.Close()
+		ln.Close() //nolint:ioerr // startup failed; the recovery error is surfaced
 		for _, s := range d.sessions {
 			close(s.queue)
 			<-s.qdone
@@ -267,7 +297,76 @@ func NewDaemon(addr string, opts DaemonOptions) (*Daemon, error) {
 	}
 	d.wg.Add(1)
 	go d.serve()
+	if opts.ScrubEvery > 0 {
+		d.wg.Add(1)
+		go d.scrubLoop()
+	}
 	return d, nil
+}
+
+// scrubLoop periodically CRC-walks every finalized session's store and heals
+// damage in place. Live sessions are skipped (their writer owns the files);
+// a degraded daemon skips the pass entirely rather than churn repair
+// attempts against a disk that cannot hold their rewrites.
+func (d *Daemon) scrubLoop() {
+	defer d.wg.Done()
+	tick := time.NewTicker(d.opts.ScrubEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-tick.C:
+		}
+		d.mu.Lock()
+		degraded := d.degraded
+		d.mu.Unlock()
+		if degraded {
+			continue
+		}
+		d.ScrubFinalized()
+	}
+}
+
+// ScrubFinalized runs one repair-mode scrub pass over every finalized
+// session directory and returns the per-session results. Exposed so tests
+// and operators can force a pass instead of waiting out ScrubEvery.
+func (d *Daemon) ScrubFinalized() []*store.ScrubResult {
+	entries, err := d.fs.ReadDir(d.opts.Dir)
+	if err != nil {
+		d.mu.Lock()
+		d.errs = append(d.errs, fmt.Errorf("remote: scrub: %w", err))
+		d.mu.Unlock()
+		return nil
+	}
+	var out []*store.ScrubResult
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(d.opts.Dir, e.Name())
+		meta, err := d.readSessionMeta(dir)
+		if err != nil || (!meta.Complete && meta.Incomplete == "") {
+			continue // not a session, or still live: its writer owns the files
+		}
+		res, err := store.Scrub(d.SessionManifest(meta.SessionID), store.ScrubOptions{
+			FS: d.opts.FS, Repair: true, Writer: "tcollect-scrub",
+		})
+		if err != nil {
+			d.mu.Lock()
+			d.errs = append(d.errs, fmt.Errorf("remote: scrub %s: %w", meta.SessionID, err))
+			d.mu.Unlock()
+			continue
+		}
+		if !res.Clean() {
+			if l := obs.Events(); l.Enabled(obs.LevelWarn) {
+				l.Log(obs.LevelWarn, "daemon.scrub_damage", obs.F("session", meta.SessionID),
+					obs.F("summary", res.String()))
+			}
+		}
+		out = append(out, res)
+	}
+	return out
 }
 
 // Addr returns the listening address for clients.
@@ -287,7 +386,7 @@ func (d *Daemon) serve() {
 		if d.draining {
 			d.mu.Unlock()
 			writeReject(conn, RejectDraining, d.opts.RetryAfter)
-			conn.Close()
+			conn.Close() //nolint:ioerr // rejected peer; nothing durable on the conn
 			continue
 		}
 		d.conns[conn] = phaseHandshake
@@ -299,7 +398,7 @@ func (d *Daemon) serve() {
 		go func() {
 			defer d.wg.Done()
 			err := d.handle(conn)
-			conn.Close()
+			conn.Close() //nolint:ioerr // handler exit; session state carries any error
 			metrics().collActive.Add(-1)
 			d.mu.Lock()
 			delete(d.conns, conn)
@@ -485,6 +584,12 @@ func (d *Daemon) admit(conn net.Conn, clientID, sessionID string, numRanks int) 
 		// it as new would clobber the sealed store on disk.
 		return nil, 0, 0, r.reject, -1
 	}
+	if d.degraded {
+		// Disk trouble: refuse new sessions AND resumes with a retryable
+		// token. Read-side APIs keep serving; the probe re-opens admission
+		// once the disk recovers, and a retrying client then lands normally.
+		return nil, 0, 0, RejectDegraded, d.opts.RetryAfter
+	}
 	if s := d.sessions[sessionID]; s != nil {
 		// Resume of a known session.
 		if s.state == sessDone || s.finalizing {
@@ -497,7 +602,7 @@ func (d *Daemon) admit(conn net.Conn, clientID, sessionID string, numRanks int) 
 			return nil, 0, 0, RejectRankCount, -1
 		}
 		if prev := s.conn; prev != nil && prev != conn {
-			prev.Close() // latest connection wins
+			prev.Close() // latest connection wins //nolint:ioerr // superseded conn; the new connection owns the session
 		}
 		s.gen++
 		s.conn = conn
@@ -547,23 +652,23 @@ func (d *Daemon) admit(conn net.Conn, clientID, sessionID string, numRanks int) 
 // and writer goroutine. Caller holds d.mu.
 func (d *Daemon) openSessionLocked(sessionID, clientID string, numRanks int) (*session, error) {
 	dir := filepath.Join(d.opts.Dir, sessionID)
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	if err := d.fs.MkdirAll(dir, 0o777); err != nil {
 		return nil, err
 	}
-	if err := writeSessionMeta(dir, &sessionMeta{
+	if err := writeSessionMeta(d.fs, dir, &sessionMeta{
 		SessionID: sessionID, ClientID: clientID, NumRanks: numRanks,
 	}); err != nil {
 		return nil, err
 	}
 	gw, err := trace.NewSequentialSegmentedWriter(dir, sessionBase, numRanks, d.opts.SegmentBytes,
-		trace.WriterOptions{Writer: "tcollect-daemon/" + sessionID, Sync: d.opts.Sync})
+		trace.WriterOptions{Writer: "tcollect-daemon/" + sessionID, Sync: d.opts.Sync, FS: d.opts.FS})
 	if err != nil {
 		return nil, err
 	}
 	// Publish the manifest immediately so live tail consumers can attach to
 	// the session before its first record becomes durable.
 	if err := gw.SyncManifest(); err != nil {
-		gw.Close()
+		gw.Close() //nolint:ioerr // error path; the manifest-publish error is surfaced
 		return nil, err
 	}
 	s := &session{
@@ -594,11 +699,19 @@ func (d *Daemon) writerLoop(s *session) {
 	defer close(s.qdone)
 	lastSync := time.Now()
 	dirty := false
+	failed := false // disk error seen; drain the queue discarding
 	idle := time.NewTicker(d.opts.ManifestEvery)
 	defer idle.Stop()
+	fail := func(err error) {
+		if failed {
+			return
+		}
+		failed = true
+		d.sessionIOError(s, err)
+	}
 	syncNow := func() {
 		if err := s.gw.SyncManifest(); err != nil {
-			d.sessionError(s, err)
+			fail(err)
 		}
 		lastSync = time.Now()
 		dirty = false
@@ -609,7 +722,7 @@ func (d *Daemon) writerLoop(s *session) {
 		select {
 		case rec, open = <-s.queue:
 		case <-idle.C:
-			if dirty && time.Since(lastSync) >= d.opts.ManifestEvery {
+			if !failed && dirty && time.Since(lastSync) >= d.opts.ManifestEvery {
 				syncNow()
 			}
 			continue
@@ -618,8 +731,10 @@ func (d *Daemon) writerLoop(s *session) {
 			break
 		}
 		batch := 1
-		if err := s.gw.Write(&rec); err != nil {
-			d.sessionError(s, err)
+		if !failed {
+			if err := s.gw.Write(&rec); err != nil {
+				fail(err)
+			}
 		}
 	fill:
 		for batch < 512 {
@@ -628,18 +743,25 @@ func (d *Daemon) writerLoop(s *session) {
 				if !ok {
 					break fill
 				}
-				if err := s.gw.Write(&r2); err != nil {
-					d.sessionError(s, err)
+				if !failed {
+					if err := s.gw.Write(&r2); err != nil {
+						fail(err)
+					}
 				}
 				batch++
 			default:
 				break fill
 			}
 		}
-		if err := s.gw.Flush(); err != nil {
-			d.sessionError(s, err)
+		if !failed {
+			if err := s.gw.Flush(); err != nil {
+				fail(err)
+			}
 		}
 		metrics().sessQueueRecords.Add(-int64(batch))
+		if failed {
+			continue // broken disk: keep draining so the handler never wedges
+		}
 		d.mu.Lock()
 		s.durable = uint64(s.gw.Count())
 		d.mu.Unlock()
@@ -650,8 +772,12 @@ func (d *Daemon) writerLoop(s *session) {
 			syncNow()
 		}
 	}
+	if failed {
+		return
+	}
 	if err := s.gw.Flush(); err != nil {
-		d.sessionError(s, err)
+		fail(err)
+		return
 	}
 	d.mu.Lock()
 	s.durable = uint64(s.gw.Count())
@@ -695,26 +821,36 @@ func (d *Daemon) overByteQuota(s *session) bool {
 // terminal TDBGQUO line, the connection is severed, and the session is
 // finalized (everything accepted so far stays durable, marked incomplete).
 func (d *Daemon) killSession(s *session, reason string) {
-	d.mu.Lock()
-	if s.state != sessActive {
-		d.mu.Unlock()
+	if !d.terminate(s, reason) {
 		return
 	}
-	s.state = sessKilled
-	s.killReason = reason
-	conn := s.conn
-	d.mu.Unlock()
 	metrics().sessQuotaKills.Inc()
 	if l := obs.Events(); l.Enabled(obs.LevelWarn) {
 		l.Log(obs.LevelWarn, "daemon.quota_kill",
 			obs.F("session", s.id), obs.F("reason", reason))
 	}
+	d.goFinalize(s, "quota exceeded: "+reason)
+}
+
+// terminate moves an active session to the killed state and severs its client
+// with a terminal TDBGQUO line. Returns false if the session already left the
+// active state (a concurrent kill or finalize won).
+func (d *Daemon) terminate(s *session, reason string) bool {
+	d.mu.Lock()
+	if s.state != sessActive {
+		d.mu.Unlock()
+		return false
+	}
+	s.state = sessKilled
+	s.killReason = reason
+	conn := s.conn
+	d.mu.Unlock()
 	if conn != nil {
 		conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
-		fmt.Fprintf(conn, "%s%s\n", quoPrefix, reason)
-		conn.Close()
+		fmt.Fprintf(conn, "%s%s\n", quoPrefix, reason) //nolint:ioerr // peer may already be gone
+		conn.Close()                                   //nolint:ioerr // peer may already be gone; the kill is recorded server-side
 	}
-	d.goFinalize(s, "quota exceeded: "+reason)
+	return true
 }
 
 // sessionError records a session-scoped error.
@@ -722,6 +858,127 @@ func (d *Daemon) sessionError(s *session, err error) {
 	d.mu.Lock()
 	d.errs = append(d.errs, fmt.Errorf("remote: session %s: %w", s.id, err))
 	d.mu.Unlock()
+}
+
+// sessionIOError handles a disk error on a session's write path: the session
+// is terminally killed (everything durable so far is preserved; the manifest
+// incomplete marker carries the error), and a disk-full condition additionally
+// flips the whole daemon into degraded mode so admission pauses until the
+// recovery probe sees the disk come back.
+func (d *Daemon) sessionIOError(s *session, err error) {
+	d.mu.Lock()
+	s.ioFailed = true
+	d.errs = append(d.errs, fmt.Errorf("remote: session %s: %w", s.id, err))
+	d.mu.Unlock()
+	if l := obs.Events(); l.Enabled(obs.LevelWarn) {
+		l.Log(obs.LevelWarn, "daemon.io_error",
+			obs.F("session", s.id), obs.F("err", err.Error()))
+	}
+	if iofault.IsDiskFull(err) {
+		d.enterDegraded("disk full: " + err.Error())
+	}
+	if d.terminate(s, KillDiskError) {
+		metrics().sessIOKills.Inc()
+		d.goFinalize(s, "disk error: "+err.Error())
+	}
+}
+
+// enterDegraded pauses admission with a retryable RejectDegraded while the
+// read-side APIs (/metrics, /sessions, live tails) keep serving, and starts
+// the background probe that re-opens admission when the disk recovers.
+func (d *Daemon) enterDegraded(reason string) {
+	d.mu.Lock()
+	if d.degraded || d.draining {
+		d.mu.Unlock()
+		return
+	}
+	d.degraded = true
+	d.degradedReason = reason
+	startProbe := !d.probing
+	d.probing = true
+	d.mu.Unlock()
+	metrics().sessDegraded.Set(1)
+	if l := obs.Events(); l.Enabled(obs.LevelWarn) {
+		l.Log(obs.LevelWarn, "daemon.degraded", obs.F("reason", reason))
+	}
+	if startProbe {
+		d.wg.Add(1)
+		go d.degradedProbe()
+	}
+}
+
+// degradedProbe periodically exercises the session root with a small durable
+// write through the same (possibly fault-injected) filesystem the sessions
+// use; the first success re-opens admission.
+func (d *Daemon) degradedProbe() {
+	defer d.wg.Done()
+	tick := time.NewTicker(d.opts.DegradedProbeEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-tick.C:
+		}
+		if err := d.probeDisk(); err != nil {
+			metrics().sessProbeFails.Inc()
+			continue
+		}
+		d.mu.Lock()
+		d.degraded = false
+		d.degradedReason = ""
+		d.probing = false
+		d.mu.Unlock()
+		metrics().sessDegraded.Set(0)
+		if l := obs.Events(); l.Enabled(obs.LevelInfo) {
+			l.Log(obs.LevelInfo, "daemon.disk_recovered", obs.F("dir", d.opts.Dir))
+		}
+		return
+	}
+}
+
+// probeDisk performs one small durable create/write/sync/remove cycle in the
+// session root. A disk that completes the full cycle can host sessions again.
+func (d *Daemon) probeDisk() error {
+	path := filepath.Join(d.opts.Dir, ".tracedbg-probe")
+	f, err := d.fs.Create(path)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write([]byte("tracedbg disk probe\n"))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		d.fs.Remove(path) //nolint:ioerr // best-effort cleanup on a broken disk
+		return werr
+	}
+	return d.fs.Remove(path)
+}
+
+// HealthState is the daemon's coarse health classification, served on
+// /healthz and /readyz.
+type HealthState struct {
+	Status string `json:"status"` // "ok", "degraded", or "draining"
+	Reason string `json:"reason,omitempty"`
+}
+
+// Health reports whether the daemon is admitting sessions ("ok"), alive but
+// refusing admission over disk trouble ("degraded"), or shutting down
+// ("draining").
+func (d *Daemon) Health() HealthState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch {
+	case d.draining:
+		return HealthState{Status: "draining"}
+	case d.degraded:
+		return HealthState{Status: "degraded", Reason: d.degradedReason}
+	}
+	return HealthState{Status: "ok"}
 }
 
 // goFinalize runs finalizeSession on its own goroutine (it blocks on the
@@ -751,11 +1008,20 @@ func (d *Daemon) finalizeSession(s *session, incompleteReason string) {
 	s.conn = nil
 	d.mu.Unlock()
 	if conn != nil {
-		conn.Close()
+		conn.Close() //nolint:ioerr // network teardown; durability is decided by the session store
 	}
 	s.handlerWG.Wait()
 	close(s.queue)
 	<-s.qdone
+	d.mu.Lock()
+	ioFailed := s.ioFailed
+	d.mu.Unlock()
+	if ioFailed && incompleteReason == "" {
+		// A clean-looking finalize raced a disk error in the writer: the tail
+		// of the stream never became durable, so the session must not be
+		// marked complete.
+		incompleteReason = "disk error during ingest; durable prefix only"
+	}
 	if s.recovered {
 		// The pre-crash tail may be missing even if the resumed stream ended
 		// cleanly only when the client never came back; a resumed session
@@ -777,7 +1043,7 @@ func (d *Daemon) finalizeSession(s *session, incompleteReason string) {
 	}
 	d.accountDisk(s)
 	complete := incompleteReason == ""
-	if err := writeSessionMeta(s.dir, &sessionMeta{
+	if err := writeSessionMeta(d.fs, s.dir, &sessionMeta{
 		SessionID: s.id, ClientID: s.clientID, NumRanks: s.numRanks,
 		Complete: complete, Incomplete: incompleteReason,
 	}); err != nil {
@@ -940,6 +1206,7 @@ func (d *Daemon) Drain(timeout time.Duration) error {
 		return nil
 	}
 	d.draining = true
+	close(d.stop)
 	open := make([]*session, 0, len(d.sessions))
 	for _, s := range d.sessions {
 		if s.state != sessDone {
@@ -949,11 +1216,11 @@ func (d *Daemon) Drain(timeout time.Duration) error {
 	// Unblock handshake-phase connections that will never finish.
 	for conn, phase := range d.conns {
 		if phase == phaseHandshake {
-			conn.Close()
+			conn.Close() //nolint:ioerr // drain; handshake-phase conns are abandoned by design
 		}
 	}
 	d.mu.Unlock()
-	d.ln.Close()
+	d.ln.Close() //nolint:ioerr // listener teardown on drain
 	if l := obs.Events(); l.Enabled(obs.LevelInfo) {
 		l.Log(obs.LevelInfo, "daemon.drain", obs.F("sessions", len(open)))
 	}
@@ -1002,6 +1269,7 @@ func (d *Daemon) Kill() {
 		return
 	}
 	d.draining = true
+	close(d.stop)
 	conns := make([]net.Conn, 0, len(d.conns))
 	for conn := range d.conns {
 		conns = append(conns, conn)
@@ -1014,9 +1282,9 @@ func (d *Daemon) Kill() {
 		}
 	}
 	d.mu.Unlock()
-	d.ln.Close()
+	d.ln.Close() //nolint:ioerr // hard kill; abrupt teardown is the point
 	for _, conn := range conns {
-		conn.Close()
+		conn.Close() //nolint:ioerr // hard kill; abrupt teardown is the point
 	}
 	for _, s := range open {
 		s.handlerWG.Wait()
@@ -1026,23 +1294,42 @@ func (d *Daemon) Kill() {
 	d.wg.Wait()
 }
 
-// writeSessionMeta persists session.json atomically (tmp + rename) so crash
-// recovery never reads a torn metadata file.
-func writeSessionMeta(dir string, m *sessionMeta) error {
+// writeSessionMeta persists session.json atomically and durably: the bytes
+// are fsynced before the rename and the directory entry after it, so crash
+// recovery never reads a torn metadata file and a published update cannot
+// revert to a zero-length tmp artifact (the classic write-then-rename-without-
+// fsync hazard).
+func writeSessionMeta(fsys iofault.FS, dir string, m *sessionMeta) error {
 	body, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
 	body = append(body, '\n')
 	tmp := filepath.Join(dir, sessionMetaName+".tmp")
-	if err := os.WriteFile(tmp, body, 0o666); err != nil {
+	f, err := fsys.Create(tmp)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(dir, sessionMetaName))
+	_, werr := f.Write(body)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fsys.Remove(tmp) //nolint:ioerr // best-effort cleanup on a failing disk
+		return werr
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, sessionMetaName)); err != nil {
+		fsys.Remove(tmp) //nolint:ioerr // best-effort cleanup on a failing disk
+		return err
+	}
+	return fsys.SyncDir(dir)
 }
 
-func readSessionMeta(dir string) (*sessionMeta, error) {
-	body, err := os.ReadFile(filepath.Join(dir, sessionMetaName))
+func (d *Daemon) readSessionMeta(dir string) (*sessionMeta, error) {
+	body, err := d.fs.ReadFile(filepath.Join(dir, sessionMetaName))
 	if err != nil {
 		return nil, err
 	}
@@ -1059,7 +1346,7 @@ func readSessionMeta(dir string) (*sessionMeta, error) {
 // prefix (rewritten atomically when damaged) — and reopened for resume, so
 // no accepted-then-durable record is ever lost to a daemon crash.
 func (d *Daemon) recoverSessions() error {
-	entries, err := os.ReadDir(d.opts.Dir)
+	entries, err := d.fs.ReadDir(d.opts.Dir)
 	if err != nil {
 		return err
 	}
@@ -1068,7 +1355,7 @@ func (d *Daemon) recoverSessions() error {
 			continue
 		}
 		dir := filepath.Join(d.opts.Dir, e.Name())
-		meta, err := readSessionMeta(dir)
+		meta, err := d.readSessionMeta(dir)
 		if err != nil {
 			if os.IsNotExist(err) {
 				continue // not a session directory
@@ -1076,7 +1363,7 @@ func (d *Daemon) recoverSessions() error {
 			d.errs = append(d.errs, fmt.Errorf("remote: recover %s: %w", e.Name(), err))
 			continue
 		}
-		size := sessionDirBytes(dir)
+		size := d.sessionDirBytes(dir)
 		if meta.Complete || meta.Incomplete != "" {
 			// Already finalized: count its bytes against the disk budget and
 			// leave an admission tombstone (status nil: not listed) so a late
@@ -1103,11 +1390,11 @@ func (d *Daemon) recoverSessions() error {
 }
 
 // sessionDirBytes sums the segment bytes of a session directory.
-func sessionDirBytes(dir string) int64 {
+func (d *Daemon) sessionDirBytes(dir string) int64 {
 	var n int64
-	names, _ := filepath.Glob(filepath.Join(dir, sessionBase+"-*.trace"))
+	names, _ := d.fs.Glob(filepath.Join(dir, sessionBase+"-*.trace"))
 	for _, name := range names {
-		if fi, err := os.Stat(name); err == nil {
+		if fi, err := d.fs.Stat(name); err == nil {
 			n += fi.Size()
 		}
 	}
@@ -1122,25 +1409,25 @@ func sessionDirBytes(dir string) int64 {
 // incomplete is decided at finalize time, once we know whether the client
 // resumed.
 func (d *Daemon) salvageSession(dir string, meta *sessionMeta) (*session, error) {
-	names, err := filepath.Glob(filepath.Join(dir, sessionBase+"-*.trace"))
+	names, err := d.fs.Glob(filepath.Join(dir, sessionBase+"-*.trace"))
 	if err != nil {
 		return nil, err
 	}
 	sort.Strings(names) // zero-padded numbering sorts chronologically
 	segs := make([]trace.SegmentInfo, 0, len(names))
 	for _, name := range names {
-		data, err := os.ReadFile(name)
+		data, err := d.fs.ReadFile(name)
 		if err != nil {
 			return nil, err
 		}
-		info, err := salvageSegment(name, data, meta.NumRanks)
+		info, err := d.salvageSegment(name, data, meta.NumRanks)
 		if err != nil {
 			return nil, fmt.Errorf("segment %s: %w", filepath.Base(name), err)
 		}
 		segs = append(segs, info)
 	}
 	gw, err := trace.ResumeSegmentedWriter(dir, sessionBase, meta.NumRanks, d.opts.SegmentBytes, segs,
-		trace.WriterOptions{Writer: "tcollect-daemon/" + meta.SessionID, Sync: d.opts.Sync})
+		trace.WriterOptions{Writer: "tcollect-daemon/" + meta.SessionID, Sync: d.opts.Sync, FS: d.opts.FS})
 	if err != nil {
 		return nil, err
 	}
@@ -1173,7 +1460,7 @@ func (d *Daemon) salvageSession(dir string, meta *sessionMeta) (*session, error)
 // count feeds the session's durable/accepted resume point, so keeping any
 // record from BEYOND a damaged span would let the client skip retransmitting
 // the span and finalize the session "complete" around a silent hole.
-func salvageSegment(path string, data []byte, numRanks int) (trace.SegmentInfo, error) {
+func (d *Daemon) salvageSegment(path string, data []byte, numRanks int) (trace.SegmentInfo, error) {
 	info := trace.SegmentInfo{Name: filepath.Base(path)}
 	st, err := store.OpenBytes(data, store.Options{Mode: store.ModePartial})
 	var t *trace.Trace
@@ -1198,11 +1485,11 @@ func salvageSegment(path string, data []byte, numRanks int) (trace.SegmentInfo, 
 		info.Records = t.Len()
 		return info, nil
 	}
-	n, werr := rewriteSegment(path, t)
+	n, werr := rewriteSegment(d.fs, path, t)
 	if werr != nil {
 		return info, werr
 	}
-	fi, serr := os.Stat(path)
+	fi, serr := d.fs.Stat(path)
 	if serr != nil {
 		return info, serr
 	}
@@ -1213,17 +1500,19 @@ func salvageSegment(path string, data []byte, numRanks int) (trace.SegmentInfo, 
 
 // rewriteSegment atomically replaces a segment file with the salvaged
 // records, dropping damage markers (session-level incompleteness is decided
-// at finalize).
-func rewriteSegment(path string, t *trace.Trace) (n int, err error) {
+// at finalize). The rename is made durable with a directory fsync: a salvaged
+// segment that reverted to its damaged form on the next crash would re-run
+// recovery, but one that reverted to the half-written tmp would not load.
+func rewriteSegment(fsys iofault.FS, path string, t *trace.Trace) (n int, err error) {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return 0, err
 	}
 	defer func() {
 		if err != nil {
-			f.Close()
-			os.Remove(tmp)
+			f.Close()        //nolint:ioerr // best-effort cleanup on a failing disk
+			fsys.Remove(tmp) //nolint:ioerr // best-effort cleanup on a failing disk
 		}
 	}()
 	fw, err := trace.NewFileWriterOptions(f, t.NumRanks(), trace.WriterOptions{Writer: "tcollect-recovery"})
@@ -1244,7 +1533,10 @@ func rewriteSegment(path string, t *trace.Trace) (n int, err error) {
 	if err = f.Close(); err != nil {
 		return 0, err
 	}
-	if err = os.Rename(tmp, path); err != nil {
+	if err = fsys.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	if err = fsys.SyncDir(filepath.Dir(path)); err != nil {
 		return 0, err
 	}
 	return t.Len(), nil

@@ -1,0 +1,317 @@
+package remote
+
+// End-to-end disk-failure drills for the collector daemon, driven through
+// the deterministic iofault seam: the daemon runs on an in-memory disk with
+// an injected ENOSPC budget, fills it mid-session, and must kill the victim
+// with a typed terminal reason, stop admitting (retryable, not permanent),
+// keep liveness and observability serving, and re-open admission on its own
+// once the disk recovers — no restart, no operator.
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tracedbg/internal/iofault"
+	"tracedbg/internal/store"
+	"tracedbg/internal/trace"
+)
+
+// faultDaemon returns fast test options running on the given fault seam.
+func faultDaemon(fsys iofault.FS) DaemonOptions {
+	return DaemonOptions{
+		Dir:                "collect",
+		Heartbeat:          2 * time.Millisecond,
+		ManifestEvery:      5 * time.Millisecond,
+		SegmentBytes:       2048,
+		RetryAfter:         50 * time.Millisecond,
+		DegradedProbeEvery: 5 * time.Millisecond,
+		FS:                 fsys,
+	}
+}
+
+// mountedServer serves the daemon's full observability surface — session
+// API plus health probes — the way tcollect mounts it on the obs mux.
+func mountedServer(d *Daemon) *httptest.Server {
+	mux := http.NewServeMux()
+	for pat, h := range d.Mounts() {
+		mux.Handle(pat, h)
+	}
+	return httptest.NewServer(mux)
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDaemonDiskFullDegradesAndRecovers(t *testing.T) {
+	const ranks = 2
+	disk := iofault.NewMemDisk(7)
+	in, err := iofault.NewInjector(disk, &iofault.Plan{
+		Seed:  7,
+		Rules: []iofault.Rule{iofault.ENOSPCAfter(6 << 10)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDaemon("127.0.0.1:0", faultDaemon(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	srv := mountedServer(d)
+	defer srv.Close()
+
+	if got := d.Health().Status; got != "ok" {
+		t.Fatalf("fresh daemon health = %q, want ok", got)
+	}
+	if code, _ := httpGet(t, srv.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("fresh /readyz = %d, want 200", code)
+	}
+
+	// Stream until the budget runs out. The victim must be killed with the
+	// typed terminal disk-error reason — not a hang, not a silent drop.
+	cl, err := DialOptions(d.Addr(), ranks, sessionClient("victim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next uint64
+	for i := 0; i < 200 && cl.Err() == nil; i++ {
+		emitMarkers(cl, ranks, 10, &next)
+		cl.Flush()
+	}
+	waitFor(t, "disk-error kill surfaced to the client", func() bool { return cl.Err() != nil })
+	var quo *ErrQuotaExceeded
+	if !errors.As(cl.Err(), &quo) {
+		t.Fatalf("client error = %v, want *ErrQuotaExceeded", cl.Err())
+	}
+	if quo.Reason != KillDiskError {
+		t.Errorf("kill reason = %q, want %q", quo.Reason, KillDiskError)
+	}
+	cl.Close()
+	waitDone(t, d, "victim")
+	if kills := metrics().sessIOKills.Value(); kills == 0 {
+		t.Error("no io-kill recorded in metrics")
+	}
+
+	// Full disk => degraded: new sessions bounce with a retryable typed
+	// rejection, liveness stays green, readiness goes red, and the
+	// observability surface keeps answering.
+	waitFor(t, "daemon degraded", func() bool { return d.Health().Status == "degraded" })
+	_, err = DialOptions(d.Addr(), ranks, sessionClient("spillover"))
+	var rej *ErrRejected
+	if !errors.As(err, &rej) || rej.Reason != RejectDegraded {
+		t.Fatalf("dial while degraded = %v, want *ErrRejected(%s)", err, RejectDegraded)
+	}
+	if rej.RetryAfter <= 0 {
+		t.Errorf("degraded rejection retry-after = %v, want retryable (> 0)", rej.RetryAfter)
+	}
+	if code, _ := httpGet(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("degraded /healthz = %d, want 200 (liveness must stay green)", code)
+	}
+	if code, body := httpGet(t, srv.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("degraded /readyz = %d (%s), want 503", code, body)
+	}
+	if code, body := httpGet(t, srv.URL+"/sessions"); code != http.StatusOK {
+		t.Errorf("degraded /sessions = %d, want 200", code)
+	} else if !strings.Contains(body, `"degraded": true`) {
+		t.Errorf("degraded /sessions overview does not flag it: %s", body)
+	}
+
+	// The disk recovers: the background probe must re-open admission on its
+	// own, and a new session must stream end to end.
+	in.Clear()
+	waitFor(t, "admission re-opened after recovery", func() bool { return d.Health().Status == "ok" })
+	if code, _ := httpGet(t, srv.URL+"/readyz"); code != http.StatusOK {
+		t.Errorf("recovered /readyz = %d, want 200", code)
+	}
+	cl2, err := DialOptions(d.Addr(), ranks, sessionClient("after"))
+	if err != nil {
+		t.Fatalf("dial after recovery: %v", err)
+	}
+	next = 0
+	emitMarkers(cl2, ranks, 50, &next)
+	if err := cl2.Close(); err != nil {
+		t.Fatalf("client close after recovery: %v", err)
+	}
+	waitDone(t, d, "after")
+	if err := d.Close(); err != nil {
+		t.Fatalf("daemon close: %v", err)
+	}
+
+	// Materialize a clean-shutdown image of the memory disk and audit the
+	// post-recovery session through the ordinary store path: complete,
+	// nothing lost, nothing duplicated.
+	disk.Shutdown()
+	img := t.TempDir()
+	if err := disk.Materialize(img, iofault.MaterializeOptions{}); err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	st, err := store.Open(filepath.Join(img, d.SessionManifest("after")))
+	if err != nil {
+		t.Fatalf("post-recovery store: %v", err)
+	}
+	tr, err := st.Trace()
+	if err != nil {
+		t.Fatalf("post-recovery trace: %v", err)
+	}
+	if tr.Incomplete() {
+		t.Errorf("post-recovery session incomplete: %s", tr.IncompleteReason())
+	}
+	auditMarkers(t, tr, ranks, 50)
+}
+
+// TestSessionMetaCrashConsistency sweeps a crash through every VFS op of
+// two successive session.json publications. Recovery reads this file to
+// decide whether a session is complete, so at every instant the durable
+// image must hold nothing, the first version, or the second — never torn
+// JSON, never a half-replaced file.
+func TestSessionMetaCrashConsistency(t *testing.T) {
+	const seed = 4242
+	workload := func(fsys iofault.FS) error {
+		if err := fsys.MkdirAll("s", 0o777); err != nil {
+			return err
+		}
+		if err := writeSessionMeta(fsys, "s", &sessionMeta{
+			SessionID: "s", ClientID: "c", NumRanks: 2,
+		}); err != nil {
+			return err
+		}
+		return writeSessionMeta(fsys, "s", &sessionMeta{
+			SessionID: "s", ClientID: "c", NumRanks: 2, Complete: true,
+		})
+	}
+	clean := iofault.NewMemDisk(seed)
+	in, err := iofault.NewInjector(clean, &iofault.Plan{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload(in); err != nil {
+		t.Fatalf("clean workload: %v", err)
+	}
+	totalOps := in.Ops()
+
+	scratch := t.TempDir()
+	for k := uint64(1); k <= totalOps; k++ {
+		disk := iofault.NewMemDisk(seed)
+		in, err := iofault.NewInjector(disk, &iofault.Plan{
+			Seed:  seed,
+			Rules: []iofault.Rule{iofault.CrashAtOp(k)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workload(in) //nolint:errcheck // the crash is the point
+		for _, torn := range []bool{false, true} {
+			dir := filepath.Join(scratch, "op")
+			if err := disk.Materialize(dir, iofault.MaterializeOptions{Torn: torn, CrashOp: k}); err != nil {
+				t.Fatalf("crash op %d: materialize: %v", k, err)
+			}
+			data, err := os.ReadFile(filepath.Join(dir, "s", "session.json"))
+			if err == nil {
+				var meta sessionMeta
+				if jerr := json.Unmarshal(data, &meta); jerr != nil {
+					t.Fatalf("crash op %d (torn=%v): session.json torn: %v\n%s", k, torn, jerr, data)
+				}
+				if meta.SessionID != "s" || meta.ClientID != "c" || meta.NumRanks != 2 {
+					t.Fatalf("crash op %d (torn=%v): session.json is neither version: %+v", k, torn, meta)
+				}
+			} else if !os.IsNotExist(err) {
+				t.Fatalf("crash op %d (torn=%v): %v", k, torn, err)
+			}
+			os.RemoveAll(dir)
+		}
+	}
+}
+
+// TestDaemonScrubFinalized corrupts a finalized session on disk and checks
+// the daemon's scrub pass detects, quarantines, and heals it in place while
+// leaving live sessions alone.
+func TestDaemonScrubFinalized(t *testing.T) {
+	const ranks = 2
+	opts := fastDaemon(t)
+	d, err := NewDaemon("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// One finalized session to damage, one live session the scrub must skip.
+	cl, err := DialOptions(d.Addr(), ranks, sessionClient("done"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next uint64
+	emitMarkers(cl, ranks, 80, &next)
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, d, "done")
+	live, err := DialOptions(d.Addr(), ranks, sessionClient("live"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+
+	man, err := trace.LoadManifest(d.SessionManifest("done"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(filepath.Dir(d.SessionManifest("done")), man.Segments[0].Name)
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(victim, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	results := d.ScrubFinalized()
+	var repaired int
+	for _, res := range results {
+		repaired += res.Repaired
+		if !res.Healthy() {
+			t.Errorf("scrub left %s unhealthy: %s", res.Path, res)
+		}
+		if strings.Contains(res.Path, string(filepath.Separator)+"live"+string(filepath.Separator)) {
+			t.Errorf("scrub touched the live session: %s", res.Path)
+		}
+	}
+	if repaired != 1 {
+		t.Fatalf("scrub repaired %d segment(s), want 1 (results: %v)", repaired, results)
+	}
+	if qs, _ := filepath.Glob(victim + store.QuarantineSuffix + "*"); len(qs) != 1 {
+		t.Errorf("quarantined originals = %v, want exactly one", qs)
+	}
+
+	// The healed session still loads, carries the damage marker, and a
+	// second pass finds a clean store.
+	tr := openSession(t, d, "done")
+	if !tr.Incomplete() {
+		t.Error("healed session lost its damage marker")
+	}
+	for _, res := range d.ScrubFinalized() {
+		if !res.Clean() {
+			t.Errorf("re-scrub found damage: %s", res)
+		}
+	}
+}

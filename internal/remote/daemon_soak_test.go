@@ -10,7 +10,6 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
-	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -121,7 +120,15 @@ func TestDaemonSoak(t *testing.T) {
 	// request (before the kill below tears the daemon down) must detach it
 	// cleanly without wedging the writer path.
 	consumersBase := metrics().streamConsumers.Value()
-	srv := httptest.NewServer(d.HTTPHandler())
+	srv := mountedServer(d)
+	// Health probes under full load: a house at MaxSessions is still a
+	// healthy daemon — liveness and readiness both green.
+	if code, body := httpGet(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz under load = %d (%s), want 200", code, body)
+	}
+	if code, body := httpGet(t, srv.URL+"/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz under load = %d (%s), want 200", code, body)
+	}
 	tailCtx, tailCancel := context.WithCancel(context.Background())
 	tailLive := make(chan struct{})
 	tailDone := make(chan struct{})
@@ -223,7 +230,11 @@ func TestDaemonSoak(t *testing.T) {
 	// A fresh consumer against the restarted daemon replays the finalized
 	// session it never watched live: the trailing eof accounting must cover
 	// every record the session ingested, and no consumers may leak.
-	srv2 := httptest.NewServer(d.HTTPHandler())
+	srv2 := mountedServer(d)
+	// The restarted daemon must come back ready, not just alive.
+	if code, body := httpGet(t, srv2.URL+"/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz after restart = %d (%s), want 200", code, body)
+	}
 	resp, err := http.Get(srv2.URL + "/sessions/soak-b/tail")
 	if err != nil {
 		t.Fatal(err)

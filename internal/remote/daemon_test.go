@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"tracedbg/internal/iofault"
 	"tracedbg/internal/store"
 	"tracedbg/internal/trace"
 )
@@ -422,7 +423,7 @@ func TestDaemonRecoveredNeverResumedDrainsIncomplete(t *testing.T) {
 	if err := os.MkdirAll(sdir, 0o777); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeSessionMeta(sdir, &sessionMeta{
+	if err := writeSessionMeta(iofault.OS(), sdir, &sessionMeta{
 		SessionID: "orphan", ClientID: "gone", NumRanks: 1,
 	}); err != nil {
 		t.Fatal(err)
@@ -697,7 +698,7 @@ func TestDaemonBindFailureRecoversNothing(t *testing.T) {
 	if err := os.MkdirAll(sdir, 0o777); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeSessionMeta(sdir, &sessionMeta{
+	if err := writeSessionMeta(iofault.OS(), sdir, &sessionMeta{
 		SessionID: "partial", ClientID: "c", NumRanks: 1,
 	}); err != nil {
 		t.Fatal(err)

@@ -42,6 +42,9 @@ type remoteMetrics struct {
 	sessDiskUsed     *obs.Gauge
 	sessQueueRecords *obs.Gauge
 	sessIngestStalls *obs.Counter
+	sessIOKills      *obs.Counter
+	sessDegraded     *obs.Gauge
+	sessProbeFails   *obs.Counter
 
 	// daemon streaming API (HTTP tail consumers)
 	streams         *obs.Counter
@@ -104,6 +107,12 @@ func newRemoteMetrics(r *obs.Registry) *remoteMetrics {
 			"records buffered in per-session ingest queues (the daemon's live-heap bound)"),
 		sessIngestStalls: r.Counter("tracedbg_collector_ingest_stalls_total",
 			"ingest reads that blocked on a full session queue (TCP backpressure engaged)"),
+		sessIOKills: r.Counter("tracedbg_collector_io_kills_total",
+			"sessions terminated because their write path hit a disk error"),
+		sessDegraded: r.Gauge("tracedbg_collector_degraded",
+			"1 while the daemon refuses admission over disk trouble, 0 otherwise"),
+		sessProbeFails: r.Counter("tracedbg_collector_disk_probe_failures_total",
+			"disk-recovery probes that failed while the daemon was degraded"),
 		streams: r.Counter("tracedbg_collector_streams_total",
 			"HTTP tail streams opened on daemon sessions"),
 		streamRecords: r.Counter("tracedbg_collector_stream_records_total",

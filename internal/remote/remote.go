@@ -149,7 +149,7 @@ func (c *Collector) serve() {
 		c.mu.Lock()
 		if c.closed {
 			c.mu.Unlock()
-			conn.Close()
+			conn.Close() //nolint:ioerr // collector closed; the conn is abandoned
 			continue
 		}
 		c.conns[conn] = phaseHandshake
@@ -161,7 +161,7 @@ func (c *Collector) serve() {
 		go func() {
 			defer c.wg.Done()
 			err := c.handle(conn)
-			conn.Close()
+			conn.Close() //nolint:ioerr // handler exit; append state carries any error
 			metrics().collActive.Add(-1)
 			c.mu.Lock()
 			delete(c.conns, conn)
@@ -222,7 +222,7 @@ func (c *Collector) handle(conn net.Conn) error {
 		// giving up on the old socket, so any straggling handler for it
 		// must stop appending before the resumed stream starts.
 		if prev := c.active[clientID]; prev != nil && prev != conn {
-			prev.Close()
+			prev.Close() //nolint:ioerr // superseded conn; the resumed stream owns the client
 		}
 		c.gen[clientID]++
 		myGen = c.gen[clientID]
@@ -383,7 +383,7 @@ func (c *Collector) Close() error {
 	c.closed = true
 	for conn, phase := range c.conns {
 		if phase == phaseHandshake {
-			conn.Close()
+			conn.Close() //nolint:ioerr // close; handshake-phase conns are abandoned by design
 		}
 	}
 	c.mu.Unlock()
@@ -410,9 +410,9 @@ func (c *Collector) Kill() {
 		conns = append(conns, conn)
 	}
 	c.mu.Unlock()
-	c.ln.Close()
+	c.ln.Close() //nolint:ioerr // abort; teardown by design
 	for _, conn := range conns {
-		conn.Close()
+		conn.Close() //nolint:ioerr // abort; teardown by design
 	}
 	c.wg.Wait()
 }

@@ -86,13 +86,15 @@ type SessionEntry struct {
 
 // SessionsOverview is the GET /sessions response body.
 type SessionsOverview struct {
-	Draining           bool          `json:"draining"`
-	Active             int           `json:"active"`
-	MaxSessions        int           `json:"max_sessions"`
-	DiskUsedBytes      int64         `json:"disk_used_bytes"`
-	DiskBudgetBytes    int64         `json:"disk_budget_bytes,omitempty"`
-	QueueRecords       int           `json:"queue_records"`
-	StreamQueueRecords int           `json:"stream_queue_records"`
+	Draining           bool           `json:"draining"`
+	Degraded           bool           `json:"degraded,omitempty"`
+	DegradedReason     string         `json:"degraded_reason,omitempty"`
+	Active             int            `json:"active"`
+	MaxSessions        int            `json:"max_sessions"`
+	DiskUsedBytes      int64          `json:"disk_used_bytes"`
+	DiskBudgetBytes    int64          `json:"disk_budget_bytes,omitempty"`
+	QueueRecords       int            `json:"queue_records"`
+	StreamQueueRecords int            `json:"stream_queue_records"`
 	Sessions           []SessionEntry `json:"sessions"`
 }
 
@@ -122,6 +124,8 @@ func (d *Daemon) serveSessions(w http.ResponseWriter) {
 	d.mu.Lock()
 	ov := SessionsOverview{
 		Draining:           d.draining,
+		Degraded:           d.degraded,
+		DegradedReason:     d.degradedReason,
 		Active:             d.active,
 		MaxSessions:        d.opts.MaxSessions,
 		DiskUsedBytes:      d.diskUsed,
@@ -143,7 +147,9 @@ func (d *Daemon) serveSessions(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(ov)
+	if err := enc.Encode(ov); err != nil {
+		return // consumer went away mid-write; nothing to salvage
+	}
 }
 
 // sessionKnown reports whether the id names a session this daemon can serve:
@@ -276,8 +282,41 @@ func (d *Daemon) serveTail(w http.ResponseWriter, r *http.Request, id string) {
 }
 
 // Mounts returns the handler mounted under the patterns obs.HandlerWith
-// expects for this API.
+// expects for this API: the session endpoints plus the health probes.
 func (d *Daemon) Mounts() map[string]http.Handler {
 	h := d.HTTPHandler()
-	return map[string]http.Handler{"/sessions": h, "/sessions/": h}
+	return map[string]http.Handler{
+		"/sessions": h, "/sessions/": h,
+		"/healthz": http.HandlerFunc(d.serveHealthz),
+		"/readyz":  http.HandlerFunc(d.serveReadyz),
+	}
+}
+
+// serveHealthz is the liveness probe: it answers 200 whenever the process is
+// up, with the daemon's coarse state in the body for operators. A degraded or
+// draining daemon is still alive — its read-side APIs keep serving.
+func (d *Daemon) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeHealth(w, d.Health(), http.StatusOK)
+}
+
+// serveReadyz is the readiness probe: 200 only while the daemon admits new
+// sessions. Degraded (disk trouble) and draining read as 503 so load
+// balancers stop routing new work while existing consumers finish.
+func (d *Daemon) serveReadyz(w http.ResponseWriter, _ *http.Request) {
+	h := d.Health()
+	code := http.StatusOK
+	if h.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeHealth(w, h, code)
+}
+
+func writeHealth(w http.ResponseWriter, h HealthState, code int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	body, _ := json.Marshal(h)
+	body = append(body, '\n')
+	if _, err := w.Write(body); err != nil {
+		return // probe went away mid-write
+	}
 }

@@ -40,13 +40,13 @@ func (s *Store) Merged() (trace.RecordCursor, error) {
 	for rank := 0; rank < s.info.NumRanks; rank++ {
 		c, err := s.Records(rank)
 		if err != nil {
-			mc.Close()
+			mc.Close() //nolint:ioerr // read-side cursor cleanup on the error path
 			return nil, err
 		}
 		mc.curs = append(mc.curs, c)
 	}
 	if err := mc.prime(); err != nil {
-		mc.Close()
+		mc.Close() //nolint:ioerr // read-side cursor cleanup on the error path
 		return nil, err
 	}
 	return mc, nil
@@ -71,7 +71,7 @@ func (s *Store) fileCursor() (trace.RecordCursor, error) {
 	c, err := trace.NewSalvageCursor(r)
 	if err != nil {
 		if cl != nil {
-			cl.Close()
+			cl.Close() //nolint:ioerr // read-side close; the cursor error is surfaced
 		}
 		return nil, err
 	}
@@ -163,7 +163,7 @@ func (cc *chainCursor) Next() (*trace.Record, error) {
 			}
 			c, err := trace.NewSalvageCursor(f)
 			if err != nil {
-				f.Close()
+				f.Close() //nolint:ioerr // read-side close while skipping an unreadable segment
 				continue
 			}
 			cc.cur, cc.curCl, cc.curName = c, f, seg.Name
@@ -192,7 +192,7 @@ func (cc *chainCursor) Next() (*trace.Record, error) {
 
 func (cc *chainCursor) closeCur() {
 	if cc.curCl != nil {
-		cc.curCl.Close()
+		cc.curCl.Close() //nolint:ioerr // read-side cursor close
 	}
 	cc.cur, cc.curCl, cc.curName = nil, nil, ""
 }

@@ -31,6 +31,13 @@ type storeMetrics struct {
 	tailRotations *obs.Counter
 	tailReopens   *obs.Counter
 	tailActive    *obs.Gauge
+
+	scrubRuns        *obs.Counter
+	scrubSegments    *obs.Counter
+	scrubDamaged     *obs.Counter
+	scrubRepaired    *obs.Counter
+	scrubLostRecords *obs.Counter
+	scrubErrors      *obs.Counter
 }
 
 func newStoreMetrics(r *obs.Registry) *storeMetrics {
@@ -71,6 +78,18 @@ func newStoreMetrics(r *obs.Registry) *storeMetrics {
 			"tails restarted because the file was rewritten underneath"),
 		tailActive: r.Gauge("tracedbg_store_tail_active",
 			"live tail cursors currently open"),
+		scrubRuns: r.Counter("tracedbg_scrub_runs_total",
+			"integrity scrub passes over a store (manifest or single file)"),
+		scrubSegments: r.Counter("tracedbg_scrub_segments_total",
+			"segment files CRC-walked by scrub passes"),
+		scrubDamaged: r.Counter("tracedbg_scrub_damage_found_total",
+			"segments a scrub found with checksum or decode damage"),
+		scrubRepaired: r.Counter("tracedbg_scrub_repaired_total",
+			"damaged segments quarantined and rewritten from their salvage"),
+		scrubLostRecords: r.Counter("tracedbg_scrub_lost_records_total",
+			"records lost to damaged spans across all repairs"),
+		scrubErrors: r.Counter("tracedbg_scrub_errors_total",
+			"scrub passes or repairs that failed with an I/O error"),
 	}
 }
 

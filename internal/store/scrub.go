@@ -1,0 +1,266 @@
+package store
+
+// Background storage scrub: a CRC walk over a finalized store that detects
+// latent damage (bit rot, torn tails a crash left behind, partial sector
+// loss) long before a reader trips over it, and — in repair mode — heals it
+// in place. Repair is conservative: the damaged original is quarantined
+// (renamed aside, never deleted) and the segment is rewritten atomically from
+// its salvage, so a scrub can only ever widen the set of readable bytes.
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"tracedbg/internal/iofault"
+	"tracedbg/internal/trace"
+)
+
+// QuarantineSuffix is appended to a damaged segment's name when repair
+// moves it aside. Quarantined files are kept for forensics; they do not
+// match the session glob, so recovery and disk accounting skip them.
+const QuarantineSuffix = ".quarantine"
+
+// ScrubOptions tunes one scrub pass.
+type ScrubOptions struct {
+	// FS is the filesystem seam (nil = OS).
+	FS iofault.FS
+	// Repair quarantines damaged segments and rewrites them in place from
+	// their salvage. Without it the scrub is a read-only integrity report.
+	Repair bool
+	// Writer is the identity recorded in rewritten segment headers.
+	// Default "tracedbg-scrub".
+	Writer string
+}
+
+// SegmentScrub is the scrub outcome for one segment (or single-file store).
+type SegmentScrub struct {
+	Name       string // base name of the segment file
+	Records    int    // records readable after the scrub
+	BadChunks  int    // damaged chunk frames found by the CRC walk
+	Damaged    bool   // verification failed (bad chunks or decode failure)
+	Repaired   bool   // quarantined and rewritten from salvage
+	Quarantine string // path holding the damaged original ("" if none)
+	Err        string // scrub/repair error for this segment ("" if none)
+}
+
+// ScrubResult summarizes one scrub pass over a store.
+type ScrubResult struct {
+	Path     string // manifest (or single trace file) scrubbed
+	Segments []SegmentScrub
+	Damaged  int // segments found damaged
+	Repaired int // segments healed in place
+	Errors   int // segments whose scrub or repair failed
+}
+
+// Clean reports whether the pass found no damage at all.
+func (r *ScrubResult) Clean() bool { return r.Damaged == 0 && r.Errors == 0 }
+
+// Healthy reports whether every segment is readable after the pass: clean,
+// or damaged but repaired.
+func (r *ScrubResult) Healthy() bool { return r.Errors == 0 && r.Repaired == r.Damaged }
+
+// String renders a one-line summary.
+func (r *ScrubResult) String() string {
+	if r.Clean() {
+		return fmt.Sprintf("ok: %d segment(s) verified", len(r.Segments))
+	}
+	return fmt.Sprintf("damage: %d/%d segment(s) bad, %d repaired, %d error(s)",
+		r.Damaged, len(r.Segments), r.Repaired, r.Errors)
+}
+
+// Scrub CRC-walks every segment of the store at path — a TDBGMAN1 manifest
+// or a single trace file — and, in repair mode, quarantines damaged segments
+// and rewrites them atomically from their salvage, updating the manifest to
+// the surviving byte/record counts. The walk reads whole segments into
+// memory (segments are rotation-bounded); the store stays openable at every
+// instant of a repair because the rewrite is an atomic rename.
+func Scrub(path string, opts ScrubOptions) (*ScrubResult, error) {
+	fsys := iofault.Or(opts.FS)
+	if opts.Writer == "" {
+		opts.Writer = "tracedbg-scrub"
+	}
+	m := metrics()
+	m.scrubRuns.Inc()
+	res := &ScrubResult{Path: path}
+
+	head, err := fsys.ReadFile(path)
+	if err != nil {
+		m.scrubErrors.Inc()
+		return nil, fmt.Errorf("store: scrub %s: %w", path, err)
+	}
+	if !trace.IsManifest(head) {
+		// Single-file store: one unnamed segment, no manifest to maintain.
+		seg := scrubSegment(fsys, path, head, 0, opts)
+		res.fold(seg)
+		return res, nil
+	}
+
+	man, err := trace.LoadManifestFS(fsys, path)
+	if err != nil {
+		m.scrubErrors.Inc()
+		return nil, fmt.Errorf("store: scrub %s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	changed := false
+	for i := range man.Segments {
+		segPath := filepath.Join(dir, man.Segments[i].Name)
+		data, rerr := fsys.ReadFile(segPath)
+		if rerr != nil {
+			m.scrubErrors.Inc()
+			res.fold(SegmentScrub{Name: man.Segments[i].Name, Damaged: true, Err: rerr.Error()})
+			continue
+		}
+		seg := scrubSegment(fsys, segPath, data, man.NumRanks, opts)
+		if seg.Repaired {
+			// The rewrite changed the segment's extent: republish the
+			// manifest so its byte/record accounting matches the bytes on
+			// disk (readers tolerate drift, but tail cursors use Bytes as
+			// the growth frontier).
+			if fi, serr := fsys.Stat(segPath); serr == nil {
+				man.Segments[i].Bytes = fi.Size()
+			}
+			man.Segments[i].Records = seg.Records
+			changed = true
+		}
+		res.fold(seg)
+	}
+	if changed {
+		if err := trace.WriteManifestFS(fsys, path, man); err != nil {
+			m.scrubErrors.Inc()
+			res.Errors++
+			return res, fmt.Errorf("store: scrub %s: manifest rewrite: %w", path, err)
+		}
+	}
+	return res, nil
+}
+
+// fold accumulates one segment outcome into the pass totals and metrics.
+func (r *ScrubResult) fold(seg SegmentScrub) {
+	m := metrics()
+	m.scrubSegments.Inc()
+	if seg.Damaged {
+		r.Damaged++
+		m.scrubDamaged.Inc()
+	}
+	if seg.Repaired {
+		r.Repaired++
+		m.scrubRepaired.Inc()
+	}
+	if seg.Err != "" {
+		r.Errors++
+	}
+	r.Segments = append(r.Segments, seg)
+}
+
+// scrubSegment verifies one segment image and repairs it when asked.
+func scrubSegment(fsys iofault.FS, path string, data []byte, numRanks int, opts ScrubOptions) SegmentScrub {
+	seg := SegmentScrub{Name: filepath.Base(path)}
+	vr, err := trace.VerifyBytes(data)
+	if err != nil {
+		// Unreadable header: the whole segment is damage.
+		seg.Damaged = true
+		if !opts.Repair {
+			seg.Err = err.Error()
+			return seg
+		}
+		t := trace.New(max(numRanks, 1))
+		t.MarkIncomplete("scrub: segment header unreadable: " + err.Error())
+		return repairSegment(fsys, path, t, 0, seg, opts)
+	}
+	seg.BadChunks = vr.BadChunks()
+	if vr.OK() {
+		seg.Records = countRecords(data)
+		return seg
+	}
+	seg.Damaged = true
+	if !opts.Repair {
+		return seg
+	}
+	// Existing salvage path: every CRC-verified chunk survives, damaged
+	// spans become a recorded gap. The salvaged trace is strictly more
+	// readable than the damaged original, which is kept quarantined.
+	t, rep, serr := trace.ReadAllSalvage(bytes.NewReader(data))
+	var lost uint64
+	if serr != nil {
+		t = trace.New(max(numRanks, 1))
+		t.MarkIncomplete("scrub: segment unreadable: " + serr.Error())
+	} else if rep != nil && !rep.Clean() {
+		if !t.Incomplete() {
+			t.MarkIncomplete("scrub: " + rep.String())
+		}
+		for _, g := range rep.Gaps {
+			for _, rg := range g.Ranks {
+				lost += rg.PossiblyLost()
+			}
+		}
+	}
+	return repairSegment(fsys, path, t, lost, seg, opts)
+}
+
+// repairSegment quarantines the damaged original and atomically publishes
+// the salvaged rewrite under the segment's name.
+func repairSegment(fsys iofault.FS, path string, t *trace.Trace, lost uint64, seg SegmentScrub, opts ScrubOptions) SegmentScrub {
+	m := metrics()
+	q := quarantinePath(fsys, path)
+	if err := fsys.Rename(path, q); err != nil {
+		m.scrubErrors.Inc()
+		seg.Err = fmt.Sprintf("quarantine: %v", err)
+		return seg
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		m.scrubErrors.Inc()
+		seg.Err = fmt.Sprintf("quarantine: %v", err)
+		return seg
+	}
+	err := trace.WriteFileAtomic(path, t, trace.WriterOptions{
+		FS: opts.FS, Writer: opts.Writer, Sync: trace.SyncEveryChunk,
+	})
+	if err != nil {
+		// The quarantined original still holds every byte; put it back so
+		// the store is no worse than before the repair attempt.
+		if rerr := fsys.Rename(q, path); rerr != nil {
+			seg.Err = fmt.Sprintf("rewrite: %v (restore failed: %v; original at %s)", err, rerr, q)
+		} else {
+			seg.Err = fmt.Sprintf("rewrite: %v", err)
+		}
+		m.scrubErrors.Inc()
+		return seg
+	}
+	seg.Repaired = true
+	seg.Quarantine = q
+	seg.Records = t.Len()
+	if lost > 0 {
+		m.scrubLostRecords.Add(lost)
+	}
+	return seg
+}
+
+// quarantinePath picks an unused <path>.quarantine[.N] name so repeated
+// scrubs of a repeatedly damaged segment never overwrite earlier evidence.
+func quarantinePath(fsys iofault.FS, path string) string {
+	q := path + QuarantineSuffix
+	for n := 1; ; n++ {
+		if _, err := fsys.Stat(q); err != nil {
+			return q
+		}
+		q = fmt.Sprintf("%s%s.%d", path, QuarantineSuffix, n)
+	}
+}
+
+// countRecords decodes the readable record count of a segment image via the
+// clean-prefix reader; damage makes it a lower bound, which is all the
+// lost-records accounting needs.
+func countRecords(data []byte) int {
+	t, err := trace.ReadAllPartial(bytes.NewReader(data))
+	if err != nil || t == nil {
+		return 0
+	}
+	return t.Len()
+}
+
+// IsQuarantined reports whether a path names a quarantined scrub artifact.
+func IsQuarantined(path string) bool {
+	return strings.Contains(filepath.Base(path), QuarantineSuffix)
+}

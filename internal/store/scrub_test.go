@@ -1,0 +1,294 @@
+package store_test
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tracedbg/internal/store"
+	"tracedbg/internal/trace"
+)
+
+// corruptFile flips one byte of the file at roughly the given fraction of
+// its length, past the header.
+func corruptFile(t *testing.T, path string, frac float64) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := 32 + int(float64(len(data)-40)*frac)
+	data[pos] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestScrubCleanStore(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tr := genTrace(rng, 4, 400)
+	manifest := writeSegments(t, tr, 4<<10)
+
+	for _, repair := range []bool{false, true} {
+		res, err := store.Scrub(manifest, store.ScrubOptions{Repair: repair})
+		if err != nil {
+			t.Fatalf("scrub(repair=%v): %v", repair, err)
+		}
+		if !res.Clean() || !res.Healthy() {
+			t.Fatalf("scrub(repair=%v) of clean store: %s", repair, res)
+		}
+		if len(res.Segments) < 2 {
+			t.Fatalf("expected a multi-segment store, scrubbed %d", len(res.Segments))
+		}
+	}
+	// A clean repair pass must not leave quarantine droppings.
+	if qs, _ := filepath.Glob(filepath.Join(filepath.Dir(manifest), "*"+store.QuarantineSuffix+"*")); len(qs) != 0 {
+		t.Fatalf("clean scrub quarantined files: %v", qs)
+	}
+}
+
+func TestScrubDetectsAndRepairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	tr := genTrace(rng, 4, 600)
+	manifest := writeSegments(t, tr, 4<<10)
+	man, err := trace.LoadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Dir(manifest)
+	victim := filepath.Join(dir, man.Segments[1].Name)
+	damaged := corruptFile(t, victim, 0.5)
+	want, _, err := trace.ReadAllSalvage(bytes.NewReader(damaged))
+	if err != nil {
+		t.Fatalf("salvage reference: %v", err)
+	}
+
+	// Dry pass: damage reported, nothing touched.
+	res, err := store.Scrub(manifest, store.ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Damaged != 1 || res.Repaired != 0 || res.Clean() {
+		t.Fatalf("dry scrub: %s", res)
+	}
+	after, err := os.ReadFile(victim)
+	if err != nil || !bytes.Equal(after, damaged) {
+		t.Fatalf("dry scrub modified the segment (err=%v)", err)
+	}
+
+	// Repair pass: quarantine + rewrite + manifest update.
+	res, err = store.Scrub(manifest, store.ScrubOptions{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Damaged != 1 || res.Repaired != 1 || !res.Healthy() {
+		t.Fatalf("repair scrub: %s", res)
+	}
+	seg := res.Segments[1]
+	if seg.Quarantine == "" {
+		t.Fatal("repaired segment has no quarantine path")
+	}
+	qdata, err := os.ReadFile(seg.Quarantine)
+	if err != nil || !bytes.Equal(qdata, damaged) {
+		t.Fatalf("quarantine does not hold the damaged original (err=%v)", err)
+	}
+
+	// The healed segment alone must decode to exactly the salvage of the
+	// damaged bytes (records beyond the gap survive; the gap is recorded).
+	healed, err := trace.ReadAllPartial(mustRead(t, victim))
+	if err != nil {
+		t.Fatalf("healed segment unreadable: %v", err)
+	}
+	if healed.Len() != want.Len() {
+		t.Fatalf("healed segment has %d records, salvage reference %d", healed.Len(), want.Len())
+	}
+	if !healed.Incomplete() {
+		t.Fatal("healed segment lost its damage marker")
+	}
+
+	// The manifest reflects the new extent, and the store opens cleanly.
+	man2, err := trace.LoadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2.Segments[1].Records != want.Len() {
+		t.Fatalf("manifest records %d, want %d", man2.Segments[1].Records, want.Len())
+	}
+	fi, err := os.Stat(victim)
+	if err != nil || man2.Segments[1].Bytes != fi.Size() {
+		t.Fatalf("manifest bytes %d, file %d (err=%v)", man2.Segments[1].Bytes, fi.Size(), err)
+	}
+	st, err := store.Open(manifest)
+	if err != nil {
+		t.Fatalf("store after repair: %v", err)
+	}
+	if _, err := st.Trace(); err != nil {
+		t.Fatalf("load after repair: %v", err)
+	}
+
+	// A second pass over the healed store finds nothing.
+	res, err = store.Scrub(manifest, store.ScrubOptions{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Fatalf("re-scrub of healed store: %s", res)
+	}
+}
+
+func TestScrubUnreadableSegmentHeader(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	tr := genTrace(rng, 2, 300)
+	manifest := writeSegments(t, tr, 4<<10)
+	man, err := trace.LoadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(filepath.Dir(manifest), man.Segments[0].Name)
+	if err := os.WriteFile(victim, make([]byte, 64), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	res, err := store.Scrub(manifest, store.ScrubOptions{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Damaged != 1 || !res.Healthy() {
+		t.Fatalf("scrub: %s", res)
+	}
+	st, err := store.Open(manifest)
+	if err != nil {
+		t.Fatalf("store after repair: %v", err)
+	}
+	got, err := st.Trace()
+	if err != nil {
+		t.Fatalf("load after repair: %v", err)
+	}
+	if !got.Incomplete() {
+		t.Fatal("a zeroed segment must leave the history marked incomplete")
+	}
+}
+
+func TestScrubSingleFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	tr := genTrace(rng, 3, 300)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.trace")
+	if err := trace.WriteFileAtomic(path, tr, trace.WriterOptions{Writer: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	damaged := corruptFile(t, path, 0.4)
+	want, _, err := trace.ReadAllSalvage(bytes.NewReader(damaged))
+	if err != nil {
+		t.Fatalf("salvage reference: %v", err)
+	}
+	res, err := store.Scrub(path, store.ScrubOptions{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Damaged != 1 || res.Repaired != 1 || !res.Healthy() {
+		t.Fatalf("scrub: %s", res)
+	}
+	if !strings.HasPrefix(res.Segments[0].Quarantine, path+store.QuarantineSuffix) {
+		t.Fatalf("unexpected quarantine path %q", res.Segments[0].Quarantine)
+	}
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatalf("store after repair: %v", err)
+	}
+	got, err := st.Trace()
+	if err != nil {
+		t.Fatalf("load after repair: %v", err)
+	}
+	// The healed file keeps every salvaged record; the structured gap table
+	// survives only as the incomplete marker (that is all the format can
+	// serialize), so compare records and the marker, not gap metadata.
+	if got.Len() != want.Len() {
+		t.Fatalf("healed file has %d records, salvage reference %d", got.Len(), want.Len())
+	}
+	for r := 0; r < want.NumRanks(); r++ {
+		if len(got.Rank(r)) != len(want.Rank(r)) {
+			t.Fatalf("rank %d: %d records, want %d", r, len(got.Rank(r)), len(want.Rank(r)))
+		}
+	}
+	if !got.Incomplete() {
+		t.Fatal("healed file lost its damage marker")
+	}
+}
+
+// TestScrubQuarantineNeverOverwrites damages the same segment twice: the
+// second repair must pick a fresh quarantine name.
+func TestScrubQuarantineNeverOverwrites(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	tr := genTrace(rng, 2, 400)
+	manifest := writeSegments(t, tr, 4<<10)
+	man, err := trace.LoadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(filepath.Dir(manifest), man.Segments[0].Name)
+	for round := 0; round < 2; round++ {
+		corruptFile(t, victim, 0.6)
+		res, err := store.Scrub(manifest, store.ScrubOptions{Repair: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Repaired != 1 {
+			t.Fatalf("round %d: %s", round, res)
+		}
+	}
+	qs, _ := filepath.Glob(victim + store.QuarantineSuffix + "*")
+	if len(qs) != 2 {
+		t.Fatalf("want 2 distinct quarantine files, got %v", qs)
+	}
+}
+
+func mustRead(t *testing.T, path string) *bytes.Reader {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(data)
+}
+
+// BenchmarkScrub measures the clean-path CRC walk — the steady-state cost
+// the daemon's background scrub adds per finalized session.
+func BenchmarkScrub(b *testing.B) {
+	rng := rand.New(rand.NewSource(61))
+	tr := genTrace(rng, 4, 2000)
+	dir := b.TempDir()
+	gw, err := trace.NewSegmentedWriter(dir, "run", tr.NumRanks(), 64<<10, trace.WriterOptions{Writer: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, id := range tr.MergedOrder() {
+		if err := gw.Write(tr.MustAt(id)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := gw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	manifest := gw.ManifestPath()
+	var bytesScrubbed int64
+	if man, err := trace.LoadManifest(manifest); err == nil {
+		for _, s := range man.Segments {
+			bytesScrubbed += s.Bytes
+		}
+	}
+	b.SetBytes(bytesScrubbed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := store.Scrub(manifest, store.ScrubOptions{Repair: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Clean() {
+			b.Fatalf("bench store damaged: %s", res)
+		}
+	}
+}

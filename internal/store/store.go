@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"tracedbg/internal/iofault"
 	"tracedbg/internal/trace"
 )
 
@@ -56,7 +57,15 @@ type Options struct {
 	// Index, when non-nil, lets materialized loads segment and preallocate
 	// from the prebuilt checkpoint index instead of re-scanning structure.
 	Index *trace.Index
+	// FS is the filesystem seam path-based opens and loads read through.
+	// nil selects the OS passthrough; tests install iofault injectors here.
+	// OpenMmap ignores it (the mapping is outside the fault domain) and
+	// falls back to the seam-routed read path when mapping fails.
+	FS iofault.FS
 }
+
+// fs returns the store's filesystem seam.
+func (s *Store) fs() iofault.FS { return iofault.Or(s.opts.FS) }
 
 // Info describes what Open found.
 type Info struct {
@@ -93,7 +102,7 @@ type Store struct {
 func Open(path string, opts ...Options) (*Store, error) {
 	m := metrics()
 	opt := pickOptions(opts)
-	f, err := os.Open(path)
+	f, err := iofault.Or(opt.FS).Open(path)
 	if err != nil {
 		m.openErrors.Inc()
 		return nil, err
@@ -102,7 +111,7 @@ func Open(path string, opts ...Options) (*Store, error) {
 	var pre [8]byte
 	n, _ := io.ReadFull(f, pre[:])
 	if trace.IsManifest(pre[:n]) {
-		man, err := trace.LoadManifest(path)
+		man, err := trace.LoadManifestFS(opt.FS, path)
 		if err != nil {
 			m.openErrors.Inc()
 			return nil, err
@@ -117,11 +126,14 @@ func Open(path string, opts ...Options) (*Store, error) {
 			dir:      filepath.Dir(path),
 		}, nil
 	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
+	// Re-open from the start rather than seek: the seam's File carries no Seek.
+	f2, err := iofault.Or(opt.FS).Open(path)
+	if err != nil {
 		m.openErrors.Inc()
 		return nil, err
 	}
-	c, err := trace.NewSalvageCursor(f)
+	defer f2.Close()
+	c, err := trace.NewSalvageCursor(f2)
 	if err != nil {
 		m.openErrors.Inc()
 		return nil, err
@@ -309,7 +321,7 @@ func (s *Store) load() (*trace.Trace, *trace.SalvageReport, error) {
 	data := s.data
 	if data == nil {
 		var err error
-		data, err = os.ReadFile(s.info.Path)
+		data, err = s.fs().ReadFile(s.info.Path)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -342,7 +354,7 @@ func (s *Store) openRaw() (io.Reader, io.Closer, error) {
 	if s.data != nil {
 		return bytes.NewReader(s.data), nil, nil
 	}
-	f, err := os.Open(s.info.Path)
+	f, err := s.fs().Open(s.info.Path)
 	if err != nil {
 		return nil, nil, err
 	}

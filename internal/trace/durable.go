@@ -4,12 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tracedbg/internal/iofault"
 )
 
 // SyncPolicy selects how aggressively a FileWriter forces sealed chunks to
@@ -79,6 +80,10 @@ type WriterOptions struct {
 	// LegacyV2 emits the version-2 format (no framing, no checksums) for
 	// compatibility tooling and format tests.
 	LegacyV2 bool
+	// FS is the filesystem seam the path-based writers (WriteFileAtomic,
+	// SegmentedWriter, manifests) perform their file operations through.
+	// nil selects the OS passthrough; tests install iofault injectors here.
+	FS iofault.FS
 }
 
 func (o WriterOptions) withDefaults() WriterOptions {
@@ -91,7 +96,30 @@ func (o WriterOptions) withDefaults() WriterOptions {
 	if o.SyncEvery <= 0 {
 		o.SyncEvery = DefaultSyncInterval
 	}
+	o.FS = iofault.Or(o.FS)
 	return o
+}
+
+// IOError is a typed storage failure from the durable write path: which
+// operation failed, on which file. It unwraps to the underlying cause so
+// errors.Is(err, syscall.ENOSPC) and iofault.IsDiskFull classify it.
+type IOError struct {
+	Op   string // "create", "write", "sync", "close", "rename", "manifest"
+	Path string
+	Err  error
+}
+
+func (e *IOError) Error() string {
+	return fmt.Sprintf("trace: %s %s: %v", e.Op, e.Path, e.Err)
+}
+
+func (e *IOError) Unwrap() error { return e.Err }
+
+func ioErr(op, path string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &IOError{Op: op, Path: path, Err: err}
 }
 
 // WriteFileAtomic serializes t to path with crash-safe finalization: the
@@ -100,30 +128,31 @@ func (o WriterOptions) withDefaults() WriterOptions {
 // half-written file under the final name — readers see the old file or the
 // complete new one.
 func WriteFileAtomic(path string, t *Trace, opts WriterOptions) (err error) {
+	fsys := iofault.Or(opts.FS)
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
-		return err
+		return ioErr("create", tmp, err)
 	}
 	defer func() {
 		if err != nil {
-			f.Close()
-			os.Remove(tmp)
+			f.Close()        //nolint:ioerr // already failing; surfacing err
+			fsys.Remove(tmp) //nolint:ioerr // best-effort cleanup
 		}
 	}()
 	if err = WriteAllOptions(f, t, opts); err != nil {
 		return err
 	}
 	if err = f.Sync(); err != nil {
-		return err
+		return ioErr("sync", tmp, err)
 	}
 	if err = f.Close(); err != nil {
-		return err
+		return ioErr("close", tmp, err)
 	}
-	if err = os.Rename(tmp, path); err != nil {
-		return err
+	if err = fsys.Rename(tmp, path); err != nil {
+		return ioErr("rename", path, err)
 	}
-	return syncDir(filepath.Dir(path))
+	return ioErr("syncdir", path, fsys.SyncDir(filepath.Dir(path)))
 }
 
 // WriteFileAtomicCursor is WriteFileAtomic for a record stream: records
@@ -132,15 +161,16 @@ func WriteFileAtomic(path string, t *Trace, opts WriterOptions) (err error) {
 // The incomplete flag and reason are preserved as the trailer marker.
 // Returns the number of records written.
 func WriteFileAtomicCursor(path string, numRanks int, cur RecordCursor, incomplete bool, reason string, opts WriterOptions) (n int, err error) {
+	fsys := iofault.Or(opts.FS)
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
-		return 0, err
+		return 0, ioErr("create", tmp, err)
 	}
 	defer func() {
 		if err != nil {
-			f.Close()
-			os.Remove(tmp)
+			f.Close()        //nolint:ioerr // already failing; surfacing err
+			fsys.Remove(tmp) //nolint:ioerr // best-effort cleanup
 		}
 	}()
 	fw, err := NewFileWriterOptions(f, numRanks, opts)
@@ -169,27 +199,15 @@ func WriteFileAtomicCursor(path string, numRanks int, cur RecordCursor, incomple
 		return 0, err
 	}
 	if err = f.Sync(); err != nil {
-		return 0, err
+		return 0, ioErr("sync", tmp, err)
 	}
 	if err = f.Close(); err != nil {
-		return 0, err
+		return 0, ioErr("close", tmp, err)
 	}
-	if err = os.Rename(tmp, path); err != nil {
-		return 0, err
+	if err = fsys.Rename(tmp, path); err != nil {
+		return 0, ioErr("rename", path, err)
 	}
-	return fw.Count(), syncDir(filepath.Dir(path))
-}
-
-// syncDir fsyncs a directory so a just-renamed entry survives a crash.
-// Filesystems that refuse directory fsync (some CI sandboxes) are ignored.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return nil
-	}
-	defer d.Close()
-	d.Sync()
-	return nil
+	return fw.Count(), ioErr("syncdir", path, fsys.SyncDir(filepath.Dir(path)))
 }
 
 // manifestMagic heads a segment manifest file, followed by the CRC32C of
@@ -221,7 +239,14 @@ type SegmentInfo struct {
 
 // WriteManifest writes m to path atomically (tmp + fsync + rename) with a
 // checksummed header line.
-func WriteManifest(path string, m *Manifest) (err error) {
+func WriteManifest(path string, m *Manifest) error {
+	return WriteManifestFS(nil, path, m)
+}
+
+// WriteManifestFS is WriteManifest through an explicit filesystem seam
+// (nil selects the OS passthrough).
+func WriteManifestFS(fsys iofault.FS, path string, m *Manifest) (err error) {
+	fsys = iofault.Or(fsys)
 	body, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
@@ -229,37 +254,42 @@ func WriteManifest(path string, m *Manifest) (err error) {
 	body = append(body, '\n')
 	head := fmt.Sprintf("%s %08x\n", manifestMagic, crcChunk(body))
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
-		return err
+		return ioErr("create", tmp, err)
 	}
 	defer func() {
 		if err != nil {
-			f.Close()
-			os.Remove(tmp)
+			f.Close()        //nolint:ioerr // already failing; surfacing err
+			fsys.Remove(tmp) //nolint:ioerr // best-effort cleanup
 		}
 	}()
-	if _, err = f.WriteString(head); err != nil {
-		return err
+	if _, err = io.WriteString(f, head); err != nil {
+		return ioErr("write", tmp, err)
 	}
 	if _, err = f.Write(body); err != nil {
-		return err
+		return ioErr("write", tmp, err)
 	}
 	if err = f.Sync(); err != nil {
-		return err
+		return ioErr("sync", tmp, err)
 	}
 	if err = f.Close(); err != nil {
-		return err
+		return ioErr("close", tmp, err)
 	}
-	if err = os.Rename(tmp, path); err != nil {
-		return err
+	if err = fsys.Rename(tmp, path); err != nil {
+		return ioErr("rename", path, err)
 	}
-	return syncDir(filepath.Dir(path))
+	return ioErr("syncdir", path, fsys.SyncDir(filepath.Dir(path)))
 }
 
 // LoadManifest reads and checksum-verifies a segment manifest.
 func LoadManifest(path string) (*Manifest, error) {
-	data, err := os.ReadFile(path)
+	return LoadManifestFS(nil, path)
+}
+
+// LoadManifestFS is LoadManifest through an explicit filesystem seam.
+func LoadManifestFS(fsys iofault.FS, path string) (*Manifest, error) {
+	data, err := iofault.Or(fsys).ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -287,10 +317,10 @@ func LoadManifest(path string) (*Manifest, error) {
 	return &m, nil
 }
 
-// countingFile wraps an *os.File with a racily readable byte count and
+// countingFile wraps a segment file with a racily readable byte count and
 // forwards Sync so FileWriter's durability policy still reaches the file.
 type countingFile struct {
-	f *os.File
+	f iofault.File
 	n atomic.Int64
 }
 
@@ -337,6 +367,7 @@ type SegmentedWriter struct {
 	numRanks int
 	segBytes int64
 	opts     WriterOptions
+	fsys     iofault.FS
 	seq      bool // sequential (FileWriter) sink instead of sharded
 
 	cf       *countingFile
@@ -356,7 +387,8 @@ func NewSegmentedWriter(dir, base string, numRanks int, segBytes int64, opts Wri
 	if segBytes <= 0 {
 		segBytes = DefaultSegmentBytes
 	}
-	gw := &SegmentedWriter{dir: dir, base: base, numRanks: numRanks, segBytes: segBytes, opts: opts}
+	gw := &SegmentedWriter{dir: dir, base: base, numRanks: numRanks, segBytes: segBytes, opts: opts,
+		fsys: iofault.Or(opts.FS)}
 	if err := gw.openSegmentLocked(); err != nil {
 		return nil, err
 	}
@@ -372,7 +404,8 @@ func NewSequentialSegmentedWriter(dir, base string, numRanks int, segBytes int64
 	if segBytes <= 0 {
 		segBytes = DefaultSegmentBytes
 	}
-	gw := &SegmentedWriter{dir: dir, base: base, numRanks: numRanks, segBytes: segBytes, opts: opts, seq: true}
+	gw := &SegmentedWriter{dir: dir, base: base, numRanks: numRanks, segBytes: segBytes, opts: opts, seq: true,
+		fsys: iofault.Or(opts.FS)}
 	if err := gw.openSegmentLocked(); err != nil {
 		return nil, err
 	}
@@ -389,7 +422,7 @@ func ResumeSegmentedWriter(dir, base string, numRanks int, segBytes int64, exist
 		segBytes = DefaultSegmentBytes
 	}
 	gw := &SegmentedWriter{dir: dir, base: base, numRanks: numRanks, segBytes: segBytes, opts: opts, seq: true,
-		segs: append([]SegmentInfo(nil), existing...)}
+		fsys: iofault.Or(opts.FS), segs: append([]SegmentInfo(nil), existing...)}
 	for _, s := range existing {
 		gw.done += s.Records
 	}
@@ -410,23 +443,31 @@ func (gw *SegmentedWriter) ManifestPath() string {
 
 func (gw *SegmentedWriter) openSegmentLocked() error {
 	name := gw.segName(len(gw.segs))
-	f, err := os.Create(filepath.Join(gw.dir, name))
+	path := filepath.Join(gw.dir, name)
+	f, err := gw.fsys.Create(path)
 	if err != nil {
-		return err
+		return ioErr("create", path, err)
+	}
+	// Make the new directory entry durable immediately: records fsynced into
+	// this segment must not vanish with an unsynced entry if the host dies
+	// before the next manifest publication syncs the directory.
+	if err := gw.fsys.SyncDir(gw.dir); err != nil {
+		f.Close() //nolint:ioerr // already failing; surfacing err
+		return ioErr("syncdir", gw.dir, err)
 	}
 	cf := &countingFile{f: f}
 	var sw segmentSink
 	if gw.seq {
 		fw, err := NewFileWriterOptions(cf, gw.numRanks, gw.opts)
 		if err != nil {
-			f.Close()
+			f.Close() //nolint:ioerr // error path; the writer-construction error is surfaced
 			return err
 		}
 		sw = seqSink{fw}
 	} else {
 		shw, err := NewShardedWriterOptions(cf, gw.numRanks, DefaultChunkSize, gw.opts)
 		if err != nil {
-			f.Close()
+			f.Close() //nolint:ioerr // error path; the writer-construction error is surfaced
 			return err
 		}
 		sw = shw
@@ -447,10 +488,10 @@ func (gw *SegmentedWriter) finishSegmentLocked() error {
 	}
 	n := gw.sw.Count()
 	if err := gw.cf.f.Sync(); err != nil {
-		return err
+		return ioErr("sync", gw.cf.f.Name(), err)
 	}
 	if err := gw.cf.f.Close(); err != nil {
-		return err
+		return ioErr("close", gw.cf.f.Name(), err)
 	}
 	gw.segs = append(gw.segs, SegmentInfo{
 		Name:    gw.segName(len(gw.segs)),
@@ -529,7 +570,7 @@ func (gw *SegmentedWriter) BytesWritten() int64 {
 
 func (gw *SegmentedWriter) writeManifestLocked(segs []SegmentInfo) error {
 	opts := gw.opts.withDefaults()
-	return WriteManifest(gw.ManifestPath(), &Manifest{
+	return WriteManifestFS(gw.fsys, gw.ManifestPath(), &Manifest{
 		FormatVersion: FormatVersion,
 		NumRanks:      gw.numRanks,
 		Writer:        opts.Writer,

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+	"time"
+
+	"tracedbg/internal/iofault"
+)
+
+func faultTrace(records int) *Trace {
+	t := New(2)
+	for i := 0; i < records; i++ {
+		t.Append(Record{Rank: i % 2, Kind: KindSend, Start: int64(i * 10), End: int64(i*10 + 5),
+			Dst: 1, Marker: uint64(i)})
+	}
+	return t
+}
+
+// A failed rename must leave the previous file intact and surface a typed
+// IOError that classifies as injected.
+func TestWriteFileAtomicRenameFailure(t *testing.T) {
+	disk := iofault.NewMemDisk(1)
+	disk.MkdirAll("out", 0o777)
+
+	// Seed a good file, then fail the atomic publish of its replacement.
+	if err := WriteFileAtomic("out/t.trace", faultTrace(10), WriterOptions{FS: disk}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := disk.ReadFile("out/t.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in, err := iofault.NewInjector(disk, &iofault.Plan{Seed: 1, Rules: []iofault.Rule{
+		iofault.RenameFailNth("t.trace", 1),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = WriteFileAtomic("out/t.trace", faultTrace(20), WriterOptions{FS: in})
+	if err == nil || !iofault.IsInjected(err) {
+		t.Fatalf("want injected rename failure, got %v", err)
+	}
+	var ioe *IOError
+	if !errors.As(err, &ioe) || ioe.Op != "rename" {
+		t.Fatalf("want typed IOError{Op: rename}, got %#v", err)
+	}
+	after, err := disk.ReadFile("out/t.trace")
+	if err != nil {
+		t.Fatalf("old file must survive a failed publish: %v", err)
+	}
+	if string(after) != string(before) {
+		t.Fatal("failed atomic write disturbed the existing file")
+	}
+}
+
+// ENOSPC mid-segment surfaces a typed disk-full error from the segmented
+// writer, and what was already finalized stays loadable.
+func TestSegmentedWriterENOSPC(t *testing.T) {
+	disk := iofault.NewMemDisk(1)
+	disk.MkdirAll("sess", 0o777)
+	in, err := iofault.NewInjector(disk, &iofault.Plan{Seed: 1, Rules: []iofault.Rule{
+		iofault.ENOSPCAfter(8 << 10),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := NewSequentialSegmentedWriter("sess", "trace", 2, 2<<10, WriterOptions{
+		FS: in, ChunkBytes: 512, Sync: SyncEveryChunk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var werr error
+	for i := 0; i < 10000; i++ {
+		r := Record{Rank: i % 2, Kind: KindSend, Start: int64(i * 10), End: int64(i*10 + 5),
+			Dst: 1, Marker: uint64(i), Name: fmt.Sprintf("op-%04d", i)}
+		if werr = gw.Write(&r); werr != nil {
+			break
+		}
+	}
+	if werr == nil {
+		t.Fatal("10k records fit an 8KiB budget?")
+	}
+	if !iofault.IsDiskFull(werr) || !errors.Is(werr, syscall.ENOSPC) {
+		t.Fatalf("want typed ENOSPC, got %v", werr)
+	}
+}
+
+// The lying-fsync rule makes every durability claim silently void; the
+// writers must still function (the lie is only visible at a crash).
+func TestSegmentedWriterLyingFsync(t *testing.T) {
+	disk := iofault.NewMemDisk(1)
+	disk.MkdirAll("sess", 0o777)
+	in, err := iofault.NewInjector(disk, &iofault.Plan{Seed: 1, Rules: []iofault.Rule{
+		iofault.LyingFsync(""),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := NewSequentialSegmentedWriter("sess", "trace", 1, 4<<10, WriterOptions{
+		FS: in, ChunkBytes: 256, Sync: SyncEveryChunk, SyncEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		r := Record{Rank: 0, Kind: KindSend, Start: int64(i * 10), End: int64(i*10 + 5), Dst: 0}
+		if err := gw.Write(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything "synced", yet nothing is durable: the pessimal crash image
+	// holds zero bytes for every file the writer touched.
+	if got := disk.DurableLen("sess/trace-00000.trace"); got != 0 {
+		t.Fatalf("lying fsync leaked durability: %d bytes claimed durable", got)
+	}
+}

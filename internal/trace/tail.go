@@ -175,7 +175,7 @@ func TailFile(path string, opts TailOptions) (*FileTail, error) {
 	}
 	fi, err := f.Stat()
 	if err != nil {
-		f.Close()
+		f.Close() //nolint:ioerr // error path on a read-only handle
 		return nil, err
 	}
 	return &FileTail{
@@ -331,10 +331,10 @@ func (ft *FileTail) reopenFile() error {
 	}
 	fi, err := f.Stat()
 	if err != nil {
-		f.Close()
+		f.Close() //nolint:ioerr // error path on a read-only handle
 		return err
 	}
-	ft.f.Close()
+	ft.f.Close() //nolint:ioerr // read-side handle swap; nothing durable pending
 	ft.f, ft.fi = f, fi
 	ft.w = &frameWalker{eof: true}
 	ft.s = nil
@@ -680,7 +680,7 @@ func (ct *ChainTail) Next(ctx context.Context) (*Record, error) {
 		}
 		rec, err := ct.cur.Next(ctx)
 		if err == io.EOF {
-			ct.cur.Close()
+			ct.cur.Close() //nolint:ioerr // read-side cursor close at rotation
 			ct.cur = nil
 			ct.idx++
 			ct.rotations++
@@ -693,7 +693,7 @@ func (ct *ChainTail) Next(ctx context.Context) (*Record, error) {
 			}
 			// Unreadable segment (headerless, rewritten empty): skip it, like
 			// the post-mortem chain cursor skips segments it cannot open.
-			ct.cur.Close()
+			ct.cur.Close() //nolint:ioerr // read-side close while skipping an unreadable segment
 			ct.cur = nil
 			ct.idx++
 			continue

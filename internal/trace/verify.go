@@ -98,7 +98,7 @@ func verifyStream(open func() (io.Reader, io.Closer, error)) (*VerifyReport, err
 	}
 	vr, legacy, damaged, err := verifyFramePass(r)
 	if cl != nil {
-		cl.Close()
+		cl.Close() //nolint:ioerr // read-side close; verification never writes
 	}
 	if err != nil {
 		return nil, err
@@ -110,7 +110,7 @@ func verifyStream(open func() (io.Reader, io.Closer, error)) (*VerifyReport, err
 	}
 	defer func() {
 		if cl != nil {
-			cl.Close()
+			cl.Close() //nolint:ioerr // read-side close; verification never writes
 		}
 	}()
 	switch {

@@ -9,10 +9,10 @@
 # the self-observability metrics of a representative tanalyze run — so each
 # baseline records not just how fast the pipeline was but how much work
 # (records written, chunks flushed, ranks pruned, ...) the numbers represent.
-# The default output is BENCH_PR8.json at the repo root — the checked-in
-# baseline for the live-tailing PR (tail cursors, streaming session API,
-# tvis/tanalyze -follow); regenerate it when the pipeline changes materially
-# and mention the delta in the PR.
+# The default output is BENCH_PR9.json at the repo root — the checked-in
+# baseline for the disk-fault PR (iofault seam, degraded mode, storage
+# scrub); regenerate it when the pipeline changes materially and mention the
+# delta in the PR.
 #
 # With -profile, CPU and allocation profiles of the write, load, and query
 # benchmark groups are additionally captured into bench-profiles/ (one
@@ -30,7 +30,7 @@ if [ "${1:-}" = "-profile" ]; then
     profile=1
     shift
 fi
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR9.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw="$(mktemp)"
@@ -40,6 +40,11 @@ trap 'rm -f "$raw" "$snap"' EXIT
 go test -run '^$' \
     -bench 'SerialLoad|ParallelLoad|QuerySerial|QueryIndexed|QueryParallel|FileWriterSerial|ShardedWrite|SyncPolicy|GraphFromTrace|MergedOrder|ObsOverhead|StreamVsMaterialize|DaemonIngest|TailLatency' \
     -benchtime "$benchtime" -benchmem . | tee "$raw"
+
+# The scrub CRC walk lives with the store package; append it to the same
+# raw stream so the baseline records the background-scrub cost per byte.
+go test -run '^$' -bench 'Scrub' \
+    -benchtime "$benchtime" -benchmem ./internal/store | tee -a "$raw"
 
 # Pin the obs-layer overhead criterion on timed runs: the single-iteration
 # CI smoke (BENCHTIME=1x) is too noisy to resolve 5%.

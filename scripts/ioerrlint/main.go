@@ -1,0 +1,202 @@
+// Command ioerrlint flags discarded error returns of durability-critical
+// file operations in the storage packages. A dropped Close/Sync/Rename
+// error is how fsync failures and full disks turn into silent data loss —
+// the I/O fault injector (internal/iofault) exposes every one of these at
+// test time, and this lint keeps new ones from landing.
+//
+// Usage:
+//
+//	go run ./scripts/ioerrlint [pkg-dir ...]
+//
+// With no arguments it scans the packages that own durability:
+// internal/trace, internal/store, internal/remote. Test files are skipped
+// (tests discard errors deliberately all the time). A finding is suppressed
+// by annotating the statement with a trailing "//nolint:ioerr // <why>"
+// comment, which doubles as documentation that the drop is considered.
+//
+// The check is type-aware (export data via `go list -export`), so calls
+// that return no error — http.Flusher.Flush, sync primitives — are never
+// flagged. It is also deliberately narrow: only statement-level calls whose
+// entire result list is discarded, and only the method names below.
+// Deferred calls are exempt — `defer f.Close()` on a read path is idiomatic
+// and harmless; write paths in this repo close explicitly and check.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// flagged are the operations whose error return carries durability: losing
+// it can lose acknowledged data.
+var flagged = map[string]bool{
+	"Close":   true,
+	"Sync":    true,
+	"SyncDir": true,
+	"Flush":   true,
+	"Rename":  true,
+	"Remove":  true,
+}
+
+var defaultDirs = []string{"internal/trace", "internal/store", "internal/remote"}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = defaultDirs
+	}
+	exports, err := exportData(dirs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ioerrlint: %v\n", err)
+		os.Exit(2)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %s", path)
+		}
+		return os.Open(exp)
+	})
+
+	var findings []string
+	for _, dir := range dirs {
+		fs, err := checkPackage(fset, imp, dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ioerrlint: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		fmt.Fprintf(os.Stderr, "ioerrlint: %d discarded I/O error return(s); handle the error or annotate //nolint:ioerr with a reason\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Println("ioerrlint: ok")
+}
+
+// exportData maps every dependency's import path to its compiled export
+// data file, letting the gc importer resolve both stdlib and this module's
+// own packages without a source-level type-check of the world.
+func exportData(dirs []string) (map[string]string, error) {
+	args := []string{"list", "-deps", "-export", "-f", "{{.ImportPath}}\t{{.Export}}"}
+	for _, d := range dirs {
+		args = append(args, "./"+filepath.ToSlash(d))
+	}
+	var out, errb bytes.Buffer
+	cmd := exec.Command("go", args...)
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list -export: %v\n%s", err, errb.String())
+	}
+	exports := make(map[string]string)
+	for _, line := range strings.Split(out.String(), "\n") {
+		path, exp, ok := strings.Cut(line, "\t")
+		if ok && exp != "" {
+			exports[path] = exp
+		}
+	}
+	return exports, nil
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, dir string) ([]string, error) {
+	// Ask the go tool for the file set so build constraints (mmap_unix.go
+	// vs its stub) resolve exactly as they do in a real build.
+	var out, errb bytes.Buffer
+	cmd := exec.Command("go", "list", "-f", "{{range .GoFiles}}{{.}}\n{{end}}", "./"+filepath.ToSlash(dir))
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, errb.String())
+	}
+	names := strings.Fields(out.String())
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{Types: make(map[ast.Expr]types.TypeAndValue)}
+	conf := types.Config{Importer: imp}
+	if _, err := conf.Check(dir, fset, files, info); err != nil {
+		return nil, fmt.Errorf("type check: %v", err)
+	}
+
+	var findings []string
+	for _, f := range files {
+		nolint := make(map[int]bool)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "nolint:ioerr") {
+					nolint[fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			if !flagged[name] || !returnsError(info, call) {
+				return true
+			}
+			pos := fset.Position(stmt.Pos())
+			if nolint[pos.Line] {
+				return true
+			}
+			findings = append(findings,
+				fmt.Sprintf("%s:%d: result of %s() discarded (durability error lost)", pos.Filename, pos.Line, name))
+			return true
+		})
+	}
+	return findings, nil
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), types.Universe.Lookup("error").Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	case *ast.Ident:
+		return fn.Name
+	}
+	return ""
+}
