@@ -50,6 +50,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "seed")
 		actions = flag.Bool("actions", false, "include the action-graph summary")
 		find    = flag.String("find", "", "semicolon-separated query expressions to run over the trace")
+		explain = flag.Bool("explain", false, "with -find, print each expression's execution plan before its results")
 		stats   = flag.Bool("stats", false, "print the pipeline self-observability snapshot after the analyses")
 		statsJS = flag.String("stats-json", "", "also write the observability snapshot as JSON to this file")
 		followF = flag.Bool("follow", false, "follow a still-growing -in live, analyzing incrementally")
@@ -74,7 +75,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(os.Stdout, *in, *app, *ranks, *size, *iters, *seed, *actions, *find); err != nil {
+	if err := run(os.Stdout, *in, *app, *ranks, *size, *iters, *seed, *actions, *find, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "tanalyze:", err)
 		os.Exit(1)
 	}
@@ -108,14 +109,14 @@ func emitStats(w io.Writer, table bool, jsonPath string) error {
 	return nil
 }
 
-func run(w io.Writer, in, app string, ranks, size, iters int, seed int64, actions bool, find string) error {
-	tr, err := load(in, app, ranks, size, iters, seed, w)
+func run(w io.Writer, in, app string, ranks, size, iters int, seed int64, actions bool, find string, explain bool) error {
+	tr, st, err := load(in, app, ranks, size, iters, seed, w)
 	if err != nil {
 		return err
 	}
 
 	if find != "" {
-		if err := runQueries(w, tr, find); err != nil {
+		if err := runQueries(w, tr, st, find, explain); err != nil {
 			return err
 		}
 	}
@@ -245,9 +246,13 @@ func follow(ctx context.Context, w io.Writer, in string, refresh time.Duration, 
 // invocations of runQueries in tests) compile once.
 var queries = query.NewCache()
 
-// runQueries evaluates each semicolon-separated expression and prints the
-// matching events.
-func runQueries(w io.Writer, tr *trace.Trace, find string) error {
+// runQueries evaluates each semicolon-separated expression through the
+// planner and prints the matching events. When the trace came from a file
+// the plan runs against the store itself — persistent sidecar indexes seek
+// straight to the bounded window instead of scanning, and results memoize
+// by the store's generation; an app recording plans over the in-memory
+// trace with parallel rank scans.
+func runQueries(w io.Writer, tr *trace.Trace, st *store.Store, find string, explain bool) error {
 	for _, src := range strings.Split(find, ";") {
 		src = strings.TrimSpace(src)
 		if src == "" {
@@ -257,7 +262,24 @@ func runQueries(w io.Writer, tr *trace.Trace, find string) error {
 		if err != nil {
 			return err
 		}
-		ids := q.RunParallel(tr)
+		var plan *query.Plan
+		if st != nil {
+			plan = q.Plan(query.NewStoreSource(st))
+		} else {
+			plan = q.Plan(query.NewParallelTraceSource(tr))
+		}
+		if explain {
+			fmt.Fprintln(w, plan.Explain())
+		}
+		var ids []trace.EventID
+		if st != nil {
+			ids, err = queries.EventsFor(src, st.Generation(), plan.Run)
+		} else {
+			ids, err = plan.Run()
+		}
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "find %q: %d events\n", src, len(ids))
 		for _, id := range ids {
 			fmt.Fprintf(w, "  %v %s\n", id, tr.MustAt(id))
@@ -266,7 +288,10 @@ func runQueries(w io.Writer, tr *trace.Trace, find string) error {
 	return nil
 }
 
-func load(in, app string, ranks, size, iters int, seed int64, w io.Writer) (*trace.Trace, error) {
+// load opens or records the history. For file inputs the opened store is
+// returned alongside the materialized trace so queries can plan against
+// its persistent indexes; for app recordings the store is nil.
+func load(in, app string, ranks, size, iters int, seed int64, w io.Writer) (*trace.Trace, *store.Store, error) {
 	if in != "" {
 		// store.OpenMmap sniffs the format (v2, v3, or segment manifest) and
 		// salvages what a crashed or interrupted producer managed to write:
@@ -274,11 +299,11 @@ func load(in, app string, ranks, size, iters int, seed int64, w io.Writer) (*tra
 		// materialized Trace is heap-owned, so it outlives the mapping.
 		st, err := store.OpenMmap(in)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		tr, err := st.Trace()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if tr.Incomplete() {
 			fmt.Fprintf(w, "warning: history incomplete: %s\n", tr.IncompleteReason())
@@ -301,16 +326,16 @@ func load(in, app string, ranks, size, iters int, seed int64, w io.Writer) (*tra
 				}
 			}
 		}
-		return tr, nil
+		return tr, st, nil
 	}
 	body, err := apps.Build(app, ranks, apps.Params{Size: size, Iters: iters, Seed: seed})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sink := instr.NewMemorySink(ranks)
 	inst := instr.New(ranks, sink, instr.LevelAll)
 	if err := inst.Run(mp.Config{NumRanks: ranks}, body); err != nil {
 		fmt.Fprintf(w, "execution ended with error: %v\n", err)
 	}
-	return sink.Trace(), nil
+	return sink.Trace(), nil, nil
 }

@@ -18,7 +18,7 @@ import (
 
 func TestAnalyzeCleanRun(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "", "ring", 3, 8, 2, 1, true, ""); err != nil {
+	if err := run(&sb, "", "ring", 3, 8, 2, 1, true, "", false); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -35,7 +35,7 @@ func TestAnalyzeCleanRun(t *testing.T) {
 
 func TestAnalyzeBuggyStrassen(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "", "strassen-buggy", 8, 8, 1, 42, false, ""); err != nil {
+	if err := run(&sb, "", "strassen-buggy", 8, 8, 1, 42, false, "", false); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -56,10 +56,10 @@ func TestAnalyzeBuggyStrassen(t *testing.T) {
 
 func TestAnalyzeErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "/no/such/file", "", 0, 0, 0, 0, false, ""); err == nil {
+	if err := run(&sb, "/no/such/file", "", 0, 0, 0, 0, false, "", false); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run(&sb, "", "nope", 2, 8, 1, 1, false, ""); err == nil {
+	if err := run(&sb, "", "nope", 2, 8, 1, 1, false, "", false); err == nil {
 		t.Error("bogus app accepted")
 	}
 }
@@ -70,7 +70,7 @@ func TestAnalyzeErrors(t *testing.T) {
 func TestAnalyzeSegmentedManifest(t *testing.T) {
 	manifest := writeSegmentedRun(t)
 	var sb strings.Builder
-	if err := run(&sb, manifest, "", 0, 0, 0, 0, false, ""); err != nil {
+	if err := run(&sb, manifest, "", 0, 0, 0, 0, false, "", false); err != nil {
 		t.Fatalf("manifest input: %v", err)
 	}
 	if !strings.Contains(sb.String(), "message traffic per rank") {

@@ -331,7 +331,7 @@ func runSessions(addr string, log interface{ Write([]byte) (int, error) }) error
 		return nil
 	}
 	tw := tabwriter.NewWriter(log, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(tw, "SESSION\tCLIENT\tSTATE\tACCEPTED\tDURABLE\tQUEUED\tBYTES\tFLAGS")
+	fmt.Fprintln(tw, "SESSION\tCLIENT\tSTATE\tACCEPTED\tDURABLE\tQUEUED\tBYTES\tIDX\tFLAGS")
 	for _, s := range ov.Sessions {
 		var flags []string
 		if s.Recovered {
@@ -340,8 +340,12 @@ func runSessions(addr string, log interface{ Write([]byte) (int, error) }) error
 		if s.Connected {
 			flags = append(flags, "connected")
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
-			s.ID, s.ClientID, s.State, s.Accepted, s.Durable, s.Queued, s.Bytes, strings.Join(flags, ","))
+		// IDX is sidecar progress: sealed segments indexed / total segments
+		// owed one. A finalized session should read n/n — anything else
+		// means a sidecar write failed and trepair -index can backfill.
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d/%d\t%s\n",
+			s.ID, s.ClientID, s.State, s.Accepted, s.Durable, s.Queued, s.Bytes,
+			s.SegsIndexed, s.SegsIndexed+s.SegsPending, strings.Join(flags, ","))
 	}
 	return tw.Flush()
 }

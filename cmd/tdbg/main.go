@@ -34,6 +34,9 @@
 //	collect R on|off           toggle trace collection for a rank (live)
 //	intertwined                out-of-order message pairs per channel
 //	find EXPR...               query the history (kind = send && dst = 7)
+//	explain EXPR...            show how find would execute (index vs scan)
+//	occurrence FILE LINE R K   k-th (0-based) execution of FILE:LINE on rank R
+//	index                      persistent index status of the opened trace
 //	callgraph R                dynamic call graph of rank R (text)
 //	commgraph                  communication graph (text)
 //	vcg R                      call graph of rank R in VCG format
@@ -117,18 +120,29 @@ func main() {
 
 // loadTraceInto opens a recorded trace — v2, v3, or segment manifest, the
 // store sniffs it — and installs it as the debugger's session history, so
-// view/analyze/find commands work without a live run.
+// view/analyze/find commands work without a live run. The store itself is
+// retained on the debugger (SetStore): find plans against persistent
+// sidecar indexes when present and memoizes results by store generation.
 func loadTraceInto(d *core.Debugger, path string, out io.Writer) error {
 	st, err := store.OpenMmap(path)
 	if err != nil {
 		return err
 	}
-	tr, err := st.Trace()
-	if err != nil {
+	if err := d.SetStore(st); err != nil {
 		return err
 	}
-	d.SetTrace(tr)
+	tr, _ := st.Trace()
 	fmt.Fprintf(out, "loaded %s: %d records, %d ranks\n", path, tr.Len(), tr.NumRanks())
+	if ix := st.Indexes(); ix.Available() {
+		total := 0
+		for rank := 0; rank < st.NumRanks(); rank++ {
+			n, _ := ix.RecordCount(rank)
+			total += n
+		}
+		fmt.Fprintf(out, "index: available (%d records indexed)\n", total)
+	} else {
+		fmt.Fprintf(out, "index: unavailable: %s\n", ix.Reason())
+	}
 	if tr.Incomplete() {
 		fmt.Fprintf(out, "warning: history incomplete: %s\n", tr.IncompleteReason())
 	}
@@ -493,6 +507,57 @@ func (r *repl) exec(line string) error {
 				break
 			}
 			fmt.Fprintf(r.out, "  %v: %s\n", id, tr.MustAt(id).String())
+		}
+		return nil
+
+	case "explain":
+		if len(args) == 0 {
+			return fmt.Errorf("explain EXPR")
+		}
+		plan, err := r.d.ExplainFind(strings.Join(args, " "))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.out, plan)
+		return nil
+
+	case "occurrence":
+		if len(args) != 4 {
+			return fmt.Errorf("occurrence FILE LINE RANK K")
+		}
+		line, err := argInt(args, 1)
+		if err != nil {
+			return err
+		}
+		rank, err := argInt(args, 2)
+		if err != nil {
+			return err
+		}
+		k, err := argInt(args, 3)
+		if err != nil {
+			return err
+		}
+		id, err := r.d.Occurrence(args[0], line, rank, k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.out, "%v: %s\n", id, r.d.Trace().MustAt(id).String())
+		return nil
+
+	case "index":
+		st := r.d.Store()
+		if st == nil {
+			return fmt.Errorf("no opened trace (use -in); live histories are not indexed")
+		}
+		ix := st.Indexes()
+		if !ix.Available() {
+			fmt.Fprintf(r.out, "index unavailable: %s\n", ix.Reason())
+			return nil
+		}
+		fmt.Fprintln(r.out, "index available")
+		for rank := 0; rank < st.NumRanks(); rank++ {
+			n, _ := ix.RecordCount(rank)
+			fmt.Fprintf(r.out, "  rank %d: %d records\n", rank, n)
 		}
 		return nil
 

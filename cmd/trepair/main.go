@@ -6,6 +6,7 @@
 //	trepair -salvage run.trace -o out.trace  # recover all undamaged chunks + gap summary
 //	trepair -migrate legacy.trace -o out.trace  # rewrite in the current format
 //	trepair -scrub run.manifest            # CRC-walk segments, heal damage in place
+//	trepair -index run.trace               # build/refresh the persistent index sidecar
 //
 // -verify walks the checksummed chunk framing (format version 3) and reports
 // every damaged frame; legacy version-2 files are verified by a full decode,
@@ -21,6 +22,15 @@
 // quarantined (renamed aside with a .quarantine suffix, never deleted) and
 // rewritten in place from their salvage, and the manifest is updated to the
 // surviving counts. -scrub -dry reports without touching anything.
+//
+// -index backfills the persistent index sidecar (<file>.tdx) next to a
+// trace recorded without one — or refreshes a stale one after the data
+// file changed. Sidecars let store.Open answer bounded queries by seeking
+// instead of scanning; writers built with BuildIndex produce them at
+// ingest, -index covers everything recorded before that. -verify also
+// cross-checks any sidecar it finds against the data file and reports
+// drift as damage (rebuild with -index); a file with no sidecar verifies
+// clean — indexes are an optional acceleration, not part of the format.
 //
 // All modes accept a TDBGMAN1 segment manifest in place of a trace
 // file: -verify and -scrub check each segment, -salvage and -migrate
@@ -50,6 +60,7 @@ func run(args []string) int {
 		salvage = fs.Bool("salvage", false, "rewrite a damaged file into a clean one (requires -o)")
 		migrate = fs.Bool("migrate", false, "re-encode a clean file in the current format (requires -o)")
 		scrub   = fs.Bool("scrub", false, "CRC-walk all segments, quarantine and heal damage in place")
+		index   = fs.Bool("index", false, "build or refresh the persistent index sidecar(s)")
 		dry     = fs.Bool("dry", false, "with -scrub: report damage without repairing")
 		out     = fs.String("o", "", "output path for -salvage / -migrate")
 		legacy  = fs.Bool("legacy", false, "with -migrate: write the legacy v2 format instead")
@@ -61,17 +72,17 @@ func run(args []string) int {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: trepair [-verify|-salvage|-migrate|-scrub] [-o out.trace] file.trace")
+		fmt.Fprintln(os.Stderr, "usage: trepair [-verify|-salvage|-migrate|-scrub|-index] [-o out.trace] file.trace")
 		return 2
 	}
 	modes := 0
-	for _, m := range []bool{*verify, *salvage, *migrate, *scrub} {
+	for _, m := range []bool{*verify, *salvage, *migrate, *scrub, *index} {
 		if m {
 			modes++
 		}
 	}
 	if modes != 1 {
-		fmt.Fprintln(os.Stderr, "trepair: choose exactly one of -verify, -salvage, -migrate, -scrub")
+		fmt.Fprintln(os.Stderr, "trepair: choose exactly one of -verify, -salvage, -migrate, -scrub, -index")
 		return 2
 	}
 	path := fs.Arg(0)
@@ -89,6 +100,8 @@ func run(args []string) int {
 		return runSalvage(path, *out, opts, *quiet)
 	case *scrub:
 		return runScrub(path, *writer, *dry, *quiet)
+	case *index:
+		return runIndex(path)
 	default:
 		return runMigrate(path, *out, opts)
 	}
@@ -128,6 +141,53 @@ func runScrub(path, writer string, dry, quiet bool) int {
 	return 0
 }
 
+// runIndex backfills or refreshes the TDBGIDX1 sidecar(s) of a trace file
+// or every segment of a manifest. The build is a single structural pass
+// over the data; the sidecar is written atomically, so a crash mid-build
+// leaves whatever was there before, never a torn index.
+func runIndex(path string) int {
+	st, err := store.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trepair: %s: %v\n", path, err)
+		return 1
+	}
+	targets := st.SegmentPaths()
+	if targets == nil {
+		targets = []string{path}
+	} else {
+		info := st.Info()
+		fmt.Printf("%s: manifest, v%d, %d ranks, %d segment(s)\n", path, info.Version, info.NumRanks, len(targets))
+	}
+	rc := 0
+	for _, tp := range targets {
+		if err := indexOne(tp); err != nil {
+			fmt.Fprintf(os.Stderr, "trepair: %s: %v\n", tp, err)
+			rc = 1
+		}
+	}
+	return rc
+}
+
+func indexOne(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	si, err := trace.BuildSegmentIndexBytes(data, trace.DefaultIndexStride)
+	if err != nil {
+		return fmt.Errorf("building index: %w (salvage the file first)", err)
+	}
+	if err := trace.WriteIndexFile(trace.IndexPath(path), si); err != nil {
+		return err
+	}
+	total := 0
+	for rank := 0; rank < si.NumRanks; rank++ {
+		total += si.RecordCount(rank)
+	}
+	fmt.Printf("%s: indexed %d records across %d ranks\n", trace.IndexPath(path), total, si.NumRanks)
+	return nil
+}
+
 func runVerify(path string, quiet bool) int {
 	st, err := store.Open(path)
 	if err != nil {
@@ -158,9 +218,45 @@ func verifyOne(path string, quiet bool) int {
 	if !quiet && vr.BadChunks() > 0 {
 		vr.WriteVerifyDetail(os.Stdout)
 	}
+	rc := 0
 	if !vr.OK() {
+		rc = 1
+	}
+	if verifySidecar(path) != 0 {
+		rc = 1
+	}
+	return rc
+}
+
+// verifySidecar cross-checks the index sidecar against the data file when
+// one exists. A missing sidecar is not a finding — indexes are an optional
+// acceleration — but a present one that fails its CRC, or whose recorded
+// extents have drifted from the file's frames, is damage a reader would
+// silently fall back to scanning over, so it is reported here.
+func verifySidecar(path string) int {
+	ip := trace.IndexPath(path)
+	si, err := trace.ReadIndexFile(ip)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0
+		}
+		fmt.Printf("%s: index sidecar unreadable: %v (rebuild with trepair -index)\n", ip, err)
 		return 1
 	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trepair: %s: %v\n", path, err)
+		return 1
+	}
+	if err := si.Validate(data); err != nil {
+		fmt.Printf("%s: index sidecar stale: %v (rebuild with trepair -index)\n", ip, err)
+		return 1
+	}
+	if err := si.VerifyExtents(data); err != nil {
+		fmt.Printf("%s: index sidecar extent drift: %v (rebuild with trepair -index)\n", ip, err)
+		return 1
+	}
+	fmt.Printf("%s: index sidecar ok\n", ip)
 	return 0
 }
 

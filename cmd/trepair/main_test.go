@@ -255,3 +255,72 @@ func TestScrubMode(t *testing.T) {
 		t.Fatalf("healed store dry scrub rc = %d", rc)
 	}
 }
+
+// TestIndexMode: -index backfills a sidecar next to a file recorded
+// without one; the store then answers with indexes, and -verify
+// cross-checks the sidecar.
+func TestIndexMode(t *testing.T) {
+	tr := testTrace(7, 3, 150)
+	path := writeFile(t, t.TempDir(), "run.trace", tr, trace.WriterOptions{})
+	if rc := run([]string{"-index", path}); rc != 0 {
+		t.Fatalf("-index rc = %d", rc)
+	}
+	if _, err := os.Stat(trace.IndexPath(path)); err != nil {
+		t.Fatalf("sidecar not written: %v", err)
+	}
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix := st.Indexes(); !ix.Available() {
+		t.Fatalf("store not indexed after backfill: %s", ix.Reason())
+	}
+	if rc := run([]string{"-verify", path}); rc != 0 {
+		t.Fatalf("verify with sidecar rc = %d", rc)
+	}
+}
+
+// TestIndexModeManifest: -index walks every segment of a manifest.
+func TestIndexModeManifest(t *testing.T) {
+	manifest := writeManifest(t, testTrace(9, 3, 400), 1<<10)
+	if rc := run([]string{"-index", manifest}); rc != 0 {
+		t.Fatalf("-index manifest rc = %d", rc)
+	}
+	st, err := store.Open(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix := st.Indexes(); !ix.Available() {
+		t.Fatalf("manifest store not indexed: %s", ix.Reason())
+	}
+	if rc := run([]string{"-verify", manifest}); rc != 0 {
+		t.Fatalf("verify indexed manifest rc = %d", rc)
+	}
+}
+
+// TestVerifyStaleSidecar: a sidecar left behind by a rewrite of the data
+// file is damage -verify must report; absence of a sidecar is not.
+func TestVerifyStaleSidecar(t *testing.T) {
+	dir := t.TempDir()
+	tr := testTrace(11, 2, 80)
+	path := writeFile(t, dir, "run.trace", tr, trace.WriterOptions{})
+	if rc := run([]string{"-verify", path}); rc != 0 {
+		t.Fatalf("no-sidecar verify rc = %d", rc)
+	}
+	if rc := run([]string{"-index", path}); rc != 0 {
+		t.Fatalf("-index rc = %d", rc)
+	}
+	// Rewrite the data file with different content; the sidecar now
+	// describes bytes that no longer exist.
+	bigger := testTrace(12, 2, 120)
+	writeFile(t, dir, "run.trace", bigger, trace.WriterOptions{})
+	if rc := run([]string{"-verify", path}); rc != 1 {
+		t.Fatalf("stale-sidecar verify rc = %d, want 1", rc)
+	}
+	if rc := run([]string{"-index", path}); rc != 0 {
+		t.Fatalf("re-index rc = %d", rc)
+	}
+	if rc := run([]string{"-verify", path}); rc != 0 {
+		t.Fatalf("refreshed verify rc = %d", rc)
+	}
+}

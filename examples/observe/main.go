@@ -136,13 +136,17 @@ func main() {
 	}
 	snap = stage(snap, fmt.Sprintf("parallel load (%d events)", loaded.Len()))
 
-	// Stage 4 — query: a rank-pruned search through the bounded cache.
+	// Stage 4 — query: a rank-pruned search planned against the store, so
+	// a persistent index sidecar (when present) seeks instead of scanning.
 	cache := query.NewCache()
 	q, err := cache.Compile(`kind = send && rank = 2`)
 	if err != nil {
 		log.Fatalf("query: %v", err)
 	}
-	hits := q.Run(loaded)
+	hits, err := q.Plan(query.NewStoreSource(stc)).Run()
+	if err != nil {
+		log.Fatalf("query run: %v", err)
+	}
 	if _, err := cache.Compile(`kind = send && rank = 2`); err != nil { // cache hit
 		log.Fatalf("recompile: %v", err)
 	}

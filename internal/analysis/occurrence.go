@@ -1,0 +1,40 @@
+package analysis
+
+// Occurrence resolution: "the k-th time rank R executed file:line" → an
+// EventID. This is the primitive behind re-execution breakpoints in
+// trace-driven debugging — the debugger replays to a specific dynamic
+// instance of a static location, not just the first. Over an indexed store
+// the answer comes straight from the sidecar's location posting lists
+// without decoding any records.
+
+import (
+	"tracedbg/internal/store"
+	"tracedbg/internal/trace"
+)
+
+// OccurrenceAt returns the EventID of the k-th (0-based) record of the
+// rank at file:line in a materialized trace. trace.ErrNotFound when the
+// location executed fewer than k+1 times on the rank.
+func OccurrenceAt(tr *trace.Trace, file string, line, rank, k int) (trace.EventID, error) {
+	if k < 0 || rank < 0 || rank >= tr.NumRanks() {
+		return trace.EventID{}, trace.ErrNotFound
+	}
+	seen := 0
+	for i, r := range tr.Rank(rank) {
+		if r.Loc.File != file || r.Loc.Line != line {
+			continue
+		}
+		if seen == k {
+			return trace.EventID{Rank: rank, Index: i}, nil
+		}
+		seen++
+	}
+	return trace.EventID{}, trace.ErrNotFound
+}
+
+// OccurrenceAtStore is OccurrenceAt over an opened store: answered from
+// the persistent index's posting lists when sidecars validated, by a
+// metric-counted scan otherwise.
+func OccurrenceAtStore(st *store.Store, file string, line, rank, k int) (trace.EventID, error) {
+	return st.Indexes().OccurrenceAt(file, line, rank, k)
+}

@@ -1,0 +1,84 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tracedbg/internal/analysis"
+	"tracedbg/internal/store"
+	"tracedbg/internal/trace"
+)
+
+// occTrace lays down a known occurrence pattern: rank 0 hits app.go:10 at
+// ordinals 0, 2, 4 and app.go:20 at ordinal 1; rank 1 hits app.go:10 once.
+func occTrace() *trace.Trace {
+	tr := trace.New(2)
+	add := func(rank, line int, start int64, marker uint64) {
+		tr.MustAppend(trace.Record{Kind: trace.KindCompute, Rank: rank, Marker: marker,
+			Loc:  trace.Location{File: "app.go", Line: line, Func: "f"},
+			Name: "step", Start: start, End: start + 1})
+	}
+	add(0, 10, 0, 1)
+	add(0, 20, 2, 2)
+	add(0, 10, 4, 3)
+	add(0, 10, 6, 4)
+	add(1, 10, 1, 1)
+	return tr
+}
+
+func TestOccurrenceAt(t *testing.T) {
+	tr := occTrace()
+	cases := []struct {
+		line, rank, k int
+		want          int // expected Index; -1 = ErrNotFound
+	}{
+		{10, 0, 0, 0},
+		{10, 0, 1, 2},
+		{10, 0, 2, 3},
+		{10, 0, 3, -1},
+		{20, 0, 0, 1},
+		{10, 1, 0, 0},
+		{10, 1, 1, -1},
+		{30, 0, 0, -1},
+		{10, 5, 0, -1},
+		{10, 0, -1, -1},
+	}
+	check := func(label string, got trace.EventID, err error, rank, want int) {
+		t.Helper()
+		if want < 0 {
+			if err != trace.ErrNotFound {
+				t.Fatalf("%s: err = %v, want ErrNotFound", label, err)
+			}
+			return
+		}
+		if err != nil || got != (trace.EventID{Rank: rank, Index: want}) {
+			t.Fatalf("%s: got %v, %v; want %d/%d", label, got, err, rank, want)
+		}
+	}
+	for _, c := range cases {
+		got, err := analysis.OccurrenceAt(tr, "app.go", c.line, c.rank, c.k)
+		check("trace", got, err, c.rank, c.want)
+	}
+
+	// Same answers through an indexed store (posting lists) and an
+	// unindexed one (scan fallback).
+	dir := t.TempDir()
+	indexed := filepath.Join(dir, "i.trace")
+	if err := trace.WriteFileAtomic(indexed, tr, trace.WriterOptions{BuildIndex: true}); err != nil {
+		t.Fatal(err)
+	}
+	plain := filepath.Join(dir, "p.trace")
+	if err := trace.WriteFileAtomic(plain, tr, trace.WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{indexed, plain} {
+		st, err := store.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cases {
+			got, err := analysis.OccurrenceAtStore(st, "app.go", c.line, c.rank, c.k)
+			check(filepath.Base(path), got, err, c.rank, c.want)
+		}
+	}
+}

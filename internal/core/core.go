@@ -18,6 +18,7 @@ import (
 	"tracedbg/internal/instr"
 	"tracedbg/internal/query"
 	"tracedbg/internal/replay"
+	"tracedbg/internal/store"
 	"tracedbg/internal/trace"
 	"tracedbg/internal/vis"
 )
@@ -35,6 +36,7 @@ type Debugger struct {
 
 	loaded      *trace.Trace      // externally opened history (SetTrace)
 	loadedGraph *graph.TraceGraph // trace graph rebuilt from it
+	loadedStore *store.Store      // the store behind loaded (SetStore), for planning
 
 	queries *query.Cache // compiled Find expressions, reused across repl loops
 }
@@ -67,7 +69,7 @@ func (d *Debugger) Record() error {
 	d.mu.Lock()
 	d.session = s
 	d.order = nil
-	d.loaded, d.loadedGraph = nil, nil
+	d.loaded, d.loadedGraph, d.loadedStore = nil, nil, nil
 	d.mu.Unlock()
 	return s.Finish()
 }
@@ -81,7 +83,7 @@ func (d *Debugger) Launch() (*debug.Session, error) {
 	d.mu.Lock()
 	d.session = s
 	d.order = nil
-	d.loaded, d.loadedGraph = nil, nil
+	d.loaded, d.loadedGraph, d.loadedStore = nil, nil, nil
 	d.mu.Unlock()
 	return s, nil
 }
@@ -97,7 +99,34 @@ func (d *Debugger) SetTrace(tr *trace.Trace) {
 	defer d.mu.Unlock()
 	d.loaded = tr
 	d.loadedGraph = g
+	d.loadedStore = nil
 	d.order, d.orderOf = nil, nil
+}
+
+// SetStore installs an opened store as the debugger's history. The
+// materialized trace backs analyses and displays exactly as with SetTrace,
+// but queries plan against the store itself: persistent indexes answer
+// bounded Finds without scanning, and results memoize against the store's
+// generation. The store must outlive its use here (do not Close an
+// OpenMmap store while installed).
+func (d *Debugger) SetStore(st *store.Store) error {
+	tr, err := st.Trace()
+	if err != nil {
+		return err
+	}
+	d.SetTrace(tr)
+	d.mu.Lock()
+	d.loadedStore = st
+	d.mu.Unlock()
+	return nil
+}
+
+// Store returns the store installed by SetStore, or nil when the history
+// came from a live run or a bare SetTrace.
+func (d *Debugger) Store() *store.Store {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.loadedStore
 }
 
 // Session returns the most recent session (nil before Record/Launch).
@@ -322,14 +351,57 @@ func (d *Debugger) Undo() (*debug.Session, error) {
 }
 
 // Find runs a query expression over the recorded history (for example
-// "kind = send && dst = 7 && bytes > 100"). Compiled expressions are cached,
-// so a repl loop re-issuing the same query only pays for the scan.
+// "kind = send && dst = 7 && bytes > 100"). Compiled expressions are
+// cached, so a repl loop re-issuing the same query only pays for
+// execution — and when the history came in through SetStore, execution
+// goes through the planner (persistent indexes seek instead of scanning)
+// and results memoize against the store's generation, so re-issuing a
+// query over unchanged files is free.
 func (d *Debugger) Find(expr string) ([]trace.EventID, error) {
 	q, err := d.queries.Compile(expr)
 	if err != nil {
 		return nil, err
 	}
-	return q.Run(d.Trace()), nil
+	d.mu.Lock()
+	st := d.loadedStore
+	d.mu.Unlock()
+	if st != nil {
+		return d.queries.EventsFor(expr, st.Generation(), func() ([]trace.EventID, error) {
+			return q.Plan(query.NewStoreSource(st)).Run()
+		})
+	}
+	return q.Plan(query.NewTraceSource(d.Trace())).Run()
+}
+
+// ExplainFind reports how Find would execute the expression — which ranks
+// prune, whether persistent indexes answer it, and where the scan falls
+// back — without running it.
+func (d *Debugger) ExplainFind(expr string) (string, error) {
+	q, err := d.queries.Compile(expr)
+	if err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	st := d.loadedStore
+	d.mu.Unlock()
+	if st != nil {
+		return q.Plan(query.NewStoreSource(st)).Explain(), nil
+	}
+	return q.Plan(query.NewTraceSource(d.Trace())).Explain(), nil
+}
+
+// Occurrence resolves the k-th (0-based) execution of file:line on a rank
+// to an EventID — the re-execution breakpoint primitive. Over a SetStore
+// history with validated sidecars the answer comes from the index's
+// location posting lists without decoding records.
+func (d *Debugger) Occurrence(file string, line, rank, k int) (trace.EventID, error) {
+	d.mu.Lock()
+	st := d.loadedStore
+	d.mu.Unlock()
+	if st != nil {
+		return analysis.OccurrenceAtStore(st, file, line, rank, k)
+	}
+	return analysis.OccurrenceAt(d.Trace(), file, line, rank, k)
 }
 
 // Deadlocks analyzes the recorded history for circular wait dependencies.

@@ -175,14 +175,24 @@ func (q *Query) runRank(tr *trace.Trace, rank int, out []trace.EventID) []trace.
 // RunParallel is Run with the per-rank scans fanned out across GOMAXPROCS
 // workers. The result is identical to Run: per-rank matches are produced
 // independently and concatenated in rank order.
+//
+// Deprecated: RunParallel is a shim over the planner — use
+// q.Plan(NewParallelTraceSource(tr)).Run(). It remains exported for one
+// release; new call sites are rejected by scripts/lint-queries.sh.
 func (q *Query) RunParallel(tr *trace.Trace) []trace.EventID {
+	return q.runTraceParallel(tr)
+}
+
+// runTraceParallel is the parallel materialized executor behind
+// NewParallelTraceSource plans and the RunParallel shim.
+func (q *Query) runTraceParallel(tr *trace.Trace) []trace.EventID {
 	n := tr.NumRanks()
 	nw := runtime.GOMAXPROCS(0)
 	if nw > n {
 		nw = n
 	}
 	if nw <= 1 {
-		return q.Run(tr)
+		return q.runTrace(tr)
 	}
 	metrics().queries.Inc()
 	perRank := make([][]trace.EventID, n)

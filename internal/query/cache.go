@@ -3,6 +3,8 @@ package query
 import (
 	"container/list"
 	"sync"
+
+	"tracedbg/internal/trace"
 )
 
 // DefaultCacheSize is the entry capacity of caches made by NewCache. A few
@@ -22,6 +24,14 @@ type Cache struct {
 	cap int // <= 0 means unbounded
 	m   map[string]*list.Element
 	lru *list.List // front = most recently used
+
+	// Result memoization, keyed by (expression, store generation). A
+	// separate LRU with the same capacity: results are only as immutable
+	// as the bytes they were computed from, so the generation — which
+	// changes whenever a store's files are rewritten — is part of the key
+	// and an empty generation disables caching entirely.
+	rm   map[string]*list.Element
+	rlru *list.List
 }
 
 type cacheEntry struct {
@@ -30,13 +40,19 @@ type cacheEntry struct {
 	err error
 }
 
+type resultEntry struct {
+	key string
+	ids []trace.EventID
+}
+
 // NewCache returns an empty query cache with DefaultCacheSize capacity.
 func NewCache() *Cache { return NewCacheSize(DefaultCacheSize) }
 
 // NewCacheSize returns an empty query cache holding at most n entries;
 // n <= 0 means unbounded.
 func NewCacheSize(n int) *Cache {
-	return &Cache{cap: n, m: make(map[string]*list.Element), lru: list.New()}
+	return &Cache{cap: n, m: make(map[string]*list.Element), lru: list.New(),
+		rm: make(map[string]*list.Element), rlru: list.New()}
 }
 
 // Compile returns the cached compilation of src, compiling on first use.
@@ -62,6 +78,48 @@ func (c *Cache) Compile(src string) (*Query, error) {
 		m.cacheEntries.Add(-1)
 	}
 	return q, err
+}
+
+// EventsFor memoizes a query execution by (expression, generation). gen
+// must identify the exact on-disk content the run reads — store.Generation
+// is the intended producer — so a trace rewritten at the same path (scrub,
+// repair, re-collection) can never serve results computed from the old
+// bytes: its generation differs and misses. An empty gen means the source
+// has no stable identity (in-memory image, live tail); the run executes
+// uncached. The returned slice is shared across hits — callers must not
+// mutate it.
+func (c *Cache) EventsFor(expr, gen string, run func() ([]trace.EventID, error)) ([]trace.EventID, error) {
+	m := metrics()
+	if gen == "" {
+		m.resultMisses.Inc()
+		return run()
+	}
+	key := expr + "\x00" + gen
+	c.mu.Lock()
+	if el, ok := c.rm[key]; ok {
+		c.rlru.MoveToFront(el)
+		ids := el.Value.(*resultEntry).ids
+		c.mu.Unlock()
+		m.resultHits.Inc()
+		return ids, nil
+	}
+	c.mu.Unlock()
+	m.resultMisses.Inc()
+	ids, err := run()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if _, ok := c.rm[key]; !ok {
+		c.rm[key] = c.rlru.PushFront(&resultEntry{key: key, ids: ids})
+		if c.cap > 0 && c.rlru.Len() > c.cap {
+			oldest := c.rlru.Back()
+			c.rlru.Remove(oldest)
+			delete(c.rm, oldest.Value.(*resultEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	return ids, nil
 }
 
 // Len returns the number of cached entries.

@@ -1,0 +1,458 @@
+package query_test
+
+// Differential suite for the query planner: across every input shape —
+// clean v3 (sequential and sharded/indexed), legacy v2, segmented
+// manifests, corrupted and truncated files, stale sidecars — the planner
+// with an index, the planner without one, and each legacy entry point must
+// produce identical EventID sets. This pins the legacy executors as the
+// reference semantics while they remain exported, and proves index seeks
+// never change results.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tracedbg/internal/obs"
+	"tracedbg/internal/query"
+	"tracedbg/internal/store"
+	"tracedbg/internal/trace"
+)
+
+// diffTrace builds a deterministic multi-rank history with markers,
+// locations, and message fields — the same shape the store suite uses.
+func diffTrace(rng *rand.Rand, ranks, msgs int) *trace.Trace {
+	files := []string{"ring.go", "lu.go", "main.go"}
+	funcs := []string{"main", "worker", "exchange"}
+	tr := trace.New(ranks)
+	clock := make([]int64, ranks)
+	marker := make([]uint64, ranks)
+	var msgID uint64
+	for i := 0; i < msgs; i++ {
+		src := rng.Intn(ranks)
+		dst := (src + 1 + rng.Intn(ranks-1)) % ranks
+		msgID++
+		loc := trace.Location{File: files[rng.Intn(len(files))], Line: 1 + rng.Intn(40),
+			Func: funcs[rng.Intn(len(funcs))]}
+		s := clock[src]
+		e := s + 1 + int64(rng.Intn(9))
+		clock[src] = e
+		marker[src]++
+		tr.MustAppend(trace.Record{Kind: trace.KindSend, Rank: src, Marker: marker[src],
+			Loc: loc, Name: "Send", Start: s, End: e, Src: src, Dst: dst,
+			Tag: rng.Intn(3), Bytes: 8 + rng.Intn(64), MsgID: msgID})
+		if clock[dst] < e {
+			clock[dst] = e
+		}
+		rs := clock[dst]
+		re := rs + 1 + int64(rng.Intn(9))
+		clock[dst] = re
+		marker[dst]++
+		tr.MustAppend(trace.Record{Kind: trace.KindRecv, Rank: dst, Marker: marker[dst],
+			Loc: loc, Name: "Recv", Start: rs, End: re, Src: src, Dst: dst,
+			Bytes: 8, MsgID: msgID, WasWildcard: rng.Intn(4) == 0})
+	}
+	return tr
+}
+
+// diffQueries is the fixed corpus: marker edges (index seeks), time edges,
+// rank pruning, compound predicates, string and flag predicates, and
+// shapes with no usable bounds at all.
+var diffQueries = []string{
+	"marker >= 50",
+	"marker > 100 && marker <= 200",
+	"marker = 75",
+	"start >= 500",
+	"start >= 200 && start < 900 && bytes > 20",
+	"rank = 1 && kind = send",
+	"rank <= 1 && marker >= 30 && dst = 0",
+	"kind = recv && wildcard",
+	"name =~ Recv || tag = 2",
+	"msgid > 40 && msgid < 60",
+	"start < 100",
+	"! (kind = send) && marker >= 10",
+	"rank = 99",
+	"bytes >= 8",
+}
+
+// randomQuery emits a seeded random expression over the numeric fields the
+// bounds analysis understands plus a few it does not.
+func randomQuery(rng *rand.Rand) string {
+	fields := []string{"marker", "start", "rank", "bytes", "tag", "msgid", "dst"}
+	ops := []string{"=", "!=", "<", "<=", ">", ">="}
+	terms := 1 + rng.Intn(3)
+	var sb bytes.Buffer
+	for i := 0; i < terms; i++ {
+		if i > 0 {
+			if rng.Intn(2) == 0 {
+				sb.WriteString(" && ")
+			} else {
+				sb.WriteString(" || ")
+			}
+		}
+		f := fields[rng.Intn(len(fields))]
+		var v int
+		switch f {
+		case "marker":
+			v = rng.Intn(400)
+		case "start":
+			v = rng.Intn(3000)
+		case "rank", "dst", "tag":
+			v = rng.Intn(5)
+		default:
+			v = rng.Intn(100)
+		}
+		fmt.Fprintf(&sb, "%s %s %d", f, ops[rng.Intn(len(ops))], v)
+	}
+	return sb.String()
+}
+
+// diffInput is one store shape under differential test.
+type diffInput struct {
+	name    string
+	path    string // opened fresh per strategy
+	indexed bool   // whether the planner is expected to use the index
+}
+
+// buildDiffInputs writes every input shape into dir.
+func buildDiffInputs(t *testing.T, dir string, tr *trace.Trace) []diffInput {
+	t.Helper()
+	var inputs []diffInput
+
+	seq := filepath.Join(dir, "seq.trace")
+	if err := trace.WriteFileAtomic(seq, tr, trace.WriterOptions{ChunkBytes: 1 << 10, BuildIndex: true}); err != nil {
+		t.Fatal(err)
+	}
+	inputs = append(inputs, diffInput{"v3-indexed", seq, true})
+
+	plain := filepath.Join(dir, "plain.trace")
+	if err := trace.WriteFileAtomic(plain, tr, trace.WriterOptions{ChunkBytes: 1 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	inputs = append(inputs, diffInput{"v3-unindexed", plain, false})
+
+	var sh bytes.Buffer
+	sw, err := trace.NewShardedWriterOptions(&sh, tr.NumRanks(), 1<<10,
+		trace.WriterOptions{BuildIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range tr.MergedOrder() {
+		if err := sw.Write(tr.MustAt(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sharded := filepath.Join(dir, "sharded.trace")
+	if err := os.WriteFile(sharded, sh.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteIndexFile(trace.IndexPath(sharded), sw.SealIndex()); err != nil {
+		t.Fatal(err)
+	}
+	inputs = append(inputs, diffInput{"v3-sharded-indexed", sharded, true})
+
+	v2 := filepath.Join(dir, "v2.trace")
+	if err := trace.WriteFileAtomic(v2, tr, trace.WriterOptions{LegacyV2: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Backfill: v2 files index through trepair -index's library path.
+	v2data, err := os.ReadFile(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2si, err := trace.BuildSegmentIndexBytes(v2data, trace.DefaultIndexStride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteIndexFile(trace.IndexPath(v2), v2si); err != nil {
+		t.Fatal(err)
+	}
+	inputs = append(inputs, diffInput{"v2-indexed", v2, true})
+
+	segDir := filepath.Join(dir, "segs")
+	if err := os.MkdirAll(segDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	gw, err := trace.NewSegmentedWriter(segDir, "run", tr.NumRanks(), 4<<10,
+		trace.WriterOptions{ChunkBytes: 1 << 10, BuildIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range tr.MergedOrder() {
+		if err := gw.Write(tr.MustAt(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	inputs = append(inputs, diffInput{"manifest-indexed", gw.ManifestPath(), true})
+
+	// Corrupted: flip a payload byte mid-file. The sidecar goes stale, the
+	// planner must fall back, and every strategy must agree on the
+	// salvaged record set.
+	cdata, err := os.ReadFile(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdata = append([]byte(nil), cdata...)
+	cdata[len(cdata)/2] ^= 0x20
+	corrupt := filepath.Join(dir, "corrupt.trace")
+	if err := os.WriteFile(corrupt, cdata, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sidecar, err := os.ReadFile(trace.IndexPath(seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(trace.IndexPath(corrupt), sidecar, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inputs = append(inputs, diffInput{"corrupt-stale-sidecar", corrupt, false})
+
+	// Truncated: drop the trailing 40% (and carry the now-stale sidecar).
+	tdata := cdata[:len(cdata)*3/5]
+	trunc := filepath.Join(dir, "trunc.trace")
+	if err := os.WriteFile(trunc, tdata, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(trace.IndexPath(trunc), sidecar, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inputs = append(inputs, diffInput{"truncated-stale-sidecar", trunc, false})
+
+	return inputs
+}
+
+// runAllStrategies executes one query against one input via every
+// execution path and fails on any divergence.
+func runAllStrategies(t *testing.T, in diffInput, src string) {
+	t.Helper()
+	q, err := query.Compile(src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	st, err := store.Open(in.path)
+	if err != nil {
+		t.Fatalf("%s: open: %v", in.name, err)
+	}
+	if got := st.Indexes().Available(); got != in.indexed {
+		t.Fatalf("%s: index available = %v, want %v (%s)", in.name, got, in.indexed,
+			st.Indexes().Reason())
+	}
+	tr, err := st.Trace()
+	if err != nil {
+		t.Fatalf("%s: trace: %v", in.name, err)
+	}
+
+	ref := q.Run(tr) // the materialized legacy scan is the reference
+
+	results := map[string][]trace.EventID{
+		"RunParallel": q.RunParallel(tr),
+	}
+	if ids, err := q.RunStream(st.NumRanks(), st.Records); err != nil {
+		t.Fatalf("%s: RunStream: %v", in.name, err)
+	} else {
+		results["RunStream"] = ids
+	}
+	if ids, err := q.RunStreamAll(st.NumRanks(), st.All); err != nil {
+		t.Fatalf("%s: RunStreamAll: %v", in.name, err)
+	} else {
+		results["RunStreamAll"] = ids
+	}
+	if ids, err := q.Plan(query.NewStoreSource(st)).Run(); err != nil {
+		t.Fatalf("%s: Plan(store): %v", in.name, err)
+	} else {
+		results["Plan(store)"] = ids
+	}
+	if ids, err := q.Plan(query.NewTraceSource(tr)).Run(); err != nil {
+		t.Fatalf("%s: Plan(trace): %v", in.name, err)
+	} else {
+		results["Plan(trace)"] = ids
+	}
+	if ids, err := q.Plan(query.NewCursorSource(st.NumRanks(), st.Records)).Run(); err != nil {
+		t.Fatalf("%s: Plan(cursors): %v", in.name, err)
+	} else {
+		results["Plan(cursors)"] = ids
+	}
+	if ids, err := q.Plan(query.NewAllSource(st.NumRanks(), st.All)).Run(); err != nil {
+		t.Fatalf("%s: Plan(all): %v", in.name, err)
+	} else {
+		results["Plan(all)"] = ids
+	}
+	for label, ids := range results {
+		if len(ids) == 0 && len(ref) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(ids, ref) {
+			t.Fatalf("%s: %q via %s returned %d ids, reference %d\n got %v\nwant %v",
+				in.name, src, label, len(ids), len(ref), ids, ref)
+		}
+	}
+}
+
+// TestPlannerDifferential is the parity pin across inputs × strategies ×
+// the fixed corpus.
+func TestPlannerDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := diffTrace(rng, 4, 500)
+	dir := t.TempDir()
+	for _, in := range buildDiffInputs(t, dir, tr) {
+		in := in
+		t.Run(in.name, func(t *testing.T) {
+			for _, src := range diffQueries {
+				runAllStrategies(t, in, src)
+			}
+		})
+	}
+}
+
+// TestPlannerDifferentialRandom sweeps seeded random queries over the two
+// richest shapes: the indexed manifest and the indexed sharded file.
+func TestPlannerDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := diffTrace(rng, 4, 400)
+	dir := t.TempDir()
+	inputs := buildDiffInputs(t, dir, tr)
+	qrng := rand.New(rand.NewSource(13))
+	for i := 0; i < 40; i++ {
+		src := randomQuery(qrng)
+		for _, in := range inputs {
+			if in.name != "manifest-indexed" && in.name != "v3-sharded-indexed" {
+				continue
+			}
+			runAllStrategies(t, in, src)
+		}
+	}
+}
+
+// TestPlannerColdZeroScan is the acceptance pin: a bounded query on a
+// fresh, indexed store must decode zero records through the scan-path
+// cursors — the index answers it outright.
+func TestPlannerColdZeroScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tr := diffTrace(rng, 4, 500)
+	dir := t.TempDir()
+	inputs := buildDiffInputs(t, dir, tr)
+
+	reg := obs.NewRegistry()
+	store.SetObsRegistry(reg)
+	query.SetObsRegistry(reg)
+	defer store.SetObsRegistry(obs.Default())
+	defer query.SetObsRegistry(obs.Default())
+
+	q, err := query.Compile("marker >= 180 && kind = send")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, in := range inputs {
+		if !in.indexed {
+			continue
+		}
+		st, err := store.Open(in.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, err := q.Plan(query.NewStoreSource(st)).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(ids)
+	}
+	if total == 0 {
+		t.Fatal("bounded query matched nothing; corpus too weak")
+	}
+	snap := map[string]float64{}
+	for _, m := range reg.Snapshot().Metrics {
+		snap[m.Name] = m.Value
+	}
+	if v := snap["tracedbg_store_cursor_records_total"]; v != 0 {
+		t.Fatalf("indexed plans decoded %v records via scan cursors, want 0", v)
+	}
+	if v := snap["tracedbg_query_plan_indexed_ranks_total"]; v == 0 {
+		t.Fatal("no ranks were answered by index seeks")
+	}
+	if v := snap["tracedbg_query_plan_scans_total"]; v != 0 {
+		t.Fatalf("plan fell back to full scan %v times, want 0", v)
+	}
+}
+
+// TestPlanExplain pins the -explain surface: strategy lines reflect the
+// store's negotiated capability and the chosen seek edge.
+func TestPlanExplain(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	tr := diffTrace(rng, 3, 100)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "e.trace")
+	if err := trace.WriteFileAtomic(path, tr, trace.WriterOptions{BuildIndex: true}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.Compile("marker >= 40 && rank = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := q.Plan(query.NewStoreSource(st)).Explain()
+	for _, want := range []string{"strategy: index", "seek marker>=40", "2 pruned"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("Explain missing %q:\n%s", want, out)
+		}
+	}
+
+	plain := filepath.Join(dir, "p.trace")
+	if err := trace.WriteFileAtomic(plain, tr, trace.WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = q.Plan(query.NewStoreSource(st2)).Explain()
+	if !bytes.Contains([]byte(out), []byte("full scan")) {
+		t.Fatalf("unindexed Explain missing full-scan strategy:\n%s", out)
+	}
+
+	out = q.Plan(query.NewTraceSource(tr)).Explain()
+	if !bytes.Contains([]byte(out), []byte("pruned scan")) {
+		t.Fatalf("trace Explain missing pruned-scan strategy:\n%s", out)
+	}
+}
+
+// TestCacheEventsFor pins result memoization: hits only on identical
+// (expression, generation), never across a rewrite, never for empty
+// generations.
+func TestCacheEventsFor(t *testing.T) {
+	c := query.NewCache()
+	calls := 0
+	run := func() ([]trace.EventID, error) {
+		calls++
+		return []trace.EventID{{Rank: 1, Index: calls}}, nil
+	}
+	a, _ := c.EventsFor("x = 1", "gen1", run)
+	b, _ := c.EventsFor("x = 1", "gen1", run)
+	if calls != 1 || !reflect.DeepEqual(a, b) {
+		t.Fatalf("same generation re-ran: calls=%d a=%v b=%v", calls, a, b)
+	}
+	if _, err := c.EventsFor("x = 1", "gen2", run); err != nil || calls != 2 {
+		t.Fatalf("generation change did not re-run: calls=%d err=%v", calls, err)
+	}
+	if _, err := c.EventsFor("x = 2", "gen2", run); err != nil || calls != 3 {
+		t.Fatalf("expression change did not re-run: calls=%d err=%v", calls, err)
+	}
+	c.EventsFor("x = 2", "", run)
+	c.EventsFor("x = 2", "", run)
+	if calls != 5 {
+		t.Fatalf("empty generation was cached: calls=%d", calls)
+	}
+}

@@ -18,10 +18,17 @@ type queryMetrics struct {
 	recsSkipped *obs.Counter
 	matches     *obs.Counter
 
+	plans            *obs.Counter
+	planIndexedRanks *obs.Counter
+	planScans        *obs.Counter
+
 	cacheHits      *obs.Counter
 	cacheMisses    *obs.Counter
 	cacheEvictions *obs.Counter
 	cacheEntries   *obs.Gauge
+
+	resultHits   *obs.Counter
+	resultMisses *obs.Counter
 }
 
 func newQueryMetrics(r *obs.Registry) *queryMetrics {
@@ -38,6 +45,12 @@ func newQueryMetrics(r *obs.Registry) *queryMetrics {
 			"records excluded by binary-searched index windows without evaluation"),
 		matches: r.Counter("tracedbg_query_matches_total",
 			"records that satisfied a query"),
+		plans: r.Counter("tracedbg_query_plans_total",
+			"query plans executed (all sources and strategies)"),
+		planIndexedRanks: r.Counter("tracedbg_query_plan_indexed_ranks_total",
+			"per-rank executions answered by persistent-index seeks"),
+		planScans: r.Counter("tracedbg_query_plan_scans_total",
+			"store plans that fell back to the full-scan stream"),
 		cacheHits: r.Counter("tracedbg_query_cache_hits_total",
 			"compilations served from the query cache"),
 		cacheMisses: r.Counter("tracedbg_query_cache_misses_total",
@@ -46,6 +59,10 @@ func newQueryMetrics(r *obs.Registry) *queryMetrics {
 			"entries evicted from the query cache at capacity"),
 		cacheEntries: r.Gauge("tracedbg_query_cache_entries",
 			"entries currently held by query caches"),
+		resultHits: r.Counter("tracedbg_query_result_cache_hits_total",
+			"query executions served from the result cache"),
+		resultMisses: r.Counter("tracedbg_query_result_cache_misses_total",
+			"query executions the result cache had to run"),
 	}
 }
 

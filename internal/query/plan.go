@@ -1,0 +1,316 @@
+package query
+
+// The query planner. A compiled query plus a Source — a materialized
+// trace, streaming cursors, or a store with negotiated capabilities —
+// yields a Plan that picks the cheapest sound execution per rank:
+//
+//   - index seek: the store has validated sidecars and the query's bounds
+//     give a lower marker/time edge, so the cursor starts mid-file and
+//     decodes only the candidate window (sharded files: only that rank's
+//     chunks).
+//   - pruned scan: no usable seek edge, but bounds still skip whole ranks
+//     and retire a rank once its window is passed.
+//   - full scan: no index (missing, stale, live store) — the exact
+//     single-pass semantics queries always had.
+//
+// Every strategy filters survivors through the full predicate, so results
+// are bit-identical across strategies; the differential suite pins that.
+// The legacy entry points (Run, RunParallel, RunStream, RunStreamAll) are
+// shims over Plan and scheduled for unexport.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"tracedbg/internal/store"
+	"tracedbg/internal/trace"
+)
+
+// Source is a sealed description of where a plan reads records from. Build
+// one with NewTraceSource, NewParallelTraceSource, NewStoreSource,
+// NewCursorSource, or NewAllSource.
+type Source interface{ source() }
+
+type traceSource struct {
+	tr       *trace.Trace
+	parallel bool
+}
+
+type storeSource struct{ st *store.Store }
+
+type cursorSource struct {
+	numRanks int
+	open     func(int) (trace.RecordCursor, error)
+}
+
+type allSource struct {
+	numRanks int
+	open     func() (trace.RecordCursor, error)
+}
+
+func (*traceSource) source()  {}
+func (*storeSource) source()  {}
+func (*cursorSource) source() {}
+func (*allSource) source()    {}
+
+// NewTraceSource plans over a materialized trace: per-rank slices with
+// binary-searched bounds windows.
+func NewTraceSource(tr *trace.Trace) Source { return &traceSource{tr: tr} }
+
+// NewParallelTraceSource is NewTraceSource with the per-rank scans fanned
+// out across GOMAXPROCS workers. Results are identical.
+func NewParallelTraceSource(tr *trace.Trace) Source {
+	return &traceSource{tr: tr, parallel: true}
+}
+
+// NewStoreSource plans over an opened store, using its persistent indexes
+// when available and degrading to the full-scan stream otherwise.
+func NewStoreSource(st *store.Store) Source { return &storeSource{st: st} }
+
+// NewCursorSource plans over per-rank streaming cursors; open is called
+// once per surviving rank (store.Records is directly assignable).
+func NewCursorSource(numRanks int, open func(int) (trace.RecordCursor, error)) Source {
+	return &cursorSource{numRanks: numRanks, open: open}
+}
+
+// NewAllSource plans over one all-ranks cursor opened at most once
+// (store.All is directly assignable).
+func NewAllSource(numRanks int, open func() (trace.RecordCursor, error)) Source {
+	return &allSource{numRanks: numRanks, open: open}
+}
+
+// Plan binds the query to a source. Construction is cheap and does not
+// read data; strategy selection happens per rank when the plan runs (and
+// is previewed by Explain).
+func (q *Query) Plan(src Source) *Plan { return &Plan{q: q, src: src} }
+
+// Plan is one executable binding of a query to a source.
+type Plan struct {
+	q   *Query
+	src Source
+}
+
+// Run executes the plan and returns the matching events in (rank, index)
+// order — identical to filtering every record through Match, whatever
+// strategy ran.
+func (p *Plan) Run() ([]trace.EventID, error) {
+	metrics().plans.Inc()
+	switch s := p.src.(type) {
+	case *traceSource:
+		if s.parallel {
+			return p.q.runTraceParallel(s.tr), nil
+		}
+		return p.q.runTrace(s.tr), nil
+	case *storeSource:
+		return p.runStore(s.st)
+	case *cursorSource:
+		return p.q.runCursors(s.numRanks, s.open)
+	case *allSource:
+		return p.q.runStreamAll(s.numRanks, s.open)
+	}
+	return nil, fmt.Errorf("query: unknown plan source %T", p.src)
+}
+
+// seekEdge describes the one indexed seek a query's bounds justify for a
+// rank: the tightest sound lower edge, or a plain rank seek when the
+// bounds give none.
+type seekEdge struct {
+	kind   string // "marker", "time", or "rank"
+	marker uint64
+	time   int64
+}
+
+// seekEdgeFor derives the seek from the bounds. Marker edges win over time
+// edges when both exist (either is sound; marker checkpoints are exact on
+// the same axis FindMarker uses). A marker edge must be positive: the seek
+// contract is "every skipped record has Marker < from" on the uint64 axis,
+// which matches the int64 bounds comparison only for positive edges.
+func (q *Query) seekEdgeFor() seekEdge {
+	b := q.b
+	if !b.marker.full() && b.marker.lo > 0 {
+		return seekEdge{kind: "marker", marker: uint64(b.marker.lo)}
+	}
+	if !b.start.full() && b.start.lo > math.MinInt64 {
+		return seekEdge{kind: "time", time: b.start.lo}
+	}
+	return seekEdge{kind: "rank"}
+}
+
+func (e seekEdge) String() string {
+	switch e.kind {
+	case "marker":
+		return fmt.Sprintf("seek marker>=%d", e.marker)
+	case "time":
+		return fmt.Sprintf("seek start>=%d", e.time)
+	}
+	return "seek rank head"
+}
+
+// runStore executes against a store: per-rank index seeks when sidecars
+// validated, the exact single-pass full-scan semantics otherwise.
+func (p *Plan) runStore(st *store.Store) ([]trace.EventID, error) {
+	ix := st.Indexes()
+	if !ix.Available() {
+		metrics().planScans.Inc()
+		return p.q.runStreamAll(st.NumRanks(), st.All)
+	}
+	q := p.q
+	m := metrics()
+	m.queries.Inc()
+	b := q.b
+	edge := q.seekEdgeFor()
+	var out []trace.EventID
+	for rank := 0; rank < st.NumRanks(); rank++ {
+		if int64(rank) < b.rank.lo || int64(rank) > b.rank.hi {
+			m.ranksPruned.Inc()
+			continue
+		}
+		m.ranksScan.Inc()
+		m.planIndexedRanks.Inc()
+		var (
+			c   store.OrdCursor
+			err error
+		)
+		switch edge.kind {
+		case "marker":
+			c, err = ix.SeekMarker(rank, edge.marker)
+		case "time":
+			c, err = ix.SeekTime(rank, edge.time)
+		default:
+			c, err = ix.SeekRank(rank)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out, err = q.runOrdCursor(rank, c, out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runOrdCursor is runRankStream over an ordinal-carrying cursor: the same
+// skip-below / retire-past window logic, with event indexes taken from the
+// cursor (which may have started mid-file) instead of counted from zero.
+func (q *Query) runOrdCursor(rank int, c store.OrdCursor, out []trace.EventID) ([]trace.EventID, error) {
+	defer c.Close()
+	b := q.b
+	m := metrics()
+	var evaluated, skipped, matched uint64
+	for {
+		rec, i, err := c.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if (!b.start.full() && rec.Start > b.start.hi) ||
+			(!b.marker.full() && int64(rec.Marker) > b.marker.hi) {
+			break
+		}
+		if (!b.start.full() && rec.Start < b.start.lo) ||
+			(!b.marker.full() && int64(rec.Marker) < b.marker.lo) {
+			skipped++
+			continue
+		}
+		evaluated++
+		if q.expr.eval(rec) {
+			out = append(out, trace.EventID{Rank: rank, Index: i})
+			matched++
+		}
+	}
+	if evaluated > 0 {
+		m.recsEval.Add(evaluated)
+	}
+	m.recsSkipped.Add(skipped)
+	m.matches.Add(matched)
+	return out, nil
+}
+
+// Explain renders the plan's decisions without executing it: the source
+// shape, the strategy each class of rank gets, and the bounds driving the
+// pruning. The store case reflects the store's actual negotiated
+// capability (it triggers sidecar discovery if that has not run yet).
+func (p *Plan) Explain() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "query: %s\n", p.q.src)
+	b := p.q.b
+	var bs []string
+	if !b.rank.full() {
+		bs = append(bs, spanString("rank", b.rank))
+	}
+	if !b.start.full() {
+		bs = append(bs, spanString("start", b.start))
+	}
+	if !b.marker.full() {
+		bs = append(bs, spanString("marker", b.marker))
+	}
+	if len(bs) > 0 {
+		fmt.Fprintf(&sb, "bounds: %s\n", strings.Join(bs, " "))
+	}
+	switch s := p.src.(type) {
+	case *traceSource:
+		if s.parallel {
+			sb.WriteString("source: materialized trace\nstrategy: pruned scan (parallel)\n")
+		} else {
+			sb.WriteString("source: materialized trace\nstrategy: pruned scan\n")
+		}
+		p.explainRanks(&sb, s.tr.NumRanks(), "binary-searched window")
+	case *cursorSource:
+		sb.WriteString("source: per-rank cursors\nstrategy: pruned stream\n")
+		p.explainRanks(&sb, s.numRanks, "stream window")
+	case *allSource:
+		sb.WriteString("source: all-ranks cursor\nstrategy: single-pass pruned stream\n")
+		p.explainRanks(&sb, s.numRanks, "stream window")
+	case *storeSource:
+		ix := s.st.Indexes()
+		if !ix.Available() {
+			fmt.Fprintf(&sb, "source: store %s\nstrategy: full scan (%s)\n",
+				s.st.Info().Path, ix.Reason())
+			p.explainRanks(&sb, s.st.NumRanks(), "stream window")
+			break
+		}
+		fmt.Fprintf(&sb, "source: store %s (indexed)\nstrategy: index\n", s.st.Info().Path)
+		p.explainRanks(&sb, s.st.NumRanks(), p.q.seekEdgeFor().String())
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// explainRanks summarizes the per-rank fate under the current bounds.
+func (p *Plan) explainRanks(sb *strings.Builder, numRanks int, scanned string) {
+	b := p.q.b
+	pruned := 0
+	for rank := 0; rank < numRanks; rank++ {
+		if int64(rank) < b.rank.lo || int64(rank) > b.rank.hi {
+			pruned++
+		}
+	}
+	fmt.Fprintf(sb, "ranks: %d total, %d pruned, %d %s\n",
+		numRanks, pruned, numRanks-pruned, scanned)
+}
+
+func spanString(name string, s span) string {
+	lo, hi := "-inf", "+inf"
+	if s.lo != math.MinInt64 {
+		lo = fmt.Sprint(s.lo)
+	}
+	if s.hi != math.MaxInt64 {
+		hi = fmt.Sprint(s.hi)
+	}
+	return fmt.Sprintf("%s=[%s,%s]", name, lo, hi)
+}
+
+// runTrace is the materialized executor: per-rank record slices with
+// binary-searched bounds windows (the body Run always had).
+func (q *Query) runTrace(tr *trace.Trace) []trace.EventID {
+	metrics().queries.Inc()
+	var out []trace.EventID
+	for rank := 0; rank < tr.NumRanks(); rank++ {
+		out = q.runRank(tr, rank, out)
+	}
+	return out
+}

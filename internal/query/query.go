@@ -55,13 +55,12 @@ func (q *Query) Match(rec *trace.Record) bool { return q.expr.eval(rec) }
 // Run returns the matching events of a trace in (rank, index) order. Ranks
 // and index windows excluded by the query's bounds are skipped entirely; the
 // result is identical to filtering every record through Match.
+//
+// Deprecated: Run is a shim over the planner — use
+// q.Plan(NewTraceSource(tr)).Run(). It remains exported for one release;
+// new call sites are rejected by scripts/lint-queries.sh.
 func (q *Query) Run(tr *trace.Trace) []trace.EventID {
-	metrics().queries.Inc()
-	var out []trace.EventID
-	for rank := 0; rank < tr.NumRanks(); rank++ {
-		out = q.runRank(tr, rank, out)
-	}
-	return out
+	return q.runTrace(tr)
 }
 
 // --- lexer ---------------------------------------------------------------

@@ -18,7 +18,16 @@ import (
 // monotonicity), but there is no binary search — skipped records are still
 // read from the stream. The records-skipped metric therefore counts only
 // records the stream actually saw.
+// Deprecated: RunStream is a shim over the planner — use
+// q.Plan(NewCursorSource(numRanks, open)).Run(). It remains exported for
+// one release; new call sites are rejected by scripts/lint-queries.sh.
 func (q *Query) RunStream(numRanks int, open func(int) (trace.RecordCursor, error)) ([]trace.EventID, error) {
+	return q.runCursors(numRanks, open)
+}
+
+// runCursors is the per-rank streaming executor behind NewCursorSource
+// plans and the RunStream shim.
+func (q *Query) runCursors(numRanks int, open func(int) (trace.RecordCursor, error)) ([]trace.EventID, error) {
 	m := metrics()
 	m.queries.Inc()
 	var out []trace.EventID
@@ -44,7 +53,16 @@ func (q *Query) RunStream(numRanks int, open func(int) (trace.RecordCursor, erro
 // The scan ends early once every rank is pruned or retired. Memory is
 // O(matches + numRanks) on top of the cursor's own footprint, which is what
 // lets a query over an mmap-backed store run without materializing anything.
+// Deprecated: RunStreamAll is a shim over the planner — use
+// q.Plan(NewAllSource(numRanks, open)).Run(). It remains exported for one
+// release; new call sites are rejected by scripts/lint-queries.sh.
 func (q *Query) RunStreamAll(numRanks int, open func() (trace.RecordCursor, error)) ([]trace.EventID, error) {
+	return q.runStreamAll(numRanks, open)
+}
+
+// runStreamAll is the single-pass streaming executor behind NewAllSource
+// plans, store full-scan fallbacks, and the RunStreamAll shim.
+func (q *Query) runStreamAll(numRanks int, open func() (trace.RecordCursor, error)) ([]trace.EventID, error) {
 	m := metrics()
 	m.queries.Inc()
 	b := q.b

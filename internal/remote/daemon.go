@@ -200,6 +200,12 @@ type SessionStatus struct {
 	Bytes     int64
 	Recovered bool
 	Connected bool
+
+	// Persistent-index progress of the session's segment store: sealed
+	// segments whose sidecar is on disk, and segments still owing one (the
+	// segment being written, plus any whose sidecar write failed).
+	SegsIndexed int
+	SegsPending int
 }
 
 // retiredRetention caps how many finalized sessions the daemon remembers —
@@ -660,8 +666,12 @@ func (d *Daemon) openSessionLocked(sessionID, clientID string, numRanks int) (*s
 	}); err != nil {
 		return nil, err
 	}
+	// BuildIndex: every sealed segment gets its sidecar at ingest, so the
+	// session's manifest opens index-capable the moment it finalizes — no
+	// backfill pass over collector output.
 	gw, err := trace.NewSequentialSegmentedWriter(dir, sessionBase, numRanks, d.opts.SegmentBytes,
-		trace.WriterOptions{Writer: "tcollect-daemon/" + sessionID, Sync: d.opts.Sync, FS: d.opts.FS})
+		trace.WriterOptions{Writer: "tcollect-daemon/" + sessionID, Sync: d.opts.Sync, FS: d.opts.FS,
+			BuildIndex: true})
 	if err != nil {
 		return nil, err
 	}
@@ -1061,11 +1071,12 @@ func (d *Daemon) finalizeSession(s *session, incompleteReason string) {
 	if s.killReason != "" {
 		reject = s.killReason
 	}
+	ixDone, ixPend := s.gw.IndexStatus()
 	d.retireLocked(s.id, &retiredSession{
 		status: &SessionStatus{
 			ID: s.id, ClientID: s.clientID, State: sessDone.String(),
 			Accepted: s.accepted, Durable: s.durable, Bytes: s.lastBytes,
-			Recovered: s.recovered,
+			Recovered: s.recovered, SegsIndexed: ixDone, SegsPending: ixPend,
 		},
 		reject: reject,
 	})
@@ -1159,10 +1170,12 @@ func (d *Daemon) Sessions() []SessionStatus {
 	defer d.mu.Unlock()
 	out := make([]SessionStatus, 0, len(d.sessions)+len(d.retired))
 	for _, s := range d.sessions {
+		ixDone, ixPend := s.gw.IndexStatus()
 		out = append(out, SessionStatus{
 			ID: s.id, ClientID: s.clientID, State: s.state.String(),
 			Accepted: s.accepted, Durable: s.durable, Bytes: s.lastBytes,
 			Recovered: s.recovered, Connected: s.conn != nil,
+			SegsIndexed: ixDone, SegsPending: ixPend,
 		})
 	}
 	for _, r := range d.retired {
@@ -1427,7 +1440,8 @@ func (d *Daemon) salvageSession(dir string, meta *sessionMeta) (*session, error)
 		segs = append(segs, info)
 	}
 	gw, err := trace.ResumeSegmentedWriter(dir, sessionBase, meta.NumRanks, d.opts.SegmentBytes, segs,
-		trace.WriterOptions{Writer: "tcollect-daemon/" + meta.SessionID, Sync: d.opts.Sync, FS: d.opts.FS})
+		trace.WriterOptions{Writer: "tcollect-daemon/" + meta.SessionID, Sync: d.opts.Sync, FS: d.opts.FS,
+			BuildIndex: true})
 	if err != nil {
 		return nil, err
 	}
@@ -1483,6 +1497,7 @@ func (d *Daemon) salvageSegment(path string, data []byte, numRanks int) (trace.S
 		// Fully clean: keep the original bytes untouched.
 		info.Bytes = int64(len(data))
 		info.Records = t.Len()
+		d.ensureSidecar(path, data)
 		return info, nil
 	}
 	n, werr := rewriteSegment(d.fs, path, t)
@@ -1495,7 +1510,34 @@ func (d *Daemon) salvageSegment(path string, data []byte, numRanks int) (trace.S
 	}
 	info.Bytes = fi.Size()
 	info.Records = n
+	if rewritten, rerr := d.fs.ReadFile(path); rerr == nil {
+		d.ensureSidecar(path, rewritten)
+	}
 	return info, nil
+}
+
+// ensureSidecar backfills the segment's index sidecar during recovery: the
+// crash interrupted the ingest-time build (the in-progress segment never
+// got one, and a salvage rewrite invalidates whatever was there). Validated
+// existing sidecars are kept; otherwise one is rebuilt from the segment's
+// final bytes. Best-effort — on failure any stale sidecar is removed so the
+// store falls back to scanning instead of distrusting the whole manifest.
+func (d *Daemon) ensureSidecar(path string, data []byte) {
+	ip := trace.IndexPath(path)
+	if si, err := trace.ReadIndexFileFS(d.fs, ip); err == nil && si.Validate(data) == nil {
+		return
+	}
+	si, err := trace.BuildSegmentIndexBytes(data, trace.DefaultIndexStride)
+	if err == nil {
+		err = trace.WriteIndexFileFS(d.fs, ip, si)
+	}
+	if err != nil {
+		d.fs.Remove(ip) //nolint:ioerr // scan fallback beats a stale sidecar
+		if l := obs.Events(); l.Enabled(obs.LevelWarn) {
+			l.Log(obs.LevelWarn, "daemon.sidecar_rebuild_failed",
+				obs.F("segment", filepath.Base(path)), obs.F("err", err.Error()))
+		}
+	}
 }
 
 // rewriteSegment atomically replaces a segment file with the salvaged

@@ -39,12 +39,17 @@ func sessionClient(session string) ClientOptions {
 	return o
 }
 
-// openSession loads one finalized session store and returns its trace.
+// openSession loads one finalized session store and returns its trace. The
+// daemon builds index sidecars at ingest, so every finalized session must
+// open index-capable — asserted here so each round-trip test covers it.
 func openSession(t *testing.T, d *Daemon, session string) *trace.Trace {
 	t.Helper()
 	st, err := store.Open(d.SessionManifest(session))
 	if err != nil {
 		t.Fatalf("store.Open(%s): %v", session, err)
+	}
+	if ix := st.Indexes(); !ix.Available() {
+		t.Errorf("session %s store not indexed: %s", session, ix.Reason())
 	}
 	tr, err := st.Trace()
 	if err != nil {

@@ -82,6 +82,10 @@ type SessionEntry struct {
 	Bytes     int64  `json:"bytes"`
 	Recovered bool   `json:"recovered,omitempty"`
 	Connected bool   `json:"connected"`
+
+	// Persistent-index progress of the session's segment store.
+	SegsIndexed int `json:"segs_indexed"`
+	SegsPending int `json:"segs_pending"`
 }
 
 // SessionsOverview is the GET /sessions response body.
@@ -139,6 +143,7 @@ func (d *Daemon) serveSessions(w http.ResponseWriter) {
 			ID: s.ID, ClientID: s.ClientID, State: s.State,
 			Accepted: s.Accepted, Durable: s.Durable, Queued: s.Accepted - s.Durable,
 			Bytes: s.Bytes, Recovered: s.Recovered, Connected: s.Connected,
+			SegsIndexed: s.SegsIndexed, SegsPending: s.SegsPending,
 		})
 	}
 	if ov.Sessions == nil {

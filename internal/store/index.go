@@ -1,0 +1,471 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tracedbg/internal/trace"
+)
+
+// This file is the store half of the persistent-index subsystem: sidecar
+// discovery and validation at Open-negotiation time, and the typed seek
+// capabilities the query planner builds on. Sidecars are pure cache — a
+// missing, stale, or corrupt one silently demotes the store to its scan
+// paths, never to an error (see DESIGN.md §17).
+
+// indexedSeg pairs one validated sidecar with the data image it describes.
+// The image is retained so indexed cursors can serve byte ranges without
+// reopening the file; for mmap stores it aliases the shared mapping.
+type indexedSeg struct {
+	si   *trace.SegmentIndex
+	data []byte
+}
+
+// indexSet is the manifest-level view over every segment's sidecar: the
+// per-segment indexes plus the cumulative per-rank record bases that turn
+// segment-local ordinals into store-wide EventID indexes.
+type indexSet struct {
+	segs  []indexedSeg
+	bases [][]int // bases[seg][rank] = rank's records in earlier segments
+	total []int   // per-rank record counts across all segments
+}
+
+func newIndexSet(segs []indexedSeg, numRanks int) *indexSet {
+	ix := &indexSet{segs: segs}
+	ix.bases = make([][]int, len(segs))
+	running := make([]int, numRanks)
+	for i, seg := range segs {
+		ix.bases[i] = append([]int(nil), running...)
+		for r := 0; r < numRanks; r++ {
+			running[r] += seg.si.RecordCount(r)
+		}
+	}
+	ix.total = running
+	return ix
+}
+
+// Indexes negotiates and returns the store's persistent-index capability.
+// The returned value is never nil; Available reports whether sidecars were
+// found and validated. Discovery runs once per store and is cached, so the
+// first call pays the sidecar read + one hardware-CRC pass over the data
+// and later calls are free.
+func (s *Store) Indexes() *Indexes {
+	gen := s.Generation()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ixLoaded || s.ixGen != gen {
+		// First negotiation, or the files changed underneath (scrub,
+		// repair, rotation): re-discover so a rewrite can never serve
+		// records from a retained pre-rewrite image.
+		s.ix, s.ixReason = s.loadIndexes()
+		s.ixLoaded = true
+		s.ixGen = gen
+	}
+	return &Indexes{s: s, ix: s.ix, reason: s.ixReason}
+}
+
+// loadIndexes discovers and validates sidecars for every data file of the
+// store. It runs under s.mu. All-or-nothing across segments: a manifest
+// store with one bad sidecar is unindexed, because the chain cursor skips
+// unreadable segments and a partial index would desync ordinals.
+func (s *Store) loadIndexes() (*indexSet, string) {
+	m := metrics()
+	if s.opts.Mode == ModeLive {
+		return nil, "live store: the trace may still be growing"
+	}
+	if s.manifest != nil {
+		paths := s.SegmentPaths()
+		segs := make([]indexedSeg, 0, len(paths))
+		for _, p := range paths {
+			seg, reason := s.loadSegIndex(p, nil)
+			if seg.si == nil {
+				return nil, fmt.Sprintf("segment %s: %s", filepath.Base(p), reason)
+			}
+			segs = append(segs, seg)
+		}
+		m.indexSidecars.Add(uint64(len(segs)))
+		return newIndexSet(segs, s.info.NumRanks), ""
+	}
+	if s.info.Path == "" {
+		return nil, "in-memory store: no sidecar path"
+	}
+	seg, reason := s.loadSegIndex(s.info.Path, s.data)
+	if seg.si == nil {
+		return nil, reason
+	}
+	m.indexSidecars.Inc()
+	return newIndexSet([]indexedSeg{seg}, s.info.NumRanks), ""
+}
+
+// loadSegIndex reads and validates one sidecar. data is the already-held
+// image of the segment (mmap or bytes stores) or nil to read it from disk.
+// On failure the returned seg has a nil si and reason says why.
+func (s *Store) loadSegIndex(path string, data []byte) (indexedSeg, string) {
+	m := metrics()
+	fsys := s.fs()
+	si, err := trace.ReadIndexFileFS(fsys, trace.IndexPath(path))
+	if err != nil {
+		if os.IsNotExist(err) {
+			m.indexMissing.Inc()
+			return indexedSeg{}, "no index sidecar (build one with trepair -index)"
+		}
+		m.indexInvalid.Inc()
+		return indexedSeg{}, fmt.Sprintf("sidecar unusable: %v", err)
+	}
+	if si.NumRanks != s.info.NumRanks {
+		m.indexInvalid.Inc()
+		return indexedSeg{}, fmt.Sprintf("sidecar describes %d ranks, store has %d",
+			si.NumRanks, s.info.NumRanks)
+	}
+	if data == nil {
+		data, err = fsys.ReadFile(path)
+		if err != nil {
+			m.indexInvalid.Inc()
+			return indexedSeg{}, fmt.Sprintf("data unreadable: %v", err)
+		}
+	}
+	if err := si.Validate(data); err != nil {
+		m.indexStale.Inc()
+		return indexedSeg{}, fmt.Sprintf("sidecar stale: %v", err)
+	}
+	return indexedSeg{si: si, data: data}, ""
+}
+
+// Generation identifies the current on-disk content of the store's inputs:
+// path plus size and mtime of every data file. Two equal generations mean
+// cached query results are still valid; a rewrite (scrub, repair, new
+// segment) changes it. Empty when the store has no stable identity — an
+// in-memory image, a live tail, or files that cannot be stat'ed — in which
+// case callers must not cache.
+func (s *Store) Generation() string {
+	if s.info.Path == "" || s.opts.Mode == ModeLive {
+		return ""
+	}
+	fsys := s.fs()
+	fi, err := fsys.Stat(s.info.Path)
+	if err != nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "f|%s|%d|%d", s.info.Path, fi.Size(), fi.ModTime().UnixNano())
+	for _, p := range s.SegmentPaths() {
+		fi, err := fsys.Stat(p)
+		if err != nil {
+			return ""
+		}
+		fmt.Fprintf(&b, ";%s|%d|%d", filepath.Base(p), fi.Size(), fi.ModTime().UnixNano())
+	}
+	return b.String()
+}
+
+// OrdCursor streams one rank's records in order, yielding each with its
+// rank-local ordinal — the Index half of its EventID. It ends with io.EOF.
+// Indexed cursors may start mid-file: every record the seek skipped is
+// guaranteed to sort strictly below the seek bound. As with
+// trace.RecordCursor, the returned pointer is valid only until the
+// following Next call.
+type OrdCursor interface {
+	Next() (*trace.Record, int, error)
+	Close() error
+}
+
+// Indexes is the store's persistent-index capability, handed out by
+// (*Store).Indexes. When Available is false every seek still works — it
+// transparently degrades to a metric-counted full scan — so callers keep
+// one code path and only -explain output differs.
+type Indexes struct {
+	s      *Store
+	ix     *indexSet
+	reason string
+}
+
+// Available reports whether validated sidecars back this store.
+func (x *Indexes) Available() bool { return x.ix != nil }
+
+// Reason explains why the store is unindexed; empty when Available.
+func (x *Indexes) Reason() string { return x.reason }
+
+// RecordCount returns the rank's exact record count without touching the
+// data file. ok is false when the store is unindexed.
+func (x *Indexes) RecordCount(rank int) (int, bool) {
+	if x.ix == nil || rank < 0 || rank >= len(x.ix.total) {
+		return 0, false
+	}
+	return x.ix.total[rank], true
+}
+
+// SeekRank streams every record of the rank from ordinal 0. Indexed stores
+// read only the rank's own chunks (sharded writers) or skip leading
+// foreign chunks (checkpoint 0); unindexed stores fall back to a filtered
+// full scan.
+func (x *Indexes) SeekRank(rank int) (OrdCursor, error) {
+	if x.ix == nil {
+		return x.fallback(rank)
+	}
+	metrics().indexSeeks.Inc()
+	var parts []segPart
+	for i, seg := range x.ix.segs {
+		cp, ok := seg.si.Head(rank)
+		if !ok {
+			continue
+		}
+		parts = append(parts, segPart{seg: seg, cp: cp, base: x.ix.bases[i][rank]})
+	}
+	return &indexCursor{rank: rank, parts: parts}, nil
+}
+
+// SeekMarker streams the rank's records starting at the last checkpoint
+// whose marker is strictly below from — every skipped record has
+// Marker < from. Whole segments whose records all sort below the bound are
+// skipped without opening them.
+func (x *Indexes) SeekMarker(rank int, from uint64) (OrdCursor, error) {
+	if x.ix == nil {
+		return x.fallback(rank)
+	}
+	metrics().indexSeeks.Inc()
+	return x.seek(rank,
+		func(si *trace.SegmentIndex) (uint64, bool) { return si.FirstMarker(rank) },
+		func(first uint64) bool { return first < from },
+		func(si *trace.SegmentIndex) (trace.Checkpoint, bool) { return si.SeekMarker(rank, from) },
+	), nil
+}
+
+// SeekTime is SeekMarker over record start times.
+func (x *Indexes) SeekTime(rank int, from int64) (OrdCursor, error) {
+	if x.ix == nil {
+		return x.fallback(rank)
+	}
+	metrics().indexSeeks.Inc()
+	return x.seek(rank,
+		func(si *trace.SegmentIndex) (uint64, bool) {
+			v, ok := si.FirstStart(rank)
+			return uint64(v), ok
+		},
+		func(first uint64) bool { return int64(first) < from },
+		func(si *trace.SegmentIndex) (trace.Checkpoint, bool) { return si.SeekTime(rank, from) },
+	), nil
+}
+
+// seek assembles the cross-segment cursor for one bounded seek. Segment
+// skipping leans on per-rank monotonicity: if segment k's first record
+// sorts below the bound, so does every record of earlier segments, so the
+// start segment is the LAST one whose first record is below the bound and
+// everything before it is skipped whole.
+func (x *Indexes) seek(rank int,
+	first func(*trace.SegmentIndex) (uint64, bool),
+	below func(uint64) bool,
+	within func(*trace.SegmentIndex) (trace.Checkpoint, bool),
+) OrdCursor {
+	start := -1 // last segment whose first record sorts below the bound
+	for i, seg := range x.ix.segs {
+		if f, ok := first(seg.si); ok && below(f) {
+			start = i
+		}
+	}
+	var parts []segPart
+	for i, seg := range x.ix.segs {
+		if i < start {
+			continue
+		}
+		cp, ok := seg.si.Head(rank)
+		if !ok {
+			continue // rank has no records in this segment
+		}
+		if i == start {
+			if scp, ok := within(seg.si); ok {
+				cp = scp
+			}
+		}
+		parts = append(parts, segPart{seg: seg, cp: cp, base: x.ix.bases[i][rank]})
+	}
+	return &indexCursor{rank: rank, parts: parts}
+}
+
+// OccurrenceAt resolves the k-th (0-based) time the rank executed file:line
+// into an EventID. Indexed stores answer from location posting lists
+// without touching the data; unindexed stores scan. trace.ErrNotFound when
+// the location ran fewer than k+1 times on the rank.
+func (x *Indexes) OccurrenceAt(file string, line, rank, k int) (trace.EventID, error) {
+	if k < 0 || rank < 0 || rank >= x.s.info.NumRanks {
+		return trace.EventID{}, trace.ErrNotFound
+	}
+	if x.ix == nil {
+		return x.scanOccurrence(file, line, rank, k)
+	}
+	metrics().indexOccLookups.Inc()
+	for i, seg := range x.ix.segs {
+		if seg.si.PostingsErr() != nil {
+			// A CRC-valid sidecar with an unparseable postings tail (writer
+			// bug) must not read as "location never executed" — answer the
+			// slow, honest way.
+			return x.scanOccurrence(file, line, rank, k)
+		}
+		ords := seg.si.Occurrences(rank, file, line)
+		if k < len(ords) {
+			return trace.EventID{Rank: rank, Index: x.ix.bases[i][rank] + int(ords[k])}, nil
+		}
+		k -= len(ords)
+	}
+	return trace.EventID{}, trace.ErrNotFound
+}
+
+func (x *Indexes) scanOccurrence(file string, line, rank, k int) (trace.EventID, error) {
+	metrics().indexFallbacks.Inc()
+	cur, err := x.s.Records(rank)
+	if err != nil {
+		return trace.EventID{}, err
+	}
+	defer cur.Close()
+	seen, ord := 0, 0
+	for {
+		r, err := cur.Next()
+		if err == io.EOF {
+			return trace.EventID{}, trace.ErrNotFound
+		}
+		if err != nil {
+			return trace.EventID{}, err
+		}
+		if r.Loc.File == file && r.Loc.Line == line {
+			if seen == k {
+				return trace.EventID{Rank: rank, Index: ord}, nil
+			}
+			seen++
+		}
+		ord++
+	}
+}
+
+// fallback is the unindexed shape of every seek: the rank's records from
+// ordinal 0 via the store's scan cursors (which count against
+// tracedbg_store_cursor_records_total, so the cost is visible).
+func (x *Indexes) fallback(rank int) (OrdCursor, error) {
+	metrics().indexFallbacks.Inc()
+	in, err := x.s.Records(rank)
+	if err != nil {
+		return nil, err
+	}
+	return &scanOrdCursor{in: in}, nil
+}
+
+type scanOrdCursor struct {
+	in  trace.RecordCursor
+	ord int
+}
+
+func (c *scanOrdCursor) Next() (*trace.Record, int, error) {
+	r, err := c.in.Next()
+	if err != nil {
+		return nil, 0, err
+	}
+	ord := c.ord
+	c.ord++
+	return r, ord, nil
+}
+
+func (c *scanOrdCursor) Close() error { return c.in.Close() }
+
+// segPart is one segment's slice of an indexed cursor: where to start
+// reading and the rank's cumulative ordinal base for the segment.
+type segPart struct {
+	seg  indexedSeg
+	cp   trace.Checkpoint
+	base int
+}
+
+// indexCursor chains per-segment seeded scanners in manifest order.
+type indexCursor struct {
+	rank  int
+	parts []segPart
+	i     int
+	cur   *segScan
+}
+
+func (c *indexCursor) Next() (*trace.Record, int, error) {
+	for {
+		if c.cur == nil {
+			if c.i >= len(c.parts) {
+				return nil, 0, io.EOF
+			}
+			p := c.parts[c.i]
+			c.i++
+			c.cur = newSegScan(p.seg, c.rank, p.cp, p.base)
+		}
+		r, ord, err := c.cur.scan()
+		if err == io.EOF {
+			c.cur = nil
+			continue
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		metrics().indexRecords.Inc()
+		return r, ord, nil
+	}
+}
+
+func (c *indexCursor) Close() error {
+	c.cur = nil
+	c.i = len(c.parts)
+	return nil
+}
+
+// segScan decodes one segment's records for one rank starting at a
+// checkpoint. Two read shapes:
+//
+//   - chunk-skip: when every record-bearing chunk is single-rank (sharded
+//     writers), only the rank's own chunk byte ranges are fed to the
+//     scanner — foreign ranks are never decoded.
+//   - checkpoint-seek: otherwise the scanner reads from the checkpoint's
+//     chunk (v3) or exact record offset (v2) to the end of the segment and
+//     filters by rank.
+//
+// Either way the scanner is seeded with the sidecar's full string table,
+// so string blocks defined in skipped bytes resolve; re-encountered 'S'
+// blocks are tolerated as redefinitions of identical content.
+type segScan struct {
+	sc   *trace.Scanner
+	rank int
+	next int // segment-local ordinal of the rank's next record
+	base int
+}
+
+func newSegScan(seg indexedSeg, rank int, cp trace.Checkpoint, base int) *segScan {
+	si := seg.si
+	var r io.Reader
+	if si.DataVersion >= trace.FormatVersion && si.RankTagged() {
+		var readers []io.Reader
+		for _, ce := range si.Chunks() {
+			if ce.Rank == rank && ce.Offset >= cp.Offset {
+				readers = append(readers, bytes.NewReader(seg.data[ce.Offset:ce.Offset+ce.Len]))
+			}
+		}
+		r = io.MultiReader(readers...)
+	} else {
+		r = bytes.NewReader(seg.data[cp.Offset:])
+	}
+	return &segScan{
+		sc:   trace.NewSeededScanner(r, si.DataVersion, si.NumRanks, si.Strings),
+		rank: rank,
+		next: cp.Ordinal - cp.Skip,
+		base: base,
+	}
+}
+
+func (s *segScan) scan() (*trace.Record, int, error) {
+	for {
+		r, err := s.sc.Next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if r.Rank != s.rank {
+			continue
+		}
+		ord := s.base + s.next
+		s.next++
+		return r, ord, nil
+	}
+}

@@ -1,0 +1,551 @@
+package store_test
+
+// Tests for the store half of the persistent-index subsystem: sidecar
+// negotiation (available / missing / stale / live), indexed seeks against
+// the in-memory trace as ground truth, cross-segment ordinal bases, the
+// zero-scan guarantee, and occurrence lookups.
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tracedbg/internal/obs"
+	"tracedbg/internal/store"
+	"tracedbg/internal/trace"
+)
+
+// writeIndexed writes tr to dir/name with a sidecar and returns the path.
+func writeIndexed(t *testing.T, dir, name string, tr *trace.Trace, opts trace.WriterOptions) string {
+	t.Helper()
+	opts.BuildIndex = true
+	path := filepath.Join(dir, name)
+	if err := trace.WriteFileAtomic(path, tr, opts); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+	if _, err := os.Stat(trace.IndexPath(path)); err != nil {
+		t.Fatalf("sidecar missing after indexed write: %v", err)
+	}
+	return path
+}
+
+// writeIndexedSharded encodes tr through the sharded writer (one rank per
+// chunk — the chunk-skip read shape) and publishes file + sidecar.
+func writeIndexedSharded(t *testing.T, dir, name string, tr *trace.Trace, chunk int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	sw, err := trace.NewShardedWriterOptions(&buf, tr.NumRanks(), chunk,
+		trace.WriterOptions{BuildIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range tr.MergedOrder() {
+		if err := sw.Write(tr.MustAt(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	si := sw.SealIndex()
+	if si == nil {
+		t.Fatal("sharded writer sealed no index")
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteIndexFile(trace.IndexPath(path), si); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// drainOrd collects every (record, ordinal) pair of a cursor, copying
+// records out (cursor pointers are valid only until the next Next call).
+func drainOrd(t *testing.T, c store.OrdCursor) ([]trace.Record, []int) {
+	t.Helper()
+	var recs []trace.Record
+	var ords []int
+	for {
+		r, ord, err := c.Next()
+		if err != nil {
+			break
+		}
+		recs = append(recs, *r)
+		ords = append(ords, ord)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return recs, ords
+}
+
+// checkSeekParity verifies one rank's cursor against the in-memory trace:
+// ordinals must address tr.Rank(rank) exactly, the yielded suffix must be
+// contiguous to the end, and every record the seek skipped must sort
+// strictly below the bound.
+func checkSeekParity(t *testing.T, label string, tr *trace.Trace, rank int,
+	c store.OrdCursor, below func(*trace.Record) bool) {
+	t.Helper()
+	want := tr.Rank(rank)
+	recs, ords := drainOrd(t, c)
+	if len(recs) > len(want) {
+		t.Fatalf("%s: rank %d yielded %d records, trace has %d", label, rank, len(recs), len(want))
+	}
+	start := len(want) - len(recs)
+	for i := range recs {
+		ord := ords[i]
+		if ord != start+i {
+			t.Fatalf("%s: rank %d record %d has ordinal %d, want %d", label, rank, i, ord, start+i)
+		}
+		if !reflect.DeepEqual(recs[i], want[ord]) {
+			t.Fatalf("%s: rank %d ordinal %d record mismatch\n got %+v\nwant %+v",
+				label, rank, ord, recs[i], want[ord])
+		}
+	}
+	for i := 0; i < start; i++ {
+		if !below(&want[i]) {
+			t.Fatalf("%s: rank %d skipped ordinal %d which does not sort below the bound: %+v",
+				label, rank, i, want[i])
+		}
+	}
+}
+
+// TestIndexesSeekParity drives indexed seeks on single-file stores — both
+// the sequential writer (mixed-rank chunks: checkpoint-seek path) and the
+// sharded writer (single-rank chunks: chunk-skip path) — against the
+// in-memory trace.
+func TestIndexesSeekParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tr := genTrace(rng, 4, 400)
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name  string
+		write func() string
+	}{
+		{"sequential", func() string {
+			return writeIndexed(t, dir, "seq.trace", tr, trace.WriterOptions{ChunkBytes: 1 << 10})
+		}},
+		{"sharded", func() string {
+			return writeIndexedSharded(t, dir, "sharded.trace", tr, 1<<10)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := tc.write()
+			st, err := store.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ix := st.Indexes()
+			if !ix.Available() {
+				t.Fatalf("index unavailable: %s", ix.Reason())
+			}
+			for rank := 0; rank < tr.NumRanks(); rank++ {
+				n, ok := ix.RecordCount(rank)
+				if !ok || n != len(tr.Rank(rank)) {
+					t.Fatalf("RecordCount(%d) = %d,%v want %d", rank, n, ok, len(tr.Rank(rank)))
+				}
+				c, err := ix.SeekRank(rank)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkSeekParity(t, "SeekRank", tr, rank, c,
+					func(*trace.Record) bool { return false })
+
+				recs := tr.Rank(rank)
+				for _, probe := range []int{0, len(recs) / 3, len(recs) - 1} {
+					from := recs[probe].Marker
+					c, err := ix.SeekMarker(rank, from)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkSeekParity(t, "SeekMarker", tr, rank, c,
+						func(r *trace.Record) bool { return r.Marker < from })
+
+					ft := recs[probe].Start
+					c, err = ix.SeekTime(rank, ft)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkSeekParity(t, "SeekTime", tr, rank, c,
+						func(r *trace.Record) bool { return r.Start < ft })
+				}
+			}
+		})
+	}
+}
+
+// TestIndexesManifestSeeks drives cross-segment cursors: ordinals must be
+// store-wide (cumulative bases), and bounded seeks must skip whole leading
+// segments.
+func TestIndexesManifestSeeks(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	tr := genTrace(rng, 3, 600)
+	dir := t.TempDir()
+	gw, err := trace.NewSegmentedWriter(dir, "run", tr.NumRanks(), 4<<10,
+		trace.WriterOptions{ChunkBytes: 1 << 10, BuildIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range tr.MergedOrder() {
+		if err := gw.Write(tr.MustAt(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(gw.ManifestPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.SegmentPaths()) < 3 {
+		t.Fatalf("want >=3 segments for a cross-segment test, got %d", len(st.SegmentPaths()))
+	}
+	want, err := st.Trace() // segmented load is the ground truth ordering
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := st.Indexes()
+	if !ix.Available() {
+		t.Fatalf("manifest index unavailable: %s", ix.Reason())
+	}
+	for rank := 0; rank < want.NumRanks(); rank++ {
+		c, err := ix.SeekRank(rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSeekParity(t, "SeekRank", want, rank, c, func(*trace.Record) bool { return false })
+
+		recs := want.Rank(rank)
+		for _, probe := range []int{1, len(recs) / 2, len(recs) * 9 / 10} {
+			from := recs[probe].Marker
+			c, err := ix.SeekMarker(rank, from)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSeekParity(t, "SeekMarker", want, rank, c,
+				func(r *trace.Record) bool { return r.Marker < from })
+		}
+	}
+
+	// Losing any one sidecar demotes the whole manifest store: a partial
+	// index would desync cross-segment ordinals.
+	victim := st.SegmentPaths()[1]
+	if err := os.Remove(trace.IndexPath(victim)); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(gw.ManifestPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2 := st2.Indexes()
+	if ix2.Available() {
+		t.Fatal("index still available with a missing segment sidecar")
+	}
+	if !strings.Contains(ix2.Reason(), "no index sidecar") {
+		t.Fatalf("reason = %q, want missing-sidecar mention", ix2.Reason())
+	}
+}
+
+// TestIndexesZeroScan pins the acceptance guarantee: answering a bounded
+// query from a cold, indexed store performs no full-file structural pass —
+// the scan-cursor record counter stays at zero and validation is a raw CRC
+// sweep only.
+func TestIndexesZeroScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	tr := genTrace(rng, 4, 500)
+	dir := t.TempDir()
+	path := writeIndexedSharded(t, dir, "cold.trace", tr, 1<<10)
+
+	reg := obs.NewRegistry()
+	store.SetObsRegistry(reg)
+	defer store.SetObsRegistry(obs.Default())
+
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := st.Indexes()
+	if !ix.Available() {
+		t.Fatalf("index unavailable: %s", ix.Reason())
+	}
+	rank := 2
+	recs := tr.Rank(rank)
+	from := recs[len(recs)-5].Marker
+	c, err := ix.SeekMarker(rank, from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := drainOrd(t, c)
+	if len(got) == 0 || len(got) >= len(recs) {
+		t.Fatalf("bounded seek yielded %d of %d records", len(got), len(recs))
+	}
+
+	snap := map[string]float64{}
+	for _, m := range reg.Snapshot().Metrics {
+		snap[m.Name] = m.Value
+	}
+	if v := snap["tracedbg_store_cursor_records_total"]; v != 0 {
+		t.Fatalf("indexed seek decoded %v records via scan cursors, want 0", v)
+	}
+	if v := snap["tracedbg_store_index_seeks_total"]; v != 1 {
+		t.Fatalf("index_seeks_total = %v, want 1", v)
+	}
+	if v := snap["tracedbg_store_index_records_total"]; v != float64(len(got)) {
+		t.Fatalf("index_records_total = %v, want %d", v, len(got))
+	}
+	if v := snap["tracedbg_store_index_fallbacks_total"]; v != 0 {
+		t.Fatalf("index_fallbacks_total = %v, want 0", v)
+	}
+}
+
+// TestIndexesFallback covers every unindexed shape: the seeks still answer
+// (full parity from ordinal 0) and are counted as fallbacks.
+func TestIndexesFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	tr := genTrace(rng, 3, 200)
+	dir := t.TempDir()
+
+	t.Run("no-sidecar", func(t *testing.T) {
+		path := filepath.Join(dir, "plain.trace")
+		if err := trace.WriteFileAtomic(path, tr, trace.WriterOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		st, err := store.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := st.Indexes()
+		if ix.Available() {
+			t.Fatal("available without a sidecar on disk")
+		}
+		if !strings.Contains(ix.Reason(), "no index sidecar") {
+			t.Fatalf("reason = %q", ix.Reason())
+		}
+		from := tr.Rank(1)[10].Marker
+		c, err := ix.SeekMarker(1, from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fallback cursors start at ordinal 0: nothing is skipped.
+		checkSeekParity(t, "fallback", tr, 1, c, func(*trace.Record) bool { return false })
+	})
+
+	t.Run("in-memory", func(t *testing.T) {
+		st, err := store.OpenBytes(encode(t, tr, trace.WriterOptions{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := st.Indexes()
+		if ix.Available() {
+			t.Fatal("available for a pathless in-memory store")
+		}
+		if st.Generation() != "" {
+			t.Fatalf("in-memory generation = %q, want empty", st.Generation())
+		}
+	})
+
+	t.Run("live", func(t *testing.T) {
+		path := writeIndexed(t, dir, "live.trace", tr, trace.WriterOptions{})
+		st, err := store.Open(path, store.Options{Mode: store.ModeLive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := st.Indexes()
+		if ix.Available() {
+			t.Fatal("available in live mode despite a valid sidecar")
+		}
+		if !strings.Contains(ix.Reason(), "live") {
+			t.Fatalf("reason = %q", ix.Reason())
+		}
+		if st.Generation() != "" {
+			t.Fatalf("live generation = %q, want empty", st.Generation())
+		}
+	})
+}
+
+// TestIndexesStaleSidecar rewrites the data under a sidecar: negotiation
+// must reject it, and a store that already negotiated must re-negotiate
+// once the generation changes.
+func TestIndexesStaleSidecar(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	tr := genTrace(rng, 2, 120)
+	dir := t.TempDir()
+	path := writeIndexed(t, dir, "drift.trace", tr, trace.WriterOptions{})
+
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Indexes().Available() {
+		t.Fatalf("fresh sidecar not available: %s", st.Indexes().Reason())
+	}
+	gen := st.Generation()
+	if gen == "" {
+		t.Fatal("file store has empty generation")
+	}
+
+	// Rewrite the trace in place WITHOUT an index: different bytes on
+	// disk, sidecar removed by the atomic writer. Keep a copy of the old
+	// sidecar to also exercise the stale-CRC rejection.
+	oldSidecar, err := os.ReadFile(trace.IndexPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := genTrace(rand.New(rand.NewSource(60)), 2, 140)
+	if err := trace.WriteFileAtomic(path, tr2, trace.WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(trace.IndexPath(path), oldSidecar, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if g2 := st.Generation(); g2 == gen || g2 == "" {
+		t.Fatalf("generation did not change across rewrite: %q vs %q", gen, g2)
+	}
+	ix := st.Indexes() // same store handle: must re-negotiate, then reject
+	if ix.Available() {
+		t.Fatal("stale sidecar accepted after in-place rewrite")
+	}
+	if !strings.Contains(ix.Reason(), "stale") {
+		t.Fatalf("reason = %q, want staleness mention", ix.Reason())
+	}
+}
+
+// TestIndexesScrubRepairRebuildsSidecar damages an indexed segment, lets a
+// repairing scrub quarantine+rewrite it, and checks the published sidecar
+// matches the healed bytes.
+func TestIndexesScrubRepairRebuildsSidecar(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	tr := genTrace(rng, 2, 200)
+	dir := t.TempDir()
+	path := writeIndexed(t, dir, "heal.trace", tr, trace.WriterOptions{ChunkBytes: 1 << 10})
+
+	// Flip a payload byte mid-file: CRC damage inside one chunk.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := store.Scrub(path, store.ScrubOptions{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repaired != 1 {
+		t.Fatalf("scrub result %s, want one repair", res)
+	}
+	si, err := trace.ReadIndexFile(trace.IndexPath(path))
+	if err != nil {
+		t.Fatalf("no sidecar after repairing scrub: %v", err)
+	}
+	healed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := si.Validate(healed); err != nil {
+		t.Fatalf("rebuilt sidecar does not match healed bytes: %v", err)
+	}
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Indexes().Available() {
+		t.Fatalf("healed store unindexed: %s", st.Indexes().Reason())
+	}
+}
+
+// TestIndexesOccurrenceAt checks k-th occurrence lookups against a scan of
+// the trace, on both the indexed and fallback paths, plus cross-segment
+// ordinal bases on a manifest store.
+func TestIndexesOccurrenceAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	tr := genTrace(rng, 3, 300)
+	dir := t.TempDir()
+	path := writeIndexed(t, dir, "occ.trace", tr, trace.WriterOptions{ChunkBytes: 1 << 10})
+
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := st.Indexes()
+	if !ix.Available() {
+		t.Fatalf("unindexed: %s", ix.Reason())
+	}
+
+	plain := filepath.Join(dir, "occ-plain.trace")
+	if err := trace.WriteFileAtomic(plain, tr, trace.WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	stPlain, err := store.Open(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := stPlain.Indexes()
+	if fb.Available() {
+		t.Fatal("plain store unexpectedly indexed")
+	}
+
+	for rank := 0; rank < tr.NumRanks(); rank++ {
+		// Ground truth: ordinal of the k-th record at each file:line.
+		occ := map[trace.Location][]int{}
+		for i, r := range tr.Rank(rank) {
+			key := trace.Location{File: r.Loc.File, Line: r.Loc.Line}
+			occ[key] = append(occ[key], i)
+		}
+		for key, ords := range occ {
+			for _, k := range []int{0, len(ords) / 2, len(ords) - 1} {
+				want := trace.EventID{Rank: rank, Index: ords[k]}
+				got, err := ix.OccurrenceAt(key.File, key.Line, rank, k)
+				if err != nil || got != want {
+					t.Fatalf("indexed OccurrenceAt(%s:%d, rank %d, k=%d) = %v, %v; want %v",
+						key.File, key.Line, rank, k, got, err, want)
+				}
+				got, err = fb.OccurrenceAt(key.File, key.Line, rank, k)
+				if err != nil || got != want {
+					t.Fatalf("fallback OccurrenceAt(%s:%d, rank %d, k=%d) = %v, %v; want %v",
+						key.File, key.Line, rank, k, got, err, want)
+				}
+			}
+			if _, err := ix.OccurrenceAt(key.File, key.Line, rank, len(ords)); err != trace.ErrNotFound {
+				t.Fatalf("past-the-end occurrence: err = %v, want ErrNotFound", err)
+			}
+		}
+	}
+	if _, err := ix.OccurrenceAt("nope.go", 1, 0, 0); err != trace.ErrNotFound {
+		t.Fatalf("unknown location: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestIndexesMmapSharesImage opens an indexed trace via mmap and checks the
+// negotiation validates against the mapping (no extra read) and cursors
+// still agree with the trace.
+func TestIndexesMmapSharesImage(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	tr := genTrace(rng, 2, 150)
+	dir := t.TempDir()
+	path := writeIndexed(t, dir, "m.trace", tr, trace.WriterOptions{ChunkBytes: 1 << 10})
+	st, err := store.OpenMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ix := st.Indexes()
+	if !ix.Available() {
+		t.Fatalf("mmap store unindexed: %s", ix.Reason())
+	}
+	c, err := ix.SeekRank(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSeekParity(t, "mmap SeekRank", tr, 1, c, func(*trace.Record) bool { return false })
+}

@@ -32,6 +32,15 @@ type storeMetrics struct {
 	tailReopens   *obs.Counter
 	tailActive    *obs.Gauge
 
+	indexSidecars   *obs.Counter
+	indexMissing    *obs.Counter
+	indexInvalid    *obs.Counter
+	indexStale      *obs.Counter
+	indexSeeks      *obs.Counter
+	indexRecords    *obs.Counter
+	indexFallbacks  *obs.Counter
+	indexOccLookups *obs.Counter
+
 	scrubRuns        *obs.Counter
 	scrubSegments    *obs.Counter
 	scrubDamaged     *obs.Counter
@@ -78,6 +87,22 @@ func newStoreMetrics(r *obs.Registry) *storeMetrics {
 			"tails restarted because the file was rewritten underneath"),
 		tailActive: r.Gauge("tracedbg_store_tail_active",
 			"live tail cursors currently open"),
+		indexSidecars: r.Counter("tracedbg_store_index_sidecars_total",
+			"index sidecars discovered and validated against their data"),
+		indexMissing: r.Counter("tracedbg_store_index_missing_total",
+			"index negotiations that found no sidecar on disk"),
+		indexInvalid: r.Counter("tracedbg_store_index_invalid_total",
+			"sidecars rejected as unreadable or structurally corrupt"),
+		indexStale: r.Counter("tracedbg_store_index_stale_total",
+			"sidecars rejected because the data file drifted underneath"),
+		indexSeeks: r.Counter("tracedbg_store_index_seeks_total",
+			"indexed seeks served (rank, marker, or time)"),
+		indexRecords: r.Counter("tracedbg_store_index_records_total",
+			"records yielded by indexed cursors"),
+		indexFallbacks: r.Counter("tracedbg_store_index_fallbacks_total",
+			"seeks answered by full-scan fallback because no index was usable"),
+		indexOccLookups: r.Counter("tracedbg_store_index_occurrence_lookups_total",
+			"k-th occurrence lookups answered from location posting lists"),
 		scrubRuns: r.Counter("tracedbg_scrub_runs_total",
 			"integrity scrub passes over a store (manifest or single file)"),
 		scrubSegments: r.Counter("tracedbg_scrub_segments_total",

@@ -214,8 +214,11 @@ func repairSegment(fsys iofault.FS, path string, t *trace.Trace, lost uint64, se
 		seg.Err = fmt.Sprintf("quarantine: %v", err)
 		return seg
 	}
+	// BuildIndex keeps the sidecar story consistent through a repair: the
+	// atomic rewrite drops the (now stale) sidecar of the quarantined
+	// original and publishes a fresh one for the salvaged bytes.
 	err := trace.WriteFileAtomic(path, t, trace.WriterOptions{
-		FS: opts.FS, Writer: opts.Writer, Sync: trace.SyncEveryChunk,
+		FS: opts.FS, Writer: opts.Writer, Sync: trace.SyncEveryChunk, BuildIndex: true,
 	})
 	if err != nil {
 		// The quarantined original still holds every byte; put it back so

@@ -93,6 +93,11 @@ type Store struct {
 	report *trace.SalvageReport
 	loaded bool
 	lerr   error
+
+	ixLoaded bool      // sidecar discovery ran (result cached either way)
+	ixGen    string    // Generation() the discovery ran against
+	ix       *indexSet // validated sidecars, nil when unavailable
+	ixReason string    // why ix is nil, for -explain and diagnostics
 }
 
 // Open sniffs and opens a trace input by path: a version-2 or version-3

@@ -80,6 +80,13 @@ type WriterOptions struct {
 	// LegacyV2 emits the version-2 format (no framing, no checksums) for
 	// compatibility tooling and format tests.
 	LegacyV2 bool
+	// BuildIndex accumulates a sidecar index (checkpoints, chunk extents,
+	// location postings) incrementally as records are encoded, so finalizing
+	// a file can emit its ".tdx" without re-reading anything. Ignored for
+	// LegacyV2 writers. The path-based writers (WriteFileAtomic,
+	// SegmentedWriter) write the sidecar themselves; other callers seal it
+	// via FileWriter.SealIndex / ShardedWriter.SealIndex.
+	BuildIndex bool
 	// FS is the filesystem seam the path-based writers (WriteFileAtomic,
 	// SegmentedWriter, manifests) perform their file operations through.
 	// nil selects the OS passthrough; tests install iofault injectors here.
@@ -140,7 +147,8 @@ func WriteFileAtomic(path string, t *Trace, opts WriterOptions) (err error) {
 			fsys.Remove(tmp) //nolint:ioerr // best-effort cleanup
 		}
 	}()
-	if err = WriteAllOptions(f, t, opts); err != nil {
+	fw, err := writeAll(f, t, opts)
+	if err != nil {
 		return err
 	}
 	if err = f.Sync(); err != nil {
@@ -152,7 +160,27 @@ func WriteFileAtomic(path string, t *Trace, opts WriterOptions) (err error) {
 	if err = fsys.Rename(tmp, path); err != nil {
 		return ioErr("rename", path, err)
 	}
-	return ioErr("syncdir", path, fsys.SyncDir(filepath.Dir(path)))
+	if err = fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return ioErr("syncdir", path, err)
+	}
+	finishSidecar(fsys, path, fw)
+	return nil
+}
+
+// finishSidecar reconciles a trace file's sidecar after the file itself was
+// atomically (re)written: any existing sidecar describes the old bytes and
+// is removed; a fresh one is written when the writer built an index.
+// Sidecars are a pure cache, so failures here are deliberately swallowed —
+// a leftover stale sidecar fails its data-CRC validation and a missing one
+// just routes readers to the scan paths.
+func finishSidecar(fsys iofault.FS, path string, fw *FileWriter) {
+	fsys.Remove(IndexPath(path)) //nolint:ioerr // best-effort cache invalidation
+	if fw == nil {
+		return
+	}
+	if si := fw.SealIndex(); si != nil {
+		_ = WriteIndexFileFS(fsys, IndexPath(path), si) // cache only; scan paths cover a miss
+	}
 }
 
 // WriteFileAtomicCursor is WriteFileAtomic for a record stream: records
@@ -207,7 +235,11 @@ func WriteFileAtomicCursor(path string, numRanks int, cur RecordCursor, incomple
 	if err = fsys.Rename(tmp, path); err != nil {
 		return 0, ioErr("rename", path, err)
 	}
-	return fw.Count(), ioErr("syncdir", path, fsys.SyncDir(filepath.Dir(path)))
+	if err = fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return 0, ioErr("syncdir", path, err)
+	}
+	finishSidecar(fsys, path, fw)
+	return fw.Count(), nil
 }
 
 // manifestMagic heads a segment manifest file, followed by the CRC32C of
@@ -341,6 +373,7 @@ type segmentSink interface {
 	Flush() error
 	Count() int
 	BytesAccepted() int64
+	SealIndex() *SegmentIndex
 }
 
 // seqSink adapts FileWriter to the segmentSink interface.
@@ -373,8 +406,10 @@ type SegmentedWriter struct {
 	cf       *countingFile
 	sw       segmentSink
 	segs     []SegmentInfo
-	done     int // records in finished segments
-	manifest int // segments covered by the last SyncManifest
+	done     int  // records in finished segments
+	manifest int  // segments covered by the last SyncManifest
+	indexing bool // BuildIndex requested and format supports it
+	indexed  int  // finished segments whose sidecar was written
 }
 
 // DefaultSegmentBytes is the rotation threshold when NewSegmentedWriter is
@@ -388,7 +423,7 @@ func NewSegmentedWriter(dir, base string, numRanks int, segBytes int64, opts Wri
 		segBytes = DefaultSegmentBytes
 	}
 	gw := &SegmentedWriter{dir: dir, base: base, numRanks: numRanks, segBytes: segBytes, opts: opts,
-		fsys: iofault.Or(opts.FS)}
+		fsys: iofault.Or(opts.FS), indexing: opts.BuildIndex && !opts.LegacyV2}
 	if err := gw.openSegmentLocked(); err != nil {
 		return nil, err
 	}
@@ -405,7 +440,7 @@ func NewSequentialSegmentedWriter(dir, base string, numRanks int, segBytes int64
 		segBytes = DefaultSegmentBytes
 	}
 	gw := &SegmentedWriter{dir: dir, base: base, numRanks: numRanks, segBytes: segBytes, opts: opts, seq: true,
-		fsys: iofault.Or(opts.FS)}
+		fsys: iofault.Or(opts.FS), indexing: opts.BuildIndex && !opts.LegacyV2}
 	if err := gw.openSegmentLocked(); err != nil {
 		return nil, err
 	}
@@ -422,7 +457,8 @@ func ResumeSegmentedWriter(dir, base string, numRanks int, segBytes int64, exist
 		segBytes = DefaultSegmentBytes
 	}
 	gw := &SegmentedWriter{dir: dir, base: base, numRanks: numRanks, segBytes: segBytes, opts: opts, seq: true,
-		fsys: iofault.Or(opts.FS), segs: append([]SegmentInfo(nil), existing...)}
+		fsys: iofault.Or(opts.FS), segs: append([]SegmentInfo(nil), existing...),
+		indexing: opts.BuildIndex && !opts.LegacyV2}
 	for _, s := range existing {
 		gw.done += s.Records
 	}
@@ -478,7 +514,8 @@ func (gw *SegmentedWriter) openSegmentLocked() error {
 }
 
 // finishSegmentLocked flushes, fsyncs, and closes the current segment,
-// appending its manifest entry.
+// appending its manifest entry and — when the sink built one — writing the
+// segment's sidecar index from data already in hand.
 func (gw *SegmentedWriter) finishSegmentLocked() error {
 	if gw.sw == nil {
 		return nil
@@ -493,14 +530,40 @@ func (gw *SegmentedWriter) finishSegmentLocked() error {
 	if err := gw.cf.f.Close(); err != nil {
 		return ioErr("close", gw.cf.f.Name(), err)
 	}
+	name := gw.segName(len(gw.segs))
+	if si := gw.sw.SealIndex(); si != nil {
+		// Best effort: the segment's records are durable either way, and a
+		// missing sidecar only costs readers the scan path.
+		path := filepath.Join(gw.dir, name)
+		if WriteIndexFileFS(gw.fsys, IndexPath(path), si) == nil {
+			gw.indexed++
+		}
+	}
 	gw.segs = append(gw.segs, SegmentInfo{
-		Name:    gw.segName(len(gw.segs)),
+		Name:    name,
 		Bytes:   gw.cf.n.Load(),
 		Records: n,
 	})
 	gw.done += n
 	gw.sw, gw.cf = nil, nil
 	return nil
+}
+
+// IndexStatus reports sidecar-index progress: segments whose sidecar is
+// written, and segments still pending one (finished segments whose sidecar
+// write failed or predates this writer, plus the segment in progress).
+// (0, 0) when the writer is not building indexes.
+func (gw *SegmentedWriter) IndexStatus() (indexed, pending int) {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	if !gw.indexing {
+		return 0, 0
+	}
+	pending = len(gw.segs) - gw.indexed
+	if gw.sw != nil {
+		pending++
+	}
+	return gw.indexed, pending
 }
 
 // Write appends one record, rotating to a fresh segment when the current

@@ -77,6 +77,17 @@ func (st *stringTable) take() []byte {
 	return p
 }
 
+// snapshot returns the interned strings in id order (id i+1 at index i).
+func (st *stringTable) snapshot() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]string, len(st.ids))
+	for s, id := range st.ids {
+		out[id-1] = s
+	}
+	return out
+}
+
 // syncer is the subset of *os.File the durability policies need. Writers
 // whose underlying sink does not implement it (network connections, byte
 // buffers) silently skip fsync.
@@ -106,6 +117,7 @@ type FileWriter struct {
 	out      int64  // bytes handed to the buffered writer (file size once flushed)
 	lastSync time.Time
 	om       *traceMetrics
+	ib       *indexBuilder // non-nil when building a sidecar index at ingest
 }
 
 // NewFileWriter writes the header and returns a writer for numRanks ranks
@@ -128,6 +140,11 @@ func NewFileWriterOptions(w io.Writer, numRanks int, opts WriterOptions) (*FileW
 	}
 	if s, ok := w.(syncer); ok {
 		fw.sync = s
+	}
+	// The builder attaches before the header is emitted so its running data
+	// checksum covers every byte of the file, header included.
+	if opts.BuildIndex && !opts.LegacyV2 {
+		fw.ib = newIndexBuilder(numRanks, DefaultIndexStride, FormatVersion)
 	}
 	fw.lastSync = time.Now()
 	if fw.legacy {
@@ -153,6 +170,9 @@ func NewFileWriterOptions(w io.Writer, numRanks int, opts WriterOptions) (*FileW
 func (fw *FileWriter) put(p []byte) error {
 	n, err := fw.w.Write(p)
 	fw.out += int64(n)
+	if fw.ib != nil {
+		fw.ib.crcBytes(p[:n])
+	}
 	return err
 }
 
@@ -271,6 +291,7 @@ func (fw *FileWriter) emitFrameLocked(parts ...[]byte) error {
 	if total == 0 {
 		return nil
 	}
+	chunkStart := fw.out
 	fw.frameBuf = appendFrameHeader(fw.frameBuf[:0], total)
 	if err := fw.put(fw.frameBuf); err != nil {
 		return err
@@ -283,6 +304,10 @@ func (fw *FileWriter) emitFrameLocked(parts ...[]byte) error {
 	fw.frameBuf = appendFrameCRC(fw.frameBuf[:0], parts...)
 	if err := fw.put(fw.frameBuf); err != nil {
 		return err
+	}
+	if fw.ib != nil {
+		// frameBuf holds exactly the four payload-CRC bytes just written.
+		fw.ib.sealChunk(chunkStart, fw.out-chunkStart, binary.LittleEndian.Uint32(fw.frameBuf))
 	}
 	fw.om.chunksSealed.Inc()
 	return fw.afterChunkLocked()
@@ -332,7 +357,7 @@ func (fw *FileWriter) fsyncLocked() error {
 // entry point ShardedWriter batches through. In version 3 the batch becomes
 // exactly one sealed chunk (string deltas prepended), so each ShardedWriter
 // flush is independently checksummed.
-func (fw *FileWriter) writeChunk(buf []byte, nrec int) error {
+func (fw *FileWriter) writeChunk(buf []byte, nrec int, metas []recMeta) error {
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
 	if fw.legacy {
@@ -349,6 +374,12 @@ func (fw *FileWriter) writeChunk(buf []byte, nrec int) error {
 	// file, so seal it first.
 	if err := fw.sealChunkLocked(); err != nil {
 		return fmt.Errorf("trace: writing records: %w", err)
+	}
+	if fw.ib != nil {
+		for i := range metas {
+			m := &metas[i]
+			fw.ib.record(int(m.rank), m.marker, m.start, m.fileID, int(m.line), m.funcID)
+		}
 	}
 	pending := fw.strings.take()
 	if err := fw.emitFrameLocked(pending, buf); err != nil {
@@ -375,6 +406,9 @@ func (fw *FileWriter) Write(r *Record) error {
 		return nil
 	}
 	fw.cbuf = appendRecord(fw.cbuf, r, fileID, funcID, nameID, faultID)
+	if fw.ib != nil {
+		fw.ib.record(r.Rank, r.Marker, r.Start, fileID, r.Loc.Line, funcID)
+	}
 	fw.n++
 	if len(fw.cbuf) >= fw.opts.ChunkBytes {
 		if err := fw.sealChunkLocked(); err != nil {
@@ -455,6 +489,19 @@ func (fw *FileWriter) Count() int {
 	return fw.n
 }
 
+// SealIndex returns the sidecar index built alongside the file, or nil when
+// the writer was not constructed with WriterOptions.BuildIndex. Call after
+// Flush (or Close): the index describes exactly the bytes emitted so far,
+// so sealing before the final chunk frames would describe a shorter file.
+func (fw *FileWriter) SealIndex() *SegmentIndex {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if fw.ib == nil {
+		return nil
+	}
+	return fw.ib.finish(fw.strings.snapshot(), fw.out)
+}
+
 // Close flushes the writer. It does not close the underlying writer, which
 // the caller owns.
 func (fw *FileWriter) Close() error { return fw.Flush() }
@@ -494,6 +541,8 @@ type Scanner struct {
 
 	incomplete       bool // an 'I' block was seen
 	incompleteReason string
+
+	strIDs map[string]uint64 // lazy reverse of strings; see fieldID
 }
 
 // NewScanner validates the header and returns a streaming reader. The
@@ -1068,19 +1117,26 @@ func WriteAll(w io.Writer, t *Trace) error {
 
 // WriteAllOptions is WriteAll with explicit format and durability options.
 func WriteAllOptions(w io.Writer, t *Trace, opts WriterOptions) error {
+	_, err := writeAll(w, t, opts)
+	return err
+}
+
+// writeAll is WriteAllOptions returning the flushed writer, so callers that
+// asked for an ingest-built index can seal it (WriteFileAtomic).
+func writeAll(w io.Writer, t *Trace, opts WriterOptions) (*FileWriter, error) {
 	fw, err := NewFileWriterOptions(w, t.NumRanks(), opts)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for _, id := range t.MergedOrder() {
 		if err := fw.Write(t.MustAt(id)); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	if t.Incomplete() {
 		if err := fw.WriteIncomplete(t.IncompleteReason()); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return fw.Close()
+	return fw, fw.Close()
 }

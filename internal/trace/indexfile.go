@@ -1,0 +1,1051 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"tracedbg/internal/iofault"
+)
+
+// Persistent sidecar index ("TDBGIDX1").
+//
+// A sidecar holds everything the in-memory Index rebuilds with a full
+// structural pass — per-rank (marker, start-time, offset) checkpoints, the
+// complete string table, exact per-rank record counts — plus secondary
+// indexes only an on-disk format can afford to keep: the chunk extent table
+// (offset, length, payload CRC, single-rank tag, record count) and
+// location→posting lists of per-rank record ordinals, which answer the
+// "(location, k-th occurrence)" timestamps of Maruyama-Terada style
+// execution control without scanning.
+//
+//	magic "TDBGIDX1"
+//	body: uvarint sidecar format (1)
+//	      uvarint data format revision (2 or 3)
+//	      uvarint numRanks
+//	      uvarint checkpoint stride
+//	      uvarint data file size in bytes
+//	      4-byte LE CRC32C over the entire data file
+//	      string table: uvarint n, then n × (uvarint len, bytes)
+//	      chunk extents: uvarint n, then n × (uvarint offset delta,
+//	          uvarint len, 4-byte LE payload CRC, uvarint rank+1 (0 mixed),
+//	          uvarint records)
+//	      per-rank counts: numRanks × uvarint
+//	      per-rank checkpoints: numRanks × (uvarint n, then n ×
+//	          (uvarint marker delta, varint start delta,
+//	           uvarint offset delta, uvarint skip))
+//	      locations: uvarint n, then n × (uvarint fileID, uvarint line,
+//	          uvarint funcID)
+//	      postings: per location, uvarint nRanks, then nRanks ×
+//	          (uvarint rank, uvarint n, then n × uvarint ordinal delta)
+//	4-byte LE CRC32C of the body
+//
+// A sidecar is a pure cache: it is written atomically, never trusted
+// blindly (store-side validation checks the data size and whole-file CRC
+// against the data bytes before any lookup is honored), and a stale,
+// missing, or corrupt sidecar simply routes readers back to the scan paths.
+// Checkpoint i of a rank corresponds to that rank's record ordinal
+// i*stride; its offset is the containing chunk frame's start (version 3) or
+// the exact record offset (version 2), and skip counts the rank's records
+// earlier in that chunk, so a reader resuming at the chunk start can
+// reconstruct exact ordinals: the j-th record of the rank seen from the
+// chunk start has ordinal i*stride - skip + j.
+
+const (
+	indexMagic = "TDBGIDX1"
+
+	// IndexSuffix is appended to a trace file's path to name its sidecar.
+	IndexSuffix = ".tdx"
+
+	// indexFormatVersion is the sidecar codec revision.
+	indexFormatVersion = 1
+
+	// maxIndexSidecar bounds the sidecar size a reader will accept.
+	maxIndexSidecar = 1 << 31
+)
+
+// IndexPath returns the sidecar path for a trace file path.
+func IndexPath(tracePath string) string { return tracePath + IndexSuffix }
+
+// ChunkExtent describes one chunk frame of a version-3 trace file as the
+// sidecar recorded it: where the frame starts, how many bytes it spans
+// (header through CRC), its payload checksum, and what it holds. Rank is
+// the single rank whose records fill the chunk (sharded writers emit one
+// rank per chunk) or -1 when the chunk mixes ranks or holds no records.
+type ChunkExtent struct {
+	Offset  int64
+	Len     int64
+	CRC     uint32
+	Rank    int
+	Records int
+}
+
+// Checkpoint is one per-rank navigation entry resolved from a sidecar.
+type Checkpoint struct {
+	Marker  uint64
+	Start   int64
+	Offset  int64 // chunk frame start (v3) or exact record offset (v2)
+	Ordinal int   // rank-local record ordinal of the checkpointed record
+	Skip    int   // rank's records earlier in the checkpoint's chunk
+}
+
+type sidecarCheckpoint struct {
+	marker uint64
+	start  int64
+	offset int64
+	skip   int
+}
+
+type rankOrds struct {
+	rank int
+	ords []int64 // ascending rank-local ordinals
+}
+
+type locPosting struct {
+	fileID uint64
+	line   int
+	funcID uint64
+	ranks  []rankOrds
+}
+
+// SegmentIndex is the decoded sidecar of one trace file (a rotation segment
+// or a standalone file). It is immutable after construction and safe for
+// concurrent readers.
+type SegmentIndex struct {
+	DataVersion int    // format revision of the indexed file (2 or 3)
+	NumRanks    int
+	Stride      int
+	DataBytes   int64  // exact size of the indexed data file
+	DataCRC     uint32 // CRC32C over the entire data file
+	Strings     []string
+
+	chunks   []ChunkExtent
+	counts   []int
+	perRank  [][]sidecarCheckpoint
+	locs     []locPosting
+	fileIDs  map[string]uint64 // file name → string id, for location lookups
+	rankTags bool              // every record-bearing chunk is single-rank
+
+	// Location postings decode lazily: they are the bulk of a sidecar's
+	// varint payload and a seek-only consumer (the query planner's cold
+	// open) never touches them. DecodeIndex stows the CRC-verified tail in
+	// locRaw; the first Locations/Occurrences call parses it. Indexes built
+	// in memory populate locs directly and leave locRaw nil.
+	locRaw  []byte
+	locOnce sync.Once
+	locErr  error
+}
+
+// Counts returns a copy of the exact per-rank record counts.
+func (si *SegmentIndex) Counts() []int { return append([]int(nil), si.counts...) }
+
+// RecordCount returns the exact record count of one rank.
+func (si *SegmentIndex) RecordCount(rank int) int {
+	if rank < 0 || rank >= len(si.counts) {
+		return 0
+	}
+	return si.counts[rank]
+}
+
+// Chunks returns the chunk extent table (empty for version-2 files). The
+// returned slice is shared; callers must not mutate it.
+func (si *SegmentIndex) Chunks() []ChunkExtent { return si.chunks }
+
+// RankTagged reports whether every record-bearing chunk holds exactly one
+// rank — the precondition for per-rank chunk skipping.
+func (si *SegmentIndex) RankTagged() bool { return si.rankTags }
+
+// Locations returns the number of distinct (file, line, func) locations
+// with posting lists.
+func (si *SegmentIndex) Locations() int {
+	si.ensureLocs()
+	return len(si.locs)
+}
+
+// ensureLocs parses the deferred postings tail exactly once. Concurrent
+// callers block until the first finishes, matching the type's
+// safe-for-concurrent-readers contract.
+func (si *SegmentIndex) ensureLocs() {
+	si.locOnce.Do(func() {
+		if si.locRaw == nil {
+			return
+		}
+		si.locErr = si.decodeLocations(si.locRaw)
+		si.locRaw = nil
+	})
+}
+
+// PostingsErr reports whether the sidecar's location postings parsed. The
+// tail is covered by the sidecar's whole-body CRC, so an error here means
+// a malformed-but-checksummed file (a writer bug, not bit rot); consumers
+// should treat the postings as absent and fall back to scanning.
+func (si *SegmentIndex) PostingsErr() error {
+	si.ensureLocs()
+	return si.locErr
+}
+
+// checkpoint converts the i-th stored entry of a rank.
+func (si *SegmentIndex) checkpoint(rank, i int) Checkpoint {
+	e := si.perRank[rank][i]
+	return Checkpoint{Marker: e.marker, Start: e.start, Offset: e.offset,
+		Ordinal: i * si.Stride, Skip: e.skip}
+}
+
+// SeekMarker returns the last checkpoint of the rank whose marker is
+// strictly below from — every record before it is guaranteed to have a
+// smaller marker, so scanning forward from its chunk cannot miss a record
+// with Marker >= from even when the boundary marker repeats. ok is false
+// when no such checkpoint exists (seek from the head of the file).
+func (si *SegmentIndex) SeekMarker(rank int, from uint64) (Checkpoint, bool) {
+	if rank < 0 || rank >= len(si.perRank) {
+		return Checkpoint{}, false
+	}
+	ents := si.perRank[rank]
+	i := sort.Search(len(ents), func(i int) bool { return ents[i].marker >= from })
+	if i == 0 {
+		return Checkpoint{}, false
+	}
+	return si.checkpoint(rank, i-1), true
+}
+
+// SeekTime is SeekMarker over record start times.
+func (si *SegmentIndex) SeekTime(rank int, from int64) (Checkpoint, bool) {
+	if rank < 0 || rank >= len(si.perRank) {
+		return Checkpoint{}, false
+	}
+	ents := si.perRank[rank]
+	i := sort.Search(len(ents), func(i int) bool { return ents[i].start >= from })
+	if i == 0 {
+		return Checkpoint{}, false
+	}
+	return si.checkpoint(rank, i-1), true
+}
+
+// Head returns checkpoint 0 of the rank — the entry for its first record
+// in this file. ok is false when the rank has no records here.
+func (si *SegmentIndex) Head(rank int) (Checkpoint, bool) {
+	if rank < 0 || rank >= len(si.perRank) || len(si.perRank[rank]) == 0 {
+		return Checkpoint{}, false
+	}
+	return si.checkpoint(rank, 0), true
+}
+
+// FirstMarker returns the marker of the rank's first record in this file
+// (checkpoint 0 always exists for a rank with records).
+func (si *SegmentIndex) FirstMarker(rank int) (uint64, bool) {
+	if rank < 0 || rank >= len(si.perRank) || len(si.perRank[rank]) == 0 {
+		return 0, false
+	}
+	return si.perRank[rank][0].marker, true
+}
+
+// FirstStart returns the start time of the rank's first record in this file.
+func (si *SegmentIndex) FirstStart(rank int) (int64, bool) {
+	if rank < 0 || rank >= len(si.perRank) || len(si.perRank[rank]) == 0 {
+		return 0, false
+	}
+	return si.perRank[rank][0].start, true
+}
+
+// Occurrences returns the ascending rank-local ordinals of every record of
+// the rank at file:line, merged across functions sharing the line. nil when
+// the location never executed on the rank.
+func (si *SegmentIndex) Occurrences(rank int, file string, line int) []int64 {
+	si.ensureLocs()
+	fileID, ok := si.fileIDs[file]
+	if !ok || si.locErr != nil {
+		return nil
+	}
+	var out []int64
+	for i := range si.locs {
+		lp := &si.locs[i]
+		if lp.fileID != fileID || lp.line != line {
+			continue
+		}
+		for _, ro := range lp.ranks {
+			if ro.rank == rank {
+				out = append(out, ro.ords...)
+			}
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate cross-checks the sidecar against the data file image it claims
+// to describe: exact size and whole-file CRC32C. The CRC sweep touches only
+// raw bytes — no frame parsing, no record decode — so validation costs one
+// hardware-CRC pass instead of a structural one, and any byte of drift
+// (rewrite, salvage, truncation, quarantine) invalidates the sidecar.
+func (si *SegmentIndex) Validate(data []byte) error {
+	if int64(len(data)) != si.DataBytes {
+		return fmt.Errorf("trace: index sidecar describes %d data bytes, file has %d",
+			si.DataBytes, len(data))
+	}
+	if crcChunk(data) != si.DataCRC {
+		return fmt.Errorf("trace: index sidecar data checksum mismatch (trace rewritten or damaged)")
+	}
+	return nil
+}
+
+// VerifyExtents cross-checks the sidecar's chunk extent table against the
+// actual frames of a version-3 data image — the deeper drift check trepair
+// -verify runs on top of Validate.
+func (si *SegmentIndex) VerifyExtents(data []byte) error {
+	if si.DataVersion < FormatVersion {
+		return nil // version-2 files have no frames to cross-check
+	}
+	h, err := parseHeaderBytes(data)
+	if err != nil {
+		return fmt.Errorf("trace: index extent check: %w", err)
+	}
+	pos := h.end
+	for i, ce := range si.chunks {
+		if int64(pos) != ce.Offset {
+			return fmt.Errorf("trace: index extent %d starts at %d, file frame at %d", i, ce.Offset, pos)
+		}
+		f, err := parseFrame(data, pos)
+		if err != nil {
+			return fmt.Errorf("trace: index extent %d: %w", i, err)
+		}
+		if !f.crcOK {
+			return fmt.Errorf("trace: index extent %d: frame checksum mismatch", i)
+		}
+		if int64(f.end-f.start) != ce.Len {
+			return fmt.Errorf("trace: index extent %d spans %d bytes, frame spans %d", i, ce.Len, f.end-f.start)
+		}
+		want := binary.LittleEndian.Uint32(data[f.payloadEnd:f.end])
+		if want != ce.CRC {
+			return fmt.Errorf("trace: index extent %d payload CRC %08x, frame has %08x", i, ce.CRC, want)
+		}
+		pos = f.end
+	}
+	if pos != len(data) {
+		return fmt.Errorf("trace: index extent table covers %d bytes, file has %d", pos, len(data))
+	}
+	return nil
+}
+
+// finishIndex assembles a SegmentIndex from builder state.
+func (b *indexBuilder) finish(strings []string, dataBytes int64) *SegmentIndex {
+	si := &SegmentIndex{
+		DataVersion: b.version,
+		NumRanks:    b.numRanks,
+		Stride:      b.stride,
+		DataBytes:   dataBytes,
+		DataCRC:     b.dataCRC,
+		Strings:     strings,
+		chunks:      b.chunks,
+		counts:      b.counts,
+		perRank:     b.perRank,
+	}
+	si.locs = make([]locPosting, len(b.locs))
+	for i, lk := range b.locs {
+		lp := locPosting{fileID: lk.fileID, line: lk.line, funcID: lk.funcID}
+		// Partition the insertion-ordered (rank, ordinal) pairs by rank;
+		// within a rank the insertion order is file order, so each list
+		// comes out ascending without a sort.
+		for _, oe := range b.ords[i] {
+			n := len(lp.ranks)
+			if n == 0 || lp.ranks[n-1].rank != oe.rank {
+				j := -1
+				for k := range lp.ranks {
+					if lp.ranks[k].rank == oe.rank {
+						j = k
+						break
+					}
+				}
+				if j < 0 {
+					lp.ranks = append(lp.ranks, rankOrds{rank: oe.rank})
+					j = len(lp.ranks) - 1
+				}
+				lp.ranks[j].ords = append(lp.ranks[j].ords, oe.ord)
+				continue
+			}
+			lp.ranks[n-1].ords = append(lp.ranks[n-1].ords, oe.ord)
+		}
+		si.locs[i] = lp
+	}
+	si.indexStrings()
+	si.computeRankTags()
+	return si
+}
+
+// indexStrings builds the file-name lookup map used by Occurrences.
+func (si *SegmentIndex) indexStrings() {
+	si.fileIDs = make(map[string]uint64, len(si.Strings))
+	for i, s := range si.Strings {
+		si.fileIDs[s] = uint64(i + 1)
+	}
+}
+
+func (si *SegmentIndex) computeRankTags() {
+	si.rankTags = si.DataVersion >= FormatVersion
+	for _, ce := range si.chunks {
+		if ce.Records > 0 && ce.Rank < 0 {
+			si.rankTags = false
+			return
+		}
+	}
+}
+
+// --- encoding -------------------------------------------------------------
+
+// EncodeIndex serializes a sidecar index, magic through trailing CRC.
+func EncodeIndex(si *SegmentIndex) []byte {
+	si.ensureLocs() // a decoded index re-encodes with its postings intact
+	buf := make([]byte, 0, 4096)
+	buf = append(buf, indexMagic...)
+	body := len(buf)
+	buf = binary.AppendUvarint(buf, indexFormatVersion)
+	buf = binary.AppendUvarint(buf, uint64(si.DataVersion))
+	buf = binary.AppendUvarint(buf, uint64(si.NumRanks))
+	buf = binary.AppendUvarint(buf, uint64(si.Stride))
+	buf = binary.AppendUvarint(buf, uint64(si.DataBytes))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], si.DataCRC)
+	buf = append(buf, crc[:]...)
+
+	buf = binary.AppendUvarint(buf, uint64(len(si.Strings)))
+	for _, s := range si.Strings {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(si.chunks)))
+	var prevOff int64
+	for _, ce := range si.chunks {
+		buf = binary.AppendUvarint(buf, uint64(ce.Offset-prevOff))
+		prevOff = ce.Offset
+		buf = binary.AppendUvarint(buf, uint64(ce.Len))
+		binary.LittleEndian.PutUint32(crc[:], ce.CRC)
+		buf = append(buf, crc[:]...)
+		buf = binary.AppendUvarint(buf, uint64(ce.Rank+1))
+		buf = binary.AppendUvarint(buf, uint64(ce.Records))
+	}
+
+	for rank := 0; rank < si.NumRanks; rank++ {
+		n := 0
+		if rank < len(si.counts) {
+			n = si.counts[rank]
+		}
+		buf = binary.AppendUvarint(buf, uint64(n))
+	}
+	for rank := 0; rank < si.NumRanks; rank++ {
+		var ents []sidecarCheckpoint
+		if rank < len(si.perRank) {
+			ents = si.perRank[rank]
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(ents)))
+		var pm uint64
+		var ps, po int64
+		for _, e := range ents {
+			buf = binary.AppendUvarint(buf, e.marker-pm)
+			buf = binary.AppendVarint(buf, e.start-ps)
+			buf = binary.AppendUvarint(buf, uint64(e.offset-po))
+			buf = binary.AppendUvarint(buf, uint64(e.skip))
+			pm, ps, po = e.marker, e.start, e.offset
+		}
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(si.locs)))
+	for i := range si.locs {
+		lp := &si.locs[i]
+		buf = binary.AppendUvarint(buf, lp.fileID)
+		buf = binary.AppendUvarint(buf, uint64(lp.line))
+		buf = binary.AppendUvarint(buf, lp.funcID)
+	}
+	for i := range si.locs {
+		lp := &si.locs[i]
+		buf = binary.AppendUvarint(buf, uint64(len(lp.ranks)))
+		for _, ro := range lp.ranks {
+			buf = binary.AppendUvarint(buf, uint64(ro.rank))
+			buf = binary.AppendUvarint(buf, uint64(len(ro.ords)))
+			var prev int64
+			for _, o := range ro.ords {
+				buf = binary.AppendUvarint(buf, uint64(o-prev))
+				prev = o
+			}
+		}
+	}
+
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(buf[body:], castagnoli))
+	return append(buf, crc[:]...)
+}
+
+// indexDecoder walks a sidecar body with bounds checking.
+type indexDecoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *indexDecoder) uvarint(field string) (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("trace: index sidecar: %s: truncated", field)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *indexDecoder) varint(field string) (int64, error) {
+	v, n := binary.Varint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("trace: index sidecar: %s: truncated", field)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *indexDecoder) uint32LE(field string) (uint32, error) {
+	if d.pos+4 > len(d.data) {
+		return 0, fmt.Errorf("trace: index sidecar: %s: truncated", field)
+	}
+	v := binary.LittleEndian.Uint32(d.data[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+// count reads a collection length and sanity-checks it against the bytes
+// remaining (each element costs at least one byte), so a corrupted count
+// cannot demand an absurd allocation.
+func (d *indexDecoder) count(field string) (int, error) {
+	v, err := d.uvarint(field)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(d.data)-d.pos) {
+		return 0, fmt.Errorf("trace: index sidecar: %s count %d out of range", field, v)
+	}
+	return int(v), nil
+}
+
+// DecodeIndex parses and CRC-verifies a sidecar image.
+func DecodeIndex(data []byte) (*SegmentIndex, error) {
+	if len(data) > maxIndexSidecar {
+		return nil, fmt.Errorf("trace: index sidecar too large (%d bytes)", len(data))
+	}
+	if len(data) < len(indexMagic)+4 || string(data[:len(indexMagic)]) != indexMagic {
+		return nil, fmt.Errorf("trace: not an index sidecar")
+	}
+	body := data[len(indexMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != want {
+		return nil, fmt.Errorf("trace: index sidecar checksum mismatch")
+	}
+	d := &indexDecoder{data: body}
+	fv, err := d.uvarint("format")
+	if err != nil {
+		return nil, err
+	}
+	if fv != indexFormatVersion {
+		return nil, fmt.Errorf("trace: index sidecar format %d not supported", fv)
+	}
+	si := &SegmentIndex{}
+	dv, err := d.uvarint("data version")
+	if err != nil {
+		return nil, err
+	}
+	if dv != FormatVersionLegacy && dv != FormatVersion {
+		return nil, fmt.Errorf("trace: index sidecar for unknown data format %d", dv)
+	}
+	si.DataVersion = int(dv)
+	nr, err := d.uvarint("rank count")
+	if err != nil {
+		return nil, err
+	}
+	if nr > 1<<20 {
+		return nil, fmt.Errorf("trace: index sidecar rank count %d out of range", nr)
+	}
+	si.NumRanks = int(nr)
+	stride, err := d.uvarint("stride")
+	if err != nil {
+		return nil, err
+	}
+	if stride == 0 || stride > 1<<30 {
+		return nil, fmt.Errorf("trace: index sidecar stride %d out of range", stride)
+	}
+	si.Stride = int(stride)
+	db, err := d.uvarint("data bytes")
+	if err != nil {
+		return nil, err
+	}
+	si.DataBytes = int64(db)
+	if si.DataCRC, err = d.uint32LE("data checksum"); err != nil {
+		return nil, err
+	}
+
+	ns, err := d.count("string table")
+	if err != nil {
+		return nil, err
+	}
+	si.Strings = make([]string, ns)
+	for i := 0; i < ns; i++ {
+		n, err := d.uvarint("string length")
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(d.data)-d.pos) {
+			return nil, fmt.Errorf("trace: index sidecar: string %d overruns body", i)
+		}
+		si.Strings[i] = string(d.data[d.pos : d.pos+int(n)])
+		d.pos += int(n)
+	}
+
+	nc, err := d.count("chunk table")
+	if err != nil {
+		return nil, err
+	}
+	si.chunks = make([]ChunkExtent, nc)
+	var prevOff int64
+	for i := 0; i < nc; i++ {
+		od, err := d.uvarint("chunk offset")
+		if err != nil {
+			return nil, err
+		}
+		cl, err := d.uvarint("chunk length")
+		if err != nil {
+			return nil, err
+		}
+		crc, err := d.uint32LE("chunk checksum")
+		if err != nil {
+			return nil, err
+		}
+		rk, err := d.uvarint("chunk rank")
+		if err != nil {
+			return nil, err
+		}
+		nrec, err := d.uvarint("chunk records")
+		if err != nil {
+			return nil, err
+		}
+		prevOff += int64(od)
+		si.chunks[i] = ChunkExtent{Offset: prevOff, Len: int64(cl), CRC: crc,
+			Rank: int(rk) - 1, Records: int(nrec)}
+	}
+
+	si.counts = make([]int, si.NumRanks)
+	for rank := range si.counts {
+		n, err := d.uvarint("rank count")
+		if err != nil {
+			return nil, err
+		}
+		si.counts[rank] = int(n)
+	}
+	si.perRank = make([][]sidecarCheckpoint, si.NumRanks)
+	for rank := range si.perRank {
+		n, err := d.count("checkpoints")
+		if err != nil {
+			return nil, err
+		}
+		ents := make([]sidecarCheckpoint, n)
+		var pm uint64
+		var ps, po int64
+		for i := 0; i < n; i++ {
+			md, err := d.uvarint("checkpoint marker")
+			if err != nil {
+				return nil, err
+			}
+			sd, err := d.varint("checkpoint start")
+			if err != nil {
+				return nil, err
+			}
+			od, err := d.uvarint("checkpoint offset")
+			if err != nil {
+				return nil, err
+			}
+			skip, err := d.uvarint("checkpoint skip")
+			if err != nil {
+				return nil, err
+			}
+			pm += md
+			ps += sd
+			po += int64(od)
+			ents[i] = sidecarCheckpoint{marker: pm, start: ps, offset: po, skip: int(skip)}
+		}
+		si.perRank[rank] = ents
+	}
+
+	// The rest of the body is the location table and its posting lists —
+	// typically the bulk of the sidecar, and dead weight for a bounded
+	// query that only seeks. It is already covered by the whole-body CRC
+	// verified above, so stow it (copied: d.data aliases the caller's
+	// buffer) and parse on first use.
+	si.locRaw = append([]byte(nil), d.data[d.pos:]...)
+	si.indexStrings()
+	si.computeRankTags()
+	return si, nil
+}
+
+// decodeLocations parses the deferred location + postings tail.
+func (si *SegmentIndex) decodeLocations(raw []byte) error {
+	d := &indexDecoder{data: raw}
+	nl, err := d.count("location table")
+	if err != nil {
+		return err
+	}
+	si.locs = make([]locPosting, nl)
+	for i := 0; i < nl; i++ {
+		fid, err := d.uvarint("location file")
+		if err != nil {
+			return err
+		}
+		line, err := d.uvarint("location line")
+		if err != nil {
+			return err
+		}
+		fn, err := d.uvarint("location func")
+		if err != nil {
+			return err
+		}
+		si.locs[i] = locPosting{fileID: fid, line: int(line), funcID: fn}
+	}
+	for i := 0; i < nl; i++ {
+		nrk, err := d.count("posting ranks")
+		if err != nil {
+			return err
+		}
+		ranks := make([]rankOrds, nrk)
+		for j := 0; j < nrk; j++ {
+			rk, err := d.uvarint("posting rank")
+			if err != nil {
+				return err
+			}
+			n, err := d.count("posting ordinals")
+			if err != nil {
+				return err
+			}
+			ords := make([]int64, n)
+			var prev int64
+			for k := 0; k < n; k++ {
+				dd, err := d.uvarint("posting ordinal")
+				if err != nil {
+					return err
+				}
+				prev += int64(dd)
+				ords[k] = prev
+			}
+			ranks[j] = rankOrds{rank: int(rk), ords: ords}
+		}
+		si.locs[i].ranks = ranks
+	}
+	if d.pos != len(d.data) {
+		si.locs = nil
+		return fmt.Errorf("trace: index sidecar: %d trailing bytes", len(d.data)-d.pos)
+	}
+	return nil
+}
+
+// WriteIndexFile writes the sidecar for a trace file atomically (tmp +
+// fsync + rename + directory sync), like every other durable artifact.
+func WriteIndexFile(path string, si *SegmentIndex) error {
+	return WriteIndexFileFS(nil, path, si)
+}
+
+// WriteIndexFileFS is WriteIndexFile through an explicit filesystem seam.
+func WriteIndexFileFS(fsys iofault.FS, path string, si *SegmentIndex) (err error) {
+	fsys = iofault.Or(fsys)
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return ioErr("create", tmp, err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()        //nolint:ioerr // already failing; surfacing err
+			fsys.Remove(tmp) //nolint:ioerr // best-effort cleanup
+		}
+	}()
+	if _, err = f.Write(EncodeIndex(si)); err != nil {
+		return ioErr("write", tmp, err)
+	}
+	if err = f.Sync(); err != nil {
+		return ioErr("sync", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return ioErr("close", tmp, err)
+	}
+	if err = fsys.Rename(tmp, path); err != nil {
+		return ioErr("rename", path, err)
+	}
+	return ioErr("syncdir", path, fsys.SyncDir(filepath.Dir(path)))
+}
+
+// ReadIndexFile reads, parses, and self-checksums a sidecar. Validation
+// against the data file is the caller's job (SegmentIndex.Validate).
+func ReadIndexFile(path string) (*SegmentIndex, error) {
+	return ReadIndexFileFS(nil, path)
+}
+
+// ReadIndexFileFS is ReadIndexFile through an explicit filesystem seam.
+func ReadIndexFileFS(fsys iofault.FS, path string) (*SegmentIndex, error) {
+	data, err := iofault.Or(fsys).ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeIndex(data)
+}
+
+// --- incremental builder --------------------------------------------------
+
+type locKey struct {
+	fileID uint64
+	line   int
+	funcID uint64
+}
+
+// recMeta is the index-relevant view of one record, captured by the sharded
+// writer at encode time (while the string ids are in hand) and handed to the
+// shared FileWriter with the batch it describes.
+type recMeta struct {
+	marker uint64
+	start  int64
+	fileID uint64
+	funcID uint64
+	line   int32
+	rank   int32
+}
+
+type ordEntry struct {
+	rank int
+	ord  int64
+}
+
+// indexBuilder accumulates sidecar state as a writer emits records, so a
+// finished segment's index comes from data already in hand — no re-read.
+// Records are registered in file order; chunk seals commit the registered
+// run to a frame offset. All methods run under the owning FileWriter's
+// mutex.
+type indexBuilder struct {
+	numRanks int
+	stride   int
+	version  int
+	dataCRC  uint32 // running CRC32C of every byte emitted to the file
+
+	counts  []int
+	perRank [][]sidecarCheckpoint
+	inChunk []int // per-rank records registered since the last chunk seal
+
+	pend      []pendingCkpt // checkpoints awaiting their chunk's offset
+	chunkRank int           // -2 no records yet, -1 mixed, >=0 single rank
+	chunkRecs int
+	chunks    []ChunkExtent
+
+	locIDs map[locKey]int
+	locs   []locKey
+	ords   [][]ordEntry // per location: insertion-ordered (rank, ordinal)
+}
+
+type pendingCkpt struct {
+	rank   int
+	marker uint64
+	start  int64
+	skip   int
+}
+
+func newIndexBuilder(numRanks, stride, version int) *indexBuilder {
+	if stride <= 0 {
+		stride = DefaultIndexStride
+	}
+	if numRanks < 0 {
+		numRanks = 0
+	}
+	return &indexBuilder{
+		numRanks:  numRanks,
+		stride:    stride,
+		version:   version,
+		counts:    make([]int, numRanks),
+		perRank:   make([][]sidecarCheckpoint, numRanks),
+		inChunk:   make([]int, numRanks),
+		chunkRank: -2,
+		locIDs:    make(map[locKey]int),
+	}
+}
+
+// crcBytes folds emitted file bytes into the running data checksum.
+func (b *indexBuilder) crcBytes(p []byte) {
+	b.dataCRC = crc32.Update(b.dataCRC, castagnoli, p)
+}
+
+// record registers one record in file order. Out-of-range ranks (which the
+// writers reject anyway) are ignored defensively.
+func (b *indexBuilder) record(rank int, marker uint64, start int64, fileID uint64, line int, funcID uint64) {
+	if rank < 0 || rank >= b.numRanks {
+		return
+	}
+	ord := b.counts[rank]
+	if ord%b.stride == 0 {
+		b.pend = append(b.pend, pendingCkpt{rank: rank, marker: marker, start: start, skip: b.inChunk[rank]})
+	}
+	b.counts[rank]++
+	b.inChunk[rank]++
+	switch b.chunkRank {
+	case -2:
+		b.chunkRank = rank
+	case rank:
+	default:
+		b.chunkRank = -1
+	}
+	b.chunkRecs++
+
+	lk := locKey{fileID: fileID, line: line, funcID: funcID}
+	li, ok := b.locIDs[lk]
+	if !ok {
+		li = len(b.locs)
+		b.locIDs[lk] = li
+		b.locs = append(b.locs, lk)
+		b.ords = append(b.ords, nil)
+	}
+	b.ords[li] = append(b.ords[li], ordEntry{rank: rank, ord: int64(ord)})
+}
+
+// sealChunk commits everything registered since the previous seal to the
+// chunk frame spanning [offset, offset+length).
+func (b *indexBuilder) sealChunk(offset, length int64, crc uint32) {
+	rank := b.chunkRank
+	if rank == -2 {
+		rank = -1
+	}
+	b.chunks = append(b.chunks, ChunkExtent{Offset: offset, Len: length, CRC: crc,
+		Rank: rank, Records: b.chunkRecs})
+	for _, p := range b.pend {
+		b.perRank[p.rank] = append(b.perRank[p.rank],
+			sidecarCheckpoint{marker: p.marker, start: p.start, offset: offset, skip: p.skip})
+	}
+	b.pend = b.pend[:0]
+	for i := range b.inChunk {
+		b.inChunk[i] = 0
+	}
+	b.chunkRank = -2
+	b.chunkRecs = 0
+}
+
+// --- backfill builder -----------------------------------------------------
+
+// BuildSegmentIndexBytes builds a sidecar index from an existing trace file
+// image — the trepair -index backfill path. stride <= 0 selects
+// DefaultIndexStride. Only pristine files are indexable: any structural or
+// checksum damage fails the build, because the ordinals a salvaging reader
+// assigns depend on the damage itself and an index over them would lie.
+func BuildSegmentIndexBytes(data []byte, stride int) (*SegmentIndex, error) {
+	if stride <= 0 {
+		stride = DefaultIndexStride
+	}
+	h, err := parseHeaderBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	b := newIndexBuilder(h.numRanks, stride, h.version)
+	b.dataCRC = crcChunk(data)
+
+	// Version 3: walk the frame chain first so chunk extents and their
+	// payload CRCs come straight from the envelope, and any structural or
+	// checksum damage is rejected before a single record is registered.
+	var frames []frame
+	if h.version >= FormatVersion {
+		pos := h.end
+		for pos < len(data) {
+			f, err := parseFrame(data, pos)
+			if err != nil {
+				return nil, fmt.Errorf("trace: index build: %w", err)
+			}
+			if !f.crcOK {
+				return nil, &ChunkError{Offset: int64(pos), Err: fmt.Errorf("checksum mismatch")}
+			}
+			frames = append(frames, f)
+			pos = f.end
+		}
+	}
+	sealFrame := func(f frame) {
+		crc := binary.LittleEndian.Uint32(data[f.payloadEnd:f.end])
+		b.sealChunk(int64(f.start), int64(f.end-f.start), crc)
+	}
+
+	sc, err := NewScanner(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	// Records arrive in frame order; a frame seals (committing the records
+	// registered into it) when the scan moves past it. Record-free frames
+	// (string-only, incomplete-marker) seal empty along the way. For legacy
+	// files every record offset is exact and there are no frames.
+	ci := 0
+	for {
+		off := sc.Offset()
+		rec, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Rank < 0 || rec.Rank >= h.numRanks {
+			return nil, fmt.Errorf("trace: index build: record rank %d out of range", rec.Rank)
+		}
+		if h.version >= FormatVersion {
+			for ci < len(frames) && int64(frames[ci].start) != off {
+				sealFrame(frames[ci])
+				ci++
+			}
+			if ci >= len(frames) {
+				return nil, fmt.Errorf("trace: index build: record offset %d outside any frame", off)
+			}
+			b.record(rec.Rank, rec.Marker, rec.Start,
+				sc.fieldID(rec.Loc.File), rec.Loc.Line, sc.fieldID(rec.Loc.Func))
+			continue
+		}
+		// Legacy: checkpoint offsets are exact record offsets; commit each
+		// registered checkpoint immediately with skip 0.
+		b.record(rec.Rank, rec.Marker, rec.Start,
+			sc.fieldID(rec.Loc.File), rec.Loc.Line, sc.fieldID(rec.Loc.Func))
+		for _, p := range b.pend {
+			b.perRank[p.rank] = append(b.perRank[p.rank],
+				sidecarCheckpoint{marker: p.marker, start: p.start, offset: off, skip: 0})
+		}
+		b.pend = b.pend[:0]
+	}
+	for ; ci < len(frames); ci++ {
+		sealFrame(frames[ci])
+	}
+	return b.finish(sc.Strings(), int64(len(data))), nil
+}
+
+// fieldID returns the string-table id of an already-decoded field value.
+// The scanner interned it during decode, so the lookup is a map hit.
+func (sc *Scanner) fieldID(s string) uint64 {
+	if s == "" {
+		return 0
+	}
+	// The scanner's table is id-ordered; build a reverse map lazily.
+	if sc.strIDs == nil || len(sc.strIDs) != len(sc.strings) {
+		sc.strIDs = make(map[string]uint64, len(sc.strings))
+		for i, v := range sc.strings {
+			sc.strIDs[v] = uint64(i + 1)
+		}
+	}
+	return sc.strIDs[s]
+}
+
+// NewSeededScanner returns a Scanner over r that decodes the given format
+// revision with a pre-seeded string table and no file header — the
+// resumption primitive sidecar-indexed readers use. r must be positioned at
+// a chunk-frame boundary (version 3) or an exact block boundary (version 2).
+func NewSeededScanner(r io.Reader, version, numRanks int, strings []string) *Scanner {
+	sc := &Scanner{
+		r:        bufio.NewReaderSize(r, 1<<16),
+		version:  version,
+		numRanks: numRanks,
+	}
+	sc.framed = version >= FormatVersion
+	sc.SeedStrings(strings)
+	return sc
+}

@@ -1,0 +1,427 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// locTrace is randomTrace with location fields filled in, so the location
+// posting lists have something to index.
+func locTrace(rng *rand.Rand, ranks, msgs int) *Trace {
+	tr := randomTrace(rng, ranks, msgs)
+	files := []string{"app.go", "solver.go", "comm.go"}
+	funcs := []string{"main", "step", "exchange"}
+	out := New(tr.NumRanks())
+	for rank := 0; rank < tr.NumRanks(); rank++ {
+		for _, r := range tr.Rank(rank) {
+			k := int(r.MsgID+uint64(r.Loc.Line)) % len(files)
+			r.Loc = Location{File: files[k], Line: 10 + k, Func: funcs[(k+1)%len(funcs)]}
+			out.MustAppend(r)
+		}
+	}
+	return out
+}
+
+// writerIndexOf serializes tr through a writer with BuildIndex set and
+// returns the file bytes plus the sealed index.
+func writerIndexOf(t *testing.T, tr *Trace, sharded bool) ([]byte, *SegmentIndex) {
+	t.Helper()
+	var buf bytes.Buffer
+	opts := WriterOptions{BuildIndex: true, ChunkBytes: 512}
+	var si *SegmentIndex
+	if sharded {
+		sw, err := NewShardedWriterOptions(&buf, tr.NumRanks(), 512, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range tr.MergedOrder() {
+			if err := sw.Write(tr.MustAt(id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		si = sw.SealIndex()
+	} else {
+		fw, err := writeAll(&buf, tr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		si = fw.SealIndex()
+	}
+	if si == nil {
+		t.Fatal("SealIndex returned nil with BuildIndex set")
+	}
+	return buf.Bytes(), si
+}
+
+func TestIndexSidecarRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr := locTrace(rng, 4, 400)
+	data, si := writerIndexOf(t, tr, false)
+
+	if err := si.Validate(data); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := si.VerifyExtents(data); err != nil {
+		t.Fatalf("VerifyExtents: %v", err)
+	}
+	enc := EncodeIndex(si)
+	dec, err := DecodeIndex(enc)
+	if err != nil {
+		t.Fatalf("DecodeIndex: %v", err)
+	}
+	if !bytes.Equal(EncodeIndex(dec), enc) {
+		t.Fatal("decode/re-encode is not a fixed point")
+	}
+	if dec.NumRanks != 4 || dec.DataVersion != FormatVersion {
+		t.Fatalf("decoded header: ranks=%d version=%d", dec.NumRanks, dec.DataVersion)
+	}
+	for rank := 0; rank < 4; rank++ {
+		if dec.RecordCount(rank) != tr.RankLen(rank) {
+			t.Fatalf("rank %d count = %d, want %d", rank, dec.RecordCount(rank), tr.RankLen(rank))
+		}
+	}
+	if err := dec.Validate(data); err != nil {
+		t.Fatalf("decoded Validate: %v", err)
+	}
+}
+
+func TestIndexWriterMatchesBackfill(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, sharded := range []bool{false, true} {
+		tr := locTrace(rng, 3, 300)
+		data, si := writerIndexOf(t, tr, sharded)
+		back, err := BuildSegmentIndexBytes(data, DefaultIndexStride)
+		if err != nil {
+			t.Fatalf("sharded=%v: BuildSegmentIndexBytes: %v", sharded, err)
+		}
+		if !bytes.Equal(EncodeIndex(si), EncodeIndex(back)) {
+			t.Fatalf("sharded=%v: writer-built and backfilled sidecars differ", sharded)
+		}
+	}
+}
+
+func TestIndexSeekMarkerContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tr := locTrace(rng, 4, 600)
+	data, si := writerIndexOf(t, tr, true)
+
+	for trial := 0; trial < 60; trial++ {
+		rank := rng.Intn(4)
+		n := tr.RankLen(rank)
+		if n == 0 {
+			continue
+		}
+		from := tr.Rank(rank)[rng.Intn(n)].Marker
+		cp, ok := si.SeekMarker(rank, from)
+		if !ok {
+			// No checkpoint strictly below from: the first record's marker
+			// must already be >= from at checkpoint 0.
+			if m, _ := si.FirstMarker(rank); m < from {
+				t.Fatalf("rank %d: no checkpoint although first marker %d < %d", rank, m, from)
+			}
+			continue
+		}
+		if cp.Marker >= from {
+			t.Fatalf("rank %d: checkpoint marker %d not strictly below %d", rank, cp.Marker, from)
+		}
+		if cp.Ordinal%si.Stride != 0 {
+			t.Fatalf("checkpoint ordinal %d not a stride multiple", cp.Ordinal)
+		}
+		want := tr.Rank(rank)[cp.Ordinal]
+		if want.Marker != cp.Marker || want.Start != cp.Start {
+			t.Fatalf("rank %d ordinal %d: checkpoint (%d,%d) disagrees with record (%d,%d)",
+				rank, cp.Ordinal, cp.Marker, cp.Start, want.Marker, want.Start)
+		}
+		// Resume a seeded scanner at the checkpoint's chunk: the j-th record
+		// of the rank seen from there must be ordinal (cp.Ordinal-cp.Skip)+j,
+		// and every record of the rank skipped by the seek has Marker < from.
+		sec := io.NewSectionReader(bytes.NewReader(data), cp.Offset, int64(len(data))-cp.Offset)
+		sc := NewSeededScanner(sec, si.DataVersion, si.NumRanks, si.Strings)
+		base := cp.Ordinal - cp.Skip
+		for o := 0; o < base; o++ {
+			if m := tr.Rank(rank)[o].Marker; m >= from {
+				t.Fatalf("rank %d: skipped ordinal %d has marker %d >= %d", rank, o, m, from)
+			}
+		}
+		j := 0
+		for j < 5 && base+j < n {
+			rec, err := sc.Next()
+			if err != nil {
+				t.Fatalf("seeded scan: %v", err)
+			}
+			if rec.Rank != rank {
+				continue
+			}
+			want := tr.Rank(rank)[base+j]
+			if rec.Marker != want.Marker || rec.Start != want.Start || rec.MsgID != want.MsgID {
+				t.Fatalf("rank %d: record %d after seek = (m=%d,s=%d), want (m=%d,s=%d)",
+					rank, j, rec.Marker, rec.Start, want.Marker, want.Start)
+			}
+			j++
+		}
+	}
+}
+
+func TestIndexSeekTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	tr := locTrace(rng, 3, 300)
+	_, si := writerIndexOf(t, tr, false)
+	for trial := 0; trial < 30; trial++ {
+		rank := rng.Intn(3)
+		n := tr.RankLen(rank)
+		if n == 0 {
+			continue
+		}
+		from := tr.Rank(rank)[rng.Intn(n)].Start
+		cp, ok := si.SeekTime(rank, from)
+		if !ok {
+			continue
+		}
+		if cp.Start >= from {
+			t.Fatalf("rank %d: time checkpoint %d not strictly below %d", rank, cp.Start, from)
+		}
+	}
+}
+
+func TestIndexOccurrences(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	tr := locTrace(rng, 3, 300)
+	_, si := writerIndexOf(t, tr, true)
+
+	want := map[int]map[[2]interface{}][]int64{}
+	for rank := 0; rank < 3; rank++ {
+		want[rank] = map[[2]interface{}][]int64{}
+		for i, r := range tr.Rank(rank) {
+			k := [2]interface{}{r.Loc.File, r.Loc.Line}
+			want[rank][k] = append(want[rank][k], int64(i))
+		}
+	}
+	for rank := 0; rank < 3; rank++ {
+		for k, ords := range want[rank] {
+			got := si.Occurrences(rank, k[0].(string), k[1].(int))
+			if !reflect.DeepEqual(got, ords) {
+				t.Fatalf("Occurrences(%d, %v): got %v want %v", rank, k, got, ords)
+			}
+		}
+	}
+	if si.Occurrences(0, "missing.go", 1) != nil {
+		t.Fatal("unknown location returned occurrences")
+	}
+}
+
+func TestIndexSidecarCorruptionDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	tr := locTrace(rng, 2, 100)
+	data, si := writerIndexOf(t, tr, false)
+	enc := EncodeIndex(si)
+
+	for _, off := range []int{2, len(enc) / 2, len(enc) - 2} {
+		bad := append([]byte(nil), enc...)
+		bad[off] ^= 0x40
+		if _, err := DecodeIndex(bad); err == nil {
+			t.Fatalf("flipped byte %d accepted", off)
+		}
+	}
+	if _, err := DecodeIndex(enc[:len(enc)/2]); err == nil {
+		t.Fatal("truncated sidecar accepted")
+	}
+	if _, err := DecodeIndex([]byte("not a sidecar at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+
+	// Data drift: a rewritten or damaged trace must fail validation.
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x01
+	if err := si.Validate(flipped); err == nil {
+		t.Fatal("modified data passed validation")
+	}
+	if err := si.Validate(data[:len(data)-1]); err == nil {
+		t.Fatal("truncated data passed validation")
+	}
+}
+
+func TestIndexBackfillRejectsDamage(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	tr := locTrace(rng, 2, 200)
+	data := fileOf(t, tr)
+
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0xFF
+	if _, err := BuildSegmentIndexBytes(bad, 0); err == nil {
+		t.Fatal("damaged file indexed")
+	}
+	if _, err := BuildSegmentIndexBytes(data[:len(data)-3], 0); err == nil {
+		t.Fatal("truncated file indexed")
+	}
+}
+
+func TestIndexBackfillLegacyV2(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	tr := locTrace(rng, 3, 200)
+	var buf bytes.Buffer
+	if err := WriteAllOptions(&buf, tr, WriterOptions{LegacyV2: true}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	si, err := BuildSegmentIndexBytes(data, 16)
+	if err != nil {
+		t.Fatalf("BuildSegmentIndexBytes(v2): %v", err)
+	}
+	if si.DataVersion != FormatVersionLegacy || len(si.Chunks()) != 0 {
+		t.Fatalf("v2 sidecar: version=%d chunks=%d", si.DataVersion, len(si.Chunks()))
+	}
+	for rank := 0; rank < 3; rank++ {
+		if si.RecordCount(rank) != tr.RankLen(rank) {
+			t.Fatalf("rank %d count = %d want %d", rank, si.RecordCount(rank), tr.RankLen(rank))
+		}
+	}
+	// v2 checkpoint offsets are exact record offsets with skip 0: a seeded
+	// scanner from the offset yields exactly the checkpointed record first.
+	for rank := 0; rank < 3; rank++ {
+		n := tr.RankLen(rank)
+		if n == 0 {
+			continue
+		}
+		from := tr.Rank(rank)[n-1].Marker
+		cp, ok := si.SeekMarker(rank, from)
+		if !ok {
+			continue
+		}
+		if cp.Skip != 0 {
+			t.Fatalf("v2 checkpoint has skip %d", cp.Skip)
+		}
+		sec := io.NewSectionReader(bytes.NewReader(data), cp.Offset, int64(len(data))-cp.Offset)
+		sc := NewSeededScanner(sec, si.DataVersion, si.NumRanks, si.Strings)
+		rec, err := sc.Next()
+		if err != nil {
+			t.Fatalf("v2 seeded scan: %v", err)
+		}
+		if rec.Rank != rank || rec.Marker != cp.Marker {
+			t.Fatalf("v2 seek landed on rank %d marker %d, want rank %d marker %d",
+				rec.Rank, rec.Marker, rank, cp.Marker)
+		}
+	}
+	// Round-trip the v2 sidecar too.
+	dec, err := DecodeIndex(EncodeIndex(si))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Validate(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteIndexFileAtomicRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	tr := locTrace(rng, 2, 150)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.trace")
+
+	if err := WriteFileAtomic(path, tr, WriterOptions{BuildIndex: true}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := ReadIndexFile(IndexPath(path))
+	if err != nil {
+		t.Fatalf("sidecar not written: %v", err)
+	}
+	if err := si.Validate(data); err != nil {
+		t.Fatalf("sidecar does not match data: %v", err)
+	}
+	// Rewriting the data without BuildIndex must remove the stale sidecar.
+	if err := WriteFileAtomic(path, tr, WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(IndexPath(path)); !os.IsNotExist(err) {
+		t.Fatalf("stale sidecar survived rewrite: %v", err)
+	}
+}
+
+func TestSegmentedWriterSidecars(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	tr := locTrace(rng, 2, 400)
+	dir := t.TempDir()
+
+	gw, err := NewSegmentedWriter(dir, "run", 2, 4<<10, WriterOptions{BuildIndex: true, ChunkBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range tr.MergedOrder() {
+		if err := gw.Write(tr.MustAt(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix, pend := gw.IndexStatus(); pend == 0 && ix == 0 {
+		t.Fatal("IndexStatus reports nothing while writing")
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	indexed, pending := gw.IndexStatus()
+	if pending != 0 {
+		t.Fatalf("IndexStatus after close: %d pending", pending)
+	}
+	m, err := LoadManifest(gw.ManifestPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Segments) < 2 {
+		t.Fatalf("want rotation, got %d segments", len(m.Segments))
+	}
+	if indexed != len(m.Segments) {
+		t.Fatalf("indexed %d of %d segments", indexed, len(m.Segments))
+	}
+	total := 0
+	for _, seg := range m.Segments {
+		p := filepath.Join(dir, seg.Name)
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		si, err := ReadIndexFile(IndexPath(p))
+		if err != nil {
+			t.Fatalf("segment %s sidecar: %v", seg.Name, err)
+		}
+		if err := si.Validate(data); err != nil {
+			t.Fatalf("segment %s: %v", seg.Name, err)
+		}
+		if err := si.VerifyExtents(data); err != nil {
+			t.Fatalf("segment %s extents: %v", seg.Name, err)
+		}
+		for rank := 0; rank < 2; rank++ {
+			total += si.RecordCount(rank)
+		}
+	}
+	if want := tr.Len(); total != want {
+		t.Fatalf("sidecar counts sum to %d, want %d", total, want)
+	}
+}
+
+func TestIndexDisabledByDefault(t *testing.T) {
+	var buf bytes.Buffer
+	fw, err := NewFileWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.SealIndex() != nil {
+		t.Fatal("SealIndex non-nil without BuildIndex")
+	}
+	fw2, err := NewFileWriterOptions(&buf, 2, WriterOptions{BuildIndex: true, LegacyV2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw2.SealIndex() != nil {
+		t.Fatal("SealIndex non-nil for legacy writer")
+	}
+}

@@ -26,10 +26,11 @@ const DefaultChunkSize = 32 << 10
 // every reader (Scanner, ReadAll, Index, the parallel loader) already
 // tolerates because traces are keyed by (rank, marker), not by file order.
 type ShardedWriter struct {
-	fw     *FileWriter
-	chunk  int
-	shards []writeShard
-	om     *traceMetrics // captured at construction: no registry load per record
+	fw      *FileWriter
+	chunk   int
+	shards  []writeShard
+	om      *traceMetrics // captured at construction: no registry load per record
+	indexed bool          // capture per-record index metadata at encode time
 }
 
 type writeShard struct {
@@ -41,6 +42,7 @@ type writeShard struct {
 	fault    fieldCache        // string compare instead of a map hash
 	buf      []byte            // encoded records awaiting a chunk flush
 	n        int               // records in buf
+	meta     []recMeta         // per-record index metadata, parallel to buf
 	pubBytes int64             // occupancy last published to the gauge; touched only by Flush
 	_        [24]byte          // pad to reduce false sharing between shards
 }
@@ -122,7 +124,8 @@ func NewShardedWriterOptions(w io.Writer, numRanks, chunk int, opts WriterOption
 	if numRanks < 0 {
 		numRanks = 0
 	}
-	sw := &ShardedWriter{fw: fw, chunk: chunk, shards: make([]writeShard, numRanks), om: metrics()}
+	sw := &ShardedWriter{fw: fw, chunk: chunk, shards: make([]writeShard, numRanks), om: metrics(),
+		indexed: fw.ib != nil}
 	for i := range sw.shards {
 		sw.shards[i].ids = make(map[string]uint64)
 		// One chunk plus slack for the record that overflows it: flushes
@@ -162,6 +165,10 @@ func (sw *ShardedWriter) Write(r *Record) error {
 	nameID := sh.name.lookup(sh, st, r.Name)
 	faultID := sh.fault.lookup(sh, st, r.Fault)
 	sh.buf = appendRecord(sh.buf, r, fileID, funcID, nameID, faultID)
+	if sw.indexed {
+		sh.meta = append(sh.meta, recMeta{marker: r.Marker, start: r.Start,
+			fileID: fileID, funcID: funcID, line: int32(r.Loc.Line), rank: int32(r.Rank)})
+	}
 	sh.n++
 	if len(sh.buf) >= sw.chunk {
 		err := sw.flushShardLocked(sh, r.Rank)
@@ -198,6 +205,10 @@ func (sw *ShardedWriter) WriteBatch(rank int, recs []Record) error {
 		nameID := sh.name.lookup(sh, st, r.Name)
 		faultID := sh.fault.lookup(sh, st, r.Fault)
 		sh.buf = appendRecord(sh.buf, r, fileID, funcID, nameID, faultID)
+		if sw.indexed {
+			sh.meta = append(sh.meta, recMeta{marker: r.Marker, start: r.Start,
+				fileID: fileID, funcID: funcID, line: int32(r.Loc.Line), rank: int32(rank)})
+		}
 		sh.n++
 		if len(sh.buf) >= sw.chunk {
 			if err := sw.flushShardLocked(sh, rank); err != nil {
@@ -220,13 +231,14 @@ func (sw *ShardedWriter) flushShardLocked(sh *writeShard, rank int) error {
 	if sh.n == 0 {
 		return nil
 	}
-	err := sw.fw.writeChunk(sh.buf, sh.n)
+	err := sw.fw.writeChunk(sh.buf, sh.n, sh.meta)
 	m := sw.om
 	m.recordsWritten.Add(rank, uint64(sh.n))
 	m.chunkFlushes.Inc()
 	m.chunkBytes.Observe(uint64(len(sh.buf)))
 	m.bytesEncoded.Add(rank, uint64(len(sh.buf)))
 	sh.buf = sh.buf[:0]
+	sh.meta = sh.meta[:0]
 	sh.n = 0
 	return err
 }
@@ -290,6 +302,10 @@ func (sw *ShardedWriter) Count() int {
 	}
 	return n
 }
+
+// SealIndex returns the sidecar index built alongside the file (nil unless
+// WriterOptions.BuildIndex was set). Call after Flush.
+func (sw *ShardedWriter) SealIndex() *SegmentIndex { return sw.fw.SealIndex() }
 
 // Close flushes all buffers. It does not close the underlying writer, which
 // the caller owns.

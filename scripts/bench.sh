@@ -9,18 +9,19 @@
 # the self-observability metrics of a representative tanalyze run — so each
 # baseline records not just how fast the pipeline was but how much work
 # (records written, chunks flushed, ranks pruned, ...) the numbers represent.
-# The default output is BENCH_PR9.json at the repo root — the checked-in
-# baseline for the disk-fault PR (iofault seam, degraded mode, storage
-# scrub); regenerate it when the pipeline changes materially and mention the
-# delta in the PR.
+# The default output is BENCH_PR10.json at the repo root — the checked-in
+# baseline for the persistent-index PR (sidecar indexes, query planner,
+# cold indexed queries); regenerate it when the pipeline changes materially
+# and mention the delta in the PR.
 #
 # With -profile, CPU and allocation profiles of the write, load, and query
 # benchmark groups are additionally captured into bench-profiles/ (one
 # .cpu.pprof / .mem.pprof / .test pair per group, ready for `go tool pprof`).
 #
-# On timed runs (BENCHTIME not 1x) the obs-layer acceptance criterion is
-# re-pinned: ObsOverhead/enabled must stay <= 1.05x ObsOverhead/noop, or the
-# script fails.
+# On timed runs (BENCHTIME not 1x) two acceptance criteria are re-pinned:
+# ObsOverhead/enabled must stay <= 1.05x ObsOverhead/noop, and the cold
+# indexed query (QueryCold/Indexed) must beat the sidecar-less scan
+# (QueryCold/Scan) by at least 5x, or the script fails.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,7 +31,7 @@ if [ "${1:-}" = "-profile" ]; then
     profile=1
     shift
 fi
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw="$(mktemp)"
@@ -38,7 +39,7 @@ snap="$(mktemp)"
 trap 'rm -f "$raw" "$snap"' EXIT
 
 go test -run '^$' \
-    -bench 'SerialLoad|ParallelLoad|QuerySerial|QueryIndexed|QueryParallel|FileWriterSerial|ShardedWrite|SyncPolicy|GraphFromTrace|MergedOrder|ObsOverhead|StreamVsMaterialize|DaemonIngest|TailLatency' \
+    -bench 'SerialLoad|ParallelLoad|QuerySerial|QueryIndexed|QueryParallel|QueryCold|FileWriterSerial|ShardedWrite|SyncPolicy|GraphFromTrace|MergedOrder|ObsOverhead|StreamVsMaterialize|DaemonIngest|TailLatency' \
     -benchtime "$benchtime" -benchmem . | tee "$raw"
 
 # The scrub CRC walk lives with the store package; append it to the same
@@ -61,6 +62,22 @@ if [ "$benchtime" != "1x" ]; then
         printf "obs overhead: enabled/noop = %.4f (limit 1.05)\n", ratio
         if (ratio > 1.05) {
             printf "bench.sh: obs overhead ratio %.4f exceeds 1.05\n", ratio > "/dev/stderr"
+            exit 1
+        }
+    }' "$raw"
+
+    awk '
+    /^BenchmarkQueryCold\/Indexed/ { indexed = $3 }
+    /^BenchmarkQueryCold\/Scan/ { scan = $3 }
+    END {
+        if (indexed == "" || scan == "" || indexed == 0) {
+            print "bench.sh: QueryCold results missing from run" > "/dev/stderr"
+            exit 1
+        }
+        speedup = scan / indexed
+        printf "cold indexed query: scan/indexed = %.2fx (floor 5x)\n", speedup
+        if (speedup < 5) {
+            printf "bench.sh: cold indexed speedup %.2fx below the 5x floor\n", speedup > "/dev/stderr"
             exit 1
         }
     }' "$raw"

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Forbid the legacy query executors outside the package that owns them.
+# Run / RunParallel / RunStream / RunStreamAll are deprecated shims kept for
+# one release; every other consumer must go through the planner —
+# q.Plan(query.NewStoreSource(st)).Run() and friends — so that persistent
+# index negotiation, rank pruning, and the -explain surface stay in one
+# place. A caller that bypasses the planner silently loses indexed seeks.
+#
+# The check is two-step: only files that import tracedbg/internal/query are
+# scanned, then the executor call shapes are grepped. `q.Run(` is matched by
+# the conventional receiver name (a bare `.Run(` would trip over unrelated
+# Run methods — sessions, instrumented targets); the RunParallel/RunStream*
+# names are unambiguous and matched on any receiver. Test files may still
+# call the shims: the differential suite pins shim/planner parity.
+#
+# Usage: scripts/lint-queries.sh   (exit 1 and a file:line listing on hits)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern='(^|[^a-zA-Z0-9_])q\.Run\(|\.RunParallel\(|\.RunStream(All)?\('
+
+hits=""
+for f in $(grep -rl 'tracedbg/internal/query' --include='*.go' \
+    --exclude='*_test.go' cmd examples internal ./*.go 2>/dev/null \
+    | grep -v '^internal/query/' || true); do
+    h="$(grep -En "$pattern" "$f" | sed "s|^|$f:|" || true)"
+    [ -n "$h" ] && hits="$hits$h
+"
+done
+
+if [ -n "$hits" ]; then
+    echo "lint-queries: legacy query executors used outside internal/query:" >&2
+    printf '%s' "$hits" >&2
+    echo "lint-queries: run queries through the planner (q.Plan(query.New...Source(...)).Run()) instead" >&2
+    exit 1
+fi
+echo "lint-queries: ok"
